@@ -1,0 +1,77 @@
+//! Exact counting by storing the whole stream.
+//!
+//! The trivial upper end of the space spectrum: one pass, `Θ(m)` words, zero
+//! error. Every experiment uses it both as ground truth at stream level and
+//! as the "what you pay if you refuse to approximate" reference row.
+
+use degentri_graph::triangles::count_triangles;
+use degentri_graph::GraphBuilder;
+use degentri_stream::{EdgeStream, SpaceMeter};
+
+use crate::traits::{BaselineOutcome, StreamingTriangleCounter};
+
+/// Store-everything exact triangle counter.
+#[derive(Debug, Clone, Default)]
+pub struct ExactStreamCounter;
+
+impl ExactStreamCounter {
+    /// Creates the counter.
+    pub fn new() -> Self {
+        ExactStreamCounter
+    }
+}
+
+impl StreamingTriangleCounter for ExactStreamCounter {
+    fn name(&self) -> &'static str {
+        "exact (store all)"
+    }
+
+    fn space_bound(&self) -> &'static str {
+        "m"
+    }
+
+    fn estimate(&self, stream: &dyn EdgeStream) -> BaselineOutcome {
+        let mut meter = SpaceMeter::new();
+        let mut builder = GraphBuilder::with_vertices(stream.num_vertices());
+        for e in stream.pass() {
+            builder.add_edge(e.u(), e.v());
+            meter.charge_edge();
+        }
+        let graph = builder.build();
+        // The CSR index roughly doubles the retained footprint.
+        meter.charge(graph.num_edges() as u64);
+        let exact = count_triangles(&graph);
+        BaselineOutcome {
+            estimate: exact as f64,
+            passes: 1,
+            space: meter.report(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use degentri_gen::{complete, wheel};
+    use degentri_stream::{MemoryStream, PassCounter, StreamOrder};
+
+    #[test]
+    fn exact_on_known_graphs() {
+        for (g, expected) in [(wheel(100).unwrap(), 99u64), (complete(10).unwrap(), 120u64)] {
+            let stream = MemoryStream::from_graph(&g, StreamOrder::UniformRandom(3));
+            let out = ExactStreamCounter::new().estimate(&stream);
+            assert_eq!(out.estimate, expected as f64);
+            assert_eq!(out.relative_error(expected), 0.0);
+        }
+    }
+
+    #[test]
+    fn one_pass_and_linear_space() {
+        let g = wheel(500).unwrap();
+        let stream = PassCounter::with_limit(MemoryStream::from_graph(&g, StreamOrder::AsGiven), 1);
+        let out = ExactStreamCounter::new().estimate(&stream);
+        assert_eq!(out.passes, 1);
+        assert_eq!(stream.passes(), 1);
+        assert!(out.space.peak_words >= g.num_edges() as u64);
+    }
+}

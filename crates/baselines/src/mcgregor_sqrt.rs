@@ -1,0 +1,153 @@
+//! Vertex-neighborhood sampling (McGregor, Vorotnikova, Vu, PODS 2016 —
+//! the `Õ(m/√T)` multi-pass algorithm).
+//!
+//! Sample every vertex independently with probability `p`; in pass 1 store
+//! every edge incident to a sampled vertex (expected `2pm` words); in pass 2,
+//! for every stream edge `(u, v)`, count the sampled vertices `w` adjacent
+//! to both `u` and `v` in the stored subgraph. Each triangle is counted once
+//! per sampled vertex it contains, so the count has expectation `3pT` and
+//! `count / (3p)` is unbiased. With `p = Θ(1/√T)` the space is `Õ(m/√T)`
+//! and the relative error is constant — the `m/√T` row of Table 1.
+//!
+//! Vertex sampling is done with a salted hash so that both passes agree on
+//! the sampled set without storing it explicitly.
+
+use degentri_graph::VertexId;
+use degentri_stream::hashing::{hash_to_unit, vertex_hash, FxHashMap, FxHashSet};
+use degentri_stream::{EdgeStream, SpaceMeter};
+
+use crate::traits::{BaselineOutcome, StreamingTriangleCounter};
+
+/// Two-pass vertex-neighborhood sampling estimator.
+#[derive(Debug, Clone)]
+pub struct VertexSamplingEstimator {
+    /// Vertex sampling probability `p`.
+    pub probability: f64,
+    /// Salt for the hash-based vertex sampling.
+    pub seed: u64,
+}
+
+impl VertexSamplingEstimator {
+    /// Creates an estimator with vertex-sampling probability `p`
+    /// (clamped into `(0, 1]`).
+    pub fn new(probability: f64, seed: u64) -> Self {
+        VertexSamplingEstimator {
+            probability: probability.clamp(1e-9, 1.0),
+            seed,
+        }
+    }
+
+    /// The probability tuned for a target triangle count `t_hint`
+    /// (`p = c/√T`, capped at 1).
+    pub fn for_triangle_hint(t_hint: u64, constant: f64, seed: u64) -> Self {
+        let p = constant / (t_hint.max(1) as f64).sqrt();
+        VertexSamplingEstimator::new(p.min(1.0), seed)
+    }
+
+    fn is_sampled(&self, v: VertexId) -> bool {
+        hash_to_unit(vertex_hash(v, self.seed)) < self.probability
+    }
+}
+
+impl StreamingTriangleCounter for VertexSamplingEstimator {
+    fn name(&self) -> &'static str {
+        "McGregor et al. (vertex sampling)"
+    }
+
+    fn space_bound(&self) -> &'static str {
+        "m/sqrt(T)"
+    }
+
+    fn estimate(&self, stream: &dyn EdgeStream) -> BaselineOutcome {
+        let mut meter = SpaceMeter::new();
+        // Pass 1: adjacency of sampled vertices.
+        let mut adjacency: FxHashMap<VertexId, FxHashSet<VertexId>> = FxHashMap::default();
+        for e in stream.pass() {
+            for (x, y) in [(e.u(), e.v()), (e.v(), e.u())] {
+                if self.is_sampled(x) {
+                    adjacency.entry(x).or_default().insert(y);
+                    meter.charge_word();
+                }
+            }
+        }
+
+        // Pass 2: for each edge, count sampled common neighbors.
+        let mut count = 0u64;
+        for e in stream.pass() {
+            for (w, neighbors) in adjacency.iter() {
+                if *w != e.u()
+                    && *w != e.v()
+                    && neighbors.contains(&e.u())
+                    && neighbors.contains(&e.v())
+                {
+                    count += 1;
+                }
+            }
+        }
+
+        let estimate = count as f64 / (3.0 * self.probability);
+        BaselineOutcome {
+            estimate,
+            passes: 2,
+            space: meter.report(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use degentri_gen::{complete, grid, triangular_lattice, wheel};
+    use degentri_graph::triangles::count_triangles;
+    use degentri_stream::{MemoryStream, PassCounter, StreamOrder};
+
+    #[test]
+    fn exact_when_probability_is_one() {
+        for g in [wheel(50).unwrap(), complete(12).unwrap()] {
+            let exact = count_triangles(&g);
+            let stream = MemoryStream::from_graph(&g, StreamOrder::UniformRandom(3));
+            let out = VertexSamplingEstimator::new(1.0, 7).estimate(&stream);
+            assert_eq!(out.estimate, exact as f64);
+        }
+    }
+
+    #[test]
+    fn accurate_with_moderate_probability() {
+        let g = triangular_lattice(30, 30).unwrap();
+        let exact = count_triangles(&g);
+        let stream = MemoryStream::from_graph(&g, StreamOrder::UniformRandom(5));
+        let out = VertexSamplingEstimator::new(0.35, 13).estimate(&stream);
+        assert!(
+            out.relative_error(exact) < 0.3,
+            "estimate {} vs exact {exact}",
+            out.estimate
+        );
+    }
+
+    #[test]
+    fn zero_on_triangle_free_graph() {
+        let g = grid(12, 12).unwrap();
+        let stream = MemoryStream::from_graph(&g, StreamOrder::UniformRandom(2));
+        let out = VertexSamplingEstimator::new(0.5, 3).estimate(&stream);
+        assert_eq!(out.estimate, 0.0);
+    }
+
+    #[test]
+    fn two_passes_and_space_scales_with_probability() {
+        let g = complete(40).unwrap();
+        let stream = PassCounter::with_limit(MemoryStream::from_graph(&g, StreamOrder::AsGiven), 2);
+        let sparse = VertexSamplingEstimator::new(0.1, 9).estimate(&stream);
+        assert_eq!(sparse.passes, 2);
+        let stream2 = MemoryStream::from_graph(&g, StreamOrder::AsGiven);
+        let dense = VertexSamplingEstimator::new(0.8, 9).estimate(&stream2);
+        assert!(dense.space.peak_words > sparse.space.peak_words);
+    }
+
+    #[test]
+    fn probability_from_triangle_hint() {
+        let est = VertexSamplingEstimator::for_triangle_hint(10_000, 2.0, 1);
+        assert!((est.probability - 0.02).abs() < 1e-12);
+        let est = VertexSamplingEstimator::for_triangle_hint(1, 5.0, 1);
+        assert_eq!(est.probability, 1.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! The common interface every baseline implements.
+
+use degentri_stream::{EdgeStream, SpaceReport};
+
+/// Result of running a streaming triangle counter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineOutcome {
+    /// The triangle-count estimate.
+    pub estimate: f64,
+    /// Number of passes over the stream.
+    pub passes: u32,
+    /// Words of retained state.
+    pub space: SpaceReport,
+}
+
+impl BaselineOutcome {
+    /// Relative error against a known exact count (∞ if `exact` is 0 and the
+    /// estimate is not).
+    pub fn relative_error(&self, exact: u64) -> f64 {
+        if exact == 0 {
+            if self.estimate.abs() < 1e-12 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (self.estimate - exact as f64).abs() / exact as f64
+        }
+    }
+}
+
+/// A streaming triangle-counting algorithm.
+///
+/// The trait is object safe so the experiment harness can iterate over a
+/// heterogeneous list of `Box<dyn StreamingTriangleCounter>`.
+pub trait StreamingTriangleCounter {
+    /// Short human-readable name used in experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// The asymptotic space bound the algorithm is known for (for table
+    /// headers), e.g. `"m∆/T"`.
+    fn space_bound(&self) -> &'static str;
+
+    /// Runs the algorithm over the stream and reports the outcome.
+    fn estimate(&self, stream: &dyn EdgeStream) -> BaselineOutcome;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_cases() {
+        let out = BaselineOutcome {
+            estimate: 90.0,
+            passes: 1,
+            space: SpaceReport::default(),
+        };
+        assert!((out.relative_error(100) - 0.1).abs() < 1e-12);
+        assert!(out.relative_error(0).is_infinite());
+        let zero = BaselineOutcome {
+            estimate: 0.0,
+            ..out
+        };
+        assert_eq!(zero.relative_error(0), 0.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Criterion microbenchmarks (E10): throughput of the streaming primitives —
+//! pass iteration, uniform and weighted reservoir sampling, degree
+//! accumulation — in edges per second.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use degentri_stream::{
+    EdgeStream, MemoryStream, ReservoirSampler, StreamOrder, StreamStats, WeightedSamplerBank,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_micro(c: &mut Criterion) {
+    let graph = degentri_gen::barabasi_albert(50_000, 8, 1).unwrap();
+    let stream = MemoryStream::from_graph(&graph, StreamOrder::UniformRandom(1));
+    let m = stream.num_edges() as u64;
+
+    let mut group = c.benchmark_group("e10_micro");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(m));
+
+    group.bench_function("raw_pass", |b| {
+        b.iter(|| black_box(stream.pass().count()));
+    });
+    group.bench_function("stream_stats_single_pass", |b| {
+        b.iter(|| black_box(StreamStats::compute(&stream).num_edges));
+    });
+    group.bench_function("uniform_reservoir_256", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut r = ReservoirSampler::new_iid(256);
+            for e in stream.pass() {
+                r.observe(e, &mut rng);
+            }
+            black_box(r.samples().len())
+        });
+    });
+    group.bench_function("weighted_bank_64", |b| {
+        let stats = StreamStats::compute(&stream);
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(9);
+            let mut bank = WeightedSamplerBank::new(64);
+            for e in stream.pass() {
+                bank.observe(e, stats.edge_degree(e) as f64, &mut rng);
+            }
+            black_box(bank.samples().len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_micro);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench for experiment E11: exact kClist counting and the
+//! streaming ℓ-clique estimator of Conjecture 7.1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use degentri_cliques::{count_cliques, CliqueEstimator, CliqueEstimatorConfig};
+use degentri_stream::{MemoryStream, StreamOrder};
+use std::hint::black_box;
+
+fn bench_e11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_cliques");
+    group.sample_size(10);
+
+    let graph = degentri_gen::random_ktree(2000, 5, 3).unwrap();
+    let stream = MemoryStream::from_graph(&graph, StreamOrder::UniformRandom(1));
+    group.throughput(Throughput::Elements(graph.num_edges() as u64));
+
+    for l in [3usize, 4, 5] {
+        group.bench_with_input(BenchmarkId::new("exact_kclist", l), &l, |b, &l| {
+            b.iter(|| black_box(count_cliques(&graph, l)));
+        });
+    }
+
+    for l in [3usize, 4] {
+        let exact = count_cliques(&graph, l).max(1);
+        let config = CliqueEstimatorConfig::builder(l)
+            .epsilon(0.2)
+            .kappa(5)
+            .clique_lower_bound(exact / 2)
+            .copies(1)
+            .seed(7)
+            .max_samples(5_000)
+            .build();
+        let estimator = CliqueEstimator::new(config);
+        group.bench_with_input(
+            BenchmarkId::new("streaming_estimator", l),
+            &estimator,
+            |b, est| {
+                b.iter(|| black_box(est.run(&stream).unwrap().estimate));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e11);
+criterion_main!(benches);

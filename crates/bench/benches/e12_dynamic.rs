@@ -1,0 +1,52 @@
+//! Criterion bench for experiment E12: dynamic-stream estimation throughput
+//! (ℓ0-sampling estimator vs the exact turnstile counter).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use degentri_dynamic::{DynamicEstimatorConfig, DynamicExactCounter, DynamicTriangleEstimator};
+use degentri_graph::triangles::count_triangles;
+use degentri_stream::{DynamicEdgeStream, DynamicMemoryStream};
+use std::hint::black_box;
+
+fn bench_e12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_dynamic");
+    group.sample_size(10);
+
+    let graph = degentri_gen::wheel(1500).unwrap();
+    let exact = count_triangles(&graph).max(1);
+
+    for churn in [0.0f64, 0.5] {
+        let stream = if churn == 0.0 {
+            DynamicMemoryStream::insert_only(&graph, 3)
+        } else {
+            DynamicMemoryStream::with_churn(&graph, churn, 3)
+        };
+        group.throughput(Throughput::Elements(stream.num_updates() as u64));
+
+        group.bench_with_input(
+            BenchmarkId::new("exact_turnstile", format!("churn{churn}")),
+            &stream,
+            |b, s| {
+                b.iter(|| black_box(DynamicExactCounter::new().count(s).triangles));
+            },
+        );
+
+        let config = DynamicEstimatorConfig::new(3, exact / 2)
+            .with_epsilon(0.3)
+            .with_copies(1)
+            .with_seed(11)
+            .with_constants(1.0, 2.0)
+            .with_max_samples(600);
+        let estimator = DynamicTriangleEstimator::new(config);
+        group.bench_with_input(
+            BenchmarkId::new("l0_estimator", format!("churn{churn}")),
+            &stream,
+            |b, s| {
+                b.iter(|| black_box(estimator.run(s).unwrap().estimate));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e12);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench for experiment E1: one full space/accuracy comparison of
+//! the paper's estimator against a representative baseline on a BA graph.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use degentri_baselines::{StreamingTriangleCounter, TriestImpr};
+use degentri_bench::common::experiment_config;
+use degentri_core::estimate_triangles;
+use degentri_graph::triangles::count_triangles;
+use degentri_stream::{MemoryStream, StreamOrder};
+use std::hint::black_box;
+
+fn bench_e1(c: &mut Criterion) {
+    let graph = degentri_gen::barabasi_albert(5000, 6, 1).unwrap();
+    let exact = count_triangles(&graph);
+    let stream = MemoryStream::from_graph(&graph, StreamOrder::UniformRandom(1));
+
+    let mut group = c.benchmark_group("e1_table1");
+    group.sample_size(10);
+    group.bench_function("this_paper_six_pass", |b| {
+        let mut config = experiment_config(6, exact / 2, 1);
+        config.copies = 1;
+        b.iter(|| black_box(estimate_triangles(&stream, &config).unwrap().estimate));
+    });
+    group.bench_function("triest_quarter_budget", |b| {
+        b.iter(|| {
+            black_box(
+                TriestImpr::new(graph.num_edges() / 4, 1)
+                    .estimate(&stream)
+                    .estimate,
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e1);
+criterion_main!(benches);

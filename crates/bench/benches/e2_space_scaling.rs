@@ -1,0 +1,26 @@
+//! Criterion bench for experiment E2: the six-pass estimator across wheel
+//! sizes (space is reported by the harness; here we time the runs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use degentri_bench::common::lean_config;
+use degentri_core::estimate_triangles;
+use degentri_stream::{MemoryStream, StreamOrder};
+use std::hint::black_box;
+
+fn bench_e2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_space_scaling");
+    group.sample_size(10);
+    for n in [4000usize, 8000, 16000] {
+        let graph = degentri_gen::wheel(n).unwrap();
+        let t = (n - 1) as u64;
+        let stream = MemoryStream::from_graph(&graph, StreamOrder::UniformRandom(2));
+        let config = lean_config(3, t / 2, 2);
+        group.bench_with_input(BenchmarkId::new("wheel", n), &n, |b, _| {
+            b.iter(|| black_box(estimate_triangles(&stream, &config).unwrap().estimate));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e2);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Criterion bench for experiment E3: the wheel-graph sweep of Section 1.1.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_e3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_wheel");
+    group.sample_size(10);
+    group.bench_function("sweep_three_points", |b| {
+        b.iter(|| black_box(degentri_bench::e3_wheel::run(3, 7)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e3);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Criterion bench for experiment E4: assignment-rule ablation on the
+//! triangle-book graph.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_e4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_assignment_ablation");
+    group.sample_size(10);
+    group.bench_function("book_and_ba_ablation", |b| {
+        b.iter(|| black_box(degentri_bench::e4_assignment_ablation::run(1000, 2000, 3)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e4);
+criterion_main!(benches);

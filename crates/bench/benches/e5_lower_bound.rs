@@ -1,0 +1,17 @@
+//! Criterion bench for experiment E5: triangle detection on the Section 6
+//! lower-bound gadgets across space budgets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_e5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_lower_bound");
+    group.sample_size(10);
+    group.bench_function("gadget_budget_sweep", |b| {
+        b.iter(|| black_box(degentri_bench::e5_lower_bound::run(8, 3, 3, 5)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e5);
+criterion_main!(benches);

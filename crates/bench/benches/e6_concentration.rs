@@ -1,0 +1,37 @@
+//! Criterion bench for experiment E6: concentration of the estimate as the
+//! sample constants grow (times a single estimator run at two budgets).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use degentri_core::{estimate_triangles, EstimatorConfig};
+use degentri_stream::{MemoryStream, StreamOrder};
+use std::hint::black_box;
+
+fn bench_e6(c: &mut Criterion) {
+    let graph = degentri_gen::wheel(2000).unwrap();
+    let stream = MemoryStream::from_graph(&graph, StreamOrder::UniformRandom(3));
+    let mut group = c.benchmark_group("e6_concentration");
+    group.sample_size(10);
+    for constant in [5.0f64, 20.0] {
+        let config = EstimatorConfig::builder()
+            .epsilon(0.15)
+            .kappa(3)
+            .triangle_lower_bound(999)
+            .r_constant(constant)
+            .inner_constant(2.0 * constant)
+            .assignment_constant(constant)
+            .copies(1)
+            .seed(9)
+            .build();
+        group.bench_with_input(
+            BenchmarkId::new("sample_constant", constant as u64),
+            &constant,
+            |b, _| {
+                b.iter(|| black_box(estimate_triangles(&stream, &config).unwrap().estimate));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e6);
+criterion_main!(benches);

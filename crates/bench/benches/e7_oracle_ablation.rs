@@ -1,0 +1,37 @@
+//! Criterion bench for experiment E7: ideal (degree-oracle, 3-pass) vs main
+//! (oracle-free, 6-pass) estimator on the same stream.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use degentri_bench::common::experiment_config;
+use degentri_core::{estimate_triangles, estimate_triangles_with_oracle, ExactDegreeOracle};
+use degentri_graph::triangles::count_triangles;
+use degentri_stream::{MemoryStream, StreamOrder};
+use std::hint::black_box;
+
+fn bench_e7(c: &mut Criterion) {
+    let graph = degentri_gen::wheel(4000).unwrap();
+    let exact = count_triangles(&graph);
+    let stream = MemoryStream::from_graph(&graph, StreamOrder::UniformRandom(5));
+    let oracle = ExactDegreeOracle::build(&stream);
+    let mut config = experiment_config(3, exact / 2, 5);
+    config.copies = 1;
+
+    let mut group = c.benchmark_group("e7_oracle_ablation");
+    group.sample_size(10);
+    group.bench_function("ideal_three_pass", |b| {
+        b.iter(|| {
+            black_box(
+                estimate_triangles_with_oracle(&stream, &oracle, &config)
+                    .unwrap()
+                    .estimate,
+            )
+        });
+    });
+    group.bench_function("main_six_pass", |b| {
+        b.iter(|| black_box(estimate_triangles(&stream, &config).unwrap().estimate));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e7);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench for experiment E8: core decomposition and exact triangle
+//! counting throughput (the substrate costs behind every ground-truth
+//! column).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use degentri_graph::degeneracy::CoreDecomposition;
+use degentri_graph::triangles::{count_triangles, TriangleCounts};
+use std::hint::black_box;
+
+fn bench_e8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_degeneracy");
+    group.sample_size(10);
+    for n in [5_000usize, 20_000] {
+        let graph = degentri_gen::barabasi_albert(n, 8, 1).unwrap();
+        group.throughput(Throughput::Elements(graph.num_edges() as u64));
+        group.bench_with_input(BenchmarkId::new("core_decomposition", n), &graph, |b, g| {
+            b.iter(|| black_box(CoreDecomposition::compute(g).degeneracy));
+        });
+        group.bench_with_input(BenchmarkId::new("forward_triangle_count", n), &graph, |b, g| {
+            b.iter(|| black_box(count_triangles(g)));
+        });
+        group.bench_with_input(BenchmarkId::new("edge_iterator_counts", n), &graph, |b, g| {
+            b.iter(|| black_box(TriangleCounts::compute(g).total));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e8);
+criterion_main!(benches);

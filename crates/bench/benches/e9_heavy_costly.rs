@@ -1,0 +1,23 @@
+//! Criterion bench for experiment E9: exact heavy/costly classification
+//! (Lemma 5.12) on an adversarial and a benign graph.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use degentri_core::heavy::HeavyCostlyAnalysis;
+use std::hint::black_box;
+
+fn bench_e9(c: &mut Criterion) {
+    let book = degentri_gen::book(3000).unwrap();
+    let ba = degentri_gen::barabasi_albert(4000, 6, 1).unwrap();
+    let mut group = c.benchmark_group("e9_heavy_costly");
+    group.sample_size(10);
+    group.bench_function("book_3000", |b| {
+        b.iter(|| black_box(HeavyCostlyAnalysis::compute(&book, 0.1, 2).unassignable_fraction()));
+    });
+    group.bench_function("ba_4000_6", |b| {
+        b.iter(|| black_box(HeavyCostlyAnalysis::compute(&ba, 0.1, 6).unassignable_fraction()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e9);
+criterion_main!(benches);

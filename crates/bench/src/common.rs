@@ -1,0 +1,96 @@
+//! Shared helpers for the experiments: estimator configuration presets and
+//! plain-text table printing.
+
+use degentri_core::EstimatorConfig;
+use degentri_graph::properties::GraphProperties;
+use degentri_graph::CsrGraph;
+
+/// The estimator configuration used throughout the experiments: practical
+/// constants (the scalings of Lemmas 5.5/5.7 and Theorem 5.13 without the
+/// `log n / ε²` blow-up), nine copies aggregated by median-of-means.
+pub fn experiment_config(kappa: usize, t_hint: u64, seed: u64) -> EstimatorConfig {
+    EstimatorConfig::builder()
+        .epsilon(0.1)
+        .kappa(kappa.max(1))
+        .triangle_lower_bound(t_hint.max(1))
+        .r_constant(20.0)
+        .inner_constant(40.0)
+        .assignment_constant(10.0)
+        .copies(9)
+        .seed(seed)
+        .build()
+}
+
+/// A lean single-copy configuration for space-scaling sweeps.
+pub fn lean_config(kappa: usize, t_hint: u64, seed: u64) -> EstimatorConfig {
+    EstimatorConfig::builder()
+        .epsilon(0.15)
+        .kappa(kappa.max(1))
+        .triangle_lower_bound(t_hint.max(1))
+        .r_constant(8.0)
+        .inner_constant(16.0)
+        .assignment_constant(4.0)
+        .copies(1)
+        .seed(seed)
+        .build()
+}
+
+/// Structural parameters of a graph, computed once per experiment row.
+pub fn graph_facts(g: &CsrGraph) -> GraphProperties {
+    GraphProperties::compute(g)
+}
+
+/// Prints a fixed-width table: a header row followed by data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Formats a float with a fixed number of decimals (helper for table cells).
+pub fn fmt(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_are_valid() {
+        assert!(experiment_config(3, 100, 1).validate().is_ok());
+        assert!(lean_config(0, 0, 1).validate().is_ok());
+    }
+
+    #[test]
+    fn table_printing_does_not_panic() {
+        print_table(
+            "demo",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["30".into(), "4".into()]],
+        );
+        assert_eq!(fmt(1.23456, 2), "1.23");
+    }
+}

@@ -1,0 +1,171 @@
+//! **E12 — robustness to deletions**: the dynamic-stream (turnstile) port.
+//!
+//! Table 1 of the paper includes dynamic-stream results; `degentri-dynamic`
+//! ports the degeneracy-parameterized estimator to that model by swapping
+//! reservoir sampling for ℓ0 sampling. This experiment streams the same
+//! underlying graph at increasing *churn* levels (a churn of `c` means a
+//! `c` fraction of the edges is additionally inserted and later deleted, so
+//! the surviving graph never changes) and checks two things: the estimate
+//! keeps tracking the surviving graph's triangle count, and the price of
+//! turnstile robustness is the predicted `polylog` blow-up over the
+//! insert-only estimator — not a change in the `mκ/T` scaling.
+
+use degentri_dynamic::{DynamicEstimatorConfig, DynamicExactCounter, DynamicTriangleEstimator};
+use degentri_gen::NamedGraph;
+use degentri_graph::degeneracy::degeneracy;
+use degentri_graph::triangles::count_triangles;
+use degentri_stream::{DynamicEdgeStream, DynamicMemoryStream};
+
+use crate::common::fmt;
+
+/// One row of the E12 sweep.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Graph label.
+    pub graph: String,
+    /// Churn fraction (extra inserted-then-deleted edges as a fraction of m).
+    pub churn: f64,
+    /// Total updates (insertions + deletions) in the stream.
+    pub updates: usize,
+    /// Deletions in the stream.
+    pub deletions: usize,
+    /// Exact triangle count of the surviving graph.
+    pub exact: u64,
+    /// Dynamic-stream estimate.
+    pub estimate: f64,
+    /// Relative error of the estimate.
+    pub relative_error: f64,
+    /// Retained words of the dynamic estimator (all copies).
+    pub space_words: u64,
+    /// Retained words of the exact turnstile counter (the Θ(m) baseline).
+    pub exact_counter_words: u64,
+}
+
+/// The graphs E12 sweeps over.
+fn suite(scale: usize, seed: u64) -> Vec<NamedGraph> {
+    let scale = scale.max(1);
+    vec![
+        NamedGraph::new(
+            format!("wheel_n{}", 800 * scale),
+            degentri_gen::wheel(800 * scale).expect("valid wheel"),
+        ),
+        NamedGraph::new(
+            format!("ktree_n{}_k3", 600 * scale),
+            degentri_gen::random_ktree(600 * scale, 3, seed).expect("valid k-tree"),
+        ),
+        NamedGraph::new(
+            format!("ba_n{}_d5", 500 * scale),
+            degentri_gen::barabasi_albert(500 * scale, 5, seed.wrapping_add(1))
+                .expect("valid BA graph"),
+        ),
+    ]
+}
+
+/// Runs the E12 sweep.
+pub fn run(scale: usize, seed: u64) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for NamedGraph { name, graph } in suite(scale, seed) {
+        let exact = count_triangles(&graph);
+        let kappa = degeneracy(&graph).max(1);
+        for churn in [0.0f64, 0.5, 1.0] {
+            let stream = if churn == 0.0 {
+                DynamicMemoryStream::insert_only(&graph, seed)
+            } else {
+                DynamicMemoryStream::with_churn(&graph, churn, seed.wrapping_add(churn as u64 + 1))
+            };
+            let config = DynamicEstimatorConfig::new(kappa, exact.max(1) / 2)
+                .with_epsilon(0.25)
+                .with_copies(3)
+                .with_seed(seed)
+                .with_constants(1.0, 2.0)
+                .with_max_samples(1200);
+            let out = DynamicTriangleEstimator::new(config)
+                .run(&stream)
+                .expect("surviving graph is non-empty");
+            let exact_out = DynamicExactCounter::new().count(&stream);
+            rows.push(Row {
+                graph: name.clone(),
+                churn,
+                updates: stream.num_updates(),
+                deletions: stream.num_deletions(),
+                exact,
+                estimate: out.estimate,
+                relative_error: out.relative_error(exact),
+                space_words: out.space.peak_words,
+                exact_counter_words: exact_out.space.peak_words,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the rows for the harness.
+pub fn print(rows: &[Row]) {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.graph.clone(),
+                fmt(r.churn, 1),
+                r.updates.to_string(),
+                r.deletions.to_string(),
+                r.exact.to_string(),
+                fmt(r.estimate, 0),
+                fmt(r.relative_error, 3),
+                r.space_words.to_string(),
+                r.exact_counter_words.to_string(),
+            ]
+        })
+        .collect();
+    crate::common::print_table(
+        "E12: dynamic-stream (insert/delete) estimation via ℓ0 sampling",
+        &[
+            "graph",
+            "churn",
+            "updates",
+            "deletions",
+            "exact T",
+            "estimate",
+            "rel err",
+            "words (dyn)",
+            "words (exact)",
+        ],
+        &table,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e12_churn_does_not_break_the_estimates() {
+        // A reduced-size sweep so the regression test stays quick: one graph,
+        // all churn levels.
+        let graph = degentri_gen::wheel(600).unwrap();
+        let exact = count_triangles(&graph);
+        let kappa = degeneracy(&graph).max(1);
+        for churn in [0.0f64, 0.8] {
+            let stream = if churn == 0.0 {
+                DynamicMemoryStream::insert_only(&graph, 3)
+            } else {
+                DynamicMemoryStream::with_churn(&graph, churn, 5)
+            };
+            let config = DynamicEstimatorConfig::new(kappa, exact / 2)
+                .with_epsilon(0.3)
+                .with_copies(3)
+                .with_seed(11)
+                .with_constants(1.0, 2.0)
+                .with_max_samples(800);
+            let out = DynamicTriangleEstimator::new(config).run(&stream).unwrap();
+            assert!(
+                out.relative_error(exact) < 0.5,
+                "churn {churn}: estimate {} vs exact {exact}",
+                out.estimate
+            );
+            if churn > 0.0 {
+                assert!(stream.num_deletions() > 0);
+            }
+        }
+    }
+}

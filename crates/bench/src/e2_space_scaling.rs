@@ -1,0 +1,127 @@
+//! **E2 — Theorem 1.2/5.1**: the measured retained state scales like
+//! `mκ/T`.
+//!
+//! We sweep graph families where `m`, `κ` and `T` move independently
+//! (planted-triangle graphs with varying base degree and triangle count,
+//! plus wheels and BA graphs of varying size), run the lean single-copy
+//! estimator and report measured words next to the predicted `mκ/T`.
+//! The reproduction criterion is the *correlation of scalings*: measured
+//! words divided by `mκ/T` should stay within a narrow constant band across
+//! the sweep.
+
+use degentri_core::estimate_triangles;
+use degentri_graph::CsrGraph;
+use degentri_stream::{MemoryStream, StreamOrder};
+
+use crate::common::{fmt, graph_facts, lean_config};
+
+/// One row of the E2 sweep.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Instance label.
+    pub label: String,
+    /// Edges `m`.
+    pub m: usize,
+    /// Degeneracy `κ`.
+    pub kappa: usize,
+    /// Exact triangles `T`.
+    pub t: u64,
+    /// Predicted scaling `mκ/T`.
+    pub predicted: f64,
+    /// Measured retained words.
+    pub measured_words: u64,
+    /// Measured / predicted ratio (should be near-constant across rows).
+    pub ratio: f64,
+    /// Relative error of the estimate (sanity: the runs being measured are
+    /// actually producing useful estimates).
+    pub relative_error: f64,
+}
+
+fn instances(scale: usize, seed: u64) -> Vec<(String, CsrGraph)> {
+    let s = scale.max(1);
+    let mut out: Vec<(String, CsrGraph)> = Vec::new();
+    for n in [4000 * s, 8000 * s, 16000 * s] {
+        out.push((format!("wheel_{n}"), degentri_gen::wheel(n).unwrap()));
+    }
+    for k in [4usize, 8, 12] {
+        out.push((
+            format!("ba_{}_{k}", 4000 * s),
+            degentri_gen::barabasi_albert(4000 * s, k, seed).unwrap(),
+        ));
+    }
+    for t in [200 * s, 800 * s] {
+        out.push((
+            format!("planted_{}_{t}", 9000 * s),
+            degentri_gen::planted_triangles(9000 * s, 3, t, seed + 1).unwrap(),
+        ));
+    }
+    out
+}
+
+/// Runs the E2 sweep.
+pub fn run(scale: usize, seed: u64) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for (label, graph) in instances(scale, seed) {
+        let facts = graph_facts(&graph);
+        if facts.triangles == 0 {
+            continue;
+        }
+        let predicted =
+            facts.num_edges as f64 * facts.degeneracy as f64 / facts.triangles as f64;
+        let stream = MemoryStream::from_graph(&graph, StreamOrder::UniformRandom(seed));
+        let config = lean_config(facts.degeneracy, facts.triangles / 2, seed);
+        let result = estimate_triangles(&stream, &config).expect("non-empty stream");
+        rows.push(Row {
+            label,
+            m: facts.num_edges,
+            kappa: facts.degeneracy,
+            t: facts.triangles,
+            predicted,
+            measured_words: result.space.peak_words,
+            ratio: result.space.peak_words as f64 / predicted.max(1e-9),
+            relative_error: result.relative_error(facts.triangles),
+        });
+    }
+    rows
+}
+
+/// Renders the rows for the harness.
+pub fn print(rows: &[Row]) {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                r.m.to_string(),
+                r.kappa.to_string(),
+                r.t.to_string(),
+                fmt(r.predicted, 1),
+                r.measured_words.to_string(),
+                fmt(r.ratio, 1),
+                fmt(100.0 * r.relative_error, 1),
+            ]
+        })
+        .collect();
+    crate::common::print_table(
+        "E2: space scales like mκ/T (Theorem 1.2)",
+        &["instance", "m", "κ", "T", "mκ/T", "words", "words/(mκ/T)", "err %"],
+        &table,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e2_ratio_band_is_bounded() {
+        let rows = run(1, 5);
+        assert!(rows.len() >= 5);
+        let ratios: Vec<f64> = rows.iter().map(|r| r.ratio).collect();
+        let max = ratios.iter().cloned().fold(f64::MIN, f64::max);
+        let min = ratios.iter().cloned().fold(f64::MAX, f64::min);
+        // The constant in front of mκ/T should not drift by more than ~20x
+        // across a sweep where mκ/T itself varies by much more.
+        assert!(max / min < 20.0, "ratio band too wide: {min:.1}..{max:.1}");
+    }
+}

@@ -1,0 +1,93 @@
+//! **E3 — Section 1.1 wheel example**: polylogarithmic space versus the
+//! `Ω(√n)` prior bounds as the wheel grows.
+
+use degentri_core::estimate_triangles;
+use degentri_core::theory::GraphParameters;
+use degentri_stream::{MemoryStream, StreamOrder};
+
+use crate::common::{fmt, lean_config};
+
+/// One row of the E3 sweep.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Number of vertices.
+    pub n: usize,
+    /// Number of edges.
+    pub m: usize,
+    /// Exact triangle count.
+    pub t: u64,
+    /// Measured retained words of the degeneracy-aware estimator.
+    pub measured_words: u64,
+    /// Prior bound `m/√T`.
+    pub bound_m_over_sqrt_t: f64,
+    /// Prior bound `m^{3/2}/T`.
+    pub bound_m_three_halves_over_t: f64,
+    /// Relative error of the estimate.
+    pub relative_error: f64,
+}
+
+/// Runs the E3 sweep over wheel sizes `2^12 .. 2^(11+points)`.
+pub fn run(points: usize, seed: u64) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for i in 0..points.max(1) {
+        let n = 1usize << (12 + i);
+        let graph = degentri_gen::wheel(n).unwrap();
+        let t = (n - 1) as u64;
+        let stream = MemoryStream::from_graph(&graph, StreamOrder::UniformRandom(seed));
+        let config = lean_config(3, t / 2, seed + i as u64);
+        let result = estimate_triangles(&stream, &config).expect("non-empty stream");
+        let params = GraphParameters::new(n, graph.num_edges(), t, 3, n - 1);
+        rows.push(Row {
+            n,
+            m: graph.num_edges(),
+            t,
+            measured_words: result.space.peak_words,
+            bound_m_over_sqrt_t: params.bound_m_over_sqrt_t(),
+            bound_m_three_halves_over_t: params.bound_m_three_halves_over_t(),
+            relative_error: result.relative_error(t),
+        });
+    }
+    rows
+}
+
+/// Renders the rows for the harness.
+pub fn print(rows: &[Row]) {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.n.to_string(),
+                r.m.to_string(),
+                r.t.to_string(),
+                r.measured_words.to_string(),
+                fmt(r.bound_m_over_sqrt_t, 0),
+                fmt(r.bound_m_three_halves_over_t, 0),
+                fmt(100.0 * r.relative_error, 1),
+            ]
+        })
+        .collect();
+    crate::common::print_table(
+        "E3: wheel graphs — measured space stays flat while prior bounds grow like √n",
+        &["n", "m", "T", "measured words", "m/√T", "m^1.5/T", "err %"],
+        &table,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e3_measured_space_grows_much_slower_than_prior_bounds() {
+        let rows = run(3, 7);
+        assert_eq!(rows.len(), 3);
+        let first = &rows[0];
+        let last = &rows[rows.len() - 1];
+        let measured_growth = last.measured_words as f64 / first.measured_words.max(1) as f64;
+        let prior_growth = last.bound_m_over_sqrt_t / first.bound_m_over_sqrt_t;
+        assert!(
+            measured_growth < prior_growth / 1.5,
+            "measured grew {measured_growth:.2}x, prior bound grew {prior_growth:.2}x"
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! **E6 — Lemmas 5.5–5.8**: concentration of the estimate as a function of
+//! the sample-size constants and the number of aggregated copies.
+//!
+//! We fix a graph and sweep (a) the sample-size multiplier and (b) the
+//! number of copies fed to median-of-means, reporting the empirical success
+//! rate of landing within `(1 ± ε)T` over repeated runs. The expected
+//! shape: success rate increases monotonically in both knobs.
+
+use degentri_core::{estimate_triangles, EstimatorConfig};
+use degentri_graph::triangles::count_triangles;
+use degentri_stream::{MemoryStream, StreamOrder};
+
+use crate::common::fmt;
+
+/// One row of the E6 sweep.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Sample-size multiplier applied to `r`, `ℓ`, `s`.
+    pub constant: f64,
+    /// Number of copies aggregated by median-of-means.
+    pub copies: usize,
+    /// Mean relative error over the trials.
+    pub mean_relative_error: f64,
+    /// Fraction of trials inside `(1 ± ε)T` with ε = 0.15.
+    pub success_rate: f64,
+}
+
+/// Runs the E6 sweep on a wheel graph of the given size.
+pub fn run(n: usize, trials: usize, seed: u64) -> Vec<Row> {
+    let graph = degentri_gen::wheel(n.max(100)).expect("valid wheel");
+    let exact = count_triangles(&graph);
+    let epsilon = 0.15;
+    let mut rows = Vec::new();
+    for &constant in &[4.0, 10.0, 25.0] {
+        for &copies in &[1usize, 3, 9] {
+            let mut errors = Vec::with_capacity(trials);
+            let mut successes = 0usize;
+            for trial in 0..trials {
+                let stream = MemoryStream::from_graph(
+                    &graph,
+                    StreamOrder::UniformRandom(seed + trial as u64),
+                );
+                let config = EstimatorConfig::builder()
+                    .epsilon(epsilon)
+                    .kappa(3)
+                    .triangle_lower_bound(exact / 2)
+                    .r_constant(constant)
+                    .inner_constant(2.0 * constant)
+                    .assignment_constant(constant)
+                    .copies(copies)
+                    .seed(seed * 1000 + trial as u64)
+                    .build();
+                let result = estimate_triangles(&stream, &config).expect("non-empty stream");
+                let err = result.relative_error(exact);
+                errors.push(err);
+                if err <= epsilon {
+                    successes += 1;
+                }
+            }
+            rows.push(Row {
+                constant,
+                copies,
+                mean_relative_error: errors.iter().sum::<f64>() / errors.len() as f64,
+                success_rate: successes as f64 / trials as f64,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the rows for the harness.
+pub fn print(rows: &[Row]) {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                fmt(r.constant, 0),
+                r.copies.to_string(),
+                fmt(100.0 * r.mean_relative_error, 1),
+                fmt(r.success_rate, 2),
+            ]
+        })
+        .collect();
+    crate::common::print_table(
+        "E6: concentration vs sample constants and copies (wheel graph, ε = 0.15)",
+        &["sample constant", "copies", "mean err %", "P[err ≤ ε]"],
+        &table,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e6_more_samples_and_copies_reduce_error() {
+        let rows = run(1200, 6, 11);
+        let worst = rows
+            .iter()
+            .find(|r| r.constant == 4.0 && r.copies == 1)
+            .unwrap();
+        let best = rows
+            .iter()
+            .find(|r| r.constant == 25.0 && r.copies == 9)
+            .unwrap();
+        assert!(
+            best.mean_relative_error <= worst.mean_relative_error,
+            "best {} vs worst {}",
+            best.mean_relative_error,
+            worst.mean_relative_error
+        );
+        assert!(best.success_rate >= worst.success_rate);
+        assert!(best.success_rate >= 0.5);
+    }
+}

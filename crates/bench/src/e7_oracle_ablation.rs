@@ -1,0 +1,120 @@
+//! **E7 — Section 4 vs Section 5**: the degree-oracle warm-up estimator
+//! against the oracle-free six-pass estimator.
+//!
+//! Same graphs, same sample budgets: the ablation isolates what removing
+//! the oracle costs — three extra passes and a constant-factor space
+//! overhead (the oracle's own `Θ(n)` table is charged to the model, so it
+//! does not appear in the ideal estimator's space column; that is exactly
+//! the point the comparison makes).
+
+use degentri_core::{
+    estimate_triangles, estimate_triangles_with_oracle, ExactDegreeOracle,
+};
+use degentri_graph::CsrGraph;
+use degentri_stream::{MemoryStream, StreamOrder};
+
+use crate::common::{experiment_config, fmt, graph_facts};
+
+/// One row of the E7 comparison.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Graph label.
+    pub graph: String,
+    /// Which estimator ("ideal (oracle)" or "main (6-pass)").
+    pub estimator: String,
+    /// Passes per copy.
+    pub passes: u32,
+    /// Relative error of the aggregated estimate.
+    pub relative_error: f64,
+    /// Retained words (excluding the oracle's table for the ideal variant).
+    pub space_words: u64,
+}
+
+fn graphs(seed: u64) -> Vec<(String, CsrGraph)> {
+    vec![
+        ("wheel_6000".into(), degentri_gen::wheel(6000).unwrap()),
+        (
+            "ba_4000_6".into(),
+            degentri_gen::barabasi_albert(4000, 6, seed).unwrap(),
+        ),
+        ("book_2000".into(), degentri_gen::book(2000).unwrap()),
+    ]
+}
+
+/// Runs the E7 comparison.
+pub fn run(seed: u64) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for (label, graph) in graphs(seed) {
+        let facts = graph_facts(&graph);
+        let exact = facts.triangles;
+        let stream = MemoryStream::from_graph(&graph, StreamOrder::UniformRandom(seed));
+        let config = experiment_config(facts.degeneracy, exact / 2, seed);
+
+        let oracle = ExactDegreeOracle::build(&stream);
+        let ideal = estimate_triangles_with_oracle(&stream, &oracle, &config)
+            .expect("non-empty stream");
+        rows.push(Row {
+            graph: label.clone(),
+            estimator: "ideal (3-pass, oracle)".into(),
+            passes: ideal.passes_per_copy,
+            relative_error: ideal.relative_error(exact),
+            space_words: ideal.space.peak_words,
+        });
+
+        let main = estimate_triangles(&stream, &config).expect("non-empty stream");
+        rows.push(Row {
+            graph: label,
+            estimator: "main (6-pass, oracle-free)".into(),
+            passes: main.passes_per_copy,
+            relative_error: main.relative_error(exact),
+            space_words: main.space.peak_words,
+        });
+    }
+    rows
+}
+
+/// Renders the rows for the harness.
+pub fn print(rows: &[Row]) {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.graph.clone(),
+                r.estimator.clone(),
+                r.passes.to_string(),
+                fmt(100.0 * r.relative_error, 1),
+                r.space_words.to_string(),
+            ]
+        })
+        .collect();
+    crate::common::print_table(
+        "E7: degree-oracle warm-up (Section 4) vs oracle-free estimator (Section 5)",
+        &["graph", "estimator", "passes", "err %", "words"],
+        &table,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e7_both_estimators_are_accurate_and_pass_budgets_hold() {
+        let rows = run(7);
+        assert_eq!(rows.len(), 6);
+        for row in &rows {
+            assert!(
+                row.relative_error < 0.35,
+                "{} / {}: error {}",
+                row.graph,
+                row.estimator,
+                row.relative_error
+            );
+            if row.estimator.starts_with("ideal") {
+                assert_eq!(row.passes, 3);
+            } else {
+                assert_eq!(row.passes, 6);
+            }
+        }
+    }
+}

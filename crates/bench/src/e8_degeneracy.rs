@@ -1,0 +1,112 @@
+//! **E8 — Lemma 3.1, Corollary 3.2 and the "real graphs" premise**:
+//! structural statistics of the generator suite.
+//!
+//! For every graph in the standard suite we report `κ`, `√(2m)` (the worst
+//! case κ could be), the edge-degree sum `d_E` against the Chiba–Nishizeki
+//! bound `2mκ`, and the ratio `T/κ²` the paper's Section 1.1 premise relies
+//! on. The expected shape: `κ ≪ √(2m)` everywhere, `d_E ≤ 2mκ` always, and
+//! `T ≥ κ²` on the triangle-rich families.
+
+use degentri_gen::NamedGraph;
+
+use crate::common::{fmt, graph_facts};
+
+/// One row of the E8 table.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Graph label.
+    pub graph: String,
+    /// Vertices.
+    pub n: usize,
+    /// Edges.
+    pub m: usize,
+    /// Triangles.
+    pub t: u64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Degeneracy κ.
+    pub kappa: usize,
+    /// Worst-case degeneracy bound √(2m).
+    pub sqrt_2m: f64,
+    /// Edge-degree sum `d_E`.
+    pub d_e: u64,
+    /// Chiba–Nishizeki bound `2mκ`.
+    pub chiba_bound: u64,
+    /// `T / κ²`.
+    pub t_over_kappa_sq: f64,
+}
+
+/// Runs E8 over the standard suite.
+pub fn run(scale: usize, seed: u64) -> Vec<Row> {
+    let suite = degentri_gen::standard_suite(scale, seed).expect("suite parameters are valid");
+    suite
+        .into_iter()
+        .map(|NamedGraph { name, graph }| {
+            let facts = graph_facts(&graph);
+            Row {
+                graph: name,
+                n: facts.num_vertices,
+                m: facts.num_edges,
+                t: facts.triangles,
+                max_degree: facts.max_degree,
+                kappa: facts.degeneracy,
+                sqrt_2m: (2.0 * facts.num_edges as f64).sqrt(),
+                d_e: facts.edge_degree_sum,
+                chiba_bound: 2 * facts.num_edges as u64 * facts.degeneracy as u64,
+                t_over_kappa_sq: facts.triangle_to_degeneracy_squared_ratio(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the rows for the harness.
+pub fn print(rows: &[Row]) {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.graph.clone(),
+                r.n.to_string(),
+                r.m.to_string(),
+                r.t.to_string(),
+                r.max_degree.to_string(),
+                r.kappa.to_string(),
+                fmt(r.sqrt_2m, 0),
+                r.d_e.to_string(),
+                r.chiba_bound.to_string(),
+                fmt(r.t_over_kappa_sq, 1),
+            ]
+        })
+        .collect();
+    crate::common::print_table(
+        "E8: degeneracy statistics of the suite (Lemma 3.1 / Corollary 3.2 / T ≥ κ² premise)",
+        &["graph", "n", "m", "T", "Δ", "κ", "√(2m)", "d_E", "2mκ", "T/κ²"],
+        &table,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e8_bounds_hold_on_the_suite() {
+        let rows = run(1, 9);
+        assert!(rows.len() >= 5);
+        for r in &rows {
+            assert!(r.d_e <= r.chiba_bound.max(1), "{}: d_E > 2mκ", r.graph);
+            assert!(
+                (r.kappa as f64) <= r.sqrt_2m + 1.0,
+                "{}: κ > √(2m)",
+                r.graph
+            );
+            // Low-degeneracy suite: κ far below the worst case and below Δ.
+            assert!(r.kappa <= r.max_degree);
+        }
+        // The triangle-rich families satisfy the T ≥ κ² premise.
+        for name in ["wheel", "lattice", "book", "ba"] {
+            let row = rows.iter().find(|r| r.graph.starts_with(name)).unwrap();
+            assert!(row.t_over_kappa_sq >= 1.0, "{}: T < κ²", row.graph);
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! # degentri-bench — experiment harness
+//!
+//! One module per experiment of `EXPERIMENTS.md` (E1–E12), each exposing a
+//! `run(scale) -> Vec<Row>`-style function that the `harness` binary prints
+//! as a table and the Criterion benches time. The experiments are the
+//! empirical counterparts of the paper's table/figure-level claims; see
+//! `DESIGN.md` §4 for the mapping.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod e1_table1;
+pub mod e2_space_scaling;
+pub mod e3_wheel;
+pub mod e4_assignment_ablation;
+pub mod e5_lower_bound;
+pub mod e6_concentration;
+pub mod e7_oracle_ablation;
+pub mod e8_degeneracy;
+pub mod e9_heavy_costly;
+pub mod e11_cliques;
+pub mod e12_dynamic;

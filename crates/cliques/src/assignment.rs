@@ -1,0 +1,218 @@
+//! Clique-to-edge assignment — the ℓ-clique analogue of Algorithm 3.
+//!
+//! The variance argument of the paper carries over verbatim to ℓ-cliques:
+//! if the estimator scales up "cliques incident to a sampled edge", a single
+//! edge contained in very many cliques (the spine of a book graph, a hub
+//! edge in a social network) blows up the variance. The fix is the same
+//! *assignment rule*: each ℓ-clique is charged to exactly one of its
+//! `C(ℓ, 2)` edges — the one contained in the fewest ℓ-cliques — and edges
+//! whose clique count exceeds a `Θ(κ^{ℓ−2}/ε)` ceiling are declared *heavy*
+//! and never receive cliques. The sublinear-time clique-counting results the
+//! paper builds on (Eden, Ron, Seshadhri) show this keeps the per-edge
+//! assigned count at `O(κ^{ℓ−2})` while leaving all but an `O(ε)` fraction of
+//! cliques assigned.
+//!
+//! [`CliqueAssignmentOracle`] implements the rule against exact per-edge
+//! counts ([`CliqueCounts`]); the streaming estimator uses it in its
+//! `MinCliqueEdge` mode as an explicit "assignment oracle" ablation, mirroring
+//! how the triangle estimator's Section 4 warm-up uses a degree oracle.
+
+use degentri_graph::{CsrGraph, Edge, VertexId};
+
+use crate::exact::CliqueCounts;
+
+/// Parameters of the assignment rule.
+#[derive(Debug, Clone, Copy)]
+pub struct CliqueAssignmentParams {
+    /// The clique size ℓ.
+    pub clique_size: usize,
+    /// Accuracy parameter ε of Definition 5.10's analogue.
+    pub epsilon: f64,
+    /// Degeneracy bound κ used to derive the heaviness ceiling.
+    pub kappa: usize,
+}
+
+impl CliqueAssignmentParams {
+    /// The heaviness ceiling `κ^{ℓ−2}/ε`: an edge whose ℓ-clique count
+    /// exceeds this never receives assignments.
+    pub fn heavy_ceiling(&self) -> f64 {
+        let exponent = self.clique_size.saturating_sub(2) as i32;
+        (self.kappa.max(1) as f64).powi(exponent) / self.epsilon.max(1e-9)
+    }
+}
+
+/// Assignment oracle backed by exact per-edge ℓ-clique counts.
+#[derive(Debug, Clone)]
+pub struct CliqueAssignmentOracle {
+    params: CliqueAssignmentParams,
+    counts: CliqueCounts,
+}
+
+impl CliqueAssignmentOracle {
+    /// Builds the oracle for `g` by computing exact per-edge counts.
+    pub fn build(g: &CsrGraph, params: CliqueAssignmentParams) -> Self {
+        let counts = CliqueCounts::compute(g, params.clique_size);
+        CliqueAssignmentOracle { params, counts }
+    }
+
+    /// Builds the oracle from precomputed counts (used by tests and by the
+    /// experiment harness, which already has the counts for ground truth).
+    pub fn from_counts(counts: CliqueCounts, params: CliqueAssignmentParams) -> Self {
+        CliqueAssignmentOracle { params, counts }
+    }
+
+    /// The edge a clique (given by its member vertices) is assigned to, or
+    /// `None` if every edge of the clique is heavy.
+    pub fn assignment(&self, members: &[VertexId]) -> Option<Edge> {
+        let ceiling = self.params.heavy_ceiling();
+        let mut best: Option<(Edge, u64)> = None;
+        for (i, &a) in members.iter().enumerate() {
+            for &b in &members[i + 1..] {
+                let e = Edge::new(a, b);
+                let c = self.counts.edge_count(e);
+                if (c as f64) > ceiling {
+                    continue;
+                }
+                match best {
+                    Some((be, bc)) if (bc, be) <= (c, e) => {}
+                    _ => best = Some((e, c)),
+                }
+            }
+        }
+        best.map(|(e, _)| e)
+    }
+
+    /// Whether the clique with the given members is assigned to `edge`.
+    pub fn is_assigned(&self, members: &[VertexId], edge: Edge) -> bool {
+        self.assignment(members) == Some(edge)
+    }
+
+    /// Number of ℓ-cliques assigned to each edge, computed by enumerating
+    /// all cliques; used by the variance experiments and the tests of the
+    /// boundedness property.
+    pub fn assigned_counts(&self, g: &CsrGraph) -> degentri_stream::hashing::FxHashMap<Edge, u64> {
+        let mut assigned: degentri_stream::hashing::FxHashMap<Edge, u64> = Default::default();
+        crate::exact::enumerate_cliques(g, self.params.clique_size, |members| {
+            if let Some(e) = self.assignment(members) {
+                *assigned.entry(e).or_insert(0) += 1;
+            }
+        });
+        assigned
+    }
+
+    /// The fraction of ℓ-cliques left unassigned (all of whose edges are
+    /// heavy). The analogue of Lemma 5.12 says this is `O(ε)`.
+    pub fn unassigned_fraction(&self, g: &CsrGraph) -> f64 {
+        let mut unassigned = 0u64;
+        let total = crate::exact::enumerate_cliques(g, self.params.clique_size, |members| {
+            if self.assignment(members).is_none() {
+                unassigned += 1;
+            }
+        });
+        if total == 0 {
+            0.0
+        } else {
+            unassigned as f64 / total as f64
+        }
+    }
+
+    /// Access to the underlying exact counts.
+    pub fn counts(&self) -> &CliqueCounts {
+        &self.counts
+    }
+
+    /// The parameters the oracle was built with.
+    pub fn params(&self) -> CliqueAssignmentParams {
+        self.params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use degentri_gen::{barabasi_albert, book, complete};
+    use degentri_graph::degeneracy::degeneracy;
+
+    fn params(l: usize, epsilon: f64, kappa: usize) -> CliqueAssignmentParams {
+        CliqueAssignmentParams {
+            clique_size: l,
+            epsilon,
+            kappa,
+        }
+    }
+
+    #[test]
+    fn heavy_ceiling_scales_with_kappa_power() {
+        let p3 = params(3, 0.5, 4);
+        let p5 = params(5, 0.5, 4);
+        assert!((p3.heavy_ceiling() - 8.0).abs() < 1e-9);
+        assert!((p5.heavy_ceiling() - 128.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn every_clique_gets_a_unique_edge_on_a_complete_graph() {
+        let g = complete(9).unwrap();
+        let kappa = degeneracy(&g);
+        let oracle = CliqueAssignmentOracle::build(&g, params(4, 0.3, kappa));
+        let assigned = oracle.assigned_counts(&g);
+        let total: u64 = assigned.values().sum();
+        assert_eq!(total, crate::exact::count_cliques(&g, 4));
+        assert!((oracle.unassigned_fraction(&g) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn book_spine_is_heavy_and_receives_nothing() {
+        // In the book graph with many pages the spine edge participates in
+        // every triangle; with a small ceiling it must be classified heavy,
+        // yet every triangle still has two light page edges, so everything
+        // stays assigned.
+        let g = book(200).unwrap();
+        let kappa = degeneracy(&g);
+        let oracle = CliqueAssignmentOracle::build(&g, params(3, 0.25, kappa));
+        let assigned = oracle.assigned_counts(&g);
+        let spine = Edge::from_raw(0, 1);
+        assert_eq!(assigned.get(&spine).copied().unwrap_or(0), 0);
+        let total: u64 = assigned.values().sum();
+        assert_eq!(total, 200);
+        let max = assigned.values().copied().max().unwrap();
+        assert!(
+            (max as f64) <= oracle.params().heavy_ceiling(),
+            "no edge may exceed the ceiling, got {max}"
+        );
+    }
+
+    #[test]
+    fn assignment_is_deterministic_and_consistent() {
+        let g = barabasi_albert(150, 5, 3).unwrap();
+        let kappa = degeneracy(&g);
+        let oracle = CliqueAssignmentOracle::build(&g, params(3, 0.3, kappa));
+        crate::exact::enumerate_cliques(&g, 3, |members| {
+            let a = oracle.assignment(members);
+            let b = oracle.assignment(members);
+            assert_eq!(a, b);
+            if let Some(e) = a {
+                assert!(oracle.is_assigned(members, e));
+                // The chosen edge is one of the clique's edges.
+                assert!(members.contains(&e.u()) && members.contains(&e.v()));
+            }
+        });
+    }
+
+    #[test]
+    fn bounded_assignment_on_a_skewed_graph() {
+        // A preferential-attachment graph has hub edges with large c_e; the
+        // assignment rule must keep the per-edge assigned count far below the
+        // raw maximum.
+        let g = barabasi_albert(400, 8, 9).unwrap();
+        let kappa = degeneracy(&g);
+        let oracle = CliqueAssignmentOracle::build(&g, params(3, 0.25, kappa));
+        let assigned = oracle.assigned_counts(&g);
+        let max_assigned = assigned.values().copied().max().unwrap_or(0);
+        assert!(
+            (max_assigned as f64) <= oracle.params().heavy_ceiling() + 1e-9,
+            "assigned counts must respect the κ/ε ceiling"
+        );
+        // Almost-all-assignment: the unassigned fraction is tiny.
+        assert!(oracle.unassigned_fraction(&g) <= 0.25);
+    }
+}

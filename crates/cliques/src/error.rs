@@ -1,0 +1,61 @@
+//! Error type for the clique-counting crate.
+
+use std::fmt;
+
+/// Errors produced by the exact counters and the streaming estimator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliqueError {
+    /// The requested clique size is smaller than 3 (sizes 1 and 2 are just
+    /// `n` and `m`; the estimator only handles `ℓ ≥ 3`).
+    CliqueSizeTooSmall {
+        /// The requested clique size.
+        requested: usize,
+    },
+    /// A configuration parameter was outside its valid range.
+    InvalidParameter {
+        /// Human-readable description of the violated constraint.
+        message: String,
+    },
+    /// The stream contained no edges.
+    EmptyStream,
+}
+
+impl CliqueError {
+    /// Convenience constructor for [`CliqueError::InvalidParameter`].
+    pub fn invalid_parameter(message: impl Into<String>) -> Self {
+        CliqueError::InvalidParameter {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CliqueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliqueError::CliqueSizeTooSmall { requested } => write!(
+                f,
+                "clique size {requested} is too small for the streaming estimator (need ℓ ≥ 3)"
+            ),
+            CliqueError::InvalidParameter { message } => {
+                write!(f, "invalid parameter: {message}")
+            }
+            CliqueError::EmptyStream => write!(f, "the edge stream is empty"),
+        }
+    }
+}
+
+impl std::error::Error for CliqueError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = CliqueError::CliqueSizeTooSmall { requested: 2 };
+        assert!(e.to_string().contains("too small"));
+        let e = CliqueError::invalid_parameter("epsilon must be positive");
+        assert!(e.to_string().contains("epsilon"));
+        assert!(CliqueError::EmptyStream.to_string().contains("empty"));
+    }
+}

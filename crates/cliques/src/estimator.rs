@@ -1,0 +1,725 @@
+//! The streaming ℓ-clique estimator conjectured in Section 7.
+//!
+//! [`CliqueEstimator`] generalizes Algorithm 2 of the paper from triangles to
+//! ℓ-cliques. One copy makes four passes over the stream:
+//!
+//! 1. **Pass 1** — sample `r` uniform edges `R` (reservoir sampling).
+//! 2. **Pass 2** — compute the degree `d_e = min(d_u, d_v)` of every edge in
+//!    `R` by counting the endpoint degrees.
+//! 3. **Pass 3** — for each of `ℓ_inner` inner instances (an edge of `R`
+//!    drawn proportional to its degree), sample `ℓ − 2` independent uniform
+//!    neighbors of the lower-degree endpoint.
+//! 4. **Pass 4** — check which of the pairs needed to close the sampled
+//!    vertices into an ℓ-clique are present in the stream.
+//!
+//! For an instance on edge `e` that finds a clique, the contribution is
+//! `d_e^{ℓ−3}/(ℓ−2)!`; scaling by `(m/r)·d_R` exactly mirrors the paper's
+//! `X = (m/r)·d_R·Y` and makes the estimator unbiased for the number of
+//! (assigned) cliques. With `ℓ = 3` the procedure *is* Algorithm 2 (with the
+//! neighbor count `ℓ − 2 = 1` and weight `d_e^0/1! = 1`).
+//!
+//! Two counting modes are provided (see [`AssignmentMode`]):
+//!
+//! * [`AssignmentMode::Incidence`] — count cliques *incident* to the sampled
+//!   edge and divide by `C(ℓ, 2)` at the end. Fully streaming, but the
+//!   variance scales with the per-edge clique-count skew (the book-graph
+//!   problem of Section 1.2 generalized to cliques).
+//! * [`AssignmentMode::MinCliqueEdge`] — count only cliques *assigned* to
+//!   the sampled edge by the min-count rule of [`crate::assignment`]. The
+//!   assignment oracle is backed by exact per-edge counts, playing the same
+//!   role as the degree oracle in the paper's Section 4 warm-up: it isolates
+//!   what the assignment rule buys before one pays for its streaming
+//!   implementation.
+
+use degentri_graph::{Edge, VertexId};
+use degentri_stream::hashing::{FxHashMap, FxHashSet};
+use degentri_stream::{EdgeStream, ReservoirSampler, SpaceMeter, SpaceReport};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::assignment::CliqueAssignmentOracle;
+use crate::error::CliqueError;
+use crate::Result;
+
+/// How a discovered clique is attributed to the sampled edge.
+#[derive(Debug, Clone)]
+pub enum AssignmentMode {
+    /// Count cliques incident to the sampled edge; the final estimate is
+    /// divided by `C(ℓ, 2)` so every clique is counted once in expectation.
+    Incidence,
+    /// Count only cliques assigned to the sampled edge by the min-count
+    /// assignment rule, evaluated by an oracle with exact per-edge counts.
+    MinCliqueEdge(CliqueAssignmentOracle),
+}
+
+/// Configuration of the streaming ℓ-clique estimator.
+#[derive(Debug, Clone)]
+pub struct CliqueEstimatorConfig {
+    /// The clique size ℓ (≥ 3).
+    pub clique_size: usize,
+    /// Target relative accuracy ε.
+    pub epsilon: f64,
+    /// Degeneracy bound κ (known or assumed, exactly as in the paper).
+    pub kappa: usize,
+    /// A lower bound on the ℓ-clique count `T`, used to size the samples
+    /// (the paper makes the same advice-style assumption for triangles).
+    pub clique_lower_bound: u64,
+    /// Constant in front of the uniform-sample size `r`.
+    pub r_constant: f64,
+    /// Constant in front of the inner-sample count.
+    pub inner_constant: f64,
+    /// Number of independent copies whose median is reported.
+    pub copies: usize,
+    /// PRNG seed.
+    pub seed: u64,
+    /// Whether the `log n` factor of the analysis is included when sizing
+    /// samples (paper-faithful) or dropped (practical mode).
+    pub use_log_n: bool,
+    /// Hard cap on `r` and on the inner-sample count, to keep experiment
+    /// sweeps bounded.
+    pub max_samples: usize,
+    /// Counting mode.
+    pub mode: AssignmentMode,
+}
+
+impl CliqueEstimatorConfig {
+    /// Starts a builder for cliques of size `clique_size`.
+    pub fn builder(clique_size: usize) -> CliqueEstimatorConfigBuilder {
+        CliqueEstimatorConfigBuilder {
+            config: CliqueEstimatorConfig {
+                clique_size,
+                epsilon: 0.2,
+                kappa: 1,
+                clique_lower_bound: 1,
+                r_constant: 2.0,
+                inner_constant: 2.0,
+                copies: 3,
+                seed: 0,
+                use_log_n: false,
+                max_samples: 2_000_000,
+                mode: AssignmentMode::Incidence,
+            },
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.clique_size < 3 {
+            return Err(CliqueError::CliqueSizeTooSmall {
+                requested: self.clique_size,
+            });
+        }
+        if !(self.epsilon > 0.0 && self.epsilon < 1.0) {
+            return Err(CliqueError::invalid_parameter(
+                "epsilon must lie strictly between 0 and 1",
+            ));
+        }
+        if self.kappa == 0 {
+            return Err(CliqueError::invalid_parameter("kappa must be at least 1"));
+        }
+        if self.clique_lower_bound == 0 {
+            return Err(CliqueError::invalid_parameter(
+                "clique_lower_bound must be at least 1",
+            ));
+        }
+        if self.copies == 0 {
+            return Err(CliqueError::invalid_parameter("copies must be at least 1"));
+        }
+        if self.r_constant <= 0.0 || self.inner_constant <= 0.0 {
+            return Err(CliqueError::invalid_parameter(
+                "sample-size constants must be positive",
+            ));
+        }
+        Ok(())
+    }
+
+    /// The `log n`/ε² multiplier shared by both sample sizes.
+    fn oversampling(&self, n: usize) -> f64 {
+        let log_factor = if self.use_log_n {
+            (n.max(2) as f64).ln()
+        } else {
+            1.0
+        };
+        log_factor / (self.epsilon * self.epsilon)
+    }
+
+    /// Size of the uniform edge sample `R`, following the conjectured
+    /// `mκ^{ℓ−2}/T` scaling.
+    pub fn derive_r(&self, m: usize, n: usize) -> usize {
+        let exponent = self.clique_size.saturating_sub(2) as i32;
+        let target = self.r_constant
+            * self.oversampling(n)
+            * m as f64
+            * (self.kappa as f64).powi(exponent)
+            / self.clique_lower_bound as f64;
+        (target.ceil() as usize).clamp(1, self.max_samples.min(m.max(1)))
+    }
+
+    /// Number of inner degree-proportional instances, generalizing the
+    /// triangle setting `ℓ_inner = Θ(m·d_R/(r·T))`.
+    pub fn derive_inner(&self, m: usize, n: usize, r: usize, d_r: u64) -> usize {
+        let exponent = self.clique_size.saturating_sub(3) as i32;
+        let target = self.inner_constant
+            * self.oversampling(n)
+            * m as f64
+            * d_r.max(1) as f64
+            * (self.kappa as f64).powi(exponent)
+            / (r.max(1) as f64 * self.clique_lower_bound as f64);
+        (target.ceil() as usize).clamp(1, self.max_samples)
+    }
+}
+
+/// Builder for [`CliqueEstimatorConfig`].
+#[derive(Debug, Clone)]
+pub struct CliqueEstimatorConfigBuilder {
+    config: CliqueEstimatorConfig,
+}
+
+impl CliqueEstimatorConfigBuilder {
+    /// Sets the target accuracy ε.
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.config.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the degeneracy bound κ.
+    pub fn kappa(mut self, kappa: usize) -> Self {
+        self.config.kappa = kappa;
+        self
+    }
+
+    /// Sets the assumed lower bound on the ℓ-clique count.
+    pub fn clique_lower_bound(mut self, t: u64) -> Self {
+        self.config.clique_lower_bound = t.max(1);
+        self
+    }
+
+    /// Sets the constant in front of `r`.
+    pub fn r_constant(mut self, c: f64) -> Self {
+        self.config.r_constant = c;
+        self
+    }
+
+    /// Sets the constant in front of the inner-sample count.
+    pub fn inner_constant(mut self, c: f64) -> Self {
+        self.config.inner_constant = c;
+        self
+    }
+
+    /// Sets the number of independent copies (median is reported).
+    pub fn copies(mut self, copies: usize) -> Self {
+        self.config.copies = copies;
+        self
+    }
+
+    /// Sets the PRNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Enables or disables the `log n` oversampling factor.
+    pub fn use_log_n(mut self, yes: bool) -> Self {
+        self.config.use_log_n = yes;
+        self
+    }
+
+    /// Caps both sample sizes.
+    pub fn max_samples(mut self, cap: usize) -> Self {
+        self.config.max_samples = cap.max(1);
+        self
+    }
+
+    /// Sets the counting mode.
+    pub fn mode(mut self, mode: AssignmentMode) -> Self {
+        self.config.mode = mode;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> CliqueEstimatorConfig {
+        self.config
+    }
+}
+
+/// Result of running the ℓ-clique estimator.
+#[derive(Debug, Clone)]
+pub struct CliqueOutcome {
+    /// The ℓ-clique estimate (median over copies).
+    pub estimate: f64,
+    /// Passes over the stream made by one copy (copies run in parallel over
+    /// the same passes, exactly as in the paper's analysis).
+    pub passes: u32,
+    /// Retained-state space summed over all copies.
+    pub space: SpaceReport,
+    /// Number of independent copies run.
+    pub copies: usize,
+    /// Size of the uniform edge sample `R` in each copy.
+    pub r: usize,
+    /// Number of inner instances in each copy.
+    pub inner_samples: usize,
+    /// Total number of ℓ-cliques discovered across all copies (diagnostic).
+    pub cliques_found: u64,
+}
+
+impl CliqueOutcome {
+    /// Relative error against a known exact count.
+    pub fn relative_error(&self, exact: u64) -> f64 {
+        if exact == 0 {
+            if self.estimate.abs() < 1e-12 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (self.estimate - exact as f64).abs() / exact as f64
+        }
+    }
+}
+
+/// The streaming ℓ-clique estimator (Conjecture 7.1).
+#[derive(Debug, Clone)]
+pub struct CliqueEstimator {
+    config: CliqueEstimatorConfig,
+}
+
+/// One inner degree-proportional instance.
+struct Instance {
+    edge: Edge,
+    base: VertexId,
+    other: VertexId,
+    degree: u64,
+    slots: Vec<Option<VertexId>>,
+    seen: u64,
+}
+
+impl CliqueEstimator {
+    /// Creates the estimator with the given configuration.
+    pub fn new(config: CliqueEstimatorConfig) -> Self {
+        CliqueEstimator { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CliqueEstimatorConfig {
+        &self.config
+    }
+
+    /// Runs `copies` independent copies and reports the median estimate.
+    pub fn run<S: EdgeStream + ?Sized>(&self, stream: &S) -> Result<CliqueOutcome> {
+        self.config.validate()?;
+        if stream.num_edges() == 0 {
+            return Err(CliqueError::EmptyStream);
+        }
+        let mut estimates = Vec::with_capacity(self.config.copies);
+        let mut meter = SpaceMeter::new();
+        let mut found = 0u64;
+        let mut r_used = 0usize;
+        let mut inner_used = 0usize;
+        for copy in 0..self.config.copies {
+            let seed = self
+                .config
+                .seed
+                .wrapping_add((copy as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let single = self.run_single(stream, seed)?;
+            estimates.push(single.estimate);
+            meter.absorb_parallel(&single.meter);
+            found += single.cliques_found;
+            r_used = single.r;
+            inner_used = single.inner;
+        }
+        estimates.sort_by(|a, b| a.partial_cmp(b).expect("estimates are finite"));
+        let estimate = median_of_sorted(&estimates);
+        Ok(CliqueOutcome {
+            estimate,
+            passes: 4,
+            space: meter.report(),
+            copies: self.config.copies,
+            r: r_used,
+            inner_samples: inner_used,
+            cliques_found: found,
+        })
+    }
+
+    fn run_single<S: EdgeStream + ?Sized>(&self, stream: &S, seed: u64) -> Result<SingleRun> {
+        let l = self.config.clique_size;
+        let m = stream.num_edges();
+        let n = stream.num_vertices();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut meter = SpaceMeter::new();
+
+        // Pass 1: uniform edge sample R.
+        let r_target = self.config.derive_r(m, n);
+        let mut reservoir: ReservoirSampler<Edge> = ReservoirSampler::new_iid(r_target);
+        meter.charge(r_target as u64);
+        for e in stream.pass() {
+            reservoir.observe(e, &mut rng);
+        }
+        let r_edges = reservoir.into_samples();
+        let r = r_edges.len();
+        if r == 0 {
+            return Err(CliqueError::EmptyStream);
+        }
+
+        // Pass 2: endpoint degrees of R.
+        let mut endpoint_degree: FxHashMap<VertexId, u64> = FxHashMap::default();
+        for e in &r_edges {
+            endpoint_degree.entry(e.u()).or_insert(0);
+            endpoint_degree.entry(e.v()).or_insert(0);
+        }
+        meter.charge(endpoint_degree.len() as u64);
+        for e in stream.pass() {
+            if let Some(d) = endpoint_degree.get_mut(&e.u()) {
+                *d += 1;
+            }
+            if let Some(d) = endpoint_degree.get_mut(&e.v()) {
+                *d += 1;
+            }
+        }
+        let degrees: Vec<u64> = r_edges
+            .iter()
+            .map(|e| endpoint_degree[&e.u()].min(endpoint_degree[&e.v()]))
+            .collect();
+        let d_r: u64 = degrees.iter().sum();
+        meter.charge(r as u64);
+
+        // Draw the inner instances (degree-proportional edges of R).
+        let inner = self.config.derive_inner(m, n, r, d_r);
+        let cumulative: Vec<f64> = degrees
+            .iter()
+            .scan(0.0, |acc, &d| {
+                *acc += d as f64;
+                Some(*acc)
+            })
+            .collect();
+        let total_weight = *cumulative.last().unwrap_or(&0.0);
+        let mut instances: Vec<Instance> = Vec::with_capacity(inner);
+        for _ in 0..inner {
+            if total_weight <= 0.0 {
+                break;
+            }
+            let target = rng.gen_range(0.0..total_weight);
+            let idx = cumulative.partition_point(|&c| c <= target).min(r - 1);
+            let edge = r_edges[idx];
+            let (base, other) = if endpoint_degree[&edge.u()] <= endpoint_degree[&edge.v()] {
+                (edge.u(), edge.v())
+            } else {
+                (edge.v(), edge.u())
+            };
+            instances.push(Instance {
+                edge,
+                base,
+                other,
+                degree: degrees[idx],
+                slots: vec![None; l - 2],
+                seen: 0,
+            });
+        }
+        meter.charge((l as u64 + 3) * instances.len() as u64);
+
+        // Pass 3: ℓ − 2 independent neighbor samples per instance.
+        let mut by_base: FxHashMap<VertexId, Vec<usize>> = FxHashMap::default();
+        for (i, inst) in instances.iter().enumerate() {
+            by_base.entry(inst.base).or_default().push(i);
+        }
+        for e in stream.pass() {
+            for endpoint in [e.u(), e.v()] {
+                if let Some(ids) = by_base.get(&endpoint) {
+                    let candidate = e.other(endpoint).expect("endpoint belongs to edge");
+                    for &i in ids {
+                        let inst = &mut instances[i];
+                        inst.seen += 1;
+                        for slot in inst.slots.iter_mut() {
+                            if rng.gen_range(0..inst.seen) == 0 {
+                                *slot = Some(candidate);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Pass 4: closure checks for all pairs needed to complete the clique.
+        let mut queries: FxHashSet<Edge> = FxHashSet::default();
+        let mut needed: Vec<Vec<Edge>> = Vec::with_capacity(instances.len());
+        for inst in &instances {
+            let mut pairs = Vec::new();
+            if let Some(vertices) = candidate_vertices(inst) {
+                for (i, &a) in vertices.iter().enumerate() {
+                    for &b in &vertices[i + 1..] {
+                        // Edges incident to `base` are known to exist (the
+                        // sampled neighbors came from N(base)), so only the
+                        // remaining pairs need a stream lookup.
+                        if a != inst.base && b != inst.base {
+                            let q = Edge::new(a, b);
+                            if q != inst.edge {
+                                pairs.push(q);
+                                queries.insert(q);
+                            }
+                        }
+                    }
+                }
+                needed.push(pairs);
+            } else {
+                needed.push(Vec::new());
+            }
+        }
+        meter.charge(queries.len() as u64);
+        let mut present: FxHashSet<Edge> = FxHashSet::default();
+        for e in stream.pass() {
+            if queries.contains(&e) {
+                present.insert(e);
+            }
+        }
+        meter.charge(present.len() as u64);
+
+        // Evaluate the instances.
+        let pair_normalizer = (l * (l - 1) / 2) as f64;
+        let weight_factorial = factorial(l - 2) as f64;
+        let mut sum = 0.0f64;
+        let mut found = 0u64;
+        for (inst, pairs) in instances.iter().zip(needed.iter()) {
+            let Some(vertices) = candidate_vertices(inst) else {
+                continue;
+            };
+            if pairs.iter().any(|q| !present.contains(q)) {
+                continue;
+            }
+            found += 1;
+            let counted = match &self.config.mode {
+                AssignmentMode::Incidence => true,
+                AssignmentMode::MinCliqueEdge(oracle) => {
+                    oracle.is_assigned(&vertices, inst.edge)
+                }
+            };
+            if counted {
+                sum += (inst.degree as f64).powi(l as i32 - 3) / weight_factorial;
+            }
+        }
+        let denominator = instances.len().max(1) as f64;
+        let y = sum / denominator;
+        let mut estimate = (m as f64 / r as f64) * d_r as f64 * y;
+        if matches!(self.config.mode, AssignmentMode::Incidence) {
+            estimate /= pair_normalizer;
+        }
+
+        Ok(SingleRun {
+            estimate,
+            meter,
+            cliques_found: found,
+            r,
+            inner: instances.len(),
+        })
+    }
+}
+
+/// The member vertices of an instance's candidate clique, or `None` if the
+/// sampled slots are missing, repeat, or collide with the sampled edge.
+fn candidate_vertices(inst: &Instance) -> Option<Vec<VertexId>> {
+    let mut vertices = Vec::with_capacity(inst.slots.len() + 2);
+    vertices.push(inst.base);
+    vertices.push(inst.other);
+    for slot in &inst.slots {
+        let w = (*slot)?;
+        if vertices.contains(&w) {
+            return None;
+        }
+        vertices.push(w);
+    }
+    Some(vertices)
+}
+
+struct SingleRun {
+    estimate: f64,
+    meter: SpaceMeter,
+    cliques_found: u64,
+    r: usize,
+    inner: usize,
+}
+
+/// Median of an ascending-sorted, non-empty slice.
+fn median_of_sorted(sorted: &[f64]) -> f64 {
+    let k = sorted.len();
+    if k == 0 {
+        return 0.0;
+    }
+    if k % 2 == 1 {
+        sorted[k / 2]
+    } else {
+        (sorted[k / 2 - 1] + sorted[k / 2]) / 2.0
+    }
+}
+
+/// Small factorial used for the sampling weights (`ℓ − 2` is tiny).
+fn factorial(k: usize) -> u64 {
+    (1..=k as u64).product::<u64>().max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::{CliqueAssignmentOracle, CliqueAssignmentParams};
+    use crate::exact::count_cliques;
+    use degentri_gen::{barabasi_albert, book, complete, wheel};
+    use degentri_stream::{MemoryStream, PassCounter, StreamOrder};
+
+    #[test]
+    fn configuration_validation() {
+        let too_small = CliqueEstimatorConfig::builder(2).build();
+        assert!(matches!(
+            too_small.validate(),
+            Err(CliqueError::CliqueSizeTooSmall { requested: 2 })
+        ));
+        let bad_epsilon = CliqueEstimatorConfig::builder(3).epsilon(1.5).build();
+        assert!(bad_epsilon.validate().is_err());
+        let bad_kappa = CliqueEstimatorConfig::builder(3).kappa(0).build();
+        assert!(bad_kappa.validate().is_err());
+        let bad_copies = CliqueEstimatorConfig::builder(3).copies(0).build();
+        assert!(bad_copies.validate().is_err());
+        let fine = CliqueEstimatorConfig::builder(4)
+            .epsilon(0.2)
+            .kappa(3)
+            .clique_lower_bound(10)
+            .build();
+        assert!(fine.validate().is_ok());
+    }
+
+    #[test]
+    fn empty_stream_is_an_error() {
+        let stream = MemoryStream::from_edges(4, Vec::new(), StreamOrder::AsGiven);
+        let config = CliqueEstimatorConfig::builder(3)
+            .kappa(2)
+            .clique_lower_bound(1)
+            .build();
+        let out = CliqueEstimator::new(config).run(&stream);
+        assert!(matches!(out, Err(CliqueError::EmptyStream)));
+    }
+
+    #[test]
+    fn derived_sample_sizes_scale_with_clique_size() {
+        let c3 = CliqueEstimatorConfig::builder(3)
+            .kappa(4)
+            .clique_lower_bound(100)
+            .build();
+        let c5 = CliqueEstimatorConfig::builder(5)
+            .kappa(4)
+            .clique_lower_bound(100)
+            .build();
+        assert!(c5.derive_r(10_000, 1000) >= c3.derive_r(10_000, 1000));
+    }
+
+    #[test]
+    fn triangle_mode_is_accurate_on_the_wheel() {
+        let g = wheel(600).unwrap();
+        let exact = count_cliques(&g, 3);
+        let stream = MemoryStream::from_graph(&g, StreamOrder::UniformRandom(5));
+        let config = CliqueEstimatorConfig::builder(3)
+            .epsilon(0.2)
+            .kappa(3)
+            .clique_lower_bound(exact / 2)
+            .copies(5)
+            .seed(11)
+            .build();
+        let out = CliqueEstimator::new(config).run(&stream).unwrap();
+        assert!(
+            out.relative_error(exact) < 0.35,
+            "estimate {} vs exact {exact}",
+            out.estimate
+        );
+        assert_eq!(out.passes, 4);
+        assert!(out.cliques_found > 0);
+    }
+
+    #[test]
+    fn four_cliques_on_the_complete_graph() {
+        let g = complete(18).unwrap();
+        let exact = count_cliques(&g, 4);
+        let stream = MemoryStream::from_graph(&g, StreamOrder::UniformRandom(2));
+        let config = CliqueEstimatorConfig::builder(4)
+            .epsilon(0.25)
+            .kappa(17)
+            .clique_lower_bound(exact / 2)
+            .copies(5)
+            .seed(3)
+            .max_samples(4000)
+            .build();
+        let out = CliqueEstimator::new(config).run(&stream).unwrap();
+        assert!(
+            out.relative_error(exact) < 0.4,
+            "estimate {} vs exact {exact}",
+            out.estimate
+        );
+    }
+
+    #[test]
+    fn zero_when_the_graph_has_no_cliques_of_that_size() {
+        // The wheel contains no K4.
+        let g = wheel(300).unwrap();
+        let stream = MemoryStream::from_graph(&g, StreamOrder::UniformRandom(7));
+        let config = CliqueEstimatorConfig::builder(4)
+            .epsilon(0.3)
+            .kappa(3)
+            .clique_lower_bound(100)
+            .copies(3)
+            .seed(5)
+            .build();
+        let out = CliqueEstimator::new(config).run(&stream).unwrap();
+        assert_eq!(out.estimate, 0.0);
+        assert_eq!(out.cliques_found, 0);
+    }
+
+    #[test]
+    fn assignment_mode_is_accurate_on_the_book_graph() {
+        let g = book(400).unwrap();
+        let exact = count_cliques(&g, 3);
+        let oracle = CliqueAssignmentOracle::build(
+            &g,
+            CliqueAssignmentParams {
+                clique_size: 3,
+                epsilon: 0.25,
+                kappa: 2,
+            },
+        );
+        let stream = MemoryStream::from_graph(&g, StreamOrder::UniformRandom(9));
+        let config = CliqueEstimatorConfig::builder(3)
+            .epsilon(0.2)
+            .kappa(2)
+            .clique_lower_bound(exact / 2)
+            .copies(5)
+            .seed(17)
+            .mode(AssignmentMode::MinCliqueEdge(oracle))
+            .build();
+        let out = CliqueEstimator::new(config).run(&stream).unwrap();
+        assert!(
+            out.relative_error(exact) < 0.4,
+            "estimate {} vs exact {exact}",
+            out.estimate
+        );
+    }
+
+    #[test]
+    fn four_passes_are_made_per_copy() {
+        let g = barabasi_albert(300, 5, 1).unwrap();
+        let stream = PassCounter::new(MemoryStream::from_graph(&g, StreamOrder::AsGiven));
+        let config = CliqueEstimatorConfig::builder(3)
+            .epsilon(0.3)
+            .kappa(5)
+            .clique_lower_bound(50)
+            .copies(1)
+            .seed(2)
+            .build();
+        let out = CliqueEstimator::new(config).run(&stream).unwrap();
+        assert_eq!(out.passes, 4);
+        assert_eq!(stream.passes(), 4);
+        assert!(out.space.peak_words > 0);
+    }
+
+    #[test]
+    fn helpers_behave() {
+        assert_eq!(factorial(0), 1);
+        assert_eq!(factorial(1), 1);
+        assert_eq!(factorial(3), 6);
+        assert_eq!(median_of_sorted(&[1.0, 2.0, 10.0]), 2.0);
+        assert_eq!(median_of_sorted(&[1.0, 3.0]), 2.0);
+        assert_eq!(median_of_sorted(&[]), 0.0);
+    }
+}

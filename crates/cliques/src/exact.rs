@@ -1,0 +1,458 @@
+//! Exact ℓ-clique counting on static graphs.
+//!
+//! The counters here follow the classic Chiba–Nishizeki strategy that modern
+//! implementations call *kClist*: orient every edge along a degeneracy
+//! ordering (each vertex then has at most `κ` out-neighbors) and recursively
+//! list cliques inside out-neighborhoods. The running time is
+//! `O(m · κ^{ℓ−2})`, which is the static analogue of the streaming space
+//! bound `Õ(mκ^{ℓ−2}/T)` conjectured in Section 7 of the paper.
+//!
+//! Three entry points are provided:
+//!
+//! * [`count_cliques`] — counts only (no materialization), the fastest path.
+//! * [`enumerate_cliques`] / [`CliqueCounts::compute`] — listing with a
+//!   callback, and the per-edge clique counts `c_e` the assignment rule and
+//!   the variance experiments need.
+//! * [`count_cliques_brute_force`] — an exhaustive reference for tests.
+
+use degentri_graph::{CoreDecomposition, CsrGraph, Edge, VertexId};
+use degentri_stream::hashing::FxHashMap;
+
+/// Exact number of ℓ-cliques in `g`.
+///
+/// Conventions for tiny sizes: `ℓ = 0` yields 1 (the empty clique),
+/// `ℓ = 1` yields `n`, `ℓ = 2` yields `m`. For `ℓ ≥ 3` the degeneracy-ordered
+/// DFS is used.
+pub fn count_cliques(g: &CsrGraph, l: usize) -> u64 {
+    match l {
+        0 => 1,
+        1 => g.num_vertices() as u64,
+        2 => g.num_edges() as u64,
+        _ => {
+            let dag = DegeneracyDag::build(g);
+            dag.count(l)
+        }
+    }
+}
+
+/// Exhaustive `O(n^ℓ)` reference counter for tests on small graphs.
+pub fn count_cliques_brute_force(g: &CsrGraph, l: usize) -> u64 {
+    if l == 0 {
+        return 1;
+    }
+    let n = g.num_vertices();
+    let mut chosen: Vec<usize> = Vec::with_capacity(l);
+    fn rec(g: &CsrGraph, l: usize, start: usize, chosen: &mut Vec<usize>, count: &mut u64) {
+        if chosen.len() == l {
+            *count += 1;
+            return;
+        }
+        for v in start..g.num_vertices() {
+            if chosen
+                .iter()
+                .all(|&u| g.has_edge(VertexId::from(u), VertexId::from(v)))
+            {
+                chosen.push(v);
+                rec(g, l, v + 1, chosen, count);
+                chosen.pop();
+            }
+        }
+    }
+    let mut count = 0;
+    rec(g, l, 0, &mut chosen, &mut count);
+    let _ = n;
+    count
+}
+
+/// Enumerates every ℓ-clique of `g`, invoking `callback` once per clique with
+/// the member vertices in degeneracy-ordering position order. Returns the
+/// number of cliques found.
+pub fn enumerate_cliques<F: FnMut(&[VertexId])>(g: &CsrGraph, l: usize, mut callback: F) -> u64 {
+    match l {
+        0 => {
+            callback(&[]);
+            1
+        }
+        1 => {
+            let mut count = 0;
+            for v in g.vertices() {
+                callback(&[v]);
+                count += 1;
+            }
+            count
+        }
+        2 => {
+            let mut count = 0;
+            for e in g.edges() {
+                callback(&[e.u(), e.v()]);
+                count += 1;
+            }
+            count
+        }
+        _ => {
+            let dag = DegeneracyDag::build(g);
+            dag.enumerate(l, &mut callback)
+        }
+    }
+}
+
+/// Per-edge ℓ-clique statistics: the static ground truth used to verify the
+/// streaming estimator and to drive the (oracle-backed) assignment rule.
+#[derive(Debug, Clone)]
+pub struct CliqueCounts {
+    /// The clique size ℓ these counts refer to.
+    pub clique_size: usize,
+    /// Total number of ℓ-cliques in the graph.
+    pub total: u64,
+    /// `c_e`: number of ℓ-cliques containing each edge (edges that are not
+    /// in any ℓ-clique are absent from the map).
+    pub per_edge: FxHashMap<Edge, u64>,
+    /// Number of ℓ-cliques containing each vertex.
+    pub per_vertex: Vec<u64>,
+}
+
+impl CliqueCounts {
+    /// Enumerates the ℓ-cliques of `g` and accumulates the per-edge and
+    /// per-vertex counts.
+    pub fn compute(g: &CsrGraph, l: usize) -> Self {
+        let mut per_edge: FxHashMap<Edge, u64> = FxHashMap::default();
+        let mut per_vertex = vec![0u64; g.num_vertices()];
+        let total = enumerate_cliques(g, l, |members| {
+            for (i, &a) in members.iter().enumerate() {
+                per_vertex[a.index()] += 1;
+                for &b in &members[i + 1..] {
+                    *per_edge.entry(Edge::new(a, b)).or_insert(0) += 1;
+                }
+            }
+        });
+        CliqueCounts {
+            clique_size: l,
+            total,
+            per_edge,
+            per_vertex,
+        }
+    }
+
+    /// `c_e` for a specific edge (0 if the edge is in no ℓ-clique).
+    pub fn edge_count(&self, e: Edge) -> u64 {
+        self.per_edge.get(&e).copied().unwrap_or(0)
+    }
+
+    /// The maximum `c_e` over all edges — the quantity the assignment rule
+    /// is designed to keep at `O(κ^{ℓ−2})`.
+    pub fn max_per_edge(&self) -> u64 {
+        self.per_edge.values().copied().max().unwrap_or(0)
+    }
+
+    /// `Σ_e c_e = C(ℓ, 2) · total`; used as a sanity invariant in tests.
+    pub fn per_edge_sum(&self) -> u64 {
+        self.per_edge.values().sum()
+    }
+}
+
+/// The degeneracy-oriented DAG: each vertex keeps only the neighbors that
+/// appear *after* it in the degeneracy ordering, so every out-list has at
+/// most `κ` entries.
+struct DegeneracyDag {
+    /// `forward[p]` lists out-neighbors of the vertex at ordering position
+    /// `p`, as ordering positions, sorted ascending.
+    forward: Vec<Vec<u32>>,
+    /// Maps ordering positions back to vertex ids (for enumeration output).
+    vertex_at: Vec<VertexId>,
+}
+
+impl DegeneracyDag {
+    fn build(g: &CsrGraph) -> Self {
+        let decomposition = CoreDecomposition::compute(g);
+        let n = g.num_vertices();
+        let mut forward: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for e in g.edges() {
+            let pu = decomposition.position[e.u().index()] as u32;
+            let pv = decomposition.position[e.v().index()] as u32;
+            let (lo, hi) = if pu < pv { (pu, pv) } else { (pv, pu) };
+            forward[lo as usize].push(hi);
+        }
+        for list in &mut forward {
+            list.sort_unstable();
+        }
+        let mut vertex_at = vec![VertexId::new(0); n];
+        for (v, &p) in decomposition.position.iter().enumerate() {
+            vertex_at[p] = VertexId::new(v as u32);
+        }
+        DegeneracyDag { forward, vertex_at }
+    }
+
+    /// Counts ℓ-cliques without materializing them.
+    fn count(&self, l: usize) -> u64 {
+        debug_assert!(l >= 3);
+        let mut count = 0u64;
+        for p in 0..self.forward.len() {
+            let candidates = &self.forward[p];
+            if candidates.len() + 1 < l {
+                continue;
+            }
+            count += self.count_depth(l - 1, candidates);
+        }
+        count
+    }
+
+    /// Recursive clique counting over ordering positions.
+    ///
+    /// `depth` is the number of vertices still to pick; `candidates` is the
+    /// (sorted) set of positions adjacent to everything picked so far.
+    fn count_depth(&self, depth: usize, candidates: &[u32]) -> u64 {
+        if depth == 1 {
+            return candidates.len() as u64;
+        }
+        if depth == 2 {
+            // Count edges inside `candidates`.
+            let mut c = 0u64;
+            for &u in candidates {
+                c += sorted_intersection_size(&self.forward[u as usize], candidates);
+            }
+            return c;
+        }
+        let mut count = 0u64;
+        let mut next: Vec<u32> = Vec::with_capacity(candidates.len());
+        for (i, &u) in candidates.iter().enumerate() {
+            if candidates.len() - i < depth {
+                break;
+            }
+            next.clear();
+            sorted_intersection_into(&self.forward[u as usize], candidates, &mut next);
+            if next.len() + 1 >= depth {
+                count += self.count_depth(depth - 1, &next);
+            }
+        }
+        count
+    }
+
+    /// Enumerates ℓ-cliques, invoking `callback` per clique.
+    fn enumerate<F: FnMut(&[VertexId])>(&self, l: usize, callback: &mut F) -> u64 {
+        debug_assert!(l >= 3);
+        let mut members: Vec<VertexId> = Vec::with_capacity(l);
+        let mut count = 0u64;
+        for p in 0..self.forward.len() {
+            let candidates = &self.forward[p];
+            if candidates.len() + 1 < l {
+                continue;
+            }
+            members.push(self.vertex_at[p]);
+            count += self.enumerate_depth(l - 1, candidates, &mut members, callback);
+            members.pop();
+        }
+        count
+    }
+
+    fn enumerate_depth<F: FnMut(&[VertexId])>(
+        &self,
+        depth: usize,
+        candidates: &[u32],
+        members: &mut Vec<VertexId>,
+        callback: &mut F,
+    ) -> u64 {
+        if depth == 1 {
+            for &u in candidates {
+                members.push(self.vertex_at[u as usize]);
+                callback(members);
+                members.pop();
+            }
+            return candidates.len() as u64;
+        }
+        let mut count = 0u64;
+        let mut next: Vec<u32> = Vec::with_capacity(candidates.len());
+        for (i, &u) in candidates.iter().enumerate() {
+            if candidates.len() - i < depth {
+                break;
+            }
+            next.clear();
+            sorted_intersection_into(&self.forward[u as usize], candidates, &mut next);
+            if next.len() + 1 >= depth {
+                members.push(self.vertex_at[u as usize]);
+                count += self.enumerate_depth(depth - 1, &next, members, callback);
+                members.pop();
+            }
+        }
+        count
+    }
+}
+
+/// Size of the intersection of two ascending-sorted slices.
+fn sorted_intersection_size(a: &[u32], b: &[u32]) -> u64 {
+    let mut i = 0;
+    let mut j = 0;
+    let mut count = 0u64;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Writes the intersection of two ascending-sorted slices into `out`.
+fn sorted_intersection_into(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    let mut i = 0;
+    let mut j = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use degentri_gen::{barabasi_albert, book, complete, friendship, gnp, grid, wheel};
+    use degentri_graph::triangles::count_triangles;
+
+    /// Binomial coefficient for the complete-graph checks.
+    fn choose(n: u64, k: u64) -> u64 {
+        if k > n {
+            return 0;
+        }
+        let mut num = 1u64;
+        for i in 0..k {
+            num = num * (n - i) / (i + 1);
+        }
+        num
+    }
+
+    #[test]
+    fn tiny_sizes_follow_conventions() {
+        let g = complete(6).unwrap();
+        assert_eq!(count_cliques(&g, 0), 1);
+        assert_eq!(count_cliques(&g, 1), 6);
+        assert_eq!(count_cliques(&g, 2), 15);
+    }
+
+    #[test]
+    fn complete_graph_counts_are_binomials() {
+        for n in [4usize, 6, 8, 10] {
+            let g = complete(n).unwrap();
+            for l in 3..=5 {
+                assert_eq!(
+                    count_cliques(&g, l),
+                    choose(n as u64, l as u64),
+                    "K_{n} should have C({n},{l}) {l}-cliques"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_count_matches_graph_crate() {
+        for g in [
+            wheel(50).unwrap(),
+            book(40).unwrap(),
+            barabasi_albert(300, 5, 3).unwrap(),
+            gnp(80, 0.15, 9).unwrap(),
+        ] {
+            assert_eq!(count_cliques(&g, 3), count_triangles(&g));
+        }
+    }
+
+    #[test]
+    fn triangle_free_graphs_have_no_cliques_of_size_three_or_more() {
+        let g = grid(10, 10).unwrap();
+        for l in 3..=5 {
+            assert_eq!(count_cliques(&g, l), 0);
+        }
+    }
+
+    #[test]
+    fn wheel_has_no_four_cliques() {
+        // Every face of the wheel is a triangle, but no K4 exists for n ≥ 5.
+        let g = wheel(100).unwrap();
+        assert_eq!(count_cliques(&g, 3), 99);
+        assert_eq!(count_cliques(&g, 4), 0);
+    }
+
+    #[test]
+    fn friendship_graph_counts() {
+        // The friendship (windmill) graph with k blades: k triangles sharing
+        // one hub, no K4.
+        let g = friendship(25).unwrap();
+        assert_eq!(count_cliques(&g, 3), 25);
+        assert_eq!(count_cliques(&g, 4), 0);
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_graphs() {
+        for seed in 0..4u64 {
+            let g = gnp(28, 0.3, seed).unwrap();
+            for l in 3..=5 {
+                assert_eq!(
+                    count_cliques(&g, l),
+                    count_cliques_brute_force(&g, l),
+                    "seed {seed}, l {l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_agrees_with_counting_and_yields_cliques() {
+        let g = gnp(40, 0.25, 5).unwrap();
+        for l in 3..=4 {
+            let mut listed = 0u64;
+            let count = enumerate_cliques(&g, l, |members| {
+                listed += 1;
+                assert_eq!(members.len(), l);
+                for i in 0..members.len() {
+                    for j in (i + 1)..members.len() {
+                        assert!(g.has_edge(members[i], members[j]));
+                    }
+                }
+            });
+            assert_eq!(count, listed);
+            assert_eq!(count, count_cliques(&g, l));
+        }
+    }
+
+    #[test]
+    fn per_edge_counts_sum_to_choose_two_times_total() {
+        let g = barabasi_albert(200, 6, 11).unwrap();
+        for l in 3..=4 {
+            let counts = CliqueCounts::compute(&g, l);
+            assert_eq!(counts.total, count_cliques(&g, l));
+            let pairs = (l * (l - 1) / 2) as u64;
+            assert_eq!(counts.per_edge_sum(), pairs * counts.total);
+            let vertex_sum: u64 = counts.per_vertex.iter().sum();
+            assert_eq!(vertex_sum, l as u64 * counts.total);
+        }
+    }
+
+    #[test]
+    fn per_edge_counts_on_the_book_graph_are_skewed() {
+        // In the book graph every triangle contains the spine edge, so the
+        // spine's c_e equals T while every page edge has c_e = 1.
+        let g = book(60).unwrap();
+        let counts = CliqueCounts::compute(&g, 3);
+        assert_eq!(counts.total, 60);
+        assert_eq!(counts.max_per_edge(), 60);
+        let ones = counts.per_edge.values().filter(|&&c| c == 1).count();
+        assert_eq!(ones, 120);
+    }
+
+    #[test]
+    fn dag_forward_lists_are_bounded_by_degeneracy() {
+        let g = barabasi_albert(300, 6, 1).unwrap();
+        let kappa = degentri_graph::degeneracy::degeneracy(&g);
+        let dag = DegeneracyDag::build(&g);
+        assert!(dag.forward.iter().all(|list| list.len() <= kappa));
+    }
+}

@@ -1,0 +1,74 @@
+//! # degentri-cliques — degeneracy-parameterized ℓ-clique counting
+//!
+//! Section 7 of *"How the Degeneracy Helps for Triangle Counting in Graph
+//! Streams"* (Bera & Seshadhri, PODS 2020) closes with a conjecture
+//! (Conjecture 7.1): for a graph with degeneracy `κ` and `T` many ℓ-cliques,
+//! a constant-pass streaming algorithm should be able to
+//! `(1 ± ε)`-approximate `T` with `Õ(mκ^{ℓ−2}/T)` bits of space.
+//!
+//! This crate implements that future-work direction:
+//!
+//! * [`exact`] — exact ℓ-clique counting on static graphs via the
+//!   degeneracy-ordering DFS of Chiba–Nishizeki (the "kClist" algorithm),
+//!   including per-edge ℓ-clique counts. These are the ground truth every
+//!   experiment compares against, exactly like
+//!   `degentri_graph::triangles` is for triangles.
+//! * [`estimator`] — [`CliqueEstimator`], a constant-pass streaming
+//!   estimator that generalizes Algorithm 2 of the paper from triangles
+//!   (`ℓ = 3`) to arbitrary `ℓ ≥ 3`: sample a uniform edge set `R`, compute
+//!   its degrees, sample edges of `R` proportional to degree, sample `ℓ − 2`
+//!   independent neighbors of the lower-degree endpoint, and check whether
+//!   the sampled vertices close into an ℓ-clique.
+//! * [`assignment`] — the clique-to-edge assignment rule (assign each
+//!   ℓ-clique to its contained edge with the fewest ℓ-cliques, ignoring
+//!   "heavy" edges), the analogue of Algorithm 3 that tames the variance of
+//!   the estimator on skewed instances.
+//! * [`theory`] — the conjectured space bound `mκ^{ℓ−2}/T` and the
+//!   Chiba–Nishizeki-style upper bound on the ℓ-clique count, used by
+//!   experiment E11 to compare measured space against the conjecture.
+//!
+//! For `ℓ = 3` the estimator degenerates to the paper's triangle estimator
+//! (up to the batching details of `degentri_core::MainEstimator`), which the
+//! tests exploit as a cross-check.
+//!
+//! ```
+//! use degentri_cliques::{count_cliques, CliqueEstimator, CliqueEstimatorConfig};
+//! use degentri_gen::complete;
+//! use degentri_stream::{MemoryStream, StreamOrder};
+//!
+//! let g = complete(12).unwrap();
+//! let exact4 = count_cliques(&g, 4); // C(12, 4) = 495
+//! assert_eq!(exact4, 495);
+//!
+//! let stream = MemoryStream::from_graph(&g, StreamOrder::UniformRandom(3));
+//! let config = CliqueEstimatorConfig::builder(4)
+//!     .epsilon(0.2)
+//!     .kappa(11)
+//!     .clique_lower_bound(200)
+//!     .seed(7)
+//!     .build();
+//! let out = CliqueEstimator::new(config).run(&stream).unwrap();
+//! let relative_error = (out.estimate - exact4 as f64).abs() / (exact4 as f64);
+//! assert!(relative_error < 0.8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assignment;
+pub mod error;
+pub mod estimator;
+pub mod exact;
+pub mod theory;
+
+pub use assignment::{CliqueAssignmentOracle, CliqueAssignmentParams};
+pub use error::CliqueError;
+pub use estimator::{
+    AssignmentMode, CliqueEstimator, CliqueEstimatorConfig, CliqueEstimatorConfigBuilder,
+    CliqueOutcome,
+};
+pub use exact::{count_cliques, count_cliques_brute_force, enumerate_cliques, CliqueCounts};
+pub use theory::CliqueParameters;
+
+/// Convenient result alias for clique-estimation operations.
+pub type Result<T> = std::result::Result<T, CliqueError>;

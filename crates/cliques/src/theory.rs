@@ -1,0 +1,144 @@
+//! Closed-form bounds for ℓ-clique counting in bounded-degeneracy graphs.
+//!
+//! These are the quantities experiment E11 compares measured space against:
+//! the conjectured streaming space bound `mκ^{ℓ−2}/T` (Conjecture 7.1) and
+//! the static combinatorial bounds that follow from the degeneracy
+//! orientation (every clique has a "first" vertex whose at most `κ` forward
+//! neighbors contain the rest of the clique).
+
+/// Instance parameters for an ℓ-clique counting problem.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CliqueParameters {
+    /// Number of vertices.
+    pub n: usize,
+    /// Number of edges.
+    pub m: usize,
+    /// Exact (or target) number of ℓ-cliques.
+    pub t: u64,
+    /// Degeneracy of the graph.
+    pub kappa: usize,
+    /// The clique size ℓ.
+    pub clique_size: usize,
+}
+
+impl CliqueParameters {
+    /// Creates the parameter bundle.
+    pub fn new(n: usize, m: usize, t: u64, kappa: usize, clique_size: usize) -> Self {
+        CliqueParameters {
+            n,
+            m,
+            t,
+            kappa,
+            clique_size,
+        }
+    }
+
+    /// The conjectured streaming space bound `mκ^{ℓ−2}/T` (Conjecture 7.1),
+    /// with the convention that a count of zero maps to `∞`.
+    pub fn conjectured_space_bound(&self) -> f64 {
+        if self.t == 0 {
+            return f64::INFINITY;
+        }
+        let exponent = self.clique_size.saturating_sub(2) as i32;
+        self.m as f64 * (self.kappa.max(1) as f64).powi(exponent) / self.t as f64
+    }
+
+    /// The triangle-case bound `mκ/T` this generalizes (equal to
+    /// [`Self::conjectured_space_bound`] when `ℓ = 3`).
+    pub fn triangle_space_bound(&self) -> f64 {
+        if self.t == 0 {
+            return f64::INFINITY;
+        }
+        self.m as f64 * self.kappa.max(1) as f64 / self.t as f64
+    }
+
+    /// Static upper bound on the number of ℓ-cliques: every clique has a
+    /// first vertex in the degeneracy ordering, and the remaining `ℓ − 1`
+    /// vertices lie among that vertex's at most `κ` forward neighbors, so
+    /// `T ≤ n · C(κ, ℓ−1)`.
+    pub fn max_cliques_by_vertices(&self) -> f64 {
+        self.n as f64 * binomial(self.kappa as u64, (self.clique_size.max(1) - 1) as u64)
+    }
+
+    /// Static upper bound through edges: the first *edge* of a clique (both
+    /// endpoints earliest in the ordering) has its remaining `ℓ − 2` vertices
+    /// among at most `κ − 1` shared forward neighbors, so
+    /// `T ≤ m · C(κ − 1, ℓ − 2)`. For `ℓ = 3` this is the paper's
+    /// Corollary 3.2 shape `T = O(mκ)`.
+    pub fn max_cliques_by_edges(&self) -> f64 {
+        let k = self.kappa.saturating_sub(1) as u64;
+        self.m as f64 * binomial(k, self.clique_size.saturating_sub(2) as u64)
+    }
+
+    /// Whether the instance lies in the regime where the degeneracy bound
+    /// beats the generic `m^{ℓ/2}/T`-style bounds, i.e. `T = Ω(κ^{ℓ−1})`
+    /// in spirit; exposed so experiments can annotate their sweeps.
+    pub fn in_dominating_regime(&self) -> bool {
+        let exponent = self.clique_size.saturating_sub(1) as i32;
+        self.t as f64 >= (self.kappa.max(1) as f64).powi(exponent)
+    }
+}
+
+/// Binomial coefficient as `f64` (0 when `k > n`).
+fn binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut result = 1.0f64;
+    for i in 0..k {
+        result *= (n - i) as f64 / (i + 1) as f64;
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(5, 2), 10.0);
+        assert_eq!(binomial(10, 0), 1.0);
+        assert_eq!(binomial(4, 5), 0.0);
+        assert_eq!(binomial(52, 1), 52.0);
+    }
+
+    #[test]
+    fn conjectured_bound_reduces_to_triangle_bound_for_l3() {
+        let p = CliqueParameters::new(1000, 5000, 800, 6, 3);
+        assert!((p.conjectured_space_bound() - p.triangle_space_bound()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conjectured_bound_grows_with_clique_size() {
+        let p3 = CliqueParameters::new(1000, 5000, 800, 6, 3);
+        let p5 = CliqueParameters::new(1000, 5000, 800, 6, 5);
+        assert!(p5.conjectured_space_bound() > p3.conjectured_space_bound());
+        assert!((p5.conjectured_space_bound() / p3.conjectured_space_bound() - 36.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_cliques_means_infinite_bound() {
+        let p = CliqueParameters::new(10, 20, 0, 2, 4);
+        assert!(p.conjectured_space_bound().is_infinite());
+        assert!(p.triangle_space_bound().is_infinite());
+    }
+
+    #[test]
+    fn static_bounds_hold_on_the_complete_graph() {
+        // K_10: n = 10, m = 45, κ = 9, T_4 = 210.
+        let p = CliqueParameters::new(10, 45, 210, 9, 4);
+        assert!(p.max_cliques_by_vertices() >= 210.0);
+        assert!(p.max_cliques_by_edges() >= 210.0);
+        assert!(p.in_dominating_regime() == false || p.t as f64 >= 9f64.powi(3));
+    }
+
+    #[test]
+    fn dominating_regime_flag() {
+        let low_t = CliqueParameters::new(100, 300, 5, 4, 3);
+        let high_t = CliqueParameters::new(100, 300, 100, 4, 3);
+        assert!(!low_t.in_dominating_regime());
+        assert!(high_t.in_dominating_regime());
+    }
+}

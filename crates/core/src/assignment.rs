@@ -1,0 +1,366 @@
+//! Algorithm 3: assigning triangles to edges.
+//!
+//! The estimator's variance hinges on no edge being credited with too many
+//! triangles. `Assignment(τ)` estimates, for each of the three edges of the
+//! triangle `τ`, its triangle degree `t_e` (by sampling `s` neighbors of the
+//! edge and checking closures), takes the edge with the smallest estimate
+//! `Y_e`, and
+//!
+//! * returns `⊥` (unassigned) if even the smallest estimate exceeds the
+//!   ceiling `κ/(2ε)` — the triangle is (probably) heavy;
+//! * short-circuits `Y_e = ∞` for edges whose degree exceeds the cutoff
+//!   `mκ²/(ε²T)` — estimating `t_e` for those would be too costly;
+//! * otherwise returns the arg-min edge.
+//!
+//! `IsAssigned(τ, e)` answers whether `Assignment(τ) = e`. A memo table
+//! keeps the answer consistent across invocations (uniqueness, property (1)
+//! of Definition 5.2).
+//!
+//! Two realizations live here:
+//!
+//! * [`GraphAssignmentOracle`] — a reference implementation backed by a
+//!   [`CsrGraph`] for neighbor sampling and adjacency tests. It is used by
+//!   unit tests, the warm-up (Section 4) estimator and the ablation
+//!   experiments, and is *logically identical* to what the streaming
+//!   estimator does in its passes 5–6.
+//! * [`decide_assignment`] / [`AssignmentMemo`] — the pure decision logic
+//!   and memo table shared by the streaming implementation in
+//!   [`crate::estimator`], so both paths cannot diverge.
+
+use degentri_graph::{CsrGraph, Edge, Triangle};
+use degentri_stream::hashing::FxHashMap;
+use degentri_stream::SpaceMeter;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Thresholds and sample size used by the assignment procedure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AssignmentParams {
+    /// Degree cutoff `mκ²/(ε²T)`: edges with `d_e` above it get `Y_e = ∞`.
+    pub degree_cutoff: f64,
+    /// Ceiling `κ/(2ε)`: if the minimum `Y_e` exceeds it, return `⊥`.
+    pub assignment_ceiling: f64,
+    /// Number of neighbor samples `s` per edge.
+    pub samples: usize,
+}
+
+/// Picks the assignment target among per-edge triangle-degree estimates.
+///
+/// `estimates` holds `(edge, Y_e)` for the three edges of the triangle
+/// (fewer entries are tolerated). Ties are broken towards the
+/// lexicographically smallest edge so the choice is deterministic given the
+/// estimates.
+pub fn decide_assignment(estimates: &[(Edge, f64)], ceiling: f64) -> Option<Edge> {
+    let mut best: Option<(Edge, f64)> = None;
+    for &(e, y) in estimates {
+        best = match best {
+            None => Some((e, y)),
+            Some((be, by)) => {
+                if y < by || (y == by && e < be) {
+                    Some((e, y))
+                } else {
+                    Some((be, by))
+                }
+            }
+        };
+    }
+    let (edge, y) = best?;
+    if !y.is_finite() || y > ceiling {
+        None
+    } else {
+        Some(edge)
+    }
+}
+
+/// Memo table guaranteeing each triangle is assigned to a unique, consistent
+/// edge across repeated `IsAssigned` calls.
+#[derive(Debug, Default, Clone)]
+pub struct AssignmentMemo {
+    table: FxHashMap<Triangle, Option<Edge>>,
+}
+
+impl AssignmentMemo {
+    /// Creates an empty memo.
+    pub fn new() -> Self {
+        AssignmentMemo::default()
+    }
+
+    /// Looks up a previously decided triangle.
+    pub fn get(&self, t: &Triangle) -> Option<Option<Edge>> {
+        self.table.get(t).copied()
+    }
+
+    /// Records a decision (charging the space meter) and returns it.
+    pub fn insert(&mut self, t: Triangle, decision: Option<Edge>, meter: &mut SpaceMeter) -> Option<Edge> {
+        meter.charge_table_entry();
+        self.table.insert(t, decision);
+        decision
+    }
+
+    /// Number of memoized triangles.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the memo is empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+/// Reference implementation of Algorithm 3 backed by a [`CsrGraph`].
+#[derive(Debug)]
+pub struct GraphAssignmentOracle<'g> {
+    graph: &'g CsrGraph,
+    params: AssignmentParams,
+    memo: AssignmentMemo,
+    meter: SpaceMeter,
+    rng: StdRng,
+}
+
+impl<'g> GraphAssignmentOracle<'g> {
+    /// Creates an oracle over `graph` with the given parameters and seed.
+    pub fn new(graph: &'g CsrGraph, params: AssignmentParams, seed: u64) -> Self {
+        GraphAssignmentOracle {
+            graph,
+            params,
+            memo: AssignmentMemo::new(),
+            meter: SpaceMeter::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// `IsAssigned(τ, e)`: whether `Assignment(τ)` returns exactly `e`.
+    pub fn is_assigned(&mut self, triangle: Triangle, edge: Edge) -> bool {
+        self.assignment(triangle) == Some(edge)
+    }
+
+    /// `Assignment(τ)`: the edge the triangle is assigned to, or `None`.
+    pub fn assignment(&mut self, triangle: Triangle) -> Option<Edge> {
+        if let Some(decision) = self.memo.get(&triangle) {
+            return decision;
+        }
+        let mut estimates = Vec::with_capacity(3);
+        for e in triangle.edges() {
+            let y = self.estimate_edge_triangle_degree(e);
+            estimates.push((e, y));
+        }
+        let decision = decide_assignment(&estimates, self.params.assignment_ceiling);
+        self.memo.insert(triangle, decision, &mut self.meter)
+    }
+
+    /// The sampling estimate `Y_e` of `t_e` (lines 8–16 of Algorithm 3):
+    /// `∞` above the degree cutoff, otherwise `d_e/s · Σ_j Y_j` where `Y_j`
+    /// indicates whether a uniform neighbor of `N(e)` closes a triangle
+    /// with `e`.
+    pub fn estimate_edge_triangle_degree(&mut self, e: Edge) -> f64 {
+        let d_e = self.graph.edge_degree(e) as f64;
+        if d_e > self.params.degree_cutoff {
+            return f64::INFINITY;
+        }
+        let base = self.graph.lower_degree_endpoint(e);
+        let other = e.other(base).expect("edge endpoints");
+        let neighbors = self.graph.neighbors(base);
+        if neighbors.is_empty() {
+            return 0.0;
+        }
+        // Charge the sample buffer: s counters retained while estimating.
+        self.meter.charge(self.params.samples as u64);
+        let mut hits = 0u64;
+        for _ in 0..self.params.samples {
+            let w = neighbors[self.rng.gen_range(0..neighbors.len())];
+            if w != other && self.graph.has_edge(other, w) {
+                hits += 1;
+            }
+        }
+        self.meter.release(self.params.samples as u64);
+        d_e * hits as f64 / self.params.samples as f64
+    }
+
+    /// Number of distinct triangles memoized so far.
+    pub fn memoized(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// Peak words of retained state (samples + memo entries).
+    pub fn space(&self) -> degentri_stream::SpaceReport {
+        self.meter.report()
+    }
+}
+
+/// The exact "assign to the minimum-`t_e` edge" rule (ties towards the
+/// lexicographically smallest edge), with heavy triangles (min `t_e`
+/// above `ceiling`) left unassigned. This is the idealized rule the sampling
+/// procedure approximates; the ablation experiment compares the two.
+pub fn exact_min_te_assignment(
+    counts: &degentri_graph::triangles::TriangleCounts,
+    triangle: Triangle,
+    ceiling: f64,
+) -> Option<Edge> {
+    let estimates: Vec<(Edge, f64)> = triangle
+        .edges()
+        .iter()
+        .map(|&e| (e, counts.edge_count(e) as f64))
+        .collect();
+    decide_assignment(&estimates, ceiling)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use degentri_gen::{book, complete, wheel};
+    use degentri_graph::triangles::TriangleCounts;
+
+    fn params_for(g: &CsrGraph, epsilon: f64, kappa: usize, samples: usize) -> AssignmentParams {
+        let t = TriangleCounts::compute(g).total.max(1) as f64;
+        AssignmentParams {
+            degree_cutoff: g.num_edges() as f64 * (kappa * kappa) as f64 / (epsilon * epsilon * t),
+            assignment_ceiling: kappa as f64 / (2.0 * epsilon),
+            samples,
+        }
+    }
+
+    #[test]
+    fn decide_assignment_picks_minimum_and_respects_ceiling() {
+        let e1 = Edge::from_raw(0, 1);
+        let e2 = Edge::from_raw(1, 2);
+        let e3 = Edge::from_raw(0, 2);
+        assert_eq!(
+            decide_assignment(&[(e1, 5.0), (e2, 2.0), (e3, 9.0)], 10.0),
+            Some(e2)
+        );
+        // ties break towards the smaller edge
+        assert_eq!(
+            decide_assignment(&[(e2, 2.0), (e1, 2.0), (e3, 9.0)], 10.0),
+            Some(e1)
+        );
+        // ceiling exceeded → unassigned
+        assert_eq!(decide_assignment(&[(e1, 50.0), (e2, 20.0), (e3, 90.0)], 10.0), None);
+        // infinite estimates → unassigned
+        assert_eq!(
+            decide_assignment(&[(e1, f64::INFINITY), (e2, f64::INFINITY), (e3, f64::INFINITY)], 10.0),
+            None
+        );
+        assert_eq!(decide_assignment(&[], 10.0), None);
+    }
+
+    #[test]
+    fn memo_is_consistent_and_charges_space() {
+        let mut memo = AssignmentMemo::new();
+        let mut meter = SpaceMeter::new();
+        let t = Triangle::from_raw(0, 1, 2);
+        assert!(memo.get(&t).is_none());
+        assert!(memo.is_empty());
+        let e = Edge::from_raw(0, 1);
+        memo.insert(t, Some(e), &mut meter);
+        assert_eq!(memo.get(&t), Some(Some(e)));
+        assert_eq!(memo.len(), 1);
+        assert!(meter.peak() >= 3);
+    }
+
+    #[test]
+    fn every_triangle_gets_unique_consistent_assignment_on_wheel() {
+        let g = wheel(200).unwrap();
+        let counts = TriangleCounts::compute(&g);
+        let params = params_for(&g, 0.2, 3, 64);
+        let mut oracle = GraphAssignmentOracle::new(&g, params, 7);
+        let mut assigned = 0usize;
+        for &t in &counts.triangles {
+            let first = oracle.assignment(t);
+            let second = oracle.assignment(t);
+            assert_eq!(first, second, "memoized decisions must be stable");
+            if let Some(e) = first {
+                assert!(t.contains_edge(e), "assigned edge must belong to the triangle");
+                assigned += 1;
+                // exactly one of the three edges answers YES
+                let yes: usize = t
+                    .edges()
+                    .iter()
+                    .map(|&edge| usize::from(oracle.is_assigned(t, edge)))
+                    .sum();
+                assert_eq!(yes, 1);
+            }
+        }
+        // On the wheel nothing is heavy or costly, so (almost) every triangle
+        // should be assigned; the sampling estimate may rarely misfire.
+        assert!(
+            assigned as f64 >= 0.95 * counts.total as f64,
+            "assigned {assigned} of {}",
+            counts.total
+        );
+    }
+
+    #[test]
+    fn bounded_assignment_on_book_graph() {
+        // In the book graph the spine edge is extremely heavy; the assignment
+        // rule must route (almost) every triangle to a page edge instead, so
+        // no edge collects more than ~κ/ε triangles.
+        let pages = 300usize;
+        let g = book(pages).unwrap();
+        let counts = TriangleCounts::compute(&g);
+        let epsilon = 0.2;
+        let kappa = 2usize;
+        let params = params_for(&g, epsilon, kappa, 96);
+        let mut oracle = GraphAssignmentOracle::new(&g, params, 11);
+        let mut per_edge: FxHashMap<Edge, u64> = FxHashMap::default();
+        for &t in &counts.triangles {
+            if let Some(e) = oracle.assignment(t) {
+                *per_edge.entry(e).or_insert(0) += 1;
+            }
+        }
+        let max_assigned = per_edge.values().copied().max().unwrap_or(0);
+        let bound = (kappa as f64 / epsilon).ceil() as u64 + 2;
+        assert!(
+            max_assigned <= bound,
+            "some edge was assigned {max_assigned} triangles (bound {bound})"
+        );
+        // and almost all triangles remain assigned
+        let assigned: u64 = per_edge.values().sum();
+        assert!(assigned as f64 >= 0.9 * counts.total as f64);
+    }
+
+    #[test]
+    fn exact_rule_matches_sampling_rule_in_expectation() {
+        let g = complete(12).unwrap();
+        let counts = TriangleCounts::compute(&g);
+        // In K_12 every edge has t_e = 10, so the exact rule assigns every
+        // triangle to its lexicographically smallest edge provided the
+        // ceiling is above 10.
+        for &t in counts.triangles.iter().take(20) {
+            let e = exact_min_te_assignment(&counts, t, 50.0).unwrap();
+            assert_eq!(e, *t.edges().iter().min().unwrap());
+        }
+        // With a tiny ceiling everything is unassigned.
+        for &t in counts.triangles.iter().take(5) {
+            assert_eq!(exact_min_te_assignment(&counts, t, 0.5), None);
+        }
+    }
+
+    #[test]
+    fn degree_cutoff_short_circuits_estimation() {
+        let g = book(100).unwrap();
+        let params = AssignmentParams {
+            degree_cutoff: 1.5, // spine endpoints have degree 101 ≫ cutoff
+            assignment_ceiling: 10.0,
+            samples: 16,
+        };
+        let mut oracle = GraphAssignmentOracle::new(&g, params, 3);
+        let spine = Edge::from_raw(0, 1);
+        assert_eq!(oracle.estimate_edge_triangle_degree(spine), f64::INFINITY);
+    }
+
+    #[test]
+    fn estimate_is_close_to_true_te_with_many_samples() {
+        let g = complete(20).unwrap();
+        let params = AssignmentParams {
+            degree_cutoff: f64::INFINITY,
+            assignment_ceiling: f64::INFINITY,
+            samples: 4000,
+        };
+        let mut oracle = GraphAssignmentOracle::new(&g, params, 5);
+        let e = Edge::from_raw(0, 1);
+        let estimate = oracle.estimate_edge_triangle_degree(e);
+        // true t_e = 18
+        assert!((estimate - 18.0).abs() < 2.0, "estimate = {estimate}");
+    }
+}

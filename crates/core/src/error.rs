@@ -1,0 +1,49 @@
+//! Error type for the streaming estimators.
+
+use std::fmt;
+
+/// Errors produced by estimator configuration and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EstimatorError {
+    /// A configuration value is outside its valid range.
+    InvalidConfig {
+        /// Description of the violated requirement.
+        message: String,
+    },
+    /// The stream was empty (no edges), so no estimate can be produced.
+    EmptyStream,
+}
+
+impl EstimatorError {
+    /// Convenience constructor for [`EstimatorError::InvalidConfig`].
+    pub fn invalid_config(message: impl Into<String>) -> Self {
+        EstimatorError::InvalidConfig {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for EstimatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EstimatorError::InvalidConfig { message } => {
+                write!(f, "invalid estimator configuration: {message}")
+            }
+            EstimatorError::EmptyStream => write!(f, "the edge stream is empty"),
+        }
+    }
+}
+
+impl std::error::Error for EstimatorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = EstimatorError::invalid_config("epsilon must be positive");
+        assert!(e.to_string().contains("epsilon"));
+        assert!(EstimatorError::EmptyStream.to_string().contains("empty"));
+    }
+}

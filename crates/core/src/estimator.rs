@@ -1,0 +1,635 @@
+//! Algorithm 2: the six-pass streaming estimator (Section 5 of the paper).
+//!
+//! The estimator removes the degree oracle of the warm-up by *simulating*
+//! degree-proportional edge sampling through a uniform sample:
+//!
+//! 1. **Pass 1** — sample `r` edges uniformly at random (i.i.d.): the
+//!    multiset `R`.
+//! 2. **Pass 2** — compute `d_e` for every `e ∈ R` by counting the incident
+//!    edges of `R`'s endpoints; this yields `d_R = Σ_{e∈R} d_e`.
+//!    Offline, draw `ℓ` *instances*: edges of `R` sampled with probability
+//!    `d_e / d_R` (Lemma 5.7 sets `ℓ`).
+//! 3. **Pass 3** — for every instance, sample a uniform vertex `w` of
+//!    `N(e)` (the lower-degree endpoint's neighborhood).
+//! 4. **Pass 4** — check which instances close a triangle, i.e. whether the
+//!    third edge is present in the stream.
+//! 5. **Pass 5** — for every *distinct* candidate triangle, gather what the
+//!    assignment procedure needs: the degrees of its three edges and, for
+//!    each edge, `s` uniform neighbor samples (from both endpoints, since
+//!    the lower-degree endpoint is only known once the degrees are).
+//! 6. **Pass 6** — check which of those neighbor samples close triangles;
+//!    this gives the estimates `Y_e` of Algorithm 3 and hence the
+//!    assignment decision for every candidate triangle.
+//!
+//! An instance contributes `Y_i = 1` exactly when it found a triangle that
+//! `IsAssigned` assigns to its sampled edge. The output is
+//! `X = (m/r) · d_R · mean(Y_i)` — exactly line 13 of Algorithm 2.
+
+use degentri_graph::{Edge, Triangle, VertexId};
+use degentri_stream::hashing::{FxHashMap, FxHashSet};
+use degentri_stream::{EdgeStream, ReservoirSampler, SpaceMeter, SpaceReport};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::assignment::{decide_assignment, AssignmentMemo};
+use crate::config::EstimatorConfig;
+use crate::error::EstimatorError;
+use crate::Result;
+
+/// Outcome of one run of the six-pass estimator.
+#[derive(Debug, Clone)]
+pub struct MainOutcome {
+    /// The triangle-count estimate `X`.
+    pub estimate: f64,
+    /// Number of passes over the stream (always 6).
+    pub passes: u32,
+    /// Words of retained state (samples, counters, memo tables).
+    pub space: SpaceReport,
+    /// Size of the uniform edge sample `R` actually used.
+    pub r: usize,
+    /// Number of inner instances `ℓ`.
+    pub inner_samples: usize,
+    /// `d_R = Σ_{e∈R} d_e` measured in pass 2.
+    pub d_r: u64,
+    /// Number of instances whose sampled wedge closed into a triangle.
+    pub triangles_found: usize,
+    /// Number of distinct candidate triangles that went through Assignment.
+    pub distinct_triangles: usize,
+    /// Number of instances whose triangle was assigned to their edge
+    /// (the successes that drive the estimate).
+    pub assigned_hits: usize,
+}
+
+/// The six-pass streaming estimator of Section 5.
+#[derive(Debug, Clone)]
+pub struct MainEstimator {
+    config: EstimatorConfig,
+}
+
+/// Per-instance state threaded through passes 3–6.
+#[derive(Debug, Clone)]
+struct Instance {
+    /// The sampled edge `e` (an element of `R`).
+    edge: Edge,
+    /// Lower-degree endpoint of `edge` (its neighborhood is `N(e)`).
+    base: VertexId,
+    /// The other endpoint.
+    other: VertexId,
+    /// Reservoir state for the uniform neighbor of `base`.
+    neighbor: Option<VertexId>,
+    seen: u64,
+    /// The closing edge `(other, w)` to look for in pass 4.
+    closure: Option<Edge>,
+    /// The candidate triangle, if pass 4 confirmed it.
+    triangle: Option<Triangle>,
+}
+
+/// Per-candidate-edge state for the batched assignment (passes 5–6).
+#[derive(Debug, Clone)]
+struct CandidateEdge {
+    edge: Edge,
+    /// Degrees of the two endpoints, filled in pass 5 (u-endpoint, v-endpoint).
+    degree_u: u64,
+    degree_v: u64,
+    /// `s` neighbor samples of each endpoint (reservoirs over incident edges).
+    samples_u: Vec<Option<VertexId>>,
+    samples_v: Vec<Option<VertexId>>,
+    seen_u: u64,
+    seen_v: u64,
+    /// Closure hits counted in pass 6 for the side that turned out to be the
+    /// lower-degree endpoint.
+    hits: u64,
+    /// The final estimate `Y_e`.
+    estimate: f64,
+}
+
+impl CandidateEdge {
+    fn new(edge: Edge, samples: usize) -> Self {
+        CandidateEdge {
+            edge,
+            degree_u: 0,
+            degree_v: 0,
+            samples_u: vec![None; samples],
+            samples_v: vec![None; samples],
+            seen_u: 0,
+            seen_v: 0,
+            hits: 0,
+            estimate: 0.0,
+        }
+    }
+
+    /// Edge degree `d_e = min(d_u, d_v)` (valid after pass 5).
+    fn edge_degree(&self) -> u64 {
+        self.degree_u.min(self.degree_v)
+    }
+
+    /// The lower-degree endpoint (ties to `u`, matching the rest of the
+    /// workspace) and the opposite endpoint.
+    fn base_and_other(&self) -> (VertexId, VertexId) {
+        if self.degree_u <= self.degree_v {
+            (self.edge.u(), self.edge.v())
+        } else {
+            (self.edge.v(), self.edge.u())
+        }
+    }
+
+    /// The neighbor samples taken at the lower-degree endpoint.
+    fn base_samples(&self) -> &[Option<VertexId>] {
+        if self.degree_u <= self.degree_v {
+            &self.samples_u
+        } else {
+            &self.samples_v
+        }
+    }
+}
+
+impl MainEstimator {
+    /// Creates an estimator with the given configuration.
+    pub fn new(config: EstimatorConfig) -> Self {
+        MainEstimator { config }
+    }
+
+    /// Runs the six-pass estimator once over `stream`.
+    pub fn run<S: EdgeStream + ?Sized>(&self, stream: &S) -> Result<MainOutcome> {
+        self.run_seeded(stream, self.config.seed)
+    }
+
+    /// Runs the estimator with an explicit seed (used by the multi-copy
+    /// runner so each copy is independent).
+    pub fn run_seeded<S: EdgeStream + ?Sized>(&self, stream: &S, seed: u64) -> Result<MainOutcome> {
+        self.config.validate()?;
+        let m = stream.num_edges();
+        if m == 0 {
+            return Err(EstimatorError::EmptyStream);
+        }
+        let n = stream.num_vertices();
+        let params = self.config.derive(m, n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut meter = SpaceMeter::new();
+
+        // ---------------- Pass 1: uniform sample R ------------------------
+        let mut reservoir: ReservoirSampler<Edge> = ReservoirSampler::new_iid(params.r);
+        meter.charge(params.r as u64);
+        for e in stream.pass() {
+            reservoir.observe(e, &mut rng);
+        }
+        let r_edges = reservoir.into_samples();
+        let r = r_edges.len();
+        if r == 0 {
+            return Err(EstimatorError::EmptyStream);
+        }
+
+        // ---------------- Pass 2: degrees of R's endpoints ----------------
+        let mut endpoint_degree: FxHashMap<VertexId, u64> = FxHashMap::default();
+        for e in &r_edges {
+            endpoint_degree.entry(e.u()).or_insert(0);
+            endpoint_degree.entry(e.v()).or_insert(0);
+        }
+        meter.charge(endpoint_degree.len() as u64);
+        for e in stream.pass() {
+            if let Some(d) = endpoint_degree.get_mut(&e.u()) {
+                *d += 1;
+            }
+            if let Some(d) = endpoint_degree.get_mut(&e.v()) {
+                *d += 1;
+            }
+        }
+        let edge_degree = |e: &Edge| -> u64 {
+            endpoint_degree[&e.u()].min(endpoint_degree[&e.v()])
+        };
+        let degrees: Vec<u64> = r_edges.iter().map(edge_degree).collect();
+        let d_r: u64 = degrees.iter().sum();
+        meter.charge(r as u64);
+
+        // ---------------- Offline: draw ℓ instances from R -----------------
+        let ell = self.config.derive_inner_samples(m, n, r, d_r.max(1));
+        let cumulative: Vec<f64> = degrees
+            .iter()
+            .scan(0.0, |acc, &d| {
+                *acc += d as f64;
+                Some(*acc)
+            })
+            .collect();
+        let total_weight = *cumulative.last().unwrap_or(&0.0);
+        let mut instances: Vec<Instance> = Vec::with_capacity(ell);
+        for _ in 0..ell {
+            if total_weight <= 0.0 {
+                break;
+            }
+            let target = rng.gen_range(0.0..total_weight);
+            let idx = cumulative.partition_point(|&c| c <= target).min(r - 1);
+            let edge = r_edges[idx];
+            let (base, other) = if endpoint_degree[&edge.u()] <= endpoint_degree[&edge.v()] {
+                (edge.u(), edge.v())
+            } else {
+                (edge.v(), edge.u())
+            };
+            instances.push(Instance {
+                edge,
+                base,
+                other,
+                neighbor: None,
+                seen: 0,
+                closure: None,
+                triangle: None,
+            });
+        }
+        meter.charge(3 * instances.len() as u64);
+
+        // ---------------- Pass 3: neighbor sampling per instance ----------
+        let mut by_base: FxHashMap<VertexId, Vec<usize>> = FxHashMap::default();
+        for (i, inst) in instances.iter().enumerate() {
+            by_base.entry(inst.base).or_default().push(i);
+        }
+        for e in stream.pass() {
+            for endpoint in [e.u(), e.v()] {
+                if let Some(ids) = by_base.get(&endpoint) {
+                    let candidate = e.other(endpoint).expect("endpoint belongs to edge");
+                    for &i in ids {
+                        let inst = &mut instances[i];
+                        inst.seen += 1;
+                        if rng.gen_range(0..inst.seen) == 0 {
+                            inst.neighbor = Some(candidate);
+                        }
+                    }
+                }
+            }
+        }
+
+        // ---------------- Pass 4: closure checks ---------------------------
+        let mut closure_queries: FxHashSet<Edge> = FxHashSet::default();
+        for inst in instances.iter_mut() {
+            if let Some(w) = inst.neighbor {
+                if w != inst.other && w != inst.base {
+                    let q = Edge::new(inst.other, w);
+                    inst.closure = Some(q);
+                    closure_queries.insert(q);
+                }
+            }
+        }
+        meter.charge(closure_queries.len() as u64);
+        let mut present: FxHashSet<Edge> = FxHashSet::default();
+        for e in stream.pass() {
+            if closure_queries.contains(&e) {
+                present.insert(e);
+            }
+        }
+        meter.charge(present.len() as u64);
+
+        let mut triangles_found = 0usize;
+        for inst in instances.iter_mut() {
+            if let (Some(q), Some(w)) = (inst.closure, inst.neighbor) {
+                if present.contains(&q) {
+                    inst.triangle = Some(Triangle::new(inst.base, inst.other, w));
+                    triangles_found += 1;
+                }
+            }
+        }
+
+        // ---------------- Passes 5–6: batched Assignment -------------------
+        // Gather the distinct candidate triangles and their edges.
+        let mut distinct_triangles: Vec<Triangle> = Vec::new();
+        let mut triangle_index: FxHashMap<Triangle, usize> = FxHashMap::default();
+        for inst in &instances {
+            if let Some(t) = inst.triangle {
+                triangle_index.entry(t).or_insert_with(|| {
+                    distinct_triangles.push(t);
+                    distinct_triangles.len() - 1
+                });
+            }
+        }
+        let mut candidate_edges: Vec<CandidateEdge> = Vec::new();
+        let mut edge_index: FxHashMap<Edge, usize> = FxHashMap::default();
+        for &t in &distinct_triangles {
+            for e in t.edges() {
+                edge_index.entry(e).or_insert_with(|| {
+                    candidate_edges.push(CandidateEdge::new(e, params.assignment_samples));
+                    candidate_edges.len() - 1
+                });
+            }
+        }
+        meter.charge(3 * distinct_triangles.len() as u64);
+        meter.charge((2 * params.assignment_samples as u64 + 4) * candidate_edges.len() as u64);
+
+        // Pass 5: degrees of candidate-edge endpoints + neighbor samples at
+        // both endpoints.
+        let mut by_vertex: FxHashMap<VertexId, Vec<(usize, bool)>> = FxHashMap::default();
+        for (i, c) in candidate_edges.iter().enumerate() {
+            by_vertex.entry(c.edge.u()).or_default().push((i, true));
+            by_vertex.entry(c.edge.v()).or_default().push((i, false));
+        }
+        if !candidate_edges.is_empty() {
+            for e in stream.pass() {
+                for endpoint in [e.u(), e.v()] {
+                    if let Some(entries) = by_vertex.get(&endpoint) {
+                        let candidate_neighbor = e.other(endpoint).expect("endpoint belongs to edge");
+                        for &(i, is_u) in entries {
+                            let c = &mut candidate_edges[i];
+                            if is_u {
+                                c.degree_u += 1;
+                                c.seen_u += 1;
+                                for slot in c.samples_u.iter_mut() {
+                                    if rng.gen_range(0..c.seen_u) == 0 {
+                                        *slot = Some(candidate_neighbor);
+                                    }
+                                }
+                            } else {
+                                c.degree_v += 1;
+                                c.seen_v += 1;
+                                for slot in c.samples_v.iter_mut() {
+                                    if rng.gen_range(0..c.seen_v) == 0 {
+                                        *slot = Some(candidate_neighbor);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        } else {
+            // Keep the pass count fixed at six regardless of how many
+            // triangles were found, so the pass budget is deterministic.
+            for _ in stream.pass() {}
+        }
+
+        // Pass 6: closure checks for the assignment samples.
+        let mut assign_queries: FxHashSet<Edge> = FxHashSet::default();
+        for c in &candidate_edges {
+            if (c.edge_degree() as f64) > params.degree_cutoff {
+                continue; // Y_e = ∞, no sampling needed (Algorithm 3, line 9)
+            }
+            let (base, other) = c.base_and_other();
+            for w in c.base_samples().iter().flatten() {
+                if *w != other && *w != base {
+                    assign_queries.insert(Edge::new(other, *w));
+                }
+            }
+        }
+        meter.charge(assign_queries.len() as u64);
+        let mut assign_present: FxHashSet<Edge> = FxHashSet::default();
+        if !assign_queries.is_empty() {
+            for e in stream.pass() {
+                if assign_queries.contains(&e) {
+                    assign_present.insert(e);
+                }
+            }
+        } else {
+            for _ in stream.pass() {}
+        }
+        meter.charge(assign_present.len() as u64);
+
+        // Compute Y_e for every candidate edge (Algorithm 3, lines 8–16).
+        let s = params.assignment_samples as f64;
+        for c in candidate_edges.iter_mut() {
+            let d_e = c.edge_degree() as f64;
+            if d_e > params.degree_cutoff {
+                c.estimate = f64::INFINITY;
+                continue;
+            }
+            let (base, other) = c.base_and_other();
+            let mut hits = 0u64;
+            for w in c.base_samples().iter().flatten() {
+                if *w != other && *w != base && assign_present.contains(&Edge::new(other, *w)) {
+                    hits += 1;
+                }
+            }
+            c.hits = hits;
+            c.estimate = d_e * hits as f64 / s;
+        }
+
+        // Assignment decision per distinct triangle (memoized for
+        // consistency, Definition 5.2 property (1)).
+        let mut memo = AssignmentMemo::new();
+        let mut decision_of: Vec<Option<Edge>> = Vec::with_capacity(distinct_triangles.len());
+        for &t in &distinct_triangles {
+            let decision = if let Some(d) = memo.get(&t) {
+                d
+            } else {
+                let estimates: Vec<(Edge, f64)> = t
+                    .edges()
+                    .iter()
+                    .map(|e| (*e, candidate_edges[edge_index[e]].estimate))
+                    .collect();
+                let d = decide_assignment(&estimates, params.assignment_ceiling);
+                memo.insert(t, d, &mut meter)
+            };
+            decision_of.push(decision);
+        }
+
+        // ---------------- Final estimate -----------------------------------
+        let mut assigned_hits = 0usize;
+        for inst in &instances {
+            if let Some(t) = inst.triangle {
+                let idx = triangle_index[&t];
+                if decision_of[idx] == Some(inst.edge) {
+                    assigned_hits += 1;
+                }
+            }
+        }
+        let y = if instances.is_empty() {
+            0.0
+        } else {
+            assigned_hits as f64 / instances.len() as f64
+        };
+        let estimate = (m as f64 / r as f64) * d_r as f64 * y;
+
+        Ok(MainOutcome {
+            estimate,
+            passes: 6,
+            space: meter.report(),
+            r,
+            inner_samples: instances.len(),
+            d_r,
+            triangles_found,
+            distinct_triangles: distinct_triangles.len(),
+            assigned_hits,
+        })
+    }
+
+    /// The configuration this estimator runs with.
+    pub fn config(&self) -> &EstimatorConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use degentri_gen::{barabasi_albert, book, complete, grid, wheel};
+    use degentri_graph::triangles::count_triangles;
+    use degentri_graph::CsrGraph;
+    use degentri_stream::{MemoryStream, PassCounter, StreamOrder};
+
+    fn run_once(g: &CsrGraph, config: &EstimatorConfig, seed: u64) -> MainOutcome {
+        let stream = MemoryStream::from_graph(g, StreamOrder::UniformRandom(1234));
+        MainEstimator::new(config.clone())
+            .run_seeded(&stream, seed)
+            .unwrap()
+    }
+
+    /// Median estimate over several independent runs — what the public
+    /// runner does; used here to make the accuracy tests statistically
+    /// stable.
+    fn median_estimate(g: &CsrGraph, config: &EstimatorConfig, copies: usize) -> f64 {
+        let mut estimates: Vec<f64> = (0..copies)
+            .map(|i| run_once(g, config, 1000 + i as u64).estimate)
+            .collect();
+        crate::median_of_means::median(&mut estimates)
+    }
+
+    fn config_for(g: &CsrGraph, kappa: usize, t_hint: u64) -> EstimatorConfig {
+        let _ = g;
+        EstimatorConfig::builder()
+            .epsilon(0.15)
+            .kappa(kappa)
+            .triangle_lower_bound(t_hint)
+            .r_constant(30.0)
+            .inner_constant(60.0)
+            .assignment_constant(30.0)
+            .build()
+    }
+
+    #[test]
+    fn uses_exactly_six_passes() {
+        let g = wheel(300).unwrap();
+        let stream =
+            PassCounter::with_limit(MemoryStream::from_graph(&g, StreamOrder::AsGiven), 6);
+        let config = config_for(&g, 3, 299);
+        let out = MainEstimator::new(config).run(&stream).unwrap();
+        assert_eq!(out.passes, 6);
+        assert_eq!(stream.passes(), 6);
+    }
+
+    #[test]
+    fn six_passes_even_when_no_triangles_are_found() {
+        let g = grid(15, 15).unwrap();
+        let stream =
+            PassCounter::with_limit(MemoryStream::from_graph(&g, StreamOrder::AsGiven), 6);
+        let config = config_for(&g, 2, 1);
+        let out = MainEstimator::new(config).run(&stream).unwrap();
+        assert_eq!(stream.passes(), 6);
+        assert_eq!(out.estimate, 0.0);
+        assert_eq!(out.triangles_found, 0);
+    }
+
+    #[test]
+    fn accurate_on_wheel_graph() {
+        let g = wheel(1500).unwrap();
+        let exact = count_triangles(&g);
+        let config = config_for(&g, 3, exact / 2);
+        let estimate = median_estimate(&g, &config, 7);
+        let err = (estimate - exact as f64).abs() / exact as f64;
+        assert!(err < 0.3, "estimate {estimate} vs exact {exact} (err {err:.3})");
+    }
+
+    #[test]
+    fn accurate_on_book_graph_despite_extreme_skew() {
+        let g = book(700).unwrap();
+        let exact = count_triangles(&g);
+        let config = config_for(&g, 2, exact / 2);
+        let estimate = median_estimate(&g, &config, 7);
+        let err = (estimate - exact as f64).abs() / exact as f64;
+        assert!(err < 0.35, "estimate {estimate} vs exact {exact} (err {err:.3})");
+    }
+
+    #[test]
+    fn accurate_on_preferential_attachment() {
+        let g = barabasi_albert(1200, 6, 21).unwrap();
+        let exact = count_triangles(&g);
+        let config = config_for(&g, 6, exact / 2);
+        let estimate = median_estimate(&g, &config, 7);
+        let err = (estimate - exact as f64).abs() / exact as f64;
+        assert!(err < 0.35, "estimate {estimate} vs exact {exact} (err {err:.3})");
+    }
+
+    #[test]
+    fn accurate_on_complete_graph() {
+        let g = complete(35).unwrap();
+        let exact = count_triangles(&g);
+        let config = config_for(&g, 34, exact / 2);
+        let estimate = median_estimate(&g, &config, 7);
+        let err = (estimate - exact as f64).abs() / exact as f64;
+        assert!(err < 0.3, "estimate {estimate} vs exact {exact} (err {err:.3})");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = wheel(400).unwrap();
+        let config = config_for(&g, 3, 399);
+        let a = run_once(&g, &config, 42);
+        let b = run_once(&g, &config, 42);
+        assert_eq!(a.estimate, b.estimate);
+        assert_eq!(a.d_r, b.d_r);
+        assert_eq!(a.assigned_hits, b.assigned_hits);
+        let c = run_once(&g, &config, 43);
+        // different seed, almost surely a different sample
+        assert!(a.estimate != c.estimate || a.d_r != c.d_r);
+    }
+
+    #[test]
+    fn empty_stream_is_an_error() {
+        let stream = MemoryStream::from_edges(4, Vec::new(), StreamOrder::AsGiven);
+        let config = EstimatorConfig::builder().build();
+        assert!(matches!(
+            MainEstimator::new(config).run(&stream),
+            Err(EstimatorError::EmptyStream)
+        ));
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let g = wheel(100).unwrap();
+        let stream = MemoryStream::from_graph(&g, StreamOrder::AsGiven);
+        let config = EstimatorConfig::builder().epsilon(2.0).build();
+        assert!(matches!(
+            MainEstimator::new(config).run(&stream),
+            Err(EstimatorError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn space_tracks_sample_sizes_not_graph_size() {
+        // Same sample budget (r ∝ mκ/T is constant across wheel sizes), so
+        // the retained state should stay roughly flat as the graph grows.
+        // Use lean constants here so the absolute comparison against m is
+        // meaningful at these small sizes (the default test constants trade
+        // space for statistical headroom).
+        let lean = |t: u64| {
+            EstimatorConfig::builder()
+                .epsilon(0.15)
+                .kappa(3)
+                .triangle_lower_bound(t)
+                .r_constant(6.0)
+                .inner_constant(12.0)
+                .assignment_constant(4.0)
+                .build()
+        };
+        let small = wheel(500).unwrap();
+        let large = wheel(8000).unwrap();
+        let config_small = lean(499);
+        let config_large = lean(7999);
+        let out_small = run_once(&small, &config_small, 5);
+        let out_large = run_once(&large, &config_large, 5);
+        let ratio = out_large.space.peak_words as f64 / out_small.space.peak_words.max(1) as f64;
+        assert!(
+            ratio < 5.0,
+            "space should not scale with n: {} -> {} (ratio {ratio})",
+            out_small.space.peak_words,
+            out_large.space.peak_words
+        );
+        // ...and it is far below the trivial Θ(m) of storing the stream.
+        assert!((out_large.space.peak_words as usize) < large.num_edges());
+    }
+
+    #[test]
+    fn outcome_counters_are_consistent() {
+        let g = wheel(800).unwrap();
+        let config = config_for(&g, 3, 799);
+        let out = run_once(&g, &config, 9);
+        assert!(out.assigned_hits <= out.triangles_found);
+        assert!(out.triangles_found <= out.inner_samples);
+        assert!(out.distinct_triangles <= out.triangles_found);
+        assert!(out.r > 0);
+        assert!(out.d_r > 0);
+    }
+}

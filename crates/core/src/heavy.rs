@@ -1,0 +1,202 @@
+//! Exact classification of ε-heavy and ε-costly edges and triangles
+//! (Definitions 5.10 and 5.11) and the empirical verification of Lemma 5.12.
+//!
+//! These computations use the *exact* per-edge triangle counts and are only
+//! used by experiments and tests; the streaming estimator never sees them.
+//! They answer the question: how many triangles does the assignment
+//! procedure give up (heavy + costly), and is it really at most `3εT`?
+
+use degentri_graph::triangles::TriangleCounts;
+use degentri_graph::{CsrGraph, Edge, Triangle};
+
+/// Exact heavy/costly analysis of a graph for a given ε and κ.
+#[derive(Debug, Clone)]
+pub struct HeavyCostlyAnalysis {
+    /// The ε used for the classification.
+    pub epsilon: f64,
+    /// The degeneracy bound κ used for the classification.
+    pub kappa: usize,
+    /// Total triangles `T`.
+    pub total_triangles: u64,
+    /// ε-heavy edges (`t_e > κ/ε`).
+    pub heavy_edges: Vec<Edge>,
+    /// ε-costly edges (`d_e / t_e > mκ/(εT)`, with `t_e = 0` always costly).
+    pub costly_edges: Vec<Edge>,
+    /// Triangles whose three edges are all ε-heavy.
+    pub heavy_triangles: u64,
+    /// Triangles with at least one ε-costly edge.
+    pub costly_triangles: u64,
+    /// Triangles that are neither heavy nor costly (assignable).
+    pub assignable_triangles: u64,
+}
+
+impl HeavyCostlyAnalysis {
+    /// Runs the exact classification on `g`.
+    pub fn compute(g: &CsrGraph, epsilon: f64, kappa: usize) -> Self {
+        let counts = TriangleCounts::compute(g);
+        Self::from_counts(g, &counts, epsilon, kappa)
+    }
+
+    /// Runs the classification reusing precomputed triangle counts.
+    pub fn from_counts(
+        g: &CsrGraph,
+        counts: &TriangleCounts,
+        epsilon: f64,
+        kappa: usize,
+    ) -> Self {
+        let m = g.num_edges() as f64;
+        let t_total = counts.total.max(1) as f64;
+        let heavy_threshold = kappa as f64 / epsilon;
+        let costly_threshold = m * kappa as f64 / (epsilon * t_total);
+
+        let mut heavy_edges = Vec::new();
+        let mut costly_edges = Vec::new();
+        for &e in g.edges() {
+            let te = counts.edge_count(e);
+            let de = g.edge_degree(e) as f64;
+            if (te as f64) > heavy_threshold {
+                heavy_edges.push(e);
+            }
+            let costly = if te == 0 {
+                true
+            } else {
+                de / te as f64 > costly_threshold
+            };
+            if costly {
+                costly_edges.push(e);
+            }
+        }
+
+        let heavy_set: degentri_stream::hashing::FxHashSet<Edge> =
+            heavy_edges.iter().copied().collect();
+        let costly_set: degentri_stream::hashing::FxHashSet<Edge> =
+            costly_edges.iter().copied().collect();
+
+        let mut heavy_triangles = 0u64;
+        let mut costly_triangles = 0u64;
+        let mut assignable = 0u64;
+        for &t in &counts.triangles {
+            let is_heavy = t.edges().iter().all(|e| heavy_set.contains(e));
+            let is_costly = t.edges().iter().any(|e| costly_set.contains(e));
+            if is_heavy {
+                heavy_triangles += 1;
+            }
+            if is_costly {
+                costly_triangles += 1;
+            }
+            if !is_heavy && !is_costly {
+                assignable += 1;
+            }
+        }
+
+        HeavyCostlyAnalysis {
+            epsilon,
+            kappa,
+            total_triangles: counts.total,
+            heavy_edges,
+            costly_edges,
+            heavy_triangles,
+            costly_triangles,
+            assignable_triangles: assignable,
+        }
+    }
+
+    /// Lemma 5.12's combined bound: heavy triangles ≤ 2εT and costly
+    /// triangles ≤ 2εT, so unassignable ≤ 4εT; returns the measured
+    /// unassignable fraction `(T − assignable)/T`.
+    pub fn unassignable_fraction(&self) -> f64 {
+        if self.total_triangles == 0 {
+            return 0.0;
+        }
+        (self.total_triangles - self.assignable_triangles) as f64 / self.total_triangles as f64
+    }
+
+    /// Whether a specific triangle is ε-heavy under this analysis.
+    pub fn is_heavy_triangle(&self, g: &CsrGraph, counts: &TriangleCounts, t: Triangle) -> bool {
+        let threshold = self.kappa as f64 / self.epsilon;
+        let _ = g;
+        t.edges()
+            .iter()
+            .all(|&e| counts.edge_count(e) as f64 > threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use degentri_gen::{book, complete, wheel};
+    use degentri_graph::degeneracy::degeneracy;
+
+    #[test]
+    fn wheel_has_no_heavy_or_costly_triangles() {
+        let g = wheel(500).unwrap();
+        let kappa = degeneracy(&g);
+        let a = HeavyCostlyAnalysis::compute(&g, 0.2, kappa);
+        // every edge of the wheel is in 1 or 2 triangles ≤ κ/ε = 15, and no
+        // edge is costly because d_e is tiny.
+        assert_eq!(a.heavy_triangles, 0);
+        assert_eq!(a.costly_triangles, 0);
+        assert_eq!(a.assignable_triangles, a.total_triangles);
+        assert_eq!(a.unassignable_fraction(), 0.0);
+    }
+
+    #[test]
+    fn book_spine_is_heavy_but_pages_keep_triangles_assignable() {
+        // In the book graph the spine edge has t_e = pages ≫ κ/ε, but each
+        // triangle also contains two page edges with t_e = 1, so no triangle
+        // is heavy (heavy requires *all three* edges heavy).
+        let g = book(400).unwrap();
+        let kappa = degeneracy(&g);
+        let a = HeavyCostlyAnalysis::compute(&g, 0.1, kappa);
+        assert_eq!(a.heavy_edges.len(), 1);
+        assert_eq!(a.heavy_triangles, 0);
+    }
+
+    #[test]
+    fn lemma_5_12_bound_holds_on_suite() {
+        let epsilon = 0.25;
+        for g in [
+            wheel(300).unwrap(),
+            book(200).unwrap(),
+            complete(30).unwrap(),
+            degentri_gen::barabasi_albert(400, 5, 3).unwrap(),
+        ] {
+            let kappa = degeneracy(&g);
+            let a = HeavyCostlyAnalysis::compute(&g, epsilon, kappa);
+            assert!(
+                (a.heavy_triangles as f64) <= 2.0 * epsilon * a.total_triangles as f64 + 1e-9,
+                "heavy triangles exceed 2εT"
+            );
+            assert!(
+                (a.costly_triangles as f64) <= 2.0 * epsilon * a.total_triangles as f64 + 1e-9,
+                "costly triangles exceed 2εT"
+            );
+        }
+    }
+
+    #[test]
+    fn triangle_free_graph_is_trivially_fine() {
+        let g = degentri_gen::grid(10, 10).unwrap();
+        let a = HeavyCostlyAnalysis::compute(&g, 0.1, 2);
+        assert_eq!(a.total_triangles, 0);
+        assert_eq!(a.unassignable_fraction(), 0.0);
+        // every edge has t_e = 0, hence is costly by convention
+        assert_eq!(a.costly_edges.len(), g.num_edges());
+    }
+
+    #[test]
+    fn is_heavy_triangle_detects_complete_core() {
+        // K_6 with ε = 0.9, κ = 5: every edge has t_e = 4 < κ/ε ≈ 5.6, so no
+        // heavy triangles; with ε small the threshold rises, still none.
+        let g = complete(6).unwrap();
+        let counts = TriangleCounts::compute(&g);
+        let a = HeavyCostlyAnalysis::from_counts(&g, &counts, 0.9, 5);
+        for &t in &counts.triangles {
+            assert!(!a.is_heavy_triangle(&g, &counts, t));
+        }
+        // With ε = 0.9 and κ = 1 the threshold is ~1.1 and every edge has
+        // t_e = 4, so every triangle is heavy.
+        let tight = HeavyCostlyAnalysis::from_counts(&g, &counts, 0.9, 1);
+        assert_eq!(tight.heavy_triangles, counts.total);
+    }
+}

@@ -1,0 +1,347 @@
+//! Algorithm 1: the warm-up estimator in the degree-oracle model
+//! (Section 4 of the paper).
+//!
+//! With free degree queries the estimator is simple:
+//!
+//! 1. **Pass 1** — sample an edge `e` with probability `d_e / d_E` (one
+//!    single-slot weighted reservoir per estimator copy) and accumulate
+//!    `d_E = Σ_e d_e`.
+//! 2. **Pass 2** — sample a uniform vertex `w` from `N(e)`, the neighborhood
+//!    of the lower-degree endpoint (one single-slot uniform reservoir over
+//!    the incident edges).
+//! 3. **Pass 3** — check whether `{e, w}` closes a triangle, i.e. whether the
+//!    third edge is present in the stream.
+//!
+//! If a triangle τ was found and `IsAssigned(τ, e)` holds, the copy outputs
+//! `X = d_E`, otherwise `X = 0`; the average over
+//! `Θ(d_E / T) = Θ(mκ/T)` copies is a `(1 ± ε)` estimate. For the
+//! assignment rule we use the paper's suggestion (Section 4,
+//! "Implementation Details"): assign each triangle to its minimum-degree
+//! edge with ties broken consistently — computable from the oracle alone.
+//!
+//! All copies share the same three passes; the batched run below keeps one
+//! weighted-reservoir slot, one neighbor slot and one closure query per copy.
+
+use degentri_graph::{Edge, Triangle, VertexId};
+use degentri_stream::hashing::{FxHashMap, FxHashSet};
+use degentri_stream::{EdgeStream, SpaceMeter, SpaceReport, WeightedSamplerBank};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::EstimatorConfig;
+use crate::error::EstimatorError;
+use crate::oracle::DegreeOracle;
+use crate::Result;
+
+/// Outcome of one batched run of the ideal (degree-oracle) estimator.
+#[derive(Debug, Clone)]
+pub struct IdealOutcome {
+    /// The triangle-count estimate.
+    pub estimate: f64,
+    /// Number of passes over the stream (always 3).
+    pub passes: u32,
+    /// Words of state retained by the estimator (the oracle's own table is
+    /// charged to the model, not here — see [`crate::oracle`]).
+    pub space: SpaceReport,
+    /// Number of estimator copies (the `k` in the batch).
+    pub copies: usize,
+    /// How many copies found a triangle assigned to their sampled edge.
+    pub successes: usize,
+    /// The edge-degree sum `d_E` measured in pass 1.
+    pub edge_degree_sum: u64,
+}
+
+/// The ideal estimator of Section 4.
+#[derive(Debug, Clone)]
+pub struct IdealEstimator {
+    config: EstimatorConfig,
+}
+
+impl IdealEstimator {
+    /// Creates an estimator with the given configuration.
+    pub fn new(config: EstimatorConfig) -> Self {
+        IdealEstimator { config }
+    }
+
+    /// Runs the estimator over `stream` using `oracle` for degree queries.
+    ///
+    /// The number of copies in the batch is the `r` derived from the
+    /// configuration (`≈ c · mκ/T̂`, since `d_E ≤ 2mκ`).
+    pub fn run<S, O>(&self, stream: &S, oracle: &O) -> Result<IdealOutcome>
+    where
+        S: EdgeStream + ?Sized,
+        O: DegreeOracle,
+    {
+        self.config.validate()?;
+        let m = stream.num_edges();
+        if m == 0 {
+            return Err(EstimatorError::EmptyStream);
+        }
+        let n = stream.num_vertices();
+        let copies = self.config.derive(m, n).r.max(1);
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut meter = SpaceMeter::new();
+
+        // ---- Pass 1: weighted edge sample per copy, and d_E. -------------
+        let mut bank: WeightedSamplerBank<Edge> = WeightedSamplerBank::new(copies);
+        meter.charge(bank.retained_words());
+        let mut d_e_sum = 0u64;
+        meter.charge_word();
+        for edge in stream.pass() {
+            let w = oracle.edge_degree(edge) as f64;
+            d_e_sum += w as u64;
+            bank.observe(edge, w, &mut rng);
+        }
+        let samples: Vec<Edge> = bank.samples().into_iter().map(|(e, _)| e).collect();
+        if samples.is_empty() {
+            // All edge degrees were zero — impossible for a non-empty simple
+            // graph, but keep the failure mode explicit.
+            return Err(EstimatorError::EmptyStream);
+        }
+
+        // ---- Pass 2: uniform neighbor of N(e) for every copy. ------------
+        // Group copies by the lower-degree endpoint so one scan serves all.
+        let mut by_base: FxHashMap<VertexId, Vec<usize>> = FxHashMap::default();
+        for (i, &e) in samples.iter().enumerate() {
+            by_base
+                .entry(oracle.lower_degree_endpoint(e))
+                .or_default()
+                .push(i);
+        }
+        // Reservoir state per copy: chosen neighbor + count of incident edges.
+        let mut neighbor: Vec<Option<VertexId>> = vec![None; samples.len()];
+        let mut seen: Vec<u64> = vec![0; samples.len()];
+        meter.charge(2 * samples.len() as u64);
+        for edge in stream.pass() {
+            for endpoint in [edge.u(), edge.v()] {
+                if let Some(copy_ids) = by_base.get(&endpoint) {
+                    let candidate = edge.other(endpoint).expect("endpoint belongs to edge");
+                    for &i in copy_ids {
+                        seen[i] += 1;
+                        if rng.gen_range(0..seen[i]) == 0 {
+                            neighbor[i] = Some(candidate);
+                        }
+                    }
+                }
+            }
+        }
+
+        // ---- Pass 3: does {e, w} close a triangle? ------------------------
+        // The closing edge is (other endpoint of e, w).
+        let mut closure_queries: FxHashSet<Edge> = FxHashSet::default();
+        let mut query_of_copy: Vec<Option<Edge>> = vec![None; samples.len()];
+        for (i, &e) in samples.iter().enumerate() {
+            let base = oracle.lower_degree_endpoint(e);
+            let other = e.other(base).expect("edge endpoints");
+            if let Some(w) = neighbor[i] {
+                if w != other && w != base {
+                    let q = Edge::new(other, w);
+                    closure_queries.insert(q);
+                    query_of_copy[i] = Some(q);
+                }
+            }
+        }
+        meter.charge(closure_queries.len() as u64 + samples.len() as u64);
+        let mut present: FxHashSet<Edge> = FxHashSet::default();
+        for edge in stream.pass() {
+            if closure_queries.contains(&edge) {
+                present.insert(edge);
+            }
+        }
+        meter.charge(present.len() as u64);
+
+        // ---- Estimate. -----------------------------------------------------
+        let mut successes = 0usize;
+        for (i, &e) in samples.iter().enumerate() {
+            let Some(q) = query_of_copy[i] else { continue };
+            if !present.contains(&q) {
+                continue;
+            }
+            let base = oracle.lower_degree_endpoint(e);
+            let other = e.other(base).expect("edge endpoints");
+            let w = neighbor[i].expect("query implies a sampled neighbor");
+            let triangle = Triangle::new(base, other, w);
+            if Self::is_assigned_min_degree(oracle, triangle, e) {
+                successes += 1;
+            }
+        }
+        let estimate = d_e_sum as f64 * successes as f64 / samples.len() as f64;
+
+        Ok(IdealOutcome {
+            estimate,
+            passes: 3,
+            space: meter.report(),
+            copies: samples.len(),
+            successes,
+            edge_degree_sum: d_e_sum,
+        })
+    }
+
+    /// The Section 4 assignment rule: a triangle is assigned to its edge of
+    /// minimum edge-degree, ties broken towards the lexicographically
+    /// smallest edge (consistent across calls because it is a pure function
+    /// of the oracle).
+    fn is_assigned_min_degree<O: DegreeOracle>(oracle: &O, triangle: Triangle, edge: Edge) -> bool {
+        let target = triangle
+            .edges()
+            .into_iter()
+            .min_by_key(|&e| (oracle.edge_degree(e), e))
+            .expect("triangle has three edges");
+        target == edge
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::ExactDegreeOracle;
+    use degentri_gen::{book, complete, friendship, wheel};
+    use degentri_graph::triangles::count_triangles;
+    use degentri_graph::CsrGraph;
+    use degentri_stream::{MemoryStream, PassCounter, StreamOrder};
+
+    fn run_ideal(g: &CsrGraph, config: EstimatorConfig) -> IdealOutcome {
+        let stream = MemoryStream::from_graph(g, StreamOrder::UniformRandom(99));
+        let oracle = ExactDegreeOracle::build(&stream);
+        IdealEstimator::new(config).run(&stream, &oracle).unwrap()
+    }
+
+    fn relative_error(estimate: f64, exact: u64) -> f64 {
+        (estimate - exact as f64).abs() / exact as f64
+    }
+
+    #[test]
+    fn uses_exactly_three_passes() {
+        let g = wheel(200).unwrap();
+        let stream =
+            PassCounter::with_limit(MemoryStream::from_graph(&g, StreamOrder::AsGiven), 3);
+        let oracle = ExactDegreeOracle::build(stream.inner());
+        let config = EstimatorConfig::builder()
+            .kappa(3)
+            .triangle_lower_bound(100)
+            .seed(1)
+            .build();
+        let out = IdealEstimator::new(config).run(&stream, &oracle).unwrap();
+        assert_eq!(out.passes, 3);
+        assert_eq!(stream.passes(), 3);
+    }
+
+    #[test]
+    fn accurate_on_wheel_graph() {
+        let g = wheel(1000).unwrap();
+        let exact = count_triangles(&g);
+        let config = EstimatorConfig::builder()
+            .kappa(3)
+            .triangle_lower_bound(exact / 2)
+            .r_constant(60.0)
+            .seed(7)
+            .build();
+        let out = run_ideal(&g, config);
+        assert!(
+            relative_error(out.estimate, exact) < 0.25,
+            "estimate {} vs exact {exact}",
+            out.estimate
+        );
+        assert_eq!(out.edge_degree_sum, g.edge_degree_sum());
+    }
+
+    #[test]
+    fn accurate_on_complete_graph() {
+        let g = complete(40).unwrap();
+        let exact = count_triangles(&g);
+        let config = EstimatorConfig::builder()
+            .kappa(39)
+            .triangle_lower_bound(exact / 2)
+            .r_constant(20.0)
+            .seed(3)
+            .build();
+        let out = run_ideal(&g, config);
+        assert!(
+            relative_error(out.estimate, exact) < 0.25,
+            "estimate {} vs exact {exact}",
+            out.estimate
+        );
+    }
+
+    #[test]
+    fn accurate_on_book_graph_despite_skew() {
+        // The naive incident-triangle estimator has terrible variance here;
+        // the assignment rule keeps the ideal estimator on track.
+        let g = book(800).unwrap();
+        let exact = count_triangles(&g);
+        let config = EstimatorConfig::builder()
+            .kappa(2)
+            .triangle_lower_bound(exact)
+            .r_constant(80.0)
+            .seed(5)
+            .build();
+        let out = run_ideal(&g, config);
+        assert!(
+            relative_error(out.estimate, exact) < 0.3,
+            "estimate {} vs exact {exact}",
+            out.estimate
+        );
+    }
+
+    #[test]
+    fn zero_triangle_graph_estimates_zero() {
+        let g = degentri_gen::grid(20, 20).unwrap();
+        let config = EstimatorConfig::builder()
+            .kappa(2)
+            .triangle_lower_bound(1)
+            .seed(2)
+            .build();
+        let out = run_ideal(&g, config);
+        assert_eq!(out.estimate, 0.0);
+        assert_eq!(out.successes, 0);
+    }
+
+    #[test]
+    fn friendship_graph_estimate() {
+        let g = friendship(400).unwrap();
+        let exact = count_triangles(&g);
+        let config = EstimatorConfig::builder()
+            .kappa(2)
+            .triangle_lower_bound(exact)
+            .r_constant(60.0)
+            .seed(11)
+            .build();
+        let out = run_ideal(&g, config);
+        assert!(
+            relative_error(out.estimate, exact) < 0.3,
+            "estimate {} vs exact {exact}",
+            out.estimate
+        );
+    }
+
+    #[test]
+    fn empty_stream_is_an_error() {
+        let stream = MemoryStream::from_edges(3, Vec::new(), StreamOrder::AsGiven);
+        let oracle = ExactDegreeOracle::build(&stream);
+        let config = EstimatorConfig::builder().build();
+        assert!(matches!(
+            IdealEstimator::new(config).run(&stream, &oracle),
+            Err(EstimatorError::EmptyStream)
+        ));
+    }
+
+    #[test]
+    fn space_scales_with_copies_not_with_graph() {
+        let small = wheel(200).unwrap();
+        let large = wheel(4000).unwrap();
+        // Same sample budget on both graphs: space should be comparable even
+        // though the large graph has 20x the edges.
+        let config = |t: u64| {
+            EstimatorConfig::builder()
+                .kappa(3)
+                .triangle_lower_bound(t)
+                .r_constant(10.0)
+                .seed(9)
+                .build()
+        };
+        let out_small = run_ideal(&small, config(199));
+        let out_large = run_ideal(&large, config(3999));
+        let ratio = out_large.space.peak_words as f64 / out_small.space.peak_words as f64;
+        assert!(ratio < 4.0, "space ratio {ratio} should stay O(1)");
+    }
+}

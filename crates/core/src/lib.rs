@@ -1,0 +1,74 @@
+//! # degentri-core — degeneracy-parameterized streaming triangle counting
+//!
+//! This crate implements the primary contribution of *"How the Degeneracy
+//! Helps for Triangle Counting in Graph Streams"* (Bera & Seshadhri,
+//! PODS 2020): a constant-pass, arbitrary-order streaming algorithm that
+//! `(1 ± ε)`-approximates the triangle count `T` of a graph with `m` edges
+//! and degeneracy `κ` using `Õ(mκ/T)` words of space.
+//!
+//! The pieces map directly onto the paper:
+//!
+//! * [`ideal::IdealEstimator`] — Algorithm 1 (Section 4): the 3-pass warm-up
+//!   estimator in the degree-oracle model.
+//! * [`estimator::MainEstimator`] — Algorithm 2 (Section 5): the six-pass
+//!   estimator that removes the oracle by simulating degree-proportional
+//!   sampling through a uniform edge sample `R`.
+//! * [`assignment`] — Algorithm 3 (Section 5.1): the `IsAssigned` /
+//!   `Assignment` procedure that uniquely assigns (almost all) triangles to
+//!   low-triangle-degree edges so the estimator's variance stays bounded.
+//! * [`heavy`] — Definitions 5.10/5.11 and Lemma 5.12: exact classification
+//!   of ε-heavy and ε-costly edges/triangles, used to verify the lemma
+//!   empirically.
+//! * [`config`] — parameter derivation (`r`, `ℓ`, `s`, thresholds) from
+//!   Lemmas 5.5, 5.7 and Theorem 5.13, with both paper-faithful and
+//!   practical constant modes.
+//! * [`median_of_means`] — the "median of the means" aggregation over
+//!   independent estimator copies.
+//! * [`runner`] — the public entry points [`estimate_triangles`] and
+//!   [`estimate_triangles_with_oracle`] that orchestrate copies, pass
+//!   counting and space accounting.
+//! * [`theory`] — closed-form space bounds (`mκ/T`, `m^{3/2}/T`, `m/√T`,
+//!   `m∆/T`, …) used by the experiments to compare measured space against
+//!   predictions.
+//!
+//! ```
+//! use degentri_core::{estimate_triangles, EstimatorConfig};
+//! use degentri_gen::wheel;
+//! use degentri_stream::{MemoryStream, StreamOrder};
+//!
+//! let graph = wheel(2000).unwrap();
+//! let stream = MemoryStream::from_graph(&graph, StreamOrder::UniformRandom(7));
+//! let config = EstimatorConfig::builder()
+//!     .epsilon(0.15)
+//!     .kappa(3)
+//!     .triangle_lower_bound(1000)
+//!     .seed(42)
+//!     .build();
+//! let result = estimate_triangles(&stream, &config).unwrap();
+//! let exact = degentri_graph::triangles::count_triangles(&graph) as f64;
+//! assert!((result.estimate - exact).abs() / exact < 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assignment;
+pub mod config;
+pub mod error;
+pub mod estimator;
+pub mod heavy;
+pub mod ideal;
+pub mod median_of_means;
+pub mod oracle;
+pub mod runner;
+pub mod theory;
+
+pub use config::{DerivedParameters, EstimatorConfig, EstimatorConfigBuilder};
+pub use error::EstimatorError;
+pub use estimator::MainEstimator;
+pub use ideal::IdealEstimator;
+pub use oracle::{DegreeOracle, ExactDegreeOracle};
+pub use runner::{estimate_triangles, estimate_triangles_with_oracle, TriangleEstimation};
+
+/// Convenient result alias for estimator operations.
+pub type Result<T> = std::result::Result<T, EstimatorError>;

@@ -1,0 +1,122 @@
+//! Median-of-means aggregation.
+//!
+//! Each estimator copy is (close to) unbiased with bounded variance; the
+//! standard amplification (referenced by the paper as "median of the mean")
+//! groups the copies, averages within groups, and takes the median across
+//! groups, converting a constant success probability into a high-probability
+//! guarantee with only logarithmically many copies.
+
+/// Aggregates raw estimates by grouping into `groups` buckets, averaging
+/// each bucket and returning the median of the bucket means.
+///
+/// With `groups == 1` this is the plain mean; with `groups == values.len()`
+/// it is the plain median. Returns `None` on an empty slice.
+pub fn median_of_means(values: &[f64], groups: usize) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let groups = groups.clamp(1, values.len());
+    let mut means = Vec::with_capacity(groups);
+    let base = values.len() / groups;
+    let extra = values.len() % groups;
+    let mut start = 0usize;
+    for g in 0..groups {
+        let len = base + usize::from(g < extra);
+        let chunk = &values[start..start + len];
+        means.push(chunk.iter().sum::<f64>() / chunk.len() as f64);
+        start += len;
+    }
+    Some(median(&mut means))
+}
+
+/// The plain median (average of the two central elements for even lengths).
+///
+/// Sorts the slice in place.
+pub fn median(values: &mut [f64]) -> f64 {
+    assert!(!values.is_empty(), "median of an empty slice");
+    values.sort_by(|a, b| a.partial_cmp(b).expect("estimates are finite"));
+    let n = values.len();
+    if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        (values[n / 2 - 1] + values[n / 2]) / 2.0
+    }
+}
+
+/// The sample mean (`None` for an empty slice).
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// The sample variance (unbiased, `None` for fewer than two values).
+pub fn sample_variance(values: &[f64]) -> Option<f64> {
+    if values.len() < 2 {
+        return None;
+    }
+    let m = mean(values)?;
+    let ss: f64 = values.iter().map(|v| (v - m) * (v - m)).sum();
+    Some(ss / (values.len() - 1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_and_even() {
+        let mut v = vec![5.0, 1.0, 3.0];
+        assert_eq!(median(&mut v), 3.0);
+        let mut v = vec![4.0, 1.0, 3.0, 2.0];
+        assert_eq!(median(&mut v), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn median_of_empty_panics() {
+        let mut v: Vec<f64> = vec![];
+        let _ = median(&mut v);
+    }
+
+    #[test]
+    fn median_of_means_basic() {
+        let values = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        // groups = 1 → mean = 3.5
+        assert_eq!(median_of_means(&values, 1), Some(3.5));
+        // groups = len → median = 3.5
+        assert_eq!(median_of_means(&values, 6), Some(3.5));
+        // groups = 3 → means [1.5, 3.5, 5.5] → median 3.5
+        assert_eq!(median_of_means(&values, 3), Some(3.5));
+        assert_eq!(median_of_means(&[], 3), None);
+    }
+
+    #[test]
+    fn median_of_means_is_robust_to_outliers() {
+        // Nine good estimates around 100 and one wild outlier: the plain
+        // mean is dragged far away, the median-of-means is not.
+        let values = vec![98.0, 101.0, 99.0, 102.0, 100.0, 97.0, 103.0, 100.0, 99.0, 10_000.0];
+        let plain_mean = mean(&values).unwrap();
+        let mom = median_of_means(&values, 5).unwrap();
+        assert!(plain_mean > 1000.0);
+        assert!((mom - 100.0).abs() < 60.0, "mom = {mom}");
+    }
+
+    #[test]
+    fn groups_are_clamped() {
+        let values = vec![1.0, 2.0];
+        assert_eq!(median_of_means(&values, 0), Some(1.5));
+        assert_eq!(median_of_means(&values, 10), Some(1.5));
+    }
+
+    #[test]
+    fn mean_and_variance() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+        assert_eq!(sample_variance(&[1.0]), None);
+        let v = sample_variance(&[2.0, 4.0, 6.0]).unwrap();
+        assert!((v - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,224 @@
+//! Public entry points: multi-copy estimation with median-of-means.
+//!
+//! A single run of Algorithm 2 succeeds with constant probability; the paper
+//! amplifies this by running independent copies and reporting the median of
+//! the means. [`estimate_triangles`] does exactly that (each copy gets its
+//! own seed derived from the configuration seed), aggregates the space of
+//! the copies as if they ran in parallel over the same six passes, and
+//! reports everything an experiment needs in a [`TriangleEstimation`].
+
+use degentri_stream::{EdgeStream, SpaceMeter, SpaceReport};
+
+use crate::config::EstimatorConfig;
+use crate::estimator::{MainEstimator, MainOutcome};
+use crate::ideal::{IdealEstimator, IdealOutcome};
+use crate::median_of_means::median_of_means;
+use crate::oracle::DegreeOracle;
+use crate::Result;
+
+/// Result of a (multi-copy) triangle estimation.
+#[derive(Debug, Clone)]
+pub struct TriangleEstimation {
+    /// The aggregated estimate of the triangle count.
+    pub estimate: f64,
+    /// Estimates of the individual copies (before aggregation).
+    pub copy_estimates: Vec<f64>,
+    /// Passes over the stream made by one copy (copies share passes when run
+    /// in parallel; 6 for the main estimator, 3 for the ideal one).
+    pub passes_per_copy: u32,
+    /// Total words of retained state across all copies (parallel
+    /// composition, the honest way to account for independent copies that
+    /// share the same passes).
+    pub space: SpaceReport,
+    /// Number of copies that were aggregated.
+    pub copies: usize,
+}
+
+impl TriangleEstimation {
+    /// Relative error against a known exact count.
+    pub fn relative_error(&self, exact: u64) -> f64 {
+        if exact == 0 {
+            if self.estimate == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (self.estimate - exact as f64).abs() / exact as f64
+        }
+    }
+}
+
+/// Runs `config.copies` independent copies of the six-pass estimator
+/// (Algorithm 2) and aggregates them with median-of-means.
+pub fn estimate_triangles<S: EdgeStream + ?Sized>(
+    stream: &S,
+    config: &EstimatorConfig,
+) -> Result<TriangleEstimation> {
+    config.validate()?;
+    let estimator = MainEstimator::new(config.clone());
+    let mut copy_estimates = Vec::with_capacity(config.copies);
+    let mut meter = SpaceMeter::new();
+    let mut passes = 0;
+    for copy in 0..config.copies {
+        let seed = config.seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(copy as u64 + 1));
+        let outcome: MainOutcome = estimator.run_seeded(stream, seed)?;
+        passes = outcome.passes;
+        copy_estimates.push(outcome.estimate);
+        let mut copy_meter = SpaceMeter::new();
+        copy_meter.charge(outcome.space.peak_words);
+        meter.absorb_parallel(&copy_meter);
+    }
+    let groups = copy_estimates.len().div_ceil(3).max(1);
+    let estimate = median_of_means(&copy_estimates, groups).unwrap_or(0.0);
+    Ok(TriangleEstimation {
+        estimate,
+        copies: copy_estimates.len(),
+        copy_estimates,
+        passes_per_copy: passes,
+        space: meter.report(),
+    })
+}
+
+/// Runs `config.copies` batched runs of the ideal (degree-oracle) estimator
+/// of Section 4 and aggregates them with median-of-means.
+///
+/// The oracle's own `Θ(n)` table is charged to the model, not to the
+/// reported space (see [`crate::oracle`]).
+pub fn estimate_triangles_with_oracle<S, O>(
+    stream: &S,
+    oracle: &O,
+    config: &EstimatorConfig,
+) -> Result<TriangleEstimation>
+where
+    S: EdgeStream + ?Sized,
+    O: DegreeOracle,
+{
+    config.validate()?;
+    let mut copy_estimates = Vec::with_capacity(config.copies);
+    let mut meter = SpaceMeter::new();
+    let mut passes = 0;
+    for copy in 0..config.copies {
+        let mut copy_config = config.clone();
+        copy_config.seed = config
+            .seed
+            .wrapping_add(0xD1B5_4A32_D192_ED03u64.wrapping_mul(copy as u64 + 1));
+        let estimator = IdealEstimator::new(copy_config);
+        let outcome: IdealOutcome = estimator.run(stream, oracle)?;
+        passes = outcome.passes;
+        copy_estimates.push(outcome.estimate);
+        let mut copy_meter = SpaceMeter::new();
+        copy_meter.charge(outcome.space.peak_words);
+        meter.absorb_parallel(&copy_meter);
+    }
+    let groups = copy_estimates.len().div_ceil(3).max(1);
+    let estimate = median_of_means(&copy_estimates, groups).unwrap_or(0.0);
+    Ok(TriangleEstimation {
+        estimate,
+        copies: copy_estimates.len(),
+        copy_estimates,
+        passes_per_copy: passes,
+        space: meter.report(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::ExactDegreeOracle;
+    use degentri_gen::{barabasi_albert, wheel};
+    use degentri_graph::triangles::count_triangles;
+    use degentri_stream::{MemoryStream, StreamOrder};
+
+    #[test]
+    fn multi_copy_main_estimator_is_accurate_on_wheel() {
+        let g = wheel(1200).unwrap();
+        let exact = count_triangles(&g);
+        let stream = MemoryStream::from_graph(&g, StreamOrder::UniformRandom(5));
+        let config = EstimatorConfig::builder()
+            .epsilon(0.15)
+            .kappa(3)
+            .triangle_lower_bound(exact / 2)
+            .r_constant(30.0)
+            .inner_constant(60.0)
+            .assignment_constant(30.0)
+            .copies(9)
+            .seed(77)
+            .build();
+        let result = estimate_triangles(&stream, &config).unwrap();
+        assert_eq!(result.copies, 9);
+        assert_eq!(result.passes_per_copy, 6);
+        assert!(
+            result.relative_error(exact) < 0.3,
+            "estimate {} vs exact {exact}",
+            result.estimate
+        );
+        assert!(result.space.peak_words > 0);
+    }
+
+    #[test]
+    fn multi_copy_ideal_estimator_is_accurate_on_ba() {
+        let g = barabasi_albert(900, 5, 13).unwrap();
+        let exact = count_triangles(&g);
+        let stream = MemoryStream::from_graph(&g, StreamOrder::UniformRandom(8));
+        let oracle = ExactDegreeOracle::build(&stream);
+        let config = EstimatorConfig::builder()
+            .epsilon(0.15)
+            .kappa(5)
+            .triangle_lower_bound(exact / 2)
+            .r_constant(30.0)
+            .copies(5)
+            .seed(3)
+            .build();
+        let result = estimate_triangles_with_oracle(&stream, &oracle, &config).unwrap();
+        assert_eq!(result.passes_per_copy, 3);
+        assert!(
+            result.relative_error(exact) < 0.3,
+            "estimate {} vs exact {exact}",
+            result.estimate
+        );
+    }
+
+    #[test]
+    fn relative_error_handles_zero_exact() {
+        let est = TriangleEstimation {
+            estimate: 0.0,
+            copy_estimates: vec![0.0],
+            passes_per_copy: 6,
+            space: SpaceReport::default(),
+            copies: 1,
+        };
+        assert_eq!(est.relative_error(0), 0.0);
+        let est = TriangleEstimation {
+            estimate: 5.0,
+            ..est
+        };
+        assert!(est.relative_error(0).is_infinite());
+    }
+
+    #[test]
+    fn copies_are_independent_but_deterministic() {
+        let g = wheel(300).unwrap();
+        let stream = MemoryStream::from_graph(&g, StreamOrder::AsGiven);
+        let config = EstimatorConfig::builder()
+            .kappa(3)
+            .triangle_lower_bound(299)
+            .copies(4)
+            .seed(11)
+            .build();
+        let a = estimate_triangles(&stream, &config).unwrap();
+        let b = estimate_triangles(&stream, &config).unwrap();
+        assert_eq!(a.copy_estimates, b.copy_estimates);
+        // the copies themselves should not all be identical
+        let first = a.copy_estimates[0];
+        assert!(a.copy_estimates.iter().any(|&x| x != first));
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_up_front() {
+        let g = wheel(50).unwrap();
+        let stream = MemoryStream::from_graph(&g, StreamOrder::AsGiven);
+        let config = EstimatorConfig::builder().copies(0).build();
+        assert!(estimate_triangles(&stream, &config).is_err());
+    }
+}

@@ -1,0 +1,154 @@
+//! Closed-form space bounds from the paper and its prior work (Table 1).
+//!
+//! The experiments compare *measured* space (machine words of retained
+//! state) against these predicted scalings to verify that the shape of the
+//! comparison — who wins, by roughly what factor, where crossovers fall —
+//! matches the theory.
+
+/// The quantities every bound is expressed in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphParameters {
+    /// Number of vertices `n`.
+    pub n: f64,
+    /// Number of edges `m`.
+    pub m: f64,
+    /// Number of triangles `T` (must be positive for the bounds to be
+    /// meaningful; callers clamp to ≥ 1).
+    pub t: f64,
+    /// Degeneracy `κ`.
+    pub kappa: f64,
+    /// Maximum degree `Δ`.
+    pub max_degree: f64,
+}
+
+impl GraphParameters {
+    /// Creates the parameter bundle, clamping `T` to at least 1 so ratios
+    /// stay finite on triangle-free graphs.
+    pub fn new(n: usize, m: usize, t: u64, kappa: usize, max_degree: usize) -> Self {
+        GraphParameters {
+            n: n as f64,
+            m: m as f64,
+            t: (t.max(1)) as f64,
+            kappa: kappa as f64,
+            max_degree: max_degree as f64,
+        }
+    }
+
+    /// This paper's bound: `mκ/T` (Theorem 1.2).
+    pub fn bound_m_kappa_over_t(&self) -> f64 {
+        self.m * self.kappa / self.t
+    }
+
+    /// Prior multi-pass bound `m^{3/2}/T` (McGregor et al. / Bera–Chakrabarti).
+    pub fn bound_m_three_halves_over_t(&self) -> f64 {
+        self.m.powf(1.5) / self.t
+    }
+
+    /// Prior multi-pass bound `m/√T` (McGregor et al., Cormode–Jowhari).
+    pub fn bound_m_over_sqrt_t(&self) -> f64 {
+        self.m / self.t.sqrt()
+    }
+
+    /// The combined prior worst-case-optimal bound
+    /// `min(m^{3/2}/T, m/√T)`.
+    pub fn bound_prior_best(&self) -> f64 {
+        self.bound_m_three_halves_over_t()
+            .min(self.bound_m_over_sqrt_t())
+    }
+
+    /// One-pass neighborhood-sampling bound `mΔ/T` (Pavan et al.).
+    pub fn bound_m_delta_over_t(&self) -> f64 {
+        self.m * self.max_degree / self.t
+    }
+
+    /// One-pass bound `mn/T` (Buriol et al.).
+    pub fn bound_m_n_over_t(&self) -> f64 {
+        self.m * self.n / self.t
+    }
+
+    /// Chiba–Nishizeki bound on the edge-degree sum: `d_E ≤ 2mκ`
+    /// (Lemma 3.1).
+    pub fn chiba_nishizeki_bound(&self) -> f64 {
+        2.0 * self.m * self.kappa
+    }
+
+    /// Maximum possible number of triangles: `T ≤ 2mκ` (Corollary 3.2).
+    pub fn max_triangles_bound(&self) -> f64 {
+        2.0 * self.m * self.kappa
+    }
+
+    /// The factor by which the paper's bound improves on the best prior
+    /// bound (`> 1` means the paper's bound is smaller/better).
+    pub fn improvement_over_prior(&self) -> f64 {
+        self.bound_prior_best() / self.bound_m_kappa_over_t()
+    }
+
+    /// True when `T ≥ κ²`, the regime (Section 1.1) in which `mκ/T`
+    /// dominates `m/√T`.
+    pub fn in_dominating_regime(&self) -> bool {
+        self.t >= self.kappa * self.kappa
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wheel_params(n: usize) -> GraphParameters {
+        // wheel: m = 2(n-1), T = n-1, κ = 3, Δ = n-1.
+        GraphParameters::new(n, 2 * (n - 1), (n - 1) as u64, 3, n - 1)
+    }
+
+    #[test]
+    fn wheel_graph_illustration() {
+        // The Section 1.1 example: our bound is O(1), prior bounds are Ω(√n).
+        let p = wheel_params(10_000);
+        assert!(p.bound_m_kappa_over_t() < 7.0);
+        assert!(p.bound_m_over_sqrt_t() > 100.0);
+        assert!(p.bound_m_three_halves_over_t() > 100.0);
+        assert!(p.improvement_over_prior() > 30.0);
+        assert!(p.in_dominating_regime());
+    }
+
+    #[test]
+    fn bounds_are_monotone_in_t() {
+        let lo = GraphParameters::new(1000, 5000, 100, 5, 50);
+        let hi = GraphParameters::new(1000, 5000, 1000, 5, 50);
+        assert!(hi.bound_m_kappa_over_t() < lo.bound_m_kappa_over_t());
+        assert!(hi.bound_m_over_sqrt_t() < lo.bound_m_over_sqrt_t());
+        assert!(hi.bound_prior_best() < lo.bound_prior_best());
+    }
+
+    #[test]
+    fn m_kappa_over_t_subsumes_m_three_halves() {
+        // κ ≤ √(2m) ⇒ mκ/T ≤ √2 · m^{3/2}/T for every parameter setting.
+        for (n, m, t, kappa, delta) in [(100usize, 400usize, 50u64, 10usize, 30usize), (1000, 10_000, 5, 100, 300)] {
+            let p = GraphParameters::new(n, m, t, kappa, delta);
+            assert!(
+                p.bound_m_kappa_over_t() <= 2f64.sqrt() * p.bound_m_three_halves_over_t() + 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn triangle_free_graph_clamps_t() {
+        let p = GraphParameters::new(100, 200, 0, 2, 10);
+        assert!(p.bound_m_kappa_over_t().is_finite());
+        assert_eq!(p.t, 1.0);
+    }
+
+    #[test]
+    fn dominating_regime_threshold() {
+        let yes = GraphParameters::new(100, 500, 100, 5, 20);
+        assert!(yes.in_dominating_regime());
+        let no = GraphParameters::new(100, 500, 10, 5, 20);
+        assert!(!no.in_dominating_regime());
+    }
+
+    #[test]
+    fn chiba_bounds() {
+        let p = GraphParameters::new(100, 500, 100, 5, 20);
+        assert_eq!(p.chiba_nishizeki_bound(), 5000.0);
+        assert_eq!(p.max_triangles_bound(), 5000.0);
+    }
+}

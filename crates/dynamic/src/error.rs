@@ -1,0 +1,58 @@
+//! Error type for dynamic-stream estimation.
+
+use std::fmt;
+
+/// Errors produced by the dynamic-stream estimators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DynamicError {
+    /// A configuration parameter was outside its valid range.
+    InvalidParameter {
+        /// Human-readable description of the violated constraint.
+        message: String,
+    },
+    /// The update stream contained no updates.
+    EmptyStream,
+    /// The stream's surviving graph has no edges (nothing to estimate).
+    EmptySurvivingGraph,
+}
+
+impl DynamicError {
+    /// Convenience constructor for [`DynamicError::InvalidParameter`].
+    pub fn invalid_parameter(message: impl Into<String>) -> Self {
+        DynamicError::InvalidParameter {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DynamicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DynamicError::InvalidParameter { message } => {
+                write!(f, "invalid parameter: {message}")
+            }
+            DynamicError::EmptyStream => write!(f, "the update stream is empty"),
+            DynamicError::EmptySurvivingGraph => {
+                write!(f, "all edges were deleted; the surviving graph is empty")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DynamicError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(DynamicError::invalid_parameter("epsilon")
+            .to_string()
+            .contains("epsilon"));
+        assert!(DynamicError::EmptyStream.to_string().contains("empty"));
+        assert!(DynamicError::EmptySurvivingGraph
+            .to_string()
+            .contains("deleted"));
+    }
+}

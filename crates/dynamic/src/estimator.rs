@@ -1,0 +1,589 @@
+//! The dynamic-stream (turnstile) port of the paper's estimator.
+//!
+//! Algorithm 2 needs three sampling primitives, all of which reservoir
+//! sampling provides in the insert-only model:
+//!
+//! 1. a uniform random edge of the stream (to build `R`),
+//! 2. the degree of a few tracked vertices (to weight `R` by `d_e`),
+//! 3. a uniform random neighbor of a tracked vertex, plus a membership test
+//!    for one specific edge (to close the sampled wedge).
+//!
+//! Under deletions none of these can be answered by reservoir sampling, but
+//! each has a *linear-sketch* replacement: uniform surviving edges come from
+//! [`degentri_sketch::L0Sampler`]s over the edge universe, degrees and
+//! closure tests are exact signed counters on the (few) tracked keys, and
+//! uniform surviving neighbors come from ℓ0 samplers over the neighborhood
+//! of the tracked vertex. [`DynamicTriangleEstimator`] wires those pieces
+//! into the same four-pass skeleton as the insert-only estimator.
+//!
+//! The estimator counts triangles *incident* to the sampled edges (and
+//! divides by three); porting the assignment rule of Algorithm 3 would
+//! reduce the variance on skewed instances exactly as in the insert-only
+//! case, at the cost of one more sketch per candidate edge, and is left as
+//! configuration for the ablation experiments. Space is
+//! `Õ(mκ/T · polylog)` — each ℓ0 sampler costs `Θ(log²)` words, which is the
+//! usual price of turnstile robustness.
+
+use degentri_graph::{Edge, VertexId};
+use degentri_stream::hashing::FxHashMap;
+use degentri_stream::{DynamicEdgeStream, SpaceMeter, SpaceReport};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use degentri_sketch::L0Sampler;
+
+use crate::error::DynamicError;
+use crate::Result;
+
+/// Configuration of the dynamic-stream triangle estimator.
+#[derive(Debug, Clone)]
+pub struct DynamicEstimatorConfig {
+    /// Target relative accuracy ε.
+    pub epsilon: f64,
+    /// Degeneracy bound κ of the surviving graph.
+    pub kappa: usize,
+    /// Lower bound on the triangle count of the surviving graph.
+    pub triangle_lower_bound: u64,
+    /// Constant in front of the edge-sample size `r`.
+    pub r_constant: f64,
+    /// Constant in front of the inner-instance count.
+    pub inner_constant: f64,
+    /// Number of independent copies whose median is reported.
+    pub copies: usize,
+    /// PRNG seed.
+    pub seed: u64,
+    /// Hard cap on `r` and the inner-instance count.
+    pub max_samples: usize,
+}
+
+impl DynamicEstimatorConfig {
+    /// A configuration with sensible practical defaults for the given
+    /// degeneracy bound and triangle lower bound.
+    pub fn new(kappa: usize, triangle_lower_bound: u64) -> Self {
+        DynamicEstimatorConfig {
+            epsilon: 0.25,
+            kappa: kappa.max(1),
+            triangle_lower_bound: triangle_lower_bound.max(1),
+            r_constant: 2.0,
+            inner_constant: 2.0,
+            copies: 3,
+            seed: 0,
+            max_samples: 200_000,
+        }
+    }
+
+    /// Sets the target accuracy ε.
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the number of independent copies.
+    pub fn with_copies(mut self, copies: usize) -> Self {
+        self.copies = copies;
+        self
+    }
+
+    /// Sets the PRNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the sample-size constants.
+    pub fn with_constants(mut self, r_constant: f64, inner_constant: f64) -> Self {
+        self.r_constant = r_constant;
+        self.inner_constant = inner_constant;
+        self
+    }
+
+    /// Caps both sample sizes.
+    pub fn with_max_samples(mut self, cap: usize) -> Self {
+        self.max_samples = cap.max(1);
+        self
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.epsilon > 0.0 && self.epsilon < 1.0) {
+            return Err(DynamicError::invalid_parameter(
+                "epsilon must lie strictly between 0 and 1",
+            ));
+        }
+        if self.kappa == 0 {
+            return Err(DynamicError::invalid_parameter("kappa must be at least 1"));
+        }
+        if self.triangle_lower_bound == 0 {
+            return Err(DynamicError::invalid_parameter(
+                "triangle_lower_bound must be at least 1",
+            ));
+        }
+        if self.copies == 0 {
+            return Err(DynamicError::invalid_parameter("copies must be at least 1"));
+        }
+        if self.r_constant <= 0.0 || self.inner_constant <= 0.0 {
+            return Err(DynamicError::invalid_parameter(
+                "sample-size constants must be positive",
+            ));
+        }
+        Ok(())
+    }
+
+    fn oversampling(&self) -> f64 {
+        1.0 / (self.epsilon * self.epsilon)
+    }
+
+    /// Number of ℓ0 edge samplers (the analogue of `r`).
+    pub fn derive_r(&self, m_hint: usize) -> usize {
+        let target = self.r_constant * self.oversampling() * m_hint.max(1) as f64
+            * self.kappa as f64
+            / self.triangle_lower_bound as f64;
+        (target.ceil() as usize).clamp(1, self.max_samples.min(m_hint.max(1)))
+    }
+
+    /// Number of inner degree-proportional instances.
+    pub fn derive_inner(&self, m_net: usize, r: usize, d_r: u64) -> usize {
+        let target = self.inner_constant * self.oversampling() * m_net.max(1) as f64
+            * d_r.max(1) as f64
+            / (r.max(1) as f64 * self.triangle_lower_bound as f64);
+        (target.ceil() as usize).clamp(1, self.max_samples)
+    }
+}
+
+/// Result of running the dynamic-stream estimator.
+#[derive(Debug, Clone)]
+pub struct DynamicOutcome {
+    /// The triangle estimate for the surviving graph (median over copies).
+    pub estimate: f64,
+    /// Passes over the update stream made by one copy.
+    pub passes: u32,
+    /// Retained-state space summed over all copies.
+    pub space: SpaceReport,
+    /// Number of independent copies run.
+    pub copies: usize,
+    /// Number of ℓ0 edge samplers per copy.
+    pub r: usize,
+    /// Number of inner instances per copy.
+    pub inner_samples: usize,
+    /// Triangles discovered across all copies (diagnostic).
+    pub triangles_found: u64,
+    /// Net number of surviving edges measured in pass 1.
+    pub surviving_edges: usize,
+}
+
+impl DynamicOutcome {
+    /// Relative error against a known exact count.
+    pub fn relative_error(&self, exact: u64) -> f64 {
+        if exact == 0 {
+            if self.estimate.abs() < 1e-12 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (self.estimate - exact as f64).abs() / exact as f64
+        }
+    }
+}
+
+/// The ℓ0-sampling port of the paper's estimator to turnstile streams.
+#[derive(Debug, Clone)]
+pub struct DynamicTriangleEstimator {
+    config: DynamicEstimatorConfig,
+}
+
+struct SingleRun {
+    estimate: f64,
+    meter: SpaceMeter,
+    triangles_found: u64,
+    r: usize,
+    inner: usize,
+    m_net: usize,
+}
+
+/// Packs a normalized edge into a sketchable 64-bit index.
+fn edge_index(e: Edge) -> u64 {
+    ((e.u().index() as u64) << 32) | e.v().index() as u64
+}
+
+/// Unpacks [`edge_index`].
+fn index_edge(idx: u64) -> Edge {
+    Edge::from_raw((idx >> 32) as u32, (idx & 0xffff_ffff) as u32)
+}
+
+impl DynamicTriangleEstimator {
+    /// Creates the estimator with the given configuration.
+    pub fn new(config: DynamicEstimatorConfig) -> Self {
+        DynamicTriangleEstimator { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DynamicEstimatorConfig {
+        &self.config
+    }
+
+    /// Runs `copies` independent copies and reports the median estimate.
+    pub fn run<S: DynamicEdgeStream + ?Sized>(&self, stream: &S) -> Result<DynamicOutcome> {
+        self.config.validate()?;
+        if stream.num_updates() == 0 {
+            return Err(DynamicError::EmptyStream);
+        }
+        let mut estimates = Vec::with_capacity(self.config.copies);
+        let mut meter = SpaceMeter::new();
+        let mut found = 0u64;
+        let mut r_used = 0usize;
+        let mut inner_used = 0usize;
+        let mut m_net = 0usize;
+        for copy in 0..self.config.copies {
+            let seed = self
+                .config
+                .seed
+                .wrapping_add((copy as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let single = self.run_single(stream, seed)?;
+            estimates.push(single.estimate);
+            meter.absorb_parallel(&single.meter);
+            found += single.triangles_found;
+            r_used = single.r;
+            inner_used = single.inner;
+            m_net = single.m_net;
+        }
+        estimates.sort_by(|a, b| a.partial_cmp(b).expect("estimates are finite"));
+        let mid = estimates.len() / 2;
+        let estimate = if estimates.len() % 2 == 1 {
+            estimates[mid]
+        } else {
+            (estimates[mid - 1] + estimates[mid]) / 2.0
+        };
+        Ok(DynamicOutcome {
+            estimate,
+            passes: 4,
+            space: meter.report(),
+            copies: self.config.copies,
+            r: r_used,
+            inner_samples: inner_used,
+            triangles_found: found,
+            surviving_edges: m_net,
+        })
+    }
+
+    fn run_single<S: DynamicEdgeStream + ?Sized>(&self, stream: &S, seed: u64) -> Result<SingleRun> {
+        let n = stream.num_vertices();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut meter = SpaceMeter::new();
+
+        // The update count is the only size hint available before pass 1;
+        // the net edge count is measured during pass 1 and used afterwards.
+        let r_target = self.config.derive_r(stream.num_updates());
+
+        // ---------------- Pass 1: ℓ0 edge samplers + net edge count --------
+        let edge_universe = (n as u64).saturating_mul(n as u64).max(4);
+        let mut edge_samplers: Vec<L0Sampler> = (0..r_target)
+            .map(|_| L0Sampler::for_universe(edge_universe, &mut rng))
+            .collect();
+        let mut net_edges: i64 = 0;
+        for update in stream.pass() {
+            let idx = edge_index(update.edge);
+            let delta = update.delta();
+            net_edges += delta;
+            for sampler in edge_samplers.iter_mut() {
+                sampler.update(idx, delta);
+            }
+        }
+        meter.charge(edge_samplers.iter().map(L0Sampler::retained_words).sum::<u64>() + 1);
+        if net_edges <= 0 {
+            return Err(DynamicError::EmptySurvivingGraph);
+        }
+        let m_net = net_edges as usize;
+
+        // Draw R from the samplers (each contributes at most one edge).
+        let r_edges: Vec<Edge> = edge_samplers
+            .iter()
+            .filter_map(|s| s.sample())
+            .filter(|&(_, count)| count > 0)
+            .map(|(idx, _)| index_edge(idx))
+            .collect();
+        let r = r_edges.len();
+        if r == 0 {
+            return Err(DynamicError::EmptySurvivingGraph);
+        }
+
+        // ---------------- Pass 2: degrees of R's endpoints ----------------
+        let mut endpoint_degree: FxHashMap<VertexId, i64> = FxHashMap::default();
+        for e in &r_edges {
+            endpoint_degree.entry(e.u()).or_insert(0);
+            endpoint_degree.entry(e.v()).or_insert(0);
+        }
+        meter.charge(endpoint_degree.len() as u64);
+        for update in stream.pass() {
+            let delta = update.delta();
+            if let Some(d) = endpoint_degree.get_mut(&update.edge.u()) {
+                *d += delta;
+            }
+            if let Some(d) = endpoint_degree.get_mut(&update.edge.v()) {
+                *d += delta;
+            }
+        }
+        let degree_of = |v: VertexId| endpoint_degree.get(&v).copied().unwrap_or(0).max(0) as u64;
+        let degrees: Vec<u64> = r_edges
+            .iter()
+            .map(|e| degree_of(e.u()).min(degree_of(e.v())))
+            .collect();
+        let d_r: u64 = degrees.iter().sum();
+        meter.charge(r as u64);
+        if d_r == 0 {
+            return Err(DynamicError::EmptySurvivingGraph);
+        }
+
+        // Draw the inner instances proportional to d_e.
+        let inner = self.config.derive_inner(m_net, r, d_r);
+        let cumulative: Vec<f64> = degrees
+            .iter()
+            .scan(0.0, |acc, &d| {
+                *acc += d as f64;
+                Some(*acc)
+            })
+            .collect();
+        let total_weight = *cumulative.last().unwrap_or(&0.0);
+
+        struct Instance {
+            base: VertexId,
+            other: VertexId,
+            sampler: L0Sampler,
+            neighbor: Option<VertexId>,
+        }
+        let mut instances: Vec<Instance> = Vec::with_capacity(inner);
+        for _ in 0..inner {
+            if total_weight <= 0.0 {
+                break;
+            }
+            let target = rng.gen_range(0.0..total_weight);
+            let idx = cumulative.partition_point(|&c| c <= target).min(r - 1);
+            let edge = r_edges[idx];
+            let (base, other) = if degree_of(edge.u()) <= degree_of(edge.v()) {
+                (edge.u(), edge.v())
+            } else {
+                (edge.v(), edge.u())
+            };
+            instances.push(Instance {
+                base,
+                other,
+                sampler: L0Sampler::for_universe(n as u64 + 1, &mut rng),
+                neighbor: None,
+            });
+        }
+
+        // ---------------- Pass 3: ℓ0 neighbor samplers ---------------------
+        let mut by_base: FxHashMap<VertexId, Vec<usize>> = FxHashMap::default();
+        for (i, inst) in instances.iter().enumerate() {
+            by_base.entry(inst.base).or_default().push(i);
+        }
+        for update in stream.pass() {
+            let delta = update.delta();
+            for endpoint in [update.edge.u(), update.edge.v()] {
+                if let Some(ids) = by_base.get(&endpoint) {
+                    let candidate = update
+                        .edge
+                        .other(endpoint)
+                        .expect("endpoint belongs to edge");
+                    for &i in ids {
+                        instances[i].sampler.update(candidate.index() as u64, delta);
+                    }
+                }
+            }
+        }
+        meter.charge(
+            instances
+                .iter()
+                .map(|inst| inst.sampler.retained_words() + 2)
+                .sum::<u64>(),
+        );
+        for inst in instances.iter_mut() {
+            inst.neighbor = inst
+                .sampler
+                .sample()
+                .filter(|&(_, count)| count > 0)
+                .map(|(idx, _)| VertexId::new(idx as u32));
+        }
+
+        // ---------------- Pass 4: closure counters -------------------------
+        let mut closure: FxHashMap<Edge, i64> = FxHashMap::default();
+        let mut queries: Vec<Option<Edge>> = Vec::with_capacity(instances.len());
+        for inst in &instances {
+            match inst.neighbor {
+                Some(w) if w != inst.other && w != inst.base => {
+                    let q = Edge::new(inst.other, w);
+                    closure.entry(q).or_insert(0);
+                    queries.push(Some(q));
+                }
+                _ => queries.push(None),
+            }
+        }
+        meter.charge(closure.len() as u64);
+        for update in stream.pass() {
+            if let Some(c) = closure.get_mut(&update.edge) {
+                *c += update.delta();
+            }
+        }
+
+        // Evaluate.
+        let mut hits = 0u64;
+        for q in queries.iter().flatten() {
+            if closure.get(q).copied().unwrap_or(0) > 0 {
+                hits += 1;
+            }
+        }
+        let y = hits as f64 / instances.len().max(1) as f64;
+        // Incident-triangle estimator: every triangle is counted once per
+        // containing edge, hence the division by three.
+        let estimate = (m_net as f64 / r as f64) * d_r as f64 * y / 3.0;
+
+        Ok(SingleRun {
+            estimate,
+            meter,
+            triangles_found: hits,
+            r,
+            inner: instances.len(),
+            m_net,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use degentri_gen::{barabasi_albert, grid, wheel};
+    use degentri_graph::triangles::count_triangles;
+    use degentri_stream::DynamicMemoryStream;
+
+    #[test]
+    fn configuration_validation() {
+        assert!(DynamicEstimatorConfig::new(3, 100).validate().is_ok());
+        assert!(DynamicEstimatorConfig::new(3, 100)
+            .with_epsilon(0.0)
+            .validate()
+            .is_err());
+        assert!(DynamicEstimatorConfig::new(3, 100)
+            .with_copies(0)
+            .validate()
+            .is_err());
+        assert!(DynamicEstimatorConfig::new(3, 100)
+            .with_constants(-1.0, 2.0)
+            .validate()
+            .is_err());
+        let mut zero_kappa = DynamicEstimatorConfig::new(3, 100);
+        zero_kappa.kappa = 0;
+        assert!(zero_kappa.validate().is_err());
+    }
+
+    #[test]
+    fn empty_stream_is_an_error() {
+        let stream = DynamicMemoryStream::from_updates(4, Vec::new());
+        let config = DynamicEstimatorConfig::new(2, 10);
+        let out = DynamicTriangleEstimator::new(config).run(&stream);
+        assert!(matches!(out, Err(DynamicError::EmptyStream)));
+    }
+
+    #[test]
+    fn fully_cancelled_stream_is_an_error() {
+        let g = wheel(50).unwrap();
+        let stream = DynamicMemoryStream::insert_then_delete(&g, |_| false, 3);
+        let config = DynamicEstimatorConfig::new(3, 10).with_copies(1);
+        let out = DynamicTriangleEstimator::new(config).run(&stream);
+        assert!(matches!(out, Err(DynamicError::EmptySurvivingGraph)));
+    }
+
+    #[test]
+    fn accurate_on_an_insert_only_wheel() {
+        let g = wheel(400).unwrap();
+        let exact = count_triangles(&g);
+        let stream = DynamicMemoryStream::insert_only(&g, 7);
+        let config = DynamicEstimatorConfig::new(3, exact / 2)
+            .with_epsilon(0.3)
+            .with_copies(5)
+            .with_seed(11);
+        let out = DynamicTriangleEstimator::new(config).run(&stream).unwrap();
+        assert!(
+            out.relative_error(exact) < 0.45,
+            "estimate {} vs exact {exact}",
+            out.estimate
+        );
+        assert_eq!(out.passes, 4);
+        assert_eq!(out.surviving_edges, g.num_edges());
+    }
+
+    #[test]
+    fn churn_deletions_do_not_bias_the_estimate() {
+        let g = wheel(300).unwrap();
+        let exact = count_triangles(&g);
+        let stream = DynamicMemoryStream::with_churn(&g, 0.7, 13);
+        assert!(stream.num_deletions() > 0);
+        let config = DynamicEstimatorConfig::new(3, exact / 2)
+            .with_epsilon(0.3)
+            .with_copies(5)
+            .with_seed(23);
+        let out = DynamicTriangleEstimator::new(config).run(&stream).unwrap();
+        assert!(
+            out.relative_error(exact) < 0.45,
+            "estimate {} vs exact {exact}",
+            out.estimate
+        );
+        // The net edge count must see through the churn.
+        assert_eq!(out.surviving_edges, g.num_edges());
+    }
+
+    #[test]
+    fn deleting_the_rim_removes_every_triangle() {
+        let g = wheel(200).unwrap();
+        let stream = DynamicMemoryStream::insert_then_delete(
+            &g,
+            |e| e.u().index() == 0 || e.v().index() == 0,
+            5,
+        );
+        let config = DynamicEstimatorConfig::new(3, 50)
+            .with_epsilon(0.3)
+            .with_copies(3)
+            .with_seed(1);
+        let out = DynamicTriangleEstimator::new(config).run(&stream).unwrap();
+        assert_eq!(out.estimate, 0.0, "no triangles survive the deletions");
+        assert_eq!(out.triangles_found, 0);
+    }
+
+    #[test]
+    fn triangle_free_graphs_estimate_zero_under_churn() {
+        let g = grid(12, 12).unwrap();
+        let stream = DynamicMemoryStream::with_churn(&g, 0.5, 9);
+        let config = DynamicEstimatorConfig::new(2, 20)
+            .with_epsilon(0.3)
+            .with_copies(3)
+            .with_seed(3);
+        let out = DynamicTriangleEstimator::new(config).run(&stream).unwrap();
+        assert_eq!(out.estimate, 0.0);
+    }
+
+    #[test]
+    fn reasonable_on_a_churned_social_graph() {
+        let g = barabasi_albert(250, 5, 3).unwrap();
+        let exact = count_triangles(&g);
+        let stream = DynamicMemoryStream::with_churn(&g, 0.4, 17);
+        let config = DynamicEstimatorConfig::new(5, exact / 2)
+            .with_epsilon(0.3)
+            .with_copies(5)
+            .with_seed(29)
+            .with_max_samples(2000);
+        let out = DynamicTriangleEstimator::new(config).run(&stream).unwrap();
+        assert!(
+            out.relative_error(exact) < 0.6,
+            "estimate {} vs exact {exact}",
+            out.estimate
+        );
+        assert!(out.space.peak_words > 0);
+    }
+
+    #[test]
+    fn edge_index_roundtrip() {
+        for (a, b) in [(0u32, 1u32), (7, 9), (1000, 2000), (123_456, 654_321)] {
+            let e = Edge::from_raw(a, b);
+            assert_eq!(index_edge(edge_index(e)), e);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # degentri-dynamic — triangle counting under edge deletions
+//!
+//! The paper's estimator is defined for insert-only streams. Table 1 of the
+//! paper, however, also cites dynamic-stream (turnstile) results — streams
+//! of edge insertions *and deletions* — and a natural question for any
+//! would-be user is whether the degeneracy parameterization survives
+//! deletions. This crate answers it constructively:
+//!
+//! * [`DynamicTriangleEstimator`] — a constant-pass port of Algorithm 2 in
+//!   which every sampling primitive that reservoir sampling provided in the
+//!   insert-only world is replaced by a *linear sketch* from
+//!   [`degentri_sketch`]:
+//!   uniform random surviving edges come from ℓ0 samplers over the edge
+//!   universe, uniform random surviving neighbors come from ℓ0 samplers
+//!   over the neighborhood of the sampled edge's lower-degree endpoint, and
+//!   degrees / closure checks come from exact turnstile counters on the
+//!   (few) tracked vertices and vertex pairs. Because every ingredient is a
+//!   linear function of the update stream, deletions are handled for free.
+//! * [`DynamicExactCounter`] — the Θ(m)-space turnstile baseline: maintain
+//!   the net multiplicity of every edge and count triangles of the surviving
+//!   graph exactly. This is the dynamic analogue of
+//!   `degentri_baselines::ExactStreamCounter` and the ground-truth
+//!   comparator for experiment E12.
+//!
+//! The substrate (update streams, churn workload generators, the surviving
+//! graph) lives in [`degentri_stream::dynamic`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod estimator;
+pub mod exact;
+
+pub use error::DynamicError;
+pub use estimator::{DynamicEstimatorConfig, DynamicOutcome, DynamicTriangleEstimator};
+pub use exact::DynamicExactCounter;
+
+/// Convenient result alias for dynamic-stream estimation.
+pub type Result<T> = std::result::Result<T, DynamicError>;

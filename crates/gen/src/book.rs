@@ -1,0 +1,68 @@
+//! Triangle-book graphs (the Section 1.2 variance example).
+//!
+//! The book `B_p` has a single *spine* edge `{0, 1}` and `p` *pages*: vertices
+//! `2..p+2`, each adjacent to both spine endpoints. All `p` triangles share
+//! the spine, so the per-edge triangle counts `t_e` are maximally skewed
+//! (`t_spine = p`, every other edge has `t_e = 1`) while the graph stays
+//! planar (`κ = 2`). This is the example the paper uses to show that naive
+//! "count triangles incident to sampled edges" estimators have unbounded
+//! variance and why the assignment rule is needed.
+
+use degentri_graph::{CsrGraph, GraphBuilder, GraphError, Result};
+
+/// The triangle-book graph with `pages` pages (so `pages + 2` vertices,
+/// `2·pages + 1` edges and exactly `pages` triangles).
+///
+/// # Errors
+/// Returns an error if `pages == 0`.
+pub fn book(pages: usize) -> Result<CsrGraph> {
+    if pages == 0 {
+        return Err(GraphError::invalid_parameter("book: need at least one page"));
+    }
+    let mut b = GraphBuilder::with_vertices(pages + 2);
+    b.add_edge_raw(0, 1);
+    for i in 0..pages as u32 {
+        b.add_edge_raw(0, 2 + i);
+        b.add_edge_raw(1, 2 + i);
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use degentri_graph::degeneracy::degeneracy;
+    use degentri_graph::triangles::TriangleCounts;
+    use degentri_graph::Edge;
+
+    #[test]
+    fn book_structure() {
+        for pages in [1usize, 5, 100, 2000] {
+            let g = book(pages).unwrap();
+            assert_eq!(g.num_vertices(), pages + 2);
+            assert_eq!(g.num_edges(), 2 * pages + 1);
+            let tc = TriangleCounts::compute(&g);
+            assert_eq!(tc.total, pages as u64);
+            assert_eq!(tc.edge_count(Edge::from_raw(0, 1)), pages as u64);
+            assert_eq!(degeneracy(&g), 2);
+        }
+    }
+
+    #[test]
+    fn per_edge_skew_is_maximal() {
+        let g = book(50).unwrap();
+        let tc = TriangleCounts::compute(&g);
+        assert_eq!(tc.max_per_edge(), 50);
+        // every non-spine edge participates in exactly one triangle
+        for &e in g.edges() {
+            if e != Edge::from_raw(0, 1) {
+                assert_eq!(tc.edge_count(e), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_empty_book() {
+        assert!(book(0).is_err());
+    }
+}

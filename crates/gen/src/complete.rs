@@ -1,0 +1,71 @@
+//! Complete and complete bipartite graphs.
+//!
+//! `K_n` is the extreme high-degeneracy/high-triangle endpoint of the
+//! parameter space (κ = n − 1, T = C(n, 3)); `K_{p,p}` is the triangle-free
+//! fixed part of the lower-bound gadget of Section 6.
+
+use degentri_graph::{CsrGraph, GraphBuilder, GraphError, Result};
+
+/// The complete graph `K_n`.
+///
+/// # Errors
+/// Returns an error if `n == 0`.
+pub fn complete(n: usize) -> Result<CsrGraph> {
+    if n == 0 {
+        return Err(GraphError::invalid_parameter("complete: n must be positive"));
+    }
+    let mut b = GraphBuilder::with_vertices(n);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            b.add_edge_raw(u, v);
+        }
+    }
+    Ok(b.build())
+}
+
+/// The complete bipartite graph `K_{a,b}`: sides `0..a` and `a..a+b`.
+///
+/// # Errors
+/// Returns an error if either side is empty.
+pub fn complete_bipartite(a: usize, b: usize) -> Result<CsrGraph> {
+    if a == 0 || b == 0 {
+        return Err(GraphError::invalid_parameter(
+            "complete_bipartite: both sides must be non-empty",
+        ));
+    }
+    let mut builder = GraphBuilder::with_vertices(a + b);
+    for u in 0..a as u32 {
+        for v in 0..b as u32 {
+            builder.add_edge_raw(u, a as u32 + v);
+        }
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use degentri_graph::degeneracy::degeneracy;
+    use degentri_graph::triangles::count_triangles;
+
+    #[test]
+    fn complete_counts() {
+        let g = complete(7).unwrap();
+        assert_eq!(g.num_edges(), 21);
+        assert_eq!(count_triangles(&g), 35);
+        assert_eq!(degeneracy(&g), 6);
+        assert!(complete(0).is_err());
+        assert_eq!(complete(1).unwrap().num_edges(), 0);
+    }
+
+    #[test]
+    fn bipartite_is_triangle_free() {
+        let g = complete_bipartite(5, 7).unwrap();
+        assert_eq!(g.num_vertices(), 12);
+        assert_eq!(g.num_edges(), 35);
+        assert_eq!(count_triangles(&g), 0);
+        assert_eq!(degeneracy(&g), 5);
+        assert!(complete_bipartite(0, 3).is_err());
+        assert!(complete_bipartite(3, 0).is_err());
+    }
+}

@@ -1,0 +1,166 @@
+//! Erdős–Rényi random graphs `G(n, p)` and `G(n, M)`.
+
+use degentri_graph::{CsrGraph, GraphBuilder, GraphError, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates `G(n, p)`: every unordered pair is an edge independently with
+/// probability `p`.
+///
+/// Uses the skipping (geometric) technique so the cost is `O(n + m)` rather
+/// than `O(n²)` for sparse graphs.
+///
+/// # Errors
+/// Returns an error if `p` is not in `[0, 1]` or `n == 0`.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Result<CsrGraph> {
+    if n == 0 {
+        return Err(GraphError::invalid_parameter("gnp: n must be positive"));
+    }
+    if !(0.0..=1.0).contains(&p) || p.is_nan() {
+        return Err(GraphError::invalid_parameter(format!(
+            "gnp: p must lie in [0, 1], got {p}"
+        )));
+    }
+    let mut builder = GraphBuilder::with_vertices(n);
+    if p == 0.0 || n == 1 {
+        return Ok(builder.build());
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    if p == 1.0 {
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                builder.add_edge_raw(u, v);
+            }
+        }
+        return Ok(builder.build());
+    }
+
+    // Batagelj–Brandes skipping over the upper-triangular pair enumeration.
+    let log_1p = (1.0 - p).ln();
+    let mut v: i64 = 1;
+    let mut w: i64 = -1;
+    let n_i = n as i64;
+    while v < n_i {
+        let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+        w += 1 + (r.ln() / log_1p).floor() as i64;
+        while w >= v && v < n_i {
+            w -= v;
+            v += 1;
+        }
+        if v < n_i {
+            builder.add_edge_raw(w as u32, v as u32);
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Generates `G(n, M)`: a graph with exactly `M` distinct edges chosen
+/// uniformly among all pairs (rejection sampling; requires
+/// `M ≤ n(n−1)/2`).
+///
+/// # Errors
+/// Returns an error if `n == 0` or `M` exceeds the number of possible edges.
+pub fn gnm(n: usize, m: usize, seed: u64) -> Result<CsrGraph> {
+    if n == 0 {
+        return Err(GraphError::invalid_parameter("gnm: n must be positive"));
+    }
+    let possible = n as u64 * (n as u64 - 1) / 2;
+    if m as u64 > possible {
+        return Err(GraphError::invalid_parameter(format!(
+            "gnm: m = {m} exceeds the {possible} possible edges on {n} vertices"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_vertices(n);
+
+    if m as u64 > possible / 2 {
+        // Dense regime: enumerate all pairs and take a random subset via
+        // partial Fisher–Yates to avoid long rejection chains.
+        let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(possible as usize);
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                pairs.push((u, v));
+            }
+        }
+        for i in 0..m {
+            let j = rng.gen_range(i..pairs.len());
+            pairs.swap(i, j);
+            let (u, v) = pairs[i];
+            builder.add_edge_raw(u, v);
+        }
+    } else {
+        while builder.num_edges() < m {
+            let u = rng.gen_range(0..n as u32);
+            let v = rng.gen_range(0..n as u32);
+            if u != v {
+                builder.add_edge_raw(u, v);
+            }
+        }
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnp_zero_and_one() {
+        let g = gnp(10, 0.0, 1).unwrap();
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.num_vertices(), 10);
+        let g = gnp(8, 1.0, 1).unwrap();
+        assert_eq!(g.num_edges(), 28);
+    }
+
+    #[test]
+    fn gnp_is_deterministic_and_near_expected_density() {
+        let g1 = gnp(500, 0.02, 42).unwrap();
+        let g2 = gnp(500, 0.02, 42).unwrap();
+        assert_eq!(g1.edges(), g2.edges());
+        let expected = 0.02 * (500.0 * 499.0 / 2.0);
+        let m = g1.num_edges() as f64;
+        assert!((m - expected).abs() < 4.0 * expected.sqrt() + 50.0, "m={m} expected≈{expected}");
+    }
+
+    #[test]
+    fn gnp_different_seeds_differ() {
+        let g1 = gnp(200, 0.05, 1).unwrap();
+        let g2 = gnp(200, 0.05, 2).unwrap();
+        assert_ne!(g1.edges(), g2.edges());
+    }
+
+    #[test]
+    fn gnp_rejects_bad_parameters() {
+        assert!(gnp(0, 0.5, 1).is_err());
+        assert!(gnp(5, -0.1, 1).is_err());
+        assert!(gnp(5, 1.5, 1).is_err());
+        assert!(gnp(5, f64::NAN, 1).is_err());
+    }
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        for (n, m) in [(10, 0), (10, 5), (50, 200), (20, 190)] {
+            let g = gnm(n, m, 9).unwrap();
+            assert_eq!(g.num_edges(), m);
+            assert_eq!(g.num_vertices(), n);
+        }
+    }
+
+    #[test]
+    fn gnm_dense_regime_complete() {
+        let g = gnm(8, 28, 3).unwrap();
+        assert_eq!(g.num_edges(), 28);
+    }
+
+    #[test]
+    fn gnm_rejects_impossible() {
+        assert!(gnm(5, 11, 1).is_err());
+        assert!(gnm(0, 0, 1).is_err());
+    }
+
+    #[test]
+    fn gnm_is_deterministic() {
+        assert_eq!(gnm(100, 300, 5).unwrap().edges(), gnm(100, 300, 5).unwrap().edges());
+    }
+}

@@ -1,0 +1,58 @@
+//! Friendship (windmill) graphs.
+//!
+//! `F_k` consists of `k` triangles all sharing a single hub vertex. Like the
+//! book graph it concentrates triangles on one vertex, but spreads them over
+//! distinct edges: every edge lies in exactly one triangle, so the *edge*
+//! skew is flat while the *vertex* skew is extreme. Together the two
+//! families separate "per-edge variance" from "per-vertex variance" in the
+//! ablation experiments.
+
+use degentri_graph::{CsrGraph, GraphBuilder, GraphError, Result};
+
+/// The friendship graph with `k` blades: hub `0`, blade `i` on vertices
+/// `2i+1, 2i+2`.
+///
+/// # Errors
+/// Returns an error if `k == 0`.
+pub fn friendship(k: usize) -> Result<CsrGraph> {
+    if k == 0 {
+        return Err(GraphError::invalid_parameter("friendship: need at least one blade"));
+    }
+    let mut b = GraphBuilder::with_vertices(2 * k + 1);
+    for i in 0..k as u32 {
+        let x = 2 * i + 1;
+        let y = 2 * i + 2;
+        b.add_edge_raw(0, x);
+        b.add_edge_raw(0, y);
+        b.add_edge_raw(x, y);
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use degentri_graph::degeneracy::degeneracy;
+    use degentri_graph::triangles::TriangleCounts;
+
+    #[test]
+    fn friendship_structure() {
+        for k in [1usize, 3, 40, 500] {
+            let g = friendship(k).unwrap();
+            assert_eq!(g.num_vertices(), 2 * k + 1);
+            assert_eq!(g.num_edges(), 3 * k);
+            let tc = TriangleCounts::compute(&g);
+            assert_eq!(tc.total, k as u64);
+            // every edge is in exactly one triangle
+            assert_eq!(tc.max_per_edge(), 1);
+            // the hub is in all of them
+            assert_eq!(tc.per_vertex[0], k as u64);
+            assert_eq!(degeneracy(&g), 2);
+        }
+    }
+
+    #[test]
+    fn rejects_zero_blades() {
+        assert!(friendship(0).is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! Square grid graphs.
+//!
+//! Grids are planar (κ ≤ 2... actually κ = 2 for non-degenerate grids) and
+//! triangle-free: a useful control family where `T = 0` and every estimator
+//! should report 0.
+
+use degentri_graph::{CsrGraph, GraphBuilder, GraphError, Result};
+
+/// The `rows × cols` grid graph (4-neighbor lattice).
+///
+/// # Errors
+/// Returns an error if either dimension is 0.
+pub fn grid(rows: usize, cols: usize) -> Result<CsrGraph> {
+    if rows == 0 || cols == 0 {
+        return Err(GraphError::invalid_parameter("grid: dimensions must be positive"));
+    }
+    let idx = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut b = GraphBuilder::with_vertices(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge_raw(idx(r, c), idx(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge_raw(idx(r, c), idx(r + 1, c));
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use degentri_graph::degeneracy::degeneracy;
+    use degentri_graph::triangles::count_triangles;
+
+    #[test]
+    fn grid_structure() {
+        let g = grid(5, 7).unwrap();
+        assert_eq!(g.num_vertices(), 35);
+        assert_eq!(g.num_edges(), 5 * 6 + 4 * 7);
+        assert_eq!(count_triangles(&g), 0);
+        assert_eq!(degeneracy(&g), 2);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let path = grid(1, 10).unwrap();
+        assert_eq!(path.num_edges(), 9);
+        assert_eq!(degeneracy(&path), 1);
+        let single = grid(1, 1).unwrap();
+        assert_eq!(single.num_vertices(), 1);
+        assert_eq!(single.num_edges(), 0);
+        assert!(grid(0, 5).is_err());
+    }
+}

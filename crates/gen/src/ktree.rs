@@ -1,0 +1,157 @@
+//! Random k-trees and partial k-trees — graphs with *exactly* controlled
+//! degeneracy.
+//!
+//! A `k`-tree is built by starting from a `(k+1)`-clique and repeatedly
+//! attaching a new vertex to all `k` vertices of an existing `k`-clique.
+//! Every k-tree has degeneracy exactly `k` (the construction order is a
+//! degeneracy ordering read backwards, and the graph contains `K_{k+1}`),
+//! and every new vertex closes `C(k, 2)` new triangles, so both `κ` and `T`
+//! are dialled in exactly — which is what the space-scaling experiments
+//! (E2) need when they sweep `κ` with everything else held fixed. Partial
+//! k-trees (subgraphs of k-trees, obtained here by dropping each edge
+//! independently) cover the "degeneracy at most k" regime, the widest class
+//! the paper's theorems apply to.
+
+use degentri_graph::{CsrGraph, GraphBuilder, GraphError, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A uniform-attachment random `k`-tree on `n` vertices.
+///
+/// # Errors
+/// Returns an error if `k == 0` or `n < k + 1`.
+pub fn random_ktree(n: usize, k: usize, seed: u64) -> Result<CsrGraph> {
+    if k == 0 {
+        return Err(GraphError::invalid_parameter("random_ktree: k must be ≥ 1"));
+    }
+    if n < k + 1 {
+        return Err(GraphError::invalid_parameter(format!(
+            "random_ktree: need at least k + 1 = {} vertices, got {n}",
+            k + 1
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_vertices(n);
+
+    // Seed clique on vertices 0..=k.
+    for a in 0..=k as u32 {
+        for b in (a + 1)..=k as u32 {
+            builder.add_edge_raw(a, b);
+        }
+    }
+    // Active k-cliques the next vertex may attach to.
+    let mut cliques: Vec<Vec<u32>> = Vec::new();
+    for skip in 0..=k {
+        let clique: Vec<u32> = (0..=k as u32).filter(|&v| v != skip as u32).collect();
+        cliques.push(clique);
+    }
+
+    for v in (k + 1)..n {
+        let chosen = cliques[rng.gen_range(0..cliques.len())].clone();
+        for &u in &chosen {
+            builder.add_edge_raw(v as u32, u);
+        }
+        // Every (k−1)-subset of the chosen clique plus the new vertex is a
+        // fresh k-clique available to later vertices.
+        for skip in 0..chosen.len() {
+            let mut next: Vec<u32> = chosen
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != skip)
+                .map(|(_, &u)| u)
+                .collect();
+            next.push(v as u32);
+            cliques.push(next);
+        }
+    }
+    builder.build_non_empty()
+}
+
+/// A random partial `k`-tree: a [`random_ktree`] with every edge kept
+/// independently with probability `keep_probability`. Its degeneracy is at
+/// most `k`.
+///
+/// # Errors
+/// Returns an error for the same parameter violations as [`random_ktree`] or
+/// if `keep_probability ∉ (0, 1]`.
+pub fn random_partial_ktree(
+    n: usize,
+    k: usize,
+    keep_probability: f64,
+    seed: u64,
+) -> Result<CsrGraph> {
+    if !(keep_probability > 0.0 && keep_probability <= 1.0) {
+        return Err(GraphError::invalid_parameter(
+            "random_partial_ktree: keep_probability must lie in (0, 1]",
+        ));
+    }
+    let full = random_ktree(n, k, seed)?;
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x5eed));
+    let mut builder = GraphBuilder::with_vertices(n);
+    for e in full.edges() {
+        if rng.gen_bool(keep_probability) {
+            builder.add_edge(e.u(), e.v());
+        }
+    }
+    builder.build_non_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use degentri_graph::degeneracy::degeneracy;
+    use degentri_graph::triangles::count_triangles;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(random_ktree(5, 0, 1).is_err());
+        assert!(random_ktree(3, 4, 1).is_err());
+        assert!(random_partial_ktree(50, 3, 0.0, 1).is_err());
+        assert!(random_partial_ktree(50, 3, 1.5, 1).is_err());
+    }
+
+    #[test]
+    fn ktree_has_exactly_the_prescribed_size_and_degeneracy() {
+        for (n, k) in [(50usize, 2usize), (200, 3), (400, 5), (100, 8)] {
+            let g = random_ktree(n, k, 42).unwrap();
+            assert_eq!(g.num_vertices(), n);
+            assert_eq!(g.num_edges(), k * (k + 1) / 2 + (n - k - 1) * k);
+            assert_eq!(degeneracy(&g), k, "n = {n}, k = {k}");
+        }
+    }
+
+    #[test]
+    fn ktree_triangle_count_grows_linearly_with_n() {
+        // Every added vertex closes exactly C(k, 2) triangles.
+        for (n, k) in [(100usize, 3usize), (300, 4)] {
+            let g = random_ktree(n, k, 7).unwrap();
+            let per_vertex = (k * (k - 1) / 2) as u64;
+            let seed_clique = ((k + 1) * k * (k - 1) / 6) as u64;
+            assert_eq!(
+                count_triangles(&g),
+                seed_clique + (n - k - 1) as u64 * per_vertex
+            );
+        }
+    }
+
+    #[test]
+    fn ktree_is_deterministic_given_the_seed() {
+        let a = random_ktree(250, 4, 9).unwrap();
+        let b = random_ktree(250, 4, 9).unwrap();
+        let c = random_ktree(250, 4, 10).unwrap();
+        assert_eq!(a.edges(), b.edges());
+        assert_ne!(a.edges(), c.edges());
+    }
+
+    #[test]
+    fn partial_ktree_degeneracy_never_exceeds_k() {
+        for keep in [0.3, 0.6, 0.9] {
+            let g = random_partial_ktree(300, 5, keep, 13).unwrap();
+            assert!(degeneracy(&g) <= 5, "keep = {keep}");
+            assert!(g.num_edges() > 0);
+        }
+        // Keeping everything reproduces the k-tree.
+        let full = random_partial_ktree(300, 5, 1.0, 13).unwrap();
+        assert_eq!(full.num_edges(), random_ktree(300, 5, 13).unwrap().num_edges());
+    }
+}

@@ -1,0 +1,150 @@
+//! # degentri-gen — seeded graph generators
+//!
+//! Synthetic graph families that span the parameter regimes (`m`, `T`, `κ`)
+//! the paper's bounds are stated in, standing in for the real-world graphs
+//! the paper motivates (social networks, web graphs) and for the
+//! communication-complexity hard instances of its lower bound:
+//!
+//! * **Random models** — [`erdos_renyi`], [`barabasi_albert`] (preferential
+//!   attachment: constant degeneracy, the paper's flagship "natural" class),
+//!   [`chung_lu`] (power-law expected degrees), [`rmat`].
+//! * **Planar / bounded-degeneracy structured families** — [`wheel`] (the
+//!   Section 1.1 example with `m = T = Θ(n)`, `κ = 3`), [`grid`],
+//!   [`triangular_lattice`], [`complete`], [`complete_bipartite`].
+//! * **Adversarial variance family** — [`book`] (the Section 1.2 example:
+//!   `n − 2` triangles all sharing one edge), [`friendship`] (windmill).
+//! * **Planted triangles** — [`planted_triangles`]: a sparse
+//!   bounded-degeneracy base graph with a controlled number of planted
+//!   triangles, used for the space scaling sweeps.
+//! * **Lower-bound gadget** — [`lower_bound`]: the Section 6 reduction
+//!   graphs built from YES/NO set-disjointness instances.
+//! * **Small-world and exact-degeneracy families** — [`watts_strogatz`]
+//!   (the clustering-rich model the paper's motivation cites) and
+//!   [`ktree`] (random k-trees and partial k-trees, whose degeneracy is
+//!   exactly / at most `k` by construction).
+//!
+//! Every generator is deterministic given its seed, so each experiment in
+//! `EXPERIMENTS.md` is exactly reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod barabasi_albert;
+pub mod book;
+pub mod chung_lu;
+pub mod complete;
+pub mod erdos_renyi;
+pub mod friendship;
+pub mod grid;
+pub mod ktree;
+pub mod lower_bound;
+pub mod planted;
+pub mod rmat;
+pub mod triangular_lattice;
+pub mod watts_strogatz;
+pub mod wheel;
+
+pub use barabasi_albert::barabasi_albert;
+pub use book::book;
+pub use chung_lu::chung_lu;
+pub use complete::{complete, complete_bipartite};
+pub use erdos_renyi::{gnm, gnp};
+pub use friendship::friendship;
+pub use grid::grid;
+pub use ktree::{random_ktree, random_partial_ktree};
+pub use lower_bound::{DisjointnessInstance, LowerBoundGadget};
+pub use planted::planted_triangles;
+pub use rmat::rmat;
+pub use triangular_lattice::triangular_lattice;
+pub use watts_strogatz::watts_strogatz;
+pub use wheel::wheel;
+
+use degentri_graph::Result;
+
+/// A named graph instance: generator output bundled with a human-readable
+/// label, used by the experiment harness to print tables.
+#[derive(Debug, Clone)]
+pub struct NamedGraph {
+    /// Short label used in experiment output (e.g. `"ba_20000_8"`).
+    pub name: String,
+    /// The generated graph.
+    pub graph: degentri_graph::CsrGraph,
+}
+
+impl NamedGraph {
+    /// Creates a named graph.
+    pub fn new(name: impl Into<String>, graph: degentri_graph::CsrGraph) -> Self {
+        NamedGraph {
+            name: name.into(),
+            graph,
+        }
+    }
+}
+
+/// The default suite of graphs used by experiments E1 and E8: a mix of
+/// low-degeneracy random models and structured families at moderate size.
+///
+/// `scale` multiplies the base sizes (use 1 for quick runs, 4+ for
+/// paper-scale runs).
+pub fn standard_suite(scale: usize, seed: u64) -> Result<Vec<NamedGraph>> {
+    let scale = scale.max(1);
+    let mut out = Vec::new();
+    out.push(NamedGraph::new(
+        format!("ba_n{}_d8", 5000 * scale),
+        barabasi_albert(5000 * scale, 8, seed)?,
+    ));
+    out.push(NamedGraph::new(
+        format!("chunglu_n{}_g2.2", 5000 * scale),
+        chung_lu(5000 * scale, 2.2, 40.0, seed.wrapping_add(1))?,
+    ));
+    out.push(NamedGraph::new(
+        format!("gnm_n{}_m{}", 4000 * scale, 24000 * scale),
+        gnm(4000 * scale, 24000 * scale, seed.wrapping_add(2))?,
+    ));
+    out.push(NamedGraph::new(
+        format!("wheel_n{}", 4000 * scale),
+        wheel(4000 * scale)?,
+    ));
+    out.push(NamedGraph::new(
+        format!("lattice_{}x{}", 60 * scale, 60 * scale),
+        triangular_lattice(60 * scale, 60 * scale)?,
+    ));
+    out.push(NamedGraph::new(
+        format!("book_p{}", 3000 * scale),
+        book(3000 * scale)?,
+    ));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use degentri_graph::triangles::count_triangles;
+
+    #[test]
+    fn standard_suite_builds_and_is_deterministic() {
+        let a = standard_suite(1, 7).unwrap();
+        let b = standard_suite(1, 7).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.graph.edges(), y.graph.edges());
+            assert!(x.graph.num_edges() > 0);
+        }
+    }
+
+    #[test]
+    fn standard_suite_has_triangles_everywhere_except_maybe_gnm() {
+        let suite = standard_suite(1, 11).unwrap();
+        for named in &suite {
+            if named.name.starts_with("gnm") {
+                continue; // sparse G(n,m) may have few triangles; that's fine
+            }
+            assert!(
+                count_triangles(&named.graph) > 0,
+                "{} should contain triangles",
+                named.name
+            );
+        }
+    }
+}

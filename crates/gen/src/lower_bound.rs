@@ -1,0 +1,296 @@
+//! The Section 6 lower-bound gadget family.
+//!
+//! The paper proves the `Ω(mκ/T)` lower bound by reducing from the promise
+//! set-disjointness problem `disj^N_{N/3}`: Alice holds `x ∈ {0,1}^N`, Bob
+//! holds `y ∈ {0,1}^N`, each with exactly `N/3` ones, and they must decide
+//! whether some index has `x_i = y_i = 1`.
+//!
+//! The reduction graph `G(x, y)` consists of
+//!
+//! * a fixed complete bipartite graph on `A ∪ B` with `|A| = |B| = p`,
+//! * `N` blocks `V_1 … V_N` of `q` vertices each,
+//! * for every `i` with `x_i = 1`: all edges between `V_i` and `A`,
+//! * for every `i` with `y_i = 1`: all edges between `V_i` and `B`.
+//!
+//! The graph is triangle-free iff `x` and `y` are disjoint; otherwise it has
+//! at least `p²q` triangles. Its degeneracy is `p` in the YES (disjoint)
+//! case and at most `2p` in the NO case. Setting `p = κ` and `q = κ^{r−2}`
+//! realizes instances with `T = κ^r` and `m = Θ(Npq)`, for which any
+//! constant-pass algorithm needs `Ω(mκ/T)` bits.
+//!
+//! The generator below builds both the disjointness instances and the
+//! reduction graphs, so experiment E5 can measure how estimation accuracy
+//! decays as the space budget drops below `mκ/T`.
+
+use degentri_graph::{CsrGraph, GraphBuilder, GraphError, Result};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A promise set-disjointness instance: two `N`-bit strings with exactly
+/// `N/3` ones each.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DisjointnessInstance {
+    /// Alice's characteristic vector.
+    pub x: Vec<bool>,
+    /// Bob's characteristic vector.
+    pub y: Vec<bool>,
+}
+
+impl DisjointnessInstance {
+    /// Generates a YES instance (disjoint supports ⇒ triangle-free graph)
+    /// with universe size `n` (rounded up to a multiple of 3).
+    pub fn yes(n: usize, seed: u64) -> Self {
+        let n = round_up_to_multiple_of_3(n);
+        let third = n / 3;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut perm: Vec<usize> = (0..n).collect();
+        perm.shuffle(&mut rng);
+        let mut x = vec![false; n];
+        let mut y = vec![false; n];
+        for &i in perm.iter().take(third) {
+            x[i] = true;
+        }
+        for &i in perm.iter().skip(third).take(third) {
+            y[i] = true;
+        }
+        DisjointnessInstance { x, y }
+    }
+
+    /// Generates a NO instance (exactly `overlap ≥ 1` common indices ⇒ at
+    /// least `overlap · p²q` triangles) with universe size `n`.
+    pub fn no(n: usize, overlap: usize, seed: u64) -> Self {
+        let n = round_up_to_multiple_of_3(n);
+        let third = n / 3;
+        let overlap = overlap.clamp(1, third);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut perm: Vec<usize> = (0..n).collect();
+        perm.shuffle(&mut rng);
+        let mut x = vec![false; n];
+        let mut y = vec![false; n];
+        // `overlap` shared indices, then disjoint remainders for both sides.
+        for &i in perm.iter().take(overlap) {
+            x[i] = true;
+            y[i] = true;
+        }
+        for &i in perm.iter().skip(overlap).take(third - overlap) {
+            x[i] = true;
+        }
+        for &i in perm.iter().skip(third).take(third - overlap) {
+            y[i] = true;
+        }
+        DisjointnessInstance { x, y }
+    }
+
+    /// Universe size `N`.
+    pub fn universe(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Number of indices where both strings are 1.
+    pub fn intersection_size(&self) -> usize {
+        self.x
+            .iter()
+            .zip(self.y.iter())
+            .filter(|(&a, &b)| a && b)
+            .count()
+    }
+
+    /// Whether this is a YES (disjoint) instance.
+    pub fn is_disjoint(&self) -> bool {
+        self.intersection_size() == 0
+    }
+}
+
+fn round_up_to_multiple_of_3(n: usize) -> usize {
+    let n = n.max(3);
+    n.div_ceil(3) * 3
+}
+
+/// The Section 6 reduction graph, parameterized by the bipartite side size
+/// `p` (= target degeneracy κ) and block size `q` (= κ^{r−2}).
+#[derive(Debug, Clone)]
+pub struct LowerBoundGadget {
+    /// Side size of the fixed complete bipartite core (`|A| = |B| = p`).
+    pub p: usize,
+    /// Size of each block `V_i`.
+    pub q: usize,
+    /// The disjointness instance the graph encodes.
+    pub instance: DisjointnessInstance,
+    /// The reduction graph.
+    pub graph: CsrGraph,
+}
+
+impl LowerBoundGadget {
+    /// Builds the reduction graph for a given disjointness instance.
+    ///
+    /// Vertex layout: `A = 0..p`, `B = p..2p`, block `V_i` occupies
+    /// `2p + i·q .. 2p + (i+1)·q`.
+    ///
+    /// # Errors
+    /// Returns an error if `p == 0` or `q == 0`.
+    pub fn build(p: usize, q: usize, instance: DisjointnessInstance) -> Result<Self> {
+        if p == 0 || q == 0 {
+            return Err(GraphError::invalid_parameter(
+                "lower_bound: p and q must be positive",
+            ));
+        }
+        let n_blocks = instance.universe();
+        let total_vertices = 2 * p + n_blocks * q;
+        let mut b = GraphBuilder::with_vertices(total_vertices);
+
+        let a_side = |i: usize| i as u32;
+        let b_side = |i: usize| (p + i) as u32;
+        let block_vertex = |block: usize, j: usize| (2 * p + block * q + j) as u32;
+
+        // Fixed part: complete bipartite A x B.
+        for i in 0..p {
+            for j in 0..p {
+                b.add_edge_raw(a_side(i), b_side(j));
+            }
+        }
+        // Alice's edges: V_i x A whenever x_i = 1.
+        for (block, &bit) in instance.x.iter().enumerate() {
+            if bit {
+                for j in 0..q {
+                    for i in 0..p {
+                        b.add_edge_raw(block_vertex(block, j), a_side(i));
+                    }
+                }
+            }
+        }
+        // Bob's edges: V_i x B whenever y_i = 1.
+        for (block, &bit) in instance.y.iter().enumerate() {
+            if bit {
+                for j in 0..q {
+                    for i in 0..p {
+                        b.add_edge_raw(block_vertex(block, j), b_side(i));
+                    }
+                }
+            }
+        }
+
+        Ok(LowerBoundGadget {
+            p,
+            q,
+            instance,
+            graph: b.build(),
+        })
+    }
+
+    /// Convenience: builds the YES-instance gadget (triangle-free).
+    pub fn yes_instance(p: usize, q: usize, universe: usize, seed: u64) -> Result<Self> {
+        Self::build(p, q, DisjointnessInstance::yes(universe, seed))
+    }
+
+    /// Convenience: builds a NO-instance gadget with the given overlap
+    /// (at least `overlap · p² · q` triangles).
+    pub fn no_instance(
+        p: usize,
+        q: usize,
+        universe: usize,
+        overlap: usize,
+        seed: u64,
+    ) -> Result<Self> {
+        Self::build(p, q, DisjointnessInstance::no(universe, overlap, seed))
+    }
+
+    /// The number of triangles guaranteed by the construction:
+    /// `intersection · p² · q` (each common block contributes a full
+    /// `V_i × A × B` family... each triangle uses one vertex of `V_i`, one of
+    /// `A`, one of `B`).
+    pub fn guaranteed_triangles(&self) -> u64 {
+        self.instance.intersection_size() as u64 * (self.p as u64) * (self.p as u64) * self.q as u64
+    }
+
+    /// The paper's parameterization: given target degeneracy `κ` and exponent
+    /// `r ≥ 2` (so `T = κ^r`), returns `(p, q) = (κ, κ^{r−2})`.
+    pub fn parameters_for(kappa: usize, r: u32) -> (usize, usize) {
+        let q = if r <= 2 {
+            1
+        } else {
+            kappa.saturating_pow(r - 2).max(1)
+        };
+        (kappa.max(1), q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use degentri_graph::degeneracy::degeneracy;
+    use degentri_graph::triangles::count_triangles;
+
+    #[test]
+    fn disjointness_instances_respect_promise() {
+        let yes = DisjointnessInstance::yes(30, 1);
+        assert_eq!(yes.universe(), 30);
+        assert!(yes.is_disjoint());
+        assert_eq!(yes.x.iter().filter(|&&b| b).count(), 10);
+        assert_eq!(yes.y.iter().filter(|&&b| b).count(), 10);
+
+        let no = DisjointnessInstance::no(30, 2, 1);
+        assert_eq!(no.intersection_size(), 2);
+        assert_eq!(no.x.iter().filter(|&&b| b).count(), 10);
+        assert_eq!(no.y.iter().filter(|&&b| b).count(), 10);
+    }
+
+    #[test]
+    fn universe_rounds_up() {
+        assert_eq!(DisjointnessInstance::yes(10, 1).universe(), 12);
+        assert_eq!(DisjointnessInstance::yes(1, 1).universe(), 3);
+    }
+
+    #[test]
+    fn yes_gadget_is_triangle_free() {
+        let g = LowerBoundGadget::yes_instance(4, 3, 12, 7).unwrap();
+        assert_eq!(count_triangles(&g.graph), 0);
+        assert_eq!(g.guaranteed_triangles(), 0);
+        // Degeneracy equals p in the YES case.
+        assert_eq!(degeneracy(&g.graph), 4);
+    }
+
+    #[test]
+    fn no_gadget_has_promised_triangles() {
+        let g = LowerBoundGadget::no_instance(4, 3, 12, 1, 7).unwrap();
+        let t = count_triangles(&g.graph);
+        assert_eq!(t, g.guaranteed_triangles());
+        assert_eq!(t, 4 * 4 * 3);
+        // Degeneracy is at most 2p in the NO case.
+        let k = degeneracy(&g.graph);
+        assert!(k >= 4 && k <= 8, "κ = {k}");
+    }
+
+    #[test]
+    fn overlap_scales_triangles() {
+        let one = LowerBoundGadget::no_instance(3, 2, 15, 1, 5).unwrap();
+        let three = LowerBoundGadget::no_instance(3, 2, 15, 3, 5).unwrap();
+        assert_eq!(count_triangles(&one.graph), 18);
+        assert_eq!(count_triangles(&three.graph), 54);
+    }
+
+    #[test]
+    fn vertex_and_edge_counts_match_formula() {
+        let (p, q, universe) = (5usize, 4usize, 15usize);
+        let g = LowerBoundGadget::yes_instance(p, q, universe, 3).unwrap();
+        // n = 2p + Nq
+        assert_eq!(g.graph.num_vertices(), 2 * p + universe * q);
+        // m = p^2 + 2 * (N/3) * p * q  (each side contributes N/3 blocks)
+        assert_eq!(g.graph.num_edges(), p * p + 2 * (universe / 3) * p * q);
+    }
+
+    #[test]
+    fn parameterization_matches_paper() {
+        assert_eq!(LowerBoundGadget::parameters_for(5, 2), (5, 1));
+        assert_eq!(LowerBoundGadget::parameters_for(5, 3), (5, 5));
+        assert_eq!(LowerBoundGadget::parameters_for(5, 4), (5, 25));
+        // κ = 0 is clamped to 1 so the gadget stays constructible.
+        assert_eq!(LowerBoundGadget::parameters_for(0, 4), (1, 1));
+    }
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        assert!(LowerBoundGadget::build(0, 3, DisjointnessInstance::yes(6, 1)).is_err());
+        assert!(LowerBoundGadget::build(3, 0, DisjointnessInstance::yes(6, 1)).is_err());
+    }
+}

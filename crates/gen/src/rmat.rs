@@ -1,0 +1,122 @@
+//! R-MAT (recursive matrix) random graphs.
+//!
+//! R-MAT reproduces the skewed, community-ish edge distribution of web and
+//! social graphs and is the standard synthetic workload of the Graph500
+//! benchmark. We include it so that the experiment suite covers a family
+//! with heavier degeneracy than preferential attachment but still far below
+//! the `√m` worst case.
+
+use degentri_graph::{CsrGraph, GraphBuilder, GraphError, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates an R-MAT graph with `2^scale` vertices and (approximately)
+/// `edges` distinct edges, with quadrant probabilities `(a, b, c)`
+/// (`d = 1 − a − b − c`).
+///
+/// Duplicate edges and self-loops produced by the recursive process are
+/// dropped, so the final edge count can be slightly below `edges`.
+///
+/// # Errors
+/// Returns an error if `scale == 0`, `edges == 0`, any probability is
+/// negative, or `a + b + c > 1`.
+pub fn rmat(scale: u32, edges: usize, a: f64, b: f64, c: f64, seed: u64) -> Result<CsrGraph> {
+    if scale == 0 || scale > 30 {
+        return Err(GraphError::invalid_parameter(format!(
+            "rmat: scale must be in 1..=30, got {scale}"
+        )));
+    }
+    if edges == 0 {
+        return Err(GraphError::invalid_parameter("rmat: edges must be positive"));
+    }
+    if a < 0.0 || b < 0.0 || c < 0.0 || a + b + c > 1.0 + 1e-12 {
+        return Err(GraphError::invalid_parameter(format!(
+            "rmat: invalid quadrant probabilities a={a} b={b} c={c}"
+        )));
+    }
+    let n = 1usize << scale;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_vertices(n);
+
+    // Attempt a bounded number of drops: each attempt descends `scale` levels.
+    let attempts = edges.saturating_mul(4).max(edges + 16);
+    let mut produced = 0usize;
+    for _ in 0..attempts {
+        if produced >= edges {
+            break;
+        }
+        let (mut lo_u, mut hi_u) = (0usize, n);
+        let (mut lo_v, mut hi_v) = (0usize, n);
+        for _ in 0..scale {
+            let r: f64 = rng.gen();
+            let (right, down) = if r < a {
+                (false, false)
+            } else if r < a + b {
+                (true, false)
+            } else if r < a + b + c {
+                (false, true)
+            } else {
+                (true, true)
+            };
+            let mid_u = (lo_u + hi_u) / 2;
+            let mid_v = (lo_v + hi_v) / 2;
+            if down {
+                lo_u = mid_u;
+            } else {
+                hi_u = mid_u;
+            }
+            if right {
+                lo_v = mid_v;
+            } else {
+                hi_v = mid_v;
+            }
+        }
+        let u = lo_u as u32;
+        let v = lo_v as u32;
+        if u != v && builder.add_edge_raw(u, v) {
+            produced += 1;
+        }
+    }
+    Ok(builder.build())
+}
+
+/// R-MAT with the Graph500 default probabilities `(0.57, 0.19, 0.19)`.
+pub fn rmat_graph500(scale: u32, edges: usize, seed: u64) -> Result<CsrGraph> {
+    rmat(scale, edges, 0.57, 0.19, 0.19, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmat_produces_roughly_requested_edges() {
+        let g = rmat_graph500(12, 20_000, 5).unwrap();
+        assert_eq!(g.num_vertices(), 4096);
+        assert!(g.num_edges() > 10_000, "got {}", g.num_edges());
+        assert!(g.num_edges() <= 20_000);
+    }
+
+    #[test]
+    fn rmat_is_deterministic() {
+        let a = rmat_graph500(10, 5000, 3).unwrap();
+        let b = rmat_graph500(10, 5000, 3).unwrap();
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn skewed_quadrants_give_skewed_degrees() {
+        let skewed = rmat(12, 15_000, 0.7, 0.1, 0.1, 7).unwrap();
+        let uniform = rmat(12, 15_000, 0.25, 0.25, 0.25, 7).unwrap();
+        assert!(skewed.max_degree() > uniform.max_degree());
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(rmat(0, 100, 0.25, 0.25, 0.25, 1).is_err());
+        assert!(rmat(40, 100, 0.25, 0.25, 0.25, 1).is_err());
+        assert!(rmat(10, 0, 0.25, 0.25, 0.25, 1).is_err());
+        assert!(rmat(10, 100, 0.6, 0.3, 0.3, 1).is_err());
+        assert!(rmat(10, 100, -0.1, 0.3, 0.3, 1).is_err());
+    }
+}

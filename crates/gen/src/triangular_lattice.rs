@@ -1,0 +1,69 @@
+//! Triangular lattice graphs.
+//!
+//! A planar, constant-degeneracy family that is *triangle-dense*
+//! (`T = Θ(n)`): each unit cell of the lattice contributes two triangles.
+//! Together with the wheel it covers the "planar and triangle-rich" corner
+//! of the parameter space where the paper's bound shines.
+
+use degentri_graph::{CsrGraph, GraphBuilder, GraphError, Result};
+
+/// A `rows × cols` triangular lattice: the square grid plus one diagonal per
+/// unit cell.
+///
+/// # Errors
+/// Returns an error if either dimension is 0.
+pub fn triangular_lattice(rows: usize, cols: usize) -> Result<CsrGraph> {
+    if rows == 0 || cols == 0 {
+        return Err(GraphError::invalid_parameter(
+            "triangular_lattice: dimensions must be positive",
+        ));
+    }
+    let idx = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut b = GraphBuilder::with_vertices(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge_raw(idx(r, c), idx(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge_raw(idx(r, c), idx(r + 1, c));
+            }
+            if r + 1 < rows && c + 1 < cols {
+                b.add_edge_raw(idx(r, c), idx(r + 1, c + 1));
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use degentri_graph::degeneracy::degeneracy;
+    use degentri_graph::triangles::count_triangles;
+
+    #[test]
+    fn lattice_structure() {
+        let (rows, cols) = (6usize, 9usize);
+        let g = triangular_lattice(rows, cols).unwrap();
+        assert_eq!(g.num_vertices(), rows * cols);
+        let horizontal = rows * (cols - 1);
+        let vertical = (rows - 1) * cols;
+        let diagonal = (rows - 1) * (cols - 1);
+        assert_eq!(g.num_edges(), horizontal + vertical + diagonal);
+        // Each unit cell holds exactly two triangles.
+        assert_eq!(count_triangles(&g), 2 * diagonal as u64);
+        // Planar => degeneracy <= 5; this lattice has κ = 3.
+        assert!(degeneracy(&g) <= 5);
+        assert_eq!(degeneracy(&g), 3);
+    }
+
+    #[test]
+    fn thin_lattices() {
+        let g = triangular_lattice(1, 8).unwrap();
+        assert_eq!(count_triangles(&g), 0);
+        let g = triangular_lattice(2, 2).unwrap();
+        assert_eq!(count_triangles(&g), 2);
+        assert!(triangular_lattice(0, 3).is_err());
+    }
+}

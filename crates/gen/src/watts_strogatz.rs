@@ -1,0 +1,129 @@
+//! Watts–Strogatz small-world graphs.
+//!
+//! The paper motivates its parameterization with the observation that
+//! real-world graphs combine low sparsity with high triangle density,
+//! citing the small-world model of Watts and Strogatz. The model starts
+//! from a ring lattice (every vertex adjacent to its `k/2` nearest
+//! neighbors on each side — a `k`-regular graph with `3n·⌊k/2⌋·(⌊k/2⌋−1)/2`
+//! triangles and degeneracy exactly `k`) and rewires each edge with
+//! probability `β`, trading clustering for short paths. For small `β` the
+//! graph keeps `Θ(nk²)` triangles at degeneracy `O(k)`, which puts it
+//! squarely in the regime where `mκ/T` is small.
+
+use degentri_graph::{CsrGraph, GraphBuilder, GraphError, Result, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The Watts–Strogatz small-world graph on `n` vertices with mean degree
+/// `k` (rounded down to an even number) and rewiring probability `beta`.
+///
+/// # Errors
+/// Returns an error if `n < 4`, `k < 2`, `k ≥ n`, or `beta ∉ [0, 1]`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Result<CsrGraph> {
+    if n < 4 {
+        return Err(GraphError::invalid_parameter(format!(
+            "watts_strogatz: need at least 4 vertices, got {n}"
+        )));
+    }
+    let half = k / 2;
+    if half == 0 {
+        return Err(GraphError::invalid_parameter(
+            "watts_strogatz: mean degree must be at least 2",
+        ));
+    }
+    if k >= n {
+        return Err(GraphError::invalid_parameter(format!(
+            "watts_strogatz: mean degree {k} must be smaller than n = {n}"
+        )));
+    }
+    if !(0.0..=1.0).contains(&beta) {
+        return Err(GraphError::invalid_parameter(
+            "watts_strogatz: beta must lie in [0, 1]",
+        ));
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_vertices(n);
+    for v in 0..n as u32 {
+        for offset in 1..=half as u32 {
+            let w = (v + offset) % n as u32;
+            if rng.gen_bool(beta) {
+                // Rewire the far endpoint to a uniform random vertex,
+                // avoiding self-loops; duplicate edges are dropped by the
+                // builder (the standard implementation simply skips them).
+                let mut target = rng.gen_range(0..n as u32);
+                let mut attempts = 0;
+                while (target == v || builder.contains(VertexId::new(v), VertexId::new(target)))
+                    && attempts < 16
+                {
+                    target = rng.gen_range(0..n as u32);
+                    attempts += 1;
+                }
+                if target != v {
+                    builder.add_edge_raw(v, target);
+                } else {
+                    builder.add_edge_raw(v, w);
+                }
+            } else {
+                builder.add_edge_raw(v, w);
+            }
+        }
+    }
+    builder.build_non_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use degentri_graph::degeneracy::degeneracy;
+    use degentri_graph::triangles::count_triangles;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(watts_strogatz(3, 2, 0.1, 1).is_err());
+        assert!(watts_strogatz(100, 1, 0.1, 1).is_err());
+        assert!(watts_strogatz(100, 100, 0.1, 1).is_err());
+        assert!(watts_strogatz(100, 6, 1.5, 1).is_err());
+    }
+
+    #[test]
+    fn unrewired_lattice_has_predictable_structure() {
+        let n = 200;
+        let k = 6;
+        let g = watts_strogatz(n, k, 0.0, 7).unwrap();
+        assert_eq!(g.num_vertices(), n);
+        assert_eq!(g.num_edges(), n * (k / 2));
+        // Each vertex forms triangles with its near neighbors: the ring
+        // lattice with k = 6 has 3 triangles per vertex (as the leftmost
+        // member), so 3n in total.
+        assert_eq!(count_triangles(&g), 3 * n as u64);
+        // The lattice is k-regular, so the whole graph is a subgraph of
+        // minimum degree k and the degeneracy is exactly k.
+        assert_eq!(degeneracy(&g), k);
+    }
+
+    #[test]
+    fn deterministic_given_the_seed() {
+        let a = watts_strogatz(300, 8, 0.2, 11).unwrap();
+        let b = watts_strogatz(300, 8, 0.2, 11).unwrap();
+        let c = watts_strogatz(300, 8, 0.2, 12).unwrap();
+        assert_eq!(a.edges(), b.edges());
+        assert_ne!(a.edges(), c.edges());
+    }
+
+    #[test]
+    fn mild_rewiring_keeps_triangles_and_low_degeneracy() {
+        let g = watts_strogatz(1000, 10, 0.1, 3).unwrap();
+        let t = count_triangles(&g);
+        let kappa = degeneracy(&g);
+        assert!(t > 1000, "small-world graphs stay triangle rich, got {t}");
+        assert!(kappa <= 12, "degeneracy stays O(k), got {kappa}");
+    }
+
+    #[test]
+    fn heavy_rewiring_reduces_clustering() {
+        let ordered = watts_strogatz(800, 8, 0.0, 5).unwrap();
+        let random = watts_strogatz(800, 8, 1.0, 5).unwrap();
+        assert!(count_triangles(&random) < count_triangles(&ordered));
+    }
+}

@@ -1,0 +1,60 @@
+//! The wheel graph of Section 1.1.
+//!
+//! A hub vertex connected to every vertex of an `(n−1)`-cycle. It is planar,
+//! so `κ = 3`, and has `m = 2(n−1)` edges and `T = n − 1` triangles (for
+//! `n ≥ 5`), i.e. `m = T = Θ(n)` and `mκ/T = Θ(1)`: the paper's showcase of
+//! a graph where its bound is polylogarithmic while every prior bound is
+//! `Ω(√n)`.
+
+use degentri_graph::{CsrGraph, GraphBuilder, GraphError, Result};
+
+/// The wheel graph on `n` vertices: hub `0`, rim cycle `1..n`.
+///
+/// # Errors
+/// Returns an error if `n < 4` (a wheel needs a rim of length at least 3).
+pub fn wheel(n: usize) -> Result<CsrGraph> {
+    if n < 4 {
+        return Err(GraphError::invalid_parameter(format!(
+            "wheel: need at least 4 vertices, got {n}"
+        )));
+    }
+    let rim = (n - 1) as u32;
+    let mut b = GraphBuilder::with_vertices(n);
+    for i in 1..=rim {
+        b.add_edge_raw(0, i);
+        let next = if i == rim { 1 } else { i + 1 };
+        b.add_edge_raw(i, next);
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use degentri_graph::degeneracy::degeneracy;
+    use degentri_graph::triangles::count_triangles;
+
+    #[test]
+    fn wheel_structure() {
+        for n in [5usize, 10, 101, 1000] {
+            let g = wheel(n).unwrap();
+            assert_eq!(g.num_vertices(), n);
+            assert_eq!(g.num_edges(), 2 * (n - 1));
+            assert_eq!(count_triangles(&g), (n - 1) as u64);
+            assert_eq!(degeneracy(&g), 3);
+        }
+    }
+
+    #[test]
+    fn smallest_wheel_is_k4() {
+        let g = wheel(4).unwrap();
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(count_triangles(&g), 4);
+    }
+
+    #[test]
+    fn rejects_tiny_wheels() {
+        assert!(wheel(3).is_err());
+        assert!(wheel(0).is_err());
+    }
+}

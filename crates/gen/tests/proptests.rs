@@ -1,0 +1,93 @@
+//! Property-based tests for the generators: structural invariants hold over
+//! randomized parameter ranges, and determinism is preserved.
+
+use degentri_gen::*;
+use degentri_graph::degeneracy::degeneracy;
+use degentri_graph::triangles::count_triangles;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn gnp_edge_count_within_range(n in 2usize..120, p in 0.0f64..1.0, seed in 0u64..1000) {
+        let g = gnp(n, p, seed).unwrap();
+        prop_assert_eq!(g.num_vertices(), n);
+        let max_edges = n * (n - 1) / 2;
+        prop_assert!(g.num_edges() <= max_edges);
+    }
+
+    #[test]
+    fn gnm_has_exact_edges(n in 3usize..80, seed in 0u64..1000) {
+        let max_edges = n * (n - 1) / 2;
+        let m = max_edges / 2;
+        let g = gnm(n, m, seed).unwrap();
+        prop_assert_eq!(g.num_edges(), m);
+    }
+
+    #[test]
+    fn ba_degeneracy_equals_k(n in 10usize..200, k in 1usize..6, seed in 0u64..500) {
+        prop_assume!(n > k + 1);
+        let g = barabasi_albert(n, k, seed).unwrap();
+        prop_assert_eq!(g.num_vertices(), n);
+        prop_assert_eq!(degeneracy(&g), k);
+    }
+
+    #[test]
+    fn wheel_invariants(n in 4usize..500) {
+        let g = wheel(n).unwrap();
+        prop_assert_eq!(g.num_edges(), 2 * (n - 1));
+        let expected_triangles = if n == 4 { 4 } else { (n - 1) as u64 };
+        prop_assert_eq!(count_triangles(&g), expected_triangles);
+        prop_assert_eq!(degeneracy(&g), 3);
+    }
+
+    #[test]
+    fn book_and_friendship_counts(k in 1usize..300) {
+        let b = book(k).unwrap();
+        prop_assert_eq!(count_triangles(&b), k as u64);
+        let f = friendship(k).unwrap();
+        prop_assert_eq!(count_triangles(&f), k as u64);
+        prop_assert_eq!(degeneracy(&f), 2);
+    }
+
+    #[test]
+    fn lattice_triangles(rows in 1usize..25, cols in 1usize..25) {
+        let g = triangular_lattice(rows, cols).unwrap();
+        let cells = rows.saturating_sub(1) * cols.saturating_sub(1);
+        prop_assert_eq!(count_triangles(&g), 2 * cells as u64);
+    }
+
+    #[test]
+    fn gadget_triangle_promise(p in 1usize..6, q in 1usize..5, overlap in 1usize..4, seed in 0u64..100) {
+        let universe = 12usize;
+        let yes = LowerBoundGadget::yes_instance(p, q, universe, seed).unwrap();
+        prop_assert_eq!(count_triangles(&yes.graph), 0);
+        let no = LowerBoundGadget::no_instance(p, q, universe, overlap, seed).unwrap();
+        prop_assert_eq!(count_triangles(&no.graph), no.guaranteed_triangles());
+        prop_assert!(no.guaranteed_triangles() >= (p * p * q) as u64);
+        // Degeneracy stays within the paper's claimed sandwich [p, 2p].
+        let k = degeneracy(&no.graph);
+        prop_assert!(k >= p && k <= 2 * p, "κ = {} not in [{}, {}]", k, p, 2 * p);
+    }
+
+    #[test]
+    fn generators_are_deterministic(seed in 0u64..200) {
+        let a = gnp(60, 0.1, seed).unwrap();
+        let b = gnp(60, 0.1, seed).unwrap();
+        prop_assert_eq!(a.edges(), b.edges());
+        let a = barabasi_albert(50, 3, seed).unwrap();
+        let b = barabasi_albert(50, 3, seed).unwrap();
+        prop_assert_eq!(a.edges(), b.edges());
+        let a = planted_triangles(60, 2, 10, seed).unwrap();
+        let b = planted_triangles(60, 2, 10, seed).unwrap();
+        prop_assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn planted_triangle_floor(n in 30usize..300, seed in 0u64..200) {
+        let t = n / 5;
+        let g = planted_triangles(n, 1, t, seed).unwrap();
+        prop_assert!(count_triangles(&g) >= t as u64);
+    }
+}

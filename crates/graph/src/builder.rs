@@ -1,0 +1,210 @@
+//! Incremental construction of simple undirected graphs.
+//!
+//! [`GraphBuilder`] accepts edges in any order, possibly with duplicates and
+//! self-loops, and produces a [`CsrGraph`] over a dense vertex range `0..n`.
+//! Generators and the edge-list reader all funnel through it, so every graph
+//! in the workspace satisfies the same invariants: no self-loops, no parallel
+//! edges, sorted adjacency lists.
+
+use rustc_hash::FxHashSet;
+
+use crate::csr::CsrGraph;
+use crate::edge::Edge;
+use crate::error::GraphError;
+use crate::vertex::VertexId;
+use crate::Result;
+
+/// Builder for simple undirected graphs.
+///
+/// ```
+/// use degentri_graph::{GraphBuilder, VertexId};
+///
+/// let mut b = GraphBuilder::new();
+/// b.add_edge_raw(0, 1);
+/// b.add_edge_raw(1, 2);
+/// b.add_edge_raw(2, 0);
+/// b.add_edge_raw(0, 1); // duplicate: ignored
+/// b.add_edge_raw(3, 3); // self-loop: ignored (and vertex 3 is not recorded)
+/// let g = b.build();
+/// assert_eq!(g.num_vertices(), 3);
+/// assert_eq!(g.num_edges(), 3);
+/// assert_eq!(g.degree(VertexId::new(0)), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    edges: Vec<Edge>,
+    seen: FxHashSet<Edge>,
+    max_vertex: Option<u32>,
+    min_vertices: usize,
+    dropped_self_loops: usize,
+    dropped_duplicates: usize,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        GraphBuilder::default()
+    }
+
+    /// Creates an empty builder that will produce a graph with at least
+    /// `n` vertices (vertices without incident edges stay isolated).
+    pub fn with_vertices(n: usize) -> Self {
+        GraphBuilder {
+            min_vertices: n,
+            ..GraphBuilder::default()
+        }
+    }
+
+    /// Creates a builder with capacity for `m` edges.
+    pub fn with_capacity(m: usize) -> Self {
+        GraphBuilder {
+            edges: Vec::with_capacity(m),
+            seen: FxHashSet::with_capacity_and_hasher(m, Default::default()),
+            ..GraphBuilder::default()
+        }
+    }
+
+    /// Ensures the built graph has at least `n` vertices.
+    pub fn ensure_vertices(&mut self, n: usize) {
+        self.min_vertices = self.min_vertices.max(n);
+    }
+
+    /// Adds an undirected edge; duplicates and self-loops are silently
+    /// dropped (and tallied in [`GraphBuilder::dropped_self_loops`] /
+    /// [`GraphBuilder::dropped_duplicates`]).
+    ///
+    /// Returns `true` if the edge was newly inserted.
+    pub fn add_edge(&mut self, a: VertexId, b: VertexId) -> bool {
+        if a == b {
+            self.dropped_self_loops += 1;
+            return false;
+        }
+        let e = Edge::new(a, b);
+        if !self.seen.insert(e) {
+            self.dropped_duplicates += 1;
+            return false;
+        }
+        let hi = e.v().raw();
+        self.max_vertex = Some(self.max_vertex.map_or(hi, |m| m.max(hi)));
+        self.edges.push(e);
+        true
+    }
+
+    /// Adds an edge given raw `u32` endpoints. See [`GraphBuilder::add_edge`].
+    pub fn add_edge_raw(&mut self, a: u32, b: u32) -> bool {
+        self.add_edge(VertexId::new(a), VertexId::new(b))
+    }
+
+    /// Adds every edge from an iterator of raw pairs.
+    pub fn extend_raw<I: IntoIterator<Item = (u32, u32)>>(&mut self, iter: I) {
+        for (a, b) in iter {
+            self.add_edge_raw(a, b);
+        }
+    }
+
+    /// Number of distinct edges currently in the builder.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of self-loops that were dropped.
+    pub fn dropped_self_loops(&self) -> usize {
+        self.dropped_self_loops
+    }
+
+    /// Number of duplicate edges that were dropped.
+    pub fn dropped_duplicates(&self) -> usize {
+        self.dropped_duplicates
+    }
+
+    /// Returns `true` if the edge has already been added.
+    pub fn contains(&self, a: VertexId, b: VertexId) -> bool {
+        a != b && self.seen.contains(&Edge::new(a, b))
+    }
+
+    /// Consumes the builder and produces the CSR graph.
+    ///
+    /// The vertex count is `max(min_vertices, 1 + max vertex id)`, or
+    /// `min_vertices` for an edgeless builder.
+    pub fn build(self) -> CsrGraph {
+        let n = self
+            .max_vertex
+            .map(|m| m as usize + 1)
+            .unwrap_or(0)
+            .max(self.min_vertices);
+        CsrGraph::from_edges(n, self.edges)
+    }
+
+    /// Like [`GraphBuilder::build`] but fails on an empty (no vertices) graph.
+    pub fn build_non_empty(self) -> Result<CsrGraph> {
+        let g = self.build();
+        if g.num_vertices() == 0 {
+            Err(GraphError::EmptyGraph)
+        } else {
+            Ok(g)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deduplicates_and_drops_self_loops() {
+        let mut b = GraphBuilder::new();
+        assert!(b.add_edge_raw(0, 1));
+        assert!(!b.add_edge_raw(1, 0)); // same undirected edge
+        assert!(!b.add_edge_raw(2, 2)); // self loop
+        assert!(b.add_edge_raw(1, 2));
+        assert_eq!(b.num_edges(), 2);
+        assert_eq!(b.dropped_duplicates(), 1);
+        assert_eq!(b.dropped_self_loops(), 1);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.num_vertices(), 3);
+    }
+
+    #[test]
+    fn with_vertices_creates_isolated_vertices() {
+        let mut b = GraphBuilder::with_vertices(10);
+        b.add_edge_raw(0, 1);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(VertexId::new(9)), 0);
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert!(GraphBuilder::new().build_non_empty().is_err());
+    }
+
+    #[test]
+    fn contains_reports_inserted_edges() {
+        let mut b = GraphBuilder::new();
+        b.add_edge_raw(3, 5);
+        assert!(b.contains(VertexId::new(5), VertexId::new(3)));
+        assert!(!b.contains(VertexId::new(3), VertexId::new(4)));
+        assert!(!b.contains(VertexId::new(3), VertexId::new(3)));
+    }
+
+    #[test]
+    fn extend_raw_adds_all() {
+        let mut b = GraphBuilder::with_capacity(4);
+        b.extend_raw([(0, 1), (1, 2), (2, 3), (0, 1)]);
+        assert_eq!(b.num_edges(), 3);
+    }
+
+    #[test]
+    fn ensure_vertices_grows_only() {
+        let mut b = GraphBuilder::with_vertices(5);
+        b.ensure_vertices(3);
+        b.ensure_vertices(8);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 8);
+    }
+}

@@ -1,0 +1,351 @@
+//! Compressed sparse row (CSR) graph representation.
+//!
+//! [`CsrGraph`] stores sorted adjacency lists in two flat arrays. It is the
+//! ground-truth representation used by the exact algorithms (degeneracy,
+//! triangle counting) and by the generators; the *streaming* algorithms never
+//! get access to it — they only see an edge stream — except through the
+//! narrow interfaces the paper's model allows (e.g. the degree oracle of
+//! Section 4).
+
+use crate::edge::Edge;
+use crate::error::GraphError;
+use crate::vertex::VertexId;
+use crate::Result;
+
+/// An immutable simple undirected graph in CSR form.
+///
+/// Invariants (established by [`CsrGraph::from_edges`] and preserved because
+/// the type is immutable):
+/// * no self-loops, no parallel edges;
+/// * each adjacency list is sorted by vertex id;
+/// * `offsets.len() == n + 1`, `neighbors.len() == 2 * m`;
+/// * `edges` holds each undirected edge exactly once in normalized
+///   (`u < v`) form, sorted lexicographically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    offsets: Vec<usize>,
+    neighbors: Vec<VertexId>,
+    edges: Vec<Edge>,
+}
+
+impl CsrGraph {
+    /// Builds a CSR graph with `n` vertices from a list of normalized,
+    /// deduplicated edges (as produced by
+    /// [`GraphBuilder`](crate::builder::GraphBuilder)).
+    ///
+    /// Duplicate edges or self-loops in the input would violate the
+    /// invariants, so this is crate-internal; external callers go through the
+    /// builder.
+    pub(crate) fn from_edges(n: usize, mut edges: Vec<Edge>) -> Self {
+        edges.sort_unstable();
+        edges.dedup();
+
+        let mut degree = vec![0usize; n];
+        for e in &edges {
+            degree[e.u().index()] += 1;
+            degree[e.v().index()] += 1;
+        }
+
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut acc = 0usize;
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![VertexId::default(); acc];
+        for e in &edges {
+            let (u, v) = e.endpoints();
+            neighbors[cursor[u.index()]] = v;
+            cursor[u.index()] += 1;
+            neighbors[cursor[v.index()]] = u;
+            cursor[v.index()] += 1;
+        }
+
+        // Each adjacency list must be sorted for binary-search adjacency
+        // tests; edges were sorted lexicographically so lists for `u` are
+        // already sorted for the `u < v` half, but the `v` half interleaves.
+        for u in 0..n {
+            neighbors[offsets[u]..offsets[u + 1]].sort_unstable();
+        }
+
+        CsrGraph {
+            offsets,
+            neighbors,
+            edges,
+        }
+    }
+
+    /// Builds a graph directly from raw `(u, v)` pairs, deduplicating and
+    /// dropping self-loops. Convenience wrapper over the builder.
+    pub fn from_raw_edges(n: usize, raw: impl IntoIterator<Item = (u32, u32)>) -> Self {
+        let mut b = crate::builder::GraphBuilder::with_vertices(n);
+        b.extend_raw(raw);
+        b.build()
+    }
+
+    /// Number of vertices `n`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges `m`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Degree of vertex `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.offsets[v.index() + 1] - self.offsets[v.index()]
+    }
+
+    /// The degree of an edge as defined in the paper (Section 3):
+    /// `d_e = min(d_u, d_v)`.
+    #[inline]
+    pub fn edge_degree(&self, e: Edge) -> usize {
+        self.degree(e.u()).min(self.degree(e.v()))
+    }
+
+    /// The endpoint of `e` with the smaller degree (ties broken towards the
+    /// smaller vertex id), i.e. the endpoint whose neighborhood defines
+    /// `N(e)` in the paper.
+    #[inline]
+    pub fn lower_degree_endpoint(&self, e: Edge) -> VertexId {
+        if self.degree(e.u()) <= self.degree(e.v()) {
+            e.u()
+        } else {
+            e.v()
+        }
+    }
+
+    /// Sorted adjacency list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.neighbors[self.offsets[v.index()]..self.offsets[v.index() + 1]]
+    }
+
+    /// The neighborhood `N(e)` of an edge: the neighbors of its lower-degree
+    /// endpoint (Section 3 of the paper).
+    #[inline]
+    pub fn edge_neighborhood(&self, e: Edge) -> &[VertexId] {
+        self.neighbors(self.lower_degree_endpoint(e))
+    }
+
+    /// Tests adjacency in `O(log d)` via binary search on the smaller list.
+    #[inline]
+    pub fn has_edge(&self, a: VertexId, b: VertexId) -> bool {
+        if a == b {
+            return false;
+        }
+        let (probe, list_of) = if self.degree(a) <= self.degree(b) {
+            (b, a)
+        } else {
+            (a, b)
+        };
+        self.neighbors(list_of).binary_search(&probe).is_ok()
+    }
+
+    /// Returns `true` if vertices `a`, `b`, `c` form a triangle.
+    pub fn is_triangle(&self, a: VertexId, b: VertexId, c: VertexId) -> bool {
+        a != b
+            && b != c
+            && a != c
+            && self.has_edge(a, b)
+            && self.has_edge(b, c)
+            && self.has_edge(a, c)
+    }
+
+    /// All edges in normalized form, sorted lexicographically.
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Iterator over all vertices.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.num_vertices() as u32).map(VertexId::new)
+    }
+
+    /// Maximum degree `Δ`, or 0 for an empty graph.
+    pub fn max_degree(&self) -> usize {
+        self.vertices().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// The degree vector indexed by vertex id.
+    pub fn degree_vector(&self) -> Vec<usize> {
+        self.vertices().map(|v| self.degree(v)).collect()
+    }
+
+    /// Sum of edge degrees `d_E = Σ_e min(d_u, d_v)` (Section 3). The
+    /// Chiba–Nishizeki lemma bounds this by `2mκ`.
+    pub fn edge_degree_sum(&self) -> u64 {
+        self.edges
+            .iter()
+            .map(|&e| self.edge_degree(e) as u64)
+            .sum()
+    }
+
+    /// Validates that an externally supplied vertex is within range.
+    pub fn check_vertex(&self, v: VertexId) -> Result<()> {
+        if v.index() < self.num_vertices() {
+            Ok(())
+        } else {
+            Err(GraphError::VertexOutOfRange {
+                vertex: v.raw(),
+                n: self.num_vertices(),
+            })
+        }
+    }
+
+    /// Returns the subgraph induced by `keep[v] == true`, relabelling kept
+    /// vertices to a dense range while preserving relative order. Also
+    /// returns the mapping `old id -> new id`.
+    pub fn induced_subgraph(&self, keep: &[bool]) -> (CsrGraph, Vec<Option<VertexId>>) {
+        assert_eq!(keep.len(), self.num_vertices(), "keep mask length must equal n");
+        let mut mapping: Vec<Option<VertexId>> = vec![None; self.num_vertices()];
+        let mut next = 0u32;
+        for (i, &k) in keep.iter().enumerate() {
+            if k {
+                mapping[i] = Some(VertexId::new(next));
+                next += 1;
+            }
+        }
+        let mut b = crate::builder::GraphBuilder::with_vertices(next as usize);
+        for e in &self.edges {
+            if let (Some(u), Some(v)) = (mapping[e.u().index()], mapping[e.v().index()]) {
+                b.add_edge(u, v);
+            }
+        }
+        (b.build(), mapping)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn v(x: u32) -> VertexId {
+        VertexId::new(x)
+    }
+
+    fn triangle_plus_pendant() -> CsrGraph {
+        // 0-1-2 triangle with pendant 3 attached to 0.
+        CsrGraph::from_raw_edges(4, [(0, 1), (1, 2), (0, 2), (0, 3)])
+    }
+
+    #[test]
+    fn basic_counts_and_degrees() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(v(0)), 3);
+        assert_eq!(g.degree(v(1)), 2);
+        assert_eq!(g.degree(v(3)), 1);
+        assert_eq!(g.max_degree(), 3);
+        assert_eq!(g.degree_vector(), vec![3, 2, 2, 1]);
+    }
+
+    #[test]
+    fn adjacency_lists_are_sorted_and_symmetric() {
+        let g = triangle_plus_pendant();
+        for u in g.vertices() {
+            let ns = g.neighbors(u);
+            assert!(ns.windows(2).all(|w| w[0] < w[1]), "sorted");
+            for &w in ns {
+                assert!(g.neighbors(w).contains(&u), "symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn has_edge_and_is_triangle() {
+        let g = triangle_plus_pendant();
+        assert!(g.has_edge(v(0), v(1)));
+        assert!(g.has_edge(v(1), v(0)));
+        assert!(!g.has_edge(v(1), v(3)));
+        assert!(!g.has_edge(v(2), v(2)));
+        assert!(g.is_triangle(v(0), v(1), v(2)));
+        assert!(g.is_triangle(v(2), v(0), v(1)));
+        assert!(!g.is_triangle(v(0), v(1), v(3)));
+        assert!(!g.is_triangle(v(0), v(0), v(1)));
+    }
+
+    #[test]
+    fn edge_degree_and_neighborhood() {
+        let g = triangle_plus_pendant();
+        let e01 = Edge::from_raw(0, 1);
+        assert_eq!(g.edge_degree(e01), 2);
+        assert_eq!(g.lower_degree_endpoint(e01), v(1));
+        assert_eq!(g.edge_neighborhood(e01), g.neighbors(v(1)));
+        let e03 = Edge::from_raw(0, 3);
+        assert_eq!(g.edge_degree(e03), 1);
+        assert_eq!(g.lower_degree_endpoint(e03), v(3));
+    }
+
+    #[test]
+    fn edge_degree_sum_matches_manual() {
+        let g = triangle_plus_pendant();
+        // d = [3,2,2,1]; edges: (0,1)->2 (0,2)->2 (0,3)->1 (1,2)->2  => 7
+        assert_eq!(g.edge_degree_sum(), 7);
+    }
+
+    #[test]
+    fn edges_are_sorted_unique_normalized() {
+        let g = CsrGraph::from_raw_edges(5, [(4, 0), (1, 0), (0, 1), (3, 2)]);
+        let edges = g.edges();
+        assert_eq!(edges.len(), 3);
+        assert!(edges.windows(2).all(|w| w[0] < w[1]));
+        for e in edges {
+            assert!(e.u() < e.v());
+        }
+    }
+
+    #[test]
+    fn check_vertex_bounds() {
+        let g = triangle_plus_pendant();
+        assert!(g.check_vertex(v(3)).is_ok());
+        assert!(matches!(
+            g.check_vertex(v(4)),
+            Err(GraphError::VertexOutOfRange { vertex: 4, n: 4 })
+        ));
+    }
+
+    #[test]
+    fn induced_subgraph_relabels() {
+        let g = triangle_plus_pendant();
+        // keep vertices 0, 2, 3 -> edges (0,2) and (0,3) survive
+        let keep = vec![true, false, true, true];
+        let (sub, mapping) = g.induced_subgraph(&keep);
+        assert_eq!(sub.num_vertices(), 3);
+        assert_eq!(sub.num_edges(), 2);
+        assert_eq!(mapping[0], Some(v(0)));
+        assert_eq!(mapping[1], None);
+        assert_eq!(mapping[2], Some(v(1)));
+        assert_eq!(mapping[3], Some(v(2)));
+        assert!(sub.has_edge(v(0), v(1)));
+        assert!(sub.has_edge(v(0), v(2)));
+        assert!(!sub.has_edge(v(1), v(2)));
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.edge_degree_sum(), 0);
+
+        let g = GraphBuilder::with_vertices(3).build();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.degree(v(2)), 0);
+    }
+}

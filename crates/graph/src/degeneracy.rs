@@ -1,0 +1,311 @@
+//! Core decomposition and degeneracy.
+//!
+//! The degeneracy `κ(G)` (Definition 1.1 of the paper) is the largest minimum
+//! degree over all subgraphs of `G`, equivalently the largest "observed
+//! degree" when repeatedly removing a minimum-degree vertex. This module
+//! implements the classic linear-time bucket-queue peeling algorithm
+//! (Matula–Beck), producing:
+//!
+//! * the degeneracy `κ`,
+//! * the core number of every vertex,
+//! * the *degeneracy ordering* (the order vertices were peeled), which
+//!   certifies `κ`: every vertex has at most `κ` neighbors later in the
+//!   ordering.
+
+use crate::csr::CsrGraph;
+use crate::vertex::VertexId;
+
+/// Result of the core decomposition of a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreDecomposition {
+    /// The degeneracy `κ` of the graph (0 for an edgeless graph).
+    pub degeneracy: usize,
+    /// `core[v]` is the core number of vertex `v`: the largest `k` such that
+    /// `v` belongs to a subgraph of minimum degree `k`.
+    pub core_numbers: Vec<usize>,
+    /// Vertices in peeling order (first peeled first). Every vertex has at
+    /// most `degeneracy` neighbors that appear *after* it in this order.
+    pub ordering: Vec<VertexId>,
+    /// `position[v]` is the index of `v` in `ordering`.
+    pub position: Vec<usize>,
+}
+
+impl CoreDecomposition {
+    /// Computes the core decomposition of `g` with the bucket-queue peeling
+    /// algorithm in `O(n + m)` time.
+    pub fn compute(g: &CsrGraph) -> Self {
+        let n = g.num_vertices();
+        if n == 0 {
+            return CoreDecomposition {
+                degeneracy: 0,
+                core_numbers: Vec::new(),
+                ordering: Vec::new(),
+                position: Vec::new(),
+            };
+        }
+
+        let mut degree: Vec<usize> = g.degree_vector();
+        let max_deg = *degree.iter().max().unwrap_or(&0);
+
+        // bucket[d] holds the vertices whose current degree is d.
+        let mut bucket_start = vec![0usize; max_deg + 2];
+        for &d in &degree {
+            bucket_start[d + 1] += 1;
+        }
+        for d in 1..bucket_start.len() {
+            bucket_start[d] += bucket_start[d - 1];
+        }
+        // vert: vertices sorted by current degree; pos: index of v in vert.
+        let mut vert = vec![0u32; n];
+        let mut pos = vec![0usize; n];
+        {
+            let mut cursor = bucket_start.clone();
+            for v in 0..n {
+                let d = degree[v];
+                vert[cursor[d]] = v as u32;
+                pos[v] = cursor[d];
+                cursor[d] += 1;
+            }
+        }
+        // bin[d] = index in `vert` of the first vertex with degree d.
+        let mut bin = bucket_start;
+        bin.pop();
+
+        let degeneracy;
+        let mut ordering = Vec::with_capacity(n);
+
+        for i in 0..n {
+            let v = vert[i] as usize;
+            ordering.push(VertexId::new(v as u32));
+
+            for &w in g.neighbors(VertexId::new(v as u32)) {
+                let w = w.index();
+                if degree[w] > degree[v] {
+                    let dw = degree[w];
+                    let pw = pos[w];
+                    let pfirst = bin[dw];
+                    let vfirst = vert[pfirst] as usize;
+                    if w != vfirst {
+                        vert.swap(pw, pfirst);
+                        pos[w] = pfirst;
+                        pos[vfirst] = pw;
+                    }
+                    bin[dw] += 1;
+                    degree[w] -= 1;
+                }
+            }
+        }
+
+        // The core number of v is its remaining degree at peel time, made
+        // monotone by a running maximum; the degeneracy is the final maximum.
+        let mut core_numbers = vec![0usize; n];
+        {
+            // Recompute peel-time degrees deterministically from the ordering.
+            let mut remaining: Vec<usize> = g.degree_vector();
+            let mut removed = vec![false; n];
+            let mut running_max = 0usize;
+            for &v in &ordering {
+                let dv = remaining[v.index()];
+                running_max = running_max.max(dv);
+                core_numbers[v.index()] = running_max;
+                removed[v.index()] = true;
+                for &w in g.neighbors(v) {
+                    if !removed[w.index()] {
+                        remaining[w.index()] -= 1;
+                    }
+                }
+            }
+            degeneracy = running_max;
+        }
+
+        let mut position = vec![0usize; n];
+        for (i, &v) in ordering.iter().enumerate() {
+            position[v.index()] = i;
+        }
+
+        CoreDecomposition {
+            degeneracy,
+            core_numbers,
+            ordering,
+            position,
+        }
+    }
+
+    /// The number of neighbors of `v` that appear after `v` in the degeneracy
+    /// ordering. By construction this is at most [`Self::degeneracy`].
+    pub fn forward_degree(&self, g: &CsrGraph, v: VertexId) -> usize {
+        g.neighbors(v)
+            .iter()
+            .filter(|w| self.position[w.index()] > self.position[v.index()])
+            .count()
+    }
+
+    /// Verifies the defining property of the ordering: every vertex has at
+    /// most `degeneracy` neighbors later in the ordering. Used by tests.
+    pub fn verify(&self, g: &CsrGraph) -> bool {
+        g.vertices().all(|v| self.forward_degree(g, v) <= self.degeneracy)
+    }
+}
+
+/// Computes just the degeneracy `κ` of `g`.
+pub fn degeneracy(g: &CsrGraph) -> usize {
+    CoreDecomposition::compute(g).degeneracy
+}
+
+/// A brute-force reference implementation of Definition 1.1: repeatedly
+/// remove a minimum-degree vertex and report the maximum degree observed at
+/// removal time. `O(n²)`; only suitable for tests on small graphs.
+pub fn degeneracy_reference(g: &CsrGraph) -> usize {
+    let n = g.num_vertices();
+    let mut alive = vec![true; n];
+    let mut degree = g.degree_vector();
+    let mut best = 0usize;
+    for _ in 0..n {
+        let v = (0..n)
+            .filter(|&v| alive[v])
+            .min_by_key(|&v| degree[v])
+            .expect("at least one alive vertex");
+        best = best.max(degree[v]);
+        alive[v] = false;
+        for &w in g.neighbors(VertexId::from(v)) {
+            if alive[w.index()] {
+                degree[w.index()] -= 1;
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn path(n: u32) -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        for i in 0..n.saturating_sub(1) {
+            b.add_edge_raw(i, i + 1);
+        }
+        b.build()
+    }
+
+    fn complete(n: u32) -> CsrGraph {
+        let mut b = GraphBuilder::with_vertices(n as usize);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                b.add_edge_raw(i, j);
+            }
+        }
+        b.build()
+    }
+
+    fn cycle(n: u32) -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        for i in 0..n {
+            b.add_edge_raw(i, (i + 1) % n);
+        }
+        b.build()
+    }
+
+    fn star(leaves: u32) -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        for i in 1..=leaves {
+            b.add_edge_raw(0, i);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn degeneracy_of_basic_families() {
+        assert_eq!(degeneracy(&path(10)), 1);
+        assert_eq!(degeneracy(&cycle(10)), 2);
+        assert_eq!(degeneracy(&complete(6)), 5);
+        assert_eq!(degeneracy(&star(20)), 1);
+        assert_eq!(degeneracy(&GraphBuilder::with_vertices(5).build()), 0);
+        assert_eq!(degeneracy(&GraphBuilder::new().build()), 0);
+    }
+
+    #[test]
+    fn matches_reference_on_small_graphs() {
+        for g in [path(7), cycle(9), complete(5), star(8)] {
+            assert_eq!(degeneracy(&g), degeneracy_reference(&g));
+        }
+    }
+
+    #[test]
+    fn core_numbers_of_complete_graph() {
+        let g = complete(5);
+        let d = CoreDecomposition::compute(&g);
+        assert_eq!(d.degeneracy, 4);
+        assert!(d.core_numbers.iter().all(|&c| c == 4));
+        assert!(d.verify(&g));
+    }
+
+    #[test]
+    fn core_numbers_of_star_plus_triangle() {
+        // Star center 0 with leaves 1..=4, plus a triangle 5-6-7 attached to 0 via 5.
+        let mut b = GraphBuilder::new();
+        for i in 1..=4 {
+            b.add_edge_raw(0, i);
+        }
+        b.extend_raw([(5, 6), (6, 7), (5, 7), (0, 5)]);
+        let g = b.build();
+        let d = CoreDecomposition::compute(&g);
+        assert_eq!(d.degeneracy, 2);
+        // Leaves are 1-core, triangle vertices are 2-core.
+        for leaf in 1..=4u32 {
+            assert_eq!(d.core_numbers[leaf as usize], 1);
+        }
+        for t in 5..=7u32 {
+            assert_eq!(d.core_numbers[t as usize], 2);
+        }
+        assert!(d.verify(&g));
+    }
+
+    #[test]
+    fn ordering_is_a_permutation_with_consistent_positions() {
+        let g = cycle(12);
+        let d = CoreDecomposition::compute(&g);
+        let mut seen = vec![false; 12];
+        for (i, &v) in d.ordering.iter().enumerate() {
+            assert!(!seen[v.index()]);
+            seen[v.index()] = true;
+            assert_eq!(d.position[v.index()], i);
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn forward_degree_bounded_by_degeneracy() {
+        let g = complete(7);
+        let d = CoreDecomposition::compute(&g);
+        assert!(d.verify(&g));
+        for v in g.vertices() {
+            assert!(d.forward_degree(&g, v) <= d.degeneracy);
+        }
+    }
+
+    #[test]
+    fn wheel_graph_has_constant_degeneracy() {
+        // Wheel: hub 0 connected to cycle 1..n-1 (the Section 1.1 example).
+        let n = 50u32;
+        let mut b = GraphBuilder::new();
+        for i in 1..n {
+            b.add_edge_raw(0, i);
+            let next = if i == n - 1 { 1 } else { i + 1 };
+            b.add_edge_raw(i, next);
+        }
+        let g = b.build();
+        assert_eq!(degeneracy(&g), 3);
+        assert_eq!(degeneracy_reference(&g), 3);
+    }
+
+    #[test]
+    fn degeneracy_at_most_sqrt_2m() {
+        for g in [complete(8), cycle(30), star(30), path(30)] {
+            let k = degeneracy(&g) as f64;
+            let bound = (2.0 * g.num_edges() as f64).sqrt();
+            assert!(k <= bound + 1e-9, "κ={k} > sqrt(2m)={bound}");
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Undirected edges.
+//!
+//! An [`Edge`] is an unordered pair of distinct vertices stored in normalized
+//! form (`u < v`), so that the same undirected edge always compares and
+//! hashes equally regardless of the order it appeared in the stream.
+
+use std::fmt;
+
+use crate::vertex::VertexId;
+
+/// An undirected edge between two distinct vertices, stored with
+/// `u() < v()`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Edge {
+    u: VertexId,
+    v: VertexId,
+}
+
+impl Edge {
+    /// Creates a normalized edge from two distinct endpoints.
+    ///
+    /// # Panics
+    /// Panics if `a == b` (self-loops are not representable; the
+    /// [`GraphBuilder`](crate::builder::GraphBuilder) silently drops them
+    /// instead of constructing an `Edge`).
+    #[inline]
+    pub fn new(a: VertexId, b: VertexId) -> Self {
+        assert_ne!(a, b, "self-loop {a:?} cannot be represented as an Edge");
+        if a < b {
+            Edge { u: a, v: b }
+        } else {
+            Edge { u: b, v: a }
+        }
+    }
+
+    /// Creates a normalized edge from raw `u32` endpoints.
+    ///
+    /// # Panics
+    /// Panics if `a == b`.
+    #[inline]
+    pub fn from_raw(a: u32, b: u32) -> Self {
+        Edge::new(VertexId::new(a), VertexId::new(b))
+    }
+
+    /// The smaller endpoint.
+    #[inline]
+    pub const fn u(self) -> VertexId {
+        self.u
+    }
+
+    /// The larger endpoint.
+    #[inline]
+    pub const fn v(self) -> VertexId {
+        self.v
+    }
+
+    /// Both endpoints as a `(smaller, larger)` pair.
+    #[inline]
+    pub const fn endpoints(self) -> (VertexId, VertexId) {
+        (self.u, self.v)
+    }
+
+    /// Returns `true` if `x` is one of the two endpoints.
+    #[inline]
+    pub fn contains(self, x: VertexId) -> bool {
+        self.u == x || self.v == x
+    }
+
+    /// Given one endpoint, returns the other.
+    ///
+    /// Returns `None` if `x` is not an endpoint of this edge.
+    #[inline]
+    pub fn other(self, x: VertexId) -> Option<VertexId> {
+        if x == self.u {
+            Some(self.v)
+        } else if x == self.v {
+            Some(self.u)
+        } else {
+            None
+        }
+    }
+
+    /// Returns `true` if the two edges share at least one endpoint.
+    #[inline]
+    pub fn shares_endpoint(self, other: Edge) -> bool {
+        self.contains(other.u) || self.contains(other.v)
+    }
+
+    /// If `self` and `other` share exactly one endpoint, returns the triple
+    /// `(shared, self_other_end, other_other_end)` describing the wedge
+    /// (2-path) they form. Returns `None` if they are disjoint or equal.
+    pub fn wedge_with(self, other: Edge) -> Option<(VertexId, VertexId, VertexId)> {
+        if self == other {
+            return None;
+        }
+        if self.u == other.u {
+            Some((self.u, self.v, other.v))
+        } else if self.u == other.v {
+            Some((self.u, self.v, other.u))
+        } else if self.v == other.u {
+            Some((self.v, self.u, other.v))
+        } else if self.v == other.v {
+            Some((self.v, self.u, other.u))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Debug for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}-{})", self.u, self.v)
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.u, self.v)
+    }
+}
+
+impl From<(u32, u32)> for Edge {
+    #[inline]
+    fn from((a, b): (u32, u32)) -> Self {
+        Edge::from_raw(a, b)
+    }
+}
+
+/// A triangle: three pairwise-adjacent vertices, stored sorted.
+///
+/// Triangles are the objects the whole workspace counts; a canonical sorted
+/// representation makes the assignment memo table of Algorithm 3 (and the
+/// deduplication logic in tests) straightforward.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Triangle {
+    a: VertexId,
+    b: VertexId,
+    c: VertexId,
+}
+
+impl Triangle {
+    /// Creates a triangle from three distinct vertices (any order).
+    ///
+    /// # Panics
+    /// Panics if any two vertices coincide.
+    pub fn new(x: VertexId, y: VertexId, z: VertexId) -> Self {
+        assert!(x != y && y != z && x != z, "triangle vertices must be distinct");
+        let mut t = [x, y, z];
+        t.sort_unstable();
+        Triangle {
+            a: t[0],
+            b: t[1],
+            c: t[2],
+        }
+    }
+
+    /// Creates a triangle from raw `u32` vertex ids.
+    pub fn from_raw(x: u32, y: u32, z: u32) -> Self {
+        Triangle::new(VertexId::new(x), VertexId::new(y), VertexId::new(z))
+    }
+
+    /// The three vertices in increasing order.
+    pub const fn vertices(self) -> [VertexId; 3] {
+        [self.a, self.b, self.c]
+    }
+
+    /// The three edges of the triangle.
+    pub fn edges(self) -> [Edge; 3] {
+        [
+            Edge::new(self.a, self.b),
+            Edge::new(self.b, self.c),
+            Edge::new(self.a, self.c),
+        ]
+    }
+
+    /// Returns `true` if `e` is one of the triangle's three edges.
+    pub fn contains_edge(self, e: Edge) -> bool {
+        self.edges().contains(&e)
+    }
+
+    /// Returns the vertex of the triangle opposite to edge `e`, or `None` if
+    /// `e` is not an edge of this triangle.
+    pub fn apex(self, e: Edge) -> Option<VertexId> {
+        if !self.contains_edge(e) {
+            return None;
+        }
+        self.vertices().into_iter().find(|&x| !e.contains(x))
+    }
+}
+
+impl fmt::Debug for Triangle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "△({},{},{})", self.a, self.b, self.c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: u32) -> VertexId {
+        VertexId::new(x)
+    }
+
+    #[test]
+    fn edge_is_normalized() {
+        assert_eq!(Edge::from_raw(5, 2), Edge::from_raw(2, 5));
+        assert_eq!(Edge::from_raw(5, 2).u(), v(2));
+        assert_eq!(Edge::from_raw(5, 2).v(), v(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_panics() {
+        let _ = Edge::from_raw(3, 3);
+    }
+
+    #[test]
+    fn contains_and_other() {
+        let e = Edge::from_raw(1, 4);
+        assert!(e.contains(v(1)));
+        assert!(e.contains(v(4)));
+        assert!(!e.contains(v(2)));
+        assert_eq!(e.other(v(1)), Some(v(4)));
+        assert_eq!(e.other(v(4)), Some(v(1)));
+        assert_eq!(e.other(v(9)), None);
+    }
+
+    #[test]
+    fn wedge_detection() {
+        let e1 = Edge::from_raw(0, 1);
+        let e2 = Edge::from_raw(1, 2);
+        let e3 = Edge::from_raw(3, 4);
+        let (center, a, b) = e1.wedge_with(e2).unwrap();
+        assert_eq!(center, v(1));
+        assert_eq!([a, b], [v(0), v(2)]);
+        assert!(e1.wedge_with(e3).is_none());
+        assert!(e1.wedge_with(e1).is_none());
+    }
+
+    #[test]
+    fn shares_endpoint() {
+        assert!(Edge::from_raw(0, 1).shares_endpoint(Edge::from_raw(1, 2)));
+        assert!(!Edge::from_raw(0, 1).shares_endpoint(Edge::from_raw(2, 3)));
+    }
+
+    #[test]
+    fn triangle_canonical_form() {
+        let t1 = Triangle::from_raw(5, 1, 3);
+        let t2 = Triangle::from_raw(3, 5, 1);
+        assert_eq!(t1, t2);
+        assert_eq!(t1.vertices(), [v(1), v(3), v(5)]);
+    }
+
+    #[test]
+    fn triangle_edges_and_apex() {
+        let t = Triangle::from_raw(0, 1, 2);
+        let edges = t.edges();
+        assert!(edges.contains(&Edge::from_raw(0, 1)));
+        assert!(edges.contains(&Edge::from_raw(1, 2)));
+        assert!(edges.contains(&Edge::from_raw(0, 2)));
+        assert_eq!(t.apex(Edge::from_raw(0, 1)), Some(v(2)));
+        assert_eq!(t.apex(Edge::from_raw(0, 2)), Some(v(1)));
+        assert_eq!(t.apex(Edge::from_raw(4, 5)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn degenerate_triangle_panics() {
+        let _ = Triangle::from_raw(1, 1, 2);
+    }
+
+    #[test]
+    fn edge_from_tuple() {
+        let e: Edge = (7u32, 2u32).into();
+        assert_eq!(e, Edge::from_raw(2, 7));
+    }
+}

@@ -1,0 +1,140 @@
+//! Plain-text edge-list input and output.
+//!
+//! The format is the de-facto standard used by SNAP and most graph
+//! repositories: one edge per line, two whitespace-separated integer vertex
+//! ids, `#`-prefixed comment lines ignored. Vertex ids are used as given
+//! (the graph will have `max id + 1` vertices); self-loops and duplicate
+//! edges are dropped by the builder.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::error::GraphError;
+use crate::Result;
+
+/// Reads an edge list from any reader.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<CsrGraph> {
+    let reader = BufReader::new(reader);
+    let mut builder = GraphBuilder::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let a = parse_vertex(parts.next(), line_no)?;
+        let b = parse_vertex(parts.next(), line_no)?;
+        if parts.next().is_some() {
+            // Extra columns (weights, timestamps) are tolerated and ignored,
+            // matching common SNAP usage.
+        }
+        builder.add_edge_raw(a, b);
+    }
+    Ok(builder.build())
+}
+
+/// Reads an edge list from a file path.
+pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<CsrGraph> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(file)
+}
+
+/// Parses an edge list from an in-memory string (useful in tests/examples).
+pub fn parse_edge_list(text: &str) -> Result<CsrGraph> {
+    read_edge_list(text.as_bytes())
+}
+
+/// Writes the graph as an edge list (one `u v` line per edge, `u < v`).
+pub fn write_edge_list<W: Write>(g: &CsrGraph, mut writer: W) -> Result<()> {
+    writeln!(writer, "# degentri edge list: n={} m={}", g.num_vertices(), g.num_edges())?;
+    for e in g.edges() {
+        writeln!(writer, "{} {}", e.u(), e.v())?;
+    }
+    Ok(())
+}
+
+/// Writes the graph to a file path.
+pub fn write_edge_list_file<P: AsRef<Path>>(g: &CsrGraph, path: P) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_edge_list(g, std::io::BufWriter::new(file))
+}
+
+fn parse_vertex(token: Option<&str>, line: usize) -> Result<u32> {
+    let token = token.ok_or_else(|| GraphError::Parse {
+        line,
+        message: "expected two vertex ids".into(),
+    })?;
+    token.parse::<u32>().map_err(|e| GraphError::Parse {
+        line,
+        message: format!("invalid vertex id {token:?}: {e}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_edge_list() {
+        let g = parse_edge_list("0 1\n1 2\n2 0\n").unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn ignores_comments_blank_lines_and_extra_columns() {
+        let text = "# a comment\n\n% another comment\n0 1 0.5\n1 2\n   \n2 3 1699999999\n";
+        let g = parse_edge_list(text).unwrap();
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.num_vertices(), 4);
+    }
+
+    #[test]
+    fn deduplicates_and_drops_self_loops_on_read() {
+        let g = parse_edge_list("0 1\n1 0\n2 2\n1 2\n").unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let err = parse_edge_list("0 1\nnot an edge\n").unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        let err = parse_edge_list("0\n").unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let g = CsrGraph::from_raw_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(g.num_vertices(), g2.num_vertices());
+        assert_eq!(g.edges(), g2.edges());
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let dir = std::env::temp_dir().join("degentri_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.txt");
+        let g = CsrGraph::from_raw_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        write_edge_list_file(&g, &path).unwrap();
+        let g2 = read_edge_list_file(&path).unwrap();
+        assert_eq!(g.edges(), g2.edges());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = read_edge_list_file("/definitely/not/a/file.txt").unwrap_err();
+        assert!(matches!(err, GraphError::Io(_)));
+    }
+}

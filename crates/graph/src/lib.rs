@@ -1,0 +1,50 @@
+//! # degentri-graph — static graph substrate
+//!
+//! This crate provides the in-memory graph machinery that the streaming
+//! triangle-counting algorithms of Bera & Seshadhri (PODS 2020) are built on
+//! and evaluated against:
+//!
+//! * [`Edge`] / [`VertexId`] — normalized undirected edges over `u32` vertex
+//!   ids.
+//! * [`GraphBuilder`] — deduplicating, self-loop-free construction of simple
+//!   undirected graphs from arbitrary edge lists.
+//! * [`CsrGraph`] — a compact sorted-adjacency (CSR) representation with
+//!   `O(1)` degree queries and `O(log d)` adjacency tests.
+//! * [`degeneracy`] — bucket-queue core decomposition: degeneracy `κ`, core
+//!   numbers and the peeling (degeneracy) order.
+//! * [`triangles`] — exact triangle counting: the Chiba–Nishizeki
+//!   edge-iterator, the forward (degree-ordered) algorithm, per-edge and
+//!   per-vertex triangle counts, and the edge-degree sum `d_E = Σ_e d_e`.
+//! * [`arboricity`] — arboricity bounds and their relation to degeneracy.
+//! * [`properties`] — degree distributions, wedge counts and clustering
+//!   coefficients.
+//! * [`io`] — plain-text edge-list reading and writing.
+//!
+//! The exact counters double as ground truth for every experiment in the
+//! workspace: streaming estimates are always compared against
+//! [`triangles::count_triangles`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arboricity;
+pub mod builder;
+pub mod csr;
+pub mod degeneracy;
+pub mod edge;
+pub mod error;
+pub mod io;
+pub mod properties;
+pub mod triangles;
+pub mod vertex;
+
+pub use builder::GraphBuilder;
+pub use csr::CsrGraph;
+pub use degeneracy::CoreDecomposition;
+pub use edge::{Edge, Triangle};
+pub use error::GraphError;
+pub use triangles::TriangleCounts;
+pub use vertex::VertexId;
+
+/// Convenient result alias for fallible graph operations.
+pub type Result<T> = std::result::Result<T, GraphError>;

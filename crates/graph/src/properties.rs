@@ -1,0 +1,221 @@
+//! Aggregate graph statistics used throughout the experiments.
+//!
+//! These are the quantities the paper's bounds are stated in terms of:
+//! `n`, `m`, `T`, the maximum degree `Δ`, the wedge count `W` (number of
+//! 2-paths), the degeneracy `κ`, the edge-degree sum `d_E`, and the global /
+//! average clustering coefficients that characterize "triangle-dense"
+//! real-world graphs.
+
+use crate::csr::CsrGraph;
+use crate::degeneracy::CoreDecomposition;
+use crate::triangles::TriangleCounts;
+
+/// A summary of the structural parameters of a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphProperties {
+    /// Number of vertices `n`.
+    pub num_vertices: usize,
+    /// Number of edges `m`.
+    pub num_edges: usize,
+    /// Number of triangles `T`.
+    pub triangles: u64,
+    /// Maximum degree `Δ`.
+    pub max_degree: usize,
+    /// Degeneracy `κ`.
+    pub degeneracy: usize,
+    /// Wedge (2-path) count `W = Σ_v C(d_v, 2)`.
+    pub wedges: u64,
+    /// Edge-degree sum `d_E = Σ_e min(d_u, d_v)`.
+    pub edge_degree_sum: u64,
+    /// Maximum number of triangles on a single edge (the `J` of Table 1).
+    pub max_triangles_per_edge: u64,
+    /// Global clustering coefficient `3T / W` (0 when `W = 0`).
+    pub global_clustering: f64,
+    /// Average degree `2m / n` (0 for the empty graph).
+    pub average_degree: f64,
+}
+
+impl GraphProperties {
+    /// Computes every property of `g` (cost: one exact triangle count plus a
+    /// core decomposition, i.e. `O(mκ + m^{3/2})` overall).
+    pub fn compute(g: &CsrGraph) -> Self {
+        let tc = TriangleCounts::compute(g);
+        let decomposition = CoreDecomposition::compute(g);
+        GraphProperties::from_parts(g, &tc, &decomposition)
+    }
+
+    /// Assembles the properties from precomputed triangle counts and core
+    /// decomposition (avoids recomputation when the caller already has them).
+    pub fn from_parts(
+        g: &CsrGraph,
+        triangle_counts: &TriangleCounts,
+        decomposition: &CoreDecomposition,
+    ) -> Self {
+        let n = g.num_vertices();
+        let m = g.num_edges();
+        let wedges = wedge_count(g);
+        let triangles = triangle_counts.total;
+        let global_clustering = if wedges == 0 {
+            0.0
+        } else {
+            3.0 * triangles as f64 / wedges as f64
+        };
+        GraphProperties {
+            num_vertices: n,
+            num_edges: m,
+            triangles,
+            max_degree: g.max_degree(),
+            degeneracy: decomposition.degeneracy,
+            wedges,
+            edge_degree_sum: g.edge_degree_sum(),
+            max_triangles_per_edge: triangle_counts.max_per_edge(),
+            global_clustering,
+            average_degree: if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 },
+        }
+    }
+
+    /// The paper's key premise for real graphs: `T = Ω(κ²)`. Returns the
+    /// ratio `T / κ²` (`f64::INFINITY` when `κ = 0` and `T > 0`; 0 when both
+    /// are 0).
+    pub fn triangle_to_degeneracy_squared_ratio(&self) -> f64 {
+        let k2 = (self.degeneracy as f64).powi(2);
+        if k2 == 0.0 {
+            if self.triangles == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.triangles as f64 / k2
+        }
+    }
+}
+
+/// Wedge (2-path) count `W = Σ_v C(d_v, 2)`.
+pub fn wedge_count(g: &CsrGraph) -> u64 {
+    g.vertices()
+        .map(|v| {
+            let d = g.degree(v) as u64;
+            d * d.saturating_sub(1) / 2
+        })
+        .sum()
+}
+
+/// Degree distribution histogram: `hist[d]` = number of vertices of degree `d`.
+pub fn degree_histogram(g: &CsrGraph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for v in g.vertices() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+/// Local clustering coefficient of every vertex:
+/// `c_v = triangles(v) / C(d_v, 2)` (0 when `d_v < 2`).
+pub fn local_clustering(g: &CsrGraph) -> Vec<f64> {
+    let tc = TriangleCounts::compute(g);
+    g.vertices()
+        .map(|v| {
+            let d = g.degree(v) as u64;
+            let wedges_v = d * d.saturating_sub(1) / 2;
+            if wedges_v == 0 {
+                0.0
+            } else {
+                tc.per_vertex[v.index()] as f64 / wedges_v as f64
+            }
+        })
+        .collect()
+}
+
+/// Average local clustering coefficient (Watts–Strogatz).
+pub fn average_clustering(g: &CsrGraph) -> f64 {
+    if g.num_vertices() == 0 {
+        return 0.0;
+    }
+    local_clustering(g).iter().sum::<f64>() / g.num_vertices() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn complete(n: u32) -> CsrGraph {
+        let mut b = GraphBuilder::with_vertices(n as usize);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                b.add_edge_raw(i, j);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn properties_of_complete_graph() {
+        let g = complete(6);
+        let p = GraphProperties::compute(&g);
+        assert_eq!(p.num_vertices, 6);
+        assert_eq!(p.num_edges, 15);
+        assert_eq!(p.triangles, 20);
+        assert_eq!(p.max_degree, 5);
+        assert_eq!(p.degeneracy, 5);
+        assert_eq!(p.wedges, 6 * 10);
+        assert_eq!(p.max_triangles_per_edge, 4);
+        assert!((p.global_clustering - 1.0).abs() < 1e-12);
+        assert!((p.average_degree - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn properties_of_path() {
+        let g = CsrGraph::from_raw_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let p = GraphProperties::compute(&g);
+        assert_eq!(p.triangles, 0);
+        assert_eq!(p.degeneracy, 1);
+        assert_eq!(p.wedges, 2);
+        assert_eq!(p.global_clustering, 0.0);
+        assert_eq!(p.max_triangles_per_edge, 0);
+    }
+
+    #[test]
+    fn wedge_count_star() {
+        let g = CsrGraph::from_raw_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(wedge_count(&g), 6); // C(4,2)
+    }
+
+    #[test]
+    fn degree_histogram_shape() {
+        let g = CsrGraph::from_raw_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let hist = degree_histogram(&g);
+        assert_eq!(hist, vec![0, 4, 0, 0, 1]);
+    }
+
+    #[test]
+    fn clustering_of_triangle_with_pendant() {
+        let g = CsrGraph::from_raw_edges(4, [(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let local = local_clustering(&g);
+        assert!((local[0] - 1.0).abs() < 1e-12);
+        assert!((local[1] - 1.0).abs() < 1e-12);
+        assert!((local[2] - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(local[3], 0.0);
+        let avg = average_clustering(&g);
+        assert!((avg - (1.0 + 1.0 + 1.0 / 3.0) / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_properties() {
+        let g = GraphBuilder::new().build();
+        let p = GraphProperties::compute(&g);
+        assert_eq!(p.num_vertices, 0);
+        assert_eq!(p.average_degree, 0.0);
+        assert_eq!(p.global_clustering, 0.0);
+        assert_eq!(average_clustering(&g), 0.0);
+        assert_eq!(p.triangle_to_degeneracy_squared_ratio(), 0.0);
+    }
+
+    #[test]
+    fn t_over_kappa_squared() {
+        let g = complete(6);
+        let p = GraphProperties::compute(&g);
+        assert!((p.triangle_to_degeneracy_squared_ratio() - 20.0 / 25.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,112 @@
+//! Vertex identifiers.
+//!
+//! Vertices are dense `u32` indices `0..n`. A newtype keeps them from being
+//! confused with edge indices, counts or sample sizes in the estimator code,
+//! while staying `Copy` and 4 bytes wide (the space accounting in
+//! `degentri-stream` charges one machine word per stored vertex or edge).
+
+use std::fmt;
+
+/// A vertex identifier: a dense index in `0..n`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VertexId(pub u32);
+
+impl VertexId {
+    /// Creates a vertex id from a raw `u32` index.
+    #[inline]
+    pub const fn new(raw: u32) -> Self {
+        VertexId(raw)
+    }
+
+    /// Returns the raw `u32` index.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the id as a `usize`, for indexing into per-vertex arrays.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for VertexId {
+    #[inline]
+    fn from(raw: u32) -> Self {
+        VertexId(raw)
+    }
+}
+
+impl From<VertexId> for u32 {
+    #[inline]
+    fn from(v: VertexId) -> Self {
+        v.0
+    }
+}
+
+impl From<usize> for VertexId {
+    /// Converts a `usize` index to a vertex id.
+    ///
+    /// # Panics
+    /// Panics if `raw` does not fit in a `u32`. Graphs in this workspace are
+    /// far below 4 billion vertices, so this is a programming error.
+    #[inline]
+    fn from(raw: usize) -> Self {
+        VertexId(u32::try_from(raw).expect("vertex index exceeds u32::MAX"))
+    }
+}
+
+impl fmt::Debug for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_u32() {
+        let v = VertexId::new(42);
+        assert_eq!(v.raw(), 42);
+        assert_eq!(u32::from(v), 42);
+        assert_eq!(VertexId::from(42u32), v);
+    }
+
+    #[test]
+    fn roundtrip_usize() {
+        let v = VertexId::from(7usize);
+        assert_eq!(v.index(), 7);
+    }
+
+    #[test]
+    fn ordering_follows_raw_index() {
+        assert!(VertexId::new(1) < VertexId::new(2));
+        assert_eq!(VertexId::new(5), VertexId::new(5));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(format!("{}", VertexId::new(3)), "3");
+        assert_eq!(format!("{:?}", VertexId::new(3)), "v3");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32::MAX")]
+    fn oversized_usize_panics() {
+        let _ = VertexId::from(u32::MAX as usize + 1);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(VertexId::default(), VertexId::new(0));
+    }
+}

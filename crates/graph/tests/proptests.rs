@@ -1,0 +1,158 @@
+//! Property-based tests for the graph substrate.
+//!
+//! These check the structural invariants the paper's analysis relies on:
+//! builder/CSR invariants, the degeneracy characterization, the
+//! Chiba–Nishizeki bound `d_E ≤ 2mκ`, the triangle bound `T ≤ 2mκ/3`
+//! (Corollary 3.2 states `≤ 2mκ`; the factor-3-tighter bound also holds and
+//! is what we check), and agreement of all exact triangle counters.
+
+use degentri_graph::degeneracy::{degeneracy_reference, CoreDecomposition};
+use degentri_graph::properties::wedge_count;
+use degentri_graph::triangles::{
+    count_triangles, count_triangles_brute_force, enumerate_triangles, TriangleCounts,
+};
+use degentri_graph::{CsrGraph, GraphBuilder, VertexId};
+use proptest::prelude::*;
+
+/// Strategy: a random simple graph with up to `max_n` vertices and up to
+/// `max_m` attempted edges (duplicates/self-loops are dropped).
+fn arb_graph(max_n: u32, max_m: usize) -> impl Strategy<Value = CsrGraph> {
+    (2..=max_n)
+        .prop_flat_map(move |n| {
+            let edge = (0..n, 0..n);
+            (Just(n), proptest::collection::vec(edge, 0..=max_m))
+        })
+        .prop_map(|(n, pairs)| {
+            let mut b = GraphBuilder::with_vertices(n as usize);
+            for (a, c) in pairs {
+                if a != c {
+                    b.add_edge_raw(a, c);
+                }
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_invariants(g in arb_graph(40, 160)) {
+        // Adjacency lists sorted, symmetric, no self-loops, degree sums to 2m.
+        let mut degree_sum = 0usize;
+        for v in g.vertices() {
+            let ns = g.neighbors(v);
+            prop_assert!(ns.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(!ns.contains(&v));
+            for &w in ns {
+                prop_assert!(g.neighbors(w).contains(&v));
+            }
+            degree_sum += g.degree(v);
+        }
+        prop_assert_eq!(degree_sum, 2 * g.num_edges());
+        // Edge list is sorted, unique, normalized.
+        let edges = g.edges();
+        prop_assert!(edges.windows(2).all(|w| w[0] < w[1]));
+        for e in edges {
+            prop_assert!(e.u() < e.v());
+            prop_assert!(g.has_edge(e.u(), e.v()));
+        }
+    }
+
+    #[test]
+    fn degeneracy_matches_reference_and_bounds(g in arb_graph(24, 80)) {
+        let d = CoreDecomposition::compute(&g);
+        prop_assert_eq!(d.degeneracy, degeneracy_reference(&g));
+        // κ is at most the max degree and at most sqrt(2m) + 1.
+        prop_assert!(d.degeneracy <= g.max_degree());
+        let m = g.num_edges() as f64;
+        prop_assert!((d.degeneracy as f64) <= (2.0 * m).sqrt() + 1.0);
+        // The peeling order certifies κ.
+        prop_assert!(d.verify(&g));
+        // Core numbers are bounded by degree and by κ.
+        for v in g.vertices() {
+            prop_assert!(d.core_numbers[v.index()] <= g.degree(v));
+            prop_assert!(d.core_numbers[v.index()] <= d.degeneracy);
+        }
+    }
+
+    #[test]
+    fn exact_triangle_counters_agree(g in arb_graph(20, 70)) {
+        let forward = count_triangles(&g);
+        let brute = count_triangles_brute_force(&g);
+        let edge_iter = TriangleCounts::compute(&g);
+        prop_assert_eq!(forward, brute);
+        prop_assert_eq!(edge_iter.total, brute);
+        prop_assert_eq!(edge_iter.triangles.len() as u64, brute);
+        // Per-edge counts sum to 3T; per-vertex counts sum to 3T.
+        prop_assert_eq!(edge_iter.per_edge_sum(), 3 * brute);
+        prop_assert_eq!(edge_iter.per_vertex.iter().sum::<u64>(), 3 * brute);
+    }
+
+    #[test]
+    fn chiba_nishizeki_bounds(g in arb_graph(30, 120)) {
+        let kappa = CoreDecomposition::compute(&g).degeneracy as u64;
+        let m = g.num_edges() as u64;
+        let d_e = g.edge_degree_sum();
+        let t = count_triangles(&g);
+        // Lemma 3.1: d_E <= 2 m κ.
+        prop_assert!(d_e <= 2 * m * kappa.max(1) || m == 0);
+        if kappa > 0 {
+            prop_assert!(d_e <= 2 * m * kappa);
+        }
+        // Corollary 3.2: T <= 2 m κ (in fact T <= d_E / 3 <= 2mκ/3).
+        prop_assert!(t <= 2 * m * kappa.max(1));
+        prop_assert!(3 * t <= d_e.max(1) || t == 0);
+        // Triangles never exceed wedges / something basic: 3T <= W.
+        prop_assert!(3 * t <= wedge_count(&g).max(1) || t == 0);
+    }
+
+    #[test]
+    fn enumerated_triangles_are_real_and_unique(g in arb_graph(18, 60)) {
+        let ts = enumerate_triangles(&g);
+        let mut sorted = ts.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), ts.len(), "no triangle listed twice");
+        for t in &ts {
+            let [a, b, c] = t.vertices();
+            prop_assert!(g.is_triangle(a, b, c));
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_degeneracy_never_exceeds_parent(g in arb_graph(20, 70)) {
+        // Keep a deterministic half of the vertices.
+        let keep: Vec<bool> = (0..g.num_vertices()).map(|v| v % 2 == 0).collect();
+        let (sub, _) = g.induced_subgraph(&keep);
+        let parent = CoreDecomposition::compute(&g).degeneracy;
+        let child = CoreDecomposition::compute(&sub).degeneracy;
+        prop_assert!(child <= parent);
+    }
+
+    #[test]
+    fn edge_degree_is_min_endpoint_degree(g in arb_graph(25, 90)) {
+        for &e in g.edges() {
+            let expect = g.degree(e.u()).min(g.degree(e.v()));
+            prop_assert_eq!(g.edge_degree(e), expect);
+            let lo = g.lower_degree_endpoint(e);
+            prop_assert_eq!(g.degree(lo), expect);
+            prop_assert!(e.contains(lo));
+        }
+    }
+
+    #[test]
+    fn io_roundtrip(g in arb_graph(30, 100)) {
+        let mut buf = Vec::new();
+        degentri_graph::io::write_edge_list(&g, &mut buf).unwrap();
+        let g2 = degentri_graph::io::read_edge_list(&buf[..]).unwrap();
+        prop_assert_eq!(g.edges(), g2.edges());
+    }
+}
+
+#[test]
+fn vertex_id_index_roundtrip() {
+    for raw in [0u32, 1, 17, 100_000] {
+        assert_eq!(VertexId::new(raw).index(), raw as usize);
+    }
+}

@@ -1,0 +1,157 @@
+//! Count-Min sketch (Cormode–Muthukrishnan).
+//!
+//! Frequency over-estimates for insert-only streams: `d` rows of `w`
+//! counters, each row indexed by an independent pairwise hash. A point query
+//! returns the minimum counter over the rows, which is always an
+//! over-estimate and exceeds the true frequency by more than `ε‖f‖₁` with
+//! probability at most `δ` when `w = ⌈e/ε⌉` and `d = ⌈ln(1/δ)⌉`.
+//!
+//! The dynamic-stream estimator uses Count-Min for cheap degree
+//! over-estimates; the turnstile-safe sibling is [`crate::CountSketch`].
+
+use rand::Rng;
+
+use crate::hash::KWiseHash;
+
+/// A Count-Min sketch over `u64` keys with `u64` counts.
+#[derive(Debug, Clone)]
+pub struct CountMinSketch {
+    width: usize,
+    rows: Vec<Vec<u64>>,
+    hashes: Vec<KWiseHash>,
+    total: u64,
+}
+
+impl CountMinSketch {
+    /// Creates a sketch with `depth` rows of `width` counters.
+    pub fn new<R: Rng + ?Sized>(width: usize, depth: usize, rng: &mut R) -> Self {
+        let width = width.max(1);
+        let depth = depth.max(1);
+        CountMinSketch {
+            width,
+            rows: vec![vec![0u64; width]; depth],
+            hashes: (0..depth).map(|_| KWiseHash::new(2, rng)).collect(),
+            total: 0,
+        }
+    }
+
+    /// Creates a sketch sized for additive error `ε‖f‖₁` with failure
+    /// probability `δ`.
+    pub fn with_error<R: Rng + ?Sized>(epsilon: f64, delta: f64, rng: &mut R) -> Self {
+        let width = (std::f64::consts::E / epsilon.clamp(1e-9, 1.0)).ceil() as usize;
+        let depth = (1.0 / delta.clamp(1e-9, 0.5)).ln().ceil() as usize;
+        CountMinSketch::new(width, depth.max(1), rng)
+    }
+
+    /// Adds `count` occurrences of `key`.
+    pub fn add(&mut self, key: u64, count: u64) {
+        for (row, hash) in self.rows.iter_mut().zip(self.hashes.iter()) {
+            let b = hash.bucket(key, self.width);
+            row[b] += count;
+        }
+        self.total += count;
+    }
+
+    /// Point query: an over-estimate of the number of occurrences of `key`.
+    pub fn estimate(&self, key: u64) -> u64 {
+        self.rows
+            .iter()
+            .zip(self.hashes.iter())
+            .map(|(row, hash)| row[hash.bucket(key, self.width)])
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Total number of occurrences added (`‖f‖₁`).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of rows.
+    pub fn depth(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of counters per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Machine words retained by the sketch.
+    pub fn retained_words(&self) -> u64 {
+        (self.rows.len() * self.width) as u64
+            + self.hashes.iter().map(KWiseHash::retained_words).sum::<u64>()
+            + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn estimates_never_underestimate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut cm = CountMinSketch::new(64, 4, &mut rng);
+        let mut truth = std::collections::HashMap::new();
+        let mut data_rng = StdRng::seed_from_u64(2);
+        for _ in 0..5000 {
+            let key = data_rng.gen_range(0..500u64);
+            let c = data_rng.gen_range(1..4u64);
+            cm.add(key, c);
+            *truth.entry(key).or_insert(0u64) += c;
+        }
+        for (&key, &count) in &truth {
+            assert!(cm.estimate(key) >= count, "key {key} underestimated");
+        }
+    }
+
+    #[test]
+    fn error_is_bounded_by_epsilon_times_l1() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let epsilon = 0.02;
+        let mut cm = CountMinSketch::with_error(epsilon, 0.01, &mut rng);
+        let mut truth = std::collections::HashMap::new();
+        let mut data_rng = StdRng::seed_from_u64(4);
+        for _ in 0..20_000 {
+            let key = data_rng.gen_range(0..2_000u64);
+            cm.add(key, 1);
+            *truth.entry(key).or_insert(0u64) += 1;
+        }
+        let l1 = cm.total() as f64;
+        let mut violations = 0usize;
+        for (&key, &count) in &truth {
+            if (cm.estimate(key) - count) as f64 > epsilon * l1 {
+                violations += 1;
+            }
+        }
+        // The guarantee is per-query with probability δ; allow a small number
+        // of violations across the 2000 queried keys.
+        assert!(violations <= 40, "too many violations: {violations}");
+    }
+
+    #[test]
+    fn unseen_keys_have_small_estimates() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut cm = CountMinSketch::new(512, 5, &mut rng);
+        for key in 0..1000u64 {
+            cm.add(key, 1);
+        }
+        let estimate = cm.estimate(1_000_000);
+        assert!(estimate <= 20, "phantom frequency too large: {estimate}");
+    }
+
+    #[test]
+    fn dimensions_and_space() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let cm = CountMinSketch::new(100, 3, &mut rng);
+        assert_eq!(cm.width(), 100);
+        assert_eq!(cm.depth(), 3);
+        assert_eq!(cm.retained_words(), 300 + 6 + 1);
+        let sized = CountMinSketch::with_error(0.01, 0.001, &mut rng);
+        assert!(sized.width() >= 271);
+        assert!(sized.depth() >= 6);
+    }
+}

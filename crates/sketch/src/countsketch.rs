@@ -1,0 +1,198 @@
+//! CountSketch (Charikar–Chen–Farach-Colton) and the AMS second moment.
+//!
+//! Unlike Count-Min, CountSketch tolerates deletions: each key is hashed to
+//! one bucket per row and added with a ±1 sign, a point query takes the
+//! median of the signed buckets, and the squared row norms give the
+//! Alon–Matias–Szegedy estimate of the second frequency moment `F₂ = ‖f‖₂²`.
+//! Both guarantees hold for arbitrary turnstile updates, which is what the
+//! dynamic-stream triangle estimator needs for degree queries under edge
+//! deletions.
+
+use rand::Rng;
+
+use crate::hash::KWiseHash;
+
+/// A CountSketch over `u64` keys with `i64` turnstile counts.
+#[derive(Debug, Clone)]
+pub struct CountSketch {
+    width: usize,
+    rows: Vec<Vec<i64>>,
+    bucket_hashes: Vec<KWiseHash>,
+    sign_hashes: Vec<KWiseHash>,
+}
+
+impl CountSketch {
+    /// Creates a sketch with `depth` rows of `width` signed counters.
+    pub fn new<R: Rng + ?Sized>(width: usize, depth: usize, rng: &mut R) -> Self {
+        let width = width.max(1);
+        let depth = depth.max(1);
+        CountSketch {
+            width,
+            rows: vec![vec![0i64; width]; depth],
+            bucket_hashes: (0..depth).map(|_| KWiseHash::new(2, rng)).collect(),
+            // 4-wise independence is what the AMS variance analysis needs.
+            sign_hashes: (0..depth).map(|_| KWiseHash::new(4, rng)).collect(),
+        }
+    }
+
+    /// Applies a turnstile update: `key` changes by `delta` (may be negative).
+    pub fn update(&mut self, key: u64, delta: i64) {
+        for ((row, bucket_hash), sign_hash) in self
+            .rows
+            .iter_mut()
+            .zip(self.bucket_hashes.iter())
+            .zip(self.sign_hashes.iter())
+        {
+            let b = bucket_hash.bucket(key, self.width);
+            row[b] += sign_hash.sign(key) * delta;
+        }
+    }
+
+    /// Point query: the median over rows of the signed bucket contents.
+    pub fn estimate(&self, key: u64) -> i64 {
+        let mut values: Vec<i64> = self
+            .rows
+            .iter()
+            .zip(self.bucket_hashes.iter())
+            .zip(self.sign_hashes.iter())
+            .map(|((row, bucket_hash), sign_hash)| {
+                sign_hash.sign(key) * row[bucket_hash.bucket(key, self.width)]
+            })
+            .collect();
+        values.sort_unstable();
+        let k = values.len();
+        if k % 2 == 1 {
+            values[k / 2]
+        } else {
+            // Round the average of the two central values towards zero.
+            (values[k / 2 - 1] + values[k / 2]) / 2
+        }
+    }
+
+    /// The AMS estimate of the second frequency moment `F₂ = Σ_x f(x)²`:
+    /// the median over rows of the squared row norm.
+    pub fn second_moment(&self) -> f64 {
+        let mut norms: Vec<f64> = self
+            .rows
+            .iter()
+            .map(|row| row.iter().map(|&c| (c as f64) * (c as f64)).sum())
+            .collect();
+        norms.sort_by(|a, b| a.partial_cmp(b).expect("norms are finite"));
+        let k = norms.len();
+        if k % 2 == 1 {
+            norms[k / 2]
+        } else {
+            (norms[k / 2 - 1] + norms[k / 2]) / 2.0
+        }
+    }
+
+    /// Number of rows.
+    pub fn depth(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of counters per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Machine words retained by the sketch.
+    pub fn retained_words(&self) -> u64 {
+        (self.rows.len() * self.width) as u64
+            + self
+                .bucket_hashes
+                .iter()
+                .chain(self.sign_hashes.iter())
+                .map(KWiseHash::retained_words)
+                .sum::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    fn truth_and_sketch(seed: u64, width: usize, depth: usize) -> (HashMap<u64, i64>, CountSketch) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cs = CountSketch::new(width, depth, &mut rng);
+        let mut truth: HashMap<u64, i64> = HashMap::new();
+        let mut data_rng = StdRng::seed_from_u64(seed.wrapping_add(100));
+        for _ in 0..10_000 {
+            let key = data_rng.gen_range(0..400u64);
+            let delta = if data_rng.gen_bool(0.3) { -1 } else { 1 };
+            cs.update(key, delta);
+            *truth.entry(key).or_insert(0) += delta;
+        }
+        (truth, cs)
+    }
+
+    #[test]
+    fn point_queries_track_turnstile_frequencies() {
+        let (truth, cs) = truth_and_sketch(1, 1024, 7);
+        let f2: f64 = truth.values().map(|&v| (v * v) as f64).sum();
+        let tolerance = (3.0 * f2 / 1024.0).sqrt() + 2.0;
+        let mut violations = 0usize;
+        for (&key, &count) in &truth {
+            if ((cs.estimate(key) - count).abs() as f64) > tolerance {
+                violations += 1;
+            }
+        }
+        assert!(
+            violations <= truth.len() / 20,
+            "too many bad point queries: {violations}/{}",
+            truth.len()
+        );
+    }
+
+    #[test]
+    fn deletions_cancel_insertions_exactly_in_expectation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut cs = CountSketch::new(256, 5, &mut rng);
+        for key in 0..100u64 {
+            cs.update(key, 5);
+        }
+        for key in 0..100u64 {
+            cs.update(key, -5);
+        }
+        // The sketch is now identically zero, so every estimate is exact.
+        for key in 0..200u64 {
+            assert_eq!(cs.estimate(key), 0);
+        }
+        assert_eq!(cs.second_moment(), 0.0);
+    }
+
+    #[test]
+    fn second_moment_is_close_to_the_truth() {
+        let (truth, cs) = truth_and_sketch(5, 2048, 9);
+        let f2: f64 = truth.values().map(|&v| (v * v) as f64).sum();
+        let estimate = cs.second_moment();
+        assert!(
+            (estimate - f2).abs() <= 0.35 * f2,
+            "F2 estimate {estimate} too far from {f2}"
+        );
+    }
+
+    #[test]
+    fn heavy_hitter_stands_out() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut cs = CountSketch::new(512, 7, &mut rng);
+        for key in 0..300u64 {
+            cs.update(key, 1);
+        }
+        cs.update(999, 500);
+        let heavy = cs.estimate(999);
+        assert!((heavy - 500).abs() <= 50, "heavy hitter estimate {heavy}");
+    }
+
+    #[test]
+    fn dimensions_and_space() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let cs = CountSketch::new(128, 3, &mut rng);
+        assert_eq!(cs.width(), 128);
+        assert_eq!(cs.depth(), 3);
+        assert_eq!(cs.retained_words(), 128 * 3 + 3 * 2 + 3 * 4);
+    }
+}

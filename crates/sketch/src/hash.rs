@@ -1,0 +1,214 @@
+//! k-wise independent hash functions.
+//!
+//! The standard construction: a degree-`(k−1)` polynomial with random
+//! coefficients over the Mersenne prime field `GF(2^61 − 1)`. Evaluating the
+//! polynomial at the key gives a value that is uniform and k-wise independent
+//! across keys, which is exactly the guarantee CountSketch, AMS and ℓ0
+//! sampling analyses require (pairwise for the buckets, 4-wise for the AMS
+//! variance bound).
+
+use rand::Rng;
+
+/// The Mersenne prime `2^61 − 1`, used as the field modulus.
+pub const MERSENNE_PRIME: u64 = (1u64 << 61) - 1;
+
+/// A k-wise independent hash function `h : u64 → [0, 2^61 − 1)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KWiseHash {
+    /// Polynomial coefficients, lowest degree first; `coefficients.len()` is
+    /// the independence parameter `k`.
+    coefficients: Vec<u64>,
+}
+
+/// Multiplies two field elements modulo `2^61 − 1` without overflow.
+#[inline]
+fn mul_mod(a: u64, b: u64) -> u64 {
+    let product = (a as u128) * (b as u128);
+    reduce128(product)
+}
+
+/// Reduces a 128-bit value modulo the Mersenne prime `2^61 − 1` using the
+/// identity `2^61 ≡ 1 (mod p)`.
+#[inline]
+fn reduce128(x: u128) -> u64 {
+    let low = (x & ((1u128 << 61) - 1)) as u64;
+    let high = (x >> 61) as u64;
+    let mut r = low + high;
+    // `high` can still exceed the prime once; fold again.
+    r = (r & MERSENNE_PRIME) + (r >> 61);
+    if r >= MERSENNE_PRIME {
+        r -= MERSENNE_PRIME;
+    }
+    r
+}
+
+impl KWiseHash {
+    /// Draws a fresh k-wise independent hash function from `rng`.
+    ///
+    /// `k` must be at least 1; `k = 2` gives pairwise independence, `k = 4`
+    /// the 4-wise independence the AMS analysis needs.
+    pub fn new<R: Rng + ?Sized>(k: usize, rng: &mut R) -> Self {
+        let k = k.max(1);
+        let mut coefficients = Vec::with_capacity(k);
+        for i in 0..k {
+            let mut c = rng.gen_range(0..MERSENNE_PRIME);
+            // The leading coefficient must be non-zero so the polynomial has
+            // true degree k − 1.
+            if i == k - 1 && c == 0 {
+                c = 1;
+            }
+            coefficients.push(c);
+        }
+        KWiseHash { coefficients }
+    }
+
+    /// The independence parameter `k`.
+    pub fn independence(&self) -> usize {
+        self.coefficients.len()
+    }
+
+    /// Evaluates the hash at `key`, returning a value in `[0, 2^61 − 1)`.
+    #[inline]
+    pub fn hash(&self, key: u64) -> u64 {
+        // Map the key into the field first (the prime is close enough to
+        // 2^64 that the fold is harmless for independence purposes).
+        let x = key % MERSENNE_PRIME;
+        let mut acc = 0u64;
+        for &c in self.coefficients.iter().rev() {
+            acc = reduce128(mul_mod(acc, x) as u128 + c as u128);
+        }
+        acc
+    }
+
+    /// Hash mapped to a bucket index in `[0, buckets)`.
+    #[inline]
+    pub fn bucket(&self, key: u64, buckets: usize) -> usize {
+        debug_assert!(buckets > 0);
+        (self.hash(key) % buckets as u64) as usize
+    }
+
+    /// Hash mapped to a ±1 sign.
+    #[inline]
+    pub fn sign(&self, key: u64) -> i64 {
+        if self.hash(key) & 1 == 0 {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Hash mapped to the unit interval `[0, 1)`.
+    #[inline]
+    pub fn unit(&self, key: u64) -> f64 {
+        self.hash(key) as f64 / MERSENNE_PRIME as f64
+    }
+
+    /// Hash mapped to a geometric "level": the number of leading zeros of
+    /// the hash value when viewed as a fraction, i.e. level `j` is hit with
+    /// probability `2^{−(j+1)}`. Used by the ℓ0 sampler's subsampling.
+    #[inline]
+    pub fn level(&self, key: u64, max_level: usize) -> usize {
+        let u = self.unit(key).max(f64::MIN_POSITIVE);
+        let level = (-u.log2()).floor() as isize;
+        level.clamp(0, max_level as isize) as usize
+    }
+
+    /// Number of machine words retained by this hash function.
+    pub fn retained_words(&self) -> u64 {
+        self.coefficients.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn field_arithmetic_reduces_correctly() {
+        assert_eq!(reduce128((MERSENNE_PRIME as u128) + 5), 5);
+        assert_eq!(mul_mod(MERSENNE_PRIME - 1, 1), MERSENNE_PRIME - 1);
+        assert_eq!(mul_mod(0, 12345), 0);
+        // (p − 1)² mod p = 1
+        assert_eq!(mul_mod(MERSENNE_PRIME - 1, MERSENNE_PRIME - 1), 1);
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_seed_sensitive() {
+        let mut rng_a = StdRng::seed_from_u64(1);
+        let mut rng_b = StdRng::seed_from_u64(1);
+        let mut rng_c = StdRng::seed_from_u64(2);
+        let a = KWiseHash::new(4, &mut rng_a);
+        let b = KWiseHash::new(4, &mut rng_b);
+        let c = KWiseHash::new(4, &mut rng_c);
+        assert_eq!(a, b);
+        for key in [0u64, 1, 17, 123_456_789, u64::MAX] {
+            assert_eq!(a.hash(key), b.hash(key));
+        }
+        assert!((0..100u64).any(|k| a.hash(k) != c.hash(k)));
+    }
+
+    #[test]
+    fn buckets_are_roughly_balanced() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let h = KWiseHash::new(2, &mut rng);
+        let buckets = 16usize;
+        let mut counts = vec![0usize; buckets];
+        let n = 16_000u64;
+        for key in 0..n {
+            counts[h.bucket(key, buckets)] += 1;
+        }
+        let expected = n as f64 / buckets as f64;
+        for &c in &counts {
+            assert!(
+                (c as f64 - expected).abs() < 0.25 * expected,
+                "bucket count {c} too far from {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn signs_are_roughly_balanced() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let h = KWiseHash::new(4, &mut rng);
+        let sum: i64 = (0..20_000u64).map(|k| h.sign(k)).sum();
+        assert!(sum.abs() < 1_000, "sign bias too large: {sum}");
+    }
+
+    #[test]
+    fn levels_follow_a_geometric_distribution() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let h = KWiseHash::new(2, &mut rng);
+        let max_level = 20;
+        let n = 40_000u64;
+        let mut counts = vec![0usize; max_level + 1];
+        for key in 0..n {
+            counts[h.level(key, max_level)] += 1;
+        }
+        // Level 0 should get about half the keys, level 1 about a quarter.
+        assert!((counts[0] as f64 - n as f64 / 2.0).abs() < 0.1 * n as f64);
+        assert!((counts[1] as f64 - n as f64 / 4.0).abs() < 0.1 * n as f64);
+        assert!(counts[5] < counts[0]);
+    }
+
+    #[test]
+    fn unit_values_lie_in_the_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let h = KWiseHash::new(2, &mut rng);
+        for key in 0..1000u64 {
+            let u = h.unit(key);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn independence_parameter_and_space() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let h = KWiseHash::new(6, &mut rng);
+        assert_eq!(h.independence(), 6);
+        assert_eq!(h.retained_words(), 6);
+        let h1 = KWiseHash::new(0, &mut rng);
+        assert_eq!(h1.independence(), 1);
+    }
+}

@@ -1,0 +1,246 @@
+//! ℓ0 sampling: drawing a (near-)uniform element of the support of a
+//! turnstile vector.
+//!
+//! The construction is the standard one (Frahling–Indyk–Sohler /
+//! Jowhari–Sağlam–Tardos, simplified): geometric *subsampling levels* — level
+//! `j` keeps each index with probability `2^{−j}` — and, per level, a small
+//! hash table of [`OneSparseRecovery`] cells. After all updates, some level
+//! has only a few surviving indices, each likely isolated in its own cell,
+//! so it can be recovered exactly. Among everything recovered, the index
+//! with the smallest value of an independent *selection hash* is returned,
+//! which makes the draw (approximately) uniform over the support and, for
+//! supports small enough to be fully recovered, exactly uniform.
+//!
+//! The dynamic-stream triangle estimator uses one ℓ0 sampler per "uniform
+//! random edge" and per "uniform random neighbor" the insert-only algorithm
+//! would have drawn with reservoir sampling.
+
+use rand::Rng;
+
+use crate::hash::KWiseHash;
+use crate::onesparse::{OneSparseRecovery, RecoveryOutcome};
+
+/// An ℓ0 (support) sampler for turnstile streams over `u64` indices.
+#[derive(Debug, Clone)]
+pub struct L0Sampler {
+    max_level: usize,
+    cells_per_level: usize,
+    rows_per_level: usize,
+    level_hash: KWiseHash,
+    selection_hash: KWiseHash,
+    bucket_hashes: Vec<Vec<KWiseHash>>,
+    cells: Vec<Vec<Vec<OneSparseRecovery>>>,
+    updates_seen: u64,
+}
+
+impl L0Sampler {
+    /// Creates a sampler with explicit dimensions.
+    ///
+    /// `max_level` should be about `log₂` of the index universe;
+    /// `cells_per_level` and `rows_per_level` trade space for recovery
+    /// probability (8 × 2 is plenty for the graph workloads here).
+    pub fn new<R: Rng + ?Sized>(
+        max_level: usize,
+        cells_per_level: usize,
+        rows_per_level: usize,
+        rng: &mut R,
+    ) -> Self {
+        let max_level = max_level.max(1);
+        let cells_per_level = cells_per_level.max(2);
+        let rows_per_level = rows_per_level.max(1);
+        let mut bucket_hashes = Vec::with_capacity(max_level + 1);
+        let mut cells = Vec::with_capacity(max_level + 1);
+        for _ in 0..=max_level {
+            let mut row_hashes = Vec::with_capacity(rows_per_level);
+            let mut row_cells = Vec::with_capacity(rows_per_level);
+            for _ in 0..rows_per_level {
+                row_hashes.push(KWiseHash::new(2, rng));
+                row_cells.push((0..cells_per_level).map(|_| OneSparseRecovery::new(rng)).collect());
+            }
+            bucket_hashes.push(row_hashes);
+            cells.push(row_cells);
+        }
+        L0Sampler {
+            max_level,
+            cells_per_level,
+            rows_per_level,
+            level_hash: KWiseHash::new(2, rng),
+            selection_hash: KWiseHash::new(2, rng),
+            bucket_hashes,
+            cells,
+            updates_seen: 0,
+        }
+    }
+
+    /// Creates a sampler sized for an index universe of `universe` values.
+    pub fn for_universe<R: Rng + ?Sized>(universe: u64, rng: &mut R) -> Self {
+        let levels = (64 - universe.max(2).leading_zeros()) as usize + 1;
+        L0Sampler::new(levels, 8, 2, rng)
+    }
+
+    /// Applies the turnstile update `(index, delta)`.
+    pub fn update(&mut self, index: u64, delta: i64) {
+        if delta == 0 {
+            return;
+        }
+        self.updates_seen += 1;
+        let item_level = self.level_hash.level(index, self.max_level);
+        for level in 0..=item_level {
+            for row in 0..self.rows_per_level {
+                let b = self.bucket_hashes[level][row].bucket(index, self.cells_per_level);
+                self.cells[level][row][b].update(index, delta);
+            }
+        }
+    }
+
+    /// Attempts to draw an element of the support, together with its net
+    /// count. Returns `None` if the support is empty or recovery failed at
+    /// every level (which, for the dimensions used here, happens with small
+    /// probability only when the support is huge).
+    pub fn sample(&self) -> Option<(u64, i64)> {
+        let mut best: Option<(u64, i64, u64)> = None;
+        for level in 0..=self.max_level {
+            for row in 0..self.rows_per_level {
+                for cell in &self.cells[level][row] {
+                    if let RecoveryOutcome::OneSparse { index, count } = cell.recover() {
+                        let key = self.selection_hash.hash(index);
+                        match best {
+                            Some((_, _, best_key)) if best_key <= key => {}
+                            _ => best = Some((index, count, key)),
+                        }
+                    }
+                }
+            }
+        }
+        best.map(|(index, count, _)| (index, count))
+    }
+
+    /// Number of updates applied (diagnostic).
+    pub fn updates_seen(&self) -> u64 {
+        self.updates_seen
+    }
+
+    /// Machine words retained by the sampler.
+    pub fn retained_words(&self) -> u64 {
+        let cell_words: u64 = self
+            .cells
+            .iter()
+            .flatten()
+            .flatten()
+            .map(OneSparseRecovery::retained_words)
+            .sum();
+        let hash_words: u64 = self
+            .bucket_hashes
+            .iter()
+            .flatten()
+            .map(KWiseHash::retained_words)
+            .sum::<u64>()
+            + self.level_hash.retained_words()
+            + self.selection_hash.retained_words();
+        cell_words + hash_words + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn empty_support_yields_none() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut s = L0Sampler::for_universe(1000, &mut rng);
+        assert_eq!(s.sample(), None);
+        s.update(5, 3);
+        s.update(5, -3);
+        assert_eq!(s.sample(), None);
+    }
+
+    #[test]
+    fn sample_is_a_member_of_the_support_with_correct_count() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut s = L0Sampler::for_universe(10_000, &mut rng);
+        let mut truth: HashMap<u64, i64> = HashMap::new();
+        let mut data = StdRng::seed_from_u64(3);
+        for _ in 0..400 {
+            let idx = data.gen_range(0..10_000u64);
+            let delta = data.gen_range(1..5i64);
+            s.update(idx, delta);
+            *truth.entry(idx).or_insert(0) += delta;
+        }
+        let (idx, count) = s.sample().expect("non-empty support");
+        assert_eq!(truth.get(&idx).copied(), Some(count));
+    }
+
+    #[test]
+    fn deleted_items_are_never_sampled() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut s = L0Sampler::for_universe(1000, &mut rng);
+        // Insert 0..50, delete the even ones.
+        for idx in 0..50u64 {
+            s.update(idx, 1);
+        }
+        for idx in (0..50u64).step_by(2) {
+            s.update(idx, -1);
+        }
+        for trial in 0..10 {
+            let (idx, count) = s.sample().expect("odd indices survive");
+            assert_eq!(idx % 2, 1, "trial {trial} returned deleted index {idx}");
+            assert_eq!(count, 1);
+        }
+    }
+
+    #[test]
+    fn small_supports_are_sampled_near_uniformly() {
+        // With 6 surviving items and independent samplers, every item should
+        // be returned at least once across many repetitions and no item
+        // should dominate.
+        let support: Vec<u64> = vec![11, 222, 3333, 44_444, 555_555, 6_666_666];
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        let trials = 300;
+        for seed in 0..trials {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut s = L0Sampler::for_universe(10_000_000, &mut rng);
+            for &idx in &support {
+                s.update(idx, 1);
+            }
+            let (idx, _) = s.sample().expect("support is non-empty");
+            assert!(support.contains(&idx));
+            *counts.entry(idx).or_insert(0) += 1;
+        }
+        for &idx in &support {
+            let c = counts.get(&idx).copied().unwrap_or(0);
+            assert!(c > 0, "index {idx} never sampled");
+            assert!(
+                c < trials as usize / 2,
+                "index {idx} sampled {c}/{trials} times, far from uniform"
+            );
+        }
+    }
+
+    #[test]
+    fn large_supports_still_recover_something() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut s = L0Sampler::for_universe(1 << 20, &mut rng);
+        let mut data = StdRng::seed_from_u64(8);
+        let mut inserted = Vec::new();
+        for _ in 0..20_000 {
+            let idx = data.gen_range(0..(1u64 << 20));
+            s.update(idx, 1);
+            inserted.push(idx);
+        }
+        let (idx, _) = s.sample().expect("a level should isolate something");
+        assert!(inserted.contains(&idx));
+    }
+
+    #[test]
+    fn space_scales_with_levels_and_cells() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let small = L0Sampler::new(4, 4, 1, &mut rng);
+        let large = L0Sampler::new(16, 8, 2, &mut rng);
+        assert!(large.retained_words() > small.retained_words());
+        assert_eq!(small.updates_seen(), 0);
+    }
+}

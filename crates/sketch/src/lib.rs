@@ -1,0 +1,42 @@
+//! # degentri-sketch — linear sketches for dynamic graph streams
+//!
+//! The paper's algorithm is stated for insert-only streams, but Table 1 also
+//! cites dynamic-stream (insert/delete) results, and the natural way to port
+//! degree-proportional edge sampling to dynamic streams is through *linear
+//! sketches*. This crate provides the classic sketching toolbox, built from
+//! scratch on `rand` and integer arithmetic only:
+//!
+//! * [`hash::KWiseHash`] — k-wise independent polynomial hash functions over
+//!   the Mersenne prime `2^61 − 1`, the randomness primitive every sketch
+//!   below consumes.
+//! * [`countmin::CountMinSketch`] — insert-only frequency over-estimates
+//!   with the usual `ε‖f‖₁` guarantee.
+//! * [`countsketch::CountSketch`] — turnstile (insert/delete) frequency
+//!   estimates by median-of-signed-buckets, plus the AMS-style second
+//!   frequency moment estimate.
+//! * [`onesparse::OneSparseRecovery`] — exact recovery of a vector that has
+//!   at most one non-zero coordinate, with a fingerprint test that detects
+//!   the other cases with high probability.
+//! * [`l0::L0Sampler`] — sampling a (near-)uniform element of the *support*
+//!   of a turnstile vector, the primitive that lets the dynamic-stream
+//!   triangle estimator of `degentri-dynamic` draw uniform surviving edges
+//!   and uniform surviving neighbors even in the presence of deletions.
+//!
+//! All structures are deterministic given their seed, are `Clone`, and
+//! expose `retained_words()` so the space experiments can account for them
+//! with the same machine-word convention as the rest of the workspace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod countmin;
+pub mod countsketch;
+pub mod hash;
+pub mod l0;
+pub mod onesparse;
+
+pub use countmin::CountMinSketch;
+pub use countsketch::CountSketch;
+pub use hash::KWiseHash;
+pub use l0::L0Sampler;
+pub use onesparse::{OneSparseRecovery, RecoveryOutcome};

@@ -1,0 +1,241 @@
+//! Exact recovery of one-sparse turnstile vectors.
+//!
+//! A vector built from turnstile updates `(index, ±delta)` is *one-sparse*
+//! if, after all cancellations, exactly one index has a non-zero count. The
+//! classic recovery structure keeps three aggregates — the total weight
+//! `W = Σ_i f(i)`, the weighted index sum `S = Σ_i i·f(i)`, and a random
+//! fingerprint `P = Σ_i f(i)·z^i (mod p)` — and recovers the surviving index
+//! as `S/W`, using the fingerprint to reject vectors that are not actually
+//! one-sparse. This is the leaf structure of the [`crate::L0Sampler`].
+
+use rand::Rng;
+
+use crate::hash::MERSENNE_PRIME;
+
+/// Outcome of a recovery attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryOutcome {
+    /// The vector is identically zero.
+    Zero,
+    /// Exactly one index survives with the given net count.
+    OneSparse {
+        /// The surviving index.
+        index: u64,
+        /// Its net count.
+        count: i64,
+    },
+    /// More than one index survives (or the fingerprint test failed).
+    NotOneSparse,
+}
+
+/// One-sparse recovery sketch.
+#[derive(Debug, Clone)]
+pub struct OneSparseRecovery {
+    weight: i128,
+    index_sum: i128,
+    fingerprint: u64,
+    z: u64,
+}
+
+/// Modular exponentiation over the Mersenne prime field.
+fn pow_mod(mut base: u64, mut exp: u64) -> u64 {
+    base %= MERSENNE_PRIME;
+    let mut result = 1u128;
+    let mut b = base as u128;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            result = (result * b) % MERSENNE_PRIME as u128;
+        }
+        b = (b * b) % MERSENNE_PRIME as u128;
+        exp >>= 1;
+    }
+    result as u64
+}
+
+impl OneSparseRecovery {
+    /// Creates an empty recovery structure with fresh randomness.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        OneSparseRecovery {
+            weight: 0,
+            index_sum: 0,
+            fingerprint: 0,
+            z: rng.gen_range(2..MERSENNE_PRIME),
+        }
+    }
+
+    /// Applies the turnstile update `(index, delta)`.
+    pub fn update(&mut self, index: u64, delta: i64) {
+        self.weight += delta as i128;
+        self.index_sum += index as i128 * delta as i128;
+        let term = pow_mod(self.z, index);
+        let delta_mod = if delta >= 0 {
+            (delta as u64) % MERSENNE_PRIME
+        } else {
+            MERSENNE_PRIME - ((-(delta as i128)) as u64 % MERSENNE_PRIME)
+        };
+        let contribution = ((term as u128) * (delta_mod as u128) % MERSENNE_PRIME as u128) as u64;
+        self.fingerprint = ((self.fingerprint as u128 + contribution as u128)
+            % MERSENNE_PRIME as u128) as u64;
+    }
+
+    /// Whether no update has survived (all weights cancelled).
+    pub fn is_zero(&self) -> bool {
+        self.weight == 0 && self.index_sum == 0 && self.fingerprint == 0
+    }
+
+    /// Attempts to recover the vector.
+    pub fn recover(&self) -> RecoveryOutcome {
+        if self.is_zero() {
+            return RecoveryOutcome::Zero;
+        }
+        if self.weight == 0 {
+            return RecoveryOutcome::NotOneSparse;
+        }
+        if self.index_sum % self.weight != 0 {
+            return RecoveryOutcome::NotOneSparse;
+        }
+        let index = self.index_sum / self.weight;
+        if index < 0 || index > u64::MAX as i128 {
+            return RecoveryOutcome::NotOneSparse;
+        }
+        let index = index as u64;
+        let count = self.weight;
+        if count > i64::MAX as i128 || count < i64::MIN as i128 {
+            return RecoveryOutcome::NotOneSparse;
+        }
+        // Fingerprint check: a truly one-sparse vector has
+        // P = count · z^index (mod p).
+        let count_mod = if count >= 0 {
+            (count as u64) % MERSENNE_PRIME
+        } else {
+            MERSENNE_PRIME - ((-count) as u64 % MERSENNE_PRIME)
+        };
+        let expected = ((pow_mod(self.z, index) as u128) * (count_mod as u128)
+            % MERSENNE_PRIME as u128) as u64;
+        if expected != self.fingerprint {
+            return RecoveryOutcome::NotOneSparse;
+        }
+        RecoveryOutcome::OneSparse {
+            index,
+            count: count as i64,
+        }
+    }
+
+    /// Machine words retained by the structure.
+    pub fn retained_words(&self) -> u64 {
+        4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fresh(seed: u64) -> OneSparseRecovery {
+        let mut rng = StdRng::seed_from_u64(seed);
+        OneSparseRecovery::new(&mut rng)
+    }
+
+    #[test]
+    fn zero_vector_is_recognized() {
+        let mut s = fresh(1);
+        assert_eq!(s.recover(), RecoveryOutcome::Zero);
+        s.update(42, 3);
+        s.update(42, -3);
+        assert_eq!(s.recover(), RecoveryOutcome::Zero);
+    }
+
+    #[test]
+    fn single_survivor_is_recovered_exactly() {
+        let mut s = fresh(2);
+        s.update(1234, 7);
+        assert_eq!(
+            s.recover(),
+            RecoveryOutcome::OneSparse {
+                index: 1234,
+                count: 7
+            }
+        );
+        // Add noise that later cancels: recovery still works.
+        s.update(999, 5);
+        s.update(999, -5);
+        assert_eq!(
+            s.recover(),
+            RecoveryOutcome::OneSparse {
+                index: 1234,
+                count: 7
+            }
+        );
+    }
+
+    #[test]
+    fn deletions_can_reduce_to_one_survivor() {
+        let mut s = fresh(3);
+        s.update(10, 2);
+        s.update(20, 4);
+        s.update(10, -2);
+        assert_eq!(
+            s.recover(),
+            RecoveryOutcome::OneSparse {
+                index: 20,
+                count: 4
+            }
+        );
+    }
+
+    #[test]
+    fn multi_sparse_vectors_are_rejected() {
+        for seed in 0..20u64 {
+            let mut s = fresh(seed);
+            s.update(3, 1);
+            s.update(8, 1);
+            assert_eq!(s.recover(), RecoveryOutcome::NotOneSparse, "seed {seed}");
+            s.update(100, 5);
+            assert_eq!(s.recover(), RecoveryOutcome::NotOneSparse, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn adversarial_cancellation_patterns_are_caught() {
+        // Two surviving indices arranged so that S/W happens to be integral:
+        // the fingerprint must catch it.
+        for seed in 0..20u64 {
+            let mut s = fresh(seed);
+            s.update(10, 1);
+            s.update(30, 1); // S = 40, W = 2, S/W = 20 which is a phantom index
+            assert_eq!(s.recover(), RecoveryOutcome::NotOneSparse, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn negative_counts_are_supported() {
+        let mut s = fresh(9);
+        s.update(77, -4);
+        assert_eq!(
+            s.recover(),
+            RecoveryOutcome::OneSparse {
+                index: 77,
+                count: -4
+            }
+        );
+    }
+
+    #[test]
+    fn pow_mod_matches_naive_exponentiation() {
+        for (base, exp) in [(2u64, 10u64), (3, 0), (7, 13), (MERSENNE_PRIME - 1, 2)] {
+            let mut naive = 1u128;
+            for _ in 0..exp {
+                naive = naive * base as u128 % MERSENNE_PRIME as u128;
+            }
+            assert_eq!(pow_mod(base, exp), naive as u64);
+        }
+    }
+
+    #[test]
+    fn space_is_constant() {
+        let s = fresh(11);
+        assert_eq!(s.retained_words(), 4);
+    }
+}

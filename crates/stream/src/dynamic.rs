@@ -1,0 +1,316 @@
+//! Dynamic (insert/delete) edge streams.
+//!
+//! The paper's algorithm is stated for insert-only streams, but the
+//! literature it compares against (Table 1) includes dynamic-stream results,
+//! and the natural robustness question — "what if edges can also be
+//! deleted?" — is answered in `degentri-dynamic` by replacing every
+//! reservoir-sampling step with an ℓ0 sampler. This module provides the
+//! substrate those algorithms run on:
+//!
+//! * [`EdgeUpdate`] — one stream item: an edge plus an insert/delete sign.
+//! * [`DynamicEdgeStream`] — the replayable multi-pass trait, mirroring
+//!   [`crate::EdgeStream`].
+//! * [`DynamicMemoryStream`] — the in-memory simulation, with constructors
+//!   that turn a static graph into insert-only, insert-then-delete, and
+//!   churn (temporary edges inserted and later removed) workloads.
+//!
+//! The *surviving* graph of a dynamic stream — the edges whose net count is
+//! positive after all updates — is what the estimators are estimating; the
+//! [`DynamicMemoryStream::surviving_graph`] helper materializes it so tests
+//! and experiments can compare against exact counts.
+
+use degentri_graph::{CsrGraph, Edge, GraphBuilder};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::hashing::FxHashMap;
+
+/// The sign of a dynamic stream item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UpdateKind {
+    /// The edge is inserted.
+    Insert,
+    /// The edge is deleted.
+    Delete,
+}
+
+/// One item of a dynamic edge stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EdgeUpdate {
+    /// The (normalized, undirected) edge being updated.
+    pub edge: Edge,
+    /// Whether this update inserts or deletes the edge.
+    pub kind: UpdateKind,
+}
+
+impl EdgeUpdate {
+    /// An insertion of `edge`.
+    pub fn insert(edge: Edge) -> Self {
+        EdgeUpdate {
+            edge,
+            kind: UpdateKind::Insert,
+        }
+    }
+
+    /// A deletion of `edge`.
+    pub fn delete(edge: Edge) -> Self {
+        EdgeUpdate {
+            edge,
+            kind: UpdateKind::Delete,
+        }
+    }
+
+    /// `+1` for insertions, `−1` for deletions.
+    pub fn delta(&self) -> i64 {
+        match self.kind {
+            UpdateKind::Insert => 1,
+            UpdateKind::Delete => -1,
+        }
+    }
+}
+
+/// A replayable, fixed-order stream of edge insertions and deletions.
+pub trait DynamicEdgeStream {
+    /// Number of vertices `n` (vertex ids are `< n`).
+    fn num_vertices(&self) -> usize;
+
+    /// Number of updates (insertions plus deletions) in one pass.
+    fn num_updates(&self) -> usize;
+
+    /// Starts a new pass over the update stream. Every pass yields the same
+    /// updates in the same order.
+    fn pass(&self) -> Box<dyn Iterator<Item = EdgeUpdate> + '_>;
+}
+
+impl<S: DynamicEdgeStream + ?Sized> DynamicEdgeStream for &S {
+    fn num_vertices(&self) -> usize {
+        (**self).num_vertices()
+    }
+
+    fn num_updates(&self) -> usize {
+        (**self).num_updates()
+    }
+
+    fn pass(&self) -> Box<dyn Iterator<Item = EdgeUpdate> + '_> {
+        (**self).pass()
+    }
+}
+
+/// An in-memory dynamic edge stream.
+#[derive(Debug, Clone)]
+pub struct DynamicMemoryStream {
+    updates: Vec<EdgeUpdate>,
+    num_vertices: usize,
+}
+
+impl DynamicMemoryStream {
+    /// Creates a stream from an explicit update sequence.
+    pub fn from_updates(num_vertices: usize, updates: Vec<EdgeUpdate>) -> Self {
+        DynamicMemoryStream {
+            updates,
+            num_vertices,
+        }
+    }
+
+    /// An insert-only stream over the edges of `g`, in a seeded uniform
+    /// random order. Its surviving graph is `g` itself.
+    pub fn insert_only(g: &CsrGraph, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut updates: Vec<EdgeUpdate> =
+            g.edges().iter().map(|&e| EdgeUpdate::insert(e)).collect();
+        updates.shuffle(&mut rng);
+        DynamicMemoryStream {
+            updates,
+            num_vertices: g.num_vertices(),
+        }
+    }
+
+    /// A churn stream: every edge of `g` is inserted, and additionally a
+    /// `churn_fraction` of the edges are inserted early and deleted later,
+    /// so the deletions never change the surviving graph (it is always `g`)
+    /// but any algorithm that ignores deletions over-counts.
+    ///
+    /// `churn_fraction` is clamped to `[0, 1]`; with `0.5` the stream has
+    /// roughly `2m` updates.
+    pub fn with_churn(g: &CsrGraph, churn_fraction: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let churn_fraction = churn_fraction.clamp(0.0, 1.0);
+        let edges = g.edges();
+        let mut keep: Vec<EdgeUpdate> = edges.iter().map(|&e| EdgeUpdate::insert(e)).collect();
+        keep.shuffle(&mut rng);
+
+        // Pick the churn set: edges inserted a second time and deleted later.
+        let mut churn: Vec<Edge> = edges.to_vec();
+        churn.shuffle(&mut rng);
+        churn.truncate((churn_fraction * edges.len() as f64).round() as usize);
+
+        // First half: all "keep" insertions interleaved with churn insertions.
+        let mut updates = Vec::with_capacity(keep.len() + 2 * churn.len());
+        updates.extend(keep);
+        for &e in &churn {
+            updates.push(EdgeUpdate::insert(e));
+        }
+        updates.shuffle(&mut rng);
+        // Second half: delete the churned copies (restoring multiplicity 1).
+        let mut deletions: Vec<EdgeUpdate> = churn.iter().map(|&e| EdgeUpdate::delete(e)).collect();
+        deletions.shuffle(&mut rng);
+        updates.extend(deletions);
+
+        DynamicMemoryStream {
+            updates,
+            num_vertices: g.num_vertices(),
+        }
+    }
+
+    /// A stream that first inserts all of `g`'s edges and then deletes the
+    /// edges *not* in the subgraph selected by `keep`: the surviving graph
+    /// is exactly the selected subgraph. Useful for "the graph that remains
+    /// after deletions" experiments.
+    pub fn insert_then_delete(g: &CsrGraph, keep: impl Fn(Edge) -> bool, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut updates: Vec<EdgeUpdate> =
+            g.edges().iter().map(|&e| EdgeUpdate::insert(e)).collect();
+        updates.shuffle(&mut rng);
+        let mut deletions: Vec<EdgeUpdate> = g
+            .edges()
+            .iter()
+            .filter(|&&e| !keep(e))
+            .map(|&e| EdgeUpdate::delete(e))
+            .collect();
+        deletions.shuffle(&mut rng);
+        updates.extend(deletions);
+        DynamicMemoryStream {
+            updates,
+            num_vertices: g.num_vertices(),
+        }
+    }
+
+    /// The updates in stream order.
+    pub fn updates(&self) -> &[EdgeUpdate] {
+        &self.updates
+    }
+
+    /// Net multiplicity of every edge after the whole stream (only non-zero
+    /// entries are returned).
+    pub fn net_multiplicities(&self) -> FxHashMap<Edge, i64> {
+        let mut net: FxHashMap<Edge, i64> = FxHashMap::default();
+        for u in &self.updates {
+            *net.entry(u.edge).or_insert(0) += u.delta();
+        }
+        net.retain(|_, &mut c| c != 0);
+        net
+    }
+
+    /// Materializes the surviving graph (edges with positive net count).
+    pub fn surviving_graph(&self) -> CsrGraph {
+        let net = self.net_multiplicities();
+        let mut b = GraphBuilder::with_vertices(self.num_vertices);
+        for (e, c) in net {
+            if c > 0 {
+                b.add_edge(e.u(), e.v());
+            }
+        }
+        b.build()
+    }
+
+    /// Number of deletions in the stream.
+    pub fn num_deletions(&self) -> usize {
+        self.updates
+            .iter()
+            .filter(|u| u.kind == UpdateKind::Delete)
+            .count()
+    }
+}
+
+impl DynamicEdgeStream for DynamicMemoryStream {
+    fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    fn num_updates(&self) -> usize {
+        self.updates.len()
+    }
+
+    fn pass(&self) -> Box<dyn Iterator<Item = EdgeUpdate> + '_> {
+        Box::new(self.updates.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use degentri_graph::CsrGraph;
+
+    fn graph() -> CsrGraph {
+        CsrGraph::from_raw_edges(6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)])
+    }
+
+    #[test]
+    fn insert_only_stream_survives_to_the_original_graph() {
+        let g = graph();
+        let s = DynamicMemoryStream::insert_only(&g, 3);
+        assert_eq!(s.num_updates(), g.num_edges());
+        assert_eq!(s.num_deletions(), 0);
+        let survived = s.surviving_graph();
+        assert_eq!(survived.num_edges(), g.num_edges());
+        let mut a = survived.edges().to_vec();
+        let mut b = g.edges().to_vec();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn churn_stream_has_deletions_but_the_same_surviving_graph() {
+        let g = graph();
+        let s = DynamicMemoryStream::with_churn(&g, 0.6, 7);
+        assert!(s.num_deletions() > 0);
+        assert_eq!(s.num_updates(), g.num_edges() + 2 * s.num_deletions());
+        let survived = s.surviving_graph();
+        assert_eq!(survived.num_edges(), g.num_edges());
+        // Net multiplicities are all exactly one.
+        assert!(s.net_multiplicities().values().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn insert_then_delete_keeps_only_the_selected_subgraph() {
+        let g = graph();
+        // Keep only edges incident to vertex 3.
+        let s = DynamicMemoryStream::insert_then_delete(
+            &g,
+            |e| e.u().index() == 3 || e.v().index() == 3,
+            5,
+        );
+        let survived = s.surviving_graph();
+        assert_eq!(survived.num_edges(), 3);
+        assert!(s.num_deletions() > 0);
+    }
+
+    #[test]
+    fn passes_are_replayable_and_identical() {
+        let g = graph();
+        let s = DynamicMemoryStream::with_churn(&g, 0.5, 11);
+        let p1: Vec<EdgeUpdate> = s.pass().collect();
+        let p2: Vec<EdgeUpdate> = s.pass().collect();
+        assert_eq!(p1, p2);
+        assert_eq!(p1.len(), s.num_updates());
+    }
+
+    #[test]
+    fn update_helpers() {
+        let e = Edge::from_raw(1, 2);
+        assert_eq!(EdgeUpdate::insert(e).delta(), 1);
+        assert_eq!(EdgeUpdate::delete(e).delta(), -1);
+        let s = DynamicMemoryStream::from_updates(
+            3,
+            vec![EdgeUpdate::insert(e), EdgeUpdate::delete(e)],
+        );
+        assert_eq!(s.num_vertices(), 3);
+        assert!(s.net_multiplicities().is_empty());
+        assert_eq!(s.surviving_graph().num_edges(), 0);
+        // Reference delegation of the trait.
+        let r: &DynamicMemoryStream = &s;
+        assert_eq!(DynamicEdgeStream::num_updates(&r), 2);
+    }
+}

@@ -1,0 +1,97 @@
+//! Fast hashing utilities shared by the streaming algorithms.
+//!
+//! The hot inner loops (assignment memo tables, sampled-neighborhood sets,
+//! wedge tables of the baselines) are all hash-table lookups keyed by small
+//! integers or integer pairs; per the workspace performance guidance we use
+//! the Fx hash family ([`rustc_hash`]) everywhere. This module re-exports
+//! the type aliases and adds a couple of deterministic mixing helpers used
+//! for hash-based coin flips.
+
+pub use rustc_hash::{FxHashMap, FxHashSet};
+
+use degentri_graph::{Edge, VertexId};
+
+/// A fast, deterministic 64-bit mix of an edge and a salt, used where an
+/// algorithm needs a *consistent* pseudo-random value per edge (e.g.
+/// hash-based subsampling in the baselines) without storing per-edge state.
+#[inline]
+pub fn edge_hash(e: Edge, salt: u64) -> u64 {
+    let x = ((e.u().raw() as u64) << 32) | e.v().raw() as u64;
+    splitmix64(x ^ salt.rotate_left(17))
+}
+
+/// A fast, deterministic 64-bit mix of a vertex and a salt.
+#[inline]
+pub fn vertex_hash(v: VertexId, salt: u64) -> u64 {
+    splitmix64(v.raw() as u64 ^ salt.rotate_left(31))
+}
+
+/// Converts a 64-bit hash into a uniform `f64` in `[0, 1)`.
+#[inline]
+pub fn hash_to_unit(h: u64) -> f64 {
+    // 53 high bits -> uniform double in [0, 1).
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// SplitMix64 finalizer: a well-mixed bijection on `u64`.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_spreads() {
+        assert_eq!(splitmix64(0), splitmix64(0));
+        assert_ne!(splitmix64(0), splitmix64(1));
+        // Low bits of consecutive inputs should differ (avalanche sanity).
+        let a = splitmix64(100) & 0xFFFF;
+        let b = splitmix64(101) & 0xFFFF;
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn edge_hash_is_order_invariant_and_salt_sensitive() {
+        let e1 = Edge::from_raw(3, 9);
+        let e2 = Edge::from_raw(9, 3);
+        assert_eq!(edge_hash(e1, 7), edge_hash(e2, 7));
+        assert_ne!(edge_hash(e1, 7), edge_hash(e1, 8));
+    }
+
+    #[test]
+    fn hash_to_unit_is_in_range_and_roughly_uniform() {
+        let mut sum = 0.0;
+        let n = 10_000u64;
+        for i in 0..n {
+            let u = hash_to_unit(splitmix64(i));
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean = {mean}");
+    }
+
+    #[test]
+    fn vertex_hash_differs_across_vertices() {
+        assert_ne!(
+            vertex_hash(VertexId::new(1), 0),
+            vertex_hash(VertexId::new(2), 0)
+        );
+    }
+
+    #[test]
+    fn fx_aliases_work() {
+        let mut m: FxHashMap<u32, u32> = FxHashMap::default();
+        m.insert(1, 2);
+        assert_eq!(m[&1], 2);
+        let mut s: FxHashSet<Edge> = FxHashSet::default();
+        s.insert(Edge::from_raw(0, 1));
+        assert!(s.contains(&Edge::from_raw(1, 0)));
+    }
+}

@@ -1,0 +1,154 @@
+//! Stream orderings.
+//!
+//! The paper's algorithms work for *arbitrary order* streams; the lower
+//! bound and several prior algorithms are sensitive to adversarial
+//! orderings. [`StreamOrder`] captures the orderings the experiments
+//! exercise. Orderings are applied once, when a [`MemoryStream`]
+//! (`crate::MemoryStream`) is constructed, so that every pass of a given
+//! stream presents the edges in the same order — exactly the model of the
+//! paper.
+
+use degentri_graph::Edge;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// How the edges of a stream are ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamOrder {
+    /// The order the edges were handed to the stream constructor
+    /// (for generator output this is sorted-normalized order).
+    AsGiven,
+    /// A uniformly random permutation drawn from the given seed.
+    UniformRandom(u64),
+    /// Sorted by `(u, v)` — clusters all edges of low-id vertices together,
+    /// an adversarial pattern for algorithms that implicitly assume
+    /// random order.
+    SortedLexicographic,
+    /// Reverse sorted order.
+    ReverseSorted,
+    /// Deterministic adversarial interleaving: edges are split into `k`
+    /// contiguous chunks of the sorted order and emitted round-robin,
+    /// scattering each vertex's edges across the whole stream.
+    Interleaved {
+        /// Number of chunks to interleave.
+        chunks: usize,
+    },
+}
+
+impl StreamOrder {
+    /// Applies the ordering to a list of edges.
+    pub fn apply(&self, edges: &mut Vec<Edge>) {
+        match *self {
+            StreamOrder::AsGiven => {}
+            StreamOrder::UniformRandom(seed) => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                edges.shuffle(&mut rng);
+            }
+            StreamOrder::SortedLexicographic => edges.sort_unstable(),
+            StreamOrder::ReverseSorted => {
+                edges.sort_unstable();
+                edges.reverse();
+            }
+            StreamOrder::Interleaved { chunks } => {
+                let chunks = chunks.max(1);
+                edges.sort_unstable();
+                let source = edges.clone();
+                let chunk_len = source.len().div_ceil(chunks);
+                let mut out = Vec::with_capacity(source.len());
+                for offset in 0..chunk_len {
+                    for c in 0..chunks {
+                        let idx = c * chunk_len + offset;
+                        if idx < source.len() {
+                            out.push(source[idx]);
+                        }
+                    }
+                }
+                *edges = out;
+            }
+        }
+    }
+}
+
+impl Default for StreamOrder {
+    fn default() -> Self {
+        StreamOrder::AsGiven
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edges() -> Vec<Edge> {
+        (0u32..10).map(|i| Edge::from_raw(i, i + 1)).collect()
+    }
+
+    fn is_permutation(a: &[Edge], b: &[Edge]) -> bool {
+        let mut x = a.to_vec();
+        let mut y = b.to_vec();
+        x.sort_unstable();
+        y.sort_unstable();
+        x == y
+    }
+
+    #[test]
+    fn as_given_is_identity() {
+        let original = edges();
+        let mut e = edges();
+        StreamOrder::AsGiven.apply(&mut e);
+        assert_eq!(e, original);
+    }
+
+    #[test]
+    fn random_is_a_deterministic_permutation() {
+        let original = edges();
+        let mut a = edges();
+        let mut b = edges();
+        StreamOrder::UniformRandom(7).apply(&mut a);
+        StreamOrder::UniformRandom(7).apply(&mut b);
+        assert_eq!(a, b);
+        assert!(is_permutation(&a, &original));
+        let mut c = edges();
+        StreamOrder::UniformRandom(8).apply(&mut c);
+        assert!(is_permutation(&c, &original));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sorted_and_reverse() {
+        let mut a = edges();
+        StreamOrder::UniformRandom(3).apply(&mut a);
+        let mut sorted = a.clone();
+        StreamOrder::SortedLexicographic.apply(&mut sorted);
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        let mut rev = a.clone();
+        StreamOrder::ReverseSorted.apply(&mut rev);
+        assert!(rev.windows(2).all(|w| w[0] >= w[1]));
+        assert!(is_permutation(&sorted, &a));
+    }
+
+    #[test]
+    fn interleaved_is_a_permutation() {
+        let original = edges();
+        for chunks in [1usize, 2, 3, 7, 100] {
+            let mut e = edges();
+            StreamOrder::Interleaved { chunks }.apply(&mut e);
+            assert!(is_permutation(&e, &original), "chunks = {chunks}");
+        }
+    }
+
+    #[test]
+    fn interleaved_scatters_adjacent_edges() {
+        let mut e = edges();
+        StreamOrder::Interleaved { chunks: 2 }.apply(&mut e);
+        // First two elements come from different halves of the sorted order.
+        assert_eq!(e[0], Edge::from_raw(0, 1));
+        assert_eq!(e[1], Edge::from_raw(5, 6));
+    }
+
+    #[test]
+    fn default_is_as_given() {
+        assert_eq!(StreamOrder::default(), StreamOrder::AsGiven);
+    }
+}

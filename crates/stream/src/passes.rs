@@ -1,0 +1,130 @@
+//! Pass counting.
+//!
+//! The paper's headline claim is "constant number of passes" (six for the
+//! main algorithm, three for the warm-up). [`PassCounter`] wraps any
+//! [`EdgeStream`] and counts how many passes the algorithm under test
+//! actually started, so every experiment and integration test can assert the
+//! pass budget instead of trusting the implementation.
+
+use std::cell::Cell;
+
+use degentri_graph::Edge;
+
+use crate::edge_stream::EdgeStream;
+
+/// An [`EdgeStream`] adapter that counts started passes.
+#[derive(Debug)]
+pub struct PassCounter<S> {
+    inner: S,
+    passes: Cell<u32>,
+    limit: Option<u32>,
+}
+
+impl<S: EdgeStream> PassCounter<S> {
+    /// Wraps a stream with an unlimited pass budget.
+    pub fn new(inner: S) -> Self {
+        PassCounter {
+            inner,
+            passes: Cell::new(0),
+            limit: None,
+        }
+    }
+
+    /// Wraps a stream and panics if more than `limit` passes are started.
+    /// Used in tests to enforce the constant-pass guarantee.
+    pub fn with_limit(inner: S, limit: u32) -> Self {
+        PassCounter {
+            inner,
+            passes: Cell::new(0),
+            limit: Some(limit),
+        }
+    }
+
+    /// Number of passes started so far.
+    pub fn passes(&self) -> u32 {
+        self.passes.get()
+    }
+
+    /// Returns the wrapped stream.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// A reference to the wrapped stream (does not count as a pass).
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: EdgeStream> EdgeStream for PassCounter<S> {
+    fn num_vertices(&self) -> usize {
+        self.inner.num_vertices()
+    }
+
+    fn num_edges(&self) -> usize {
+        self.inner.num_edges()
+    }
+
+    fn pass(&self) -> Box<dyn Iterator<Item = Edge> + '_> {
+        let next = self.passes.get() + 1;
+        if let Some(limit) = self.limit {
+            assert!(
+                next <= limit,
+                "pass budget exceeded: attempted pass {next} with a limit of {limit}"
+            );
+        }
+        self.passes.set(next);
+        self.inner.pass()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge_stream::MemoryStream;
+    use crate::ordering::StreamOrder;
+    use degentri_graph::CsrGraph;
+
+    fn stream() -> MemoryStream {
+        let g = CsrGraph::from_raw_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        MemoryStream::from_graph(&g, StreamOrder::AsGiven)
+    }
+
+    #[test]
+    fn counts_passes() {
+        let s = PassCounter::new(stream());
+        assert_eq!(s.passes(), 0);
+        let _ = s.pass().count();
+        let _ = s.pass().count();
+        assert_eq!(s.passes(), 2);
+        assert_eq!(s.num_edges(), 3);
+        assert_eq!(s.num_vertices(), 4);
+    }
+
+    #[test]
+    fn limit_allows_up_to_budget() {
+        let s = PassCounter::with_limit(stream(), 3);
+        for _ in 0..3 {
+            let _ = s.pass().count();
+        }
+        assert_eq!(s.passes(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "pass budget exceeded")]
+    fn limit_panics_beyond_budget() {
+        let s = PassCounter::with_limit(stream(), 2);
+        for _ in 0..3 {
+            let _ = s.pass().count();
+        }
+    }
+
+    #[test]
+    fn inner_access_does_not_count() {
+        let s = PassCounter::new(stream());
+        assert_eq!(s.inner().num_edges(), 3);
+        assert_eq!(s.passes(), 0);
+        let inner = s.into_inner();
+        assert_eq!(inner.num_edges(), 3);
+    }
+}

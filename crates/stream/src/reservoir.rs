@@ -1,0 +1,182 @@
+//! Uniform reservoir sampling.
+//!
+//! Pass 1 of Algorithm 2 samples `r` edges uniformly at random from the
+//! stream. [`ReservoirSampler`] implements the classic Algorithm R with
+//! *replacement semantics per slot*: each of the `r` slots independently
+//! holds a uniform element of the stream prefix, which matches the paper's
+//! analysis (the multiset `R` of `r` i.i.d. uniform edges). A
+//! without-replacement variant ([`ReservoirSampler::new_distinct`]) is also
+//! provided for the baselines that need it.
+
+use rand::Rng;
+
+/// A reservoir holding `k` samples from a stream of unknown length.
+#[derive(Debug, Clone)]
+pub struct ReservoirSampler<T> {
+    slots: Vec<T>,
+    k: usize,
+    seen: u64,
+    distinct: bool,
+}
+
+impl<T: Clone> ReservoirSampler<T> {
+    /// Creates a reservoir of `k` i.i.d. uniform samples (sampling *with*
+    /// replacement across slots: each slot is an independent uniform draw
+    /// from the stream).
+    pub fn new_iid(k: usize) -> Self {
+        ReservoirSampler {
+            slots: Vec::with_capacity(k),
+            k,
+            seen: 0,
+            distinct: false,
+        }
+    }
+
+    /// Creates a classic Algorithm-R reservoir of `k` distinct positions
+    /// (sampling without replacement of stream positions).
+    pub fn new_distinct(k: usize) -> Self {
+        ReservoirSampler {
+            slots: Vec::with_capacity(k),
+            k,
+            seen: 0,
+            distinct: true,
+        }
+    }
+
+    /// Observes the next stream item.
+    pub fn observe<R: Rng>(&mut self, item: T, rng: &mut R) {
+        self.seen += 1;
+        if self.distinct {
+            if self.slots.len() < self.k {
+                self.slots.push(item);
+            } else if self.k > 0 {
+                let j = rng.gen_range(0..self.seen);
+                if (j as usize) < self.k {
+                    self.slots[j as usize] = item;
+                }
+            }
+        } else {
+            if self.slots.len() < self.k {
+                // Fill phase: every slot starts as the first item, then each
+                // slot independently replaces with probability 1/seen below.
+                while self.slots.len() < self.k {
+                    self.slots.push(item.clone());
+                }
+                if self.seen == 1 {
+                    return;
+                }
+            }
+            // Each slot independently keeps a uniform sample of the prefix.
+            for slot in self.slots.iter_mut() {
+                if rng.gen_range(0..self.seen) == 0 {
+                    *slot = item.clone();
+                }
+            }
+        }
+    }
+
+    /// Number of items observed so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The current samples (fewer than `k` if the stream was shorter than
+    /// `k` in distinct mode, or empty if nothing was observed).
+    pub fn samples(&self) -> &[T] {
+        &self.slots
+    }
+
+    /// Consumes the reservoir and returns the samples.
+    pub fn into_samples(self) -> Vec<T> {
+        self.slots
+    }
+
+    /// The configured reservoir size `k`.
+    pub fn capacity(&self) -> usize {
+        self.k
+    }
+
+    /// Number of machine words of retained state (≈ one word per slot),
+    /// for space accounting.
+    pub fn retained_words(&self) -> u64 {
+        self.slots.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn iid_reservoir_fills_all_slots() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut r = ReservoirSampler::new_iid(5);
+        for x in 0..100u32 {
+            r.observe(x, &mut rng);
+        }
+        assert_eq!(r.samples().len(), 5);
+        assert_eq!(r.seen(), 100);
+        assert!(r.samples().iter().all(|&x| x < 100));
+        assert_eq!(r.retained_words(), 5);
+    }
+
+    #[test]
+    fn distinct_reservoir_short_stream_keeps_everything() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut r = ReservoirSampler::new_distinct(10);
+        for x in 0..4u32 {
+            r.observe(x, &mut rng);
+        }
+        let mut s = r.into_samples();
+        s.sort_unstable();
+        assert_eq!(s, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn iid_marginals_are_uniform() {
+        // Each slot should be uniform over the stream; check the mean of a
+        // 0..100 stream lands near 49.5 over many runs.
+        let mut total = 0.0f64;
+        let mut count = 0usize;
+        for seed in 0..300u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut r = ReservoirSampler::new_iid(4);
+            for x in 0..100u32 {
+                r.observe(x, &mut rng);
+            }
+            for &x in r.samples() {
+                total += x as f64;
+                count += 1;
+            }
+        }
+        let mean = total / count as f64;
+        assert!((mean - 49.5).abs() < 3.0, "mean = {mean}");
+    }
+
+    #[test]
+    fn distinct_marginals_are_uniform() {
+        let mut hits = vec![0u32; 20];
+        for seed in 0..2000u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut r = ReservoirSampler::new_distinct(1);
+            for x in 0..20u32 {
+                r.observe(x, &mut rng);
+            }
+            hits[r.samples()[0] as usize] += 1;
+        }
+        // Expected 100 hits each; allow generous slack.
+        assert!(hits.iter().all(|&h| h > 50 && h < 170), "{hits:?}");
+    }
+
+    #[test]
+    fn zero_capacity_reservoir_is_empty() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut r: ReservoirSampler<u32> = ReservoirSampler::new_distinct(0);
+        for x in 0..10 {
+            r.observe(x, &mut rng);
+        }
+        assert!(r.samples().is_empty());
+    }
+}

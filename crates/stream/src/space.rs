@@ -1,0 +1,200 @@
+//! Machine-word space accounting.
+//!
+//! The paper's theorems are statements about *bits of storage*. To compare
+//! algorithms empirically we count the machine words (8 bytes) of state an
+//! algorithm retains **between stream items**: samples, counters, hash-table
+//! entries, memo tables. Transient per-item scratch space is not charged,
+//! matching how streaming space complexity is usually accounted.
+//!
+//! [`SpaceMeter`] tracks the current and peak retained words; algorithms
+//! charge and release as their state grows and shrinks, and report a
+//! [`SpaceReport`] at the end. Constant factors obviously differ from the
+//! paper's bit-level accounting, but the *scaling* in `m`, `κ`, `T`, `ε` and
+//! `log n` — which is what every experiment checks — is preserved.
+
+/// Tracks the number of machine words of retained state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpaceMeter {
+    current: u64,
+    peak: u64,
+    charges: u64,
+}
+
+impl SpaceMeter {
+    /// Creates an empty meter.
+    pub fn new() -> Self {
+        SpaceMeter::default()
+    }
+
+    /// Charges `words` machine words of newly retained state.
+    #[inline]
+    pub fn charge(&mut self, words: u64) {
+        self.current += words;
+        self.charges += 1;
+        if self.current > self.peak {
+            self.peak = self.current;
+        }
+    }
+
+    /// Charges the space for one stored edge (two vertex ids: 1 word).
+    #[inline]
+    pub fn charge_edge(&mut self) {
+        self.charge(1);
+    }
+
+    /// Charges the space for one stored counter or scalar.
+    #[inline]
+    pub fn charge_word(&mut self) {
+        self.charge(1);
+    }
+
+    /// Charges a hash-table entry: key + value + constant overhead ≈ 3 words.
+    #[inline]
+    pub fn charge_table_entry(&mut self) {
+        self.charge(3);
+    }
+
+    /// Releases `words` previously charged words (saturating at zero).
+    #[inline]
+    pub fn release(&mut self, words: u64) {
+        self.current = self.current.saturating_sub(words);
+    }
+
+    /// Releases everything currently charged (peak is kept).
+    pub fn release_all(&mut self) {
+        self.current = 0;
+    }
+
+    /// Currently retained words.
+    #[inline]
+    pub fn current(&self) -> u64 {
+        self.current
+    }
+
+    /// Peak retained words observed so far.
+    #[inline]
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Number of individual charge operations (a coarse allocation count).
+    pub fn charge_operations(&self) -> u64 {
+        self.charges
+    }
+
+    /// Merges another meter's peak into this one, as if the two pieces of
+    /// state coexisted (used when an estimator is built from sub-estimators
+    /// that run in parallel over the same passes).
+    pub fn absorb_parallel(&mut self, other: &SpaceMeter) {
+        self.current += other.current;
+        self.peak += other.peak;
+        self.charges += other.charges;
+    }
+
+    /// Takes the maximum of the two peaks, as if the two pieces of state ran
+    /// one after the other reusing the same storage.
+    pub fn absorb_sequential(&mut self, other: &SpaceMeter) {
+        self.peak = self.peak.max(other.peak);
+        self.current = self.current.max(other.current);
+        self.charges += other.charges;
+    }
+
+    /// Produces the final report.
+    pub fn report(&self) -> SpaceReport {
+        SpaceReport {
+            peak_words: self.peak,
+            final_words: self.current,
+        }
+    }
+}
+
+/// Summary of the space used by one algorithm run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpaceReport {
+    /// Peak number of retained machine words across the whole run.
+    pub peak_words: u64,
+    /// Words retained when the algorithm finished (normally ≈ peak).
+    pub final_words: u64,
+}
+
+impl SpaceReport {
+    /// Peak space in bytes (words × 8).
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_words * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_and_release_track_current_and_peak() {
+        let mut m = SpaceMeter::new();
+        m.charge(10);
+        m.charge(5);
+        assert_eq!(m.current(), 15);
+        assert_eq!(m.peak(), 15);
+        m.release(12);
+        assert_eq!(m.current(), 3);
+        assert_eq!(m.peak(), 15);
+        m.charge(20);
+        assert_eq!(m.peak(), 23);
+        m.release_all();
+        assert_eq!(m.current(), 0);
+        assert_eq!(m.peak(), 23);
+        assert_eq!(m.charge_operations(), 3);
+    }
+
+    #[test]
+    fn release_saturates() {
+        let mut m = SpaceMeter::new();
+        m.charge(2);
+        m.release(10);
+        assert_eq!(m.current(), 0);
+    }
+
+    #[test]
+    fn helper_charges() {
+        let mut m = SpaceMeter::new();
+        m.charge_edge();
+        m.charge_word();
+        m.charge_table_entry();
+        assert_eq!(m.current(), 5);
+    }
+
+    #[test]
+    fn absorb_parallel_adds_peaks() {
+        let mut a = SpaceMeter::new();
+        a.charge(10);
+        let mut b = SpaceMeter::new();
+        b.charge(7);
+        b.release(7);
+        a.absorb_parallel(&b);
+        assert_eq!(a.peak(), 17);
+        assert_eq!(a.current(), 10);
+    }
+
+    #[test]
+    fn absorb_sequential_takes_max_peak() {
+        let mut a = SpaceMeter::new();
+        a.charge(10);
+        a.release(10);
+        let mut b = SpaceMeter::new();
+        b.charge(25);
+        b.release(25);
+        a.absorb_sequential(&b);
+        assert_eq!(a.peak(), 25);
+        assert_eq!(a.current(), 0);
+    }
+
+    #[test]
+    fn report_and_bytes() {
+        let mut m = SpaceMeter::new();
+        m.charge(4);
+        let r = m.report();
+        assert_eq!(r.peak_words, 4);
+        assert_eq!(r.final_words, 4);
+        assert_eq!(r.peak_bytes(), 32);
+    }
+}

@@ -1,0 +1,140 @@
+//! Single-pass stream statistics.
+//!
+//! [`StreamStats`] makes one pass over a stream and records the quantities
+//! several algorithms assume are known: the edge count `m`, the observed
+//! vertex count, and the full degree vector. Storing the degree vector costs
+//! `Θ(n)` words — that is exactly the cost of the *degree oracle* of the
+//! paper's Section 4 warm-up model, which is why the warm-up estimator does
+//! not charge it to its own space budget while the main Algorithm 2 never
+//! builds it at all.
+
+use degentri_graph::VertexId;
+
+use crate::edge_stream::EdgeStream;
+
+/// Statistics gathered in a single pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Number of edges seen in the pass.
+    pub num_edges: usize,
+    /// Number of vertices of the underlying graph (as declared by the
+    /// stream).
+    pub num_vertices: usize,
+    /// Degree of every vertex.
+    pub degrees: Vec<usize>,
+}
+
+impl StreamStats {
+    /// Runs one pass over `stream` and gathers the statistics.
+    pub fn compute<S: EdgeStream + ?Sized>(stream: &S) -> Self {
+        let n = stream.num_vertices();
+        let mut degrees = vec![0usize; n];
+        let mut m = 0usize;
+        for e in stream.pass() {
+            degrees[e.u().index()] += 1;
+            degrees[e.v().index()] += 1;
+            m += 1;
+        }
+        StreamStats {
+            num_edges: m,
+            num_vertices: n,
+            degrees,
+        }
+    }
+
+    /// Degree of a vertex.
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.degrees[v.index()]
+    }
+
+    /// Edge degree `d_e = min(d_u, d_v)`.
+    pub fn edge_degree(&self, e: degentri_graph::Edge) -> usize {
+        self.degree(e.u()).min(self.degree(e.v()))
+    }
+
+    /// The endpoint of `e` with the smaller degree (ties to the smaller id).
+    pub fn lower_degree_endpoint(&self, e: degentri_graph::Edge) -> VertexId {
+        if self.degree(e.u()) <= self.degree(e.v()) {
+            e.u()
+        } else {
+            e.v()
+        }
+    }
+
+    /// Sum of edge degrees `d_E = Σ_e min(d_u, d_v)`; requires a second pass.
+    pub fn edge_degree_sum<S: EdgeStream + ?Sized>(&self, stream: &S) -> u64 {
+        stream.pass().map(|e| self.edge_degree(e) as u64).sum()
+    }
+
+    /// Maximum degree `Δ`.
+    pub fn max_degree(&self) -> usize {
+        self.degrees.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The words of state this structure retains (the degree-oracle cost).
+    pub fn retained_words(&self) -> u64 {
+        self.degrees.len() as u64 + 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge_stream::MemoryStream;
+    use crate::ordering::StreamOrder;
+    use crate::passes::PassCounter;
+    use degentri_graph::{CsrGraph, Edge};
+
+    fn graph() -> CsrGraph {
+        CsrGraph::from_raw_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)])
+    }
+
+    #[test]
+    fn degrees_match_graph() {
+        let g = graph();
+        let s = MemoryStream::from_graph(&g, StreamOrder::UniformRandom(1));
+        let stats = StreamStats::compute(&s);
+        assert_eq!(stats.num_edges, g.num_edges());
+        assert_eq!(stats.num_vertices, g.num_vertices());
+        for v in g.vertices() {
+            assert_eq!(stats.degree(v), g.degree(v));
+        }
+        assert_eq!(stats.max_degree(), g.max_degree());
+    }
+
+    #[test]
+    fn edge_degree_and_sum_match_graph() {
+        let g = graph();
+        let s = MemoryStream::from_graph(&g, StreamOrder::AsGiven);
+        let stats = StreamStats::compute(&s);
+        for &e in g.edges() {
+            assert_eq!(stats.edge_degree(e), g.edge_degree(e));
+            assert_eq!(stats.lower_degree_endpoint(e), g.lower_degree_endpoint(e));
+        }
+        assert_eq!(stats.edge_degree_sum(&s), g.edge_degree_sum());
+    }
+
+    #[test]
+    fn uses_exactly_one_pass() {
+        let g = graph();
+        let s = PassCounter::new(MemoryStream::from_graph(&g, StreamOrder::AsGiven));
+        let _ = StreamStats::compute(&s);
+        assert_eq!(s.passes(), 1);
+    }
+
+    #[test]
+    fn retained_words_scale_with_n() {
+        let g = graph();
+        let s = MemoryStream::from_graph(&g, StreamOrder::AsGiven);
+        let stats = StreamStats::compute(&s);
+        assert_eq!(stats.retained_words(), 5 + 2);
+    }
+
+    #[test]
+    fn works_on_edgeless_stream() {
+        let s = MemoryStream::from_edges(3, Vec::<Edge>::new(), StreamOrder::AsGiven);
+        let stats = StreamStats::compute(&s);
+        assert_eq!(stats.num_edges, 0);
+        assert_eq!(stats.max_degree(), 0);
+    }
+}

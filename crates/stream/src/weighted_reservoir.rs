@@ -1,0 +1,194 @@
+//! Weight-proportional reservoir sampling (Chao's procedure).
+//!
+//! The ideal estimator of Section 4 samples an edge with probability
+//! `d_e / d_E` in a single pass. With a degree oracle the weight `d_e` is
+//! known on arrival, so Chao's unequal-probability reservoir procedure
+//! applies: keep one slot, and replace it by the incoming item with
+//! probability `w_item / W_so_far`. The slot is then distributed exactly
+//! proportionally to weight over the prefix seen so far.
+//!
+//! [`WeightedSamplerBank`] runs `k` independent single-slot samplers over the
+//! same pass, producing `k` i.i.d. weight-proportional samples — the form
+//! the analysis of Algorithm 1 needs.
+
+use rand::Rng;
+
+/// A single-slot weight-proportional reservoir sampler.
+#[derive(Debug, Clone)]
+pub struct WeightedReservoirSampler<T> {
+    slot: Option<(T, f64)>,
+    total_weight: f64,
+}
+
+impl<T: Clone> WeightedReservoirSampler<T> {
+    /// Creates an empty sampler.
+    pub fn new() -> Self {
+        WeightedReservoirSampler {
+            slot: None,
+            total_weight: 0.0,
+        }
+    }
+
+    /// Observes an item with the given non-negative weight.
+    pub fn observe<R: Rng>(&mut self, item: T, weight: f64, rng: &mut R) {
+        debug_assert!(weight >= 0.0 && weight.is_finite(), "weight must be finite and >= 0");
+        if weight <= 0.0 {
+            return;
+        }
+        self.total_weight += weight;
+        let replace = match self.slot {
+            None => true,
+            Some(_) => rng.gen_range(0.0..1.0) < weight / self.total_weight,
+        };
+        if replace {
+            self.slot = Some((item, weight));
+        }
+    }
+
+    /// The sampled item and its weight (None if only zero-weight items were
+    /// observed).
+    pub fn sample(&self) -> Option<(&T, f64)> {
+        self.slot.as_ref().map(|(t, w)| (t, *w))
+    }
+
+    /// Total weight observed so far.
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+}
+
+impl<T: Clone> Default for WeightedReservoirSampler<T> {
+    fn default() -> Self {
+        WeightedReservoirSampler::new()
+    }
+}
+
+/// A bank of `k` independent single-slot weighted samplers sharing one pass.
+#[derive(Debug, Clone)]
+pub struct WeightedSamplerBank<T> {
+    samplers: Vec<WeightedReservoirSampler<T>>,
+}
+
+impl<T: Clone> WeightedSamplerBank<T> {
+    /// Creates a bank of `k` independent samplers.
+    pub fn new(k: usize) -> Self {
+        WeightedSamplerBank {
+            samplers: vec![WeightedReservoirSampler::new(); k],
+        }
+    }
+
+    /// Observes an item in every sampler (independent coin flips).
+    pub fn observe<R: Rng>(&mut self, item: T, weight: f64, rng: &mut R) {
+        for s in self.samplers.iter_mut() {
+            s.observe(item.clone(), weight, rng);
+        }
+    }
+
+    /// The samples held by the bank (skipping samplers that saw only
+    /// zero-weight items).
+    pub fn samples(&self) -> Vec<(T, f64)> {
+        self.samplers
+            .iter()
+            .filter_map(|s| s.sample().map(|(t, w)| (t.clone(), w)))
+            .collect()
+    }
+
+    /// Number of samplers in the bank.
+    pub fn len(&self) -> usize {
+        self.samplers.len()
+    }
+
+    /// Whether the bank has no samplers.
+    pub fn is_empty(&self) -> bool {
+        self.samplers.is_empty()
+    }
+
+    /// Retained machine words (≈ 2 per slot: item + weight).
+    pub fn retained_words(&self) -> u64 {
+        2 * self.samplers.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn single_item_is_always_selected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut s = WeightedReservoirSampler::new();
+        s.observe("a", 3.0, &mut rng);
+        assert_eq!(s.sample().unwrap().0, &"a");
+        assert_eq!(s.total_weight(), 3.0);
+    }
+
+    #[test]
+    fn zero_weight_items_are_ignored() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut s = WeightedReservoirSampler::new();
+        s.observe("zero", 0.0, &mut rng);
+        assert!(s.sample().is_none());
+        s.observe("real", 1.0, &mut rng);
+        assert_eq!(s.sample().unwrap().0, &"real");
+    }
+
+    #[test]
+    fn selection_probabilities_are_proportional_to_weight() {
+        // Items with weights 1, 2, 7 → selection probabilities 0.1, 0.2, 0.7.
+        let weights = [1.0f64, 2.0, 7.0];
+        let mut hits = [0u32; 3];
+        let trials = 20_000u64;
+        for seed in 0..trials {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut s = WeightedReservoirSampler::new();
+            for (i, &w) in weights.iter().enumerate() {
+                s.observe(i, w, &mut rng);
+            }
+            hits[*s.sample().unwrap().0] += 1;
+        }
+        let p: Vec<f64> = hits.iter().map(|&h| h as f64 / trials as f64).collect();
+        assert!((p[0] - 0.1).abs() < 0.02, "{p:?}");
+        assert!((p[1] - 0.2).abs() < 0.02, "{p:?}");
+        assert!((p[2] - 0.7).abs() < 0.02, "{p:?}");
+    }
+
+    #[test]
+    fn order_does_not_bias_selection() {
+        let trials = 20_000u64;
+        let mut hits_first = 0u32;
+        for seed in 0..trials {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut s = WeightedReservoirSampler::new();
+            // Equal weights in two different positions.
+            s.observe("x", 5.0, &mut rng);
+            s.observe("y", 5.0, &mut rng);
+            if *s.sample().unwrap().0 == "x" {
+                hits_first += 1;
+            }
+        }
+        let p = hits_first as f64 / trials as f64;
+        assert!((p - 0.5).abs() < 0.02, "p = {p}");
+    }
+
+    #[test]
+    fn bank_produces_k_samples() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut bank = WeightedSamplerBank::new(8);
+        for i in 0..50u32 {
+            bank.observe(i, 1.0 + (i % 3) as f64, &mut rng);
+        }
+        assert_eq!(bank.len(), 8);
+        assert!(!bank.is_empty());
+        assert_eq!(bank.samples().len(), 8);
+        assert_eq!(bank.retained_words(), 16);
+    }
+
+    #[test]
+    fn empty_bank() {
+        let bank: WeightedSamplerBank<u32> = WeightedSamplerBank::new(0);
+        assert!(bank.is_empty());
+        assert!(bank.samples().is_empty());
+    }
+}

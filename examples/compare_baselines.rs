@@ -1,0 +1,76 @@
+//! Table-1-style comparison on a single graph.
+//!
+//! Runs every implemented streaming algorithm — the degeneracy-aware
+//! estimator of the paper plus the prior-work baselines — on the same
+//! preferential-attachment stream, and prints estimate, error, passes and
+//! retained space for each.
+//!
+//! Run with: `cargo run --release --example compare_baselines`
+
+use degentri::baselines::*;
+use degentri::graph::properties::GraphProperties;
+use degentri::prelude::*;
+
+fn main() {
+    let graph = degentri::gen::barabasi_albert(15_000, 7, 3).expect("generator parameters valid");
+    let props = GraphProperties::compute(&graph);
+    println!(
+        "graph: BA(n = {}, k = 7)  m = {}  max-deg = {}  degeneracy = {}  T = {}\n",
+        props.num_vertices, props.num_edges, props.max_degree, props.degeneracy, props.triangles
+    );
+
+    let stream = MemoryStream::from_graph(&graph, StreamOrder::UniformRandom(9));
+    let t_hint = props.triangles / 2;
+
+    // The paper's estimator (multi-copy, median of means).
+    let config = EstimatorConfig::builder()
+        .epsilon(0.1)
+        .kappa(props.degeneracy)
+        .triangle_lower_bound(t_hint)
+        .r_constant(30.0)
+        .inner_constant(60.0)
+        .assignment_constant(30.0)
+        .copies(9)
+        .seed(5)
+        .build();
+    let ours = estimate_triangles(&stream, &config).expect("non-empty stream");
+
+    println!(
+        "{:<48} {:>12} {:>8} {:>7} {:>14}",
+        "algorithm", "estimate", "err %", "passes", "space (words)"
+    );
+    println!(
+        "{:<48} {:>12.0} {:>8.1} {:>7} {:>14}",
+        "this paper (mk/T, 6-pass)",
+        ours.estimate,
+        100.0 * ours.relative_error(props.triangles),
+        ours.passes_per_copy,
+        ours.space.peak_words
+    );
+
+    let baselines: Vec<Box<dyn StreamingTriangleCounter>> = vec![
+        Box::new(DegeneracyObliviousEstimator::new(0.1, t_hint, 10.0, 5)),
+        Box::new(VertexSamplingEstimator::for_triangle_hint(t_hint, 4.0, 5)),
+        Box::new(NeighborhoodSampler::new(60_000, 5)),
+        Box::new(JhaWedgeSampler::new(4000, 40_000, 5)),
+        Box::new(BuriolEstimator::new(120_000, 5)),
+        Box::new(TriestImpr::new(props.num_edges / 4, 5)),
+        Box::new(ExactStreamCounter::new()),
+    ];
+
+    for b in &baselines {
+        let out = b.estimate(&stream);
+        println!(
+            "{:<48} {:>12.0} {:>8.1} {:>7} {:>14}",
+            format!("{} [{}]", b.name(), b.space_bound()),
+            out.estimate,
+            100.0 * out.relative_error(props.triangles),
+            out.passes,
+            out.space.peak_words
+        );
+    }
+
+    println!("\nthe degeneracy-aware estimator reaches comparable accuracy with far less");
+    println!("retained state than the mn/T, mD/T and m/sqrt(T) baselines; the full sweep");
+    println!("over graph families is experiment E1 in EXPERIMENTS.md.");
+}

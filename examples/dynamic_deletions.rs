@@ -1,0 +1,64 @@
+//! Example: triangle counting when edges can be deleted.
+//!
+//! Streams a preferential-attachment graph three times: insert-only, with
+//! heavy churn (extra edges inserted and later deleted), and with a final
+//! deletion wave that removes every edge touching the highest-degree hub.
+//! The ℓ0-sampling estimator of `degentri-dynamic` tracks the *surviving*
+//! graph in all three cases, which is exactly what an insert-only estimator
+//! cannot do.
+//!
+//! Run with: `cargo run --release --example dynamic_deletions`
+
+use degentri::dynamic::{DynamicEstimatorConfig, DynamicExactCounter, DynamicTriangleEstimator};
+use degentri::graph::degeneracy::degeneracy;
+use degentri::graph::triangles::count_triangles;
+use degentri::prelude::*;
+
+fn main() {
+    let graph = degentri::gen::barabasi_albert(1200, 6, 3).expect("valid BA parameters");
+    let kappa = degeneracy(&graph).max(1);
+    let exact = count_triangles(&graph);
+    println!(
+        "base graph: n = {}, m = {}, degeneracy = {kappa}, triangles = {exact}",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    // The hub with the largest degree; deleting its edges removes many triangles.
+    let hub = graph
+        .vertices()
+        .max_by_key(|&v| graph.degree(v))
+        .expect("graph has vertices");
+
+    let scenarios: Vec<(&str, DynamicMemoryStream)> = vec![
+        ("insert-only", DynamicMemoryStream::insert_only(&graph, 5)),
+        ("50% churn", DynamicMemoryStream::with_churn(&graph, 0.5, 7)),
+        (
+            "delete the hub's edges",
+            DynamicMemoryStream::insert_then_delete(&graph, |e| !e.contains(hub), 9),
+        ),
+    ];
+
+    for (label, stream) in scenarios {
+        let truth = DynamicExactCounter::new().count(&stream);
+        let config = DynamicEstimatorConfig::new(kappa, truth.triangles.max(1) / 2)
+            .with_epsilon(0.25)
+            .with_copies(5)
+            .with_seed(13)
+            .with_constants(1.0, 2.0)
+            .with_max_samples(1500);
+        let outcome = DynamicTriangleEstimator::new(config)
+            .run(&stream)
+            .expect("surviving graph is non-empty");
+        println!(
+            "{label:>24}: updates = {:>6} ({} deletions), surviving T = {:>6}, \
+             estimate = {:>8.0}, error = {:>5.1}%, words = {}",
+            stream.num_updates(),
+            stream.num_deletions(),
+            truth.triangles,
+            outcome.estimate,
+            outcome.relative_error(truth.triangles) * 100.0,
+            outcome.space.peak_words,
+        );
+    }
+}

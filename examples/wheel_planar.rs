@@ -1,0 +1,53 @@
+//! The Section 1.1 wheel-graph illustration.
+//!
+//! The wheel graph has `m = T = Θ(n)` and degeneracy 3, so the paper's
+//! `mκ/T` bound is a constant (polylogarithmic space), while every prior
+//! bound in Table 1 is `Ω(√n)`. This example sweeps the wheel size and
+//! prints the measured retained state of the degeneracy-aware estimator next
+//! to the `m/√T` and `m^{3/2}/T` predictions, showing one stays flat while
+//! the others grow.
+//!
+//! Run with: `cargo run --release --example wheel_planar`
+
+use degentri::core::theory::GraphParameters;
+use degentri::prelude::*;
+
+fn main() {
+    println!(
+        "{:>9} {:>9} {:>9} | {:>14} | {:>12} {:>12}",
+        "n", "m", "T", "measured words", "m/sqrt(T)", "m^1.5/T"
+    );
+    for exponent in 11..=17u32 {
+        let n = 1usize << exponent;
+        let graph = degentri::gen::wheel(n).expect("wheel size is valid");
+        let m = graph.num_edges();
+        let t = degentri::graph::triangles::count_triangles(&graph);
+
+        let stream = MemoryStream::from_graph(&graph, StreamOrder::UniformRandom(5));
+        let config = EstimatorConfig::builder()
+            .epsilon(0.15)
+            .kappa(3)
+            .triangle_lower_bound(t / 2)
+            .r_constant(20.0)
+            .inner_constant(40.0)
+            .assignment_constant(20.0)
+            .copies(5)
+            .seed(exponent as u64)
+            .build();
+        let result = estimate_triangles(&stream, &config).expect("non-empty stream");
+
+        let params = GraphParameters::new(n, m, t, 3, n - 1);
+        println!(
+            "{:>9} {:>9} {:>9} | {:>14} | {:>12.0} {:>12.0}   (err {:>5.1}%)",
+            n,
+            m,
+            t,
+            result.space.peak_words,
+            params.bound_m_over_sqrt_t(),
+            params.bound_m_three_halves_over_t(),
+            100.0 * result.relative_error(t)
+        );
+    }
+    println!("\nthe measured column stays (near) flat while both prior bounds grow like sqrt(n) --");
+    println!("this is exactly the separation claimed in Section 1.1 of the paper.");
+}

@@ -1,0 +1,84 @@
+//! # degentri — degeneracy-parameterized streaming triangle counting
+//!
+//! An open-source reproduction of *"How the Degeneracy Helps for Triangle
+//! Counting in Graph Streams"* (Suman K. Bera and C. Seshadhri, PODS 2020):
+//! a constant-pass, arbitrary-order streaming algorithm that
+//! `(1 ± ε)`-approximates the triangle count `T` of a graph with `m` edges
+//! and degeneracy `κ` in `Õ(mκ/T)` words of space, together with every
+//! substrate needed to run and evaluate it:
+//!
+//! * [`graph`] — CSR graphs, core decomposition / degeneracy, exact triangle
+//!   counting (ground truth);
+//! * [`gen`] — seeded graph generators, including the paper's wheel and
+//!   triangle-book examples and the Section 6 lower-bound gadgets;
+//! * [`stream`] — multi-pass edge streams, reservoir sampling, pass and
+//!   word-level space accounting;
+//! * [`core`] — the paper's estimators (warm-up Algorithm 1 and the six-pass
+//!   Algorithm 2) and its triangle-to-edge assignment procedure
+//!   (Algorithm 3);
+//! * [`baselines`] — the prior streaming algorithms of the paper's Table 1,
+//!   on the same substrate, for apples-to-apples comparison;
+//! * [`cliques`] — the ℓ-clique generalization conjectured in Section 7
+//!   (exact kClist counters plus the streaming estimator);
+//! * [`sketch`] — linear sketches (k-wise hashing, CountMin, CountSketch,
+//!   ℓ0 sampling) for turnstile streams;
+//! * [`dynamic`] — the insert/delete (dynamic-stream) port of the estimator
+//!   built on those sketches.
+//!
+//! The umbrella crate simply re-exports the pieces and the most common entry
+//! points so applications can depend on a single crate:
+//!
+//! ```
+//! use degentri::prelude::*;
+//!
+//! let graph = degentri::gen::wheel(2000).unwrap();
+//! let exact = degentri::graph::triangles::count_triangles(&graph);
+//! let stream = MemoryStream::from_graph(&graph, StreamOrder::UniformRandom(1));
+//! let config = EstimatorConfig::builder()
+//!     .epsilon(0.15)
+//!     .kappa(3)
+//!     .triangle_lower_bound(exact / 2)
+//!     .seed(7)
+//!     .build();
+//! let estimate = estimate_triangles(&stream, &config).unwrap();
+//! assert!(estimate.relative_error(exact) < 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use degentri_baselines as baselines;
+pub use degentri_cliques as cliques;
+pub use degentri_core as core;
+pub use degentri_dynamic as dynamic;
+pub use degentri_gen as gen;
+pub use degentri_graph as graph;
+pub use degentri_sketch as sketch;
+pub use degentri_stream as stream;
+
+/// The most commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use degentri_baselines::{BaselineOutcome, StreamingTriangleCounter};
+    pub use degentri_cliques::{count_cliques, CliqueEstimator, CliqueEstimatorConfig};
+    pub use degentri_core::{
+        estimate_triangles, estimate_triangles_with_oracle, EstimatorConfig, TriangleEstimation,
+    };
+    pub use degentri_dynamic::{DynamicEstimatorConfig, DynamicTriangleEstimator};
+    pub use degentri_graph::{CsrGraph, Edge, GraphBuilder, Triangle, VertexId};
+    pub use degentri_stream::{
+        DynamicEdgeStream, DynamicMemoryStream, EdgeStream, EdgeUpdate, MemoryStream, SpaceReport,
+        StreamOrder,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_is_usable() {
+        use crate::prelude::*;
+        let g = degentri_gen::wheel(10).unwrap();
+        let stream = MemoryStream::from_graph(&g, StreamOrder::AsGiven);
+        assert_eq!(EdgeStream::num_edges(&stream), 18);
+        let _ = EstimatorConfig::builder().build();
+    }
+}

@@ -1,0 +1,190 @@
+//! End-to-end integration tests: the full pipeline (generator → stream →
+//! estimator) produces accurate estimates within the paper's pass and space
+//! budgets, across graph families and stream orderings.
+
+use degentri::prelude::*;
+use degentri_core::ExactDegreeOracle;
+use degentri_graph::degeneracy::degeneracy;
+use degentri_graph::triangles::count_triangles;
+use degentri_graph::CsrGraph;
+use degentri_stream::PassCounter;
+
+fn standard_config(kappa: usize, t_hint: u64, seed: u64) -> EstimatorConfig {
+    EstimatorConfig::builder()
+        .epsilon(0.15)
+        .kappa(kappa)
+        .triangle_lower_bound(t_hint.max(1))
+        .r_constant(30.0)
+        .inner_constant(60.0)
+        .assignment_constant(30.0)
+        .copies(9)
+        .seed(seed)
+        .build()
+}
+
+fn check_accuracy(graph: &CsrGraph, tolerance: f64, seed: u64) {
+    let exact = count_triangles(graph);
+    let kappa = degeneracy(graph);
+    let stream = MemoryStream::from_graph(graph, StreamOrder::UniformRandom(seed));
+    let config = standard_config(kappa, exact / 2, seed);
+    let result = estimate_triangles(&stream, &config).unwrap();
+    assert!(
+        result.relative_error(exact) < tolerance,
+        "estimate {} vs exact {exact} (tolerance {tolerance})",
+        result.estimate
+    );
+}
+
+#[test]
+fn accurate_on_wheel() {
+    check_accuracy(&degentri::gen::wheel(2000).unwrap(), 0.3, 1);
+}
+
+#[test]
+fn accurate_on_triangular_lattice() {
+    check_accuracy(&degentri::gen::triangular_lattice(45, 45).unwrap(), 0.3, 2);
+}
+
+#[test]
+fn accurate_on_preferential_attachment() {
+    check_accuracy(&degentri::gen::barabasi_albert(2000, 6, 5).unwrap(), 0.35, 3);
+}
+
+#[test]
+fn accurate_on_book() {
+    check_accuracy(&degentri::gen::book(1000).unwrap(), 0.35, 4);
+}
+
+#[test]
+fn accurate_on_friendship() {
+    check_accuracy(&degentri::gen::friendship(700).unwrap(), 0.35, 5);
+}
+
+#[test]
+fn accurate_on_planted_triangles() {
+    check_accuracy(&degentri::gen::planted_triangles(4000, 3, 600, 11).unwrap(), 0.35, 6);
+}
+
+#[test]
+fn zero_estimate_on_triangle_free_families() {
+    for graph in [
+        degentri::gen::grid(30, 30).unwrap(),
+        degentri::gen::complete_bipartite(20, 20).unwrap(),
+    ] {
+        let stream = MemoryStream::from_graph(&graph, StreamOrder::UniformRandom(7));
+        let config = standard_config(degeneracy(&graph).max(1), 1, 7);
+        let result = estimate_triangles(&stream, &config).unwrap();
+        assert_eq!(result.estimate, 0.0);
+    }
+}
+
+#[test]
+fn estimate_is_insensitive_to_stream_order() {
+    let graph = degentri::gen::wheel(1500).unwrap();
+    let exact = count_triangles(&graph);
+    for (i, order) in [
+        StreamOrder::AsGiven,
+        StreamOrder::UniformRandom(3),
+        StreamOrder::SortedLexicographic,
+        StreamOrder::ReverseSorted,
+        StreamOrder::Interleaved { chunks: 7 },
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let stream = MemoryStream::from_graph(&graph, order);
+        let config = standard_config(3, exact / 2, 100 + i as u64);
+        let result = estimate_triangles(&stream, &config).unwrap();
+        assert!(
+            result.relative_error(exact) < 0.35,
+            "order {order:?}: estimate {} vs exact {exact}",
+            result.estimate
+        );
+    }
+}
+
+#[test]
+fn main_estimator_respects_six_pass_budget() {
+    let graph = degentri::gen::barabasi_albert(800, 5, 9).unwrap();
+    let exact = count_triangles(&graph);
+    let stream = PassCounter::new(MemoryStream::from_graph(&graph, StreamOrder::UniformRandom(1)));
+    let config = standard_config(5, exact / 2, 13);
+    let result = estimate_triangles(&stream, &config).unwrap();
+    assert_eq!(result.passes_per_copy, 6);
+    assert_eq!(stream.passes(), 6 * config.copies as u32);
+}
+
+#[test]
+fn ideal_estimator_respects_three_pass_budget_and_agrees_with_main() {
+    let graph = degentri::gen::wheel(1200).unwrap();
+    let exact = count_triangles(&graph);
+    let stream = MemoryStream::from_graph(&graph, StreamOrder::UniformRandom(21));
+    let oracle = ExactDegreeOracle::build(&stream);
+    let config = standard_config(3, exact / 2, 17);
+
+    let ideal = degentri_core::estimate_triangles_with_oracle(&stream, &oracle, &config).unwrap();
+    let main = estimate_triangles(&stream, &config).unwrap();
+
+    assert_eq!(ideal.passes_per_copy, 3);
+    assert_eq!(main.passes_per_copy, 6);
+    assert!(ideal.relative_error(exact) < 0.3, "ideal {}", ideal.estimate);
+    assert!(main.relative_error(exact) < 0.3, "main {}", main.estimate);
+}
+
+#[test]
+fn retained_space_is_sublinear_on_triangle_rich_low_degeneracy_graphs() {
+    // On the wheel family mκ/T = Θ(1); the retained state should be far
+    // below m and grow much slower than m as n doubles. A single lean copy
+    // keeps the absolute comparison against m meaningful at these sizes.
+    let lean = |t: u64, seed: u64| {
+        EstimatorConfig::builder()
+            .epsilon(0.15)
+            .kappa(3)
+            .triangle_lower_bound(t)
+            .r_constant(6.0)
+            .inner_constant(12.0)
+            .assignment_constant(4.0)
+            .copies(1)
+            .seed(seed)
+            .build()
+    };
+    let small = degentri::gen::wheel(8000).unwrap();
+    let large = degentri::gen::wheel(32000).unwrap();
+    let run = |g: &CsrGraph, seed: u64| {
+        let exact = count_triangles(g);
+        let stream = MemoryStream::from_graph(g, StreamOrder::UniformRandom(seed));
+        estimate_triangles(&stream, &lean(exact, seed)).unwrap()
+    };
+    let out_small = run(&small, 31);
+    let out_large = run(&large, 32);
+    assert!((out_small.space.peak_words as usize) < small.num_edges());
+    assert!((out_large.space.peak_words as usize) < large.num_edges());
+    let space_growth = out_large.space.peak_words as f64 / out_small.space.peak_words as f64;
+    let edge_growth = large.num_edges() as f64 / small.num_edges() as f64;
+    assert!(
+        space_growth < edge_growth / 1.5,
+        "space grew {space_growth:.2}x while edges grew {edge_growth:.2}x"
+    );
+}
+
+#[test]
+fn lower_bound_gadgets_separate_at_adequate_space() {
+    let (p, q) = degentri::gen::LowerBoundGadget::parameters_for(8, 3);
+    let yes = degentri::gen::LowerBoundGadget::yes_instance(p, q, 30, 3).unwrap();
+    let no = degentri::gen::LowerBoundGadget::no_instance(p, q, 30, 1, 3).unwrap();
+    let t_no = count_triangles(&no.graph);
+    assert_eq!(count_triangles(&yes.graph), 0);
+    assert!(t_no >= no.guaranteed_triangles());
+
+    let config = standard_config(2 * p, t_no / 2, 19);
+    let yes_stream = MemoryStream::from_graph(&yes.graph, StreamOrder::UniformRandom(2));
+    let no_stream = MemoryStream::from_graph(&no.graph, StreamOrder::UniformRandom(2));
+    let yes_result = estimate_triangles(&yes_stream, &config).unwrap();
+    let no_result = estimate_triangles(&no_stream, &config).unwrap();
+    assert_eq!(yes_result.estimate, 0.0);
+    assert!(
+        no_result.estimate > t_no as f64 / 3.0,
+        "NO-instance estimate {} should be well above zero (T = {t_no})",
+        no_result.estimate
+    );
+}

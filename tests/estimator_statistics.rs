@@ -1,0 +1,183 @@
+//! Statistical properties of the estimators: (near-)unbiasedness, error
+//! shrinking with the sample-size constants, agreement between the ideal
+//! (degree-oracle) and the six-pass estimators, and behaviour when the
+//! advice parameters (κ, T̂) are misestimated.
+
+use degentri::prelude::*;
+use degentri_core::median_of_means::{mean, sample_variance};
+use degentri_core::{ExactDegreeOracle, IdealEstimator, MainEstimator};
+use degentri_graph::triangles::count_triangles;
+
+fn wheel_stream(n: usize, seed: u64) -> (MemoryStream, u64) {
+    let g = degentri::gen::wheel(n).unwrap();
+    let exact = count_triangles(&g);
+    (MemoryStream::from_graph(&g, StreamOrder::UniformRandom(seed)), exact)
+}
+
+#[test]
+fn main_estimator_is_nearly_unbiased() {
+    // Average many independent single-copy runs; the mean should approach
+    // the exact count well within its standard error.
+    let (stream, exact) = wheel_stream(600, 3);
+    let config = EstimatorConfig::builder()
+        .epsilon(0.2)
+        .kappa(3)
+        .triangle_lower_bound(exact / 2)
+        .r_constant(10.0)
+        .inner_constant(20.0)
+        .assignment_constant(10.0)
+        .copies(1)
+        .build();
+    let estimator = MainEstimator::new(config);
+    let runs = 60;
+    let estimates: Vec<f64> = (0..runs)
+        .map(|i| estimator.run_seeded(&stream, 10_000 + i).unwrap().estimate)
+        .collect();
+    let mu = mean(&estimates).unwrap();
+    let sd = sample_variance(&estimates).unwrap().sqrt();
+    let standard_error = sd / (runs as f64).sqrt();
+    assert!(
+        (mu - exact as f64).abs() < 4.0 * standard_error + 0.05 * exact as f64,
+        "mean {mu:.1} vs exact {exact} (SE {standard_error:.1})"
+    );
+}
+
+#[test]
+fn ideal_estimator_is_nearly_unbiased() {
+    let (stream, exact) = wheel_stream(600, 5);
+    let oracle = ExactDegreeOracle::build(&stream);
+    let config = EstimatorConfig::builder()
+        .epsilon(0.2)
+        .kappa(3)
+        .triangle_lower_bound(exact / 2)
+        .r_constant(10.0)
+        .copies(1)
+        .build();
+    let runs = 60;
+    let estimates: Vec<f64> = (0..runs)
+        .map(|i| {
+            let mut c = config.clone();
+            c.seed = 20_000 + i;
+            IdealEstimator::new(c).run(&stream, &oracle).unwrap().estimate
+        })
+        .collect();
+    let mu = mean(&estimates).unwrap();
+    let sd = sample_variance(&estimates).unwrap().sqrt();
+    let standard_error = sd / (runs as f64).sqrt();
+    assert!(
+        (mu - exact as f64).abs() < 4.0 * standard_error + 0.05 * exact as f64,
+        "mean {mu:.1} vs exact {exact} (SE {standard_error:.1})"
+    );
+}
+
+#[test]
+fn error_shrinks_as_sample_constants_grow() {
+    // Lemmas 5.5/5.7: more samples ⇒ tighter concentration. Compare the
+    // spread of single-copy estimates at a small and a large constant.
+    let (stream, exact) = wheel_stream(900, 7);
+    let spread = |constant: f64| {
+        let config = EstimatorConfig::builder()
+            .epsilon(0.2)
+            .kappa(3)
+            .triangle_lower_bound(exact / 2)
+            .r_constant(constant)
+            .inner_constant(2.0 * constant)
+            .assignment_constant(constant)
+            .copies(1)
+            .build();
+        let estimator = MainEstimator::new(config);
+        let estimates: Vec<f64> = (0..24)
+            .map(|i| estimator.run_seeded(&stream, 500 + i).unwrap().estimate)
+            .collect();
+        sample_variance(&estimates).unwrap().sqrt()
+    };
+    let coarse = spread(3.0);
+    let fine = spread(30.0);
+    assert!(
+        fine < coarse,
+        "spread should shrink with more samples: coarse {coarse:.1}, fine {fine:.1}"
+    );
+}
+
+#[test]
+fn underestimated_triangle_hint_still_works() {
+    // T̂ is only a lower bound; supplying T/10 costs space (larger samples)
+    // but must not hurt accuracy.
+    let (stream, exact) = wheel_stream(1000, 9);
+    let config = EstimatorConfig::builder()
+        .epsilon(0.15)
+        .kappa(3)
+        .triangle_lower_bound(exact / 10)
+        .r_constant(10.0)
+        .inner_constant(20.0)
+        .assignment_constant(10.0)
+        .copies(7)
+        .seed(1)
+        .build();
+    let result = degentri_core::estimate_triangles(&stream, &config).unwrap();
+    assert!(
+        result.relative_error(exact) < 0.3,
+        "estimate {} vs exact {exact}",
+        result.estimate
+    );
+}
+
+#[test]
+fn overestimated_degeneracy_still_works() {
+    // Supplying a loose κ bound (e.g. 10 × the truth) costs space but not
+    // correctness.
+    let (stream, exact) = wheel_stream(1000, 11);
+    let config = EstimatorConfig::builder()
+        .epsilon(0.15)
+        .kappa(30)
+        .triangle_lower_bound(exact / 2)
+        .r_constant(10.0)
+        .inner_constant(20.0)
+        .assignment_constant(10.0)
+        .copies(7)
+        .seed(2)
+        .build();
+    let result = degentri_core::estimate_triangles(&stream, &config).unwrap();
+    assert!(
+        result.relative_error(exact) < 0.3,
+        "estimate {} vs exact {exact}",
+        result.estimate
+    );
+}
+
+#[test]
+fn larger_sample_budget_costs_more_space() {
+    let (stream, exact) = wheel_stream(2000, 13);
+    let run = |constant: f64| {
+        let config = EstimatorConfig::builder()
+            .epsilon(0.15)
+            .kappa(3)
+            .triangle_lower_bound(exact / 2)
+            .r_constant(constant)
+            .inner_constant(2.0 * constant)
+            .assignment_constant(constant)
+            .copies(1)
+            .seed(3)
+            .build();
+        degentri_core::estimate_triangles(&stream, &config).unwrap()
+    };
+    let lean = run(5.0);
+    let rich = run(40.0);
+    assert!(rich.space.peak_words > 3 * lean.space.peak_words);
+}
+
+#[test]
+fn paper_faithful_parameters_are_derivable_even_if_impractical() {
+    // The paper-faithful constants produce valid (huge) sample sizes; run
+    // them through derivation only, not through an actual stream pass.
+    let config = degentri_core::EstimatorConfig::paper_faithful(0.1, 3, 1_000);
+    assert!(config.validate().is_ok());
+    let derived = config.derive(100_000, 50_000);
+    let practical = EstimatorConfig::builder()
+        .epsilon(0.1)
+        .kappa(3)
+        .triangle_lower_bound(1_000)
+        .build()
+        .derive(100_000, 50_000);
+    assert!(derived.r > 10 * practical.r);
+}

@@ -1,0 +1,167 @@
+//! Integration tests for the two extension subsystems: the ℓ-clique
+//! estimator of Conjecture 7.1 (`degentri-cliques`) and the dynamic-stream
+//! port (`degentri-dynamic`), exercised through the umbrella crate exactly
+//! as an application would use them.
+
+use degentri::cliques::{
+    count_cliques, AssignmentMode, CliqueAssignmentOracle, CliqueAssignmentParams,
+    CliqueEstimator, CliqueEstimatorConfig,
+};
+use degentri::dynamic::{DynamicEstimatorConfig, DynamicExactCounter, DynamicTriangleEstimator};
+use degentri::graph::degeneracy::degeneracy;
+use degentri::graph::triangles::count_triangles;
+use degentri::prelude::*;
+
+/// The ℓ = 3 instance of the clique estimator and the paper's triangle
+/// estimator answer the same question; on an easy instance they must agree
+/// with the exact count and (hence) roughly with each other.
+#[test]
+fn clique_estimator_at_l3_agrees_with_the_triangle_machinery() {
+    let graph = degentri::gen::wheel(1200).unwrap();
+    let exact = count_triangles(&graph);
+    let stream = MemoryStream::from_graph(&graph, StreamOrder::UniformRandom(3));
+
+    let triangle_config = EstimatorConfig::builder()
+        .epsilon(0.2)
+        .kappa(3)
+        .triangle_lower_bound(exact / 2)
+        .seed(5)
+        .build();
+    let triangle_estimate = estimate_triangles(&stream, &triangle_config).unwrap();
+
+    let clique_config = CliqueEstimatorConfig::builder(3)
+        .epsilon(0.2)
+        .kappa(3)
+        .clique_lower_bound(exact / 2)
+        .copies(5)
+        .seed(7)
+        .build();
+    let clique_estimate = CliqueEstimator::new(clique_config).run(&stream).unwrap();
+
+    assert!(triangle_estimate.relative_error(exact) < 0.4);
+    assert!(clique_estimate.relative_error(exact) < 0.4);
+}
+
+/// Exact clique counts obey the nesting structure of k-trees: every K5 of a
+/// 5-tree contains K4s and triangles, and the counts follow the closed forms
+/// of the construction.
+#[test]
+fn ktree_clique_counts_follow_the_construction() {
+    let k = 5usize;
+    let n = 500usize;
+    let graph = degentri::gen::random_ktree(n, k, 11).unwrap();
+    assert_eq!(degeneracy(&graph), k);
+    // Each attachment step adds C(k, l-1) new l-cliques to the seed clique's
+    // C(k+1, l).
+    let choose = |n: u64, r: u64| -> u64 {
+        if r > n {
+            return 0;
+        }
+        (0..r).fold(1u64, |acc, i| acc * (n - i) / (i + 1))
+    };
+    for l in 3..=5u64 {
+        let expected =
+            choose(k as u64 + 1, l) + (n as u64 - k as u64 - 1) * choose(k as u64, l - 1);
+        assert_eq!(count_cliques(&graph, l as usize), expected, "l = {l}");
+    }
+}
+
+/// The oracle-backed assignment mode must not change what is being estimated
+/// (the total count), only how it is attributed — and on the book graph it
+/// must keep the spine edge heavy.
+#[test]
+fn assignment_mode_estimates_the_same_quantity_on_the_book_graph() {
+    let graph = degentri::gen::book(600).unwrap();
+    let exact = count_triangles(&graph);
+    let stream = MemoryStream::from_graph(&graph, StreamOrder::UniformRandom(9));
+
+    let oracle = CliqueAssignmentOracle::build(
+        &graph,
+        CliqueAssignmentParams {
+            clique_size: 3,
+            epsilon: 0.25,
+            kappa: 2,
+        },
+    );
+    let assigned = oracle.assigned_counts(&graph);
+    assert_eq!(assigned.values().sum::<u64>(), exact);
+
+    let config = CliqueEstimatorConfig::builder(3)
+        .epsilon(0.2)
+        .kappa(2)
+        .clique_lower_bound(exact / 2)
+        .copies(5)
+        .seed(3)
+        .mode(AssignmentMode::MinCliqueEdge(oracle))
+        .build();
+    let out = CliqueEstimator::new(config).run(&stream).unwrap();
+    assert!(
+        out.relative_error(exact) < 0.4,
+        "estimate {} vs exact {exact}",
+        out.estimate
+    );
+}
+
+/// End-to-end dynamic-stream run through the umbrella crate: churn must not
+/// bias the estimate, and the exact turnstile counter provides the ground
+/// truth for the surviving graph.
+#[test]
+fn dynamic_estimator_tracks_the_surviving_graph_under_churn() {
+    let graph = degentri::gen::random_ktree(500, 3, 7).unwrap();
+    let exact = count_triangles(&graph);
+    let stream = DynamicMemoryStream::with_churn(&graph, 0.6, 13);
+    assert!(stream.num_deletions() > 0);
+
+    let truth = DynamicExactCounter::new().count(&stream);
+    assert_eq!(truth.triangles, exact);
+
+    let config = DynamicEstimatorConfig::new(3, exact / 2)
+        .with_epsilon(0.3)
+        .with_copies(5)
+        .with_seed(21)
+        .with_constants(1.0, 2.0)
+        .with_max_samples(800);
+    let out = DynamicTriangleEstimator::new(config).run(&stream).unwrap();
+    assert!(
+        out.relative_error(exact) < 0.5,
+        "estimate {} vs exact {exact}",
+        out.estimate
+    );
+    assert_eq!(out.surviving_edges, graph.num_edges());
+}
+
+/// Deleting every triangle-closing edge must drive the dynamic estimate to
+/// exactly zero, not merely to a small value.
+#[test]
+fn dynamic_estimator_sees_deletions_that_destroy_all_triangles() {
+    let graph = degentri::gen::wheel(500).unwrap();
+    // Keep only the spokes (edges incident to the hub 0): a star, no triangles.
+    let stream = DynamicMemoryStream::insert_then_delete(
+        &graph,
+        |e| e.u().index() == 0 || e.v().index() == 0,
+        17,
+    );
+    let truth = DynamicExactCounter::new().count(&stream);
+    assert_eq!(truth.triangles, 0);
+
+    let config = DynamicEstimatorConfig::new(3, 100)
+        .with_epsilon(0.3)
+        .with_copies(3)
+        .with_seed(2)
+        .with_max_samples(400);
+    let out = DynamicTriangleEstimator::new(config).run(&stream).unwrap();
+    assert_eq!(out.estimate, 0.0);
+}
+
+/// The prelude exposes the extension entry points alongside the original ones.
+#[test]
+fn prelude_covers_the_extensions() {
+    let graph = degentri::gen::complete(10).unwrap();
+    assert_eq!(count_cliques(&graph, 4), 210);
+    let _ = CliqueEstimatorConfig::builder(4).build();
+    let _ = DynamicEstimatorConfig::new(3, 10);
+    let stream = DynamicMemoryStream::insert_only(&graph, 1);
+    assert_eq!(stream.num_updates(), 45);
+    let update = EdgeUpdate::insert(Edge::from_raw(0, 1));
+    assert_eq!(update.delta(), 1);
+}

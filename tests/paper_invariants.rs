@@ -1,0 +1,174 @@
+//! Cross-crate checks of the paper's structural lemmas and premises on the
+//! generator suite: Lemma 3.1 (Chiba–Nishizeki), Corollary 3.2, Lemma 5.12
+//! (heavy/costly triangles), the κ ≤ √(2m) fact, the arboricity sandwich,
+//! and the `T = Ω(κ²)` premise on the triangle-rich families.
+
+use degentri::core::heavy::HeavyCostlyAnalysis;
+use degentri::core::theory::GraphParameters;
+use degentri::graph::arboricity::ArboricityBounds;
+use degentri::graph::degeneracy::CoreDecomposition;
+use degentri::graph::properties::GraphProperties;
+use degentri::graph::triangles::TriangleCounts;
+use degentri::graph::CsrGraph;
+
+fn suite() -> Vec<(String, CsrGraph)> {
+    let mut graphs: Vec<(String, CsrGraph)> = Vec::new();
+    graphs.push(("wheel_2000".into(), degentri::gen::wheel(2000).unwrap()));
+    graphs.push(("lattice_40x40".into(), degentri::gen::triangular_lattice(40, 40).unwrap()));
+    graphs.push(("ba_3000_6".into(), degentri::gen::barabasi_albert(3000, 6, 1).unwrap()));
+    graphs.push(("chunglu_3000".into(), degentri::gen::chung_lu(3000, 2.3, 60.0, 2).unwrap()));
+    graphs.push(("gnp_1000".into(), degentri::gen::gnp(1000, 0.01, 3).unwrap()));
+    graphs.push(("book_1500".into(), degentri::gen::book(1500).unwrap()));
+    graphs.push(("friendship_800".into(), degentri::gen::friendship(800).unwrap()));
+    graphs.push(("rmat_12".into(), degentri::gen::rmat(12, 30_000, 0.57, 0.19, 0.19, 4).unwrap()));
+    graphs.push(("planted".into(), degentri::gen::planted_triangles(3000, 3, 500, 5).unwrap()));
+    graphs.push(("complete_40".into(), degentri::gen::complete(40).unwrap()));
+    graphs
+}
+
+#[test]
+fn chiba_nishizeki_lemma_holds_on_suite() {
+    for (name, g) in suite() {
+        let kappa = CoreDecomposition::compute(&g).degeneracy as u64;
+        let m = g.num_edges() as u64;
+        let d_e = g.edge_degree_sum();
+        assert!(
+            d_e <= 2 * m * kappa.max(1),
+            "{name}: d_E = {d_e} exceeds 2mκ = {}",
+            2 * m * kappa
+        );
+    }
+}
+
+#[test]
+fn triangle_count_bound_holds_on_suite() {
+    for (name, g) in suite() {
+        let kappa = CoreDecomposition::compute(&g).degeneracy as u64;
+        let m = g.num_edges() as u64;
+        let t = TriangleCounts::compute(&g).total;
+        assert!(
+            t <= 2 * m * kappa.max(1),
+            "{name}: T = {t} exceeds 2mκ = {}",
+            2 * m * kappa
+        );
+    }
+}
+
+#[test]
+fn degeneracy_is_at_most_sqrt_2m_on_suite() {
+    for (name, g) in suite() {
+        let kappa = CoreDecomposition::compute(&g).degeneracy as f64;
+        let bound = (2.0 * g.num_edges() as f64).sqrt();
+        assert!(kappa <= bound + 1.0, "{name}: κ = {kappa} > √(2m) = {bound:.1}");
+    }
+}
+
+#[test]
+fn arboricity_sandwich_holds_on_suite() {
+    for (name, g) in suite() {
+        let b = ArboricityBounds::compute(&g);
+        assert!(b.is_consistent(), "{name}: inconsistent arboricity bounds {b:?}");
+        let kappa = CoreDecomposition::compute(&g).degeneracy;
+        // α ≤ κ ≤ 2α − 1 ⇒ the certified lower bound cannot exceed κ and the
+        // upper bound is κ itself.
+        assert!(b.lower <= kappa.max(1), "{name}");
+        assert_eq!(b.upper, kappa, "{name}");
+    }
+}
+
+#[test]
+fn heavy_and_costly_triangles_are_a_small_fraction() {
+    // Lemma 5.12: ≤ 2εT heavy and ≤ 2εT costly triangles.
+    let epsilon = 0.2;
+    for (name, g) in suite() {
+        let props = GraphProperties::compute(&g);
+        if props.triangles == 0 {
+            continue;
+        }
+        let analysis = HeavyCostlyAnalysis::compute(&g, epsilon, props.degeneracy.max(1));
+        let t = props.triangles as f64;
+        assert!(
+            (analysis.heavy_triangles as f64) <= 2.0 * epsilon * t + 1e-9,
+            "{name}: {} heavy triangles out of {}",
+            analysis.heavy_triangles,
+            props.triangles
+        );
+        assert!(
+            (analysis.costly_triangles as f64) <= 2.0 * epsilon * t + 1e-9,
+            "{name}: {} costly triangles out of {}",
+            analysis.costly_triangles,
+            props.triangles
+        );
+        assert!(
+            analysis.unassignable_fraction() <= 4.0 * epsilon + 1e-9,
+            "{name}: unassignable fraction {}",
+            analysis.unassignable_fraction()
+        );
+    }
+}
+
+#[test]
+fn triangle_rich_families_satisfy_t_at_least_kappa_squared() {
+    // The paper's premise for real-world graphs (Section 1.1): T = Ω(κ²).
+    for name in ["wheel", "lattice", "ba", "book", "friendship"] {
+        let g = match name {
+            "wheel" => degentri::gen::wheel(2000).unwrap(),
+            "lattice" => degentri::gen::triangular_lattice(40, 40).unwrap(),
+            "ba" => degentri::gen::barabasi_albert(3000, 6, 1).unwrap(),
+            "book" => degentri::gen::book(1500).unwrap(),
+            _ => degentri::gen::friendship(800).unwrap(),
+        };
+        let props = GraphProperties::compute(&g);
+        assert!(
+            props.triangle_to_degeneracy_squared_ratio() >= 1.0,
+            "{name}: T = {} vs κ² = {}",
+            props.triangles,
+            props.degeneracy * props.degeneracy
+        );
+    }
+}
+
+#[test]
+fn paper_bound_beats_prior_bounds_on_low_degeneracy_triangle_rich_graphs() {
+    for (name, g) in [
+        ("wheel", degentri::gen::wheel(4000).unwrap()),
+        ("ba", degentri::gen::barabasi_albert(4000, 6, 9).unwrap()),
+        ("lattice", degentri::gen::triangular_lattice(60, 60).unwrap()),
+    ] {
+        let props = GraphProperties::compute(&g);
+        let params = GraphParameters::new(
+            props.num_vertices,
+            props.num_edges,
+            props.triangles,
+            props.degeneracy,
+            props.max_degree,
+        );
+        assert!(
+            params.improvement_over_prior() > 2.0,
+            "{name}: improvement only {:.2}",
+            params.improvement_over_prior()
+        );
+        assert!(params.in_dominating_regime(), "{name}");
+    }
+}
+
+#[test]
+fn wheel_graph_matches_section_1_1_arithmetic() {
+    // m = 2(n−1), T = n−1, κ = 3 ⇒ mκ/T = 6 independent of n.
+    for n in [1 << 10, 1 << 13, 1 << 16] {
+        let g = degentri::gen::wheel(n).unwrap();
+        let props = GraphProperties::compute(&g);
+        assert_eq!(props.num_edges, 2 * (n - 1));
+        assert_eq!(props.triangles, (n - 1) as u64);
+        assert_eq!(props.degeneracy, 3);
+        let params = GraphParameters::new(
+            props.num_vertices,
+            props.num_edges,
+            props.triangles,
+            props.degeneracy,
+            props.max_degree,
+        );
+        assert!((params.bound_m_kappa_over_t() - 6.0).abs() < 0.1);
+        assert!(params.bound_m_over_sqrt_t() > (n as f64).sqrt());
+    }
+}
