@@ -87,9 +87,8 @@ impl StreamingTriangleCounter for BuriolEstimator {
         ];
         meter.charge(5 * self.samplers as u64);
 
-        let mut seen_edges = 0u64;
-        for e in stream.pass() {
-            seen_edges += 1;
+        for (i, e) in stream.pass().enumerate() {
+            let seen_edges = i as u64 + 1;
             for st in states.iter_mut() {
                 // Reservoir replacement with probability 1/seen.
                 if rng.gen_range(0..seen_edges) == 0 {
@@ -119,7 +118,10 @@ impl StreamingTriangleCounter for BuriolEstimator {
             }
         }
 
-        let hits = states.iter().filter(|s| s.active && s.seen_uw && s.seen_vw).count();
+        let hits = states
+            .iter()
+            .filter(|s| s.active && s.seen_uw && s.seen_vw)
+            .count();
         let estimate = hits as f64 / self.samplers as f64 * m as f64 * (n as f64 - 2.0);
 
         BaselineOutcome {

@@ -111,7 +111,11 @@ mod tests {
         let stream = MemoryStream::from_graph(&g, StreamOrder::UniformRandom(11));
         let runs = 40;
         let mean: f64 = (0..runs)
-            .map(|i| ColorfulEstimator::new(2, 1000 + i).estimate(&stream).estimate)
+            .map(|i| {
+                ColorfulEstimator::new(2, 1000 + i)
+                    .estimate(&stream)
+                    .estimate
+            })
             .sum::<f64>()
             / runs as f64;
         let error = (mean - exact as f64).abs() / exact as f64;
@@ -137,7 +141,11 @@ mod tests {
         let m = g.num_edges();
         let est = ColorfulEstimator::with_budget(m / 8, m, 2);
         // Integer budget rounding: m/(m/8) is 8 or 9 depending on m mod 8.
-        assert!(est.colors == 8 || est.colors == 9, "colors = {}", est.colors);
+        assert!(
+            est.colors == 8 || est.colors == 9,
+            "colors = {}",
+            est.colors
+        );
         let stream = PassCounter::with_limit(MemoryStream::from_graph(&g, StreamOrder::AsGiven), 1);
         let out = est.estimate(&stream);
         assert_eq!(out.passes, 1);

@@ -57,10 +57,8 @@ impl StreamingTriangleCounter for DoulionEstimator {
         let mut meter = SpaceMeter::new();
         let mut builder = GraphBuilder::with_vertices(stream.num_vertices());
         for e in stream.pass() {
-            if rng.gen_bool(self.keep_probability) {
-                if builder.add_edge(e.u(), e.v()) {
-                    meter.charge_edge();
-                }
+            if rng.gen_bool(self.keep_probability) && builder.add_edge(e.u(), e.v()) {
+                meter.charge_edge();
             }
         }
         let sparsified = builder.build();
@@ -109,7 +107,11 @@ mod tests {
         let stream = MemoryStream::from_graph(&g, StreamOrder::UniformRandom(2));
         let runs = 15;
         let mean: f64 = (0..runs)
-            .map(|i| DoulionEstimator::new(0.5, 100 + i).estimate(&stream).estimate)
+            .map(|i| {
+                DoulionEstimator::new(0.5, 100 + i)
+                    .estimate(&stream)
+                    .estimate
+            })
             .sum::<f64>()
             / runs as f64;
         let error = (mean - exact as f64).abs() / exact as f64;

@@ -57,7 +57,10 @@ mod tests {
 
     #[test]
     fn exact_on_known_graphs() {
-        for (g, expected) in [(wheel(100).unwrap(), 99u64), (complete(10).unwrap(), 120u64)] {
+        for (g, expected) in [
+            (wheel(100).unwrap(), 99u64),
+            (complete(10).unwrap(), 120u64),
+        ] {
             let stream = MemoryStream::from_graph(&g, StreamOrder::UniformRandom(3));
             let out = ExactStreamCounter::new().estimate(&stream);
             assert_eq!(out.estimate, expected as f64);

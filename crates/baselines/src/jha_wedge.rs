@@ -83,9 +83,8 @@ impl StreamingTriangleCounter for JhaWedgeSampler {
         // reservoir, recomputed below.
         meter.charge(s_e as u64 + 2 * self.wedge_reservoir as u64 + 2);
 
-        let mut seen = 0u64;
-        for e in stream.pass() {
-            seen += 1;
+        for (i, e) in stream.pass().enumerate() {
+            let seen = i as u64 + 1;
             // 1. Close stored wedges.
             for w in wedges.iter_mut() {
                 if !w.closed && w.closing == e {

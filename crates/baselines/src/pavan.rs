@@ -73,9 +73,8 @@ impl StreamingTriangleCounter for NeighborhoodSampler {
         let mut states: Vec<SamplerState> = vec![SamplerState::default(); self.samplers];
         meter.charge(6 * self.samplers as u64);
 
-        let mut seen = 0u64;
-        for e in stream.pass() {
-            seen += 1;
+        for (i, e) in stream.pass().enumerate() {
+            let seen = i as u64 + 1;
             for st in states.iter_mut() {
                 if rng.gen_range(0..seen) == 0 {
                     // New level-1 sample: reset everything downstream.
@@ -144,7 +143,11 @@ mod tests {
         assert!(closes_wedge(r1, r2, Edge::from_raw(0, 2)));
         assert!(!closes_wedge(r1, r2, Edge::from_raw(0, 3)));
         // r1 and r2 disjoint → nothing closes
-        assert!(!closes_wedge(Edge::from_raw(0, 1), Edge::from_raw(2, 3), Edge::from_raw(0, 2)));
+        assert!(!closes_wedge(
+            Edge::from_raw(0, 1),
+            Edge::from_raw(2, 3),
+            Edge::from_raw(0, 2)
+        ));
     }
 
     #[test]

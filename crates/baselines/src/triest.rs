@@ -103,7 +103,11 @@ fn insert_edge(
     add_adjacency(adjacency, u, v);
 }
 
-fn add_adjacency(adjacency: &mut FxHashMap<VertexId, FxHashSet<VertexId>>, u: VertexId, v: VertexId) {
+fn add_adjacency(
+    adjacency: &mut FxHashMap<VertexId, FxHashSet<VertexId>>,
+    u: VertexId,
+    v: VertexId,
+) {
     adjacency.entry(u).or_default().insert(v);
     adjacency.entry(v).or_default().insert(u);
 }
@@ -131,7 +135,11 @@ fn common_neighbors(
     let (Some(nu), Some(nv)) = (adjacency.get(&u), adjacency.get(&v)) else {
         return 0;
     };
-    let (small, large) = if nu.len() <= nv.len() { (nu, nv) } else { (nv, nu) };
+    let (small, large) = if nu.len() <= nv.len() {
+        (nu, nv)
+    } else {
+        (nv, nu)
+    };
     small.iter().filter(|w| large.contains(w)).count()
 }
 

@@ -16,12 +16,20 @@ fn bench_e8(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("core_decomposition", n), &graph, |b, g| {
             b.iter(|| black_box(CoreDecomposition::compute(g).degeneracy));
         });
-        group.bench_with_input(BenchmarkId::new("forward_triangle_count", n), &graph, |b, g| {
-            b.iter(|| black_box(count_triangles(g)));
-        });
-        group.bench_with_input(BenchmarkId::new("edge_iterator_counts", n), &graph, |b, g| {
-            b.iter(|| black_box(TriangleCounts::compute(g).total));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("forward_triangle_count", n),
+            &graph,
+            |b, g| {
+                b.iter(|| black_box(count_triangles(g)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("edge_iterator_counts", n),
+            &graph,
+            |b, g| {
+                b.iter(|| black_box(TriangleCounts::compute(g).total));
+            },
+        );
     }
     group.finish();
 }

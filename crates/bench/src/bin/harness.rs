@@ -1,10 +1,17 @@
 //! Experiment harness: runs every experiment E1–E12 of `EXPERIMENTS.md` and
 //! prints the paper-shaped tables.
 //!
+//! Multi-copy estimations execute through the parallel engine
+//! (`degentri-engine`): E1 submits every algorithm on a graph as one
+//! concurrent job batch, and the other estimator experiments run their
+//! copies on the engine's worker pool. Estimates are bit-identical to the
+//! sequential runner at any worker count.
+//!
 //! Usage:
 //!   cargo run --release -p degentri-bench --bin harness            # all experiments
 //!   cargo run --release -p degentri-bench --bin harness -- e3 e5   # a subset
 //!   SCALE=2 cargo run --release -p degentri-bench --bin harness    # bigger graphs
+//!   WORKERS=4 cargo run --release -p degentri-bench --bin harness  # engine pool size
 
 use degentri_bench::*;
 
@@ -20,7 +27,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
 
-    println!("degentri experiment harness (scale = {scale}, seed = {seed})");
+    println!(
+        "degentri experiment harness (scale = {scale}, seed = {seed}, engine workers = {})",
+        common::engine_workers()
+    );
     println!("each table corresponds to one experiment in EXPERIMENTS.md / DESIGN.md §4");
 
     if want("e1") {

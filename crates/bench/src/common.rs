@@ -1,9 +1,10 @@
-//! Shared helpers for the experiments: estimator configuration presets and
-//! plain-text table printing.
+//! Shared helpers for the experiments: estimator configuration presets,
+//! engine-backed estimation entry points, and plain-text table printing.
 
-use degentri_core::EstimatorConfig;
+use degentri_core::{EstimatorConfig, TriangleEstimation};
 use degentri_graph::properties::GraphProperties;
 use degentri_graph::CsrGraph;
+use degentri_stream::{EdgeStream, StreamStats};
 
 /// The estimator configuration used throughout the experiments: practical
 /// constants (the scalings of Lemmas 5.5/5.7 and Theorem 5.13 without the
@@ -40,6 +41,44 @@ pub fn graph_facts(g: &CsrGraph) -> GraphProperties {
     GraphProperties::compute(g)
 }
 
+/// Worker threads for engine-backed experiment runs: the `WORKERS`
+/// environment variable when set, otherwise the machine's available
+/// parallelism.
+pub fn engine_workers() -> usize {
+    std::env::var("WORKERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&w| w >= 1)
+        .unwrap_or_else(degentri_engine::config::available_workers)
+}
+
+/// Runs the paper's estimator through the parallel engine — the one way the
+/// experiments execute multi-copy estimations. Results are bit-identical to
+/// `degentri_core::estimate_triangles` at any worker count (see the engine
+/// parity tests); only wall-clock time depends on [`engine_workers`].
+pub fn engine_estimate<S: EdgeStream + Sync + ?Sized>(
+    stream: &S,
+    config: &EstimatorConfig,
+) -> degentri_engine::Result<TriangleEstimation> {
+    degentri_engine::parallel_estimate_triangles(stream, config, engine_workers())
+}
+
+/// The oracle-model counterpart of [`engine_estimate`]: runs the ideal
+/// estimator's copies through the engine, building the shared degree table
+/// with one stats pass (exactly what `ExactDegreeOracle::build` does).
+pub fn engine_estimate_with_oracle<S: EdgeStream + Sync + ?Sized>(
+    stream: &S,
+    config: &EstimatorConfig,
+) -> degentri_engine::Result<TriangleEstimation> {
+    let stats = StreamStats::compute(stream);
+    degentri_engine::parallel_estimate_triangles_with_oracle(
+        stream,
+        &stats,
+        config,
+        engine_workers(),
+    )
+}
+
 /// Prints a fixed-width table: a header row followed by data rows.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("\n== {title} ==");
@@ -63,7 +102,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
         "{}",
         fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
     );
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -82,6 +124,25 @@ mod tests {
     fn configs_are_valid() {
         assert!(experiment_config(3, 100, 1).validate().is_ok());
         assert!(lean_config(0, 0, 1).validate().is_ok());
+    }
+
+    #[test]
+    fn engine_estimate_matches_the_sequential_runner() {
+        use degentri_stream::{MemoryStream, StreamOrder};
+        let g = degentri_gen::wheel(300).unwrap();
+        let stream = MemoryStream::from_graph(&g, StreamOrder::UniformRandom(4));
+        let config = experiment_config(3, 149, 9);
+        let engine = engine_estimate(&stream, &config).unwrap();
+        let sequential = degentri_core::estimate_triangles(&stream, &config).unwrap();
+        assert_eq!(engine.copy_estimates, sequential.copy_estimates);
+        assert_eq!(engine.estimate.to_bits(), sequential.estimate.to_bits());
+        let ideal = engine_estimate_with_oracle(&stream, &config).unwrap();
+        assert_eq!(ideal.passes_per_copy, 3);
+    }
+
+    #[test]
+    fn engine_workers_is_at_least_one() {
+        assert!(engine_workers() >= 1);
     }
 
     #[test]

@@ -9,9 +9,7 @@
 //! the conjectured bound across graphs whose `mκ^{ℓ−2}/T` differ by orders
 //! of magnitude.
 
-use degentri_cliques::{
-    count_cliques, CliqueEstimator, CliqueEstimatorConfig, CliqueParameters,
-};
+use degentri_cliques::{count_cliques, CliqueEstimator, CliqueEstimatorConfig, CliqueParameters};
 use degentri_gen::NamedGraph;
 use degentri_graph::degeneracy::degeneracy;
 use degentri_stream::{MemoryStream, StreamOrder};
@@ -127,7 +125,17 @@ pub fn print(rows: &[Row]) {
         .collect();
     crate::common::print_table(
         "E11: streaming ℓ-clique estimation vs the Conjecture 7.1 bound mκ^{ℓ−2}/T",
-        &["graph", "ℓ", "m", "κ", "exact", "estimate", "rel err", "words", "mκ^{ℓ−2}/T"],
+        &[
+            "graph",
+            "ℓ",
+            "m",
+            "κ",
+            "exact",
+            "estimate",
+            "rel err",
+            "words",
+            "mκ^{ℓ−2}/T",
+        ],
         &table,
     );
 }

@@ -7,13 +7,18 @@
 //! triangle-rich graphs the degeneracy-aware estimator retains one to three
 //! orders of magnitude fewer words than the `mn/T`, `m∆/T`, `m/√T` and
 //! `m^{3/2}/T` baselines at comparable error.
+//!
+//! All algorithms on one graph are submitted to a single
+//! [`degentri_engine::Engine`] and executed concurrently over the shared
+//! snapshot — the Table-1 comparison doubles as the engine's mixed-workload
+//! exercise.
 
 use degentri_baselines::*;
-use degentri_core::estimate_triangles;
+use degentri_engine::{Engine, EngineConfig, JobSpec};
 use degentri_gen::NamedGraph;
 use degentri_stream::{MemoryStream, StreamOrder};
 
-use crate::common::{experiment_config, fmt, graph_facts};
+use crate::common::{engine_workers, experiment_config, fmt, graph_facts};
 
 /// One row of the E1 table.
 #[derive(Debug, Clone)]
@@ -47,20 +52,6 @@ pub fn run(scale: usize, seed: u64) -> Vec<Row> {
         let t_hint = exact / 2;
         let stream = MemoryStream::from_graph(&graph, StreamOrder::UniformRandom(seed));
 
-        // The paper's estimator.
-        let config = experiment_config(facts.degeneracy, t_hint, seed);
-        if let Ok(result) = estimate_triangles(&stream, &config) {
-            rows.push(Row {
-                graph: name.clone(),
-                algorithm: "this paper (6-pass)".into(),
-                bound: "mk/T".into(),
-                estimate: result.estimate,
-                relative_error: result.relative_error(exact),
-                passes: result.passes_per_copy,
-                space_words: result.space.peak_words,
-            });
-        }
-
         // Baselines at budgets matching their theoretical scalings (capped so
         // a single experiment run stays fast).
         let m = facts.num_edges as f64;
@@ -70,25 +61,38 @@ pub fn run(scale: usize, seed: u64) -> Vec<Row> {
         let pavan_budget = (4.0 * m * facts.max_degree as f64 / t).clamp(100.0, cap) as usize;
         let wedge_budget = (2.0 * m / t.sqrt()).clamp(100.0, cap) as usize;
 
-        let baselines: Vec<Box<dyn StreamingTriangleCounter>> = vec![
+        let baselines: Vec<Box<dyn StreamingTriangleCounter + Send + Sync>> = vec![
             Box::new(DegeneracyObliviousEstimator::new(0.1, t_hint, 10.0, seed)),
-            Box::new(VertexSamplingEstimator::for_triangle_hint(t_hint, 3.0, seed)),
+            Box::new(VertexSamplingEstimator::for_triangle_hint(
+                t_hint, 3.0, seed,
+            )),
             Box::new(NeighborhoodSampler::new(pavan_budget, seed)),
             Box::new(BuriolEstimator::new(buriol_budget, seed)),
             Box::new(JhaWedgeSampler::new(wedge_budget, 8 * wedge_budget, seed)),
             Box::new(TriestImpr::new((facts.num_edges / 4).max(16), seed)),
             Box::new(ExactStreamCounter::new()),
         ];
+
+        // One engine run per graph: the paper's estimator plus every
+        // baseline execute concurrently over the shared snapshot.
+        let mut engine = Engine::new(EngineConfig::with_workers(engine_workers()));
+        let mut labels: Vec<(String, String)> = vec![("this paper (6-pass)".into(), "mk/T".into())];
+        let config = experiment_config(facts.degeneracy, t_hint, seed);
+        engine.submit(JobSpec::main(name.clone(), config));
         for b in baselines {
-            let out = b.estimate(&stream);
+            labels.push((b.name().into(), b.space_bound().into()));
+            engine.submit(JobSpec::baseline(b.name(), b));
+        }
+        let report = engine.run(&stream).expect("E1 jobs are valid");
+        for (job, (algorithm, bound)) in report.jobs.iter().zip(labels) {
             rows.push(Row {
                 graph: name.clone(),
-                algorithm: b.name().into(),
-                bound: b.space_bound().into(),
-                estimate: out.estimate,
-                relative_error: out.relative_error(exact),
-                passes: out.passes,
-                space_words: out.space.peak_words,
+                algorithm,
+                bound,
+                estimate: job.estimation.estimate,
+                relative_error: job.estimation.relative_error(exact),
+                passes: job.estimation.passes_per_copy,
+                space_words: job.estimation.space.peak_words,
             });
         }
     }
@@ -113,7 +117,15 @@ pub fn print(rows: &[Row]) {
         .collect();
     crate::common::print_table(
         "E1: Table-1 analog — space/accuracy of all algorithms",
-        &["graph", "algorithm", "bound", "estimate", "err %", "passes", "words"],
+        &[
+            "graph",
+            "algorithm",
+            "bound",
+            "estimate",
+            "err %",
+            "passes",
+            "words",
+        ],
         &table,
     );
 }

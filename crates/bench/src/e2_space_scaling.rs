@@ -9,11 +9,10 @@
 //! words divided by `mκ/T` should stay within a narrow constant band across
 //! the sweep.
 
-use degentri_core::estimate_triangles;
 use degentri_graph::CsrGraph;
 use degentri_stream::{MemoryStream, StreamOrder};
 
-use crate::common::{fmt, graph_facts, lean_config};
+use crate::common::{engine_estimate, fmt, graph_facts, lean_config};
 
 /// One row of the E2 sweep.
 #[derive(Debug, Clone)]
@@ -66,11 +65,10 @@ pub fn run(scale: usize, seed: u64) -> Vec<Row> {
         if facts.triangles == 0 {
             continue;
         }
-        let predicted =
-            facts.num_edges as f64 * facts.degeneracy as f64 / facts.triangles as f64;
+        let predicted = facts.num_edges as f64 * facts.degeneracy as f64 / facts.triangles as f64;
         let stream = MemoryStream::from_graph(&graph, StreamOrder::UniformRandom(seed));
         let config = lean_config(facts.degeneracy, facts.triangles / 2, seed);
-        let result = estimate_triangles(&stream, &config).expect("non-empty stream");
+        let result = engine_estimate(&stream, &config).expect("non-empty stream");
         rows.push(Row {
             label,
             m: facts.num_edges,
@@ -104,7 +102,16 @@ pub fn print(rows: &[Row]) {
         .collect();
     crate::common::print_table(
         "E2: space scales like mκ/T (Theorem 1.2)",
-        &["instance", "m", "κ", "T", "mκ/T", "words", "words/(mκ/T)", "err %"],
+        &[
+            "instance",
+            "m",
+            "κ",
+            "T",
+            "mκ/T",
+            "words",
+            "words/(mκ/T)",
+            "err %",
+        ],
         &table,
     );
 }

@@ -1,11 +1,10 @@
 //! **E3 — Section 1.1 wheel example**: polylogarithmic space versus the
 //! `Ω(√n)` prior bounds as the wheel grows.
 
-use degentri_core::estimate_triangles;
 use degentri_core::theory::GraphParameters;
 use degentri_stream::{MemoryStream, StreamOrder};
 
-use crate::common::{fmt, lean_config};
+use crate::common::{engine_estimate, fmt, lean_config};
 
 /// One row of the E3 sweep.
 #[derive(Debug, Clone)]
@@ -35,7 +34,7 @@ pub fn run(points: usize, seed: u64) -> Vec<Row> {
         let t = (n - 1) as u64;
         let stream = MemoryStream::from_graph(&graph, StreamOrder::UniformRandom(seed));
         let config = lean_config(3, t / 2, seed + i as u64);
-        let result = estimate_triangles(&stream, &config).expect("non-empty stream");
+        let result = engine_estimate(&stream, &config).expect("non-empty stream");
         let params = GraphParameters::new(n, graph.num_edges(), t, 3, n - 1);
         rows.push(Row {
             n,

@@ -127,7 +127,15 @@ pub fn print(rows: &[Row]) {
         .collect();
     crate::common::print_table(
         "E4: assignment rule vs naive incident counting (per-sample relative std)",
-        &["graph", "T", "naive mean", "naive σ/T", "assigned mean", "assigned σ/T", "σ reduction"],
+        &[
+            "graph",
+            "T",
+            "naive mean",
+            "naive σ/T",
+            "assigned mean",
+            "assigned σ/T",
+            "σ reduction",
+        ],
         &table,
     );
 }

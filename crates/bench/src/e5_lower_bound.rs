@@ -88,7 +88,13 @@ pub fn print(rows: &[Row]) {
         .collect();
     crate::common::print_table(
         "E5: triangle detection on the Section 6 gadget vs space budget",
-        &["budget (edges)", "budget/(mκ/T)", "NO estimate", "YES estimate", "separation rate"],
+        &[
+            "budget (edges)",
+            "budget/(mκ/T)",
+            "NO estimate",
+            "YES estimate",
+            "separation rate",
+        ],
         &table,
     );
 }

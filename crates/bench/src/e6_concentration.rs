@@ -6,11 +6,11 @@
 //! rate of landing within `(1 ± ε)T` over repeated runs. The expected
 //! shape: success rate increases monotonically in both knobs.
 
-use degentri_core::{estimate_triangles, EstimatorConfig};
+use degentri_core::EstimatorConfig;
 use degentri_graph::triangles::count_triangles;
 use degentri_stream::{MemoryStream, StreamOrder};
 
-use crate::common::fmt;
+use crate::common::{engine_estimate, fmt};
 
 /// One row of the E6 sweep.
 #[derive(Debug, Clone)]
@@ -50,7 +50,7 @@ pub fn run(n: usize, trials: usize, seed: u64) -> Vec<Row> {
                     .copies(copies)
                     .seed(seed * 1000 + trial as u64)
                     .build();
-                let result = estimate_triangles(&stream, &config).expect("non-empty stream");
+                let result = engine_estimate(&stream, &config).expect("non-empty stream");
                 let err = result.relative_error(exact);
                 errors.push(err);
                 if err <= epsilon {

@@ -7,13 +7,12 @@
 //! does not appear in the ideal estimator's space column; that is exactly
 //! the point the comparison makes).
 
-use degentri_core::{
-    estimate_triangles, estimate_triangles_with_oracle, ExactDegreeOracle,
-};
 use degentri_graph::CsrGraph;
 use degentri_stream::{MemoryStream, StreamOrder};
 
-use crate::common::{experiment_config, fmt, graph_facts};
+use crate::common::{
+    engine_estimate, engine_estimate_with_oracle, experiment_config, fmt, graph_facts,
+};
 
 /// One row of the E7 comparison.
 #[derive(Debug, Clone)]
@@ -50,9 +49,7 @@ pub fn run(seed: u64) -> Vec<Row> {
         let stream = MemoryStream::from_graph(&graph, StreamOrder::UniformRandom(seed));
         let config = experiment_config(facts.degeneracy, exact / 2, seed);
 
-        let oracle = ExactDegreeOracle::build(&stream);
-        let ideal = estimate_triangles_with_oracle(&stream, &oracle, &config)
-            .expect("non-empty stream");
+        let ideal = engine_estimate_with_oracle(&stream, &config).expect("non-empty stream");
         rows.push(Row {
             graph: label.clone(),
             estimator: "ideal (3-pass, oracle)".into(),
@@ -61,7 +58,7 @@ pub fn run(seed: u64) -> Vec<Row> {
             space_words: ideal.space.peak_words,
         });
 
-        let main = estimate_triangles(&stream, &config).expect("non-empty stream");
+        let main = engine_estimate(&stream, &config).expect("non-empty stream");
         rows.push(Row {
             graph: label,
             estimator: "main (6-pass, oracle-free)".into(),

@@ -80,7 +80,9 @@ pub fn print(rows: &[Row]) {
         .collect();
     crate::common::print_table(
         "E8: degeneracy statistics of the suite (Lemma 3.1 / Corollary 3.2 / T ≥ κ² premise)",
-        &["graph", "n", "m", "T", "Δ", "κ", "√(2m)", "d_E", "2mκ", "T/κ²"],
+        &[
+            "graph", "n", "m", "T", "Δ", "κ", "√(2m)", "d_E", "2mκ", "T/κ²",
+        ],
         &table,
     );
 }

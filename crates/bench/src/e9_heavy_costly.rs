@@ -41,7 +41,10 @@ fn graphs(seed: u64) -> Vec<(String, CsrGraph)> {
             "planted_6000".into(),
             degentri_gen::planted_triangles(6000, 3, 800, seed).unwrap(),
         ),
-        ("lattice_50x50".into(), degentri_gen::triangular_lattice(50, 50).unwrap()),
+        (
+            "lattice_50x50".into(),
+            degentri_gen::triangular_lattice(50, 50).unwrap(),
+        ),
     ]
 }
 
@@ -87,7 +90,15 @@ pub fn print(rows: &[Row]) {
         .collect();
     crate::common::print_table(
         "E9: heavy/costly triangle fractions vs the Lemma 5.12 bound",
-        &["graph", "ε", "T", "heavy", "costly", "unassignable frac", "bound (4ε)"],
+        &[
+            "graph",
+            "ε",
+            "T",
+            "heavy",
+            "costly",
+            "unassignable frac",
+            "bound (4ε)",
+        ],
         &table,
     );
 }

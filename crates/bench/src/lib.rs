@@ -10,6 +10,8 @@
 #![warn(missing_docs)]
 
 pub mod common;
+pub mod e11_cliques;
+pub mod e12_dynamic;
 pub mod e1_table1;
 pub mod e2_space_scaling;
 pub mod e3_wheel;
@@ -19,5 +21,3 @@ pub mod e6_concentration;
 pub mod e7_oracle_ablation;
 pub mod e8_degeneracy;
 pub mod e9_heavy_costly;
-pub mod e11_cliques;
-pub mod e12_dynamic;

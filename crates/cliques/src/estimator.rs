@@ -147,11 +147,9 @@ impl CliqueEstimatorConfig {
     /// `mκ^{ℓ−2}/T` scaling.
     pub fn derive_r(&self, m: usize, n: usize) -> usize {
         let exponent = self.clique_size.saturating_sub(2) as i32;
-        let target = self.r_constant
-            * self.oversampling(n)
-            * m as f64
-            * (self.kappa as f64).powi(exponent)
-            / self.clique_lower_bound as f64;
+        let target =
+            self.r_constant * self.oversampling(n) * m as f64 * (self.kappa as f64).powi(exponent)
+                / self.clique_lower_bound as f64;
         (target.ceil() as usize).clamp(1, self.max_samples.min(m.max(1)))
     }
 
@@ -487,9 +485,7 @@ impl CliqueEstimator {
             found += 1;
             let counted = match &self.config.mode {
                 AssignmentMode::Incidence => true,
-                AssignmentMode::MinCliqueEdge(oracle) => {
-                    oracle.is_assigned(&vertices, inst.edge)
-                }
+                AssignmentMode::MinCliqueEdge(oracle) => oracle.is_assigned(&vertices, inst.edge),
             };
             if counted {
                 sum += (inst.degree as f64).powi(l as i32 - 3) / weight_factorial;

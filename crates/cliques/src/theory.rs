@@ -131,7 +131,7 @@ mod tests {
         let p = CliqueParameters::new(10, 45, 210, 9, 4);
         assert!(p.max_cliques_by_vertices() >= 210.0);
         assert!(p.max_cliques_by_edges() >= 210.0);
-        assert!(p.in_dominating_regime() == false || p.t as f64 >= 9f64.powi(3));
+        assert!(!p.in_dominating_regime() || p.t as f64 >= 9f64.powi(3));
     }
 
     #[test]

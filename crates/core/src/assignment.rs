@@ -91,7 +91,12 @@ impl AssignmentMemo {
     }
 
     /// Records a decision (charging the space meter) and returns it.
-    pub fn insert(&mut self, t: Triangle, decision: Option<Edge>, meter: &mut SpaceMeter) -> Option<Edge> {
+    pub fn insert(
+        &mut self,
+        t: Triangle,
+        decision: Option<Edge>,
+        meter: &mut SpaceMeter,
+    ) -> Option<Edge> {
         meter.charge_table_entry();
         self.table.insert(t, decision);
         decision
@@ -235,10 +240,20 @@ mod tests {
             Some(e1)
         );
         // ceiling exceeded → unassigned
-        assert_eq!(decide_assignment(&[(e1, 50.0), (e2, 20.0), (e3, 90.0)], 10.0), None);
+        assert_eq!(
+            decide_assignment(&[(e1, 50.0), (e2, 20.0), (e3, 90.0)], 10.0),
+            None
+        );
         // infinite estimates → unassigned
         assert_eq!(
-            decide_assignment(&[(e1, f64::INFINITY), (e2, f64::INFINITY), (e3, f64::INFINITY)], 10.0),
+            decide_assignment(
+                &[
+                    (e1, f64::INFINITY),
+                    (e2, f64::INFINITY),
+                    (e3, f64::INFINITY)
+                ],
+                10.0
+            ),
             None
         );
         assert_eq!(decide_assignment(&[], 10.0), None);
@@ -270,7 +285,10 @@ mod tests {
             let second = oracle.assignment(t);
             assert_eq!(first, second, "memoized decisions must be stable");
             if let Some(e) = first {
-                assert!(t.contains_edge(e), "assigned edge must belong to the triangle");
+                assert!(
+                    t.contains_edge(e),
+                    "assigned edge must belong to the triangle"
+                );
                 assigned += 1;
                 // exactly one of the three edges answers YES
                 let yes: usize = t

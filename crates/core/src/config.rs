@@ -158,8 +158,7 @@ impl EstimatorConfig {
     pub fn derive_inner_samples(&self, m: usize, n: usize, r: usize, d_r: u64) -> usize {
         let scale = self.scale_factor(n);
         let t_hat = self.triangle_lower_bound as f64;
-        let ell =
-            (self.inner_constant * scale * m as f64 * d_r as f64 / (r as f64 * t_hat)).ceil();
+        let ell = (self.inner_constant * scale * m as f64 * d_r as f64 / (r as f64 * t_hat)).ceil();
         ell.clamp(1.0, self.max_samples as f64) as usize
     }
 }
@@ -263,10 +262,25 @@ impl EstimatorConfigBuilder {
         self
     }
 
-    /// Finishes building. Panics only on programmer error (invalid values are
-    /// reported by [`EstimatorConfig::validate`] at run time instead).
+    /// Finishes building without validating. Invalid values are reported by
+    /// [`EstimatorConfig::validate`], which every estimator entry point
+    /// calls before touching the stream; prefer [`try_build`] to surface
+    /// configuration mistakes at construction time instead.
+    ///
+    /// [`try_build`]: EstimatorConfigBuilder::try_build
     pub fn build(self) -> EstimatorConfig {
         self.config
+    }
+
+    /// Validates and finishes building, rejecting invalid configurations
+    /// (ε ∉ (0, 1), zero `kappa` / `copies` / `triangle_lower_bound`,
+    /// non-positive constants) with [`EstimatorError::InvalidConfig`] at
+    /// build time rather than deep inside an estimator run.
+    ///
+    /// [`EstimatorError::InvalidConfig`]: crate::EstimatorError::InvalidConfig
+    pub fn try_build(self) -> Result<EstimatorConfig> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -299,6 +313,30 @@ mod tests {
         assert!(c.validate().is_ok());
         assert_eq!(c.copies, 7);
         assert!(!c.use_log_n);
+    }
+
+    #[test]
+    fn try_build_validates_at_build_time() {
+        let ok = EstimatorConfig::builder()
+            .epsilon(0.2)
+            .kappa(3)
+            .triangle_lower_bound(10)
+            .copies(5)
+            .try_build()
+            .unwrap();
+        assert_eq!(ok.copies, 5);
+        for bad in [
+            EstimatorConfig::builder().epsilon(0.0).try_build(),
+            EstimatorConfig::builder().epsilon(1.0).try_build(),
+            EstimatorConfig::builder().kappa(0).try_build(),
+            EstimatorConfig::builder()
+                .triangle_lower_bound(0)
+                .try_build(),
+            EstimatorConfig::builder().copies(0).try_build(),
+            EstimatorConfig::builder().inner_constant(0.0).try_build(),
+        ] {
+            assert!(matches!(bad, Err(EstimatorError::InvalidConfig { .. })));
+        }
     }
 
     #[test]
@@ -362,7 +400,10 @@ mod tests {
         let p = c.derive(1_000_000, 1_000_000);
         assert_eq!(p.r, 500);
         assert_eq!(p.assignment_samples, 500);
-        assert_eq!(c.derive_inner_samples(1_000_000, 1_000_000, 10, 1_000_000), 500);
+        assert_eq!(
+            c.derive_inner_samples(1_000_000, 1_000_000, 10, 1_000_000),
+            500
+        );
     }
 
     #[test]

@@ -27,7 +27,7 @@
 
 use degentri_graph::{Edge, Triangle, VertexId};
 use degentri_stream::hashing::{FxHashMap, FxHashSet};
-use degentri_stream::{EdgeStream, ReservoirSampler, SpaceMeter, SpaceReport};
+use degentri_stream::{EdgeStream, ReservoirSampler, SpaceMeter, SpaceReport, DEFAULT_BATCH_SIZE};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -168,11 +168,17 @@ impl MainEstimator {
         let mut meter = SpaceMeter::new();
 
         // ---------------- Pass 1: uniform sample R ------------------------
+        // All six passes below consume the stream through the batched pass
+        // API: identical edges in identical order to `pass()` (so results
+        // are bit-for-bit unchanged), but delivered in chunks, which for
+        // in-memory streams means zero-copy slices of the backing storage.
         let mut reservoir: ReservoirSampler<Edge> = ReservoirSampler::new_iid(params.r);
         meter.charge(params.r as u64);
-        for e in stream.pass() {
-            reservoir.observe(e, &mut rng);
-        }
+        stream.pass_batched(DEFAULT_BATCH_SIZE, &mut |chunk| {
+            for &e in chunk {
+                reservoir.observe(e, &mut rng);
+            }
+        });
         let r_edges = reservoir.into_samples();
         let r = r_edges.len();
         if r == 0 {
@@ -186,17 +192,18 @@ impl MainEstimator {
             endpoint_degree.entry(e.v()).or_insert(0);
         }
         meter.charge(endpoint_degree.len() as u64);
-        for e in stream.pass() {
-            if let Some(d) = endpoint_degree.get_mut(&e.u()) {
-                *d += 1;
+        stream.pass_batched(DEFAULT_BATCH_SIZE, &mut |chunk| {
+            for e in chunk {
+                if let Some(d) = endpoint_degree.get_mut(&e.u()) {
+                    *d += 1;
+                }
+                if let Some(d) = endpoint_degree.get_mut(&e.v()) {
+                    *d += 1;
+                }
             }
-            if let Some(d) = endpoint_degree.get_mut(&e.v()) {
-                *d += 1;
-            }
-        }
-        let edge_degree = |e: &Edge| -> u64 {
-            endpoint_degree[&e.u()].min(endpoint_degree[&e.v()])
-        };
+        });
+        let edge_degree =
+            |e: &Edge| -> u64 { endpoint_degree[&e.u()].min(endpoint_degree[&e.v()]) };
         let degrees: Vec<u64> = r_edges.iter().map(edge_degree).collect();
         let d_r: u64 = degrees.iter().sum();
         meter.charge(r as u64);
@@ -241,20 +248,22 @@ impl MainEstimator {
         for (i, inst) in instances.iter().enumerate() {
             by_base.entry(inst.base).or_default().push(i);
         }
-        for e in stream.pass() {
-            for endpoint in [e.u(), e.v()] {
-                if let Some(ids) = by_base.get(&endpoint) {
-                    let candidate = e.other(endpoint).expect("endpoint belongs to edge");
-                    for &i in ids {
-                        let inst = &mut instances[i];
-                        inst.seen += 1;
-                        if rng.gen_range(0..inst.seen) == 0 {
-                            inst.neighbor = Some(candidate);
+        stream.pass_batched(DEFAULT_BATCH_SIZE, &mut |chunk| {
+            for e in chunk {
+                for endpoint in [e.u(), e.v()] {
+                    if let Some(ids) = by_base.get(&endpoint) {
+                        let candidate = e.other(endpoint).expect("endpoint belongs to edge");
+                        for &i in ids {
+                            let inst = &mut instances[i];
+                            inst.seen += 1;
+                            if rng.gen_range(0..inst.seen) == 0 {
+                                inst.neighbor = Some(candidate);
+                            }
                         }
                     }
                 }
             }
-        }
+        });
 
         // ---------------- Pass 4: closure checks ---------------------------
         let mut closure_queries: FxHashSet<Edge> = FxHashSet::default();
@@ -269,11 +278,13 @@ impl MainEstimator {
         }
         meter.charge(closure_queries.len() as u64);
         let mut present: FxHashSet<Edge> = FxHashSet::default();
-        for e in stream.pass() {
-            if closure_queries.contains(&e) {
-                present.insert(e);
+        stream.pass_batched(DEFAULT_BATCH_SIZE, &mut |chunk| {
+            for e in chunk {
+                if closure_queries.contains(e) {
+                    present.insert(*e);
+                }
             }
-        }
+        });
         meter.charge(present.len() as u64);
 
         let mut triangles_found = 0usize;
@@ -319,37 +330,40 @@ impl MainEstimator {
             by_vertex.entry(c.edge.v()).or_default().push((i, false));
         }
         if !candidate_edges.is_empty() {
-            for e in stream.pass() {
-                for endpoint in [e.u(), e.v()] {
-                    if let Some(entries) = by_vertex.get(&endpoint) {
-                        let candidate_neighbor = e.other(endpoint).expect("endpoint belongs to edge");
-                        for &(i, is_u) in entries {
-                            let c = &mut candidate_edges[i];
-                            if is_u {
-                                c.degree_u += 1;
-                                c.seen_u += 1;
-                                for slot in c.samples_u.iter_mut() {
-                                    if rng.gen_range(0..c.seen_u) == 0 {
-                                        *slot = Some(candidate_neighbor);
+            stream.pass_batched(DEFAULT_BATCH_SIZE, &mut |chunk| {
+                for e in chunk {
+                    for endpoint in [e.u(), e.v()] {
+                        if let Some(entries) = by_vertex.get(&endpoint) {
+                            let candidate_neighbor =
+                                e.other(endpoint).expect("endpoint belongs to edge");
+                            for &(i, is_u) in entries {
+                                let c = &mut candidate_edges[i];
+                                if is_u {
+                                    c.degree_u += 1;
+                                    c.seen_u += 1;
+                                    for slot in c.samples_u.iter_mut() {
+                                        if rng.gen_range(0..c.seen_u) == 0 {
+                                            *slot = Some(candidate_neighbor);
+                                        }
                                     }
-                                }
-                            } else {
-                                c.degree_v += 1;
-                                c.seen_v += 1;
-                                for slot in c.samples_v.iter_mut() {
-                                    if rng.gen_range(0..c.seen_v) == 0 {
-                                        *slot = Some(candidate_neighbor);
+                                } else {
+                                    c.degree_v += 1;
+                                    c.seen_v += 1;
+                                    for slot in c.samples_v.iter_mut() {
+                                        if rng.gen_range(0..c.seen_v) == 0 {
+                                            *slot = Some(candidate_neighbor);
+                                        }
                                     }
                                 }
                             }
                         }
                     }
                 }
-            }
+            });
         } else {
             // Keep the pass count fixed at six regardless of how many
             // triangles were found, so the pass budget is deterministic.
-            for _ in stream.pass() {}
+            stream.pass_batched(DEFAULT_BATCH_SIZE, &mut |_| {});
         }
 
         // Pass 6: closure checks for the assignment samples.
@@ -368,13 +382,15 @@ impl MainEstimator {
         meter.charge(assign_queries.len() as u64);
         let mut assign_present: FxHashSet<Edge> = FxHashSet::default();
         if !assign_queries.is_empty() {
-            for e in stream.pass() {
-                if assign_queries.contains(&e) {
-                    assign_present.insert(e);
+            stream.pass_batched(DEFAULT_BATCH_SIZE, &mut |chunk| {
+                for e in chunk {
+                    if assign_queries.contains(e) {
+                        assign_present.insert(*e);
+                    }
                 }
-            }
+            });
         } else {
-            for _ in stream.pass() {}
+            stream.pass_batched(DEFAULT_BATCH_SIZE, &mut |_| {});
         }
         meter.charge(assign_present.len() as u64);
 
@@ -492,8 +508,7 @@ mod tests {
     #[test]
     fn uses_exactly_six_passes() {
         let g = wheel(300).unwrap();
-        let stream =
-            PassCounter::with_limit(MemoryStream::from_graph(&g, StreamOrder::AsGiven), 6);
+        let stream = PassCounter::with_limit(MemoryStream::from_graph(&g, StreamOrder::AsGiven), 6);
         let config = config_for(&g, 3, 299);
         let out = MainEstimator::new(config).run(&stream).unwrap();
         assert_eq!(out.passes, 6);
@@ -503,8 +518,7 @@ mod tests {
     #[test]
     fn six_passes_even_when_no_triangles_are_found() {
         let g = grid(15, 15).unwrap();
-        let stream =
-            PassCounter::with_limit(MemoryStream::from_graph(&g, StreamOrder::AsGiven), 6);
+        let stream = PassCounter::with_limit(MemoryStream::from_graph(&g, StreamOrder::AsGiven), 6);
         let config = config_for(&g, 2, 1);
         let out = MainEstimator::new(config).run(&stream).unwrap();
         assert_eq!(stream.passes(), 6);
@@ -519,7 +533,10 @@ mod tests {
         let config = config_for(&g, 3, exact / 2);
         let estimate = median_estimate(&g, &config, 7);
         let err = (estimate - exact as f64).abs() / exact as f64;
-        assert!(err < 0.3, "estimate {estimate} vs exact {exact} (err {err:.3})");
+        assert!(
+            err < 0.3,
+            "estimate {estimate} vs exact {exact} (err {err:.3})"
+        );
     }
 
     #[test]
@@ -529,7 +546,10 @@ mod tests {
         let config = config_for(&g, 2, exact / 2);
         let estimate = median_estimate(&g, &config, 7);
         let err = (estimate - exact as f64).abs() / exact as f64;
-        assert!(err < 0.35, "estimate {estimate} vs exact {exact} (err {err:.3})");
+        assert!(
+            err < 0.35,
+            "estimate {estimate} vs exact {exact} (err {err:.3})"
+        );
     }
 
     #[test]
@@ -539,7 +559,10 @@ mod tests {
         let config = config_for(&g, 6, exact / 2);
         let estimate = median_estimate(&g, &config, 7);
         let err = (estimate - exact as f64).abs() / exact as f64;
-        assert!(err < 0.35, "estimate {estimate} vs exact {exact} (err {err:.3})");
+        assert!(
+            err < 0.35,
+            "estimate {estimate} vs exact {exact} (err {err:.3})"
+        );
     }
 
     #[test]
@@ -549,7 +572,10 @@ mod tests {
         let config = config_for(&g, 34, exact / 2);
         let estimate = median_estimate(&g, &config, 7);
         let err = (estimate - exact as f64).abs() / exact as f64;
-        assert!(err < 0.3, "estimate {estimate} vs exact {exact} (err {err:.3})");
+        assert!(
+            err < 0.3,
+            "estimate {estimate} vs exact {exact} (err {err:.3})"
+        );
     }
 
     #[test]

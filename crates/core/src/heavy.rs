@@ -38,12 +38,7 @@ impl HeavyCostlyAnalysis {
     }
 
     /// Runs the classification reusing precomputed triangle counts.
-    pub fn from_counts(
-        g: &CsrGraph,
-        counts: &TriangleCounts,
-        epsilon: f64,
-        kappa: usize,
-    ) -> Self {
+    pub fn from_counts(g: &CsrGraph, counts: &TriangleCounts, epsilon: f64, kappa: usize) -> Self {
         let m = g.num_edges() as f64;
         let t_total = counts.total.max(1) as f64;
         let heavy_threshold = kappa as f64 / epsilon;

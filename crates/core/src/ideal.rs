@@ -213,8 +213,7 @@ mod tests {
     #[test]
     fn uses_exactly_three_passes() {
         let g = wheel(200).unwrap();
-        let stream =
-            PassCounter::with_limit(MemoryStream::from_graph(&g, StreamOrder::AsGiven), 3);
+        let stream = PassCounter::with_limit(MemoryStream::from_graph(&g, StreamOrder::AsGiven), 3);
         let oracle = ExactDegreeOracle::build(stream.inner());
         let config = EstimatorConfig::builder()
             .kappa(3)

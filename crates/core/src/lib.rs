@@ -68,7 +68,10 @@ pub use error::EstimatorError;
 pub use estimator::MainEstimator;
 pub use ideal::IdealEstimator;
 pub use oracle::{DegreeOracle, ExactDegreeOracle};
-pub use runner::{estimate_triangles, estimate_triangles_with_oracle, TriangleEstimation};
+pub use runner::{
+    aggregate_copies, estimate_triangles, estimate_triangles_with_oracle, ideal_copy_seed,
+    main_copy_seed, run_ideal_copy, run_main_copy, CopyContribution, TriangleEstimation,
+};
 
 /// Convenient result alias for estimator operations.
 pub type Result<T> = std::result::Result<T, EstimatorError>;

@@ -97,7 +97,9 @@ mod tests {
     fn median_of_means_is_robust_to_outliers() {
         // Nine good estimates around 100 and one wild outlier: the plain
         // mean is dragged far away, the median-of-means is not.
-        let values = vec![98.0, 101.0, 99.0, 102.0, 100.0, 97.0, 103.0, 100.0, 99.0, 10_000.0];
+        let values = vec![
+            98.0, 101.0, 99.0, 102.0, 100.0, 97.0, 103.0, 100.0, 99.0, 10_000.0,
+        ];
         let plain_mean = mean(&values).unwrap();
         let mom = median_of_means(&values, 5).unwrap();
         assert!(plain_mean > 1000.0);

@@ -77,6 +77,17 @@ impl DegreeOracle for ExactDegreeOracle {
     }
 }
 
+/// A degree table answers degree queries directly (without query counting).
+///
+/// This lets concurrent estimator copies share one `StreamStats` by
+/// reference — [`ExactDegreeOracle`]'s query counter is not thread-safe,
+/// and cloning the `Θ(n)` table per copy would defeat the sharing.
+impl DegreeOracle for StreamStats {
+    fn degree(&self, v: VertexId) -> usize {
+        StreamStats::degree(self, v)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -6,6 +6,14 @@
 //! own seed derived from the configuration seed), aggregates the space of
 //! the copies as if they ran in parallel over the same six passes, and
 //! reports everything an experiment needs in a [`TriangleEstimation`].
+//!
+//! The copies are embarrassingly parallel, so the single-copy building
+//! blocks are public: [`run_main_copy`] / [`run_ideal_copy`] execute one
+//! copy with its deterministic derived seed, and [`aggregate_copies`] folds
+//! any set of per-copy results into a [`TriangleEstimation`] exactly as the
+//! sequential loop does. `degentri-engine` schedules those same building
+//! blocks across worker threads, which is why its results are bit-identical
+//! to this sequential runner.
 
 use degentri_stream::{EdgeStream, SpaceMeter, SpaceReport};
 
@@ -15,6 +23,112 @@ use crate::ideal::{IdealEstimator, IdealOutcome};
 use crate::median_of_means::median_of_means;
 use crate::oracle::DegreeOracle;
 use crate::Result;
+
+/// Golden-ratio multiplier deriving per-copy seeds for the main estimator.
+const MAIN_COPY_SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Multiplier deriving per-copy seeds for the ideal estimator.
+const IDEAL_COPY_SEED_STRIDE: u64 = 0xD1B5_4A32_D192_ED03;
+
+/// The deterministic seed of main-estimator copy `copy` for a configuration
+/// seed. Shared by the sequential runner and the parallel engine so both
+/// produce identical per-copy estimates.
+pub fn main_copy_seed(config_seed: u64, copy: usize) -> u64 {
+    config_seed.wrapping_add(MAIN_COPY_SEED_STRIDE.wrapping_mul(copy as u64 + 1))
+}
+
+/// The deterministic seed of ideal-estimator copy `copy` for a
+/// configuration seed.
+pub fn ideal_copy_seed(config_seed: u64, copy: usize) -> u64 {
+    config_seed.wrapping_add(IDEAL_COPY_SEED_STRIDE.wrapping_mul(copy as u64 + 1))
+}
+
+/// Runs one copy of the six-pass estimator (Algorithm 2) with the seed
+/// derived for `copy`. Copies are independent, so callers may execute them
+/// in any order or concurrently and aggregate with [`aggregate_copies`].
+pub fn run_main_copy<S: EdgeStream + ?Sized>(
+    stream: &S,
+    config: &EstimatorConfig,
+    copy: usize,
+) -> Result<MainOutcome> {
+    MainEstimator::new(config.clone()).run_seeded(stream, main_copy_seed(config.seed, copy))
+}
+
+/// Runs one copy of the ideal (degree-oracle) estimator with the seed
+/// derived for `copy`.
+pub fn run_ideal_copy<S, O>(
+    stream: &S,
+    oracle: &O,
+    config: &EstimatorConfig,
+    copy: usize,
+) -> Result<IdealOutcome>
+where
+    S: EdgeStream + ?Sized,
+    O: DegreeOracle,
+{
+    let mut copy_config = config.clone();
+    copy_config.seed = ideal_copy_seed(config.seed, copy);
+    IdealEstimator::new(copy_config).run(stream, oracle)
+}
+
+/// One copy's contribution to a multi-copy aggregate: what
+/// [`aggregate_copies`] needs from a [`MainOutcome`] or [`IdealOutcome`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CopyContribution {
+    /// The copy's estimate `X`.
+    pub estimate: f64,
+    /// Passes the copy made over the stream.
+    pub passes: u32,
+    /// Peak words the copy retained.
+    pub peak_words: u64,
+}
+
+impl From<&MainOutcome> for CopyContribution {
+    fn from(o: &MainOutcome) -> Self {
+        CopyContribution {
+            estimate: o.estimate,
+            passes: o.passes,
+            peak_words: o.space.peak_words,
+        }
+    }
+}
+
+impl From<&IdealOutcome> for CopyContribution {
+    fn from(o: &IdealOutcome) -> Self {
+        CopyContribution {
+            estimate: o.estimate,
+            passes: o.passes,
+            peak_words: o.space.peak_words,
+        }
+    }
+}
+
+/// Aggregates per-copy results (in copy order) into a
+/// [`TriangleEstimation`]: median-of-means over `⌈copies/3⌉` groups, with
+/// the copies' space composed in parallel — exactly the aggregation of the
+/// sequential runner, so any scheduler that produces the same per-copy
+/// results produces the same estimation.
+pub fn aggregate_copies(contributions: &[CopyContribution]) -> TriangleEstimation {
+    let mut copy_estimates = Vec::with_capacity(contributions.len());
+    let mut meter = SpaceMeter::new();
+    let mut passes = 0;
+    for c in contributions {
+        passes = c.passes;
+        copy_estimates.push(c.estimate);
+        let mut copy_meter = SpaceMeter::new();
+        copy_meter.charge(c.peak_words);
+        meter.absorb_parallel(&copy_meter);
+    }
+    let groups = copy_estimates.len().div_ceil(3).max(1);
+    let estimate = median_of_means(&copy_estimates, groups).unwrap_or(0.0);
+    TriangleEstimation {
+        estimate,
+        copies: copy_estimates.len(),
+        copy_estimates,
+        passes_per_copy: passes,
+        space: meter.report(),
+    }
+}
 
 /// Result of a (multi-copy) triangle estimation.
 #[derive(Debug, Clone)]
@@ -56,28 +170,12 @@ pub fn estimate_triangles<S: EdgeStream + ?Sized>(
     config: &EstimatorConfig,
 ) -> Result<TriangleEstimation> {
     config.validate()?;
-    let estimator = MainEstimator::new(config.clone());
-    let mut copy_estimates = Vec::with_capacity(config.copies);
-    let mut meter = SpaceMeter::new();
-    let mut passes = 0;
+    let mut contributions = Vec::with_capacity(config.copies);
     for copy in 0..config.copies {
-        let seed = config.seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(copy as u64 + 1));
-        let outcome: MainOutcome = estimator.run_seeded(stream, seed)?;
-        passes = outcome.passes;
-        copy_estimates.push(outcome.estimate);
-        let mut copy_meter = SpaceMeter::new();
-        copy_meter.charge(outcome.space.peak_words);
-        meter.absorb_parallel(&copy_meter);
+        let outcome: MainOutcome = run_main_copy(stream, config, copy)?;
+        contributions.push(CopyContribution::from(&outcome));
     }
-    let groups = copy_estimates.len().div_ceil(3).max(1);
-    let estimate = median_of_means(&copy_estimates, groups).unwrap_or(0.0);
-    Ok(TriangleEstimation {
-        estimate,
-        copies: copy_estimates.len(),
-        copy_estimates,
-        passes_per_copy: passes,
-        space: meter.report(),
-    })
+    Ok(aggregate_copies(&contributions))
 }
 
 /// Runs `config.copies` batched runs of the ideal (degree-oracle) estimator
@@ -95,31 +193,12 @@ where
     O: DegreeOracle,
 {
     config.validate()?;
-    let mut copy_estimates = Vec::with_capacity(config.copies);
-    let mut meter = SpaceMeter::new();
-    let mut passes = 0;
+    let mut contributions = Vec::with_capacity(config.copies);
     for copy in 0..config.copies {
-        let mut copy_config = config.clone();
-        copy_config.seed = config
-            .seed
-            .wrapping_add(0xD1B5_4A32_D192_ED03u64.wrapping_mul(copy as u64 + 1));
-        let estimator = IdealEstimator::new(copy_config);
-        let outcome: IdealOutcome = estimator.run(stream, oracle)?;
-        passes = outcome.passes;
-        copy_estimates.push(outcome.estimate);
-        let mut copy_meter = SpaceMeter::new();
-        copy_meter.charge(outcome.space.peak_words);
-        meter.absorb_parallel(&copy_meter);
+        let outcome: IdealOutcome = run_ideal_copy(stream, oracle, config, copy)?;
+        contributions.push(CopyContribution::from(&outcome));
     }
-    let groups = copy_estimates.len().div_ceil(3).max(1);
-    let estimate = median_of_means(&copy_estimates, groups).unwrap_or(0.0);
-    Ok(TriangleEstimation {
-        estimate,
-        copies: copy_estimates.len(),
-        copy_estimates,
-        passes_per_copy: passes,
-        space: meter.report(),
-    })
+    Ok(aggregate_copies(&contributions))
 }
 
 #[cfg(test)]
@@ -220,5 +299,45 @@ mod tests {
         let stream = MemoryStream::from_graph(&g, StreamOrder::AsGiven);
         let config = EstimatorConfig::builder().copies(0).build();
         assert!(estimate_triangles(&stream, &config).is_err());
+    }
+
+    #[test]
+    fn copy_seeds_are_distinct_and_deterministic() {
+        let seeds: Vec<u64> = (0..16).map(|c| main_copy_seed(7, c)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len());
+        assert_eq!(main_copy_seed(7, 3), main_copy_seed(7, 3));
+        assert_ne!(main_copy_seed(7, 0), ideal_copy_seed(7, 0));
+    }
+
+    #[test]
+    fn single_copy_runs_plus_aggregation_match_the_sequential_runner() {
+        let g = wheel(500).unwrap();
+        let stream = MemoryStream::from_graph(&g, StreamOrder::UniformRandom(3));
+        let config = EstimatorConfig::builder()
+            .kappa(3)
+            .triangle_lower_bound(499)
+            .copies(6)
+            .seed(21)
+            .build();
+        let sequential = estimate_triangles(&stream, &config).unwrap();
+        let contributions: Vec<CopyContribution> = (0..config.copies)
+            .map(|copy| CopyContribution::from(&run_main_copy(&stream, &config, copy).unwrap()))
+            .collect();
+        let rebuilt = aggregate_copies(&contributions);
+        assert_eq!(rebuilt.estimate, sequential.estimate);
+        assert_eq!(rebuilt.copy_estimates, sequential.copy_estimates);
+        assert_eq!(rebuilt.space, sequential.space);
+        assert_eq!(rebuilt.passes_per_copy, sequential.passes_per_copy);
+    }
+
+    #[test]
+    fn aggregate_of_nothing_is_zero() {
+        let agg = aggregate_copies(&[]);
+        assert_eq!(agg.estimate, 0.0);
+        assert_eq!(agg.copies, 0);
+        assert_eq!(agg.space.peak_words, 0);
     }
 }

@@ -122,7 +122,10 @@ mod tests {
     #[test]
     fn m_kappa_over_t_subsumes_m_three_halves() {
         // κ ≤ √(2m) ⇒ mκ/T ≤ √2 · m^{3/2}/T for every parameter setting.
-        for (n, m, t, kappa, delta) in [(100usize, 400usize, 50u64, 10usize, 30usize), (1000, 10_000, 5, 100, 300)] {
+        for (n, m, t, kappa, delta) in [
+            (100usize, 400usize, 50u64, 10usize, 30usize),
+            (1000, 10_000, 5, 100, 300),
+        ] {
             let p = GraphParameters::new(n, m, t, kappa, delta);
             assert!(
                 p.bound_m_kappa_over_t() <= 2f64.sqrt() * p.bound_m_three_halves_over_t() + 1e-9

@@ -135,17 +135,17 @@ impl DynamicEstimatorConfig {
 
     /// Number of ℓ0 edge samplers (the analogue of `r`).
     pub fn derive_r(&self, m_hint: usize) -> usize {
-        let target = self.r_constant * self.oversampling() * m_hint.max(1) as f64
-            * self.kappa as f64
-            / self.triangle_lower_bound as f64;
+        let target =
+            self.r_constant * self.oversampling() * m_hint.max(1) as f64 * self.kappa as f64
+                / self.triangle_lower_bound as f64;
         (target.ceil() as usize).clamp(1, self.max_samples.min(m_hint.max(1)))
     }
 
     /// Number of inner degree-proportional instances.
     pub fn derive_inner(&self, m_net: usize, r: usize, d_r: u64) -> usize {
-        let target = self.inner_constant * self.oversampling() * m_net.max(1) as f64
-            * d_r.max(1) as f64
-            / (r.max(1) as f64 * self.triangle_lower_bound as f64);
+        let target =
+            self.inner_constant * self.oversampling() * m_net.max(1) as f64 * d_r.max(1) as f64
+                / (r.max(1) as f64 * self.triangle_lower_bound as f64);
         (target.ceil() as usize).clamp(1, self.max_samples)
     }
 }
@@ -266,7 +266,11 @@ impl DynamicTriangleEstimator {
         })
     }
 
-    fn run_single<S: DynamicEdgeStream + ?Sized>(&self, stream: &S, seed: u64) -> Result<SingleRun> {
+    fn run_single<S: DynamicEdgeStream + ?Sized>(
+        &self,
+        stream: &S,
+        seed: u64,
+    ) -> Result<SingleRun> {
         let n = stream.num_vertices();
         let mut rng = StdRng::seed_from_u64(seed);
         let mut meter = SpaceMeter::new();
@@ -289,7 +293,13 @@ impl DynamicTriangleEstimator {
                 sampler.update(idx, delta);
             }
         }
-        meter.charge(edge_samplers.iter().map(L0Sampler::retained_words).sum::<u64>() + 1);
+        meter.charge(
+            edge_samplers
+                .iter()
+                .map(L0Sampler::retained_words)
+                .sum::<u64>()
+                + 1,
+        );
         if net_edges <= 0 {
             return Err(DynamicError::EmptySurvivingGraph);
         }

@@ -1,0 +1,63 @@
+//! Engine configuration.
+
+/// Configuration of an [`Engine`](crate::Engine) / of the parallel copy
+/// runners: how many worker threads execute tasks.
+///
+/// Worker count only affects wall-clock time, never results: tasks carry
+/// deterministic seeds and are aggregated in task order, so `workers = 1`
+/// and `workers = N` produce bit-identical estimations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Number of worker threads (at least 1; capped at the task count when
+    /// a run starts).
+    pub workers: usize,
+}
+
+impl EngineConfig {
+    /// A configuration using all available hardware parallelism.
+    pub fn new() -> Self {
+        EngineConfig {
+            workers: available_workers(),
+        }
+    }
+
+    /// A configuration with an explicit worker count (clamped to ≥ 1).
+    pub fn with_workers(workers: usize) -> Self {
+        EngineConfig {
+            workers: workers.max(1),
+        }
+    }
+
+    /// The worker count actually used for `tasks` runnable tasks.
+    pub(crate) fn effective_workers(&self, tasks: usize) -> usize {
+        self.workers.clamp(1, tasks.max(1))
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig::new()
+    }
+}
+
+/// The machine's available parallelism (1 if it cannot be determined).
+pub fn available_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_counts_are_clamped() {
+        assert_eq!(EngineConfig::with_workers(0).workers, 1);
+        assert_eq!(EngineConfig::with_workers(8).workers, 8);
+        assert_eq!(EngineConfig::with_workers(8).effective_workers(3), 3);
+        assert_eq!(EngineConfig::with_workers(2).effective_workers(100), 2);
+        assert_eq!(EngineConfig::with_workers(2).effective_workers(0), 1);
+        assert!(EngineConfig::default().workers >= 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! Error type for the estimation engine.
+
+use std::fmt;
+
+use degentri_core::EstimatorError;
+
+/// Errors produced by engine configuration and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// An estimator copy (or an up-front configuration validation) failed;
+    /// the engine reports the first failure in deterministic task order.
+    Estimator(EstimatorError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Estimator(e) => write!(f, "engine job failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Estimator(e) => Some(e),
+        }
+    }
+}
+
+impl From<EstimatorError> for EngineError {
+    fn from(e: EstimatorError) -> Self {
+        EngineError::Estimator(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_and_displays_estimator_errors() {
+        let e: EngineError = EstimatorError::EmptyStream.into();
+        assert!(e.to_string().contains("empty"));
+        assert_eq!(e, EngineError::Estimator(EstimatorError::EmptyStream));
+    }
+}

@@ -1,0 +1,150 @@
+//! Job specifications and per-job results.
+
+use std::fmt;
+use std::time::Duration;
+
+use degentri_baselines::{BaselineOutcome, StreamingTriangleCounter};
+use degentri_core::{EstimatorConfig, TriangleEstimation};
+
+/// A baseline algorithm boxed for concurrent execution.
+pub type BoxedBaseline = Box<dyn StreamingTriangleCounter + Send + Sync>;
+
+/// What a job runs.
+pub enum JobKind {
+    /// The paper's six-pass estimator (Algorithm 2), `config.copies` copies
+    /// aggregated by median-of-means.
+    Main(EstimatorConfig),
+    /// The three-pass ideal (degree-oracle) estimator of Section 4; the
+    /// engine builds the degree table once per run and shares it.
+    Ideal(EstimatorConfig),
+    /// Any Table-1 baseline through the common
+    /// [`StreamingTriangleCounter`] trait (one task per job).
+    Baseline(BoxedBaseline),
+}
+
+impl JobKind {
+    /// The estimator configuration, when the job has one.
+    pub fn config(&self) -> Option<&EstimatorConfig> {
+        match self {
+            JobKind::Main(c) | JobKind::Ideal(c) => Some(c),
+            JobKind::Baseline(_) => None,
+        }
+    }
+
+    /// Number of schedulable tasks this job expands into — the engine
+    /// schedules exactly this many. Zero only for a `copies = 0`
+    /// configuration, which [`Engine::run`](crate::Engine::run) rejects
+    /// during validation before expanding any job.
+    pub fn task_count(&self) -> usize {
+        match self {
+            JobKind::Main(c) | JobKind::Ideal(c) => c.copies,
+            JobKind::Baseline(_) => 1,
+        }
+    }
+}
+
+impl fmt::Debug for JobKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobKind::Main(c) => f.debug_tuple("Main").field(c).finish(),
+            JobKind::Ideal(c) => f.debug_tuple("Ideal").field(c).finish(),
+            JobKind::Baseline(b) => f.debug_tuple("Baseline").field(&b.name()).finish(),
+        }
+    }
+}
+
+/// One unit of work submitted to the engine.
+#[derive(Debug)]
+pub struct JobSpec {
+    /// Human-readable label echoed in the [`JobResult`].
+    pub label: String,
+    /// What to run.
+    pub kind: JobKind,
+}
+
+impl JobSpec {
+    /// A job running the paper's six-pass estimator.
+    pub fn main(label: impl Into<String>, config: EstimatorConfig) -> Self {
+        JobSpec {
+            label: label.into(),
+            kind: JobKind::Main(config),
+        }
+    }
+
+    /// A job running the ideal (degree-oracle) estimator.
+    pub fn ideal(label: impl Into<String>, config: EstimatorConfig) -> Self {
+        JobSpec {
+            label: label.into(),
+            kind: JobKind::Ideal(config),
+        }
+    }
+
+    /// A job running a Table-1 baseline.
+    pub fn baseline(label: impl Into<String>, counter: BoxedBaseline) -> Self {
+        JobSpec {
+            label: label.into(),
+            kind: JobKind::Baseline(counter),
+        }
+    }
+}
+
+/// Result of one job executed by the engine.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The label of the submitted [`JobSpec`].
+    pub label: String,
+    /// The aggregated estimation (for baselines: a single-copy estimation
+    /// carrying the baseline's estimate, passes and space).
+    pub estimation: TriangleEstimation,
+    /// Total CPU-busy time the job's tasks consumed across all workers
+    /// (larger than the job's share of wall time when copies overlap).
+    pub busy: Duration,
+    /// Number of tasks (copies, or 1 for a baseline) that ran.
+    pub tasks: usize,
+}
+
+/// Converts a baseline outcome into the engine's common result shape.
+pub(crate) fn baseline_estimation(outcome: &BaselineOutcome) -> TriangleEstimation {
+    TriangleEstimation {
+        estimate: outcome.estimate,
+        copy_estimates: vec![outcome.estimate],
+        passes_per_copy: outcome.passes,
+        space: outcome.space,
+        copies: 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use degentri_stream::SpaceReport;
+
+    #[test]
+    fn job_kinds_expose_config_and_task_counts() {
+        let config = EstimatorConfig::builder().copies(5).build();
+        let main = JobSpec::main("m", config.clone());
+        assert_eq!(main.kind.task_count(), 5);
+        assert_eq!(main.kind.config().unwrap().copies, 5);
+        let ideal = JobSpec::ideal("i", config);
+        assert_eq!(ideal.kind.task_count(), 5);
+        assert!(format!("{:?}", ideal.kind).contains("Ideal"));
+    }
+
+    #[test]
+    fn baseline_outcomes_map_to_single_copy_estimations() {
+        let outcome = BaselineOutcome {
+            estimate: 12.5,
+            passes: 2,
+            space: SpaceReport {
+                peak_words: 7,
+                final_words: 3,
+            },
+        };
+        let est = baseline_estimation(&outcome);
+        assert_eq!(est.estimate, 12.5);
+        assert_eq!(est.copy_estimates, vec![12.5]);
+        assert_eq!(est.passes_per_copy, 2);
+        assert_eq!(est.copies, 1);
+        assert_eq!(est.space.peak_words, 7);
+    }
+}

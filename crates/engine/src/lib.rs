@@ -1,0 +1,69 @@
+//! # degentri-engine — parallel, batched estimation engine
+//!
+//! The paper's estimator (Algorithm 2 of Bera & Seshadhri, PODS 2020)
+//! amplifies a constant-success-probability run by executing many
+//! independent copies and taking the median of means — an embarrassingly
+//! parallel structure that `degentri_core`'s sequential runner executes one
+//! copy at a time. This crate is the scale-out layer on top of the same
+//! building blocks:
+//!
+//! * [`parallel`] — copy-level parallelism: the `copies` independent copies
+//!   of Algorithm 2 (or of the ideal estimator) run on a scoped worker
+//!   pool with the *same* deterministic per-copy seeds as the sequential
+//!   runner ([`degentri_core::main_copy_seed`]) and are folded with the
+//!   same aggregation ([`degentri_core::aggregate_copies`]), so the result
+//!   is bit-identical to [`degentri_core::estimate_triangles`] at any
+//!   worker count.
+//! * [`scheduler`] — job-level concurrency: an [`Engine`] accepts many
+//!   [`JobSpec`]s (main estimator, ideal estimator, or any Table-1
+//!   baseline through its common trait) against one shared graph snapshot
+//!   and executes every copy of every job on one worker pool, returning
+//!   per-job [`degentri_core::TriangleEstimation`]s plus engine-level
+//!   throughput statistics ([`EngineStats`]).
+//! * batched streaming — the estimator hot loops consume the stream
+//!   through [`degentri_stream::EdgeStream::pass_batched`], which
+//!   in-memory snapshots serve as zero-copy slices; every copy the engine
+//!   schedules benefits automatically.
+//!
+//! ```
+//! use degentri_core::EstimatorConfig;
+//! use degentri_engine::{Engine, EngineConfig, JobSpec};
+//! use degentri_stream::{MemoryStream, StreamOrder};
+//!
+//! let graph = degentri_gen::wheel(600).unwrap();
+//! let stream = MemoryStream::from_graph(&graph, StreamOrder::UniformRandom(1));
+//! let config = EstimatorConfig::builder()
+//!     .kappa(3)
+//!     .triangle_lower_bound(299)
+//!     .copies(6)
+//!     .seed(7)
+//!     .try_build()
+//!     .unwrap();
+//!
+//! let mut engine = Engine::new(EngineConfig::with_workers(4));
+//! engine.submit(JobSpec::main("wheel/main", config.clone()));
+//! engine.submit(JobSpec::ideal("wheel/ideal", config));
+//! let report = engine.run(&stream).unwrap();
+//! assert_eq!(report.jobs.len(), 2);
+//! assert!(report.stats.edges_per_second > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod error;
+pub mod job;
+pub mod parallel;
+pub mod scheduler;
+pub mod stats;
+
+pub use config::EngineConfig;
+pub use error::EngineError;
+pub use job::{JobKind, JobResult, JobSpec};
+pub use parallel::{parallel_estimate_triangles, parallel_estimate_triangles_with_oracle};
+pub use scheduler::{Engine, EngineReport};
+pub use stats::EngineStats;
+
+/// Convenient result alias for engine operations.
+pub type Result<T> = std::result::Result<T, EngineError>;

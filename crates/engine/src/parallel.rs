@@ -1,0 +1,139 @@
+//! Copy-level parallelism: the independent copies of an estimator run on a
+//! scoped worker pool.
+//!
+//! Copies use the exact per-copy seeds of the sequential runner
+//! ([`degentri_core::main_copy_seed`] / [`degentri_core::ideal_copy_seed`])
+//! and are aggregated in copy order with
+//! [`degentri_core::aggregate_copies`], so the output is **bit-identical**
+//! to [`degentri_core::estimate_triangles`] /
+//! [`degentri_core::estimate_triangles_with_oracle`] at every worker count
+//! — scheduling only changes wall-clock time.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use degentri_core::{
+    aggregate_copies, run_ideal_copy, run_main_copy, CopyContribution, EstimatorConfig,
+    TriangleEstimation,
+};
+use degentri_stream::{EdgeStream, StreamStats};
+
+use crate::Result;
+
+/// Executes `count` indexed tasks on up to `workers` scoped threads and
+/// returns the outputs in task order. Workers claim tasks from a shared
+/// atomic counter (dynamic load balancing: uneven task costs do not idle
+/// workers until the tail).
+pub(crate) fn run_indexed<T, F>(workers: usize, count: usize, task: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.clamp(1, count.max(1));
+    if workers <= 1 || count <= 1 {
+        return (0..count).map(task).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let output = task(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(output);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every task index was claimed and completed")
+        })
+        .collect()
+}
+
+/// Collects per-copy results in copy order, surfacing the first failure.
+fn aggregate_results(
+    results: Vec<degentri_core::Result<CopyContribution>>,
+) -> Result<TriangleEstimation> {
+    let mut contributions = Vec::with_capacity(results.len());
+    for result in results {
+        contributions.push(result?);
+    }
+    Ok(aggregate_copies(&contributions))
+}
+
+/// Runs `config.copies` independent copies of the six-pass estimator
+/// (Algorithm 2) on up to `workers` threads and aggregates them with
+/// median-of-means — the parallel equivalent of
+/// [`degentri_core::estimate_triangles`], with bit-identical results.
+pub fn parallel_estimate_triangles<S>(
+    stream: &S,
+    config: &EstimatorConfig,
+    workers: usize,
+) -> Result<TriangleEstimation>
+where
+    S: EdgeStream + Sync + ?Sized,
+{
+    config.validate()?;
+    let results = run_indexed(workers, config.copies, |copy| {
+        run_main_copy(stream, config, copy).map(|o| CopyContribution::from(&o))
+    });
+    aggregate_results(results)
+}
+
+/// Runs `config.copies` copies of the ideal (degree-oracle) estimator on up
+/// to `workers` threads — the parallel equivalent of
+/// [`degentri_core::estimate_triangles_with_oracle`], with bit-identical
+/// results.
+///
+/// The caller provides the one-pass [`StreamStats`] the oracle is built
+/// from (compute it once with [`StreamStats::compute`]); every copy shares
+/// the table by reference — `StreamStats` answers degree queries directly,
+/// so nothing is cloned per copy.
+pub fn parallel_estimate_triangles_with_oracle<S>(
+    stream: &S,
+    stats: &StreamStats,
+    config: &EstimatorConfig,
+    workers: usize,
+) -> Result<TriangleEstimation>
+where
+    S: EdgeStream + Sync + ?Sized,
+{
+    config.validate()?;
+    let results = run_indexed(workers, config.copies, |copy| {
+        run_ideal_copy(stream, stats, config, copy).map(|o| CopyContribution::from(&o))
+    });
+    aggregate_results(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_indexed_preserves_task_order() {
+        for workers in [1, 2, 4, 9] {
+            let out = run_indexed(workers, 100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+        assert!(run_indexed(4, 0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn run_indexed_balances_uneven_tasks() {
+        // Tasks touch a shared counter; all must run exactly once.
+        let counter = AtomicUsize::new(0);
+        let out = run_indexed(3, 37, |i| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(out.len(), 37);
+        assert_eq!(counter.load(Ordering::Relaxed), 37);
+    }
+}

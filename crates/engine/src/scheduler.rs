@@ -1,0 +1,308 @@
+//! The job scheduler: many estimation jobs over one shared graph snapshot.
+//!
+//! [`Engine::submit`] queues jobs (different ε/κ/seed/algorithm, including
+//! the Table-1 baselines through their common trait); [`Engine::run`]
+//! flattens every job into its independent tasks — one per estimator copy,
+//! one per baseline — and executes all of them on a single scoped worker
+//! pool, so the pool stays busy across job boundaries instead of
+//! synchronizing after each job. Results are folded back per job in
+//! deterministic submission/copy order, which keeps every estimation
+//! bit-identical to its sequential counterpart.
+
+use std::time::{Duration, Instant};
+
+use degentri_core::{run_ideal_copy, run_main_copy, CopyContribution};
+use degentri_stream::{EdgeStream, StreamStats};
+
+use crate::config::EngineConfig;
+use crate::job::{baseline_estimation, JobKind, JobResult, JobSpec};
+use crate::parallel::run_indexed;
+use crate::stats::EngineStats;
+use crate::{EngineError, Result};
+
+/// A parallel, batched estimation engine over a shared stream snapshot.
+///
+/// ```
+/// use degentri_core::EstimatorConfig;
+/// use degentri_engine::{Engine, EngineConfig, JobSpec};
+/// use degentri_stream::{MemoryStream, StreamOrder};
+///
+/// let graph = degentri_gen::wheel(400).unwrap();
+/// let stream = MemoryStream::from_graph(&graph, StreamOrder::AsGiven);
+/// let config = EstimatorConfig::builder()
+///     .kappa(3)
+///     .triangle_lower_bound(399)
+///     .copies(4)
+///     .try_build()
+///     .unwrap();
+/// let mut engine = Engine::new(EngineConfig::with_workers(2));
+/// engine.submit(JobSpec::main("wheel", config));
+/// let report = engine.run(&stream).unwrap();
+/// assert_eq!(report.jobs[0].estimation.copies, 4);
+/// ```
+#[derive(Debug, Default)]
+pub struct Engine {
+    config: EngineConfig,
+    jobs: Vec<JobSpec>,
+}
+
+/// Everything one [`Engine::run`] produced: per-job results in submission
+/// order plus engine-level statistics.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Per-job results, in submission order.
+    pub jobs: Vec<JobResult>,
+    /// Engine-level throughput statistics for the whole run.
+    pub stats: EngineStats,
+}
+
+/// One schedulable unit: an estimator copy or a baseline run.
+#[derive(Debug, Clone, Copy)]
+enum Task {
+    MainCopy { job: usize, copy: usize },
+    IdealCopy { job: usize, copy: usize },
+    Baseline { job: usize },
+}
+
+impl Task {
+    fn job(&self) -> usize {
+        match *self {
+            Task::MainCopy { job, .. } | Task::IdealCopy { job, .. } | Task::Baseline { job } => {
+                job
+            }
+        }
+    }
+}
+
+/// What one task produced (plus how long it took).
+enum TaskOutput {
+    Copy(degentri_core::Result<CopyContribution>),
+    Baseline(degentri_baselines::BaselineOutcome),
+}
+
+impl Engine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        Engine {
+            config,
+            jobs: Vec::new(),
+        }
+    }
+
+    /// Creates an engine with an explicit worker count.
+    pub fn with_workers(workers: usize) -> Self {
+        Engine::new(EngineConfig::with_workers(workers))
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Queues a job; returns its index, which is also its position in
+    /// [`EngineReport::jobs`].
+    pub fn submit(&mut self, spec: JobSpec) -> usize {
+        self.jobs.push(spec);
+        self.jobs.len() - 1
+    }
+
+    /// Number of jobs currently queued.
+    pub fn queued_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Runs every queued job to completion over `stream` (draining the
+    /// queue), interleaving all tasks on one worker pool. Jobs fail or
+    /// succeed as a unit: the first task error (in deterministic task
+    /// order) fails the whole run.
+    pub fn run<S>(&mut self, stream: &S) -> Result<EngineReport>
+    where
+        S: EdgeStream + Sync + ?Sized,
+    {
+        let jobs: Vec<JobSpec> = self.jobs.drain(..).collect();
+
+        // Reject invalid configurations before any work starts.
+        for spec in &jobs {
+            if let Some(config) = spec.kind.config() {
+                config.validate().map_err(EngineError::from)?;
+            }
+        }
+
+        // The run's timed region starts here so the shared degree-table
+        // pass below is covered by the same clock that its edges are
+        // charged to in `edges_streamed`.
+        let started = Instant::now();
+
+        // The ideal estimator's degree table costs one pass; build it once
+        // and share it across every ideal job and copy.
+        let ideal_stats: Option<StreamStats> = jobs
+            .iter()
+            .any(|spec| matches!(spec.kind, JobKind::Ideal(_)))
+            .then(|| StreamStats::compute(stream));
+        let stats_pass = started.elapsed();
+
+        // Flatten jobs into independent tasks, job by job, copy by copy —
+        // fold-back below relies on this order.
+        let mut tasks: Vec<Task> = Vec::new();
+        for (job, spec) in jobs.iter().enumerate() {
+            let count = spec.kind.task_count();
+            match &spec.kind {
+                JobKind::Main(_) => {
+                    tasks.extend((0..count).map(|copy| Task::MainCopy { job, copy }));
+                }
+                JobKind::Ideal(_) => {
+                    tasks.extend((0..count).map(|copy| Task::IdealCopy { job, copy }));
+                }
+                JobKind::Baseline(_) => tasks.push(Task::Baseline { job }),
+            }
+        }
+
+        let m = stream.num_edges() as u64;
+        let workers = self.config.effective_workers(tasks.len());
+        let outputs: Vec<(TaskOutput, Duration)> = run_indexed(workers, tasks.len(), |i| {
+            let task_started = Instant::now();
+            let output = match tasks[i] {
+                Task::MainCopy { job, copy } => {
+                    let JobKind::Main(config) = &jobs[job].kind else {
+                        unreachable!("task kind matches job kind");
+                    };
+                    TaskOutput::Copy(
+                        run_main_copy(stream, config, copy).map(|o| CopyContribution::from(&o)),
+                    )
+                }
+                Task::IdealCopy { job, copy } => {
+                    let JobKind::Ideal(config) = &jobs[job].kind else {
+                        unreachable!("task kind matches job kind");
+                    };
+                    // Copies share the degree table by reference; StreamStats
+                    // answers degree queries directly.
+                    let stats = ideal_stats.as_ref().expect("stats built for ideal jobs");
+                    TaskOutput::Copy(
+                        run_ideal_copy(stream, stats, config, copy)
+                            .map(|o| CopyContribution::from(&o)),
+                    )
+                }
+                Task::Baseline { job } => {
+                    let JobKind::Baseline(counter) = &jobs[job].kind else {
+                        unreachable!("task kind matches job kind");
+                    };
+                    TaskOutput::Baseline(counter.estimate(&stream))
+                }
+            };
+            (output, task_started.elapsed())
+        });
+        let wall = started.elapsed();
+
+        // Fold task outputs back per job, in deterministic task order.
+        let mut contributions: Vec<Vec<CopyContribution>> =
+            jobs.iter().map(|_| Vec::new()).collect();
+        let mut baseline_outcomes: Vec<Option<degentri_baselines::BaselineOutcome>> =
+            jobs.iter().map(|_| None).collect();
+        let mut busy_per_job: Vec<Duration> = vec![Duration::ZERO; jobs.len()];
+        let mut tasks_per_job: Vec<usize> = vec![0; jobs.len()];
+        // The serial degree-table pass is work this run performed: it
+        // belongs in busy time just as its edges are in `edges_streamed`.
+        let mut busy_total = stats_pass;
+        let mut edges_streamed = 0u64;
+        for (task, (output, spent)) in tasks.iter().zip(outputs) {
+            let job = task.job();
+            busy_per_job[job] += spent;
+            tasks_per_job[job] += 1;
+            busy_total += spent;
+            match output {
+                TaskOutput::Copy(result) => {
+                    let contribution = result.map_err(EngineError::from)?;
+                    edges_streamed += contribution.passes as u64 * m;
+                    contributions[job].push(contribution);
+                }
+                TaskOutput::Baseline(outcome) => {
+                    edges_streamed += outcome.passes as u64 * m;
+                    baseline_outcomes[job] = Some(outcome);
+                }
+            }
+        }
+        // The shared degree table cost one extra pass.
+        if ideal_stats.is_some() {
+            edges_streamed += m;
+        }
+
+        let results: Vec<JobResult> = jobs
+            .iter()
+            .enumerate()
+            .map(|(job, spec)| {
+                let estimation = match &spec.kind {
+                    JobKind::Main(_) | JobKind::Ideal(_) => {
+                        degentri_core::aggregate_copies(&contributions[job])
+                    }
+                    JobKind::Baseline(_) => baseline_estimation(
+                        baseline_outcomes[job]
+                            .as_ref()
+                            .expect("baseline task completed"),
+                    ),
+                };
+                JobResult {
+                    label: spec.label.clone(),
+                    estimation,
+                    busy: busy_per_job[job],
+                    tasks: tasks_per_job[job],
+                }
+            })
+            .collect();
+
+        Ok(EngineReport {
+            jobs: results,
+            stats: EngineStats::from_run(workers, tasks.len(), wall, busy_total, edges_streamed),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use degentri_core::EstimatorConfig;
+    use degentri_stream::{MemoryStream, StreamOrder};
+
+    #[test]
+    fn empty_engine_produces_empty_report() {
+        let graph = degentri_gen::wheel(50).unwrap();
+        let stream = MemoryStream::from_graph(&graph, StreamOrder::AsGiven);
+        let mut engine = Engine::with_workers(2);
+        let report = engine.run(&stream).unwrap();
+        assert!(report.jobs.is_empty());
+        assert_eq!(report.stats.tasks, 0);
+        assert_eq!(report.stats.edges_streamed, 0);
+    }
+
+    #[test]
+    fn invalid_job_config_fails_before_running() {
+        let graph = degentri_gen::wheel(50).unwrap();
+        let stream = MemoryStream::from_graph(&graph, StreamOrder::AsGiven);
+        let mut engine = Engine::with_workers(2);
+        engine.submit(JobSpec::main(
+            "bad",
+            EstimatorConfig::builder().epsilon(2.0).build(),
+        ));
+        assert!(engine.run(&stream).is_err());
+        // The queue was drained; the engine is reusable.
+        assert_eq!(engine.queued_jobs(), 0);
+    }
+
+    #[test]
+    fn submit_returns_report_indices() {
+        let config = EstimatorConfig::builder()
+            .kappa(3)
+            .triangle_lower_bound(49)
+            .copies(2)
+            .build();
+        let mut engine = Engine::with_workers(2);
+        assert_eq!(engine.submit(JobSpec::main("a", config.clone())), 0);
+        assert_eq!(engine.submit(JobSpec::ideal("b", config)), 1);
+        assert_eq!(engine.queued_jobs(), 2);
+        let graph = degentri_gen::wheel(50).unwrap();
+        let stream = MemoryStream::from_graph(&graph, StreamOrder::AsGiven);
+        let report = engine.run(&stream).unwrap();
+        assert_eq!(report.jobs[0].label, "a");
+        assert_eq!(report.jobs[1].label, "b");
+        assert_eq!(report.jobs[0].tasks, 2);
+    }
+}

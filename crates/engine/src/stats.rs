@@ -1,0 +1,91 @@
+//! Engine-level throughput statistics.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Throughput statistics for one [`Engine::run`](crate::Engine::run).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineStats {
+    /// Worker threads the run used.
+    pub workers: usize,
+    /// Tasks (estimator copies + baseline runs) executed.
+    pub tasks: usize,
+    /// Wall-clock time of the whole run in seconds.
+    pub wall_seconds: f64,
+    /// Total CPU-busy seconds summed over all workers.
+    pub busy_seconds: f64,
+    /// Edges delivered across all passes of all tasks (`Σ passes × m`).
+    pub edges_streamed: u64,
+    /// Streaming throughput: [`edges_streamed`](Self::edges_streamed)
+    /// divided by wall time.
+    pub edges_per_second: f64,
+    /// Fraction of worker capacity that was busy:
+    /// `busy / (workers × wall)`, in `(0, 1]` up to timer jitter.
+    pub worker_utilization: f64,
+}
+
+impl EngineStats {
+    /// Builds the statistics from raw measurements.
+    pub(crate) fn from_run(
+        workers: usize,
+        tasks: usize,
+        wall: Duration,
+        busy: Duration,
+        edges_streamed: u64,
+    ) -> Self {
+        let wall_seconds = wall.as_secs_f64();
+        let busy_seconds = busy.as_secs_f64();
+        let denom = wall_seconds.max(1e-12);
+        EngineStats {
+            workers,
+            tasks,
+            wall_seconds,
+            busy_seconds,
+            edges_streamed,
+            edges_per_second: edges_streamed as f64 / denom,
+            worker_utilization: busy_seconds / (denom * workers.max(1) as f64),
+        }
+    }
+}
+
+impl fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} tasks on {} workers in {:.3}s — {:.0} edges/s, {:.0}% utilization",
+            self.tasks,
+            self.workers,
+            self.wall_seconds,
+            self.edges_per_second,
+            100.0 * self.worker_utilization
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_rates_are_consistent() {
+        let stats = EngineStats::from_run(
+            4,
+            10,
+            Duration::from_millis(500),
+            Duration::from_millis(1500),
+            1_000_000,
+        );
+        assert_eq!(stats.workers, 4);
+        assert!((stats.edges_per_second - 2_000_000.0).abs() < 1e-6);
+        assert!((stats.worker_utilization - 0.75).abs() < 1e-9);
+        let text = stats.to_string();
+        assert!(text.contains("4 workers") && text.contains("10 tasks"));
+    }
+
+    #[test]
+    fn zero_wall_time_does_not_divide_by_zero() {
+        let stats = EngineStats::from_run(1, 1, Duration::ZERO, Duration::ZERO, 10);
+        assert!(stats.edges_per_second.is_finite());
+        assert!(stats.worker_utilization.is_finite());
+    }
+}

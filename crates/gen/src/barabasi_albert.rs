@@ -21,7 +21,9 @@ use rand::{Rng, SeedableRng};
 /// Returns an error if `k == 0` or `n ≤ k`.
 pub fn barabasi_albert(n: usize, k: usize, seed: u64) -> Result<CsrGraph> {
     if k == 0 {
-        return Err(GraphError::invalid_parameter("barabasi_albert: k must be positive"));
+        return Err(GraphError::invalid_parameter(
+            "barabasi_albert: k must be positive",
+        ));
     }
     if n <= k {
         return Err(GraphError::invalid_parameter(format!(

@@ -17,7 +17,9 @@ use degentri_graph::{CsrGraph, GraphBuilder, GraphError, Result};
 /// Returns an error if `pages == 0`.
 pub fn book(pages: usize) -> Result<CsrGraph> {
     if pages == 0 {
-        return Err(GraphError::invalid_parameter("book: need at least one page"));
+        return Err(GraphError::invalid_parameter(
+            "book: need at least one page",
+        ));
     }
     let mut b = GraphBuilder::with_vertices(pages + 2);
     b.add_edge_raw(0, 1);

@@ -18,14 +18,16 @@ use rand::{Rng, SeedableRng};
 /// Returns an error if `n == 0`, `gamma ≤ 1`, or `max_weight < 1`.
 pub fn chung_lu(n: usize, gamma: f64, max_weight: f64, seed: u64) -> Result<CsrGraph> {
     if n == 0 {
-        return Err(GraphError::invalid_parameter("chung_lu: n must be positive"));
+        return Err(GraphError::invalid_parameter(
+            "chung_lu: n must be positive",
+        ));
     }
-    if !(gamma > 1.0) {
+    if gamma <= 1.0 || gamma.is_nan() {
         return Err(GraphError::invalid_parameter(format!(
             "chung_lu: gamma must exceed 1, got {gamma}"
         )));
     }
-    if !(max_weight >= 1.0) {
+    if max_weight < 1.0 || max_weight.is_nan() {
         return Err(GraphError::invalid_parameter(format!(
             "chung_lu: max_weight must be at least 1, got {max_weight}"
         )));
@@ -90,7 +92,11 @@ mod tests {
     fn basic_shape() {
         let g = chung_lu(2000, 2.2, 60.0, 13).unwrap();
         assert_eq!(g.num_vertices(), 2000);
-        assert!(g.num_edges() > 500, "should be reasonably dense, got {}", g.num_edges());
+        assert!(
+            g.num_edges() > 500,
+            "should be reasonably dense, got {}",
+            g.num_edges()
+        );
         // Heavy-tailed but bounded-degeneracy.
         assert!(g.max_degree() >= 10);
         assert!(degeneracy(&g) <= 40);

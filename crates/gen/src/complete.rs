@@ -12,7 +12,9 @@ use degentri_graph::{CsrGraph, GraphBuilder, GraphError, Result};
 /// Returns an error if `n == 0`.
 pub fn complete(n: usize) -> Result<CsrGraph> {
     if n == 0 {
-        return Err(GraphError::invalid_parameter("complete: n must be positive"));
+        return Err(GraphError::invalid_parameter(
+            "complete: n must be positive",
+        ));
     }
     let mut b = GraphBuilder::with_vertices(n);
     for u in 0..n as u32 {

@@ -120,7 +120,10 @@ mod tests {
         assert_eq!(g1.edges(), g2.edges());
         let expected = 0.02 * (500.0 * 499.0 / 2.0);
         let m = g1.num_edges() as f64;
-        assert!((m - expected).abs() < 4.0 * expected.sqrt() + 50.0, "m={m} expected≈{expected}");
+        assert!(
+            (m - expected).abs() < 4.0 * expected.sqrt() + 50.0,
+            "m={m} expected≈{expected}"
+        );
     }
 
     #[test]
@@ -161,6 +164,9 @@ mod tests {
 
     #[test]
     fn gnm_is_deterministic() {
-        assert_eq!(gnm(100, 300, 5).unwrap().edges(), gnm(100, 300, 5).unwrap().edges());
+        assert_eq!(
+            gnm(100, 300, 5).unwrap().edges(),
+            gnm(100, 300, 5).unwrap().edges()
+        );
     }
 }

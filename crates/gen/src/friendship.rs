@@ -16,7 +16,9 @@ use degentri_graph::{CsrGraph, GraphBuilder, GraphError, Result};
 /// Returns an error if `k == 0`.
 pub fn friendship(k: usize) -> Result<CsrGraph> {
     if k == 0 {
-        return Err(GraphError::invalid_parameter("friendship: need at least one blade"));
+        return Err(GraphError::invalid_parameter(
+            "friendship: need at least one blade",
+        ));
     }
     let mut b = GraphBuilder::with_vertices(2 * k + 1);
     for i in 0..k as u32 {

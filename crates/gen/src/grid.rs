@@ -12,7 +12,9 @@ use degentri_graph::{CsrGraph, GraphBuilder, GraphError, Result};
 /// Returns an error if either dimension is 0.
 pub fn grid(rows: usize, cols: usize) -> Result<CsrGraph> {
     if rows == 0 || cols == 0 {
-        return Err(GraphError::invalid_parameter("grid: dimensions must be positive"));
+        return Err(GraphError::invalid_parameter(
+            "grid: dimensions must be positive",
+        ));
     }
     let idx = |r: usize, c: usize| (r * cols + c) as u32;
     let mut b = GraphBuilder::with_vertices(rows * cols);

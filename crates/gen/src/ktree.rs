@@ -152,6 +152,9 @@ mod tests {
         }
         // Keeping everything reproduces the k-tree.
         let full = random_partial_ktree(300, 5, 1.0, 13).unwrap();
-        assert_eq!(full.num_edges(), random_ktree(300, 5, 13).unwrap().num_edges());
+        assert_eq!(
+            full.num_edges(),
+            random_ktree(300, 5, 13).unwrap().num_edges()
+        );
     }
 }

@@ -258,7 +258,7 @@ mod tests {
         assert_eq!(t, 4 * 4 * 3);
         // Degeneracy is at most 2p in the NO case.
         let k = degeneracy(&g.graph);
-        assert!(k >= 4 && k <= 8, "κ = {k}");
+        assert!((4..=8).contains(&k), "κ = {k}");
     }
 
     #[test]

@@ -29,7 +29,9 @@ pub fn planted_triangles(
     seed: u64,
 ) -> Result<CsrGraph> {
     if n < 3 {
-        return Err(GraphError::invalid_parameter("planted: need at least 3 vertices"));
+        return Err(GraphError::invalid_parameter(
+            "planted: need at least 3 vertices",
+        ));
     }
     if base_degree == 0 {
         return Err(GraphError::invalid_parameter(
@@ -84,7 +86,10 @@ mod tests {
         // The background G(n, ~2/n-ish) contributes o(1) triangles per vertex;
         // allow some slack but require the planted count to dominate.
         assert!(count >= t as u64, "count {count} < planted {t}");
-        assert!(count <= (t as u64) + (t as u64) / 2 + 30, "count {count} too far above planted {t}");
+        assert!(
+            count <= (t as u64) + (t as u64) / 2 + 30,
+            "count {count} too far above planted {t}"
+        );
     }
 
     #[test]

@@ -27,7 +27,9 @@ pub fn rmat(scale: u32, edges: usize, a: f64, b: f64, c: f64, seed: u64) -> Resu
         )));
     }
     if edges == 0 {
-        return Err(GraphError::invalid_parameter("rmat: edges must be positive"));
+        return Err(GraphError::invalid_parameter(
+            "rmat: edges must be positive",
+        ));
     }
     if a < 0.0 || b < 0.0 || c < 0.0 || a + b + c > 1.0 + 1e-12 {
         return Err(GraphError::invalid_parameter(format!(

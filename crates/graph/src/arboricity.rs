@@ -128,7 +128,11 @@ mod tests {
         // For any graph the paper's sandwich requires lower ≤ κ and
         // κ ≤ 2α − 1 ≤ 2·upper − 1; with upper = κ that is trivially true,
         // but check the lower bound respects κ too.
-        for g in [complete(5), complete(9), CsrGraph::from_raw_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4)])] {
+        for g in [
+            complete(5),
+            complete(9),
+            CsrGraph::from_raw_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4)]),
+        ] {
             let b = ArboricityBounds::compute(&g);
             assert!(b.is_consistent());
             assert!(b.lower <= b.upper);

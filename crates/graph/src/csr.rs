@@ -187,10 +187,7 @@ impl CsrGraph {
     /// Sum of edge degrees `d_E = Σ_e min(d_u, d_v)` (Section 3). The
     /// Chiba–Nishizeki lemma bounds this by `2mκ`.
     pub fn edge_degree_sum(&self) -> u64 {
-        self.edges
-            .iter()
-            .map(|&e| self.edge_degree(e) as u64)
-            .sum()
+        self.edges.iter().map(|&e| self.edge_degree(e) as u64).sum()
     }
 
     /// Validates that an externally supplied vertex is within range.
@@ -209,7 +206,11 @@ impl CsrGraph {
     /// vertices to a dense range while preserving relative order. Also
     /// returns the mapping `old id -> new id`.
     pub fn induced_subgraph(&self, keep: &[bool]) -> (CsrGraph, Vec<Option<VertexId>>) {
-        assert_eq!(keep.len(), self.num_vertices(), "keep mask length must equal n");
+        assert_eq!(
+            keep.len(),
+            self.num_vertices(),
+            "keep mask length must equal n"
+        );
         let mut mapping: Vec<Option<VertexId>> = vec![None; self.num_vertices()];
         let mut next = 0u32;
         for (i, &k) in keep.iter().enumerate() {

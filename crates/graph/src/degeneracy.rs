@@ -143,7 +143,8 @@ impl CoreDecomposition {
     /// Verifies the defining property of the ordering: every vertex has at
     /// most `degeneracy` neighbors later in the ordering. Used by tests.
     pub fn verify(&self, g: &CsrGraph) -> bool {
-        g.vertices().all(|v| self.forward_degree(g, v) <= self.degeneracy)
+        g.vertices()
+            .all(|v| self.forward_degree(g, v) <= self.degeneracy)
     }
 }
 

@@ -144,7 +144,10 @@ impl Triangle {
     /// # Panics
     /// Panics if any two vertices coincide.
     pub fn new(x: VertexId, y: VertexId, z: VertexId) -> Self {
-        assert!(x != y && y != z && x != z, "triangle vertices must be distinct");
+        assert!(
+            x != y && y != z && x != z,
+            "triangle vertices must be distinct"
+        );
         let mut t = [x, y, z];
         t.sort_unstable();
         Triangle {

@@ -50,7 +50,12 @@ pub fn parse_edge_list(text: &str) -> Result<CsrGraph> {
 
 /// Writes the graph as an edge list (one `u v` line per edge, `u < v`).
 pub fn write_edge_list<W: Write>(g: &CsrGraph, mut writer: W) -> Result<()> {
-    writeln!(writer, "# degentri edge list: n={} m={}", g.num_vertices(), g.num_edges())?;
+    writeln!(
+        writer,
+        "# degentri edge list: n={} m={}",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     for e in g.edges() {
         writeln!(writer, "{} {}", e.u(), e.v())?;
     }

@@ -70,7 +70,11 @@ impl GraphProperties {
             edge_degree_sum: g.edge_degree_sum(),
             max_triangles_per_edge: triangle_counts.max_per_edge(),
             global_clustering,
-            average_degree: if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 },
+            average_degree: if n == 0 {
+                0.0
+            } else {
+                2.0 * m as f64 / n as f64
+            },
         }
     }
 

@@ -80,7 +80,11 @@ impl CountMinSketch {
     /// Machine words retained by the sketch.
     pub fn retained_words(&self) -> u64 {
         (self.rows.len() * self.width) as u64
-            + self.hashes.iter().map(KWiseHash::retained_words).sum::<u64>()
+            + self
+                .hashes
+                .iter()
+                .map(KWiseHash::retained_words)
+                .sum::<u64>()
             + 1
     }
 }

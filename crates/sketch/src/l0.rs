@@ -55,7 +55,11 @@ impl L0Sampler {
             let mut row_cells = Vec::with_capacity(rows_per_level);
             for _ in 0..rows_per_level {
                 row_hashes.push(KWiseHash::new(2, rng));
-                row_cells.push((0..cells_per_level).map(|_| OneSparseRecovery::new(rng)).collect());
+                row_cells.push(
+                    (0..cells_per_level)
+                        .map(|_| OneSparseRecovery::new(rng))
+                        .collect(),
+                );
             }
             bucket_hashes.push(row_hashes);
             cells.push(row_cells);

@@ -74,8 +74,8 @@ impl OneSparseRecovery {
             MERSENNE_PRIME - ((-(delta as i128)) as u64 % MERSENNE_PRIME)
         };
         let contribution = ((term as u128) * (delta_mod as u128) % MERSENNE_PRIME as u128) as u64;
-        self.fingerprint = ((self.fingerprint as u128 + contribution as u128)
-            % MERSENNE_PRIME as u128) as u64;
+        self.fingerprint =
+            ((self.fingerprint as u128 + contribution as u128) % MERSENNE_PRIME as u128) as u64;
     }
 
     /// Whether no update has survived (all weights cancelled).

@@ -13,6 +13,11 @@ use degentri_graph::{CsrGraph, Edge};
 
 use crate::ordering::StreamOrder;
 
+/// Default number of edges delivered per chunk by
+/// [`EdgeStream::pass_batched`]. Large enough to amortize per-chunk
+/// dispatch, small enough to stay cache-resident.
+pub const DEFAULT_BATCH_SIZE: usize = 4096;
+
 /// A replayable, fixed-order stream of undirected edges.
 pub trait EdgeStream {
     /// Number of vertices `n` (vertex ids are `< n`).
@@ -24,6 +29,32 @@ pub trait EdgeStream {
     /// Starts a new pass over the stream. Every pass yields the same edges
     /// in the same order.
     fn pass(&self) -> Box<dyn Iterator<Item = Edge> + '_>;
+
+    /// Makes one pass over the stream in chunks of up to `batch_size`
+    /// edges, calling `visit` once per chunk.
+    ///
+    /// This is one pass — the same edges in the same order as [`pass`] —
+    /// but with batched delivery, so hot loops pay the per-pass virtual
+    /// dispatch once per chunk instead of once per edge. The default
+    /// implementation buffers the boxed [`pass`] iterator; in-memory
+    /// streams override it to hand out zero-copy slices of their backing
+    /// storage.
+    ///
+    /// [`pass`]: EdgeStream::pass
+    fn pass_batched(&self, batch_size: usize, visit: &mut dyn FnMut(&[Edge])) {
+        let batch = batch_size.max(1);
+        let mut buf: Vec<Edge> = Vec::with_capacity(batch);
+        for e in self.pass() {
+            buf.push(e);
+            if buf.len() == batch {
+                visit(&buf);
+                buf.clear();
+            }
+        }
+        if !buf.is_empty() {
+            visit(&buf);
+        }
+    }
 }
 
 /// An in-memory edge stream with a fixed ordering.
@@ -77,6 +108,13 @@ impl EdgeStream for MemoryStream {
     fn pass(&self) -> Box<dyn Iterator<Item = Edge> + '_> {
         Box::new(self.edges.iter().copied())
     }
+
+    fn pass_batched(&self, batch_size: usize, visit: &mut dyn FnMut(&[Edge])) {
+        // Zero-copy: chunks borrow the stream's own edge storage.
+        for chunk in self.edges.chunks(batch_size.max(1)) {
+            visit(chunk);
+        }
+    }
 }
 
 impl<S: EdgeStream + ?Sized> EdgeStream for &S {
@@ -90,6 +128,10 @@ impl<S: EdgeStream + ?Sized> EdgeStream for &S {
 
     fn pass(&self) -> Box<dyn Iterator<Item = Edge> + '_> {
         (**self).pass()
+    }
+
+    fn pass_batched(&self, batch_size: usize, visit: &mut dyn FnMut(&[Edge])) {
+        (**self).pass_batched(batch_size, visit)
     }
 }
 
@@ -148,5 +190,67 @@ mod tests {
         let r: &MemoryStream = &s;
         assert_eq!(EdgeStream::num_edges(&r), 6);
         assert_eq!(r.pass().count(), 6);
+    }
+
+    /// A stream without a specialized batched pass, to exercise the default
+    /// buffering implementation.
+    struct UnbatchedStream(MemoryStream);
+
+    impl EdgeStream for UnbatchedStream {
+        fn num_vertices(&self) -> usize {
+            self.0.num_vertices()
+        }
+
+        fn num_edges(&self) -> usize {
+            self.0.num_edges()
+        }
+
+        fn pass(&self) -> Box<dyn Iterator<Item = Edge> + '_> {
+            self.0.pass()
+        }
+    }
+
+    #[test]
+    fn batched_pass_yields_same_edges_in_order() {
+        let g = graph();
+        let s = MemoryStream::from_graph(&g, StreamOrder::UniformRandom(5));
+        let sequential: Vec<Edge> = s.pass().collect();
+        for batch_size in [1, 2, 4, 5, 6, 7, 100] {
+            let mut batched: Vec<Edge> = Vec::new();
+            let mut chunks = 0usize;
+            s.pass_batched(batch_size, &mut |chunk| {
+                assert!(!chunk.is_empty() && chunk.len() <= batch_size);
+                batched.extend_from_slice(chunk);
+                chunks += 1;
+            });
+            assert_eq!(batched, sequential, "batch_size {batch_size}");
+            assert_eq!(chunks, sequential.len().div_ceil(batch_size));
+        }
+    }
+
+    #[test]
+    fn default_batched_pass_matches_specialized_one() {
+        let g = graph();
+        let s = MemoryStream::from_graph(&g, StreamOrder::UniformRandom(2));
+        let fallback = UnbatchedStream(s.clone());
+        for batch_size in [1, 4, 100] {
+            let mut a: Vec<Edge> = Vec::new();
+            s.pass_batched(batch_size, &mut |c| a.extend_from_slice(c));
+            let mut b: Vec<Edge> = Vec::new();
+            fallback.pass_batched(batch_size, &mut |c| b.extend_from_slice(c));
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn batched_pass_size_zero_is_treated_as_one() {
+        let g = graph();
+        let s = MemoryStream::from_graph(&g, StreamOrder::AsGiven);
+        let mut count = 0usize;
+        s.pass_batched(0, &mut |chunk| {
+            assert_eq!(chunk.len(), 1);
+            count += 1;
+        });
+        assert_eq!(count, 6);
     }
 }

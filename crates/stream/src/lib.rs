@@ -38,7 +38,7 @@ pub mod stats;
 pub mod weighted_reservoir;
 
 pub use dynamic::{DynamicEdgeStream, DynamicMemoryStream, EdgeUpdate, UpdateKind};
-pub use edge_stream::{EdgeStream, MemoryStream};
+pub use edge_stream::{EdgeStream, MemoryStream, DEFAULT_BATCH_SIZE};
 pub use ordering::StreamOrder;
 pub use passes::PassCounter;
 pub use reservoir::ReservoirSampler;

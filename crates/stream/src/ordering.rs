@@ -14,10 +14,11 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 /// How the edges of a stream are ordered.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum StreamOrder {
     /// The order the edges were handed to the stream constructor
     /// (for generator output this is sorted-normalized order).
+    #[default]
     AsGiven,
     /// A uniformly random permutation drawn from the given seed.
     UniformRandom(u64),
@@ -67,12 +68,6 @@ impl StreamOrder {
                 *edges = out;
             }
         }
-    }
-}
-
-impl Default for StreamOrder {
-    fn default() -> Self {
-        StreamOrder::AsGiven
     }
 }
 

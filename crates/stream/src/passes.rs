@@ -54,6 +54,17 @@ impl<S: EdgeStream> PassCounter<S> {
     pub fn inner(&self) -> &S {
         &self.inner
     }
+
+    fn note_pass(&self) {
+        let next = self.passes.get() + 1;
+        if let Some(limit) = self.limit {
+            assert!(
+                next <= limit,
+                "pass budget exceeded: attempted pass {next} with a limit of {limit}"
+            );
+        }
+        self.passes.set(next);
+    }
 }
 
 impl<S: EdgeStream> EdgeStream for PassCounter<S> {
@@ -66,15 +77,16 @@ impl<S: EdgeStream> EdgeStream for PassCounter<S> {
     }
 
     fn pass(&self) -> Box<dyn Iterator<Item = Edge> + '_> {
-        let next = self.passes.get() + 1;
-        if let Some(limit) = self.limit {
-            assert!(
-                next <= limit,
-                "pass budget exceeded: attempted pass {next} with a limit of {limit}"
-            );
-        }
-        self.passes.set(next);
+        self.note_pass();
         self.inner.pass()
+    }
+
+    fn pass_batched(&self, batch_size: usize, visit: &mut dyn FnMut(&[Edge])) {
+        // Forward (rather than use the default impl) so the wrapped
+        // stream's zero-copy batching is preserved; a batched pass is still
+        // exactly one pass.
+        self.note_pass();
+        self.inner.pass_batched(batch_size, visit);
     }
 }
 
@@ -117,6 +129,25 @@ mod tests {
         for _ in 0..3 {
             let _ = s.pass().count();
         }
+    }
+
+    #[test]
+    fn batched_passes_are_counted_and_budgeted() {
+        let s = PassCounter::with_limit(stream(), 2);
+        let mut edges = 0usize;
+        s.pass_batched(2, &mut |chunk| edges += chunk.len());
+        assert_eq!(edges, 3);
+        assert_eq!(s.passes(), 1);
+        let _ = s.pass().count();
+        assert_eq!(s.passes(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "pass budget exceeded")]
+    fn batched_pass_beyond_budget_panics() {
+        let s = PassCounter::with_limit(stream(), 1);
+        s.pass_batched(8, &mut |_| {});
+        s.pass_batched(8, &mut |_| {});
     }
 
     #[test]

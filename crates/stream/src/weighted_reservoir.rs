@@ -31,7 +31,10 @@ impl<T: Clone> WeightedReservoirSampler<T> {
 
     /// Observes an item with the given non-negative weight.
     pub fn observe<R: Rng>(&mut self, item: T, weight: f64, rng: &mut R) {
-        debug_assert!(weight >= 0.0 && weight.is_finite(), "weight must be finite and >= 0");
+        debug_assert!(
+            weight >= 0.0 && weight.is_finite(),
+            "weight must be finite and >= 0"
+        );
         if weight <= 0.0 {
             return;
         }

@@ -46,8 +46,8 @@ fn main() {
     println!("  critical space mk/T ~= {critical} words\n");
 
     println!(
-        "{:>14} | {:>12} | {:>12} | {}",
-        "budget (edges)", "NO estimate", "YES estimate", "separates?"
+        "{:>14} | {:>12} | {:>12} | separates?",
+        "budget (edges)", "NO estimate", "YES estimate"
     );
     for factor in [8.0, 4.0, 2.0, 1.0, 0.5, 0.25] {
         let budget = ((critical as f64 * factor).ceil() as usize).max(4);

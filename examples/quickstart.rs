@@ -15,7 +15,10 @@ fn main() {
     // 2. Ground truth (exact, in-memory): T, κ, m.
     let exact = degentri::graph::triangles::count_triangles(&graph);
     let kappa = degentri::graph::degeneracy::degeneracy(&graph);
-    println!("graph: n = {n}, m = {}, κ = {kappa}, T = {exact}", graph.num_edges());
+    println!(
+        "graph: n = {n}, m = {}, κ = {kappa}, T = {exact}",
+        graph.num_edges()
+    );
 
     // 3. Present the graph as an arbitrary-order edge stream.
     let stream = MemoryStream::from_graph(&graph, StreamOrder::UniformRandom(7));

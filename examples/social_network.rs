@@ -38,10 +38,22 @@ fn main() {
         props.max_degree,
     );
     println!("\npredicted space scalings (words, up to constants):");
-    println!("  this paper   mk/T    = {:>12.1}", params.bound_m_kappa_over_t());
-    println!("  prior        m/sqrtT = {:>12.1}", params.bound_m_over_sqrt_t());
-    println!("  prior        m^1.5/T = {:>12.1}", params.bound_m_three_halves_over_t());
-    println!("  Pavan et al. mD/T    = {:>12.1}", params.bound_m_delta_over_t());
+    println!(
+        "  this paper   mk/T    = {:>12.1}",
+        params.bound_m_kappa_over_t()
+    );
+    println!(
+        "  prior        m/sqrtT = {:>12.1}",
+        params.bound_m_over_sqrt_t()
+    );
+    println!(
+        "  prior        m^1.5/T = {:>12.1}",
+        params.bound_m_three_halves_over_t()
+    );
+    println!(
+        "  Pavan et al. mD/T    = {:>12.1}",
+        params.bound_m_delta_over_t()
+    );
 
     let stream = MemoryStream::from_graph(&graph, StreamOrder::UniformRandom(3));
     let config = EstimatorConfig::builder()

@@ -48,6 +48,8 @@ fn main() {
             100.0 * result.relative_error(t)
         );
     }
-    println!("\nthe measured column stays (near) flat while both prior bounds grow like sqrt(n) --");
+    println!(
+        "\nthe measured column stays (near) flat while both prior bounds grow like sqrt(n) --"
+    );
     println!("this is exactly the separation claimed in Section 1.1 of the paper.");
 }

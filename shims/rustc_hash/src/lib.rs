@@ -1,0 +1,124 @@
+//! Offline stand-in for the [`rustc-hash`] crate: the Fx hash function and
+//! the `FxHashMap` / `FxHashSet` aliases the workspace uses. Fx hashing is a
+//! fast non-cryptographic multiply-rotate hash; being deterministic (no
+//! per-process random state) it also keeps every run of the estimators
+//! reproducible.
+//!
+//! [`rustc-hash`]: https://crates.io/crates/rustc-hash
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// A `BuildHasher` producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+const ROTATE: u32 = 5;
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx multiply-rotate hasher.
+#[derive(Debug, Clone, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word) | ((rest.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<u32, u32> = FxHashMap::default();
+        m.insert(1, 10);
+        m.insert(2, 20);
+        assert_eq!(m[&1], 10);
+        let mut s: FxHashSet<(u32, u32)> = FxHashSet::default();
+        assert!(s.insert((3, 4)));
+        assert!(!s.insert((3, 4)));
+        assert!(s.contains(&(3, 4)));
+    }
+
+    #[test]
+    fn hashing_is_deterministic_and_spreads() {
+        let hash_one = |x: u64| {
+            let mut h = FxHasher::default();
+            h.write_u64(x);
+            h.finish()
+        };
+        assert_eq!(hash_one(12345), hash_one(12345));
+        let distinct: std::collections::HashSet<u64> = (0..1000u64).map(hash_one).collect();
+        assert_eq!(distinct.len(), 1000);
+    }
+
+    #[test]
+    fn byte_writes_differ_by_length() {
+        let mut a = FxHasher::default();
+        a.write(b"abc");
+        let mut b = FxHasher::default();
+        b.write(b"abc\0");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -23,7 +23,12 @@
 //! * [`sketch`] — linear sketches (k-wise hashing, CountMin, CountSketch,
 //!   ℓ0 sampling) for turnstile streams;
 //! * [`dynamic`] — the insert/delete (dynamic-stream) port of the estimator
-//!   built on those sketches.
+//!   built on those sketches;
+//! * [`engine`] — the parallel, batched estimation engine: copy-parallel
+//!   execution of the estimators and a concurrent job scheduler over a
+//!   shared stream snapshot.
+//!
+//! # Quickstart
 //!
 //! The umbrella crate simply re-exports the pieces and the most common entry
 //! points so applications can depend on a single crate:
@@ -43,6 +48,49 @@
 //! let estimate = estimate_triangles(&stream, &config).unwrap();
 //! assert!(estimate.relative_error(exact) < 0.5);
 //! ```
+//!
+//! # Quickstart, at scale: the engine path
+//!
+//! [`estimate_triangles`] runs the independent estimator copies one at a
+//! time. The engine runs the same copies on a worker pool — bit-identical
+//! results, wall-clock time divided by the available parallelism — and
+//! schedules whole *jobs* (different configurations, the oracle estimator,
+//! any Table-1 baseline) concurrently over one shared snapshot:
+//!
+//! ```
+//! use degentri::engine::{parallel_estimate_triangles, Engine, EngineConfig, JobSpec};
+//! use degentri::prelude::*;
+//!
+//! let graph = degentri::gen::wheel(2000).unwrap();
+//! let exact = degentri::graph::triangles::count_triangles(&graph);
+//! let stream = MemoryStream::from_graph(&graph, StreamOrder::UniformRandom(1));
+//! let config = EstimatorConfig::builder()
+//!     .epsilon(0.15)
+//!     .kappa(3)
+//!     .triangle_lower_bound(exact / 2)
+//!     .seed(7)
+//!     .try_build()
+//!     .unwrap();
+//!
+//! // Drop-in parallel replacement for `estimate_triangles`:
+//! let fast = parallel_estimate_triangles(&stream, &config, 4).unwrap();
+//! assert_eq!(
+//!     fast.copy_estimates,
+//!     estimate_triangles(&stream, &config).unwrap().copy_estimates,
+//! );
+//!
+//! // Many workloads, one shared snapshot, one worker pool:
+//! let mut engine = Engine::new(EngineConfig::with_workers(4));
+//! engine.submit(JobSpec::main("eps 0.15", config.clone()));
+//! engine.submit(JobSpec::ideal("oracle model", config));
+//! engine.submit(JobSpec::baseline(
+//!     "triest",
+//!     Box::new(degentri::baselines::TriestImpr::new(512, 3)),
+//! ));
+//! let report = engine.run(&stream).unwrap();
+//! assert_eq!(report.jobs.len(), 3);
+//! assert!(report.stats.edges_per_second > 0.0);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -51,6 +99,7 @@ pub use degentri_baselines as baselines;
 pub use degentri_cliques as cliques;
 pub use degentri_core as core;
 pub use degentri_dynamic as dynamic;
+pub use degentri_engine as engine;
 pub use degentri_gen as gen;
 pub use degentri_graph as graph;
 pub use degentri_sketch as sketch;
@@ -64,6 +113,9 @@ pub mod prelude {
         estimate_triangles, estimate_triangles_with_oracle, EstimatorConfig, TriangleEstimation,
     };
     pub use degentri_dynamic::{DynamicEstimatorConfig, DynamicTriangleEstimator};
+    pub use degentri_engine::{
+        parallel_estimate_triangles, Engine, EngineConfig, EngineStats, JobSpec,
+    };
     pub use degentri_graph::{CsrGraph, Edge, GraphBuilder, Triangle, VertexId};
     pub use degentri_stream::{
         DynamicEdgeStream, DynamicMemoryStream, EdgeStream, EdgeUpdate, MemoryStream, SpaceReport,
@@ -80,5 +132,26 @@ mod tests {
         let stream = MemoryStream::from_graph(&g, StreamOrder::AsGiven);
         assert_eq!(EdgeStream::num_edges(&stream), 18);
         let _ = EstimatorConfig::builder().build();
+    }
+
+    #[test]
+    fn engine_is_reachable_through_the_prelude() {
+        use crate::prelude::*;
+        let g = degentri_gen::wheel(60).unwrap();
+        let stream = MemoryStream::from_graph(&g, StreamOrder::AsGiven);
+        let config = EstimatorConfig::builder()
+            .kappa(3)
+            .triangle_lower_bound(59)
+            .copies(3)
+            .build();
+        let parallel = parallel_estimate_triangles(&stream, &config, 2).unwrap();
+        let sequential = estimate_triangles(&stream, &config).unwrap();
+        assert_eq!(parallel.copy_estimates, sequential.copy_estimates);
+
+        let mut engine = Engine::new(EngineConfig::with_workers(2));
+        engine.submit(JobSpec::main("prelude", config));
+        let report = engine.run(&stream).unwrap();
+        assert_eq!(report.jobs.len(), 1);
+        let _: EngineStats = report.stats;
     }
 }

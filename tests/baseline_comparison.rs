@@ -103,7 +103,11 @@ fn triest_accuracy_degrades_as_its_budget_shrinks_while_ours_is_budget_free() {
     let generous_budget = m / 3;
     let mean_error = |budget: usize| {
         let total: f64 = (0..5u64)
-            .map(|seed| TriestImpr::new(budget, seed).estimate(&stream).relative_error(exact))
+            .map(|seed| {
+                TriestImpr::new(budget, seed)
+                    .estimate(&stream)
+                    .relative_error(exact)
+            })
             .sum();
         total / 5.0
     };

@@ -47,7 +47,11 @@ fn accurate_on_triangular_lattice() {
 
 #[test]
 fn accurate_on_preferential_attachment() {
-    check_accuracy(&degentri::gen::barabasi_albert(2000, 6, 5).unwrap(), 0.35, 3);
+    check_accuracy(
+        &degentri::gen::barabasi_albert(2000, 6, 5).unwrap(),
+        0.35,
+        3,
+    );
 }
 
 #[test]
@@ -62,7 +66,11 @@ fn accurate_on_friendship() {
 
 #[test]
 fn accurate_on_planted_triangles() {
-    check_accuracy(&degentri::gen::planted_triangles(4000, 3, 600, 11).unwrap(), 0.35, 6);
+    check_accuracy(
+        &degentri::gen::planted_triangles(4000, 3, 600, 11).unwrap(),
+        0.35,
+        6,
+    );
 }
 
 #[test]
@@ -107,7 +115,10 @@ fn estimate_is_insensitive_to_stream_order() {
 fn main_estimator_respects_six_pass_budget() {
     let graph = degentri::gen::barabasi_albert(800, 5, 9).unwrap();
     let exact = count_triangles(&graph);
-    let stream = PassCounter::new(MemoryStream::from_graph(&graph, StreamOrder::UniformRandom(1)));
+    let stream = PassCounter::new(MemoryStream::from_graph(
+        &graph,
+        StreamOrder::UniformRandom(1),
+    ));
     let config = standard_config(5, exact / 2, 13);
     let result = estimate_triangles(&stream, &config).unwrap();
     assert_eq!(result.passes_per_copy, 6);
@@ -127,7 +138,11 @@ fn ideal_estimator_respects_three_pass_budget_and_agrees_with_main() {
 
     assert_eq!(ideal.passes_per_copy, 3);
     assert_eq!(main.passes_per_copy, 6);
-    assert!(ideal.relative_error(exact) < 0.3, "ideal {}", ideal.estimate);
+    assert!(
+        ideal.relative_error(exact) < 0.3,
+        "ideal {}",
+        ideal.estimate
+    );
     assert!(main.relative_error(exact) < 0.3, "main {}", main.estimate);
 }
 

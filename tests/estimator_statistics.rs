@@ -11,7 +11,10 @@ use degentri_graph::triangles::count_triangles;
 fn wheel_stream(n: usize, seed: u64) -> (MemoryStream, u64) {
     let g = degentri::gen::wheel(n).unwrap();
     let exact = count_triangles(&g);
-    (MemoryStream::from_graph(&g, StreamOrder::UniformRandom(seed)), exact)
+    (
+        MemoryStream::from_graph(&g, StreamOrder::UniformRandom(seed)),
+        exact,
+    )
 }
 
 #[test]
@@ -58,7 +61,10 @@ fn ideal_estimator_is_nearly_unbiased() {
         .map(|i| {
             let mut c = config.clone();
             c.seed = 20_000 + i;
-            IdealEstimator::new(c).run(&stream, &oracle).unwrap().estimate
+            IdealEstimator::new(c)
+                .run(&stream, &oracle)
+                .unwrap()
+                .estimate
         })
         .collect();
     let mu = mean(&estimates).unwrap();

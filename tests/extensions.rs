@@ -4,8 +4,8 @@
 //! as an application would use them.
 
 use degentri::cliques::{
-    count_cliques, AssignmentMode, CliqueAssignmentOracle, CliqueAssignmentParams,
-    CliqueEstimator, CliqueEstimatorConfig,
+    count_cliques, AssignmentMode, CliqueAssignmentOracle, CliqueAssignmentParams, CliqueEstimator,
+    CliqueEstimatorConfig,
 };
 use degentri::dynamic::{DynamicEstimatorConfig, DynamicExactCounter, DynamicTriangleEstimator};
 use degentri::graph::degeneracy::degeneracy;

@@ -12,18 +12,39 @@ use degentri::graph::triangles::TriangleCounts;
 use degentri::graph::CsrGraph;
 
 fn suite() -> Vec<(String, CsrGraph)> {
-    let mut graphs: Vec<(String, CsrGraph)> = Vec::new();
-    graphs.push(("wheel_2000".into(), degentri::gen::wheel(2000).unwrap()));
-    graphs.push(("lattice_40x40".into(), degentri::gen::triangular_lattice(40, 40).unwrap()));
-    graphs.push(("ba_3000_6".into(), degentri::gen::barabasi_albert(3000, 6, 1).unwrap()));
-    graphs.push(("chunglu_3000".into(), degentri::gen::chung_lu(3000, 2.3, 60.0, 2).unwrap()));
-    graphs.push(("gnp_1000".into(), degentri::gen::gnp(1000, 0.01, 3).unwrap()));
-    graphs.push(("book_1500".into(), degentri::gen::book(1500).unwrap()));
-    graphs.push(("friendship_800".into(), degentri::gen::friendship(800).unwrap()));
-    graphs.push(("rmat_12".into(), degentri::gen::rmat(12, 30_000, 0.57, 0.19, 0.19, 4).unwrap()));
-    graphs.push(("planted".into(), degentri::gen::planted_triangles(3000, 3, 500, 5).unwrap()));
-    graphs.push(("complete_40".into(), degentri::gen::complete(40).unwrap()));
-    graphs
+    vec![
+        ("wheel_2000".into(), degentri::gen::wheel(2000).unwrap()),
+        (
+            "lattice_40x40".into(),
+            degentri::gen::triangular_lattice(40, 40).unwrap(),
+        ),
+        (
+            "ba_3000_6".into(),
+            degentri::gen::barabasi_albert(3000, 6, 1).unwrap(),
+        ),
+        (
+            "chunglu_3000".into(),
+            degentri::gen::chung_lu(3000, 2.3, 60.0, 2).unwrap(),
+        ),
+        (
+            "gnp_1000".into(),
+            degentri::gen::gnp(1000, 0.01, 3).unwrap(),
+        ),
+        ("book_1500".into(), degentri::gen::book(1500).unwrap()),
+        (
+            "friendship_800".into(),
+            degentri::gen::friendship(800).unwrap(),
+        ),
+        (
+            "rmat_12".into(),
+            degentri::gen::rmat(12, 30_000, 0.57, 0.19, 0.19, 4).unwrap(),
+        ),
+        (
+            "planted".into(),
+            degentri::gen::planted_triangles(3000, 3, 500, 5).unwrap(),
+        ),
+        ("complete_40".into(), degentri::gen::complete(40).unwrap()),
+    ]
 }
 
 #[test]
@@ -59,7 +80,10 @@ fn degeneracy_is_at_most_sqrt_2m_on_suite() {
     for (name, g) in suite() {
         let kappa = CoreDecomposition::compute(&g).degeneracy as f64;
         let bound = (2.0 * g.num_edges() as f64).sqrt();
-        assert!(kappa <= bound + 1.0, "{name}: κ = {kappa} > √(2m) = {bound:.1}");
+        assert!(
+            kappa <= bound + 1.0,
+            "{name}: κ = {kappa} > √(2m) = {bound:.1}"
+        );
     }
 }
 
@@ -67,7 +91,10 @@ fn degeneracy_is_at_most_sqrt_2m_on_suite() {
 fn arboricity_sandwich_holds_on_suite() {
     for (name, g) in suite() {
         let b = ArboricityBounds::compute(&g);
-        assert!(b.is_consistent(), "{name}: inconsistent arboricity bounds {b:?}");
+        assert!(
+            b.is_consistent(),
+            "{name}: inconsistent arboricity bounds {b:?}"
+        );
         let kappa = CoreDecomposition::compute(&g).degeneracy;
         // α ≤ κ ≤ 2α − 1 ⇒ the certified lower bound cannot exceed κ and the
         // upper bound is κ itself.
@@ -133,7 +160,10 @@ fn paper_bound_beats_prior_bounds_on_low_degeneracy_triangle_rich_graphs() {
     for (name, g) in [
         ("wheel", degentri::gen::wheel(4000).unwrap()),
         ("ba", degentri::gen::barabasi_albert(4000, 6, 9).unwrap()),
-        ("lattice", degentri::gen::triangular_lattice(60, 60).unwrap()),
+        (
+            "lattice",
+            degentri::gen::triangular_lattice(60, 60).unwrap(),
+        ),
     ] {
         let props = GraphProperties::compute(&g);
         let params = GraphParameters::new(
