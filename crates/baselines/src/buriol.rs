@@ -16,7 +16,7 @@
 //! row of Table 1 and by far the hungriest estimator on sparse graphs.
 
 use degentri_graph::VertexId;
-use degentri_stream::{EdgeStream, SpaceMeter};
+use degentri_stream::{EdgeStream, SpaceMeter, DEFAULT_BATCH_SIZE};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -87,36 +87,39 @@ impl StreamingTriangleCounter for BuriolEstimator {
         ];
         meter.charge(5 * self.samplers as u64);
 
-        for (i, e) in stream.pass().enumerate() {
-            let seen_edges = i as u64 + 1;
-            for st in states.iter_mut() {
-                // Reservoir replacement with probability 1/seen.
-                if rng.gen_range(0..seen_edges) == 0 {
-                    st.edge_u = e.u();
-                    st.edge_v = e.v();
-                    // Sample w uniformly from V \ {u, v}.
-                    st.w = loop {
-                        let cand = VertexId::new(rng.gen_range(0..n as u32));
-                        if cand != st.edge_u && cand != st.edge_v {
-                            break cand;
-                        }
-                    };
-                    st.seen_uw = false;
-                    st.seen_vw = false;
-                    st.active = true;
-                } else if st.active {
-                    // Watch for the closing edges after the sampled edge.
-                    if e.contains(st.w) {
-                        if e.contains(st.edge_u) {
-                            st.seen_uw = true;
-                        }
-                        if e.contains(st.edge_v) {
-                            st.seen_vw = true;
+        let mut seen_edges = 0u64;
+        stream.pass_batched(DEFAULT_BATCH_SIZE, &mut |chunk| {
+            for &e in chunk {
+                seen_edges += 1;
+                for st in states.iter_mut() {
+                    // Reservoir replacement with probability 1/seen.
+                    if rng.gen_range(0..seen_edges) == 0 {
+                        st.edge_u = e.u();
+                        st.edge_v = e.v();
+                        // Sample w uniformly from V \ {u, v}.
+                        st.w = loop {
+                            let cand = VertexId::new(rng.gen_range(0..n as u32));
+                            if cand != st.edge_u && cand != st.edge_v {
+                                break cand;
+                            }
+                        };
+                        st.seen_uw = false;
+                        st.seen_vw = false;
+                        st.active = true;
+                    } else if st.active {
+                        // Watch for the closing edges after the sampled edge.
+                        if e.contains(st.w) {
+                            if e.contains(st.edge_u) {
+                                st.seen_uw = true;
+                            }
+                            if e.contains(st.edge_v) {
+                                st.seen_vw = true;
+                            }
                         }
                     }
                 }
             }
-        }
+        });
 
         let hits = states
             .iter()

@@ -14,7 +14,7 @@
 use degentri_graph::triangles::count_triangles;
 use degentri_graph::GraphBuilder;
 use degentri_stream::hashing::vertex_hash;
-use degentri_stream::{EdgeStream, SpaceMeter};
+use degentri_stream::{EdgeStream, SpaceMeter, DEFAULT_BATCH_SIZE};
 
 use crate::traits::{BaselineOutcome, StreamingTriangleCounter};
 
@@ -62,11 +62,13 @@ impl StreamingTriangleCounter for ColorfulEstimator {
     fn estimate(&self, stream: &dyn EdgeStream) -> BaselineOutcome {
         let mut meter = SpaceMeter::new();
         let mut builder = GraphBuilder::with_vertices(stream.num_vertices());
-        for e in stream.pass() {
-            if self.color(e.u()) == self.color(e.v()) && builder.add_edge(e.u(), e.v()) {
-                meter.charge_edge();
+        stream.pass_batched(DEFAULT_BATCH_SIZE, &mut |chunk| {
+            for e in chunk {
+                if self.color(e.u()) == self.color(e.v()) && builder.add_edge(e.u(), e.v()) {
+                    meter.charge_edge();
+                }
             }
-        }
+        });
         let kept = builder.build();
         let triangles = count_triangles(&kept) as f64;
         let scale = (self.colors as f64) * (self.colors as f64);

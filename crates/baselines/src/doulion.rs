@@ -11,7 +11,7 @@
 
 use degentri_graph::triangles::count_triangles;
 use degentri_graph::GraphBuilder;
-use degentri_stream::{EdgeStream, SpaceMeter};
+use degentri_stream::{EdgeStream, SpaceMeter, DEFAULT_BATCH_SIZE};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -56,11 +56,13 @@ impl StreamingTriangleCounter for DoulionEstimator {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut meter = SpaceMeter::new();
         let mut builder = GraphBuilder::with_vertices(stream.num_vertices());
-        for e in stream.pass() {
-            if rng.gen_bool(self.keep_probability) && builder.add_edge(e.u(), e.v()) {
-                meter.charge_edge();
+        stream.pass_batched(DEFAULT_BATCH_SIZE, &mut |chunk| {
+            for e in chunk {
+                if rng.gen_bool(self.keep_probability) && builder.add_edge(e.u(), e.v()) {
+                    meter.charge_edge();
+                }
             }
-        }
+        });
         let sparsified = builder.build();
         let triangles = count_triangles(&sparsified) as f64;
         let p = self.keep_probability;

@@ -6,7 +6,7 @@
 
 use degentri_graph::triangles::count_triangles;
 use degentri_graph::GraphBuilder;
-use degentri_stream::{EdgeStream, SpaceMeter};
+use degentri_stream::{EdgeStream, SpaceMeter, DEFAULT_BATCH_SIZE};
 
 use crate::traits::{BaselineOutcome, StreamingTriangleCounter};
 
@@ -33,10 +33,12 @@ impl StreamingTriangleCounter for ExactStreamCounter {
     fn estimate(&self, stream: &dyn EdgeStream) -> BaselineOutcome {
         let mut meter = SpaceMeter::new();
         let mut builder = GraphBuilder::with_vertices(stream.num_vertices());
-        for e in stream.pass() {
-            builder.add_edge(e.u(), e.v());
-            meter.charge_edge();
-        }
+        stream.pass_batched(DEFAULT_BATCH_SIZE, &mut |chunk| {
+            for e in chunk {
+                builder.add_edge(e.u(), e.v());
+                meter.charge_edge();
+            }
+        });
         let graph = builder.build();
         // The CSR index roughly doubles the retained footprint.
         meter.charge(graph.num_edges() as u64);

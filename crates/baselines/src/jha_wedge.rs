@@ -17,7 +17,7 @@
 //! exactly the behaviour experiment E1 shows.
 
 use degentri_graph::Edge;
-use degentri_stream::{EdgeStream, SpaceMeter};
+use degentri_stream::{EdgeStream, SpaceMeter, DEFAULT_BATCH_SIZE};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -83,52 +83,55 @@ impl StreamingTriangleCounter for JhaWedgeSampler {
         // reservoir, recomputed below.
         meter.charge(s_e as u64 + 2 * self.wedge_reservoir as u64 + 2);
 
-        for (i, e) in stream.pass().enumerate() {
-            let seen = i as u64 + 1;
-            // 1. Close stored wedges.
-            for w in wedges.iter_mut() {
-                if !w.closed && w.closing == e {
-                    w.closed = true;
-                }
-            }
-            // 2. Edge reservoir update (Algorithm R, distinct positions).
-            let replaced = if edges.len() < s_e {
-                edges.push(e);
-                Some(edges.len() - 1)
-            } else {
-                let j = rng.gen_range(0..seen);
-                if (j as usize) < s_e {
-                    edges[j as usize] = e;
-                    Some(j as usize)
-                } else {
-                    None
-                }
-            };
-            // 3. New wedges formed by the incoming edge with the rest of the
-            //    reservoir feed the wedge reservoir.
-            if let Some(new_idx) = replaced {
-                for (i, other) in edges.iter().enumerate() {
-                    if i == new_idx {
-                        continue;
+        let mut seen = 0u64;
+        stream.pass_batched(DEFAULT_BATCH_SIZE, &mut |chunk| {
+            for &e in chunk {
+                seen += 1;
+                // 1. Close stored wedges.
+                for w in wedges.iter_mut() {
+                    if !w.closed && w.closing == e {
+                        w.closed = true;
                     }
-                    if let Some((_, a, b)) = e.wedge_with(*other) {
-                        total_wedges_seen += 1;
-                        let candidate = StoredWedge {
-                            closing: Edge::new(a, b),
-                            closed: false,
-                        };
-                        if wedges.len() < self.wedge_reservoir {
-                            wedges.push(candidate);
-                        } else {
-                            let j = rng.gen_range(0..total_wedges_seen);
-                            if (j as usize) < self.wedge_reservoir {
-                                wedges[j as usize] = candidate;
+                }
+                // 2. Edge reservoir update (Algorithm R, distinct positions).
+                let replaced = if edges.len() < s_e {
+                    edges.push(e);
+                    Some(edges.len() - 1)
+                } else {
+                    let j = rng.gen_range(0..seen);
+                    if (j as usize) < s_e {
+                        edges[j as usize] = e;
+                        Some(j as usize)
+                    } else {
+                        None
+                    }
+                };
+                // 3. New wedges formed by the incoming edge with the rest of
+                //    the reservoir feed the wedge reservoir.
+                if let Some(new_idx) = replaced {
+                    for (i, other) in edges.iter().enumerate() {
+                        if i == new_idx {
+                            continue;
+                        }
+                        if let Some((_, a, b)) = e.wedge_with(*other) {
+                            total_wedges_seen += 1;
+                            let candidate = StoredWedge {
+                                closing: Edge::new(a, b),
+                                closed: false,
+                            };
+                            if wedges.len() < self.wedge_reservoir {
+                                wedges.push(candidate);
+                            } else {
+                                let j = rng.gen_range(0..total_wedges_seen);
+                                if (j as usize) < self.wedge_reservoir {
+                                    wedges[j as usize] = candidate;
+                                }
                             }
                         }
                     }
                 }
             }
-        }
+        });
 
         // Closed fraction among stored wedges. A stored wedge is marked
         // closed only when its closing edge arrives *after* the wedge was

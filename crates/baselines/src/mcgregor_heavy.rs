@@ -9,7 +9,9 @@
 //! (`degentri_core::MainEstimator`) with the degeneracy parameter replaced
 //! by the worst-case value `⌈√(2m)⌉`. All sample sizes then scale like
 //! `m^{3/2}/T`, matching the Table 1 row, while the estimator logic (and
-//! hence correctness) is identical.
+//! hence correctness) is identical. Because it *is* the six-pass estimator
+//! underneath, it inherits its batched, allocation-free pass loops for
+//! free.
 
 use degentri_core::{EstimatorConfig, MainEstimator};
 use degentri_stream::{EdgeStream, SpaceReport};

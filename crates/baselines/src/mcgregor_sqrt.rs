@@ -14,7 +14,7 @@
 
 use degentri_graph::VertexId;
 use degentri_stream::hashing::{hash_to_unit, vertex_hash, FxHashMap, FxHashSet};
-use degentri_stream::{EdgeStream, SpaceMeter};
+use degentri_stream::{EdgeStream, SpaceMeter, DEFAULT_BATCH_SIZE};
 
 use crate::traits::{BaselineOutcome, StreamingTriangleCounter};
 
@@ -62,28 +62,32 @@ impl StreamingTriangleCounter for VertexSamplingEstimator {
         let mut meter = SpaceMeter::new();
         // Pass 1: adjacency of sampled vertices.
         let mut adjacency: FxHashMap<VertexId, FxHashSet<VertexId>> = FxHashMap::default();
-        for e in stream.pass() {
-            for (x, y) in [(e.u(), e.v()), (e.v(), e.u())] {
-                if self.is_sampled(x) {
-                    adjacency.entry(x).or_default().insert(y);
-                    meter.charge_word();
+        stream.pass_batched(DEFAULT_BATCH_SIZE, &mut |chunk| {
+            for e in chunk {
+                for (x, y) in [(e.u(), e.v()), (e.v(), e.u())] {
+                    if self.is_sampled(x) {
+                        adjacency.entry(x).or_default().insert(y);
+                        meter.charge_word();
+                    }
                 }
             }
-        }
+        });
 
         // Pass 2: for each edge, count sampled common neighbors.
         let mut count = 0u64;
-        for e in stream.pass() {
-            for (w, neighbors) in adjacency.iter() {
-                if *w != e.u()
-                    && *w != e.v()
-                    && neighbors.contains(&e.u())
-                    && neighbors.contains(&e.v())
-                {
-                    count += 1;
+        stream.pass_batched(DEFAULT_BATCH_SIZE, &mut |chunk| {
+            for e in chunk {
+                for (w, neighbors) in adjacency.iter() {
+                    if *w != e.u()
+                        && *w != e.v()
+                        && neighbors.contains(&e.u())
+                        && neighbors.contains(&e.v())
+                    {
+                        count += 1;
+                    }
                 }
             }
-        }
+        });
 
         let estimate = count as f64 / (3.0 * self.probability);
         BaselineOutcome {

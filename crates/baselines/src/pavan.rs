@@ -15,7 +15,7 @@
 //! exhibits against the degeneracy-parameterized estimator.
 
 use degentri_graph::Edge;
-use degentri_stream::{EdgeStream, SpaceMeter};
+use degentri_stream::{EdgeStream, SpaceMeter, DEFAULT_BATCH_SIZE};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -73,36 +73,39 @@ impl StreamingTriangleCounter for NeighborhoodSampler {
         let mut states: Vec<SamplerState> = vec![SamplerState::default(); self.samplers];
         meter.charge(6 * self.samplers as u64);
 
-        for (i, e) in stream.pass().enumerate() {
-            let seen = i as u64 + 1;
-            for st in states.iter_mut() {
-                if rng.gen_range(0..seen) == 0 {
-                    // New level-1 sample: reset everything downstream.
-                    st.r1 = Some(e);
-                    st.r2 = None;
-                    st.adjacent_count = 0;
-                    st.closed = false;
-                    continue;
-                }
-                let Some(r1) = st.r1 else { continue };
-                if e.shares_endpoint(r1) && e != r1 {
-                    st.adjacent_count += 1;
-                    if rng.gen_range(0..st.adjacent_count) == 0 {
-                        st.r2 = Some(e);
+        let mut seen = 0u64;
+        stream.pass_batched(DEFAULT_BATCH_SIZE, &mut |chunk| {
+            for &e in chunk {
+                seen += 1;
+                for st in states.iter_mut() {
+                    if rng.gen_range(0..seen) == 0 {
+                        // New level-1 sample: reset everything downstream.
+                        st.r1 = Some(e);
+                        st.r2 = None;
+                        st.adjacent_count = 0;
                         st.closed = false;
+                        continue;
+                    }
+                    let Some(r1) = st.r1 else { continue };
+                    if e.shares_endpoint(r1) && e != r1 {
+                        st.adjacent_count += 1;
+                        if rng.gen_range(0..st.adjacent_count) == 0 {
+                            st.r2 = Some(e);
+                            st.closed = false;
+                        } else if let Some(r2) = st.r2 {
+                            // Not replacing: check whether e closes the wedge.
+                            if closes_wedge(r1, r2, e) {
+                                st.closed = true;
+                            }
+                        }
                     } else if let Some(r2) = st.r2 {
-                        // Not replacing: check whether e closes the wedge.
                         if closes_wedge(r1, r2, e) {
                             st.closed = true;
                         }
                     }
-                } else if let Some(r2) = st.r2 {
-                    if closes_wedge(r1, r2, e) {
-                        st.closed = true;
-                    }
                 }
             }
-        }
+        });
 
         let mut total = 0.0f64;
         for st in &states {

@@ -13,7 +13,7 @@
 
 use degentri_graph::VertexId;
 use degentri_stream::hashing::{FxHashMap, FxHashSet};
-use degentri_stream::{EdgeStream, SpaceMeter};
+use degentri_stream::{EdgeStream, SpaceMeter, DEFAULT_BATCH_SIZE};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -60,30 +60,32 @@ impl StreamingTriangleCounter for TriestImpr {
 
         let mut estimate = 0.0f64;
         let mut t = 0u64;
-        for e in stream.pass() {
-            t += 1;
-            // IMPR update before any reservoir change.
-            let eta = {
-                let tf = t as f64;
-                let mf = cap as f64;
-                (1.0f64).max((tf - 1.0) * (tf - 2.0) / (mf * (mf - 1.0)))
-            };
-            let common = common_neighbors(&adjacency, e.u(), e.v());
-            estimate += eta * common as f64;
+        stream.pass_batched(DEFAULT_BATCH_SIZE, &mut |chunk| {
+            for e in chunk {
+                t += 1;
+                // IMPR update before any reservoir change.
+                let eta = {
+                    let tf = t as f64;
+                    let mf = cap as f64;
+                    (1.0f64).max((tf - 1.0) * (tf - 2.0) / (mf * (mf - 1.0)))
+                };
+                let common = common_neighbors(&adjacency, e.u(), e.v());
+                estimate += eta * common as f64;
 
-            // Reservoir insertion (Algorithm R).
-            if edges.len() < cap {
-                insert_edge(&mut edges, &mut adjacency, e.u(), e.v());
-            } else {
-                let j = rng.gen_range(0..t);
-                if (j as usize) < cap {
-                    let (ru, rv) = edges[j as usize];
-                    remove_edge(&mut adjacency, ru, rv);
-                    edges[j as usize] = (e.u(), e.v());
-                    add_adjacency(&mut adjacency, e.u(), e.v());
+                // Reservoir insertion (Algorithm R).
+                if edges.len() < cap {
+                    insert_edge(&mut edges, &mut adjacency, e.u(), e.v());
+                } else {
+                    let j = rng.gen_range(0..t);
+                    if (j as usize) < cap {
+                        let (ru, rv) = edges[j as usize];
+                        remove_edge(&mut adjacency, ru, rv);
+                        edges[j as usize] = (e.u(), e.v());
+                        add_adjacency(&mut adjacency, e.u(), e.v());
+                    }
                 }
             }
-        }
+        });
 
         BaselineOutcome {
             estimate,

@@ -1,0 +1,228 @@
+//! Machine-readable perf baseline: the first point of the repo's recorded
+//! performance trajectory.
+//!
+//! Runs the six-pass estimator over a preferential-attachment snapshot
+//! three ways — sequential single copy, engine with copy-level parallelism
+//! only, engine with intra-copy sharded passes — and emits `BENCH_PR2.json`
+//! with edges/sec, per-pass timings, and heap-allocation counts (a counting
+//! global allocator wraps the system one), asserting along the way that all
+//! three paths produce bit-identical estimates.
+//!
+//!   cargo run --release -p degentri-bench --bin perf
+//!   SCALE=4 WORKERS=8 BATCH=8192 cargo run --release -p degentri-bench --bin perf
+//!   BENCH_OUT=/tmp/bench.json cargo run --release -p degentri-bench --bin perf
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use degentri_bench::common;
+use degentri_core::{EstimatorConfig, EstimatorScratch, MainEstimator};
+use degentri_engine::{Engine, EngineConfig, JobSpec};
+use degentri_graph::triangles::count_triangles;
+use degentri_stream::{EdgeStream, MemoryStream, StreamOrder};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates to the system allocator; the counter is a relaxed
+// atomic with no other side effects.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations_during<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let out = f();
+    (out, ALLOCATIONS.load(Ordering::Relaxed) - before)
+}
+
+const PASS_NAMES: [&str; 6] = [
+    "p1_uniform_sample",
+    "p2_degrees",
+    "p3_neighbor_sample",
+    "p4_closure",
+    "p5_assignment_gather",
+    "p6_assignment_closure",
+];
+
+fn main() {
+    let scale: usize = std::env::var("SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&s| s >= 1)
+        .unwrap_or(1);
+    let seed: u64 = std::env::var("SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let out_path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_PR2.json".to_string());
+
+    let n = 4_000 * scale;
+    let graph = degentri_gen::barabasi_albert(n, 8, 1).expect("valid BA parameters");
+    let exact = count_triangles(&graph);
+    let stream = MemoryStream::from_graph(&graph, StreamOrder::UniformRandom(1));
+    let m = EdgeStream::num_edges(&stream);
+
+    let workers = common::engine_workers();
+    let batch = common::engine_batch_size();
+    let copies = 4usize;
+    let config = EstimatorConfig::builder()
+        .epsilon(0.1)
+        .kappa(8)
+        .triangle_lower_bound((exact / 2).max(1))
+        .r_constant(20.0)
+        .inner_constant(40.0)
+        .assignment_constant(10.0)
+        .copies(copies)
+        .seed(seed)
+        .try_build()
+        .expect("bench configuration is valid");
+
+    eprintln!("perf: barabasi_albert(n = {n}, k = 8) — m = {m}, T = {exact}");
+    eprintln!("perf: workers = {workers}, batch = {batch}, copies = {copies}");
+
+    // ---- Sequential single copy: per-pass timings + allocation counts. ----
+    let estimator = MainEstimator::new(config.clone());
+    let mut scratch = EstimatorScratch::new();
+    // Cold run warms the scratch arena (and counts setup allocations).
+    let (cold_outcome, cold_allocs) =
+        allocations_during(|| estimator.run_seeded_with(&stream, seed, batch, &mut scratch));
+    let cold_outcome = cold_outcome.expect("estimator run succeeds");
+    let started = Instant::now();
+    let (warm_outcome, warm_allocs) =
+        allocations_during(|| estimator.run_seeded_with(&stream, seed, batch, &mut scratch));
+    let sequential_wall = started.elapsed().as_secs_f64();
+    let warm_outcome = warm_outcome.expect("estimator run succeeds");
+    assert_eq!(
+        warm_outcome.estimate.to_bits(),
+        cold_outcome.estimate.to_bits(),
+        "scratch reuse must not change results"
+    );
+    let sequential_edges = 6_u64 * m as u64;
+    let allocs_per_edge = warm_allocs as f64 / sequential_edges as f64;
+
+    // ---- Engine: copy-only vs sharded scheduling of the same job. --------
+    let run_engine = |sharding: bool| {
+        let mut engine = Engine::new(
+            EngineConfig::builder()
+                .workers(workers)
+                .batch_size(batch)
+                .intra_task_sharding(sharding)
+                .try_build()
+                .expect("engine configuration is valid"),
+        );
+        engine.submit(JobSpec::main("six-pass", config.clone()));
+        engine.run(&stream).expect("engine run succeeds")
+    };
+    let copy_only = run_engine(false);
+    let sharded = run_engine(true);
+    assert_eq!(
+        copy_only.jobs[0].estimation.estimate.to_bits(),
+        sharded.jobs[0].estimation.estimate.to_bits(),
+        "sharded scheduling must be bit-identical to copy-only"
+    );
+    assert_eq!(
+        copy_only.jobs[0].estimation.copy_estimates,
+        sharded.jobs[0].estimation.copy_estimates,
+    );
+
+    // ---- Emit BENCH_PR2.json (hand-rolled: no JSON dependency). ----------
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"BENCH_PR2\",");
+    let _ = writeln!(
+        json,
+        "  \"description\": \"six-pass estimator throughput: sequential vs engine copy-only vs engine sharded\","
+    );
+    let _ = writeln!(json, "  \"graph\": {{");
+    let _ = writeln!(json, "    \"generator\": \"barabasi_albert\",");
+    let _ = writeln!(json, "    \"n\": {n},");
+    let _ = writeln!(json, "    \"m\": {m},");
+    let _ = writeln!(json, "    \"triangles\": {exact}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"config\": {{");
+    let _ = writeln!(json, "    \"workers\": {workers},");
+    let _ = writeln!(json, "    \"batch_size\": {batch},");
+    let _ = writeln!(json, "    \"copies\": {copies},");
+    let _ = writeln!(json, "    \"seed\": {seed},");
+    let _ = writeln!(json, "    \"scale\": {scale}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"sequential_single_copy\": {{");
+    let _ = writeln!(json, "    \"wall_seconds\": {sequential_wall:.6},");
+    let _ = writeln!(
+        json,
+        "    \"edges_per_second\": {:.0},",
+        sequential_edges as f64 / sequential_wall.max(1e-12)
+    );
+    let _ = writeln!(json, "    \"per_pass\": [");
+    for (i, name) in PASS_NAMES.iter().enumerate() {
+        let nanos = warm_outcome.pass_nanos[i];
+        let eps = m as f64 / (nanos as f64 / 1e9).max(1e-12);
+        let comma = if i + 1 < PASS_NAMES.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "      {{ \"pass\": \"{name}\", \"nanos\": {nanos}, \"edges_per_second\": {eps:.0} }}{comma}"
+        );
+    }
+    let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "  }},");
+    for (label, report) in [
+        ("engine_copy_only", &copy_only),
+        ("engine_sharded", &sharded),
+    ] {
+        let s = &report.stats;
+        let _ = writeln!(json, "  \"{label}\": {{");
+        let _ = writeln!(json, "    \"wall_seconds\": {:.6},", s.wall_seconds);
+        let _ = writeln!(json, "    \"edges_streamed\": {},", s.edges_streamed);
+        let _ = writeln!(json, "    \"edges_per_second\": {:.0},", s.edges_per_second);
+        let _ = writeln!(
+            json,
+            "    \"worker_utilization\": {:.4},",
+            s.worker_utilization
+        );
+        let _ = writeln!(json, "    \"intra_task_workers\": {}", s.intra_task_workers);
+        let _ = writeln!(json, "  }},");
+    }
+    let _ = writeln!(json, "  \"allocations\": {{");
+    let _ = writeln!(json, "    \"cold_run\": {cold_allocs},");
+    let _ = writeln!(json, "    \"warm_run\": {warm_allocs},");
+    let _ = writeln!(json, "    \"edges_streamed_per_run\": {sequential_edges},");
+    let _ = writeln!(json, "    \"allocations_per_edge\": {allocs_per_edge:.6}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"parity\": {{");
+    let _ = writeln!(json, "    \"sharded_equals_copy_only\": true,");
+    let _ = writeln!(json, "    \"scratch_reuse_preserves_results\": true");
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+
+    std::fs::write(&out_path, &json).expect("write bench output");
+    eprintln!(
+        "perf: sequential {:.0} edges/s, copy-only {:.0} edges/s, sharded {:.0} edges/s",
+        sequential_edges as f64 / sequential_wall.max(1e-12),
+        copy_only.stats.edges_per_second,
+        sharded.stats.edges_per_second
+    );
+    eprintln!(
+        "perf: warm-run allocations {warm_allocs} over {sequential_edges} streamed edges \
+         ({allocs_per_edge:.6}/edge)"
+    );
+    eprintln!("perf: wrote {out_path}");
+}

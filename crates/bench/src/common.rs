@@ -52,15 +52,37 @@ pub fn engine_workers() -> usize {
         .unwrap_or_else(degentri_engine::config::available_workers)
 }
 
+/// Batched-delivery chunk size for engine-backed experiment runs: the
+/// `BATCH` environment variable when set (≥ 1), otherwise the library
+/// default. Batch size never changes results, only constant factors.
+pub fn engine_batch_size() -> usize {
+    std::env::var("BATCH")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&b| b >= 1)
+        .unwrap_or(degentri_stream::DEFAULT_BATCH_SIZE)
+}
+
+/// The engine configuration every experiment runs with (`WORKERS` and
+/// `BATCH` environment overrides applied).
+pub fn engine_config() -> degentri_engine::EngineConfig {
+    degentri_engine::EngineConfig::builder()
+        .workers(engine_workers())
+        .batch_size(engine_batch_size())
+        .try_build()
+        .expect("environment-derived engine configuration is valid")
+}
+
 /// Runs the paper's estimator through the parallel engine — the one way the
 /// experiments execute multi-copy estimations. Results are bit-identical to
-/// `degentri_core::estimate_triangles` at any worker count (see the engine
-/// parity tests); only wall-clock time depends on [`engine_workers`].
+/// `degentri_core::estimate_triangles` at any worker count or batch size
+/// (see the engine parity tests); only wall-clock time depends on
+/// [`engine_config`].
 pub fn engine_estimate<S: EdgeStream + Sync + ?Sized>(
     stream: &S,
     config: &EstimatorConfig,
 ) -> degentri_engine::Result<TriangleEstimation> {
-    degentri_engine::parallel_estimate_triangles(stream, config, engine_workers())
+    degentri_engine::parallel_estimate_triangles_with(stream, config, &engine_config())
 }
 
 /// The oracle-model counterpart of [`engine_estimate`]: runs the ideal
@@ -71,11 +93,11 @@ pub fn engine_estimate_with_oracle<S: EdgeStream + Sync + ?Sized>(
     config: &EstimatorConfig,
 ) -> degentri_engine::Result<TriangleEstimation> {
     let stats = StreamStats::compute(stream);
-    degentri_engine::parallel_estimate_triangles_with_oracle(
+    degentri_engine::parallel_estimate_triangles_with_oracle_and(
         stream,
         &stats,
         config,
-        engine_workers(),
+        &engine_config(),
     )
 }
 
@@ -143,6 +165,8 @@ mod tests {
     #[test]
     fn engine_workers_is_at_least_one() {
         assert!(engine_workers() >= 1);
+        assert!(engine_batch_size() >= 1);
+        assert!(engine_config().validate().is_ok());
     }
 
     #[test]

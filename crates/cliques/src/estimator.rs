@@ -33,7 +33,7 @@
 
 use degentri_graph::{Edge, VertexId};
 use degentri_stream::hashing::{FxHashMap, FxHashSet};
-use degentri_stream::{EdgeStream, ReservoirSampler, SpaceMeter, SpaceReport};
+use degentri_stream::{EdgeStream, ReservoirSampler, SpaceMeter, SpaceReport, DEFAULT_BATCH_SIZE};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -349,9 +349,11 @@ impl CliqueEstimator {
         let r_target = self.config.derive_r(m, n);
         let mut reservoir: ReservoirSampler<Edge> = ReservoirSampler::new_iid(r_target);
         meter.charge(r_target as u64);
-        for e in stream.pass() {
-            reservoir.observe(e, &mut rng);
-        }
+        stream.pass_batched(DEFAULT_BATCH_SIZE, &mut |chunk| {
+            for &e in chunk {
+                reservoir.observe(e, &mut rng);
+            }
+        });
         let r_edges = reservoir.into_samples();
         let r = r_edges.len();
         if r == 0 {
@@ -365,14 +367,16 @@ impl CliqueEstimator {
             endpoint_degree.entry(e.v()).or_insert(0);
         }
         meter.charge(endpoint_degree.len() as u64);
-        for e in stream.pass() {
-            if let Some(d) = endpoint_degree.get_mut(&e.u()) {
-                *d += 1;
+        stream.pass_batched(DEFAULT_BATCH_SIZE, &mut |chunk| {
+            for e in chunk {
+                if let Some(d) = endpoint_degree.get_mut(&e.u()) {
+                    *d += 1;
+                }
+                if let Some(d) = endpoint_degree.get_mut(&e.v()) {
+                    *d += 1;
+                }
             }
-            if let Some(d) = endpoint_degree.get_mut(&e.v()) {
-                *d += 1;
-            }
-        }
+        });
         let degrees: Vec<u64> = r_edges
             .iter()
             .map(|e| endpoint_degree[&e.u()].min(endpoint_degree[&e.v()]))
@@ -419,22 +423,24 @@ impl CliqueEstimator {
         for (i, inst) in instances.iter().enumerate() {
             by_base.entry(inst.base).or_default().push(i);
         }
-        for e in stream.pass() {
-            for endpoint in [e.u(), e.v()] {
-                if let Some(ids) = by_base.get(&endpoint) {
-                    let candidate = e.other(endpoint).expect("endpoint belongs to edge");
-                    for &i in ids {
-                        let inst = &mut instances[i];
-                        inst.seen += 1;
-                        for slot in inst.slots.iter_mut() {
-                            if rng.gen_range(0..inst.seen) == 0 {
-                                *slot = Some(candidate);
+        stream.pass_batched(DEFAULT_BATCH_SIZE, &mut |chunk| {
+            for e in chunk {
+                for endpoint in [e.u(), e.v()] {
+                    if let Some(ids) = by_base.get(&endpoint) {
+                        let candidate = e.other(endpoint).expect("endpoint belongs to edge");
+                        for &i in ids {
+                            let inst = &mut instances[i];
+                            inst.seen += 1;
+                            for slot in inst.slots.iter_mut() {
+                                if rng.gen_range(0..inst.seen) == 0 {
+                                    *slot = Some(candidate);
+                                }
                             }
                         }
                     }
                 }
             }
-        }
+        });
 
         // Pass 4: closure checks for all pairs needed to complete the clique.
         let mut queries: FxHashSet<Edge> = FxHashSet::default();
@@ -463,11 +469,13 @@ impl CliqueEstimator {
         }
         meter.charge(queries.len() as u64);
         let mut present: FxHashSet<Edge> = FxHashSet::default();
-        for e in stream.pass() {
-            if queries.contains(&e) {
-                present.insert(e);
+        stream.pass_batched(DEFAULT_BATCH_SIZE, &mut |chunk| {
+            for e in chunk {
+                if queries.contains(e) {
+                    present.insert(*e);
+                }
             }
-        }
+        });
         meter.charge(present.len() as u64);
 
         // Evaluate the instances.

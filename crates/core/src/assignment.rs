@@ -145,11 +145,11 @@ impl<'g> GraphAssignmentOracle<'g> {
         if let Some(decision) = self.memo.get(&triangle) {
             return decision;
         }
-        let mut estimates = Vec::with_capacity(3);
-        for e in triangle.edges() {
-            let y = self.estimate_edge_triangle_degree(e);
-            estimates.push((e, y));
-        }
+        // Three edges, always: a stack array keeps the decision path free of
+        // per-triangle heap allocation.
+        let estimates = triangle
+            .edges()
+            .map(|e| (e, self.estimate_edge_triangle_degree(e)));
         let decision = decide_assignment(&estimates, self.params.assignment_ceiling);
         self.memo.insert(triangle, decision, &mut self.meter)
     }
@@ -202,11 +202,7 @@ pub fn exact_min_te_assignment(
     triangle: Triangle,
     ceiling: f64,
 ) -> Option<Edge> {
-    let estimates: Vec<(Edge, f64)> = triangle
-        .edges()
-        .iter()
-        .map(|&e| (e, counts.edge_count(e) as f64))
-        .collect();
+    let estimates = triangle.edges().map(|e| (e, counts.edge_count(e) as f64));
     decide_assignment(&estimates, ceiling)
 }
 

@@ -24,16 +24,41 @@
 //! An instance contributes `Y_i = 1` exactly when it found a triangle that
 //! `IsAssigned` assigns to its sampled edge. The output is
 //! `X = (m/r) · d_R · mean(Y_i)` — exactly line 13 of Algorithm 2.
+//!
+//! # Hot-path implementation notes
+//!
+//! All six passes consume the stream through the batched pass API —
+//! identical edges in identical order to `pass()`, delivered as zero-copy
+//! chunks on in-memory streams — and the per-pass lookup state lives in a
+//! reusable [`EstimatorScratch`]: vertex-keyed state in an open-addressed
+//! slot map with plain slot-indexed counter/list vectors, edge-membership
+//! state in sorted [`Edge::key`] probe vectors. After the scratch warms up
+//! (first copy), the pass loops perform no heap allocation per edge.
+//!
+//! The three passes that fold the stream into order-insensitive
+//! accumulators — degree counting (pass 2) and membership marking (passes 4
+//! and 6) — can additionally run *shard-parallel* over a
+//! [`ShardedStream`] view ([`MainEstimator::run_seeded_sharded`]): each
+//! shard folds into its own counter vector or hit bitmap and the
+//! accumulators are merged in shard order, so the outcome is bit-identical
+//! to the sequential run at any shard/worker count. The RNG-consuming
+//! passes (1, 3 and 5) always run sequentially — their sampling decisions
+//! depend on the global edge order and the single RNG stream.
+
+use std::time::Instant;
 
 use degentri_graph::{Edge, Triangle, VertexId};
-use degentri_stream::hashing::{FxHashMap, FxHashSet};
-use degentri_stream::{EdgeStream, ReservoirSampler, SpaceMeter, SpaceReport, DEFAULT_BATCH_SIZE};
+use degentri_stream::hashing::FxHashMap;
+use degentri_stream::{
+    EdgeStream, ReservoirSampler, ShardedStream, SpaceMeter, SpaceReport, DEFAULT_BATCH_SIZE,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::assignment::{decide_assignment, AssignmentMemo};
 use crate::config::EstimatorConfig;
 use crate::error::EstimatorError;
+use crate::scratch::{EdgeProbeSet, EstimatorScratch};
 use crate::Result;
 
 /// Outcome of one run of the six-pass estimator.
@@ -43,6 +68,10 @@ pub struct MainOutcome {
     pub estimate: f64,
     /// Number of passes over the stream (always 6).
     pub passes: u32,
+    /// Wall-clock nanoseconds spent inside each of the six stream passes
+    /// (sampling/bookkeeping between passes is excluded) — the raw material
+    /// of the per-pass throughput numbers in the bench harness.
+    pub pass_nanos: [u64; 6],
     /// Words of retained state (samples, counters, memo tables).
     pub space: SpaceReport,
     /// Size of the uniform edge sample `R` actually used.
@@ -155,8 +184,65 @@ impl MainEstimator {
     }
 
     /// Runs the estimator with an explicit seed (used by the multi-copy
-    /// runner so each copy is independent).
+    /// runner so each copy is independent). Allocates a fresh scratch
+    /// arena; workers that execute many copies should call
+    /// [`run_seeded_with`](MainEstimator::run_seeded_with) with a reused
+    /// one.
     pub fn run_seeded<S: EdgeStream + ?Sized>(&self, stream: &S, seed: u64) -> Result<MainOutcome> {
+        self.run_seeded_with(
+            stream,
+            seed,
+            DEFAULT_BATCH_SIZE,
+            &mut EstimatorScratch::new(),
+        )
+    }
+
+    /// Runs the estimator with an explicit seed, chunk size and reusable
+    /// scratch arena. Results are bit-identical to
+    /// [`run_seeded`](MainEstimator::run_seeded) for every `batch_size`
+    /// and any scratch state — both only change constant factors.
+    pub fn run_seeded_with<S: EdgeStream + ?Sized>(
+        &self,
+        stream: &S,
+        seed: u64,
+        batch_size: usize,
+        scratch: &mut EstimatorScratch,
+    ) -> Result<MainOutcome> {
+        self.run_impl(stream, None, seed, batch_size, scratch)
+    }
+
+    /// Runs the estimator over a sharded snapshot view, executing the
+    /// order-insensitive passes (2, 4 and 6) shard-parallel on up to
+    /// `shard_workers` scoped threads. Per-shard accumulators are merged in
+    /// shard order, so the outcome — estimate, counters, space — is
+    /// **bit-identical** to [`run_seeded`](MainEstimator::run_seeded) over
+    /// the same edges at every shard and worker count; sharding only
+    /// changes wall-clock time.
+    pub fn run_seeded_sharded(
+        &self,
+        sharded: &ShardedStream<'_>,
+        seed: u64,
+        batch_size: usize,
+        shard_workers: usize,
+        scratch: &mut EstimatorScratch,
+    ) -> Result<MainOutcome> {
+        self.run_impl(
+            sharded,
+            Some((sharded, shard_workers.max(1))),
+            seed,
+            batch_size,
+            scratch,
+        )
+    }
+
+    fn run_impl<S: EdgeStream + ?Sized>(
+        &self,
+        stream: &S,
+        shard: Option<(&ShardedStream<'_>, usize)>,
+        seed: u64,
+        batch_size: usize,
+        scratch: &mut EstimatorScratch,
+    ) -> Result<MainOutcome> {
         self.config.validate()?;
         let m = stream.num_edges();
         if m == 0 {
@@ -164,21 +250,27 @@ impl MainEstimator {
         }
         let n = stream.num_vertices();
         let params = self.config.derive(m, n);
+        let batch = batch_size.max(1);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut meter = SpaceMeter::new();
+        let mut pass_nanos = [0u64; 6];
+        let EstimatorScratch {
+            vertices,
+            counts,
+            probes,
+            lists,
+        } = scratch;
 
         // ---------------- Pass 1: uniform sample R ------------------------
-        // All six passes below consume the stream through the batched pass
-        // API: identical edges in identical order to `pass()` (so results
-        // are bit-for-bit unchanged), but delivered in chunks, which for
-        // in-memory streams means zero-copy slices of the backing storage.
         let mut reservoir: ReservoirSampler<Edge> = ReservoirSampler::new_iid(params.r);
         meter.charge(params.r as u64);
-        stream.pass_batched(DEFAULT_BATCH_SIZE, &mut |chunk| {
+        let started = Instant::now();
+        stream.pass_batched(batch, &mut |chunk| {
             for &e in chunk {
                 reservoir.observe(e, &mut rng);
             }
         });
+        pass_nanos[0] = started.elapsed().as_nanos() as u64;
         let r_edges = reservoir.into_samples();
         let r = r_edges.len();
         if r == 0 {
@@ -186,24 +278,58 @@ impl MainEstimator {
         }
 
         // ---------------- Pass 2: degrees of R's endpoints ----------------
-        let mut endpoint_degree: FxHashMap<VertexId, u64> = FxHashMap::default();
+        // The tracked endpoints become dense slots; their degrees accumulate
+        // in a slot-indexed counter vector. This pass is order-insensitive,
+        // so in sharded mode every shard counts into its own vector and the
+        // vectors are summed in shard order — the same totals, bit for bit.
+        vertices.reset(2 * r);
         for e in &r_edges {
-            endpoint_degree.entry(e.u()).or_insert(0);
-            endpoint_degree.entry(e.v()).or_insert(0);
+            vertices.insert(e.u().raw());
+            vertices.insert(e.v().raw());
         }
-        meter.charge(endpoint_degree.len() as u64);
-        stream.pass_batched(DEFAULT_BATCH_SIZE, &mut |chunk| {
-            for e in chunk {
-                if let Some(d) = endpoint_degree.get_mut(&e.u()) {
-                    *d += 1;
-                }
-                if let Some(d) = endpoint_degree.get_mut(&e.v()) {
-                    *d += 1;
+        let tracked = vertices.len();
+        counts.clear();
+        counts.resize(tracked, 0);
+        meter.charge(tracked as u64);
+        let started = Instant::now();
+        match shard {
+            Some((view, workers)) => {
+                let vertices = &*vertices;
+                let per_shard = view.pass_sharded(workers, |_, edges| {
+                    let mut local = vec![0u64; tracked];
+                    for e in edges {
+                        if let Some(s) = vertices.get(e.u().raw()) {
+                            local[s as usize] += 1;
+                        }
+                        if let Some(s) = vertices.get(e.v().raw()) {
+                            local[s as usize] += 1;
+                        }
+                    }
+                    local
+                });
+                for local in per_shard {
+                    for (total, c) in counts.iter_mut().zip(local) {
+                        *total += c;
+                    }
                 }
             }
-        });
-        let edge_degree =
-            |e: &Edge| -> u64 { endpoint_degree[&e.u()].min(endpoint_degree[&e.v()]) };
+            None => {
+                stream.pass_batched(batch, &mut |chunk| {
+                    for e in chunk {
+                        if let Some(s) = vertices.get(e.u().raw()) {
+                            counts[s as usize] += 1;
+                        }
+                        if let Some(s) = vertices.get(e.v().raw()) {
+                            counts[s as usize] += 1;
+                        }
+                    }
+                });
+            }
+        }
+        pass_nanos[1] = started.elapsed().as_nanos() as u64;
+        let endpoint_degree =
+            |v: VertexId| counts[vertices.get(v.raw()).expect("tracked endpoint") as usize];
+        let edge_degree = |e: &Edge| endpoint_degree(e.u()).min(endpoint_degree(e.v()));
         let degrees: Vec<u64> = r_edges.iter().map(edge_degree).collect();
         let d_r: u64 = degrees.iter().sum();
         meter.charge(r as u64);
@@ -226,7 +352,7 @@ impl MainEstimator {
             let target = rng.gen_range(0.0..total_weight);
             let idx = cumulative.partition_point(|&c| c <= target).min(r - 1);
             let edge = r_edges[idx];
-            let (base, other) = if endpoint_degree[&edge.u()] <= endpoint_degree[&edge.v()] {
+            let (base, other) = if endpoint_degree(edge.u()) <= endpoint_degree(edge.v()) {
                 (edge.u(), edge.v())
             } else {
                 (edge.v(), edge.u())
@@ -244,17 +370,30 @@ impl MainEstimator {
         meter.charge(3 * instances.len() as u64);
 
         // ---------------- Pass 3: neighbor sampling per instance ----------
-        let mut by_base: FxHashMap<VertexId, Vec<usize>> = FxHashMap::default();
-        for (i, inst) in instances.iter().enumerate() {
-            by_base.entry(inst.base).or_default().push(i);
+        // Instances grouped by base vertex in CSR lists; per-base iteration
+        // order equals instance order, so the RNG stream (and hence every
+        // sample) matches the previous hash-map grouping exactly.
+        vertices.reset(instances.len());
+        for inst in &instances {
+            vertices.insert(inst.base.raw());
         }
-        stream.pass_batched(DEFAULT_BATCH_SIZE, &mut |chunk| {
+        lists.begin(vertices.len());
+        for inst in &instances {
+            lists.count(vertices.get(inst.base.raw()).expect("interned base"));
+        }
+        lists.finish_counts();
+        for (i, inst) in instances.iter().enumerate() {
+            let slot = vertices.get(inst.base.raw()).expect("interned base");
+            lists.push(slot, u32::try_from(i).expect("instance count fits u32"));
+        }
+        let started = Instant::now();
+        stream.pass_batched(batch, &mut |chunk| {
             for e in chunk {
                 for endpoint in [e.u(), e.v()] {
-                    if let Some(ids) = by_base.get(&endpoint) {
+                    if let Some(slot) = vertices.get(endpoint.raw()) {
                         let candidate = e.other(endpoint).expect("endpoint belongs to edge");
-                        for &i in ids {
-                            let inst = &mut instances[i];
+                        for &i in lists.list(slot) {
+                            let inst = &mut instances[i as usize];
                             inst.seen += 1;
                             if rng.gen_range(0..inst.seen) == 0 {
                                 inst.neighbor = Some(candidate);
@@ -264,33 +403,30 @@ impl MainEstimator {
                 }
             }
         });
+        pass_nanos[2] = started.elapsed().as_nanos() as u64;
 
         // ---------------- Pass 4: closure checks ---------------------------
-        let mut closure_queries: FxHashSet<Edge> = FxHashSet::default();
+        probes.begin();
         for inst in instances.iter_mut() {
             if let Some(w) = inst.neighbor {
                 if w != inst.other && w != inst.base {
                     let q = Edge::new(inst.other, w);
                     inst.closure = Some(q);
-                    closure_queries.insert(q);
+                    probes.add(q.key());
                 }
             }
         }
-        meter.charge(closure_queries.len() as u64);
-        let mut present: FxHashSet<Edge> = FxHashSet::default();
-        stream.pass_batched(DEFAULT_BATCH_SIZE, &mut |chunk| {
-            for e in chunk {
-                if closure_queries.contains(e) {
-                    present.insert(*e);
-                }
-            }
-        });
-        meter.charge(present.len() as u64);
+        let closure_queries = probes.seal();
+        meter.charge(closure_queries as u64);
+        let started = Instant::now();
+        Self::membership_pass(stream, shard, batch, probes);
+        pass_nanos[3] = started.elapsed().as_nanos() as u64;
+        meter.charge(probes.hit_count() as u64);
 
         let mut triangles_found = 0usize;
         for inst in instances.iter_mut() {
             if let (Some(q), Some(w)) = (inst.closure, inst.neighbor) {
-                if present.contains(&q) {
+                if probes.hit(q.key()) {
                     inst.triangle = Some(Triangle::new(inst.base, inst.other, w));
                     triangles_found += 1;
                 }
@@ -323,22 +459,41 @@ impl MainEstimator {
         meter.charge((2 * params.assignment_samples as u64 + 4) * candidate_edges.len() as u64);
 
         // Pass 5: degrees of candidate-edge endpoints + neighbor samples at
-        // both endpoints.
-        let mut by_vertex: FxHashMap<VertexId, Vec<(usize, bool)>> = FxHashMap::default();
-        for (i, c) in candidate_edges.iter().enumerate() {
-            by_vertex.entry(c.edge.u()).or_default().push((i, true));
-            by_vertex.entry(c.edge.v()).or_default().push((i, false));
+        // both endpoints. Candidates grouped by endpoint in CSR lists, each
+        // payload tagging which side of its edge the endpoint is.
+        vertices.reset(2 * candidate_edges.len());
+        for c in &candidate_edges {
+            vertices.insert(c.edge.u().raw());
+            vertices.insert(c.edge.v().raw());
         }
+        lists.begin(vertices.len());
+        for c in &candidate_edges {
+            lists.count(vertices.get(c.edge.u().raw()).expect("interned endpoint"));
+            lists.count(vertices.get(c.edge.v().raw()).expect("interned endpoint"));
+        }
+        lists.finish_counts();
+        for (i, c) in candidate_edges.iter().enumerate() {
+            let tag = u32::try_from(i).expect("candidate count fits u32") << 1;
+            lists.push(
+                vertices.get(c.edge.u().raw()).expect("interned endpoint"),
+                tag | 1,
+            );
+            lists.push(
+                vertices.get(c.edge.v().raw()).expect("interned endpoint"),
+                tag,
+            );
+        }
+        let started = Instant::now();
         if !candidate_edges.is_empty() {
-            stream.pass_batched(DEFAULT_BATCH_SIZE, &mut |chunk| {
+            stream.pass_batched(batch, &mut |chunk| {
                 for e in chunk {
                     for endpoint in [e.u(), e.v()] {
-                        if let Some(entries) = by_vertex.get(&endpoint) {
+                        if let Some(slot) = vertices.get(endpoint.raw()) {
                             let candidate_neighbor =
                                 e.other(endpoint).expect("endpoint belongs to edge");
-                            for &(i, is_u) in entries {
-                                let c = &mut candidate_edges[i];
-                                if is_u {
+                            for &tag in lists.list(slot) {
+                                let c = &mut candidate_edges[(tag >> 1) as usize];
+                                if tag & 1 == 1 {
                                     c.degree_u += 1;
                                     c.seen_u += 1;
                                     for slot in c.samples_u.iter_mut() {
@@ -363,11 +518,12 @@ impl MainEstimator {
         } else {
             // Keep the pass count fixed at six regardless of how many
             // triangles were found, so the pass budget is deterministic.
-            stream.pass_batched(DEFAULT_BATCH_SIZE, &mut |_| {});
+            stream.pass_batched(batch, &mut |_| {});
         }
+        pass_nanos[4] = started.elapsed().as_nanos() as u64;
 
         // Pass 6: closure checks for the assignment samples.
-        let mut assign_queries: FxHashSet<Edge> = FxHashSet::default();
+        probes.begin();
         for c in &candidate_edges {
             if (c.edge_degree() as f64) > params.degree_cutoff {
                 continue; // Y_e = ∞, no sampling needed (Algorithm 3, line 9)
@@ -375,24 +531,20 @@ impl MainEstimator {
             let (base, other) = c.base_and_other();
             for w in c.base_samples().iter().flatten() {
                 if *w != other && *w != base {
-                    assign_queries.insert(Edge::new(other, *w));
+                    probes.add(Edge::new(other, *w).key());
                 }
             }
         }
-        meter.charge(assign_queries.len() as u64);
-        let mut assign_present: FxHashSet<Edge> = FxHashSet::default();
-        if !assign_queries.is_empty() {
-            stream.pass_batched(DEFAULT_BATCH_SIZE, &mut |chunk| {
-                for e in chunk {
-                    if assign_queries.contains(e) {
-                        assign_present.insert(*e);
-                    }
-                }
-            });
+        let assign_queries = probes.seal();
+        meter.charge(assign_queries as u64);
+        let started = Instant::now();
+        if assign_queries > 0 {
+            Self::membership_pass(stream, shard, batch, probes);
         } else {
-            stream.pass_batched(DEFAULT_BATCH_SIZE, &mut |_| {});
+            stream.pass_batched(batch, &mut |_| {});
         }
-        meter.charge(assign_present.len() as u64);
+        pass_nanos[5] = started.elapsed().as_nanos() as u64;
+        meter.charge(probes.hit_count() as u64);
 
         // Compute Y_e for every candidate edge (Algorithm 3, lines 8–16).
         let s = params.assignment_samples as f64;
@@ -405,7 +557,7 @@ impl MainEstimator {
             let (base, other) = c.base_and_other();
             let mut hits = 0u64;
             for w in c.base_samples().iter().flatten() {
-                if *w != other && *w != base && assign_present.contains(&Edge::new(other, *w)) {
+                if *w != other && *w != base && probes.hit(Edge::new(other, *w).key()) {
                     hits += 1;
                 }
             }
@@ -421,11 +573,21 @@ impl MainEstimator {
             let decision = if let Some(d) = memo.get(&t) {
                 d
             } else {
-                let estimates: Vec<(Edge, f64)> = t
-                    .edges()
-                    .iter()
-                    .map(|e| (*e, candidate_edges[edge_index[e]].estimate))
-                    .collect();
+                let tri_edges = t.edges();
+                let estimates: [(Edge, f64); 3] = [
+                    (
+                        tri_edges[0],
+                        candidate_edges[edge_index[&tri_edges[0]]].estimate,
+                    ),
+                    (
+                        tri_edges[1],
+                        candidate_edges[edge_index[&tri_edges[1]]].estimate,
+                    ),
+                    (
+                        tri_edges[2],
+                        candidate_edges[edge_index[&tri_edges[2]]].estimate,
+                    ),
+                ];
                 let d = decide_assignment(&estimates, params.assignment_ceiling);
                 memo.insert(t, d, &mut meter)
             };
@@ -452,6 +614,7 @@ impl MainEstimator {
         Ok(MainOutcome {
             estimate,
             passes: 6,
+            pass_nanos,
             space: meter.report(),
             r,
             inner_samples: instances.len(),
@@ -460,6 +623,45 @@ impl MainEstimator {
             distinct_triangles: distinct_triangles.len(),
             assigned_hits,
         })
+    }
+
+    /// One membership pass: marks which of the sealed probe-set queries are
+    /// present in the stream. Sequentially this probes each chunk in place;
+    /// shard-parallel each shard fills its own hit bitmap and the bitmaps
+    /// are OR-merged in shard order — identical hits either way.
+    fn membership_pass<S: EdgeStream + ?Sized>(
+        stream: &S,
+        shard: Option<(&ShardedStream<'_>, usize)>,
+        batch: usize,
+        probes: &mut EdgeProbeSet,
+    ) {
+        match shard {
+            Some((view, workers)) => {
+                let frozen = &*probes;
+                let words = frozen.bitmap_words();
+                let bitmaps = view.pass_sharded(workers, |_, edges| {
+                    let mut bitmap = vec![0u64; words];
+                    for e in edges {
+                        if let Some(i) = frozen.probe(e.key()) {
+                            EdgeProbeSet::mark_in(&mut bitmap, i);
+                        }
+                    }
+                    bitmap
+                });
+                for bitmap in bitmaps {
+                    probes.merge_bitmap(&bitmap);
+                }
+            }
+            None => {
+                stream.pass_batched(batch, &mut |chunk| {
+                    for e in chunk {
+                        if let Some(i) = probes.probe(e.key()) {
+                            probes.mark(i);
+                        }
+                    }
+                });
+            }
+        }
     }
 
     /// The configuration this estimator runs with.
@@ -590,6 +792,66 @@ mod tests {
         let c = run_once(&g, &config, 43);
         // different seed, almost surely a different sample
         assert!(a.estimate != c.estimate || a.d_r != c.d_r);
+    }
+
+    #[test]
+    fn batch_size_and_scratch_reuse_do_not_change_results() {
+        let g = wheel(500).unwrap();
+        let stream = MemoryStream::from_graph(&g, StreamOrder::UniformRandom(9));
+        let config = config_for(&g, 3, 499);
+        let estimator = MainEstimator::new(config);
+        let reference = estimator.run_seeded(&stream, 77).unwrap();
+        let mut scratch = EstimatorScratch::new();
+        for batch in [1, 7, 64, 100_000] {
+            // The same scratch arena serves every run.
+            let out = estimator
+                .run_seeded_with(&stream, 77, batch, &mut scratch)
+                .unwrap();
+            assert_eq!(out.estimate.to_bits(), reference.estimate.to_bits());
+            assert_eq!(out.d_r, reference.d_r);
+            assert_eq!(out.assigned_hits, reference.assigned_hits);
+            assert_eq!(out.space, reference.space);
+        }
+    }
+
+    #[test]
+    fn sharded_runs_are_bit_identical_to_sequential() {
+        let g = barabasi_albert(500, 5, 3).unwrap();
+        let stream = MemoryStream::from_graph(&g, StreamOrder::UniformRandom(4));
+        let config = config_for(&g, 5, count_triangles(&g) / 2);
+        let estimator = MainEstimator::new(config);
+        let reference = estimator.run_seeded(&stream, 11).unwrap();
+        let mut scratch = EstimatorScratch::new();
+        for shards in 1..=8 {
+            for workers in [1, 2, 4] {
+                let view = ShardedStream::from_stream(&stream, shards);
+                let out = estimator
+                    .run_seeded_sharded(&view, 11, DEFAULT_BATCH_SIZE, workers, &mut scratch)
+                    .unwrap();
+                assert_eq!(
+                    out.estimate.to_bits(),
+                    reference.estimate.to_bits(),
+                    "shards {shards} workers {workers}"
+                );
+                assert_eq!(out.d_r, reference.d_r);
+                assert_eq!(out.triangles_found, reference.triangles_found);
+                assert_eq!(out.assigned_hits, reference.assigned_hits);
+                assert_eq!(out.space, reference.space);
+                // A sharded run still uses exactly six passes.
+                assert_eq!(view.passes(), 6);
+            }
+        }
+    }
+
+    #[test]
+    fn pass_timings_cover_all_six_passes() {
+        let g = wheel(300).unwrap();
+        let config = config_for(&g, 3, 299);
+        let out = run_once(&g, &config, 3);
+        assert_eq!(out.pass_nanos.len(), 6);
+        // Wall-clock timers can in principle report zero for a trivial
+        // pass, but the first (reservoir) pass always does real work.
+        assert!(out.pass_nanos[0] > 0);
     }
 
     #[test]

@@ -20,17 +20,23 @@
 //! edge with ties broken consistently — computable from the oracle alone.
 //!
 //! All copies share the same three passes; the batched run below keeps one
-//! weighted-reservoir slot, one neighbor slot and one closure query per copy.
+//! weighted-reservoir slot, one neighbor slot and one closure query per
+//! copy. Like the six-pass estimator, the passes consume the stream through
+//! the batched pass API and keep their lookup state in a reusable
+//! [`EstimatorScratch`] (slot-mapped copy groups, sorted edge-key probes),
+//! so the hot loops allocate nothing per edge.
 
 use degentri_graph::{Edge, Triangle, VertexId};
-use degentri_stream::hashing::{FxHashMap, FxHashSet};
-use degentri_stream::{EdgeStream, SpaceMeter, SpaceReport, WeightedSamplerBank};
+use degentri_stream::{
+    EdgeStream, SpaceMeter, SpaceReport, WeightedSamplerBank, DEFAULT_BATCH_SIZE,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::config::EstimatorConfig;
 use crate::error::EstimatorError;
 use crate::oracle::DegreeOracle;
+use crate::scratch::EstimatorScratch;
 use crate::Result;
 
 /// Outcome of one batched run of the ideal (degree-oracle) estimator.
@@ -72,6 +78,28 @@ impl IdealEstimator {
         S: EdgeStream + ?Sized,
         O: DegreeOracle,
     {
+        self.run_with(
+            stream,
+            oracle,
+            DEFAULT_BATCH_SIZE,
+            &mut EstimatorScratch::new(),
+        )
+    }
+
+    /// Runs the estimator with an explicit chunk size and reusable scratch
+    /// arena. Results are bit-identical to [`run`](IdealEstimator::run) for
+    /// every `batch_size` and any scratch state.
+    pub fn run_with<S, O>(
+        &self,
+        stream: &S,
+        oracle: &O,
+        batch_size: usize,
+        scratch: &mut EstimatorScratch,
+    ) -> Result<IdealOutcome>
+    where
+        S: EdgeStream + ?Sized,
+        O: DegreeOracle,
+    {
         self.config.validate()?;
         let m = stream.num_edges();
         if m == 0 {
@@ -79,19 +107,28 @@ impl IdealEstimator {
         }
         let n = stream.num_vertices();
         let copies = self.config.derive(m, n).r.max(1);
+        let batch = batch_size.max(1);
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut meter = SpaceMeter::new();
+        let EstimatorScratch {
+            vertices,
+            probes,
+            lists,
+            ..
+        } = scratch;
 
         // ---- Pass 1: weighted edge sample per copy, and d_E. -------------
         let mut bank: WeightedSamplerBank<Edge> = WeightedSamplerBank::new(copies);
         meter.charge(bank.retained_words());
         let mut d_e_sum = 0u64;
         meter.charge_word();
-        for edge in stream.pass() {
-            let w = oracle.edge_degree(edge) as f64;
-            d_e_sum += w as u64;
-            bank.observe(edge, w, &mut rng);
-        }
+        stream.pass_batched(batch, &mut |chunk| {
+            for &edge in chunk {
+                let w = oracle.edge_degree(edge) as f64;
+                d_e_sum += w as u64;
+                bank.observe(edge, w, &mut rng);
+            }
+        });
         let samples: Vec<Edge> = bank.samples().into_iter().map(|(e, _)| e).collect();
         if samples.is_empty() {
             // All edge degrees were zero — impossible for a non-empty simple
@@ -100,35 +137,52 @@ impl IdealEstimator {
         }
 
         // ---- Pass 2: uniform neighbor of N(e) for every copy. ------------
-        // Group copies by the lower-degree endpoint so one scan serves all.
-        let mut by_base: FxHashMap<VertexId, Vec<usize>> = FxHashMap::default();
+        // Group copies by the lower-degree endpoint so one scan serves all;
+        // CSR lists keyed by base slot preserve copy order, so the RNG
+        // stream matches the hash-map grouping this replaces.
+        vertices.reset(samples.len());
+        for &e in &samples {
+            vertices.insert(oracle.lower_degree_endpoint(e).raw());
+        }
+        lists.begin(vertices.len());
+        for &e in &samples {
+            lists.count(
+                vertices
+                    .get(oracle.lower_degree_endpoint(e).raw())
+                    .expect("interned base"),
+            );
+        }
+        lists.finish_counts();
         for (i, &e) in samples.iter().enumerate() {
-            by_base
-                .entry(oracle.lower_degree_endpoint(e))
-                .or_default()
-                .push(i);
+            let slot = vertices
+                .get(oracle.lower_degree_endpoint(e).raw())
+                .expect("interned base");
+            lists.push(slot, u32::try_from(i).expect("copy count fits u32"));
         }
         // Reservoir state per copy: chosen neighbor + count of incident edges.
         let mut neighbor: Vec<Option<VertexId>> = vec![None; samples.len()];
         let mut seen: Vec<u64> = vec![0; samples.len()];
         meter.charge(2 * samples.len() as u64);
-        for edge in stream.pass() {
-            for endpoint in [edge.u(), edge.v()] {
-                if let Some(copy_ids) = by_base.get(&endpoint) {
-                    let candidate = edge.other(endpoint).expect("endpoint belongs to edge");
-                    for &i in copy_ids {
-                        seen[i] += 1;
-                        if rng.gen_range(0..seen[i]) == 0 {
-                            neighbor[i] = Some(candidate);
+        stream.pass_batched(batch, &mut |chunk| {
+            for edge in chunk {
+                for endpoint in [edge.u(), edge.v()] {
+                    if let Some(slot) = vertices.get(endpoint.raw()) {
+                        let candidate = edge.other(endpoint).expect("endpoint belongs to edge");
+                        for &i in lists.list(slot) {
+                            let i = i as usize;
+                            seen[i] += 1;
+                            if rng.gen_range(0..seen[i]) == 0 {
+                                neighbor[i] = Some(candidate);
+                            }
                         }
                     }
                 }
             }
-        }
+        });
 
         // ---- Pass 3: does {e, w} close a triangle? ------------------------
         // The closing edge is (other endpoint of e, w).
-        let mut closure_queries: FxHashSet<Edge> = FxHashSet::default();
+        probes.begin();
         let mut query_of_copy: Vec<Option<Edge>> = vec![None; samples.len()];
         for (i, &e) in samples.iter().enumerate() {
             let base = oracle.lower_degree_endpoint(e);
@@ -136,25 +190,27 @@ impl IdealEstimator {
             if let Some(w) = neighbor[i] {
                 if w != other && w != base {
                     let q = Edge::new(other, w);
-                    closure_queries.insert(q);
+                    probes.add(q.key());
                     query_of_copy[i] = Some(q);
                 }
             }
         }
-        meter.charge(closure_queries.len() as u64 + samples.len() as u64);
-        let mut present: FxHashSet<Edge> = FxHashSet::default();
-        for edge in stream.pass() {
-            if closure_queries.contains(&edge) {
-                present.insert(edge);
+        let closure_queries = probes.seal();
+        meter.charge(closure_queries as u64 + samples.len() as u64);
+        stream.pass_batched(batch, &mut |chunk| {
+            for edge in chunk {
+                if let Some(i) = probes.probe(edge.key()) {
+                    probes.mark(i);
+                }
             }
-        }
-        meter.charge(present.len() as u64);
+        });
+        meter.charge(probes.hit_count() as u64);
 
         // ---- Estimate. -----------------------------------------------------
         let mut successes = 0usize;
         for (i, &e) in samples.iter().enumerate() {
             let Some(q) = query_of_copy[i] else { continue };
-            if !present.contains(&q) {
+            if !probes.hit(q.key()) {
                 continue;
             }
             let base = oracle.lower_degree_endpoint(e);
@@ -223,6 +279,29 @@ mod tests {
         let out = IdealEstimator::new(config).run(&stream, &oracle).unwrap();
         assert_eq!(out.passes, 3);
         assert_eq!(stream.passes(), 3);
+    }
+
+    #[test]
+    fn batch_size_and_scratch_reuse_do_not_change_results() {
+        let g = wheel(600).unwrap();
+        let stream = MemoryStream::from_graph(&g, StreamOrder::UniformRandom(5));
+        let oracle = ExactDegreeOracle::build(&stream);
+        let config = EstimatorConfig::builder()
+            .kappa(3)
+            .triangle_lower_bound(299)
+            .seed(21)
+            .build();
+        let estimator = IdealEstimator::new(config);
+        let reference = estimator.run(&stream, &oracle).unwrap();
+        let mut scratch = EstimatorScratch::new();
+        for batch in [1, 13, 4096] {
+            let out = estimator
+                .run_with(&stream, &oracle, batch, &mut scratch)
+                .unwrap();
+            assert_eq!(out.estimate.to_bits(), reference.estimate.to_bits());
+            assert_eq!(out.successes, reference.successes);
+            assert_eq!(out.space, reference.space);
+        }
     }
 
     #[test]

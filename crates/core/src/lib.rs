@@ -61,6 +61,7 @@ pub mod ideal;
 pub mod median_of_means;
 pub mod oracle;
 pub mod runner;
+pub mod scratch;
 pub mod theory;
 
 pub use config::{DerivedParameters, EstimatorConfig, EstimatorConfigBuilder};
@@ -70,8 +71,10 @@ pub use ideal::IdealEstimator;
 pub use oracle::{DegreeOracle, ExactDegreeOracle};
 pub use runner::{
     aggregate_copies, estimate_triangles, estimate_triangles_with_oracle, ideal_copy_seed,
-    main_copy_seed, run_ideal_copy, run_main_copy, CopyContribution, TriangleEstimation,
+    main_copy_seed, run_ideal_copy, run_ideal_copy_with, run_main_copy, run_main_copy_sharded,
+    run_main_copy_with, CopyContribution, TriangleEstimation,
 };
+pub use scratch::EstimatorScratch;
 
 /// Convenient result alias for estimator operations.
 pub type Result<T> = std::result::Result<T, EstimatorError>;

@@ -15,13 +15,14 @@
 //! blocks across worker threads, which is why its results are bit-identical
 //! to this sequential runner.
 
-use degentri_stream::{EdgeStream, SpaceMeter, SpaceReport};
+use degentri_stream::{EdgeStream, ShardedStream, SpaceMeter, SpaceReport, DEFAULT_BATCH_SIZE};
 
 use crate::config::EstimatorConfig;
 use crate::estimator::{MainEstimator, MainOutcome};
 use crate::ideal::{IdealEstimator, IdealOutcome};
 use crate::median_of_means::median_of_means;
 use crate::oracle::DegreeOracle;
+use crate::scratch::EstimatorScratch;
 use crate::Result;
 
 /// Golden-ratio multiplier deriving per-copy seeds for the main estimator.
@@ -51,7 +52,53 @@ pub fn run_main_copy<S: EdgeStream + ?Sized>(
     config: &EstimatorConfig,
     copy: usize,
 ) -> Result<MainOutcome> {
-    MainEstimator::new(config.clone()).run_seeded(stream, main_copy_seed(config.seed, copy))
+    run_main_copy_with(
+        stream,
+        config,
+        copy,
+        DEFAULT_BATCH_SIZE,
+        &mut EstimatorScratch::new(),
+    )
+}
+
+/// [`run_main_copy`] with an explicit chunk size and a reusable per-worker
+/// scratch arena — what a scheduler executing many copies on one thread
+/// should call, so table allocations happen once per worker instead of once
+/// per copy. Bit-identical to [`run_main_copy`] for any arguments.
+pub fn run_main_copy_with<S: EdgeStream + ?Sized>(
+    stream: &S,
+    config: &EstimatorConfig,
+    copy: usize,
+    batch_size: usize,
+    scratch: &mut EstimatorScratch,
+) -> Result<MainOutcome> {
+    MainEstimator::new(config.clone()).run_seeded_with(
+        stream,
+        main_copy_seed(config.seed, copy),
+        batch_size,
+        scratch,
+    )
+}
+
+/// [`run_main_copy`] over a sharded snapshot view: the order-insensitive
+/// passes run shard-parallel on up to `shard_workers` threads, with
+/// per-shard accumulators merged in shard order — bit-identical to
+/// [`run_main_copy`] over the same edges at any shard/worker count.
+pub fn run_main_copy_sharded(
+    sharded: &ShardedStream<'_>,
+    config: &EstimatorConfig,
+    copy: usize,
+    batch_size: usize,
+    shard_workers: usize,
+    scratch: &mut EstimatorScratch,
+) -> Result<MainOutcome> {
+    MainEstimator::new(config.clone()).run_seeded_sharded(
+        sharded,
+        main_copy_seed(config.seed, copy),
+        batch_size,
+        shard_workers,
+        scratch,
+    )
 }
 
 /// Runs one copy of the ideal (degree-oracle) estimator with the seed
@@ -66,9 +113,33 @@ where
     S: EdgeStream + ?Sized,
     O: DegreeOracle,
 {
+    run_ideal_copy_with(
+        stream,
+        oracle,
+        config,
+        copy,
+        DEFAULT_BATCH_SIZE,
+        &mut EstimatorScratch::new(),
+    )
+}
+
+/// [`run_ideal_copy`] with an explicit chunk size and a reusable scratch
+/// arena. Bit-identical to [`run_ideal_copy`] for any arguments.
+pub fn run_ideal_copy_with<S, O>(
+    stream: &S,
+    oracle: &O,
+    config: &EstimatorConfig,
+    copy: usize,
+    batch_size: usize,
+    scratch: &mut EstimatorScratch,
+) -> Result<IdealOutcome>
+where
+    S: EdgeStream + ?Sized,
+    O: DegreeOracle,
+{
     let mut copy_config = config.clone();
     copy_config.seed = ideal_copy_seed(config.seed, copy);
-    IdealEstimator::new(copy_config).run(stream, oracle)
+    IdealEstimator::new(copy_config).run_with(stream, oracle, batch_size, scratch)
 }
 
 /// One copy's contribution to a multi-copy aggregate: what

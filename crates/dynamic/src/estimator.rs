@@ -26,7 +26,7 @@
 
 use degentri_graph::{Edge, VertexId};
 use degentri_stream::hashing::FxHashMap;
-use degentri_stream::{DynamicEdgeStream, SpaceMeter, SpaceReport};
+use degentri_stream::{DynamicEdgeStream, SpaceMeter, SpaceReport, DEFAULT_BATCH_SIZE};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -201,15 +201,10 @@ struct SingleRun {
     m_net: usize,
 }
 
-/// Packs a normalized edge into a sketchable 64-bit index.
-fn edge_index(e: Edge) -> u64 {
-    ((e.u().index() as u64) << 32) | e.v().index() as u64
-}
-
-/// Unpacks [`edge_index`].
-fn index_edge(idx: u64) -> Edge {
-    Edge::from_raw((idx >> 32) as u32, (idx & 0xffff_ffff) as u32)
-}
+// Edges enter the ℓ0 sketches through the canonical `Edge::key` packing
+// (smaller endpoint high, larger low) and come back out via
+// `Edge::from_key` — the same bijection the insert-only hot loops probe
+// with.
 
 impl DynamicTriangleEstimator {
     /// Creates the estimator with the given configuration.
@@ -285,14 +280,16 @@ impl DynamicTriangleEstimator {
             .map(|_| L0Sampler::for_universe(edge_universe, &mut rng))
             .collect();
         let mut net_edges: i64 = 0;
-        for update in stream.pass() {
-            let idx = edge_index(update.edge);
-            let delta = update.delta();
-            net_edges += delta;
-            for sampler in edge_samplers.iter_mut() {
-                sampler.update(idx, delta);
+        stream.pass_batched(DEFAULT_BATCH_SIZE, &mut |chunk| {
+            for update in chunk {
+                let idx = update.edge.key();
+                let delta = update.delta();
+                net_edges += delta;
+                for sampler in edge_samplers.iter_mut() {
+                    sampler.update(idx, delta);
+                }
             }
-        }
+        });
         meter.charge(
             edge_samplers
                 .iter()
@@ -310,7 +307,7 @@ impl DynamicTriangleEstimator {
             .iter()
             .filter_map(|s| s.sample())
             .filter(|&(_, count)| count > 0)
-            .map(|(idx, _)| index_edge(idx))
+            .map(|(idx, _)| Edge::from_key(idx))
             .collect();
         let r = r_edges.len();
         if r == 0 {
@@ -324,15 +321,17 @@ impl DynamicTriangleEstimator {
             endpoint_degree.entry(e.v()).or_insert(0);
         }
         meter.charge(endpoint_degree.len() as u64);
-        for update in stream.pass() {
-            let delta = update.delta();
-            if let Some(d) = endpoint_degree.get_mut(&update.edge.u()) {
-                *d += delta;
+        stream.pass_batched(DEFAULT_BATCH_SIZE, &mut |chunk| {
+            for update in chunk {
+                let delta = update.delta();
+                if let Some(d) = endpoint_degree.get_mut(&update.edge.u()) {
+                    *d += delta;
+                }
+                if let Some(d) = endpoint_degree.get_mut(&update.edge.v()) {
+                    *d += delta;
+                }
             }
-            if let Some(d) = endpoint_degree.get_mut(&update.edge.v()) {
-                *d += delta;
-            }
-        }
+        });
         let degree_of = |v: VertexId| endpoint_degree.get(&v).copied().unwrap_or(0).max(0) as u64;
         let degrees: Vec<u64> = r_edges
             .iter()
@@ -387,20 +386,22 @@ impl DynamicTriangleEstimator {
         for (i, inst) in instances.iter().enumerate() {
             by_base.entry(inst.base).or_default().push(i);
         }
-        for update in stream.pass() {
-            let delta = update.delta();
-            for endpoint in [update.edge.u(), update.edge.v()] {
-                if let Some(ids) = by_base.get(&endpoint) {
-                    let candidate = update
-                        .edge
-                        .other(endpoint)
-                        .expect("endpoint belongs to edge");
-                    for &i in ids {
-                        instances[i].sampler.update(candidate.index() as u64, delta);
+        stream.pass_batched(DEFAULT_BATCH_SIZE, &mut |chunk| {
+            for update in chunk {
+                let delta = update.delta();
+                for endpoint in [update.edge.u(), update.edge.v()] {
+                    if let Some(ids) = by_base.get(&endpoint) {
+                        let candidate = update
+                            .edge
+                            .other(endpoint)
+                            .expect("endpoint belongs to edge");
+                        for &i in ids {
+                            instances[i].sampler.update(candidate.index() as u64, delta);
+                        }
                     }
                 }
             }
-        }
+        });
         meter.charge(
             instances
                 .iter()
@@ -429,11 +430,13 @@ impl DynamicTriangleEstimator {
             }
         }
         meter.charge(closure.len() as u64);
-        for update in stream.pass() {
-            if let Some(c) = closure.get_mut(&update.edge) {
-                *c += update.delta();
+        stream.pass_batched(DEFAULT_BATCH_SIZE, &mut |chunk| {
+            for update in chunk {
+                if let Some(c) = closure.get_mut(&update.edge) {
+                    *c += update.delta();
+                }
             }
-        }
+        });
 
         // Evaluate.
         let mut hits = 0u64;
@@ -590,10 +593,10 @@ mod tests {
     }
 
     #[test]
-    fn edge_index_roundtrip() {
+    fn edge_key_roundtrip() {
         for (a, b) in [(0u32, 1u32), (7, 9), (1000, 2000), (123_456, 654_321)] {
             let e = Edge::from_raw(a, b);
-            assert_eq!(index_edge(edge_index(e)), e);
+            assert_eq!(Edge::from_key(e.key()), e);
         }
     }
 }

@@ -3,7 +3,7 @@
 use degentri_graph::triangles::count_triangles;
 use degentri_graph::{Edge, GraphBuilder};
 use degentri_stream::hashing::FxHashMap;
-use degentri_stream::{DynamicEdgeStream, SpaceMeter, SpaceReport};
+use degentri_stream::{DynamicEdgeStream, SpaceMeter, SpaceReport, DEFAULT_BATCH_SIZE};
 
 /// Maintains the net multiplicity of every edge and counts the triangles of
 /// the surviving graph exactly. One pass, Θ(m) words.
@@ -33,13 +33,15 @@ impl DynamicExactCounter {
     pub fn count<S: DynamicEdgeStream + ?Sized>(&self, stream: &S) -> DynamicExactOutcome {
         let mut meter = SpaceMeter::new();
         let mut net: FxHashMap<Edge, i64> = FxHashMap::default();
-        for update in stream.pass() {
-            let entry = net.entry(update.edge).or_insert_with(|| {
-                meter.charge_table_entry();
-                0
-            });
-            *entry += update.delta();
-        }
+        stream.pass_batched(DEFAULT_BATCH_SIZE, &mut |chunk| {
+            for update in chunk {
+                let entry = net.entry(update.edge).or_insert_with(|| {
+                    meter.charge_table_entry();
+                    0
+                });
+                *entry += update.delta();
+            }
+        });
         let mut builder = GraphBuilder::with_vertices(stream.num_vertices());
         let mut surviving = 0usize;
         for (e, c) in &net {

@@ -1,31 +1,69 @@
 //! Engine configuration.
 
+use degentri_stream::DEFAULT_BATCH_SIZE;
+
+use crate::error::EngineError;
+use crate::Result;
+
 /// Configuration of an [`Engine`](crate::Engine) / of the parallel copy
-/// runners: how many worker threads execute tasks.
+/// runners: worker-pool size, batched-delivery chunk size, and whether idle
+/// workers may be used for intra-copy shard parallelism.
 ///
-/// Worker count only affects wall-clock time, never results: tasks carry
-/// deterministic seeds and are aggregated in task order, so `workers = 1`
-/// and `workers = N` produce bit-identical estimations.
+/// None of these affect results, only wall-clock time: tasks carry
+/// deterministic seeds, sharded passes merge per-shard accumulators in
+/// shard order, and batching only changes chunk boundaries — so any two
+/// configurations produce bit-identical estimations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Number of worker threads (at least 1; capped at the task count when
     /// a run starts).
     pub workers: usize,
+    /// Edges delivered per chunk by the batched pass API (at least 1).
+    pub batch_size: usize,
+    /// Whether a run may split individual estimator copies into sharded
+    /// passes when it has more workers than runnable tasks (see
+    /// [`Engine::run`](crate::Engine::run)). Disabling this restricts the
+    /// engine to copy-level parallelism only.
+    pub intra_task_sharding: bool,
 }
 
 impl EngineConfig {
-    /// A configuration using all available hardware parallelism.
+    /// A configuration using all available hardware parallelism and the
+    /// default batch size.
     pub fn new() -> Self {
         EngineConfig {
             workers: available_workers(),
+            batch_size: DEFAULT_BATCH_SIZE,
+            intra_task_sharding: true,
         }
     }
 
-    /// A configuration with an explicit worker count (clamped to ≥ 1).
+    /// A configuration with an explicit worker count (clamped to ≥ 1) and
+    /// defaults for everything else.
     pub fn with_workers(workers: usize) -> Self {
         EngineConfig {
             workers: workers.max(1),
+            ..EngineConfig::new()
         }
+    }
+
+    /// Starts building a configuration from the defaults of
+    /// [`EngineConfig::new`].
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder {
+            config: EngineConfig::new(),
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.workers == 0 {
+            return Err(EngineError::invalid_config("workers must be at least 1"));
+        }
+        if self.batch_size == 0 {
+            return Err(EngineError::invalid_config("batch_size must be at least 1"));
+        }
+        Ok(())
     }
 
     /// The worker count actually used for `tasks` runnable tasks.
@@ -37,6 +75,46 @@ impl EngineConfig {
 impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig::new()
+    }
+}
+
+/// Builder for [`EngineConfig`], validating at
+/// [`try_build`](EngineConfigBuilder::try_build) time.
+#[derive(Debug, Clone)]
+pub struct EngineConfigBuilder {
+    config: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Sets the worker-pool size.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Sets the batched-delivery chunk size.
+    pub fn batch_size(mut self, batch_size: usize) -> Self {
+        self.config.batch_size = batch_size;
+        self
+    }
+
+    /// Enables or disables intra-copy shard parallelism.
+    pub fn intra_task_sharding(mut self, yes: bool) -> Self {
+        self.config.intra_task_sharding = yes;
+        self
+    }
+
+    /// Validates and finishes building, rejecting zero workers or a zero
+    /// batch size with [`EngineError::InvalidConfig`].
+    pub fn try_build(self) -> Result<EngineConfig> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+
+    /// Finishes building without validating; invalid values surface from
+    /// [`EngineConfig::validate`] when a run starts.
+    pub fn build(self) -> EngineConfig {
+        self.config
     }
 }
 
@@ -59,5 +137,25 @@ mod tests {
         assert_eq!(EngineConfig::with_workers(2).effective_workers(100), 2);
         assert_eq!(EngineConfig::with_workers(2).effective_workers(0), 1);
         assert!(EngineConfig::default().workers >= 1);
+        assert_eq!(EngineConfig::default().batch_size, DEFAULT_BATCH_SIZE);
+        assert!(EngineConfig::default().intra_task_sharding);
+    }
+
+    #[test]
+    fn builder_validates_batch_size_and_workers() {
+        let ok = EngineConfig::builder()
+            .workers(3)
+            .batch_size(512)
+            .intra_task_sharding(false)
+            .try_build()
+            .unwrap();
+        assert_eq!(ok.workers, 3);
+        assert_eq!(ok.batch_size, 512);
+        assert!(!ok.intra_task_sharding);
+        assert!(EngineConfig::builder().batch_size(0).try_build().is_err());
+        assert!(EngineConfig::builder().workers(0).try_build().is_err());
+        // Unvalidated build defers the error to validate().
+        let bad = EngineConfig::builder().batch_size(0).build();
+        assert!(bad.validate().is_err());
     }
 }

@@ -10,12 +10,28 @@ pub enum EngineError {
     /// An estimator copy (or an up-front configuration validation) failed;
     /// the engine reports the first failure in deterministic task order.
     Estimator(EstimatorError),
+    /// An [`EngineConfig`](crate::EngineConfig) was rejected by the builder.
+    InvalidConfig {
+        /// Human-readable description of the invalid parameter.
+        reason: String,
+    },
+}
+
+impl EngineError {
+    pub(crate) fn invalid_config(reason: impl Into<String>) -> Self {
+        EngineError::InvalidConfig {
+            reason: reason.into(),
+        }
+    }
 }
 
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EngineError::Estimator(e) => write!(f, "engine job failed: {e}"),
+            EngineError::InvalidConfig { reason } => {
+                write!(f, "invalid engine configuration: {reason}")
+            }
         }
     }
 }
@@ -24,6 +40,7 @@ impl std::error::Error for EngineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             EngineError::Estimator(e) => Some(e),
+            EngineError::InvalidConfig { .. } => None,
         }
     }
 }

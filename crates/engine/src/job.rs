@@ -41,6 +41,15 @@ impl JobKind {
             JobKind::Baseline(_) => 1,
         }
     }
+
+    /// Whether this job's copies can run their order-insensitive passes
+    /// shard-parallel over a [`ShardedStream`](degentri_stream::ShardedStream)
+    /// view. Only the six-pass estimator supports it today: the ideal
+    /// estimator and the baselines consume RNG (or build graphs) on every
+    /// edge, so their passes are inherently sequential.
+    pub fn supports_intra_task_sharding(&self) -> bool {
+        matches!(self, JobKind::Main(_))
+    }
 }
 
 impl fmt::Debug for JobKind {
@@ -128,6 +137,8 @@ mod tests {
         let ideal = JobSpec::ideal("i", config);
         assert_eq!(ideal.kind.task_count(), 5);
         assert!(format!("{:?}", ideal.kind).contains("Ideal"));
+        assert!(main.kind.supports_intra_task_sharding());
+        assert!(!ideal.kind.supports_intra_task_sharding());
     }
 
     #[test]

@@ -58,10 +58,13 @@ pub mod parallel;
 pub mod scheduler;
 pub mod stats;
 
-pub use config::EngineConfig;
+pub use config::{EngineConfig, EngineConfigBuilder};
 pub use error::EngineError;
 pub use job::{JobKind, JobResult, JobSpec};
-pub use parallel::{parallel_estimate_triangles, parallel_estimate_triangles_with_oracle};
+pub use parallel::{
+    parallel_estimate_triangles, parallel_estimate_triangles_with,
+    parallel_estimate_triangles_with_oracle, parallel_estimate_triangles_with_oracle_and,
+};
 pub use scheduler::{Engine, EngineReport};
 pub use stats::EngineStats;
 

@@ -8,53 +8,36 @@
 //! to [`degentri_core::estimate_triangles`] /
 //! [`degentri_core::estimate_triangles_with_oracle`] at every worker count
 //! — scheduling only changes wall-clock time.
-
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+//!
+//! Each worker thread owns one [`EstimatorScratch`] arena for its whole
+//! lifetime: the hash-free lookup tables of the estimator hot loops are
+//! allocated once per worker and reused across every copy the worker
+//! claims, so steady-state copies allocate nothing per edge.
 
 use degentri_core::{
-    aggregate_copies, run_ideal_copy, run_main_copy, CopyContribution, EstimatorConfig,
-    TriangleEstimation,
+    aggregate_copies, run_ideal_copy_with, run_main_copy_with, CopyContribution, EstimatorConfig,
+    EstimatorScratch, TriangleEstimation,
 };
-use degentri_stream::{EdgeStream, StreamStats};
+use degentri_stream::{run_indexed_pool, EdgeStream, StreamStats};
 
+use crate::config::EngineConfig;
 use crate::Result;
 
 /// Executes `count` indexed tasks on up to `workers` scoped threads and
-/// returns the outputs in task order. Workers claim tasks from a shared
-/// atomic counter (dynamic load balancing: uneven task costs do not idle
-/// workers until the tail).
-pub(crate) fn run_indexed<T, F>(workers: usize, count: usize, task: F) -> Vec<T>
+/// returns the outputs in task order, threading per-worker state (from
+/// `init`) through every task a worker executes — the engine passes a
+/// scratch arena here so tables are allocated per worker, not per copy.
+///
+/// The pool itself ([`degentri_stream::run_indexed_pool`]) is shared with
+/// the sharded pass machinery, so the claim-loop concurrency lives in one
+/// place.
+pub(crate) fn run_indexed_with<W, T, I, F>(workers: usize, count: usize, init: I, task: F) -> Vec<T>
 where
     T: Send,
-    F: Fn(usize) -> T + Sync,
+    I: Fn() -> W + Sync,
+    F: Fn(&mut W, usize) -> T + Sync,
 {
-    let workers = workers.clamp(1, count.max(1));
-    if workers <= 1 || count <= 1 {
-        return (0..count).map(task).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= count {
-                    break;
-                }
-                let output = task(i);
-                *slots[i].lock().expect("result slot poisoned") = Some(output);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("every task index was claimed and completed")
-        })
-        .collect()
+    run_indexed_pool(workers, count, init, task)
 }
 
 /// Collects per-copy results in copy order, surfacing the first failure.
@@ -80,10 +63,32 @@ pub fn parallel_estimate_triangles<S>(
 where
     S: EdgeStream + Sync + ?Sized,
 {
+    parallel_estimate_triangles_with(stream, config, &EngineConfig::with_workers(workers))
+}
+
+/// [`parallel_estimate_triangles`] driven by a full [`EngineConfig`]
+/// (worker count *and* batched-delivery chunk size). Results are
+/// bit-identical at every configuration.
+pub fn parallel_estimate_triangles_with<S>(
+    stream: &S,
+    config: &EstimatorConfig,
+    engine_config: &EngineConfig,
+) -> Result<TriangleEstimation>
+where
+    S: EdgeStream + Sync + ?Sized,
+{
+    engine_config.validate()?;
     config.validate()?;
-    let results = run_indexed(workers, config.copies, |copy| {
-        run_main_copy(stream, config, copy).map(|o| CopyContribution::from(&o))
-    });
+    let batch = engine_config.batch_size;
+    let results = run_indexed_with(
+        engine_config.workers,
+        config.copies,
+        EstimatorScratch::new,
+        |scratch, copy| {
+            run_main_copy_with(stream, config, copy, batch, scratch)
+                .map(|o| CopyContribution::from(&o))
+        },
+    );
     aggregate_results(results)
 }
 
@@ -105,35 +110,96 @@ pub fn parallel_estimate_triangles_with_oracle<S>(
 where
     S: EdgeStream + Sync + ?Sized,
 {
+    parallel_estimate_triangles_with_oracle_and(
+        stream,
+        stats,
+        config,
+        &EngineConfig::with_workers(workers),
+    )
+}
+
+/// [`parallel_estimate_triangles_with_oracle`] driven by a full
+/// [`EngineConfig`].
+pub fn parallel_estimate_triangles_with_oracle_and<S>(
+    stream: &S,
+    stats: &StreamStats,
+    config: &EstimatorConfig,
+    engine_config: &EngineConfig,
+) -> Result<TriangleEstimation>
+where
+    S: EdgeStream + Sync + ?Sized,
+{
+    engine_config.validate()?;
     config.validate()?;
-    let results = run_indexed(workers, config.copies, |copy| {
-        run_ideal_copy(stream, stats, config, copy).map(|o| CopyContribution::from(&o))
-    });
+    let batch = engine_config.batch_size;
+    let results = run_indexed_with(
+        engine_config.workers,
+        config.copies,
+        EstimatorScratch::new,
+        |scratch, copy| {
+            run_ideal_copy_with(stream, stats, config, copy, batch, scratch)
+                .map(|o| CopyContribution::from(&o))
+        },
+    );
     aggregate_results(results)
 }
 
 #[cfg(test)]
 mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
     use super::*;
 
     #[test]
     fn run_indexed_preserves_task_order() {
         for workers in [1, 2, 4, 9] {
-            let out = run_indexed(workers, 100, |i| i * i);
+            let out = run_indexed_with(workers, 100, || (), |(), i| i * i);
             assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
         }
-        assert!(run_indexed(4, 0, |i| i).is_empty());
+        assert!(run_indexed_with(4, 0, || (), |(), i| i).is_empty());
     }
 
     #[test]
     fn run_indexed_balances_uneven_tasks() {
         // Tasks touch a shared counter; all must run exactly once.
         let counter = AtomicUsize::new(0);
-        let out = run_indexed(3, 37, |i| {
-            counter.fetch_add(1, Ordering::Relaxed);
-            i
-        });
+        let out = run_indexed_with(
+            3,
+            37,
+            || (),
+            |(), i| {
+                counter.fetch_add(1, Ordering::Relaxed);
+                i
+            },
+        );
         assert_eq!(out.len(), 37);
         assert_eq!(counter.load(Ordering::Relaxed), 37);
+    }
+
+    #[test]
+    fn worker_local_state_is_threaded_through_tasks() {
+        // Single worker: one state instance sees every task in order.
+        let out = run_indexed_with(
+            1,
+            5,
+            || 0usize,
+            |state, i| {
+                *state += 1;
+                (*state, i)
+            },
+        );
+        assert_eq!(out, vec![(1, 0), (2, 1), (3, 2), (4, 3), (5, 4)]);
+        // Multiple workers: states partition the tasks.
+        let out = run_indexed_with(
+            3,
+            30,
+            || 0usize,
+            |state, _| {
+                *state += 1;
+                *state
+            },
+        );
+        assert_eq!(out.len(), 30);
+        assert!(out.iter().all(|&n| (1..=30).contains(&n)));
     }
 }

@@ -8,17 +8,34 @@
 //! synchronizing after each job. Results are folded back per job in
 //! deterministic submission/copy order, which keeps every estimation
 //! bit-identical to its sequential counterpart.
+//!
+//! When the pool is *wider* than the task list — more workers than
+//! runnable copies — the spare workers are no longer left stalled: for
+//! snapshots that expose their edge storage
+//! ([`EdgeStream::as_edge_slice`]), the scheduler builds one
+//! [`ShardedStream`] view and runs each six-pass copy with shard-parallel
+//! order-insensitive passes, assigning `⌊workers / tasks⌋` threads per
+//! copy. Per-shard accumulators merge in shard order, so this scheduling
+//! decision — like every other — changes wall-clock time only.
 
 use std::time::{Duration, Instant};
 
-use degentri_core::{run_ideal_copy, run_main_copy, CopyContribution};
-use degentri_stream::{EdgeStream, StreamStats};
+use degentri_core::{
+    run_ideal_copy_with, run_main_copy_sharded, run_main_copy_with, CopyContribution,
+    EstimatorScratch,
+};
+use degentri_stream::{EdgeStream, ShardedStream, StreamStats};
 
 use crate::config::EngineConfig;
 use crate::job::{baseline_estimation, JobKind, JobResult, JobSpec};
-use crate::parallel::run_indexed;
+use crate::parallel::run_indexed_with;
 use crate::stats::EngineStats;
 use crate::{EngineError, Result};
+
+/// How many shards each intra-copy worker gets to claim: a few shards per
+/// worker smooths out load imbalance from uneven chunk costs without
+/// shrinking shards below useful sizes.
+const SHARDS_PER_WORKER: usize = 4;
 
 /// A parallel, batched estimation engine over a shared stream snapshot.
 ///
@@ -122,11 +139,13 @@ impl Engine {
         let jobs: Vec<JobSpec> = self.jobs.drain(..).collect();
 
         // Reject invalid configurations before any work starts.
+        self.config.validate()?;
         for spec in &jobs {
             if let Some(config) = spec.kind.config() {
                 config.validate().map_err(EngineError::from)?;
             }
         }
+        let batch = self.config.batch_size;
 
         // The run's timed region starts here so the shared degree-table
         // pass below is covered by the same clock that its edges are
@@ -159,38 +178,77 @@ impl Engine {
 
         let m = stream.num_edges() as u64;
         let workers = self.config.effective_workers(tasks.len());
-        let outputs: Vec<(TaskOutput, Duration)> = run_indexed(workers, tasks.len(), |i| {
-            let task_started = Instant::now();
-            let output = match tasks[i] {
-                Task::MainCopy { job, copy } => {
-                    let JobKind::Main(config) = &jobs[job].kind else {
-                        unreachable!("task kind matches job kind");
-                    };
-                    TaskOutput::Copy(
-                        run_main_copy(stream, config, copy).map(|o| CopyContribution::from(&o)),
-                    )
-                }
-                Task::IdealCopy { job, copy } => {
-                    let JobKind::Ideal(config) = &jobs[job].kind else {
-                        unreachable!("task kind matches job kind");
-                    };
-                    // Copies share the degree table by reference; StreamStats
-                    // answers degree queries directly.
-                    let stats = ideal_stats.as_ref().expect("stats built for ideal jobs");
-                    TaskOutput::Copy(
-                        run_ideal_copy(stream, stats, config, copy)
-                            .map(|o| CopyContribution::from(&o)),
-                    )
-                }
-                Task::Baseline { job } => {
-                    let JobKind::Baseline(counter) = &jobs[job].kind else {
-                        unreachable!("task kind matches job kind");
-                    };
-                    TaskOutput::Baseline(counter.estimate(&stream))
-                }
-            };
-            (output, task_started.elapsed())
-        });
+
+        // Intra-copy shard plan: when the pool is wider than the task list,
+        // split each shardable copy's order-insensitive passes across the
+        // spare workers instead of leaving them idle. Requires a snapshot
+        // that exposes its edge storage for zero-copy sharded views.
+        let shardable = jobs
+            .iter()
+            .any(|spec| spec.kind.supports_intra_task_sharding());
+        let shard_workers = if self.config.intra_task_sharding && shardable && !tasks.is_empty() {
+            (self.config.workers / tasks.len()).max(1)
+        } else {
+            1
+        };
+        let sharded_view: Option<ShardedStream<'_>> = (shard_workers > 1)
+            .then(|| stream.as_edge_slice())
+            .flatten()
+            .map(|edges| {
+                ShardedStream::new(
+                    stream.num_vertices(),
+                    edges,
+                    shard_workers * SHARDS_PER_WORKER,
+                )
+            });
+        let intra_task_workers = if sharded_view.is_some() {
+            shard_workers
+        } else {
+            1
+        };
+
+        let outputs: Vec<(TaskOutput, Duration)> =
+            run_indexed_with(workers, tasks.len(), EstimatorScratch::new, |scratch, i| {
+                let task_started = Instant::now();
+                let output = match tasks[i] {
+                    Task::MainCopy { job, copy } => {
+                        let JobKind::Main(config) = &jobs[job].kind else {
+                            unreachable!("task kind matches job kind");
+                        };
+                        let result = match &sharded_view {
+                            Some(view) => run_main_copy_sharded(
+                                view,
+                                config,
+                                copy,
+                                batch,
+                                intra_task_workers,
+                                scratch,
+                            ),
+                            None => run_main_copy_with(stream, config, copy, batch, scratch),
+                        };
+                        TaskOutput::Copy(result.map(|o| CopyContribution::from(&o)))
+                    }
+                    Task::IdealCopy { job, copy } => {
+                        let JobKind::Ideal(config) = &jobs[job].kind else {
+                            unreachable!("task kind matches job kind");
+                        };
+                        // Copies share the degree table by reference; StreamStats
+                        // answers degree queries directly.
+                        let stats = ideal_stats.as_ref().expect("stats built for ideal jobs");
+                        TaskOutput::Copy(
+                            run_ideal_copy_with(stream, stats, config, copy, batch, scratch)
+                                .map(|o| CopyContribution::from(&o)),
+                        )
+                    }
+                    Task::Baseline { job } => {
+                        let JobKind::Baseline(counter) = &jobs[job].kind else {
+                            unreachable!("task kind matches job kind");
+                        };
+                        TaskOutput::Baseline(counter.estimate(&stream))
+                    }
+                };
+                (output, task_started.elapsed())
+            });
         let wall = started.elapsed();
 
         // Fold task outputs back per job, in deterministic task order.
@@ -251,7 +309,14 @@ impl Engine {
 
         Ok(EngineReport {
             jobs: results,
-            stats: EngineStats::from_run(workers, tasks.len(), wall, busy_total, edges_streamed),
+            stats: EngineStats::from_run(
+                workers,
+                intra_task_workers,
+                tasks.len(),
+                wall,
+                busy_total,
+                edges_streamed,
+            ),
         })
     }
 }
@@ -288,6 +353,17 @@ mod tests {
     }
 
     #[test]
+    fn invalid_engine_config_fails_before_running() {
+        let graph = degentri_gen::wheel(50).unwrap();
+        let stream = MemoryStream::from_graph(&graph, StreamOrder::AsGiven);
+        let mut engine = Engine::new(EngineConfig::builder().batch_size(0).build());
+        assert!(matches!(
+            engine.run(&stream),
+            Err(EngineError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
     fn submit_returns_report_indices() {
         let config = EstimatorConfig::builder()
             .kappa(3)
@@ -304,5 +380,42 @@ mod tests {
         assert_eq!(report.jobs[0].label, "a");
         assert_eq!(report.jobs[1].label, "b");
         assert_eq!(report.jobs[0].tasks, 2);
+    }
+
+    #[test]
+    fn spare_workers_trigger_intra_copy_sharding() {
+        let graph = degentri_gen::wheel(300).unwrap();
+        let stream = MemoryStream::from_graph(&graph, StreamOrder::UniformRandom(3));
+        let config = EstimatorConfig::builder()
+            .kappa(3)
+            .triangle_lower_bound(299)
+            .copies(2)
+            .seed(5)
+            .build();
+        // 8 workers for 2 copies: 4 intra-copy shard workers each.
+        let mut engine = Engine::with_workers(8);
+        engine.submit(JobSpec::main("sharded", config.clone()));
+        let sharded = engine.run(&stream).unwrap();
+        assert_eq!(sharded.stats.intra_task_workers, 4);
+
+        // Copy-only scheduling (sharding disabled) must be bit-identical.
+        let mut engine = Engine::new(
+            EngineConfig::builder()
+                .workers(8)
+                .intra_task_sharding(false)
+                .try_build()
+                .unwrap(),
+        );
+        engine.submit(JobSpec::main("copy-only", config));
+        let copy_only = engine.run(&stream).unwrap();
+        assert_eq!(copy_only.stats.intra_task_workers, 1);
+        assert_eq!(
+            sharded.jobs[0].estimation.estimate.to_bits(),
+            copy_only.jobs[0].estimation.estimate.to_bits()
+        );
+        assert_eq!(
+            sharded.jobs[0].estimation.copy_estimates,
+            copy_only.jobs[0].estimation.copy_estimates
+        );
     }
 }

@@ -8,6 +8,10 @@ use std::time::Duration;
 pub struct EngineStats {
     /// Worker threads the run used.
     pub workers: usize,
+    /// Threads each shardable copy's order-insensitive passes ran on
+    /// (1 = copy-level parallelism only; > 1 = spare workers were folded
+    /// into intra-copy sharded passes).
+    pub intra_task_workers: usize,
     /// Tasks (estimator copies + baseline runs) executed.
     pub tasks: usize,
     /// Wall-clock time of the whole run in seconds.
@@ -28,6 +32,7 @@ impl EngineStats {
     /// Builds the statistics from raw measurements.
     pub(crate) fn from_run(
         workers: usize,
+        intra_task_workers: usize,
         tasks: usize,
         wall: Duration,
         busy: Duration,
@@ -38,6 +43,7 @@ impl EngineStats {
         let denom = wall_seconds.max(1e-12);
         EngineStats {
             workers,
+            intra_task_workers,
             tasks,
             wall_seconds,
             busy_seconds,
@@ -70,12 +76,14 @@ mod tests {
     fn derived_rates_are_consistent() {
         let stats = EngineStats::from_run(
             4,
+            2,
             10,
             Duration::from_millis(500),
             Duration::from_millis(1500),
             1_000_000,
         );
         assert_eq!(stats.workers, 4);
+        assert_eq!(stats.intra_task_workers, 2);
         assert!((stats.edges_per_second - 2_000_000.0).abs() < 1e-6);
         assert!((stats.worker_utilization - 0.75).abs() < 1e-9);
         let text = stats.to_string();
@@ -84,7 +92,7 @@ mod tests {
 
     #[test]
     fn zero_wall_time_does_not_divide_by_zero() {
-        let stats = EngineStats::from_run(1, 1, Duration::ZERO, Duration::ZERO, 10);
+        let stats = EngineStats::from_run(1, 1, 1, Duration::ZERO, Duration::ZERO, 10);
         assert!(stats.edges_per_second.is_finite());
         assert!(stats.worker_utilization.is_finite());
     }

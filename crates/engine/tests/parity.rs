@@ -68,6 +68,54 @@ fn parallel_ideal_estimator_is_bit_identical_to_sequential() {
 }
 
 #[test]
+fn batch_size_and_sharding_never_change_results() {
+    let graph = barabasi_albert(600, 5, 9).unwrap();
+    let stream = MemoryStream::from_graph(&graph, StreamOrder::UniformRandom(3));
+    let config = test_config(5, 700, 3, 31);
+    let sequential = estimate_triangles(&stream, &config).unwrap();
+
+    // Batch size sweep through the full-config entry point.
+    for batch in [1, 17, 4096, 1 << 20] {
+        let engine_config = EngineConfig::builder()
+            .workers(2)
+            .batch_size(batch)
+            .try_build()
+            .unwrap();
+        let parallel =
+            degentri_engine::parallel_estimate_triangles_with(&stream, &config, &engine_config)
+                .unwrap();
+        assert_eq!(parallel.copy_estimates, sequential.copy_estimates);
+        assert_eq!(parallel.estimate.to_bits(), sequential.estimate.to_bits());
+    }
+
+    // Engine scheduling: 3 copies on 9 workers shards each copy 3 ways;
+    // the job result must still match the sequential runner bit for bit.
+    for sharding in [false, true] {
+        let mut engine = Engine::new(
+            EngineConfig::builder()
+                .workers(9)
+                .intra_task_sharding(sharding)
+                .try_build()
+                .unwrap(),
+        );
+        engine.submit(JobSpec::main("sweep", config.clone()));
+        let report = engine.run(&stream).unwrap();
+        assert_eq!(
+            report.jobs[0].estimation.copy_estimates, sequential.copy_estimates,
+            "sharding = {sharding}"
+        );
+        assert_eq!(
+            report.jobs[0].estimation.estimate.to_bits(),
+            sequential.estimate.to_bits()
+        );
+        assert_eq!(
+            report.stats.intra_task_workers,
+            if sharding { 3 } else { 1 }
+        );
+    }
+}
+
+#[test]
 fn repeated_runs_are_deterministic() {
     let graph = wheel(500).unwrap();
     let stream = MemoryStream::from_graph(&graph, StreamOrder::UniformRandom(2));

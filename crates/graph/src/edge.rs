@@ -60,6 +60,35 @@ impl Edge {
         (self.u, self.v)
     }
 
+    /// Packs the edge into a single `u64` key: the smaller endpoint in the
+    /// high 32 bits, the larger in the low 32 bits.
+    ///
+    /// Because edges are stored normalized (`u() < v()`), the packing is a
+    /// bijection between edges and their keys, and the `u64` ordering of
+    /// keys coincides with the `(u, v)` lexicographic ordering of edges —
+    /// which is what lets the hot loops replace hash sets of `Edge` with
+    /// sorted `u64` probe vectors.
+    #[inline]
+    pub const fn key(self) -> u64 {
+        ((self.u.raw() as u64) << 32) | self.v.raw() as u64
+    }
+
+    /// Unpacks a key produced by [`Edge::key`].
+    ///
+    /// # Panics
+    /// Panics if `key` does not encode a normalized edge (high half not
+    /// strictly below the low half).
+    #[inline]
+    pub fn from_key(key: u64) -> Self {
+        let u = (key >> 32) as u32;
+        let v = key as u32;
+        assert!(u < v, "invalid edge key {key:#x}: endpoints not normalized");
+        Edge {
+            u: VertexId::new(u),
+            v: VertexId::new(v),
+        }
+    }
+
     /// Returns `true` if `x` is one of the two endpoints.
     #[inline]
     pub fn contains(self, x: VertexId) -> bool {
@@ -271,6 +300,27 @@ mod tests {
     #[should_panic(expected = "distinct")]
     fn degenerate_triangle_panics() {
         let _ = Triangle::from_raw(1, 1, 2);
+    }
+
+    #[test]
+    fn key_roundtrip_and_ordering() {
+        for (a, b) in [(0u32, 1u32), (2, 5), (1000, 2000), (0, u32::MAX)] {
+            let e = Edge::from_raw(a, b);
+            assert_eq!(Edge::from_key(e.key()), e);
+        }
+        // Key order matches edge order.
+        let e1 = Edge::from_raw(1, 9);
+        let e2 = Edge::from_raw(2, 3);
+        assert_eq!(e1 < e2, e1.key() < e2.key());
+        // Normalization means (a, b) and (b, a) share a key.
+        assert_eq!(Edge::from_raw(9, 4).key(), Edge::from_raw(4, 9).key());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid edge key")]
+    fn malformed_key_panics() {
+        // High half not below low half: not a normalized edge.
+        let _ = Edge::from_key((7u64 << 32) | 3);
     }
 
     #[test]

@@ -142,6 +142,17 @@ proptest! {
     }
 
     #[test]
+    fn edge_key_roundtrip_and_order(g in arb_graph(40, 160)) {
+        // key() is a bijection whose u64 order matches the edge order, so a
+        // sorted edge list maps to a strictly increasing key vector.
+        let keys: Vec<u64> = g.edges().iter().map(|e| e.key()).collect();
+        prop_assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        for (&e, &k) in g.edges().iter().zip(&keys) {
+            prop_assert_eq!(degentri_graph::Edge::from_key(k), e);
+        }
+    }
+
+    #[test]
     fn io_roundtrip(g in arb_graph(30, 100)) {
         let mut buf = Vec::new();
         degentri_graph::io::write_edge_list(&g, &mut buf).unwrap();

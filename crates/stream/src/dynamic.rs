@@ -81,6 +81,29 @@ pub trait DynamicEdgeStream {
     /// Starts a new pass over the update stream. Every pass yields the same
     /// updates in the same order.
     fn pass(&self) -> Box<dyn Iterator<Item = EdgeUpdate> + '_>;
+
+    /// Makes one pass over the update stream in chunks of up to
+    /// `batch_size` updates — the turnstile analogue of
+    /// [`EdgeStream::pass_batched`](crate::EdgeStream::pass_batched). The
+    /// default implementation buffers the boxed [`pass`] iterator into one
+    /// reused allocation; in-memory streams override it to hand out
+    /// zero-copy slices of their backing storage.
+    ///
+    /// [`pass`]: DynamicEdgeStream::pass
+    fn pass_batched(&self, batch_size: usize, visit: &mut dyn FnMut(&[EdgeUpdate])) {
+        let batch = batch_size.max(1);
+        let mut buf: Vec<EdgeUpdate> = Vec::with_capacity(batch.min(self.num_updates().max(1)));
+        for u in self.pass() {
+            buf.push(u);
+            if buf.len() == batch {
+                visit(&buf);
+                buf.clear();
+            }
+        }
+        if !buf.is_empty() {
+            visit(&buf);
+        }
+    }
 }
 
 impl<S: DynamicEdgeStream + ?Sized> DynamicEdgeStream for &S {
@@ -94,6 +117,10 @@ impl<S: DynamicEdgeStream + ?Sized> DynamicEdgeStream for &S {
 
     fn pass(&self) -> Box<dyn Iterator<Item = EdgeUpdate> + '_> {
         (**self).pass()
+    }
+
+    fn pass_batched(&self, batch_size: usize, visit: &mut dyn FnMut(&[EdgeUpdate])) {
+        (**self).pass_batched(batch_size, visit)
     }
 }
 
@@ -235,6 +262,13 @@ impl DynamicEdgeStream for DynamicMemoryStream {
     fn pass(&self) -> Box<dyn Iterator<Item = EdgeUpdate> + '_> {
         Box::new(self.updates.iter().copied())
     }
+
+    fn pass_batched(&self, batch_size: usize, visit: &mut dyn FnMut(&[EdgeUpdate])) {
+        // Zero-copy: chunks borrow the stream's own update storage.
+        for chunk in self.updates.chunks(batch_size.max(1)) {
+            visit(chunk);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -295,6 +329,39 @@ mod tests {
         let p2: Vec<EdgeUpdate> = s.pass().collect();
         assert_eq!(p1, p2);
         assert_eq!(p1.len(), s.num_updates());
+    }
+
+    #[test]
+    fn batched_passes_match_plain_passes() {
+        let g = graph();
+        let s = DynamicMemoryStream::with_churn(&g, 0.5, 11);
+        let sequential: Vec<EdgeUpdate> = s.pass().collect();
+        for batch in [1, 3, 7, 1000] {
+            let mut batched = Vec::new();
+            s.pass_batched(batch, &mut |chunk| {
+                assert!(!chunk.is_empty() && chunk.len() <= batch);
+                batched.extend_from_slice(chunk);
+            });
+            assert_eq!(batched, sequential, "batch {batch}");
+        }
+        // The default (buffering) implementation agrees with the zero-copy
+        // override; exercise it through a wrapper without the override.
+        struct Unbatched(DynamicMemoryStream);
+        impl DynamicEdgeStream for Unbatched {
+            fn num_vertices(&self) -> usize {
+                self.0.num_vertices()
+            }
+            fn num_updates(&self) -> usize {
+                self.0.num_updates()
+            }
+            fn pass(&self) -> Box<dyn Iterator<Item = EdgeUpdate> + '_> {
+                self.0.pass()
+            }
+        }
+        let fallback = Unbatched(s.clone());
+        let mut fell_back = Vec::new();
+        fallback.pass_batched(4, &mut |chunk| fell_back.extend_from_slice(chunk));
+        assert_eq!(fell_back, sequential);
     }
 
     #[test]

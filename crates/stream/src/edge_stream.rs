@@ -43,7 +43,10 @@ pub trait EdgeStream {
     /// [`pass`]: EdgeStream::pass
     fn pass_batched(&self, batch_size: usize, visit: &mut dyn FnMut(&[Edge])) {
         let batch = batch_size.max(1);
-        let mut buf: Vec<Edge> = Vec::with_capacity(batch);
+        // One buffer for the whole pass, sized by what a chunk can actually
+        // hold: a batch size far beyond the stream length must not reserve
+        // memory the pass can never fill.
+        let mut buf: Vec<Edge> = Vec::with_capacity(batch.min(self.num_edges().max(1)));
         for e in self.pass() {
             buf.push(e);
             if buf.len() == batch {
@@ -54,6 +57,17 @@ pub trait EdgeStream {
         if !buf.is_empty() {
             visit(&buf);
         }
+    }
+
+    /// The stream's backing edge slice in stream order, when it has one.
+    ///
+    /// In-memory snapshots return their storage so schedulers can build
+    /// zero-copy [`ShardedStream`](crate::ShardedStream) views over it;
+    /// streams that meter access (like
+    /// [`PassCounter`](crate::PassCounter)) or generate edges lazily return
+    /// `None`, and callers must fall back to the pass APIs.
+    fn as_edge_slice(&self) -> Option<&[Edge]> {
+        None
     }
 }
 
@@ -115,6 +129,10 @@ impl EdgeStream for MemoryStream {
             visit(chunk);
         }
     }
+
+    fn as_edge_slice(&self) -> Option<&[Edge]> {
+        Some(&self.edges)
+    }
 }
 
 impl<S: EdgeStream + ?Sized> EdgeStream for &S {
@@ -132,6 +150,10 @@ impl<S: EdgeStream + ?Sized> EdgeStream for &S {
 
     fn pass_batched(&self, batch_size: usize, visit: &mut dyn FnMut(&[Edge])) {
         (**self).pass_batched(batch_size, visit)
+    }
+
+    fn as_edge_slice(&self) -> Option<&[Edge]> {
+        (**self).as_edge_slice()
     }
 }
 
@@ -240,6 +262,31 @@ mod tests {
             fallback.pass_batched(batch_size, &mut |c| b.extend_from_slice(c));
             assert_eq!(a, b);
         }
+    }
+
+    #[test]
+    fn edge_slice_is_exposed_by_memory_streams_only() {
+        let g = graph();
+        let s = MemoryStream::from_graph(&g, StreamOrder::AsGiven);
+        assert_eq!(s.as_edge_slice().unwrap(), s.edges());
+        let r: &MemoryStream = &s;
+        assert!(EdgeStream::as_edge_slice(&r).is_some());
+        // The default is None: a lazily generated stream has no slice.
+        assert!(UnbatchedStream(s.clone()).as_edge_slice().is_none());
+    }
+
+    #[test]
+    fn oversized_batch_delivers_one_chunk_without_overallocating() {
+        let g = graph();
+        let fallback = UnbatchedStream(MemoryStream::from_graph(&g, StreamOrder::AsGiven));
+        let mut chunks = 0usize;
+        let mut edges = 0usize;
+        fallback.pass_batched(usize::MAX, &mut |chunk| {
+            chunks += 1;
+            edges += chunk.len();
+        });
+        assert_eq!(chunks, 1);
+        assert_eq!(edges, 6);
     }
 
     #[test]

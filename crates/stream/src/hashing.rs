@@ -16,8 +16,7 @@ use degentri_graph::{Edge, VertexId};
 /// hash-based subsampling in the baselines) without storing per-edge state.
 #[inline]
 pub fn edge_hash(e: Edge, salt: u64) -> u64 {
-    let x = ((e.u().raw() as u64) << 32) | e.v().raw() as u64;
-    splitmix64(x ^ salt.rotate_left(17))
+    splitmix64(e.key() ^ salt.rotate_left(17))
 }
 
 /// A fast, deterministic 64-bit mix of a vertex and a salt.

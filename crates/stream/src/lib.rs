@@ -32,7 +32,9 @@ pub mod edge_stream;
 pub mod hashing;
 pub mod ordering;
 pub mod passes;
+pub mod pool;
 pub mod reservoir;
+pub mod sharded;
 pub mod space;
 pub mod stats;
 pub mod weighted_reservoir;
@@ -41,7 +43,9 @@ pub use dynamic::{DynamicEdgeStream, DynamicMemoryStream, EdgeUpdate, UpdateKind
 pub use edge_stream::{EdgeStream, MemoryStream, DEFAULT_BATCH_SIZE};
 pub use ordering::StreamOrder;
 pub use passes::PassCounter;
+pub use pool::run_indexed_pool;
 pub use reservoir::ReservoirSampler;
+pub use sharded::ShardedStream;
 pub use space::{SpaceMeter, SpaceReport};
 pub use stats::StreamStats;
 pub use weighted_reservoir::{WeightedReservoirSampler, WeightedSamplerBank};

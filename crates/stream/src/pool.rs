@@ -1,0 +1,102 @@
+//! A minimal scoped worker pool for indexed tasks.
+//!
+//! One implementation of the "claim indices from an atomic counter on
+//! scoped threads, return outputs in index order" pattern, shared by
+//! [`ShardedStream::pass_sharded`](crate::ShardedStream::pass_sharded) and
+//! the engine's task scheduler — the concurrency subtleties (clamping,
+//! claim loop, order-preserving result slots) live in exactly one place.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Executes `count` indexed tasks on up to `workers` scoped threads and
+/// returns the outputs in task order. Workers claim tasks from a shared
+/// atomic counter (dynamic load balancing: uneven task costs do not idle
+/// workers until the tail), and each worker threads its own mutable state
+/// (from `init`) through every task it executes, so per-worker scratch is
+/// allocated once per worker rather than once per task.
+///
+/// With one worker (or at most one task) everything runs inline on the
+/// calling thread.
+pub fn run_indexed_pool<W, T, I, F>(workers: usize, count: usize, init: I, task: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> W + Sync,
+    F: Fn(&mut W, usize) -> T + Sync,
+{
+    let workers = workers.clamp(1, count.max(1));
+    if workers <= 1 || count <= 1 {
+        let mut state = init();
+        return (0..count).map(|i| task(&mut state, i)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= count {
+                        break;
+                    }
+                    let output = task(&mut state, i);
+                    *slots[i].lock().expect("result slot poisoned") = Some(output);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every task index was claimed and completed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outputs_are_in_task_order() {
+        for workers in [1, 2, 4, 9] {
+            let out = run_indexed_pool(workers, 50, || (), |(), i| i * 3);
+            assert_eq!(out, (0..50).map(|i| i * 3).collect::<Vec<_>>());
+        }
+        assert!(run_indexed_pool(4, 0, || (), |(), i| i).is_empty());
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let out = run_indexed_pool(
+            3,
+            41,
+            || (),
+            |(), i| {
+                counter.fetch_add(1, Ordering::Relaxed);
+                i
+            },
+        );
+        assert_eq!(out.len(), 41);
+        assert_eq!(counter.load(Ordering::Relaxed), 41);
+    }
+
+    #[test]
+    fn worker_state_is_reused_across_tasks() {
+        // Single worker: one state instance sees every task in order.
+        let out = run_indexed_pool(
+            1,
+            4,
+            || 0usize,
+            |state, i| {
+                *state += 1;
+                (*state, i)
+            },
+        );
+        assert_eq!(out, vec![(1, 0), (2, 1), (3, 2), (4, 3)]);
+    }
+}

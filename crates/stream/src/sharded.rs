@@ -1,0 +1,280 @@
+//! Sharded views of an in-memory edge stream.
+//!
+//! A single pass over a [`MemoryStream`](crate::MemoryStream) is serialized
+//! on one iterator. [`ShardedStream`] partitions the snapshot's edge slice
+//! into `S` contiguous ranges — *shards* — that preserve the global edge
+//! order: shard 0 holds the first `⌈m/S⌉` edges, shard 1 the next block,
+//! and so on. Passes that fold the stream into an order-insensitive
+//! accumulator (degree counting, membership marking) can then run one
+//! accumulator per shard on a worker pool and merge the accumulators in
+//! shard order, producing results **bit-identical** to a sequential pass at
+//! any shard or worker count.
+//!
+//! `ShardedStream` also implements [`EdgeStream`] (a plain pass walks the
+//! shards in order, i.e. the original stream order), so the RNG-consuming
+//! passes of an estimator can run over the same view unchanged; only the
+//! shardable passes opt into [`ShardedStream::pass_sharded`].
+//!
+//! Pass accounting: both the plain passes and a sharded pass count as
+//! exactly **one** pass over the stream (every edge is delivered once);
+//! [`ShardedStream::passes`] exposes the counter so tests can assert the
+//! sharded runner keeps the paper's pass budget.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use degentri_graph::Edge;
+
+use crate::edge_stream::{EdgeStream, MemoryStream};
+use crate::pool::run_indexed_pool;
+
+/// A contiguous, order-preserving partition of an edge slice into shards.
+#[derive(Debug)]
+pub struct ShardedStream<'a> {
+    edges: &'a [Edge],
+    num_vertices: usize,
+    /// `shards + 1` offsets into `edges`; shard `s` is
+    /// `edges[bounds[s]..bounds[s + 1]]`.
+    bounds: Vec<usize>,
+    passes: AtomicU32,
+}
+
+impl<'a> ShardedStream<'a> {
+    /// Creates a sharded view over `edges` with **up to** `shards`
+    /// contiguous shards of `⌈m / shards⌉` edges each. The actual count
+    /// ([`ShardedStream::shards`]) can be lower when the ceiling division
+    /// does not divide `m` evenly — partitioning 10 edges 6 ways yields 5
+    /// shards of 2 — so that no shard is ever empty on a non-empty stream
+    /// (an empty stream gets one empty shard).
+    pub fn new(num_vertices: usize, edges: &'a [Edge], shards: usize) -> Self {
+        let m = edges.len();
+        let per_shard = m.div_ceil(shards.clamp(1, m.max(1))).max(1);
+        let mut bounds = Vec::with_capacity(m / per_shard + 2);
+        let mut at = 0usize;
+        bounds.push(0);
+        while at < m {
+            at = (at + per_shard).min(m);
+            bounds.push(at);
+        }
+        if bounds.len() == 1 {
+            bounds.push(0);
+        }
+        ShardedStream {
+            edges,
+            num_vertices,
+            bounds,
+            passes: AtomicU32::new(0),
+        }
+    }
+
+    /// Creates a sharded view of a [`MemoryStream`] snapshot.
+    pub fn from_stream(stream: &'a MemoryStream, shards: usize) -> Self {
+        ShardedStream::new(EdgeStream::num_vertices(stream), stream.edges(), shards)
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// The edges of shard `s` (zero-copy slice of the backing storage).
+    pub fn shard(&self, s: usize) -> &'a [Edge] {
+        &self.edges[self.bounds[s]..self.bounds[s + 1]]
+    }
+
+    /// The global index range shard `s` covers.
+    pub fn shard_range(&self, s: usize) -> Range<usize> {
+        self.bounds[s]..self.bounds[s + 1]
+    }
+
+    /// The full edge slice in global stream order.
+    pub fn edges(&self) -> &'a [Edge] {
+        self.edges
+    }
+
+    /// Number of passes started over this view (plain and sharded passes
+    /// both count as one — every edge is delivered exactly once per pass).
+    pub fn passes(&self) -> u32 {
+        self.passes.load(Ordering::Relaxed)
+    }
+
+    fn note_pass(&self) {
+        self.passes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One pass over the stream, executed shard-parallel: `fold` runs once
+    /// per shard (receiving the shard index and its zero-copy edge slice)
+    /// on up to `workers` scoped threads, and the per-shard accumulators
+    /// are returned **in shard order** so the caller's merge is
+    /// deterministic regardless of scheduling.
+    ///
+    /// `fold` must be order-insensitive across shards (counting, membership
+    /// marking, …) for the merged result to equal a sequential pass; within
+    /// a shard it sees the edges in global stream order.
+    pub fn pass_sharded<T, F>(&self, workers: usize, fold: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, &[Edge]) -> T + Sync,
+    {
+        self.note_pass();
+        run_indexed_pool(
+            workers,
+            self.shards(),
+            || (),
+            |(), s| fold(s, self.shard(s)),
+        )
+    }
+}
+
+impl EdgeStream for ShardedStream<'_> {
+    fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    fn pass(&self) -> Box<dyn Iterator<Item = Edge> + '_> {
+        self.note_pass();
+        Box::new(self.edges.iter().copied())
+    }
+
+    fn pass_batched(&self, batch_size: usize, visit: &mut dyn FnMut(&[Edge])) {
+        // Global stream order; shard boundaries do not affect plain passes.
+        self.note_pass();
+        for chunk in self.edges.chunks(batch_size.max(1)) {
+            visit(chunk);
+        }
+    }
+
+    fn as_edge_slice(&self) -> Option<&[Edge]> {
+        Some(self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ordering::StreamOrder;
+    use degentri_graph::CsrGraph;
+
+    fn stream() -> MemoryStream {
+        let g = CsrGraph::from_raw_edges(
+            8,
+            [
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 0),
+                (0, 2),
+                (1, 3),
+            ],
+        );
+        MemoryStream::from_graph(&g, StreamOrder::UniformRandom(3))
+    }
+
+    #[test]
+    fn shards_partition_in_global_order() {
+        let s = stream();
+        for shards in 1..=12 {
+            let view = ShardedStream::from_stream(&s, shards);
+            assert!(view.shards() >= 1 && view.shards() <= 10);
+            let mut rebuilt: Vec<Edge> = Vec::new();
+            for i in 0..view.shards() {
+                assert_eq!(&s.edges()[view.shard_range(i)], view.shard(i));
+                rebuilt.extend_from_slice(view.shard(i));
+            }
+            assert_eq!(rebuilt, s.edges(), "shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn no_shard_is_ever_empty_on_a_non_empty_stream() {
+        // Shard counts that do not divide m evenly must shrink the shard
+        // count rather than produce empty trailing shards.
+        for m in 1..=12usize {
+            let g = CsrGraph::from_raw_edges(
+                m + 1,
+                (0..m as u32).map(|i| (i, i + 1)).collect::<Vec<_>>(),
+            );
+            let s = MemoryStream::from_graph(&g, StreamOrder::AsGiven);
+            for requested in 1..=(m + 3) {
+                let view = ShardedStream::from_stream(&s, requested);
+                assert!(view.shards() >= 1 && view.shards() <= requested.min(m));
+                for i in 0..view.shards() {
+                    assert!(!view.shard(i).is_empty(), "m {m} requested {requested}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_stream_has_one_empty_shard() {
+        let view = ShardedStream::new(3, &[], 4);
+        assert_eq!(view.shards(), 1);
+        assert!(view.shard(0).is_empty());
+        assert_eq!(EdgeStream::num_edges(&view), 0);
+    }
+
+    #[test]
+    fn plain_passes_preserve_stream_order() {
+        let s = stream();
+        let view = ShardedStream::from_stream(&s, 3);
+        let direct: Vec<Edge> = s.pass().collect();
+        assert_eq!(view.pass().collect::<Vec<_>>(), direct);
+        let mut batched = Vec::new();
+        view.pass_batched(4, &mut |chunk| batched.extend_from_slice(chunk));
+        assert_eq!(batched, direct);
+        assert_eq!(view.as_edge_slice().unwrap(), s.edges());
+        assert_eq!(view.passes(), 2);
+    }
+
+    #[test]
+    fn sharded_pass_merges_in_shard_order_at_any_worker_count() {
+        let s = stream();
+        let sequential: Vec<Edge> = s.pass().collect();
+        for shards in 1..=8 {
+            for workers in [1, 2, 4, 9] {
+                let view = ShardedStream::from_stream(&s, shards);
+                let parts: Vec<Vec<Edge>> = view.pass_sharded(workers, |_, edges| edges.to_vec());
+                assert_eq!(parts.len(), view.shards());
+                let merged: Vec<Edge> = parts.concat();
+                assert_eq!(merged, sequential, "shards {shards} workers {workers}");
+                assert_eq!(view.passes(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_counting_matches_sequential_counting() {
+        let s = stream();
+        let mut expect = vec![0u64; 8];
+        for e in s.pass() {
+            expect[e.u().index()] += 1;
+            expect[e.v().index()] += 1;
+        }
+        for shards in 1..=6 {
+            let view = ShardedStream::from_stream(&s, shards);
+            let per_shard = view.pass_sharded(3, |_, edges| {
+                let mut counts = vec![0u64; 8];
+                for e in edges {
+                    counts[e.u().index()] += 1;
+                    counts[e.v().index()] += 1;
+                }
+                counts
+            });
+            let mut merged = vec![0u64; 8];
+            for counts in per_shard {
+                for (total, c) in merged.iter_mut().zip(counts) {
+                    *total += c;
+                }
+            }
+            assert_eq!(merged, expect);
+        }
+    }
+}

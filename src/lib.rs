@@ -91,6 +91,46 @@
 //! assert_eq!(report.jobs.len(), 3);
 //! assert!(report.stats.edges_per_second > 0.0);
 //! ```
+//!
+//! # Quickstart: sharded passes
+//!
+//! Copy-level parallelism saturates once every worker has a copy; beyond
+//! that, a single pass is serialized on one iterator. A [`ShardedStream`]
+//! view partitions the snapshot into contiguous, order-preserving shards so
+//! the estimator's order-insensitive passes (degree counting, closure
+//! marking) run shard-parallel, with per-shard accumulators merged in shard
+//! order — bit-identical results at any shard or worker count. The engine
+//! does this automatically whenever it has more workers than runnable
+//! copies (see [`EngineConfig`]'s `intra_task_sharding`); it is also
+//! available directly:
+//!
+//! ```
+//! use degentri::core::{EstimatorScratch, MainEstimator};
+//! use degentri::prelude::*;
+//! use degentri::stream::DEFAULT_BATCH_SIZE;
+//!
+//! let graph = degentri::gen::wheel(2000).unwrap();
+//! let stream = MemoryStream::from_graph(&graph, StreamOrder::UniformRandom(1));
+//! let config = EstimatorConfig::builder()
+//!     .epsilon(0.15)
+//!     .kappa(3)
+//!     .triangle_lower_bound(999)
+//!     .seed(7)
+//!     .try_build()
+//!     .unwrap();
+//!
+//! let estimator = MainEstimator::new(config);
+//! let sequential = estimator.run_seeded(&stream, 7).unwrap();
+//!
+//! // Four shards, two shard workers, one reusable scratch arena:
+//! let view = ShardedStream::from_stream(&stream, 4);
+//! let mut scratch = EstimatorScratch::new();
+//! let sharded = estimator
+//!     .run_seeded_sharded(&view, 7, DEFAULT_BATCH_SIZE, 2, &mut scratch)
+//!     .unwrap();
+//! assert_eq!(sharded.estimate.to_bits(), sequential.estimate.to_bits());
+//! assert_eq!(view.passes(), 6); // sharding keeps the paper's pass budget
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -118,8 +158,8 @@ pub mod prelude {
     };
     pub use degentri_graph::{CsrGraph, Edge, GraphBuilder, Triangle, VertexId};
     pub use degentri_stream::{
-        DynamicEdgeStream, DynamicMemoryStream, EdgeStream, EdgeUpdate, MemoryStream, SpaceReport,
-        StreamOrder,
+        DynamicEdgeStream, DynamicMemoryStream, EdgeStream, EdgeUpdate, MemoryStream,
+        ShardedStream, SpaceReport, StreamOrder,
     };
 }
 
