@@ -1,16 +1,27 @@
-//! Machine-readable perf baseline: the first point of the repo's recorded
-//! performance trajectory.
+//! Machine-readable perf baseline: the third point of the repo's recorded
+//! performance trajectory (`BENCH_PR2.json` → `BENCH_PR3.json`).
 //!
-//! Runs the six-pass estimator over a preferential-attachment snapshot
-//! three ways — sequential single copy, engine with copy-level parallelism
-//! only, engine with intra-copy sharded passes — and emits `BENCH_PR2.json`
-//! with edges/sec, per-pass timings, and heap-allocation counts (a counting
-//! global allocator wraps the system one), asserting along the way that all
-//! three paths produce bit-identical estimates.
+//! Runs the six-pass estimator over a preferential-attachment snapshot in
+//! **both randomness regimes** (`RngMode::Sequential` and
+//! `RngMode::Counter`), three ways each — sequential single copy, engine
+//! with copy-level parallelism only, engine with intra-copy sharded passes
+//! — and emits `BENCH_PR3.json` with per-mode edges/sec, per-pass timings
+//! (tagged with which passes sharded), and heap-allocation counts.
+//! Counter mode additionally sweeps shard counts 1..=8 × worker counts
+//! {1, 2, 4}, asserting bit-identical outcomes with all six passes
+//! shard-parallel, and forces the engine's spare-worker path
+//! (`intra_task_workers > 1`) so the sharded scheduling of passes 1/3/5 is
+//! exercised end to end.
+//!
+//! If the previous baseline (`BENCH_PR2.json` by default) is readable, the
+//! run prints per-pass deltas against it and embeds them in the output;
+//! with `BENCH_FAIL_ON_REGRESSION=1` (set by the CI bench-smoke job) the
+//! process exits non-zero when overall single-copy throughput regresses
+//! more than 25% below the baseline.
 //!
 //!   cargo run --release -p degentri-bench --bin perf
 //!   SCALE=4 WORKERS=8 BATCH=8192 cargo run --release -p degentri-bench --bin perf
-//!   BENCH_OUT=/tmp/bench.json cargo run --release -p degentri-bench --bin perf
+//!   BENCH_OUT=/tmp/bench.json BENCH_BASELINE=BENCH_PR2.json cargo run --release -p degentri-bench --bin perf
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
@@ -18,10 +29,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use degentri_bench::common;
-use degentri_core::{EstimatorConfig, EstimatorScratch, MainEstimator};
-use degentri_engine::{Engine, EngineConfig, JobSpec};
+use degentri_core::estimator::MainOutcome;
+use degentri_core::{EstimatorConfig, EstimatorScratch, MainEstimator, RngMode};
+use degentri_engine::{Engine, EngineConfig, EngineReport, JobSpec};
 use degentri_graph::triangles::count_triangles;
-use degentri_stream::{EdgeStream, MemoryStream, StreamOrder};
+use degentri_stream::{EdgeStream, MemoryStream, ShardedStream, StreamOrder, DEFAULT_BATCH_SIZE};
 
 struct CountingAllocator;
 
@@ -63,6 +75,50 @@ const PASS_NAMES: [&str; 6] = [
     "p6_assignment_closure",
 ];
 
+/// Everything measured for one randomness regime.
+struct ModeReport {
+    label: &'static str,
+    wall_seconds: f64,
+    edges_per_second: f64,
+    outcome: MainOutcome,
+    cold_allocs: u64,
+    warm_allocs: u64,
+    engine_copy_only: EngineReport,
+    engine_sharded: EngineReport,
+}
+
+/// Narrows `text` to everything after the first occurrence of `anchor` —
+/// chained calls walk a nested hand-rolled JSON document without a JSON
+/// dependency.
+fn section_after<'a>(text: &'a str, anchor: &str) -> Option<&'a str> {
+    text.find(anchor).map(|at| &text[at + anchor.len()..])
+}
+
+/// Parses the first `"field": <number>` in `text`.
+fn number_after(text: &str, field: &str) -> Option<f64> {
+    let key = format!("\"{field}\":");
+    let rest = section_after(text, &key)?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The single-copy section of one RNG mode in a baseline file, handling
+/// both schema generations: BENCH_PR2's flat `"sequential_single_copy"`
+/// (sequential regime only) and BENCH_PR3+'s `"modes": { "<mode>_rng":
+/// { "single_copy": ... } }` — so the regression gate keeps firing as the
+/// baseline chain advances past PR2.
+fn baseline_single_copy<'a>(text: &'a str, mode: &str) -> Option<&'a str> {
+    let nested = section_after(text, &format!("\"{mode}_rng\""))
+        .and_then(|t| section_after(t, "\"single_copy\""));
+    if mode == "sequential" {
+        nested.or_else(|| section_after(text, "\"sequential_single_copy\""))
+    } else {
+        nested
+    }
+}
+
 fn main() {
     let scale: usize = std::env::var("SCALE")
         .ok()
@@ -73,7 +129,12 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(42);
-    let out_path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_PR2.json".to_string());
+    let out_path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_PR3.json".to_string());
+    let baseline_path =
+        std::env::var("BENCH_BASELINE").unwrap_or_else(|_| "BENCH_PR2.json".to_string());
+    let fail_on_regression = std::env::var("BENCH_FAIL_ON_REGRESSION")
+        .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+        .unwrap_or(false);
 
     let n = 4_000 * scale;
     let graph = degentri_gen::barabasi_albert(n, 8, 1).expect("valid BA parameters");
@@ -84,73 +145,199 @@ fn main() {
     let workers = common::engine_workers();
     let batch = common::engine_batch_size();
     let copies = 4usize;
-    let config = EstimatorConfig::builder()
-        .epsilon(0.1)
-        .kappa(8)
-        .triangle_lower_bound((exact / 2).max(1))
-        .r_constant(20.0)
-        .inner_constant(40.0)
-        .assignment_constant(10.0)
-        .copies(copies)
-        .seed(seed)
-        .try_build()
-        .expect("bench configuration is valid");
+    let config_for = |mode: RngMode| {
+        EstimatorConfig::builder()
+            .epsilon(0.1)
+            .kappa(8)
+            .triangle_lower_bound((exact / 2).max(1))
+            .r_constant(20.0)
+            .inner_constant(40.0)
+            .assignment_constant(10.0)
+            .copies(copies)
+            .seed(seed)
+            .rng_mode(mode)
+            .try_build()
+            .expect("bench configuration is valid")
+    };
 
     eprintln!("perf: barabasi_albert(n = {n}, k = 8) — m = {m}, T = {exact}");
     eprintln!("perf: workers = {workers}, batch = {batch}, copies = {copies}");
 
-    // ---- Sequential single copy: per-pass timings + allocation counts. ----
-    let estimator = MainEstimator::new(config.clone());
-    let mut scratch = EstimatorScratch::new();
-    // Cold run warms the scratch arena (and counts setup allocations).
-    let (cold_outcome, cold_allocs) =
-        allocations_during(|| estimator.run_seeded_with(&stream, seed, batch, &mut scratch));
-    let cold_outcome = cold_outcome.expect("estimator run succeeds");
-    let started = Instant::now();
-    let (warm_outcome, warm_allocs) =
-        allocations_during(|| estimator.run_seeded_with(&stream, seed, batch, &mut scratch));
-    let sequential_wall = started.elapsed().as_secs_f64();
-    let warm_outcome = warm_outcome.expect("estimator run succeeds");
-    assert_eq!(
-        warm_outcome.estimate.to_bits(),
-        cold_outcome.estimate.to_bits(),
-        "scratch reuse must not change results"
-    );
     let sequential_edges = 6_u64 * m as u64;
-    let allocs_per_edge = warm_allocs as f64 / sequential_edges as f64;
-
-    // ---- Engine: copy-only vs sharded scheduling of the same job. --------
-    let run_engine = |sharding: bool| {
-        let mut engine = Engine::new(
-            EngineConfig::builder()
-                .workers(workers)
-                .batch_size(batch)
-                .intra_task_sharding(sharding)
-                .try_build()
-                .expect("engine configuration is valid"),
+    let run_mode = |mode: RngMode, label: &'static str| -> ModeReport {
+        let config = config_for(mode);
+        let estimator = MainEstimator::new(config.clone());
+        let mut scratch = EstimatorScratch::new();
+        // Cold run warms the scratch arena (and counts setup allocations).
+        let (cold_outcome, cold_allocs) =
+            allocations_during(|| estimator.run_seeded_with(&stream, seed, batch, &mut scratch));
+        let cold_outcome = cold_outcome.expect("estimator run succeeds");
+        let started = Instant::now();
+        let (warm_outcome, warm_allocs) =
+            allocations_during(|| estimator.run_seeded_with(&stream, seed, batch, &mut scratch));
+        let wall_seconds = started.elapsed().as_secs_f64();
+        let warm_outcome = warm_outcome.expect("estimator run succeeds");
+        assert_eq!(
+            warm_outcome.estimate.to_bits(),
+            cold_outcome.estimate.to_bits(),
+            "scratch reuse must not change results ({label})"
         );
-        engine.submit(JobSpec::main("six-pass", config.clone()));
-        engine.run(&stream).expect("engine run succeeds")
+
+        // Engine: copy-only vs sharded scheduling of the same job, with
+        // the engine forcing this mode onto the job.
+        let run_engine = |sharding: bool| {
+            let mut engine = Engine::new(
+                EngineConfig::builder()
+                    .workers(workers)
+                    .batch_size(batch)
+                    .intra_task_sharding(sharding)
+                    .rng_mode(mode)
+                    .try_build()
+                    .expect("engine configuration is valid"),
+            );
+            engine.submit(JobSpec::main("six-pass", config.clone()));
+            engine.run(&stream).expect("engine run succeeds")
+        };
+        let engine_copy_only = run_engine(false);
+        let engine_sharded = run_engine(true);
+        assert_eq!(
+            engine_copy_only.jobs[0].estimation.estimate.to_bits(),
+            engine_sharded.jobs[0].estimation.estimate.to_bits(),
+            "sharded scheduling must be bit-identical to copy-only ({label})"
+        );
+        assert_eq!(
+            engine_copy_only.jobs[0].estimation.copy_estimates,
+            engine_sharded.jobs[0].estimation.copy_estimates,
+        );
+
+        ModeReport {
+            label,
+            wall_seconds,
+            edges_per_second: sequential_edges as f64 / wall_seconds.max(1e-12),
+            outcome: warm_outcome,
+            cold_allocs,
+            warm_allocs,
+            engine_copy_only,
+            engine_sharded,
+        }
     };
-    let copy_only = run_engine(false);
-    let sharded = run_engine(true);
+
+    let sequential_mode = run_mode(RngMode::Sequential, "sequential_rng");
+    let counter_mode = run_mode(RngMode::Counter, "counter_rng");
+
+    // ---- Counter-mode parity sweep: shards 1..=8 × workers {1, 2, 4}. ----
+    let counter_config = config_for(RngMode::Counter);
+    let counter_estimator = MainEstimator::new(counter_config.clone());
+    let reference = counter_estimator
+        .run_seeded(&stream, seed)
+        .expect("counter reference run succeeds");
+    let shard_workers_tested = [1usize, 2, 4];
+    let mut scratch = EstimatorScratch::new();
+    for shards in 1..=8usize {
+        for &shard_workers in &shard_workers_tested {
+            let view = ShardedStream::from_stream(&stream, shards);
+            let out = counter_estimator
+                .run_seeded_sharded(&view, seed, DEFAULT_BATCH_SIZE, shard_workers, &mut scratch)
+                .expect("sharded counter run succeeds");
+            assert_eq!(
+                out.estimate.to_bits(),
+                reference.estimate.to_bits(),
+                "counter mode must be bit-identical at shards {shards} workers {shard_workers}"
+            );
+            assert_eq!(out.d_r, reference.d_r);
+            assert_eq!(out.assigned_hits, reference.assigned_hits);
+            assert_eq!(out.space, reference.space);
+            assert_eq!(
+                out.sharded_passes, [true; 6],
+                "all six passes must shard in counter mode"
+            );
+        }
+    }
+
+    // ---- Engine spare-worker path: force intra-copy sharding so the
+    // scheduler actually routes passes 1/3/5 through the sharded view. ----
+    let mut wide_engine = Engine::new(
+        EngineConfig::builder()
+            .workers(2 * copies)
+            .batch_size(batch)
+            .rng_mode(RngMode::Counter)
+            .try_build()
+            .expect("engine configuration is valid"),
+    );
+    wide_engine.submit(JobSpec::main("six-pass", counter_config.clone()));
+    let wide_report = wide_engine.run(&stream).expect("engine run succeeds");
     assert_eq!(
-        copy_only.jobs[0].estimation.estimate.to_bits(),
-        sharded.jobs[0].estimation.estimate.to_bits(),
-        "sharded scheduling must be bit-identical to copy-only"
+        wide_report.stats.intra_task_workers, 2,
+        "spare workers must trigger intra-copy sharding"
     );
     assert_eq!(
-        copy_only.jobs[0].estimation.copy_estimates,
-        sharded.jobs[0].estimation.copy_estimates,
+        wide_report.jobs[0].estimation.copy_estimates,
+        counter_mode.engine_copy_only.jobs[0]
+            .estimation
+            .copy_estimates,
+        "spare-worker sharding must not change results"
     );
 
-    // ---- Emit BENCH_PR2.json (hand-rolled: no JSON dependency). ----------
+    // ---- Baseline comparison (per-pass deltas vs the previous point). ----
+    let baseline = std::fs::read_to_string(&baseline_path).ok();
+    // Same-regime comparisons where the baseline has them: a PR2 baseline
+    // only carries the sequential regime, so counter mode falls back to
+    // comparing against it (that gap *is* the PR3 improvement).
+    let baseline_sequential = baseline
+        .as_deref()
+        .and_then(|text| baseline_single_copy(text, "sequential"))
+        .and_then(|t| number_after(t, "edges_per_second"));
+    let baseline_counter = baseline
+        .as_deref()
+        .and_then(|text| baseline_single_copy(text, "counter"))
+        .and_then(|t| number_after(t, "edges_per_second"));
+    let baseline_p5 = baseline
+        .as_deref()
+        .and_then(|text| {
+            baseline_single_copy(text, "counter")
+                .or_else(|| baseline_single_copy(text, "sequential"))
+        })
+        .and_then(|t| section_after(t, "\"p5_assignment_gather\""))
+        .and_then(|t| number_after(t, "edges_per_second"));
+    let pass_eps = |outcome: &MainOutcome, pass: usize| {
+        m as f64 / (outcome.pass_nanos[pass] as f64 / 1e9).max(1e-12)
+    };
+    if let Some(text) = baseline.as_deref() {
+        eprintln!("perf: baseline {baseline_path} per-pass deltas (vs its sequential regime):");
+        let section = baseline_single_copy(text, "sequential").unwrap_or(text);
+        let mut rest = section;
+        for (i, name) in PASS_NAMES.iter().enumerate() {
+            let old = match section_after(rest, &format!("\"{name}\"")) {
+                Some(after) => {
+                    rest = after;
+                    match number_after(after, "edges_per_second") {
+                        Some(v) => v,
+                        None => continue,
+                    }
+                }
+                None => continue,
+            };
+            let seq = pass_eps(&sequential_mode.outcome, i);
+            let ctr = pass_eps(&counter_mode.outcome, i);
+            eprintln!(
+                "perf:   {name}: baseline {old:.0} e/s, sequential {seq:.0} e/s ({:+.1}%), counter {ctr:.0} e/s ({:+.1}%)",
+                100.0 * (seq / old - 1.0),
+                100.0 * (ctr / old - 1.0),
+            );
+        }
+    } else {
+        eprintln!("perf: baseline {baseline_path} not found; skipping deltas");
+    }
+    let p5_counter = pass_eps(&counter_mode.outcome, 4);
+    let p5_speedup = baseline_p5.map(|old| p5_counter / old);
+
+    // ---- Emit BENCH_PR3.json (hand-rolled: no JSON dependency). ----------
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"bench\": \"BENCH_PR2\",");
+    let _ = writeln!(json, "  \"bench\": \"BENCH_PR3\",");
     let _ = writeln!(
         json,
-        "  \"description\": \"six-pass estimator throughput: sequential vs engine copy-only vs engine sharded\","
+        "  \"description\": \"six-pass estimator throughput per RNG mode: sequential vs counter-based per-edge randomness, each sequential vs engine copy-only vs engine sharded\","
     );
     let _ = writeln!(json, "  \"graph\": {{");
     let _ = writeln!(json, "    \"generator\": \"barabasi_albert\",");
@@ -165,47 +352,126 @@ fn main() {
     let _ = writeln!(json, "    \"seed\": {seed},");
     let _ = writeln!(json, "    \"scale\": {scale}");
     let _ = writeln!(json, "  }},");
-    let _ = writeln!(json, "  \"sequential_single_copy\": {{");
-    let _ = writeln!(json, "    \"wall_seconds\": {sequential_wall:.6},");
+    let _ = writeln!(json, "  \"modes\": {{");
+    for (at, mode) in [&sequential_mode, &counter_mode].iter().enumerate() {
+        let _ = writeln!(json, "    \"{}\": {{", mode.label);
+        let _ = writeln!(json, "      \"single_copy\": {{");
+        let _ = writeln!(json, "        \"wall_seconds\": {:.6},", mode.wall_seconds);
+        let _ = writeln!(
+            json,
+            "        \"edges_per_second\": {:.0},",
+            mode.edges_per_second
+        );
+        let _ = writeln!(json, "        \"per_pass\": [");
+        for (i, name) in PASS_NAMES.iter().enumerate() {
+            let nanos = mode.outcome.pass_nanos[i];
+            let eps = pass_eps(&mode.outcome, i);
+            let comma = if i + 1 < PASS_NAMES.len() { "," } else { "" };
+            let _ = writeln!(
+                json,
+                "          {{ \"pass\": \"{name}\", \"nanos\": {nanos}, \"edges_per_second\": {eps:.0} }}{comma}"
+            );
+        }
+        let _ = writeln!(json, "        ]");
+        let _ = writeln!(json, "      }},");
+        for (label, report) in [
+            ("engine_copy_only", &mode.engine_copy_only),
+            ("engine_sharded", &mode.engine_sharded),
+        ] {
+            let s = &report.stats;
+            let _ = writeln!(json, "      \"{label}\": {{");
+            let _ = writeln!(json, "        \"wall_seconds\": {:.6},", s.wall_seconds);
+            let _ = writeln!(json, "        \"edges_streamed\": {},", s.edges_streamed);
+            let _ = writeln!(
+                json,
+                "        \"edges_per_second\": {:.0},",
+                s.edges_per_second
+            );
+            let _ = writeln!(
+                json,
+                "        \"worker_utilization\": {:.4},",
+                s.worker_utilization
+            );
+            let _ = writeln!(
+                json,
+                "        \"intra_task_workers\": {}",
+                s.intra_task_workers
+            );
+            let _ = writeln!(json, "      }},");
+        }
+        let _ = writeln!(json, "      \"allocations\": {{");
+        let _ = writeln!(json, "        \"cold_run\": {},", mode.cold_allocs);
+        let _ = writeln!(json, "        \"warm_run\": {},", mode.warm_allocs);
+        let _ = writeln!(
+            json,
+            "        \"edges_streamed_per_run\": {sequential_edges},"
+        );
+        let _ = writeln!(
+            json,
+            "        \"allocations_per_edge\": {:.6}",
+            mode.warm_allocs as f64 / sequential_edges as f64
+        );
+        let _ = writeln!(json, "      }}");
+        let comma = if at == 0 { "," } else { "" };
+        let _ = writeln!(json, "    }}{comma}");
+    }
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"counter_parity\": {{");
+    let _ = writeln!(json, "    \"shards_tested\": \"1..=8\",");
+    let _ = writeln!(json, "    \"shard_workers_tested\": [1, 2, 4],");
+    let _ = writeln!(json, "    \"bit_identical_across_shards\": true,");
+    let _ = writeln!(json, "    \"all_six_passes_sharded\": true,");
     let _ = writeln!(
         json,
-        "    \"edges_per_second\": {:.0},",
-        sequential_edges as f64 / sequential_wall.max(1e-12)
+        "    \"engine_intra_task_workers\": {},",
+        wide_report.stats.intra_task_workers
     );
-    let _ = writeln!(json, "    \"per_pass\": [");
-    for (i, name) in PASS_NAMES.iter().enumerate() {
-        let nanos = warm_outcome.pass_nanos[i];
-        let eps = m as f64 / (nanos as f64 / 1e9).max(1e-12);
-        let comma = if i + 1 < PASS_NAMES.len() { "," } else { "" };
-        let _ = writeln!(
-            json,
-            "      {{ \"pass\": \"{name}\", \"nanos\": {nanos}, \"edges_per_second\": {eps:.0} }}{comma}"
-        );
-    }
-    let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "    \"engine_sharded_matches_copy_only\": true");
     let _ = writeln!(json, "  }},");
-    for (label, report) in [
-        ("engine_copy_only", &copy_only),
-        ("engine_sharded", &sharded),
-    ] {
-        let s = &report.stats;
-        let _ = writeln!(json, "  \"{label}\": {{");
-        let _ = writeln!(json, "    \"wall_seconds\": {:.6},", s.wall_seconds);
-        let _ = writeln!(json, "    \"edges_streamed\": {},", s.edges_streamed);
-        let _ = writeln!(json, "    \"edges_per_second\": {:.0},", s.edges_per_second);
-        let _ = writeln!(
-            json,
-            "    \"worker_utilization\": {:.4},",
-            s.worker_utilization
-        );
-        let _ = writeln!(json, "    \"intra_task_workers\": {}", s.intra_task_workers);
-        let _ = writeln!(json, "  }},");
-    }
-    let _ = writeln!(json, "  \"allocations\": {{");
-    let _ = writeln!(json, "    \"cold_run\": {cold_allocs},");
-    let _ = writeln!(json, "    \"warm_run\": {warm_allocs},");
-    let _ = writeln!(json, "    \"edges_streamed_per_run\": {sequential_edges},");
-    let _ = writeln!(json, "    \"allocations_per_edge\": {allocs_per_edge:.6}");
+    let _ = writeln!(json, "  \"vs_baseline\": {{");
+    let _ = writeln!(json, "    \"file\": \"{baseline_path}\",");
+    let _ = writeln!(
+        json,
+        "    \"baseline_sequential_edges_per_second\": {},",
+        baseline_sequential.map_or("null".to_string(), |v| format!("{v:.0}"))
+    );
+    let _ = writeln!(
+        json,
+        "    \"baseline_counter_edges_per_second\": {},",
+        baseline_counter.map_or("null".to_string(), |v| format!("{v:.0}"))
+    );
+    let _ = writeln!(
+        json,
+        "    \"sequential_mode_delta_percent\": {},",
+        baseline_sequential.map_or("null".to_string(), |old| format!(
+            "{:.1}",
+            100.0 * (sequential_mode.edges_per_second / old - 1.0)
+        ))
+    );
+    let _ = writeln!(
+        json,
+        "    \"counter_mode_delta_percent\": {},",
+        baseline_counter
+            .or(baseline_sequential)
+            .map_or("null".to_string(), |old| format!(
+                "{:.1}",
+                100.0 * (counter_mode.edges_per_second / old - 1.0)
+            ))
+    );
+    let _ = writeln!(
+        json,
+        "    \"baseline_pass5_edges_per_second\": {},",
+        baseline_p5.map_or("null".to_string(), |v| format!("{v:.0}"))
+    );
+    let _ = writeln!(
+        json,
+        "    \"counter_pass5_edges_per_second\": {p5_counter:.0},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"counter_pass5_speedup\": {}",
+        p5_speedup.map_or("null".to_string(), |v| format!("{v:.2}"))
+    );
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"parity\": {{");
     let _ = writeln!(json, "    \"sharded_equals_copy_only\": true,");
@@ -213,16 +479,79 @@ fn main() {
     let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
 
+    // Round-trip self-check: the schema this binary emits must stay
+    // readable by its own baseline parser, or the next PR's regression
+    // gate would silently disarm.
+    for (mode, expected) in [
+        ("sequential", sequential_mode.edges_per_second),
+        ("counter", counter_mode.edges_per_second),
+    ] {
+        let parsed = baseline_single_copy(&json, mode)
+            .and_then(|t| number_after(t, "edges_per_second"))
+            .expect("emitted JSON must parse as its own baseline");
+        assert!(
+            (parsed - expected).abs() < 1.0,
+            "baseline reader disagrees with emitted {mode} throughput"
+        );
+    }
+    assert!(
+        baseline_single_copy(&json, "counter")
+            .and_then(|t| section_after(t, "\"p5_assignment_gather\""))
+            .and_then(|t| number_after(t, "edges_per_second"))
+            .is_some(),
+        "emitted JSON must expose the per-pass baseline anchors"
+    );
+
     std::fs::write(&out_path, &json).expect("write bench output");
-    eprintln!(
-        "perf: sequential {:.0} edges/s, copy-only {:.0} edges/s, sharded {:.0} edges/s",
-        sequential_edges as f64 / sequential_wall.max(1e-12),
-        copy_only.stats.edges_per_second,
-        sharded.stats.edges_per_second
-    );
-    eprintln!(
-        "perf: warm-run allocations {warm_allocs} over {sequential_edges} streamed edges \
-         ({allocs_per_edge:.6}/edge)"
-    );
+    for mode in [&sequential_mode, &counter_mode] {
+        eprintln!(
+            "perf: [{}] sequential {:.0} edges/s, copy-only {:.0} edges/s, sharded {:.0} edges/s, warm allocs {} ({:.6}/edge)",
+            mode.label,
+            mode.edges_per_second,
+            mode.engine_copy_only.stats.edges_per_second,
+            mode.engine_sharded.stats.edges_per_second,
+            mode.warm_allocs,
+            mode.warm_allocs as f64 / sequential_edges as f64,
+        );
+    }
+    if let Some(speedup) = p5_speedup {
+        eprintln!(
+            "perf: pass-5 counter {:.0} edges/s vs baseline {:.0} edges/s — {speedup:.2}x",
+            p5_counter,
+            baseline_p5.unwrap_or(0.0)
+        );
+    }
     eprintln!("perf: wrote {out_path}");
+
+    // ---- CI regression gate: >25% below baseline fails the job. ----------
+    let gates = [
+        (
+            "sequential",
+            sequential_mode.edges_per_second,
+            baseline_sequential,
+        ),
+        (
+            "counter",
+            counter_mode.edges_per_second,
+            baseline_counter.or(baseline_sequential),
+        ),
+    ];
+    let mut regressed = false;
+    for (mode, measured, reference) in gates {
+        if let Some(old) = reference {
+            if measured < 0.75 * old {
+                regressed = true;
+                eprintln!(
+                    "perf: REGRESSION — {mode}-mode single-copy throughput {measured:.0} edges/s \
+                     fell more than 25% below the {baseline_path} baseline of {old:.0} edges/s"
+                );
+            }
+        }
+    }
+    if regressed {
+        if fail_on_regression {
+            std::process::exit(1);
+        }
+        eprintln!("perf: (set BENCH_FAIL_ON_REGRESSION=1 to make this fatal)");
+    }
 }

@@ -30,8 +30,9 @@
 use degentri_graph::{CsrGraph, Edge, Triangle};
 use degentri_stream::hashing::FxHashMap;
 use degentri_stream::SpaceMeter;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+
+use crate::rng::{streams, CounterRng};
+use crate::scratch::EdgeValueCache;
 
 /// Thresholds and sample size used by the assignment procedure.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -114,13 +115,24 @@ impl AssignmentMemo {
 }
 
 /// Reference implementation of Algorithm 3 backed by a [`CsrGraph`].
+///
+/// Randomness is **stateless**: neighbor sample `j` at a vertex is the
+/// keyed draw `hash(seed, vertex, j)` (see [`crate::rng`]), so an edge's
+/// estimate `Y_e` is a pure function of `(seed, e)`. That purity is what
+/// makes the per-edge memo cache sound — a second triangle sharing the
+/// edge would recompute the *same* samples, so the cache answers instead
+/// of resampling (distinct candidate triangles share edges and endpoints,
+/// making duplicate queries the common case) — and it also keeps repeated
+/// `IsAssigned` calls consistent by construction rather than by memo
+/// alone.
 #[derive(Debug)]
 pub struct GraphAssignmentOracle<'g> {
     graph: &'g CsrGraph,
     params: AssignmentParams,
     memo: AssignmentMemo,
+    estimates: EdgeValueCache,
     meter: SpaceMeter,
-    rng: StdRng,
+    rng: CounterRng,
 }
 
 impl<'g> GraphAssignmentOracle<'g> {
@@ -130,8 +142,9 @@ impl<'g> GraphAssignmentOracle<'g> {
             graph,
             params,
             memo: AssignmentMemo::new(),
+            estimates: EdgeValueCache::new(),
             meter: SpaceMeter::new(),
-            rng: StdRng::seed_from_u64(seed),
+            rng: CounterRng::new(seed, streams::ORACLE_NEIGHBOR),
         }
     }
 
@@ -157,11 +170,16 @@ impl<'g> GraphAssignmentOracle<'g> {
     /// The sampling estimate `Y_e` of `t_e` (lines 8–16 of Algorithm 3):
     /// `∞` above the degree cutoff, otherwise `d_e/s · Σ_j Y_j` where `Y_j`
     /// indicates whether a uniform neighbor of `N(e)` closes a triangle
-    /// with `e`.
+    /// with `e`. Memoized per edge: the keyed randomness makes the value a
+    /// pure function of the seed and the edge, so the first computation is
+    /// also the only one.
     pub fn estimate_edge_triangle_degree(&mut self, e: Edge) -> f64 {
         let d_e = self.graph.edge_degree(e) as f64;
         if d_e > self.params.degree_cutoff {
             return f64::INFINITY;
+        }
+        if let Some(cached) = self.estimates.get(e.key()) {
+            return cached;
         }
         let base = self.graph.lower_degree_endpoint(e);
         let other = e.other(base).expect("edge endpoints");
@@ -172,19 +190,31 @@ impl<'g> GraphAssignmentOracle<'g> {
         // Charge the sample buffer: s counters retained while estimating.
         self.meter.charge(self.params.samples as u64);
         let mut hits = 0u64;
-        for _ in 0..self.params.samples {
-            let w = neighbors[self.rng.gen_range(0..neighbors.len())];
+        for j in 0..self.params.samples {
+            // Stateless per-query randomness: hash(seed, vertex, draw).
+            let pick = self
+                .rng
+                .bounded(base.raw() as u64, j as u64, neighbors.len() as u64);
+            let w = neighbors[pick as usize];
             if w != other && self.graph.has_edge(other, w) {
                 hits += 1;
             }
         }
         self.meter.release(self.params.samples as u64);
-        d_e * hits as f64 / self.params.samples as f64
+        let estimate = d_e * hits as f64 / self.params.samples as f64;
+        self.estimates.insert(e.key(), estimate);
+        self.meter.charge_table_entry();
+        estimate
     }
 
     /// Number of distinct triangles memoized so far.
     pub fn memoized(&self) -> usize {
         self.memo.len()
+    }
+
+    /// Number of distinct per-edge `Y_e` estimates cached so far.
+    pub fn cached_estimates(&self) -> usize {
+        self.estimates.len()
     }
 
     /// Peak words of retained state (samples + memo entries).
@@ -348,6 +378,42 @@ mod tests {
         for &t in counts.triangles.iter().take(5) {
             assert_eq!(exact_min_te_assignment(&counts, t, 0.5), None);
         }
+    }
+
+    #[test]
+    fn stateless_estimates_are_pure_and_cached() {
+        let g = wheel(300).unwrap();
+        let params = params_for(&g, 0.2, 3, 64);
+        let counts = TriangleCounts::compute(&g);
+        // Two independent oracles with the same seed agree on every edge —
+        // the randomness is a pure function of (seed, vertex, draw).
+        let mut a = GraphAssignmentOracle::new(&g, params, 7);
+        let mut b = GraphAssignmentOracle::new(&g, params, 7);
+        for &t in counts.triangles.iter().take(30) {
+            for e in t.edges() {
+                assert_eq!(
+                    a.estimate_edge_triangle_degree(e).to_bits(),
+                    b.estimate_edge_triangle_degree(e).to_bits()
+                );
+            }
+        }
+        // A different seed draws different samples somewhere.
+        let mut c = GraphAssignmentOracle::new(&g, params, 8);
+        let differs = counts.triangles.iter().take(30).any(|t| {
+            t.edges()
+                .into_iter()
+                .any(|e| c.estimate_edge_triangle_degree(e) != a.estimate_edge_triangle_degree(e))
+        });
+        assert!(differs, "seed should matter");
+        // Adjacent wheel triangles share edges: the per-edge cache must
+        // hold fewer entries than the 3 × triangles naive query count.
+        let mut oracle = GraphAssignmentOracle::new(&g, params, 11);
+        for &t in &counts.triangles {
+            let _ = oracle.assignment(t);
+        }
+        assert_eq!(oracle.memoized(), counts.triangles.len());
+        assert!(oracle.cached_estimates() < 3 * counts.triangles.len());
+        assert!(oracle.cached_estimates() > 0);
     }
 
     #[test]

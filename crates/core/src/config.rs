@@ -24,6 +24,7 @@
 //! near one, which is what the experiments sweep over.
 
 use crate::error::EstimatorError;
+use crate::rng::RngMode;
 use crate::Result;
 
 /// Configuration for the streaming triangle estimators.
@@ -55,6 +56,14 @@ pub struct EstimatorConfig {
     pub copies: usize,
     /// PRNG seed; every run with the same seed and stream is identical.
     pub seed: u64,
+    /// How the estimator consumes randomness (see [`RngMode`]):
+    /// [`RngMode::Sequential`] is one stateful PRNG stream consumed in
+    /// stream order (only the order-insensitive passes can shard);
+    /// [`RngMode::Counter`] derives every sampling decision from
+    /// `hash(seed, position, draw)` so **all** passes shard. The two modes
+    /// draw different (but distribution-identical) randomness; each is
+    /// bit-deterministic at every batch/shard/worker configuration.
+    pub rng_mode: RngMode,
     /// Hard cap applied to `r`, `ℓ` and `s` so a mis-set `T̂` cannot make a
     /// run explode. `usize::MAX` disables the cap.
     pub max_samples: usize,
@@ -83,6 +92,7 @@ impl EstimatorConfig {
             use_epsilon_squared: true,
             copies: 7,
             seed: 0,
+            rng_mode: RngMode::Sequential,
             max_samples: usize::MAX,
         }
     }
@@ -189,6 +199,7 @@ impl Default for EstimatorConfigBuilder {
                 use_epsilon_squared: false,
                 copies: 7,
                 seed: 0,
+                rng_mode: RngMode::Sequential,
                 max_samples: 4_000_000,
             },
         }
@@ -256,6 +267,14 @@ impl EstimatorConfigBuilder {
         self
     }
 
+    /// Sets the randomness regime (default [`RngMode::Sequential`]; the
+    /// engine overrides its jobs to [`RngMode::Counter`] unless told
+    /// otherwise).
+    pub fn rng_mode(mut self, mode: RngMode) -> Self {
+        self.config.rng_mode = mode;
+        self
+    }
+
     /// Sets the hard sample cap.
     pub fn max_samples(mut self, cap: usize) -> Self {
         self.config.max_samples = cap;
@@ -313,6 +332,20 @@ mod tests {
         assert!(c.validate().is_ok());
         assert_eq!(c.copies, 7);
         assert!(!c.use_log_n);
+        assert_eq!(c.rng_mode, RngMode::Sequential);
+    }
+
+    #[test]
+    fn rng_mode_threads_through_the_builder() {
+        let c = EstimatorConfig::builder()
+            .rng_mode(RngMode::Counter)
+            .try_build()
+            .unwrap();
+        assert_eq!(c.rng_mode, RngMode::Counter);
+        assert_eq!(
+            EstimatorConfig::paper_faithful(0.1, 3, 100).rng_mode,
+            RngMode::Sequential
+        );
     }
 
     #[test]

@@ -35,15 +35,30 @@
 //! state in sorted [`Edge::key`] probe vectors. After the scratch warms up
 //! (first copy), the pass loops perform no heap allocation per edge.
 //!
-//! The three passes that fold the stream into order-insensitive
-//! accumulators — degree counting (pass 2) and membership marking (passes 4
-//! and 6) — can additionally run *shard-parallel* over a
-//! [`ShardedStream`] view ([`MainEstimator::run_seeded_sharded`]): each
-//! shard folds into its own counter vector or hit bitmap and the
-//! accumulators are merged in shard order, so the outcome is bit-identical
-//! to the sequential run at any shard/worker count. The RNG-consuming
-//! passes (1, 3 and 5) always run sequentially — their sampling decisions
-//! depend on the global edge order and the single RNG stream.
+//! How many passes can shard depends on the configured
+//! [`RngMode`]:
+//!
+//! * [`RngMode::Sequential`] — one stateful RNG stream consumed in stream
+//!   order. The passes that fold the stream into order-insensitive
+//!   accumulators — degree counting (pass 2) and membership marking
+//!   (passes 4 and 6) — run *shard-parallel* over a [`ShardedStream`] view
+//!   ([`MainEstimator::run_seeded_sharded`]): each shard folds into its own
+//!   counter vector or hit bitmap and the accumulators are merged in shard
+//!   order. The RNG-consuming passes (1, 3 and 5) run sequentially — their
+//!   sampling decisions depend on the global edge order.
+//! * [`RngMode::Counter`] — every sampling decision is a pure function of
+//!   `(seed, stream position, draw index)` (see [`crate::rng`]), so **all
+//!   six passes** shard: pass 1 gathers `R` at seed-derived positions,
+//!   pass 3 keeps per-instance position-keyed priority maxima, and pass 5
+//!   samples once per *distinct candidate endpoint* (instead of once per
+//!   candidate edge side — distinct triangles share endpoints, so the
+//!   per-vertex table also removes the duplicate sampling work that made
+//!   pass 5 the single-core bottleneck).
+//!
+//! In both modes the outcome — estimate, counters, space — is
+//! **bit-identical** between the sequential run and any shard/worker
+//! count; the two modes draw different (distribution-identical)
+//! randomness.
 
 use std::time::Instant;
 
@@ -58,7 +73,8 @@ use rand::{Rng, SeedableRng};
 use crate::assignment::{decide_assignment, AssignmentMemo};
 use crate::config::EstimatorConfig;
 use crate::error::EstimatorError;
-use crate::scratch::{EdgeProbeSet, EstimatorScratch};
+use crate::rng::{streams, CounterRng, PickCell, RngMode};
+use crate::scratch::{EdgeProbeSet, EstimatorScratch, SlotLists, VertexSlotMap};
 use crate::Result;
 
 /// Outcome of one run of the six-pass estimator.
@@ -72,6 +88,10 @@ pub struct MainOutcome {
     /// (sampling/bookkeeping between passes is excluded) — the raw material
     /// of the per-pass throughput numbers in the bench harness.
     pub pass_nanos: [u64; 6],
+    /// Which of the six passes executed shard-parallel: all `false` for a
+    /// plain run; passes 2/4/6 over a sharded view in
+    /// [`RngMode::Sequential`]; all six in [`RngMode::Counter`].
+    pub sharded_passes: [bool; 6],
     /// Words of retained state (samples, counters, memo tables).
     pub space: SpaceReport,
     /// Size of the uniform edge sample `R` actually used.
@@ -212,12 +232,15 @@ impl MainEstimator {
     }
 
     /// Runs the estimator over a sharded snapshot view, executing the
-    /// order-insensitive passes (2, 4 and 6) shard-parallel on up to
-    /// `shard_workers` scoped threads. Per-shard accumulators are merged in
-    /// shard order, so the outcome — estimate, counters, space — is
-    /// **bit-identical** to [`run_seeded`](MainEstimator::run_seeded) over
-    /// the same edges at every shard and worker count; sharding only
-    /// changes wall-clock time.
+    /// shardable passes on up to `shard_workers` scoped threads: the
+    /// order-insensitive passes (2, 4 and 6) in [`RngMode::Sequential`],
+    /// **all six passes** in [`RngMode::Counter`]. Per-shard accumulators
+    /// are merged in shard order (sums, OR-ed bitmaps, and `(priority,
+    /// position)` maxima are associative and commutative), so the outcome —
+    /// estimate, counters, space — is **bit-identical** to
+    /// [`run_seeded`](MainEstimator::run_seeded) over the same edges at
+    /// every shard and worker count; sharding only changes wall-clock
+    /// time.
     pub fn run_seeded_sharded(
         &self,
         sharded: &ShardedStream<'_>,
@@ -251,9 +274,17 @@ impl MainEstimator {
         let n = stream.num_vertices();
         let params = self.config.derive(m, n);
         let batch = batch_size.max(1);
+        let counter = self.config.rng_mode == RngMode::Counter;
+        // Sequential mode consumes this one stateful stream in pass order;
+        // counter mode never draws from it.
         let mut rng = StdRng::seed_from_u64(seed);
         let mut meter = SpaceMeter::new();
         let mut pass_nanos = [0u64; 6];
+        let sharded_passes = match (shard.is_some(), counter) {
+            (false, _) => [false; 6],
+            (true, false) => [false, true, false, true, false, true],
+            (true, true) => [true; 6],
+        };
         let EstimatorScratch {
             vertices,
             counts,
@@ -262,16 +293,48 @@ impl MainEstimator {
         } = scratch;
 
         // ---------------- Pass 1: uniform sample R ------------------------
-        let mut reservoir: ReservoirSampler<Edge> = ReservoirSampler::new_iid(params.r);
         meter.charge(params.r as u64);
         let started = Instant::now();
-        stream.pass_batched(batch, &mut |chunk| {
-            for &e in chunk {
-                reservoir.observe(e, &mut rng);
+        let r_edges: Vec<Edge> = if counter {
+            // Slot j of R is the edge at the seed-derived position
+            // `hash(j) mod m` — i.i.d. uniform positions, gathered in one
+            // positional sweep with no per-edge randomness at all.
+            let rng1 = CounterRng::new(seed, streams::MAIN_UNIFORM_SAMPLE);
+            let mut targets: Vec<(u64, u32)> = (0..params.r)
+                .map(|j| (rng1.bounded(j as u64, 0, m as u64), j as u32))
+                .collect();
+            targets.sort_unstable();
+            let gathered = positioned_pass(
+                stream,
+                shard,
+                batch,
+                Vec::new,
+                |hits: &mut Vec<(u32, Edge)>, pos, chunk| {
+                    let end = pos + chunk.len() as u64;
+                    let mut i = targets.partition_point(|&(p, _)| p < pos);
+                    while i < targets.len() && targets[i].0 < end {
+                        hits.push((targets[i].1, chunk[(targets[i].0 - pos) as usize]));
+                        i += 1;
+                    }
+                },
+            );
+            // Every target position lies in [0, m), so every slot is
+            // written exactly once; the placeholder never survives.
+            let mut edges = vec![Edge::from_raw(0, 1); params.r];
+            for (slot, edge) in gathered.into_iter().flatten() {
+                edges[slot as usize] = edge;
             }
-        });
+            edges
+        } else {
+            let mut reservoir: ReservoirSampler<Edge> = ReservoirSampler::new_iid(params.r);
+            stream.pass_batched(batch, &mut |chunk| {
+                for &e in chunk {
+                    reservoir.observe(e, &mut rng);
+                }
+            });
+            reservoir.into_samples()
+        };
         pass_nanos[0] = started.elapsed().as_nanos() as u64;
-        let r_edges = reservoir.into_samples();
         let r = r_edges.len();
         if r == 0 {
             return Err(EstimatorError::EmptyStream);
@@ -344,12 +407,19 @@ impl MainEstimator {
             })
             .collect();
         let total_weight = *cumulative.last().unwrap_or(&0.0);
+        let inst_rng = CounterRng::new(seed, streams::MAIN_INSTANCES);
         let mut instances: Vec<Instance> = Vec::with_capacity(ell);
-        for _ in 0..ell {
+        for k in 0..ell {
             if total_weight <= 0.0 {
                 break;
             }
-            let target = rng.gen_range(0.0..total_weight);
+            // Offline selection: the counter draw is keyed by the instance
+            // index (its "position" in the offline stream of ℓ picks).
+            let target = if counter {
+                inst_rng.unit(k as u64, 0) * total_weight
+            } else {
+                rng.gen_range(0.0..total_weight)
+            };
             let idx = cumulative.partition_point(|&c| c <= target).min(r - 1);
             let edge = r_edges[idx];
             let (base, other) = if endpoint_degree(edge.u()) <= endpoint_degree(edge.v()) {
@@ -387,22 +457,38 @@ impl MainEstimator {
             lists.push(slot, u32::try_from(i).expect("instance count fits u32"));
         }
         let started = Instant::now();
-        stream.pass_batched(batch, &mut |chunk| {
-            for e in chunk {
-                for endpoint in [e.u(), e.v()] {
-                    if let Some(slot) = vertices.get(endpoint.raw()) {
-                        let candidate = e.other(endpoint).expect("endpoint belongs to edge");
-                        for &i in lists.list(slot) {
-                            let inst = &mut instances[i as usize];
-                            inst.seen += 1;
-                            if rng.gen_range(0..inst.seen) == 0 {
-                                inst.neighbor = Some(candidate);
+        if counter {
+            let rng3 = CounterRng::new(seed, streams::MAIN_NEIGHBOR);
+            let cells = uniform_neighbor_pass(
+                stream,
+                shard,
+                batch,
+                &rng3,
+                vertices,
+                lists,
+                instances.len(),
+            );
+            for (inst, cell) in instances.iter_mut().zip(&cells) {
+                inst.neighbor = cell.value().map(VertexId::new);
+            }
+        } else {
+            stream.pass_batched(batch, &mut |chunk| {
+                for e in chunk {
+                    for endpoint in [e.u(), e.v()] {
+                        if let Some(slot) = vertices.get(endpoint.raw()) {
+                            let candidate = e.other(endpoint).expect("endpoint belongs to edge");
+                            for &i in lists.list(slot) {
+                                let inst = &mut instances[i as usize];
+                                inst.seen += 1;
+                                if rng.gen_range(0..inst.seen) == 0 {
+                                    inst.neighbor = Some(candidate);
+                                }
                             }
                         }
                     }
                 }
-            }
-        });
+            });
+        }
         pass_nanos[2] = started.elapsed().as_nanos() as u64;
 
         // ---------------- Pass 4: closure checks ---------------------------
@@ -419,7 +505,7 @@ impl MainEstimator {
         let closure_queries = probes.seal();
         meter.charge(closure_queries as u64);
         let started = Instant::now();
-        Self::membership_pass(stream, shard, batch, probes);
+        membership_pass(stream, shard, batch, probes);
         pass_nanos[3] = started.elapsed().as_nanos() as u64;
         meter.charge(probes.hit_count() as u64);
 
@@ -459,68 +545,145 @@ impl MainEstimator {
         meter.charge((2 * params.assignment_samples as u64 + 4) * candidate_edges.len() as u64);
 
         // Pass 5: degrees of candidate-edge endpoints + neighbor samples at
-        // both endpoints. Candidates grouped by endpoint in CSR lists, each
-        // payload tagging which side of its edge the endpoint is.
+        // both endpoints.
+        //
+        // Counter mode gathers per distinct *vertex*: a vertex's degree and
+        // uniform neighbor samples do not depend on which candidate edge
+        // asked, and distinct candidate triangles share endpoints — so the
+        // per-side fan-out of the sequential path (which repeats the full
+        // `s`-slot sampling for every candidate edge touching a vertex) is
+        // duplicate work by construction. One interned slot per endpoint,
+        // one degree counter and one `s`-slot sample row per vertex, with
+        // position-keyed priorities making the whole pass order-insensitive
+        // and therefore shardable.
         vertices.reset(2 * candidate_edges.len());
         for c in &candidate_edges {
             vertices.insert(c.edge.u().raw());
             vertices.insert(c.edge.v().raw());
         }
-        lists.begin(vertices.len());
-        for c in &candidate_edges {
-            lists.count(vertices.get(c.edge.u().raw()).expect("interned endpoint"));
-            lists.count(vertices.get(c.edge.v().raw()).expect("interned endpoint"));
-        }
-        lists.finish_counts();
-        for (i, c) in candidate_edges.iter().enumerate() {
-            let tag = u32::try_from(i).expect("candidate count fits u32") << 1;
-            lists.push(
-                vertices.get(c.edge.u().raw()).expect("interned endpoint"),
-                tag | 1,
+        let started;
+        if counter {
+            let tracked = vertices.len();
+            let s = params.assignment_samples;
+            let table_len = tracked * s;
+            // The per-vertex table is live only during the pass: s sample
+            // cells (3 words each) plus a degree counter per vertex.
+            meter.charge((3 * s as u64 + 1) * tracked as u64);
+            let rng5 = CounterRng::new(seed, streams::MAIN_ASSIGNMENT);
+            let vertices_ref = &*vertices;
+            started = Instant::now();
+            let folded = positioned_pass(
+                stream,
+                shard,
+                batch,
+                || (vec![0u64; tracked], vec![PickCell::empty(); table_len]),
+                |(deg, cells): &mut (Vec<u64>, Vec<PickCell>), pos, chunk| {
+                    for (off, e) in chunk.iter().enumerate() {
+                        let p = pos + off as u64;
+                        let mut base_hash = None;
+                        for endpoint in [e.u(), e.v()] {
+                            if let Some(slot) = vertices_ref.get(endpoint.raw()) {
+                                deg[slot as usize] += 1;
+                                let candidate =
+                                    e.other(endpoint).expect("endpoint belongs to edge").raw();
+                                let base = *base_hash.get_or_insert_with(|| rng5.base(p));
+                                let row = slot as usize * s;
+                                for (draw, cell) in cells[row..row + s].iter_mut().enumerate() {
+                                    cell.offer(
+                                        CounterRng::derive(base, (row + draw) as u64),
+                                        p,
+                                        candidate,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                },
             );
-            lists.push(
-                vertices.get(c.edge.v().raw()).expect("interned endpoint"),
-                tag,
-            );
-        }
-        let started = Instant::now();
-        if !candidate_edges.is_empty() {
-            stream.pass_batched(batch, &mut |chunk| {
-                for e in chunk {
-                    for endpoint in [e.u(), e.v()] {
-                        if let Some(slot) = vertices.get(endpoint.raw()) {
-                            let candidate_neighbor =
-                                e.other(endpoint).expect("endpoint belongs to edge");
-                            for &tag in lists.list(slot) {
-                                let c = &mut candidate_edges[(tag >> 1) as usize];
-                                if tag & 1 == 1 {
-                                    c.degree_u += 1;
-                                    c.seen_u += 1;
-                                    for slot in c.samples_u.iter_mut() {
-                                        if rng.gen_range(0..c.seen_u) == 0 {
-                                            *slot = Some(candidate_neighbor);
+            counts.clear();
+            counts.resize(tracked, 0);
+            let mut cells = vec![PickCell::empty(); table_len];
+            for (deg, shard_cells) in &folded {
+                for (total, d) in counts.iter_mut().zip(deg) {
+                    *total += d;
+                }
+                for (cell, other) in cells.iter_mut().zip(shard_cells) {
+                    cell.merge(other);
+                }
+            }
+            for c in candidate_edges.iter_mut() {
+                let su = vertices.get(c.edge.u().raw()).expect("interned endpoint") as usize;
+                let sv = vertices.get(c.edge.v().raw()).expect("interned endpoint") as usize;
+                c.degree_u = counts[su];
+                c.degree_v = counts[sv];
+                for j in 0..s {
+                    c.samples_u[j] = cells[su * s + j].value().map(VertexId::new);
+                    c.samples_v[j] = cells[sv * s + j].value().map(VertexId::new);
+                }
+            }
+            // The merge + per-candidate materialization is part of the
+            // pass's work, so it stays inside the pass-5 clock.
+            pass_nanos[4] = started.elapsed().as_nanos() as u64;
+            meter.release((3 * s as u64 + 1) * tracked as u64);
+        } else {
+            // Sequential mode: candidates grouped by endpoint in CSR lists,
+            // each payload tagging which side of its edge the endpoint is.
+            lists.begin(vertices.len());
+            for c in &candidate_edges {
+                lists.count(vertices.get(c.edge.u().raw()).expect("interned endpoint"));
+                lists.count(vertices.get(c.edge.v().raw()).expect("interned endpoint"));
+            }
+            lists.finish_counts();
+            for (i, c) in candidate_edges.iter().enumerate() {
+                let tag = u32::try_from(i).expect("candidate count fits u32") << 1;
+                lists.push(
+                    vertices.get(c.edge.u().raw()).expect("interned endpoint"),
+                    tag | 1,
+                );
+                lists.push(
+                    vertices.get(c.edge.v().raw()).expect("interned endpoint"),
+                    tag,
+                );
+            }
+            started = Instant::now();
+            if !candidate_edges.is_empty() {
+                stream.pass_batched(batch, &mut |chunk| {
+                    for e in chunk {
+                        for endpoint in [e.u(), e.v()] {
+                            if let Some(slot) = vertices.get(endpoint.raw()) {
+                                let candidate_neighbor =
+                                    e.other(endpoint).expect("endpoint belongs to edge");
+                                for &tag in lists.list(slot) {
+                                    let c = &mut candidate_edges[(tag >> 1) as usize];
+                                    if tag & 1 == 1 {
+                                        c.degree_u += 1;
+                                        c.seen_u += 1;
+                                        for slot in c.samples_u.iter_mut() {
+                                            if rng.gen_range(0..c.seen_u) == 0 {
+                                                *slot = Some(candidate_neighbor);
+                                            }
                                         }
-                                    }
-                                } else {
-                                    c.degree_v += 1;
-                                    c.seen_v += 1;
-                                    for slot in c.samples_v.iter_mut() {
-                                        if rng.gen_range(0..c.seen_v) == 0 {
-                                            *slot = Some(candidate_neighbor);
+                                    } else {
+                                        c.degree_v += 1;
+                                        c.seen_v += 1;
+                                        for slot in c.samples_v.iter_mut() {
+                                            if rng.gen_range(0..c.seen_v) == 0 {
+                                                *slot = Some(candidate_neighbor);
+                                            }
                                         }
                                     }
                                 }
                             }
                         }
                     }
-                }
-            });
-        } else {
-            // Keep the pass count fixed at six regardless of how many
-            // triangles were found, so the pass budget is deterministic.
-            stream.pass_batched(batch, &mut |_| {});
+                });
+            } else {
+                // Keep the pass count fixed at six regardless of how many
+                // triangles were found, so the pass budget is deterministic.
+                stream.pass_batched(batch, &mut |_| {});
+            }
+            pass_nanos[4] = started.elapsed().as_nanos() as u64;
         }
-        pass_nanos[4] = started.elapsed().as_nanos() as u64;
 
         // Pass 6: closure checks for the assignment samples.
         probes.begin();
@@ -539,7 +702,7 @@ impl MainEstimator {
         meter.charge(assign_queries as u64);
         let started = Instant::now();
         if assign_queries > 0 {
-            Self::membership_pass(stream, shard, batch, probes);
+            membership_pass(stream, shard, batch, probes);
         } else {
             stream.pass_batched(batch, &mut |_| {});
         }
@@ -615,6 +778,7 @@ impl MainEstimator {
             estimate,
             passes: 6,
             pass_nanos,
+            sharded_passes,
             space: meter.report(),
             r,
             inner_samples: instances.len(),
@@ -625,48 +789,138 @@ impl MainEstimator {
         })
     }
 
-    /// One membership pass: marks which of the sealed probe-set queries are
-    /// present in the stream. Sequentially this probes each chunk in place;
-    /// shard-parallel each shard fills its own hit bitmap and the bitmaps
-    /// are OR-merged in shard order — identical hits either way.
-    fn membership_pass<S: EdgeStream + ?Sized>(
-        stream: &S,
-        shard: Option<(&ShardedStream<'_>, usize)>,
-        batch: usize,
-        probes: &mut EdgeProbeSet,
-    ) {
-        match shard {
-            Some((view, workers)) => {
-                let frozen = &*probes;
-                let words = frozen.bitmap_words();
-                let bitmaps = view.pass_sharded(workers, |_, edges| {
-                    let mut bitmap = vec![0u64; words];
-                    for e in edges {
-                        if let Some(i) = frozen.probe(e.key()) {
-                            EdgeProbeSet::mark_in(&mut bitmap, i);
-                        }
-                    }
-                    bitmap
-                });
-                for bitmap in bitmaps {
-                    probes.merge_bitmap(&bitmap);
-                }
-            }
-            None => {
-                stream.pass_batched(batch, &mut |chunk| {
-                    for e in chunk {
-                        if let Some(i) = probes.probe(e.key()) {
-                            probes.mark(i);
-                        }
-                    }
-                });
-            }
-        }
-    }
-
     /// The configuration this estimator runs with.
     pub fn config(&self) -> &EstimatorConfig {
         &self.config
+    }
+}
+
+/// One membership pass: marks which of the sealed probe-set queries are
+/// present in the stream. Sequentially this probes each chunk in place;
+/// shard-parallel each shard fills its own hit bitmap and the bitmaps
+/// are OR-merged in shard order — identical hits either way. Shared with
+/// the ideal estimator's closure pass.
+pub(crate) fn membership_pass<S: EdgeStream + ?Sized>(
+    stream: &S,
+    shard: Option<(&ShardedStream<'_>, usize)>,
+    batch: usize,
+    probes: &mut EdgeProbeSet,
+) {
+    match shard {
+        Some((view, workers)) => {
+            let frozen = &*probes;
+            let words = frozen.bitmap_words();
+            let bitmaps = view.pass_sharded(workers, |_, edges| {
+                let mut bitmap = vec![0u64; words];
+                for e in edges {
+                    if let Some(i) = frozen.probe(e.key()) {
+                        EdgeProbeSet::mark_in(&mut bitmap, i);
+                    }
+                }
+                bitmap
+            });
+            for bitmap in bitmaps {
+                probes.merge_bitmap(&bitmap);
+            }
+        }
+        None => {
+            stream.pass_batched(batch, &mut |chunk| {
+                for e in chunk {
+                    if let Some(i) = probes.probe(e.key()) {
+                        probes.mark(i);
+                    }
+                }
+            });
+        }
+    }
+}
+
+/// One counter-mode uniform-neighbor pass (the position-keyed reservoir
+/// rule): every incident occurrence of a tracked vertex offers the
+/// opposite endpoint to each pick cell listed for that vertex, with
+/// priority `hash(position, cell)`; per-shard cells are merged in shard
+/// order and the merged bank is returned. Each cell ends up holding a
+/// uniform neighbor of its vertex. Shared by the six-pass estimator's
+/// pass 3 (cells = instances grouped by base) and the ideal estimator's
+/// pass 2 (cells = copies grouped by base).
+pub(crate) fn uniform_neighbor_pass<S: EdgeStream + ?Sized>(
+    stream: &S,
+    shard: Option<(&ShardedStream<'_>, usize)>,
+    batch: usize,
+    rng: &CounterRng,
+    vertices: &VertexSlotMap,
+    lists: &SlotLists,
+    cell_count: usize,
+) -> Vec<PickCell> {
+    let folded = positioned_pass(
+        stream,
+        shard,
+        batch,
+        || vec![PickCell::empty(); cell_count],
+        |cells: &mut Vec<PickCell>, pos, chunk| {
+            for (off, e) in chunk.iter().enumerate() {
+                let p = pos + off as u64;
+                let mut base_hash = None;
+                for endpoint in [e.u(), e.v()] {
+                    if let Some(slot) = vertices.get(endpoint.raw()) {
+                        let candidate = e.other(endpoint).expect("endpoint belongs to edge");
+                        let base = *base_hash.get_or_insert_with(|| rng.base(p));
+                        for &i in lists.list(slot) {
+                            cells[i as usize].offer(
+                                CounterRng::derive(base, i as u64),
+                                p,
+                                candidate.raw(),
+                            );
+                        }
+                    }
+                }
+            }
+        },
+    );
+    let mut cells = vec![PickCell::empty(); cell_count];
+    for shard_cells in &folded {
+        for (cell, other) in cells.iter_mut().zip(shard_cells) {
+            cell.merge(other);
+        }
+    }
+    cells
+}
+
+/// One pass over the stream that delivers **global positions**: `fold`
+/// receives an accumulator, the global position of a slice's first edge,
+/// and the slice. Sequentially there is one accumulator walking the whole
+/// stream; over a sharded view there is one per shard (folded on up to the
+/// requested workers) and the accumulators come back in shard order — so
+/// any associative, commutative merge of them reproduces the sequential
+/// fold bit for bit. This is the carrier of every counter-mode sampling
+/// pass: the randomness is keyed by the positions, which shards know
+/// without observing the rest of the stream.
+pub(crate) fn positioned_pass<S, A>(
+    stream: &S,
+    shard: Option<(&ShardedStream<'_>, usize)>,
+    batch: usize,
+    make: impl Fn() -> A + Sync,
+    fold: impl Fn(&mut A, u64, &[Edge]) + Sync,
+) -> Vec<A>
+where
+    S: EdgeStream + ?Sized,
+    A: Send,
+{
+    match shard {
+        Some((view, workers)) => view.pass_sharded(workers, |i, edges| {
+            let mut acc = make();
+            fold(&mut acc, view.shard_range(i).start as u64, edges);
+            acc
+        }),
+        None => {
+            let mut acc = make();
+            let mut pos = 0u64;
+            stream.pass_batched(batch, &mut |chunk| {
+                fold(&mut acc, pos, chunk);
+                pos += chunk.len() as u64;
+            });
+            vec![acc]
+        }
     }
 }
 
@@ -841,6 +1095,138 @@ mod tests {
                 assert_eq!(view.passes(), 6);
             }
         }
+    }
+
+    fn counter_config_for(kappa: usize, t_hint: u64) -> EstimatorConfig {
+        EstimatorConfig::builder()
+            .epsilon(0.15)
+            .kappa(kappa)
+            .triangle_lower_bound(t_hint)
+            .r_constant(30.0)
+            .inner_constant(60.0)
+            .assignment_constant(30.0)
+            .rng_mode(RngMode::Counter)
+            .build()
+    }
+
+    #[test]
+    fn counter_mode_uses_exactly_six_passes() {
+        let g = wheel(300).unwrap();
+        let stream = PassCounter::with_limit(MemoryStream::from_graph(&g, StreamOrder::AsGiven), 6);
+        let out = MainEstimator::new(counter_config_for(3, 299))
+            .run(&stream)
+            .unwrap();
+        assert_eq!(out.passes, 6);
+        assert_eq!(stream.passes(), 6);
+        assert_eq!(out.sharded_passes, [false; 6]);
+    }
+
+    #[test]
+    fn counter_mode_is_accurate_on_wheel() {
+        let g = wheel(1500).unwrap();
+        let exact = count_triangles(&g);
+        let stream = MemoryStream::from_graph(&g, StreamOrder::UniformRandom(1234));
+        let estimator = MainEstimator::new(counter_config_for(3, exact / 2));
+        let mut estimates: Vec<f64> = (0..7)
+            .map(|i| estimator.run_seeded(&stream, 1000 + i).unwrap().estimate)
+            .collect();
+        let estimate = crate::median_of_means::median(&mut estimates);
+        let err = (estimate - exact as f64).abs() / exact as f64;
+        assert!(
+            err < 0.3,
+            "estimate {estimate} vs exact {exact} (err {err:.3})"
+        );
+    }
+
+    #[test]
+    fn counter_mode_is_deterministic_and_distinct_from_sequential() {
+        let g = barabasi_albert(600, 5, 7).unwrap();
+        let stream = MemoryStream::from_graph(&g, StreamOrder::UniformRandom(2));
+        let counter = MainEstimator::new(counter_config_for(5, count_triangles(&g) / 2));
+        let a = counter.run_seeded(&stream, 42).unwrap();
+        let b = counter.run_seeded(&stream, 42).unwrap();
+        assert_eq!(a.estimate.to_bits(), b.estimate.to_bits());
+        assert_eq!(a.d_r, b.d_r);
+        assert_eq!(a.assigned_hits, b.assigned_hits);
+        assert_eq!(a.space, b.space);
+        // The two regimes draw different randomness: almost surely a
+        // different uniform sample, hence different outcome counters.
+        let mut sequential_config = counter.config().clone();
+        sequential_config.rng_mode = RngMode::Sequential;
+        let seq = MainEstimator::new(sequential_config)
+            .run_seeded(&stream, 42)
+            .unwrap();
+        assert!(a.estimate != seq.estimate || a.d_r != seq.d_r);
+    }
+
+    #[test]
+    fn counter_mode_batch_size_and_scratch_reuse_do_not_change_results() {
+        let g = wheel(500).unwrap();
+        let stream = MemoryStream::from_graph(&g, StreamOrder::UniformRandom(9));
+        let estimator = MainEstimator::new(counter_config_for(3, 499));
+        let reference = estimator.run_seeded(&stream, 77).unwrap();
+        let mut scratch = EstimatorScratch::new();
+        for batch in [1, 7, 64, 100_000] {
+            let out = estimator
+                .run_seeded_with(&stream, 77, batch, &mut scratch)
+                .unwrap();
+            assert_eq!(out.estimate.to_bits(), reference.estimate.to_bits());
+            assert_eq!(out.d_r, reference.d_r);
+            assert_eq!(out.assigned_hits, reference.assigned_hits);
+            assert_eq!(out.space, reference.space);
+        }
+    }
+
+    #[test]
+    fn counter_mode_shards_all_six_passes_bit_identically() {
+        let g = barabasi_albert(500, 5, 3).unwrap();
+        let stream = MemoryStream::from_graph(&g, StreamOrder::UniformRandom(4));
+        let estimator = MainEstimator::new(counter_config_for(5, count_triangles(&g) / 2));
+        let reference = estimator.run_seeded(&stream, 11).unwrap();
+        let mut scratch = EstimatorScratch::new();
+        for shards in 1..=8 {
+            for workers in [1, 2, 4] {
+                let view = ShardedStream::from_stream(&stream, shards);
+                let out = estimator
+                    .run_seeded_sharded(&view, 11, DEFAULT_BATCH_SIZE, workers, &mut scratch)
+                    .unwrap();
+                assert_eq!(
+                    out.estimate.to_bits(),
+                    reference.estimate.to_bits(),
+                    "shards {shards} workers {workers}"
+                );
+                assert_eq!(out.d_r, reference.d_r);
+                assert_eq!(out.triangles_found, reference.triangles_found);
+                assert_eq!(out.assigned_hits, reference.assigned_hits);
+                assert_eq!(out.space, reference.space);
+                // Counter mode shards every pass, still exactly six.
+                assert_eq!(out.sharded_passes, [true; 6]);
+                assert_eq!(view.passes(), 6);
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_mode_reports_which_passes_sharded() {
+        let g = wheel(400).unwrap();
+        let stream = MemoryStream::from_graph(&g, StreamOrder::UniformRandom(6));
+        let config = config_for(&g, 3, 399);
+        let estimator = MainEstimator::new(config);
+        let view = ShardedStream::from_stream(&stream, 4);
+        let out = estimator
+            .run_seeded_sharded(
+                &view,
+                3,
+                DEFAULT_BATCH_SIZE,
+                2,
+                &mut EstimatorScratch::new(),
+            )
+            .unwrap();
+        assert_eq!(
+            out.sharded_passes,
+            [false, true, false, true, false, true],
+            "sequential mode shards only the order-insensitive passes"
+        );
     }
 
     #[test]

@@ -25,17 +25,30 @@
 //! the batched pass API and keep their lookup state in a reusable
 //! [`EstimatorScratch`] (slot-mapped copy groups, sorted edge-key probes),
 //! so the hot loops allocate nothing per edge.
+//!
+//! Under [`RngMode::Counter`] the two RNG-consuming passes switch to
+//! position-keyed randomness (weighted Efraimidis–Spirakis priorities for
+//! the pass-1 edge pick, uniform priorities for the pass-2 neighbor pick —
+//! see [`crate::rng`]) and the run can execute **all three passes**
+//! shard-parallel over a [`ShardedStream`] view
+//! ([`IdealEstimator::run_sharded`]), reusing the same positioned-pass and
+//! merge machinery as the six-pass estimator. Under
+//! [`RngMode::Sequential`] only the order-insensitive closure pass (3)
+//! shards.
 
 use degentri_graph::{Edge, Triangle, VertexId};
+use degentri_stream::hashing::hash_to_unit;
 use degentri_stream::{
-    EdgeStream, SpaceMeter, SpaceReport, WeightedSamplerBank, DEFAULT_BATCH_SIZE,
+    EdgeStream, ShardedStream, SpaceMeter, SpaceReport, WeightedSamplerBank, DEFAULT_BATCH_SIZE,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::config::EstimatorConfig;
 use crate::error::EstimatorError;
+use crate::estimator::{membership_pass, positioned_pass, uniform_neighbor_pass};
 use crate::oracle::DegreeOracle;
+use crate::rng::{streams, CounterRng, RngMode, WeightedPickCell};
 use crate::scratch::EstimatorScratch;
 use crate::Result;
 
@@ -46,6 +59,10 @@ pub struct IdealOutcome {
     pub estimate: f64,
     /// Number of passes over the stream (always 3).
     pub passes: u32,
+    /// Which of the three passes executed shard-parallel: all `false` for
+    /// a plain run; only the closure pass (3) over a sharded view in
+    /// [`RngMode::Sequential`]; all three in [`RngMode::Counter`].
+    pub sharded_passes: [bool; 3],
     /// Words of state retained by the estimator (the oracle's own table is
     /// charged to the model, not here — see [`crate::oracle`]).
     pub space: SpaceReport,
@@ -76,7 +93,7 @@ impl IdealEstimator {
     pub fn run<S, O>(&self, stream: &S, oracle: &O) -> Result<IdealOutcome>
     where
         S: EdgeStream + ?Sized,
-        O: DegreeOracle,
+        O: DegreeOracle + Sync,
     {
         self.run_with(
             stream,
@@ -98,7 +115,48 @@ impl IdealEstimator {
     ) -> Result<IdealOutcome>
     where
         S: EdgeStream + ?Sized,
-        O: DegreeOracle,
+        O: DegreeOracle + Sync,
+    {
+        self.run_impl(stream, None, oracle, batch_size, scratch)
+    }
+
+    /// Runs the estimator over a sharded snapshot view, executing the
+    /// shardable passes on up to `shard_workers` scoped threads: the
+    /// closure pass (3) in [`RngMode::Sequential`], **all three passes**
+    /// in [`RngMode::Counter`]. Bit-identical to
+    /// [`run_with`](IdealEstimator::run_with) over the same edges at every
+    /// shard and worker count.
+    pub fn run_sharded<O>(
+        &self,
+        sharded: &ShardedStream<'_>,
+        oracle: &O,
+        batch_size: usize,
+        shard_workers: usize,
+        scratch: &mut EstimatorScratch,
+    ) -> Result<IdealOutcome>
+    where
+        O: DegreeOracle + Sync,
+    {
+        self.run_impl(
+            sharded,
+            Some((sharded, shard_workers.max(1))),
+            oracle,
+            batch_size,
+            scratch,
+        )
+    }
+
+    fn run_impl<S, O>(
+        &self,
+        stream: &S,
+        shard: Option<(&ShardedStream<'_>, usize)>,
+        oracle: &O,
+        batch_size: usize,
+        scratch: &mut EstimatorScratch,
+    ) -> Result<IdealOutcome>
+    where
+        S: EdgeStream + ?Sized,
+        O: DegreeOracle + Sync,
     {
         self.config.validate()?;
         let m = stream.num_edges();
@@ -108,8 +166,16 @@ impl IdealEstimator {
         let n = stream.num_vertices();
         let copies = self.config.derive(m, n).r.max(1);
         let batch = batch_size.max(1);
+        let counter = self.config.rng_mode == RngMode::Counter;
+        // Sequential mode consumes this one stateful stream in pass order;
+        // counter mode never draws from it.
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut meter = SpaceMeter::new();
+        let sharded_passes = match (shard.is_some(), counter) {
+            (false, _) => [false; 3],
+            (true, false) => [false, false, true],
+            (true, true) => [true; 3],
+        };
         let EstimatorScratch {
             vertices,
             probes,
@@ -118,18 +184,69 @@ impl IdealEstimator {
         } = scratch;
 
         // ---- Pass 1: weighted edge sample per copy, and d_E. -------------
-        let mut bank: WeightedSamplerBank<Edge> = WeightedSamplerBank::new(copies);
-        meter.charge(bank.retained_words());
-        let mut d_e_sum = 0u64;
-        meter.charge_word();
-        stream.pass_batched(batch, &mut |chunk| {
-            for &edge in chunk {
-                let w = oracle.edge_degree(edge) as f64;
-                d_e_sum += w as u64;
-                bank.observe(edge, w, &mut rng);
+        let (samples, d_e_sum): (Vec<Edge>, u64) = if counter {
+            // Position-keyed Efraimidis–Spirakis priorities: copy k keeps
+            // the edge maximizing `ln(u_{p,k}) / d_e` — a weight-
+            // proportional pick with an associative max-merge, so the pass
+            // shards. The edge-degree sum folds per shard and adds up.
+            // Each cell retains priority + position + payload: 3 words,
+            // matching the six-pass estimator's pass-5 cell accounting.
+            meter.charge(3 * copies as u64);
+            meter.charge_word();
+            let rng1 = CounterRng::new(self.config.seed, streams::IDEAL_EDGE);
+            let folded = positioned_pass(
+                stream,
+                shard,
+                batch,
+                || (vec![WeightedPickCell::empty(); copies], 0u64),
+                |(cells, dsum): &mut (Vec<WeightedPickCell>, u64), pos, chunk| {
+                    for (off, &edge) in chunk.iter().enumerate() {
+                        let p = pos + off as u64;
+                        let w = oracle.edge_degree(edge) as f64;
+                        *dsum += w as u64;
+                        if w <= 0.0 {
+                            continue;
+                        }
+                        let base = rng1.base(p);
+                        for (k, cell) in cells.iter_mut().enumerate() {
+                            let unit = hash_to_unit(CounterRng::derive(base, k as u64));
+                            cell.offer(WeightedPickCell::priority_of(unit, w), p, edge.key());
+                        }
+                    }
+                },
+            );
+            let mut cells = vec![WeightedPickCell::empty(); copies];
+            let mut total = 0u64;
+            for (shard_cells, dsum) in &folded {
+                total += dsum;
+                for (cell, other) in cells.iter_mut().zip(shard_cells) {
+                    cell.merge(other);
+                }
             }
-        });
-        let samples: Vec<Edge> = bank.samples().into_iter().map(|(e, _)| e).collect();
+            (
+                cells
+                    .iter()
+                    .filter_map(|c| c.value().map(Edge::from_key))
+                    .collect(),
+                total,
+            )
+        } else {
+            let mut bank: WeightedSamplerBank<Edge> = WeightedSamplerBank::new(copies);
+            meter.charge(bank.retained_words());
+            let mut d_e_sum = 0u64;
+            meter.charge_word();
+            stream.pass_batched(batch, &mut |chunk| {
+                for &edge in chunk {
+                    let w = oracle.edge_degree(edge) as f64;
+                    d_e_sum += w as u64;
+                    bank.observe(edge, w, &mut rng);
+                }
+            });
+            (
+                bank.samples().into_iter().map(|(e, _)| e).collect(),
+                d_e_sum,
+            )
+        };
         if samples.is_empty() {
             // All edge degrees were zero — impossible for a non-empty simple
             // graph, but keep the failure mode explicit.
@@ -163,22 +280,33 @@ impl IdealEstimator {
         let mut neighbor: Vec<Option<VertexId>> = vec![None; samples.len()];
         let mut seen: Vec<u64> = vec![0; samples.len()];
         meter.charge(2 * samples.len() as u64);
-        stream.pass_batched(batch, &mut |chunk| {
-            for edge in chunk {
-                for endpoint in [edge.u(), edge.v()] {
-                    if let Some(slot) = vertices.get(endpoint.raw()) {
-                        let candidate = edge.other(endpoint).expect("endpoint belongs to edge");
-                        for &i in lists.list(slot) {
-                            let i = i as usize;
-                            seen[i] += 1;
-                            if rng.gen_range(0..seen[i]) == 0 {
-                                neighbor[i] = Some(candidate);
+        if counter {
+            // Position-keyed uniform neighbor per copy — the same shared
+            // pass as the six-pass estimator's pass 3.
+            let rng2 = CounterRng::new(self.config.seed, streams::IDEAL_NEIGHBOR);
+            let cells =
+                uniform_neighbor_pass(stream, shard, batch, &rng2, vertices, lists, samples.len());
+            for (slot, cell) in neighbor.iter_mut().zip(&cells) {
+                *slot = cell.value().map(VertexId::new);
+            }
+        } else {
+            stream.pass_batched(batch, &mut |chunk| {
+                for edge in chunk {
+                    for endpoint in [edge.u(), edge.v()] {
+                        if let Some(slot) = vertices.get(endpoint.raw()) {
+                            let candidate = edge.other(endpoint).expect("endpoint belongs to edge");
+                            for &i in lists.list(slot) {
+                                let i = i as usize;
+                                seen[i] += 1;
+                                if rng.gen_range(0..seen[i]) == 0 {
+                                    neighbor[i] = Some(candidate);
+                                }
                             }
                         }
                     }
                 }
-            }
-        });
+            });
+        }
 
         // ---- Pass 3: does {e, w} close a triangle? ------------------------
         // The closing edge is (other endpoint of e, w).
@@ -197,13 +325,7 @@ impl IdealEstimator {
         }
         let closure_queries = probes.seal();
         meter.charge(closure_queries as u64 + samples.len() as u64);
-        stream.pass_batched(batch, &mut |chunk| {
-            for edge in chunk {
-                if let Some(i) = probes.probe(edge.key()) {
-                    probes.mark(i);
-                }
-            }
-        });
+        membership_pass(stream, shard, batch, probes);
         meter.charge(probes.hit_count() as u64);
 
         // ---- Estimate. -----------------------------------------------------
@@ -226,6 +348,7 @@ impl IdealEstimator {
         Ok(IdealOutcome {
             estimate,
             passes: 3,
+            sharded_passes,
             space: meter.report(),
             copies: samples.len(),
             successes,
@@ -390,6 +513,79 @@ mod tests {
             "estimate {} vs exact {exact}",
             out.estimate
         );
+    }
+
+    #[test]
+    fn counter_mode_is_accurate_and_uses_three_passes() {
+        let g = wheel(1000).unwrap();
+        let exact = count_triangles(&g);
+        let stream = PassCounter::with_limit(
+            MemoryStream::from_graph(&g, StreamOrder::UniformRandom(99)),
+            3,
+        );
+        let oracle = ExactDegreeOracle::build(stream.inner());
+        let config = EstimatorConfig::builder()
+            .kappa(3)
+            .triangle_lower_bound(exact / 2)
+            .r_constant(60.0)
+            .rng_mode(crate::rng::RngMode::Counter)
+            .seed(7)
+            .build();
+        let out = IdealEstimator::new(config).run(&stream, &oracle).unwrap();
+        assert_eq!(stream.passes(), 3);
+        assert_eq!(out.sharded_passes, [false; 3]);
+        assert_eq!(out.edge_degree_sum, g.edge_degree_sum());
+        assert!(
+            relative_error(out.estimate, exact) < 0.25,
+            "estimate {} vs exact {exact}",
+            out.estimate
+        );
+    }
+
+    #[test]
+    fn counter_mode_shards_all_three_passes_bit_identically() {
+        use degentri_stream::ShardedStream;
+        let g = degentri_gen::barabasi_albert(500, 5, 17).unwrap();
+        let stream = MemoryStream::from_graph(&g, StreamOrder::UniformRandom(8));
+        let oracle = ExactDegreeOracle::build(&stream);
+        let config = EstimatorConfig::builder()
+            .kappa(5)
+            .triangle_lower_bound(count_triangles(&g).max(1))
+            .rng_mode(crate::rng::RngMode::Counter)
+            .seed(5)
+            .build();
+        let estimator = IdealEstimator::new(config);
+        let reference = estimator.run(&stream, &oracle).unwrap();
+        let mut scratch = EstimatorScratch::new();
+        for shards in 1..=8 {
+            for workers in [1, 2, 4] {
+                let view = ShardedStream::from_stream(&stream, shards);
+                let out = estimator
+                    .run_sharded(&view, &oracle, 4096, workers, &mut scratch)
+                    .unwrap();
+                assert_eq!(
+                    out.estimate.to_bits(),
+                    reference.estimate.to_bits(),
+                    "shards {shards} workers {workers}"
+                );
+                assert_eq!(out.successes, reference.successes);
+                assert_eq!(out.edge_degree_sum, reference.edge_degree_sum);
+                assert_eq!(out.space, reference.space);
+                assert_eq!(out.sharded_passes, [true; 3]);
+                assert_eq!(view.passes(), 3);
+            }
+        }
+        // Sequential mode over a sharded view shards only the closure pass.
+        let seq_config = EstimatorConfig::builder()
+            .kappa(5)
+            .triangle_lower_bound(count_triangles(&g).max(1))
+            .seed(5)
+            .build();
+        let view = ShardedStream::from_stream(&stream, 4);
+        let out = IdealEstimator::new(seq_config)
+            .run_sharded(&view, &oracle, 4096, 2, &mut scratch)
+            .unwrap();
+        assert_eq!(out.sharded_passes, [false, false, true]);
     }
 
     #[test]

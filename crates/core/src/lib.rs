@@ -60,6 +60,7 @@ pub mod heavy;
 pub mod ideal;
 pub mod median_of_means;
 pub mod oracle;
+pub mod rng;
 pub mod runner;
 pub mod scratch;
 pub mod theory;
@@ -69,10 +70,11 @@ pub use error::EstimatorError;
 pub use estimator::MainEstimator;
 pub use ideal::IdealEstimator;
 pub use oracle::{DegreeOracle, ExactDegreeOracle};
+pub use rng::{CounterRng, RngMode};
 pub use runner::{
     aggregate_copies, estimate_triangles, estimate_triangles_with_oracle, ideal_copy_seed,
-    main_copy_seed, run_ideal_copy, run_ideal_copy_with, run_main_copy, run_main_copy_sharded,
-    run_main_copy_with, CopyContribution, TriangleEstimation,
+    main_copy_seed, run_ideal_copy, run_ideal_copy_sharded, run_ideal_copy_with, run_main_copy,
+    run_main_copy_sharded, run_main_copy_with, CopyContribution, TriangleEstimation,
 };
 pub use scratch::EstimatorScratch;
 

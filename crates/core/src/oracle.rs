@@ -36,10 +36,24 @@ pub trait DegreeOracle {
 }
 
 /// An exact degree oracle built from one pass over the stream.
-#[derive(Debug, Clone)]
+///
+/// The query counter is a relaxed atomic so the oracle is `Sync`: the
+/// sharded ideal-estimator passes query it from several worker threads.
+#[derive(Debug)]
 pub struct ExactDegreeOracle {
     stats: StreamStats,
-    queries: std::cell::Cell<u64>,
+    queries: std::sync::atomic::AtomicU64,
+}
+
+impl Clone for ExactDegreeOracle {
+    fn clone(&self) -> Self {
+        ExactDegreeOracle {
+            stats: self.stats.clone(),
+            queries: std::sync::atomic::AtomicU64::new(
+                self.queries.load(std::sync::atomic::Ordering::Relaxed),
+            ),
+        }
+    }
 }
 
 impl ExactDegreeOracle {
@@ -47,7 +61,7 @@ impl ExactDegreeOracle {
     pub fn build<S: EdgeStream + ?Sized>(stream: &S) -> Self {
         ExactDegreeOracle {
             stats: StreamStats::compute(stream),
-            queries: std::cell::Cell::new(0),
+            queries: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -55,7 +69,7 @@ impl ExactDegreeOracle {
     pub fn from_stats(stats: StreamStats) -> Self {
         ExactDegreeOracle {
             stats,
-            queries: std::cell::Cell::new(0),
+            queries: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -68,20 +82,22 @@ impl ExactDegreeOracle {
 
 impl DegreeOracle for ExactDegreeOracle {
     fn degree(&self, v: VertexId) -> usize {
-        self.queries.set(self.queries.get() + 1);
+        self.queries
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         self.stats.degree(v)
     }
 
     fn queries(&self) -> u64 {
-        self.queries.get()
+        self.queries.load(std::sync::atomic::Ordering::Relaxed)
     }
 }
 
-/// A degree table answers degree queries directly (without query counting).
+/// A degree table answers degree queries directly (without query counting
+/// overhead).
 ///
 /// This lets concurrent estimator copies share one `StreamStats` by
-/// reference — [`ExactDegreeOracle`]'s query counter is not thread-safe,
-/// and cloning the `Θ(n)` table per copy would defeat the sharing.
+/// reference without paying [`ExactDegreeOracle`]'s atomic query counter
+/// on every lookup, and without cloning the `Θ(n)` table per copy.
 impl DegreeOracle for StreamStats {
     fn degree(&self, v: VertexId) -> usize {
         StreamStats::degree(self, v)

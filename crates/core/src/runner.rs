@@ -111,7 +111,7 @@ pub fn run_ideal_copy<S, O>(
 ) -> Result<IdealOutcome>
 where
     S: EdgeStream + ?Sized,
-    O: DegreeOracle,
+    O: DegreeOracle + Sync,
 {
     run_ideal_copy_with(
         stream,
@@ -135,11 +135,40 @@ pub fn run_ideal_copy_with<S, O>(
 ) -> Result<IdealOutcome>
 where
     S: EdgeStream + ?Sized,
-    O: DegreeOracle,
+    O: DegreeOracle + Sync,
 {
     let mut copy_config = config.clone();
     copy_config.seed = ideal_copy_seed(config.seed, copy);
     IdealEstimator::new(copy_config).run_with(stream, oracle, batch_size, scratch)
+}
+
+/// [`run_ideal_copy`] over a sharded snapshot view: the shardable passes —
+/// the closure pass in [`crate::RngMode::Sequential`], all three passes in
+/// [`crate::RngMode::Counter`] — run shard-parallel on up to
+/// `shard_workers` threads, with per-shard accumulators merged in shard
+/// order. Bit-identical to [`run_ideal_copy`] over the same edges at any
+/// shard/worker count.
+pub fn run_ideal_copy_sharded<O>(
+    sharded: &ShardedStream<'_>,
+    oracle: &O,
+    config: &EstimatorConfig,
+    copy: usize,
+    batch_size: usize,
+    shard_workers: usize,
+    scratch: &mut EstimatorScratch,
+) -> Result<IdealOutcome>
+where
+    O: DegreeOracle + Sync,
+{
+    let mut copy_config = config.clone();
+    copy_config.seed = ideal_copy_seed(config.seed, copy);
+    IdealEstimator::new(copy_config).run_sharded(
+        sharded,
+        oracle,
+        batch_size,
+        shard_workers,
+        scratch,
+    )
 }
 
 /// One copy's contribution to a multi-copy aggregate: what
@@ -261,7 +290,7 @@ pub fn estimate_triangles_with_oracle<S, O>(
 ) -> Result<TriangleEstimation>
 where
     S: EdgeStream + ?Sized,
-    O: DegreeOracle,
+    O: DegreeOracle + Sync,
 {
     config.validate()?;
     let mut contributions = Vec::with_capacity(config.copies);

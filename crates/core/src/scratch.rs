@@ -208,6 +208,114 @@ impl EdgeProbeSet {
     }
 }
 
+/// Open-addressed cache from packed [`Edge::key`]s to cached `f64` values,
+/// with linear probing and a ≤ 50% load factor (growing ×2 on demand).
+///
+/// Built for the assignment oracle's per-edge `Y_e` estimates: with
+/// stateless keyed randomness the estimate of an edge is a pure function
+/// of `(seed, edge)`, so repeating the sampling for a second triangle that
+/// shares the edge is pure waste — the cache answers instead. `0` marks an
+/// empty bucket, which no real edge key can collide with: normalized edges
+/// have `u() < v()`, so the packed low half is always non-zero.
+///
+/// [`Edge::key`]: degentri_graph::Edge::key
+#[derive(Debug, Default, Clone)]
+pub struct EdgeValueCache {
+    keys: Vec<u64>,
+    values: Vec<f64>,
+    len: usize,
+}
+
+impl EdgeValueCache {
+    /// Creates an empty cache (buckets are allocated on first insert).
+    pub fn new() -> Self {
+        EdgeValueCache::default()
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes every entry but keeps the bucket allocation.
+    pub fn clear(&mut self) {
+        self.keys.fill(0);
+        self.len = 0;
+    }
+
+    /// The cached value of `key`, if present. Allocation-free.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<f64> {
+        debug_assert_ne!(key, 0, "0 is the empty-bucket marker");
+        if self.keys.is_empty() {
+            return None;
+        }
+        let mask = self.keys.len() - 1;
+        let mut at = mix64(key) as usize & mask;
+        loop {
+            let entry = self.keys[at];
+            if entry == 0 {
+                return None;
+            }
+            if entry == key {
+                return Some(self.values[at]);
+            }
+            at = (at + 1) & mask;
+        }
+    }
+
+    /// Caches `value` for `key` (first insert wins; re-inserting an
+    /// existing key keeps the original value, matching memo semantics).
+    pub fn insert(&mut self, key: u64, value: f64) {
+        debug_assert_ne!(key, 0, "0 is the empty-bucket marker");
+        if (self.len + 1) * 2 > self.keys.len() {
+            self.grow();
+        }
+        let mask = self.keys.len() - 1;
+        let mut at = mix64(key) as usize & mask;
+        loop {
+            let entry = self.keys[at];
+            if entry == 0 {
+                self.keys[at] = key;
+                self.values[at] = value;
+                self.len += 1;
+                return;
+            }
+            if entry == key {
+                return;
+            }
+            at = (at + 1) & mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let capacity = (self.keys.len() * 2).max(16);
+        let old_keys = std::mem::replace(&mut self.keys, vec![0; capacity]);
+        let old_values = std::mem::replace(&mut self.values, vec![0.0; capacity]);
+        self.len = 0;
+        for (key, value) in old_keys.into_iter().zip(old_values) {
+            if key != 0 {
+                self.insert(key, value);
+            }
+        }
+    }
+}
+
+#[inline]
+fn mix64(key: u64) -> u64 {
+    // SplitMix64 finalizer over the full 64-bit key.
+    let mut x = key;
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
 /// CSR-style per-slot lists of `u32` payloads, built in two phases
 /// (count, then fill) so per-slot iteration order equals insertion order —
 /// which keeps the estimator's RNG consumption order, and therefore its
@@ -364,6 +472,31 @@ mod tests {
             let k = Edge::from_raw(i, i + 1).key();
             assert_eq!(merged.hit(k), direct.hit(k));
         }
+    }
+
+    #[test]
+    fn edge_value_cache_inserts_probes_and_grows() {
+        let mut cache = EdgeValueCache::new();
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(Edge::from_raw(0, 1).key()), None);
+        // Insert far past the initial capacity to force several growths.
+        for i in 0..500u32 {
+            cache.insert(Edge::from_raw(i, i + 1).key(), i as f64 * 0.5);
+        }
+        assert_eq!(cache.len(), 500);
+        for i in 0..500u32 {
+            assert_eq!(
+                cache.get(Edge::from_raw(i, i + 1).key()),
+                Some(i as f64 * 0.5)
+            );
+        }
+        assert_eq!(cache.get(Edge::from_raw(1000, 1001).key()), None);
+        // First insert wins (memo semantics).
+        cache.insert(Edge::from_raw(3, 4).key(), 99.0);
+        assert_eq!(cache.get(Edge::from_raw(3, 4).key()), Some(1.5));
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(Edge::from_raw(3, 4).key()), None);
     }
 
     #[test]

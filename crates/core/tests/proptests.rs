@@ -1,0 +1,191 @@
+//! Property-based tests for the counter RNG and the position-keyed
+//! reservoir rule.
+//!
+//! Two properties carry the whole counter-mode design:
+//!
+//! * **uniformity** — `CounterRng::draw` must be indistinguishable from
+//!   uniform over its output range for any slice through the
+//!   `(seed, stream, position, draw)` key space (checked with a
+//!   chi-square bucket test), and
+//! * **shard-order invariance** — folding a stream's position-keyed offers
+//!   shard by shard and merging the per-shard [`PickCell`]s in *any*
+//!   permutation must accept exactly the same sample set as the sequential
+//!   fold, for every contiguous partition of the stream.
+
+use degentri_core::rng::{streams, PickCell};
+use degentri_core::CounterRng;
+use proptest::prelude::*;
+
+/// SplitMix64 step used to derive auxiliary test data from a case seed.
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Chi-square statistic of `draws` hashed into `buckets` equal cells.
+fn chi_square(values: impl Iterator<Item = u64>, buckets: usize, draws: usize) -> f64 {
+    let mut counts = vec![0u64; buckets];
+    let mut total = 0usize;
+    for v in values.take(draws) {
+        counts[((v as u128 * buckets as u128) >> 64) as usize] += 1;
+        total += 1;
+    }
+    let expected = total as f64 / buckets as f64;
+    counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - expected;
+            d * d / expected
+        })
+        .sum()
+}
+
+/// With 64 buckets the statistic has 63 degrees of freedom: mean 63,
+/// standard deviation √126 ≈ 11.2. 130 is ≈ +6σ — astronomically unlikely
+/// for a uniform source, reliably exceeded by a biased one.
+const CHI_SQUARE_BOUND: f64 = 130.0;
+const BUCKETS: usize = 64;
+const DRAWS: usize = 16_384;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn draws_are_uniform_across_positions(seed in 0u64..1_000_000, stream in 0u64..16) {
+        let rng = CounterRng::new(seed, stream);
+        let stat = chi_square((0..DRAWS as u64).map(|p| rng.draw(p, 0)), BUCKETS, DRAWS);
+        prop_assert!(stat < CHI_SQUARE_BOUND, "chi-square {stat:.1} over positions");
+    }
+
+    #[test]
+    fn draws_are_uniform_across_draw_indices(seed in 0u64..1_000_000, position in 0u64..1_000_000) {
+        let rng = CounterRng::new(seed, streams::MAIN_ASSIGNMENT);
+        let stat = chi_square((0..DRAWS as u64).map(|j| rng.draw(position, j)), BUCKETS, DRAWS);
+        prop_assert!(stat < CHI_SQUARE_BOUND, "chi-square {stat:.1} over draw indices");
+    }
+
+    #[test]
+    fn derived_draws_match_direct_draws_and_stay_uniform(seed in 0u64..1_000_000) {
+        let rng = CounterRng::new(seed, streams::MAIN_NEIGHBOR);
+        // The base/derive split used by the hot loops is the same function.
+        for p in 0..64u64 {
+            let base = rng.base(p);
+            for j in 0..16u64 {
+                prop_assert_eq!(CounterRng::derive(base, j), rng.draw(p, j));
+            }
+        }
+        // A diagonal slice (position and draw varying together).
+        let stat = chi_square((0..DRAWS as u64).map(|i| rng.draw(i, i)), BUCKETS, DRAWS);
+        prop_assert!(stat < CHI_SQUARE_BOUND, "chi-square {stat:.1} on the diagonal");
+    }
+
+    #[test]
+    fn bounded_draws_cover_their_range_uniformly(seed in 0u64..1_000_000, span in 2u64..97) {
+        let rng = CounterRng::new(seed, streams::MAIN_UNIFORM_SAMPLE);
+        let mut counts = vec![0u64; span as usize];
+        let draws = 4096 * span as usize;
+        for p in 0..draws as u64 {
+            let v = rng.bounded(p, 1, span);
+            prop_assert!(v < span);
+            counts[v as usize] += 1;
+        }
+        let expected = draws as f64 / span as f64;
+        for (v, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            prop_assert!(dev < 0.15, "value {v} hit {c} of {draws} (dev {dev:.3})");
+        }
+    }
+
+    #[test]
+    fn reservoir_accepts_the_same_samples_under_any_shard_permutation(
+        len in 1usize..400,
+        shards in 1usize..9,
+        slots in 1usize..6,
+        seed in 0u64..1_000_000,
+    ) {
+        let rng = CounterRng::new(seed, streams::MAIN_NEIGHBOR);
+        // The stream: position p carries payload derived from p.
+        let payload = |p: u64| (mix(seed ^ p) >> 40) as u32;
+
+        // Sequential fold: one bank of `slots` independent pick cells.
+        let mut sequential = vec![PickCell::empty(); slots];
+        for p in 0..len as u64 {
+            let base = rng.base(p);
+            for (j, cell) in sequential.iter_mut().enumerate() {
+                cell.offer(CounterRng::derive(base, j as u64), p, payload(p));
+            }
+        }
+
+        // Contiguous partition into up to `shards` pieces, derived from the
+        // case seed; fold each shard independently.
+        let mut bounds: Vec<usize> = (0..shards - 1)
+            .map(|i| (mix(seed.wrapping_add(i as u64 + 1)) % (len as u64 + 1)) as usize)
+            .collect();
+        bounds.push(0);
+        bounds.push(len);
+        bounds.sort_unstable();
+        let mut per_shard: Vec<Vec<PickCell>> = Vec::new();
+        for w in bounds.windows(2) {
+            let mut cells = vec![PickCell::empty(); slots];
+            for p in w[0] as u64..w[1] as u64 {
+                let base = rng.base(p);
+                for (j, cell) in cells.iter_mut().enumerate() {
+                    cell.offer(CounterRng::derive(base, j as u64), p, payload(p));
+                }
+            }
+            per_shard.push(cells);
+        }
+
+        // Merge the shards in a permuted order (Fisher–Yates driven by the
+        // case seed): the accepted sample set must not move.
+        let mut order: Vec<usize> = (0..per_shard.len()).collect();
+        for i in (1..order.len()).rev() {
+            let j = (mix(seed ^ (i as u64) << 32) % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        let mut merged = vec![PickCell::empty(); slots];
+        for &s in &order {
+            for (cell, other) in merged.iter_mut().zip(&per_shard[s]) {
+                cell.merge(other);
+            }
+        }
+        for (j, (m, s)) in merged.iter().zip(&sequential).enumerate() {
+            prop_assert_eq!(m, s, "slot {} diverged (shards {:?})", j, bounds);
+        }
+    }
+
+    #[test]
+    fn positional_targets_gather_identically_under_any_partition(
+        len in 1usize..300,
+        shards in 1usize..8,
+        picks in 1usize..32,
+        seed in 0u64..1_000_000,
+    ) {
+        // The pass-1 rule: slot j holds the item at position hash(j) % len.
+        let rng = CounterRng::new(seed, streams::MAIN_UNIFORM_SAMPLE);
+        let mut targets: Vec<(u64, u32)> = (0..picks)
+            .map(|j| (rng.bounded(j as u64, 0, len as u64), j as u32))
+            .collect();
+        targets.sort_unstable();
+        let direct: Vec<u64> = (0..picks)
+            .map(|j| rng.bounded(j as u64, 0, len as u64))
+            .collect();
+
+        // Gather over an arbitrary contiguous partition.
+        let per_shard = len.div_ceil(shards).max(1);
+        let mut gathered = vec![u64::MAX; picks];
+        let mut start = 0usize;
+        while start < len {
+            let end = (start + per_shard).min(len);
+            let mut i = targets.partition_point(|&(p, _)| p < start as u64);
+            while i < targets.len() && targets[i].0 < end as u64 {
+                gathered[targets[i].1 as usize] = targets[i].0;
+                i += 1;
+            }
+            start = end;
+        }
+        prop_assert_eq!(gathered, direct, "partition into {} shards diverged", shards);
+    }
+}

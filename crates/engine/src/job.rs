@@ -4,7 +4,7 @@ use std::fmt;
 use std::time::Duration;
 
 use degentri_baselines::{BaselineOutcome, StreamingTriangleCounter};
-use degentri_core::{EstimatorConfig, TriangleEstimation};
+use degentri_core::{EstimatorConfig, RngMode, TriangleEstimation};
 
 /// A baseline algorithm boxed for concurrent execution.
 pub type BoxedBaseline = Box<dyn StreamingTriangleCounter + Send + Sync>;
@@ -42,13 +42,23 @@ impl JobKind {
         }
     }
 
-    /// Whether this job's copies can run their order-insensitive passes
-    /// shard-parallel over a [`ShardedStream`](degentri_stream::ShardedStream)
-    /// view. Only the six-pass estimator supports it today: the ideal
-    /// estimator and the baselines consume RNG (or build graphs) on every
-    /// edge, so their passes are inherently sequential.
-    pub fn supports_intra_task_sharding(&self) -> bool {
-        matches!(self, JobKind::Main(_))
+    /// Whether this job's copies can run passes shard-parallel over a
+    /// [`ShardedStream`](degentri_stream::ShardedStream) view when
+    /// executed under `effective_mode` (the engine's
+    /// [`rng_mode`](crate::EngineConfig::rng_mode) override, or the job's
+    /// own mode when the engine respects it).
+    ///
+    /// The six-pass estimator always supports it — its order-insensitive
+    /// passes shard in either mode, and under [`RngMode::Counter`] all six
+    /// do. The ideal estimator's passes 1–2 consume RNG per edge, so it
+    /// shards only under [`RngMode::Counter`]. Baselines build stateful
+    /// per-edge structures and never shard.
+    pub fn supports_intra_task_sharding(&self, effective_mode: RngMode) -> bool {
+        match self {
+            JobKind::Main(_) => true,
+            JobKind::Ideal(_) => effective_mode == RngMode::Counter,
+            JobKind::Baseline(_) => false,
+        }
     }
 }
 
@@ -137,8 +147,13 @@ mod tests {
         let ideal = JobSpec::ideal("i", config);
         assert_eq!(ideal.kind.task_count(), 5);
         assert!(format!("{:?}", ideal.kind).contains("Ideal"));
-        assert!(main.kind.supports_intra_task_sharding());
-        assert!(!ideal.kind.supports_intra_task_sharding());
+        // The six-pass estimator shards in either randomness regime; the
+        // ideal estimator needs counter-based randomness for its sampling
+        // passes to become order-insensitive.
+        assert!(main.kind.supports_intra_task_sharding(RngMode::Sequential));
+        assert!(main.kind.supports_intra_task_sharding(RngMode::Counter));
+        assert!(!ideal.kind.supports_intra_task_sharding(RngMode::Sequential));
+        assert!(ideal.kind.supports_intra_task_sharding(RngMode::Counter));
     }
 
     #[test]

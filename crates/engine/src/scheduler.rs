@@ -13,16 +13,21 @@
 //! runnable copies — the spare workers are no longer left stalled: for
 //! snapshots that expose their edge storage
 //! ([`EdgeStream::as_edge_slice`]), the scheduler builds one
-//! [`ShardedStream`] view and runs each six-pass copy with shard-parallel
-//! order-insensitive passes, assigning `⌊workers / tasks⌋` threads per
-//! copy. Per-shard accumulators merge in shard order, so this scheduling
-//! decision — like every other — changes wall-clock time only.
+//! [`ShardedStream`] view and runs each shardable copy with shard-parallel
+//! passes, assigning `⌊workers / tasks⌋` threads per copy. Which passes
+//! shard depends on the effective randomness regime: under the engine
+//! default ([`RngMode::Counter`], forced onto every job unless the
+//! configuration says otherwise) **every** pass of the six-pass *and*
+//! ideal estimators shards; under [`RngMode::Sequential`] only the
+//! six-pass estimator's order-insensitive passes do. Per-shard
+//! accumulators merge in shard order, so within a regime every scheduling
+//! decision changes wall-clock time only.
 
 use std::time::{Duration, Instant};
 
 use degentri_core::{
-    run_ideal_copy_with, run_main_copy_sharded, run_main_copy_with, CopyContribution,
-    EstimatorScratch,
+    run_ideal_copy_sharded, run_ideal_copy_with, run_main_copy_sharded, run_main_copy_with,
+    CopyContribution, EstimatorConfig, EstimatorScratch,
 };
 use degentri_stream::{EdgeStream, ShardedStream, StreamStats};
 
@@ -140,10 +145,23 @@ impl Engine {
 
         // Reject invalid configurations before any work starts.
         self.config.validate()?;
-        for spec in &jobs {
-            if let Some(config) = spec.kind.config() {
-                config.validate().map_err(EngineError::from)?;
-            }
+        // The estimator configuration each job actually runs with: the
+        // engine's rng_mode override applied on top of the submitted one
+        // (None = respect the job's own mode).
+        let effective: Vec<Option<EstimatorConfig>> = jobs
+            .iter()
+            .map(|spec| {
+                spec.kind.config().map(|config| {
+                    let mut config = config.clone();
+                    if let Some(mode) = self.config.rng_mode {
+                        config.rng_mode = mode;
+                    }
+                    config
+                })
+            })
+            .collect();
+        for config in effective.iter().flatten() {
+            config.validate().map_err(EngineError::from)?;
         }
         let batch = self.config.batch_size;
 
@@ -180,12 +198,21 @@ impl Engine {
         let workers = self.config.effective_workers(tasks.len());
 
         // Intra-copy shard plan: when the pool is wider than the task list,
-        // split each shardable copy's order-insensitive passes across the
-        // spare workers instead of leaving them idle. Requires a snapshot
-        // that exposes its edge storage for zero-copy sharded views.
+        // split each shardable copy's passes across the spare workers
+        // instead of leaving them idle. Requires a snapshot that exposes
+        // its edge storage for zero-copy sharded views. Which jobs (and
+        // which of their passes) shard depends on the effective randomness
+        // regime — see `JobKind::supports_intra_task_sharding`.
+        let job_mode = |job: usize| {
+            effective[job]
+                .as_ref()
+                .map(|c| c.rng_mode)
+                .unwrap_or_default()
+        };
         let shardable = jobs
             .iter()
-            .any(|spec| spec.kind.supports_intra_task_sharding());
+            .enumerate()
+            .any(|(job, spec)| spec.kind.supports_intra_task_sharding(job_mode(job)));
         let shard_workers = if self.config.intra_task_sharding && shardable && !tasks.is_empty() {
             (self.config.workers / tasks.len()).max(1)
         } else {
@@ -212,9 +239,7 @@ impl Engine {
                 let task_started = Instant::now();
                 let output = match tasks[i] {
                     Task::MainCopy { job, copy } => {
-                        let JobKind::Main(config) = &jobs[job].kind else {
-                            unreachable!("task kind matches job kind");
-                        };
+                        let config = effective[job].as_ref().expect("main job has a config");
                         let result = match &sharded_view {
                             Some(view) => run_main_copy_sharded(
                                 view,
@@ -229,16 +254,27 @@ impl Engine {
                         TaskOutput::Copy(result.map(|o| CopyContribution::from(&o)))
                     }
                     Task::IdealCopy { job, copy } => {
-                        let JobKind::Ideal(config) = &jobs[job].kind else {
-                            unreachable!("task kind matches job kind");
-                        };
+                        let config = effective[job].as_ref().expect("ideal job has a config");
                         // Copies share the degree table by reference; StreamStats
                         // answers degree queries directly.
                         let stats = ideal_stats.as_ref().expect("stats built for ideal jobs");
-                        TaskOutput::Copy(
-                            run_ideal_copy_with(stream, stats, config, copy, batch, scratch)
-                                .map(|o| CopyContribution::from(&o)),
-                        )
+                        let result = match &sharded_view {
+                            Some(view)
+                                if jobs[job].kind.supports_intra_task_sharding(job_mode(job)) =>
+                            {
+                                run_ideal_copy_sharded(
+                                    view,
+                                    stats,
+                                    config,
+                                    copy,
+                                    batch,
+                                    intra_task_workers,
+                                    scratch,
+                                )
+                            }
+                            _ => run_ideal_copy_with(stream, stats, config, copy, batch, scratch),
+                        };
+                        TaskOutput::Copy(result.map(|o| CopyContribution::from(&o)))
                     }
                     Task::Baseline { job } => {
                         let JobKind::Baseline(counter) = &jobs[job].kind else {
@@ -312,6 +348,7 @@ impl Engine {
             stats: EngineStats::from_run(
                 workers,
                 intra_task_workers,
+                self.config.rng_mode,
                 tasks.len(),
                 wall,
                 busy_total,

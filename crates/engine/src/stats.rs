@@ -3,15 +3,22 @@
 use std::fmt;
 use std::time::Duration;
 
+use degentri_core::RngMode;
+
 /// Throughput statistics for one [`Engine::run`](crate::Engine::run).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EngineStats {
     /// Worker threads the run used.
     pub workers: usize,
-    /// Threads each shardable copy's order-insensitive passes ran on
+    /// Threads each shardable copy's shard-parallel passes ran on
     /// (1 = copy-level parallelism only; > 1 = spare workers were folded
     /// into intra-copy sharded passes).
     pub intra_task_workers: usize,
+    /// The randomness regime the run forced onto its jobs (`None` = each
+    /// job kept its own `EstimatorConfig::rng_mode`). Under
+    /// [`RngMode::Counter`] the intra-copy workers cover **every** pass;
+    /// under [`RngMode::Sequential`] only the order-insensitive ones.
+    pub rng_mode: Option<RngMode>,
     /// Tasks (estimator copies + baseline runs) executed.
     pub tasks: usize,
     /// Wall-clock time of the whole run in seconds.
@@ -33,6 +40,7 @@ impl EngineStats {
     pub(crate) fn from_run(
         workers: usize,
         intra_task_workers: usize,
+        rng_mode: Option<RngMode>,
         tasks: usize,
         wall: Duration,
         busy: Duration,
@@ -44,6 +52,7 @@ impl EngineStats {
         EngineStats {
             workers,
             intra_task_workers,
+            rng_mode,
             tasks,
             wall_seconds,
             busy_seconds,
@@ -77,6 +86,7 @@ mod tests {
         let stats = EngineStats::from_run(
             4,
             2,
+            Some(RngMode::Counter),
             10,
             Duration::from_millis(500),
             Duration::from_millis(1500),
@@ -84,6 +94,7 @@ mod tests {
         );
         assert_eq!(stats.workers, 4);
         assert_eq!(stats.intra_task_workers, 2);
+        assert_eq!(stats.rng_mode, Some(RngMode::Counter));
         assert!((stats.edges_per_second - 2_000_000.0).abs() < 1e-6);
         assert!((stats.worker_utilization - 0.75).abs() < 1e-9);
         let text = stats.to_string();
@@ -92,7 +103,7 @@ mod tests {
 
     #[test]
     fn zero_wall_time_does_not_divide_by_zero() {
-        let stats = EngineStats::from_run(1, 1, 1, Duration::ZERO, Duration::ZERO, 10);
+        let stats = EngineStats::from_run(1, 1, None, 1, Duration::ZERO, Duration::ZERO, 10);
         assert!(stats.edges_per_second.is_finite());
         assert!(stats.worker_utilization.is_finite());
     }

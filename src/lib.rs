@@ -131,6 +131,56 @@
 //! assert_eq!(sharded.estimate.to_bits(), sequential.estimate.to_bits());
 //! assert_eq!(view.passes(), 6); // sharding keeps the paper's pass budget
 //! ```
+//!
+//! # Quickstart: counter-based randomness (`RngMode`)
+//!
+//! Under the default [`RngMode::Sequential`](core::RngMode) the estimators
+//! consume one stateful PRNG stream in stream order, so only the
+//! order-insensitive passes above can shard. Switching the configuration
+//! to [`RngMode::Counter`](core::RngMode) derives every sampling decision
+//! from `hash(seed, stream position, draw index)` instead (see
+//! [`core::rng`] for the position-keyed reservoir rule) — same
+//! distributions, but now **every** pass of both estimators is a fold with
+//! an associative merge, so all six passes (and the ideal estimator's
+//! three) run shard-parallel, and pass 5 collapses its per-candidate-edge
+//! sampling into one table per distinct endpoint. The engine forces
+//! counter mode onto its jobs by default; `job_rng_mode()` makes it
+//! respect each job's own setting:
+//!
+//! ```
+//! use degentri::core::{EstimatorScratch, MainEstimator, RngMode};
+//! use degentri::prelude::*;
+//! use degentri::stream::DEFAULT_BATCH_SIZE;
+//!
+//! let graph = degentri::gen::wheel(2000).unwrap();
+//! let stream = MemoryStream::from_graph(&graph, StreamOrder::UniformRandom(1));
+//! let config = EstimatorConfig::builder()
+//!     .epsilon(0.15)
+//!     .kappa(3)
+//!     .triangle_lower_bound(999)
+//!     .rng_mode(RngMode::Counter)
+//!     .seed(7)
+//!     .try_build()
+//!     .unwrap();
+//!
+//! // All six passes shard now — and still bit-identical to the plain run
+//! // at every shard/worker count.
+//! let estimator = MainEstimator::new(config.clone());
+//! let plain = estimator.run_seeded(&stream, 7).unwrap();
+//! let view = ShardedStream::from_stream(&stream, 8);
+//! let mut scratch = EstimatorScratch::new();
+//! let sharded = estimator
+//!     .run_seeded_sharded(&view, 7, DEFAULT_BATCH_SIZE, 2, &mut scratch)
+//!     .unwrap();
+//! assert_eq!(sharded.estimate.to_bits(), plain.estimate.to_bits());
+//! assert_eq!(sharded.sharded_passes, [true; 6]);
+//!
+//! // The engine runs jobs in counter mode by default and reports it:
+//! let mut engine = Engine::new(EngineConfig::with_workers(2));
+//! engine.submit(JobSpec::main("counter", config));
+//! let report = engine.run(&stream).unwrap();
+//! assert_eq!(report.stats.rng_mode, Some(RngMode::Counter));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -150,7 +200,8 @@ pub mod prelude {
     pub use degentri_baselines::{BaselineOutcome, StreamingTriangleCounter};
     pub use degentri_cliques::{count_cliques, CliqueEstimator, CliqueEstimatorConfig};
     pub use degentri_core::{
-        estimate_triangles, estimate_triangles_with_oracle, EstimatorConfig, TriangleEstimation,
+        estimate_triangles, estimate_triangles_with_oracle, EstimatorConfig, RngMode,
+        TriangleEstimation,
     };
     pub use degentri_dynamic::{DynamicEstimatorConfig, DynamicTriangleEstimator};
     pub use degentri_engine::{
