@@ -1,11 +1,12 @@
-//! Machine-readable perf baseline: the third point of the repo's recorded
-//! performance trajectory (`BENCH_PR2.json` → `BENCH_PR3.json`).
+//! Machine-readable perf baseline: the fourth point of the repo's recorded
+//! performance trajectory (`BENCH_PR2.json` → `BENCH_PR3.json` →
+//! `BENCH_PR4.json`).
 //!
 //! Runs the six-pass estimator over a preferential-attachment snapshot in
 //! **both randomness regimes** (`RngMode::Sequential` and
 //! `RngMode::Counter`), three ways each — sequential single copy, engine
 //! with copy-level parallelism only, engine with intra-copy sharded passes
-//! — and emits `BENCH_PR3.json` with per-mode edges/sec, per-pass timings
+//! — and emits `BENCH_PR4.json` with per-mode edges/sec, per-pass timings
 //! (tagged with which passes sharded), and heap-allocation counts.
 //! Counter mode additionally sweeps shard counts 1..=8 × worker counts
 //! {1, 2, 4}, asserting bit-identical outcomes with all six passes
@@ -13,15 +14,23 @@
 //! (`intra_task_workers > 1`) so the sharded scheduling of passes 1/3/5 is
 //! exercised end to end.
 //!
-//! If the previous baseline (`BENCH_PR2.json` by default) is readable, the
+//! New in PR 4, a **dynamic (turnstile) estimator section**: the same
+//! sequential-vs-counter × standalone-vs-engine grid over a churned
+//! insert/delete stream, with the counter-mode sweep (shards 1..=8 ×
+//! workers {1, 2, 4}) asserted bit-identical and the engine's shared
+//! dynamic-snapshot path (`JobKind::Dynamic` through
+//! `Engine::run_dynamic`) asserted equal to the standalone estimator.
+//!
+//! If the previous baseline (`BENCH_PR3.json` by default) is readable, the
 //! run prints per-pass deltas against it and embeds them in the output;
 //! with `BENCH_FAIL_ON_REGRESSION=1` (set by the CI bench-smoke job) the
 //! process exits non-zero when overall single-copy throughput regresses
-//! more than 25% below the baseline.
+//! more than 25% below the baseline (or the dynamic engine-sharded path
+//! falls below the dynamic sequential standalone baseline).
 //!
 //!   cargo run --release -p degentri-bench --bin perf
 //!   SCALE=4 WORKERS=8 BATCH=8192 cargo run --release -p degentri-bench --bin perf
-//!   BENCH_OUT=/tmp/bench.json BENCH_BASELINE=BENCH_PR2.json cargo run --release -p degentri-bench --bin perf
+//!   BENCH_OUT=/tmp/bench.json BENCH_BASELINE=BENCH_PR3.json cargo run --release -p degentri-bench --bin perf
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
@@ -31,9 +40,13 @@ use std::time::Instant;
 use degentri_bench::common;
 use degentri_core::estimator::MainOutcome;
 use degentri_core::{EstimatorConfig, EstimatorScratch, MainEstimator, RngMode};
+use degentri_dynamic::{DynamicEstimatorConfig, DynamicOutcome, DynamicTriangleEstimator};
 use degentri_engine::{Engine, EngineConfig, EngineReport, JobSpec};
 use degentri_graph::triangles::count_triangles;
-use degentri_stream::{EdgeStream, MemoryStream, ShardedStream, StreamOrder, DEFAULT_BATCH_SIZE};
+use degentri_stream::{
+    DynamicEdgeStream, DynamicMemoryStream, EdgeStream, MemoryStream, ShardedDynamicStream,
+    ShardedStream, StreamOrder, DEFAULT_BATCH_SIZE,
+};
 
 struct CountingAllocator;
 
@@ -129,9 +142,9 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(42);
-    let out_path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_PR3.json".to_string());
+    let out_path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_PR4.json".to_string());
     let baseline_path =
-        std::env::var("BENCH_BASELINE").unwrap_or_else(|_| "BENCH_PR2.json".to_string());
+        std::env::var("BENCH_BASELINE").unwrap_or_else(|_| "BENCH_PR3.json".to_string());
     let fail_on_regression = std::env::var("BENCH_FAIL_ON_REGRESSION")
         .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
         .unwrap_or(false);
@@ -278,6 +291,121 @@ fn main() {
         "spare-worker sharding must not change results"
     );
 
+    // ---- Dynamic (turnstile) estimator: sequential vs counter randomness,
+    // standalone vs the engine's shared dynamic-snapshot path. ------------
+    let dyn_n = 1_200 * scale;
+    let dyn_graph = degentri_gen::barabasi_albert(dyn_n, 6, 2).expect("valid BA parameters");
+    let dyn_exact = count_triangles(&dyn_graph);
+    let dyn_stream = DynamicMemoryStream::with_churn(&dyn_graph, 0.5, 3);
+    let dyn_updates = dyn_stream.num_updates();
+    let dyn_copies = 2usize;
+    let dyn_config_for = |mode: RngMode| {
+        DynamicEstimatorConfig::new(6, (dyn_exact / 2).max(1))
+            .with_epsilon(0.25)
+            .with_copies(dyn_copies)
+            .with_seed(seed)
+            .with_constants(1.0, 2.0)
+            .with_max_samples(64)
+            .with_rng_mode(mode)
+    };
+    // Every copy makes four passes over the update stream.
+    let dyn_items_streamed = (dyn_copies as u64) * 4 * dyn_updates as u64;
+    eprintln!(
+        "perf: dynamic barabasi_albert(n = {dyn_n}, k = 6) — {} updates ({} deletions), T = {dyn_exact}",
+        dyn_updates,
+        dyn_stream.num_deletions()
+    );
+
+    struct DynCell {
+        wall_seconds: f64,
+        updates_per_second: f64,
+    }
+    let run_dyn_standalone = |mode: RngMode| -> (DynamicOutcome, DynCell) {
+        let estimator = DynamicTriangleEstimator::new(dyn_config_for(mode));
+        let started = Instant::now();
+        let out = estimator
+            .run(&dyn_stream)
+            .expect("dynamic estimator run succeeds");
+        let wall = started.elapsed().as_secs_f64();
+        (
+            out,
+            DynCell {
+                wall_seconds: wall,
+                updates_per_second: dyn_items_streamed as f64 / wall.max(1e-12),
+            },
+        )
+    };
+    let run_dyn_engine = |mode: RngMode, engine_workers: usize| -> (EngineReport, DynCell) {
+        let mut engine = Engine::new(
+            EngineConfig::builder()
+                .workers(engine_workers)
+                .batch_size(batch)
+                .rng_mode(mode)
+                .try_build()
+                .expect("engine configuration is valid"),
+        );
+        engine.submit(JobSpec::dynamic("turnstile", dyn_config_for(mode)));
+        let started = Instant::now();
+        let report = engine
+            .run_dynamic(&dyn_stream)
+            .expect("engine dynamic run succeeds");
+        let wall = started.elapsed().as_secs_f64();
+        let cell = DynCell {
+            wall_seconds: wall,
+            updates_per_second: dyn_items_streamed as f64 / wall.max(1e-12),
+        };
+        (report, cell)
+    };
+    let (dyn_seq_outcome, dyn_seq_cell) = run_dyn_standalone(RngMode::Sequential);
+    let (dyn_ctr_outcome, dyn_ctr_cell) = run_dyn_standalone(RngMode::Counter);
+    let (dyn_seq_engine, dyn_seq_engine_cell) = run_dyn_engine(RngMode::Sequential, workers);
+    // Twice as many workers as copies forces the spare-worker sharded path.
+    let (dyn_ctr_engine, dyn_ctr_engine_cell) = run_dyn_engine(RngMode::Counter, 2 * dyn_copies);
+    assert_eq!(
+        dyn_ctr_engine.stats.intra_task_workers, 2,
+        "spare workers must shard the dynamic copies"
+    );
+    assert_eq!(
+        dyn_ctr_engine.jobs[0].estimation.copy_estimates, dyn_ctr_outcome.copy_estimates,
+        "engine dynamic path must be bit-identical to the standalone counter run"
+    );
+    assert_eq!(
+        dyn_seq_engine.jobs[0].estimation.copy_estimates, dyn_seq_outcome.copy_estimates,
+        "engine dynamic path must be bit-identical to the standalone sequential run"
+    );
+    assert_eq!(
+        dyn_seq_engine.stats.intra_task_workers, 1,
+        "sequential dynamic jobs do not shard"
+    );
+
+    // Counter-mode parity sweep: shards 1..=8 × workers {1, 2, 4} must be
+    // bit-identical to the plain counter run.
+    let dyn_estimator = DynamicTriangleEstimator::new(dyn_config_for(RngMode::Counter));
+    for shards in 1..=8usize {
+        for &shard_workers in &shard_workers_tested {
+            let view = ShardedDynamicStream::from_stream(&dyn_stream, shards);
+            let out = dyn_estimator
+                .run_sharded(&view, shard_workers)
+                .expect("sharded dynamic run succeeds");
+            assert_eq!(
+                out.estimate.to_bits(),
+                dyn_ctr_outcome.estimate.to_bits(),
+                "dynamic counter mode must be bit-identical at shards {shards} workers {shard_workers}"
+            );
+            assert_eq!(out.copy_estimates, dyn_ctr_outcome.copy_estimates);
+            assert_eq!(out.space, dyn_ctr_outcome.space);
+        }
+    }
+    let dyn_engine_vs_seq =
+        dyn_ctr_engine_cell.updates_per_second / dyn_seq_cell.updates_per_second.max(1e-12);
+    eprintln!(
+        "perf: dynamic sequential {:.0} upd/s standalone / {:.0} upd/s engine; counter {:.0} upd/s standalone / {:.0} upd/s engine-sharded ({dyn_engine_vs_seq:.2}x over sequential standalone)",
+        dyn_seq_cell.updates_per_second,
+        dyn_seq_engine_cell.updates_per_second,
+        dyn_ctr_cell.updates_per_second,
+        dyn_ctr_engine_cell.updates_per_second,
+    );
+
     // ---- Baseline comparison (per-pass deltas vs the previous point). ----
     let baseline = std::fs::read_to_string(&baseline_path).ok();
     // Same-regime comparisons where the baseline has them: a PR2 baseline
@@ -330,14 +458,21 @@ fn main() {
     }
     let p5_counter = pass_eps(&counter_mode.outcome, 4);
     let p5_speedup = baseline_p5.map(|old| p5_counter / old);
+    // The dynamic baseline cell of the previous point, when it has one
+    // (BENCH_PR3 and earlier predate the dynamic section → None).
+    let baseline_dynamic_engine = baseline
+        .as_deref()
+        .and_then(|text| section_after(text, "\"dynamic\""))
+        .and_then(|t| section_after(t, "\"counter_engine_sharded\""))
+        .and_then(|t| number_after(t, "updates_per_second"));
 
-    // ---- Emit BENCH_PR3.json (hand-rolled: no JSON dependency). ----------
+    // ---- Emit BENCH_PR4.json (hand-rolled: no JSON dependency). ----------
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"bench\": \"BENCH_PR3\",");
+    let _ = writeln!(json, "  \"bench\": \"BENCH_PR4\",");
     let _ = writeln!(
         json,
-        "  \"description\": \"six-pass estimator throughput per RNG mode: sequential vs counter-based per-edge randomness, each sequential vs engine copy-only vs engine sharded\","
+        "  \"description\": \"six-pass + turnstile estimator throughput per RNG mode: sequential vs counter-based randomness, each standalone vs engine copy-only vs engine sharded\","
     );
     let _ = writeln!(json, "  \"graph\": {{");
     let _ = writeln!(json, "    \"generator\": \"barabasi_albert\",");
@@ -428,6 +563,58 @@ fn main() {
     );
     let _ = writeln!(json, "    \"engine_sharded_matches_copy_only\": true");
     let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"dynamic\": {{");
+    let _ = writeln!(json, "    \"graph\": {{");
+    let _ = writeln!(json, "      \"generator\": \"barabasi_albert\",");
+    let _ = writeln!(json, "      \"n\": {dyn_n},");
+    let _ = writeln!(json, "      \"m\": {},", dyn_graph.num_edges());
+    let _ = writeln!(json, "      \"updates\": {dyn_updates},");
+    let _ = writeln!(json, "      \"deletions\": {},", dyn_stream.num_deletions());
+    let _ = writeln!(json, "      \"triangles\": {dyn_exact}");
+    let _ = writeln!(json, "    }},");
+    let _ = writeln!(json, "    \"copies\": {dyn_copies},");
+    let _ = writeln!(
+        json,
+        "    \"updates_streamed_per_run\": {dyn_items_streamed},"
+    );
+    for (label, cell, intra) in [
+        ("sequential_standalone", &dyn_seq_cell, None),
+        ("counter_standalone", &dyn_ctr_cell, None),
+        (
+            "sequential_engine",
+            &dyn_seq_engine_cell,
+            Some(dyn_seq_engine.stats.intra_task_workers),
+        ),
+        (
+            "counter_engine_sharded",
+            &dyn_ctr_engine_cell,
+            Some(dyn_ctr_engine.stats.intra_task_workers),
+        ),
+    ] {
+        let _ = writeln!(json, "    \"{label}\": {{");
+        let _ = writeln!(json, "      \"wall_seconds\": {:.6},", cell.wall_seconds);
+        let trailing = if intra.is_some() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "      \"updates_per_second\": {:.0}{trailing}",
+            cell.updates_per_second
+        );
+        if let Some(intra) = intra {
+            let _ = writeln!(json, "      \"intra_task_workers\": {intra}");
+        }
+        let _ = writeln!(json, "    }},");
+    }
+    let _ = writeln!(
+        json,
+        "    \"engine_sharded_vs_sequential_standalone\": {dyn_engine_vs_seq:.2},"
+    );
+    let _ = writeln!(json, "    \"parity\": {{");
+    let _ = writeln!(json, "      \"shards_tested\": \"1..=8\",");
+    let _ = writeln!(json, "      \"shard_workers_tested\": [1, 2, 4],");
+    let _ = writeln!(json, "      \"bit_identical_across_shards\": true,");
+    let _ = writeln!(json, "      \"engine_matches_standalone\": true");
+    let _ = writeln!(json, "    }}");
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"vs_baseline\": {{");
     let _ = writeln!(json, "    \"file\": \"{baseline_path}\",");
     let _ = writeln!(
@@ -469,8 +656,21 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "    \"counter_pass5_speedup\": {}",
+        "    \"counter_pass5_speedup\": {},",
         p5_speedup.map_or("null".to_string(), |v| format!("{v:.2}"))
+    );
+    let _ = writeln!(
+        json,
+        "    \"baseline_dynamic_engine_updates_per_second\": {},",
+        baseline_dynamic_engine.map_or("null".to_string(), |v| format!("{v:.0}"))
+    );
+    let _ = writeln!(
+        json,
+        "    \"dynamic_engine_delta_percent\": {}",
+        baseline_dynamic_engine.map_or("null".to_string(), |old| format!(
+            "{:.1}",
+            100.0 * (dyn_ctr_engine_cell.updates_per_second / old - 1.0)
+        ))
     );
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"parity\": {{");
@@ -500,6 +700,14 @@ fn main() {
             .and_then(|t| number_after(t, "edges_per_second"))
             .is_some(),
         "emitted JSON must expose the per-pass baseline anchors"
+    );
+    let self_dynamic = section_after(&json, "\"dynamic\"")
+        .and_then(|t| section_after(t, "\"counter_engine_sharded\""))
+        .and_then(|t| number_after(t, "updates_per_second"))
+        .expect("emitted JSON must expose the dynamic baseline anchor");
+    assert!(
+        (self_dynamic - dyn_ctr_engine_cell.updates_per_second).abs() < 1.0,
+        "baseline reader disagrees with emitted dynamic throughput"
     );
 
     std::fs::write(&out_path, &json).expect("write bench output");
@@ -535,6 +743,11 @@ fn main() {
             counter_mode.edges_per_second,
             baseline_counter.or(baseline_sequential),
         ),
+        (
+            "dynamic-engine",
+            dyn_ctr_engine_cell.updates_per_second,
+            baseline_dynamic_engine,
+        ),
     ];
     let mut regressed = false;
     for (mode, measured, reference) in gates {
@@ -547,6 +760,17 @@ fn main() {
                 );
             }
         }
+    }
+    // The dynamic engine-sharded path must not fall behind the standalone
+    // sequential baseline measured in this very run (the counter regime's
+    // shared-fingerprint sketch updates make it far faster in practice).
+    if dyn_ctr_engine_cell.updates_per_second < dyn_seq_cell.updates_per_second {
+        regressed = true;
+        eprintln!(
+            "perf: REGRESSION — dynamic engine-sharded {:.0} upd/s fell below the standalone \
+             sequential baseline of {:.0} upd/s",
+            dyn_ctr_engine_cell.updates_per_second, dyn_seq_cell.updates_per_second
+        );
     }
     if regressed {
         if fail_on_regression {

@@ -85,6 +85,32 @@ pub fn engine_estimate<S: EdgeStream + Sync + ?Sized>(
     degentri_engine::parallel_estimate_triangles_with(stream, config, &engine_config())
 }
 
+/// The turnstile counterpart of [`engine_estimate`]: submits the dynamic
+/// estimator as a [`JobKind::Dynamic`](degentri_engine::JobKind) job and
+/// runs it over the shared dynamic snapshot with
+/// [`Engine::run_dynamic`](degentri_engine::Engine::run_dynamic). The
+/// engine's default forces counter-mode randomness onto the job (sharding
+/// its sketch folds across any spare workers); results are bit-identical
+/// to the standalone estimator under the same effective mode.
+pub fn engine_dynamic_estimate<S>(
+    stream: &S,
+    config: &degentri_dynamic::DynamicEstimatorConfig,
+) -> degentri_engine::Result<degentri_dynamic::DynamicOutcome>
+where
+    S: degentri_stream::DynamicEdgeStream + Sync + ?Sized,
+{
+    let mut engine = degentri_engine::Engine::new(engine_config());
+    engine.submit(degentri_engine::JobSpec::dynamic("dynamic", config.clone()));
+    let report = engine.run_dynamic(stream)?;
+    Ok(report
+        .jobs
+        .into_iter()
+        .next()
+        .expect("exactly one job was submitted")
+        .dynamic
+        .expect("dynamic jobs carry their outcome"))
+}
+
 /// The oracle-model counterpart of [`engine_estimate`]: runs the ideal
 /// estimator's copies through the engine, building the shared degree table
 /// with one stats pass (exactly what `ExactDegreeOracle::build` does).

@@ -9,8 +9,14 @@
 //! keeps tracking the surviving graph's triangle count, and the price of
 //! turnstile robustness is the predicted `polylog` blow-up over the
 //! insert-only estimator — not a change in the `mκ/T` scaling.
+//!
+//! Like every other experiment, E12 executes through the engine: each
+//! stream is submitted as a `JobKind::Dynamic` job and scheduled by
+//! [`Engine::run_dynamic`](degentri_engine::Engine::run_dynamic) over one
+//! shared dynamic snapshot (counter-mode randomness, sketch folds sharded
+//! across spare workers) — bit-identical to the standalone estimator.
 
-use degentri_dynamic::{DynamicEstimatorConfig, DynamicExactCounter, DynamicTriangleEstimator};
+use degentri_dynamic::{DynamicEstimatorConfig, DynamicExactCounter};
 use degentri_gen::NamedGraph;
 use degentri_graph::degeneracy::degeneracy;
 use degentri_graph::triangles::count_triangles;
@@ -79,8 +85,7 @@ pub fn run(scale: usize, seed: u64) -> Vec<Row> {
                 .with_seed(seed)
                 .with_constants(1.0, 2.0)
                 .with_max_samples(1200);
-            let out = DynamicTriangleEstimator::new(config)
-                .run(&stream)
+            let out = crate::common::engine_dynamic_estimate(&stream, &config)
                 .expect("surviving graph is non-empty");
             let exact_out = DynamicExactCounter::new().count(&stream);
             rows.push(Row {
@@ -141,7 +146,8 @@ mod tests {
     #[test]
     fn e12_churn_does_not_break_the_estimates() {
         // A reduced-size sweep so the regression test stays quick: one graph,
-        // all churn levels.
+        // all churn levels, executed through the engine exactly like the
+        // full experiment.
         let graph = degentri_gen::wheel(600).unwrap();
         let exact = count_triangles(&graph);
         let kappa = degeneracy(&graph).max(1);
@@ -157,7 +163,7 @@ mod tests {
                 .with_seed(11)
                 .with_constants(1.0, 2.0)
                 .with_max_samples(800);
-            let out = DynamicTriangleEstimator::new(config).run(&stream).unwrap();
+            let out = crate::common::engine_dynamic_estimate(&stream, &config).unwrap();
             assert!(
                 out.relative_error(exact) < 0.5,
                 "churn {churn}: estimate {} vs exact {exact}",
@@ -167,5 +173,28 @@ mod tests {
                 assert!(stream.num_deletions() > 0);
             }
         }
+    }
+
+    #[test]
+    fn e12_engine_path_matches_the_standalone_estimator() {
+        use degentri_core::RngMode;
+        use degentri_dynamic::DynamicTriangleEstimator;
+        let graph = degentri_gen::wheel(300).unwrap();
+        let exact = count_triangles(&graph);
+        let stream = DynamicMemoryStream::with_churn(&graph, 0.5, 7);
+        let config = DynamicEstimatorConfig::new(3, exact / 2)
+            .with_epsilon(0.3)
+            .with_copies(3)
+            .with_seed(11)
+            .with_constants(1.0, 2.0)
+            .with_max_samples(400);
+        let engine = crate::common::engine_dynamic_estimate(&stream, &config).unwrap();
+        // The engine forces counter mode onto the job.
+        let standalone = DynamicTriangleEstimator::new(config.with_rng_mode(RngMode::Counter))
+            .run(&stream)
+            .unwrap();
+        assert_eq!(engine.estimate.to_bits(), standalone.estimate.to_bits());
+        assert_eq!(engine.copy_estimates, standalone.copy_estimates);
+        assert_eq!(engine.surviving_edges, standalone.surviving_edges);
     }
 }

@@ -567,8 +567,9 @@ impl MainEstimator {
             let s = params.assignment_samples;
             let table_len = tracked * s;
             // The per-vertex table is live only during the pass: s sample
-            // cells (3 words each) plus a degree counter per vertex.
-            meter.charge((3 * s as u64 + 1) * tracked as u64);
+            // cells (2 words each — priority and position packed into one)
+            // plus a degree counter per vertex.
+            meter.charge((2 * s as u64 + 1) * tracked as u64);
             let rng5 = CounterRng::new(seed, streams::MAIN_ASSIGNMENT);
             let vertices_ref = &*vertices;
             started = Instant::now();
@@ -624,7 +625,7 @@ impl MainEstimator {
             // The merge + per-candidate materialization is part of the
             // pass's work, so it stays inside the pass-5 clock.
             pass_nanos[4] = started.elapsed().as_nanos() as u64;
-            meter.release((3 * s as u64 + 1) * tracked as u64);
+            meter.release((2 * s as u64 + 1) * tracked as u64);
         } else {
             // Sequential mode: candidates grouped by endpoint in CSR lists,
             // each payload tagging which side of its edge the endpoint is.

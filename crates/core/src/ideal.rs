@@ -189,9 +189,10 @@ impl IdealEstimator {
             // the edge maximizing `ln(u_{p,k}) / d_e` — a weight-
             // proportional pick with an associative max-merge, so the pass
             // shards. The edge-degree sum folds per shard and adds up.
-            // Each cell retains priority + position + payload: 3 words,
-            // matching the six-pass estimator's pass-5 cell accounting.
-            meter.charge(3 * copies as u64);
+            // Each cell retains a packed priority+position key plus the
+            // payload: 2 words, matching the six-pass estimator's pass-5
+            // cell accounting.
+            meter.charge(2 * copies as u64);
             meter.charge_word();
             let rng1 = CounterRng::new(self.config.seed, streams::IDEAL_EDGE);
             let folded = positioned_pass(

@@ -99,6 +99,17 @@ pub mod streams {
     /// [`GraphAssignmentOracle`](crate::assignment::GraphAssignmentOracle)
     /// neighbor queries (`hash(seed, vertex, draw)`).
     pub const ORACLE_NEIGHBOR: u64 = 0x71;
+    /// Turnstile estimator pass 1: per-sampler seeds of the ℓ0 edge bank
+    /// (`degentri-dynamic`; position = sampler index).
+    pub const DYNAMIC_EDGE_SAMPLER: u64 = 0x81;
+    /// Turnstile estimator pass 3: per-instance seeds of the ℓ0 neighbor
+    /// samplers (position = instance index).
+    pub const DYNAMIC_NEIGHBOR_SAMPLER: u64 = 0x82;
+    /// Turnstile estimator: degree-proportional instance selection over the
+    /// sampled edge set `R` (position = index in `R`, draw = instance).
+    pub const DYNAMIC_INSTANCES: u64 = 0x83;
+    /// Turnstile estimator: shared fingerprint bases of the ℓ0 sketch banks.
+    pub const DYNAMIC_FINGERPRINT: u64 = 0x84;
 }
 
 /// Odd multiplier spreading positions before finalization (golden ratio).
@@ -156,19 +167,53 @@ impl CounterRng {
     }
 }
 
+/// Low bits of a packed pick-cell key holding the stream position; the
+/// priority occupies the high bits. Positions must stay below `2³²` — a
+/// stream position is an index into in-memory edge/update storage, which
+/// the workspace never grows past that (4G edges would already be 32 GiB
+/// of snapshot).
+const POSITION_BITS: u32 = 32;
+const POSITION_MASK: u64 = (1u64 << POSITION_BITS) - 1;
+
+#[inline]
+fn pack_key(priority_bits: u64, position: u64) -> u64 {
+    debug_assert!(position <= POSITION_MASK, "stream position exceeds 2^32");
+    (priority_bits & !POSITION_MASK) | (position & POSITION_MASK)
+}
+
+/// Maps an `f64` priority to bits whose unsigned order equals the float
+/// order (the usual total-order trick: flip all bits of negatives, set the
+/// sign bit of non-negatives). Efraimidis–Spirakis priorities are ≤ 0, so
+/// in practice only the first branch fires, but the mapping is monotone
+/// over all non-NaN floats.
+#[inline]
+fn ordered_priority_bits(priority: f64) -> u64 {
+    let bits = priority.to_bits();
+    if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits | (1u64 << 63)
+    }
+}
+
 /// One order-insensitive uniform-pick slot: keeps the offered value with
-/// the largest `(priority, position)` pair. Folding offers shard-by-shard
-/// and [`merge`](PickCell::merge)-ing the per-shard cells in any order is
-/// bit-identical to offering sequentially — the position-keyed reservoir
-/// rule (see the module docs).
+/// the largest `(priority, position)` pair, stored as **one packed `u64`
+/// word** — the priority's high 32 bits above the position's low 32 bits —
+/// so a bank of cells costs 2 words per slot instead of 3 and the pass-5
+/// sample table moves a third less memory. Positions are unique per offer
+/// stream, so packed keys are unique and the max-merge stays a total
+/// order: folding offers shard-by-shard and [`merge`](PickCell::merge)-ing
+/// the per-shard cells in any order is bit-identical to offering
+/// sequentially — the position-keyed reservoir rule (see the module docs).
+/// Truncating the priority to 32 bits leaves the winner uniform up to
+/// `2⁻³²`-probability ties, which the position then breaks
+/// deterministically.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PickCell {
-    /// Priority of the currently held value (0 when empty).
-    pub priority: u64,
-    /// Stream position of the currently held value.
-    pub position: u64,
+    /// Packed `(priority high bits, position low bits)` of the held value.
+    key: u64,
     /// The held payload ([`PickCell::EMPTY`] when no offer was accepted).
-    pub value: u32,
+    value: u32,
 }
 
 impl PickCell {
@@ -181,13 +226,13 @@ impl PickCell {
     /// An empty cell; any real offer replaces it.
     pub const fn empty() -> Self {
         PickCell {
-            priority: 0,
-            position: 0,
+            key: 0,
             value: Self::EMPTY,
         }
     }
 
-    /// Offers a value; the cell keeps the largest `(priority, position)`.
+    /// Offers a value; the cell keeps the largest packed
+    /// `(priority, position)` key.
     #[inline]
     pub fn offer(&mut self, priority: u64, position: u64, value: u32) {
         debug_assert_ne!(
@@ -195,9 +240,9 @@ impl PickCell {
             Self::EMPTY,
             "payload collides with the empty sentinel"
         );
-        if (priority, position) > (self.priority, self.position) {
-            self.priority = priority;
-            self.position = position;
+        let key = pack_key(priority, position);
+        if self.value == Self::EMPTY || key > self.key {
+            self.key = key;
             self.value = value;
         }
     }
@@ -205,9 +250,21 @@ impl PickCell {
     /// Merges another cell (e.g. a per-shard accumulator) into this one.
     #[inline]
     pub fn merge(&mut self, other: &PickCell) {
-        if other.value != Self::EMPTY {
-            self.offer(other.priority, other.position, other.value);
+        if other.value != Self::EMPTY && (self.value == Self::EMPTY || other.key > self.key) {
+            *self = *other;
         }
+    }
+
+    /// The packed `(priority, position)` key of the held value.
+    #[inline]
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// The stream position of the held value (the key's low bits).
+    #[inline]
+    pub fn position(&self) -> u64 {
+        self.key & POSITION_MASK
     }
 
     /// The held value, if any offer was accepted.
@@ -227,15 +284,17 @@ impl Default for PickCell {
 /// offer items with priority `ln(u) / w` for a position-keyed uniform `u`
 /// and weight `w > 0`; the item with the largest `(priority, position)`
 /// wins with probability `w / Σ w` — the distribution of a single-slot
-/// weighted reservoir, with the same associative, commutative merge.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// weighted reservoir, with the same associative, commutative merge. Like
+/// [`PickCell`], priority and position are packed into one `u64` word: the
+/// float priority maps to order-preserving bits (negatives flipped) whose
+/// high 32 bits sit above the position's low 32, so the cell is 2 words
+/// and — no float field left — carries a total order by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WeightedPickCell {
-    /// Priority of the held item (`f64::NEG_INFINITY` when empty).
-    pub priority: f64,
-    /// Stream position of the held item.
-    pub position: u64,
+    /// Packed `(ordered priority bits, position)` of the held item.
+    key: u64,
     /// The held payload ([`WeightedPickCell::EMPTY`] when empty).
-    pub value: u64,
+    value: u64,
 }
 
 impl WeightedPickCell {
@@ -245,8 +304,7 @@ impl WeightedPickCell {
     /// An empty cell; any real offer replaces it.
     pub const fn empty() -> Self {
         WeightedPickCell {
-            priority: f64::NEG_INFINITY,
-            position: 0,
+            key: 0,
             value: Self::EMPTY,
         }
     }
@@ -260,10 +318,11 @@ impl WeightedPickCell {
         unit.ln() / weight
     }
 
-    /// Offers an item; the cell keeps the largest `(priority, position)`.
-    /// Like [`PickCell`], the payload space excludes the sentinel value
-    /// (`u64::MAX` is not a valid [`Edge::key`](degentri_graph::Edge::key)
-    /// — it would need both packed endpoints at `u32::MAX`).
+    /// Offers an item; the cell keeps the largest packed
+    /// `(priority, position)` key. Like [`PickCell`], the payload space
+    /// excludes the sentinel value (`u64::MAX` is not a valid
+    /// [`Edge::key`](degentri_graph::Edge::key) — it would need both
+    /// packed endpoints at `u32::MAX`).
     #[inline]
     pub fn offer(&mut self, priority: f64, position: u64, value: u64) {
         debug_assert_ne!(
@@ -271,12 +330,9 @@ impl WeightedPickCell {
             Self::EMPTY,
             "payload collides with the empty sentinel"
         );
-        if self.value == Self::EMPTY
-            || priority > self.priority
-            || (priority == self.priority && position > self.position)
-        {
-            self.priority = priority;
-            self.position = position;
+        let key = pack_key(ordered_priority_bits(priority), position);
+        if self.value == Self::EMPTY || key > self.key {
+            self.key = key;
             self.value = value;
         }
     }
@@ -284,9 +340,21 @@ impl WeightedPickCell {
     /// Merges another cell (e.g. a per-shard accumulator) into this one.
     #[inline]
     pub fn merge(&mut self, other: &WeightedPickCell) {
-        if other.value != Self::EMPTY {
-            self.offer(other.priority, other.position, other.value);
+        if other.value != Self::EMPTY && (self.value == Self::EMPTY || other.key > self.key) {
+            *self = *other;
         }
+    }
+
+    /// The packed `(priority, position)` key of the held item.
+    #[inline]
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// The stream position of the held item (the key's low bits).
+    #[inline]
+    pub fn position(&self) -> u64 {
+        self.key & POSITION_MASK
     }
 
     /// The held value, if any offer was accepted.
@@ -351,7 +419,14 @@ mod tests {
 
     #[test]
     fn pick_cell_keeps_the_maximum_and_merges_associatively() {
-        let offers = [(5u64, 0u64, 10u32), (9, 1, 11), (9, 0, 12), (1, 7, 13)];
+        // Priorities live in the key's high 32 bits, so distinct small
+        // priorities must be shifted up to stay distinct after packing.
+        let offers = [
+            (5u64 << 32, 0u64, 10u32),
+            (9 << 32, 1, 11),
+            (9 << 32, 0, 12),
+            (1 << 32, 7, 13),
+        ];
         let mut sequential = PickCell::empty();
         for (pri, pos, v) in offers {
             sequential.offer(pri, pos, v);
@@ -439,5 +514,51 @@ mod tests {
     #[test]
     fn rng_mode_defaults_to_sequential() {
         assert_eq!(RngMode::default(), RngMode::Sequential);
+    }
+
+    #[test]
+    fn packed_cells_are_two_words() {
+        // The packing satellite: priority + position share one u64, so a
+        // cell is key + payload — at most two machine words.
+        assert!(std::mem::size_of::<PickCell>() <= 16);
+        assert_eq!(std::mem::size_of::<WeightedPickCell>(), 16);
+    }
+
+    #[test]
+    fn equal_truncated_priorities_break_ties_by_position() {
+        let mut cell = PickCell::empty();
+        // Same high 32 priority bits (the low 32 are dropped by packing):
+        // the later position must win, deterministically.
+        cell.offer((7 << 32) | 99, 3, 1);
+        cell.offer((7 << 32) | 11, 8, 2);
+        assert_eq!(cell.value(), Some(2));
+        assert_eq!(cell.position(), 8);
+        let mut reversed = PickCell::empty();
+        reversed.offer((7 << 32) | 11, 8, 2);
+        reversed.offer((7 << 32) | 99, 3, 1);
+        assert_eq!(reversed, cell);
+    }
+
+    #[test]
+    fn ordered_priority_bits_preserve_float_order() {
+        let values = [f64::NEG_INFINITY, -1e300, -2.5, -1.0, -1e-9, -0.0, 0.0, 1.0];
+        for pair in values.windows(2) {
+            assert!(
+                ordered_priority_bits(pair[0]) <= ordered_priority_bits(pair[1]),
+                "{} should map below {}",
+                pair[0],
+                pair[1]
+            );
+        }
+        assert!(ordered_priority_bits(-1.0) < ordered_priority_bits(-0.5));
+    }
+
+    #[test]
+    fn packed_keys_expose_their_position() {
+        let mut cell = WeightedPickCell::empty();
+        cell.offer(WeightedPickCell::priority_of(0.5, 2.0), 42, 7);
+        assert_eq!(cell.position(), 42);
+        assert_eq!(cell.key() & 0xFFFF_FFFF, 42);
+        assert_eq!(cell.value(), Some(7));
     }
 }

@@ -16,6 +16,43 @@
 //! of the tracked vertex. [`DynamicTriangleEstimator`] wires those pieces
 //! into the same four-pass skeleton as the insert-only estimator.
 //!
+//! # Randomness regimes and sharding
+//!
+//! Like the insert-only estimators, the turnstile estimator runs in one of
+//! two distribution-identical regimes selected by
+//! [`DynamicEstimatorConfig::rng_mode`]:
+//!
+//! * [`RngMode::Sequential`] (the default, bit-compatible with earlier
+//!   releases) draws every sketch seed and every degree-proportional
+//!   instance pick from one stateful PRNG consumed in a fixed order.
+//! * [`RngMode::Counter`] derives all randomness from pure functions of
+//!   the configuration seed: sketch `k` of a bank is seeded by
+//!   `hash(seed, stream-tag, k, draw)` and instance `i` picks the edge at
+//!   position `p` of `R` maximizing the Efraimidis–Spirakis priority of the
+//!   position-keyed uniform `hash(seed, instances-tag, p, i)` — the
+//!   [`WeightedPickCell`] reservoir rule of `degentri_core::rng`.
+//!
+//! One subtlety distinguishes the turnstile port from the insert-only
+//! counter mode: the **per-update** randomness of a sketch must be keyed by
+//! the *edge*, not by the update's stream position — an insertion and a
+//! later deletion of the same edge must hash identically or they would not
+//! cancel. The per-update work is therefore a deterministic **linear**
+//! function of the update multiset in both regimes, which is exactly what
+//! makes every pass an order-insensitive fold: a sharded pass clones one
+//! configured sketch bank per shard, folds each contiguous update shard,
+//! and merges the per-shard banks (sketch sums are exact, signed counters
+//! add) **bit-identically** at any shard or worker count. Stream positions
+//! are still threaded through the folds — they are the carrier the
+//! insert-only passes key on — but the turnstile decisions they feed
+//! (instance selection) happen at positions *within `R`*, which are stable
+//! under deletions.
+//!
+//! Counter mode additionally lets every ℓ0 bank share one *fingerprint
+//! base* `z` (see [`L0Sampler::with_fingerprint_base`]): the modular
+//! exponentiation `z^edge` — by far the most expensive part of a sketch
+//! update — is computed once per update and fanned out to the whole bank,
+//! instead of once per recovery cell.
+//!
 //! The estimator counts triangles *incident* to the sampled edges (and
 //! divides by three); porting the assignment rule of Algorithm 3 would
 //! reduce the variance on skewed instances exactly as in the insert-only
@@ -24,13 +61,16 @@
 //! `Õ(mκ/T · polylog)` — each ℓ0 sampler costs `Θ(log²)` words, which is the
 //! usual price of turnstile robustness.
 
+use degentri_core::rng::{streams, CounterRng, RngMode, WeightedPickCell};
 use degentri_graph::{Edge, VertexId};
-use degentri_stream::hashing::FxHashMap;
-use degentri_stream::{DynamicEdgeStream, SpaceMeter, SpaceReport, DEFAULT_BATCH_SIZE};
+use degentri_sketch::hash::MERSENNE_PRIME;
+use degentri_sketch::{fingerprint_term, L0Sampler};
+use degentri_stream::{
+    DynamicEdgeStream, EdgeUpdate, ShardedDynamicStream, SpaceMeter, SpaceReport,
+    DEFAULT_BATCH_SIZE,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-
-use degentri_sketch::L0Sampler;
 
 use crate::error::DynamicError;
 use crate::Result;
@@ -54,6 +94,12 @@ pub struct DynamicEstimatorConfig {
     pub seed: u64,
     /// Hard cap on `r` and the inner-instance count.
     pub max_samples: usize,
+    /// How the estimator consumes randomness: [`RngMode::Sequential`] keeps
+    /// the stateful-PRNG behavior of earlier releases (bit-compatible);
+    /// [`RngMode::Counter`] derives sketch seeds and instance picks from
+    /// keyed counter hashes, which is what lets the engine shard a copy's
+    /// passes (see the module docs).
+    pub rng_mode: RngMode,
 }
 
 impl DynamicEstimatorConfig {
@@ -69,6 +115,7 @@ impl DynamicEstimatorConfig {
             copies: 3,
             seed: 0,
             max_samples: 200_000,
+            rng_mode: RngMode::Sequential,
         }
     }
 
@@ -100,6 +147,14 @@ impl DynamicEstimatorConfig {
     /// Caps both sample sizes.
     pub fn with_max_samples(mut self, cap: usize) -> Self {
         self.max_samples = cap.max(1);
+        self
+    }
+
+    /// Selects the randomness regime (the default is
+    /// [`RngMode::Sequential`] for back-compatibility; the engine forces
+    /// [`RngMode::Counter`] onto its jobs unless told otherwise).
+    pub fn with_rng_mode(mut self, mode: RngMode) -> Self {
+        self.rng_mode = mode;
         self
     }
 
@@ -155,6 +210,8 @@ impl DynamicEstimatorConfig {
 pub struct DynamicOutcome {
     /// The triangle estimate for the surviving graph (median over copies).
     pub estimate: f64,
+    /// Estimates of the individual copies, in copy order.
+    pub copy_estimates: Vec<f64>,
     /// Passes over the update stream made by one copy.
     pub passes: u32,
     /// Retained-state space summed over all copies.
@@ -186,19 +243,134 @@ impl DynamicOutcome {
     }
 }
 
+/// One copy's contribution to a multi-copy [`DynamicOutcome`] — what
+/// [`aggregate_dynamic_copies`] needs from a single run. Copies are
+/// independent, so a scheduler (the engine's `JobKind::Dynamic` path) may
+/// execute them in any order or concurrently and aggregate afterwards,
+/// bit-identically to [`DynamicTriangleEstimator::run`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynamicCopyOutcome {
+    /// The copy's incident-triangle estimate.
+    pub estimate: f64,
+    /// Retained-state space of this copy.
+    pub space: SpaceReport,
+    /// Closed wedges this copy observed (diagnostic).
+    pub triangles_found: u64,
+    /// Edges actually recovered into `R` by the ℓ0 bank.
+    pub r: usize,
+    /// Inner degree-proportional instances the copy ran.
+    pub inner_samples: usize,
+    /// Net surviving edges measured in pass 1.
+    pub surviving_edges: usize,
+}
+
+/// Golden-ratio stride deriving per-copy seeds — the same derivation the
+/// sequential multi-copy loop has always used, shared with the engine so
+/// both produce identical per-copy estimates.
+pub fn dynamic_copy_seed(config_seed: u64, copy: usize) -> u64 {
+    config_seed.wrapping_add((copy as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Runs one copy of the turnstile estimator with the seed derived for
+/// `copy` and the default batch size.
+pub fn run_dynamic_copy<S: DynamicEdgeStream + ?Sized>(
+    stream: &S,
+    config: &DynamicEstimatorConfig,
+    copy: usize,
+) -> Result<DynamicCopyOutcome> {
+    run_dynamic_copy_with(stream, config, copy, DEFAULT_BATCH_SIZE)
+}
+
+/// [`run_dynamic_copy`] with an explicit batched-delivery chunk size.
+/// Bit-identical to [`run_dynamic_copy`] at any batch size.
+pub fn run_dynamic_copy_with<S: DynamicEdgeStream + ?Sized>(
+    stream: &S,
+    config: &DynamicEstimatorConfig,
+    copy: usize,
+    batch_size: usize,
+) -> Result<DynamicCopyOutcome> {
+    run_single(
+        config,
+        stream,
+        None,
+        dynamic_copy_seed(config.seed, copy),
+        batch_size,
+    )
+}
+
+/// [`run_dynamic_copy`] over a sharded snapshot view: in
+/// [`RngMode::Counter`] every pass runs shard-parallel on up to
+/// `shard_workers` threads with per-shard sketch banks and counters merged
+/// in shard order — bit-identical to the plain copy at any shard or worker
+/// count. In [`RngMode::Sequential`] the view is walked in global order
+/// (sharding is an engine/counter-mode feature), which is likewise
+/// bit-identical to the plain copy.
+pub fn run_dynamic_copy_sharded(
+    view: &ShardedDynamicStream<'_>,
+    config: &DynamicEstimatorConfig,
+    copy: usize,
+    batch_size: usize,
+    shard_workers: usize,
+) -> Result<DynamicCopyOutcome> {
+    let shard = (config.rng_mode == RngMode::Counter).then_some((view, shard_workers));
+    run_single(
+        config,
+        view,
+        shard,
+        dynamic_copy_seed(config.seed, copy),
+        batch_size,
+    )
+}
+
+/// Aggregates per-copy results (in copy order) into a [`DynamicOutcome`]:
+/// the median of the copy estimates, with the copies' space composed in
+/// parallel — exactly the aggregation of the sequential multi-copy loop,
+/// so any scheduler producing the same per-copy results produces the same
+/// outcome.
+pub fn aggregate_dynamic_copies(copies: &[DynamicCopyOutcome]) -> DynamicOutcome {
+    let copy_estimates: Vec<f64> = copies.iter().map(|c| c.estimate).collect();
+    let mut sorted = copy_estimates.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("estimates are finite"));
+    let mid = sorted.len() / 2;
+    let estimate = if sorted.is_empty() {
+        0.0
+    } else if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    };
+    let mut meter = SpaceMeter::new();
+    let mut found = 0u64;
+    let mut r_used = 0usize;
+    let mut inner_used = 0usize;
+    let mut m_net = 0usize;
+    for c in copies {
+        let mut copy_meter = SpaceMeter::new();
+        copy_meter.charge(c.space.peak_words);
+        copy_meter.release(c.space.peak_words - c.space.final_words);
+        meter.absorb_parallel(&copy_meter);
+        found += c.triangles_found;
+        r_used = c.r;
+        inner_used = c.inner_samples;
+        m_net = c.surviving_edges;
+    }
+    DynamicOutcome {
+        estimate,
+        copy_estimates,
+        passes: 4,
+        space: meter.report(),
+        copies: copies.len(),
+        r: r_used,
+        inner_samples: inner_used,
+        triangles_found: found,
+        surviving_edges: m_net,
+    }
+}
+
 /// The ℓ0-sampling port of the paper's estimator to turnstile streams.
 #[derive(Debug, Clone)]
 pub struct DynamicTriangleEstimator {
     config: DynamicEstimatorConfig,
-}
-
-struct SingleRun {
-    estimate: f64,
-    meter: SpaceMeter,
-    triangles_found: u64,
-    r: usize,
-    inner: usize,
-    m_net: usize,
 }
 
 // Edges enter the ℓ0 sketches through the canonical `Edge::key` packing
@@ -223,242 +395,466 @@ impl DynamicTriangleEstimator {
         if stream.num_updates() == 0 {
             return Err(DynamicError::EmptyStream);
         }
-        let mut estimates = Vec::with_capacity(self.config.copies);
-        let mut meter = SpaceMeter::new();
-        let mut found = 0u64;
-        let mut r_used = 0usize;
-        let mut inner_used = 0usize;
-        let mut m_net = 0usize;
+        let mut copies = Vec::with_capacity(self.config.copies);
         for copy in 0..self.config.copies {
-            let seed = self
-                .config
-                .seed
-                .wrapping_add((copy as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
-            let single = self.run_single(stream, seed)?;
-            estimates.push(single.estimate);
-            meter.absorb_parallel(&single.meter);
-            found += single.triangles_found;
-            r_used = single.r;
-            inner_used = single.inner;
-            m_net = single.m_net;
+            copies.push(run_dynamic_copy_with(
+                stream,
+                &self.config,
+                copy,
+                DEFAULT_BATCH_SIZE,
+            )?);
         }
-        estimates.sort_by(|a, b| a.partial_cmp(b).expect("estimates are finite"));
-        let mid = estimates.len() / 2;
-        let estimate = if estimates.len() % 2 == 1 {
-            estimates[mid]
-        } else {
-            (estimates[mid - 1] + estimates[mid]) / 2.0
-        };
-        Ok(DynamicOutcome {
-            estimate,
-            passes: 4,
-            space: meter.report(),
-            copies: self.config.copies,
-            r: r_used,
-            inner_samples: inner_used,
-            triangles_found: found,
-            surviving_edges: m_net,
-        })
+        Ok(aggregate_dynamic_copies(&copies))
     }
 
-    fn run_single<S: DynamicEdgeStream + ?Sized>(
+    /// [`run`](DynamicTriangleEstimator::run) over a sharded snapshot view,
+    /// with every copy's passes folded on up to `shard_workers` threads
+    /// (see [`run_dynamic_copy_sharded`]). Bit-identical to
+    /// [`run`](DynamicTriangleEstimator::run) over the same updates at any
+    /// shard or worker count.
+    pub fn run_sharded(
         &self,
-        stream: &S,
-        seed: u64,
-    ) -> Result<SingleRun> {
-        let n = stream.num_vertices();
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut meter = SpaceMeter::new();
-
-        // The update count is the only size hint available before pass 1;
-        // the net edge count is measured during pass 1 and used afterwards.
-        let r_target = self.config.derive_r(stream.num_updates());
-
-        // ---------------- Pass 1: ℓ0 edge samplers + net edge count --------
-        let edge_universe = (n as u64).saturating_mul(n as u64).max(4);
-        let mut edge_samplers: Vec<L0Sampler> = (0..r_target)
-            .map(|_| L0Sampler::for_universe(edge_universe, &mut rng))
-            .collect();
-        let mut net_edges: i64 = 0;
-        stream.pass_batched(DEFAULT_BATCH_SIZE, &mut |chunk| {
-            for update in chunk {
-                let idx = update.edge.key();
-                let delta = update.delta();
-                net_edges += delta;
-                for sampler in edge_samplers.iter_mut() {
-                    sampler.update(idx, delta);
-                }
-            }
-        });
-        meter.charge(
-            edge_samplers
-                .iter()
-                .map(L0Sampler::retained_words)
-                .sum::<u64>()
-                + 1,
-        );
-        if net_edges <= 0 {
-            return Err(DynamicError::EmptySurvivingGraph);
+        view: &ShardedDynamicStream<'_>,
+        shard_workers: usize,
+    ) -> Result<DynamicOutcome> {
+        self.config.validate()?;
+        if view.num_updates() == 0 {
+            return Err(DynamicError::EmptyStream);
         }
-        let m_net = net_edges as usize;
-
-        // Draw R from the samplers (each contributes at most one edge).
-        let r_edges: Vec<Edge> = edge_samplers
-            .iter()
-            .filter_map(|s| s.sample())
-            .filter(|&(_, count)| count > 0)
-            .map(|(idx, _)| Edge::from_key(idx))
-            .collect();
-        let r = r_edges.len();
-        if r == 0 {
-            return Err(DynamicError::EmptySurvivingGraph);
+        let mut copies = Vec::with_capacity(self.config.copies);
+        for copy in 0..self.config.copies {
+            copies.push(run_dynamic_copy_sharded(
+                view,
+                &self.config,
+                copy,
+                DEFAULT_BATCH_SIZE,
+                shard_workers,
+            )?);
         }
+        Ok(aggregate_dynamic_copies(&copies))
+    }
+}
 
-        // ---------------- Pass 2: degrees of R's endpoints ----------------
-        let mut endpoint_degree: FxHashMap<VertexId, i64> = FxHashMap::default();
-        for e in &r_edges {
-            endpoint_degree.entry(e.u()).or_insert(0);
-            endpoint_degree.entry(e.v()).or_insert(0);
-        }
-        meter.charge(endpoint_degree.len() as u64);
-        stream.pass_batched(DEFAULT_BATCH_SIZE, &mut |chunk| {
-            for update in chunk {
-                let delta = update.delta();
-                if let Some(d) = endpoint_degree.get_mut(&update.edge.u()) {
-                    *d += delta;
-                }
-                if let Some(d) = endpoint_degree.get_mut(&update.edge.v()) {
-                    *d += delta;
-                }
-            }
-        });
-        let degree_of = |v: VertexId| endpoint_degree.get(&v).copied().unwrap_or(0).max(0) as u64;
-        let degrees: Vec<u64> = r_edges
-            .iter()
-            .map(|e| degree_of(e.u()).min(degree_of(e.v())))
-            .collect();
-        let d_r: u64 = degrees.iter().sum();
-        meter.charge(r as u64);
-        if d_r == 0 {
-            return Err(DynamicError::EmptySurvivingGraph);
-        }
-
-        // Draw the inner instances proportional to d_e.
-        let inner = self.config.derive_inner(m_net, r, d_r);
-        let cumulative: Vec<f64> = degrees
-            .iter()
-            .scan(0.0, |acc, &d| {
-                *acc += d as f64;
-                Some(*acc)
+/// One pass over the update stream that delivers **global positions**:
+/// `fold` receives an accumulator, the global position of a chunk's first
+/// update, and the chunk. Sequentially there is one accumulator walking the
+/// whole stream — the `template` itself, consumed in place with no copy —
+/// while over a sharded view each shard clones the template and the
+/// per-shard accumulators come back in shard order — the turnstile twin of
+/// the insert-only `positioned_pass`. Every fold the estimator runs is a
+/// linear function of the update multiset (sketch sums, signed counters),
+/// so merging the per-shard accumulators reproduces the sequential fold
+/// bit for bit.
+fn update_fold_pass<S, A>(
+    stream: &S,
+    shard: Option<(&ShardedDynamicStream<'_>, usize)>,
+    batch: usize,
+    template: A,
+    fold: impl Fn(&mut A, u64, &[EdgeUpdate]) + Sync,
+) -> Vec<A>
+where
+    S: DynamicEdgeStream + ?Sized,
+    A: Clone + Send + Sync,
+{
+    match shard {
+        Some((view, workers)) => {
+            let template = &template;
+            view.pass_sharded(workers, |s, updates| {
+                let mut acc = template.clone();
+                fold(&mut acc, view.shard_range(s).start as u64, updates);
+                acc
             })
-            .collect();
-        let total_weight = *cumulative.last().unwrap_or(&0.0);
-
-        struct Instance {
-            base: VertexId,
-            other: VertexId,
-            sampler: L0Sampler,
-            neighbor: Option<VertexId>,
         }
-        let mut instances: Vec<Instance> = Vec::with_capacity(inner);
-        for _ in 0..inner {
-            if total_weight <= 0.0 {
-                break;
-            }
-            let target = rng.gen_range(0.0..total_weight);
-            let idx = cumulative.partition_point(|&c| c <= target).min(r - 1);
-            let edge = r_edges[idx];
-            let (base, other) = if degree_of(edge.u()) <= degree_of(edge.v()) {
-                (edge.u(), edge.v())
-            } else {
-                (edge.v(), edge.u())
-            };
-            instances.push(Instance {
-                base,
-                other,
-                sampler: L0Sampler::for_universe(n as u64 + 1, &mut rng),
-                neighbor: None,
+        None => {
+            let mut acc = template;
+            let mut pos = 0u64;
+            stream.pass_batched(batch, &mut |chunk| {
+                fold(&mut acc, pos, chunk);
+                pos += chunk.len() as u64;
             });
+            vec![acc]
         }
+    }
+}
 
-        // ---------------- Pass 3: ℓ0 neighbor samplers ---------------------
-        let mut by_base: FxHashMap<VertexId, Vec<usize>> = FxHashMap::default();
-        for (i, inst) in instances.iter().enumerate() {
-            by_base.entry(inst.base).or_default().push(i);
+/// A degree-proportional instance: the sampled edge's endpoints, ordered so
+/// `base` is the lower-degree one whose neighborhood is ℓ0-sampled.
+struct Instance {
+    base: VertexId,
+    other: VertexId,
+}
+
+/// Derives a shared fingerprint base `z ∈ [2, p)` for an ℓ0 bank from the
+/// counter RNG (`which` separates the edge bank from the neighbor bank).
+fn shared_fingerprint_base(seed: u64, which: u64) -> u64 {
+    let rng = CounterRng::new(seed, streams::DYNAMIC_FINGERPRINT);
+    2 + rng.draw(which, 0) % (MERSENNE_PRIME - 2)
+}
+
+fn run_single<S: DynamicEdgeStream + ?Sized>(
+    config: &DynamicEstimatorConfig,
+    stream: &S,
+    shard: Option<(&ShardedDynamicStream<'_>, usize)>,
+    seed: u64,
+    batch: usize,
+) -> Result<DynamicCopyOutcome> {
+    let counter = config.rng_mode == RngMode::Counter;
+    let shard = if counter { shard } else { None };
+    let n = stream.num_vertices();
+    let mut meter = SpaceMeter::new();
+
+    // Sequential mode: one stateful PRNG consumed in the fixed order of
+    // earlier releases (sampler construction, then instance selection).
+    let mut seq_rng = (!counter).then(|| StdRng::seed_from_u64(seed));
+
+    // The update count is the only size hint available before pass 1;
+    // the net edge count is measured during pass 1 and used afterwards.
+    let r_target = config.derive_r(stream.num_updates());
+
+    // ---------------- Pass 1: ℓ0 edge samplers + net edge count --------
+    let edge_universe = (n as u64).saturating_mul(n as u64).max(4);
+    let edge_base = counter.then(|| shared_fingerprint_base(seed, 0));
+    let edge_templates: Vec<L0Sampler> = match edge_base {
+        Some(z) => {
+            // Counter mode: sampler k of the bank is a pure function of
+            // (seed, stream tag, k); the whole bank shares one fingerprint
+            // base so `z^edge` is computed once per update below.
+            let seeder = CounterRng::new(seed, streams::DYNAMIC_EDGE_SAMPLER);
+            (0..r_target)
+                .map(|k| {
+                    let mut sampler_rng = StdRng::seed_from_u64(seeder.draw(k as u64, 0));
+                    L0Sampler::for_universe_with_base(edge_universe, z, &mut sampler_rng)
+                })
+                .collect()
         }
-        stream.pass_batched(DEFAULT_BATCH_SIZE, &mut |chunk| {
+        None => {
+            let rng = seq_rng.as_mut().expect("sequential mode has a PRNG");
+            (0..r_target)
+                .map(|_| L0Sampler::for_universe(edge_universe, rng))
+                .collect()
+        }
+    };
+    let folded = update_fold_pass(
+        stream,
+        shard,
+        batch,
+        (edge_templates, 0i64),
+        |(samplers, net): &mut (Vec<L0Sampler>, i64), _pos, chunk| {
             for update in chunk {
+                let key = update.edge.key();
                 let delta = update.delta();
-                for endpoint in [update.edge.u(), update.edge.v()] {
-                    if let Some(ids) = by_base.get(&endpoint) {
-                        let candidate = update
-                            .edge
-                            .other(endpoint)
-                            .expect("endpoint belongs to edge");
-                        for &i in ids {
-                            instances[i].sampler.update(candidate.index() as u64, delta);
+                *net += delta;
+                match edge_base {
+                    Some(z) => {
+                        let term = fingerprint_term(z, key);
+                        for sampler in samplers.iter_mut() {
+                            sampler.update_with_term(key, delta, term);
+                        }
+                    }
+                    None => {
+                        for sampler in samplers.iter_mut() {
+                            sampler.update(key, delta);
                         }
                     }
                 }
             }
-        });
-        meter.charge(
-            instances
-                .iter()
-                .map(|inst| inst.sampler.retained_words() + 2)
-                .sum::<u64>(),
-        );
-        for inst in instances.iter_mut() {
-            inst.neighbor = inst
-                .sampler
-                .sample()
-                .filter(|&(_, count)| count > 0)
-                .map(|(idx, _)| VertexId::new(idx as u32));
+        },
+    );
+    let mut folded = folded.into_iter();
+    let (mut edge_samplers, mut net_edges) = folded.next().expect("at least one shard");
+    for (other_samplers, net) in folded {
+        net_edges += net;
+        for (sampler, other) in edge_samplers.iter_mut().zip(&other_samplers) {
+            sampler.merge(other);
         }
-
-        // ---------------- Pass 4: closure counters -------------------------
-        let mut closure: FxHashMap<Edge, i64> = FxHashMap::default();
-        let mut queries: Vec<Option<Edge>> = Vec::with_capacity(instances.len());
-        for inst in &instances {
-            match inst.neighbor {
-                Some(w) if w != inst.other && w != inst.base => {
-                    let q = Edge::new(inst.other, w);
-                    closure.entry(q).or_insert(0);
-                    queries.push(Some(q));
-                }
-                _ => queries.push(None),
-            }
-        }
-        meter.charge(closure.len() as u64);
-        stream.pass_batched(DEFAULT_BATCH_SIZE, &mut |chunk| {
-            for update in chunk {
-                if let Some(c) = closure.get_mut(&update.edge) {
-                    *c += update.delta();
-                }
-            }
-        });
-
-        // Evaluate.
-        let mut hits = 0u64;
-        for q in queries.iter().flatten() {
-            if closure.get(q).copied().unwrap_or(0) > 0 {
-                hits += 1;
-            }
-        }
-        let y = hits as f64 / instances.len().max(1) as f64;
-        // Incident-triangle estimator: every triangle is counted once per
-        // containing edge, hence the division by three.
-        let estimate = (m_net as f64 / r as f64) * d_r as f64 * y / 3.0;
-
-        Ok(SingleRun {
-            estimate,
-            meter,
-            triangles_found: hits,
-            r,
-            inner: instances.len(),
-            m_net,
-        })
     }
+    meter.charge(
+        edge_samplers
+            .iter()
+            .map(L0Sampler::retained_words)
+            .sum::<u64>()
+            + 1,
+    );
+    if net_edges <= 0 {
+        return Err(DynamicError::EmptySurvivingGraph);
+    }
+    let m_net = net_edges as usize;
+
+    // Draw R from the samplers (each contributes at most one edge).
+    let r_edges: Vec<Edge> = edge_samplers
+        .iter()
+        .filter_map(|s| s.sample())
+        .filter(|&(_, count)| count > 0)
+        .map(|(idx, _)| Edge::from_key(idx))
+        .collect();
+    let r = r_edges.len();
+    if r == 0 {
+        return Err(DynamicError::EmptySurvivingGraph);
+    }
+
+    // ---------------- Pass 2: degrees of R's endpoints ----------------
+    // The tracked endpoints in one sorted slot table: a shard-mergeable
+    // vector of signed counters replaces the hash map (same degrees, and
+    // per-shard count vectors merge by exact addition).
+    let mut endpoints: Vec<u32> = r_edges
+        .iter()
+        .flat_map(|e| [e.u().raw(), e.v().raw()])
+        .collect();
+    endpoints.sort_unstable();
+    endpoints.dedup();
+    meter.charge(endpoints.len() as u64);
+    let endpoint_slots = &endpoints;
+    let folded = update_fold_pass(
+        stream,
+        shard,
+        batch,
+        vec![0i64; endpoint_slots.len()],
+        |deg: &mut Vec<i64>, _pos, chunk| {
+            for update in chunk {
+                let delta = update.delta();
+                if let Ok(slot) = endpoint_slots.binary_search(&update.edge.u().raw()) {
+                    deg[slot] += delta;
+                }
+                if let Ok(slot) = endpoint_slots.binary_search(&update.edge.v().raw()) {
+                    deg[slot] += delta;
+                }
+            }
+        },
+    );
+    let mut folded = folded.into_iter();
+    let mut endpoint_degree = folded.next().expect("at least one shard");
+    for other in folded {
+        for (total, d) in endpoint_degree.iter_mut().zip(other) {
+            *total += d;
+        }
+    }
+    let degree_of = |v: VertexId| -> u64 {
+        endpoints
+            .binary_search(&v.raw())
+            .ok()
+            .map(|slot| endpoint_degree[slot].max(0) as u64)
+            .unwrap_or(0)
+    };
+    let degrees: Vec<u64> = r_edges
+        .iter()
+        .map(|e| degree_of(e.u()).min(degree_of(e.v())))
+        .collect();
+    let d_r: u64 = degrees.iter().sum();
+    meter.charge(r as u64);
+    if d_r == 0 {
+        return Err(DynamicError::EmptySurvivingGraph);
+    }
+
+    // ---------------- Instance selection (offline, between passes) -----
+    let inner = config.derive_inner(m_net, r, d_r);
+    let neighbor_base = counter.then(|| shared_fingerprint_base(seed, 1));
+    let mut instances: Vec<Instance> = Vec::with_capacity(inner);
+    let mut neighbor_templates: Vec<L0Sampler> = Vec::with_capacity(inner);
+    let split_edge = |edge: Edge| {
+        if degree_of(edge.u()) <= degree_of(edge.v()) {
+            (edge.u(), edge.v())
+        } else {
+            (edge.v(), edge.u())
+        }
+    };
+    match neighbor_base {
+        Some(z) => {
+            // Counter mode: instance i keeps the edge at position p of R
+            // maximizing the Efraimidis–Spirakis priority of the
+            // position-keyed uniform hash(seed, instances-tag, p, i) with
+            // weight d_p — the WeightedPickCell reservoir rule, a pure
+            // function of (seed, i) and the degree vector.
+            let inst_rng = CounterRng::new(seed, streams::DYNAMIC_INSTANCES);
+            let seeder = CounterRng::new(seed, streams::DYNAMIC_NEIGHBOR_SAMPLER);
+            for i in 0..inner {
+                let mut cell = WeightedPickCell::empty();
+                for (p, &d) in degrees.iter().enumerate() {
+                    if d == 0 {
+                        continue;
+                    }
+                    let unit = inst_rng.unit(p as u64, i as u64);
+                    cell.offer(
+                        WeightedPickCell::priority_of(unit, d as f64),
+                        p as u64,
+                        p as u64,
+                    );
+                }
+                let Some(pick) = cell.value() else {
+                    break; // unreachable: d_r > 0 ⇒ some offer was made
+                };
+                let (base, other) = split_edge(r_edges[pick as usize]);
+                instances.push(Instance { base, other });
+                let mut sampler_rng = StdRng::seed_from_u64(seeder.draw(i as u64, 0));
+                neighbor_templates.push(L0Sampler::for_universe_with_base(
+                    n as u64 + 1,
+                    z,
+                    &mut sampler_rng,
+                ));
+            }
+        }
+        None => {
+            // Sequential mode: inverse-CDF picks from one stateful PRNG,
+            // interleaved with sampler construction exactly as in earlier
+            // releases (bit-compatible consumption order).
+            let rng = seq_rng.as_mut().expect("sequential mode has a PRNG");
+            let cumulative: Vec<f64> = degrees
+                .iter()
+                .scan(0.0, |acc, &d| {
+                    *acc += d as f64;
+                    Some(*acc)
+                })
+                .collect();
+            let total_weight = *cumulative.last().unwrap_or(&0.0);
+            for _ in 0..inner {
+                if total_weight <= 0.0 {
+                    break;
+                }
+                let target = rng.gen_range(0.0..total_weight);
+                let idx = cumulative.partition_point(|&c| c <= target).min(r - 1);
+                let (base, other) = split_edge(r_edges[idx]);
+                instances.push(Instance { base, other });
+                neighbor_templates.push(L0Sampler::for_universe(n as u64 + 1, rng));
+            }
+        }
+    }
+
+    // ---------------- Pass 3: ℓ0 neighbor samplers ---------------------
+    // Instances grouped by base vertex in one CSR table (sorted bases +
+    // instance-id lists), so the per-update work is two binary searches.
+    let mut bases: Vec<u32> = instances.iter().map(|inst| inst.base.raw()).collect();
+    bases.sort_unstable();
+    bases.dedup();
+    let mut list_starts = vec![0usize; bases.len() + 1];
+    for inst in &instances {
+        let b = bases
+            .binary_search(&inst.base.raw())
+            .expect("base was interned");
+        list_starts[b + 1] += 1;
+    }
+    for b in 0..bases.len() {
+        list_starts[b + 1] += list_starts[b];
+    }
+    let mut list_ids = vec![0usize; instances.len()];
+    let mut cursor = list_starts.clone();
+    for (i, inst) in instances.iter().enumerate() {
+        let b = bases
+            .binary_search(&inst.base.raw())
+            .expect("base was interned");
+        list_ids[cursor[b]] = i;
+        cursor[b] += 1;
+    }
+    let bases_ref = &bases;
+    let list_starts_ref = &list_starts;
+    let list_ids_ref = &list_ids;
+    let folded = update_fold_pass(
+        stream,
+        shard,
+        batch,
+        neighbor_templates,
+        |samplers: &mut Vec<L0Sampler>, _pos, chunk| {
+            for update in chunk {
+                let delta = update.delta();
+                for endpoint in [update.edge.u(), update.edge.v()] {
+                    if let Ok(b) = bases_ref.binary_search(&endpoint.raw()) {
+                        let candidate = update
+                            .edge
+                            .other(endpoint)
+                            .expect("endpoint belongs to edge")
+                            .index() as u64;
+                        let term = neighbor_base.map(|z| fingerprint_term(z, candidate));
+                        for &i in &list_ids_ref[list_starts_ref[b]..list_starts_ref[b + 1]] {
+                            match term {
+                                Some(t) => samplers[i].update_with_term(candidate, delta, t),
+                                None => samplers[i].update(candidate, delta),
+                            }
+                        }
+                    }
+                }
+            }
+        },
+    );
+    let mut folded = folded.into_iter();
+    let mut neighbor_samplers = folded.next().expect("at least one shard");
+    for other_samplers in folded {
+        for (sampler, other) in neighbor_samplers.iter_mut().zip(&other_samplers) {
+            sampler.merge(other);
+        }
+    }
+    meter.charge(
+        neighbor_samplers
+            .iter()
+            .map(|s| s.retained_words() + 2)
+            .sum::<u64>(),
+    );
+    let neighbors: Vec<Option<VertexId>> = neighbor_samplers
+        .iter()
+        .map(|s| {
+            s.sample()
+                .filter(|&(_, count)| count > 0)
+                .map(|(idx, _)| VertexId::new(idx as u32))
+        })
+        .collect();
+
+    // ---------------- Pass 4: closure counters -------------------------
+    // The distinct closure queries in one sorted key table of signed
+    // counters (shard-mergeable, like pass 2).
+    let queries: Vec<Option<u64>> = instances
+        .iter()
+        .zip(&neighbors)
+        .map(|(inst, neighbor)| match neighbor {
+            Some(w) if *w != inst.other && *w != inst.base => Some(Edge::new(inst.other, *w).key()),
+            _ => None,
+        })
+        .collect();
+    let mut query_keys: Vec<u64> = queries.iter().flatten().copied().collect();
+    query_keys.sort_unstable();
+    query_keys.dedup();
+    meter.charge(query_keys.len() as u64);
+    let query_keys_ref = &query_keys;
+    let folded = update_fold_pass(
+        stream,
+        shard,
+        batch,
+        vec![0i64; query_keys_ref.len()],
+        |counts: &mut Vec<i64>, _pos, chunk| {
+            for update in chunk {
+                if let Ok(q) = query_keys_ref.binary_search(&update.edge.key()) {
+                    counts[q] += update.delta();
+                }
+            }
+        },
+    );
+    let mut folded = folded.into_iter();
+    let mut closure_counts = folded.next().expect("at least one shard");
+    for other in folded {
+        for (total, c) in closure_counts.iter_mut().zip(other) {
+            *total += c;
+        }
+    }
+
+    // Evaluate.
+    let mut hits = 0u64;
+    for key in queries.iter().flatten() {
+        let q = query_keys
+            .binary_search(key)
+            .expect("query key was interned");
+        if closure_counts[q] > 0 {
+            hits += 1;
+        }
+    }
+    let y = hits as f64 / instances.len().max(1) as f64;
+    // Incident-triangle estimator: every triangle is counted once per
+    // containing edge, hence the division by three.
+    let estimate = (m_net as f64 / r as f64) * d_r as f64 * y / 3.0;
+
+    Ok(DynamicCopyOutcome {
+        estimate,
+        space: meter.report(),
+        triangles_found: hits,
+        r,
+        inner_samples: instances.len(),
+        surviving_edges: m_net,
+    })
 }
 
 #[cfg(test)]
@@ -486,6 +882,17 @@ mod tests {
         let mut zero_kappa = DynamicEstimatorConfig::new(3, 100);
         zero_kappa.kappa = 0;
         assert!(zero_kappa.validate().is_err());
+        // The regime defaults to the back-compatible sequential PRNG.
+        assert_eq!(
+            DynamicEstimatorConfig::new(3, 100).rng_mode,
+            RngMode::Sequential
+        );
+        assert_eq!(
+            DynamicEstimatorConfig::new(3, 100)
+                .with_rng_mode(RngMode::Counter)
+                .rng_mode,
+            RngMode::Counter
+        );
     }
 
     #[test]
@@ -500,9 +907,13 @@ mod tests {
     fn fully_cancelled_stream_is_an_error() {
         let g = wheel(50).unwrap();
         let stream = DynamicMemoryStream::insert_then_delete(&g, |_| false, 3);
-        let config = DynamicEstimatorConfig::new(3, 10).with_copies(1);
-        let out = DynamicTriangleEstimator::new(config).run(&stream);
-        assert!(matches!(out, Err(DynamicError::EmptySurvivingGraph)));
+        for mode in [RngMode::Sequential, RngMode::Counter] {
+            let config = DynamicEstimatorConfig::new(3, 10)
+                .with_copies(1)
+                .with_rng_mode(mode);
+            let out = DynamicTriangleEstimator::new(config).run(&stream);
+            assert!(matches!(out, Err(DynamicError::EmptySurvivingGraph)));
+        }
     }
 
     #[test]
@@ -522,6 +933,26 @@ mod tests {
         );
         assert_eq!(out.passes, 4);
         assert_eq!(out.surviving_edges, g.num_edges());
+        assert_eq!(out.copy_estimates.len(), 5);
+    }
+
+    #[test]
+    fn counter_mode_is_accurate_on_an_insert_only_wheel() {
+        let g = wheel(400).unwrap();
+        let exact = count_triangles(&g);
+        let stream = DynamicMemoryStream::insert_only(&g, 7);
+        let config = DynamicEstimatorConfig::new(3, exact / 2)
+            .with_epsilon(0.3)
+            .with_copies(5)
+            .with_seed(11)
+            .with_rng_mode(RngMode::Counter);
+        let out = DynamicTriangleEstimator::new(config).run(&stream).unwrap();
+        assert!(
+            out.relative_error(exact) < 0.45,
+            "estimate {} vs exact {exact}",
+            out.estimate
+        );
+        assert_eq!(out.surviving_edges, g.num_edges());
     }
 
     #[test]
@@ -530,18 +961,21 @@ mod tests {
         let exact = count_triangles(&g);
         let stream = DynamicMemoryStream::with_churn(&g, 0.7, 13);
         assert!(stream.num_deletions() > 0);
-        let config = DynamicEstimatorConfig::new(3, exact / 2)
-            .with_epsilon(0.3)
-            .with_copies(5)
-            .with_seed(23);
-        let out = DynamicTriangleEstimator::new(config).run(&stream).unwrap();
-        assert!(
-            out.relative_error(exact) < 0.45,
-            "estimate {} vs exact {exact}",
-            out.estimate
-        );
-        // The net edge count must see through the churn.
-        assert_eq!(out.surviving_edges, g.num_edges());
+        for mode in [RngMode::Sequential, RngMode::Counter] {
+            let config = DynamicEstimatorConfig::new(3, exact / 2)
+                .with_epsilon(0.3)
+                .with_copies(5)
+                .with_seed(23)
+                .with_rng_mode(mode);
+            let out = DynamicTriangleEstimator::new(config).run(&stream).unwrap();
+            assert!(
+                out.relative_error(exact) < 0.45,
+                "{mode:?}: estimate {} vs exact {exact}",
+                out.estimate
+            );
+            // The net edge count must see through the churn.
+            assert_eq!(out.surviving_edges, g.num_edges());
+        }
     }
 
     #[test]
@@ -552,13 +986,19 @@ mod tests {
             |e| e.u().index() == 0 || e.v().index() == 0,
             5,
         );
-        let config = DynamicEstimatorConfig::new(3, 50)
-            .with_epsilon(0.3)
-            .with_copies(3)
-            .with_seed(1);
-        let out = DynamicTriangleEstimator::new(config).run(&stream).unwrap();
-        assert_eq!(out.estimate, 0.0, "no triangles survive the deletions");
-        assert_eq!(out.triangles_found, 0);
+        for mode in [RngMode::Sequential, RngMode::Counter] {
+            let config = DynamicEstimatorConfig::new(3, 50)
+                .with_epsilon(0.3)
+                .with_copies(3)
+                .with_seed(1)
+                .with_rng_mode(mode);
+            let out = DynamicTriangleEstimator::new(config).run(&stream).unwrap();
+            assert_eq!(
+                out.estimate, 0.0,
+                "{mode:?}: no triangles survive the deletions"
+            );
+            assert_eq!(out.triangles_found, 0);
+        }
     }
 
     #[test]
@@ -590,6 +1030,115 @@ mod tests {
             out.estimate
         );
         assert!(out.space.peak_words > 0);
+    }
+
+    #[test]
+    fn copy_runner_plus_aggregation_match_run() {
+        let g = wheel(250).unwrap();
+        let stream = DynamicMemoryStream::with_churn(&g, 0.5, 19);
+        for mode in [RngMode::Sequential, RngMode::Counter] {
+            let config = DynamicEstimatorConfig::new(3, 120)
+                .with_epsilon(0.3)
+                .with_copies(4)
+                .with_seed(7)
+                .with_rng_mode(mode);
+            let whole = DynamicTriangleEstimator::new(config.clone())
+                .run(&stream)
+                .unwrap();
+            let copies: Vec<DynamicCopyOutcome> = (0..config.copies)
+                .map(|c| run_dynamic_copy(&stream, &config, c).unwrap())
+                .collect();
+            let rebuilt = aggregate_dynamic_copies(&copies);
+            assert_eq!(rebuilt.estimate.to_bits(), whole.estimate.to_bits());
+            assert_eq!(rebuilt.copy_estimates, whole.copy_estimates);
+            assert_eq!(rebuilt.space, whole.space);
+            assert_eq!(rebuilt.triangles_found, whole.triangles_found);
+        }
+    }
+
+    #[test]
+    fn batch_size_never_changes_a_copy() {
+        let g = wheel(200).unwrap();
+        let stream = DynamicMemoryStream::with_churn(&g, 0.6, 3);
+        for mode in [RngMode::Sequential, RngMode::Counter] {
+            let config = DynamicEstimatorConfig::new(3, 100)
+                .with_copies(1)
+                .with_seed(5)
+                .with_rng_mode(mode);
+            let reference = run_dynamic_copy(&stream, &config, 0).unwrap();
+            for batch in [1usize, 7, 64, 100_000] {
+                let out = run_dynamic_copy_with(&stream, &config, 0, batch).unwrap();
+                assert_eq!(
+                    out.estimate.to_bits(),
+                    reference.estimate.to_bits(),
+                    "{mode:?} batch {batch}"
+                );
+                assert_eq!(out, reference);
+            }
+        }
+    }
+
+    #[test]
+    fn counter_mode_is_bit_identical_across_shards_and_workers() {
+        let g = barabasi_albert(120, 4, 9).unwrap();
+        let stream = DynamicMemoryStream::with_churn(&g, 0.5, 31);
+        let config = DynamicEstimatorConfig::new(4, count_triangles(&g).max(1) / 2)
+            .with_epsilon(0.3)
+            .with_copies(2)
+            .with_seed(13)
+            .with_max_samples(120)
+            .with_rng_mode(RngMode::Counter);
+        let estimator = DynamicTriangleEstimator::new(config);
+        let reference = estimator.run(&stream).unwrap();
+        for shards in 1..=8usize {
+            for workers in [1usize, 2, 4] {
+                let view = degentri_stream::ShardedDynamicStream::from_stream(&stream, shards);
+                let out = estimator.run_sharded(&view, workers).unwrap();
+                assert_eq!(
+                    out.estimate.to_bits(),
+                    reference.estimate.to_bits(),
+                    "shards {shards} workers {workers}"
+                );
+                assert_eq!(out.copy_estimates, reference.copy_estimates);
+                assert_eq!(out.space, reference.space);
+                assert_eq!(out.triangles_found, reference.triangles_found);
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_mode_over_a_sharded_view_matches_the_plain_run() {
+        let g = wheel(150).unwrap();
+        let stream = DynamicMemoryStream::with_churn(&g, 0.5, 3);
+        let config = DynamicEstimatorConfig::new(3, 70)
+            .with_copies(2)
+            .with_seed(17);
+        let estimator = DynamicTriangleEstimator::new(config);
+        let reference = estimator.run(&stream).unwrap();
+        // Sequential configs walk the view in global order (no sharding);
+        // the result is still bit-identical to the plain run.
+        let view = degentri_stream::ShardedDynamicStream::from_stream(&stream, 5);
+        let out = estimator.run_sharded(&view, 4).unwrap();
+        assert_eq!(out.estimate.to_bits(), reference.estimate.to_bits());
+        assert_eq!(out.copy_estimates, reference.copy_estimates);
+    }
+
+    #[test]
+    fn copy_seeds_are_deterministic_and_distinct() {
+        let seeds: Vec<u64> = (0..16).map(|c| dynamic_copy_seed(7, c)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len());
+        assert_eq!(dynamic_copy_seed(7, 0), 7, "copy 0 keeps the config seed");
+    }
+
+    #[test]
+    fn aggregate_of_nothing_is_zero() {
+        let agg = aggregate_dynamic_copies(&[]);
+        assert_eq!(agg.estimate, 0.0);
+        assert_eq!(agg.copies, 0);
+        assert!(agg.copy_estimates.is_empty());
     }
 
     #[test]

@@ -22,6 +22,29 @@
 //!   `degentri_baselines::ExactStreamCounter` and the ground-truth
 //!   comparator for experiment E12.
 //!
+//! # Engine integration and position-keyed randomness
+//!
+//! The estimator runs in one of two distribution-identical randomness
+//! regimes ([`DynamicEstimatorConfig::rng_mode`]):
+//! `RngMode::Sequential` (the default) consumes one stateful PRNG exactly
+//! as earlier releases did, while `RngMode::Counter` derives every sketch
+//! seed and every degree-proportional instance pick from pure keyed hashes
+//! — sketch `k` from `hash(seed, stream-tag, k)`, instance `i`'s pick from
+//! the position-keyed `WeightedPickCell` reservoir rule over the sampled
+//! edge set `R`. Per-update sketch randomness is keyed by the **edge**
+//! (an insert and its later delete must hash identically to cancel), so
+//! every pass is a linear, order-insensitive fold that a
+//! [`degentri_stream::ShardedDynamicStream`] view can execute
+//! shard-parallel with bit-identical results at any shard or worker count
+//! (see [`estimator`]'s module docs for the full story).
+//!
+//! The per-copy building blocks ([`run_dynamic_copy`],
+//! [`run_dynamic_copy_sharded`], [`aggregate_dynamic_copies`],
+//! [`dynamic_copy_seed`]) are public so `degentri-engine` can schedule
+//! turnstile jobs (`JobKind::Dynamic`) over one shared dynamic snapshot
+//! with results bit-identical to the standalone
+//! [`DynamicTriangleEstimator::run`].
+//!
 //! The substrate (update streams, churn workload generators, the surviving
 //! graph) lives in [`degentri_stream::dynamic`].
 
@@ -33,7 +56,11 @@ pub mod estimator;
 pub mod exact;
 
 pub use error::DynamicError;
-pub use estimator::{DynamicEstimatorConfig, DynamicOutcome, DynamicTriangleEstimator};
+pub use estimator::{
+    aggregate_dynamic_copies, dynamic_copy_seed, run_dynamic_copy, run_dynamic_copy_sharded,
+    run_dynamic_copy_with, DynamicCopyOutcome, DynamicEstimatorConfig, DynamicOutcome,
+    DynamicTriangleEstimator,
+};
 pub use exact::DynamicExactCounter;
 
 /// Convenient result alias for dynamic-stream estimation.

@@ -1,0 +1,114 @@
+//! Property-based tests for the counter-mode turnstile estimator: the
+//! shard partition of a [`ShardedDynamicStream`] is a scheduling decision,
+//! never a semantic one. On randomized insert/delete streams — including
+//! streams whose surviving graph is empty — running the estimator over any
+//! shard count at any worker count must reproduce the plain sequential run
+//! bit for bit (or fail with the identical error).
+
+use degentri_core::RngMode;
+use degentri_dynamic::{DynamicEstimatorConfig, DynamicTriangleEstimator};
+use degentri_graph::Edge;
+use degentri_stream::{DynamicEdgeStream, DynamicMemoryStream, EdgeUpdate, ShardedDynamicStream};
+use proptest::prelude::*;
+
+/// SplitMix64 finalizer driving the deterministic stream construction.
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A randomized insert/delete stream over `n` vertices: `m` random edge
+/// insertions, a fraction of which are later deleted again (so net counts
+/// can cancel, survive with multiplicity one, or never exist).
+fn random_stream(n: u32, m: usize, seed: u64) -> DynamicMemoryStream {
+    let mut updates = Vec::with_capacity(2 * m);
+    let mut inserted: Vec<Edge> = Vec::new();
+    for i in 0..m {
+        let h = mix(seed.wrapping_add(i as u64));
+        let a = (h % n as u64) as u32;
+        let b = ((h >> 24) % n as u64) as u32;
+        if a == b {
+            continue;
+        }
+        let e = Edge::from_raw(a, b);
+        updates.push(EdgeUpdate::insert(e));
+        inserted.push(e);
+    }
+    // Delete roughly a third of the inserted occurrences, chosen by hash.
+    for (i, &e) in inserted.iter().enumerate() {
+        if mix(seed ^ 0xDEAD ^ i as u64).is_multiple_of(3) {
+            updates.push(EdgeUpdate::delete(e));
+        }
+    }
+    // Interleave deterministically (Fisher–Yates driven by the seed).
+    for i in (1..updates.len()).rev() {
+        let j = (mix(seed ^ (i as u64) << 20) % (i as u64 + 1)) as usize;
+        updates.swap(i, j);
+    }
+    DynamicMemoryStream::from_updates(n as usize, updates)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn shard_partition_never_changes_a_counter_mode_result(
+        n in 6u32..32,
+        m in 4usize..90,
+        seed in 0u64..1_000_000,
+        shards in 1usize..9,
+        workers in 1usize..5,
+    ) {
+        let stream = random_stream(n, m, seed);
+        prop_assume!(stream.num_updates() > 0);
+        let config = DynamicEstimatorConfig::new(3, 2)
+            .with_epsilon(0.35)
+            .with_copies(2)
+            .with_seed(seed ^ 0x5A5A)
+            .with_max_samples(60)
+            .with_rng_mode(RngMode::Counter);
+        let estimator = DynamicTriangleEstimator::new(config);
+        let plain = estimator.run(&stream);
+        let view = ShardedDynamicStream::from_stream(&stream, shards);
+        let sharded = estimator.run_sharded(&view, workers);
+        match (plain, sharded) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.estimate.to_bits(), b.estimate.to_bits(),
+                    "shards {} workers {}", shards, workers);
+                prop_assert_eq!(a.copy_estimates, b.copy_estimates);
+                prop_assert_eq!(a.space, b.space);
+                prop_assert_eq!(a.triangles_found, b.triangles_found);
+                prop_assert_eq!(a.surviving_edges, b.surviving_edges);
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(false, "plain {:?} vs sharded {:?}", a, b),
+        }
+    }
+
+    #[test]
+    fn sharded_views_replay_random_streams_faithfully(
+        n in 4u32..24,
+        m in 1usize..60,
+        seed in 0u64..1_000_000,
+        shards in 1usize..9,
+    ) {
+        let stream = random_stream(n, m, seed);
+        prop_assume!(stream.num_updates() > 0);
+        let view = ShardedDynamicStream::from_stream(&stream, shards);
+        let direct: Vec<EdgeUpdate> = stream.pass().collect();
+        prop_assert_eq!(view.pass().collect::<Vec<_>>(), direct.clone());
+        let mut rebuilt = Vec::new();
+        for s in 0..view.shards() {
+            rebuilt.extend_from_slice(view.shard(s));
+        }
+        prop_assert_eq!(rebuilt, direct);
+        // The surviving graph is a property of the update multiset, not of
+        // the partition.
+        prop_assert_eq!(
+            view.num_updates(),
+            stream.num_updates()
+        );
+    }
+}

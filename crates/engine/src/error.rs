@@ -3,6 +3,7 @@
 use std::fmt;
 
 use degentri_core::EstimatorError;
+use degentri_dynamic::DynamicError;
 
 /// Errors produced by engine configuration and execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -10,9 +11,19 @@ pub enum EngineError {
     /// An estimator copy (or an up-front configuration validation) failed;
     /// the engine reports the first failure in deterministic task order.
     Estimator(EstimatorError),
+    /// A turnstile estimator copy (or its configuration validation) failed.
+    Dynamic(DynamicError),
     /// An [`EngineConfig`](crate::EngineConfig) was rejected by the builder.
     InvalidConfig {
         /// Human-readable description of the invalid parameter.
+        reason: String,
+    },
+    /// A job was submitted to the wrong run entry point — turnstile jobs
+    /// ([`JobKind::Dynamic`](crate::JobKind)) go through
+    /// [`Engine::run_dynamic`](crate::Engine::run_dynamic), everything else
+    /// through [`Engine::run`](crate::Engine::run).
+    UnsupportedJob {
+        /// Human-readable description of the mismatch.
         reason: String,
     },
 }
@@ -23,14 +34,24 @@ impl EngineError {
             reason: reason.into(),
         }
     }
+
+    pub(crate) fn unsupported_job(reason: impl Into<String>) -> Self {
+        EngineError::UnsupportedJob {
+            reason: reason.into(),
+        }
+    }
 }
 
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EngineError::Estimator(e) => write!(f, "engine job failed: {e}"),
+            EngineError::Dynamic(e) => write!(f, "engine dynamic job failed: {e}"),
             EngineError::InvalidConfig { reason } => {
                 write!(f, "invalid engine configuration: {reason}")
+            }
+            EngineError::UnsupportedJob { reason } => {
+                write!(f, "unsupported job for this run: {reason}")
             }
         }
     }
@@ -40,7 +61,8 @@ impl std::error::Error for EngineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             EngineError::Estimator(e) => Some(e),
-            EngineError::InvalidConfig { .. } => None,
+            EngineError::Dynamic(e) => Some(e),
+            EngineError::InvalidConfig { .. } | EngineError::UnsupportedJob { .. } => None,
         }
     }
 }
@@ -48,6 +70,12 @@ impl std::error::Error for EngineError {
 impl From<EstimatorError> for EngineError {
     fn from(e: EstimatorError) -> Self {
         EngineError::Estimator(e)
+    }
+}
+
+impl From<DynamicError> for EngineError {
+    fn from(e: DynamicError) -> Self {
+        EngineError::Dynamic(e)
     }
 }
 
@@ -60,5 +88,14 @@ mod tests {
         let e: EngineError = EstimatorError::EmptyStream.into();
         assert!(e.to_string().contains("empty"));
         assert_eq!(e, EngineError::Estimator(EstimatorError::EmptyStream));
+    }
+
+    #[test]
+    fn wraps_and_displays_dynamic_errors() {
+        let e: EngineError = DynamicError::EmptySurvivingGraph.into();
+        assert!(e.to_string().contains("deleted"));
+        assert_eq!(e, EngineError::Dynamic(DynamicError::EmptySurvivingGraph));
+        let mismatch = EngineError::unsupported_job("turnstile job in Engine::run");
+        assert!(mismatch.to_string().contains("turnstile"));
     }
 }

@@ -5,6 +5,7 @@ use std::time::Duration;
 
 use degentri_baselines::{BaselineOutcome, StreamingTriangleCounter};
 use degentri_core::{EstimatorConfig, RngMode, TriangleEstimation};
+use degentri_dynamic::{DynamicEstimatorConfig, DynamicOutcome};
 
 /// A baseline algorithm boxed for concurrent execution.
 pub type BoxedBaseline = Box<dyn StreamingTriangleCounter + Send + Sync>;
@@ -20,14 +21,27 @@ pub enum JobKind {
     /// Any Table-1 baseline through the common
     /// [`StreamingTriangleCounter`] trait (one task per job).
     Baseline(BoxedBaseline),
+    /// The turnstile (insert/delete) estimator of `degentri-dynamic`,
+    /// `config.copies` copies aggregated by their median. Runs over a
+    /// shared dynamic snapshot through
+    /// [`Engine::run_dynamic`](crate::Engine::run_dynamic).
+    Dynamic(DynamicEstimatorConfig),
 }
 
 impl JobKind {
-    /// The estimator configuration, when the job has one.
+    /// The insert-only estimator configuration, when the job has one.
     pub fn config(&self) -> Option<&EstimatorConfig> {
         match self {
             JobKind::Main(c) | JobKind::Ideal(c) => Some(c),
-            JobKind::Baseline(_) => None,
+            JobKind::Baseline(_) | JobKind::Dynamic(_) => None,
+        }
+    }
+
+    /// The turnstile estimator configuration, when the job has one.
+    pub fn dynamic_config(&self) -> Option<&DynamicEstimatorConfig> {
+        match self {
+            JobKind::Dynamic(c) => Some(c),
+            _ => None,
         }
     }
 
@@ -39,24 +53,28 @@ impl JobKind {
         match self {
             JobKind::Main(c) | JobKind::Ideal(c) => c.copies,
             JobKind::Baseline(_) => 1,
+            JobKind::Dynamic(c) => c.copies,
         }
     }
 
     /// Whether this job's copies can run passes shard-parallel over a
-    /// [`ShardedStream`](degentri_stream::ShardedStream) view when
-    /// executed under `effective_mode` (the engine's
+    /// sharded snapshot view ([`ShardedStream`](degentri_stream::ShardedStream)
+    /// / [`ShardedDynamicStream`](degentri_stream::ShardedDynamicStream))
+    /// when executed under `effective_mode` (the engine's
     /// [`rng_mode`](crate::EngineConfig::rng_mode) override, or the job's
     /// own mode when the engine respects it).
     ///
     /// The six-pass estimator always supports it — its order-insensitive
     /// passes shard in either mode, and under [`RngMode::Counter`] all six
     /// do. The ideal estimator's passes 1–2 consume RNG per edge, so it
-    /// shards only under [`RngMode::Counter`]. Baselines build stateful
-    /// per-edge structures and never shard.
+    /// shards only under [`RngMode::Counter`]; likewise the turnstile
+    /// estimator, whose sketch folds shard once its seeds come from keyed
+    /// counter hashes. Baselines build stateful per-edge structures and
+    /// never shard.
     pub fn supports_intra_task_sharding(&self, effective_mode: RngMode) -> bool {
         match self {
             JobKind::Main(_) => true,
-            JobKind::Ideal(_) => effective_mode == RngMode::Counter,
+            JobKind::Ideal(_) | JobKind::Dynamic(_) => effective_mode == RngMode::Counter,
             JobKind::Baseline(_) => false,
         }
     }
@@ -68,6 +86,7 @@ impl fmt::Debug for JobKind {
             JobKind::Main(c) => f.debug_tuple("Main").field(c).finish(),
             JobKind::Ideal(c) => f.debug_tuple("Ideal").field(c).finish(),
             JobKind::Baseline(b) => f.debug_tuple("Baseline").field(&b.name()).finish(),
+            JobKind::Dynamic(c) => f.debug_tuple("Dynamic").field(c).finish(),
         }
     }
 }
@@ -105,6 +124,16 @@ impl JobSpec {
             kind: JobKind::Baseline(counter),
         }
     }
+
+    /// A job running the turnstile (insert/delete) estimator over a shared
+    /// dynamic snapshot (execute with
+    /// [`Engine::run_dynamic`](crate::Engine::run_dynamic)).
+    pub fn dynamic(label: impl Into<String>, config: DynamicEstimatorConfig) -> Self {
+        JobSpec {
+            label: label.into(),
+            kind: JobKind::Dynamic(config),
+        }
+    }
 }
 
 /// Result of one job executed by the engine.
@@ -113,8 +142,12 @@ pub struct JobResult {
     /// The label of the submitted [`JobSpec`].
     pub label: String,
     /// The aggregated estimation (for baselines: a single-copy estimation
-    /// carrying the baseline's estimate, passes and space).
+    /// carrying the baseline's estimate, passes and space; for turnstile
+    /// jobs: the median-of-copies outcome mapped into the common shape).
     pub estimation: TriangleEstimation,
+    /// The full turnstile outcome (surviving edges, sketch counts, …) when
+    /// this was a [`JobKind::Dynamic`] job; `None` otherwise.
+    pub dynamic: Option<DynamicOutcome>,
     /// Total CPU-busy time the job's tasks consumed across all workers
     /// (larger than the job's share of wall time when copies overlap).
     pub busy: Duration,
@@ -130,6 +163,18 @@ pub(crate) fn baseline_estimation(outcome: &BaselineOutcome) -> TriangleEstimati
         passes_per_copy: outcome.passes,
         space: outcome.space,
         copies: 1,
+    }
+}
+
+/// Converts a turnstile outcome into the engine's common result shape
+/// (the full outcome also travels on [`JobResult::dynamic`]).
+pub(crate) fn dynamic_estimation(outcome: &DynamicOutcome) -> TriangleEstimation {
+    TriangleEstimation {
+        estimate: outcome.estimate,
+        copy_estimates: outcome.copy_estimates.clone(),
+        passes_per_copy: outcome.passes,
+        space: outcome.space,
+        copies: outcome.copies,
     }
 }
 
@@ -154,6 +199,19 @@ mod tests {
         assert!(main.kind.supports_intra_task_sharding(RngMode::Counter));
         assert!(!ideal.kind.supports_intra_task_sharding(RngMode::Sequential));
         assert!(ideal.kind.supports_intra_task_sharding(RngMode::Counter));
+    }
+
+    #[test]
+    fn dynamic_jobs_expose_their_config_and_shard_under_counter_mode() {
+        let config = DynamicEstimatorConfig::new(3, 50).with_copies(4);
+        let job = JobSpec::dynamic("turnstile", config);
+        assert_eq!(job.kind.task_count(), 4);
+        assert!(job.kind.config().is_none());
+        assert_eq!(job.kind.dynamic_config().unwrap().copies, 4);
+        assert!(format!("{:?}", job.kind).contains("Dynamic"));
+        // Sketch folds shard only once seeds come from counter hashes.
+        assert!(!job.kind.supports_intra_task_sharding(RngMode::Sequential));
+        assert!(job.kind.supports_intra_task_sharding(RngMode::Counter));
     }
 
     #[test]

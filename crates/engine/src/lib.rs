@@ -19,7 +19,13 @@
 //!   baseline through its common trait) against one shared graph snapshot
 //!   and executes every copy of every job on one worker pool, returning
 //!   per-job [`degentri_core::TriangleEstimation`]s plus engine-level
-//!   throughput statistics ([`EngineStats`]).
+//!   throughput statistics ([`EngineStats`]). Turnstile (insert/delete)
+//!   jobs go through the same scheduler over a shared **dynamic** snapshot:
+//!   [`JobSpec::dynamic`] + [`Engine::run_dynamic`] run the
+//!   `degentri-dynamic` estimator's copies — with the engine's default
+//!   counter-mode randomness, each copy's sketch folds shard across spare
+//!   workers over one [`degentri_stream::ShardedDynamicStream`] view —
+//!   bit-identical to the standalone estimator.
 //! * batched streaming — the estimator hot loops consume the stream
 //!   through [`degentri_stream::EdgeStream::pass_batched`], which
 //!   in-memory snapshots serve as zero-copy slices; every copy the engine

@@ -29,10 +29,16 @@ use degentri_core::{
     run_ideal_copy_sharded, run_ideal_copy_with, run_main_copy_sharded, run_main_copy_with,
     CopyContribution, EstimatorConfig, EstimatorScratch,
 };
-use degentri_stream::{EdgeStream, ShardedStream, StreamStats};
+use degentri_dynamic::{
+    aggregate_dynamic_copies, run_dynamic_copy_sharded, run_dynamic_copy_with, DynamicCopyOutcome,
+    DynamicError, DynamicEstimatorConfig,
+};
+use degentri_stream::{
+    DynamicEdgeStream, EdgeStream, ShardedDynamicStream, ShardedStream, StreamStats,
+};
 
 use crate::config::EngineConfig;
-use crate::job::{baseline_estimation, JobKind, JobResult, JobSpec};
+use crate::job::{baseline_estimation, dynamic_estimation, JobKind, JobResult, JobSpec};
 use crate::parallel::run_indexed_with;
 use crate::stats::EngineStats;
 use crate::{EngineError, Result};
@@ -145,6 +151,16 @@ impl Engine {
 
         // Reject invalid configurations before any work starts.
         self.config.validate()?;
+        if let Some(spec) = jobs
+            .iter()
+            .find(|spec| matches!(spec.kind, JobKind::Dynamic(_)))
+        {
+            return Err(EngineError::unsupported_job(format!(
+                "job '{}' is a turnstile job; run it over a dynamic snapshot \
+                 with Engine::run_dynamic",
+                spec.label
+            )));
+        }
         // The estimator configuration each job actually runs with: the
         // engine's rng_mode override applied on top of the submitted one
         // (None = respect the job's own mode).
@@ -191,6 +207,7 @@ impl Engine {
                     tasks.extend((0..count).map(|copy| Task::IdealCopy { job, copy }));
                 }
                 JobKind::Baseline(_) => tasks.push(Task::Baseline { job }),
+                JobKind::Dynamic(_) => unreachable!("dynamic jobs were rejected above"),
             }
         }
 
@@ -333,10 +350,168 @@ impl Engine {
                             .as_ref()
                             .expect("baseline task completed"),
                     ),
+                    JobKind::Dynamic(_) => unreachable!("dynamic jobs were rejected above"),
                 };
                 JobResult {
                     label: spec.label.clone(),
                     estimation,
+                    dynamic: None,
+                    busy: busy_per_job[job],
+                    tasks: tasks_per_job[job],
+                }
+            })
+            .collect();
+
+        Ok(EngineReport {
+            jobs: results,
+            stats: EngineStats::from_run(
+                workers,
+                intra_task_workers,
+                self.config.rng_mode,
+                tasks.len(),
+                wall,
+                busy_total,
+                edges_streamed,
+            ),
+        })
+    }
+
+    /// Runs every queued **turnstile** job ([`JobKind::Dynamic`]) to
+    /// completion over one shared dynamic snapshot (draining the queue) —
+    /// the insert/delete counterpart of [`Engine::run`]. Every copy of
+    /// every job runs on one worker pool against the same snapshot (no
+    /// re-snapshotting between jobs); when the pool is wider than the task
+    /// list and the snapshot exposes its update storage
+    /// ([`DynamicEdgeStream::as_update_slice`]), the spare workers execute
+    /// each counter-mode copy's passes shard-parallel over one shared
+    /// [`ShardedDynamicStream`] view — bit-identical to copy-only
+    /// scheduling (the estimator's passes are linear folds; see
+    /// `degentri_dynamic::estimator`). Per-copy seeds and the median
+    /// aggregation match the standalone
+    /// [`DynamicTriangleEstimator::run`](degentri_dynamic::DynamicTriangleEstimator::run),
+    /// so engine results are bit-identical to standalone results under the
+    /// same effective [`RngMode`](degentri_core::RngMode).
+    ///
+    /// Submitting a non-turnstile job and calling this method (or the
+    /// reverse) fails with [`EngineError::UnsupportedJob`].
+    pub fn run_dynamic<S>(&mut self, stream: &S) -> Result<EngineReport>
+    where
+        S: DynamicEdgeStream + Sync + ?Sized,
+    {
+        let jobs: Vec<JobSpec> = self.jobs.drain(..).collect();
+
+        // Reject invalid configurations before any work starts.
+        self.config.validate()?;
+        // The configuration each job actually runs with: the engine's
+        // rng_mode override applied on top of the submitted one.
+        let mut effective: Vec<DynamicEstimatorConfig> = Vec::with_capacity(jobs.len());
+        for spec in &jobs {
+            let JobKind::Dynamic(config) = &spec.kind else {
+                return Err(EngineError::unsupported_job(format!(
+                    "job '{}' is not a turnstile job; run it over an edge \
+                     snapshot with Engine::run",
+                    spec.label
+                )));
+            };
+            let mut config = config.clone();
+            if let Some(mode) = self.config.rng_mode {
+                config.rng_mode = mode;
+            }
+            config.validate().map_err(EngineError::from)?;
+            effective.push(config);
+        }
+        if !jobs.is_empty() && stream.num_updates() == 0 {
+            return Err(EngineError::Dynamic(DynamicError::EmptyStream));
+        }
+        let batch = self.config.batch_size;
+        let started = Instant::now();
+
+        // Flatten jobs into independent copy tasks, job by job, copy by
+        // copy — fold-back below relies on this order.
+        let tasks: Vec<(usize, usize)> = jobs
+            .iter()
+            .enumerate()
+            .flat_map(|(job, spec)| (0..spec.kind.task_count()).map(move |copy| (job, copy)))
+            .collect();
+        let updates = stream.num_updates() as u64;
+        let workers = self.config.effective_workers(tasks.len());
+
+        // Intra-copy shard plan, mirroring the insert-only scheduler: one
+        // shared sharded view of the update snapshot, used by every job
+        // whose effective randomness regime supports sharded folds.
+        let job_shardable = |job: usize| {
+            jobs[job]
+                .kind
+                .supports_intra_task_sharding(effective[job].rng_mode)
+        };
+        let shardable = (0..jobs.len()).any(job_shardable);
+        let shard_workers = if self.config.intra_task_sharding && shardable && !tasks.is_empty() {
+            (self.config.workers / tasks.len()).max(1)
+        } else {
+            1
+        };
+        let sharded_view: Option<ShardedDynamicStream<'_>> = (shard_workers > 1)
+            .then(|| stream.as_update_slice())
+            .flatten()
+            .map(|update_slice| {
+                ShardedDynamicStream::new(
+                    stream.num_vertices(),
+                    update_slice,
+                    shard_workers * SHARDS_PER_WORKER,
+                )
+            });
+        let intra_task_workers = if sharded_view.is_some() {
+            shard_workers
+        } else {
+            1
+        };
+
+        let outputs: Vec<(degentri_dynamic::Result<DynamicCopyOutcome>, Duration)> =
+            run_indexed_with(
+                workers,
+                tasks.len(),
+                || (),
+                |(), i| {
+                    let (job, copy) = tasks[i];
+                    let config = &effective[job];
+                    let task_started = Instant::now();
+                    let output = match &sharded_view {
+                        Some(view) if job_shardable(job) => {
+                            run_dynamic_copy_sharded(view, config, copy, batch, shard_workers)
+                        }
+                        _ => run_dynamic_copy_with(stream, config, copy, batch),
+                    };
+                    (output, task_started.elapsed())
+                },
+            );
+        let wall = started.elapsed();
+
+        // Fold copy outputs back per job, in deterministic task order.
+        let mut contributions: Vec<Vec<DynamicCopyOutcome>> =
+            jobs.iter().map(|_| Vec::new()).collect();
+        let mut busy_per_job: Vec<Duration> = vec![Duration::ZERO; jobs.len()];
+        let mut tasks_per_job: Vec<usize> = vec![0; jobs.len()];
+        let mut busy_total = Duration::ZERO;
+        let mut edges_streamed = 0u64;
+        for (&(job, _), (output, spent)) in tasks.iter().zip(outputs) {
+            busy_per_job[job] += spent;
+            tasks_per_job[job] += 1;
+            busy_total += spent;
+            let contribution = output.map_err(EngineError::from)?;
+            // Every turnstile copy makes four passes over the snapshot.
+            edges_streamed += 4 * updates;
+            contributions[job].push(contribution);
+        }
+
+        let results: Vec<JobResult> = jobs
+            .iter()
+            .enumerate()
+            .map(|(job, spec)| {
+                let outcome = aggregate_dynamic_copies(&contributions[job]);
+                JobResult {
+                    label: spec.label.clone(),
+                    estimation: dynamic_estimation(&outcome),
+                    dynamic: Some(outcome),
                     busy: busy_per_job[job],
                     tasks: tasks_per_job[job],
                 }

@@ -30,6 +30,10 @@ pub struct L0Sampler {
     selection_hash: KWiseHash,
     bucket_hashes: Vec<Vec<KWiseHash>>,
     cells: Vec<Vec<Vec<OneSparseRecovery>>>,
+    /// `Some(z)` when every cell shares the fingerprint base `z` (see
+    /// [`L0Sampler::with_fingerprint_base`]); required by
+    /// [`L0Sampler::update_with_term`].
+    shared_base: Option<u64>,
     updates_seen: u64,
 }
 
@@ -45,6 +49,32 @@ impl L0Sampler {
         rows_per_level: usize,
         rng: &mut R,
     ) -> Self {
+        Self::build(max_level, cells_per_level, rows_per_level, None, rng)
+    }
+
+    /// [`L0Sampler::new`] with one fingerprint base `z` shared by every
+    /// recovery cell. Recovery correctness per cell is unchanged (`z` only
+    /// needs to be independent of the data); the payoff is that the
+    /// expensive `z^index (mod p)` term of an update can be computed **once
+    /// per update** — even once for a whole bank of samplers sharing `z` —
+    /// and fanned out with [`L0Sampler::update_with_term`].
+    pub fn with_fingerprint_base<R: Rng + ?Sized>(
+        max_level: usize,
+        cells_per_level: usize,
+        rows_per_level: usize,
+        z: u64,
+        rng: &mut R,
+    ) -> Self {
+        Self::build(max_level, cells_per_level, rows_per_level, Some(z), rng)
+    }
+
+    fn build<R: Rng + ?Sized>(
+        max_level: usize,
+        cells_per_level: usize,
+        rows_per_level: usize,
+        shared_base: Option<u64>,
+        rng: &mut R,
+    ) -> Self {
         let max_level = max_level.max(1);
         let cells_per_level = cells_per_level.max(2);
         let rows_per_level = rows_per_level.max(1);
@@ -52,12 +82,15 @@ impl L0Sampler {
         let mut cells = Vec::with_capacity(max_level + 1);
         for _ in 0..=max_level {
             let mut row_hashes = Vec::with_capacity(rows_per_level);
-            let mut row_cells = Vec::with_capacity(rows_per_level);
+            let mut row_cells: Vec<Vec<OneSparseRecovery>> = Vec::with_capacity(rows_per_level);
             for _ in 0..rows_per_level {
                 row_hashes.push(KWiseHash::new(2, rng));
                 row_cells.push(
                     (0..cells_per_level)
-                        .map(|_| OneSparseRecovery::new(rng))
+                        .map(|_| match shared_base {
+                            Some(z) => OneSparseRecovery::with_fingerprint_base(z),
+                            None => OneSparseRecovery::new(rng),
+                        })
                         .collect(),
                 );
             }
@@ -72,14 +105,31 @@ impl L0Sampler {
             selection_hash: KWiseHash::new(2, rng),
             bucket_hashes,
             cells,
+            shared_base,
             updates_seen: 0,
         }
     }
 
     /// Creates a sampler sized for an index universe of `universe` values.
     pub fn for_universe<R: Rng + ?Sized>(universe: u64, rng: &mut R) -> Self {
-        let levels = (64 - universe.max(2).leading_zeros()) as usize + 1;
+        let levels = Self::levels_for_universe(universe);
         L0Sampler::new(levels, 8, 2, rng)
+    }
+
+    /// [`L0Sampler::for_universe`] with a shared fingerprint base (see
+    /// [`L0Sampler::with_fingerprint_base`]).
+    pub fn for_universe_with_base<R: Rng + ?Sized>(universe: u64, z: u64, rng: &mut R) -> Self {
+        let levels = Self::levels_for_universe(universe);
+        L0Sampler::with_fingerprint_base(levels, 8, 2, z, rng)
+    }
+
+    fn levels_for_universe(universe: u64) -> usize {
+        (64 - universe.max(2).leading_zeros()) as usize + 1
+    }
+
+    /// The fingerprint base shared by every cell, when one was requested.
+    pub fn shared_fingerprint_base(&self) -> Option<u64> {
+        self.shared_base
     }
 
     /// Applies the turnstile update `(index, delta)`.
@@ -93,6 +143,54 @@ impl L0Sampler {
             for row in 0..self.rows_per_level {
                 let b = self.bucket_hashes[level][row].bucket(index, self.cells_per_level);
                 self.cells[level][row][b].update(index, delta);
+            }
+        }
+    }
+
+    /// [`update`](L0Sampler::update) with the fingerprint term
+    /// `z^index (mod p)` supplied by the caller. Only valid on samplers
+    /// built with a shared fingerprint base; `term` must equal
+    /// [`fingerprint_term`]`(z, index)` for that base. A bank of samplers
+    /// sharing one base computes the term once per update and feeds it to
+    /// every sampler, removing the modular exponentiation from the
+    /// per-sampler hot path.
+    #[inline]
+    pub fn update_with_term(&mut self, index: u64, delta: i64, term: u64) {
+        debug_assert!(
+            self.shared_base.is_some(),
+            "update_with_term requires a shared fingerprint base"
+        );
+        if delta == 0 {
+            return;
+        }
+        self.updates_seen += 1;
+        let item_level = self.level_hash.level(index, self.max_level);
+        for level in 0..=item_level {
+            for row in 0..self.rows_per_level {
+                let b = self.bucket_hashes[level][row].bucket(index, self.cells_per_level);
+                self.cells[level][row][b].update_with_term(index, delta, term);
+            }
+        }
+    }
+
+    /// Merges another sampler that is a clone of the same configured
+    /// sampler (identical dimensions, hash functions and fingerprint
+    /// bases): every cell is a linear function of the updates it saw, so
+    /// the merged sampler equals one sampler that saw both update
+    /// sequences — in any order, exactly. A sharded pass clones one
+    /// template sampler per shard, folds each shard's updates, and merges
+    /// the clones bit-identically.
+    pub fn merge(&mut self, other: &L0Sampler) {
+        debug_assert_eq!(self.max_level, other.max_level);
+        debug_assert_eq!(self.cells_per_level, other.cells_per_level);
+        debug_assert_eq!(self.rows_per_level, other.rows_per_level);
+        debug_assert_eq!(self.level_hash, other.level_hash);
+        self.updates_seen += other.updates_seen;
+        for (levels, other_levels) in self.cells.iter_mut().zip(&other.cells) {
+            for (row, other_row) in levels.iter_mut().zip(other_levels) {
+                for (cell, other_cell) in row.iter_mut().zip(other_row) {
+                    cell.merge(other_cell);
+                }
             }
         }
     }
@@ -148,6 +246,7 @@ impl L0Sampler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::onesparse::fingerprint_term;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use std::collections::HashMap;
@@ -237,6 +336,63 @@ mod tests {
         }
         let (idx, _) = s.sample().expect("a level should isolate something");
         assert!(inserted.contains(&idx));
+    }
+
+    #[test]
+    fn shared_base_terms_match_plain_updates() {
+        let z = 987_654_321u64;
+        let mut rng = StdRng::seed_from_u64(21);
+        let plain_template = L0Sampler::with_fingerprint_base(12, 8, 2, z, &mut rng);
+        let mut plain = plain_template.clone();
+        let mut termed = plain_template;
+        assert_eq!(plain.shared_fingerprint_base(), Some(z));
+        let mut data = StdRng::seed_from_u64(22);
+        for _ in 0..300 {
+            let idx = data.gen_range(0..4096u64);
+            let delta = if data.gen_range(0..3) == 0 { -1 } else { 1 };
+            plain.update(idx, delta);
+            termed.update_with_term(idx, delta, fingerprint_term(z, idx));
+        }
+        assert_eq!(plain.sample(), termed.sample());
+        assert_eq!(plain.updates_seen(), termed.updates_seen());
+    }
+
+    #[test]
+    fn merged_shards_equal_one_sequential_sampler() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let template = L0Sampler::for_universe(100_000, &mut rng);
+        let mut data = StdRng::seed_from_u64(32);
+        let updates: Vec<(u64, i64)> = (0..500)
+            .map(|_| {
+                (
+                    data.gen_range(0..100_000u64),
+                    if data.gen_range(0..4) == 0 { -1 } else { 1 },
+                )
+            })
+            .collect();
+        let mut sequential = template.clone();
+        for &(i, d) in &updates {
+            sequential.update(i, d);
+        }
+        for shards in [1usize, 2, 3, 5, 8] {
+            let per_shard = updates.len().div_ceil(shards);
+            let mut merged: Option<L0Sampler> = None;
+            // Merge the shard clones in reverse order: linearity makes the
+            // merge order irrelevant.
+            for chunk in updates.chunks(per_shard).rev() {
+                let mut shard = template.clone();
+                for &(i, d) in chunk {
+                    shard.update(i, d);
+                }
+                match merged.as_mut() {
+                    Some(m) => m.merge(&shard),
+                    None => merged = Some(shard),
+                }
+            }
+            let merged = merged.unwrap();
+            assert_eq!(merged.sample(), sequential.sample(), "shards {shards}");
+            assert_eq!(merged.updates_seen(), sequential.updates_seen());
+        }
     }
 
     #[test]

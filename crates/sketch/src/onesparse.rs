@@ -52,22 +52,60 @@ fn pow_mod(mut base: u64, mut exp: u64) -> u64 {
     result as u64
 }
 
+/// The fingerprint term `z^index (mod p)` of one update. Callers batching
+/// many sketches over one *shared* fingerprint base `z` (see
+/// [`OneSparseRecovery::with_fingerprint_base`]) compute this once per
+/// update and fan it out with [`OneSparseRecovery::update_with_term`] —
+/// the modular exponentiation is by far the most expensive part of an
+/// update, so sharing it across a bank of sketches is a large constant-
+/// factor win.
+#[inline]
+pub fn fingerprint_term(base: u64, index: u64) -> u64 {
+    pow_mod(base, index)
+}
+
 impl OneSparseRecovery {
     /// Creates an empty recovery structure with fresh randomness.
     pub fn new<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        OneSparseRecovery::with_fingerprint_base(rng.gen_range(2..MERSENNE_PRIME))
+    }
+
+    /// Creates an empty recovery structure with an explicit fingerprint
+    /// base `z ∈ [2, p)`. The per-cell false-positive guarantee of the
+    /// fingerprint test only needs `z` to be independent of the data, so
+    /// many cells may share one base — failures become correlated across
+    /// cells, but each cell's rejection probability is unchanged, and
+    /// sharing lets callers compute `z^index` once per update for a whole
+    /// bank of sketches.
+    pub fn with_fingerprint_base(z: u64) -> Self {
+        debug_assert!((2..MERSENNE_PRIME).contains(&z));
         OneSparseRecovery {
             weight: 0,
             index_sum: 0,
             fingerprint: 0,
-            z: rng.gen_range(2..MERSENNE_PRIME),
+            z,
         }
+    }
+
+    /// The fingerprint base `z` this structure tests with.
+    pub fn fingerprint_base(&self) -> u64 {
+        self.z
     }
 
     /// Applies the turnstile update `(index, delta)`.
     pub fn update(&mut self, index: u64, delta: i64) {
+        self.update_with_term(index, delta, pow_mod(self.z, index));
+    }
+
+    /// [`update`](OneSparseRecovery::update) with the fingerprint term
+    /// `z^index (mod p)` supplied by the caller (see [`fingerprint_term`]);
+    /// `term` must be computed for this structure's own base — recomputing
+    /// it here (even under `debug_assertions`) would defeat the point of
+    /// sharing it, so the contract is the caller's to uphold.
+    #[inline]
+    pub fn update_with_term(&mut self, index: u64, delta: i64, term: u64) {
         self.weight += delta as i128;
         self.index_sum += index as i128 * delta as i128;
-        let term = pow_mod(self.z, index);
         let delta_mod = if delta >= 0 {
             (delta as u64) % MERSENNE_PRIME
         } else {
@@ -76,6 +114,19 @@ impl OneSparseRecovery {
         let contribution = ((term as u128) * (delta_mod as u128) % MERSENNE_PRIME as u128) as u64;
         self.fingerprint =
             ((self.fingerprint as u128 + contribution as u128) % MERSENNE_PRIME as u128) as u64;
+    }
+
+    /// Merges another recovery structure built with the **same** base `z`:
+    /// the three aggregates are linear in the update stream, so the merge
+    /// equals having applied both structures' updates to one sketch — in
+    /// any order, exactly. This is what lets a sharded pass fold one sketch
+    /// per shard and combine them bit-identically.
+    pub fn merge(&mut self, other: &OneSparseRecovery) {
+        debug_assert_eq!(self.z, other.z, "merging sketches with different bases");
+        self.weight += other.weight;
+        self.index_sum += other.index_sum;
+        self.fingerprint = ((self.fingerprint as u128 + other.fingerprint as u128)
+            % MERSENNE_PRIME as u128) as u64;
     }
 
     /// Whether no update has survived (all weights cancelled).
@@ -237,5 +288,42 @@ mod tests {
     fn space_is_constant() {
         let s = fresh(11);
         assert_eq!(s.retained_words(), 4);
+    }
+
+    #[test]
+    fn shared_base_and_precomputed_terms_match_plain_updates() {
+        let z = 123_456_789u64;
+        let mut plain = OneSparseRecovery::with_fingerprint_base(z);
+        let mut termed = OneSparseRecovery::with_fingerprint_base(z);
+        assert_eq!(plain.fingerprint_base(), z);
+        for (index, delta) in [(5u64, 3i64), (9, -1), (5, -3), (7, 2)] {
+            plain.update(index, delta);
+            termed.update_with_term(index, delta, fingerprint_term(z, index));
+        }
+        assert_eq!(plain.recover(), termed.recover());
+    }
+
+    #[test]
+    fn merge_equals_interleaved_updates_in_any_split() {
+        let z = 42u64;
+        let updates = [(10u64, 2i64), (20, 4), (10, -2), (30, 1), (30, -1)];
+        let mut sequential = OneSparseRecovery::with_fingerprint_base(z);
+        for &(i, d) in &updates {
+            sequential.update(i, d);
+        }
+        for split in 0..=updates.len() {
+            let (left, right) = updates.split_at(split);
+            let mut a = OneSparseRecovery::with_fingerprint_base(z);
+            let mut b = OneSparseRecovery::with_fingerprint_base(z);
+            for &(i, d) in left {
+                a.update(i, d);
+            }
+            for &(i, d) in right {
+                b.update(i, d);
+            }
+            a.merge(&b);
+            assert_eq!(a.recover(), sequential.recover(), "split {split}");
+            assert_eq!(a.is_zero(), sequential.is_zero());
+        }
     }
 }

@@ -92,6 +92,10 @@ pub trait DynamicEdgeStream {
     /// [`pass`]: DynamicEdgeStream::pass
     fn pass_batched(&self, batch_size: usize, visit: &mut dyn FnMut(&[EdgeUpdate])) {
         let batch = batch_size.max(1);
+        // One buffer for the whole pass, sized by what a chunk can actually
+        // hold: a batch size far beyond the stream length must not reserve
+        // memory the pass can never fill (the same over-reserve cap as the
+        // insert-only default).
         let mut buf: Vec<EdgeUpdate> = Vec::with_capacity(batch.min(self.num_updates().max(1)));
         for u in self.pass() {
             buf.push(u);
@@ -103,6 +107,18 @@ pub trait DynamicEdgeStream {
         if !buf.is_empty() {
             visit(&buf);
         }
+    }
+
+    /// The stream's backing update slice in stream order, when it has one.
+    ///
+    /// In-memory snapshots return their storage so schedulers can build
+    /// zero-copy [`ShardedDynamicStream`](crate::ShardedDynamicStream)
+    /// views over it — the turnstile analogue of
+    /// [`EdgeStream::as_edge_slice`](crate::EdgeStream::as_edge_slice);
+    /// lazily generated or metered streams return `None`, and callers must
+    /// fall back to the pass APIs.
+    fn as_update_slice(&self) -> Option<&[EdgeUpdate]> {
+        None
     }
 }
 
@@ -121,6 +137,10 @@ impl<S: DynamicEdgeStream + ?Sized> DynamicEdgeStream for &S {
 
     fn pass_batched(&self, batch_size: usize, visit: &mut dyn FnMut(&[EdgeUpdate])) {
         (**self).pass_batched(batch_size, visit)
+    }
+
+    fn as_update_slice(&self) -> Option<&[EdgeUpdate]> {
+        (**self).as_update_slice()
     }
 }
 
@@ -269,6 +289,10 @@ impl DynamicEdgeStream for DynamicMemoryStream {
             visit(chunk);
         }
     }
+
+    fn as_update_slice(&self) -> Option<&[EdgeUpdate]> {
+        Some(&self.updates)
+    }
 }
 
 #[cfg(test)]
@@ -362,6 +386,41 @@ mod tests {
         let mut fell_back = Vec::new();
         fallback.pass_batched(4, &mut |chunk| fell_back.extend_from_slice(chunk));
         assert_eq!(fell_back, sequential);
+
+        // An oversized batch must deliver one chunk of exactly the stream's
+        // updates — the default implementation caps its buffer reservation
+        // at the update count, not the requested batch size.
+        let mut chunks = 0usize;
+        let mut updates = 0usize;
+        fallback.pass_batched(usize::MAX, &mut |chunk| {
+            chunks += 1;
+            updates += chunk.len();
+            assert!(chunk.len() <= fallback.num_updates());
+        });
+        assert_eq!(chunks, 1);
+        assert_eq!(updates, fallback.num_updates());
+    }
+
+    #[test]
+    fn update_slices_are_exposed_by_memory_streams_only() {
+        let g = graph();
+        let s = DynamicMemoryStream::with_churn(&g, 0.5, 11);
+        assert_eq!(s.as_update_slice().unwrap(), s.updates());
+        let r: &DynamicMemoryStream = &s;
+        assert!(DynamicEdgeStream::as_update_slice(&r).is_some());
+        struct Lazy(DynamicMemoryStream);
+        impl DynamicEdgeStream for Lazy {
+            fn num_vertices(&self) -> usize {
+                self.0.num_vertices()
+            }
+            fn num_updates(&self) -> usize {
+                self.0.num_updates()
+            }
+            fn pass(&self) -> Box<dyn Iterator<Item = EdgeUpdate> + '_> {
+                self.0.pass()
+            }
+        }
+        assert!(Lazy(s).as_update_slice().is_none());
     }
 
     #[test]

@@ -23,6 +23,13 @@
 //! * [`DynamicEdgeStream`] / [`DynamicMemoryStream`] — insert/delete
 //!   (turnstile) edge streams and workload constructors, the substrate for
 //!   the dynamic-stream estimators of `degentri-dynamic`.
+//! * [`snapshot`] — the unified snapshot layer: [`StreamSnapshot`] exposes
+//!   any in-memory snapshot (edges *or* updates) as one zero-copy slice,
+//!   [`Partition`]/[`ShardedSnapshot`] provide the shared contiguous,
+//!   order-preserving sharding substrate, and [`ShardedStream`] /
+//!   [`ShardedDynamicStream`] are its insert-only and turnstile faces —
+//!   both with per-shard folds that merge bit-identically at any shard or
+//!   worker count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,6 +42,7 @@ pub mod passes;
 pub mod pool;
 pub mod reservoir;
 pub mod sharded;
+pub mod snapshot;
 pub mod space;
 pub mod stats;
 pub mod weighted_reservoir;
@@ -46,6 +54,7 @@ pub use passes::PassCounter;
 pub use pool::run_indexed_pool;
 pub use reservoir::ReservoirSampler;
 pub use sharded::ShardedStream;
+pub use snapshot::{Partition, ShardedDynamicStream, ShardedSnapshot, StreamSnapshot};
 pub use space::{SpaceMeter, SpaceReport};
 pub use stats::StreamStats;
 pub use weighted_reservoir::{WeightedReservoirSampler, WeightedSamplerBank};

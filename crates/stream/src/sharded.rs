@@ -21,22 +21,20 @@
 //! sharded runner keeps the paper's pass budget.
 
 use std::ops::Range;
-use std::sync::atomic::{AtomicU32, Ordering};
 
 use degentri_graph::Edge;
 
 use crate::edge_stream::{EdgeStream, MemoryStream};
-use crate::pool::run_indexed_pool;
+use crate::snapshot::{ShardedSnapshot, StreamSnapshot};
 
-/// A contiguous, order-preserving partition of an edge slice into shards.
+/// A contiguous, order-preserving partition of an edge slice into shards —
+/// the insert-only face of the unified snapshot layer (the slicing,
+/// ordering and worker-pool semantics live in
+/// [`ShardedSnapshot`](crate::snapshot::ShardedSnapshot), shared with
+/// [`ShardedDynamicStream`](crate::ShardedDynamicStream)).
 #[derive(Debug)]
 pub struct ShardedStream<'a> {
-    edges: &'a [Edge],
-    num_vertices: usize,
-    /// `shards + 1` offsets into `edges`; shard `s` is
-    /// `edges[bounds[s]..bounds[s + 1]]`.
-    bounds: Vec<usize>,
-    passes: AtomicU32,
+    inner: ShardedSnapshot<'a, Edge>,
 }
 
 impl<'a> ShardedStream<'a> {
@@ -47,59 +45,42 @@ impl<'a> ShardedStream<'a> {
     /// shards of 2 — so that no shard is ever empty on a non-empty stream
     /// (an empty stream gets one empty shard).
     pub fn new(num_vertices: usize, edges: &'a [Edge], shards: usize) -> Self {
-        let m = edges.len();
-        let per_shard = m.div_ceil(shards.clamp(1, m.max(1))).max(1);
-        let mut bounds = Vec::with_capacity(m / per_shard + 2);
-        let mut at = 0usize;
-        bounds.push(0);
-        while at < m {
-            at = (at + per_shard).min(m);
-            bounds.push(at);
-        }
-        if bounds.len() == 1 {
-            bounds.push(0);
-        }
         ShardedStream {
-            edges,
-            num_vertices,
-            bounds,
-            passes: AtomicU32::new(0),
+            inner: ShardedSnapshot::new(num_vertices, edges, shards),
         }
     }
 
     /// Creates a sharded view of a [`MemoryStream`] snapshot.
     pub fn from_stream(stream: &'a MemoryStream, shards: usize) -> Self {
-        ShardedStream::new(EdgeStream::num_vertices(stream), stream.edges(), shards)
+        ShardedStream {
+            inner: ShardedSnapshot::from_snapshot(stream, shards),
+        }
     }
 
     /// Number of shards.
     pub fn shards(&self) -> usize {
-        self.bounds.len() - 1
+        self.inner.shards()
     }
 
     /// The edges of shard `s` (zero-copy slice of the backing storage).
     pub fn shard(&self, s: usize) -> &'a [Edge] {
-        &self.edges[self.bounds[s]..self.bounds[s + 1]]
+        self.inner.shard(s)
     }
 
     /// The global index range shard `s` covers.
     pub fn shard_range(&self, s: usize) -> Range<usize> {
-        self.bounds[s]..self.bounds[s + 1]
+        self.inner.shard_range(s)
     }
 
     /// The full edge slice in global stream order.
     pub fn edges(&self) -> &'a [Edge] {
-        self.edges
+        self.inner.items()
     }
 
     /// Number of passes started over this view (plain and sharded passes
     /// both count as one — every edge is delivered exactly once per pass).
     pub fn passes(&self) -> u32 {
-        self.passes.load(Ordering::Relaxed)
-    }
-
-    fn note_pass(&self) {
-        self.passes.fetch_add(1, Ordering::Relaxed);
+        self.inner.passes()
     }
 
     /// One pass over the stream, executed shard-parallel: `fold` runs once
@@ -116,40 +97,46 @@ impl<'a> ShardedStream<'a> {
         T: Send,
         F: Fn(usize, &[Edge]) -> T + Sync,
     {
-        self.note_pass();
-        run_indexed_pool(
-            workers,
-            self.shards(),
-            || (),
-            |(), s| fold(s, self.shard(s)),
-        )
+        self.inner.pass_sharded(workers, fold)
+    }
+}
+
+impl StreamSnapshot for ShardedStream<'_> {
+    type Item = Edge;
+
+    fn num_vertices(&self) -> usize {
+        self.inner.num_vertices()
+    }
+
+    fn items(&self) -> &[Edge] {
+        self.inner.items()
     }
 }
 
 impl EdgeStream for ShardedStream<'_> {
     fn num_vertices(&self) -> usize {
-        self.num_vertices
+        self.inner.num_vertices()
     }
 
     fn num_edges(&self) -> usize {
-        self.edges.len()
+        self.inner.items().len()
     }
 
     fn pass(&self) -> Box<dyn Iterator<Item = Edge> + '_> {
-        self.note_pass();
-        Box::new(self.edges.iter().copied())
+        self.inner.note_pass();
+        Box::new(self.inner.items().iter().copied())
     }
 
     fn pass_batched(&self, batch_size: usize, visit: &mut dyn FnMut(&[Edge])) {
         // Global stream order; shard boundaries do not affect plain passes.
-        self.note_pass();
-        for chunk in self.edges.chunks(batch_size.max(1)) {
+        self.inner.note_pass();
+        for chunk in self.inner.items().chunks(batch_size.max(1)) {
             visit(chunk);
         }
     }
 
     fn as_edge_slice(&self) -> Option<&[Edge]> {
-        Some(self.edges)
+        Some(self.inner.items())
     }
 }
 

@@ -181,6 +181,50 @@
 //! let report = engine.run(&stream).unwrap();
 //! assert_eq!(report.stats.rng_mode, Some(RngMode::Counter));
 //! ```
+//!
+//! # Quickstart: turnstile streams through the engine
+//!
+//! Insert/delete workloads run through the same engine: a
+//! [`DynamicMemoryStream`] snapshot is shared across every submitted
+//! `JobSpec::dynamic` job (no re-snapshotting between jobs), the engine
+//! forces counter-mode randomness onto the turnstile estimator — its
+//! sketch folds are linear, so spare workers shard each copy's passes
+//! over a [`ShardedDynamicStream`] view — and results are bit-identical
+//! to the standalone `degentri::dynamic` estimator at any worker count:
+//!
+//! ```
+//! use degentri::core::RngMode;
+//! use degentri::dynamic::{DynamicEstimatorConfig, DynamicTriangleEstimator};
+//! use degentri::prelude::*;
+//!
+//! let graph = degentri::gen::wheel(300).unwrap();
+//! let exact = degentri::graph::triangles::count_triangles(&graph);
+//! // Insert every edge, plus churn: extra copies inserted then deleted.
+//! let stream = DynamicMemoryStream::with_churn(&graph, 0.5, 7);
+//! let config = DynamicEstimatorConfig::new(3, exact / 2)
+//!     .with_epsilon(0.3)
+//!     .with_copies(2)
+//!     .with_seed(11)
+//!     .with_max_samples(150);
+//!
+//! // Standalone reference in counter mode (the regime the engine forces):
+//! let standalone = DynamicTriangleEstimator::new(
+//!     config.clone().with_rng_mode(RngMode::Counter),
+//! )
+//! .run(&stream)
+//! .unwrap();
+//!
+//! // The same job through the engine's shared dynamic-snapshot path:
+//! let mut engine = Engine::new(EngineConfig::with_workers(4));
+//! engine.submit(JobSpec::dynamic("churned wheel", config));
+//! let report = engine.run_dynamic(&stream).unwrap();
+//! assert_eq!(
+//!     report.jobs[0].estimation.copy_estimates,
+//!     standalone.copy_estimates,
+//! );
+//! let outcome = report.jobs[0].dynamic.as_ref().unwrap();
+//! assert_eq!(outcome.surviving_edges, graph.num_edges());
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -203,14 +247,14 @@ pub mod prelude {
         estimate_triangles, estimate_triangles_with_oracle, EstimatorConfig, RngMode,
         TriangleEstimation,
     };
-    pub use degentri_dynamic::{DynamicEstimatorConfig, DynamicTriangleEstimator};
+    pub use degentri_dynamic::{DynamicEstimatorConfig, DynamicOutcome, DynamicTriangleEstimator};
     pub use degentri_engine::{
         parallel_estimate_triangles, Engine, EngineConfig, EngineStats, JobSpec,
     };
     pub use degentri_graph::{CsrGraph, Edge, GraphBuilder, Triangle, VertexId};
     pub use degentri_stream::{
         DynamicEdgeStream, DynamicMemoryStream, EdgeStream, EdgeUpdate, MemoryStream,
-        ShardedStream, SpaceReport, StreamOrder,
+        ShardedDynamicStream, ShardedStream, SpaceReport, StreamOrder,
     };
 }
 
