@@ -55,6 +55,14 @@
 //!   per-vertex table also removes the duplicate sampling work that made
 //!   pass 5 the single-core bottleneck).
 //!
+//! Counter-mode copies execute through the **stage-object pipeline** of
+//! [`crate::stages`]: a [`MainCopyStages`] exposes each pass as
+//! `begin_pass → fold(batch) → finish_pass`, and this module's driver
+//! walks it over a plain or sharded snapshot — the *same* implementation
+//! the engine's fused sweep driver feeds chunk-by-chunk when it runs many
+//! copies in one traversal, which is why fused, per-copy, sharded and
+//! sequential scheduling are bit-identical by construction.
+//!
 //! In both modes the outcome — estimate, counters, space — is
 //! **bit-identical** between the sequential run and any shard/worker
 //! count; the two modes draw different (distribution-identical)
@@ -73,8 +81,9 @@ use rand::{Rng, SeedableRng};
 use crate::assignment::{decide_assignment, AssignmentMemo};
 use crate::config::EstimatorConfig;
 use crate::error::EstimatorError;
-use crate::rng::{streams, CounterRng, PickCell, RngMode};
+use crate::rng::{CounterRng, PickCell, RngMode};
 use crate::scratch::{EdgeProbeSet, EstimatorScratch, SlotLists, VertexSlotMap};
+use crate::stages::{MainCopyStages, MainStageAcc};
 use crate::Result;
 
 /// Outcome of one run of the six-pass estimator.
@@ -271,19 +280,22 @@ impl MainEstimator {
         if m == 0 {
             return Err(EstimatorError::EmptyStream);
         }
+        // Counter mode runs through the stage-object pipeline — the single
+        // implementation shared with the engine's fused sweep driver.
+        if self.config.rng_mode == RngMode::Counter {
+            return drive_counter_copy(&self.config, stream, shard, seed, batch_size.max(1));
+        }
         let n = stream.num_vertices();
         let params = self.config.derive(m, n);
         let batch = batch_size.max(1);
-        let counter = self.config.rng_mode == RngMode::Counter;
-        // Sequential mode consumes this one stateful stream in pass order;
-        // counter mode never draws from it.
+        // Sequential mode consumes this one stateful stream in pass order.
         let mut rng = StdRng::seed_from_u64(seed);
         let mut meter = SpaceMeter::new();
         let mut pass_nanos = [0u64; 6];
-        let sharded_passes = match (shard.is_some(), counter) {
-            (false, _) => [false; 6],
-            (true, false) => [false, true, false, true, false, true],
-            (true, true) => [true; 6],
+        let sharded_passes = if shard.is_some() {
+            [false, true, false, true, false, true]
+        } else {
+            [false; 6]
         };
         let EstimatorScratch {
             vertices,
@@ -295,37 +307,7 @@ impl MainEstimator {
         // ---------------- Pass 1: uniform sample R ------------------------
         meter.charge(params.r as u64);
         let started = Instant::now();
-        let r_edges: Vec<Edge> = if counter {
-            // Slot j of R is the edge at the seed-derived position
-            // `hash(j) mod m` — i.i.d. uniform positions, gathered in one
-            // positional sweep with no per-edge randomness at all.
-            let rng1 = CounterRng::new(seed, streams::MAIN_UNIFORM_SAMPLE);
-            let mut targets: Vec<(u64, u32)> = (0..params.r)
-                .map(|j| (rng1.bounded(j as u64, 0, m as u64), j as u32))
-                .collect();
-            targets.sort_unstable();
-            let gathered = positioned_pass(
-                stream,
-                shard,
-                batch,
-                Vec::new,
-                |hits: &mut Vec<(u32, Edge)>, pos, chunk| {
-                    let end = pos + chunk.len() as u64;
-                    let mut i = targets.partition_point(|&(p, _)| p < pos);
-                    while i < targets.len() && targets[i].0 < end {
-                        hits.push((targets[i].1, chunk[(targets[i].0 - pos) as usize]));
-                        i += 1;
-                    }
-                },
-            );
-            // Every target position lies in [0, m), so every slot is
-            // written exactly once; the placeholder never survives.
-            let mut edges = vec![Edge::from_raw(0, 1); params.r];
-            for (slot, edge) in gathered.into_iter().flatten() {
-                edges[slot as usize] = edge;
-            }
-            edges
-        } else {
+        let r_edges: Vec<Edge> = {
             let mut reservoir: ReservoirSampler<Edge> = ReservoirSampler::new_iid(params.r);
             stream.pass_batched(batch, &mut |chunk| {
                 for &e in chunk {
@@ -407,19 +389,12 @@ impl MainEstimator {
             })
             .collect();
         let total_weight = *cumulative.last().unwrap_or(&0.0);
-        let inst_rng = CounterRng::new(seed, streams::MAIN_INSTANCES);
         let mut instances: Vec<Instance> = Vec::with_capacity(ell);
-        for k in 0..ell {
+        for _ in 0..ell {
             if total_weight <= 0.0 {
                 break;
             }
-            // Offline selection: the counter draw is keyed by the instance
-            // index (its "position" in the offline stream of ℓ picks).
-            let target = if counter {
-                inst_rng.unit(k as u64, 0) * total_weight
-            } else {
-                rng.gen_range(0.0..total_weight)
-            };
+            let target = rng.gen_range(0.0..total_weight);
             let idx = cumulative.partition_point(|&c| c <= target).min(r - 1);
             let edge = r_edges[idx];
             let (base, other) = if endpoint_degree(edge.u()) <= endpoint_degree(edge.v()) {
@@ -457,38 +432,22 @@ impl MainEstimator {
             lists.push(slot, u32::try_from(i).expect("instance count fits u32"));
         }
         let started = Instant::now();
-        if counter {
-            let rng3 = CounterRng::new(seed, streams::MAIN_NEIGHBOR);
-            let cells = uniform_neighbor_pass(
-                stream,
-                shard,
-                batch,
-                &rng3,
-                vertices,
-                lists,
-                instances.len(),
-            );
-            for (inst, cell) in instances.iter_mut().zip(&cells) {
-                inst.neighbor = cell.value().map(VertexId::new);
-            }
-        } else {
-            stream.pass_batched(batch, &mut |chunk| {
-                for e in chunk {
-                    for endpoint in [e.u(), e.v()] {
-                        if let Some(slot) = vertices.get(endpoint.raw()) {
-                            let candidate = e.other(endpoint).expect("endpoint belongs to edge");
-                            for &i in lists.list(slot) {
-                                let inst = &mut instances[i as usize];
-                                inst.seen += 1;
-                                if rng.gen_range(0..inst.seen) == 0 {
-                                    inst.neighbor = Some(candidate);
-                                }
+        stream.pass_batched(batch, &mut |chunk| {
+            for e in chunk {
+                for endpoint in [e.u(), e.v()] {
+                    if let Some(slot) = vertices.get(endpoint.raw()) {
+                        let candidate = e.other(endpoint).expect("endpoint belongs to edge");
+                        for &i in lists.list(slot) {
+                            let inst = &mut instances[i as usize];
+                            inst.seen += 1;
+                            if rng.gen_range(0..inst.seen) == 0 {
+                                inst.neighbor = Some(candidate);
                             }
                         }
                     }
                 }
-            });
-        }
+            }
+        });
         pass_nanos[2] = started.elapsed().as_nanos() as u64;
 
         // ---------------- Pass 4: closure checks ---------------------------
@@ -545,90 +504,15 @@ impl MainEstimator {
         meter.charge((2 * params.assignment_samples as u64 + 4) * candidate_edges.len() as u64);
 
         // Pass 5: degrees of candidate-edge endpoints + neighbor samples at
-        // both endpoints.
-        //
-        // Counter mode gathers per distinct *vertex*: a vertex's degree and
-        // uniform neighbor samples do not depend on which candidate edge
-        // asked, and distinct candidate triangles share endpoints — so the
-        // per-side fan-out of the sequential path (which repeats the full
-        // `s`-slot sampling for every candidate edge touching a vertex) is
-        // duplicate work by construction. One interned slot per endpoint,
-        // one degree counter and one `s`-slot sample row per vertex, with
-        // position-keyed priorities making the whole pass order-insensitive
-        // and therefore shardable.
+        // both endpoints. Candidates grouped by endpoint in CSR lists,
+        // each payload tagging which side of its edge the endpoint is.
         vertices.reset(2 * candidate_edges.len());
         for c in &candidate_edges {
             vertices.insert(c.edge.u().raw());
             vertices.insert(c.edge.v().raw());
         }
         let started;
-        if counter {
-            let tracked = vertices.len();
-            let s = params.assignment_samples;
-            let table_len = tracked * s;
-            // The per-vertex table is live only during the pass: s sample
-            // cells (2 words each — priority and position packed into one)
-            // plus a degree counter per vertex.
-            meter.charge((2 * s as u64 + 1) * tracked as u64);
-            let rng5 = CounterRng::new(seed, streams::MAIN_ASSIGNMENT);
-            let vertices_ref = &*vertices;
-            started = Instant::now();
-            let folded = positioned_pass(
-                stream,
-                shard,
-                batch,
-                || (vec![0u64; tracked], vec![PickCell::empty(); table_len]),
-                |(deg, cells): &mut (Vec<u64>, Vec<PickCell>), pos, chunk| {
-                    for (off, e) in chunk.iter().enumerate() {
-                        let p = pos + off as u64;
-                        let mut base_hash = None;
-                        for endpoint in [e.u(), e.v()] {
-                            if let Some(slot) = vertices_ref.get(endpoint.raw()) {
-                                deg[slot as usize] += 1;
-                                let candidate =
-                                    e.other(endpoint).expect("endpoint belongs to edge").raw();
-                                let base = *base_hash.get_or_insert_with(|| rng5.base(p));
-                                let row = slot as usize * s;
-                                for (draw, cell) in cells[row..row + s].iter_mut().enumerate() {
-                                    cell.offer(
-                                        CounterRng::derive(base, (row + draw) as u64),
-                                        p,
-                                        candidate,
-                                    );
-                                }
-                            }
-                        }
-                    }
-                },
-            );
-            counts.clear();
-            counts.resize(tracked, 0);
-            let mut cells = vec![PickCell::empty(); table_len];
-            for (deg, shard_cells) in &folded {
-                for (total, d) in counts.iter_mut().zip(deg) {
-                    *total += d;
-                }
-                for (cell, other) in cells.iter_mut().zip(shard_cells) {
-                    cell.merge(other);
-                }
-            }
-            for c in candidate_edges.iter_mut() {
-                let su = vertices.get(c.edge.u().raw()).expect("interned endpoint") as usize;
-                let sv = vertices.get(c.edge.v().raw()).expect("interned endpoint") as usize;
-                c.degree_u = counts[su];
-                c.degree_v = counts[sv];
-                for j in 0..s {
-                    c.samples_u[j] = cells[su * s + j].value().map(VertexId::new);
-                    c.samples_v[j] = cells[sv * s + j].value().map(VertexId::new);
-                }
-            }
-            // The merge + per-candidate materialization is part of the
-            // pass's work, so it stays inside the pass-5 clock.
-            pass_nanos[4] = started.elapsed().as_nanos() as u64;
-            meter.release((2 * s as u64 + 1) * tracked as u64);
-        } else {
-            // Sequential mode: candidates grouped by endpoint in CSR lists,
-            // each payload tagging which side of its edge the endpoint is.
+        {
             lists.begin(vertices.len());
             for c in &candidate_edges {
                 lists.count(vertices.get(c.edge.u().raw()).expect("interned endpoint"));
@@ -794,6 +678,49 @@ impl MainEstimator {
     pub fn config(&self) -> &EstimatorConfig {
         &self.config
     }
+}
+
+/// Drives one counter-mode copy through its six stage-object passes over a
+/// plain or sharded snapshot. This is the standalone twin of the engine's
+/// fused sweep driver: one copy per sweep here, many copies per sweep
+/// there — same [`MainCopyStages`] implementation, hence bit-identical
+/// outcomes at every batch size, shard count and worker count.
+fn drive_counter_copy<S: EdgeStream + ?Sized>(
+    config: &EstimatorConfig,
+    stream: &S,
+    shard: Option<(&ShardedStream<'_>, usize)>,
+    seed: u64,
+    batch: usize,
+) -> Result<MainOutcome> {
+    let mut stages = MainCopyStages::new(config, stream.num_edges(), stream.num_vertices(), seed)?;
+    stages.set_sharded(shard.is_some());
+    while !stages.finished() {
+        let pass = stages.pass_index();
+        let started = Instant::now();
+        let accs: Vec<MainStageAcc> = match shard {
+            Some((view, workers)) => {
+                let stages_ref = &stages;
+                view.pass_sharded(workers, |s, edges| {
+                    let mut acc = stages_ref.begin_pass();
+                    stages_ref.fold(&mut acc, view.shard_range(s).start as u64, edges);
+                    acc
+                })
+            }
+            None => {
+                let mut acc = stages.begin_pass();
+                let mut pos = 0u64;
+                stream.pass_batched(batch, &mut |chunk| {
+                    stages.fold(&mut acc, pos, chunk);
+                    pos += chunk.len() as u64;
+                });
+                vec![acc]
+            }
+        };
+        let nanos = started.elapsed().as_nanos() as u64;
+        stages.finish_pass(accs)?;
+        stages.set_pass_nanos(pass, nanos);
+    }
+    stages.finish()
 }
 
 /// One membership pass: marks which of the sealed probe-set queries are

@@ -63,6 +63,7 @@ pub mod oracle;
 pub mod rng;
 pub mod runner;
 pub mod scratch;
+pub mod stages;
 pub mod theory;
 
 pub use config::{DerivedParameters, EstimatorConfig, EstimatorConfigBuilder};
@@ -77,6 +78,7 @@ pub use runner::{
     run_main_copy_sharded, run_main_copy_with, CopyContribution, TriangleEstimation,
 };
 pub use scratch::EstimatorScratch;
+pub use stages::{MainCohortPlan, MainCopyStages, MainStageAcc};
 
 /// Convenient result alias for estimator operations.
 pub type Result<T> = std::result::Result<T, EstimatorError>;

@@ -91,6 +91,17 @@ impl VertexSlotMap {
         }
     }
 
+    /// Visits every `(key, slot)` pair inserted since the last reset, in
+    /// bucket order (deterministic for a given insertion sequence). Used
+    /// by the fused cohort planner to build union lookup structures.
+    pub fn for_each(&self, mut visit: impl FnMut(u32, u32)) {
+        for &entry in &self.buckets {
+            if entry != 0 {
+                visit((entry >> 32) as u32, (entry as u32) - 1);
+            }
+        }
+    }
+
     /// Returns the slot of `key`, if present. Allocation-free.
     #[inline]
     pub fn get(&self, key: u32) -> Option<u32> {
@@ -154,6 +165,13 @@ impl EdgeProbeSet {
     /// Number of distinct queries (valid after [`seal`](EdgeProbeSet::seal)).
     pub fn len(&self) -> usize {
         self.keys.len()
+    }
+
+    /// The sealed, sorted query keys (valid after
+    /// [`seal`](EdgeProbeSet::seal)). Used by the fused cohort planner to
+    /// merge many copies' query sets into one probe structure.
+    pub fn keys(&self) -> &[u64] {
+        &self.keys
     }
 
     /// Whether the query set is empty.

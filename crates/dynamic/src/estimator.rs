@@ -22,15 +22,22 @@
 //! two distribution-identical regimes selected by
 //! [`DynamicEstimatorConfig::rng_mode`]:
 //!
-//! * [`RngMode::Sequential`] (the default, bit-compatible with earlier
-//!   releases) draws every sketch seed and every degree-proportional
-//!   instance pick from one stateful PRNG consumed in a fixed order.
+//! * [`RngMode::Sequential`] (the default) draws every sketch seed and
+//!   every degree-proportional instance pick from one stateful PRNG
+//!   consumed in a fixed order — the consumption order of earlier
+//!   releases (the ℓ0 level rule is now computed in exact integer
+//!   arithmetic, which can differ from the old float rounding in
+//!   ~2⁻⁴⁷-probability boundary windows).
 //! * [`RngMode::Counter`] derives all randomness from pure functions of
 //!   the configuration seed: sketch `k` of a bank is seeded by
-//!   `hash(seed, stream-tag, k, draw)` and instance `i` picks the edge at
-//!   position `p` of `R` maximizing the Efraimidis–Spirakis priority of the
-//!   position-keyed uniform `hash(seed, instances-tag, p, i)` — the
-//!   [`WeightedPickCell`] reservoir rule of `degentri_core::rng`.
+//!   `hash(seed, stream-tag, k, draw)` and the degree-proportional
+//!   instance picks come from one of two rules selected by
+//!   [`CounterSelection`] — the default prefix-sum inverse CDF
+//!   (`O(log r)` per instance) or the `WeightedPickCell` priority sweep of
+//!   `degentri_core::rng` (`O(r)` per instance, kept as the test oracle).
+//!   Counter-mode copies execute through the resumable stage objects of
+//!   [`crate::stages`] — the same implementation whether a copy runs
+//!   standalone, sharded, or inside the engine's fused sweep cohorts.
 //!
 //! One subtlety distinguishes the turnstile port from the insert-only
 //! counter mode: the **per-update** randomness of a sketch must be keyed by
@@ -61,10 +68,9 @@
 //! `Õ(mκ/T · polylog)` — each ℓ0 sampler costs `Θ(log²)` words, which is the
 //! usual price of turnstile robustness.
 
-use degentri_core::rng::{streams, CounterRng, RngMode, WeightedPickCell};
+use degentri_core::rng::RngMode;
 use degentri_graph::{Edge, VertexId};
-use degentri_sketch::hash::MERSENNE_PRIME;
-use degentri_sketch::{fingerprint_term, L0Sampler};
+use degentri_sketch::L0Sampler;
 use degentri_stream::{
     DynamicEdgeStream, EdgeUpdate, ShardedDynamicStream, SpaceMeter, SpaceReport,
     DEFAULT_BATCH_SIZE,
@@ -73,7 +79,26 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::error::DynamicError;
+use crate::stages::{DynamicCopyStages, DynamicStageAcc};
 use crate::Result;
+
+/// How counter-mode runs pick their degree-proportional instances from
+/// the recovered edge sample `R`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CounterSelection {
+    /// Prefix-sum inverse CDF over position-keyed uniforms: pick `i`
+    /// inverts one uniform `hash(seed, tag, i)` through the cumulative
+    /// degree weights — `O(log r)` per instance. The default.
+    #[default]
+    PrefixCdf,
+    /// The position-keyed [`WeightedPickCell`] sweep of PR 4: instance `i`
+    /// scans all of `R` and keeps the position maximizing the
+    /// Efraimidis–Spirakis priority — `O(r)` per instance. Kept as the
+    /// distributional test oracle for [`CounterSelection::PrefixCdf`]
+    /// (both draw weight-proportional picks; see
+    /// `crates/dynamic/tests/proptests.rs`).
+    PrioritySweep,
+}
 
 /// Configuration of the dynamic-stream triangle estimator.
 #[derive(Debug, Clone)]
@@ -100,6 +125,10 @@ pub struct DynamicEstimatorConfig {
     /// keyed counter hashes, which is what lets the engine shard a copy's
     /// passes (see the module docs).
     pub rng_mode: RngMode,
+    /// The counter-mode instance-selection rule (ignored in
+    /// [`RngMode::Sequential`], which keeps its stateful inverse-CDF
+    /// picks).
+    pub counter_selection: CounterSelection,
 }
 
 impl DynamicEstimatorConfig {
@@ -116,6 +145,7 @@ impl DynamicEstimatorConfig {
             seed: 0,
             max_samples: 200_000,
             rng_mode: RngMode::Sequential,
+            counter_selection: CounterSelection::PrefixCdf,
         }
     }
 
@@ -155,6 +185,15 @@ impl DynamicEstimatorConfig {
     /// [`RngMode::Counter`] onto its jobs unless told otherwise).
     pub fn with_rng_mode(mut self, mode: RngMode) -> Self {
         self.rng_mode = mode;
+        self
+    }
+
+    /// Selects the counter-mode instance-selection rule (the default is
+    /// the `O(log r)`-per-instance [`CounterSelection::PrefixCdf`];
+    /// [`CounterSelection::PrioritySweep`] keeps PR 4's `O(r)` sweep,
+    /// retained as the distributional test oracle).
+    pub fn with_counter_selection(mut self, selection: CounterSelection) -> Self {
+        self.counter_selection = selection;
         self
     }
 
@@ -484,11 +523,42 @@ struct Instance {
     other: VertexId,
 }
 
-/// Derives a shared fingerprint base `z ∈ [2, p)` for an ℓ0 bank from the
-/// counter RNG (`which` separates the edge bank from the neighbor bank).
-fn shared_fingerprint_base(seed: u64, which: u64) -> u64 {
-    let rng = CounterRng::new(seed, streams::DYNAMIC_FINGERPRINT);
-    2 + rng.draw(which, 0) % (MERSENNE_PRIME - 2)
+/// Drives one counter-mode copy through its four stage-object passes over
+/// a plain or sharded snapshot — the standalone twin of the engine's fused
+/// sweep driver (one copy per sweep here, many there; same
+/// [`DynamicCopyStages`] implementation, hence bit-identical outcomes).
+fn drive_counter_copy<S: DynamicEdgeStream + ?Sized>(
+    config: &DynamicEstimatorConfig,
+    stream: &S,
+    shard: Option<(&ShardedDynamicStream<'_>, usize)>,
+    seed: u64,
+    batch: usize,
+) -> Result<DynamicCopyOutcome> {
+    let mut stages =
+        DynamicCopyStages::new(config, stream.num_updates(), stream.num_vertices(), seed)?;
+    while !stages.finished() {
+        let accs: Vec<DynamicStageAcc> = match shard {
+            Some((view, workers)) => {
+                let stages_ref = &stages;
+                view.pass_sharded(workers, |s, updates| {
+                    let mut acc = stages_ref.begin_pass();
+                    stages_ref.fold(&mut acc, view.shard_range(s).start as u64, updates);
+                    acc
+                })
+            }
+            None => {
+                let mut acc = stages.begin_pass();
+                let mut pos = 0u64;
+                stream.pass_batched(batch, &mut |chunk| {
+                    stages.fold(&mut acc, pos, chunk);
+                    pos += chunk.len() as u64;
+                });
+                vec![acc]
+            }
+        };
+        stages.finish_pass(accs)?;
+    }
+    stages.finish()
 }
 
 fn run_single<S: DynamicEdgeStream + ?Sized>(
@@ -498,14 +568,18 @@ fn run_single<S: DynamicEdgeStream + ?Sized>(
     seed: u64,
     batch: usize,
 ) -> Result<DynamicCopyOutcome> {
-    let counter = config.rng_mode == RngMode::Counter;
-    let shard = if counter { shard } else { None };
+    // Counter mode runs through the stage-object pipeline — the single
+    // implementation shared with the engine's fused sweep driver.
+    if config.rng_mode == RngMode::Counter {
+        return drive_counter_copy(config, stream, shard, seed, batch);
+    }
+    let shard = None;
     let n = stream.num_vertices();
     let mut meter = SpaceMeter::new();
 
     // Sequential mode: one stateful PRNG consumed in the fixed order of
     // earlier releases (sampler construction, then instance selection).
-    let mut seq_rng = (!counter).then(|| StdRng::seed_from_u64(seed));
+    let mut seq_rng = StdRng::seed_from_u64(seed);
 
     // The update count is the only size hint available before pass 1;
     // the net edge count is measured during pass 1 and used afterwards.
@@ -513,27 +587,9 @@ fn run_single<S: DynamicEdgeStream + ?Sized>(
 
     // ---------------- Pass 1: ℓ0 edge samplers + net edge count --------
     let edge_universe = (n as u64).saturating_mul(n as u64).max(4);
-    let edge_base = counter.then(|| shared_fingerprint_base(seed, 0));
-    let edge_templates: Vec<L0Sampler> = match edge_base {
-        Some(z) => {
-            // Counter mode: sampler k of the bank is a pure function of
-            // (seed, stream tag, k); the whole bank shares one fingerprint
-            // base so `z^edge` is computed once per update below.
-            let seeder = CounterRng::new(seed, streams::DYNAMIC_EDGE_SAMPLER);
-            (0..r_target)
-                .map(|k| {
-                    let mut sampler_rng = StdRng::seed_from_u64(seeder.draw(k as u64, 0));
-                    L0Sampler::for_universe_with_base(edge_universe, z, &mut sampler_rng)
-                })
-                .collect()
-        }
-        None => {
-            let rng = seq_rng.as_mut().expect("sequential mode has a PRNG");
-            (0..r_target)
-                .map(|_| L0Sampler::for_universe(edge_universe, rng))
-                .collect()
-        }
-    };
+    let edge_templates: Vec<L0Sampler> = (0..r_target)
+        .map(|_| L0Sampler::for_universe(edge_universe, &mut seq_rng))
+        .collect();
     let folded = update_fold_pass(
         stream,
         shard,
@@ -544,18 +600,8 @@ fn run_single<S: DynamicEdgeStream + ?Sized>(
                 let key = update.edge.key();
                 let delta = update.delta();
                 *net += delta;
-                match edge_base {
-                    Some(z) => {
-                        let term = fingerprint_term(z, key);
-                        for sampler in samplers.iter_mut() {
-                            sampler.update_with_term(key, delta, term);
-                        }
-                    }
-                    None => {
-                        for sampler in samplers.iter_mut() {
-                            sampler.update(key, delta);
-                        }
-                    }
+                for sampler in samplers.iter_mut() {
+                    sampler.update(key, delta);
                 }
             }
         },
@@ -646,8 +692,10 @@ fn run_single<S: DynamicEdgeStream + ?Sized>(
     }
 
     // ---------------- Instance selection (offline, between passes) -----
+    // Inverse-CDF picks from one stateful PRNG, interleaved with sampler
+    // construction exactly as in earlier releases (bit-compatible
+    // consumption order).
     let inner = config.derive_inner(m_net, r, d_r);
-    let neighbor_base = counter.then(|| shared_fingerprint_base(seed, 1));
     let mut instances: Vec<Instance> = Vec::with_capacity(inner);
     let mut neighbor_templates: Vec<L0Sampler> = Vec::with_capacity(inner);
     let split_edge = |edge: Edge| {
@@ -657,64 +705,24 @@ fn run_single<S: DynamicEdgeStream + ?Sized>(
             (edge.v(), edge.u())
         }
     };
-    match neighbor_base {
-        Some(z) => {
-            // Counter mode: instance i keeps the edge at position p of R
-            // maximizing the Efraimidis–Spirakis priority of the
-            // position-keyed uniform hash(seed, instances-tag, p, i) with
-            // weight d_p — the WeightedPickCell reservoir rule, a pure
-            // function of (seed, i) and the degree vector.
-            let inst_rng = CounterRng::new(seed, streams::DYNAMIC_INSTANCES);
-            let seeder = CounterRng::new(seed, streams::DYNAMIC_NEIGHBOR_SAMPLER);
-            for i in 0..inner {
-                let mut cell = WeightedPickCell::empty();
-                for (p, &d) in degrees.iter().enumerate() {
-                    if d == 0 {
-                        continue;
-                    }
-                    let unit = inst_rng.unit(p as u64, i as u64);
-                    cell.offer(
-                        WeightedPickCell::priority_of(unit, d as f64),
-                        p as u64,
-                        p as u64,
-                    );
-                }
-                let Some(pick) = cell.value() else {
-                    break; // unreachable: d_r > 0 ⇒ some offer was made
-                };
-                let (base, other) = split_edge(r_edges[pick as usize]);
-                instances.push(Instance { base, other });
-                let mut sampler_rng = StdRng::seed_from_u64(seeder.draw(i as u64, 0));
-                neighbor_templates.push(L0Sampler::for_universe_with_base(
-                    n as u64 + 1,
-                    z,
-                    &mut sampler_rng,
-                ));
+    {
+        let cumulative: Vec<f64> = degrees
+            .iter()
+            .scan(0.0, |acc, &d| {
+                *acc += d as f64;
+                Some(*acc)
+            })
+            .collect();
+        let total_weight = *cumulative.last().unwrap_or(&0.0);
+        for _ in 0..inner {
+            if total_weight <= 0.0 {
+                break;
             }
-        }
-        None => {
-            // Sequential mode: inverse-CDF picks from one stateful PRNG,
-            // interleaved with sampler construction exactly as in earlier
-            // releases (bit-compatible consumption order).
-            let rng = seq_rng.as_mut().expect("sequential mode has a PRNG");
-            let cumulative: Vec<f64> = degrees
-                .iter()
-                .scan(0.0, |acc, &d| {
-                    *acc += d as f64;
-                    Some(*acc)
-                })
-                .collect();
-            let total_weight = *cumulative.last().unwrap_or(&0.0);
-            for _ in 0..inner {
-                if total_weight <= 0.0 {
-                    break;
-                }
-                let target = rng.gen_range(0.0..total_weight);
-                let idx = cumulative.partition_point(|&c| c <= target).min(r - 1);
-                let (base, other) = split_edge(r_edges[idx]);
-                instances.push(Instance { base, other });
-                neighbor_templates.push(L0Sampler::for_universe(n as u64 + 1, rng));
-            }
+            let target = seq_rng.gen_range(0.0..total_weight);
+            let idx = cumulative.partition_point(|&c| c <= target).min(r - 1);
+            let (base, other) = split_edge(r_edges[idx]);
+            instances.push(Instance { base, other });
+            neighbor_templates.push(L0Sampler::for_universe(n as u64 + 1, &mut seq_rng));
         }
     }
 
@@ -761,12 +769,8 @@ fn run_single<S: DynamicEdgeStream + ?Sized>(
                             .other(endpoint)
                             .expect("endpoint belongs to edge")
                             .index() as u64;
-                        let term = neighbor_base.map(|z| fingerprint_term(z, candidate));
                         for &i in &list_ids_ref[list_starts_ref[b]..list_starts_ref[b + 1]] {
-                            match term {
-                                Some(t) => samplers[i].update_with_term(candidate, delta, t),
-                                None => samplers[i].update(candidate, delta),
-                            }
+                            samplers[i].update(candidate, delta);
                         }
                     }
                 }

@@ -54,14 +54,16 @@
 pub mod error;
 pub mod estimator;
 pub mod exact;
+pub mod stages;
 
 pub use error::DynamicError;
 pub use estimator::{
     aggregate_dynamic_copies, dynamic_copy_seed, run_dynamic_copy, run_dynamic_copy_sharded,
-    run_dynamic_copy_with, DynamicCopyOutcome, DynamicEstimatorConfig, DynamicOutcome,
-    DynamicTriangleEstimator,
+    run_dynamic_copy_with, CounterSelection, DynamicCopyOutcome, DynamicEstimatorConfig,
+    DynamicOutcome, DynamicTriangleEstimator,
 };
 pub use exact::DynamicExactCounter;
+pub use stages::{counter_instance_picks, DynamicCopyStages, DynamicStageAcc};
 
 /// Convenient result alias for dynamic-stream estimation.
 pub type Result<T> = std::result::Result<T, DynamicError>;

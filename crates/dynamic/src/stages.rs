@@ -1,0 +1,571 @@
+//! Resumable per-pass stage objects for the counter-mode turnstile
+//! estimator — the insert/delete twin of `degentri_core::stages`.
+//!
+//! Every pass of the counter-mode turnstile estimator is a *linear* fold
+//! of the update multiset (sketch sums, signed counters), so a copy
+//! decomposes into four `begin_pass → fold(batch) → finish_pass` stages
+//! that an external driver sweeps over the snapshot. The standalone
+//! estimator drives one copy per sweep; the engine's fused driver feeds
+//! every in-flight copy's fold on each chunk, collapsing
+//! `4 × copies` snapshot traversals into `4`.
+//!
+//! Two hot-path properties of the stage folds:
+//!
+//! * **Prepared updates** — the fingerprint contribution `z^edge · delta`
+//!   and the weighted index term are computed **once per update** for the
+//!   whole sketch bank ([`SketchUpdate`]), so a cell touch is three
+//!   additions instead of a 128-bit modular multiplication.
+//! * **Sampler-outermost chunk folds** — pass 1 prepares each chunk's
+//!   updates once and then runs every ℓ0 sampler over the prepared chunk
+//!   ([`L0Sampler::apply_batch`]), keeping each sampler's tables
+//!   cache-resident across the chunk instead of walking the whole bank's
+//!   tables once per update.
+//!
+//! Both are bit-identical reorderings of the same linear arithmetic, so
+//! per-copy, sharded, and fused execution agree bit for bit at every
+//! batch size, shard count, worker count and cohort grouping.
+
+use degentri_core::rng::{streams, CounterRng, RngMode, WeightedPickCell};
+use degentri_graph::{Edge, VertexId};
+use degentri_sketch::hash::MERSENNE_PRIME;
+use degentri_sketch::{L0Sampler, SketchUpdate};
+use degentri_stream::{EdgeUpdate, SpaceMeter};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::error::DynamicError;
+use crate::estimator::{CounterSelection, DynamicCopyOutcome, DynamicEstimatorConfig};
+use crate::Result;
+
+/// A degree-proportional instance: the sampled edge's endpoints, ordered
+/// so `base` is the lower-degree one whose neighborhood is ℓ0-sampled.
+#[derive(Debug, Clone, Copy)]
+struct Instance {
+    base: VertexId,
+    other: VertexId,
+}
+
+/// Derives a shared fingerprint base `z ∈ [2, p)` for an ℓ0 bank from the
+/// counter RNG (`which` separates the edge bank from the neighbor bank).
+fn shared_fingerprint_base(seed: u64, which: u64) -> u64 {
+    let rng = CounterRng::new(seed, streams::DYNAMIC_FINGERPRINT);
+    2 + rng.draw(which, 0) % (MERSENNE_PRIME - 2)
+}
+
+/// The counter-mode degree-proportional instance picks over `R`: `inner`
+/// positions of `degrees`, each drawn with probability `d_p / d_R`, by the
+/// configured rule. Exposed so tests can hold the `O(r · inner)`
+/// [`CounterSelection::PrioritySweep`] against the `O(inner · log r)`
+/// [`CounterSelection::PrefixCdf`] as a distributional oracle: both are
+/// weight-proportional, deterministic pure functions of `(seed, degrees)`.
+/// Positions with zero degree are never picked; selection stops early only
+/// when every degree is zero (the estimator rejects that stream earlier).
+pub fn counter_instance_picks(
+    selection: CounterSelection,
+    seed: u64,
+    degrees: &[u64],
+    inner: usize,
+) -> Vec<usize> {
+    let r = degrees.len();
+    let mut picks: Vec<usize> = Vec::with_capacity(inner);
+    match selection {
+        CounterSelection::PrioritySweep => {
+            // The position-keyed WeightedPickCell rule: instance i keeps
+            // the position p of R maximizing the Efraimidis–Spirakis
+            // priority of hash(seed, tag, p, i) with weight d_p — O(r) per
+            // instance.
+            let inst_rng = CounterRng::new(seed, streams::DYNAMIC_INSTANCES);
+            for i in 0..inner {
+                let mut cell = WeightedPickCell::empty();
+                for (p, &d) in degrees.iter().enumerate() {
+                    if d == 0 {
+                        continue;
+                    }
+                    let unit = inst_rng.unit(p as u64, i as u64);
+                    cell.offer(
+                        WeightedPickCell::priority_of(unit, d as f64),
+                        p as u64,
+                        p as u64,
+                    );
+                }
+                let Some(pick) = cell.value() else {
+                    break; // every degree is zero
+                };
+                picks.push(pick as usize);
+            }
+        }
+        CounterSelection::PrefixCdf => {
+            // Prefix-sum inverse CDF over the position-keyed uniforms:
+            // pick i inverts one uniform hash(seed, tag, i) through the
+            // cumulative degree weights — O(log r) per instance, the same
+            // weight-proportional distribution as the sweep.
+            let cumulative: Vec<f64> = degrees
+                .iter()
+                .scan(0.0, |acc, &d| {
+                    *acc += d as f64;
+                    Some(*acc)
+                })
+                .collect();
+            let total_weight = *cumulative.last().unwrap_or(&0.0);
+            let cdf_rng = CounterRng::new(seed, streams::DYNAMIC_INSTANCES_CDF);
+            for i in 0..inner {
+                if total_weight <= 0.0 {
+                    break;
+                }
+                let target = cdf_rng.unit(i as u64, 0) * total_weight;
+                // A zero-degree position never owns a CDF interval: the
+                // partition point lands on the next position with weight
+                // (ties resolve rightward past empty intervals).
+                picks.push(cumulative.partition_point(|&c| c <= target).min(r - 1));
+            }
+        }
+    }
+    picks
+}
+
+/// The opaque per-pass fold accumulator of a [`DynamicCopyStages`] copy.
+#[derive(Debug)]
+pub struct DynamicStageAcc(DynAcc);
+
+#[derive(Debug)]
+enum DynAcc {
+    /// Pass 1: the ℓ0 edge-sampler bank, the net edge count, and the
+    /// per-chunk prepared-update scratch.
+    Edges {
+        bank: Vec<L0Sampler>,
+        net: i64,
+        prep: Vec<SketchUpdate>,
+    },
+    /// Pass 2: signed degree counters over the tracked endpoints.
+    Degrees(Vec<i64>),
+    /// Pass 3: the per-instance ℓ0 neighbor-sampler bank.
+    Neighbors(Vec<L0Sampler>),
+    /// Pass 4: signed counters over the distinct closure queries.
+    Closure(Vec<i64>),
+}
+
+/// One counter-mode copy of the turnstile estimator as a resumable
+/// four-pass stage pipeline (see the module docs).
+#[derive(Debug)]
+pub struct DynamicCopyStages {
+    config: DynamicEstimatorConfig,
+    seed: u64,
+    n: usize,
+    pass: usize,
+    meter: SpaceMeter,
+    edge_base: u64,
+    neighbor_base: u64,
+    edge_templates: Vec<L0Sampler>,
+    r_edges: Vec<Edge>,
+    m_net: usize,
+    endpoints: Vec<u32>,
+    endpoint_degree: Vec<i64>,
+    degrees: Vec<u64>,
+    d_r: u64,
+    instances: Vec<Instance>,
+    neighbor_templates: Vec<L0Sampler>,
+    bases: Vec<u32>,
+    list_starts: Vec<usize>,
+    list_ids: Vec<usize>,
+    queries: Vec<Option<u64>>,
+    query_keys: Vec<u64>,
+    outcome: Option<DynamicCopyOutcome>,
+}
+
+impl DynamicCopyStages {
+    /// Total passes a copy makes over the update stream.
+    pub const PASSES: u32 = 4;
+
+    /// Prepares one copy over a stream of `num_updates` updates and `n`
+    /// vertices with the given (already copy-derived) seed. Requires
+    /// [`RngMode::Counter`].
+    pub fn new(
+        config: &DynamicEstimatorConfig,
+        num_updates: usize,
+        n: usize,
+        seed: u64,
+    ) -> Result<Self> {
+        config.validate()?;
+        if config.rng_mode != RngMode::Counter {
+            return Err(DynamicError::invalid_parameter(
+                "stage-object execution requires RngMode::Counter",
+            ));
+        }
+        if num_updates == 0 {
+            return Err(DynamicError::EmptyStream);
+        }
+        let r_target = config.derive_r(num_updates);
+        let edge_universe = (n as u64).saturating_mul(n as u64).max(4);
+        let edge_base = shared_fingerprint_base(seed, 0);
+        // Sampler k of the bank is a pure function of (seed, stream tag,
+        // k); the whole bank shares one fingerprint base so `z^edge` is
+        // computed once per update.
+        let seeder = CounterRng::new(seed, streams::DYNAMIC_EDGE_SAMPLER);
+        let edge_templates: Vec<L0Sampler> = (0..r_target)
+            .map(|k| {
+                let mut sampler_rng = StdRng::seed_from_u64(seeder.draw(k as u64, 0));
+                L0Sampler::for_universe_with_base(edge_universe, edge_base, &mut sampler_rng)
+            })
+            .collect();
+        Ok(DynamicCopyStages {
+            config: config.clone(),
+            seed,
+            n,
+            pass: 0,
+            meter: SpaceMeter::new(),
+            edge_base,
+            neighbor_base: shared_fingerprint_base(seed, 1),
+            edge_templates,
+            r_edges: Vec::new(),
+            m_net: 0,
+            endpoints: Vec::new(),
+            endpoint_degree: Vec::new(),
+            degrees: Vec::new(),
+            d_r: 0,
+            instances: Vec::new(),
+            neighbor_templates: Vec::new(),
+            bases: Vec::new(),
+            list_starts: Vec::new(),
+            list_ids: Vec::new(),
+            queries: Vec::new(),
+            query_keys: Vec::new(),
+            outcome: None,
+        })
+    }
+
+    /// Index of the pass awaiting execution (0-based).
+    pub fn pass_index(&self) -> usize {
+        self.pass
+    }
+
+    /// Whether all four passes have completed.
+    pub fn finished(&self) -> bool {
+        self.pass >= 4
+    }
+
+    /// A fresh accumulator for the current pass (one per shard). Pass 1
+    /// and pass 3 clone the configured sketch banks — sketches are linear,
+    /// so per-shard clones merged in shard order equal one bank that saw
+    /// the whole stream.
+    pub fn begin_pass(&self) -> DynamicStageAcc {
+        debug_assert!(!self.finished(), "begin_pass after the fourth pass");
+        DynamicStageAcc(match self.pass {
+            0 => DynAcc::Edges {
+                bank: self.edge_templates.clone(),
+                net: 0,
+                prep: Vec::new(),
+            },
+            1 => DynAcc::Degrees(vec![0; self.endpoints.len()]),
+            2 => DynAcc::Neighbors(self.neighbor_templates.clone()),
+            _ => DynAcc::Closure(vec![0; self.query_keys.len()]),
+        })
+    }
+
+    /// Folds one chunk of the update snapshot into `acc`. Every fold is a
+    /// linear function of the update multiset, so chunking and sharding
+    /// never change the merged result.
+    pub fn fold(&self, acc: &mut DynamicStageAcc, _pos: u64, chunk: &[EdgeUpdate]) {
+        match &mut acc.0 {
+            DynAcc::Edges { bank, net, prep } => {
+                // Prepare the chunk once (one modular exponentiation per
+                // update for the whole bank), then run each sampler over
+                // the prepared chunk — sampler-outermost for locality.
+                prep.clear();
+                for update in chunk {
+                    *net += update.delta();
+                    prep.push(SketchUpdate::prepare(
+                        self.edge_base,
+                        update.edge.key(),
+                        update.delta(),
+                    ));
+                }
+                for sampler in bank.iter_mut() {
+                    sampler.apply_batch(prep);
+                }
+            }
+            DynAcc::Degrees(deg) => {
+                for update in chunk {
+                    let delta = update.delta();
+                    if let Ok(slot) = self.endpoints.binary_search(&update.edge.u().raw()) {
+                        deg[slot] += delta;
+                    }
+                    if let Ok(slot) = self.endpoints.binary_search(&update.edge.v().raw()) {
+                        deg[slot] += delta;
+                    }
+                }
+            }
+            DynAcc::Neighbors(samplers) => {
+                for update in chunk {
+                    let delta = update.delta();
+                    for endpoint in [update.edge.u(), update.edge.v()] {
+                        if let Ok(b) = self.bases.binary_search(&endpoint.raw()) {
+                            let candidate = update
+                                .edge
+                                .other(endpoint)
+                                .expect("endpoint belongs to edge")
+                                .index() as u64;
+                            let prepared =
+                                SketchUpdate::prepare(self.neighbor_base, candidate, delta);
+                            for &i in &self.list_ids[self.list_starts[b]..self.list_starts[b + 1]] {
+                                samplers[i].apply(&prepared);
+                            }
+                        }
+                    }
+                }
+            }
+            DynAcc::Closure(counts) => {
+                for update in chunk {
+                    if let Ok(q) = self.query_keys.binary_search(&update.edge.key()) {
+                        counts[q] += update.delta();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Consumes the pass's per-shard accumulators in shard order, merges
+    /// them, performs the between-pass bookkeeping, and arms the next
+    /// pass. Passes 1 and 2 can fail with
+    /// [`DynamicError::EmptySurvivingGraph`] exactly like the monolithic
+    /// estimator.
+    pub fn finish_pass(&mut self, accs: Vec<DynamicStageAcc>) -> Result<()> {
+        debug_assert!(!self.finished(), "finish_pass after the fourth pass");
+        match self.pass {
+            0 => self.finish_edges(accs)?,
+            1 => self.finish_degrees(accs)?,
+            2 => self.finish_neighbors(accs),
+            3 => self.finish_closure(accs),
+            _ => unreachable!(),
+        }
+        self.pass += 1;
+        Ok(())
+    }
+
+    /// The finished outcome (valid once [`finished`](Self::finished)).
+    pub fn finish(self) -> Result<DynamicCopyOutcome> {
+        debug_assert!(self.finished(), "finish before the fourth pass completed");
+        self.outcome
+            .ok_or_else(|| DynamicError::invalid_parameter("stage pipeline did not complete"))
+    }
+
+    // ---- per-pass finish steps -----------------------------------------
+
+    fn finish_edges(&mut self, accs: Vec<DynamicStageAcc>) -> Result<()> {
+        let mut accs = accs.into_iter();
+        let Some(DynamicStageAcc(DynAcc::Edges {
+            bank: mut samplers,
+            net: mut net_edges,
+            ..
+        })) = accs.next()
+        else {
+            unreachable!("pass-1 accumulator");
+        };
+        for acc in accs {
+            let DynAcc::Edges { bank, net, .. } = acc.0 else {
+                unreachable!("pass-1 accumulator");
+            };
+            net_edges += net;
+            for (sampler, other) in samplers.iter_mut().zip(&bank) {
+                sampler.merge(other);
+            }
+        }
+        self.meter
+            .charge(samplers.iter().map(L0Sampler::retained_words).sum::<u64>() + 1);
+        if net_edges <= 0 {
+            return Err(DynamicError::EmptySurvivingGraph);
+        }
+        self.m_net = net_edges as usize;
+        // Draw R from the samplers (each contributes at most one edge).
+        self.r_edges = samplers
+            .iter()
+            .filter_map(|s| s.sample())
+            .filter(|&(_, count)| count > 0)
+            .map(|(idx, _)| Edge::from_key(idx))
+            .collect();
+        if self.r_edges.is_empty() {
+            return Err(DynamicError::EmptySurvivingGraph);
+        }
+        // Arm pass 2: the tracked endpoints in one sorted slot table.
+        self.endpoints = self
+            .r_edges
+            .iter()
+            .flat_map(|e| [e.u().raw(), e.v().raw()])
+            .collect();
+        self.endpoints.sort_unstable();
+        self.endpoints.dedup();
+        self.meter.charge(self.endpoints.len() as u64);
+        Ok(())
+    }
+
+    fn finish_degrees(&mut self, accs: Vec<DynamicStageAcc>) -> Result<()> {
+        let mut accs = accs.into_iter();
+        let Some(DynamicStageAcc(DynAcc::Degrees(mut deg))) = accs.next() else {
+            unreachable!("pass-2 accumulator");
+        };
+        for acc in accs {
+            let DynAcc::Degrees(other) = acc.0 else {
+                unreachable!("pass-2 accumulator");
+            };
+            for (total, d) in deg.iter_mut().zip(other) {
+                *total += d;
+            }
+        }
+        self.endpoint_degree = deg;
+        let degree_of = |v: VertexId| -> u64 {
+            self.endpoints
+                .binary_search(&v.raw())
+                .ok()
+                .map(|slot| self.endpoint_degree[slot].max(0) as u64)
+                .unwrap_or(0)
+        };
+        self.degrees = self
+            .r_edges
+            .iter()
+            .map(|e| degree_of(e.u()).min(degree_of(e.v())))
+            .collect();
+        self.d_r = self.degrees.iter().sum();
+        self.meter.charge(self.r_edges.len() as u64);
+        if self.d_r == 0 {
+            return Err(DynamicError::EmptySurvivingGraph);
+        }
+
+        // Instance selection (offline, between passes): degree-proportional
+        // picks from R, by the rule the configuration selects.
+        let r = self.r_edges.len();
+        let inner = self.config.derive_inner(self.m_net, r, self.d_r);
+        let split_edge = |edge: Edge| {
+            if degree_of(edge.u()) <= degree_of(edge.v()) {
+                (edge.u(), edge.v())
+            } else {
+                (edge.v(), edge.u())
+            }
+        };
+        let picks = counter_instance_picks(
+            self.config.counter_selection,
+            self.seed,
+            &self.degrees,
+            inner,
+        );
+        let seeder = CounterRng::new(self.seed, streams::DYNAMIC_NEIGHBOR_SAMPLER);
+        self.instances = Vec::with_capacity(picks.len());
+        self.neighbor_templates = Vec::with_capacity(picks.len());
+        for (i, &pick) in picks.iter().enumerate() {
+            let (base, other) = split_edge(self.r_edges[pick]);
+            self.instances.push(Instance { base, other });
+            let mut sampler_rng = StdRng::seed_from_u64(seeder.draw(i as u64, 0));
+            self.neighbor_templates
+                .push(L0Sampler::for_universe_with_base(
+                    self.n as u64 + 1,
+                    self.neighbor_base,
+                    &mut sampler_rng,
+                ));
+        }
+
+        // Arm pass 3: instances grouped by base vertex in one CSR table
+        // (sorted bases + instance-id lists).
+        self.bases = self.instances.iter().map(|inst| inst.base.raw()).collect();
+        self.bases.sort_unstable();
+        self.bases.dedup();
+        self.list_starts = vec![0usize; self.bases.len() + 1];
+        for inst in &self.instances {
+            let b = self
+                .bases
+                .binary_search(&inst.base.raw())
+                .expect("base was interned");
+            self.list_starts[b + 1] += 1;
+        }
+        for b in 0..self.bases.len() {
+            self.list_starts[b + 1] += self.list_starts[b];
+        }
+        self.list_ids = vec![0usize; self.instances.len()];
+        let mut cursor = self.list_starts.clone();
+        for (i, inst) in self.instances.iter().enumerate() {
+            let b = self
+                .bases
+                .binary_search(&inst.base.raw())
+                .expect("base was interned");
+            self.list_ids[cursor[b]] = i;
+            cursor[b] += 1;
+        }
+        Ok(())
+    }
+
+    fn finish_neighbors(&mut self, accs: Vec<DynamicStageAcc>) {
+        let mut accs = accs.into_iter();
+        let Some(DynamicStageAcc(DynAcc::Neighbors(mut samplers))) = accs.next() else {
+            unreachable!("pass-3 accumulator");
+        };
+        for acc in accs {
+            let DynAcc::Neighbors(bank) = acc.0 else {
+                unreachable!("pass-3 accumulator");
+            };
+            for (sampler, other) in samplers.iter_mut().zip(&bank) {
+                sampler.merge(other);
+            }
+        }
+        self.meter
+            .charge(samplers.iter().map(|s| s.retained_words() + 2).sum::<u64>());
+        let neighbors: Vec<Option<VertexId>> = samplers
+            .iter()
+            .map(|s| {
+                s.sample()
+                    .filter(|&(_, count)| count > 0)
+                    .map(|(idx, _)| VertexId::new(idx as u32))
+            })
+            .collect();
+        // Arm pass 4: the distinct closure queries in one sorted key table.
+        self.queries = self
+            .instances
+            .iter()
+            .zip(&neighbors)
+            .map(|(inst, neighbor)| match neighbor {
+                Some(w) if *w != inst.other && *w != inst.base => {
+                    Some(Edge::new(inst.other, *w).key())
+                }
+                _ => None,
+            })
+            .collect();
+        self.query_keys = self.queries.iter().flatten().copied().collect();
+        self.query_keys.sort_unstable();
+        self.query_keys.dedup();
+        self.meter.charge(self.query_keys.len() as u64);
+    }
+
+    fn finish_closure(&mut self, accs: Vec<DynamicStageAcc>) {
+        let mut accs = accs.into_iter();
+        let Some(DynamicStageAcc(DynAcc::Closure(mut counts))) = accs.next() else {
+            unreachable!("pass-4 accumulator");
+        };
+        for acc in accs {
+            let DynAcc::Closure(other) = acc.0 else {
+                unreachable!("pass-4 accumulator");
+            };
+            for (total, c) in counts.iter_mut().zip(other) {
+                *total += c;
+            }
+        }
+        let mut hits = 0u64;
+        for key in self.queries.iter().flatten() {
+            let q = self
+                .query_keys
+                .binary_search(key)
+                .expect("query key was interned");
+            if counts[q] > 0 {
+                hits += 1;
+            }
+        }
+        let y = hits as f64 / self.instances.len().max(1) as f64;
+        // Incident-triangle estimator: every triangle is counted once per
+        // containing edge, hence the division by three.
+        let r = self.r_edges.len();
+        let estimate = (self.m_net as f64 / r as f64) * self.d_r as f64 * y / 3.0;
+        self.outcome = Some(DynamicCopyOutcome {
+            estimate,
+            space: self.meter.report(),
+            triangles_found: hits,
+            r,
+            inner_samples: self.instances.len(),
+            surviving_edges: self.m_net,
+        });
+    }
+}

@@ -112,3 +112,105 @@ proptest! {
         );
     }
 }
+
+// ---- Instance-selection rules: the O(r·inner) priority sweep is the ----
+// ---- distributional oracle for the O(inner·log r) prefix CDF.       ----
+
+/// Both selection rules draw from the same weight-proportional
+/// distribution: over many independent seeds, each position's pick
+/// frequency tracks `d_p / d_R` for both rules, and the two empirical
+/// distributions agree with each other within sampling error.
+#[test]
+fn prefix_cdf_matches_the_priority_sweep_distribution() {
+    use degentri_dynamic::{counter_instance_picks, CounterSelection};
+    let degrees: Vec<u64> = vec![1, 2, 0, 7, 4, 0, 6];
+    let d_r: u64 = degrees.iter().sum();
+    let trials = 4_000usize;
+    let mut sweep_counts = vec![0usize; degrees.len()];
+    let mut cdf_counts = vec![0usize; degrees.len()];
+    for seed in 0..trials as u64 {
+        for &pick in &counter_instance_picks(CounterSelection::PrioritySweep, seed, &degrees, 2) {
+            sweep_counts[pick] += 1;
+        }
+        for &pick in &counter_instance_picks(CounterSelection::PrefixCdf, seed, &degrees, 2) {
+            cdf_counts[pick] += 1;
+        }
+    }
+    let draws = (2 * trials) as f64;
+    for (p, &d) in degrees.iter().enumerate() {
+        let expected = d as f64 / d_r as f64;
+        let sweep = sweep_counts[p] as f64 / draws;
+        let cdf = cdf_counts[p] as f64 / draws;
+        if d == 0 {
+            assert_eq!(
+                sweep_counts[p], 0,
+                "zero-degree position picked by the sweep"
+            );
+            assert_eq!(cdf_counts[p], 0, "zero-degree position picked by the CDF");
+            continue;
+        }
+        assert!(
+            (sweep - expected).abs() < 0.03,
+            "sweep position {p}: {sweep:.3} vs expected {expected:.3}"
+        );
+        assert!(
+            (cdf - expected).abs() < 0.03,
+            "cdf position {p}: {cdf:.3} vs expected {expected:.3}"
+        );
+        assert!(
+            (cdf - sweep).abs() < 0.03,
+            "rules disagree at position {p}: cdf {cdf:.3} vs sweep {sweep:.3}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Both selection rules are deterministic pure functions of
+    /// `(seed, degrees)` and never pick a zero-degree position.
+    #[test]
+    fn selection_rules_are_deterministic_and_skip_zero_degrees(
+        degrees in proptest::collection::vec(0u64..20, 1..40),
+        seed in 0u64..1_000_000,
+        inner in 1usize..16,
+    ) {
+        use degentri_dynamic::{counter_instance_picks, CounterSelection};
+        prop_assume!(degrees.iter().any(|&d| d > 0));
+        for rule in [CounterSelection::PrioritySweep, CounterSelection::PrefixCdf] {
+            let a = counter_instance_picks(rule, seed, &degrees, inner);
+            let b = counter_instance_picks(rule, seed, &degrees, inner);
+            prop_assert_eq!(&a, &b);
+            prop_assert_eq!(a.len(), inner);
+            for &pick in &a {
+                prop_assert!(degrees[pick] > 0, "picked zero-degree position {}", pick);
+            }
+        }
+    }
+
+    /// A counter-mode copy is bit-identical across shard counts under
+    /// either selection rule (the selection is offline — sharding never
+    /// touches it).
+    #[test]
+    fn both_selection_rules_are_shard_stable(
+        seed in 0u64..1000,
+        shards in 1usize..9,
+        sweep in 0u8..2,
+    ) {
+        use degentri_dynamic::CounterSelection;
+        let graph = degentri_gen::wheel(120).unwrap();
+        let stream = DynamicMemoryStream::with_churn(&graph, 0.5, 7);
+        let rule = if sweep == 1 { CounterSelection::PrioritySweep } else { CounterSelection::PrefixCdf };
+        let config = DynamicEstimatorConfig::new(3, 50)
+            .with_copies(2)
+            .with_seed(seed)
+            .with_rng_mode(RngMode::Counter)
+            .with_counter_selection(rule);
+        let estimator = DynamicTriangleEstimator::new(config);
+        let plain = estimator.run(&stream).unwrap();
+        let view = ShardedDynamicStream::from_stream(&stream, shards);
+        let sharded = estimator.run_sharded(&view, 2).unwrap();
+        prop_assert_eq!(sharded.estimate.to_bits(), plain.estimate.to_bits());
+        prop_assert_eq!(sharded.copy_estimates, plain.copy_estimates);
+    }
+}

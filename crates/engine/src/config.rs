@@ -39,6 +39,12 @@ pub struct EngineConfig {
     /// six-pass and ideal estimators across spare workers, not just the
     /// order-insensitive ones.
     pub rng_mode: Option<RngMode>,
+    /// Whether counter-mode jobs execute through the fused pass driver —
+    /// one sweep per pass stage feeding every in-flight copy — instead of
+    /// one set of sweeps per copy. Bit-identical either way (see
+    /// `crates/engine/src/fused.rs`); disabling is for benchmarking the
+    /// per-copy path. Defaults to `true`.
+    pub fused_execution: bool,
 }
 
 impl EngineConfig {
@@ -50,6 +56,7 @@ impl EngineConfig {
             batch_size: DEFAULT_BATCH_SIZE,
             intra_task_sharding: true,
             rng_mode: Some(RngMode::Counter),
+            fused_execution: true,
         }
     }
 
@@ -133,6 +140,13 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Enables or disables the fused pass driver (the default runs every
+    /// counter-mode job fused; disable to benchmark per-copy sweeps).
+    pub fn fused_execution(mut self, yes: bool) -> Self {
+        self.config.fused_execution = yes;
+        self
+    }
+
     /// Validates and finishes building, rejecting zero workers or a zero
     /// batch size with [`EngineError::InvalidConfig`].
     pub fn try_build(self) -> Result<EngineConfig> {
@@ -169,6 +183,14 @@ mod tests {
         assert_eq!(EngineConfig::default().batch_size, DEFAULT_BATCH_SIZE);
         assert!(EngineConfig::default().intra_task_sharding);
         assert_eq!(EngineConfig::default().rng_mode, Some(RngMode::Counter));
+        assert!(EngineConfig::default().fused_execution);
+        assert!(
+            !EngineConfig::builder()
+                .fused_execution(false)
+                .try_build()
+                .unwrap()
+                .fused_execution
+        );
     }
 
     #[test]

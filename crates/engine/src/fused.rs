@@ -1,0 +1,225 @@
+//! The fused pass driver: one sweep per pass stage, feeding every
+//! in-flight copy.
+//!
+//! Under counter-mode randomness both estimators expose their copies as
+//! resumable stage objects ([`degentri_core::MainCopyStages`],
+//! [`degentri_dynamic::DynamicCopyStages`]): `begin_pass → fold(batch) →
+//! finish_pass`. Per-copy scheduling executes `passes` sweeps *per copy* —
+//! with 4+ copies per job the dominant cost is re-streaming the same
+//! snapshot slice copy after copy. This driver inverts the loop nest:
+//! each pass stage is **one** sweep over the snapshot that dispatches
+//! every copy's fold on each chunk, so snapshot traversal, chunk dispatch
+//! and memory bandwidth are paid once per cohort (a chunk is still hot in
+//! cache when the second copy folds it), collapsing `passes × copies`
+//! sweeps into `passes`.
+//!
+//! Results are **bit-identical** to per-copy scheduling: the driver calls
+//! the same stage methods with the same chunk positions, and every pass's
+//! per-shard accumulators merge associatively in shard order — so fusing,
+//! sharding and cohort grouping change wall-clock time only (asserted
+//! across the full copies × shards × workers sweep in
+//! `crates/engine/tests/fused_parity.rs`).
+
+use std::time::Instant;
+
+use degentri_core::{MainCohortPlan, MainCopyStages, MainStageAcc};
+use degentri_dynamic::{DynamicCopyStages, DynamicStageAcc};
+use degentri_graph::Edge;
+use degentri_stream::{EdgeUpdate, ShardedSnapshot};
+
+use crate::Result;
+
+/// A copy executable by the fused driver: the engine-facing facade over
+/// the estimator crates' stage objects.
+pub(crate) trait StagedCopy: Send + Sync + Sized {
+    /// The snapshot item type (an edge or a signed update).
+    type Item: Copy + Send + Sync;
+    /// The opaque per-pass fold accumulator.
+    type Acc: Send;
+    /// Cohort-level union structures for the current pass (see
+    /// [`plan_pass`](StagedCopy::plan_pass)); `()` when the copy type has
+    /// no cross-copy probe sharing.
+    type Plan: Send + Sync;
+
+    fn finished(&self) -> bool;
+    fn pass_index(&self) -> usize;
+    fn begin_pass(&self) -> Self::Acc;
+    fn finish_pass(&mut self, accs: Vec<Self::Acc>) -> Result<()>;
+    fn record_pass_nanos(&mut self, pass: usize, nanos: u64);
+
+    /// Builds the cohort's shared probe structures for the current pass.
+    /// The default has none.
+    fn plan_pass(copies: &[Self]) -> Self::Plan;
+
+    /// Folds one chunk into every copy's accumulator through the plan.
+    /// The default is the plain per-copy loop; implementations with union
+    /// probe structures replace the `copies` independent lookups per item
+    /// with one shared lookup that fans out to the hitting copies —
+    /// bit-identical, since each copy receives exactly the updates its own
+    /// fold would have produced.
+    fn fold_cohort(
+        plan: &Self::Plan,
+        copies: &[Self],
+        accs: &mut [Self::Acc],
+        pos: u64,
+        chunk: &[Self::Item],
+    );
+}
+
+impl StagedCopy for MainCopyStages {
+    type Item = Edge;
+    type Acc = MainStageAcc;
+    type Plan = MainCohortPlan;
+
+    fn finished(&self) -> bool {
+        MainCopyStages::finished(self)
+    }
+
+    fn pass_index(&self) -> usize {
+        MainCopyStages::pass_index(self)
+    }
+
+    fn begin_pass(&self) -> MainStageAcc {
+        MainCopyStages::begin_pass(self)
+    }
+
+    fn finish_pass(&mut self, accs: Vec<MainStageAcc>) -> Result<()> {
+        MainCopyStages::finish_pass(self, accs).map_err(crate::EngineError::from)
+    }
+
+    fn record_pass_nanos(&mut self, pass: usize, nanos: u64) {
+        MainCopyStages::set_pass_nanos(self, pass, nanos)
+    }
+
+    fn plan_pass(copies: &[Self]) -> MainCohortPlan {
+        MainCopyStages::plan_cohort(copies)
+    }
+
+    fn fold_cohort(
+        plan: &MainCohortPlan,
+        copies: &[Self],
+        accs: &mut [MainStageAcc],
+        pos: u64,
+        chunk: &[Edge],
+    ) {
+        MainCopyStages::fold_cohort(plan, copies, accs, pos, chunk)
+    }
+}
+
+impl StagedCopy for DynamicCopyStages {
+    type Item = EdgeUpdate;
+    type Acc = DynamicStageAcc;
+    type Plan = ();
+
+    fn finished(&self) -> bool {
+        DynamicCopyStages::finished(self)
+    }
+
+    fn pass_index(&self) -> usize {
+        DynamicCopyStages::pass_index(self)
+    }
+
+    fn begin_pass(&self) -> DynamicStageAcc {
+        DynamicCopyStages::begin_pass(self)
+    }
+
+    fn finish_pass(&mut self, accs: Vec<DynamicStageAcc>) -> Result<()> {
+        DynamicCopyStages::finish_pass(self, accs).map_err(crate::EngineError::from)
+    }
+
+    fn record_pass_nanos(&mut self, _pass: usize, _nanos: u64) {}
+
+    fn plan_pass(_copies: &[Self]) -> Self::Plan {}
+
+    fn fold_cohort(
+        _plan: &(),
+        copies: &[Self],
+        accs: &mut [DynamicStageAcc],
+        pos: u64,
+        chunk: &[EdgeUpdate],
+    ) {
+        for (stages, acc) in copies.iter().zip(accs.iter_mut()) {
+            stages.fold(acc, pos, chunk);
+        }
+    }
+}
+
+/// Re-nests shard-major accumulators (`per_shard[s][k]`) into copy-major
+/// (`per_copy[k][s]`), preserving shard order within each copy — the
+/// order [`StagedCopy::finish_pass`] requires.
+fn transpose<T>(per_shard: Vec<Vec<T>>, copies: usize) -> Vec<Vec<T>> {
+    let shards = per_shard.len();
+    let mut per_copy: Vec<Vec<T>> = (0..copies).map(|_| Vec::with_capacity(shards)).collect();
+    for shard_accs in per_shard {
+        for (k, acc) in shard_accs.into_iter().enumerate() {
+            per_copy[k].push(acc);
+        }
+    }
+    per_copy
+}
+
+/// Executes one cohort of staged copies over a shared snapshot slice:
+/// while any copy has passes left, run **one sweep** that feeds every
+/// unfinished copy's fold chunk by chunk — sharded across `workers` scoped
+/// threads (over `shards` contiguous shards) when `workers > 1`. Returns
+/// the number of physical snapshot sweeps executed.
+///
+/// All copies of a cohort have the same pass budget, so they stay in
+/// lockstep and the sweep count equals that budget.
+pub(crate) fn drive_cohort<C: StagedCopy>(
+    copies: &mut [C],
+    num_vertices: usize,
+    items: &[C::Item],
+    batch: usize,
+    workers: usize,
+    shards: usize,
+) -> Result<u64> {
+    if copies.is_empty() {
+        return Ok(0);
+    }
+    let batch = batch.max(1);
+    let mut sweeps = 0u64;
+    // Cohort copies share a pass budget, so they run in lockstep: every
+    // sweep advances every copy by one pass.
+    while copies.iter().any(|c| !c.finished()) {
+        debug_assert!(
+            copies.iter().all(|c| !c.finished()),
+            "cohort copies run in lockstep"
+        );
+        sweeps += 1;
+        let plan = C::plan_pass(copies);
+        let started = Instant::now();
+        let per_copy: Vec<Vec<C::Acc>> = if workers > 1 {
+            let view: ShardedSnapshot<'_, C::Item> =
+                ShardedSnapshot::new(num_vertices, items, shards.max(1));
+            let copies_ref = &*copies;
+            let plan_ref = &plan;
+            let per_shard = view.pass_sharded(workers, |s, slice| {
+                let mut accs: Vec<C::Acc> = copies_ref.iter().map(|c| c.begin_pass()).collect();
+                let mut pos = view.shard_range(s).start as u64;
+                for chunk in slice.chunks(batch) {
+                    C::fold_cohort(plan_ref, copies_ref, &mut accs, pos, chunk);
+                    pos += chunk.len() as u64;
+                }
+                accs
+            });
+            transpose(per_shard, copies.len())
+        } else {
+            let mut accs: Vec<C::Acc> = copies.iter().map(|c| c.begin_pass()).collect();
+            let mut pos = 0u64;
+            for chunk in items.chunks(batch) {
+                C::fold_cohort(&plan, copies, &mut accs, pos, chunk);
+                pos += chunk.len() as u64;
+            }
+            accs.into_iter().map(|acc| vec![acc]).collect()
+        };
+        drop(plan);
+        let nanos = started.elapsed().as_nanos() as u64;
+        for (accs, copy) in per_copy.into_iter().zip(copies.iter_mut()) {
+            let pass = copy.pass_index();
+            copy.finish_pass(accs)?;
+            copy.record_pass_nanos(pass, nanos);
+        }
+    }
+    Ok(sweeps)
+}

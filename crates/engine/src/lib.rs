@@ -59,6 +59,7 @@
 
 pub mod config;
 pub mod error;
+mod fused;
 pub mod job;
 pub mod parallel;
 pub mod scheduler;

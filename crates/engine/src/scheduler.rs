@@ -1,51 +1,66 @@
-//! The job scheduler: many estimation jobs over one shared graph snapshot.
+//! The job scheduler: many estimation jobs over one shared snapshot.
 //!
 //! [`Engine::submit`] queues jobs (different ε/κ/seed/algorithm, including
-//! the Table-1 baselines through their common trait); [`Engine::run`]
-//! flattens every job into its independent tasks — one per estimator copy,
-//! one per baseline — and executes all of them on a single scoped worker
-//! pool, so the pool stays busy across job boundaries instead of
-//! synchronizing after each job. Results are folded back per job in
-//! deterministic submission/copy order, which keeps every estimation
-//! bit-identical to its sequential counterpart.
+//! the Table-1 baselines through their common trait and the turnstile
+//! estimator); [`Engine::run_snapshot`] executes every queued job over one
+//! [`Snapshot`] — the enum unifying insert-only edge slices and turnstile
+//! update slices — on a single scoped worker pool. The historical typed
+//! entry points [`Engine::run`] (edges) and [`Engine::run_dynamic`]
+//! (updates) are thin wrappers that borrow the stream's storage as a
+//! `Snapshot` (materializing one owned copy for exotic streams that do not
+//! expose their storage).
 //!
-//! When the pool is *wider* than the task list — more workers than
-//! runnable copies — the spare workers are no longer left stalled: for
-//! snapshots that expose their edge storage
-//! ([`EdgeStream::as_edge_slice`]), the scheduler builds one
-//! [`ShardedStream`] view and runs each shardable copy with shard-parallel
-//! passes, assigning `⌊workers / tasks⌋` threads per copy. Which passes
-//! shard depends on the effective randomness regime: under the engine
-//! default ([`RngMode::Counter`], forced onto every job unless the
-//! configuration says otherwise) **every** pass of the six-pass *and*
-//! ideal estimators shards; under [`RngMode::Sequential`] only the
-//! six-pass estimator's order-insensitive passes do. Per-shard
-//! accumulators merge in shard order, so within a regime every scheduling
-//! decision changes wall-clock time only.
+//! Scheduling happens in two tiers:
+//!
+//! * **Fused cohorts** — counter-mode estimator jobs whose copies expose
+//!   the resumable stage-object API (`begin_pass → fold → finish_pass`)
+//!   are grouped into one cohort per snapshot flavor and executed by the
+//!   fused pass driver ([`crate::fused`]): each pass stage is **one**
+//!   physical sweep over the snapshot that feeds every in-flight copy's
+//!   fold chunk by chunk, so `passes × copies` traversals collapse into
+//!   `passes`. With spare workers the sweep itself is sharded (per-shard
+//!   accumulators merge in shard order).
+//! * **Per-copy tasks** — everything else (sequential-mode jobs, the ideal
+//!   estimator, baselines, or every job when
+//!   [`EngineConfig::fused_execution`] is off) is flattened into
+//!   independent tasks — one per estimator copy, one per baseline — and
+//!   executed on the pool exactly as in earlier releases, including
+//!   intra-copy sharded passes when the pool is wider than the task list.
+//!
+//! Both tiers use the same per-copy seeds ([`main_copy_seed`] /
+//! [`ideal_copy_seed`] / [`dynamic_copy_seed`]) and the same fold
+//! implementations, so every scheduling decision — fused or per-copy,
+//! sharded or not, any worker count — produces **bit-identical** results;
+//! only wall-clock time and the physical sweep count
+//! ([`EngineStats::sweeps_executed`]) change.
 
 use std::time::{Duration, Instant};
 
 use degentri_core::{
-    run_ideal_copy_sharded, run_ideal_copy_with, run_main_copy_sharded, run_main_copy_with,
-    CopyContribution, EstimatorConfig, EstimatorScratch,
+    main_copy_seed, run_ideal_copy_sharded, run_ideal_copy_with, run_main_copy_sharded,
+    run_main_copy_with, CopyContribution, EstimatorConfig, EstimatorScratch, MainCopyStages,
+    RngMode,
 };
 use degentri_dynamic::{
-    aggregate_dynamic_copies, run_dynamic_copy_sharded, run_dynamic_copy_with, DynamicCopyOutcome,
-    DynamicError, DynamicEstimatorConfig,
+    aggregate_dynamic_copies, dynamic_copy_seed, run_dynamic_copy_sharded, run_dynamic_copy_with,
+    DynamicCopyOutcome, DynamicCopyStages, DynamicError, DynamicEstimatorConfig,
 };
+use degentri_graph::Edge;
 use degentri_stream::{
-    DynamicEdgeStream, EdgeStream, ShardedDynamicStream, ShardedStream, StreamStats,
+    DynamicEdgeStream, EdgeStream, EdgeUpdate, ShardedDynamicStream, ShardedStream, Snapshot,
+    StreamStats,
 };
 
 use crate::config::EngineConfig;
+use crate::fused::drive_cohort;
 use crate::job::{baseline_estimation, dynamic_estimation, JobKind, JobResult, JobSpec};
 use crate::parallel::run_indexed_with;
 use crate::stats::EngineStats;
 use crate::{EngineError, Result};
 
-/// How many shards each intra-copy worker gets to claim: a few shards per
-/// worker smooths out load imbalance from uneven chunk costs without
-/// shrinking shards below useful sizes.
+/// How many shards each intra-copy or fused-sweep worker gets to claim: a
+/// few shards per worker smooths out load imbalance from uneven chunk
+/// costs without shrinking shards below useful sizes.
 const SHARDS_PER_WORKER: usize = 4;
 
 /// A parallel, batched estimation engine over a shared stream snapshot.
@@ -67,6 +82,8 @@ const SHARDS_PER_WORKER: usize = 4;
 /// engine.submit(JobSpec::main("wheel", config));
 /// let report = engine.run(&stream).unwrap();
 /// assert_eq!(report.jobs[0].estimation.copies, 4);
+/// // The four copies shared one fused sweep per pass: six sweeps, not 24.
+/// assert_eq!(report.stats.sweeps_executed, 6);
 /// ```
 #[derive(Debug, Default)]
 pub struct Engine {
@@ -74,8 +91,8 @@ pub struct Engine {
     jobs: Vec<JobSpec>,
 }
 
-/// Everything one [`Engine::run`] produced: per-job results in submission
-/// order plus engine-level statistics.
+/// Everything one engine run produced: per-job results in submission order
+/// plus engine-level statistics.
 #[derive(Debug, Clone)]
 pub struct EngineReport {
     /// Per-job results, in submission order.
@@ -84,7 +101,7 @@ pub struct EngineReport {
     pub stats: EngineStats,
 }
 
-/// One schedulable unit: an estimator copy or a baseline run.
+/// One per-copy schedulable unit of the non-fused tier.
 #[derive(Debug, Clone, Copy)]
 enum Task {
     MainCopy { job: usize, copy: usize },
@@ -102,7 +119,7 @@ impl Task {
     }
 }
 
-/// What one task produced (plus how long it took).
+/// What one per-copy task produced (plus how long it took).
 enum TaskOutput {
     Copy(degentri_core::Result<CopyContribution>),
     Baseline(degentri_baselines::BaselineOutcome),
@@ -139,14 +156,98 @@ impl Engine {
         self.jobs.len()
     }
 
-    /// Runs every queued job to completion over `stream` (draining the
-    /// queue), interleaving all tasks on one worker pool. Jobs fail or
-    /// succeed as a unit: the first task error (in deterministic task
-    /// order) fails the whole run.
+    /// Runs every queued job to completion over one snapshot (draining the
+    /// queue) — the single entry point both stream flavors collapse into.
+    /// Edge snapshots serve [`JobKind::Main`] / [`JobKind::Ideal`] /
+    /// [`JobKind::Baseline`] jobs; update snapshots serve
+    /// [`JobKind::Dynamic`] jobs; a job of the wrong flavor fails the run
+    /// with [`EngineError::UnsupportedJob`]. Jobs fail or succeed as a
+    /// unit: the first error (in deterministic task order) fails the whole
+    /// run.
+    pub fn run_snapshot(&mut self, snapshot: &Snapshot<'_>) -> Result<EngineReport> {
+        match *snapshot {
+            Snapshot::Edges {
+                num_vertices,
+                edges,
+            } => self.run_edges(num_vertices, edges),
+            Snapshot::Updates {
+                num_vertices,
+                updates,
+            } => self.run_updates(num_vertices, updates),
+        }
+    }
+
+    /// Runs every queued job over an insert-only stream — a thin wrapper
+    /// that borrows the stream's storage as a [`Snapshot::Edges`] (streams
+    /// that do not expose their storage are materialized once, costing one
+    /// extra pass) and calls [`Engine::run_snapshot`].
     pub fn run<S>(&mut self, stream: &S) -> Result<EngineReport>
     where
         S: EdgeStream + Sync + ?Sized,
     {
+        match Snapshot::of_edges(stream) {
+            Some(snapshot) => self.run_snapshot(&snapshot),
+            None => {
+                let mut edges: Vec<Edge> = Vec::with_capacity(stream.num_edges());
+                stream.pass_batched(self.config.batch_size.max(1), &mut |chunk| {
+                    edges.extend_from_slice(chunk)
+                });
+                self.run_snapshot(&Snapshot::Edges {
+                    num_vertices: stream.num_vertices(),
+                    edges: &edges,
+                })
+            }
+        }
+    }
+
+    /// Runs every queued **turnstile** job ([`JobKind::Dynamic`]) over an
+    /// insert/delete stream — a thin wrapper that borrows the stream's
+    /// storage as a [`Snapshot::Updates`] (materializing once when the
+    /// stream does not expose it) and calls [`Engine::run_snapshot`].
+    /// Per-copy seeds and the median aggregation match the standalone
+    /// [`DynamicTriangleEstimator::run`](degentri_dynamic::DynamicTriangleEstimator::run),
+    /// so engine results are bit-identical to standalone results under the
+    /// same effective [`RngMode`].
+    pub fn run_dynamic<S>(&mut self, stream: &S) -> Result<EngineReport>
+    where
+        S: DynamicEdgeStream + Sync + ?Sized,
+    {
+        match Snapshot::of_updates(stream) {
+            Some(snapshot) => self.run_snapshot(&snapshot),
+            None => {
+                let mut updates: Vec<EdgeUpdate> = Vec::with_capacity(stream.num_updates());
+                stream.pass_batched(self.config.batch_size.max(1), &mut |chunk| {
+                    updates.extend_from_slice(chunk)
+                });
+                self.run_snapshot(&Snapshot::Updates {
+                    num_vertices: DynamicEdgeStream::num_vertices(stream),
+                    updates: &updates,
+                })
+            }
+        }
+    }
+
+    /// Whether counter-mode jobs may fuse under this configuration. A
+    /// fused cohort's only parallelism is its sharded sweeps, so with
+    /// intra-task sharding disabled *and* a multi-worker pool, fusing
+    /// would serialize work that per-copy scheduling runs copy-parallel —
+    /// those configurations keep the per-copy tier (preserving the
+    /// documented "copy-level parallelism only" meaning of the flag).
+    fn fusion_enabled(&self) -> bool {
+        self.config.fused_execution && (self.config.intra_task_sharding || self.config.workers <= 1)
+    }
+
+    /// The fused-sweep worker count and shard count for a cohort.
+    fn cohort_parallelism(&self) -> (usize, usize) {
+        let workers = if self.config.intra_task_sharding {
+            self.config.workers.max(1)
+        } else {
+            1
+        };
+        (workers, workers * SHARDS_PER_WORKER)
+    }
+
+    fn run_edges(&mut self, num_vertices: usize, edges: &[Edge]) -> Result<EngineReport> {
         let jobs: Vec<JobSpec> = self.jobs.drain(..).collect();
 
         // Reject invalid configurations before any work starts.
@@ -156,8 +257,8 @@ impl Engine {
             .find(|spec| matches!(spec.kind, JobKind::Dynamic(_)))
         {
             return Err(EngineError::unsupported_job(format!(
-                "job '{}' is a turnstile job; run it over a dynamic snapshot \
-                 with Engine::run_dynamic",
+                "job '{}' is a turnstile job; run it over an update snapshot \
+                 (Engine::run_dynamic or Snapshot::Updates)",
                 spec.label
             )));
         }
@@ -180,26 +281,48 @@ impl Engine {
             config.validate().map_err(EngineError::from)?;
         }
         let batch = self.config.batch_size;
+        let m = edges.len();
 
         // The run's timed region starts here so the shared degree-table
         // pass below is covered by the same clock that its edges are
         // charged to in `edges_streamed`.
         let started = Instant::now();
 
-        // The ideal estimator's degree table costs one pass; build it once
-        // and share it across every ideal job and copy.
-        let ideal_stats: Option<StreamStats> = jobs
-            .iter()
-            .any(|spec| matches!(spec.kind, JobKind::Ideal(_)))
-            .then(|| StreamStats::compute(stream));
-        let stats_pass = started.elapsed();
+        // The whole snapshot behind one plain stream view (zero-copy); the
+        // per-copy tier streams through it.
+        let plain = ShardedStream::new(num_vertices, edges, 1);
 
-        // Flatten jobs into independent tasks, job by job, copy by copy —
-        // fold-back below relies on this order.
+        // Tier split: counter-mode main jobs fuse into one cohort (their
+        // copies expose the stage-object API); everything else becomes
+        // per-copy tasks.
+        let job_fusable = |job: usize| {
+            self.fusion_enabled()
+                && matches!(jobs[job].kind, JobKind::Main(_))
+                && effective[job]
+                    .as_ref()
+                    .is_some_and(|c| c.rng_mode == RngMode::Counter)
+        };
+        let mut cohort: Vec<MainCopyStages> = Vec::new();
+        let mut cohort_of: Vec<(usize, usize)> = Vec::new();
         let mut tasks: Vec<Task> = Vec::new();
         for (job, spec) in jobs.iter().enumerate() {
             let count = spec.kind.task_count();
             match &spec.kind {
+                JobKind::Main(_) if job_fusable(job) => {
+                    let config = effective[job].as_ref().expect("main job has a config");
+                    for copy in 0..count {
+                        cohort.push(
+                            MainCopyStages::new(
+                                config,
+                                m,
+                                num_vertices,
+                                main_copy_seed(config.seed, copy),
+                            )
+                            .map_err(EngineError::from)?,
+                        );
+                        cohort_of.push((job, copy));
+                    }
+                }
                 JobKind::Main(_) => {
                     tasks.extend((0..count).map(|copy| Task::MainCopy { job, copy }));
                 }
@@ -211,46 +334,44 @@ impl Engine {
             }
         }
 
-        let m = stream.num_edges() as u64;
+        // The ideal estimator's degree table costs one pass; build it once
+        // and share it across every ideal job and copy.
+        let ideal_stats: Option<StreamStats> = tasks
+            .iter()
+            .any(|task| matches!(task, Task::IdealCopy { .. }))
+            .then(|| StreamStats::compute(&plain));
+        let stats_pass = started.elapsed();
+
         let workers = self.config.effective_workers(tasks.len());
 
-        // Intra-copy shard plan: when the pool is wider than the task list,
-        // split each shardable copy's passes across the spare workers
-        // instead of leaving them idle. Requires a snapshot that exposes
-        // its edge storage for zero-copy sharded views. Which jobs (and
-        // which of their passes) shard depends on the effective randomness
-        // regime — see `JobKind::supports_intra_task_sharding`.
+        // Intra-copy shard plan for the per-copy tier: when the pool is
+        // wider than the task list, split each shardable copy's passes
+        // across the spare workers instead of leaving them idle.
         let job_mode = |job: usize| {
             effective[job]
                 .as_ref()
                 .map(|c| c.rng_mode)
                 .unwrap_or_default()
         };
-        let shardable = jobs
-            .iter()
-            .enumerate()
-            .any(|(job, spec)| spec.kind.supports_intra_task_sharding(job_mode(job)));
+        let shardable = tasks.iter().any(|task| {
+            jobs[task.job()]
+                .kind
+                .supports_intra_task_sharding(job_mode(task.job()))
+        });
         let shard_workers = if self.config.intra_task_sharding && shardable && !tasks.is_empty() {
             (self.config.workers / tasks.len()).max(1)
         } else {
             1
         };
         let sharded_view: Option<ShardedStream<'_>> = (shard_workers > 1)
-            .then(|| stream.as_edge_slice())
-            .flatten()
-            .map(|edges| {
-                ShardedStream::new(
-                    stream.num_vertices(),
-                    edges,
-                    shard_workers * SHARDS_PER_WORKER,
-                )
-            });
+            .then(|| ShardedStream::new(num_vertices, edges, shard_workers * SHARDS_PER_WORKER));
         let intra_task_workers = if sharded_view.is_some() {
             shard_workers
         } else {
             1
         };
 
+        // ---- Per-copy tier -------------------------------------------------
         let outputs: Vec<(TaskOutput, Duration)> =
             run_indexed_with(workers, tasks.len(), EstimatorScratch::new, |scratch, i| {
                 let task_started = Instant::now();
@@ -266,7 +387,7 @@ impl Engine {
                                 intra_task_workers,
                                 scratch,
                             ),
-                            None => run_main_copy_with(stream, config, copy, batch, scratch),
+                            None => run_main_copy_with(&plain, config, copy, batch, scratch),
                         };
                         TaskOutput::Copy(result.map(|o| CopyContribution::from(&o)))
                     }
@@ -289,7 +410,7 @@ impl Engine {
                                     scratch,
                                 )
                             }
-                            _ => run_ideal_copy_with(stream, stats, config, copy, batch, scratch),
+                            _ => run_ideal_copy_with(&plain, stats, config, copy, batch, scratch),
                         };
                         TaskOutput::Copy(result.map(|o| CopyContribution::from(&o)))
                     }
@@ -297,14 +418,28 @@ impl Engine {
                         let JobKind::Baseline(counter) = &jobs[job].kind else {
                             unreachable!("task kind matches job kind");
                         };
-                        TaskOutput::Baseline(counter.estimate(&stream))
+                        TaskOutput::Baseline(counter.estimate(&plain))
                     }
                 };
                 (output, task_started.elapsed())
             });
+
+        // ---- Fused tier ----------------------------------------------------
+        let (cohort_workers, cohort_shards) = self.cohort_parallelism();
+        let cohort_started = Instant::now();
+        let cohort_copies = cohort.len();
+        let fused_sweeps = drive_cohort(
+            &mut cohort,
+            num_vertices,
+            edges,
+            batch,
+            if cohort_copies > 0 { cohort_workers } else { 1 },
+            cohort_shards,
+        )?;
+        let cohort_wall = cohort_started.elapsed();
         let wall = started.elapsed();
 
-        // Fold task outputs back per job, in deterministic task order.
+        // Fold everything back per job, in deterministic order.
         let mut contributions: Vec<Vec<CopyContribution>> =
             jobs.iter().map(|_| Vec::new()).collect();
         let mut baseline_outcomes: Vec<Option<degentri_baselines::BaselineOutcome>> =
@@ -314,7 +449,7 @@ impl Engine {
         // The serial degree-table pass is work this run performed: it
         // belongs in busy time just as its edges are in `edges_streamed`.
         let mut busy_total = stats_pass;
-        let mut edges_streamed = 0u64;
+        let mut sweeps = if ideal_stats.is_some() { 1u64 } else { 0 };
         for (task, (output, spent)) in tasks.iter().zip(outputs) {
             let job = task.job();
             busy_per_job[job] += spent;
@@ -323,18 +458,33 @@ impl Engine {
             match output {
                 TaskOutput::Copy(result) => {
                     let contribution = result.map_err(EngineError::from)?;
-                    edges_streamed += contribution.passes as u64 * m;
+                    sweeps += contribution.passes as u64;
                     contributions[job].push(contribution);
                 }
                 TaskOutput::Baseline(outcome) => {
-                    edges_streamed += outcome.passes as u64 * m;
+                    sweeps += outcome.passes as u64;
                     baseline_outcomes[job] = Some(outcome);
                 }
             }
         }
-        // The shared degree table cost one extra pass.
-        if ideal_stats.is_some() {
-            edges_streamed += m;
+        // Fused copies: contributions in cohort (job-major, copy) order;
+        // the cohort's wall time is attributed to its jobs pro rata (the
+        // sweeps are shared — per-copy busy is not separable).
+        sweeps += fused_sweeps;
+        // Sharded fused sweeps occupy the whole pool, so busy time counts
+        // the workers the cohort *allocated* (per-copy busy time is not
+        // separable once sweeps are shared).
+        let cohort_busy = cohort_wall.mul_f64(if cohort_copies > 0 {
+            cohort_workers as f64
+        } else {
+            0.0
+        });
+        busy_total += cohort_busy;
+        for (stages, &(job, _copy)) in cohort.into_iter().zip(&cohort_of) {
+            let outcome = stages.finish().map_err(EngineError::from)?;
+            tasks_per_job[job] += 1;
+            busy_per_job[job] += cohort_busy.div_f64(cohort_copies.max(1) as f64);
+            contributions[job].push(CopyContribution::from(&outcome));
         }
 
         let results: Vec<JobResult> = jobs
@@ -365,39 +515,24 @@ impl Engine {
         Ok(EngineReport {
             jobs: results,
             stats: EngineStats::from_run(
-                workers,
-                intra_task_workers,
+                workers.max(if cohort_copies > 0 { cohort_workers } else { 1 }),
+                intra_task_workers.max(if cohort_copies > 0 && fused_sweeps > 0 {
+                    cohort_workers
+                } else {
+                    1
+                }),
                 self.config.rng_mode,
-                tasks.len(),
+                tasks.len() + cohort_copies,
+                usize::from(cohort_copies > 0),
+                sweeps,
                 wall,
                 busy_total,
-                edges_streamed,
+                sweeps * m as u64,
             ),
         })
     }
 
-    /// Runs every queued **turnstile** job ([`JobKind::Dynamic`]) to
-    /// completion over one shared dynamic snapshot (draining the queue) —
-    /// the insert/delete counterpart of [`Engine::run`]. Every copy of
-    /// every job runs on one worker pool against the same snapshot (no
-    /// re-snapshotting between jobs); when the pool is wider than the task
-    /// list and the snapshot exposes its update storage
-    /// ([`DynamicEdgeStream::as_update_slice`]), the spare workers execute
-    /// each counter-mode copy's passes shard-parallel over one shared
-    /// [`ShardedDynamicStream`] view — bit-identical to copy-only
-    /// scheduling (the estimator's passes are linear folds; see
-    /// `degentri_dynamic::estimator`). Per-copy seeds and the median
-    /// aggregation match the standalone
-    /// [`DynamicTriangleEstimator::run`](degentri_dynamic::DynamicTriangleEstimator::run),
-    /// so engine results are bit-identical to standalone results under the
-    /// same effective [`RngMode`](degentri_core::RngMode).
-    ///
-    /// Submitting a non-turnstile job and calling this method (or the
-    /// reverse) fails with [`EngineError::UnsupportedJob`].
-    pub fn run_dynamic<S>(&mut self, stream: &S) -> Result<EngineReport>
-    where
-        S: DynamicEdgeStream + Sync + ?Sized,
-    {
+    fn run_updates(&mut self, num_vertices: usize, updates: &[EdgeUpdate]) -> Result<EngineReport> {
         let jobs: Vec<JobSpec> = self.jobs.drain(..).collect();
 
         // Reject invalid configurations before any work starts.
@@ -409,7 +544,7 @@ impl Engine {
             let JobKind::Dynamic(config) = &spec.kind else {
                 return Err(EngineError::unsupported_job(format!(
                     "job '{}' is not a turnstile job; run it over an edge \
-                     snapshot with Engine::run",
+                     snapshot (Engine::run or Snapshot::Edges)",
                     spec.label
                 )));
             };
@@ -420,52 +555,64 @@ impl Engine {
             config.validate().map_err(EngineError::from)?;
             effective.push(config);
         }
-        if !jobs.is_empty() && stream.num_updates() == 0 {
+        if !jobs.is_empty() && updates.is_empty() {
             return Err(EngineError::Dynamic(DynamicError::EmptyStream));
         }
         let batch = self.config.batch_size;
         let started = Instant::now();
 
-        // Flatten jobs into independent copy tasks, job by job, copy by
-        // copy — fold-back below relies on this order.
-        let tasks: Vec<(usize, usize)> = jobs
-            .iter()
-            .enumerate()
-            .flat_map(|(job, spec)| (0..spec.kind.task_count()).map(move |copy| (job, copy)))
-            .collect();
-        let updates = stream.num_updates() as u64;
+        // Tier split: counter-mode copies fuse into one cohort; sequential
+        // copies run per-copy over the plain view.
+        let job_fusable =
+            |job: usize| self.fusion_enabled() && effective[job].rng_mode == RngMode::Counter;
+        let mut cohort: Vec<DynamicCopyStages> = Vec::new();
+        let mut cohort_of: Vec<(usize, usize)> = Vec::new();
+        let mut tasks: Vec<(usize, usize)> = Vec::new();
+        for (job, spec) in jobs.iter().enumerate() {
+            for copy in 0..spec.kind.task_count() {
+                if job_fusable(job) {
+                    cohort.push(
+                        DynamicCopyStages::new(
+                            &effective[job],
+                            updates.len(),
+                            num_vertices,
+                            dynamic_copy_seed(effective[job].seed, copy),
+                        )
+                        .map_err(EngineError::from)?,
+                    );
+                    cohort_of.push((job, copy));
+                } else {
+                    tasks.push((job, copy));
+                }
+            }
+        }
+
+        let plain = ShardedDynamicStream::new(num_vertices, updates, 1);
         let workers = self.config.effective_workers(tasks.len());
 
-        // Intra-copy shard plan, mirroring the insert-only scheduler: one
-        // shared sharded view of the update snapshot, used by every job
-        // whose effective randomness regime supports sharded folds.
+        // Intra-copy shard plan for the per-copy tier, mirroring the edge
+        // scheduler.
         let job_shardable = |job: usize| {
             jobs[job]
                 .kind
                 .supports_intra_task_sharding(effective[job].rng_mode)
         };
-        let shardable = (0..jobs.len()).any(job_shardable);
+        let shardable = tasks.iter().any(|&(job, _)| job_shardable(job));
         let shard_workers = if self.config.intra_task_sharding && shardable && !tasks.is_empty() {
             (self.config.workers / tasks.len()).max(1)
         } else {
             1
         };
-        let sharded_view: Option<ShardedDynamicStream<'_>> = (shard_workers > 1)
-            .then(|| stream.as_update_slice())
-            .flatten()
-            .map(|update_slice| {
-                ShardedDynamicStream::new(
-                    stream.num_vertices(),
-                    update_slice,
-                    shard_workers * SHARDS_PER_WORKER,
-                )
-            });
+        let sharded_view: Option<ShardedDynamicStream<'_>> = (shard_workers > 1).then(|| {
+            ShardedDynamicStream::new(num_vertices, updates, shard_workers * SHARDS_PER_WORKER)
+        });
         let intra_task_workers = if sharded_view.is_some() {
             shard_workers
         } else {
             1
         };
 
+        // ---- Per-copy tier -------------------------------------------------
         let outputs: Vec<(degentri_dynamic::Result<DynamicCopyOutcome>, Duration)> =
             run_indexed_with(
                 workers,
@@ -479,35 +626,68 @@ impl Engine {
                         Some(view) if job_shardable(job) => {
                             run_dynamic_copy_sharded(view, config, copy, batch, shard_workers)
                         }
-                        _ => run_dynamic_copy_with(stream, config, copy, batch),
+                        _ => run_dynamic_copy_with(&plain, config, copy, batch),
                     };
                     (output, task_started.elapsed())
                 },
             );
+
+        // ---- Fused tier ----------------------------------------------------
+        let (cohort_workers, cohort_shards) = self.cohort_parallelism();
+        let cohort_started = Instant::now();
+        let cohort_copies = cohort.len();
+        let fused_sweeps = drive_cohort(
+            &mut cohort,
+            num_vertices,
+            updates,
+            batch,
+            if cohort_copies > 0 { cohort_workers } else { 1 },
+            cohort_shards,
+        )?;
+        let cohort_wall = cohort_started.elapsed();
         let wall = started.elapsed();
 
         // Fold copy outputs back per job, in deterministic task order.
-        let mut contributions: Vec<Vec<DynamicCopyOutcome>> =
+        let mut contributions: Vec<Vec<(usize, DynamicCopyOutcome)>> =
             jobs.iter().map(|_| Vec::new()).collect();
         let mut busy_per_job: Vec<Duration> = vec![Duration::ZERO; jobs.len()];
         let mut tasks_per_job: Vec<usize> = vec![0; jobs.len()];
         let mut busy_total = Duration::ZERO;
-        let mut edges_streamed = 0u64;
-        for (&(job, _), (output, spent)) in tasks.iter().zip(outputs) {
+        let mut sweeps = 0u64;
+        for (&(job, copy), (output, spent)) in tasks.iter().zip(outputs) {
             busy_per_job[job] += spent;
             tasks_per_job[job] += 1;
             busy_total += spent;
             let contribution = output.map_err(EngineError::from)?;
-            // Every turnstile copy makes four passes over the snapshot.
-            edges_streamed += 4 * updates;
-            contributions[job].push(contribution);
+            // Every per-copy turnstile run makes four passes.
+            sweeps += DynamicCopyStages::PASSES as u64;
+            contributions[job].push((copy, contribution));
+        }
+        sweeps += fused_sweeps;
+        // Allocated-worker busy accounting, as in the edge scheduler.
+        let cohort_busy = cohort_wall.mul_f64(if cohort_copies > 0 {
+            cohort_workers as f64
+        } else {
+            0.0
+        });
+        busy_total += cohort_busy;
+        for (stages, &(job, copy)) in cohort.into_iter().zip(&cohort_of) {
+            let outcome = stages.finish().map_err(EngineError::from)?;
+            tasks_per_job[job] += 1;
+            busy_per_job[job] += cohort_busy.div_f64(cohort_copies.max(1) as f64);
+            contributions[job].push((copy, outcome));
         }
 
         let results: Vec<JobResult> = jobs
             .iter()
             .enumerate()
             .map(|(job, spec)| {
-                let outcome = aggregate_dynamic_copies(&contributions[job]);
+                // Copies aggregate in copy order regardless of which tier
+                // executed them.
+                contributions[job].sort_by_key(|&(copy, _)| copy);
+                let copies: Vec<DynamicCopyOutcome> =
+                    contributions[job].iter().map(|&(_, c)| c).collect();
+                let outcome = aggregate_dynamic_copies(&copies);
                 JobResult {
                     label: spec.label.clone(),
                     estimation: dynamic_estimation(&outcome),
@@ -521,13 +701,19 @@ impl Engine {
         Ok(EngineReport {
             jobs: results,
             stats: EngineStats::from_run(
-                workers,
-                intra_task_workers,
+                workers.max(if cohort_copies > 0 { cohort_workers } else { 1 }),
+                intra_task_workers.max(if cohort_copies > 0 && fused_sweeps > 0 {
+                    cohort_workers
+                } else {
+                    1
+                }),
                 self.config.rng_mode,
-                tasks.len(),
+                tasks.len() + cohort_copies,
+                usize::from(cohort_copies > 0),
+                sweeps,
                 wall,
                 busy_total,
-                edges_streamed,
+                sweeps * updates.len() as u64,
             ),
         })
     }
@@ -548,6 +734,8 @@ mod tests {
         assert!(report.jobs.is_empty());
         assert_eq!(report.stats.tasks, 0);
         assert_eq!(report.stats.edges_streamed, 0);
+        assert_eq!(report.stats.fused_cohorts, 0);
+        assert_eq!(report.stats.sweeps_executed, 0);
     }
 
     #[test]
@@ -595,6 +783,45 @@ mod tests {
     }
 
     #[test]
+    fn fused_execution_matches_per_copy_scheduling() {
+        let graph = degentri_gen::wheel(300).unwrap();
+        let stream = MemoryStream::from_graph(&graph, StreamOrder::UniformRandom(3));
+        let config = EstimatorConfig::builder()
+            .kappa(3)
+            .triangle_lower_bound(299)
+            .copies(3)
+            .seed(5)
+            .build();
+        let mut engine = Engine::with_workers(1);
+        engine.submit(JobSpec::main("fused", config.clone()));
+        let fused = engine.run(&stream).unwrap();
+        assert_eq!(fused.stats.fused_cohorts, 1);
+        // Three copies of six passes in six shared sweeps.
+        assert_eq!(fused.stats.sweeps_executed, 6);
+        assert_eq!(fused.stats.edges_streamed, 6 * graph.num_edges() as u64);
+
+        let mut engine = Engine::new(
+            EngineConfig::builder()
+                .workers(1)
+                .fused_execution(false)
+                .try_build()
+                .unwrap(),
+        );
+        engine.submit(JobSpec::main("per-copy", config));
+        let per_copy = engine.run(&stream).unwrap();
+        assert_eq!(per_copy.stats.fused_cohorts, 0);
+        assert_eq!(per_copy.stats.sweeps_executed, 18);
+        assert_eq!(
+            fused.jobs[0].estimation.estimate.to_bits(),
+            per_copy.jobs[0].estimation.estimate.to_bits()
+        );
+        assert_eq!(
+            fused.jobs[0].estimation.copy_estimates,
+            per_copy.jobs[0].estimation.copy_estimates
+        );
+    }
+
+    #[test]
     fn spare_workers_trigger_intra_copy_sharding() {
         let graph = degentri_gen::wheel(300).unwrap();
         let stream = MemoryStream::from_graph(&graph, StreamOrder::UniformRandom(3));
@@ -604,8 +831,15 @@ mod tests {
             .copies(2)
             .seed(5)
             .build();
-        // 8 workers for 2 copies: 4 intra-copy shard workers each.
-        let mut engine = Engine::with_workers(8);
+        // 8 workers for 2 per-copy tasks (fusion off): 4 intra-copy shard
+        // workers each.
+        let mut engine = Engine::new(
+            EngineConfig::builder()
+                .workers(8)
+                .fused_execution(false)
+                .try_build()
+                .unwrap(),
+        );
         engine.submit(JobSpec::main("sharded", config.clone()));
         let sharded = engine.run(&stream).unwrap();
         assert_eq!(sharded.stats.intra_task_workers, 4);
@@ -614,19 +848,26 @@ mod tests {
         let mut engine = Engine::new(
             EngineConfig::builder()
                 .workers(8)
+                .fused_execution(false)
                 .intra_task_sharding(false)
                 .try_build()
                 .unwrap(),
         );
-        engine.submit(JobSpec::main("copy-only", config));
+        engine.submit(JobSpec::main("copy-only", config.clone()));
         let copy_only = engine.run(&stream).unwrap();
         assert_eq!(copy_only.stats.intra_task_workers, 1);
         assert_eq!(
             sharded.jobs[0].estimation.estimate.to_bits(),
             copy_only.jobs[0].estimation.estimate.to_bits()
         );
+
+        // ... and so must the fused path, sharded or not.
+        let mut engine = Engine::with_workers(8);
+        engine.submit(JobSpec::main("fused", config));
+        let fused = engine.run(&stream).unwrap();
+        assert_eq!(fused.stats.fused_cohorts, 1);
         assert_eq!(
-            sharded.jobs[0].estimation.copy_estimates,
+            fused.jobs[0].estimation.copy_estimates,
             copy_only.jobs[0].estimation.copy_estimates
         );
     }

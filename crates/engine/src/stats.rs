@@ -21,11 +21,25 @@ pub struct EngineStats {
     pub rng_mode: Option<RngMode>,
     /// Tasks (estimator copies + baseline runs) executed.
     pub tasks: usize,
+    /// Fused cohorts the run executed (counter-mode copies grouped so each
+    /// pass stage is one shared snapshot sweep; 0 when everything ran
+    /// per-copy).
+    pub fused_cohorts: usize,
+    /// Physical snapshot traversals the run performed: fused sweeps count
+    /// once per *cohort* pass, per-copy tasks once per copy pass. Always
+    /// `edges_streamed / snapshot len`.
+    pub sweeps_executed: u64,
     /// Wall-clock time of the whole run in seconds.
     pub wall_seconds: f64,
-    /// Total CPU-busy seconds summed over all workers.
+    /// Total CPU-busy seconds summed over all workers (per-copy tasks
+    /// count measured task time; fused cohorts count the worker time
+    /// their sharded sweeps allocated, since per-copy time is not
+    /// separable once sweeps are shared).
     pub busy_seconds: f64,
-    /// Edges delivered across all passes of all tasks (`Σ passes × m`).
+    /// Items the run physically streamed: `sweeps_executed × snapshot
+    /// len`. Per-copy tasks traverse the snapshot once per pass each;
+    /// fused cohorts traverse it once per *shared* pass stage, so a fused
+    /// 4-copy six-pass job contributes `6 × m`, not `24 × m`.
     pub edges_streamed: u64,
     /// Streaming throughput: [`edges_streamed`](Self::edges_streamed)
     /// divided by wall time.
@@ -37,11 +51,14 @@ pub struct EngineStats {
 
 impl EngineStats {
     /// Builds the statistics from raw measurements.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_run(
         workers: usize,
         intra_task_workers: usize,
         rng_mode: Option<RngMode>,
         tasks: usize,
+        fused_cohorts: usize,
+        sweeps_executed: u64,
         wall: Duration,
         busy: Duration,
         edges_streamed: u64,
@@ -54,6 +71,8 @@ impl EngineStats {
             intra_task_workers,
             rng_mode,
             tasks,
+            fused_cohorts,
+            sweeps_executed,
             wall_seconds,
             busy_seconds,
             edges_streamed,
@@ -88,6 +107,8 @@ mod tests {
             2,
             Some(RngMode::Counter),
             10,
+            1,
+            24,
             Duration::from_millis(500),
             Duration::from_millis(1500),
             1_000_000,
@@ -95,6 +116,8 @@ mod tests {
         assert_eq!(stats.workers, 4);
         assert_eq!(stats.intra_task_workers, 2);
         assert_eq!(stats.rng_mode, Some(RngMode::Counter));
+        assert_eq!(stats.fused_cohorts, 1);
+        assert_eq!(stats.sweeps_executed, 24);
         assert!((stats.edges_per_second - 2_000_000.0).abs() < 1e-6);
         assert!((stats.worker_utilization - 0.75).abs() < 1e-9);
         let text = stats.to_string();
@@ -103,7 +126,7 @@ mod tests {
 
     #[test]
     fn zero_wall_time_does_not_divide_by_zero() {
-        let stats = EngineStats::from_run(1, 1, None, 1, Duration::ZERO, Duration::ZERO, 10);
+        let stats = EngineStats::from_run(1, 1, None, 1, 0, 0, Duration::ZERO, Duration::ZERO, 10);
         assert!(stats.edges_per_second.is_finite());
         assert!(stats.worker_utilization.is_finite());
     }

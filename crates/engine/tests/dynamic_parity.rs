@@ -108,7 +108,9 @@ fn spare_workers_shard_counter_mode_copies_bit_identically() {
     let mut wide = Engine::with_workers(8);
     wide.submit(JobSpec::dynamic("sharded", config.clone()));
     let sharded = wide.run_dynamic(&stream).unwrap();
-    assert_eq!(sharded.stats.intra_task_workers, 4);
+    // The fused cohort shards its shared sweeps across the whole pool.
+    assert_eq!(sharded.stats.intra_task_workers, 8);
+    assert_eq!(sharded.stats.fused_cohorts, 1);
 
     let mut copy_only = Engine::new(
         EngineConfig::builder()

@@ -124,9 +124,13 @@ fn batch_size_and_sharding_never_change_results() {
             report.jobs[0].estimation.estimate.to_bits(),
             sequential_counter.estimate.to_bits()
         );
+        // With intra-task sharding the fused cohort shards its shared
+        // sweeps across the whole pool; without it (and a multi-worker
+        // pool) the engine keeps copy-level parallelism by not fusing.
+        assert_eq!(report.stats.fused_cohorts, usize::from(sharding));
         assert_eq!(
             report.stats.intra_task_workers,
-            if sharding { 3 } else { 1 }
+            if sharding { 9 } else { 1 }
         );
     }
 
@@ -282,11 +286,15 @@ fn engine_jobs_match_direct_runs_and_report_throughput() {
     let direct_exact = ExactStreamCounter::new().estimate(&stream);
     assert_eq!(report.jobs[3].estimation.estimate, direct_exact.estimate);
 
-    // Throughput accounting: 5 six-pass copies + 4 three-pass copies +
-    // 1 stats pass + the two baselines' passes, all over m edges.
+    // Throughput accounting counts *physical* snapshot traversals: the
+    // five fused six-pass copies share 6 sweeps, the 4 ideal copies run
+    // per-copy (3 passes each), plus 1 stats pass and the two baselines'
+    // passes, all over m edges.
     let baseline_passes = (direct_triest.passes + direct_exact.passes) as u64;
-    let expected_edges = (5 * 6 + 4 * 3 + 1) as u64 * m as u64 + baseline_passes * m as u64;
-    assert_eq!(report.stats.edges_streamed, expected_edges);
+    let expected_sweeps = (6 + 4 * 3 + 1) as u64 + baseline_passes;
+    assert_eq!(report.stats.sweeps_executed, expected_sweeps);
+    assert_eq!(report.stats.edges_streamed, expected_sweeps * m as u64);
+    assert_eq!(report.stats.fused_cohorts, 1);
     assert_eq!(report.stats.tasks, 5 + 4 + 2);
     assert!(report.stats.edges_per_second > 0.0);
     assert!(report.stats.worker_utilization > 0.0);

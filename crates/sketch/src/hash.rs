@@ -67,14 +67,38 @@ impl KWiseHash {
         self.coefficients.len()
     }
 
+    /// Maps a key into the field — the `x` that
+    /// [`hash_reduced`](KWiseHash::hash_reduced) evaluates at. Hot loops
+    /// that evaluate several hash functions at one key (the ℓ0 sampler's
+    /// level hash plus a bucket hash per touched row) reduce the key once
+    /// and reuse it.
+    #[inline]
+    pub fn reduce_key(key: u64) -> u64 {
+        key % MERSENNE_PRIME
+    }
+
     /// Evaluates the hash at `key`, returning a value in `[0, 2^61 − 1)`.
     #[inline]
     pub fn hash(&self, key: u64) -> u64 {
         // Map the key into the field first (the prime is close enough to
         // 2^64 that the fold is harmless for independence purposes).
-        let x = key % MERSENNE_PRIME;
-        let mut acc = 0u64;
-        for &c in self.coefficients.iter().rev() {
+        self.hash_reduced(Self::reduce_key(key))
+    }
+
+    /// [`hash`](KWiseHash::hash) with the key already reduced into the
+    /// field (`x` must equal [`reduce_key`](KWiseHash::reduce_key)`(key)`).
+    ///
+    /// Horner evaluation seeded with the leading coefficient directly —
+    /// one field multiplication per remaining coefficient, so the
+    /// pairwise-independent (`k = 2`) hashes of the sketch hot paths cost
+    /// a single `mul_mod`.
+    #[inline]
+    pub fn hash_reduced(&self, x: u64) -> u64 {
+        let mut rev = self.coefficients.iter().rev();
+        // Coefficients are drawn below the prime, so the seed is already
+        // reduced and the result equals the all-zero-seeded Horner loop.
+        let mut acc = *rev.next().expect("k is at least 1");
+        for &c in rev {
             acc = reduce128(mul_mod(acc, x) as u128 + c as u128);
         }
         acc
@@ -85,6 +109,14 @@ impl KWiseHash {
     pub fn bucket(&self, key: u64, buckets: usize) -> usize {
         debug_assert!(buckets > 0);
         (self.hash(key) % buckets as u64) as usize
+    }
+
+    /// [`bucket`](KWiseHash::bucket) with the key already reduced into the
+    /// field (see [`reduce_key`](KWiseHash::reduce_key)).
+    #[inline]
+    pub fn bucket_reduced(&self, x: u64, buckets: usize) -> usize {
+        debug_assert!(buckets > 0);
+        (self.hash_reduced(x) % buckets as u64) as usize
     }
 
     /// Hash mapped to a ±1 sign.
@@ -106,11 +138,28 @@ impl KWiseHash {
     /// Hash mapped to a geometric "level": the number of leading zeros of
     /// the hash value when viewed as a fraction, i.e. level `j` is hit with
     /// probability `2^{−(j+1)}`. Used by the ℓ0 sampler's subsampling.
+    ///
+    /// Computed in pure integer arithmetic: level `j` ⟺ `hash ∈
+    /// [2^(60−j), 2^(61−j))`, i.e. `leading_zeros(hash) − 3` — the exact
+    /// value of `⌊−log₂(hash / p)⌋` in real arithmetic, with none of the
+    /// floating-point division/logarithm the hot sketch-update path used
+    /// to pay per call. (The old float computation could land on the other
+    /// side of a power-of-two boundary in ~2⁻⁴⁷-probability rounding
+    /// windows; the integer rule is the mathematically exact one, so those
+    /// vanishingly rare hashes may level differently than in earlier
+    /// releases.)
     #[inline]
     pub fn level(&self, key: u64, max_level: usize) -> usize {
-        let u = self.unit(key).max(f64::MIN_POSITIVE);
-        let level = (-u.log2()).floor() as isize;
-        level.clamp(0, max_level as isize) as usize
+        Self::level_of_hash(self.hash(key), max_level)
+    }
+
+    /// [`level`](KWiseHash::level) of an already-evaluated hash value.
+    #[inline]
+    pub fn level_of_hash(hash: u64, max_level: usize) -> usize {
+        if hash == 0 {
+            return max_level;
+        }
+        (hash.leading_zeros() as usize - 3).min(max_level)
     }
 
     /// Number of machine words retained by this hash function.

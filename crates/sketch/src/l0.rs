@@ -18,9 +18,18 @@
 use rand::Rng;
 
 use crate::hash::KWiseHash;
-use crate::onesparse::{OneSparseRecovery, RecoveryOutcome};
+use crate::onesparse::{OneSparseRecovery, RecoveryOutcome, SketchUpdate};
 
 /// An ℓ0 (support) sampler for turnstile streams over `u64` indices.
+///
+/// Storage is **flat**: all `(max_level + 1) × rows_per_level` bucket
+/// hashes live in one vector and all recovery cells in another, indexed by
+/// `(level · rows + row) · cells_per_level + bucket`. The previous
+/// `Vec<Vec<Vec<_>>>` nesting cost two extra dependent pointer loads (and
+/// their cache misses) on every cell touch — on a bank of samplers that
+/// indirection, not the sketch arithmetic, dominated the per-update cost.
+/// The flat layout holds exactly the same hashes and cells (construction
+/// consumes the RNG in the same order), so results are bit-identical.
 #[derive(Debug, Clone)]
 pub struct L0Sampler {
     max_level: usize,
@@ -28,8 +37,10 @@ pub struct L0Sampler {
     rows_per_level: usize,
     level_hash: KWiseHash,
     selection_hash: KWiseHash,
-    bucket_hashes: Vec<Vec<KWiseHash>>,
-    cells: Vec<Vec<Vec<OneSparseRecovery>>>,
+    /// Bucket hash of `(level, row)` at index `level · rows + row`.
+    bucket_hashes: Vec<KWiseHash>,
+    /// Recovery cell `(level, row, b)` at `(level · rows + row) · cells + b`.
+    cells: Vec<OneSparseRecovery>,
     /// `Some(z)` when every cell shares the fingerprint base `z` (see
     /// [`L0Sampler::with_fingerprint_base`]); required by
     /// [`L0Sampler::update_with_term`].
@@ -78,24 +89,19 @@ impl L0Sampler {
         let max_level = max_level.max(1);
         let cells_per_level = cells_per_level.max(2);
         let rows_per_level = rows_per_level.max(1);
-        let mut bucket_hashes = Vec::with_capacity(max_level + 1);
-        let mut cells = Vec::with_capacity(max_level + 1);
-        for _ in 0..=max_level {
-            let mut row_hashes = Vec::with_capacity(rows_per_level);
-            let mut row_cells: Vec<Vec<OneSparseRecovery>> = Vec::with_capacity(rows_per_level);
-            for _ in 0..rows_per_level {
-                row_hashes.push(KWiseHash::new(2, rng));
-                row_cells.push(
-                    (0..cells_per_level)
-                        .map(|_| match shared_base {
-                            Some(z) => OneSparseRecovery::with_fingerprint_base(z),
-                            None => OneSparseRecovery::new(rng),
-                        })
-                        .collect(),
-                );
+        let rows_total = (max_level + 1) * rows_per_level;
+        let mut bucket_hashes = Vec::with_capacity(rows_total);
+        let mut cells = Vec::with_capacity(rows_total * cells_per_level);
+        // The same RNG consumption order as the previous nested layout:
+        // per (level, row) one bucket hash, then that row's cells.
+        for _ in 0..rows_total {
+            bucket_hashes.push(KWiseHash::new(2, rng));
+            for _ in 0..cells_per_level {
+                cells.push(match shared_base {
+                    Some(z) => OneSparseRecovery::with_fingerprint_base(z),
+                    None => OneSparseRecovery::new(rng),
+                });
             }
-            bucket_hashes.push(row_hashes);
-            cells.push(row_cells);
         }
         L0Sampler {
             max_level,
@@ -141,8 +147,9 @@ impl L0Sampler {
         let item_level = self.level_hash.level(index, self.max_level);
         for level in 0..=item_level {
             for row in 0..self.rows_per_level {
-                let b = self.bucket_hashes[level][row].bucket(index, self.cells_per_level);
-                self.cells[level][row][b].update(index, delta);
+                let at = level * self.rows_per_level + row;
+                let b = self.bucket_hashes[at].bucket(index, self.cells_per_level);
+                self.cells[at * self.cells_per_level + b].update(index, delta);
             }
         }
     }
@@ -167,9 +174,52 @@ impl L0Sampler {
         let item_level = self.level_hash.level(index, self.max_level);
         for level in 0..=item_level {
             for row in 0..self.rows_per_level {
-                let b = self.bucket_hashes[level][row].bucket(index, self.cells_per_level);
-                self.cells[level][row][b].update_with_term(index, delta, term);
+                let at = level * self.rows_per_level + row;
+                let b = self.bucket_hashes[at].bucket(index, self.cells_per_level);
+                self.cells[at * self.cells_per_level + b].update_with_term(index, delta, term);
             }
+        }
+    }
+
+    /// Applies one prepared update (see [`SketchUpdate`]): the
+    /// cell-independent aggregates were computed once by the caller, so
+    /// every touched cell costs three additions. Only valid on samplers
+    /// whose shared fingerprint base matches the one the update was
+    /// prepared for. Bit-identical to
+    /// [`update_with_term`](L0Sampler::update_with_term).
+    #[inline]
+    pub fn apply(&mut self, update: &SketchUpdate) {
+        debug_assert!(
+            self.shared_base.is_some(),
+            "apply requires a shared fingerprint base"
+        );
+        if update.delta == 0 {
+            return;
+        }
+        self.updates_seen += 1;
+        // Reduce the index into the hash field once; the level hash and
+        // every touched row's bucket hash evaluate at the same point.
+        let x = KWiseHash::reduce_key(update.index);
+        let item_level = KWiseHash::level_of_hash(self.level_hash.hash_reduced(x), self.max_level);
+        for level in 0..=item_level {
+            for row in 0..self.rows_per_level {
+                let at = level * self.rows_per_level + row;
+                let b = self.bucket_hashes[at].bucket_reduced(x, self.cells_per_level);
+                self.cells[at * self.cells_per_level + b].apply(update);
+            }
+        }
+    }
+
+    /// Applies a batch of prepared updates. A bank of samplers folding a
+    /// chunked stream should call this **sampler-outermost** — each
+    /// sampler's tables then stay cache-resident across the whole chunk,
+    /// where the update-outermost order walks every sampler's tables once
+    /// per update. The result is bit-identical either way (every cell is a
+    /// linear function of the update multiset).
+    #[inline]
+    pub fn apply_batch(&mut self, updates: &[SketchUpdate]) {
+        for update in updates {
+            self.apply(update);
         }
     }
 
@@ -186,12 +236,8 @@ impl L0Sampler {
         debug_assert_eq!(self.rows_per_level, other.rows_per_level);
         debug_assert_eq!(self.level_hash, other.level_hash);
         self.updates_seen += other.updates_seen;
-        for (levels, other_levels) in self.cells.iter_mut().zip(&other.cells) {
-            for (row, other_row) in levels.iter_mut().zip(other_levels) {
-                for (cell, other_cell) in row.iter_mut().zip(other_row) {
-                    cell.merge(other_cell);
-                }
-            }
+        for (cell, other_cell) in self.cells.iter_mut().zip(&other.cells) {
+            cell.merge(other_cell);
         }
     }
 
@@ -201,16 +247,14 @@ impl L0Sampler {
     /// probability only when the support is huge).
     pub fn sample(&self) -> Option<(u64, i64)> {
         let mut best: Option<(u64, i64, u64)> = None;
-        for level in 0..=self.max_level {
-            for row in 0..self.rows_per_level {
-                for cell in &self.cells[level][row] {
-                    if let RecoveryOutcome::OneSparse { index, count } = cell.recover() {
-                        let key = self.selection_hash.hash(index);
-                        match best {
-                            Some((_, _, best_key)) if best_key <= key => {}
-                            _ => best = Some((index, count, key)),
-                        }
-                    }
+        // Flat iteration order equals the previous (level, row, bucket)
+        // nesting, so ties resolve identically.
+        for cell in &self.cells {
+            if let RecoveryOutcome::OneSparse { index, count } = cell.recover() {
+                let key = self.selection_hash.hash(index);
+                match best {
+                    Some((_, _, best_key)) if best_key <= key => {}
+                    _ => best = Some((index, count, key)),
                 }
             }
         }
@@ -227,14 +271,11 @@ impl L0Sampler {
         let cell_words: u64 = self
             .cells
             .iter()
-            .flatten()
-            .flatten()
             .map(OneSparseRecovery::retained_words)
             .sum();
         let hash_words: u64 = self
             .bucket_hashes
             .iter()
-            .flatten()
             .map(KWiseHash::retained_words)
             .sum::<u64>()
             + self.level_hash.retained_words()
@@ -393,6 +434,41 @@ mod tests {
             assert_eq!(merged.sample(), sequential.sample(), "shards {shards}");
             assert_eq!(merged.updates_seen(), sequential.updates_seen());
         }
+    }
+
+    #[test]
+    fn prepared_updates_match_termed_updates_bit_for_bit() {
+        let z = 55_555_555u64;
+        let mut rng = StdRng::seed_from_u64(41);
+        let template = L0Sampler::with_fingerprint_base(14, 8, 2, z, &mut rng);
+        let mut termed = template.clone();
+        let mut applied = template.clone();
+        let mut batched = template;
+        let mut data = StdRng::seed_from_u64(42);
+        let updates: Vec<(u64, i64)> = (0..400)
+            .map(|_| {
+                (
+                    data.gen_range(0..16_384u64),
+                    if data.gen_range(0..3) == 0 { -1 } else { 1 },
+                )
+            })
+            .collect();
+        let prepared: Vec<SketchUpdate> = updates
+            .iter()
+            .map(|&(i, d)| SketchUpdate::prepare(z, i, d))
+            .collect();
+        for (&(i, d), p) in updates.iter().zip(&prepared) {
+            termed.update_with_term(i, d, fingerprint_term(z, i));
+            applied.apply(p);
+        }
+        batched.apply_batch(&prepared);
+        assert_eq!(termed.sample(), applied.sample());
+        assert_eq!(termed.sample(), batched.sample());
+        assert_eq!(termed.updates_seen(), batched.updates_seen());
+        // Zero deltas are skipped exactly like update() skips them.
+        let before = batched.updates_seen();
+        batched.apply(&SketchUpdate::prepare(z, 7, 0));
+        assert_eq!(batched.updates_seen(), before);
     }
 
     #[test]

@@ -39,4 +39,4 @@ pub use countmin::CountMinSketch;
 pub use countsketch::CountSketch;
 pub use hash::KWiseHash;
 pub use l0::L0Sampler;
-pub use onesparse::{fingerprint_term, OneSparseRecovery, RecoveryOutcome};
+pub use onesparse::{fingerprint_term, OneSparseRecovery, RecoveryOutcome, SketchUpdate};

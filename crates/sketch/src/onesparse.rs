@@ -64,6 +64,57 @@ pub fn fingerprint_term(base: u64, index: u64) -> u64 {
     pow_mod(base, index)
 }
 
+/// One turnstile update with every cell-independent aggregate precomputed:
+/// the fingerprint *contribution* `z^index · delta (mod p)` and the
+/// weighted index term `index · delta` are the same for **every** recovery
+/// cell sharing the fingerprint base `z`, so a bank of sketches computes
+/// them once per update ([`SketchUpdate::prepare`]) and every cell touch
+/// degenerates to three additions and one conditional subtraction
+/// ([`OneSparseRecovery::apply`]) — no multiplication, no 128-bit modulo.
+///
+/// Bit-identical to routing the raw `(index, delta)` through
+/// [`OneSparseRecovery::update_with_term`]: the aggregates are computed by
+/// the same arithmetic, just hoisted out of the per-cell loop.
+#[derive(Debug, Clone, Copy)]
+pub struct SketchUpdate {
+    /// The updated index.
+    pub index: u64,
+    /// The signed count delta.
+    pub delta: i64,
+    /// `index · delta`, the index-sum increment.
+    pub index_delta: i128,
+    /// `z^index · delta (mod p)` for the shared fingerprint base `z`.
+    pub contribution: u64,
+}
+
+impl SketchUpdate {
+    /// Prepares the update `(index, delta)` for a bank sharing the
+    /// fingerprint base `z` (one modular exponentiation, then reused by
+    /// every cell of every sketch in the bank).
+    #[inline]
+    pub fn prepare(z: u64, index: u64, delta: i64) -> Self {
+        Self::with_term(index, delta, fingerprint_term(z, index))
+    }
+
+    /// [`SketchUpdate::prepare`] with the fingerprint term `z^index (mod
+    /// p)` already known (`term` must equal [`fingerprint_term`]`(z,
+    /// index)` for the bank's shared base).
+    #[inline]
+    pub fn with_term(index: u64, delta: i64, term: u64) -> Self {
+        let delta_mod = if delta >= 0 {
+            (delta as u64) % MERSENNE_PRIME
+        } else {
+            MERSENNE_PRIME - ((-(delta as i128)) as u64 % MERSENNE_PRIME)
+        };
+        SketchUpdate {
+            index,
+            delta,
+            index_delta: index as i128 * delta as i128,
+            contribution: ((term as u128) * (delta_mod as u128) % MERSENNE_PRIME as u128) as u64,
+        }
+    }
+}
+
 impl OneSparseRecovery {
     /// Creates an empty recovery structure with fresh randomness.
     pub fn new<R: Rng + ?Sized>(rng: &mut R) -> Self {
@@ -114,6 +165,23 @@ impl OneSparseRecovery {
         let contribution = ((term as u128) * (delta_mod as u128) % MERSENNE_PRIME as u128) as u64;
         self.fingerprint =
             ((self.fingerprint as u128 + contribution as u128) % MERSENNE_PRIME as u128) as u64;
+    }
+
+    /// Applies a prepared update (see [`SketchUpdate`]). Bit-identical to
+    /// [`update_with_term`](OneSparseRecovery::update_with_term) with the
+    /// same raw update: both operands of the fingerprint addition lie below
+    /// the prime, so the sum fits in a `u64` minus one conditional
+    /// subtraction — the same residue the 128-bit modulo produced.
+    #[inline]
+    pub fn apply(&mut self, update: &SketchUpdate) {
+        self.weight += update.delta as i128;
+        self.index_sum += update.index_delta;
+        let sum = self.fingerprint + update.contribution;
+        self.fingerprint = if sum >= MERSENNE_PRIME {
+            sum - MERSENNE_PRIME
+        } else {
+            sum
+        };
     }
 
     /// Merges another recovery structure built with the **same** base `z`:
@@ -301,6 +369,19 @@ mod tests {
             termed.update_with_term(index, delta, fingerprint_term(z, index));
         }
         assert_eq!(plain.recover(), termed.recover());
+    }
+
+    #[test]
+    fn apply_matches_update_with_term_bit_for_bit() {
+        let z = 777_777u64;
+        let mut termed = OneSparseRecovery::with_fingerprint_base(z);
+        let mut applied = OneSparseRecovery::with_fingerprint_base(z);
+        for (index, delta) in [(5u64, 3i64), (9, -1), (5, -3), (7, 2), (9, -4)] {
+            termed.update_with_term(index, delta, fingerprint_term(z, index));
+            applied.apply(&SketchUpdate::prepare(z, index, delta));
+        }
+        assert_eq!(termed.recover(), applied.recover());
+        assert_eq!(termed.is_zero(), applied.is_zero());
     }
 
     #[test]

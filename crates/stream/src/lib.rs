@@ -54,7 +54,7 @@ pub use passes::PassCounter;
 pub use pool::run_indexed_pool;
 pub use reservoir::ReservoirSampler;
 pub use sharded::ShardedStream;
-pub use snapshot::{Partition, ShardedDynamicStream, ShardedSnapshot, StreamSnapshot};
+pub use snapshot::{Partition, ShardedDynamicStream, ShardedSnapshot, Snapshot, StreamSnapshot};
 pub use space::{SpaceMeter, SpaceReport};
 pub use stats::StreamStats;
 pub use weighted_reservoir::{WeightedReservoirSampler, WeightedSamplerBank};

@@ -88,6 +88,89 @@ impl Partition {
     }
 }
 
+/// One in-memory snapshot of either stream flavor, behind one enum — the
+/// argument of the engine's unified entry point. An insert-only snapshot
+/// carries the edges of one pass in global stream order; a turnstile
+/// snapshot carries the signed updates. Both are zero-copy borrows, so a
+/// scheduler can serve many jobs (and many sharded views) from one
+/// snapshot without re-materializing anything.
+#[derive(Debug, Clone, Copy)]
+pub enum Snapshot<'a> {
+    /// An insert-only edge snapshot.
+    Edges {
+        /// Number of vertices `n` (vertex ids are `< n`).
+        num_vertices: usize,
+        /// The edges of one pass, in global stream order.
+        edges: &'a [Edge],
+    },
+    /// A turnstile (insert/delete) update snapshot.
+    Updates {
+        /// Number of vertices `n`.
+        num_vertices: usize,
+        /// The signed updates of one pass, in global stream order.
+        updates: &'a [EdgeUpdate],
+    },
+}
+
+impl<'a> Snapshot<'a> {
+    /// The edge snapshot of an insert-only stream that exposes its storage
+    /// (see [`EdgeStream::as_edge_slice`]); `None` when it does not.
+    pub fn of_edges<S: crate::EdgeStream + ?Sized>(stream: &'a S) -> Option<Self> {
+        stream.as_edge_slice().map(|edges| Snapshot::Edges {
+            num_vertices: crate::EdgeStream::num_vertices(stream),
+            edges,
+        })
+    }
+
+    /// The update snapshot of a turnstile stream that exposes its storage
+    /// (see [`DynamicEdgeStream::as_update_slice`]); `None` when it does
+    /// not.
+    pub fn of_updates<S: DynamicEdgeStream + ?Sized>(stream: &'a S) -> Option<Self> {
+        stream.as_update_slice().map(|updates| Snapshot::Updates {
+            num_vertices: DynamicEdgeStream::num_vertices(stream),
+            updates,
+        })
+    }
+
+    /// Number of vertices `n`.
+    pub fn num_vertices(&self) -> usize {
+        match *self {
+            Snapshot::Edges { num_vertices, .. } | Snapshot::Updates { num_vertices, .. } => {
+                num_vertices
+            }
+        }
+    }
+
+    /// Number of items one pass delivers (edges or updates).
+    pub fn len(&self) -> usize {
+        match *self {
+            Snapshot::Edges { edges, .. } => edges.len(),
+            Snapshot::Updates { updates, .. } => updates.len(),
+        }
+    }
+
+    /// Whether the snapshot holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The edge slice, when this is an insert-only snapshot.
+    pub fn edges(&self) -> Option<&'a [Edge]> {
+        match *self {
+            Snapshot::Edges { edges, .. } => Some(edges),
+            Snapshot::Updates { .. } => None,
+        }
+    }
+
+    /// The update slice, when this is a turnstile snapshot.
+    pub fn updates(&self) -> Option<&'a [EdgeUpdate]> {
+        match *self {
+            Snapshot::Updates { updates, .. } => Some(updates),
+            Snapshot::Edges { .. } => None,
+        }
+    }
+}
+
 /// A zero-copy snapshot of a replayable stream: the items of one pass, in
 /// global stream order, behind one slice. This is the engine-facing
 /// contract that lets a scheduler share a single snapshot across many jobs

@@ -225,6 +225,59 @@
 //! let outcome = report.jobs[0].dynamic.as_ref().unwrap();
 //! assert_eq!(outcome.surviving_edges, graph.num_edges());
 //! ```
+//!
+//! # Quickstart: fused sweep execution
+//!
+//! The engine runs counter-mode jobs **fused** by default: every copy of
+//! every compatible job exposes its passes as resumable stage objects
+//! (`begin_pass → fold → finish_pass`), and the scheduler executes each
+//! pass stage as **one** sweep over the snapshot that feeds every copy's
+//! fold — with cohort-level union probe structures, so each edge pays one
+//! lookup for the whole cohort instead of one per copy. A four-copy job
+//! therefore reads the snapshot six times, not twenty-four, and results
+//! stay bit-identical to per-copy scheduling
+//! (`EngineConfig::fused_execution(false)`). One [`Snapshot`] entry point
+//! serves both stream flavors:
+//!
+//! ```
+//! use degentri::prelude::*;
+//!
+//! let graph = degentri::gen::wheel(400).unwrap();
+//! let stream = MemoryStream::from_graph(&graph, StreamOrder::AsGiven);
+//! let config = EstimatorConfig::builder()
+//!     .kappa(3)
+//!     .triangle_lower_bound(399)
+//!     .copies(4)
+//!     .seed(7)
+//!     .try_build()
+//!     .unwrap();
+//!
+//! // The unified entry point: one snapshot enum for edges or updates.
+//! let snapshot = Snapshot::of_edges(&stream).unwrap();
+//! let mut engine = Engine::new(EngineConfig::with_workers(2));
+//! engine.submit(JobSpec::main("wheel", config.clone()));
+//! let fused = engine.run_snapshot(&snapshot).unwrap();
+//! // Four copies of six passes in six shared physical sweeps.
+//! assert_eq!(fused.stats.fused_cohorts, 1);
+//! assert_eq!(fused.stats.sweeps_executed, 6);
+//!
+//! // Per-copy scheduling reads the snapshot 24 times — and produces
+//! // bit-identical estimates.
+//! let mut engine = Engine::new(
+//!     EngineConfig::builder()
+//!         .workers(2)
+//!         .fused_execution(false)
+//!         .try_build()
+//!         .unwrap(),
+//! );
+//! engine.submit(JobSpec::main("wheel", config));
+//! let per_copy = engine.run_snapshot(&snapshot).unwrap();
+//! assert_eq!(per_copy.stats.sweeps_executed, 24);
+//! assert_eq!(
+//!     fused.jobs[0].estimation.copy_estimates,
+//!     per_copy.jobs[0].estimation.copy_estimates,
+//! );
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -247,14 +300,16 @@ pub mod prelude {
         estimate_triangles, estimate_triangles_with_oracle, EstimatorConfig, RngMode,
         TriangleEstimation,
     };
-    pub use degentri_dynamic::{DynamicEstimatorConfig, DynamicOutcome, DynamicTriangleEstimator};
+    pub use degentri_dynamic::{
+        CounterSelection, DynamicEstimatorConfig, DynamicOutcome, DynamicTriangleEstimator,
+    };
     pub use degentri_engine::{
         parallel_estimate_triangles, Engine, EngineConfig, EngineStats, JobSpec,
     };
     pub use degentri_graph::{CsrGraph, Edge, GraphBuilder, Triangle, VertexId};
     pub use degentri_stream::{
         DynamicEdgeStream, DynamicMemoryStream, EdgeStream, EdgeUpdate, MemoryStream,
-        ShardedDynamicStream, ShardedStream, SpaceReport, StreamOrder,
+        ShardedDynamicStream, ShardedStream, Snapshot, SpaceReport, StreamOrder,
     };
 }
 
