@@ -1,5 +1,5 @@
-//! Machine-readable perf baseline: the fifth point of the repo's recorded
-//! performance trajectory (`BENCH_PR2.json` → … → `BENCH_PR5.json`).
+//! Machine-readable perf baseline: the sixth point of the repo's recorded
+//! performance trajectory (`BENCH_PR2.json` → … → `BENCH_PR6.json`).
 //!
 //! Runs the six-pass estimator over a preferential-attachment snapshot in
 //! **both randomness regimes** (`RngMode::Sequential` and
@@ -12,21 +12,32 @@
 //! Counter-mode parity sweeps (shards 1..=8 × workers {1, 2, 4}) and
 //! fused-vs-per-copy bit-identity are asserted on every run.
 //!
-//! If the previous baseline (`BENCH_PR4.json` by default) is readable, the
+//! New in PR 6: an **observability** section measures the same fused
+//! engine run with `EngineConfig::recording` on vs off (best-of-3 each),
+//! asserts the two are bit-identical, derives the per-pass breakdown from
+//! the recording run's `RunReport` (rather than ad-hoc timers), and writes
+//! the main and dynamic `RunReport`s as JSON artifacts
+//! (`RUN_REPORT_PR6_main.json` / `RUN_REPORT_PR6_dynamic.json`, prefix
+//! overridable via `BENCH_REPORT_PREFIX`).
+//!
+//! If the previous baseline (`BENCH_PR5.json` by default) is readable, the
 //! run prints per-pass deltas and computes the fused path's speedup over
-//! the **PR-4 engine path** (its recorded `engine_copy_only` /
-//! `counter_engine_sharded` cells). With `BENCH_FAIL_ON_REGRESSION=1`
+//! the **previous engine path** (its recorded `engine_fused` /
+//! `engine_copy_only` cells). With `BENCH_FAIL_ON_REGRESSION=1`
 //! (set by the CI bench-smoke job) the process exits non-zero when
 //!
 //! * single-copy throughput regresses more than 25% below the baseline,
 //! * the fused multi-copy path drops below 0.9× the per-copy path
 //!   (best-of-3 on both sides; the 10% band absorbs scheduler noise on
-//!   shared CI hardware), or
-//! * the dynamic engine path falls below the sequential standalone run.
+//!   shared CI hardware),
+//! * the dynamic engine path falls below the sequential standalone run, or
+//! * recording-enabled throughput drops below 0.95× the recording-off run
+//!   (instrumentation must stay ≤5% overhead; recording-off itself is
+//!   covered by the baseline gates, since it is the default path).
 //!
 //!   cargo run --release -p degentri-bench --bin perf
 //!   SCALE=4 WORKERS=8 BATCH=8192 cargo run --release -p degentri-bench --bin perf
-//!   BENCH_OUT=/tmp/bench.json BENCH_BASELINE=BENCH_PR4.json cargo run --release -p degentri-bench --bin perf
+//!   BENCH_OUT=/tmp/bench.json BENCH_BASELINE=BENCH_PR5.json cargo run --release -p degentri-bench --bin perf
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
@@ -176,9 +187,11 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(42);
-    let out_path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_PR5.json".to_string());
+    let out_path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_PR6.json".to_string());
     let baseline_path =
-        std::env::var("BENCH_BASELINE").unwrap_or_else(|_| "BENCH_PR4.json".to_string());
+        std::env::var("BENCH_BASELINE").unwrap_or_else(|_| "BENCH_PR5.json".to_string());
+    let report_prefix =
+        std::env::var("BENCH_REPORT_PREFIX").unwrap_or_else(|_| "RUN_REPORT_PR6".to_string());
     let fail_on_regression = std::env::var("BENCH_FAIL_ON_REGRESSION")
         .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
         .unwrap_or(false);
@@ -500,6 +513,85 @@ fn main() {
         }
     }
 
+    // ---- Observability: recording overhead + RunReport artifacts. --------
+    // The same fused counter-mode engine run, recording on vs off.
+    // Recording must be observation-only (bit-identical results) and cheap
+    // (≤5% throughput overhead — gated below). The recording run's
+    // RunReport feeds the report-derived per-pass section of the emitted
+    // JSON and is written to disk as an artifact for the CI bench-smoke
+    // job to upload.
+    let run_obs_engine = |recording: bool| -> (EngineReport, f64) {
+        best_of(3, || {
+            let mut engine = Engine::new(
+                EngineConfig::builder()
+                    .workers(workers)
+                    .batch_size(batch)
+                    .rng_mode(RngMode::Counter)
+                    .recording(recording)
+                    .try_build()
+                    .expect("engine configuration is valid"),
+            );
+            engine.submit(JobSpec::main("six-pass", config_for(RngMode::Counter)));
+            let started = Instant::now();
+            let report = engine.run(&stream).expect("engine run succeeds");
+            (report, started.elapsed().as_secs_f64())
+        })
+    };
+    let (recorded_report, recorded_wall) = run_obs_engine(true);
+    let (silent_report, silent_wall) = run_obs_engine(false);
+    assert_eq!(
+        recorded_report.jobs[0].estimation.copy_estimates,
+        silent_report.jobs[0].estimation.copy_estimates,
+        "recording must be observation-only"
+    );
+    assert!(
+        recorded_report.run_report.is_some() && silent_report.run_report.is_none(),
+        "exactly the recording run must assemble a RunReport"
+    );
+    // Throughput ratio: > 1 means the recording run was faster (noise);
+    // < 0.95 means instrumentation costs more than its 5% budget.
+    let recorded_vs_silent = silent_wall / recorded_wall.max(1e-12);
+    let main_run_report = recorded_report
+        .run_report
+        .as_ref()
+        .expect("recording run assembles a report");
+    let dyn_recorded_report = {
+        let mut engine = Engine::new(
+            EngineConfig::builder()
+                .workers(workers)
+                .batch_size(batch)
+                .rng_mode(RngMode::Counter)
+                .recording(true)
+                .try_build()
+                .expect("engine configuration is valid"),
+        );
+        engine.submit(JobSpec::dynamic(
+            "turnstile",
+            dyn_config_for(RngMode::Counter),
+        ));
+        engine
+            .run_dynamic(&dyn_stream)
+            .expect("engine dynamic run succeeds")
+    };
+    assert_eq!(
+        dyn_recorded_report.jobs[0].estimation.copy_estimates, dyn_ctr_outcome.copy_estimates,
+        "dynamic recording must be observation-only"
+    );
+    let dyn_run_report = dyn_recorded_report
+        .run_report
+        .as_ref()
+        .expect("recording run assembles a report");
+    let main_report_path = format!("{report_prefix}_main.json");
+    let dyn_report_path = format!("{report_prefix}_dynamic.json");
+    std::fs::write(&main_report_path, main_run_report.to_json()).expect("write main run report");
+    std::fs::write(&dyn_report_path, dyn_run_report.to_json()).expect("write dynamic run report");
+    eprintln!(
+        "perf: recording on {recorded_wall:.4}s vs off {silent_wall:.4}s \
+         (throughput ratio {recorded_vs_silent:.3}); run reports -> \
+         {main_report_path}, {dyn_report_path}"
+    );
+    eprintln!("{main_run_report}");
+
     // ---- Baseline comparison (per-pass deltas + PR-4 engine anchors). ----
     let baseline = std::fs::read_to_string(&baseline_path).ok();
     let baseline_sequential = baseline
@@ -571,13 +663,13 @@ fn main() {
         fused_vs_pr4_dynamic.map_or("n/a".into(), |v| format!("{v:.2}x")),
     );
 
-    // ---- Emit BENCH_PR5.json (hand-rolled: no JSON dependency). ----------
+    // ---- Emit BENCH_PR6.json (hand-rolled: no JSON dependency). ----------
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"bench\": \"BENCH_PR5\",");
+    let _ = writeln!(json, "  \"bench\": \"BENCH_PR6\",");
     let _ = writeln!(
         json,
-        "  \"description\": \"fused sweep execution: six-pass + turnstile estimators, sequential vs counter randomness, engine fused vs per-copy at 4 copies\","
+        "  \"description\": \"observability: recording on/off overhead + RunReport-derived per-pass sections on top of the PR5 fused/per-copy, sequential/counter grid at 4 copies\","
     );
     let _ = writeln!(json, "  \"graph\": {{");
     let _ = writeln!(json, "    \"generator\": \"barabasi_albert\",");
@@ -745,6 +837,52 @@ fn main() {
         "    \"dynamic_fused_vs_pr4_engine\": {}",
         fused_vs_pr4_dynamic.map_or("null".to_string(), |v| format!("{v:.2}"))
     );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"observability\": {{");
+    let _ = writeln!(json, "    \"recording_off\": {{");
+    let _ = writeln!(json, "      \"wall_seconds\": {silent_wall:.6},");
+    let _ = writeln!(
+        json,
+        "      \"edges_per_second\": {:.0}",
+        logical_edges as f64 / silent_wall.max(1e-12)
+    );
+    let _ = writeln!(json, "    }},");
+    let _ = writeln!(json, "    \"recording_on\": {{");
+    let _ = writeln!(json, "      \"wall_seconds\": {recorded_wall:.6},");
+    let _ = writeln!(
+        json,
+        "      \"edges_per_second\": {:.0}",
+        logical_edges as f64 / recorded_wall.max(1e-12)
+    );
+    let _ = writeln!(json, "    }},");
+    let _ = writeln!(json, "    \"recorded_vs_silent\": {recorded_vs_silent:.3},");
+    let _ = writeln!(json, "    \"bit_identical\": true,");
+    let _ = writeln!(
+        json,
+        "    \"run_report_artifacts\": [\"{main_report_path}\", \"{dyn_report_path}\"],"
+    );
+    // Per-pass rows derived from the RunReport rather than ad-hoc timers:
+    // sweep self-time, plan self-time, and the shard fan-out of each pass.
+    let _ = writeln!(json, "    \"report_per_pass\": [");
+    let obs_cohort = &main_run_report.cohorts[0];
+    for (i, pass) in obs_cohort.passes.iter().enumerate() {
+        let comma = if i + 1 < obs_cohort.passes.len() {
+            ","
+        } else {
+            ""
+        };
+        let eps = pass.items as f64 / (pass.sweep_nanos as f64 / 1e9).max(1e-12);
+        let _ = writeln!(
+            json,
+            "      {{ \"pass\": \"{}\", \"plan_nanos\": {}, \"sweep_nanos\": {}, \"items\": {}, \"shards\": {}, \"edges_per_second\": {eps:.0} }}{comma}",
+            pass.name,
+            pass.plan_nanos,
+            pass.sweep_nanos,
+            pass.items,
+            pass.shards.len()
+        );
+    }
+    let _ = writeln!(json, "    ]");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"vs_baseline\": {{");
     let _ = writeln!(json, "    \"file\": \"{baseline_path}\",");

@@ -71,6 +71,7 @@
 use std::time::Instant;
 
 use degentri_graph::{Edge, Triangle, VertexId};
+use degentri_obs::PassTally;
 use degentri_stream::hashing::FxHashMap;
 use degentri_stream::{
     EdgeStream, ReservoirSampler, ShardedStream, SpaceMeter, SpaceReport, DEFAULT_BATCH_SIZE,
@@ -116,6 +117,11 @@ pub struct MainOutcome {
     /// Number of instances whose triangle was assigned to their edge
     /// (the successes that drive the estimate).
     pub assigned_hits: usize,
+    /// Observation-only fold-loop tallies per pass (items delivered, probe
+    /// hits, occurrence updates). Populated by staged (counter-mode)
+    /// execution, where the folds carry tallies; all-zero on the
+    /// sequential monolithic path.
+    pub pass_tallies: [PassTally; 6],
 }
 
 /// The six-pass streaming estimator of Section 5.
@@ -671,6 +677,7 @@ impl MainEstimator {
             triangles_found,
             distinct_triangles: distinct_triangles.len(),
             assigned_hits,
+            pass_tallies: [PassTally::default(); 6],
         })
     }
 

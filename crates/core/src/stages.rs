@@ -34,6 +34,7 @@
 //! [`aggregate_copies`]: crate::runner::aggregate_copies
 
 use degentri_graph::{Edge, Triangle, VertexId};
+use degentri_obs::PassTally;
 use degentri_stream::hashing::FxHashMap;
 use degentri_stream::{SpaceMeter, SpaceReport};
 
@@ -99,7 +100,15 @@ impl Candidate {
 /// a pass's accumulators back (in shard order) to
 /// [`MainCopyStages::finish_pass`].
 #[derive(Debug)]
-pub struct MainStageAcc(Acc);
+pub struct MainStageAcc {
+    acc: Acc,
+    /// Observation-only fold counters (items delivered, probe hits,
+    /// occurrence updates); merged across shards in
+    /// [`MainCopyStages::finish_pass`] and surfaced via
+    /// [`MainCopyStages::pass_tallies`]. Never consulted by the fold
+    /// logic, so tallying cannot perturb results.
+    tally: PassTally,
+}
 
 #[derive(Debug)]
 enum Acc {
@@ -151,6 +160,7 @@ pub struct MainCopyStages {
     /// Index of the pass awaiting execution (0-based; 6 = finished).
     pass: usize,
     pass_nanos: [u64; 6],
+    pass_tallies: [PassTally; 6],
     sharded: bool,
     // Per-pass randomness streams (pure functions of the copy seed).
     rng_neighbor: CounterRng,
@@ -227,6 +237,7 @@ impl MainCopyStages {
             meter,
             pass: 0,
             pass_nanos: [0; 6],
+            pass_tallies: [PassTally::default(); 6],
             sharded: false,
             rng_neighbor: CounterRng::new(seed, streams::MAIN_NEIGHBOR),
             rng_assignment: CounterRng::new(seed, streams::MAIN_ASSIGNMENT),
@@ -283,13 +294,30 @@ impl MainCopyStages {
         }
     }
 
+    /// Stable names of the six passes, in execution order (the keys the
+    /// bench JSON and [`RunReport`](degentri_obs::RunReport) use).
+    pub const PASS_NAMES: [&'static str; 6] = [
+        "p1_uniform_sample",
+        "p2_degrees",
+        "p3_neighbor_sample",
+        "p4_closure",
+        "p5_assignment_gather",
+        "p6_assignment_closure",
+    ];
+
+    /// Fold-loop tallies of the completed passes (zeroed for passes not
+    /// yet run), merged across shards in finish order.
+    pub fn pass_tallies(&self) -> &[PassTally; 6] {
+        &self.pass_tallies
+    }
+
     /// A fresh accumulator for the current pass. Drivers create one per
     /// shard (or a single one for an unsharded sweep); the shard partition
     /// must stay the same across all six passes of a copy (every driver in
     /// the workspace folds over one fixed snapshot view).
     pub fn begin_pass(&self) -> MainStageAcc {
         debug_assert!(!self.finished(), "begin_pass after the sixth pass");
-        MainStageAcc(match self.pass {
+        let acc = match self.pass {
             0 => Acc::Gather(Vec::new()),
             1 => Acc::Counts(vec![0; self.vertices.len()]),
             2 => Acc::Cells(vec![PickCell::empty(); self.instances.len()]),
@@ -305,7 +333,11 @@ impl MainCopyStages {
                 initialized: self.bases.is_empty(),
             },
             _ => Acc::Bitmap(vec![0; self.probes.bitmap_words()]),
-        })
+        };
+        MainStageAcc {
+            acc,
+            tally: PassTally::default(),
+        }
     }
 
     /// Folds one chunk of the snapshot into `acc`. `pos` is the global
@@ -313,7 +345,8 @@ impl MainCopyStages {
     /// counter-mode sampling decision, so any shard can fold its chunks
     /// without observing the rest of the stream.
     pub fn fold(&self, acc: &mut MainStageAcc, pos: u64, chunk: &[Edge]) {
-        match (&mut acc.0, self.pass) {
+        acc.tally.items += chunk.len() as u64;
+        match (&mut acc.acc, self.pass) {
             (Acc::Gather(hits), 0) => {
                 let end = pos + chunk.len() as u64;
                 let mut i = self.targets.partition_point(|&(p, _)| p < pos);
@@ -321,14 +354,17 @@ impl MainCopyStages {
                     hits.push((self.targets[i].1, chunk[(self.targets[i].0 - pos) as usize]));
                     i += 1;
                 }
+                acc.tally.hits = hits.len() as u64;
             }
             (Acc::Counts(counts), 1) => {
                 for e in chunk {
                     if let Some(s) = self.vertices.get(e.u().raw()) {
                         counts[s as usize] += 1;
+                        acc.tally.hits += 1;
                     }
                     if let Some(s) = self.vertices.get(e.v().raw()) {
                         counts[s as usize] += 1;
+                        acc.tally.hits += 1;
                     }
                 }
             }
@@ -343,6 +379,7 @@ impl MainCopyStages {
                         if let Some(slot) = self.vertices.get(endpoint.raw()) {
                             let base = *base_hash.get_or_insert_with(|| self.rng_neighbor.base(p));
                             self.offer_neighbor(cells, slot, base, p, e, endpoint);
+                            acc.tally.hits += 1;
                         }
                     }
                 }
@@ -354,12 +391,15 @@ impl MainCopyStages {
                 for e in chunk {
                     if let Some(i) = self.probes.probe(e.key()) {
                         EdgeProbeSet::mark_in(bitmap, i);
+                        acc.tally.hits += 1;
                     }
                     if let Some(slot) = self.vertices.get(e.u().raw()) {
                         occ[slot as usize] += 1;
+                        acc.tally.updates += 1;
                     }
                     if let Some(slot) = self.vertices.get(e.v().raw()) {
                         occ[slot as usize] += 1;
+                        acc.tally.updates += 1;
                     }
                 }
             }
@@ -387,14 +427,17 @@ impl MainCopyStages {
                                 e,
                                 endpoint,
                             );
+                            acc.tally.updates += 1;
                         }
                     }
                 }
+                acc.tally.hits = hits.len() as u64;
             }
             (Acc::Bitmap(bitmap), 5) => {
                 for e in chunk {
                     if let Some(i) = self.probes.probe(e.key()) {
                         EdgeProbeSet::mark_in(bitmap, i);
+                        acc.tally.hits += 1;
                     }
                 }
             }
@@ -468,6 +511,11 @@ impl MainCopyStages {
     /// between-pass bookkeeping, and arms the next pass.
     pub fn finish_pass(&mut self, accs: Vec<MainStageAcc>) -> Result<()> {
         debug_assert!(!self.finished(), "finish_pass after the sixth pass");
+        let mut tally = PassTally::default();
+        for acc in &accs {
+            tally.merge(acc.tally);
+        }
+        self.pass_tallies[self.pass] = tally;
         match self.pass {
             0 => self.finish_gather(accs)?,
             1 => self.finish_degrees(accs),
@@ -502,7 +550,7 @@ impl MainCopyStages {
         // exactly once; the placeholder never survives.
         let mut edges = vec![Edge::from_raw(0, 1); self.params.r];
         for acc in accs {
-            let Acc::Gather(hits) = acc.0 else {
+            let Acc::Gather(hits) = acc.acc else {
                 unreachable!("pass-1 accumulator");
             };
             for (slot, edge) in hits {
@@ -527,12 +575,16 @@ impl MainCopyStages {
     fn finish_degrees(&mut self, accs: Vec<MainStageAcc>) {
         let tracked = self.vertices.len();
         let mut accs = accs.into_iter();
-        let Some(MainStageAcc(Acc::Counts(first))) = accs.next() else {
+        let Some(MainStageAcc {
+            acc: Acc::Counts(first),
+            ..
+        }) = accs.next()
+        else {
             unreachable!("pass-2 accumulator");
         };
         self.counts = first;
         for acc in accs {
-            let Acc::Counts(other) = acc.0 else {
+            let Acc::Counts(other) = acc.acc else {
                 unreachable!("pass-2 accumulator");
             };
             for (total, c) in self.counts.iter_mut().zip(other) {
@@ -613,11 +665,15 @@ impl MainCopyStages {
 
     fn finish_neighbors(&mut self, accs: Vec<MainStageAcc>) {
         let mut accs = accs.into_iter();
-        let Some(MainStageAcc(Acc::Cells(mut cells))) = accs.next() else {
+        let Some(MainStageAcc {
+            acc: Acc::Cells(mut cells),
+            ..
+        }) = accs.next()
+        else {
             unreachable!("pass-3 accumulator");
         };
         for acc in accs {
-            let Acc::Cells(other) = acc.0 else {
+            let Acc::Cells(other) = acc.acc else {
                 unreachable!("pass-3 accumulator");
             };
             for (cell, o) in cells.iter_mut().zip(&other) {
@@ -663,7 +719,7 @@ impl MainCopyStages {
         self.occ_totals.resize(potential, 0);
         let mut shard_counts: Vec<(u64, Vec<u64>)> = Vec::with_capacity(accs.len());
         for acc in accs {
-            let Acc::Closure { bitmap, occ, start } = acc.0 else {
+            let Acc::Closure { bitmap, occ, start } = acc.acc else {
                 unreachable!("pass-4 accumulator");
             };
             self.probes.merge_bitmap(&bitmap);
@@ -813,7 +869,7 @@ impl MainCopyStages {
         let mut per_slot = vec![0u32; base_count + 1];
         let mut all_hits: Vec<(u32, u32, u32)> = Vec::new();
         for acc in accs {
-            let Acc::SampleGather { hits, .. } = acc.0 else {
+            let Acc::SampleGather { hits, .. } = acc.acc else {
                 unreachable!("pass-5 accumulator");
             };
             for &(slot, _, _) in &hits {
@@ -945,6 +1001,7 @@ impl MainCopyStages {
             triangles_found: self.triangles_found,
             distinct_triangles: self.distinct_triangles.len(),
             assigned_hits,
+            pass_tallies: self.pass_tallies,
         });
     }
 
@@ -960,7 +1017,7 @@ impl MainCopyStages {
 
     fn merge_bitmaps(&mut self, accs: Vec<MainStageAcc>) {
         for acc in accs {
-            let Acc::Bitmap(bitmap) = acc.0 else {
+            let Acc::Bitmap(bitmap) = acc.acc else {
                 unreachable!("membership accumulator");
             };
             self.probes.merge_bitmap(&bitmap);
@@ -1155,6 +1212,14 @@ impl MainCopyStages {
         chunk: &[Edge],
     ) {
         debug_assert_eq!(copies.len(), accs.len());
+        // Every copy of the cohort sees the whole chunk, exactly as its
+        // per-copy fold would have (the PerCopy arm delegates to `fold`,
+        // which tallies for itself).
+        if !matches!(plan.kind, PlanKind::PerCopy) {
+            for acc in accs.iter_mut() {
+                acc.tally.items += chunk.len() as u64;
+            }
+        }
         match &plan.kind {
             PlanKind::PerCopy => {
                 for (stages, acc) in copies.iter().zip(accs.iter_mut()) {
@@ -1165,10 +1230,11 @@ impl MainCopyStages {
                 for e in chunk {
                     for endpoint in [e.u(), e.v()] {
                         for &(copy, slot) in union.get(endpoint.raw()) {
-                            let Acc::Counts(counts) = &mut accs[copy as usize].0 else {
+                            let Acc::Counts(counts) = &mut accs[copy as usize].acc else {
                                 unreachable!("pass-2 accumulator");
                             };
                             counts[slot as usize] += 1;
+                            accs[copy as usize].tally.hits += 1;
                         }
                     }
                 }
@@ -1180,17 +1246,18 @@ impl MainCopyStages {
                         for &(copy, slot) in union.get(endpoint.raw()) {
                             let stages = &copies[copy as usize];
                             let base = stages.rng_neighbor.base(p);
-                            let Acc::Cells(cells) = &mut accs[copy as usize].0 else {
+                            let Acc::Cells(cells) = &mut accs[copy as usize].acc else {
                                 unreachable!("pass-3 accumulator");
                             };
                             stages.offer_neighbor(cells, slot, base, p, e, endpoint);
+                            accs[copy as usize].tally.hits += 1;
                         }
                     }
                 }
             }
             PlanKind::Closure { edges, vertices } => {
                 for acc in accs.iter_mut() {
-                    let Acc::Closure { start, .. } = &mut acc.0 else {
+                    let Acc::Closure { start, .. } = &mut acc.acc else {
                         unreachable!("pass-4 accumulator");
                     };
                     if start.is_none() {
@@ -1199,17 +1266,19 @@ impl MainCopyStages {
                 }
                 for e in chunk {
                     for &(copy, index) in edges.get(e.key()) {
-                        let Acc::Closure { bitmap, .. } = &mut accs[copy as usize].0 else {
+                        let Acc::Closure { bitmap, .. } = &mut accs[copy as usize].acc else {
                             unreachable!("pass-4 accumulator");
                         };
                         EdgeProbeSet::mark_in(bitmap, index as usize);
+                        accs[copy as usize].tally.hits += 1;
                     }
                     for endpoint in [e.u(), e.v()] {
                         for &(copy, slot) in vertices.get(endpoint.raw()) {
-                            let Acc::Closure { occ, .. } = &mut accs[copy as usize].0 else {
+                            let Acc::Closure { occ, .. } = &mut accs[copy as usize].acc else {
                                 unreachable!("pass-4 accumulator");
                             };
                             occ[slot as usize] += 1;
+                            accs[copy as usize].tally.updates += 1;
                         }
                     }
                 }
@@ -1221,7 +1290,7 @@ impl MainCopyStages {
                         cursors,
                         initialized,
                         ..
-                    } = &mut acc.0
+                    } = &mut acc.acc
                     else {
                         unreachable!("pass-5 accumulator");
                     };
@@ -1239,7 +1308,7 @@ impl MainCopyStages {
                                 cursors,
                                 hits,
                                 ..
-                            } = &mut accs[copy as usize].0
+                            } = &mut accs[copy as usize].acc
                             else {
                                 unreachable!("pass-5 accumulator");
                             };
@@ -1251,17 +1320,25 @@ impl MainCopyStages {
                                 e,
                                 endpoint,
                             );
+                            accs[copy as usize].tally.updates += 1;
                         }
                     }
+                }
+                for acc in accs.iter_mut() {
+                    let Acc::SampleGather { hits, .. } = &acc.acc else {
+                        unreachable!("pass-5 accumulator");
+                    };
+                    acc.tally.hits = hits.len() as u64;
                 }
             }
             PlanKind::Membership(union) => {
                 for e in chunk {
                     for &(copy, index) in union.get(e.key()) {
-                        let Acc::Bitmap(bitmap) = &mut accs[copy as usize].0 else {
+                        let Acc::Bitmap(bitmap) = &mut accs[copy as usize].acc else {
                             unreachable!("pass-6 accumulator");
                         };
                         EdgeProbeSet::mark_in(bitmap, index as usize);
+                        accs[copy as usize].tally.hits += 1;
                     }
                 }
             }

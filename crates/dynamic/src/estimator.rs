@@ -68,8 +68,11 @@
 //! `Õ(mκ/T · polylog)` — each ℓ0 sampler costs `Θ(log²)` words, which is the
 //! usual price of turnstile robustness.
 
+use std::time::Instant;
+
 use degentri_core::rng::RngMode;
 use degentri_graph::{Edge, VertexId};
+use degentri_obs::PassTally;
 use degentri_sketch::L0Sampler;
 use degentri_stream::{
     DynamicEdgeStream, EdgeUpdate, ShardedDynamicStream, SpaceMeter, SpaceReport,
@@ -265,6 +268,10 @@ pub struct DynamicOutcome {
     pub triangles_found: u64,
     /// Net number of surviving edges measured in pass 1.
     pub surviving_edges: usize,
+    /// Wall time of each of the four passes: the per-pass maximum over the
+    /// copies, so with concurrent copies the entries approximate the
+    /// critical path of each pass tier.
+    pub pass_nanos: [u64; 4],
 }
 
 impl DynamicOutcome {
@@ -287,7 +294,7 @@ impl DynamicOutcome {
 /// independent, so a scheduler (the engine's `JobKind::Dynamic` path) may
 /// execute them in any order or concurrently and aggregate afterwards,
 /// bit-identically to [`DynamicTriangleEstimator::run`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy)]
 pub struct DynamicCopyOutcome {
     /// The copy's incident-triangle estimate.
     pub estimate: f64,
@@ -301,6 +308,28 @@ pub struct DynamicCopyOutcome {
     pub inner_samples: usize,
     /// Net surviving edges measured in pass 1.
     pub surviving_edges: usize,
+    /// Wall time of each of the four passes of this copy.
+    pub pass_nanos: [u64; 4],
+    /// Per-pass work tallies (items folded / probe hits / sketch updates).
+    /// Populated by staged counter-mode execution; all-zero on the
+    /// sequential monolithic path.
+    pub pass_tallies: [PassTally; 4],
+}
+
+/// Equality over the *results* of a copy run.
+/// [`pass_nanos`](DynamicCopyOutcome::pass_nanos) is deliberately
+/// excluded: wall-clock timings legitimately differ between bit-identical
+/// runs, and parity tests compare whole outcomes.
+impl PartialEq for DynamicCopyOutcome {
+    fn eq(&self, other: &Self) -> bool {
+        self.estimate.to_bits() == other.estimate.to_bits()
+            && self.space == other.space
+            && self.triangles_found == other.triangles_found
+            && self.r == other.r
+            && self.inner_samples == other.inner_samples
+            && self.surviving_edges == other.surviving_edges
+            && self.pass_tallies == other.pass_tallies
+    }
 }
 
 /// Golden-ratio stride deriving per-copy seeds — the same derivation the
@@ -383,6 +412,7 @@ pub fn aggregate_dynamic_copies(copies: &[DynamicCopyOutcome]) -> DynamicOutcome
     let mut r_used = 0usize;
     let mut inner_used = 0usize;
     let mut m_net = 0usize;
+    let mut pass_nanos = [0u64; 4];
     for c in copies {
         let mut copy_meter = SpaceMeter::new();
         copy_meter.charge(c.space.peak_words);
@@ -392,6 +422,9 @@ pub fn aggregate_dynamic_copies(copies: &[DynamicCopyOutcome]) -> DynamicOutcome
         r_used = c.r;
         inner_used = c.inner_samples;
         m_net = c.surviving_edges;
+        for (total, &nanos) in pass_nanos.iter_mut().zip(&c.pass_nanos) {
+            *total = (*total).max(nanos);
+        }
     }
     DynamicOutcome {
         estimate,
@@ -403,6 +436,7 @@ pub fn aggregate_dynamic_copies(copies: &[DynamicCopyOutcome]) -> DynamicOutcome
         inner_samples: inner_used,
         triangles_found: found,
         surviving_edges: m_net,
+        pass_nanos,
     }
 }
 
@@ -537,6 +571,8 @@ fn drive_counter_copy<S: DynamicEdgeStream + ?Sized>(
     let mut stages =
         DynamicCopyStages::new(config, stream.num_updates(), stream.num_vertices(), seed)?;
     while !stages.finished() {
+        let pass = stages.pass_index();
+        let started = Instant::now();
         let accs: Vec<DynamicStageAcc> = match shard {
             Some((view, workers)) => {
                 let stages_ref = &stages;
@@ -557,6 +593,7 @@ fn drive_counter_copy<S: DynamicEdgeStream + ?Sized>(
             }
         };
         stages.finish_pass(accs)?;
+        stages.set_pass_nanos(pass, started.elapsed().as_nanos() as u64);
     }
     stages.finish()
 }
@@ -585,11 +622,16 @@ fn run_single<S: DynamicEdgeStream + ?Sized>(
     // the net edge count is measured during pass 1 and used afterwards.
     let r_target = config.derive_r(stream.num_updates());
 
+    // Per-pass wall times for the outcome (sweep + shard merge; the
+    // offline work between passes is excluded, as in the staged path).
+    let mut seq_pass_nanos = [0u64; 4];
+
     // ---------------- Pass 1: ℓ0 edge samplers + net edge count --------
     let edge_universe = (n as u64).saturating_mul(n as u64).max(4);
     let edge_templates: Vec<L0Sampler> = (0..r_target)
         .map(|_| L0Sampler::for_universe(edge_universe, &mut seq_rng))
         .collect();
+    let pass_started = Instant::now();
     let folded = update_fold_pass(
         stream,
         shard,
@@ -614,6 +656,7 @@ fn run_single<S: DynamicEdgeStream + ?Sized>(
             sampler.merge(other);
         }
     }
+    seq_pass_nanos[0] = pass_started.elapsed().as_nanos() as u64;
     meter.charge(
         edge_samplers
             .iter()
@@ -650,6 +693,7 @@ fn run_single<S: DynamicEdgeStream + ?Sized>(
     endpoints.dedup();
     meter.charge(endpoints.len() as u64);
     let endpoint_slots = &endpoints;
+    let pass_started = Instant::now();
     let folded = update_fold_pass(
         stream,
         shard,
@@ -674,6 +718,7 @@ fn run_single<S: DynamicEdgeStream + ?Sized>(
             *total += d;
         }
     }
+    seq_pass_nanos[1] = pass_started.elapsed().as_nanos() as u64;
     let degree_of = |v: VertexId| -> u64 {
         endpoints
             .binary_search(&v.raw())
@@ -754,6 +799,7 @@ fn run_single<S: DynamicEdgeStream + ?Sized>(
     let bases_ref = &bases;
     let list_starts_ref = &list_starts;
     let list_ids_ref = &list_ids;
+    let pass_started = Instant::now();
     let folded = update_fold_pass(
         stream,
         shard,
@@ -784,6 +830,7 @@ fn run_single<S: DynamicEdgeStream + ?Sized>(
             sampler.merge(other);
         }
     }
+    seq_pass_nanos[2] = pass_started.elapsed().as_nanos() as u64;
     meter.charge(
         neighbor_samplers
             .iter()
@@ -815,6 +862,7 @@ fn run_single<S: DynamicEdgeStream + ?Sized>(
     query_keys.dedup();
     meter.charge(query_keys.len() as u64);
     let query_keys_ref = &query_keys;
+    let pass_started = Instant::now();
     let folded = update_fold_pass(
         stream,
         shard,
@@ -835,6 +883,7 @@ fn run_single<S: DynamicEdgeStream + ?Sized>(
             *total += c;
         }
     }
+    seq_pass_nanos[3] = pass_started.elapsed().as_nanos() as u64;
 
     // Evaluate.
     let mut hits = 0u64;
@@ -858,6 +907,8 @@ fn run_single<S: DynamicEdgeStream + ?Sized>(
         r,
         inner_samples: instances.len(),
         surviving_edges: m_net,
+        pass_nanos: seq_pass_nanos,
+        pass_tallies: [PassTally::default(); 4],
     })
 }
 

@@ -27,6 +27,7 @@
 
 use degentri_core::rng::{streams, CounterRng, RngMode, WeightedPickCell};
 use degentri_graph::{Edge, VertexId};
+use degentri_obs::PassTally;
 use degentri_sketch::hash::MERSENNE_PRIME;
 use degentri_sketch::{L0Sampler, SketchUpdate};
 use degentri_stream::{EdgeUpdate, SpaceMeter};
@@ -125,7 +126,14 @@ pub fn counter_instance_picks(
 
 /// The opaque per-pass fold accumulator of a [`DynamicCopyStages`] copy.
 #[derive(Debug)]
-pub struct DynamicStageAcc(DynAcc);
+pub struct DynamicStageAcc {
+    acc: DynAcc,
+    /// Observation-only fold counters (updates delivered, probe hits,
+    /// sketch updates applied); merged across shards in
+    /// [`DynamicCopyStages::finish_pass`] and surfaced via
+    /// [`DynamicCopyStages::pass_tallies`].
+    tally: PassTally,
+}
 
 #[derive(Debug)]
 enum DynAcc {
@@ -152,6 +160,8 @@ pub struct DynamicCopyStages {
     seed: u64,
     n: usize,
     pass: usize,
+    pass_nanos: [u64; 4],
+    pass_tallies: [PassTally; 4],
     meter: SpaceMeter,
     edge_base: u64,
     neighbor_base: u64,
@@ -212,6 +222,8 @@ impl DynamicCopyStages {
             seed,
             n,
             pass: 0,
+            pass_nanos: [0; 4],
+            pass_tallies: [PassTally::default(); 4],
             meter: SpaceMeter::new(),
             edge_base,
             neighbor_base: shared_fingerprint_base(seed, 1),
@@ -243,13 +255,38 @@ impl DynamicCopyStages {
         self.pass >= 4
     }
 
+    /// Stable names of the four passes, in execution order (the keys the
+    /// bench JSON and [`RunReport`](degentri_obs::RunReport) use).
+    pub const PASS_NAMES: [&'static str; 4] = [
+        "u1_l0_edge_sample",
+        "u2_degrees",
+        "u3_l0_neighbor_sample",
+        "u4_closure",
+    ];
+
+    /// Records the wall-clock time of the pass that just finished —
+    /// the turnstile analogue of
+    /// [`MainCopyStages::set_pass_nanos`](degentri_core::MainCopyStages::set_pass_nanos),
+    /// surfaced through [`DynamicCopyOutcome::pass_nanos`].
+    pub fn set_pass_nanos(&mut self, pass: usize, nanos: u64) {
+        if pass < 4 {
+            self.pass_nanos[pass] = nanos;
+        }
+    }
+
+    /// Fold-loop tallies of the completed passes (zeroed for passes not
+    /// yet run), merged across shards in finish order.
+    pub fn pass_tallies(&self) -> &[PassTally; 4] {
+        &self.pass_tallies
+    }
+
     /// A fresh accumulator for the current pass (one per shard). Pass 1
     /// and pass 3 clone the configured sketch banks — sketches are linear,
     /// so per-shard clones merged in shard order equal one bank that saw
     /// the whole stream.
     pub fn begin_pass(&self) -> DynamicStageAcc {
         debug_assert!(!self.finished(), "begin_pass after the fourth pass");
-        DynamicStageAcc(match self.pass {
+        let acc = match self.pass {
             0 => DynAcc::Edges {
                 bank: self.edge_templates.clone(),
                 net: 0,
@@ -258,14 +295,19 @@ impl DynamicCopyStages {
             1 => DynAcc::Degrees(vec![0; self.endpoints.len()]),
             2 => DynAcc::Neighbors(self.neighbor_templates.clone()),
             _ => DynAcc::Closure(vec![0; self.query_keys.len()]),
-        })
+        };
+        DynamicStageAcc {
+            acc,
+            tally: PassTally::default(),
+        }
     }
 
     /// Folds one chunk of the update snapshot into `acc`. Every fold is a
     /// linear function of the update multiset, so chunking and sharding
     /// never change the merged result.
     pub fn fold(&self, acc: &mut DynamicStageAcc, _pos: u64, chunk: &[EdgeUpdate]) {
-        match &mut acc.0 {
+        acc.tally.items += chunk.len() as u64;
+        match &mut acc.acc {
             DynAcc::Edges { bank, net, prep } => {
                 // Prepare the chunk once (one modular exponentiation per
                 // update for the whole bank), then run each sampler over
@@ -282,15 +324,19 @@ impl DynamicCopyStages {
                 for sampler in bank.iter_mut() {
                     sampler.apply_batch(prep);
                 }
+                // Every prepared update hit every sampler of the bank.
+                acc.tally.updates += (chunk.len() * bank.len()) as u64;
             }
             DynAcc::Degrees(deg) => {
                 for update in chunk {
                     let delta = update.delta();
                     if let Ok(slot) = self.endpoints.binary_search(&update.edge.u().raw()) {
                         deg[slot] += delta;
+                        acc.tally.hits += 1;
                     }
                     if let Ok(slot) = self.endpoints.binary_search(&update.edge.v().raw()) {
                         deg[slot] += delta;
+                        acc.tally.hits += 1;
                     }
                 }
             }
@@ -299,6 +345,7 @@ impl DynamicCopyStages {
                     let delta = update.delta();
                     for endpoint in [update.edge.u(), update.edge.v()] {
                         if let Ok(b) = self.bases.binary_search(&endpoint.raw()) {
+                            acc.tally.hits += 1;
                             let candidate = update
                                 .edge
                                 .other(endpoint)
@@ -308,6 +355,7 @@ impl DynamicCopyStages {
                                 SketchUpdate::prepare(self.neighbor_base, candidate, delta);
                             for &i in &self.list_ids[self.list_starts[b]..self.list_starts[b + 1]] {
                                 samplers[i].apply(&prepared);
+                                acc.tally.updates += 1;
                             }
                         }
                     }
@@ -317,6 +365,7 @@ impl DynamicCopyStages {
                 for update in chunk {
                     if let Ok(q) = self.query_keys.binary_search(&update.edge.key()) {
                         counts[q] += update.delta();
+                        acc.tally.hits += 1;
                     }
                 }
             }
@@ -330,6 +379,11 @@ impl DynamicCopyStages {
     /// estimator.
     pub fn finish_pass(&mut self, accs: Vec<DynamicStageAcc>) -> Result<()> {
         debug_assert!(!self.finished(), "finish_pass after the fourth pass");
+        let mut tally = PassTally::default();
+        for acc in &accs {
+            tally.merge(acc.tally);
+        }
+        self.pass_tallies[self.pass] = tally;
         match self.pass {
             0 => self.finish_edges(accs)?,
             1 => self.finish_degrees(accs)?,
@@ -344,7 +398,14 @@ impl DynamicCopyStages {
     /// The finished outcome (valid once [`finished`](Self::finished)).
     pub fn finish(self) -> Result<DynamicCopyOutcome> {
         debug_assert!(self.finished(), "finish before the fourth pass completed");
+        // The last pass's wall time is recorded by the driver *after*
+        // finish_pass built the outcome, so refresh the timings here.
+        let pass_nanos = self.pass_nanos;
         self.outcome
+            .map(|mut outcome| {
+                outcome.pass_nanos = pass_nanos;
+                outcome
+            })
             .ok_or_else(|| DynamicError::invalid_parameter("stage pipeline did not complete"))
     }
 
@@ -352,16 +413,20 @@ impl DynamicCopyStages {
 
     fn finish_edges(&mut self, accs: Vec<DynamicStageAcc>) -> Result<()> {
         let mut accs = accs.into_iter();
-        let Some(DynamicStageAcc(DynAcc::Edges {
-            bank: mut samplers,
-            net: mut net_edges,
+        let Some(DynamicStageAcc {
+            acc:
+                DynAcc::Edges {
+                    bank: mut samplers,
+                    net: mut net_edges,
+                    ..
+                },
             ..
-        })) = accs.next()
+        }) = accs.next()
         else {
             unreachable!("pass-1 accumulator");
         };
         for acc in accs {
-            let DynAcc::Edges { bank, net, .. } = acc.0 else {
+            let DynAcc::Edges { bank, net, .. } = acc.acc else {
                 unreachable!("pass-1 accumulator");
             };
             net_edges += net;
@@ -399,11 +464,15 @@ impl DynamicCopyStages {
 
     fn finish_degrees(&mut self, accs: Vec<DynamicStageAcc>) -> Result<()> {
         let mut accs = accs.into_iter();
-        let Some(DynamicStageAcc(DynAcc::Degrees(mut deg))) = accs.next() else {
+        let Some(DynamicStageAcc {
+            acc: DynAcc::Degrees(mut deg),
+            ..
+        }) = accs.next()
+        else {
             unreachable!("pass-2 accumulator");
         };
         for acc in accs {
-            let DynAcc::Degrees(other) = acc.0 else {
+            let DynAcc::Degrees(other) = acc.acc else {
                 unreachable!("pass-2 accumulator");
             };
             for (total, d) in deg.iter_mut().zip(other) {
@@ -492,11 +561,15 @@ impl DynamicCopyStages {
 
     fn finish_neighbors(&mut self, accs: Vec<DynamicStageAcc>) {
         let mut accs = accs.into_iter();
-        let Some(DynamicStageAcc(DynAcc::Neighbors(mut samplers))) = accs.next() else {
+        let Some(DynamicStageAcc {
+            acc: DynAcc::Neighbors(mut samplers),
+            ..
+        }) = accs.next()
+        else {
             unreachable!("pass-3 accumulator");
         };
         for acc in accs {
-            let DynAcc::Neighbors(bank) = acc.0 else {
+            let DynAcc::Neighbors(bank) = acc.acc else {
                 unreachable!("pass-3 accumulator");
             };
             for (sampler, other) in samplers.iter_mut().zip(&bank) {
@@ -533,11 +606,15 @@ impl DynamicCopyStages {
 
     fn finish_closure(&mut self, accs: Vec<DynamicStageAcc>) {
         let mut accs = accs.into_iter();
-        let Some(DynamicStageAcc(DynAcc::Closure(mut counts))) = accs.next() else {
+        let Some(DynamicStageAcc {
+            acc: DynAcc::Closure(mut counts),
+            ..
+        }) = accs.next()
+        else {
             unreachable!("pass-4 accumulator");
         };
         for acc in accs {
-            let DynAcc::Closure(other) = acc.0 else {
+            let DynAcc::Closure(other) = acc.acc else {
                 unreachable!("pass-4 accumulator");
             };
             for (total, c) in counts.iter_mut().zip(other) {
@@ -566,6 +643,8 @@ impl DynamicCopyStages {
             r,
             inner_samples: self.instances.len(),
             surviving_edges: self.m_net,
+            pass_nanos: self.pass_nanos,
+            pass_tallies: self.pass_tallies,
         });
     }
 }

@@ -45,6 +45,14 @@ pub struct EngineConfig {
     /// `crates/engine/src/fused.rs`); disabling is for benchmarking the
     /// per-copy path. Defaults to `true`.
     pub fused_execution: bool,
+    /// Whether the run records metrics and assembles a
+    /// [`RunReport`](degentri_obs::RunReport) on the
+    /// [`EngineReport`](crate::EngineReport). Recording is observation-only
+    /// — results are bit-identical with it on or off — and costs a few
+    /// relaxed atomic increments per chunk plus per-pass clock reads.
+    /// Defaults to `false`, which compiles the instrumentation points down
+    /// to nothing via [`degentri_obs::NoopRecorder`].
+    pub recording: bool,
 }
 
 impl EngineConfig {
@@ -57,6 +65,7 @@ impl EngineConfig {
             intra_task_sharding: true,
             rng_mode: Some(RngMode::Counter),
             fused_execution: true,
+            recording: false,
         }
     }
 
@@ -147,6 +156,14 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Enables or disables metrics recording and
+    /// [`RunReport`](degentri_obs::RunReport) assembly (off by default;
+    /// observation-only either way).
+    pub fn recording(mut self, yes: bool) -> Self {
+        self.config.recording = yes;
+        self
+    }
+
     /// Validates and finishes building, rejecting zero workers or a zero
     /// batch size with [`EngineError::InvalidConfig`].
     pub fn try_build(self) -> Result<EngineConfig> {
@@ -184,6 +201,14 @@ mod tests {
         assert!(EngineConfig::default().intra_task_sharding);
         assert_eq!(EngineConfig::default().rng_mode, Some(RngMode::Counter));
         assert!(EngineConfig::default().fused_execution);
+        assert!(!EngineConfig::default().recording);
+        assert!(
+            EngineConfig::builder()
+                .recording(true)
+                .try_build()
+                .unwrap()
+                .recording
+        );
         assert!(
             !EngineConfig::builder()
                 .fused_execution(false)

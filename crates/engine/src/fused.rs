@@ -25,9 +25,27 @@ use std::time::Instant;
 use degentri_core::{MainCohortPlan, MainCopyStages, MainStageAcc};
 use degentri_dynamic::{DynamicCopyStages, DynamicStageAcc};
 use degentri_graph::Edge;
+use degentri_obs::{Counter, Hist, Recorder, ShardReport, Span};
 use degentri_stream::{EdgeUpdate, ShardedSnapshot};
 
 use crate::Result;
+
+/// One pass of a fused cohort as the driver observed it: plan-build and
+/// sweep wall times plus the per-shard breakdown, in shard order. Collected
+/// only when the recorder is enabled (the vector stays empty under
+/// [`degentri_obs::NoopRecorder`]) and assembled into
+/// [`degentri_obs::PassReport`]s by the scheduler.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PassTrace {
+    /// Pass index within the cohort's budget.
+    pub pass: usize,
+    /// Nanoseconds spent building the cohort's union probe structures.
+    pub plan_nanos: u64,
+    /// Nanoseconds of the fused sweep (fold + shard merge hand-off).
+    pub sweep_nanos: u64,
+    /// Per-shard items and busy time; one synthetic shard when unsharded.
+    pub shards: Vec<ShardReport>,
+}
 
 /// A copy executable by the fused driver: the engine-facing facade over
 /// the estimator crates' stage objects.
@@ -127,7 +145,9 @@ impl StagedCopy for DynamicCopyStages {
         DynamicCopyStages::finish_pass(self, accs).map_err(crate::EngineError::from)
     }
 
-    fn record_pass_nanos(&mut self, _pass: usize, _nanos: u64) {}
+    fn record_pass_nanos(&mut self, pass: usize, nanos: u64) {
+        DynamicCopyStages::set_pass_nanos(self, pass, nanos)
+    }
 
     fn plan_pass(_copies: &[Self]) -> Self::Plan {}
 
@@ -166,13 +186,17 @@ fn transpose<T>(per_shard: Vec<Vec<T>>, copies: usize) -> Vec<Vec<T>> {
 ///
 /// All copies of a cohort have the same pass budget, so they stay in
 /// lockstep and the sweep count equals that budget.
-pub(crate) fn drive_cohort<C: StagedCopy>(
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn drive_cohort<C: StagedCopy, R: Recorder>(
     copies: &mut [C],
     num_vertices: usize,
     items: &[C::Item],
     batch: usize,
     workers: usize,
     shards: usize,
+    recorder: &R,
+    lane: usize,
+    trace: &mut Vec<PassTrace>,
 ) -> Result<u64> {
     if copies.is_empty() {
         return Ok(0);
@@ -187,14 +211,22 @@ pub(crate) fn drive_cohort<C: StagedCopy>(
             "cohort copies run in lockstep"
         );
         sweeps += 1;
+        let pass = copies[0].pass_index();
+        let plan_started = Instant::now();
         let plan = C::plan_pass(copies);
+        let plan_nanos = if R::ENABLED {
+            plan_started.elapsed().as_nanos() as u64
+        } else {
+            0
+        };
         let started = Instant::now();
+        let mut shard_reports: Vec<ShardReport> = Vec::new();
         let per_copy: Vec<Vec<C::Acc>> = if workers > 1 {
             let view: ShardedSnapshot<'_, C::Item> =
                 ShardedSnapshot::new(num_vertices, items, shards.max(1));
             let copies_ref = &*copies;
             let plan_ref = &plan;
-            let per_shard = view.pass_sharded(workers, |s, slice| {
+            let fold = |s: usize, slice: &[C::Item]| {
                 let mut accs: Vec<C::Acc> = copies_ref.iter().map(|c| c.begin_pass()).collect();
                 let mut pos = view.shard_range(s).start as u64;
                 for chunk in slice.chunks(batch) {
@@ -202,7 +234,21 @@ pub(crate) fn drive_cohort<C: StagedCopy>(
                     pos += chunk.len() as u64;
                 }
                 accs
-            });
+            };
+            let per_shard = if R::ENABLED {
+                let timed = view.pass_sharded_timed(workers, fold);
+                let mut per_shard = Vec::with_capacity(timed.len());
+                for (s, (accs, nanos)) in timed.into_iter().enumerate() {
+                    shard_reports.push(ShardReport {
+                        items: view.shard(s).len() as u64,
+                        nanos,
+                    });
+                    per_shard.push(accs);
+                }
+                per_shard
+            } else {
+                view.pass_sharded(workers, fold)
+            };
             transpose(per_shard, copies.len())
         } else {
             let mut accs: Vec<C::Acc> = copies.iter().map(|c| c.begin_pass()).collect();
@@ -215,6 +261,29 @@ pub(crate) fn drive_cohort<C: StagedCopy>(
         };
         drop(plan);
         let nanos = started.elapsed().as_nanos() as u64;
+        if R::ENABLED {
+            if workers <= 1 {
+                // Unsharded sweeps report one synthetic whole-stream shard
+                // so the report shape is uniform.
+                shard_reports.push(ShardReport {
+                    items: items.len() as u64,
+                    nanos,
+                });
+            }
+            recorder.add(lane, Counter::SweepsExecuted, 1);
+            recorder.span(lane, Span::PlanBuild, plan_nanos);
+            recorder.span(lane, Span::FusedSweep, nanos);
+            recorder.observe(lane, Hist::PassNanos, nanos);
+            for (s, shard) in shard_reports.iter().enumerate() {
+                recorder.observe(s, Hist::ShardNanos, shard.nanos);
+            }
+            trace.push(PassTrace {
+                pass,
+                plan_nanos,
+                sweep_nanos: nanos,
+                shards: std::mem::take(&mut shard_reports),
+            });
+        }
         for (accs, copy) in per_copy.into_iter().zip(copies.iter_mut()) {
             let pass = copy.pass_index();
             copy.finish_pass(accs)?;

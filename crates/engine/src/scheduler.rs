@@ -46,13 +46,17 @@ use degentri_dynamic::{
     DynamicCopyOutcome, DynamicCopyStages, DynamicError, DynamicEstimatorConfig,
 };
 use degentri_graph::Edge;
+use degentri_obs::{
+    CohortReport, Counter, Hist, JobReport, MetricsRecorder, NoopRecorder, PassReport, PassTally,
+    Recorder, RunReport, Span,
+};
 use degentri_stream::{
     DynamicEdgeStream, EdgeStream, EdgeUpdate, ShardedDynamicStream, ShardedStream, Snapshot,
     StreamStats,
 };
 
 use crate::config::EngineConfig;
-use crate::fused::drive_cohort;
+use crate::fused::{drive_cohort, PassTrace};
 use crate::job::{baseline_estimation, dynamic_estimation, JobKind, JobResult, JobSpec};
 use crate::parallel::run_indexed_with;
 use crate::stats::EngineStats;
@@ -89,6 +93,9 @@ const SHARDS_PER_WORKER: usize = 4;
 pub struct Engine {
     config: EngineConfig,
     jobs: Vec<JobSpec>,
+    /// Submission instants, parallel to `jobs` — the queue end of the
+    /// per-job queue-to-completion latency reported when recording is on.
+    submitted: Vec<Instant>,
 }
 
 /// Everything one engine run produced: per-job results in submission order
@@ -99,6 +106,10 @@ pub struct EngineReport {
     pub jobs: Vec<JobResult>,
     /// Engine-level throughput statistics for the whole run.
     pub stats: EngineStats,
+    /// The hierarchical run → cohort → pass → shard breakdown, present
+    /// when [`EngineConfig::recording`] was on for the run (`None`
+    /// otherwise — the instrumentation compiles to nothing).
+    pub run_report: Option<RunReport>,
 }
 
 /// One per-copy schedulable unit of the non-fused tier.
@@ -131,6 +142,7 @@ impl Engine {
         Engine {
             config,
             jobs: Vec::new(),
+            submitted: Vec::new(),
         }
     }
 
@@ -148,6 +160,7 @@ impl Engine {
     /// [`EngineReport::jobs`].
     pub fn submit(&mut self, spec: JobSpec) -> usize {
         self.jobs.push(spec);
+        self.submitted.push(Instant::now());
         self.jobs.len() - 1
     }
 
@@ -247,8 +260,27 @@ impl Engine {
         (workers, workers * SHARDS_PER_WORKER)
     }
 
+    /// Dispatches on [`EngineConfig::recording`]: the generic runner is
+    /// monomorphized per recorder, so the `recording: false` instantiation
+    /// carries [`NoopRecorder`]'s empty inlined methods — zero cost rather
+    /// than a branch per instrumentation point.
     fn run_edges(&mut self, num_vertices: usize, edges: &[Edge]) -> Result<EngineReport> {
+        if self.config.recording {
+            let recorder = MetricsRecorder::new(self.config.workers.max(1) * SHARDS_PER_WORKER);
+            self.run_edges_rec(num_vertices, edges, &recorder)
+        } else {
+            self.run_edges_rec(num_vertices, edges, &NoopRecorder)
+        }
+    }
+
+    fn run_edges_rec<R: Recorder>(
+        &mut self,
+        num_vertices: usize,
+        edges: &[Edge],
+        recorder: &R,
+    ) -> Result<EngineReport> {
         let jobs: Vec<JobSpec> = self.jobs.drain(..).collect();
+        let submitted: Vec<Instant> = self.submitted.drain(..).collect();
 
         // Reject invalid configurations before any work starts.
         self.config.validate()?;
@@ -302,6 +334,7 @@ impl Engine {
                     .as_ref()
                     .is_some_and(|c| c.rng_mode == RngMode::Counter)
         };
+        let formation_started = Instant::now();
         let mut cohort: Vec<MainCopyStages> = Vec::new();
         let mut cohort_of: Vec<(usize, usize)> = Vec::new();
         let mut tasks: Vec<Task> = Vec::new();
@@ -333,13 +366,25 @@ impl Engine {
                 JobKind::Dynamic(_) => unreachable!("dynamic jobs were rejected above"),
             }
         }
+        let formation_nanos = formation_started.elapsed().as_nanos() as u64;
+        if R::ENABLED {
+            recorder.span(0, Span::CohortFormation, formation_nanos);
+        }
 
         // The ideal estimator's degree table costs one pass; build it once
         // and share it across every ideal job and copy.
+        let stats_started = Instant::now();
         let ideal_stats: Option<StreamStats> = tasks
             .iter()
             .any(|task| matches!(task, Task::IdealCopy { .. }))
             .then(|| StreamStats::compute(&plain));
+        if R::ENABLED && ideal_stats.is_some() {
+            recorder.span(
+                0,
+                Span::StatsPass,
+                stats_started.elapsed().as_nanos() as u64,
+            );
+        }
         let stats_pass = started.elapsed();
 
         let workers = self.config.effective_workers(tasks.len());
@@ -421,13 +466,20 @@ impl Engine {
                         TaskOutput::Baseline(counter.estimate(&plain))
                     }
                 };
-                (output, task_started.elapsed())
+                let spent = task_started.elapsed();
+                if R::ENABLED {
+                    let nanos = spent.as_nanos() as u64;
+                    recorder.span(i, Span::PerCopyTask, nanos);
+                    recorder.observe(i, Hist::TaskNanos, nanos);
+                }
+                (output, spent)
             });
 
         // ---- Fused tier ----------------------------------------------------
         let (cohort_workers, cohort_shards) = self.cohort_parallelism();
         let cohort_started = Instant::now();
         let cohort_copies = cohort.len();
+        let mut trace: Vec<PassTrace> = Vec::new();
         let fused_sweeps = drive_cohort(
             &mut cohort,
             num_vertices,
@@ -435,9 +487,26 @@ impl Engine {
             batch,
             if cohort_copies > 0 { cohort_workers } else { 1 },
             cohort_shards,
+            recorder,
+            0,
+            &mut trace,
         )?;
         let cohort_wall = cohort_started.elapsed();
         let wall = started.elapsed();
+
+        // Fold-loop tallies summed over the cohort's copies, gathered
+        // before the stage objects are consumed below.
+        let cohort_tallies: Vec<PassTally> = if R::ENABLED && !cohort.is_empty() {
+            let mut tallies = vec![PassTally::default(); MainCopyStages::PASS_NAMES.len()];
+            for stages in &cohort {
+                for (total, &tally) in tallies.iter_mut().zip(stages.pass_tallies()) {
+                    total.merge(tally);
+                }
+            }
+            tallies
+        } else {
+            Vec::new()
+        };
 
         // Fold everything back per job, in deterministic order.
         let mut contributions: Vec<Vec<CopyContribution>> =
@@ -512,6 +581,29 @@ impl Engine {
             })
             .collect();
 
+        let run_report = if R::ENABLED {
+            Some(assemble_run_report(
+                recorder,
+                wall,
+                workers.max(if cohort_copies > 0 { cohort_workers } else { 1 }),
+                (cohort_copies > 0).then(|| CohortReport {
+                    label: "six-pass".to_string(),
+                    copies: cohort_copies,
+                    workers: cohort_workers,
+                    shards: cohort_shards,
+                    formation_nanos,
+                    passes: pass_reports(&trace, &MainCopyStages::PASS_NAMES, &cohort_tallies),
+                }),
+                &jobs,
+                &submitted,
+                &tasks_per_job,
+                &busy_per_job,
+                cohort_copies,
+            ))
+        } else {
+            None
+        };
+
         Ok(EngineReport {
             jobs: results,
             stats: EngineStats::from_run(
@@ -527,13 +619,31 @@ impl Engine {
                 sweeps,
                 wall,
                 busy_total,
-                sweeps * m as u64,
+                m as u64,
             ),
+            run_report,
         })
     }
 
+    /// The update-snapshot twin of [`Engine::run_edges`]'s recording
+    /// dispatch.
     fn run_updates(&mut self, num_vertices: usize, updates: &[EdgeUpdate]) -> Result<EngineReport> {
+        if self.config.recording {
+            let recorder = MetricsRecorder::new(self.config.workers.max(1) * SHARDS_PER_WORKER);
+            self.run_updates_rec(num_vertices, updates, &recorder)
+        } else {
+            self.run_updates_rec(num_vertices, updates, &NoopRecorder)
+        }
+    }
+
+    fn run_updates_rec<R: Recorder>(
+        &mut self,
+        num_vertices: usize,
+        updates: &[EdgeUpdate],
+        recorder: &R,
+    ) -> Result<EngineReport> {
         let jobs: Vec<JobSpec> = self.jobs.drain(..).collect();
+        let submitted: Vec<Instant> = self.submitted.drain(..).collect();
 
         // Reject invalid configurations before any work starts.
         self.config.validate()?;
@@ -565,6 +675,7 @@ impl Engine {
         // copies run per-copy over the plain view.
         let job_fusable =
             |job: usize| self.fusion_enabled() && effective[job].rng_mode == RngMode::Counter;
+        let formation_started = Instant::now();
         let mut cohort: Vec<DynamicCopyStages> = Vec::new();
         let mut cohort_of: Vec<(usize, usize)> = Vec::new();
         let mut tasks: Vec<(usize, usize)> = Vec::new();
@@ -585,6 +696,10 @@ impl Engine {
                     tasks.push((job, copy));
                 }
             }
+        }
+        let formation_nanos = formation_started.elapsed().as_nanos() as u64;
+        if R::ENABLED {
+            recorder.span(0, Span::CohortFormation, formation_nanos);
         }
 
         let plain = ShardedDynamicStream::new(num_vertices, updates, 1);
@@ -628,7 +743,13 @@ impl Engine {
                         }
                         _ => run_dynamic_copy_with(&plain, config, copy, batch),
                     };
-                    (output, task_started.elapsed())
+                    let spent = task_started.elapsed();
+                    if R::ENABLED {
+                        let nanos = spent.as_nanos() as u64;
+                        recorder.span(i, Span::PerCopyTask, nanos);
+                        recorder.observe(i, Hist::TaskNanos, nanos);
+                    }
+                    (output, spent)
                 },
             );
 
@@ -636,6 +757,7 @@ impl Engine {
         let (cohort_workers, cohort_shards) = self.cohort_parallelism();
         let cohort_started = Instant::now();
         let cohort_copies = cohort.len();
+        let mut trace: Vec<PassTrace> = Vec::new();
         let fused_sweeps = drive_cohort(
             &mut cohort,
             num_vertices,
@@ -643,9 +765,26 @@ impl Engine {
             batch,
             if cohort_copies > 0 { cohort_workers } else { 1 },
             cohort_shards,
+            recorder,
+            0,
+            &mut trace,
         )?;
         let cohort_wall = cohort_started.elapsed();
         let wall = started.elapsed();
+
+        // Fold-loop tallies summed over the cohort's copies, gathered
+        // before the stage objects are consumed below.
+        let cohort_tallies: Vec<PassTally> = if R::ENABLED && !cohort.is_empty() {
+            let mut tallies = vec![PassTally::default(); DynamicCopyStages::PASS_NAMES.len()];
+            for stages in &cohort {
+                for (total, &tally) in tallies.iter_mut().zip(stages.pass_tallies()) {
+                    total.merge(tally);
+                }
+            }
+            tallies
+        } else {
+            Vec::new()
+        };
 
         // Fold copy outputs back per job, in deterministic task order.
         let mut contributions: Vec<Vec<(usize, DynamicCopyOutcome)>> =
@@ -698,6 +837,29 @@ impl Engine {
             })
             .collect();
 
+        let run_report = if R::ENABLED {
+            Some(assemble_run_report(
+                recorder,
+                wall,
+                workers.max(if cohort_copies > 0 { cohort_workers } else { 1 }),
+                (cohort_copies > 0).then(|| CohortReport {
+                    label: "turnstile".to_string(),
+                    copies: cohort_copies,
+                    workers: cohort_workers,
+                    shards: cohort_shards,
+                    formation_nanos,
+                    passes: pass_reports(&trace, &DynamicCopyStages::PASS_NAMES, &cohort_tallies),
+                }),
+                &jobs,
+                &submitted,
+                &tasks_per_job,
+                &busy_per_job,
+                cohort_copies,
+            ))
+        } else {
+            None
+        };
+
         Ok(EngineReport {
             jobs: results,
             stats: EngineStats::from_run(
@@ -713,9 +875,85 @@ impl Engine {
                 sweeps,
                 wall,
                 busy_total,
-                sweeps * updates.len() as u64,
+                updates.len() as u64,
             ),
+            run_report,
         })
+    }
+}
+
+/// Builds the [`PassReport`]s of one cohort from the fused driver's trace,
+/// the estimator's stable pass names, and the cohort-summed fold tallies.
+fn pass_reports(trace: &[PassTrace], names: &[&str], tallies: &[PassTally]) -> Vec<PassReport> {
+    trace
+        .iter()
+        .map(|t| PassReport {
+            name: names.get(t.pass).copied().unwrap_or("pass").to_string(),
+            plan_nanos: t.plan_nanos,
+            sweep_nanos: t.sweep_nanos,
+            items: t.shards.iter().map(|s| s.items).sum(),
+            tally: tallies.get(t.pass).copied().unwrap_or_default(),
+            shards: t.shards.clone(),
+        })
+        .collect()
+}
+
+/// Assembles the [`RunReport`] at the end of a recording run: records the
+/// run-level counters and per-job latency observations (so the merged
+/// metrics snapshot embedded in the report includes them), then builds the
+/// job breakdown in submission order.
+#[allow(clippy::too_many_arguments)]
+fn assemble_run_report<R: Recorder>(
+    recorder: &R,
+    wall: Duration,
+    workers: usize,
+    cohort: Option<CohortReport>,
+    jobs: &[JobSpec],
+    submitted: &[Instant],
+    tasks_per_job: &[usize],
+    busy_per_job: &[Duration],
+    cohort_copies: usize,
+) -> RunReport {
+    let total_tasks: usize = tasks_per_job.iter().sum();
+    recorder.add(0, Counter::TasksExecuted, total_tasks as u64);
+    recorder.add(0, Counter::JobsCompleted, jobs.len() as u64);
+    recorder.add(0, Counter::CohortCopies, cohort_copies as u64);
+    if let Some(cohort) = &cohort {
+        let mut items = 0u64;
+        let mut hits = 0u64;
+        let mut sketch_updates = 0u64;
+        for pass in &cohort.passes {
+            items += pass.tally.items;
+            hits += pass.tally.hits;
+            sketch_updates += pass.tally.updates;
+        }
+        recorder.add(0, Counter::ItemsFolded, items);
+        recorder.add(0, Counter::ProbeHits, hits);
+        recorder.add(0, Counter::SketchUpdates, sketch_updates);
+    }
+    let job_reports: Vec<JobReport> = jobs
+        .iter()
+        .enumerate()
+        .map(|(job, spec)| {
+            let latency_nanos = submitted
+                .get(job)
+                .map(|t| t.elapsed().as_nanos() as u64)
+                .unwrap_or(0);
+            recorder.observe(job, Hist::JobLatencyNanos, latency_nanos);
+            JobReport {
+                label: spec.label.clone(),
+                tasks: tasks_per_job[job],
+                busy_nanos: busy_per_job[job].as_nanos() as u64,
+                latency_nanos,
+            }
+        })
+        .collect();
+    RunReport {
+        wall_nanos: wall.as_nanos() as u64,
+        workers,
+        cohorts: cohort.into_iter().collect(),
+        jobs: job_reports,
+        metrics: recorder.snapshot().unwrap_or_default(),
     }
 }
 

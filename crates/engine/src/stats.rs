@@ -50,7 +50,11 @@ pub struct EngineStats {
 }
 
 impl EngineStats {
-    /// Builds the statistics from raw measurements.
+    /// Builds the statistics from raw measurements. Takes the snapshot
+    /// length rather than a caller-computed edge total: the
+    /// `edges_streamed = sweeps_executed × snapshot_len` invariant is
+    /// enforced here, in one place, instead of being re-derived (and
+    /// potentially diverging) at every call site.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_run(
         workers: usize,
@@ -61,8 +65,9 @@ impl EngineStats {
         sweeps_executed: u64,
         wall: Duration,
         busy: Duration,
-        edges_streamed: u64,
+        snapshot_len: u64,
     ) -> Self {
+        let edges_streamed = sweeps_executed * snapshot_len;
         let wall_seconds = wall.as_secs_f64();
         let busy_seconds = busy.as_secs_f64();
         let denom = wall_seconds.max(1e-12);
@@ -86,12 +91,15 @@ impl fmt::Display for EngineStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} tasks on {} workers in {:.3}s — {:.0} edges/s, {:.0}% utilization",
+            "{} tasks on {} workers in {:.3}s — {:.0} edges/s, {:.0}% utilization, \
+             {} fused cohorts, {} sweeps",
             self.tasks,
             self.workers,
             self.wall_seconds,
             self.edges_per_second,
-            100.0 * self.worker_utilization
+            100.0 * self.worker_utilization,
+            self.fused_cohorts,
+            self.sweeps_executed
         )
     }
 }
@@ -108,20 +116,23 @@ mod tests {
             Some(RngMode::Counter),
             10,
             1,
-            24,
+            20,
             Duration::from_millis(500),
             Duration::from_millis(1500),
-            1_000_000,
+            50_000,
         );
         assert_eq!(stats.workers, 4);
         assert_eq!(stats.intra_task_workers, 2);
         assert_eq!(stats.rng_mode, Some(RngMode::Counter));
         assert_eq!(stats.fused_cohorts, 1);
-        assert_eq!(stats.sweeps_executed, 24);
+        assert_eq!(stats.sweeps_executed, 20);
+        // The invariant is enforced at construction, not per call site.
+        assert_eq!(stats.edges_streamed, stats.sweeps_executed * 50_000);
         assert!((stats.edges_per_second - 2_000_000.0).abs() < 1e-6);
         assert!((stats.worker_utilization - 0.75).abs() < 1e-9);
         let text = stats.to_string();
         assert!(text.contains("4 workers") && text.contains("10 tasks"));
+        assert!(text.contains("1 fused cohorts") && text.contains("20 sweeps"));
     }
 
     #[test]

@@ -1,0 +1,56 @@
+//! # degentri-obs — first-party observability for the estimation engine
+//!
+//! A zero-dependency metrics/tracing layer threaded through every execution
+//! tier of the `degentri` workspace. Three pieces:
+//!
+//! - **[`Recorder`]** — the instrumentation trait. Call sites are generic
+//!   over a `R: Recorder` and monomorphize twice: once against
+//!   [`NoopRecorder`] (whose `ENABLED = false` and `#[inline(always)]`
+//!   empty bodies compile every instrumentation point to nothing — the
+//!   disabled path costs zero) and once against [`MetricsRecorder`].
+//! - **[`MetricsRecorder`]** — lock-free per-worker buffers of counters,
+//!   nanosecond span timers and fixed-bucket [`Log2Histogram`]s. Workers
+//!   write with relaxed atomics into their own *lane*; the lanes are merged
+//!   into one [`MetricsSnapshot`] at run end.
+//! - **[`RunReport`]** — a hierarchical run → cohort → pass → shard
+//!   breakdown with self/total times, renderable as an aligned text tree
+//!   (`Display`) and as stable-schema JSON (hand-rolled writer *and*
+//!   parser, matching the `BENCH_PR*.json` idiom), so a future service
+//!   endpoint can serve it without a serde dependency.
+//!
+//! [`PassTally`] is the one type that lives *inside* the hot loops: the
+//! stage-fold accumulators of `degentri-core` / `degentri-dynamic` embed a
+//! tally and bump it as they fold (items delivered, probe/sample hits,
+//! sketch updates), so the counters ride the existing merge path and cost a
+//! handful of integer adds per *chunk*, not per edge.
+//!
+//! Every instrumentation point is observation-only by construction: nothing
+//! in this crate feeds back into sampling, scheduling or aggregation, so
+//! results stay bit-identical with recording on, off, or mixed.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use degentri_obs::{Counter, Hist, MetricsRecorder, Recorder, Span};
+//!
+//! let recorder = MetricsRecorder::new(4); // one lane per worker
+//! recorder.add(0, Counter::SweepsExecuted, 6);
+//! recorder.span(1, Span::FusedSweep, 1_250_000);
+//! recorder.observe(2, Hist::ShardNanos, 310_000);
+//! let snapshot = recorder.snapshot().unwrap();
+//! assert_eq!(snapshot.counter(Counter::SweepsExecuted), 6);
+//! assert_eq!(snapshot.span_count(Span::FusedSweep), 1);
+//! assert_eq!(snapshot.histogram(Hist::ShardNanos).count(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod json;
+pub mod metrics;
+pub mod recorder;
+pub mod report;
+
+pub use metrics::{Log2Histogram, MetricsRecorder, MetricsSnapshot};
+pub use recorder::{Counter, Hist, NoopRecorder, Recorder, Span};
+pub use report::{CohortReport, JobReport, PassReport, PassTally, RunReport, ShardReport};

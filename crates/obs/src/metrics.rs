@@ -1,0 +1,356 @@
+//! The enabled recorder: lock-free per-lane buffers merged into a
+//! [`MetricsSnapshot`] at run end.
+//!
+//! Each *lane* owns a flat block of `AtomicU64`s (counters, span sums and
+//! counts, histogram buckets). Writers pick a lane by worker/shard/task
+//! index and update it with relaxed atomics — different workers touch
+//! different cache lines, same-lane contention is rare, and there is no
+//! locking, hashing or allocation anywhere on the record path. Relaxed
+//! ordering is sufficient because the merge happens after the worker pool
+//! has joined (the join is the synchronization point).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::recorder::{Counter, Hist, Recorder, Span};
+
+/// Number of buckets in a [`Log2Histogram`]: bucket 0 holds zeros, bucket
+/// `b ≥ 1` holds values in `[2^(b-1), 2^b - 1]`, up to bucket 64 for values
+/// with the top bit set.
+pub const HIST_BUCKETS: usize = 65;
+
+/// A fixed-bucket base-2 histogram of `u64` observations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Histogram {
+    buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram {
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+}
+
+impl Log2Histogram {
+    /// The bucket a value falls into: 0 for zero, otherwise
+    /// `64 − leading_zeros(v)` (the position of the highest set bit, plus
+    /// one).
+    #[inline]
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive `[low, high]` value range of bucket `b`.
+    pub fn bucket_bounds(b: usize) -> (u64, u64) {
+        match b {
+            0 => (0, 0),
+            1..=63 => (1u64 << (b - 1), (1u64 << b) - 1),
+            _ => (1u64 << 63, u64::MAX),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Log2Histogram::bucket_index(value)] += 1;
+    }
+
+    /// Count in bucket `b` (0 for out-of-range `b`).
+    pub fn bucket(&self, b: usize) -> u64 {
+        self.buckets.get(b).copied().unwrap_or(0)
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Adds every bucket of `other` into `self`.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+    }
+
+    /// Non-empty buckets as `(bucket_index, count)` pairs, in index order —
+    /// the sparse form the JSON writer emits.
+    pub fn nonzero(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(b, &c)| (b, c))
+            .collect()
+    }
+
+    /// Rebuilds a histogram from sparse `(bucket_index, count)` pairs;
+    /// `None` if any index is out of range.
+    pub fn from_nonzero(pairs: &[(usize, u64)]) -> Option<Log2Histogram> {
+        let mut h = Log2Histogram::default();
+        for &(b, c) in pairs {
+            if b >= HIST_BUCKETS {
+                return None;
+            }
+            h.buckets[b] += c;
+        }
+        Some(h)
+    }
+}
+
+/// One lane of atomic buffers (one per worker in the usual configuration).
+struct Lane {
+    counters: [AtomicU64; Counter::COUNT],
+    span_nanos: [AtomicU64; Span::COUNT],
+    span_count: [AtomicU64; Span::COUNT],
+    hist_buckets: Vec<AtomicU64>, // Hist::COUNT × HIST_BUCKETS, flattened
+}
+
+impl Lane {
+    fn new() -> Lane {
+        Lane {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            span_nanos: std::array::from_fn(|_| AtomicU64::new(0)),
+            span_count: std::array::from_fn(|_| AtomicU64::new(0)),
+            hist_buckets: (0..Hist::COUNT * HIST_BUCKETS)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+        }
+    }
+}
+
+/// The enabled [`Recorder`]: per-lane lock-free buffers.
+pub struct MetricsRecorder {
+    lanes: Vec<Lane>,
+}
+
+impl std::fmt::Debug for MetricsRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRecorder")
+            .field("lanes", &self.lanes.len())
+            .finish()
+    }
+}
+
+impl MetricsRecorder {
+    /// A recorder with `lanes` independent write buffers (use the worker
+    /// count; a zero request still allocates one lane).
+    pub fn new(lanes: usize) -> MetricsRecorder {
+        MetricsRecorder {
+            lanes: (0..lanes.max(1)).map(|_| Lane::new()).collect(),
+        }
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    #[inline]
+    fn lane(&self, lane: usize) -> &Lane {
+        &self.lanes[lane % self.lanes.len()]
+    }
+}
+
+impl Recorder for MetricsRecorder {
+    const ENABLED: bool = true;
+
+    #[inline]
+    fn add(&self, lane: usize, counter: Counter, n: u64) {
+        self.lane(lane).counters[counter.index()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn span(&self, lane: usize, span: Span, nanos: u64) {
+        let l = self.lane(lane);
+        l.span_nanos[span.index()].fetch_add(nanos, Ordering::Relaxed);
+        l.span_count[span.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn observe(&self, lane: usize, hist: Hist, value: u64) {
+        let bucket = Log2Histogram::bucket_index(value);
+        self.lane(lane).hist_buckets[hist.index() * HIST_BUCKETS + bucket]
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> Option<MetricsSnapshot> {
+        let mut snap = MetricsSnapshot::default();
+        for lane in &self.lanes {
+            for c in Counter::ALL {
+                snap.counters[c.index()] += lane.counters[c.index()].load(Ordering::Relaxed);
+            }
+            for s in Span::ALL {
+                snap.span_nanos[s.index()] += lane.span_nanos[s.index()].load(Ordering::Relaxed);
+                snap.span_counts[s.index()] += lane.span_count[s.index()].load(Ordering::Relaxed);
+            }
+            for h in Hist::ALL {
+                let base = h.index() * HIST_BUCKETS;
+                for b in 0..HIST_BUCKETS {
+                    let n = lane.hist_buckets[base + b].load(Ordering::Relaxed);
+                    if n != 0 {
+                        snap.histograms[h.index()].buckets[b] += n;
+                    }
+                }
+            }
+        }
+        Some(snap)
+    }
+}
+
+/// All lanes of a [`MetricsRecorder`] merged into plain values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter totals, indexed by [`Counter::index`].
+    pub counters: [u64; Counter::COUNT],
+    /// Total nanoseconds per span site, indexed by [`Span::index`].
+    pub span_nanos: [u64; Span::COUNT],
+    /// Invocation counts per span site, indexed by [`Span::index`].
+    pub span_counts: [u64; Span::COUNT],
+    /// Value distributions, indexed by [`Hist::index`].
+    pub histograms: [Log2Histogram; Hist::COUNT],
+}
+
+impl Default for MetricsSnapshot {
+    fn default() -> Self {
+        MetricsSnapshot {
+            counters: [0; Counter::COUNT],
+            span_nanos: [0; Span::COUNT],
+            span_counts: [0; Span::COUNT],
+            histograms: std::array::from_fn(|_| Log2Histogram::default()),
+        }
+    }
+}
+
+impl MetricsSnapshot {
+    /// Total of one counter.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c.index()]
+    }
+
+    /// Total nanoseconds recorded against one span site.
+    pub fn span_total_nanos(&self, s: Span) -> u64 {
+        self.span_nanos[s.index()]
+    }
+
+    /// Number of intervals recorded against one span site.
+    pub fn span_count(&self, s: Span) -> u64 {
+        self.span_counts[s.index()]
+    }
+
+    /// One histogram.
+    pub fn histogram(&self, h: Hist) -> &Log2Histogram {
+        &self.histograms[h.index()]
+    }
+
+    /// Adds every value of `other` into `self`.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for i in 0..Counter::COUNT {
+            self.counters[i] += other.counters[i];
+        }
+        for i in 0..Span::COUNT {
+            self.span_nanos[i] += other.span_nanos[i];
+            self.span_counts[i] += other.span_counts[i];
+        }
+        for i in 0..Hist::COUNT {
+            self.histograms[i].merge(&other.histograms[i]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        // Bucket 0 is exactly zero; bucket b ≥ 1 covers [2^(b-1), 2^b - 1].
+        assert_eq!(Log2Histogram::bucket_index(0), 0);
+        assert_eq!(Log2Histogram::bucket_index(1), 1);
+        assert_eq!(Log2Histogram::bucket_index(2), 2);
+        assert_eq!(Log2Histogram::bucket_index(3), 2);
+        assert_eq!(Log2Histogram::bucket_index(4), 3);
+        for b in 1..=63usize {
+            let (low, high) = Log2Histogram::bucket_bounds(b);
+            assert_eq!(low, 1u64 << (b - 1));
+            assert_eq!(high, (1u64 << b) - 1);
+            assert_eq!(Log2Histogram::bucket_index(low), b, "low edge of {b}");
+            assert_eq!(Log2Histogram::bucket_index(high), b, "high edge of {b}");
+            if b < 63 {
+                assert_eq!(Log2Histogram::bucket_index(high + 1), b + 1);
+            }
+        }
+        assert_eq!(Log2Histogram::bucket_index(1u64 << 63), 64);
+        assert_eq!(Log2Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Log2Histogram::bucket_bounds(64), (1u64 << 63, u64::MAX));
+        assert_eq!(Log2Histogram::bucket_bounds(0), (0, 0));
+    }
+
+    #[test]
+    fn histogram_records_merges_and_round_trips_sparse_form() {
+        let mut a = Log2Histogram::default();
+        for v in [0, 0, 1, 3, 4, 1000, u64::MAX] {
+            a.record(v);
+        }
+        assert_eq!(a.count(), 7);
+        assert_eq!(a.bucket(0), 2);
+        assert_eq!(a.bucket(1), 1);
+        assert_eq!(a.bucket(2), 1);
+        assert_eq!(a.bucket(3), 1);
+        assert_eq!(a.bucket(10), 1); // 1000 ∈ [512, 1023]
+        assert_eq!(a.bucket(64), 1);
+        let mut b = a.clone();
+        b.merge(&a);
+        assert_eq!(b.count(), 14);
+        assert_eq!(Log2Histogram::from_nonzero(&a.nonzero()), Some(a));
+        assert_eq!(Log2Histogram::from_nonzero(&[(65, 1)]), None);
+    }
+
+    #[test]
+    fn lanes_merge_into_one_snapshot() {
+        let r = MetricsRecorder::new(3);
+        assert_eq!(r.lanes(), 3);
+        r.add(0, Counter::ItemsFolded, 10);
+        r.add(1, Counter::ItemsFolded, 20);
+        r.add(5, Counter::ItemsFolded, 30); // wraps to lane 2
+        r.span(0, Span::FusedSweep, 100);
+        r.span(2, Span::FusedSweep, 200);
+        r.observe(0, Hist::PassNanos, 0);
+        r.observe(1, Hist::PassNanos, 7);
+        let snap = r.snapshot().unwrap();
+        assert_eq!(snap.counter(Counter::ItemsFolded), 60);
+        assert_eq!(snap.span_total_nanos(Span::FusedSweep), 300);
+        assert_eq!(snap.span_count(Span::FusedSweep), 2);
+        assert_eq!(snap.histogram(Hist::PassNanos).count(), 2);
+        assert_eq!(snap.histogram(Hist::PassNanos).bucket(0), 1);
+        assert_eq!(snap.histogram(Hist::PassNanos).bucket(3), 1);
+        // Snapshot merge doubles everything.
+        let mut doubled = snap.clone();
+        doubled.merge(&snap);
+        assert_eq!(doubled.counter(Counter::ItemsFolded), 120);
+        assert_eq!(doubled.span_count(Span::FusedSweep), 4);
+    }
+
+    #[test]
+    fn concurrent_writers_lose_nothing() {
+        let r = MetricsRecorder::new(4);
+        std::thread::scope(|scope| {
+            for lane in 0..4 {
+                let r = &r;
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        r.add(lane, Counter::ProbeHits, 1);
+                        r.observe(lane, Hist::ShardNanos, lane as u64);
+                    }
+                });
+            }
+        });
+        let snap = r.snapshot().unwrap();
+        assert_eq!(snap.counter(Counter::ProbeHits), 4000);
+        assert_eq!(snap.histogram(Hist::ShardNanos).count(), 4000);
+    }
+}

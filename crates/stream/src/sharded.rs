@@ -99,6 +99,18 @@ impl<'a> ShardedStream<'a> {
     {
         self.inner.pass_sharded(workers, fold)
     }
+
+    /// One timed pass over the stream (see
+    /// [`ShardedSnapshot::pass_sharded_timed`](crate::ShardedSnapshot::pass_sharded_timed)):
+    /// each shard accumulator is paired with its fold's wall time in
+    /// nanoseconds, with fold results bit-identical to the untimed pass.
+    pub fn pass_sharded_timed<T, F>(&self, workers: usize, fold: F) -> Vec<(T, u64)>
+    where
+        T: Send,
+        F: Fn(usize, &[Edge]) -> T + Sync,
+    {
+        self.inner.pass_sharded_timed(workers, fold)
+    }
 }
 
 impl StreamSnapshot for ShardedStream<'_> {

@@ -31,6 +31,7 @@
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Instant;
 
 use degentri_graph::Edge;
 
@@ -301,6 +302,30 @@ impl<'a, T: Copy + Send + Sync> ShardedSnapshot<'a, T> {
             |(), s| fold(s, self.shard(s)),
         )
     }
+
+    /// [`pass_sharded`](Self::pass_sharded) with per-shard wall-clock
+    /// timing: each accumulator is paired with the nanoseconds its shard's
+    /// fold spent on a pool worker. The fold results are bit-identical to
+    /// the untimed pass — the clock reads bracket the fold and never feed
+    /// back into it — so observability callers can switch between the two
+    /// without perturbing outcomes.
+    pub fn pass_sharded_timed<A, F>(&self, workers: usize, fold: F) -> Vec<(A, u64)>
+    where
+        A: Send,
+        F: Fn(usize, &[T]) -> A + Sync,
+    {
+        self.note_pass();
+        run_indexed_pool(
+            workers,
+            self.shards(),
+            || (),
+            |(), s| {
+                let started = Instant::now();
+                let acc = fold(s, self.shard(s));
+                (acc, started.elapsed().as_nanos() as u64)
+            },
+        )
+    }
 }
 
 /// A contiguous, order-preserving partition of a turnstile snapshot —
@@ -363,6 +388,16 @@ impl<'a> ShardedDynamicStream<'a> {
         F: Fn(usize, &[EdgeUpdate]) -> A + Sync,
     {
         self.inner.pass_sharded(workers, fold)
+    }
+
+    /// One timed pass over the update stream (see
+    /// [`ShardedSnapshot::pass_sharded_timed`]).
+    pub fn pass_sharded_timed<A, F>(&self, workers: usize, fold: F) -> Vec<(A, u64)>
+    where
+        A: Send,
+        F: Fn(usize, &[EdgeUpdate]) -> A + Sync,
+    {
+        self.inner.pass_sharded_timed(workers, fold)
     }
 }
 

@@ -26,7 +26,11 @@
 //!   built on those sketches;
 //! * [`engine`] — the parallel, batched estimation engine: copy-parallel
 //!   execution of the estimators and a concurrent job scheduler over a
-//!   shared stream snapshot.
+//!   shared stream snapshot;
+//! * [`obs`] — first-party observability: lock-free per-worker metric
+//!   lanes (counters, span timers, log2 histograms) and the
+//!   [`RunReport`](obs::RunReport) run → cohort → pass → shard breakdown
+//!   the engine assembles when recording is on.
 //!
 //! # Quickstart
 //!
@@ -278,6 +282,63 @@
 //!     per_copy.jobs[0].estimation.copy_estimates,
 //! );
 //! ```
+//!
+//! # Quickstart: observability
+//!
+//! Flip [`EngineConfig`]'s `recording` switch and the run records metrics
+//! into lock-free per-worker lanes and attaches a
+//! [`RunReport`](obs::RunReport) to the [`EngineReport`](engine::EngineReport):
+//! a run → cohort → pass → shard breakdown with self/total times, work
+//! tallies (items folded, probe hits, sketch updates), per-job
+//! queue-to-completion latency, and the merged counter/span/histogram
+//! snapshot. Recording is observation-only — estimates are bit-identical
+//! with it on or off — and the default (off) compiles the instrumentation
+//! points down to nothing. The report prints as an aligned text tree and
+//! serializes to a stable hand-rolled JSON schema:
+//!
+//! ```
+//! use degentri::obs::RunReport;
+//! use degentri::prelude::*;
+//!
+//! let graph = degentri::gen::wheel(400).unwrap();
+//! let stream = MemoryStream::from_graph(&graph, StreamOrder::AsGiven);
+//! let config = EstimatorConfig::builder()
+//!     .kappa(3)
+//!     .triangle_lower_bound(399)
+//!     .copies(4)
+//!     .seed(7)
+//!     .try_build()
+//!     .unwrap();
+//!
+//! let mut engine = Engine::new(
+//!     EngineConfig::builder()
+//!         .workers(2)
+//!         .recording(true)
+//!         .try_build()
+//!         .unwrap(),
+//! );
+//! engine.submit(JobSpec::main("wheel", config.clone()));
+//! let recorded = engine.run(&stream).unwrap();
+//!
+//! // The report nests the fused cohort's six passes inside the run:
+//! let report = recorded.run_report.as_ref().unwrap();
+//! assert_eq!(report.cohorts[0].passes.len(), 6);
+//! let tree = report.to_string();
+//! assert!(tree.contains("cohort six-pass") && tree.contains("p2_degrees"));
+//!
+//! // ...round-trips through its JSON schema...
+//! let parsed = RunReport::from_json(&report.to_json()).unwrap();
+//! assert_eq!(&parsed, report);
+//!
+//! // ...and recording never changes the estimate.
+//! let mut silent = Engine::new(EngineConfig::with_workers(2));
+//! silent.submit(JobSpec::main("wheel", config));
+//! let baseline = silent.run(&stream).unwrap();
+//! assert_eq!(
+//!     recorded.jobs[0].estimation.copy_estimates,
+//!     baseline.jobs[0].estimation.copy_estimates,
+//! );
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -289,6 +350,7 @@ pub use degentri_dynamic as dynamic;
 pub use degentri_engine as engine;
 pub use degentri_gen as gen;
 pub use degentri_graph as graph;
+pub use degentri_obs as obs;
 pub use degentri_sketch as sketch;
 pub use degentri_stream as stream;
 
@@ -307,6 +369,7 @@ pub mod prelude {
         parallel_estimate_triangles, Engine, EngineConfig, EngineStats, JobSpec,
     };
     pub use degentri_graph::{CsrGraph, Edge, GraphBuilder, Triangle, VertexId};
+    pub use degentri_obs::RunReport;
     pub use degentri_stream::{
         DynamicEdgeStream, DynamicMemoryStream, EdgeStream, EdgeUpdate, MemoryStream,
         ShardedDynamicStream, ShardedStream, Snapshot, SpaceReport, StreamOrder,
