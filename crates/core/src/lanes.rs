@@ -1,0 +1,204 @@
+//! Fixed-width lane kernels for the fold hot loops.
+//!
+//! Post-PR5 the fused sweeps are ALU/bandwidth-bound, not traversal-bound:
+//! the per-item cost is hash mixing and sorted-table probing inside the
+//! order-insensitive folds (passes 2/4/6 of the main estimator and the
+//! cohort union probes). This module restructures those loops as
+//! **fixed-width lanes** — `LANES`-sized arrays processed by loops whose
+//! trip counts are key-independent — so the compiler can autovectorize the
+//! arithmetic strips and the branch predictor never sees a data-dependent
+//! branch on the probe path.
+//!
+//! Three kernels live here:
+//!
+//! * [`blocks_of`] — the chunk driver: splits a fold chunk into full
+//!   `LANES`-wide blocks plus a scalar tail (callers count the blocks into
+//!   [`PassTally::kernel_batches`](degentri_obs::PassTally) so reports can
+//!   show lane utilization).
+//! * [`mix_lanes`] — the SplitMix64 finalizer over a whole lane of vertex
+//!   ids at once (a pure arithmetic strip, vectorizable).
+//! * [`find_sorted_lanes`] — batched sorted-table membership: `LANES`
+//!   independent binary searches whose load chains overlap, returning
+//!   in-bounds indices plus a hit mask so callers can apply the results
+//!   with branch-free masked stores (see its docs for why a lockstep
+//!   conditional-move descent measured *slower* than branchy search).
+//!
+//! Everything here is **bit-identical** to the scalar code it replaces:
+//! the lanes only batch independent lookups, and the callers only reorder
+//! commutative integer arithmetic (counter sums, bitmap ORs). The
+//! order-sensitive folds (pass 1 gather, pass 5 sample cursors) never
+//! route through lane kernels.
+//!
+//! A `core::simd` shim is the natural next step once the toolchain allows
+//! portable-SIMD on stable; until then the kernels rely on
+//! autovectorization, verified by the perf bin's asm smoke check (see
+//! `crates/bench/src/bin/perf.rs`).
+
+/// The fixed lane width. Eight 64-bit values fill one AVX-512 register or
+/// two AVX2 registers — wide enough to keep vector units busy, small
+/// enough that scalar tails stay negligible for realistic batch sizes.
+pub const LANES: usize = 8;
+
+/// Splits a fold chunk into full `LANES`-wide blocks plus the scalar tail.
+///
+/// The blocks feed the lane kernels; the tail (fewer than `LANES` items)
+/// goes through the unchanged scalar path. Callers tally one
+/// `kernel_batches` per block.
+#[inline]
+pub fn blocks_of<T>(chunk: &[T]) -> (&[[T; LANES]], &[T]) {
+    chunk.as_chunks::<LANES>()
+}
+
+/// SplitMix64 finalizer over one `u32` key — the workspace's shared
+/// open-addressing mixer (also used by [`VertexSlotMap`]).
+///
+/// [`VertexSlotMap`]: crate::scratch::VertexSlotMap
+#[inline]
+pub fn mix(key: u32) -> u64 {
+    let mut x = key as u64;
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// [`mix`] over a whole lane at once. The loop has a fixed trip count and
+/// no memory dependencies, so it compiles to a straight-line vector strip.
+#[inline]
+pub fn mix_lanes(keys: &[u32; LANES]) -> [u64; LANES] {
+    let mut out = [0u64; LANES];
+    for (o, &key) in out.iter_mut().zip(keys.iter()) {
+        *o = mix(key);
+    }
+    out
+}
+
+/// Batched membership search: locates each of `LANES` keys in a sorted,
+/// deduplicated table with `LANES` independent binary searches.
+///
+/// Returns per-lane candidate indices plus a bitmask of lanes whose key is
+/// actually present (`table[idx[l]] == keys[l]`). For a key not in the
+/// table the returned index is meaningless (its mask bit is 0) but always
+/// `0`, so it stays in bounds for any non-empty table — callers may apply
+/// all `LANES` results with branch-free masked stores without an extra
+/// bounds branch.
+///
+/// The batch exists for instruction-level parallelism: the `LANES`
+/// searches carry independent load chains, so the core overlaps their
+/// cache misses. An earlier revision used a lockstep *branchless*
+/// lower-bound descent (one shared halving sequence, conditional-move
+/// advance); measured on real probe tables it was ~3x slower than this
+/// form, because the conditional move serializes each lane's dependent
+/// loads — every level's address waits on the previous cmov — whereas
+/// branchy binary search lets the CPU speculate past the comparison and
+/// issue the next level's load early. "Branchless" is not free when it
+/// trades away speculative loads.
+///
+/// Equivalent to `table.binary_search(&key)` membership per lane — the
+/// proptests in this module pin that down.
+#[inline]
+pub fn find_sorted_lanes(table: &[u64], keys: &[u64; LANES]) -> ([u32; LANES], u32) {
+    let mut idx = [0u32; LANES];
+    let mut mask = 0u32;
+    for l in 0..LANES {
+        if let Ok(at) = table.binary_search(&keys[l]) {
+            idx[l] = at as u32;
+            mask |= 1 << l;
+        }
+    }
+    (idx, mask)
+}
+
+/// Scalar reference for the batched search: one key, same probe logic.
+/// Used by scalar-tail code so tails and lanes share the exact probe
+/// semantics, and by the perf bin as the like-for-like baseline kernel.
+#[inline]
+pub fn find_sorted(table: &[u64], key: u64) -> (u32, bool) {
+    match table.binary_search(&key) {
+        Ok(at) => (at as u32, true),
+        Err(_) => (0, false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn blocks_cover_chunk_exactly() {
+        for n in 0..40usize {
+            let data: Vec<u32> = (0..n as u32).collect();
+            let (blocks, tail) = blocks_of(&data);
+            assert_eq!(blocks.len(), n / LANES);
+            assert_eq!(tail.len(), n % LANES);
+            let mut rebuilt: Vec<u32> = blocks.iter().flatten().copied().collect();
+            rebuilt.extend_from_slice(tail);
+            assert_eq!(rebuilt, data);
+        }
+    }
+
+    #[test]
+    fn mix_lanes_matches_scalar_mix() {
+        let keys = [0u32, 1, 7, 63, 1024, u32::MAX, 0xDEAD_BEEF, 42];
+        let mixed = mix_lanes(&keys);
+        for (l, &key) in keys.iter().enumerate() {
+            assert_eq!(mixed[l], mix(key));
+        }
+    }
+
+    #[test]
+    fn find_sorted_lanes_on_small_tables() {
+        // Empty table: nothing found.
+        let (_, mask) = find_sorted_lanes(&[], &[0; LANES]);
+        assert_eq!(mask, 0);
+        // Hand-checked table.
+        let table = [1u64, 3, 5];
+        let keys = [0u64, 1, 2, 3, 4, 5, 6, u64::MAX];
+        let (idx, mask) = find_sorted_lanes(&table, &keys);
+        for (l, &key) in keys.iter().enumerate() {
+            let expect = table.binary_search(&key);
+            assert_eq!((mask >> l) & 1 == 1, expect.is_ok(), "key {key}");
+            if let Ok(at) = expect {
+                assert_eq!(idx[l] as usize, at, "key {key}");
+            }
+            assert!((idx[l] as usize) < table.len(), "index stays in bounds");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn prop_find_sorted_lanes_matches_binary_search(
+            raw in proptest::collection::vec(0u64..97, 0..50),
+            probes in proptest::collection::vec(0u64..97, LANES),
+        ) {
+            let mut table = raw;
+            table.sort_unstable();
+            table.dedup();
+            let mut keys = [0u64; LANES];
+            keys.copy_from_slice(&probes);
+            let (idx, mask) = find_sorted_lanes(&table, &keys);
+            for (l, &key) in keys.iter().enumerate() {
+                let expect = table.binary_search(&key);
+                prop_assert_eq!(
+                    (mask >> l) & 1 == 1,
+                    expect.is_ok(),
+                    "membership for key {} in {:?}",
+                    key,
+                    &table
+                );
+                if let Ok(at) = expect {
+                    prop_assert_eq!(idx[l] as usize, at);
+                }
+                let (si, sf) = find_sorted(&table, key);
+                prop_assert_eq!(sf, expect.is_ok(), "scalar reference agrees");
+                if !table.is_empty() {
+                    prop_assert!((idx[l] as usize) < table.len());
+                    prop_assert!((si as usize) < table.len());
+                }
+            }
+        }
+    }
+}

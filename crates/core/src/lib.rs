@@ -31,6 +31,38 @@
 //!   `m∆/T`, …) used by the experiments to compare measured space against
 //!   predictions.
 //!
+//! ## Performance architecture
+//!
+//! The streaming hot path is organized around three layers:
+//!
+//! 1. **Order-insensitive folds** ([`stages`]): each pass of the six-pass
+//!    estimator is a `begin_pass → fold(chunk) → finish_pass` stage whose
+//!    counter-mode randomness makes it a linear fold over the edge
+//!    multiset — chunking, sharding and copy-fusion never change the
+//!    merged result.
+//! 2. **Lane kernels** ([`lanes`]): the probe-bound passes (2, 4, 6)
+//!    restructure their chunk loops into fixed `LANES`-wide blocks — one
+//!    batched hash-mix strip, one batched sorted-table membership search,
+//!    then branch-free masked stores into the accumulator. Blocks are
+//!    tallied into per-pass `kernel_batches` so run reports expose lane
+//!    utilization. Everything is bit-identical to the scalar reference
+//!    (`fold_scalar`), which stays in-tree as the parity oracle and bench
+//!    baseline.
+//! 3. **Cohort fan-out** ([`stages::MainCopyStages::fold_cohort`]): fused
+//!    multi-copy sweeps probe one union structure per pass and fan each
+//!    hit out to its `(copy, slot)` targets. Heavy applies ride a stable
+//!    counting scatter into copy-major runs (one tight loop per copy);
+//!    cheap commutative applies (counter bumps, bitmap ORs) dispatch
+//!    directly in stream order, where measurement shows the scatter's
+//!    materialization cost exceeds its payoff.
+//!
+//! Two hard-won measurement notes live in [`lanes`]: branchless
+//! conditional-move search descents lose to branchy `binary_search` on
+//! large tables (cmov serializes the dependent-load chain that speculation
+//! would overlap), and accumulator writes interleaved with tally updates
+//! must be hoisted to locals so the compiler can keep hot-loop pointers in
+//! registers.
+//!
 //! ```
 //! use degentri_core::{estimate_triangles, EstimatorConfig};
 //! use degentri_gen::wheel;
@@ -58,6 +90,7 @@ pub mod error;
 pub mod estimator;
 pub mod heavy;
 pub mod ideal;
+pub mod lanes;
 pub mod median_of_means;
 pub mod oracle;
 pub mod rng;
@@ -78,7 +111,7 @@ pub use runner::{
     run_main_copy_sharded, run_main_copy_with, CopyContribution, TriangleEstimation,
 };
 pub use scratch::EstimatorScratch;
-pub use stages::{MainCohortPlan, MainCopyStages, MainStageAcc};
+pub use stages::{MainCohortPlan, MainCohortScratch, MainCopyStages, MainStageAcc};
 
 /// Convenient result alias for estimator operations.
 pub type Result<T> = std::result::Result<T, EstimatorError>;

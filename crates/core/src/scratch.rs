@@ -20,6 +20,8 @@
 //! heap allocation** (the per-copy/per-pass `reset` calls only clear or
 //! grow the same buffers).
 
+use crate::lanes::{mix, mix_lanes, LANES};
+
 /// Open-addressed map from `u32` vertex ids to dense slot indices
 /// `0..len()`, with linear probing and a fixed ≤ 50% load factor.
 ///
@@ -33,16 +35,6 @@ pub struct VertexSlotMap {
     buckets: Vec<u64>,
     mask: usize,
     len: u32,
-}
-
-#[inline]
-fn mix(key: u32) -> u64 {
-    // SplitMix64 finalizer — the same mixer the workspace hashing uses.
-    let mut x = key as u64;
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
 }
 
 impl VertexSlotMap {
@@ -119,6 +111,36 @@ impl VertexSlotMap {
             }
             at = (at + 1) & self.mask;
         }
+    }
+
+    /// Lane-batched [`get`](VertexSlotMap::get): looks up `LANES` keys at
+    /// once, returning `miss` for absent ones. The hash strip is one
+    /// vectorizable [`mix_lanes`] call; the short open-addressing walks
+    /// then run back to back with their bucket indices already computed.
+    /// Bit-identical to `LANES` scalar `get` calls (the `miss` sentinel is
+    /// the caller's dummy slot, so hits and misses stay distinguishable).
+    #[inline]
+    pub fn get_lanes(&self, keys: &[u32; LANES], miss: u32) -> [u32; LANES] {
+        let mut out = [miss; LANES];
+        if self.buckets.is_empty() {
+            return out;
+        }
+        let hashes = mix_lanes(keys);
+        for l in 0..LANES {
+            let mut at = hashes[l] as usize & self.mask;
+            loop {
+                let entry = self.buckets[at];
+                if entry == 0 {
+                    break;
+                }
+                if (entry >> 32) as u32 == keys[l] {
+                    out[l] = (entry as u32) - 1;
+                    break;
+                }
+                at = (at + 1) & self.mask;
+            }
+        }
+        out
     }
 }
 

@@ -42,9 +42,49 @@ use crate::assignment::{decide_assignment, AssignmentMemo};
 use crate::config::{DerivedParameters, EstimatorConfig};
 use crate::error::EstimatorError;
 use crate::estimator::MainOutcome;
+use crate::lanes::{blocks_of, find_sorted_lanes, LANES};
 use crate::rng::{streams, CounterRng, PickCell, RngMode};
 use crate::scratch::{EdgeProbeSet, SlotLists, VertexSlotMap};
 use crate::Result;
+
+/// Extracts one lane of `u` endpoints and one of `v` endpoints from a full
+/// block — two plain strips the endpoint-probe kernels consume.
+#[inline]
+fn endpoint_lanes(block: &[Edge; LANES]) -> ([u32; LANES], [u32; LANES]) {
+    let mut us = [0u32; LANES];
+    let mut vs = [0u32; LANES];
+    for (l, e) in block.iter().enumerate() {
+        us[l] = e.u().raw();
+        vs[l] = e.v().raw();
+    }
+    (us, vs)
+}
+
+/// Extracts a lane of packed edge keys from a full block (the probe keys
+/// of the membership passes).
+#[inline]
+fn edge_key_lanes(block: &[Edge; LANES]) -> [u64; LANES] {
+    let mut keys = [0u64; LANES];
+    for (l, e) in block.iter().enumerate() {
+        keys[l] = e.key();
+    }
+    keys
+}
+
+/// Both endpoints of a full block as two lanes in **interleaved** `(edge,
+/// side)` order: lane group 0 holds `u0 v0 u1 v1 …`, group 1 the rest.
+/// The cohort fan-out probes endpoints through these groups so collected
+/// hits keep exactly the per-item order `u(e), v(e)` of the scalar fold —
+/// which the order-sensitive pass-5 gather cursors rely on.
+#[inline]
+fn interleaved_endpoint_lanes(block: &[Edge; LANES]) -> [[u32; LANES]; 2] {
+    let mut out = [[0u32; LANES]; 2];
+    for (i, e) in block.iter().enumerate() {
+        out[(2 * i) / LANES][(2 * i) % LANES] = e.u().raw();
+        out[(2 * i + 1) / LANES][(2 * i + 1) % LANES] = e.v().raw();
+    }
+    out
+}
 
 /// A degree-proportional instance drawn from `R` (offline, after pass 2).
 #[derive(Debug, Clone)]
@@ -317,13 +357,16 @@ impl MainCopyStages {
     /// the workspace folds over one fixed snapshot view).
     pub fn begin_pass(&self) -> MainStageAcc {
         debug_assert!(!self.finished(), "begin_pass after the sixth pass");
+        // Passes 2 and 4 allocate one extra *sink* slot past the tracked
+        // range: the lane kernels bump it branchlessly on lookup misses and
+        // the finish steps drop it, so the hot loop needs no hit branch.
         let acc = match self.pass {
             0 => Acc::Gather(Vec::new()),
-            1 => Acc::Counts(vec![0; self.vertices.len()]),
+            1 => Acc::Counts(vec![0; self.vertices.len() + 1]),
             2 => Acc::Cells(vec![PickCell::empty(); self.instances.len()]),
             3 => Acc::Closure {
                 bitmap: vec![0; self.probes.bitmap_words()],
-                occ: vec![0; self.vertices.len()],
+                occ: vec![0; self.vertices.len() + 1],
                 start: None,
             },
             4 => Acc::SampleGather {
@@ -344,7 +387,133 @@ impl MainCopyStages {
     /// stream position of the chunk's first edge — the carrier of every
     /// counter-mode sampling decision, so any shard can fold its chunks
     /// without observing the rest of the stream.
+    ///
+    /// The order-insensitive probe passes (2, 4 and 6) route through the
+    /// [`lanes`](crate::lanes) kernels: full [`LANES`]-wide blocks take the
+    /// branchless batched path and the sub-`LANES` tail falls back to
+    /// [`fold_scalar`](MainCopyStages::fold_scalar)'s per-item logic —
+    /// bit-identical, since the lane path only reorders commutative counter
+    /// sums and bitmap ORs. The order-sensitive passes (1, 3, 5) always
+    /// use the scalar fold.
     pub fn fold(&self, acc: &mut MainStageAcc, pos: u64, chunk: &[Edge]) {
+        match self.pass {
+            1 | 3 | 5 => {}
+            _ => return self.fold_scalar(acc, pos, chunk),
+        }
+        acc.tally.items += chunk.len() as u64;
+        let (blocks, tail) = blocks_of(chunk);
+        acc.tally.kernel_batches += blocks.len() as u64;
+        match (&mut acc.acc, self.pass) {
+            (Acc::Counts(counts), 1) => {
+                let miss = self.vertices.len() as u32;
+                // Hoist the accumulator vectors to plain slices and tally
+                // into locals: the lane loops write every iteration, and
+                // mixing those writes with `acc.tally` updates would force
+                // the compiler to reload the Vec pointers each lane (the
+                // writes could alias through `acc`). Locals keep the hot
+                // loop entirely in registers.
+                let counts: &mut [u64] = counts;
+                let mut hits = 0u64;
+                for block in blocks {
+                    let (us, vs) = endpoint_lanes(block);
+                    let su = self.vertices.get_lanes(&us, miss);
+                    let sv = self.vertices.get_lanes(&vs, miss);
+                    for l in 0..LANES {
+                        counts[su[l] as usize] += 1;
+                        counts[sv[l] as usize] += 1;
+                        hits += (su[l] != miss) as u64 + (sv[l] != miss) as u64;
+                    }
+                }
+                for e in tail {
+                    if let Some(s) = self.vertices.get(e.u().raw()) {
+                        counts[s as usize] += 1;
+                        hits += 1;
+                    }
+                    if let Some(s) = self.vertices.get(e.v().raw()) {
+                        counts[s as usize] += 1;
+                        hits += 1;
+                    }
+                }
+                acc.tally.hits += hits;
+            }
+            (Acc::Closure { bitmap, occ, start }, 3) => {
+                if start.is_none() {
+                    *start = Some(pos);
+                }
+                let miss = self.vertices.len() as u32;
+                let table = self.probes.keys();
+                let bitmap: &mut [u64] = bitmap;
+                let occ: &mut [u64] = occ;
+                let mut hits = 0u64;
+                let mut updates = 0u64;
+                for block in blocks {
+                    if !bitmap.is_empty() {
+                        let (idx, mask) = find_sorted_lanes(table, &edge_key_lanes(block));
+                        for (l, &slot) in idx.iter().enumerate() {
+                            let i = slot as usize;
+                            bitmap[i / 64] |= (((mask >> l) & 1) as u64) << (i % 64);
+                        }
+                        hits += mask.count_ones() as u64;
+                    }
+                    let (us, vs) = endpoint_lanes(block);
+                    let su = self.vertices.get_lanes(&us, miss);
+                    let sv = self.vertices.get_lanes(&vs, miss);
+                    for l in 0..LANES {
+                        occ[su[l] as usize] += 1;
+                        occ[sv[l] as usize] += 1;
+                        updates += (su[l] != miss) as u64 + (sv[l] != miss) as u64;
+                    }
+                }
+                for e in tail {
+                    if let Some(i) = self.probes.probe(e.key()) {
+                        EdgeProbeSet::mark_in(bitmap, i);
+                        hits += 1;
+                    }
+                    if let Some(slot) = self.vertices.get(e.u().raw()) {
+                        occ[slot as usize] += 1;
+                        updates += 1;
+                    }
+                    if let Some(slot) = self.vertices.get(e.v().raw()) {
+                        occ[slot as usize] += 1;
+                        updates += 1;
+                    }
+                }
+                acc.tally.hits += hits;
+                acc.tally.updates += updates;
+            }
+            (Acc::Bitmap(bitmap), 5) => {
+                let table = self.probes.keys();
+                let bitmap: &mut [u64] = bitmap;
+                let mut hits = 0u64;
+                if !bitmap.is_empty() {
+                    for block in blocks {
+                        let (idx, mask) = find_sorted_lanes(table, &edge_key_lanes(block));
+                        for (l, &slot) in idx.iter().enumerate() {
+                            let i = slot as usize;
+                            bitmap[i / 64] |= (((mask >> l) & 1) as u64) << (i % 64);
+                        }
+                        hits += mask.count_ones() as u64;
+                    }
+                    for e in tail {
+                        if let Some(i) = self.probes.probe(e.key()) {
+                            EdgeProbeSet::mark_in(bitmap, i);
+                            hits += 1;
+                        }
+                    }
+                }
+                acc.tally.hits += hits;
+            }
+            _ => unreachable!("accumulator kind matches the current pass"),
+        }
+    }
+
+    /// The scalar reference fold: per-item probes, no lane batching. This
+    /// is the implementation every pass ran before the lane kernels landed;
+    /// it stays public so the bit-identity sweeps and the perf bin's
+    /// lane-vs-scalar gate can drive it directly. [`fold`](MainCopyStages::fold)
+    /// delegates the order-sensitive passes (1, 3, 5) and all scalar tails
+    /// here, so the two paths cannot diverge silently.
+    pub fn fold_scalar(&self, acc: &mut MainStageAcc, pos: u64, chunk: &[Edge]) {
         acc.tally.items += chunk.len() as u64;
         match (&mut acc.acc, self.pass) {
             (Acc::Gather(hits), 0) => {
@@ -591,6 +760,9 @@ impl MainCopyStages {
                 *total += c;
             }
         }
+        // Drop the lane kernels' miss-sink slot; only tracked endpoints
+        // carry degrees.
+        self.counts.truncate(tracked);
         debug_assert_eq!(self.counts.len(), tracked);
         let endpoint_degree = |v: VertexId| {
             self.counts[self.vertices.get(v.raw()).expect("tracked endpoint") as usize]
@@ -1091,12 +1263,16 @@ impl UnionIndex {
     #[inline]
     fn get(&self, key: u32) -> &[(u32, u32)] {
         match self.map.get(key) {
-            Some(s) => {
-                &self.entries
-                    [self.offsets[s as usize] as usize..self.offsets[s as usize + 1] as usize]
-            }
+            Some(s) => self.entries_of(s),
             None => &[],
         }
+    }
+
+    /// The `(copy, slot)` pairs of an already-resolved union slot.
+    #[inline]
+    fn entries_of(&self, union_slot: u32) -> &[(u32, u32)] {
+        let s = union_slot as usize;
+        &self.entries[self.offsets[s] as usize..self.offsets[s + 1] as usize]
     }
 }
 
@@ -1112,22 +1288,43 @@ struct EdgeUnion {
 
 impl EdgeUnion {
     fn build(copies: &[MainCopyStages]) -> Self {
-        let mut triples: Vec<(u64, u32, u32)> = Vec::new();
-        for (c, stages) in copies.iter().enumerate() {
-            for (i, &key) in stages.probes.keys().iter().enumerate() {
-                triples.push((key, c as u32, i as u32));
-            }
-        }
-        triples.sort_unstable();
+        // Every copy's sealed probe table is already sorted, so the union
+        // comes from a k-way merge in (key, copy) order — exactly the
+        // triple order a global `(key, copy, slot)` sort would produce,
+        // without the O(N log N) pass over the concatenated tables (the
+        // dominant plan-build cost of the membership passes).
+        let tables: Vec<&[u64]> = copies.iter().map(|c| c.probes.keys()).collect();
+        let total: usize = tables.iter().map(|t| t.len()).sum();
+        let mut heads = vec![0usize; tables.len()];
+        // Cached head keys (`u64::MAX` = exhausted; a real `u64::MAX` key
+        // still merges correctly — the loop runs while any head remains).
+        let mut head_keys: Vec<u64> = tables
+            .iter()
+            .map(|t| t.first().copied().unwrap_or(u64::MAX))
+            .collect();
+        let mut remaining = total;
         let mut keys = Vec::new();
         let mut offsets = vec![0u32];
-        let mut entries = Vec::with_capacity(triples.len());
-        for (key, copy, index) in triples {
-            if keys.last() != Some(&key) {
-                keys.push(key);
-                offsets.push(entries.len() as u32);
+        let mut entries = Vec::with_capacity(total);
+        while remaining > 0 {
+            let key = head_keys.iter().copied().min().expect("cohort non-empty");
+            keys.push(key);
+            offsets.push(entries.len() as u32);
+            // Drain each copy's run of this key in copy order, slots
+            // ascending — the tie order of the sorted triples.
+            for (c, table) in tables.iter().enumerate() {
+                if head_keys[c] != key {
+                    continue;
+                }
+                let mut at = heads[c];
+                while at < table.len() && table[at] == key {
+                    entries.push((c as u32, at as u32));
+                    at += 1;
+                }
+                remaining -= at - heads[c];
+                heads[c] = at;
+                head_keys[c] = table.get(at).copied().unwrap_or(u64::MAX);
             }
-            entries.push((copy, index));
             *offsets.last_mut().expect("offsets are non-empty") = entries.len() as u32;
         }
         EdgeUnion {
@@ -1141,9 +1338,16 @@ impl EdgeUnion {
     #[inline]
     fn get(&self, key: u64) -> &[(u32, u32)] {
         match self.keys.binary_search(&key) {
-            Ok(i) => &self.entries[self.offsets[i] as usize..self.offsets[i + 1] as usize],
+            Ok(i) => self.entries_of(i as u32),
             Err(_) => &[],
         }
+    }
+
+    /// The `(copy, probe index)` pairs at a resolved key index.
+    #[inline]
+    fn entries_of(&self, key_index: u32) -> &[(u32, u32)] {
+        let i = key_index as usize;
+        &self.entries[self.offsets[i] as usize..self.offsets[i + 1] as usize]
     }
 }
 
@@ -1152,6 +1356,148 @@ impl EdgeUnion {
 #[derive(Debug)]
 pub struct MainCohortPlan {
     kind: PlanKind,
+}
+
+/// Reusable per-driver scratch for the scatter-based cohort fan-out:
+/// probe hits collected in stream order, then counting-scattered into
+/// copy-major runs so the apply phase is one tight loop per copy instead
+/// of a branchy per-item dispatch over `accs`. Only passes whose per-hit
+/// apply is heavy enough to amortize the materialization ride the scatter
+/// (currently the neighbor-offer pass); the cheap commutative applies
+/// dispatch directly in stream order. One instance lives per sweeping
+/// thread (the fused driver allocates one per shard closure) and its
+/// buffers are reused across chunks and passes.
+#[derive(Debug, Default)]
+pub struct MainCohortScratch {
+    /// Vertex-probe hits in stream order: `(copy, slot, off·2 | side)`,
+    /// where `off` indexes the chunk and `side` picks `u`/`v`.
+    hits: Vec<(u32, u32, u32)>,
+    /// Per-copy end offsets after the counting scatter.
+    runs: Vec<u32>,
+    /// Copy-major reordering of `hits` (stable, so per-copy stream order
+    /// is preserved exactly).
+    ordered: Vec<(u32, u32, u32)>,
+}
+
+/// Stable counting scatter of `items` into copy-major runs. After the
+/// call, `runs[c]` is the **end** offset of copy `c`'s run in `ordered`
+/// (its start is `runs[c - 1]`, or 0 for the first copy) — see
+/// [`copy_run`].
+fn scatter_runs<T: Copy + Default>(
+    items: &[T],
+    copies: usize,
+    copy_of: impl Fn(&T) -> u32,
+    runs: &mut Vec<u32>,
+    ordered: &mut Vec<T>,
+) {
+    runs.clear();
+    runs.resize(copies + 1, 0);
+    for it in items {
+        runs[copy_of(it) as usize + 1] += 1;
+    }
+    for c in 1..=copies {
+        runs[c] += runs[c - 1];
+    }
+    // Grow-only: the scatter overwrites exactly `items.len()` slots (every
+    // offset below each copy's end lands once), so zero-filling on every
+    // chunk would be a wasted write pass over the buffer.
+    if ordered.len() < items.len() {
+        ordered.resize(items.len(), T::default());
+    }
+    for it in items {
+        let c = copy_of(it) as usize;
+        ordered[runs[c] as usize] = *it;
+        runs[c] += 1;
+    }
+}
+
+/// Copy `c`'s contiguous run after [`scatter_runs`].
+#[inline]
+fn copy_run<'a, T>(runs: &[u32], ordered: &'a [T], c: usize) -> &'a [T] {
+    let start = if c == 0 { 0 } else { runs[c - 1] as usize };
+    &ordered[start..runs[c] as usize]
+}
+
+/// Lane-probes every endpoint of the chunk against the union index and
+/// invokes `sink(copy, slot, off·2 | side)` for each hit **in stream
+/// order** (`u` before `v` per edge, edges in chunk order) — the
+/// interleaved lane groups make the batched path emit hits in exactly the
+/// scalar order. Passes whose per-hit apply is cheap and commutative feed
+/// a direct-apply sink; the scatter-based passes feed a `Vec` push (see
+/// [`collect_vertex_hits`]).
+#[inline]
+fn probe_vertex_hits(
+    union: &UnionIndex,
+    blocks: &[[Edge; LANES]],
+    tail: &[Edge],
+    mut sink: impl FnMut(u32, u32, u32),
+) {
+    const MISS: u32 = u32::MAX;
+    for (b, block) in blocks.iter().enumerate() {
+        let groups = interleaved_endpoint_lanes(block);
+        for (g, keys) in groups.iter().enumerate() {
+            let slots = union.map.get_lanes(keys, MISS);
+            for (l, &s) in slots.iter().enumerate() {
+                if s != MISS {
+                    let occurrence = (g * LANES + l) as u32;
+                    let off = (b * LANES) as u32 + (occurrence >> 1);
+                    let side = occurrence & 1;
+                    for &(copy, slot) in union.entries_of(s) {
+                        sink(copy, slot, (off << 1) | side);
+                    }
+                }
+            }
+        }
+    }
+    let base = (blocks.len() * LANES) as u32;
+    for (t, e) in tail.iter().enumerate() {
+        for (side, endpoint) in [e.u(), e.v()].into_iter().enumerate() {
+            for &(copy, slot) in union.get(endpoint.raw()) {
+                sink(copy, slot, ((base + t as u32) << 1) | side as u32);
+            }
+        }
+    }
+}
+
+/// Phase 1 of the scatter-based cohort fan-out: materializes the
+/// [`probe_vertex_hits`] stream into `hits` for the counting scatter.
+fn collect_vertex_hits(
+    union: &UnionIndex,
+    blocks: &[[Edge; LANES]],
+    tail: &[Edge],
+    hits: &mut Vec<(u32, u32, u32)>,
+) {
+    probe_vertex_hits(union, blocks, tail, |copy, slot, info| {
+        hits.push((copy, slot, info));
+    });
+}
+
+/// Lane search over the union's sorted keys, fanning each found key out to
+/// its `(copy, probe index)` entries via `sink` — in stream order, so a
+/// direct-apply sink reproduces the scalar order exactly.
+#[inline]
+fn probe_edge_hits(
+    union: &EdgeUnion,
+    blocks: &[[Edge; LANES]],
+    tail: &[Edge],
+    mut sink: impl FnMut(u32, u32),
+) {
+    for block in blocks {
+        let (idx, mask) = find_sorted_lanes(&union.keys, &edge_key_lanes(block));
+        let mut m = mask;
+        while m != 0 {
+            let l = m.trailing_zeros() as usize;
+            m &= m - 1;
+            for &(copy, index) in union.entries_of(idx[l]) {
+                sink(copy, index);
+            }
+        }
+    }
+    for e in tail {
+        for &(copy, index) in union.get(e.key()) {
+            sink(copy, index);
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -1199,12 +1545,180 @@ impl MainCopyStages {
     }
 
     /// Folds one chunk into **every** copy's accumulator through the
-    /// cohort plan: one union probe per key fans out to the copies that
-    /// track it. The per-copy accumulator updates are exactly those of
-    /// [`fold`](MainCopyStages::fold), applied in a commutative order, so
-    /// the merged pass results are bit-identical to per-copy folding.
-    /// `accs[k]` belongs to `copies[k]`.
+    /// cohort plan, in two branchless phases: **collect** — lane-probe the
+    /// union structures and append every `(copy, …)` hit in stream order —
+    /// then **apply** — counting-scatter the hits into copy-major runs and
+    /// replay each copy's run as one tight loop. The per-copy accumulator
+    /// updates are exactly those of [`fold`](MainCopyStages::fold), and
+    /// the stable scatter preserves per-copy stream order, so the merged
+    /// pass results are bit-identical to per-copy folding (including the
+    /// order-sensitive pass-5 gather). `accs[k]` belongs to `copies[k]`.
     pub fn fold_cohort(
+        plan: &MainCohortPlan,
+        copies: &[MainCopyStages],
+        accs: &mut [MainStageAcc],
+        scratch: &mut MainCohortScratch,
+        pos: u64,
+        chunk: &[Edge],
+    ) {
+        debug_assert_eq!(copies.len(), accs.len());
+        if matches!(plan.kind, PlanKind::PerCopy) {
+            // Pass 1: positional gathers are O(log) per chunk per copy —
+            // the per-copy loop is already optimal (fold tallies itself).
+            for (stages, acc) in copies.iter().zip(accs.iter_mut()) {
+                stages.fold(acc, pos, chunk);
+            }
+            return;
+        }
+        let (blocks, tail) = blocks_of(chunk);
+        for acc in accs.iter_mut() {
+            acc.tally.items += chunk.len() as u64;
+            acc.tally.kernel_batches += blocks.len() as u64;
+        }
+        scratch.hits.clear();
+        match &plan.kind {
+            PlanKind::PerCopy => unreachable!("handled above"),
+            PlanKind::Degrees(union) => {
+                // The pass-2 apply is a bare counter bump — commutative and
+                // cheaper than the copy-major scatter it would ride in —
+                // so hits apply directly in stream order (bit-identical:
+                // integer adds commute). Lane probing of the union is kept;
+                // only the materialize/scatter/replay round-trip is skipped.
+                probe_vertex_hits(union, blocks, tail, |copy, slot, _| {
+                    let acc = &mut accs[copy as usize];
+                    let Acc::Counts(counts) = &mut acc.acc else {
+                        unreachable!("pass-2 accumulator");
+                    };
+                    counts[slot as usize] += 1;
+                    acc.tally.hits += 1;
+                });
+            }
+            PlanKind::Neighbors(union) => {
+                collect_vertex_hits(union, blocks, tail, &mut scratch.hits);
+                scatter_runs(
+                    &scratch.hits,
+                    copies.len(),
+                    |h| h.0,
+                    &mut scratch.runs,
+                    &mut scratch.ordered,
+                );
+                for (c, acc) in accs.iter_mut().enumerate() {
+                    let run = copy_run(&scratch.runs, &scratch.ordered, c);
+                    if run.is_empty() {
+                        continue;
+                    }
+                    let stages = &copies[c];
+                    let Acc::Cells(cells) = &mut acc.acc else {
+                        unreachable!("pass-3 accumulator");
+                    };
+                    for &(_, slot, info) in run {
+                        let off = (info >> 1) as usize;
+                        let e = &chunk[off];
+                        let endpoint = if info & 1 == 0 { e.u() } else { e.v() };
+                        let p = pos + off as u64;
+                        let base = stages.rng_neighbor.base(p);
+                        stages.offer_neighbor(cells, slot, base, p, e, endpoint);
+                    }
+                    acc.tally.hits += run.len() as u64;
+                }
+            }
+            PlanKind::Closure { edges, vertices } => {
+                for acc in accs.iter_mut() {
+                    let Acc::Closure { start, .. } = &mut acc.acc else {
+                        unreachable!("pass-4 accumulator");
+                    };
+                    if start.is_none() {
+                        *start = Some(pos);
+                    }
+                }
+                // Both applies are commutative single stores (bitmap OR,
+                // occupancy bump), so hits go straight to their copy in
+                // stream order — the scatter's tight-loop payoff cannot
+                // recoup its materialization cost here.
+                probe_edge_hits(edges, blocks, tail, |copy, index| {
+                    let acc = &mut accs[copy as usize];
+                    let Acc::Closure { bitmap, .. } = &mut acc.acc else {
+                        unreachable!("pass-4 accumulator");
+                    };
+                    EdgeProbeSet::mark_in(bitmap, index as usize);
+                    acc.tally.hits += 1;
+                });
+                probe_vertex_hits(vertices, blocks, tail, |copy, slot, _| {
+                    let acc = &mut accs[copy as usize];
+                    let Acc::Closure { occ, .. } = &mut acc.acc else {
+                        unreachable!("pass-4 accumulator");
+                    };
+                    occ[slot as usize] += 1;
+                    acc.tally.updates += 1;
+                });
+            }
+            PlanKind::Gather(union) => {
+                for (stages, acc) in copies.iter().zip(accs.iter_mut()) {
+                    let Acc::SampleGather {
+                        counters,
+                        cursors,
+                        initialized,
+                        ..
+                    } = &mut acc.acc
+                    else {
+                        unreachable!("pass-5 accumulator");
+                    };
+                    if !*initialized {
+                        stages.init_gather(counters, cursors, pos);
+                        *initialized = true;
+                    }
+                }
+                // Gather hits are sparse and the per-hit apply touches
+                // per-copy cursor state anyway — direct stream-order
+                // dispatch preserves each copy's hit order (the property
+                // the stable scatter existed to protect) without the
+                // materialize/scatter round-trip.
+                probe_vertex_hits(union, blocks, tail, |copy, slot, info| {
+                    let stages = &copies[copy as usize];
+                    let acc = &mut accs[copy as usize];
+                    let Acc::SampleGather {
+                        counters,
+                        cursors,
+                        hits,
+                        ..
+                    } = &mut acc.acc
+                    else {
+                        unreachable!("pass-5 accumulator");
+                    };
+                    let off = (info >> 1) as usize;
+                    let e = &chunk[off];
+                    let endpoint = if info & 1 == 0 { e.u() } else { e.v() };
+                    stages.gather_occurrence(counters, cursors, hits, slot as usize, e, endpoint);
+                    acc.tally.updates += 1;
+                });
+                for acc in accs.iter_mut() {
+                    let Acc::SampleGather { hits, .. } = &acc.acc else {
+                        unreachable!("pass-5 accumulator");
+                    };
+                    acc.tally.hits = hits.len() as u64;
+                }
+            }
+            PlanKind::Membership(union) => {
+                // Membership marks are commutative bitmap ORs — direct
+                // stream-order apply, same reasoning as the closure pass.
+                probe_edge_hits(union, blocks, tail, |copy, index| {
+                    let acc = &mut accs[copy as usize];
+                    let Acc::Bitmap(bitmap) = &mut acc.acc else {
+                        unreachable!("pass-6 accumulator");
+                    };
+                    EdgeProbeSet::mark_in(bitmap, index as usize);
+                    acc.tally.hits += 1;
+                });
+            }
+        }
+    }
+
+    /// The scalar reference cohort fold: per-item union probes with an
+    /// immediate branchy fan-out over `accs` — the pre-lane implementation,
+    /// kept public for the bit-identity sweeps and the perf bin's
+    /// lane-vs-scalar cohort gate. Results are bit-identical to
+    /// [`fold_cohort`](MainCopyStages::fold_cohort).
+    pub fn fold_cohort_scalar(
         plan: &MainCohortPlan,
         copies: &[MainCopyStages],
         accs: &mut [MainStageAcc],

@@ -11,25 +11,31 @@
 //!
 //! Two hot-path properties of the stage folds:
 //!
-//! * **Prepared updates** — the fingerprint contribution `z^edge · delta`
-//!   and the weighted index term are computed **once per update** for the
-//!   whole sketch bank ([`SketchUpdate`]), so a cell touch is three
-//!   additions instead of a 128-bit modular multiplication.
-//! * **Sampler-outermost chunk folds** — pass 1 prepares each chunk's
-//!   updates once and then runs every ℓ0 sampler over the prepared chunk
-//!   ([`L0Sampler::apply_batch`]), keeping each sampler's tables
-//!   cache-resident across the chunk instead of walking the whole bank's
-//!   tables once per update.
+//! * **Prepared updates** — the fingerprint contribution `z^edge · delta`,
+//!   the weighted index term and the field-reduced key are computed **once
+//!   per update** for the whole sketch bank ([`SketchUpdate`]), with the
+//!   `z^edge` power drawn from a tabulated square ladder
+//!   ([`degentri_sketch::FingerprintPow`]), so a cell touch is three
+//!   additions instead of a 128-bit modular exponentiation.
+//! * **Lane-batched sampler banks** — both ℓ0 banks live in the flattened
+//!   [`L0Bank`] structure-of-arrays, so each prepared update runs the
+//!   whole bank as one strip-mined kernel: contiguous Horner coefficient
+//!   lanes at the shared reduced key, mask buckets instead of hardware
+//!   division, and the level-0 rows of every sampler in one compact
+//!   region. [`DynamicCopyStages::fold_scalar`] keeps the sampler-by-
+//!   sampler reference path for the bit-identity tests and the bench's
+//!   kernel-attribution gate.
 //!
-//! Both are bit-identical reorderings of the same linear arithmetic, so
-//! per-copy, sharded, and fused execution agree bit for bit at every
-//! batch size, shard count, worker count and cohort grouping.
+//! All of these are bit-identical reorderings of the same linear
+//! arithmetic, so per-copy, sharded, fused, batched and scalar execution
+//! agree bit for bit at every batch size, shard count, worker count and
+//! cohort grouping.
 
 use degentri_core::rng::{streams, CounterRng, RngMode, WeightedPickCell};
 use degentri_graph::{Edge, VertexId};
 use degentri_obs::PassTally;
 use degentri_sketch::hash::MERSENNE_PRIME;
-use degentri_sketch::{L0Sampler, SketchUpdate};
+use degentri_sketch::{L0Bank, L0Sampler, SketchUpdate};
 use degentri_stream::{EdgeUpdate, SpaceMeter};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -137,17 +143,17 @@ pub struct DynamicStageAcc {
 
 #[derive(Debug)]
 enum DynAcc {
-    /// Pass 1: the ℓ0 edge-sampler bank, the net edge count, and the
-    /// per-chunk prepared-update scratch.
+    /// Pass 1: the lane-batched ℓ0 edge-sampler bank, the net edge count,
+    /// and the per-chunk prepared-update scratch.
     Edges {
-        bank: Vec<L0Sampler>,
+        bank: L0Bank,
         net: i64,
         prep: Vec<SketchUpdate>,
     },
     /// Pass 2: signed degree counters over the tracked endpoints.
     Degrees(Vec<i64>),
-    /// Pass 3: the per-instance ℓ0 neighbor-sampler bank.
-    Neighbors(Vec<L0Sampler>),
+    /// Pass 3: the per-instance ℓ0 neighbor-sampler bank, flattened.
+    Neighbors(L0Bank),
     /// Pass 4: signed counters over the distinct closure queries.
     Closure(Vec<i64>),
 }
@@ -165,7 +171,7 @@ pub struct DynamicCopyStages {
     meter: SpaceMeter,
     edge_base: u64,
     neighbor_base: u64,
-    edge_templates: Vec<L0Sampler>,
+    edge_bank: L0Bank,
     r_edges: Vec<Edge>,
     m_net: usize,
     endpoints: Vec<u32>,
@@ -173,7 +179,7 @@ pub struct DynamicCopyStages {
     degrees: Vec<u64>,
     d_r: u64,
     instances: Vec<Instance>,
-    neighbor_templates: Vec<L0Sampler>,
+    neighbor_bank: L0Bank,
     bases: Vec<u32>,
     list_starts: Vec<usize>,
     list_ids: Vec<usize>,
@@ -217,6 +223,9 @@ impl DynamicCopyStages {
                 L0Sampler::for_universe_with_base(edge_universe, edge_base, &mut sampler_rng)
             })
             .collect();
+        // Flatten the bank once; every pass-1 accumulator clones the flat
+        // arrays instead of a forest of per-sampler allocations.
+        let edge_bank = L0Bank::from_samplers(edge_templates);
         Ok(DynamicCopyStages {
             config: config.clone(),
             seed,
@@ -227,7 +236,7 @@ impl DynamicCopyStages {
             meter: SpaceMeter::new(),
             edge_base,
             neighbor_base: shared_fingerprint_base(seed, 1),
-            edge_templates,
+            edge_bank,
             r_edges: Vec::new(),
             m_net: 0,
             endpoints: Vec::new(),
@@ -235,7 +244,7 @@ impl DynamicCopyStages {
             degrees: Vec::new(),
             d_r: 0,
             instances: Vec::new(),
-            neighbor_templates: Vec::new(),
+            neighbor_bank: L0Bank::from_samplers(Vec::new()),
             bases: Vec::new(),
             list_starts: Vec::new(),
             list_ids: Vec::new(),
@@ -288,12 +297,12 @@ impl DynamicCopyStages {
         debug_assert!(!self.finished(), "begin_pass after the fourth pass");
         let acc = match self.pass {
             0 => DynAcc::Edges {
-                bank: self.edge_templates.clone(),
+                bank: self.edge_bank.clone(),
                 net: 0,
                 prep: Vec::new(),
             },
             1 => DynAcc::Degrees(vec![0; self.endpoints.len()]),
-            2 => DynAcc::Neighbors(self.neighbor_templates.clone()),
+            2 => DynAcc::Neighbors(self.neighbor_bank.clone()),
             _ => DynAcc::Closure(vec![0; self.query_keys.len()]),
         };
         DynamicStageAcc {
@@ -305,27 +314,27 @@ impl DynamicCopyStages {
     /// Folds one chunk of the update snapshot into `acc`. Every fold is a
     /// linear function of the update multiset, so chunking and sharding
     /// never change the merged result.
+    ///
+    /// The sketch passes run their banks through the lane-batched
+    /// [`L0Bank`] kernels; [`fold_scalar`](Self::fold_scalar) is the
+    /// sampler-by-sampler reference producing bit-identical accumulators.
     pub fn fold(&self, acc: &mut DynamicStageAcc, _pos: u64, chunk: &[EdgeUpdate]) {
         acc.tally.items += chunk.len() as u64;
         match &mut acc.acc {
             DynAcc::Edges { bank, net, prep } => {
-                // Prepare the chunk once (one modular exponentiation per
-                // update for the whole bank), then run each sampler over
-                // the prepared chunk — sampler-outermost for locality.
+                // Prepare the chunk once (one tabulated exponentiation per
+                // update for the whole bank), then run the bank's batched
+                // kernel over each prepared update.
                 prep.clear();
                 for update in chunk {
                     *net += update.delta();
-                    prep.push(SketchUpdate::prepare(
-                        self.edge_base,
-                        update.edge.key(),
-                        update.delta(),
-                    ));
+                    prep.push(bank.prepare(update.edge.key(), update.delta()));
                 }
-                for sampler in bank.iter_mut() {
-                    sampler.apply_batch(prep);
-                }
-                // Every prepared update hit every sampler of the bank.
-                acc.tally.updates += (chunk.len() * bank.len()) as u64;
+                bank.apply_batch(prep);
+                // Every prepared update hit every sampler of the bank, as
+                // one bank-wide kernel invocation each.
+                acc.tally.updates += (chunk.len() * bank.samplers()) as u64;
+                acc.tally.kernel_batches += chunk.len() as u64;
             }
             DynAcc::Degrees(deg) => {
                 for update in chunk {
@@ -340,7 +349,7 @@ impl DynamicCopyStages {
                     }
                 }
             }
-            DynAcc::Neighbors(samplers) => {
+            DynAcc::Neighbors(bank) => {
                 for update in chunk {
                     let delta = update.delta();
                     for endpoint in [update.edge.u(), update.edge.v()] {
@@ -351,10 +360,9 @@ impl DynamicCopyStages {
                                 .other(endpoint)
                                 .expect("endpoint belongs to edge")
                                 .index() as u64;
-                            let prepared =
-                                SketchUpdate::prepare(self.neighbor_base, candidate, delta);
+                            let prepared = bank.prepare(candidate, delta);
                             for &i in &self.list_ids[self.list_starts[b]..self.list_starts[b + 1]] {
-                                samplers[i].apply(&prepared);
+                                bank.apply_one(i, &prepared);
                                 acc.tally.updates += 1;
                             }
                         }
@@ -370,6 +378,32 @@ impl DynamicCopyStages {
                 }
             }
         }
+    }
+
+    /// The scalar reference fold: identical to [`fold`](Self::fold) except
+    /// that the pass-1 bank processes the chunk sampler-outermost through
+    /// [`L0Bank::apply_batch_scalar`] and updates are prepared by the
+    /// square-and-multiply ladder. Accumulator state is bit-identical to
+    /// the batched kernel's (only the `kernel_batches` tally differs —
+    /// this path reports none); kept for the parity tests and as the
+    /// baseline the bench's kernel-attribution gate measures against.
+    pub fn fold_scalar(&self, acc: &mut DynamicStageAcc, _pos: u64, chunk: &[EdgeUpdate]) {
+        if let DynAcc::Edges { bank, net, prep } = &mut acc.acc {
+            acc.tally.items += chunk.len() as u64;
+            prep.clear();
+            for update in chunk {
+                *net += update.delta();
+                prep.push(SketchUpdate::prepare(
+                    self.edge_base,
+                    update.edge.key(),
+                    update.delta(),
+                ));
+            }
+            bank.apply_batch_scalar(prep);
+            acc.tally.updates += (chunk.len() * bank.samplers()) as u64;
+            return;
+        }
+        self.fold(acc, _pos, chunk);
     }
 
     /// Consumes the pass's per-shard accumulators in shard order, merges
@@ -416,7 +450,7 @@ impl DynamicCopyStages {
         let Some(DynamicStageAcc {
             acc:
                 DynAcc::Edges {
-                    bank: mut samplers,
+                    bank: mut merged,
                     net: mut net_edges,
                     ..
                 },
@@ -430,20 +464,16 @@ impl DynamicCopyStages {
                 unreachable!("pass-1 accumulator");
             };
             net_edges += net;
-            for (sampler, other) in samplers.iter_mut().zip(&bank) {
-                sampler.merge(other);
-            }
+            merged.merge(&bank);
         }
-        self.meter
-            .charge(samplers.iter().map(L0Sampler::retained_words).sum::<u64>() + 1);
+        self.meter.charge(merged.retained_words() + 1);
         if net_edges <= 0 {
             return Err(DynamicError::EmptySurvivingGraph);
         }
         self.m_net = net_edges as usize;
         // Draw R from the samplers (each contributes at most one edge).
-        self.r_edges = samplers
-            .iter()
-            .filter_map(|s| s.sample())
+        self.r_edges = (0..merged.samplers())
+            .filter_map(|s| merged.sample(s))
             .filter(|&(_, count)| count > 0)
             .map(|(idx, _)| Edge::from_key(idx))
             .collect();
@@ -517,18 +547,18 @@ impl DynamicCopyStages {
         );
         let seeder = CounterRng::new(self.seed, streams::DYNAMIC_NEIGHBOR_SAMPLER);
         self.instances = Vec::with_capacity(picks.len());
-        self.neighbor_templates = Vec::with_capacity(picks.len());
+        let mut neighbor_templates: Vec<L0Sampler> = Vec::with_capacity(picks.len());
         for (i, &pick) in picks.iter().enumerate() {
             let (base, other) = split_edge(self.r_edges[pick]);
             self.instances.push(Instance { base, other });
             let mut sampler_rng = StdRng::seed_from_u64(seeder.draw(i as u64, 0));
-            self.neighbor_templates
-                .push(L0Sampler::for_universe_with_base(
-                    self.n as u64 + 1,
-                    self.neighbor_base,
-                    &mut sampler_rng,
-                ));
+            neighbor_templates.push(L0Sampler::for_universe_with_base(
+                self.n as u64 + 1,
+                self.neighbor_base,
+                &mut sampler_rng,
+            ));
         }
+        self.neighbor_bank = L0Bank::from_samplers(neighbor_templates);
 
         // Arm pass 3: instances grouped by base vertex in one CSR table
         // (sorted bases + instance-id lists).
@@ -562,7 +592,7 @@ impl DynamicCopyStages {
     fn finish_neighbors(&mut self, accs: Vec<DynamicStageAcc>) {
         let mut accs = accs.into_iter();
         let Some(DynamicStageAcc {
-            acc: DynAcc::Neighbors(mut samplers),
+            acc: DynAcc::Neighbors(mut merged),
             ..
         }) = accs.next()
         else {
@@ -572,16 +602,14 @@ impl DynamicCopyStages {
             let DynAcc::Neighbors(bank) = acc.acc else {
                 unreachable!("pass-3 accumulator");
             };
-            for (sampler, other) in samplers.iter_mut().zip(&bank) {
-                sampler.merge(other);
-            }
+            merged.merge(&bank);
         }
         self.meter
-            .charge(samplers.iter().map(|s| s.retained_words() + 2).sum::<u64>());
-        let neighbors: Vec<Option<VertexId>> = samplers
-            .iter()
+            .charge(merged.retained_words() + 2 * merged.samplers() as u64);
+        let neighbors: Vec<Option<VertexId>> = (0..merged.samplers())
             .map(|s| {
-                s.sample()
+                merged
+                    .sample(s)
                     .filter(|&(_, count)| count > 0)
                     .map(|(idx, _)| VertexId::new(idx as u32))
             })

@@ -22,7 +22,7 @@
 
 use std::time::Instant;
 
-use degentri_core::{MainCohortPlan, MainCopyStages, MainStageAcc};
+use degentri_core::{MainCohortPlan, MainCohortScratch, MainCopyStages, MainStageAcc};
 use degentri_dynamic::{DynamicCopyStages, DynamicStageAcc};
 use degentri_graph::Edge;
 use degentri_obs::{Counter, Hist, Recorder, ShardReport, Span};
@@ -58,6 +58,11 @@ pub(crate) trait StagedCopy: Send + Sync + Sized {
     /// [`plan_pass`](StagedCopy::plan_pass)); `()` when the copy type has
     /// no cross-copy probe sharing.
     type Plan: Send + Sync;
+    /// Per-sweeping-thread scratch for the cohort fold (hit buffers for
+    /// the branchless collect-then-apply fan-out); `()` when the copy type
+    /// needs none. The driver allocates one per shard closure and reuses
+    /// it across chunks and passes.
+    type Scratch: Default + Send;
 
     fn finished(&self) -> bool;
     fn pass_index(&self) -> usize;
@@ -69,6 +74,32 @@ pub(crate) trait StagedCopy: Send + Sync + Sized {
     /// The default has none.
     fn plan_pass(copies: &[Self]) -> Self::Plan;
 
+    /// Whether the cohort's copies share probe structures through the
+    /// plan. When `false` (`Plan = ()`-style copies), the unsharded sweep
+    /// drives the copies one at a time — begin, fold the whole slice,
+    /// finish — so each copy's pass state is freed before the next copy's
+    /// is built: the peak working set stays one copy wide and the
+    /// allocator hands the next copy the pages the previous one just
+    /// released. Bit-identical either way — independent copies never read
+    /// each other's state and the folds are order-insensitive.
+    const SHARES_PROBES: bool = true;
+
+    /// Copy-interleave granularity for fused sweeps over a slice of
+    /// `slice_len` items: the sweep folds this many items into every copy
+    /// before moving to the next chunk. Copy types with shared union
+    /// probes keep the configured batch (the shared lookups of a chunk
+    /// stay cache-hot across copies); copy types whose cohort fold is an
+    /// independent per-copy loop override this to the whole slice, so each
+    /// copy's sketch working set stays resident instead of every chunk
+    /// boundary evicting it with the other copies' state (this matters in
+    /// the sharded arm, where copies still fold side by side). Either
+    /// granularity is bit-identical — the folds are order-insensitive and
+    /// each copy's accumulator sees exactly the same updates.
+    fn cohort_batch(batch: usize, slice_len: usize) -> usize {
+        let _ = slice_len;
+        batch
+    }
+
     /// Folds one chunk into every copy's accumulator through the plan.
     /// The default is the plain per-copy loop; implementations with union
     /// probe structures replace the `copies` independent lookups per item
@@ -79,6 +110,7 @@ pub(crate) trait StagedCopy: Send + Sync + Sized {
         plan: &Self::Plan,
         copies: &[Self],
         accs: &mut [Self::Acc],
+        scratch: &mut Self::Scratch,
         pos: u64,
         chunk: &[Self::Item],
     );
@@ -88,6 +120,7 @@ impl StagedCopy for MainCopyStages {
     type Item = Edge;
     type Acc = MainStageAcc;
     type Plan = MainCohortPlan;
+    type Scratch = MainCohortScratch;
 
     fn finished(&self) -> bool {
         MainCopyStages::finished(self)
@@ -117,10 +150,11 @@ impl StagedCopy for MainCopyStages {
         plan: &MainCohortPlan,
         copies: &[Self],
         accs: &mut [MainStageAcc],
+        scratch: &mut MainCohortScratch,
         pos: u64,
         chunk: &[Edge],
     ) {
-        MainCopyStages::fold_cohort(plan, copies, accs, pos, chunk)
+        MainCopyStages::fold_cohort(plan, copies, accs, scratch, pos, chunk)
     }
 }
 
@@ -128,6 +162,7 @@ impl StagedCopy for DynamicCopyStages {
     type Item = EdgeUpdate;
     type Acc = DynamicStageAcc;
     type Plan = ();
+    type Scratch = ();
 
     fn finished(&self) -> bool {
         DynamicCopyStages::finished(self)
@@ -151,10 +186,21 @@ impl StagedCopy for DynamicCopyStages {
 
     fn plan_pass(_copies: &[Self]) -> Self::Plan {}
 
+    const SHARES_PROBES: bool = false;
+
+    fn cohort_batch(_batch: usize, slice_len: usize) -> usize {
+        // Dynamic copies share no probe structures (`Plan = ()`), so
+        // chunk-interleaving the copies only evicts each bank's sketch and
+        // touch-cache working set at every chunk boundary. Fold the whole
+        // slice into one copy at a time instead.
+        slice_len
+    }
+
     fn fold_cohort(
         _plan: &(),
         copies: &[Self],
         accs: &mut [DynamicStageAcc],
+        _scratch: &mut (),
         pos: u64,
         chunk: &[EdgeUpdate],
     ) {
@@ -181,8 +227,11 @@ fn transpose<T>(per_shard: Vec<Vec<T>>, copies: usize) -> Vec<Vec<T>> {
 /// Executes one cohort of staged copies over a shared snapshot slice:
 /// while any copy has passes left, run **one sweep** that feeds every
 /// unfinished copy's fold chunk by chunk — sharded across `workers` scoped
-/// threads (over `shards` contiguous shards) when `workers > 1`. Returns
-/// the number of physical snapshot sweeps executed.
+/// threads (over `shards` contiguous shards) when `workers > 1`. Cohorts
+/// without shared probes ([`StagedCopy::SHARES_PROBES`] = `false`) drive
+/// each sweep copy-at-a-time instead, keeping one copy's pass state live
+/// at a time. Returns the number of sweeps executed (one per lockstep
+/// pass).
 ///
 /// All copies of a cohort have the same pass budget, so they stay in
 /// lockstep and the sweep count equals that budget.
@@ -228,9 +277,11 @@ pub(crate) fn drive_cohort<C: StagedCopy, R: Recorder>(
             let plan_ref = &plan;
             let fold = |s: usize, slice: &[C::Item]| {
                 let mut accs: Vec<C::Acc> = copies_ref.iter().map(|c| c.begin_pass()).collect();
+                let mut scratch = C::Scratch::default();
                 let mut pos = view.shard_range(s).start as u64;
+                let batch = C::cohort_batch(batch, slice.len()).max(1);
                 for chunk in slice.chunks(batch) {
-                    C::fold_cohort(plan_ref, copies_ref, &mut accs, pos, chunk);
+                    C::fold_cohort(plan_ref, copies_ref, &mut accs, &mut scratch, pos, chunk);
                     pos += chunk.len() as u64;
                 }
                 accs
@@ -250,11 +301,40 @@ pub(crate) fn drive_cohort<C: StagedCopy, R: Recorder>(
                 view.pass_sharded(workers, fold)
             };
             transpose(per_shard, copies.len())
+        } else if !C::SHARES_PROBES {
+            // Independent copies (no shared plan): drive them one at a
+            // time — begin, fold the whole slice, finish — so only one
+            // copy's pass state is live at once. Each copy's pass time
+            // includes its finish, matching the per-copy driver's clock.
+            for k in 0..copies.len() {
+                let copy_started = Instant::now();
+                let mut acc = copies[k].begin_pass();
+                let mut scratch = C::Scratch::default();
+                let mut pos = 0u64;
+                let batch = C::cohort_batch(batch, items.len()).max(1);
+                for chunk in items.chunks(batch) {
+                    C::fold_cohort(
+                        &plan,
+                        &copies[k..k + 1],
+                        std::slice::from_mut(&mut acc),
+                        &mut scratch,
+                        pos,
+                        chunk,
+                    );
+                    pos += chunk.len() as u64;
+                }
+                let copy_pass = copies[k].pass_index();
+                copies[k].finish_pass(vec![acc])?;
+                copies[k].record_pass_nanos(copy_pass, copy_started.elapsed().as_nanos() as u64);
+            }
+            Vec::new()
         } else {
             let mut accs: Vec<C::Acc> = copies.iter().map(|c| c.begin_pass()).collect();
+            let mut scratch = C::Scratch::default();
             let mut pos = 0u64;
+            let batch = C::cohort_batch(batch, items.len()).max(1);
             for chunk in items.chunks(batch) {
-                C::fold_cohort(&plan, copies, &mut accs, pos, chunk);
+                C::fold_cohort(&plan, copies, &mut accs, &mut scratch, pos, chunk);
                 pos += chunk.len() as u64;
             }
             accs.into_iter().map(|acc| vec![acc]).collect()

@@ -75,10 +75,12 @@ fn drive_main_cohort(
         let plan_ref = &plan;
         let per_shard: Vec<Vec<MainStageAcc>> = view.pass_sharded(workers, |s, slice| {
             let mut accs: Vec<MainStageAcc> = copies_ref.iter().map(|c| c.begin_pass()).collect();
+            let mut scratch = degentri_core::MainCohortScratch::default();
             MainCopyStages::fold_cohort(
                 plan_ref,
                 copies_ref,
                 &mut accs,
+                &mut scratch,
                 view.shard_range(s).start as u64,
                 slice,
             );

@@ -1,0 +1,316 @@
+//! Lane-batched vs scalar bit-identity: the SIMD-width fold kernels
+//! (`MainCopyStages::fold` passes 2/4/6, the branchless cohort fan-out,
+//! the dynamic estimator's `L0Bank` batched kernel) must reproduce the
+//! scalar reference folds (`fold_scalar`, `fold_cohort_scalar`) bit for
+//! bit — for both estimators, at every batch size (including chunk
+//! lengths that are not a multiple of the lane width, exercising the
+//! scalar tails), across shards × workers, and for any cohort grouping.
+
+use degentri_core::{main_copy_seed, EstimatorConfig, MainCopyStages, MainStageAcc, RngMode};
+use degentri_dynamic::{dynamic_copy_seed, DynamicCopyStages, DynamicEstimatorConfig};
+use degentri_graph::Edge;
+use degentri_stream::{
+    DynamicMemoryStream, EdgeUpdate, MemoryStream, ShardedSnapshot, StreamOrder,
+};
+use proptest::prelude::*;
+
+const LANES: usize = degentri_core::lanes::LANES;
+
+fn main_config(copies: usize, seed: u64) -> EstimatorConfig {
+    EstimatorConfig::builder()
+        .epsilon(0.15)
+        .kappa(5)
+        .triangle_lower_bound(600)
+        .r_constant(8.0)
+        .inner_constant(16.0)
+        .assignment_constant(6.0)
+        .copies(copies)
+        .seed(seed)
+        .rng_mode(RngMode::Counter)
+        .try_build()
+        .unwrap()
+}
+
+fn workload() -> MemoryStream {
+    let graph = degentri_gen::barabasi_albert(500, 5, 3).unwrap();
+    MemoryStream::from_graph(&graph, StreamOrder::UniformRandom(4))
+}
+
+fn dynamic_workload() -> (DynamicMemoryStream, DynamicEstimatorConfig) {
+    let graph = degentri_gen::barabasi_albert(200, 4, 9).unwrap();
+    let stream = DynamicMemoryStream::with_churn(&graph, 0.5, 31);
+    let config = DynamicEstimatorConfig::new(4, 80)
+        .with_epsilon(0.3)
+        .with_seed(13)
+        .with_max_samples(96)
+        .with_rng_mode(RngMode::Counter);
+    (stream, config)
+}
+
+/// Drives one main-estimator copy pass by pass with an explicit batch
+/// size, through either the lane-batched fold or the scalar reference.
+fn drive_main_copy(
+    stream: &MemoryStream,
+    config: &EstimatorConfig,
+    copy: usize,
+    batch: usize,
+    scalar: bool,
+) -> (f64, u64) {
+    let edges: &[Edge] = stream.edges();
+    let n = degentri_stream::EdgeStream::num_vertices(stream);
+    let mut stages =
+        MainCopyStages::new(config, edges.len(), n, main_copy_seed(config.seed, copy)).unwrap();
+    while !stages.finished() {
+        let mut acc = stages.begin_pass();
+        let mut pos = 0u64;
+        for chunk in edges.chunks(batch) {
+            if scalar {
+                stages.fold_scalar(&mut acc, pos, chunk);
+            } else {
+                stages.fold(&mut acc, pos, chunk);
+            }
+            pos += chunk.len() as u64;
+        }
+        stages.finish_pass(vec![acc]).unwrap();
+    }
+    let batches: u64 = stages.pass_tallies().iter().map(|t| t.kernel_batches).sum();
+    (stages.finish().unwrap().estimate, batches)
+}
+
+/// Drives one dynamic-estimator copy the same way.
+fn drive_dynamic_copy(
+    stream: &DynamicMemoryStream,
+    config: &DynamicEstimatorConfig,
+    copy: usize,
+    batch: usize,
+    scalar: bool,
+) -> (f64, u64) {
+    let updates: &[EdgeUpdate] = stream.updates();
+    let n = degentri_stream::DynamicEdgeStream::num_vertices(stream);
+    let mut stages = DynamicCopyStages::new(
+        config,
+        updates.len(),
+        n,
+        dynamic_copy_seed(config.seed, copy),
+    )
+    .unwrap();
+    while !stages.finished() {
+        let mut acc = stages.begin_pass();
+        let mut pos = 0u64;
+        for chunk in updates.chunks(batch) {
+            if scalar {
+                stages.fold_scalar(&mut acc, pos, chunk);
+            } else {
+                stages.fold(&mut acc, pos, chunk);
+            }
+            pos += chunk.len() as u64;
+        }
+        stages.finish_pass(vec![acc]).unwrap();
+    }
+    let batches: u64 = stages.pass_tallies().iter().map(|t| t.kernel_batches).sum();
+    (stages.finish().unwrap().estimate, batches)
+}
+
+/// Drives a cohort of main-estimator copies through `fold_cohort` (lane)
+/// or `fold_cohort_scalar` (reference) at an explicit sharding.
+fn drive_main_cohort(
+    stream: &MemoryStream,
+    configs: &[&EstimatorConfig],
+    shards: usize,
+    workers: usize,
+    scalar: bool,
+) -> Vec<f64> {
+    let edges: &[Edge] = stream.edges();
+    let n = degentri_stream::EdgeStream::num_vertices(stream);
+    let mut copies: Vec<MainCopyStages> = Vec::new();
+    for config in configs {
+        for copy in 0..config.copies {
+            copies.push(
+                MainCopyStages::new(config, edges.len(), n, main_copy_seed(config.seed, copy))
+                    .unwrap(),
+            );
+        }
+    }
+    while copies.iter().any(|c| !c.finished()) {
+        let plan = MainCopyStages::plan_cohort(&copies);
+        let view: ShardedSnapshot<'_, Edge> = ShardedSnapshot::new(n, edges, shards);
+        let copies_ref = &copies;
+        let plan_ref = &plan;
+        let per_shard: Vec<Vec<MainStageAcc>> = view.pass_sharded(workers, |s, slice| {
+            let mut accs: Vec<MainStageAcc> = copies_ref.iter().map(|c| c.begin_pass()).collect();
+            let pos = view.shard_range(s).start as u64;
+            if scalar {
+                MainCopyStages::fold_cohort_scalar(plan_ref, copies_ref, &mut accs, pos, slice);
+            } else {
+                let mut scratch = degentri_core::MainCohortScratch::default();
+                MainCopyStages::fold_cohort(
+                    plan_ref,
+                    copies_ref,
+                    &mut accs,
+                    &mut scratch,
+                    pos,
+                    slice,
+                );
+            }
+            accs
+        });
+        let mut per_copy: Vec<Vec<MainStageAcc>> = (0..copies.len()).map(|_| Vec::new()).collect();
+        for shard_accs in per_shard {
+            for (k, acc) in shard_accs.into_iter().enumerate() {
+                per_copy[k].push(acc);
+            }
+        }
+        drop(plan);
+        for (copy, accs) in copies.iter_mut().zip(per_copy) {
+            copy.finish_pass(accs).unwrap();
+        }
+    }
+    copies
+        .into_iter()
+        .map(|c| c.finish().unwrap().estimate)
+        .collect()
+}
+
+#[test]
+fn main_lane_folds_match_scalar_folds_at_every_batch_size() {
+    let stream = workload();
+    let config = main_config(2, 11);
+    // Scalar reference at one batch size; batching never changes a linear
+    // fold, so every lane run must match it — including batch sizes that
+    // leave ragged lane tails (≢ 0 mod LANES).
+    let reference: Vec<(f64, u64)> = (0..2)
+        .map(|copy| drive_main_copy(&stream, &config, copy, 1024, true))
+        .collect();
+    for &batch in &[1usize, 3, LANES - 1, LANES, LANES + 1, 13, 64, 1000] {
+        for (copy, anchor) in reference.iter().enumerate() {
+            let (lane, batches) = drive_main_copy(&stream, &config, copy, batch, false);
+            assert_eq!(
+                lane.to_bits(),
+                anchor.0.to_bits(),
+                "copy {copy} batch {batch}"
+            );
+            // The lane path actually took the batched kernel (except at
+            // batch sizes below one full lane block).
+            if batch >= LANES {
+                assert!(batches > 0, "batch {batch} reported no kernel batches");
+            }
+        }
+        // The scalar reference itself is batch-insensitive too.
+        let (scalar, scalar_batches) = drive_main_copy(&stream, &config, 0, batch, true);
+        assert_eq!(scalar.to_bits(), reference[0].0.to_bits());
+        assert_eq!(scalar_batches, 0, "scalar path must report no batches");
+    }
+}
+
+#[test]
+fn cohort_fan_out_matches_scalar_cohort_across_shards_workers_and_groupings() {
+    let stream = workload();
+    let single = main_config(4, 21);
+    let grouped_a = main_config(2, 22);
+    let grouped_b = main_config(3, 23);
+    let groupings: Vec<Vec<&EstimatorConfig>> = vec![vec![&single], vec![&grouped_a, &grouped_b]];
+    for configs in &groupings {
+        let reference = drive_main_cohort(&stream, configs, 1, 1, true);
+        let reference_bits: Vec<u64> = reference.iter().map(|e| e.to_bits()).collect();
+        for shards in 1..=8usize {
+            for &workers in &[1usize, 2, 4] {
+                let lane = drive_main_cohort(&stream, configs, shards, workers, false);
+                let lane_bits: Vec<u64> = lane.iter().map(|e| e.to_bits()).collect();
+                assert_eq!(
+                    lane_bits,
+                    reference_bits,
+                    "jobs {} shards {shards} workers {workers}",
+                    configs.len()
+                );
+                let scalar = drive_main_cohort(&stream, configs, shards, workers, true);
+                let scalar_bits: Vec<u64> = scalar.iter().map(|e| e.to_bits()).collect();
+                assert_eq!(
+                    scalar_bits,
+                    reference_bits,
+                    "scalar cohort jobs {} shards {shards} workers {workers}",
+                    configs.len()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dynamic_bank_kernel_matches_scalar_bank_at_every_batch_size() {
+    let (stream, config) = dynamic_workload();
+    let reference: Vec<(f64, u64)> = (0..2)
+        .map(|copy| drive_dynamic_copy(&stream, &config, copy, 512, true))
+        .collect();
+    assert_eq!(reference[0].1, 0, "scalar path must report no batches");
+    for &batch in &[1usize, LANES - 1, LANES + 3, 57, 512] {
+        for (copy, anchor) in reference.iter().enumerate() {
+            let (lane, batches) = drive_dynamic_copy(&stream, &config, copy, batch, false);
+            assert_eq!(
+                lane.to_bits(),
+                anchor.0.to_bits(),
+                "copy {copy} batch {batch}"
+            );
+            // Every update runs the bank as one batched kernel.
+            assert!(batches > 0, "batch {batch} reported no kernel batches");
+        }
+    }
+}
+
+#[test]
+fn dynamic_bank_kernel_matches_scalar_bank_across_shards_and_workers() {
+    let (stream, config) = dynamic_workload();
+    let updates: &[EdgeUpdate] = stream.updates();
+    let n = degentri_stream::DynamicEdgeStream::num_vertices(&stream);
+    let (reference, _) = drive_dynamic_copy(&stream, &config, 0, 512, true);
+    for shards in 1..=8usize {
+        for &workers in &[1usize, 2, 4] {
+            let mut stages = DynamicCopyStages::new(
+                &config,
+                updates.len(),
+                n,
+                dynamic_copy_seed(config.seed, 0),
+            )
+            .unwrap();
+            while !stages.finished() {
+                let view: ShardedSnapshot<'_, EdgeUpdate> =
+                    ShardedSnapshot::new(n, updates, shards);
+                let stages_ref = &stages;
+                let per_shard = view.pass_sharded(workers, |s, slice| {
+                    let mut acc = stages_ref.begin_pass();
+                    stages_ref.fold(&mut acc, view.shard_range(s).start as u64, slice);
+                    vec![acc]
+                });
+                let accs = per_shard.into_iter().flatten().collect();
+                stages.finish_pass(accs).unwrap();
+            }
+            let lane = stages.finish().unwrap().estimate;
+            assert_eq!(
+                lane.to_bits(),
+                reference.to_bits(),
+                "shards {shards} workers {workers}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Ragged chunkings — any batch size, in particular ones that leave a
+    /// tail shorter than a lane block on every chunk — never change the
+    /// lane-batched results of either estimator.
+    #[test]
+    fn ragged_chunk_tails_never_change_results(batch in 1usize..200, seed in 0u64..1000) {
+        let stream = workload();
+        let config = main_config(1, seed);
+        let (reference, _) = drive_main_copy(&stream, &config, 0, 1024, true);
+        let (lane, _) = drive_main_copy(&stream, &config, 0, batch, false);
+        prop_assert_eq!(lane.to_bits(), reference.to_bits());
+
+        let (dyn_stream, dyn_config) = dynamic_workload();
+        let dyn_config = dyn_config.with_seed(seed);
+        let (dyn_reference, _) = drive_dynamic_copy(&dyn_stream, &dyn_config, 0, 512, true);
+        let (dyn_lane, _) = drive_dynamic_copy(&dyn_stream, &dyn_config, 0, batch, false);
+        prop_assert_eq!(dyn_lane.to_bits(), dyn_reference.to_bits());
+    }
+}

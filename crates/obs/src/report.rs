@@ -32,6 +32,12 @@ pub struct PassTally {
     /// Structure updates applied: ℓ₀-sketch updates in the turnstile
     /// folds, occurrence-counter increments in the assignment passes.
     pub updates: u64,
+    /// Full `LANES`-wide blocks the fold processed through the lane-batched
+    /// kernels. `kernel_batches × LANES` of `items` went through the
+    /// SIMD-width path; the remainder is the scalar tail, so the report can
+    /// show lane utilization per pass/shard. Zero for passes with no lane
+    /// kernel (order-sensitive folds).
+    pub kernel_batches: u64,
 }
 
 impl PassTally {
@@ -40,6 +46,7 @@ impl PassTally {
         self.items += other.items;
         self.hits += other.hits;
         self.updates += other.updates;
+        self.kernel_batches += other.kernel_batches;
     }
 }
 
@@ -167,13 +174,14 @@ impl fmt::Display for RunReport {
                 let tee = if last_pass { "└─" } else { "├─" };
                 writeln!(
                     f,
-                    "│  {tee} {:<name_width$} · total {} · self {} (plan) · items {} · hits {} · updates {}",
+                    "│  {tee} {:<name_width$} · total {} · self {} (plan) · items {} · hits {} · updates {} · batches {}",
                     pass.name,
                     ms(pass.total_nanos()),
                     ms(pass.plan_nanos),
                     pass.tally.items,
                     pass.tally.hits,
                     pass.tally.updates,
+                    pass.tally.kernel_batches,
                 )?;
                 let bar = if last_pass { "   " } else { "│  " };
                 for (si, shard) in pass.shards.iter().enumerate() {
@@ -264,8 +272,8 @@ impl RunReport {
                 out.push_str(&format!("\"sweep_nanos\": {}, ", pass.sweep_nanos));
                 out.push_str(&format!("\"items\": {}, ", pass.items));
                 out.push_str(&format!(
-                    "\"tally\": {{\"items\": {}, \"hits\": {}, \"updates\": {}}}, ",
-                    pass.tally.items, pass.tally.hits, pass.tally.updates
+                    "\"tally\": {{\"items\": {}, \"hits\": {}, \"updates\": {}, \"kernel_batches\": {}}}, ",
+                    pass.tally.items, pass.tally.hits, pass.tally.updates, pass.tally.kernel_batches
                 ));
                 out.push_str("\"shards\": [");
                 for (k, shard) in pass.shards.iter().enumerate() {
@@ -404,6 +412,12 @@ impl RunReport {
                         items: field_u64(tally, "items")?,
                         hits: field_u64(tally, "hits")?,
                         updates: field_u64(tally, "updates")?,
+                        // Absent in pre-lane reports; default keeps older
+                        // artifacts parseable.
+                        kernel_batches: tally
+                            .get("kernel_batches")
+                            .and_then(JsonValue::as_u64)
+                            .unwrap_or(0),
                     },
                     shards,
                 });
@@ -523,6 +537,7 @@ mod tests {
                         items: 4000,
                         hits: 12,
                         updates: 0,
+                        kernel_batches: 62,
                     },
                     shards: vec![
                         ShardReport {

@@ -1,0 +1,697 @@
+//! Lane-batched execution of a bank of ℓ0 samplers.
+//!
+//! The turnstile estimator's hot loop feeds every update to a bank of
+//! dozens to hundreds of [`L0Sampler`]s that share one fingerprint base.
+//! Executed sampler-by-sampler, each touch re-reduces the key, re-walks a
+//! small forest of `KWiseHash` heap allocations, and — worst of all —
+//! computes every bucket index with a hardware 64-bit division
+//! (`hash % cells`). [`L0Bank`] flattens the bank into a
+//! structure-of-arrays so one update runs as **one batched kernel**:
+//!
+//! * **Shared reduced key** — the update carries `index mod p` once
+//!   ([`SketchUpdate::reduced`]); every level and bucket hash of every
+//!   sampler evaluates at that same point.
+//! * **Strip-mined Horner chains** — the `k = 2` level hashes of all
+//!   samplers are one contiguous loop over flat coefficient lanes
+//!   (`hash::horner2_strip`), as are the level-0 bucket hashes each row;
+//!   independent lanes keep the multiplier busy instead of serializing on
+//!   pointer chases.
+//! * **Mask buckets** — `cells_per_level` is a power of two in every
+//!   configuration used here, so `hash % cells` becomes `hash & (cells−1)`
+//!   (identical value), eliminating the division.
+//! * **Batched `z^index` terms** — a [`FingerprintPow`] table replaces the
+//!   square-and-multiply ladder of [`fingerprint_term`] with one
+//!   multiplication per set exponent bit (`FingerprintPow::term`).
+//! * **Per-key touch-list memoization** — turnstile streams revisit keys
+//!   (an edge's delete carries the same index as its insert; oscillating
+//!   churn revisits edges repeatedly), and *which* cells an update touches
+//!   is a pure function of its reduced key once the bank's coefficients
+//!   are fixed. A bounded direct-mapped cache remembers the flat cell
+//!   indices the last update with each (hashed) key touched; a hit skips
+//!   every level/bucket hash and replays the list column-by-column. Cell
+//!   aggregates are linear, so touching the same cells with the same
+//!   update values is bit-identical however they were enumerated.
+//!
+//! Cells live at `(at · cells + bucket) · samplers + sampler`, so the
+//! level-0 rows every update touches are one compact region shared by the
+//! whole bank, rather than a cache line per sampler.
+//!
+//! **Bit-identity.** A bank update touches each cell at most once (rows
+//! are distinct `at` indices), and a cell's three aggregates are linear in
+//! the updates it absorbs — so reordering the sampler/level loops of one
+//! update never changes any cell, and every hash is evaluated by the same
+//! field arithmetic as its `KWiseHash` owner would have used. The batched
+//! kernel therefore produces exactly the state the sampler-by-sampler
+//! reference ([`L0Bank::apply_batch_scalar`]) produces, which the sketch
+//! and dynamic-estimator test suites assert bit for bit.
+
+use crate::hash::{horner2, horner2_strip, KWiseHash, MERSENNE_PRIME};
+use crate::l0::L0Sampler;
+use crate::onesparse::{FingerprintPow, OneSparseRecovery, RecoveryOutcome, SketchUpdate};
+
+/// A bank of identically-dimensioned [`L0Sampler`]s sharing one
+/// fingerprint base, flattened column-wise for lane-batched updates.
+///
+/// Built by [`L0Bank::from_samplers`] from samplers constructed the usual
+/// way (so the per-sampler randomness is drawn in exactly the historical
+/// order), then updated through [`apply`](L0Bank::apply) /
+/// [`apply_batch`](L0Bank::apply_batch). Sampling and space accounting
+/// reproduce the per-sampler structures exactly.
+#[derive(Debug, Clone)]
+pub struct L0Bank {
+    samplers: usize,
+    max_level: usize,
+    cells_per_level: usize,
+    rows_per_level: usize,
+    rows_total: usize,
+    /// `cells_per_level − 1` when it is a power of two (bucket via AND),
+    /// zero otherwise (bucket via division).
+    bucket_mask: u64,
+    shared_base: u64,
+    pow: FingerprintPow,
+    /// Level-hash coefficients, one lane per sampler.
+    level_c0: Vec<u64>,
+    level_c1: Vec<u64>,
+    /// Bucket-hash coefficients at `at · samplers + s`.
+    bucket_c0: Vec<u64>,
+    bucket_c1: Vec<u64>,
+    /// Selection hashes stay whole — only [`sample`](L0Bank::sample)
+    /// evaluates them, far off the hot path.
+    selection: Vec<KWiseHash>,
+    /// Cell aggregates at `(at · cells + b) · samplers + s`.
+    weight: Vec<i128>,
+    index_sum: Vec<i128>,
+    fingerprint: Vec<u64>,
+    updates_seen: Vec<u64>,
+    /// Per-update hash strip (reused across updates; not part of state).
+    scratch_hash: Vec<u64>,
+    /// Per-update item levels (ditto).
+    scratch_level: Vec<u32>,
+    /// Touch-list cache, direct-mapped: `(reduced key, arena offset, len)`
+    /// per slot (`u64::MAX` = empty). Lazily sized on the first
+    /// [`apply`](L0Bank::apply) so banks driven only through
+    /// [`apply_one`](L0Bank::apply_one) pay nothing.
+    cache_entries: Vec<(u64, u32, u32)>,
+    /// One shared arena holding every cached touch list back to back — a
+    /// hit reads one 16-byte entry and then streams a contiguous slice,
+    /// with no per-slot heap indirection. Evicted lists leave dead ranges
+    /// behind; the arena is wiped (entries too) if it ever outgrows
+    /// [`TOUCH_ARENA_CAP`].
+    cache_arena: Vec<u32>,
+    /// Touch-cache hits since construction (diagnostic; not sketch state).
+    cache_hits: u64,
+}
+
+/// log2 of the touch-cache slot count: 16384 direct-mapped slots. Sized so
+/// a stream's working set of revisited keys stays resident without the
+/// cache itself growing with the stream — it is scratch, not sketch state,
+/// and is excluded from [`L0Bank::retained_words`] like the hash strips.
+const TOUCH_CACHE_BITS: u32 = 15;
+
+/// Arena high-water mark (`u32` words). A pass over a stream with `U`
+/// distinct keys appends at most `U` lists; the cap only trips under
+/// sustained eviction churn, wiping the cache back to cold rather than
+/// letting dead ranges grow without bound.
+const TOUCH_ARENA_CAP: usize = 1 << 22;
+
+impl L0Bank {
+    /// Flattens `samplers` into a bank. All samplers must share one
+    /// fingerprint base and have identical dimensions (the dynamic
+    /// estimator's banks do by construction); their accumulated state —
+    /// typically empty templates — carries over exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sampler lacks a shared fingerprint base, or if
+    /// dimensions or bases differ across the bank.
+    pub fn from_samplers(samplers: Vec<L0Sampler>) -> Self {
+        let n = samplers.len();
+        if n == 0 {
+            return L0Bank {
+                samplers: 0,
+                max_level: 0,
+                cells_per_level: 0,
+                rows_per_level: 0,
+                rows_total: 0,
+                bucket_mask: 0,
+                shared_base: 2,
+                pow: FingerprintPow::new(2),
+                level_c0: Vec::new(),
+                level_c1: Vec::new(),
+                bucket_c0: Vec::new(),
+                bucket_c1: Vec::new(),
+                selection: Vec::new(),
+                weight: Vec::new(),
+                index_sum: Vec::new(),
+                fingerprint: Vec::new(),
+                updates_seen: Vec::new(),
+                scratch_hash: Vec::new(),
+                scratch_level: Vec::new(),
+                cache_entries: Vec::new(),
+                cache_arena: Vec::new(),
+                cache_hits: 0,
+            };
+        }
+        let (max_level, cells, rows) = samplers[0].dims();
+        let rows_total = (max_level + 1) * rows;
+        let z = samplers[0]
+            .shared_fingerprint_base()
+            .expect("a bank requires a shared fingerprint base");
+        let coeff_pair = |h: &KWiseHash| -> (u64, u64) {
+            let c = h.coefficients();
+            assert_eq!(c.len(), 2, "bank hashes are pairwise independent");
+            (c[0], c[1])
+        };
+        let mut bank = L0Bank {
+            samplers: n,
+            max_level,
+            cells_per_level: cells,
+            rows_per_level: rows,
+            rows_total,
+            bucket_mask: if cells.is_power_of_two() {
+                cells as u64 - 1
+            } else {
+                0
+            },
+            shared_base: z,
+            pow: FingerprintPow::new(z),
+            level_c0: vec![0; n],
+            level_c1: vec![0; n],
+            bucket_c0: vec![0; rows_total * n],
+            bucket_c1: vec![0; rows_total * n],
+            selection: Vec::with_capacity(n),
+            weight: vec![0; rows_total * cells * n],
+            index_sum: vec![0; rows_total * cells * n],
+            fingerprint: vec![0; rows_total * cells * n],
+            updates_seen: vec![0; n],
+            scratch_hash: vec![0; rows.max(1) * n],
+            scratch_level: vec![0; n],
+            cache_entries: Vec::new(),
+            cache_arena: Vec::new(),
+            cache_hits: 0,
+        };
+        assert!(
+            u32::try_from(rows_total * cells * n).is_ok(),
+            "bank cell space must fit the u32 touch-list indices"
+        );
+        for (s, sampler) in samplers.iter().enumerate() {
+            assert_eq!(sampler.dims(), (max_level, cells, rows), "uniform bank");
+            assert_eq!(sampler.shared_fingerprint_base(), Some(z), "uniform base");
+            let (c0, c1) = coeff_pair(sampler.level_hash());
+            bank.level_c0[s] = c0;
+            bank.level_c1[s] = c1;
+            for (at, hash) in sampler.bucket_hashes().iter().enumerate() {
+                let (c0, c1) = coeff_pair(hash);
+                bank.bucket_c0[at * n + s] = c0;
+                bank.bucket_c1[at * n + s] = c1;
+            }
+            for (flat, cell) in sampler.cells().iter().enumerate() {
+                let (at, b) = (flat / cells, flat % cells);
+                let (w, i, f) = cell.parts();
+                let dst = bank.cell_index(at, b, s);
+                bank.weight[dst] = w;
+                bank.index_sum[dst] = i;
+                bank.fingerprint[dst] = f;
+            }
+            bank.updates_seen[s] = sampler.updates_seen();
+            bank.selection.push(sampler.selection_hash().clone());
+        }
+        bank
+    }
+
+    /// Number of samplers in the bank.
+    pub fn samplers(&self) -> usize {
+        self.samplers
+    }
+
+    /// Prepares `(index, delta)` for this bank — [`SketchUpdate::prepare`]
+    /// with the ladder exponentiation replaced by the bank's
+    /// [`FingerprintPow`] table (bit-identical term).
+    #[inline]
+    pub fn prepare(&self, index: u64, delta: i64) -> SketchUpdate {
+        SketchUpdate::with_term(index, delta, self.pow.term(index))
+    }
+
+    /// Bucket of an evaluated bucket hash: an AND when the cell count is a
+    /// power of two, the original division otherwise — same value either
+    /// way.
+    #[inline]
+    fn bucket_of(&self, hash: u64) -> usize {
+        if self.bucket_mask != 0 {
+            (hash & self.bucket_mask) as usize
+        } else {
+            (hash % self.cells_per_level as u64) as usize
+        }
+    }
+
+    /// Flat index of cell `(at, b)` of sampler `s`.
+    ///
+    /// Level-0 rows — which every update touches for every sampler — are
+    /// stored row-major (`(at·cells + b)·n + s`), so one update's level-0
+    /// writes land in one compact region shared by the whole bank. Deeper
+    /// rows are stored **sampler-major**: each sampler's deep cells form
+    /// one contiguous block, so the geometrically-rarer deep touches of one
+    /// update (consecutive `at`s of the same sampler) stay within a few
+    /// cache lines instead of striding across the whole level block. The
+    /// mapping is a bijection onto the same arrays — cell values are
+    /// identical under any layout, so this is purely a locality choice.
+    #[inline]
+    fn cell_index(&self, at: usize, b: usize, s: usize) -> usize {
+        let rows = self.rows_per_level;
+        let cells = self.cells_per_level;
+        if at < rows {
+            (at * cells + b) * self.samplers + s
+        } else {
+            let deep_base = rows * cells * self.samplers;
+            deep_base + (s * (self.rows_total - rows) + (at - rows)) * cells + b
+        }
+    }
+
+    /// Adds one prepared update into the cell at flat index `cell` — the
+    /// three additions of [`OneSparseRecovery::apply`], on the columnar
+    /// arrays.
+    #[inline]
+    fn touch(&mut self, cell: usize, update: &SketchUpdate) {
+        self.weight[cell] += update.delta as i128;
+        self.index_sum[cell] += update.index_delta;
+        let sum = self.fingerprint[cell] + update.contribution;
+        self.fingerprint[cell] = if sum >= MERSENNE_PRIME {
+            sum - MERSENNE_PRIME
+        } else {
+            sum
+        };
+    }
+
+    /// Applies one prepared update to **every** sampler of the bank as one
+    /// batched kernel: the flat list of cells the key touches is looked up
+    /// in (or computed into) the touch cache, then replayed column by
+    /// column. A cache hit skips every level and bucket hash of the
+    /// update — on turnstile streams that revisit keys (deletes, churn)
+    /// that is the majority of the modular arithmetic.
+    pub fn apply(&mut self, update: &SketchUpdate) {
+        if update.delta == 0 || self.samplers == 0 {
+            return;
+        }
+        let x = update.reduced;
+        if self.cache_entries.is_empty() {
+            self.cache_entries = vec![(u64::MAX, 0, 0); 1 << TOUCH_CACHE_BITS];
+        }
+        let slot = Self::cache_slot(x);
+        for seen in self.updates_seen.iter_mut() {
+            *seen += 1;
+        }
+        let (key, off, len) = self.cache_entries[slot];
+        let arena = std::mem::take(&mut self.cache_arena);
+        let (arena, off, len) = if key == x {
+            self.cache_hits += 1;
+            (arena, off as usize, len as usize)
+        } else {
+            let mut arena = arena;
+            if arena.len() >= TOUCH_ARENA_CAP {
+                arena.clear();
+                self.cache_entries.fill((u64::MAX, 0, 0));
+            }
+            let off = arena.len();
+            self.enumerate_touches(x, &mut arena);
+            let len = arena.len() - off;
+            self.cache_entries[slot] = (x, off as u32, len as u32);
+            (arena, off, len)
+        };
+        self.replay(&arena[off..off + len], update);
+        self.cache_arena = arena;
+    }
+
+    /// Touch-cache hits since construction (diagnostic).
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Direct-mapped touch-cache slot of a reduced key (multiplicative
+    /// hash — reduced keys inherit the stream's key structure).
+    #[inline]
+    fn cache_slot(x: u64) -> usize {
+        (x.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - TOUCH_CACHE_BITS)) as usize
+    }
+
+    /// Computes the flat cell indices one update with reduced key `x`
+    /// touches, in the canonical level-strip → level-0-rows → deep-levels
+    /// order: a level-hash strip, one contiguous bucket-hash strip across
+    /// *all* level-0 rows, then the geometrically-rarer deeper levels
+    /// sampler by sampler.
+    fn enumerate_touches(&mut self, x: u64, list: &mut Vec<u32>) {
+        let n = self.samplers;
+        let cells = self.cells_per_level;
+        let rows = self.rows_per_level;
+        horner2_strip(
+            &self.level_c1,
+            &self.level_c0,
+            x,
+            &mut self.scratch_hash[..n],
+        );
+        let mut deepest = 0u32;
+        for s in 0..n {
+            let level = KWiseHash::level_of_hash(self.scratch_hash[s], self.max_level) as u32;
+            self.scratch_level[s] = level;
+            deepest = deepest.max(level);
+        }
+        let rn = rows * n;
+        horner2_strip(
+            &self.bucket_c1[..rn],
+            &self.bucket_c0[..rn],
+            x,
+            &mut self.scratch_hash[..rn],
+        );
+        for at in 0..rows {
+            for s in 0..n {
+                let b = self.bucket_of(self.scratch_hash[at * n + s]);
+                list.push(((at * cells + b) * n + s) as u32);
+            }
+        }
+        if deepest > 0 {
+            for s in 0..n {
+                for level in 1..=self.scratch_level[s] as usize {
+                    for row in 0..rows {
+                        let at = level * rows + row;
+                        let h = horner2(self.bucket_c1[at * n + s], self.bucket_c0[at * n + s], x);
+                        let b = self.bucket_of(h);
+                        list.push(self.cell_index(at, b, s) as u32);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Adds one prepared update into every cell on `list` — the three
+    /// additions of [`touch`](L0Bank::touch), split into one pass per
+    /// column so each loop streams over a single aggregate array. Cells on
+    /// a list are distinct and the aggregates are linear, so the split is
+    /// bit-identical to the interleaved form.
+    fn replay(&mut self, list: &[u32], update: &SketchUpdate) {
+        let weight: &mut [i128] = &mut self.weight;
+        let index_sum: &mut [i128] = &mut self.index_sum;
+        let fingerprint: &mut [u64] = &mut self.fingerprint;
+        let delta = update.delta as i128;
+        for &cell in list {
+            weight[cell as usize] += delta;
+        }
+        for &cell in list {
+            index_sum[cell as usize] += update.index_delta;
+        }
+        for &cell in list {
+            let f = &mut fingerprint[cell as usize];
+            let sum = *f + update.contribution;
+            *f = if sum >= MERSENNE_PRIME {
+                sum - MERSENNE_PRIME
+            } else {
+                sum
+            };
+        }
+    }
+
+    /// Applies a batch of prepared updates through the batched kernel,
+    /// warming the next update's touch-cache slot (key word, list header
+    /// and first data word) while the current update replays — the slot
+    /// lookup is a short dependent-load chain that would otherwise stall
+    /// the front of every update.
+    #[inline]
+    pub fn apply_batch(&mut self, updates: &[SketchUpdate]) {
+        for (i, update) in updates.iter().enumerate() {
+            if let Some(next) = updates.get(i + 1) {
+                if !self.cache_entries.is_empty() {
+                    let slot = Self::cache_slot(next.reduced);
+                    let (_, off, _) = std::hint::black_box(self.cache_entries[slot]);
+                    std::hint::black_box(self.cache_arena.get(off as usize));
+                }
+            }
+            self.apply(update);
+        }
+    }
+
+    /// Applies one prepared update to the single sampler `s` — the exact
+    /// per-sampler loop of [`L0Sampler::apply`], on the flattened arrays.
+    /// The neighbor bank's fold uses it to fan an update out to the
+    /// instances listed for one base vertex.
+    pub fn apply_one(&mut self, s: usize, update: &SketchUpdate) {
+        if update.delta == 0 {
+            return;
+        }
+        self.updates_seen[s] += 1;
+        let n = self.samplers;
+        let x = update.reduced;
+        let level_hash = horner2(self.level_c1[s], self.level_c0[s], x);
+        let item_level = KWiseHash::level_of_hash(level_hash, self.max_level);
+        for level in 0..=item_level {
+            for row in 0..self.rows_per_level {
+                let at = level * self.rows_per_level + row;
+                let h = horner2(self.bucket_c1[at * n + s], self.bucket_c0[at * n + s], x);
+                let b = self.bucket_of(h);
+                self.touch(self.cell_index(at, b, s), update);
+            }
+        }
+    }
+
+    /// The sampler-outermost scalar reference: each sampler processes the
+    /// whole batch through [`apply_one`](L0Bank::apply_one), exactly as
+    /// the pre-bank `Vec<L0Sampler>` fold did. Kept as the baseline the
+    /// bit-identity tests and the bench's kernel-attribution gate compare
+    /// the batched kernel against.
+    pub fn apply_batch_scalar(&mut self, updates: &[SketchUpdate]) {
+        for s in 0..self.samplers {
+            for update in updates {
+                self.apply_one(s, update);
+            }
+        }
+    }
+
+    /// Merges a bank that is a clone of the same configured bank: cells
+    /// are linear in their updates, so the merged bank equals one bank
+    /// that saw both update sequences — the per-shard merge of the sharded
+    /// folds.
+    pub fn merge(&mut self, other: &L0Bank) {
+        debug_assert_eq!(self.samplers, other.samplers);
+        debug_assert_eq!(self.rows_total, other.rows_total);
+        debug_assert_eq!(self.cells_per_level, other.cells_per_level);
+        debug_assert_eq!(self.shared_base, other.shared_base);
+        for (w, o) in self.weight.iter_mut().zip(&other.weight) {
+            *w += o;
+        }
+        for (i, o) in self.index_sum.iter_mut().zip(&other.index_sum) {
+            *i += o;
+        }
+        for (f, &o) in self.fingerprint.iter_mut().zip(&other.fingerprint) {
+            *f = ((*f as u128 + o as u128) % MERSENNE_PRIME as u128) as u64;
+        }
+        for (u, o) in self.updates_seen.iter_mut().zip(&other.updates_seen) {
+            *u += o;
+        }
+    }
+
+    /// Draws from sampler `s` — cell iteration order, recovery and
+    /// selection-hash tie-breaking all match [`L0Sampler::sample`].
+    pub fn sample(&self, s: usize) -> Option<(u64, i64)> {
+        let mut best: Option<(u64, i64, u64)> = None;
+        for at in 0..self.rows_total {
+            for b in 0..self.cells_per_level {
+                let cell = self.cell_index(at, b, s);
+                let recovered = OneSparseRecovery::from_parts(
+                    self.shared_base,
+                    self.weight[cell],
+                    self.index_sum[cell],
+                    self.fingerprint[cell],
+                )
+                .recover();
+                if let RecoveryOutcome::OneSparse { index, count } = recovered {
+                    let key = self.selection[s].hash(index);
+                    match best {
+                        Some((_, _, best_key)) if best_key <= key => {}
+                        _ => best = Some((index, count, key)),
+                    }
+                }
+            }
+        }
+        best.map(|(index, count, _)| (index, count))
+    }
+
+    /// Updates applied to sampler `s` (diagnostic).
+    pub fn updates_seen(&self, s: usize) -> u64 {
+        self.updates_seen[s]
+    }
+
+    /// Machine words retained by the bank — exactly the sum of
+    /// [`L0Sampler::retained_words`] over the samplers it flattened, so
+    /// the space experiments account the same either way.
+    pub fn retained_words(&self) -> u64 {
+        let per_sampler =
+            (self.rows_total * self.cells_per_level * 4 + self.rows_total * 2 + 5) as u64;
+        per_sampler * self.samplers as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::onesparse::fingerprint_term;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn build_bank(samplers: usize, z: u64, seed: u64) -> (Vec<L0Sampler>, L0Bank) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let templates: Vec<L0Sampler> = (0..samplers)
+            .map(|_| L0Sampler::with_fingerprint_base(12, 8, 2, z, &mut rng))
+            .collect();
+        let bank = L0Bank::from_samplers(templates.clone());
+        (templates, bank)
+    }
+
+    fn random_updates(count: usize, universe: u64, seed: u64) -> Vec<(u64, i64)> {
+        let mut data = StdRng::seed_from_u64(seed);
+        (0..count)
+            .map(|_| {
+                (
+                    data.gen_range(0..universe),
+                    if data.gen_range(0..3) == 0 { -1 } else { 1 },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pow_table_matches_the_ladder() {
+        for z in [2u64, 3, 123_456_789, MERSENNE_PRIME - 1] {
+            let pow = FingerprintPow::new(z);
+            for index in [0u64, 1, 2, 7, 1023, 1 << 40, u64::MAX] {
+                assert_eq!(pow.term(index), fingerprint_term(z, index), "z {z}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_kernel_matches_the_samplers_bit_for_bit() {
+        let z = 987_654_321u64;
+        let (mut samplers, mut bank) = build_bank(7, z, 41);
+        let updates = random_updates(400, 4096, 42);
+        let prepared: Vec<SketchUpdate> =
+            updates.iter().map(|&(i, d)| bank.prepare(i, d)).collect();
+        for sampler in samplers.iter_mut() {
+            sampler.apply_batch(&prepared);
+        }
+        bank.apply_batch(&prepared);
+        for (s, sampler) in samplers.iter().enumerate() {
+            assert_eq!(bank.sample(s), sampler.sample(), "sampler {s}");
+            assert_eq!(bank.updates_seen(s), sampler.updates_seen());
+        }
+    }
+
+    #[test]
+    fn batched_and_scalar_paths_agree() {
+        let z = 55_555u64;
+        let (_, mut batched) = build_bank(5, z, 61);
+        let mut scalar = batched.clone();
+        let updates = random_updates(300, 10_000, 62);
+        let prepared: Vec<SketchUpdate> = updates
+            .iter()
+            .map(|&(i, d)| batched.prepare(i, d))
+            .collect();
+        batched.apply_batch(&prepared);
+        scalar.apply_batch_scalar(&prepared);
+        for s in 0..5 {
+            assert_eq!(batched.sample(s), scalar.sample(s), "sampler {s}");
+            assert_eq!(batched.updates_seen(s), scalar.updates_seen(s));
+        }
+    }
+
+    #[test]
+    fn touch_cache_hits_match_scalar_on_oscillating_churn() {
+        // Every key repeats many times (insert/delete churn), so most
+        // applies replay a cached touch list; a small key set also forces
+        // slot collisions and evictions. The cached path must stay bit
+        // identical to the sampler-outermost scalar reference.
+        let z = 31_337u64;
+        let (_, mut batched) = build_bank(6, z, 101);
+        let mut scalar = batched.clone();
+        let mut updates = Vec::new();
+        for round in 0..6 {
+            for key in 0..200u64 {
+                let delta = if round % 2 == 0 { 1 } else { -1 };
+                updates.push(batched.prepare(key * 7919, delta));
+            }
+        }
+        batched.apply_batch(&updates);
+        scalar.apply_batch_scalar(&updates);
+        for s in 0..6 {
+            assert_eq!(batched.sample(s), scalar.sample(s), "sampler {s}");
+            assert_eq!(batched.updates_seen(s), scalar.updates_seen(s));
+        }
+    }
+
+    #[test]
+    fn sharded_banks_merge_to_the_sequential_bank() {
+        let z = 424_242u64;
+        let (_, template) = build_bank(4, z, 71);
+        let updates = random_updates(240, 2048, 72);
+        let prepared: Vec<SketchUpdate> = updates
+            .iter()
+            .map(|&(i, d)| template.prepare(i, d))
+            .collect();
+        let mut sequential = template.clone();
+        sequential.apply_batch(&prepared);
+        for shards in [2usize, 3, 5] {
+            let per_shard = prepared.len().div_ceil(shards);
+            let mut merged: Option<L0Bank> = None;
+            for chunk in prepared.chunks(per_shard) {
+                let mut shard = template.clone();
+                shard.apply_batch(chunk);
+                match merged.as_mut() {
+                    Some(m) => m.merge(&shard),
+                    None => merged = Some(shard),
+                }
+            }
+            let merged = merged.unwrap();
+            for s in 0..4 {
+                assert_eq!(merged.sample(s), sequential.sample(s), "shards {shards}");
+                assert_eq!(merged.updates_seen(s), sequential.updates_seen(s));
+            }
+        }
+    }
+
+    #[test]
+    fn retained_words_match_the_flattened_samplers() {
+        let (samplers, bank) = build_bank(6, 13_579, 81);
+        let expected: u64 = samplers.iter().map(L0Sampler::retained_words).sum();
+        assert_eq!(bank.retained_words(), expected);
+    }
+
+    #[test]
+    fn non_template_state_carries_over_in_flattening() {
+        let z = 999_331u64;
+        let mut rng = StdRng::seed_from_u64(91);
+        let mut sampler = L0Sampler::with_fingerprint_base(10, 8, 2, z, &mut rng);
+        for &(i, d) in &random_updates(50, 512, 92) {
+            sampler.apply(&SketchUpdate::prepare(z, i, d));
+        }
+        let bank = L0Bank::from_samplers(vec![sampler.clone()]);
+        assert_eq!(bank.sample(0), sampler.sample());
+        assert_eq!(bank.updates_seen(0), sampler.updates_seen());
+    }
+
+    #[test]
+    fn empty_bank_is_inert() {
+        let mut bank = L0Bank::from_samplers(Vec::new());
+        assert_eq!(bank.samplers(), 0);
+        assert_eq!(bank.retained_words(), 0);
+        let update = bank.prepare(7, 1);
+        bank.apply(&update);
+        bank.apply_batch(&[update]);
+        let other = bank.clone();
+        bank.merge(&other);
+    }
+
+    #[test]
+    fn zero_deltas_are_skipped_like_the_samplers_skip_them() {
+        let (_, mut bank) = build_bank(3, 777, 93);
+        let before = bank.updates_seen(0);
+        let update = bank.prepare(123, 0);
+        bank.apply(&update);
+        assert_eq!(bank.updates_seen(0), before);
+    }
+}

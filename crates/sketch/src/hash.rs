@@ -21,7 +21,11 @@ pub struct KWiseHash {
 }
 
 /// Multiplies two field elements modulo `2^61 − 1` without overflow.
-#[inline]
+///
+/// The Horner hot paths now fold the product and the following addition in
+/// one deferred [`reduce128`] (see [`horner2`]), so this canonical form
+/// survives as the reference the reduction tests check against.
+#[cfg(test)]
 fn mul_mod(a: u64, b: u64) -> u64 {
     let product = (a as u128) * (b as u128);
     reduce128(product)
@@ -30,7 +34,7 @@ fn mul_mod(a: u64, b: u64) -> u64 {
 /// Reduces a 128-bit value modulo the Mersenne prime `2^61 − 1` using the
 /// identity `2^61 ≡ 1 (mod p)`.
 #[inline]
-fn reduce128(x: u128) -> u64 {
+pub(crate) fn reduce128(x: u128) -> u64 {
     let low = (x & ((1u128 << 61) - 1)) as u64;
     let high = (x >> 61) as u64;
     let mut r = low + high;
@@ -42,7 +46,43 @@ fn reduce128(x: u128) -> u64 {
     r
 }
 
+/// One pairwise-independent Horner step: `(c1·x + c0) mod p`. This is
+/// exactly [`KWiseHash::hash_reduced`] for `k = 2` with the two
+/// coefficients passed by value — the form the lane-batched
+/// [`crate::L0Bank`] kernels use once the coefficient vectors are
+/// flattened out of their `KWiseHash` owners.
+#[inline]
+pub(crate) fn horner2(c1: u64, c0: u64, x: u64) -> u64 {
+    // One deferred reduction instead of reducing the product and then the
+    // sum: `c1·x + c0 < 2^122 + 2^61` stays well inside `reduce128`'s
+    // domain, and the canonical residue mod `2^61 − 1` is unique, so the
+    // result is bit-identical to `reduce128(mul_mod(c1, x) + c0)` at
+    // roughly half the folding work.
+    reduce128((c1 as u128) * (x as u128) + c0 as u128)
+}
+
+/// Strip-mined [`horner2`]: evaluates one `k = 2` hash per coefficient
+/// lane at the shared reduced key `x`, writing the results into `out`.
+/// The three slices must have equal length. One straight-line loop over
+/// contiguous coefficient arrays — no per-hash pointer chase, so the
+/// multiply chains of independent lanes overlap in the pipeline.
+#[inline]
+pub(crate) fn horner2_strip(c1: &[u64], c0: &[u64], x: u64, out: &mut [u64]) {
+    debug_assert_eq!(c1.len(), c0.len());
+    debug_assert_eq!(c1.len(), out.len());
+    for ((o, &a1), &a0) in out.iter_mut().zip(c1).zip(c0) {
+        *o = horner2(a1, a0, x);
+    }
+}
+
 impl KWiseHash {
+    /// The polynomial coefficients, lowest degree first — read by
+    /// [`crate::L0Bank`] when flattening a sampler bank's hash functions
+    /// into contiguous per-lane coefficient arrays.
+    pub(crate) fn coefficients(&self) -> &[u64] {
+        &self.coefficients
+    }
+
     /// Draws a fresh k-wise independent hash function from `rng`.
     ///
     /// `k` must be at least 1; `k = 2` gives pairwise independence, `k = 4`
@@ -99,7 +139,10 @@ impl KWiseHash {
         // reduced and the result equals the all-zero-seeded Horner loop.
         let mut acc = *rev.next().expect("k is at least 1");
         for &c in rev {
-            acc = reduce128(mul_mod(acc, x) as u128 + c as u128);
+            // Same deferred single reduction as [`horner2`] — the canonical
+            // residue is unique, so folding `acc·x + c` once is
+            // bit-identical to reducing the product and sum separately.
+            acc = reduce128((acc as u128) * (x as u128) + c as u128);
         }
         acc
     }

@@ -138,6 +138,32 @@ impl L0Sampler {
         self.shared_base
     }
 
+    /// `(max_level, cells_per_level, rows_per_level)` — the dimensions
+    /// [`crate::L0Bank`] checks for uniformity when flattening a bank.
+    pub(crate) fn dims(&self) -> (usize, usize, usize) {
+        (self.max_level, self.cells_per_level, self.rows_per_level)
+    }
+
+    /// The level hash (bank flattening).
+    pub(crate) fn level_hash(&self) -> &KWiseHash {
+        &self.level_hash
+    }
+
+    /// The selection hash (bank flattening).
+    pub(crate) fn selection_hash(&self) -> &KWiseHash {
+        &self.selection_hash
+    }
+
+    /// The flat bucket-hash table (bank flattening).
+    pub(crate) fn bucket_hashes(&self) -> &[KWiseHash] {
+        &self.bucket_hashes
+    }
+
+    /// The flat recovery-cell table (bank flattening).
+    pub(crate) fn cells(&self) -> &[OneSparseRecovery] {
+        &self.cells
+    }
+
     /// Applies the turnstile update `(index, delta)`.
     pub fn update(&mut self, index: u64, delta: i64) {
         if delta == 0 {

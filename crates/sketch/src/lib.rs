@@ -21,6 +21,12 @@
 //!   of a turnstile vector, the primitive that lets the dynamic-stream
 //!   triangle estimator of `degentri-dynamic` draw uniform surviving edges
 //!   and uniform surviving neighbors even in the presence of deletions.
+//! * [`bank::L0Bank`] — a bank of identically-shaped ℓ0 samplers flattened
+//!   into structure-of-arrays form, so one turnstile update touches the
+//!   whole bank as a single strip-mined kernel (shared reduced key,
+//!   contiguous Horner coefficient lanes, mask buckets, tabulated
+//!   `z^index` powers) — bit-identical to updating the samplers one by
+//!   one, several times faster.
 //!
 //! All structures are deterministic given their seed, are `Clone`, and
 //! expose `retained_words()` so the space experiments can account for them
@@ -29,14 +35,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bank;
 pub mod countmin;
 pub mod countsketch;
 pub mod hash;
 pub mod l0;
 pub mod onesparse;
 
+pub use bank::L0Bank;
 pub use countmin::CountMinSketch;
 pub use countsketch::CountSketch;
 pub use hash::KWiseHash;
 pub use l0::L0Sampler;
-pub use onesparse::{fingerprint_term, OneSparseRecovery, RecoveryOutcome, SketchUpdate};
+pub use onesparse::{
+    fingerprint_term, FingerprintPow, OneSparseRecovery, RecoveryOutcome, SketchUpdate,
+};

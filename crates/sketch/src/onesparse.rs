@@ -85,6 +85,12 @@ pub struct SketchUpdate {
     pub index_delta: i128,
     /// `z^index · delta (mod p)` for the shared fingerprint base `z`.
     pub contribution: u64,
+    /// `index mod p` — the key reduced into the hash field
+    /// ([`KWiseHash::reduce_key`](crate::KWiseHash::reduce_key)), hoisted
+    /// here so every sampler bank the update fans out to evaluates its
+    /// level and bucket hashes at the shared precomputed point instead of
+    /// re-reducing the key per sampler.
+    pub reduced: u64,
 }
 
 impl SketchUpdate {
@@ -111,7 +117,55 @@ impl SketchUpdate {
             delta,
             index_delta: index as i128 * delta as i128,
             contribution: ((term as u128) * (delta_mod as u128) % MERSENNE_PRIME as u128) as u64,
+            reduced: index % MERSENNE_PRIME,
         }
+    }
+}
+
+/// Precomputed powers `z^(2^i) (mod p)` of a shared fingerprint base.
+///
+/// [`fingerprint_term`] pays the full square-and-multiply ladder — one
+/// squaring *and* up to one multiplication per exponent bit — on every
+/// update. A bank of sketches sharing one base squares the same values
+/// over and over, so this table stores the 64 repeated squares once and
+/// [`term`](FingerprintPow::term) keeps only the data-dependent half of
+/// the ladder: one multiplication per **set** bit of the index (about half
+/// the bits), and no squarings at all.
+///
+/// Bit-identical to [`fingerprint_term`]: the accumulator multiplies by
+/// exactly the same square values in the same (ascending-bit) order, so
+/// every intermediate residue matches the ladder's.
+#[derive(Debug, Clone)]
+pub struct FingerprintPow {
+    pows: [u64; 64],
+}
+
+impl FingerprintPow {
+    /// Tabulates the repeated squares of `base` (reduced into the field).
+    pub fn new(base: u64) -> Self {
+        let mut pows = [0u64; 64];
+        let mut b = (base % MERSENNE_PRIME) as u128;
+        for p in pows.iter_mut() {
+            *p = b as u64;
+            b = b * b % MERSENNE_PRIME as u128;
+        }
+        FingerprintPow { pows }
+    }
+
+    /// The fingerprint term `base^index (mod p)` — equals
+    /// [`fingerprint_term`]`(base, index)` bit for bit.
+    #[inline]
+    pub fn term(&self, mut index: u64) -> u64 {
+        let mut result = 1u128;
+        let mut bit = 0usize;
+        while index > 0 {
+            if index & 1 == 1 {
+                result = result * self.pows[bit] as u128 % MERSENNE_PRIME as u128;
+            }
+            index >>= 1;
+            bit += 1;
+        }
+        result as u64
     }
 }
 
@@ -141,6 +195,26 @@ impl OneSparseRecovery {
     /// The fingerprint base `z` this structure tests with.
     pub fn fingerprint_base(&self) -> u64 {
         self.z
+    }
+
+    /// The three linear aggregates `(weight, index_sum, fingerprint)` —
+    /// read by [`crate::L0Bank`] when flattening cells into its
+    /// structure-of-arrays layout.
+    pub(crate) fn parts(&self) -> (i128, i128, u64) {
+        (self.weight, self.index_sum, self.fingerprint)
+    }
+
+    /// Rebuilds a cell from its aggregates (the inverse of
+    /// [`parts`](OneSparseRecovery::parts)), so [`crate::L0Bank`] can run
+    /// the standard [`recover`](OneSparseRecovery::recover) on cells it
+    /// stores column-wise.
+    pub(crate) fn from_parts(z: u64, weight: i128, index_sum: i128, fingerprint: u64) -> Self {
+        OneSparseRecovery {
+            weight,
+            index_sum,
+            fingerprint,
+            z,
+        }
     }
 
     /// Applies the turnstile update `(index, delta)`.
