@@ -107,8 +107,9 @@ where
         .into_iter()
         .next()
         .expect("exactly one job was submitted")
-        .dynamic
-        .expect("dynamic jobs carry their outcome"))
+        .dynamic()
+        .expect("dynamic jobs carry their outcome")
+        .clone())
 }
 
 /// The oracle-model counterpart of [`engine_estimate`]: runs the ideal

@@ -89,10 +89,10 @@ pub fn run(scale: usize, seed: u64) -> Vec<Row> {
                 graph: name.clone(),
                 algorithm,
                 bound,
-                estimate: job.estimation.estimate,
-                relative_error: job.estimation.relative_error(exact),
-                passes: job.estimation.passes_per_copy,
-                space_words: job.estimation.space.peak_words,
+                estimate: job.estimation().estimate,
+                relative_error: job.estimation().relative_error(exact),
+                passes: job.estimation().passes_per_copy,
+                space_words: job.estimation().space.peak_words,
             });
         }
     }

@@ -1,5 +1,6 @@
 //! Error type for the streaming estimators.
 
+use crate::faults::FaultSite;
 use std::fmt;
 
 /// Errors produced by estimator configuration and execution.
@@ -12,6 +13,25 @@ pub enum EstimatorError {
     },
     /// The stream was empty (no edges), so no estimate can be produced.
     EmptyStream,
+    /// An edge endpoint is not a vertex of the declared graph.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: u32,
+        /// The declared vertex-set size (valid ids are `0..num_vertices`).
+        num_vertices: usize,
+    },
+    /// An edge connects a vertex to itself; the estimators count simple
+    /// triangles and reject self-loops rather than silently dropping them.
+    SelfLoop {
+        /// The looping vertex id.
+        vertex: u32,
+    },
+    /// A fault-injection plan fired at this site (test harness only; see
+    /// [`crate::faults`]).
+    Injected {
+        /// The site where the fault was injected.
+        site: FaultSite,
+    },
 }
 
 impl EstimatorError {
@@ -30,6 +50,19 @@ impl fmt::Display for EstimatorError {
                 write!(f, "invalid estimator configuration: {message}")
             }
             EstimatorError::EmptyStream => write!(f, "the edge stream is empty"),
+            EstimatorError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "vertex id {vertex} is out of range for a graph with {num_vertices} vertices"
+            ),
+            EstimatorError::SelfLoop { vertex } => {
+                write!(f, "self-loop edge at vertex {vertex} is not a simple edge")
+            }
+            EstimatorError::Injected { site } => {
+                write!(f, "fault injected at site {site}")
+            }
         }
     }
 }
@@ -45,5 +78,17 @@ mod tests {
         let e = EstimatorError::invalid_config("epsilon must be positive");
         assert!(e.to_string().contains("epsilon"));
         assert!(EstimatorError::EmptyStream.to_string().contains("empty"));
+        let e = EstimatorError::VertexOutOfRange {
+            vertex: 9,
+            num_vertices: 5,
+        };
+        assert!(e.to_string().contains("9") && e.to_string().contains("5"));
+        assert!(EstimatorError::SelfLoop { vertex: 3 }
+            .to_string()
+            .contains("self-loop"));
+        let e = EstimatorError::Injected {
+            site: FaultSite::MainFold,
+        };
+        assert!(e.to_string().contains("main_fold"));
     }
 }

@@ -88,6 +88,7 @@ pub mod assignment;
 pub mod config;
 pub mod error;
 pub mod estimator;
+pub mod faults;
 pub mod heavy;
 pub mod ideal;
 pub mod lanes;
@@ -98,10 +99,12 @@ pub mod runner;
 pub mod scratch;
 pub mod stages;
 pub mod theory;
+pub mod validate;
 
 pub use config::{DerivedParameters, EstimatorConfig, EstimatorConfigBuilder};
 pub use error::EstimatorError;
 pub use estimator::MainEstimator;
+pub use faults::{FaultKind, FaultPlan, FaultRule, FaultSite};
 pub use ideal::IdealEstimator;
 pub use oracle::{DegreeOracle, ExactDegreeOracle};
 pub use rng::{CounterRng, RngMode};
@@ -112,6 +115,7 @@ pub use runner::{
 };
 pub use scratch::EstimatorScratch;
 pub use stages::{MainCohortPlan, MainCohortScratch, MainCopyStages, MainStageAcc};
+pub use validate::{checked_edge, validate_edges};
 
 /// Convenient result alias for estimator operations.
 pub type Result<T> = std::result::Result<T, EstimatorError>;

@@ -351,6 +351,14 @@ impl MainCopyStages {
         &self.pass_tallies
     }
 
+    /// The copy-derived seed, doubling as the copy's stable fault-injection
+    /// key: identical across the fused, per-copy, and sharded tiers, so a
+    /// [`crate::faults::FaultPlan`] targets the same logical copy on every
+    /// execution path.
+    pub fn fault_seed(&self) -> u64 {
+        self.seed
+    }
+
     /// A fresh accumulator for the current pass. Drivers create one per
     /// shard (or a single one for an unsharded sweep); the shard partition
     /// must stay the same across all six passes of a copy (every driver in
@@ -396,6 +404,9 @@ impl MainCopyStages {
     /// sums and bitmap ORs. The order-sensitive passes (1, 3, 5) always
     /// use the scalar fold.
     pub fn fold(&self, acc: &mut MainStageAcc, pos: u64, chunk: &[Edge]) {
+        if crate::faults::ENABLED {
+            crate::faults::probe(crate::faults::FaultSite::MainFold, self.seed);
+        }
         match self.pass {
             1 | 3 | 5 => {}
             _ => return self.fold_scalar(acc, pos, chunk),
@@ -680,6 +691,13 @@ impl MainCopyStages {
     /// between-pass bookkeeping, and arms the next pass.
     pub fn finish_pass(&mut self, accs: Vec<MainStageAcc>) -> Result<()> {
         debug_assert!(!self.finished(), "finish_pass after the sixth pass");
+        if crate::faults::ENABLED
+            && crate::faults::injected(crate::faults::FaultSite::MainFinish, self.seed)
+        {
+            return Err(EstimatorError::Injected {
+                site: crate::faults::FaultSite::MainFinish,
+            });
+        }
         let mut tally = PassTally::default();
         for acc in &accs {
             tally.merge(acc.tally);
@@ -1562,6 +1580,11 @@ impl MainCopyStages {
         chunk: &[Edge],
     ) {
         debug_assert_eq!(copies.len(), accs.len());
+        if crate::faults::ENABLED {
+            for stages in copies {
+                crate::faults::probe(crate::faults::FaultSite::MainFold, stages.seed);
+            }
+        }
         if matches!(plan.kind, PlanKind::PerCopy) {
             // Pass 1: positional gathers are O(log) per chunk per copy —
             // the per-copy loop is already optimal (fold tallies itself).

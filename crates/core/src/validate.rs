@@ -1,0 +1,102 @@
+//! Graceful input validation for untrusted edge streams.
+//!
+//! The graph layer enforces its invariants with panics (`Edge::new`
+//! asserts `a != b`) or by silently dropping bad input
+//! (`GraphBuilder` ignores self-loops) — fine for trusted in-process
+//! construction, wrong for a service boundary. This module is the
+//! typed-error alternative: [`checked_edge`] builds an [`Edge`] from raw
+//! endpoints, reporting [`EstimatorError::SelfLoop`] /
+//! [`EstimatorError::VertexOutOfRange`] instead of panicking, and
+//! [`validate_edges`] screens an already-materialized stream against a
+//! declared vertex count. The engine runs these up front when
+//! `EngineConfig::validate_input(true)` is set.
+
+use crate::error::EstimatorError;
+use crate::Result;
+use degentri_graph::{Edge, VertexId};
+
+/// Builds a normalized [`Edge`] from raw endpoints, returning a typed
+/// error instead of panicking on a self-loop or an out-of-range vertex.
+pub fn checked_edge(num_vertices: usize, a: u32, b: u32) -> Result<Edge> {
+    if a == b {
+        return Err(EstimatorError::SelfLoop { vertex: a });
+    }
+    for vertex in [a, b] {
+        if vertex as usize >= num_vertices {
+            return Err(EstimatorError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            });
+        }
+    }
+    Ok(Edge::new(VertexId::new(a), VertexId::new(b)))
+}
+
+/// Checks that every edge endpoint lies in `0..num_vertices`.
+///
+/// Self-loops need no check here: they are unrepresentable in [`Edge`]
+/// (its constructor rejects them), so a materialized `&[Edge]` cannot
+/// contain one — [`checked_edge`] is the place raw self-loops are caught.
+pub fn validate_edges(num_vertices: usize, edges: &[Edge]) -> Result<()> {
+    for edge in edges {
+        // Edges are normalized (u < v), so checking the larger endpoint
+        // covers both.
+        let v = edge.v().raw();
+        if v as usize >= num_vertices {
+            return Err(EstimatorError::VertexOutOfRange {
+                vertex: v,
+                num_vertices,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checked_edge_accepts_valid_and_normalizes() {
+        let e = checked_edge(10, 7, 3).unwrap();
+        assert_eq!((e.u().raw(), e.v().raw()), (3, 7));
+    }
+
+    #[test]
+    fn checked_edge_rejects_self_loops() {
+        assert_eq!(
+            checked_edge(10, 4, 4),
+            Err(EstimatorError::SelfLoop { vertex: 4 })
+        );
+    }
+
+    #[test]
+    fn checked_edge_rejects_out_of_range() {
+        assert_eq!(
+            checked_edge(5, 2, 5),
+            Err(EstimatorError::VertexOutOfRange {
+                vertex: 5,
+                num_vertices: 5
+            })
+        );
+        // Self-loop takes precedence even when also out of range.
+        assert_eq!(
+            checked_edge(5, 9, 9),
+            Err(EstimatorError::SelfLoop { vertex: 9 })
+        );
+    }
+
+    #[test]
+    fn validate_edges_screens_a_stream() {
+        let good = vec![Edge::from_raw(0, 1), Edge::from_raw(1, 2)];
+        assert_eq!(validate_edges(3, &good), Ok(()));
+        assert_eq!(
+            validate_edges(2, &good),
+            Err(EstimatorError::VertexOutOfRange {
+                vertex: 2,
+                num_vertices: 2
+            })
+        );
+        assert_eq!(validate_edges(0, &[]), Ok(()));
+    }
+}

@@ -1,5 +1,6 @@
 //! Error type for dynamic-stream estimation.
 
+use degentri_core::faults::FaultSite;
 use std::fmt;
 
 /// Errors produced by the dynamic-stream estimators.
@@ -14,6 +15,26 @@ pub enum DynamicError {
     EmptyStream,
     /// The stream's surviving graph has no edges (nothing to estimate).
     EmptySurvivingGraph,
+    /// The turnstile stream deleted more than it inserted: the surviving
+    /// multiset has a negative count, which no graph realizes.
+    DeletesExceedInserts {
+        /// The offending net count (global, or per-edge when detected by
+        /// up-front validation).
+        net: i64,
+    },
+    /// An update's edge endpoint is not a vertex of the declared graph.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: u32,
+        /// The declared vertex-set size (valid ids are `0..num_vertices`).
+        num_vertices: usize,
+    },
+    /// A fault-injection plan fired at this site (test harness only; see
+    /// [`degentri_core::faults`]).
+    Injected {
+        /// The site where the fault was injected.
+        site: FaultSite,
+    },
 }
 
 impl DynamicError {
@@ -35,6 +56,19 @@ impl fmt::Display for DynamicError {
             DynamicError::EmptySurvivingGraph => {
                 write!(f, "all edges were deleted; the surviving graph is empty")
             }
+            DynamicError::DeletesExceedInserts { net } => write!(
+                f,
+                "turnstile deletes exceed inserts (net count {net}); \
+                 the stream does not describe a graph"
+            ),
+            DynamicError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "vertex id {vertex} is out of range for a graph with {num_vertices} vertices"
+            ),
+            DynamicError::Injected { site } => write!(f, "fault injected at site {site}"),
         }
     }
 }
@@ -54,5 +88,18 @@ mod tests {
         assert!(DynamicError::EmptySurvivingGraph
             .to_string()
             .contains("deleted"));
+        assert!(DynamicError::DeletesExceedInserts { net: -3 }
+            .to_string()
+            .contains("-3"));
+        let e = DynamicError::VertexOutOfRange {
+            vertex: 7,
+            num_vertices: 4,
+        };
+        assert!(e.to_string().contains("7") && e.to_string().contains("4"));
+        assert!(DynamicError::Injected {
+            site: FaultSite::BankFold
+        }
+        .to_string()
+        .contains("bank_fold"));
     }
 }

@@ -55,6 +55,7 @@ pub mod error;
 pub mod estimator;
 pub mod exact;
 pub mod stages;
+pub mod validate;
 
 pub use error::DynamicError;
 pub use estimator::{
@@ -64,6 +65,7 @@ pub use estimator::{
 };
 pub use exact::DynamicExactCounter;
 pub use stages::{counter_instance_picks, DynamicCopyStages, DynamicStageAcc};
+pub use validate::validate_updates;
 
 /// Convenient result alias for dynamic-stream estimation.
 pub type Result<T> = std::result::Result<T, DynamicError>;

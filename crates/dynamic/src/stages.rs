@@ -31,6 +31,7 @@
 //! agree bit for bit at every batch size, shard count, worker count and
 //! cohort grouping.
 
+use degentri_core::faults;
 use degentri_core::rng::{streams, CounterRng, RngMode, WeightedPickCell};
 use degentri_graph::{Edge, VertexId};
 use degentri_obs::PassTally;
@@ -192,6 +193,14 @@ impl DynamicCopyStages {
     /// Total passes a copy makes over the update stream.
     pub const PASSES: u32 = 4;
 
+    /// The copy-derived seed, doubling as the copy's stable fault-injection
+    /// key: identical across the fused, per-copy, and sharded tiers, so a
+    /// [`faults::FaultPlan`] targets the same logical copy on every
+    /// execution path.
+    pub fn fault_seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Prepares one copy over a stream of `num_updates` updates and `n`
     /// vertices with the given (already copy-derived) seed. Requires
     /// [`RngMode::Counter`].
@@ -319,6 +328,9 @@ impl DynamicCopyStages {
     /// [`L0Bank`] kernels; [`fold_scalar`](Self::fold_scalar) is the
     /// sampler-by-sampler reference producing bit-identical accumulators.
     pub fn fold(&self, acc: &mut DynamicStageAcc, _pos: u64, chunk: &[EdgeUpdate]) {
+        if faults::ENABLED {
+            faults::probe(faults::FaultSite::BankFold, self.seed);
+        }
         acc.tally.items += chunk.len() as u64;
         match &mut acc.acc {
             DynAcc::Edges { bank, net, prep } => {
@@ -413,6 +425,11 @@ impl DynamicCopyStages {
     /// estimator.
     pub fn finish_pass(&mut self, accs: Vec<DynamicStageAcc>) -> Result<()> {
         debug_assert!(!self.finished(), "finish_pass after the fourth pass");
+        if faults::ENABLED && faults::injected(faults::FaultSite::DynamicFinish, self.seed) {
+            return Err(DynamicError::Injected {
+                site: faults::FaultSite::DynamicFinish,
+            });
+        }
         let mut tally = PassTally::default();
         for acc in &accs {
             tally.merge(acc.tally);
@@ -467,7 +484,12 @@ impl DynamicCopyStages {
             merged.merge(&bank);
         }
         self.meter.charge(merged.retained_words() + 1);
-        if net_edges <= 0 {
+        if net_edges < 0 {
+            // More deletes than inserts: no graph realizes the stream —
+            // distinct from the legal (if fruitless) fully-deleted case.
+            return Err(DynamicError::DeletesExceedInserts { net: net_edges });
+        }
+        if net_edges == 0 {
             return Err(DynamicError::EmptySurvivingGraph);
         }
         self.m_net = net_edges as usize;

@@ -1,0 +1,92 @@
+//! Graceful input validation for untrusted turnstile streams.
+//!
+//! The counterpart of [`degentri_core::validate`] for update streams:
+//! [`validate_updates`] screens a materialized update slice against a
+//! declared vertex count and rejects streams whose deletes exceed their
+//! inserts — per edge, which subsumes the global check — with typed
+//! [`DynamicError`]s instead of letting a nonsensical multiset flow into
+//! the sketches. The engine runs this up front when
+//! `EngineConfig::validate_input(true)` is set.
+
+use crate::error::DynamicError;
+use crate::Result;
+use degentri_stream::EdgeUpdate;
+use std::collections::HashMap;
+
+/// Checks that every update's endpoints lie in `0..num_vertices` and that
+/// no edge's running total of deletes ever exceeds its inserts at end of
+/// stream (per-edge final net ≥ 0).
+///
+/// Self-loops need no check: updates carry [`degentri_graph::Edge`]s,
+/// which cannot represent them ([`degentri_core::checked_edge`] is where
+/// raw self-loops are caught).
+pub fn validate_updates(num_vertices: usize, updates: &[EdgeUpdate]) -> Result<()> {
+    let mut net: HashMap<u64, i64> = HashMap::new();
+    for update in updates {
+        // Edges are normalized (u < v), so checking the larger endpoint
+        // covers both.
+        let v = update.edge.v().raw();
+        if v as usize >= num_vertices {
+            return Err(DynamicError::VertexOutOfRange {
+                vertex: v,
+                num_vertices,
+            });
+        }
+        *net.entry(update.edge.key()).or_insert(0) += update.delta();
+    }
+    if let Some(&worst) = net.values().filter(|&&n| n < 0).min() {
+        return Err(DynamicError::DeletesExceedInserts { net: worst });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use degentri_graph::Edge;
+    use degentri_stream::UpdateKind;
+
+    fn ins(a: u32, b: u32) -> EdgeUpdate {
+        EdgeUpdate {
+            edge: Edge::from_raw(a, b),
+            kind: UpdateKind::Insert,
+        }
+    }
+
+    fn del(a: u32, b: u32) -> EdgeUpdate {
+        EdgeUpdate {
+            edge: Edge::from_raw(a, b),
+            kind: UpdateKind::Delete,
+        }
+    }
+
+    #[test]
+    fn balanced_stream_is_accepted() {
+        let updates = vec![ins(0, 1), ins(1, 2), del(0, 1), ins(0, 1)];
+        assert_eq!(validate_updates(3, &updates), Ok(()));
+        assert_eq!(validate_updates(3, &[]), Ok(()));
+    }
+
+    #[test]
+    fn out_of_range_vertex_is_reported() {
+        let updates = vec![ins(0, 1), ins(1, 5)];
+        assert_eq!(
+            validate_updates(3, &updates),
+            Err(DynamicError::VertexOutOfRange {
+                vertex: 5,
+                num_vertices: 3
+            })
+        );
+    }
+
+    #[test]
+    fn per_edge_deletes_exceeding_inserts_are_reported() {
+        // Globally net-positive (3 inserts, 2 deletes) but edge (0,1) ends
+        // at −1: the per-edge check catches what a global sum would miss.
+        let updates = vec![ins(1, 2), ins(2, 0), del(0, 1), ins(1, 2), del(0, 1)];
+        assert_eq!(
+            validate_updates(3, &updates),
+            Err(DynamicError::DeletesExceedInserts { net: -2 })
+        );
+    }
+}

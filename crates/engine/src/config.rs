@@ -53,6 +53,13 @@ pub struct EngineConfig {
     /// Defaults to `false`, which compiles the instrumentation points down
     /// to nothing via [`degentri_obs::NoopRecorder`].
     pub recording: bool,
+    /// Whether runs validate the input stream up front —
+    /// [`degentri_core::validate_edges`] for snapshots (out-of-range vertex
+    /// ids), [`degentri_dynamic::validate_updates`] for update streams
+    /// (out-of-range ids, per-edge deletes exceeding inserts). Validation
+    /// failures are pre-flight: they fail the run before any job starts.
+    /// Defaults to `false` (one extra O(stream) scan when enabled).
+    pub validate_input: bool,
 }
 
 impl EngineConfig {
@@ -66,6 +73,7 @@ impl EngineConfig {
             rng_mode: Some(RngMode::Counter),
             fused_execution: true,
             recording: false,
+            validate_input: false,
         }
     }
 
@@ -164,6 +172,13 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Enables or disables up-front input-stream validation (off by
+    /// default; failures are pre-flight and fail the run).
+    pub fn validate_input(mut self, yes: bool) -> Self {
+        self.config.validate_input = yes;
+        self
+    }
+
     /// Validates and finishes building, rejecting zero workers or a zero
     /// batch size with [`EngineError::InvalidConfig`].
     pub fn try_build(self) -> Result<EngineConfig> {
@@ -202,6 +217,14 @@ mod tests {
         assert_eq!(EngineConfig::default().rng_mode, Some(RngMode::Counter));
         assert!(EngineConfig::default().fused_execution);
         assert!(!EngineConfig::default().recording);
+        assert!(!EngineConfig::default().validate_input);
+        assert!(
+            EngineConfig::builder()
+                .validate_input(true)
+                .try_build()
+                .unwrap()
+                .validate_input
+        );
         assert!(
             EngineConfig::builder()
                 .recording(true)

@@ -26,6 +26,32 @@ pub enum EngineError {
         /// Human-readable description of the mismatch.
         reason: String,
     },
+    /// One of the job's tasks panicked. The panic was caught at the task
+    /// (or cohort-pass) boundary, the worker that caught it survived, and
+    /// every other job ran to completion unperturbed.
+    Panicked {
+        /// Index of the task (per-copy tier) or cohort member (fused tier)
+        /// that unwound.
+        task: usize,
+        /// The panic payload rendered as text, when it was a string.
+        payload: String,
+    },
+    /// The job's [`deadline`](crate::JobSpec::deadline) elapsed before it
+    /// finished; the job was cut at a pass/task boundary.
+    DeadlineExceeded {
+        /// Shared passes this job's fused copies had fully completed when
+        /// the deadline fired (0 when cut on the per-copy tier before its
+        /// tasks started).
+        completed_passes: usize,
+    },
+    /// The run's [`CancelToken`](crate::CancelToken) fired while this job
+    /// was still in flight.
+    Cancelled {
+        /// Shared passes this job's fused copies had fully completed when
+        /// cancellation was observed (0 when cut on the per-copy tier
+        /// before its tasks started).
+        completed_passes: usize,
+    },
 }
 
 impl EngineError {
@@ -40,6 +66,25 @@ impl EngineError {
             reason: reason.into(),
         }
     }
+
+    pub(crate) fn panicked(task: usize, payload: Box<dyn std::any::Any + Send>) -> Self {
+        EngineError::Panicked {
+            task,
+            payload: panic_message(payload.as_ref()),
+        }
+    }
+}
+
+/// Renders a caught panic payload as text (panics carry `&str` or `String`
+/// payloads in practice; anything else gets a placeholder).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 impl fmt::Display for EngineError {
@@ -53,6 +98,21 @@ impl fmt::Display for EngineError {
             EngineError::UnsupportedJob { reason } => {
                 write!(f, "unsupported job for this run: {reason}")
             }
+            EngineError::Panicked { task, payload } => {
+                write!(f, "engine task {task} panicked: {payload}")
+            }
+            EngineError::DeadlineExceeded { completed_passes } => {
+                write!(
+                    f,
+                    "job deadline exceeded after {completed_passes} completed pass(es)"
+                )
+            }
+            EngineError::Cancelled { completed_passes } => {
+                write!(
+                    f,
+                    "run cancelled after {completed_passes} completed pass(es)"
+                )
+            }
         }
     }
 }
@@ -62,7 +122,11 @@ impl std::error::Error for EngineError {
         match self {
             EngineError::Estimator(e) => Some(e),
             EngineError::Dynamic(e) => Some(e),
-            EngineError::InvalidConfig { .. } | EngineError::UnsupportedJob { .. } => None,
+            EngineError::InvalidConfig { .. }
+            | EngineError::UnsupportedJob { .. }
+            | EngineError::Panicked { .. }
+            | EngineError::DeadlineExceeded { .. }
+            | EngineError::Cancelled { .. } => None,
         }
     }
 }
@@ -97,5 +161,31 @@ mod tests {
         assert_eq!(e, EngineError::Dynamic(DynamicError::EmptySurvivingGraph));
         let mismatch = EngineError::unsupported_job("turnstile job in Engine::run");
         assert!(mismatch.to_string().contains("turnstile"));
+    }
+
+    #[test]
+    fn containment_variants_carry_partial_accounting() {
+        let p = EngineError::panicked(3, Box::new("stage blew up"));
+        assert_eq!(
+            p,
+            EngineError::Panicked {
+                task: 3,
+                payload: "stage blew up".to_string()
+            }
+        );
+        assert!(p.to_string().contains("task 3"));
+        let p2 = EngineError::panicked(0, Box::new(String::from("owned payload")));
+        assert!(p2.to_string().contains("owned payload"));
+        let p3 = EngineError::panicked(0, Box::new(42u32));
+        assert!(p3.to_string().contains("non-string"));
+        let d = EngineError::DeadlineExceeded {
+            completed_passes: 2,
+        };
+        assert!(d.to_string().contains("deadline"));
+        assert!(d.to_string().contains('2'));
+        let c = EngineError::Cancelled {
+            completed_passes: 0,
+        };
+        assert!(c.to_string().contains("cancelled"));
     }
 }

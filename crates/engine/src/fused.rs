@@ -20,15 +20,18 @@
 //! across the full copies × shards × workers sweep in
 //! `crates/engine/tests/fused_parity.rs`).
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
+use degentri_core::faults;
 use degentri_core::{MainCohortPlan, MainCohortScratch, MainCopyStages, MainStageAcc};
 use degentri_dynamic::{DynamicCopyStages, DynamicStageAcc};
 use degentri_graph::Edge;
 use degentri_obs::{Counter, Hist, Recorder, ShardReport, Span};
 use degentri_stream::{EdgeUpdate, ShardedSnapshot};
 
-use crate::Result;
+use crate::cancel::CancelToken;
+use crate::{EngineError, Result};
 
 /// One pass of a fused cohort as the driver observed it: plan-build and
 /// sweep wall times plus the per-shard breakdown, in shard order. Collected
@@ -114,6 +117,13 @@ pub(crate) trait StagedCopy: Send + Sync + Sized {
         pos: u64,
         chunk: &[Self::Item],
     );
+
+    /// Folds one chunk into this copy alone — the per-copy reference path
+    /// the fused fold mirrors bit for bit. The containment fallback uses
+    /// it to re-execute a panicked fused sweep copy by copy (sound and
+    /// repeatable because folds take `&self` and are deterministic), and
+    /// the no-shared-probes serial arm uses it directly.
+    fn fold_one(&self, acc: &mut Self::Acc, pos: u64, chunk: &[Self::Item]);
 }
 
 impl StagedCopy for MainCopyStages {
@@ -155,6 +165,10 @@ impl StagedCopy for MainCopyStages {
         chunk: &[Edge],
     ) {
         MainCopyStages::fold_cohort(plan, copies, accs, scratch, pos, chunk)
+    }
+
+    fn fold_one(&self, acc: &mut MainStageAcc, pos: u64, chunk: &[Edge]) {
+        MainCopyStages::fold(self, acc, pos, chunk)
     }
 }
 
@@ -208,6 +222,10 @@ impl StagedCopy for DynamicCopyStages {
             stages.fold(acc, pos, chunk);
         }
     }
+
+    fn fold_one(&self, acc: &mut DynamicStageAcc, pos: u64, chunk: &[EdgeUpdate]) {
+        DynamicCopyStages::fold(self, acc, pos, chunk)
+    }
 }
 
 /// Re-nests shard-major accumulators (`per_shard[s][k]`) into copy-major
@@ -224,20 +242,159 @@ fn transpose<T>(per_shard: Vec<Vec<T>>, copies: usize) -> Vec<Vec<T>> {
     per_copy
 }
 
+/// Containment metadata carried alongside each cohort member, index-aligned
+/// with the copies vector (the driver evicts both in sync).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CohortMemberMeta {
+    /// Index of the job this copy belongs to — containment's failure unit:
+    /// when any copy of a group fails, the whole group is evicted.
+    pub group: usize,
+    /// The copy's index within its job (per-copy seed index), used by the
+    /// scheduler to keep fold-back ordering after evictions.
+    pub copy: usize,
+    /// Absolute deadline of the copy's job, when it has one.
+    pub deadline: Option<Instant>,
+    /// The copy's fault-injection key — its per-copy seed, so the same key
+    /// addresses the copy on every execution tier.
+    pub fault_key: u64,
+}
+
+/// What [`drive_cohort`] did: completed sweeps, copies evicted by
+/// containment, and the first error of each failed group (in eviction
+/// order).
+#[derive(Debug, Default)]
+pub(crate) struct CohortOutcome {
+    /// Completed shared sweeps (aborted sweeps are not counted, keeping
+    /// `edges_streamed = sweeps × snapshot_len` an upper bound of what a
+    /// cut run actually streamed).
+    pub sweeps: u64,
+    /// Copies removed from the cohort by group evictions.
+    pub evicted: usize,
+    /// `(group, first error)` per failed group.
+    pub failures: Vec<(usize, EngineError)>,
+}
+
+/// Whether `group` already failed during the current pass.
+fn doomed(failures: &[(usize, EngineError)], group: usize) -> bool {
+    failures.iter().any(|(g, _)| *g == group)
+}
+
+/// Evicts every copy of `group` from the cohort, recording the group's
+/// first error. Survivor order is preserved, so per-job fold-back ordering
+/// is unaffected.
+fn evict_group<C>(
+    copies: &mut Vec<C>,
+    meta: &mut Vec<CohortMemberMeta>,
+    outcome: &mut CohortOutcome,
+    group: usize,
+    error: EngineError,
+) {
+    if !doomed(&outcome.failures, group) {
+        outcome.failures.push((group, error));
+    }
+    let mut k = 0;
+    while k < copies.len() {
+        if meta[k].group == group {
+            copies.remove(k);
+            meta.remove(k);
+            outcome.evicted += 1;
+        } else {
+            k += 1;
+        }
+    }
+}
+
+/// Evicts every remaining group with a clone of `error` (cancellation).
+fn fail_all<C>(
+    copies: &mut Vec<C>,
+    meta: &mut Vec<CohortMemberMeta>,
+    outcome: &mut CohortOutcome,
+    error: &EngineError,
+) {
+    while let Some(mm) = meta.first() {
+        let group = mm.group;
+        evict_group(copies, meta, outcome, group, error.clone());
+    }
+}
+
+/// Executes one copy's pass fold under a panic boundary: begin, fold the
+/// whole slice chunk by chunk via [`StagedCopy::fold_one`], return the
+/// accumulator (or the panic payload). `AssertUnwindSafe` is sound because
+/// folds take `&self` — an unwinding fold cannot tear the copy, only the
+/// local accumulator, which is discarded with the `Err`.
+fn fold_copy_caught<C: StagedCopy>(
+    copy: &C,
+    batch: usize,
+    items: &[C::Item],
+    cancel: &CancelToken,
+) -> std::thread::Result<C::Acc> {
+    catch_unwind(AssertUnwindSafe(|| {
+        let mut acc = copy.begin_pass();
+        let chunk_len = C::cohort_batch(batch, items.len()).max(1);
+        let mut pos = 0u64;
+        for chunk in items.chunks(chunk_len) {
+            if cancel.is_cancelled() {
+                break;
+            }
+            copy.fold_one(&mut acc, pos, chunk);
+            pos += chunk.len() as u64;
+        }
+        acc
+    }))
+}
+
+/// Finishes one copy's pass under a panic boundary. `AssertUnwindSafe` is
+/// sound because a panicking `finish_pass` (`&mut self`) may tear the copy,
+/// but the caller evicts the copy's whole group on `Err` — the torn state
+/// is never observed again.
+fn finish_copy_caught<C: StagedCopy>(
+    copy: &mut C,
+    accs: Vec<C::Acc>,
+) -> std::thread::Result<Result<()>> {
+    catch_unwind(AssertUnwindSafe(move || copy.finish_pass(accs)))
+}
+
 /// Executes one cohort of staged copies over a shared snapshot slice:
 /// while any copy has passes left, run **one sweep** that feeds every
 /// unfinished copy's fold chunk by chunk — sharded across `workers` scoped
 /// threads (over `shards` contiguous shards) when `workers > 1`. Cohorts
 /// without shared probes ([`StagedCopy::SHARES_PROBES`] = `false`) drive
 /// each sweep copy-at-a-time instead, keeping one copy's pass state live
-/// at a time. Returns the number of sweeps executed (one per lockstep
-/// pass).
+/// at a time.
 ///
-/// All copies of a cohort have the same pass budget, so they stay in
-/// lockstep and the sweep count equals that budget.
+/// ## Failure containment
+///
+/// Failures are contained at **group** (job) granularity, never at run
+/// granularity:
+///
+/// * A copy that panics or returns an error — in a fold, a `finish_pass`,
+///   or an injected pass-boundary fault — evicts its whole group from the
+///   cohort: the group's copies leave `copies`/`meta`, the next pass's
+///   plan is rebuilt from the survivors only, and the group's first error
+///   is reported in the returned [`CohortOutcome`].
+/// * When a **shared** fused sweep panics, the driver cannot tell which
+///   copy unwound, so it re-executes the pass copy by copy through
+///   [`StagedCopy::fold_one`] under per-copy panic boundaries. This is
+///   sound and bit-identical because folds take `&self` and are
+///   deterministic — the per-copy path is exactly the reference semantics
+///   the fused fold mirrors.
+/// * Survivors are **bit-identical** to a run that never contained the
+///   failed group: per-copy randomness is position-keyed (counter mode),
+///   so a copy's accumulators are a pure function of its own seed and the
+///   chunk positions, independent of which other copies share the sweep.
+/// * Expired group deadlines evict at pass boundaries
+///   ([`EngineError::DeadlineExceeded`] with the completed pass count);
+///   a fired [`CancelToken`] fails every remaining group at the next
+///   pass/chunk boundary ([`EngineError::Cancelled`]) and aborts the
+///   in-flight sweep without counting it.
+///
+/// All copies of a cohort have the same pass budget, so survivors stay in
+/// lockstep and, absent failures, the sweep count equals that budget.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn drive_cohort<C: StagedCopy, R: Recorder>(
-    copies: &mut [C],
+    copies: &mut Vec<C>,
+    meta: &mut Vec<CohortMemberMeta>,
+    cancel: &CancelToken,
     num_vertices: usize,
     items: &[C::Item],
     batch: usize,
@@ -246,20 +403,72 @@ pub(crate) fn drive_cohort<C: StagedCopy, R: Recorder>(
     recorder: &R,
     lane: usize,
     trace: &mut Vec<PassTrace>,
-) -> Result<u64> {
-    if copies.is_empty() {
-        return Ok(0);
-    }
+) -> CohortOutcome {
+    debug_assert_eq!(copies.len(), meta.len());
+    let mut outcome = CohortOutcome::default();
     let batch = batch.max(1);
-    let mut sweeps = 0u64;
     // Cohort copies share a pass budget, so they run in lockstep: every
-    // sweep advances every copy by one pass.
+    // sweep advances every surviving copy by one pass.
     while copies.iter().any(|c| !c.finished()) {
         debug_assert!(
             copies.iter().all(|c| !c.finished()),
             "cohort copies run in lockstep"
         );
-        sweeps += 1;
+        let completed = copies[0].pass_index();
+        if cancel.is_cancelled() {
+            fail_all(
+                copies,
+                meta,
+                &mut outcome,
+                &EngineError::Cancelled {
+                    completed_passes: completed,
+                },
+            );
+            break;
+        }
+        // One clock read per pass covers every group's deadline.
+        let now = Instant::now();
+        let mut expired: Vec<usize> = Vec::new();
+        for mm in meta.iter() {
+            if mm.deadline.is_some_and(|d| now >= d) && !expired.contains(&mm.group) {
+                expired.push(mm.group);
+            }
+        }
+        for group in expired {
+            evict_group(
+                copies,
+                meta,
+                &mut outcome,
+                group,
+                EngineError::DeadlineExceeded {
+                    completed_passes: completed,
+                },
+            );
+        }
+        if copies.is_empty() {
+            break;
+        }
+        // Pass-boundary fault probes, one per copy, keyed by the copy's
+        // seed. An injected panic is contained to the probed copy's group.
+        if faults::ENABLED {
+            let mut hit: Vec<(usize, EngineError)> = Vec::new();
+            for (k, mm) in meta.iter().enumerate() {
+                let probed = catch_unwind(AssertUnwindSafe(|| {
+                    faults::probe(faults::FaultSite::PassBoundary, mm.fault_key)
+                }));
+                if let Err(payload) = probed {
+                    if !doomed(&hit, mm.group) {
+                        hit.push((mm.group, EngineError::panicked(k, payload)));
+                    }
+                }
+            }
+            for (group, error) in hit {
+                evict_group(copies, meta, &mut outcome, group, error);
+            }
+            if copies.is_empty() {
+                break;
+            }
+        }
         let pass = copies[0].pass_index();
         let plan_started = Instant::now();
         let plan = C::plan_pass(copies);
@@ -270,79 +479,176 @@ pub(crate) fn drive_cohort<C: StagedCopy, R: Recorder>(
         };
         let started = Instant::now();
         let mut shard_reports: Vec<ShardReport> = Vec::new();
-        let per_copy: Vec<Vec<C::Acc>> = if workers > 1 {
-            let view: ShardedSnapshot<'_, C::Item> =
-                ShardedSnapshot::new(num_vertices, items, shards.max(1));
-            let copies_ref = &*copies;
-            let plan_ref = &plan;
-            let fold = |s: usize, slice: &[C::Item]| {
-                let mut accs: Vec<C::Acc> = copies_ref.iter().map(|c| c.begin_pass()).collect();
-                let mut scratch = C::Scratch::default();
-                let mut pos = view.shard_range(s).start as u64;
-                let batch = C::cohort_batch(batch, slice.len()).max(1);
-                for chunk in slice.chunks(batch) {
-                    C::fold_cohort(plan_ref, copies_ref, &mut accs, &mut scratch, pos, chunk);
-                    pos += chunk.len() as u64;
-                }
-                accs
-            };
-            let per_shard = if R::ENABLED {
-                let timed = view.pass_sharded_timed(workers, fold);
-                let mut per_shard = Vec::with_capacity(timed.len());
-                for (s, (accs, nanos)) in timed.into_iter().enumerate() {
-                    shard_reports.push(ShardReport {
-                        items: view.shard(s).len() as u64,
-                        nanos,
-                    });
-                    per_shard.push(accs);
-                }
-                per_shard
-            } else {
-                view.pass_sharded(workers, fold)
-            };
-            transpose(per_shard, copies.len())
-        } else if !C::SHARES_PROBES {
+        let mut pass_failures: Vec<(usize, EngineError)> = Vec::new();
+        // `None` when the arm finishes copies inline (serial, no shared
+        // probes); `Some(per-copy fold results)` otherwise, finished below
+        // once the sweep clock stops.
+        let per_copy: Option<Vec<std::thread::Result<Vec<C::Acc>>>> = if !C::SHARES_PROBES
+            && workers <= 1
+        {
             // Independent copies (no shared plan): drive them one at a
             // time — begin, fold the whole slice, finish — so only one
             // copy's pass state is live at once. Each copy's pass time
             // includes its finish, matching the per-copy driver's clock.
             for k in 0..copies.len() {
-                let copy_started = Instant::now();
-                let mut acc = copies[k].begin_pass();
-                let mut scratch = C::Scratch::default();
-                let mut pos = 0u64;
-                let batch = C::cohort_batch(batch, items.len()).max(1);
-                for chunk in items.chunks(batch) {
-                    C::fold_cohort(
-                        &plan,
-                        &copies[k..k + 1],
-                        std::slice::from_mut(&mut acc),
-                        &mut scratch,
-                        pos,
-                        chunk,
-                    );
-                    pos += chunk.len() as u64;
+                let group = meta[k].group;
+                if doomed(&pass_failures, group) {
+                    continue;
                 }
-                let copy_pass = copies[k].pass_index();
-                copies[k].finish_pass(vec![acc])?;
-                copies[k].record_pass_nanos(copy_pass, copy_started.elapsed().as_nanos() as u64);
+                if cancel.is_cancelled() {
+                    break;
+                }
+                let copy_started = Instant::now();
+                match fold_copy_caught(&copies[k], batch, items, cancel) {
+                    Err(payload) => pass_failures.push((group, EngineError::panicked(k, payload))),
+                    Ok(acc) => {
+                        if cancel.is_cancelled() {
+                            break;
+                        }
+                        let copy_pass = copies[k].pass_index();
+                        match finish_copy_caught(&mut copies[k], vec![acc]) {
+                            Ok(Ok(())) => copies[k].record_pass_nanos(
+                                copy_pass,
+                                copy_started.elapsed().as_nanos() as u64,
+                            ),
+                            Ok(Err(e)) => pass_failures.push((group, e)),
+                            Err(payload) => {
+                                pass_failures.push((group, EngineError::panicked(k, payload)))
+                            }
+                        }
+                    }
+                }
             }
-            Vec::new()
+            None
         } else {
-            let mut accs: Vec<C::Acc> = copies.iter().map(|c| c.begin_pass()).collect();
-            let mut scratch = C::Scratch::default();
-            let mut pos = 0u64;
-            let batch = C::cohort_batch(batch, items.len()).max(1);
-            for chunk in items.chunks(batch) {
-                C::fold_cohort(&plan, copies, &mut accs, &mut scratch, pos, chunk);
-                pos += chunk.len() as u64;
+            let shared: Option<Vec<Vec<C::Acc>>> = if workers > 1 {
+                let view: ShardedSnapshot<'_, C::Item> =
+                    ShardedSnapshot::new(num_vertices, items, shards.max(1));
+                let copies_ref: &[C] = copies;
+                let plan_ref = &plan;
+                let fold = |s: usize, slice: &[C::Item]| {
+                    let mut accs: Vec<C::Acc> = copies_ref.iter().map(|c| c.begin_pass()).collect();
+                    let mut scratch = C::Scratch::default();
+                    let mut pos = view.shard_range(s).start as u64;
+                    let batch = C::cohort_batch(batch, slice.len()).max(1);
+                    for chunk in slice.chunks(batch) {
+                        if cancel.is_cancelled() {
+                            break;
+                        }
+                        C::fold_cohort(plan_ref, copies_ref, &mut accs, &mut scratch, pos, chunk);
+                        pos += chunk.len() as u64;
+                    }
+                    accs
+                };
+                // A panic on any sweeping thread re-surfaces at the scope
+                // join; catching it here keeps the engine thread alive so
+                // the per-copy fallback below can isolate the culprit.
+                // `AssertUnwindSafe`: folds take `&self`, so an unwound
+                // sweep leaves the copies untouched; only its local
+                // accumulators (discarded) and the partial shard reports
+                // (cleared) are torn.
+                let attempt = catch_unwind(AssertUnwindSafe(|| {
+                    if R::ENABLED {
+                        let timed = view.pass_sharded_timed(workers, fold);
+                        let mut per_shard = Vec::with_capacity(timed.len());
+                        for (s, (accs, nanos)) in timed.into_iter().enumerate() {
+                            shard_reports.push(ShardReport {
+                                items: view.shard(s).len() as u64,
+                                nanos,
+                            });
+                            per_shard.push(accs);
+                        }
+                        per_shard
+                    } else {
+                        view.pass_sharded(workers, fold)
+                    }
+                }));
+                match attempt {
+                    Ok(per_shard) => Some(transpose(per_shard, copies.len())),
+                    Err(_) => {
+                        shard_reports.clear();
+                        None
+                    }
+                }
+            } else {
+                let copies_ref: &[C] = copies;
+                let attempt = catch_unwind(AssertUnwindSafe(|| {
+                    let mut accs: Vec<C::Acc> = copies_ref.iter().map(|c| c.begin_pass()).collect();
+                    let mut scratch = C::Scratch::default();
+                    let mut pos = 0u64;
+                    let batch = C::cohort_batch(batch, items.len()).max(1);
+                    for chunk in items.chunks(batch) {
+                        if cancel.is_cancelled() {
+                            break;
+                        }
+                        C::fold_cohort(&plan, copies_ref, &mut accs, &mut scratch, pos, chunk);
+                        pos += chunk.len() as u64;
+                    }
+                    accs
+                }));
+                attempt
+                    .ok()
+                    .map(|accs| accs.into_iter().map(|acc| vec![acc]).collect())
+            };
+            match shared {
+                Some(per_copy) => Some(per_copy.into_iter().map(Ok).collect()),
+                None => {
+                    // The shared sweep panicked somewhere in the cohort
+                    // fold. Re-execute the pass copy by copy to isolate the
+                    // unwinding copy; survivors reproduce their fused
+                    // accumulators bit for bit (deterministic `&self`
+                    // folds), so containment never perturbs them.
+                    Some(
+                        copies
+                            .iter()
+                            .map(|c| fold_copy_caught(c, batch, items, cancel).map(|a| vec![a]))
+                            .collect(),
+                    )
+                }
             }
-            accs.into_iter().map(|acc| vec![acc]).collect()
         };
         drop(plan);
         let nanos = started.elapsed().as_nanos() as u64;
+        if cancel.is_cancelled() {
+            // The sweep was aborted at a chunk boundary: evict the groups
+            // that already failed with their specific errors, then fail the
+            // rest as cancelled. The aborted sweep is not counted.
+            for (group, error) in pass_failures {
+                evict_group(copies, meta, &mut outcome, group, error);
+            }
+            fail_all(
+                copies,
+                meta,
+                &mut outcome,
+                &EngineError::Cancelled {
+                    completed_passes: completed,
+                },
+            );
+            break;
+        }
+        if let Some(per_copy) = per_copy {
+            for (k, result) in per_copy.into_iter().enumerate() {
+                let group = meta[k].group;
+                if doomed(&pass_failures, group) {
+                    continue;
+                }
+                match result {
+                    Err(payload) => pass_failures.push((group, EngineError::panicked(k, payload))),
+                    Ok(accs) => {
+                        let copy_pass = copies[k].pass_index();
+                        match finish_copy_caught(&mut copies[k], accs) {
+                            Ok(Ok(())) => copies[k].record_pass_nanos(copy_pass, nanos),
+                            Ok(Err(e)) => pass_failures.push((group, e)),
+                            Err(payload) => {
+                                pass_failures.push((group, EngineError::panicked(k, payload)))
+                            }
+                        }
+                    }
+                }
+            }
+        }
         if R::ENABLED {
-            if workers <= 1 {
+            if workers <= 1 && shard_reports.is_empty() {
                 // Unsharded sweeps report one synthetic whole-stream shard
                 // so the report shape is uniform.
                 shard_reports.push(ShardReport {
@@ -364,11 +670,10 @@ pub(crate) fn drive_cohort<C: StagedCopy, R: Recorder>(
                 shards: std::mem::take(&mut shard_reports),
             });
         }
-        for (accs, copy) in per_copy.into_iter().zip(copies.iter_mut()) {
-            let pass = copy.pass_index();
-            copy.finish_pass(accs)?;
-            copy.record_pass_nanos(pass, nanos);
+        outcome.sweeps += 1;
+        for (group, error) in pass_failures {
+            evict_group(copies, meta, &mut outcome, group, error);
         }
     }
-    Ok(sweeps)
+    outcome
 }

@@ -98,6 +98,11 @@ pub struct JobSpec {
     pub label: String,
     /// What to run.
     pub kind: JobKind,
+    /// Optional wall-clock budget, measured from run start. When it
+    /// elapses, this job (alone) is cut at the next pass/task boundary with
+    /// [`EngineError::DeadlineExceeded`](crate::EngineError::DeadlineExceeded);
+    /// batchmates sharing the run are unaffected.
+    pub deadline: Option<Duration>,
 }
 
 impl JobSpec {
@@ -106,6 +111,7 @@ impl JobSpec {
         JobSpec {
             label: label.into(),
             kind: JobKind::Main(config),
+            deadline: None,
         }
     }
 
@@ -114,6 +120,7 @@ impl JobSpec {
         JobSpec {
             label: label.into(),
             kind: JobKind::Ideal(config),
+            deadline: None,
         }
     }
 
@@ -122,6 +129,7 @@ impl JobSpec {
         JobSpec {
             label: label.into(),
             kind: JobKind::Baseline(counter),
+            deadline: None,
         }
     }
 
@@ -132,15 +140,20 @@ impl JobSpec {
         JobSpec {
             label: label.into(),
             kind: JobKind::Dynamic(config),
+            deadline: None,
         }
+    }
+
+    /// Caps this job's wall-clock time, measured from run start.
+    pub fn deadline(mut self, limit: Duration) -> Self {
+        self.deadline = Some(limit);
+        self
     }
 }
 
-/// Result of one job executed by the engine.
+/// The successful payload of a [`JobResult`].
 #[derive(Debug, Clone)]
-pub struct JobResult {
-    /// The label of the submitted [`JobSpec`].
-    pub label: String,
+pub struct JobOutput {
     /// The aggregated estimation (for baselines: a single-copy estimation
     /// carrying the baseline's estimate, passes and space; for turnstile
     /// jobs: the median-of-copies outcome mapped into the common shape).
@@ -148,11 +161,77 @@ pub struct JobResult {
     /// The full turnstile outcome (surviving edges, sketch counts, …) when
     /// this was a [`JobKind::Dynamic`] job; `None` otherwise.
     pub dynamic: Option<DynamicOutcome>,
+}
+
+/// Result of one job executed by the engine.
+///
+/// Execution-time failures (a panicking copy, an estimator error, a blown
+/// deadline, cancellation) are contained *per job*: they land in this
+/// struct's [`outcome`](JobResult::outcome) instead of failing the run, so
+/// one bad job never discards its batchmates' finished work. Pre-flight
+/// failures (invalid configuration, empty streams, jobs submitted to the
+/// wrong entry point) still fail the whole run before any job starts.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The label of the submitted [`JobSpec`].
+    pub label: String,
+    /// The job's output, or the first error its tasks hit (in deterministic
+    /// task order).
+    pub outcome: Result<JobOutput, crate::EngineError>,
     /// Total CPU-busy time the job's tasks consumed across all workers
-    /// (larger than the job's share of wall time when copies overlap).
+    /// (larger than the job's share of wall time when copies overlap;
+    /// partial for jobs that failed mid-run).
     pub busy: Duration,
-    /// Number of tasks (copies, or 1 for a baseline) that ran.
+    /// Number of tasks (copies, or 1 for a baseline) that started.
     pub tasks: usize,
+}
+
+impl JobResult {
+    /// Whether the job completed successfully.
+    pub fn is_ok(&self) -> bool {
+        self.outcome.is_ok()
+    }
+
+    /// The contained error, when the job failed.
+    pub fn error(&self) -> Option<&crate::EngineError> {
+        self.outcome.as_ref().err()
+    }
+
+    /// The successful output, when there is one.
+    pub fn output(&self) -> Option<&JobOutput> {
+        self.outcome.as_ref().ok()
+    }
+
+    /// The aggregated estimation of a successful job.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the job failed — check [`JobResult::is_ok`] or match on
+    /// [`JobResult::outcome`] first if failures are expected.
+    pub fn estimation(&self) -> &TriangleEstimation {
+        match &self.outcome {
+            Ok(output) => &output.estimation,
+            Err(e) => panic!("job '{}' failed: {e}", self.label),
+        }
+    }
+
+    /// The aggregated estimation of a successful job, by value.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the job failed, like [`JobResult::estimation`].
+    pub fn into_estimation(self) -> TriangleEstimation {
+        match self.outcome {
+            Ok(output) => output.estimation,
+            Err(e) => panic!("job '{}' failed: {e}", self.label),
+        }
+    }
+
+    /// The full turnstile outcome of a successful [`JobKind::Dynamic`] job;
+    /// `None` for non-dynamic or failed jobs.
+    pub fn dynamic(&self) -> Option<&DynamicOutcome> {
+        self.output().and_then(|o| o.dynamic.as_ref())
+    }
 }
 
 /// Converts a baseline outcome into the engine's common result shape.
@@ -212,6 +291,59 @@ mod tests {
         // Sketch folds shard only once seeds come from counter hashes.
         assert!(!job.kind.supports_intra_task_sharding(RngMode::Sequential));
         assert!(job.kind.supports_intra_task_sharding(RngMode::Counter));
+    }
+
+    #[test]
+    fn deadlines_attach_to_any_job_kind() {
+        let config = EstimatorConfig::builder().copies(2).build();
+        let job = JobSpec::main("m", config).deadline(Duration::from_millis(250));
+        assert_eq!(job.deadline, Some(Duration::from_millis(250)));
+        let plain = JobSpec::baseline("b", Box::new(degentri_baselines::ExactStreamCounter));
+        assert_eq!(plain.deadline, None);
+    }
+
+    #[test]
+    fn job_results_expose_outcomes_and_contained_errors() {
+        let outcome = BaselineOutcome {
+            estimate: 5.0,
+            passes: 1,
+            space: SpaceReport {
+                peak_words: 1,
+                final_words: 1,
+            },
+        };
+        let ok = JobResult {
+            label: "ok".into(),
+            outcome: Ok(JobOutput {
+                estimation: baseline_estimation(&outcome),
+                dynamic: None,
+            }),
+            busy: Duration::ZERO,
+            tasks: 1,
+        };
+        assert!(ok.is_ok());
+        assert!(ok.error().is_none());
+        assert_eq!(ok.estimation().estimate, 5.0);
+        assert!(ok.dynamic().is_none());
+        let failed = JobResult {
+            label: "bad".into(),
+            outcome: Err(crate::EngineError::DeadlineExceeded {
+                completed_passes: 1,
+            }),
+            busy: Duration::ZERO,
+            tasks: 1,
+        };
+        assert!(!failed.is_ok());
+        assert!(failed.output().is_none());
+        assert!(matches!(
+            failed.error(),
+            Some(crate::EngineError::DeadlineExceeded {
+                completed_passes: 1
+            })
+        ));
+        assert!(failed.dynamic().is_none());
+        let caught = std::panic::catch_unwind(|| failed.estimation().estimate);
+        assert!(caught.is_err(), "estimation() panics on a failed job");
     }
 
     #[test]

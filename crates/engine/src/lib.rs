@@ -53,10 +53,65 @@
 //! assert_eq!(report.jobs.len(), 2);
 //! assert!(report.stats.edges_per_second > 0.0);
 //! ```
+//!
+//! ## Robustness: containment, deadlines, cancellation
+//!
+//! Failures during execution are **contained per job** rather than failing
+//! the run: each [`JobResult`] carries
+//! `Result<JobOutput, EngineError>` in [`JobResult::outcome`], and a
+//! panicking, erroring, late, or cancelled job never disturbs its
+//! batchmates — on the fused tier the failing job's copies are evicted
+//! from the shared probe structures and the survivors' results stay
+//! **bit-identical** to a run submitted without the failed job
+//! (counter-mode randomness keys every draw by position, never by what
+//! else is in flight). Worker threads survive caught panics; only
+//! pre-flight problems (invalid configs, invalid input when
+//! [`EngineConfig::validate_input`] is on, empty dynamic streams) fail the
+//! whole run as `Err`.
+//!
+//! Jobs accept a wall-clock budget via [`JobSpec::deadline`]; runs are
+//! cooperatively cancellable from any thread through
+//! [`Engine::cancel_token`]. Both surface as contained
+//! [`EngineError::DeadlineExceeded`] / [`EngineError::Cancelled`] outcomes
+//! with partial-progress accounting:
+//!
+//! ```
+//! use std::time::Duration;
+//! use degentri_core::EstimatorConfig;
+//! use degentri_engine::{Engine, EngineError, JobSpec};
+//! use degentri_stream::{MemoryStream, StreamOrder};
+//!
+//! let graph = degentri_gen::wheel(400).unwrap();
+//! let stream = MemoryStream::from_graph(&graph, StreamOrder::AsGiven);
+//! let config = EstimatorConfig::builder()
+//!     .kappa(3)
+//!     .triangle_lower_bound(399)
+//!     .copies(2)
+//!     .try_build()
+//!     .unwrap();
+//!
+//! let mut engine = Engine::with_workers(2);
+//! engine.submit(JobSpec::main("healthy", config.clone()));
+//! engine.submit(JobSpec::main("late", config).deadline(Duration::ZERO));
+//! let report = engine.run(&stream).unwrap();
+//! // The late job failed in isolation; its batchmate is untouched.
+//! assert!(report.jobs[0].is_ok());
+//! assert!(matches!(
+//!     report.jobs[1].error(),
+//!     Some(EngineError::DeadlineExceeded { .. })
+//! ));
+//! assert_eq!(report.stats.jobs_failed, 1);
+//! ```
+//!
+//! For fault-drills there is a deterministic injection harness
+//! (`degentri_core::faults`, behind the `fault-inject` feature) that can
+//! trigger panics, errors, and delays at named engine sites; it compiles
+//! to nothing when the feature is off.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod config;
 pub mod error;
 mod fused;
@@ -65,9 +120,10 @@ pub mod parallel;
 pub mod scheduler;
 pub mod stats;
 
+pub use cancel::CancelToken;
 pub use config::{EngineConfig, EngineConfigBuilder};
 pub use error::EngineError;
-pub use job::{JobKind, JobResult, JobSpec};
+pub use job::{JobKind, JobOutput, JobResult, JobSpec};
 pub use parallel::{
     parallel_estimate_triangles, parallel_estimate_triangles_with,
     parallel_estimate_triangles_with_oracle, parallel_estimate_triangles_with_oracle_and,

@@ -34,16 +34,18 @@
 //! only wall-clock time and the physical sweep count
 //! ([`EngineStats::sweeps_executed`]) change.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
+use degentri_core::faults;
 use degentri_core::{
     main_copy_seed, run_ideal_copy_sharded, run_ideal_copy_with, run_main_copy_sharded,
-    run_main_copy_with, CopyContribution, EstimatorConfig, EstimatorScratch, MainCopyStages,
-    RngMode,
+    run_main_copy_with, validate_edges, CopyContribution, EstimatorConfig, EstimatorError,
+    EstimatorScratch, MainCopyStages, RngMode,
 };
 use degentri_dynamic::{
     aggregate_dynamic_copies, dynamic_copy_seed, run_dynamic_copy_sharded, run_dynamic_copy_with,
-    DynamicCopyOutcome, DynamicCopyStages, DynamicError, DynamicEstimatorConfig,
+    validate_updates, DynamicCopyOutcome, DynamicCopyStages, DynamicError, DynamicEstimatorConfig,
 };
 use degentri_graph::Edge;
 use degentri_obs::{
@@ -55,10 +57,11 @@ use degentri_stream::{
     StreamStats,
 };
 
+use crate::cancel::CancelToken;
 use crate::config::EngineConfig;
-use crate::fused::{drive_cohort, PassTrace};
-use crate::job::{baseline_estimation, dynamic_estimation, JobKind, JobResult, JobSpec};
-use crate::parallel::run_indexed_with;
+use crate::fused::{drive_cohort, CohortMemberMeta, CohortOutcome, PassTrace};
+use crate::job::{baseline_estimation, dynamic_estimation, JobKind, JobOutput, JobResult, JobSpec};
+use crate::parallel::run_indexed_caught;
 use crate::stats::EngineStats;
 use crate::{EngineError, Result};
 
@@ -85,7 +88,7 @@ const SHARDS_PER_WORKER: usize = 4;
 /// let mut engine = Engine::new(EngineConfig::with_workers(2));
 /// engine.submit(JobSpec::main("wheel", config));
 /// let report = engine.run(&stream).unwrap();
-/// assert_eq!(report.jobs[0].estimation.copies, 4);
+/// assert_eq!(report.jobs[0].estimation().copies, 4);
 /// // The four copies shared one fused sweep per pass: six sweeps, not 24.
 /// assert_eq!(report.stats.sweeps_executed, 6);
 /// ```
@@ -96,6 +99,10 @@ pub struct Engine {
     /// Submission instants, parallel to `jobs` — the queue end of the
     /// per-job queue-to-completion latency reported when recording is on.
     submitted: Vec<Instant>,
+    /// Cooperative cancellation flag shared with
+    /// [`Engine::cancel_token`] holders; checked at pass/chunk/task
+    /// boundaries during runs.
+    cancel: CancelToken,
 }
 
 /// Everything one engine run produced: per-job results in submission order
@@ -134,6 +141,23 @@ impl Task {
 enum TaskOutput {
     Copy(degentri_core::Result<CopyContribution>),
     Baseline(degentri_baselines::BaselineOutcome),
+    /// The task was cut before running (deadline elapsed or run cancelled).
+    Cut(EngineError),
+}
+
+/// What one per-copy turnstile task produced.
+enum DynTaskOutput {
+    Copy(degentri_dynamic::Result<DynamicCopyOutcome>),
+    /// The task was cut before running (deadline elapsed or run cancelled).
+    Cut(EngineError),
+}
+
+/// Records a job's **first** error (deterministic task order: later errors
+/// for the same job are dropped).
+fn fail_job(errors: &mut [Option<EngineError>], job: usize, error: EngineError) {
+    if errors[job].is_none() {
+        errors[job] = Some(error);
+    }
 }
 
 impl Engine {
@@ -143,6 +167,7 @@ impl Engine {
             config,
             jobs: Vec::new(),
             submitted: Vec::new(),
+            cancel: CancelToken::new(),
         }
     }
 
@@ -154,6 +179,15 @@ impl Engine {
     /// The engine's configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// A clone of the engine's cancellation token. Call
+    /// [`CancelToken::cancel`] from any thread to make in-flight runs fail
+    /// their remaining jobs with [`EngineError::Cancelled`] at the next
+    /// pass/chunk/task boundary. The token is sticky: [`CancelToken::reset`]
+    /// re-arms the engine for subsequent runs.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
     }
 
     /// Queues a job; returns its index, which is also its position in
@@ -174,9 +208,19 @@ impl Engine {
     /// Edge snapshots serve [`JobKind::Main`] / [`JobKind::Ideal`] /
     /// [`JobKind::Baseline`] jobs; update snapshots serve
     /// [`JobKind::Dynamic`] jobs; a job of the wrong flavor fails the run
-    /// with [`EngineError::UnsupportedJob`]. Jobs fail or succeed as a
-    /// unit: the first error (in deterministic task order) fails the whole
-    /// run.
+    /// with [`EngineError::UnsupportedJob`].
+    ///
+    /// Failures are split in two classes. **Pre-flight** failures — an
+    /// invalid engine or job configuration, a job of the wrong stream
+    /// flavor, an empty stream, or (with
+    /// [`EngineConfig::validate_input`]) a malformed input stream — fail
+    /// the whole run with `Err` before any job starts. **Execution-time**
+    /// failures — a panicking copy, an estimator error, an elapsed
+    /// [`JobSpec::deadline`], a fired [`CancelToken`] — are contained per
+    /// job: the failing job's [`JobResult::outcome`] carries the first
+    /// error (in deterministic task order) while every other job completes
+    /// with results **bit-identical** to a run that never included the
+    /// failed job.
     pub fn run_snapshot(&mut self, snapshot: &Snapshot<'_>) -> Result<EngineReport> {
         match *snapshot {
             Snapshot::Edges {
@@ -312,6 +356,11 @@ impl Engine {
         for config in effective.iter().flatten() {
             config.validate().map_err(EngineError::from)?;
         }
+        // Optional input hardening, still pre-flight: a malformed snapshot
+        // fails the run before any job starts.
+        if self.config.validate_input {
+            validate_edges(num_vertices, edges).map_err(EngineError::from)?;
+        }
         let batch = self.config.batch_size;
         let m = edges.len();
 
@@ -319,6 +368,16 @@ impl Engine {
         // pass below is covered by the same clock that its edges are
         // charged to in `edges_streamed`.
         let started = Instant::now();
+        let faults_before = faults::injected_count();
+        let cancel = self.cancel.clone();
+        // Per-job absolute deadlines, measured from run start.
+        let deadline_at: Vec<Option<Instant>> = jobs
+            .iter()
+            .map(|spec| spec.deadline.map(|limit| started + limit))
+            .collect();
+        // Per-job contained errors (first error in deterministic task
+        // order wins); populated by the per-copy and fused tiers below.
+        let mut job_errors: Vec<Option<EngineError>> = vec![None; jobs.len()];
 
         // The whole snapshot behind one plain stream view (zero-copy); the
         // per-copy tier streams through it.
@@ -337,6 +396,7 @@ impl Engine {
         let formation_started = Instant::now();
         let mut cohort: Vec<MainCopyStages> = Vec::new();
         let mut cohort_of: Vec<(usize, usize)> = Vec::new();
+        let mut meta: Vec<CohortMemberMeta> = Vec::new();
         let mut tasks: Vec<Task> = Vec::new();
         for (job, spec) in jobs.iter().enumerate() {
             let count = spec.kind.task_count();
@@ -354,6 +414,12 @@ impl Engine {
                             .map_err(EngineError::from)?,
                         );
                         cohort_of.push((job, copy));
+                        meta.push(CohortMemberMeta {
+                            group: job,
+                            copy,
+                            deadline: deadline_at[job],
+                            fault_key: main_copy_seed(config.seed, copy),
+                        });
                     }
                 }
                 JobKind::Main(_) => {
@@ -416,10 +482,46 @@ impl Engine {
             1
         };
 
+        // The fault-injection key of one per-copy task: the task's
+        // per-copy seed for estimator copies (the same key that addresses
+        // the copy on the fused tier), the job index for baselines.
+        let task_fault_key = |task: &Task| match *task {
+            Task::MainCopy { job, copy } | Task::IdealCopy { job, copy } => {
+                let seed = effective[job].as_ref().map(|c| c.seed).unwrap_or_default();
+                main_copy_seed(seed, copy)
+            }
+            Task::Baseline { job } => job as u64,
+        };
+
         // ---- Per-copy tier -------------------------------------------------
-        let outputs: Vec<(TaskOutput, Duration)> =
-            run_indexed_with(workers, tasks.len(), EstimatorScratch::new, |scratch, i| {
+        // Panic-contained: a panicking task yields `Err(payload)` in its
+        // slot, its worker survives, and every batchmate task still runs.
+        let outputs: Vec<std::thread::Result<(TaskOutput, Duration)>> =
+            run_indexed_caught(workers, tasks.len(), EstimatorScratch::new, |scratch, i| {
                 let task_started = Instant::now();
+                let job = tasks[i].job();
+                // Cut checks before any work: cancellation, then this
+                // job's deadline, then an injected task-start fault.
+                let cut = if cancel.is_cancelled() {
+                    Some(EngineError::Cancelled {
+                        completed_passes: 0,
+                    })
+                } else if deadline_at[job].is_some_and(|d| Instant::now() >= d) {
+                    Some(EngineError::DeadlineExceeded {
+                        completed_passes: 0,
+                    })
+                } else if faults::ENABLED
+                    && faults::injected(faults::FaultSite::TaskStart, task_fault_key(&tasks[i]))
+                {
+                    Some(EngineError::Estimator(EstimatorError::Injected {
+                        site: faults::FaultSite::TaskStart,
+                    }))
+                } else {
+                    None
+                };
+                if let Some(error) = cut {
+                    return (TaskOutput::Cut(error), task_started.elapsed());
+                }
                 let output = match tasks[i] {
                     Task::MainCopy { job, copy } => {
                         let config = effective[job].as_ref().expect("main job has a config");
@@ -480,8 +582,10 @@ impl Engine {
         let cohort_started = Instant::now();
         let cohort_copies = cohort.len();
         let mut trace: Vec<PassTrace> = Vec::new();
-        let fused_sweeps = drive_cohort(
+        let cohort_outcome: CohortOutcome = drive_cohort(
             &mut cohort,
+            &mut meta,
+            &cancel,
             num_vertices,
             edges,
             batch,
@@ -490,7 +594,12 @@ impl Engine {
             recorder,
             0,
             &mut trace,
-        )?;
+        );
+        let fused_sweeps = cohort_outcome.sweeps;
+        let copies_evicted = cohort_outcome.evicted;
+        for (group, error) in cohort_outcome.failures {
+            fail_job(&mut job_errors, group, error);
+        }
         let cohort_wall = cohort_started.elapsed();
         let wall = started.elapsed();
 
@@ -519,20 +628,28 @@ impl Engine {
         // belongs in busy time just as its edges are in `edges_streamed`.
         let mut busy_total = stats_pass;
         let mut sweeps = if ideal_stats.is_some() { 1u64 } else { 0 };
-        for (task, (output, spent)) in tasks.iter().zip(outputs) {
+        for (i, (task, caught)) in tasks.iter().zip(outputs).enumerate() {
             let job = task.job();
-            busy_per_job[job] += spent;
             tasks_per_job[job] += 1;
-            busy_total += spent;
-            match output {
-                TaskOutput::Copy(result) => {
-                    let contribution = result.map_err(EngineError::from)?;
-                    sweeps += contribution.passes as u64;
-                    contributions[job].push(contribution);
-                }
-                TaskOutput::Baseline(outcome) => {
-                    sweeps += outcome.passes as u64;
-                    baseline_outcomes[job] = Some(outcome);
+            match caught {
+                // The task panicked; its worker survived and its payload
+                // fails only this job.
+                Err(payload) => fail_job(&mut job_errors, job, EngineError::panicked(i, payload)),
+                Ok((output, spent)) => {
+                    busy_per_job[job] += spent;
+                    busy_total += spent;
+                    match output {
+                        TaskOutput::Copy(Ok(contribution)) => {
+                            sweeps += contribution.passes as u64;
+                            contributions[job].push(contribution);
+                        }
+                        TaskOutput::Copy(Err(e)) => fail_job(&mut job_errors, job, e.into()),
+                        TaskOutput::Baseline(outcome) => {
+                            sweeps += outcome.passes as u64;
+                            baseline_outcomes[job] = Some(outcome);
+                        }
+                        TaskOutput::Cut(error) => fail_job(&mut job_errors, job, error),
+                    }
                 }
             }
         }
@@ -549,37 +666,59 @@ impl Engine {
             0.0
         });
         busy_total += cohort_busy;
-        for (stages, &(job, _copy)) in cohort.into_iter().zip(&cohort_of) {
-            let outcome = stages.finish().map_err(EngineError::from)?;
+        // Every fused copy started: its task count and pro-rata busy share
+        // are attributed whether or not containment later evicted it.
+        for &(job, _copy) in &cohort_of {
             tasks_per_job[job] += 1;
             busy_per_job[job] += cohort_busy.div_f64(cohort_copies.max(1) as f64);
-            contributions[job].push(CopyContribution::from(&outcome));
+        }
+        // `cohort`/`meta` hold the eviction survivors, in original order.
+        for (k, (stages, mm)) in cohort.into_iter().zip(&meta).enumerate() {
+            let job = mm.group;
+            if job_errors[job].is_some() {
+                continue;
+            }
+            // `AssertUnwindSafe`: a panicking finish tears only this copy,
+            // whose job is failed (and its contributions discarded) here.
+            match catch_unwind(AssertUnwindSafe(move || stages.finish())) {
+                Ok(Ok(outcome)) => contributions[job].push(CopyContribution::from(&outcome)),
+                Ok(Err(e)) => fail_job(&mut job_errors, job, e.into()),
+                Err(payload) => fail_job(&mut job_errors, job, EngineError::panicked(k, payload)),
+            }
         }
 
         let results: Vec<JobResult> = jobs
             .iter()
             .enumerate()
             .map(|(job, spec)| {
-                let estimation = match &spec.kind {
-                    JobKind::Main(_) | JobKind::Ideal(_) => {
-                        degentri_core::aggregate_copies(&contributions[job])
-                    }
-                    JobKind::Baseline(_) => baseline_estimation(
-                        baseline_outcomes[job]
-                            .as_ref()
-                            .expect("baseline task completed"),
-                    ),
-                    JobKind::Dynamic(_) => unreachable!("dynamic jobs were rejected above"),
+                let outcome = match job_errors[job].take() {
+                    Some(error) => Err(error),
+                    None => Ok(JobOutput {
+                        estimation: match &spec.kind {
+                            JobKind::Main(_) | JobKind::Ideal(_) => {
+                                degentri_core::aggregate_copies(&contributions[job])
+                            }
+                            JobKind::Baseline(_) => baseline_estimation(
+                                baseline_outcomes[job]
+                                    .as_ref()
+                                    .expect("baseline task completed"),
+                            ),
+                            JobKind::Dynamic(_) => {
+                                unreachable!("dynamic jobs were rejected above")
+                            }
+                        },
+                        dynamic: None,
+                    }),
                 };
                 JobResult {
                     label: spec.label.clone(),
-                    estimation,
-                    dynamic: None,
+                    outcome,
                     busy: busy_per_job[job],
                     tasks: tasks_per_job[job],
                 }
             })
             .collect();
+        let jobs_failed = results.iter().filter(|r| !r.is_ok()).count();
 
         let run_report = if R::ENABLED {
             Some(assemble_run_report(
@@ -599,6 +738,9 @@ impl Engine {
                 &tasks_per_job,
                 &busy_per_job,
                 cohort_copies,
+                jobs_failed,
+                copies_evicted,
+                faults::injected_count().saturating_sub(faults_before),
             ))
         } else {
             None
@@ -620,6 +762,8 @@ impl Engine {
                 wall,
                 busy_total,
                 m as u64,
+                jobs_failed,
+                copies_evicted,
             ),
             run_report,
         })
@@ -668,8 +812,20 @@ impl Engine {
         if !jobs.is_empty() && updates.is_empty() {
             return Err(EngineError::Dynamic(DynamicError::EmptyStream));
         }
+        if self.config.validate_input {
+            validate_updates(num_vertices, updates).map_err(EngineError::from)?;
+        }
         let batch = self.config.batch_size;
         let started = Instant::now();
+        let faults_before = faults::injected_count();
+        let cancel = self.cancel.clone();
+        // Absolute per-job deadlines, measured from run start.
+        let deadline_at: Vec<Option<Instant>> = jobs
+            .iter()
+            .map(|spec| spec.deadline.map(|limit| started + limit))
+            .collect();
+        // First contained error per job; `None` = still healthy.
+        let mut job_errors: Vec<Option<EngineError>> = vec![None; jobs.len()];
 
         // Tier split: counter-mode copies fuse into one cohort; sequential
         // copies run per-copy over the plain view.
@@ -678,6 +834,7 @@ impl Engine {
         let formation_started = Instant::now();
         let mut cohort: Vec<DynamicCopyStages> = Vec::new();
         let mut cohort_of: Vec<(usize, usize)> = Vec::new();
+        let mut meta: Vec<CohortMemberMeta> = Vec::new();
         let mut tasks: Vec<(usize, usize)> = Vec::new();
         for (job, spec) in jobs.iter().enumerate() {
             for copy in 0..spec.kind.task_count() {
@@ -692,6 +849,12 @@ impl Engine {
                         .map_err(EngineError::from)?,
                     );
                     cohort_of.push((job, copy));
+                    meta.push(CohortMemberMeta {
+                        group: job,
+                        copy,
+                        deadline: deadline_at[job],
+                        fault_key: dynamic_copy_seed(effective[job].seed, copy),
+                    });
                 } else {
                     tasks.push((job, copy));
                 }
@@ -728,38 +891,64 @@ impl Engine {
         };
 
         // ---- Per-copy tier -------------------------------------------------
-        let outputs: Vec<(degentri_dynamic::Result<DynamicCopyOutcome>, Duration)> =
-            run_indexed_with(
-                workers,
-                tasks.len(),
-                || (),
-                |(), i| {
-                    let (job, copy) = tasks[i];
-                    let config = &effective[job];
-                    let task_started = Instant::now();
-                    let output = match &sharded_view {
-                        Some(view) if job_shardable(job) => {
-                            run_dynamic_copy_sharded(view, config, copy, batch, shard_workers)
-                        }
-                        _ => run_dynamic_copy_with(&plain, config, copy, batch),
-                    };
-                    let spent = task_started.elapsed();
-                    if R::ENABLED {
-                        let nanos = spent.as_nanos() as u64;
-                        recorder.span(i, Span::PerCopyTask, nanos);
-                        recorder.observe(i, Hist::TaskNanos, nanos);
+        // Panic-contained, with the same cut checks as the edge scheduler;
+        // the fault key is the copy's dynamic per-copy seed.
+        let outputs: Vec<std::thread::Result<(DynTaskOutput, Duration)>> = run_indexed_caught(
+            workers,
+            tasks.len(),
+            || (),
+            |(), i| {
+                let (job, copy) = tasks[i];
+                let config = &effective[job];
+                let task_started = Instant::now();
+                let cut = if cancel.is_cancelled() {
+                    Some(EngineError::Cancelled {
+                        completed_passes: 0,
+                    })
+                } else if deadline_at[job].is_some_and(|d| Instant::now() >= d) {
+                    Some(EngineError::DeadlineExceeded {
+                        completed_passes: 0,
+                    })
+                } else if faults::ENABLED
+                    && faults::injected(
+                        faults::FaultSite::TaskStart,
+                        dynamic_copy_seed(config.seed, copy),
+                    )
+                {
+                    Some(EngineError::Dynamic(DynamicError::Injected {
+                        site: faults::FaultSite::TaskStart,
+                    }))
+                } else {
+                    None
+                };
+                if let Some(error) = cut {
+                    return (DynTaskOutput::Cut(error), task_started.elapsed());
+                }
+                let output = match &sharded_view {
+                    Some(view) if job_shardable(job) => {
+                        run_dynamic_copy_sharded(view, config, copy, batch, shard_workers)
                     }
-                    (output, spent)
-                },
-            );
+                    _ => run_dynamic_copy_with(&plain, config, copy, batch),
+                };
+                let spent = task_started.elapsed();
+                if R::ENABLED {
+                    let nanos = spent.as_nanos() as u64;
+                    recorder.span(i, Span::PerCopyTask, nanos);
+                    recorder.observe(i, Hist::TaskNanos, nanos);
+                }
+                (DynTaskOutput::Copy(output), spent)
+            },
+        );
 
         // ---- Fused tier ----------------------------------------------------
         let (cohort_workers, cohort_shards) = self.cohort_parallelism();
         let cohort_started = Instant::now();
         let cohort_copies = cohort.len();
         let mut trace: Vec<PassTrace> = Vec::new();
-        let fused_sweeps = drive_cohort(
+        let cohort_outcome: CohortOutcome = drive_cohort(
             &mut cohort,
+            &mut meta,
+            &cancel,
             num_vertices,
             updates,
             batch,
@@ -768,7 +957,12 @@ impl Engine {
             recorder,
             0,
             &mut trace,
-        )?;
+        );
+        let fused_sweeps = cohort_outcome.sweeps;
+        let copies_evicted = cohort_outcome.evicted;
+        for (group, error) in cohort_outcome.failures {
+            fail_job(&mut job_errors, group, error);
+        }
         let cohort_wall = cohort_started.elapsed();
         let wall = started.elapsed();
 
@@ -793,14 +987,24 @@ impl Engine {
         let mut tasks_per_job: Vec<usize> = vec![0; jobs.len()];
         let mut busy_total = Duration::ZERO;
         let mut sweeps = 0u64;
-        for (&(job, copy), (output, spent)) in tasks.iter().zip(outputs) {
-            busy_per_job[job] += spent;
+        for (i, (&(job, copy), caught)) in tasks.iter().zip(outputs).enumerate() {
             tasks_per_job[job] += 1;
-            busy_total += spent;
-            let contribution = output.map_err(EngineError::from)?;
-            // Every per-copy turnstile run makes four passes.
-            sweeps += DynamicCopyStages::PASSES as u64;
-            contributions[job].push((copy, contribution));
+            match caught {
+                Err(payload) => fail_job(&mut job_errors, job, EngineError::panicked(i, payload)),
+                Ok((output, spent)) => {
+                    busy_per_job[job] += spent;
+                    busy_total += spent;
+                    match output {
+                        DynTaskOutput::Copy(Ok(contribution)) => {
+                            // Every per-copy turnstile run makes four passes.
+                            sweeps += DynamicCopyStages::PASSES as u64;
+                            contributions[job].push((copy, contribution));
+                        }
+                        DynTaskOutput::Copy(Err(e)) => fail_job(&mut job_errors, job, e.into()),
+                        DynTaskOutput::Cut(error) => fail_job(&mut job_errors, job, error),
+                    }
+                }
+            }
         }
         sweeps += fused_sweeps;
         // Allocated-worker busy accounting, as in the edge scheduler.
@@ -810,32 +1014,52 @@ impl Engine {
             0.0
         });
         busy_total += cohort_busy;
-        for (stages, &(job, copy)) in cohort.into_iter().zip(&cohort_of) {
-            let outcome = stages.finish().map_err(EngineError::from)?;
+        // Task/busy attribution covers every copy that started, evicted or
+        // not; `cohort`/`meta` below hold only the survivors.
+        for &(job, _copy) in &cohort_of {
             tasks_per_job[job] += 1;
             busy_per_job[job] += cohort_busy.div_f64(cohort_copies.max(1) as f64);
-            contributions[job].push((copy, outcome));
+        }
+        for (k, (stages, mm)) in cohort.into_iter().zip(&meta).enumerate() {
+            let job = mm.group;
+            if job_errors[job].is_some() {
+                continue;
+            }
+            match catch_unwind(AssertUnwindSafe(move || stages.finish())) {
+                Ok(Ok(outcome)) => contributions[job].push((mm.copy, outcome)),
+                Ok(Err(e)) => fail_job(&mut job_errors, job, e.into()),
+                Err(payload) => fail_job(&mut job_errors, job, EngineError::panicked(k, payload)),
+            }
         }
 
         let results: Vec<JobResult> = jobs
             .iter()
             .enumerate()
             .map(|(job, spec)| {
-                // Copies aggregate in copy order regardless of which tier
-                // executed them.
-                contributions[job].sort_by_key(|&(copy, _)| copy);
-                let copies: Vec<DynamicCopyOutcome> =
-                    contributions[job].iter().map(|&(_, c)| c).collect();
-                let outcome = aggregate_dynamic_copies(&copies);
+                let outcome = match job_errors[job].take() {
+                    Some(error) => Err(error),
+                    None => {
+                        // Copies aggregate in copy order regardless of which
+                        // tier executed them.
+                        contributions[job].sort_by_key(|&(copy, _)| copy);
+                        let copies: Vec<DynamicCopyOutcome> =
+                            contributions[job].iter().map(|&(_, c)| c).collect();
+                        let outcome = aggregate_dynamic_copies(&copies);
+                        Ok(JobOutput {
+                            estimation: dynamic_estimation(&outcome),
+                            dynamic: Some(outcome),
+                        })
+                    }
+                };
                 JobResult {
                     label: spec.label.clone(),
-                    estimation: dynamic_estimation(&outcome),
-                    dynamic: Some(outcome),
+                    outcome,
                     busy: busy_per_job[job],
                     tasks: tasks_per_job[job],
                 }
             })
             .collect();
+        let jobs_failed = results.iter().filter(|r| !r.is_ok()).count();
 
         let run_report = if R::ENABLED {
             Some(assemble_run_report(
@@ -855,6 +1079,9 @@ impl Engine {
                 &tasks_per_job,
                 &busy_per_job,
                 cohort_copies,
+                jobs_failed,
+                copies_evicted,
+                faults::injected_count().saturating_sub(faults_before),
             ))
         } else {
             None
@@ -876,6 +1103,8 @@ impl Engine {
                 wall,
                 busy_total,
                 updates.len() as u64,
+                jobs_failed,
+                copies_evicted,
             ),
             run_report,
         })
@@ -913,11 +1142,17 @@ fn assemble_run_report<R: Recorder>(
     tasks_per_job: &[usize],
     busy_per_job: &[Duration],
     cohort_copies: usize,
+    jobs_failed: usize,
+    copies_evicted: usize,
+    faults_injected: u64,
 ) -> RunReport {
     let total_tasks: usize = tasks_per_job.iter().sum();
     recorder.add(0, Counter::TasksExecuted, total_tasks as u64);
-    recorder.add(0, Counter::JobsCompleted, jobs.len() as u64);
+    recorder.add(0, Counter::JobsCompleted, (jobs.len() - jobs_failed) as u64);
+    recorder.add(0, Counter::JobsFailed, jobs_failed as u64);
     recorder.add(0, Counter::CohortCopies, cohort_copies as u64);
+    recorder.add(0, Counter::CohortEvictions, copies_evicted as u64);
+    recorder.add(0, Counter::FaultsInjected, faults_injected);
     if let Some(cohort) = &cohort {
         let mut items = 0u64;
         let mut hits = 0u64;
@@ -1050,12 +1285,12 @@ mod tests {
         assert_eq!(per_copy.stats.fused_cohorts, 0);
         assert_eq!(per_copy.stats.sweeps_executed, 18);
         assert_eq!(
-            fused.jobs[0].estimation.estimate.to_bits(),
-            per_copy.jobs[0].estimation.estimate.to_bits()
+            fused.jobs[0].estimation().estimate.to_bits(),
+            per_copy.jobs[0].estimation().estimate.to_bits()
         );
         assert_eq!(
-            fused.jobs[0].estimation.copy_estimates,
-            per_copy.jobs[0].estimation.copy_estimates
+            fused.jobs[0].estimation().copy_estimates,
+            per_copy.jobs[0].estimation().copy_estimates
         );
     }
 
@@ -1095,8 +1330,8 @@ mod tests {
         let copy_only = engine.run(&stream).unwrap();
         assert_eq!(copy_only.stats.intra_task_workers, 1);
         assert_eq!(
-            sharded.jobs[0].estimation.estimate.to_bits(),
-            copy_only.jobs[0].estimation.estimate.to_bits()
+            sharded.jobs[0].estimation().estimate.to_bits(),
+            copy_only.jobs[0].estimation().estimate.to_bits()
         );
 
         // ... and so must the fused path, sharded or not.
@@ -1105,8 +1340,8 @@ mod tests {
         let fused = engine.run(&stream).unwrap();
         assert_eq!(fused.stats.fused_cohorts, 1);
         assert_eq!(
-            fused.jobs[0].estimation.copy_estimates,
-            copy_only.jobs[0].estimation.copy_estimates
+            fused.jobs[0].estimation().copy_estimates,
+            copy_only.jobs[0].estimation().copy_estimates
         );
     }
 }

@@ -47,6 +47,13 @@ pub struct EngineStats {
     /// Fraction of worker capacity that was busy:
     /// `busy / (workers × wall)`, in `(0, 1]` up to timer jitter.
     pub worker_utilization: f64,
+    /// Jobs whose outcome was a contained error (panic, estimator failure,
+    /// deadline, cancellation). Their batchmates' results are unaffected.
+    pub jobs_failed: usize,
+    /// Copies evicted from fused cohorts by failure containment (the
+    /// failing job's copies leave the union probe structures; survivors
+    /// stay bit-identical to a run without the failed job).
+    pub copies_evicted: usize,
 }
 
 impl EngineStats {
@@ -66,6 +73,8 @@ impl EngineStats {
         wall: Duration,
         busy: Duration,
         snapshot_len: u64,
+        jobs_failed: usize,
+        copies_evicted: usize,
     ) -> Self {
         let edges_streamed = sweeps_executed * snapshot_len;
         let wall_seconds = wall.as_secs_f64();
@@ -83,6 +92,8 @@ impl EngineStats {
             edges_streamed,
             edges_per_second: edges_streamed as f64 / denom,
             worker_utilization: busy_seconds / (denom * workers.max(1) as f64),
+            jobs_failed,
+            copies_evicted,
         }
     }
 }
@@ -120,6 +131,8 @@ mod tests {
             Duration::from_millis(500),
             Duration::from_millis(1500),
             50_000,
+            1,
+            4,
         );
         assert_eq!(stats.workers, 4);
         assert_eq!(stats.intra_task_workers, 2);
@@ -130,6 +143,8 @@ mod tests {
         assert_eq!(stats.edges_streamed, stats.sweeps_executed * 50_000);
         assert!((stats.edges_per_second - 2_000_000.0).abs() < 1e-6);
         assert!((stats.worker_utilization - 0.75).abs() < 1e-9);
+        assert_eq!(stats.jobs_failed, 1);
+        assert_eq!(stats.copies_evicted, 4);
         let text = stats.to_string();
         assert!(text.contains("4 workers") && text.contains("10 tasks"));
         assert!(text.contains("1 fused cohorts") && text.contains("20 sweeps"));
@@ -137,7 +152,19 @@ mod tests {
 
     #[test]
     fn zero_wall_time_does_not_divide_by_zero() {
-        let stats = EngineStats::from_run(1, 1, None, 1, 0, 0, Duration::ZERO, Duration::ZERO, 10);
+        let stats = EngineStats::from_run(
+            1,
+            1,
+            None,
+            1,
+            0,
+            0,
+            Duration::ZERO,
+            Duration::ZERO,
+            10,
+            0,
+            0,
+        );
         assert!(stats.edges_per_second.is_finite());
         assert!(stats.worker_utilization.is_finite());
     }

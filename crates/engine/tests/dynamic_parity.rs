@@ -25,16 +25,17 @@ fn workload() -> (DynamicMemoryStream, DynamicEstimatorConfig) {
 
 fn assert_same(engine: &degentri_engine::JobResult, standalone: &DynamicOutcome, what: &str) {
     assert_eq!(
-        engine.estimation.estimate.to_bits(),
+        engine.estimation().estimate.to_bits(),
         standalone.estimate.to_bits(),
         "{what}: estimate"
     );
     assert_eq!(
-        engine.estimation.copy_estimates, standalone.copy_estimates,
+        engine.estimation().copy_estimates,
+        standalone.copy_estimates,
         "{what}: copies"
     );
-    assert_eq!(engine.estimation.space, standalone.space, "{what}: space");
-    let dynamic = engine.dynamic.as_ref().expect("dynamic outcome attached");
+    assert_eq!(engine.estimation().space, standalone.space, "{what}: space");
+    let dynamic = engine.dynamic().expect("dynamic outcome attached");
     assert_eq!(dynamic.surviving_edges, standalone.surviving_edges);
     assert_eq!(dynamic.triangles_found, standalone.triangles_found);
     assert_eq!(dynamic.r, standalone.r);
@@ -123,12 +124,12 @@ fn spare_workers_shard_counter_mode_copies_bit_identically() {
     let plain = copy_only.run_dynamic(&stream).unwrap();
     assert_eq!(plain.stats.intra_task_workers, 1);
     assert_eq!(
-        sharded.jobs[0].estimation.estimate.to_bits(),
-        plain.jobs[0].estimation.estimate.to_bits()
+        sharded.jobs[0].estimation().estimate.to_bits(),
+        plain.jobs[0].estimation().estimate.to_bits()
     );
     assert_eq!(
-        sharded.jobs[0].estimation.copy_estimates,
-        plain.jobs[0].estimation.copy_estimates
+        sharded.jobs[0].estimation().copy_estimates,
+        plain.jobs[0].estimation().copy_estimates
     );
 
     // Under a forced sequential regime the dynamic job does not shard.
@@ -160,7 +161,8 @@ fn engine_copies_match_manual_sharded_copies_at_every_shard_count() {
             let view = ShardedDynamicStream::from_stream(&stream, shards);
             let out = estimator.run_sharded(&view, workers).unwrap();
             assert_eq!(
-                out.copy_estimates, report.jobs[0].estimation.copy_estimates,
+                out.copy_estimates,
+                report.jobs[0].estimation().copy_estimates,
                 "shards {shards} workers {workers}"
             );
         }

@@ -1,0 +1,516 @@
+//! The containment invariant, proven end to end: a failing job — panic,
+//! injected estimator error, missed deadline, or cancellation — fails
+//! **alone**. Its batchmates' estimations stay bit-identical to a clean
+//! run on every execution tier (fused cohorts, per-copy tasks, sharded
+//! per-copy tasks) at every worker count, because counter-mode randomness
+//! keys every draw by stream position and copy seed, never by what else
+//! is in flight.
+//!
+//! The tests in the root module need no features; the `faulted` module
+//! drives the deterministic injection harness and only compiles with
+//! `--features fault-inject` (CI's `fault-smoke` job).
+
+use std::time::Duration;
+
+use degentri_baselines::{BaselineOutcome, StreamingTriangleCounter};
+use degentri_core::{EstimatorConfig, RngMode, TriangleEstimation};
+use degentri_engine::{Engine, EngineConfig, EngineError, JobSpec};
+use degentri_stream::{EdgeStream, MemoryStream, SpaceReport, StreamOrder};
+
+fn main_config(seed: u64) -> EstimatorConfig {
+    EstimatorConfig::builder()
+        .epsilon(0.15)
+        .kappa(5)
+        .triangle_lower_bound(600)
+        .r_constant(8.0)
+        .inner_constant(16.0)
+        .assignment_constant(6.0)
+        .copies(2)
+        .seed(seed)
+        .rng_mode(RngMode::Counter)
+        .try_build()
+        .unwrap()
+}
+
+fn workload() -> MemoryStream {
+    let graph = degentri_gen::barabasi_albert(300, 4, 3).unwrap();
+    MemoryStream::from_graph(&graph, StreamOrder::UniformRandom(4))
+}
+
+fn engine(workers: usize, fused: bool) -> Engine {
+    Engine::new(
+        EngineConfig::builder()
+            .workers(workers)
+            .fused_execution(fused)
+            .try_build()
+            .unwrap(),
+    )
+}
+
+/// Runs `f` with an **empty** fault plan installed when the injection
+/// feature is compiled in. The harness is process-global, so engine runs
+/// that must stay fault-free have to serialize against tests that install
+/// firing plans; without the feature this is a plain call.
+fn quiesced<R>(f: impl FnOnce() -> R) -> R {
+    #[cfg(feature = "fault-inject")]
+    {
+        degentri_core::faults::with_plan(degentri_core::faults::FaultPlan::default(), f)
+    }
+    #[cfg(not(feature = "fault-inject"))]
+    {
+        f()
+    }
+}
+
+/// The clean per-job estimations of a batch — the bit-identity reference
+/// every containment test compares survivors against.
+fn clean_reference(stream: &MemoryStream, seeds: &[u64]) -> Vec<TriangleEstimation> {
+    quiesced(|| {
+        let mut engine = engine(2, true);
+        for (i, &seed) in seeds.iter().enumerate() {
+            engine.submit(JobSpec::main(format!("job-{i}"), main_config(seed)));
+        }
+        let report = engine.run(stream).unwrap();
+        report
+            .jobs
+            .into_iter()
+            .map(|j| j.into_estimation())
+            .collect()
+    })
+}
+
+fn assert_bits(actual: &TriangleEstimation, expected: &TriangleEstimation, what: &str) {
+    assert_eq!(
+        actual.estimate.to_bits(),
+        expected.estimate.to_bits(),
+        "{what}: estimate"
+    );
+    assert_eq!(
+        actual.copy_estimates, expected.copy_estimates,
+        "{what}: copy estimates"
+    );
+}
+
+#[test]
+fn zero_deadline_fails_only_its_job_on_every_tier() {
+    let stream = workload();
+    let reference = clean_reference(&stream, &[11, 12]);
+    quiesced(|| {
+        for fused in [true, false] {
+            for workers in [1usize, 2, 4] {
+                let mut engine = engine(workers, fused);
+                engine.submit(JobSpec::main("healthy", main_config(11)));
+                engine.submit(JobSpec::main("late", main_config(12)).deadline(Duration::ZERO));
+                let report = engine.run(&stream).unwrap();
+                let what = format!("fused={fused} workers={workers}");
+                assert!(report.jobs[0].is_ok(), "{what}: healthy job failed");
+                assert_bits(report.jobs[0].estimation(), &reference[0], &what);
+                // An already-expired deadline cuts the job before any
+                // pass completes, on both tiers.
+                assert!(
+                    matches!(
+                        report.jobs[1].error(),
+                        Some(EngineError::DeadlineExceeded {
+                            completed_passes: 0
+                        })
+                    ),
+                    "{what}: expected DeadlineExceeded(0), got {:?}",
+                    report.jobs[1].error()
+                );
+                assert_eq!(report.stats.jobs_failed, 1, "{what}");
+                if fused {
+                    // Both copies of the late job left the cohort.
+                    assert_eq!(report.stats.copies_evicted, 2, "{what}");
+                } else {
+                    assert_eq!(report.stats.copies_evicted, 0, "{what}");
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn cancelled_token_cuts_every_job_and_reset_restores_the_engine() {
+    let stream = workload();
+    let reference = clean_reference(&stream, &[11]);
+    quiesced(|| {
+        for fused in [true, false] {
+            let mut engine = engine(2, fused);
+            let token = engine.cancel_token();
+            token.cancel();
+            engine.submit(JobSpec::main("a", main_config(11)));
+            engine.submit(JobSpec::main("b", main_config(12)));
+            let report = engine.run(&stream).unwrap();
+            let what = format!("fused={fused}");
+            for job in &report.jobs {
+                assert!(
+                    matches!(job.error(), Some(EngineError::Cancelled { .. })),
+                    "{what}: expected Cancelled, got {:?}",
+                    job.error()
+                );
+            }
+            assert_eq!(report.stats.jobs_failed, 2, "{what}");
+            // Nothing was streamed: every job was cut before its sweeps.
+            assert_eq!(report.stats.sweeps_executed, 0, "{what}");
+
+            // The token is sticky until reset; afterwards the same engine
+            // runs normally and reproduces the clean reference.
+            token.reset();
+            engine.submit(JobSpec::main("after-reset", main_config(11)));
+            let report = engine.run(&stream).unwrap();
+            assert!(report.jobs[0].is_ok(), "{what}: post-reset run failed");
+            assert_bits(report.jobs[0].estimation(), &reference[0], &what);
+        }
+    });
+}
+
+/// A baseline that always panics: the simplest hostile job, available
+/// without the injection feature.
+struct PanickingCounter;
+
+impl StreamingTriangleCounter for PanickingCounter {
+    fn name(&self) -> &'static str {
+        "panicking"
+    }
+
+    fn space_bound(&self) -> &'static str {
+        "0"
+    }
+
+    fn estimate(&self, _stream: &dyn EdgeStream) -> BaselineOutcome {
+        panic!("baseline kaboom");
+    }
+}
+
+/// A baseline that counts nothing but succeeds — scheduled *after* the
+/// panicking one to prove the worker that caught the panic keeps claiming
+/// tasks.
+struct InertCounter;
+
+impl StreamingTriangleCounter for InertCounter {
+    fn name(&self) -> &'static str {
+        "inert"
+    }
+
+    fn space_bound(&self) -> &'static str {
+        "0"
+    }
+
+    fn estimate(&self, stream: &dyn EdgeStream) -> BaselineOutcome {
+        BaselineOutcome {
+            estimate: stream.pass().count() as f64,
+            passes: 1,
+            space: SpaceReport::default(),
+        }
+    }
+}
+
+#[test]
+fn panicking_job_is_contained_and_the_worker_survives() {
+    let stream = workload();
+    let reference = clean_reference(&stream, &[11]);
+    quiesced(|| {
+        // One worker: the same thread that catches the panic must go on to
+        // execute both remaining jobs.
+        let mut engine = engine(1, true);
+        engine.submit(JobSpec::baseline("boom", Box::new(PanickingCounter)));
+        engine.submit(JobSpec::main("healthy", main_config(11)));
+        engine.submit(JobSpec::baseline("inert", Box::new(InertCounter)));
+        let report = engine.run(&stream).unwrap();
+        match report.jobs[0].error() {
+            Some(EngineError::Panicked { payload, .. }) => {
+                assert!(payload.contains("kaboom"), "payload: {payload}");
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        assert!(report.jobs[1].is_ok());
+        assert_bits(
+            report.jobs[1].estimation(),
+            &reference[0],
+            "post-panic main",
+        );
+        let edges = report.jobs[2].estimation().estimate;
+        assert!(edges > 0.0, "inert baseline ran after the panic");
+        assert_eq!(report.stats.jobs_failed, 1);
+    });
+}
+
+#[cfg(feature = "fault-inject")]
+mod faulted {
+    use super::*;
+    use degentri_core::faults::{self, FaultKind, FaultPlan, FaultSite};
+    use degentri_core::{main_copy_seed, EstimatorError};
+    use degentri_dynamic::{dynamic_copy_seed, DynamicError, DynamicEstimatorConfig};
+    use degentri_stream::DynamicMemoryStream;
+
+    /// `MainFinish` fires once per pass per copy with the copy's derived
+    /// seed as key on **every** tier, so a targeted rule fails the same
+    /// logical job under fused, per-copy, and sharded scheduling alike —
+    /// and the survivors must be bit-identical to the clean batch
+    /// everywhere.
+    #[test]
+    fn targeted_finish_fault_fails_the_same_job_on_every_tier() {
+        let stream = workload();
+        let seeds = [21u64, 22, 23];
+        let reference = clean_reference(&stream, &seeds);
+        for kind in [FaultKind::Error, FaultKind::Panic] {
+            for fused in [true, false] {
+                for workers in [1usize, 2, 4] {
+                    // Copy 1 of the middle job, at its fourth finish
+                    // (pass index 3). A fresh install per run resets the
+                    // harness hit counters.
+                    let plan = FaultPlan::single(
+                        FaultSite::MainFinish,
+                        main_copy_seed(seeds[1], 1),
+                        3,
+                        kind,
+                    );
+                    let report = faults::with_plan(plan, || {
+                        let mut engine = engine(workers, fused);
+                        for (i, &seed) in seeds.iter().enumerate() {
+                            engine.submit(JobSpec::main(format!("job-{i}"), main_config(seed)));
+                        }
+                        engine.run(&stream).unwrap()
+                    });
+                    let what = format!("{kind:?} fused={fused} workers={workers}");
+                    match kind {
+                        FaultKind::Error => assert!(
+                            matches!(
+                                report.jobs[1].error(),
+                                Some(EngineError::Estimator(EstimatorError::Injected {
+                                    site: FaultSite::MainFinish,
+                                }))
+                            ),
+                            "{what}: got {:?}",
+                            report.jobs[1].error()
+                        ),
+                        _ => assert!(
+                            matches!(report.jobs[1].error(), Some(EngineError::Panicked { .. })),
+                            "{what}: got {:?}",
+                            report.jobs[1].error()
+                        ),
+                    }
+                    for i in [0usize, 2] {
+                        assert!(report.jobs[i].is_ok(), "{what}: job {i} failed");
+                        assert_bits(report.jobs[i].estimation(), &reference[i], &what);
+                    }
+                    assert_eq!(report.stats.jobs_failed, 1, "{what}");
+                    if fused {
+                        assert_eq!(report.stats.copies_evicted, 2, "{what}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// `TaskStart` probes only exist on the per-copy tier; the injected
+    /// error is typed and the batchmates are untouched. The same plan
+    /// under fused execution never fires.
+    #[test]
+    fn task_start_injection_cuts_only_per_copy_jobs() {
+        let stream = workload();
+        let seeds = [21u64, 22, 23];
+        let reference = clean_reference(&stream, &seeds);
+        let plan = || {
+            FaultPlan::single(
+                FaultSite::TaskStart,
+                main_copy_seed(seeds[1], 0),
+                0,
+                FaultKind::Error,
+            )
+        };
+        let run = |fused: bool| {
+            faults::with_plan(plan(), || {
+                let mut engine = engine(2, fused);
+                for (i, &seed) in seeds.iter().enumerate() {
+                    engine.submit(JobSpec::main(format!("job-{i}"), main_config(seed)));
+                }
+                engine.run(&stream).unwrap()
+            })
+        };
+        let per_copy = run(false);
+        assert!(matches!(
+            per_copy.jobs[1].error(),
+            Some(EngineError::Estimator(EstimatorError::Injected {
+                site: FaultSite::TaskStart,
+            }))
+        ));
+        for i in [0usize, 2] {
+            assert_bits(per_copy.jobs[i].estimation(), &reference[i], "per-copy");
+        }
+        // Fused tier: no TaskStart site, the rule stays dormant.
+        let fused = run(true);
+        assert_eq!(fused.stats.jobs_failed, 0);
+        for (i, clean) in reference.iter().enumerate() {
+            assert_bits(fused.jobs[i].estimation(), clean, "fused dormant");
+        }
+    }
+
+    /// A panic at a fused pass boundary evicts exactly the targeted
+    /// group; the union probe structures are rebuilt from the survivors
+    /// and their results do not move.
+    #[test]
+    fn pass_boundary_panic_evicts_only_the_targeted_group() {
+        let stream = workload();
+        let seeds = [21u64, 22, 23];
+        let reference = clean_reference(&stream, &seeds);
+        for workers in [1usize, 2, 4] {
+            let plan = FaultPlan::single(
+                FaultSite::PassBoundary,
+                main_copy_seed(seeds[1], 0),
+                2,
+                FaultKind::Panic,
+            );
+            let report = faults::with_plan(plan, || {
+                let mut engine = engine(workers, true);
+                for (i, &seed) in seeds.iter().enumerate() {
+                    engine.submit(JobSpec::main(format!("job-{i}"), main_config(seed)));
+                }
+                engine.run(&stream).unwrap()
+            });
+            let what = format!("workers={workers}");
+            assert!(
+                matches!(report.jobs[1].error(), Some(EngineError::Panicked { .. })),
+                "{what}: got {:?}",
+                report.jobs[1].error()
+            );
+            assert_eq!(report.stats.copies_evicted, 2, "{what}");
+            for i in [0usize, 2] {
+                assert_bits(report.jobs[i].estimation(), &reference[i], &what);
+            }
+        }
+    }
+
+    /// An injected delay plus a short deadline: the slowed job dies with
+    /// `DeadlineExceeded` and consistent partial accounting, while its
+    /// batchmates — which shared the stalled sweeps — finish untouched.
+    #[test]
+    fn delay_fault_with_deadline_yields_deadline_exceeded() {
+        let stream = workload();
+        let seeds = [21u64, 22, 23];
+        let reference = clean_reference(&stream, &seeds);
+        let plan = FaultPlan::single(
+            FaultSite::PassBoundary,
+            main_copy_seed(seeds[1], 0),
+            0,
+            FaultKind::DelayMillis(40),
+        );
+        let report = faults::with_plan(plan, || {
+            let mut engine = engine(2, true);
+            engine.submit(JobSpec::main("job-0", main_config(seeds[0])));
+            engine.submit(
+                JobSpec::main("job-1", main_config(seeds[1])).deadline(Duration::from_millis(10)),
+            );
+            engine.submit(JobSpec::main("job-2", main_config(seeds[2])));
+            engine.run(&stream).unwrap()
+        });
+        match report.jobs[1].error() {
+            Some(&EngineError::DeadlineExceeded { completed_passes }) => {
+                assert!(completed_passes < 6, "accounting: {completed_passes}");
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        for i in [0usize, 2] {
+            assert_bits(report.jobs[i].estimation(), &reference[i], "delayed cohort");
+        }
+    }
+
+    /// Seeded stochastic sweeps: whatever fires wherever it fires — fold
+    /// panics (with their per-copy re-execution fallback), finish errors,
+    /// delays — every job either fails cleanly or reports an estimation
+    /// bit-identical to the fault-free run. No torn results, ever.
+    #[test]
+    fn seeded_fault_sweeps_never_corrupt_survivors() {
+        let stream = workload();
+        let seeds = [21u64, 22, 23];
+        let reference = clean_reference(&stream, &seeds);
+        let faults_before = faults::injected_count();
+        let mut failures = 0usize;
+        for plan_seed in 1u64..=3 {
+            for fused in [true, false] {
+                for workers in [1usize, 2, 4] {
+                    let report = faults::with_plan(FaultPlan::seeded(plan_seed, 8), || {
+                        let mut engine = engine(workers, fused);
+                        for (i, &seed) in seeds.iter().enumerate() {
+                            engine.submit(JobSpec::main(format!("job-{i}"), main_config(seed)));
+                        }
+                        engine.run(&stream).unwrap()
+                    });
+                    let what = format!("plan_seed={plan_seed} fused={fused} workers={workers}");
+                    for (i, job) in report.jobs.iter().enumerate() {
+                        match job.output() {
+                            Some(out) => {
+                                assert_bits(&out.estimation, &reference[i], &what);
+                            }
+                            None => failures += 1,
+                        }
+                    }
+                    assert_eq!(
+                        report.stats.jobs_failed,
+                        report.jobs.iter().filter(|j| !j.is_ok()).count(),
+                        "{what}"
+                    );
+                }
+            }
+        }
+        // The sweep must actually have exercised the harness.
+        assert!(faults::injected_count() > faults_before, "no faults fired");
+        assert!(failures > 0, "no job ever failed across the sweep");
+    }
+
+    /// The turnstile estimator's containment mirrors the six-pass one:
+    /// a `DynamicFinish` fault fails its job on both tiers and the
+    /// surviving dynamic jobs stay bit-identical.
+    #[test]
+    fn dynamic_finish_fault_is_contained_on_both_tiers() {
+        let graph = degentri_gen::barabasi_albert(200, 4, 9).unwrap();
+        let stream = DynamicMemoryStream::with_churn(&graph, 0.5, 31);
+        let config = |seed: u64| {
+            DynamicEstimatorConfig::new(4, 80)
+                .with_epsilon(0.3)
+                .with_copies(2)
+                .with_seed(seed)
+                .with_max_samples(96)
+                .with_rng_mode(RngMode::Counter)
+        };
+        let reference = quiesced(|| {
+            let mut engine = engine(2, true);
+            engine.submit(JobSpec::dynamic("a", config(41)));
+            engine.submit(JobSpec::dynamic("b", config(42)));
+            let report = engine.run_dynamic(&stream).unwrap();
+            report
+                .jobs
+                .into_iter()
+                .map(|j| j.into_estimation())
+                .collect::<Vec<_>>()
+        });
+        for fused in [true, false] {
+            let plan = FaultPlan::single(
+                FaultSite::DynamicFinish,
+                dynamic_copy_seed(42, 1),
+                1,
+                FaultKind::Error,
+            );
+            let report = faults::with_plan(plan, || {
+                let mut engine = engine(2, fused);
+                engine.submit(JobSpec::dynamic("a", config(41)));
+                engine.submit(JobSpec::dynamic("b", config(42)));
+                engine.run_dynamic(&stream).unwrap()
+            });
+            let what = format!("dynamic fused={fused}");
+            assert!(report.jobs[0].is_ok(), "{what}");
+            assert_bits(report.jobs[0].estimation(), &reference[0], &what);
+            assert!(
+                matches!(
+                    report.jobs[1].error(),
+                    Some(EngineError::Dynamic(DynamicError::Injected {
+                        site: FaultSite::DynamicFinish,
+                    }))
+                ),
+                "{what}: got {:?}",
+                report.jobs[1].error()
+            );
+            assert_eq!(report.stats.jobs_failed, 1, "{what}");
+        }
+    }
+}

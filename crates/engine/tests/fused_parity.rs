@@ -210,7 +210,12 @@ fn engine_fused_path_matches_per_copy_path_for_both_estimators() {
                         .unwrap(),
                 );
                 engine.submit(JobSpec::main("main", config.clone()));
-                engine.run(&stream).unwrap().jobs.remove(0).estimation
+                engine
+                    .run(&stream)
+                    .unwrap()
+                    .jobs
+                    .remove(0)
+                    .into_estimation()
             };
             let fused = run(true);
             let per_copy = run(false);
@@ -232,12 +237,12 @@ fn engine_fused_path_matches_per_copy_path_for_both_estimators() {
             let fused = run_dyn(true);
             let per_copy = run_dyn(false);
             assert_eq!(
-                fused.estimation.copy_estimates,
-                per_copy.estimation.copy_estimates
+                fused.estimation().copy_estimates,
+                per_copy.estimation().copy_estimates
             );
             assert_eq!(
-                fused.estimation.estimate.to_bits(),
-                per_copy.estimation.estimate.to_bits()
+                fused.estimation().estimate.to_bits(),
+                per_copy.estimation().estimate.to_bits()
             );
         }
     }
@@ -306,11 +311,11 @@ fn mixed_batches_run_fused_and_per_copy_tiers_together() {
     let counter_direct = degentri_core::estimate_triangles(&stream, &counter).unwrap();
     let sequential_direct = degentri_core::estimate_triangles(&stream, &sequential).unwrap();
     assert_eq!(
-        report.jobs[0].estimation.copy_estimates,
+        report.jobs[0].estimation().copy_estimates,
         counter_direct.copy_estimates
     );
     assert_eq!(
-        report.jobs[1].estimation.copy_estimates,
+        report.jobs[1].estimation().copy_estimates,
         sequential_direct.copy_estimates
     );
 }
@@ -344,9 +349,9 @@ proptest! {
         prop_assert_eq!(report.stats.fused_cohorts, 1);
         for (result, config) in report.jobs.iter().zip(&configs) {
             let direct = degentri_core::estimate_triangles(&stream, config).unwrap();
-            prop_assert_eq!(&result.estimation.copy_estimates, &direct.copy_estimates);
+            prop_assert_eq!(&result.estimation().copy_estimates, &direct.copy_estimates);
             prop_assert_eq!(
-                result.estimation.estimate.to_bits(),
+                result.estimation().estimate.to_bits(),
                 direct.estimate.to_bits()
             );
         }

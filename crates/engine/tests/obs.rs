@@ -79,13 +79,13 @@ fn recording_is_observation_only_for_main_jobs() {
         let on = run_main(&stream, build(true), 4);
         let off = run_main(&stream, build(false), 4);
         assert_eq!(
-            on.jobs[0].estimation.estimate.to_bits(),
-            off.jobs[0].estimation.estimate.to_bits(),
+            on.jobs[0].estimation().estimate.to_bits(),
+            off.jobs[0].estimation().estimate.to_bits(),
             "fused={fused} workers={workers}"
         );
         assert_eq!(
-            on.jobs[0].estimation.copy_estimates,
-            off.jobs[0].estimation.copy_estimates
+            on.jobs[0].estimation().copy_estimates,
+            off.jobs[0].estimation().copy_estimates
         );
         assert!(on.run_report.is_some(), "recording run carries a report");
         assert!(off.run_report.is_none(), "silent run carries no report");
@@ -101,13 +101,13 @@ fn recording_is_observation_only_for_dynamic_jobs() {
         let on = run_dynamic(true, fused, workers);
         let off = run_dynamic(false, fused, workers);
         assert_eq!(
-            on.jobs[0].estimation.estimate.to_bits(),
-            off.jobs[0].estimation.estimate.to_bits(),
+            on.jobs[0].estimation().estimate.to_bits(),
+            off.jobs[0].estimation().estimate.to_bits(),
             "fused={fused} workers={workers}"
         );
         assert_eq!(
-            on.jobs[0].estimation.copy_estimates,
-            off.jobs[0].estimation.copy_estimates
+            on.jobs[0].estimation().copy_estimates,
+            off.jobs[0].estimation().copy_estimates
         );
         assert!(on.run_report.is_some() && off.run_report.is_none());
     }
@@ -192,7 +192,7 @@ fn dynamic_run_report_and_per_pass_timings() {
     // Satellite: the dynamic outcome now carries real per-pass wall times
     // (the fused driver records them through the same hook as the main
     // estimator), and they nest inside the run's wall time.
-    let outcome = report.jobs[0].dynamic.as_ref().unwrap();
+    let outcome = report.jobs[0].dynamic().unwrap();
     let pass_sum: u64 = outcome.pass_nanos.iter().sum();
     assert!(pass_sum > 0, "dynamic per-pass timings must be populated");
     assert!(pass_sum <= run.wall_nanos);

@@ -117,11 +117,12 @@ fn batch_size_and_sharding_never_change_results() {
         engine.submit(JobSpec::main("sweep", config.clone()));
         let report = engine.run(&stream).unwrap();
         assert_eq!(
-            report.jobs[0].estimation.copy_estimates, sequential_counter.copy_estimates,
+            report.jobs[0].estimation().copy_estimates,
+            sequential_counter.copy_estimates,
             "sharding = {sharding}"
         );
         assert_eq!(
-            report.jobs[0].estimation.estimate.to_bits(),
+            report.jobs[0].estimation().estimate.to_bits(),
             sequential_counter.estimate.to_bits()
         );
         // With intra-task sharding the fused cohort shards its shared
@@ -146,11 +147,11 @@ fn batch_size_and_sharding_never_change_results() {
     engine.submit(JobSpec::main("respect", config.clone()));
     let report = engine.run(&stream).unwrap();
     assert_eq!(
-        report.jobs[0].estimation.copy_estimates,
+        report.jobs[0].estimation().copy_estimates,
         sequential.copy_estimates
     );
     assert_eq!(
-        report.jobs[0].estimation.estimate.to_bits(),
+        report.jobs[0].estimation().estimate.to_bits(),
         sequential.estimate.to_bits()
     );
 }
@@ -177,18 +178,18 @@ fn counter_mode_ideal_jobs_shard_across_spare_workers() {
     let single = engine.run(&stream).unwrap();
     assert_eq!(single.stats.intra_task_workers, 1);
     assert_eq!(
-        sharded.jobs[0].estimation.copy_estimates,
-        single.jobs[0].estimation.copy_estimates
+        sharded.jobs[0].estimation().copy_estimates,
+        single.jobs[0].estimation().copy_estimates
     );
     let oracle = ExactDegreeOracle::build(&stream);
     let sequential =
         estimate_triangles_with_oracle(&stream, &oracle, &counter_mode(&config)).unwrap();
     assert_eq!(
-        sharded.jobs[0].estimation.copy_estimates,
+        sharded.jobs[0].estimation().copy_estimates,
         sequential.copy_estimates
     );
     assert_eq!(
-        sharded.jobs[0].estimation.estimate.to_bits(),
+        sharded.jobs[0].estimation().estimate.to_bits(),
         sequential.estimate.to_bits()
     );
 }
@@ -210,11 +211,11 @@ fn forced_sequential_engine_matches_sequential_runner() {
     let report = engine.run(&stream).unwrap();
     assert_eq!(report.stats.rng_mode, Some(RngMode::Sequential));
     assert_eq!(
-        report.jobs[0].estimation.copy_estimates,
+        report.jobs[0].estimation().copy_estimates,
         sequential.copy_estimates
     );
     assert_eq!(
-        report.jobs[0].estimation.estimate.to_bits(),
+        report.jobs[0].estimation().estimate.to_bits(),
         sequential.estimate.to_bits()
     );
 }
@@ -259,11 +260,11 @@ fn engine_jobs_match_direct_runs_and_report_throughput() {
     let sequential_main = estimate_triangles(&stream, &counter_mode(&main_config)).unwrap();
     assert_eq!(report.jobs[0].label, "main");
     assert_eq!(
-        report.jobs[0].estimation.copy_estimates,
+        report.jobs[0].estimation().copy_estimates,
         sequential_main.copy_estimates
     );
     assert_eq!(
-        report.jobs[0].estimation.estimate.to_bits(),
+        report.jobs[0].estimation().estimate.to_bits(),
         sequential_main.estimate.to_bits()
     );
 
@@ -272,19 +273,19 @@ fn engine_jobs_match_direct_runs_and_report_throughput() {
     let sequential_ideal =
         estimate_triangles_with_oracle(&stream, &oracle, &counter_mode(&ideal_config)).unwrap();
     assert_eq!(
-        report.jobs[1].estimation.copy_estimates,
+        report.jobs[1].estimation().copy_estimates,
         sequential_ideal.copy_estimates
     );
 
     // Baseline jobs: identical to running the baseline directly.
     let direct_triest = TriestImpr::new(256, 5).estimate(&stream);
-    assert_eq!(report.jobs[2].estimation.estimate, direct_triest.estimate);
+    assert_eq!(report.jobs[2].estimation().estimate, direct_triest.estimate);
     assert_eq!(
-        report.jobs[2].estimation.passes_per_copy,
+        report.jobs[2].estimation().passes_per_copy,
         direct_triest.passes
     );
     let direct_exact = ExactStreamCounter::new().estimate(&stream);
-    assert_eq!(report.jobs[3].estimation.estimate, direct_exact.estimate);
+    assert_eq!(report.jobs[3].estimation().estimate, direct_exact.estimate);
 
     // Throughput accounting counts *physical* snapshot traversals: the
     // five fused six-pass copies share 6 sweeps, the 4 ideal copies run
@@ -324,19 +325,19 @@ fn engine_is_deterministic_across_worker_counts() {
         let report = run_with(workers);
         for (job, ref_job) in report.jobs.iter().zip(&reference.jobs) {
             assert_eq!(
-                job.estimation.copy_estimates,
-                ref_job.estimation.copy_estimates
+                job.estimation().copy_estimates,
+                ref_job.estimation().copy_estimates
             );
             assert_eq!(
-                job.estimation.estimate.to_bits(),
-                ref_job.estimation.estimate.to_bits()
+                job.estimation().estimate.to_bits(),
+                ref_job.estimation().estimate.to_bits()
             );
         }
     }
     // Different seeds genuinely produce different jobs.
     assert_ne!(
-        reference.jobs[0].estimation.copy_estimates,
-        reference.jobs[1].estimation.copy_estimates
+        reference.jobs[0].estimation().copy_estimates,
+        reference.jobs[1].estimation().copy_estimates
     );
 }
 

@@ -32,11 +32,19 @@ pub enum Counter {
     TasksExecuted,
     /// Jobs completed by the run.
     JobsCompleted,
+    /// Jobs that finished with a contained per-job error.
+    JobsFailed,
+    /// Copies evicted from fused cohorts by containment (a failing job's
+    /// copies leave the union; survivors are unperturbed).
+    CohortEvictions,
+    /// Faults fired by an installed fault-injection plan (always 0 without
+    /// the `fault-inject` feature).
+    FaultsInjected,
 }
 
 impl Counter {
     /// Number of counters (size of the flat per-lane array).
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 10;
     /// All counters, in index order.
     pub const ALL: [Counter; Counter::COUNT] = [
         Counter::SweepsExecuted,
@@ -46,6 +54,9 @@ impl Counter {
         Counter::CohortCopies,
         Counter::TasksExecuted,
         Counter::JobsCompleted,
+        Counter::JobsFailed,
+        Counter::CohortEvictions,
+        Counter::FaultsInjected,
     ];
 
     /// Flat array index of this counter.
@@ -64,6 +75,9 @@ impl Counter {
             Counter::CohortCopies => "cohort_copies",
             Counter::TasksExecuted => "tasks_executed",
             Counter::JobsCompleted => "jobs_completed",
+            Counter::JobsFailed => "jobs_failed",
+            Counter::CohortEvictions => "cohort_evictions",
+            Counter::FaultsInjected => "faults_injected",
         }
     }
 

@@ -51,7 +51,7 @@ pub use dynamic::{DynamicEdgeStream, DynamicMemoryStream, EdgeUpdate, UpdateKind
 pub use edge_stream::{EdgeStream, MemoryStream, DEFAULT_BATCH_SIZE};
 pub use ordering::StreamOrder;
 pub use passes::PassCounter;
-pub use pool::run_indexed_pool;
+pub use pool::{run_indexed_pool, run_indexed_pool_caught, TaskResult};
 pub use reservoir::ReservoirSampler;
 pub use sharded::ShardedStream;
 pub use snapshot::{Partition, ShardedDynamicStream, ShardedSnapshot, Snapshot, StreamSnapshot};

@@ -4,55 +4,130 @@
 //! scoped threads, return outputs in index order" pattern, shared by
 //! [`ShardedStream::pass_sharded`](crate::ShardedStream::pass_sharded) and
 //! the engine's task scheduler — the concurrency subtleties (clamping,
-//! claim loop, order-preserving result slots) live in exactly one place.
+//! claim loop, order-preserving results) live in exactly one place.
+//!
+//! ## Panic containment
+//!
+//! Every task runs under [`std::panic::catch_unwind`], so a panicking task
+//! never kills the worker thread that claimed it: the worker discards its
+//! (possibly torn) per-worker state, rebuilds it with `init`, and keeps
+//! claiming remaining tasks. Results travel back through worker-local
+//! vectors handed over at join time — there are no shared `Mutex` result
+//! slots, so a second panic can never observe a poisoned lock and escalate
+//! into a double-panic abort.
+//!
+//! [`run_indexed_pool_caught`] exposes the per-task outcomes
+//! (`Ok(output)` or `Err(panic payload)`); [`run_indexed_pool`] keeps the
+//! historical contract of resuming the first panic on the calling thread,
+//! but only after every other task has completed.
 
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+
+/// Outcome of one pooled task: the task's output, or the payload of the
+/// panic it unwound with.
+pub type TaskResult<T> = std::thread::Result<T>;
 
 /// Executes `count` indexed tasks on up to `workers` scoped threads and
-/// returns the outputs in task order. Workers claim tasks from a shared
-/// atomic counter (dynamic load balancing: uneven task costs do not idle
-/// workers until the tail), and each worker threads its own mutable state
-/// (from `init`) through every task it executes, so per-worker scratch is
-/// allocated once per worker rather than once per task.
+/// returns each task's outcome in task order, catching per-task panics.
+///
+/// Workers claim tasks from a shared atomic counter (dynamic load
+/// balancing: uneven task costs do not idle workers until the tail), and
+/// each worker threads its own mutable state (from `init`) through every
+/// task it executes, so per-worker scratch is allocated once per worker
+/// rather than once per task. A task that panics yields `Err(payload)` in
+/// its slot; the claiming worker drops its state (it may have been
+/// mid-mutation when the unwind started), re-`init`s before the next
+/// task, and continues. Worker threads therefore never die early: every
+/// task index is claimed and executed exactly once regardless of how many
+/// tasks panic.
 ///
 /// With one worker (or at most one task) everything runs inline on the
-/// calling thread.
-pub fn run_indexed_pool<W, T, I, F>(workers: usize, count: usize, init: I, task: F) -> Vec<T>
+/// calling thread, with the same per-task catching.
+pub fn run_indexed_pool_caught<W, T, I, F>(
+    workers: usize,
+    count: usize,
+    init: I,
+    task: F,
+) -> Vec<TaskResult<T>>
 where
     T: Send,
     I: Fn() -> W + Sync,
     F: Fn(&mut W, usize) -> T + Sync,
 {
     let workers = workers.clamp(1, count.max(1));
+    // `AssertUnwindSafe` is sound here because the only state the closure
+    // mutates across the unwind boundary is the worker-local `W`, which is
+    // discarded and rebuilt whenever a panic is caught.
+    let run_one = |state: &mut Option<W>, i: usize| -> TaskResult<T> {
+        let w = state.get_or_insert_with(&init);
+        let result = catch_unwind(AssertUnwindSafe(|| task(w, i)));
+        if result.is_err() {
+            *state = None;
+        }
+        result
+    };
     if workers <= 1 || count <= 1 {
-        let mut state = init();
-        return (0..count).map(|i| task(&mut state, i)).collect();
+        let mut state = None;
+        return (0..count).map(|i| run_one(&mut state, i)).collect();
     }
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    let mut results: Vec<Option<TaskResult<T>>> = Vec::with_capacity(count);
+    results.resize_with(count, || None);
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                let mut state = init();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= count {
-                        break;
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut state = None;
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        mine.push((i, run_one(&mut state, i)));
                     }
-                    let output = task(&mut state, i);
-                    *slots[i].lock().expect("result slot poisoned") = Some(output);
-                }
-            });
+                    mine
+                })
+            })
+            .collect();
+        for handle in handles {
+            let mine = handle.join().expect("pool worker catches every task panic");
+            for (i, result) in mine {
+                results[i] = Some(result);
+            }
         }
     });
-    slots
+    results
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("every task index was claimed and completed")
-        })
+        .map(|slot| slot.expect("every task index was claimed and completed"))
+        .collect()
+}
+
+/// Executes `count` indexed tasks on up to `workers` scoped threads and
+/// returns the outputs in task order.
+///
+/// See [`run_indexed_pool_caught`] for the claiming and worker-state
+/// contract. If any task panics, the panic is resumed on the calling
+/// thread — but only after every task has run, so one bad task cannot
+/// abandon its batchmates mid-flight, and the resumed unwind never races
+/// a second panic into an abort.
+pub fn run_indexed_pool<W, T, I, F>(workers: usize, count: usize, init: I, task: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> W + Sync,
+    F: Fn(&mut W, usize) -> T + Sync,
+{
+    let mut results = run_indexed_pool_caught(workers, count, init, task);
+    if let Some(pos) = results.iter().position(|r| r.is_err()) {
+        match results.swap_remove(pos) {
+            Err(payload) => resume_unwind(payload),
+            Ok(_) => unreachable!("position() found an Err"),
+        }
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("checked above: no task panicked"))
         .collect()
 }
 
@@ -98,5 +173,82 @@ mod tests {
             },
         );
         assert_eq!(out, vec![(1, 0), (2, 1), (3, 2), (4, 3)]);
+    }
+
+    #[test]
+    fn panicking_task_is_contained_and_batchmates_complete() {
+        for workers in [1, 2, 4] {
+            let executed = AtomicUsize::new(0);
+            let results = run_indexed_pool_caught(
+                workers,
+                20,
+                || (),
+                |(), i| {
+                    executed.fetch_add(1, Ordering::Relaxed);
+                    if i == 7 {
+                        panic!("task 7 goes down");
+                    }
+                    i * 2
+                },
+            );
+            // Every task was claimed and executed despite the panic: no
+            // worker thread died holding unclaimed indices.
+            assert_eq!(executed.load(Ordering::Relaxed), 20);
+            assert_eq!(results.len(), 20);
+            for (i, r) in results.iter().enumerate() {
+                if i == 7 {
+                    let payload = r.as_ref().unwrap_err();
+                    let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+                    assert!(msg.contains("task 7"), "unexpected payload: {msg:?}");
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i * 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn worker_state_is_rebuilt_after_a_caught_panic() {
+        // One worker, tasks 0..4, task 1 panics mid-mutation: the state it
+        // tore is discarded, so task 2 sees a fresh `init` value instead of
+        // a half-updated one.
+        let results = run_indexed_pool_caught(
+            1,
+            4,
+            || 0usize,
+            |state, i| {
+                *state += 100;
+                if i == 1 {
+                    panic!("tear the state");
+                }
+                (*state, i)
+            },
+        );
+        assert_eq!(*results[0].as_ref().unwrap(), (100, 0));
+        assert!(results[1].is_err());
+        assert_eq!(*results[2].as_ref().unwrap(), (100, 2));
+        // Task 3 reuses the state rebuilt for task 2 (no panic in between).
+        assert_eq!(*results[3].as_ref().unwrap(), (200, 3));
+    }
+
+    #[test]
+    fn uncaught_variant_resumes_the_panic_after_all_tasks_ran() {
+        let executed = AtomicUsize::new(0);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            run_indexed_pool(
+                2,
+                10,
+                || (),
+                |(), i| {
+                    executed.fetch_add(1, Ordering::Relaxed);
+                    if i == 3 {
+                        panic!("boom");
+                    }
+                    i
+                },
+            )
+        }));
+        assert!(outcome.is_err());
+        assert_eq!(executed.load(Ordering::Relaxed), 10);
     }
 }

@@ -76,8 +76,8 @@ fn main() {
     for (workers, report) in &reports[1..] {
         for (job, ref_job) in report.jobs.iter().zip(&reference.jobs) {
             assert_eq!(
-                job.estimation.estimate.to_bits(),
-                ref_job.estimation.estimate.to_bits(),
+                job.estimation().estimate.to_bits(),
+                ref_job.estimation().estimate.to_bits(),
                 "job {} differs at {workers} workers",
                 job.label
             );
@@ -86,13 +86,13 @@ fn main() {
 
     println!("\nper-job estimates (identical at every worker count):");
     for job in &reference.jobs {
-        let err = 100.0 * job.estimation.relative_error(exact);
+        let err = 100.0 * job.estimation().relative_error(exact);
         println!(
             "  {:<24} estimate {:>12.0}  err {err:>5.1}%  passes {}  words {}",
             job.label,
-            job.estimation.estimate,
-            job.estimation.passes_per_copy,
-            job.estimation.space.peak_words
+            job.estimation().estimate,
+            job.estimation().passes_per_copy,
+            job.estimation().space.peak_words
         );
     }
 
@@ -138,8 +138,8 @@ fn main() {
     let copy_only = run_mode(false);
     let sharded = run_mode(true);
     assert_eq!(
-        copy_only.jobs[0].estimation.estimate.to_bits(),
-        sharded.jobs[0].estimation.estimate.to_bits(),
+        copy_only.jobs[0].estimation().estimate.to_bits(),
+        sharded.jobs[0].estimation().estimate.to_bits(),
         "sharded scheduling must be bit-identical to copy-only"
     );
     println!("\nsharded vs copy-only (2 copies on {sweep_workers} workers):");

@@ -223,10 +223,10 @@
 //! engine.submit(JobSpec::dynamic("churned wheel", config));
 //! let report = engine.run_dynamic(&stream).unwrap();
 //! assert_eq!(
-//!     report.jobs[0].estimation.copy_estimates,
+//!     report.jobs[0].estimation().copy_estimates,
 //!     standalone.copy_estimates,
 //! );
-//! let outcome = report.jobs[0].dynamic.as_ref().unwrap();
+//! let outcome = report.jobs[0].dynamic().unwrap();
 //! assert_eq!(outcome.surviving_edges, graph.num_edges());
 //! ```
 //!
@@ -278,8 +278,8 @@
 //! let per_copy = engine.run_snapshot(&snapshot).unwrap();
 //! assert_eq!(per_copy.stats.sweeps_executed, 24);
 //! assert_eq!(
-//!     fused.jobs[0].estimation.copy_estimates,
-//!     per_copy.jobs[0].estimation.copy_estimates,
+//!     fused.jobs[0].estimation().copy_estimates,
+//!     per_copy.jobs[0].estimation().copy_estimates,
 //! );
 //! ```
 //!
@@ -335,8 +335,8 @@
 //! silent.submit(JobSpec::main("wheel", config));
 //! let baseline = silent.run(&stream).unwrap();
 //! assert_eq!(
-//!     recorded.jobs[0].estimation.copy_estimates,
-//!     baseline.jobs[0].estimation.copy_estimates,
+//!     recorded.jobs[0].estimation().copy_estimates,
+//!     baseline.jobs[0].estimation().copy_estimates,
 //! );
 //! ```
 
