@@ -1,5 +1,5 @@
-//! Machine-readable perf baseline: the eighth point of the repo's recorded
-//! performance trajectory (`BENCH_PR2.json` → … → `BENCH_PR8.json`).
+//! Machine-readable perf baseline: the ninth point of the repo's recorded
+//! performance trajectory (`BENCH_PR2.json` → … → `BENCH_PR9.json`).
 //!
 //! Runs the six-pass estimator over a preferential-attachment snapshot in
 //! **both randomness regimes** (`RngMode::Sequential` and
@@ -39,7 +39,17 @@
 //! and the fused path's ratio against the previous baseline's fused cell;
 //! in the default (faults-disabled) build that ratio is gated at ≥ 0.99×.
 //!
-//! If the previous baseline (`BENCH_PR7.json` by default) is readable, the
+//! New in PR 9: a **fusion matrix** section. Fused execution is now total
+//! across the job-kind × rng-mode matrix, so three new cells are
+//! measured: the ideal (3-pass oracle) estimator fused vs per-copy at
+//! scale, the dynamic cohort — whose shared probe passes now walk one
+//! k-way-merged **union key table** — against the previous baseline's
+//! fused-dynamic cell, and a mixed main+sequential+ideal+dynamic batch on
+//! one snapshot whose measured sweep count must land strictly below the
+//! unfused sum. Kernel attribution gains the ideal passes via a recorded
+//! three-pass cohort run.
+//!
+//! If the previous baseline (`BENCH_PR8.json` by default) is readable, the
 //! run prints per-pass deltas and computes the fused path's speedup over
 //! the **previous engine path** (its recorded `engine_fused` /
 //! `engine_copy_only` cells). With `BENCH_FAIL_ON_REGRESSION=1`
@@ -56,11 +66,17 @@
 //! * a lane-batched kernel falls below 1.0× its scalar reference
 //!   (best-of-3 on both sides — the batched path must never lose), or
 //! * the faults-disabled fused path falls below 0.99× the previous
-//!   baseline's fused cell (containment plumbing must cost ≤ 1%).
+//!   baseline's fused cell (containment plumbing must cost ≤ 1%), or
+//! * the fused ideal path falls below 0.9× its per-copy path at scale
+//!   (best-of re-raced before failing), or
+//! * the union-probe dynamic fused path falls below the previous
+//!   baseline's fused-dynamic cell (re-raced before failing), or
+//! * the mixed-kind batch's measured sweep count is not strictly below
+//!   the unfused sum.
 //!
 //!   cargo run --release -p degentri-bench --bin perf
 //!   SCALE=4 WORKERS=8 BATCH=8192 cargo run --release -p degentri-bench --bin perf
-//!   BENCH_OUT=/tmp/bench.json BENCH_BASELINE=BENCH_PR7.json cargo run --release -p degentri-bench --bin perf
+//!   BENCH_OUT=/tmp/bench.json BENCH_BASELINE=BENCH_PR8.json cargo run --release -p degentri-bench --bin perf
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
@@ -239,11 +255,11 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(42);
-    let out_path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_PR8.json".to_string());
+    let out_path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_PR9.json".to_string());
     let baseline_path =
-        std::env::var("BENCH_BASELINE").unwrap_or_else(|_| "BENCH_PR7.json".to_string());
+        std::env::var("BENCH_BASELINE").unwrap_or_else(|_| "BENCH_PR8.json".to_string());
     let report_prefix =
-        std::env::var("BENCH_REPORT_PREFIX").unwrap_or_else(|_| "RUN_REPORT_PR8".to_string());
+        std::env::var("BENCH_REPORT_PREFIX").unwrap_or_else(|_| "RUN_REPORT_PR9".to_string());
     let fail_on_regression = std::env::var("BENCH_FAIL_ON_REGRESSION")
         .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
         .unwrap_or(false);
@@ -404,6 +420,71 @@ fn main() {
         scale_fused.logical_items_per_second,
         scale_per_copy.logical_items_per_second,
         scale_fused.logical_items_per_second / scale_per_copy.logical_items_per_second.max(1e-12)
+    );
+
+    // ---- Ideal fused-vs-per-copy at scale (new in PR 9). Ideal copies
+    // now join fused cohorts through the 3-pass stage object and retire
+    // after pass 3; the per-copy path re-streams the snapshot once per
+    // copy per pass. Same out-of-cache snapshot as the main comparison,
+    // same 0.9x gate (re-raced below it before failing). --------------
+    let ideal_scale_logical = (copies * 3 * scale_m) as u64;
+    let run_scale_ideal_once = |fused: bool| {
+        let mut engine = Engine::new(
+            EngineConfig::builder()
+                .workers(workers)
+                .batch_size(batch)
+                .rng_mode(RngMode::Counter)
+                .fused_execution(fused)
+                .try_build()
+                .expect("engine configuration is valid"),
+        );
+        engine.submit(JobSpec::ideal("three-pass", scale_config.clone()));
+        let started = Instant::now();
+        let report = engine.run(&scale_stream).expect("engine run succeeds");
+        (report, started.elapsed().as_secs_f64())
+    };
+    let ideal_scale_cell = |report: &EngineReport, wall: f64| EngineCell {
+        wall_seconds: wall,
+        logical_items_per_second: ideal_scale_logical as f64 / wall.max(1e-12),
+        snapshot_items_per_second: report.stats.edges_streamed as f64 / wall.max(1e-12),
+        sweeps: report.stats.sweeps_executed,
+        fused_cohorts: report.stats.fused_cohorts,
+    };
+    let ((ideal_sf_report, ideal_sf_wall), (ideal_sp_report, ideal_sp_wall)) =
+        race_pair(8, run_scale_ideal_once);
+    let mut ideal_scale_fused = ideal_scale_cell(&ideal_sf_report, ideal_sf_wall);
+    let mut ideal_scale_per_copy = ideal_scale_cell(&ideal_sp_report, ideal_sp_wall);
+    assert_eq!(
+        ideal_sf_report.jobs[0].estimation().copy_estimates,
+        ideal_sp_report.jobs[0].estimation().copy_estimates,
+        "fused ideal execution must be bit-identical to per-copy scheduling"
+    );
+    // 3 shared cohort passes + 1 oracle stats sweep; the per-copy path
+    // pays 3 passes per copy on top of the stats sweep.
+    assert_eq!(ideal_scale_fused.sweeps, 3 + 1);
+    assert_eq!(ideal_scale_fused.fused_cohorts, 1);
+    assert!(ideal_scale_per_copy.sweeps > ideal_scale_fused.sweeps);
+    let mut ideal_scale_ratio = ideal_scale_fused.logical_items_per_second
+        / ideal_scale_per_copy.logical_items_per_second.max(1e-12);
+    for _ in 0..2 {
+        if ideal_scale_ratio >= 0.9 {
+            break;
+        }
+        let ((fr, fw), (pr, pw)) = race_pair(8, run_scale_ideal_once);
+        let f = ideal_scale_cell(&fr, fw);
+        let p = ideal_scale_cell(&pr, pw);
+        let retry = f.logical_items_per_second / p.logical_items_per_second.max(1e-12);
+        eprintln!("perf: ideal at-scale retry — ratio {retry:.3} (was {ideal_scale_ratio:.3})");
+        if retry > ideal_scale_ratio {
+            ideal_scale_ratio = retry;
+            ideal_scale_fused = f;
+            ideal_scale_per_copy = p;
+        }
+    }
+    eprintln!(
+        "perf: ideal at-scale fused {:.0} items/s vs per-copy {:.0} items/s ({ideal_scale_ratio:.2}x)",
+        ideal_scale_fused.logical_items_per_second,
+        ideal_scale_per_copy.logical_items_per_second
     );
 
     // Fused-vs-per-copy bit-identity at the bench configuration.
@@ -579,6 +660,61 @@ fn main() {
         }
     }
 
+    // ---- Mixed fusion-matrix batch (new in PR 9): one engine run carrying
+    // all four matrix cells — counter main, sequential main, ideal, and
+    // dynamic — over the base snapshot, against the same batch with fusion
+    // disabled. Sweep sharing is measured from the reports, never assumed:
+    // the gate below only requires the fused batch's physical sweep count
+    // to land strictly under the unfused sum. ----------------------------
+    let run_mixed_once = |fused: bool| {
+        let mut engine = Engine::new(
+            EngineConfig::builder()
+                .workers(workers)
+                .batch_size(batch)
+                .job_rng_mode()
+                .fused_execution(fused)
+                .try_build()
+                .expect("engine configuration is valid"),
+        );
+        engine.submit(JobSpec::main("counter", config_for(RngMode::Counter)));
+        engine.submit(JobSpec::main("sequential", config_for(RngMode::Sequential)));
+        engine.submit(JobSpec::ideal("three-pass", config_for(RngMode::Counter)));
+        engine.submit(JobSpec::dynamic(
+            "turnstile",
+            dyn_config_for(RngMode::Counter),
+        ));
+        let started = Instant::now();
+        let report = engine.run(&stream).expect("engine run succeeds");
+        (report, started.elapsed().as_secs_f64())
+    };
+    let ((mixed_fused_report, mixed_fused_wall), (mixed_unfused_report, mixed_unfused_wall)) =
+        race_pair(3, run_mixed_once);
+    for (f, u) in mixed_fused_report
+        .jobs
+        .iter()
+        .zip(mixed_unfused_report.jobs.iter())
+    {
+        assert_eq!(
+            f.estimation().copy_estimates,
+            u.estimation().copy_estimates,
+            "mixed-batch job '{}' must be bit-identical fused vs unfused",
+            f.label
+        );
+    }
+    let mixed_fused_sweeps = mixed_fused_report.stats.sweeps_executed;
+    let mixed_unfused_sweeps = mixed_unfused_report.stats.sweeps_executed;
+    assert_eq!(
+        mixed_fused_report.stats.fused_sweeps + mixed_fused_report.stats.per_copy_sweeps,
+        mixed_fused_sweeps,
+        "tier accounting must partition the mixed batch's sweeps"
+    );
+    eprintln!(
+        "perf: mixed batch (counter+sequential+ideal+dynamic) fused {mixed_fused_sweeps} sweeps \
+         ({} fused / {} per-copy tier) in {mixed_fused_wall:.4}s vs unfused \
+         {mixed_unfused_sweeps} sweeps in {mixed_unfused_wall:.4}s",
+        mixed_fused_report.stats.fused_sweeps, mixed_fused_report.stats.per_copy_sweeps
+    );
+
     // ---- Observability: recording overhead + RunReport artifacts. --------
     // The same fused counter-mode engine run, recording on vs off.
     // Recording must be observation-only (bit-identical results) and cheap
@@ -648,6 +784,30 @@ fn main() {
         .run_report
         .as_ref()
         .expect("recording run assembles a report");
+    // The ideal (three-pass) kernel rows come from their own recorded run:
+    // an all-ideal batch forms a cohort that reports under the ideal pass
+    // names (new in PR 9).
+    let ideal_recorded_report = {
+        let mut engine = Engine::new(
+            EngineConfig::builder()
+                .workers(workers)
+                .batch_size(batch)
+                .rng_mode(RngMode::Counter)
+                .recording(true)
+                .try_build()
+                .expect("engine configuration is valid"),
+        );
+        engine.submit(JobSpec::ideal("three-pass", config_for(RngMode::Counter)));
+        engine.run(&stream).expect("engine run succeeds")
+    };
+    let ideal_run_report = ideal_recorded_report
+        .run_report
+        .as_ref()
+        .expect("recording run assembles a report");
+    assert_eq!(
+        ideal_run_report.cohorts[0].label, "three-pass",
+        "an all-ideal cohort must report under the ideal pass names"
+    );
     let main_report_path = format!("{report_prefix}_main.json");
     let dyn_report_path = format!("{report_prefix}_dynamic.json");
     std::fs::write(&main_report_path, main_run_report.to_json()).expect("write main run report");
@@ -915,8 +1075,27 @@ fn main() {
             fused_vs_pr4_main = Some(best_ratio);
         }
     }
-    let fused_vs_pr4_dynamic =
+    let mut fused_vs_pr4_dynamic =
         baseline_engine_dynamic.map(|old| dyn_fused_cell.updates_per_second / old.max(1e-12));
+    // The PR-9 union-probe gate: the dynamic cohort's shared probe passes
+    // now walk one k-way-merged union key table, so the fused cell must at
+    // least hold the previous baseline's fused-dynamic cell. A 0% band is
+    // tighter than single-race scheduler noise — re-race below it and keep
+    // the best ratio before gating.
+    if let (Some(old), Some(ratio)) = (baseline_engine_dynamic, fused_vs_pr4_dynamic) {
+        let mut best_ratio = ratio;
+        for _ in 0..2 {
+            if best_ratio >= 1.0 {
+                break;
+            }
+            let ((report, wall), _) =
+                race_pair(5, |fused| run_dyn_engine_once(RngMode::Counter, fused));
+            let retry = dyn_cell(&report, wall).updates_per_second / old.max(1e-12);
+            eprintln!("perf: dynamic union-probe retry — ratio {retry:.3} (was {best_ratio:.3})");
+            best_ratio = best_ratio.max(retry);
+        }
+        fused_vs_pr4_dynamic = Some(best_ratio);
+    }
     eprintln!(
         "perf: main engine fused {:.0} items/s vs per-copy {:.0} items/s ({fused_vs_per_copy_small:.2}x small / {fused_vs_per_copy_main:.2}x at scale); vs PR4 engine: {}",
         counter_fused.logical_items_per_second,
@@ -930,13 +1109,13 @@ fn main() {
         fused_vs_pr4_dynamic.map_or("n/a".into(), |v| format!("{v:.2}x")),
     );
 
-    // ---- Emit BENCH_PR8.json (hand-rolled: no JSON dependency). ----------
+    // ---- Emit BENCH_PR9.json (hand-rolled: no JSON dependency). ----------
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"bench\": \"BENCH_PR8\",");
+    let _ = writeln!(json, "  \"bench\": \"BENCH_PR9\",");
     let _ = writeln!(
         json,
-        "  \"description\": \"fault-isolated execution: per-job containment, deadlines/cancellation and the zero-cost-when-disabled injection harness, gated at >=0.99x the PR7 fused cell, on top of the PR7 kernel-attribution grid at 4 copies\","
+        "  \"description\": \"complete fusion matrix: ideal cohorts fused at scale, dynamic union-probe passes gated against the PR8 fused-dynamic cell, a mixed counter+sequential+ideal+dynamic batch measured under one pool, and ideal-pass kernel attribution, on top of the PR8 fault-isolation grid at 4 copies\","
     );
     let _ = writeln!(json, "  \"graph\": {{");
     let _ = writeln!(json, "    \"generator\": \"barabasi_albert\",");
@@ -1105,6 +1284,84 @@ fn main() {
         fused_vs_pr4_dynamic.map_or("null".to_string(), |v| format!("{v:.2}"))
     );
     let _ = writeln!(json, "  }},");
+    // The PR-9 fusion-matrix cells: every job-kind × rng-mode combination
+    // now runs fused, and these are the three new measurements proving it
+    // pays — ideal cohorts at scale, union-probe dynamic passes against
+    // the previous baseline, and the mixed batch's sweep collapse.
+    let _ = writeln!(json, "  \"fusion_matrix\": {{");
+    let _ = writeln!(json, "    \"ideal_at_scale\": {{");
+    let _ = writeln!(json, "      \"n\": {scale_n},");
+    let _ = writeln!(json, "      \"m\": {scale_m},");
+    for (label, cell) in [
+        ("engine_fused", &ideal_scale_fused),
+        ("engine_per_copy", &ideal_scale_per_copy),
+    ] {
+        let _ = writeln!(json, "      \"{label}\": {{");
+        let _ = writeln!(json, "        \"wall_seconds\": {:.6},", cell.wall_seconds);
+        let _ = writeln!(json, "        \"sweeps_executed\": {},", cell.sweeps);
+        let _ = writeln!(json, "        \"fused_cohorts\": {},", cell.fused_cohorts);
+        let _ = writeln!(
+            json,
+            "        \"edges_per_second\": {:.0},",
+            cell.logical_items_per_second
+        );
+        let _ = writeln!(
+            json,
+            "        \"snapshot_edges_per_second\": {:.0}",
+            cell.snapshot_items_per_second
+        );
+        let _ = writeln!(json, "      }},");
+    }
+    let _ = writeln!(json, "      \"fused_vs_per_copy\": {ideal_scale_ratio:.3}");
+    let _ = writeln!(json, "    }},");
+    let _ = writeln!(json, "    \"dynamic_union_probe\": {{");
+    let _ = writeln!(
+        json,
+        "      \"fused_updates_per_second\": {:.0},",
+        dyn_fused_cell.updates_per_second
+    );
+    let _ = writeln!(
+        json,
+        "      \"vs_baseline_fused\": {}",
+        fused_vs_pr4_dynamic.map_or("null".to_string(), |v| format!("{v:.3}"))
+    );
+    let _ = writeln!(json, "    }},");
+    let _ = writeln!(json, "    \"mixed_batch\": {{");
+    let _ = writeln!(
+        json,
+        "      \"jobs\": [\"main_counter\", \"main_sequential\", \"ideal\", \"dynamic\"],"
+    );
+    let _ = writeln!(json, "      \"fused\": {{");
+    let _ = writeln!(json, "        \"wall_seconds\": {mixed_fused_wall:.6},");
+    let _ = writeln!(json, "        \"sweeps_executed\": {mixed_fused_sweeps},");
+    let _ = writeln!(
+        json,
+        "        \"fused_sweeps\": {},",
+        mixed_fused_report.stats.fused_sweeps
+    );
+    let _ = writeln!(
+        json,
+        "        \"per_copy_sweeps\": {},",
+        mixed_fused_report.stats.per_copy_sweeps
+    );
+    let _ = writeln!(
+        json,
+        "        \"fused_cohorts\": {}",
+        mixed_fused_report.stats.fused_cohorts
+    );
+    let _ = writeln!(json, "      }},");
+    let _ = writeln!(json, "      \"unfused\": {{");
+    let _ = writeln!(json, "        \"wall_seconds\": {mixed_unfused_wall:.6},");
+    let _ = writeln!(json, "        \"sweeps_executed\": {mixed_unfused_sweeps}");
+    let _ = writeln!(json, "      }},");
+    let _ = writeln!(
+        json,
+        "      \"sweeps_saved\": {},",
+        mixed_unfused_sweeps.saturating_sub(mixed_fused_sweeps)
+    );
+    let _ = writeln!(json, "      \"bit_identical\": true");
+    let _ = writeln!(json, "    }}");
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"observability\": {{");
     let _ = writeln!(json, "    \"recording_off\": {{");
     let _ = writeln!(json, "      \"wall_seconds\": {silent_wall:.6},");
@@ -1183,6 +1440,29 @@ fn main() {
         }
         let _ = writeln!(json, "    ]{comma}");
     }
+    // The three-pass oracle estimator has no lane-batched kernels (its
+    // probe passes are hash-table lookups), so its rows carry shard-summed
+    // items and sweep self-time from the recorded all-ideal cohort run
+    // instead of fold-tally lane utilization.
+    let _ = writeln!(json, "    \"ideal_per_pass\": [");
+    let ideal_cohort = &ideal_run_report.cohorts[0];
+    for (i, pass) in ideal_cohort.passes.iter().enumerate() {
+        let row_comma = if i + 1 < ideal_cohort.passes.len() {
+            ","
+        } else {
+            ""
+        };
+        let items_per_ns = pass.items as f64 / (pass.sweep_nanos as f64).max(1e-12);
+        let _ = writeln!(
+            json,
+            "      {{ \"pass\": \"{}\", \"items\": {}, \"sweep_nanos\": {}, \"shards\": {}, \"items_per_ns\": {items_per_ns:.6} }}{row_comma}",
+            pass.name,
+            pass.items,
+            pass.sweep_nanos,
+            pass.shards.len()
+        );
+    }
+    let _ = writeln!(json, "    ],");
     let _ = writeln!(json, "    \"lane_vs_scalar\": {{");
     let _ = writeln!(json, "      \"main_cohort\": {{");
     let _ = writeln!(
@@ -1370,6 +1650,7 @@ fn main() {
     for (what, ratio) in [
         ("main", fused_vs_per_copy_main),
         ("dynamic", fused_vs_per_copy_dynamic),
+        ("ideal", ideal_scale_ratio),
     ] {
         if ratio < 0.9 {
             regressed = true;
@@ -1378,6 +1659,27 @@ fn main() {
                  (ratio {ratio:.3})"
             );
         }
+    }
+    // PR-9 union-probe gate: the dynamic fused cell must hold the previous
+    // baseline's fused-dynamic cell (best ratio after the re-race above).
+    if let Some(ratio) = fused_vs_pr4_dynamic {
+        if ratio < 1.0 {
+            regressed = true;
+            eprintln!(
+                "perf: REGRESSION — union-probe dynamic fused throughput fell below the \
+                 {baseline_path} fused-dynamic cell (ratio {ratio:.3})"
+            );
+        }
+    }
+    // PR-9 mixed-batch gate: one pool scheduling all four matrix cells must
+    // physically share sweeps — the measured count has to land strictly
+    // below the unfused sum.
+    if mixed_fused_sweeps >= mixed_unfused_sweeps {
+        regressed = true;
+        eprintln!(
+            "perf: REGRESSION — mixed batch executed {mixed_fused_sweeps} sweeps fused, not \
+             strictly below the unfused sum of {mixed_unfused_sweeps}"
+        );
     }
     // A lane-batched kernel must never lose to its scalar reference
     // (best-of-3 on both sides; both race identical inputs, so there is

@@ -130,45 +130,47 @@ pub struct MainEstimator {
     config: EstimatorConfig,
 }
 
-/// Per-instance state threaded through passes 3–6.
+/// Per-instance state threaded through passes 3–6 (shared with the
+/// sequential stage object in [`crate::seq_stages`]).
 #[derive(Debug, Clone)]
-struct Instance {
+pub(crate) struct Instance {
     /// The sampled edge `e` (an element of `R`).
-    edge: Edge,
+    pub(crate) edge: Edge,
     /// Lower-degree endpoint of `edge` (its neighborhood is `N(e)`).
-    base: VertexId,
+    pub(crate) base: VertexId,
     /// The other endpoint.
-    other: VertexId,
+    pub(crate) other: VertexId,
     /// Reservoir state for the uniform neighbor of `base`.
-    neighbor: Option<VertexId>,
-    seen: u64,
+    pub(crate) neighbor: Option<VertexId>,
+    pub(crate) seen: u64,
     /// The closing edge `(other, w)` to look for in pass 4.
-    closure: Option<Edge>,
+    pub(crate) closure: Option<Edge>,
     /// The candidate triangle, if pass 4 confirmed it.
-    triangle: Option<Triangle>,
+    pub(crate) triangle: Option<Triangle>,
 }
 
-/// Per-candidate-edge state for the batched assignment (passes 5–6).
+/// Per-candidate-edge state for the batched assignment (passes 5–6,
+/// shared with the sequential stage object in [`crate::seq_stages`]).
 #[derive(Debug, Clone)]
-struct CandidateEdge {
-    edge: Edge,
+pub(crate) struct CandidateEdge {
+    pub(crate) edge: Edge,
     /// Degrees of the two endpoints, filled in pass 5 (u-endpoint, v-endpoint).
-    degree_u: u64,
-    degree_v: u64,
+    pub(crate) degree_u: u64,
+    pub(crate) degree_v: u64,
     /// `s` neighbor samples of each endpoint (reservoirs over incident edges).
-    samples_u: Vec<Option<VertexId>>,
-    samples_v: Vec<Option<VertexId>>,
-    seen_u: u64,
-    seen_v: u64,
+    pub(crate) samples_u: Vec<Option<VertexId>>,
+    pub(crate) samples_v: Vec<Option<VertexId>>,
+    pub(crate) seen_u: u64,
+    pub(crate) seen_v: u64,
     /// Closure hits counted in pass 6 for the side that turned out to be the
     /// lower-degree endpoint.
-    hits: u64,
+    pub(crate) hits: u64,
     /// The final estimate `Y_e`.
-    estimate: f64,
+    pub(crate) estimate: f64,
 }
 
 impl CandidateEdge {
-    fn new(edge: Edge, samples: usize) -> Self {
+    pub(crate) fn new(edge: Edge, samples: usize) -> Self {
         CandidateEdge {
             edge,
             degree_u: 0,
@@ -183,13 +185,13 @@ impl CandidateEdge {
     }
 
     /// Edge degree `d_e = min(d_u, d_v)` (valid after pass 5).
-    fn edge_degree(&self) -> u64 {
+    pub(crate) fn edge_degree(&self) -> u64 {
         self.degree_u.min(self.degree_v)
     }
 
     /// The lower-degree endpoint (ties to `u`, matching the rest of the
     /// workspace) and the opposite endpoint.
-    fn base_and_other(&self) -> (VertexId, VertexId) {
+    pub(crate) fn base_and_other(&self) -> (VertexId, VertexId) {
         if self.degree_u <= self.degree_v {
             (self.edge.u(), self.edge.v())
         } else {
@@ -198,7 +200,7 @@ impl CandidateEdge {
     }
 
     /// The neighbor samples taken at the lower-degree endpoint.
-    fn base_samples(&self) -> &[Option<VertexId>] {
+    pub(crate) fn base_samples(&self) -> &[Option<VertexId>] {
         if self.degree_u <= self.degree_v {
             &self.samples_u
         } else {

@@ -371,6 +371,362 @@ impl IdealEstimator {
     }
 }
 
+/// Per-shard accumulator of one [`IdealCopyStages`] pass. Variants follow
+/// the pass structure; every merge is associative and commutative (max by
+/// packed priority key, integer sums, bitmap ORs), so shard accumulators
+/// merged in shard order reproduce the unsharded fold bit for bit.
+#[derive(Debug, Clone)]
+pub enum IdealStageAcc {
+    /// Pass 1: per-copy weighted pick cells plus the shard's partial
+    /// edge-degree sum.
+    Pick(Vec<WeightedPickCell>, u64),
+    /// Pass 2: per-copy uniform-neighbor pick cells.
+    Neighbor(Vec<crate::rng::PickCell>),
+    /// Pass 3: closure-membership bitmap words.
+    Closure(Vec<u64>),
+}
+
+/// The ideal estimator of Section 4 as a three-pass **stage object**: the
+/// same `begin_pass → fold → finish_pass` protocol as
+/// [`MainCopyStages`](crate::MainCopyStages), so a batch of ideal copies
+/// can join a fused cohort and ride shared snapshot sweeps instead of
+/// traversing the stream three times per copy.
+///
+/// ## Protocol
+///
+/// A driver executes, for each of the three passes:
+///
+/// 1. [`begin_pass`](Self::begin_pass) once per shard (or once for an
+///    unsharded sweep) to get an [`IdealStageAcc`];
+/// 2. [`fold`](Self::fold) over the shard's chunks, passing each chunk's
+///    **global stream position** (counter-mode randomness is keyed by
+///    position, which shards know without seeing the rest of the stream);
+/// 3. [`finish_pass`](Self::finish_pass) with the accumulators **in shard
+///    order**, which merges them and arms the next pass.
+///
+/// After the third `finish_pass`, [`finish`](Self::finish) yields the
+/// [`IdealOutcome`]. Because every merge is associative and commutative,
+/// the result is bit-identical to [`IdealEstimator::run_with`] over the
+/// same snapshot at every batch size, shard count, and worker count —
+/// which is what lets the engine mix ideal copies into cohorts freely.
+///
+/// Unlike the six-pass object, an ideal copy holds a borrowed degree
+/// oracle `O` (the engine passes the run's shared
+/// [`StreamStats`](degentri_stream::StreamStats) table); the oracle's own
+/// space is charged to the model, not to the copy. Requires
+/// [`RngMode::Counter`] — sequential randomness cannot be staged.
+#[derive(Debug)]
+pub struct IdealCopyStages<'o, O: DegreeOracle + Sync> {
+    oracle: &'o O,
+    seed: u64,
+    copies: usize,
+    pass: usize,
+    rng1: CounterRng,
+    rng2: CounterRng,
+    meter: SpaceMeter,
+    samples: Vec<Edge>,
+    d_e_sum: u64,
+    vertices: crate::scratch::VertexSlotMap,
+    lists: crate::scratch::SlotLists,
+    neighbor: Vec<Option<VertexId>>,
+    probes: crate::scratch::EdgeProbeSet,
+    query_of_copy: Vec<Option<Edge>>,
+    sharded: bool,
+    pass_nanos: [u64; 3],
+    outcome: Option<IdealOutcome>,
+}
+
+impl<'o, O: DegreeOracle + Sync> IdealCopyStages<'o, O> {
+    /// Total passes a copy makes (the paper's budget: three).
+    pub const PASSES: u32 = 3;
+
+    /// Stable names of the three passes, in execution order (the keys the
+    /// bench JSON and `RunReport` use).
+    pub const PASS_NAMES: [&'static str; 3] = [
+        "i1_weighted_edge_sample",
+        "i2_neighbor_sample",
+        "i3_closure",
+    ];
+
+    /// Prepares one ideal copy over a stream of `m` edges and `n` vertices
+    /// with the given (already copy-derived) seed, querying degrees from
+    /// `oracle`. The internal batch size is the `r` derived from the
+    /// configuration, exactly as in [`IdealEstimator::run`].
+    pub fn new(
+        config: &EstimatorConfig,
+        oracle: &'o O,
+        m: usize,
+        n: usize,
+        seed: u64,
+    ) -> Result<Self> {
+        config.validate()?;
+        if config.rng_mode != RngMode::Counter {
+            return Err(EstimatorError::invalid_config(
+                "stage-object execution requires RngMode::Counter",
+            ));
+        }
+        if m == 0 {
+            return Err(EstimatorError::EmptyStream);
+        }
+        let copies = config.derive(m, n).r.max(1);
+        let mut meter = SpaceMeter::new();
+        // Same accounting as the batched runner: 2 words per pick cell,
+        // one word for the running degree sum.
+        meter.charge(2 * copies as u64);
+        meter.charge_word();
+        Ok(IdealCopyStages {
+            oracle,
+            seed,
+            copies,
+            pass: 0,
+            rng1: CounterRng::new(seed, streams::IDEAL_EDGE),
+            rng2: CounterRng::new(seed, streams::IDEAL_NEIGHBOR),
+            meter,
+            samples: Vec::new(),
+            d_e_sum: 0,
+            vertices: crate::scratch::VertexSlotMap::default(),
+            lists: crate::scratch::SlotLists::default(),
+            neighbor: Vec::new(),
+            probes: crate::scratch::EdgeProbeSet::default(),
+            query_of_copy: Vec::new(),
+            sharded: false,
+            pass_nanos: [0; 3],
+            outcome: None,
+        })
+    }
+
+    /// Index of the pass awaiting execution (0-based).
+    pub fn pass_index(&self) -> usize {
+        self.pass
+    }
+
+    /// Whether all three passes have completed.
+    pub fn finished(&self) -> bool {
+        self.pass >= 3
+    }
+
+    /// Marks the copy as executed over sharded sweeps (reported in
+    /// [`IdealOutcome::sharded_passes`]).
+    pub fn set_sharded(&mut self, sharded: bool) {
+        self.sharded = sharded;
+    }
+
+    /// Records the wall-clock time of the pass that just finished.
+    pub fn set_pass_nanos(&mut self, pass: usize, nanos: u64) {
+        if pass < 3 {
+            self.pass_nanos[pass] = nanos;
+        }
+    }
+
+    /// The copy-derived seed, doubling as the copy's stable
+    /// fault-injection key across execution tiers.
+    pub fn fault_seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// A fresh accumulator for the current pass (one per shard, or a
+    /// single one for an unsharded sweep).
+    pub fn begin_pass(&self) -> IdealStageAcc {
+        debug_assert!(!self.finished(), "begin_pass after the third pass");
+        match self.pass {
+            0 => IdealStageAcc::Pick(vec![WeightedPickCell::empty(); self.copies], 0),
+            1 => IdealStageAcc::Neighbor(vec![crate::rng::PickCell::empty(); self.samples.len()]),
+            _ => IdealStageAcc::Closure(vec![0u64; self.probes.bitmap_words()]),
+        }
+    }
+
+    /// Folds one chunk whose first edge sits at global position `pos` into
+    /// the accumulator. Pure per-position work — safe to run concurrently
+    /// over disjoint shards.
+    pub fn fold(&self, acc: &mut IdealStageAcc, pos: u64, chunk: &[Edge]) {
+        match acc {
+            IdealStageAcc::Pick(cells, dsum) => {
+                for (off, &edge) in chunk.iter().enumerate() {
+                    let p = pos + off as u64;
+                    let w = self.oracle.edge_degree(edge) as f64;
+                    *dsum += w as u64;
+                    if w <= 0.0 {
+                        continue;
+                    }
+                    let base = self.rng1.base(p);
+                    for (k, cell) in cells.iter_mut().enumerate() {
+                        let unit = hash_to_unit(CounterRng::derive(base, k as u64));
+                        cell.offer(WeightedPickCell::priority_of(unit, w), p, edge.key());
+                    }
+                }
+            }
+            IdealStageAcc::Neighbor(cells) => {
+                for (off, e) in chunk.iter().enumerate() {
+                    let p = pos + off as u64;
+                    let mut base_hash = None;
+                    for endpoint in [e.u(), e.v()] {
+                        if let Some(slot) = self.vertices.get(endpoint.raw()) {
+                            let candidate = e.other(endpoint).expect("endpoint belongs to edge");
+                            let base = *base_hash.get_or_insert_with(|| self.rng2.base(p));
+                            for &i in self.lists.list(slot) {
+                                cells[i as usize].offer(
+                                    CounterRng::derive(base, i as u64),
+                                    p,
+                                    candidate.raw(),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            IdealStageAcc::Closure(bitmap) => {
+                for e in chunk {
+                    if let Some(i) = self.probes.probe(e.key()) {
+                        crate::scratch::EdgeProbeSet::mark_in(bitmap, i);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Consumes the pass's per-shard accumulators **in shard order**,
+    /// merges them, performs the between-pass bookkeeping, and arms the
+    /// next pass.
+    pub fn finish_pass(&mut self, accs: Vec<IdealStageAcc>) -> Result<()> {
+        debug_assert!(!self.finished(), "finish_pass after the third pass");
+        match self.pass {
+            0 => {
+                let mut cells = vec![WeightedPickCell::empty(); self.copies];
+                let mut total = 0u64;
+                for acc in &accs {
+                    let IdealStageAcc::Pick(shard_cells, dsum) = acc else {
+                        return Err(EstimatorError::invalid_config(
+                            "accumulator does not match pass 1",
+                        ));
+                    };
+                    total += dsum;
+                    for (cell, other) in cells.iter_mut().zip(shard_cells) {
+                        cell.merge(other);
+                    }
+                }
+                self.d_e_sum = total;
+                self.samples = cells
+                    .iter()
+                    .filter_map(|c| c.value().map(Edge::from_key))
+                    .collect();
+                if self.samples.is_empty() {
+                    return Err(EstimatorError::EmptyStream);
+                }
+                // Group copies by lower-degree endpoint for pass 2 — the
+                // same CSR layout as the batched runner, so the pick-cell
+                // indices (and therefore the randomness) are identical.
+                self.vertices.reset(self.samples.len());
+                for &e in &self.samples {
+                    self.vertices
+                        .insert(self.oracle.lower_degree_endpoint(e).raw());
+                }
+                self.lists.begin(self.vertices.len());
+                for &e in &self.samples {
+                    self.lists.count(
+                        self.vertices
+                            .get(self.oracle.lower_degree_endpoint(e).raw())
+                            .expect("interned base"),
+                    );
+                }
+                self.lists.finish_counts();
+                for (i, &e) in self.samples.iter().enumerate() {
+                    let slot = self
+                        .vertices
+                        .get(self.oracle.lower_degree_endpoint(e).raw())
+                        .expect("interned base");
+                    self.lists
+                        .push(slot, u32::try_from(i).expect("copy count fits u32"));
+                }
+                self.neighbor = vec![None; self.samples.len()];
+                self.meter.charge(2 * self.samples.len() as u64);
+            }
+            1 => {
+                let mut cells = vec![crate::rng::PickCell::empty(); self.samples.len()];
+                for acc in &accs {
+                    let IdealStageAcc::Neighbor(shard_cells) = acc else {
+                        return Err(EstimatorError::invalid_config(
+                            "accumulator does not match pass 2",
+                        ));
+                    };
+                    for (cell, other) in cells.iter_mut().zip(shard_cells) {
+                        cell.merge(other);
+                    }
+                }
+                for (slot, cell) in self.neighbor.iter_mut().zip(&cells) {
+                    *slot = cell.value().map(VertexId::new);
+                }
+                // Build the closure queries for pass 3.
+                self.probes.begin();
+                self.query_of_copy = vec![None; self.samples.len()];
+                for (i, &e) in self.samples.iter().enumerate() {
+                    let base = self.oracle.lower_degree_endpoint(e);
+                    let other = e.other(base).expect("edge endpoints");
+                    if let Some(w) = self.neighbor[i] {
+                        if w != other && w != base {
+                            let q = Edge::new(other, w);
+                            self.probes.add(q.key());
+                            self.query_of_copy[i] = Some(q);
+                        }
+                    }
+                }
+                let closure_queries = self.probes.seal();
+                self.meter
+                    .charge(closure_queries as u64 + self.samples.len() as u64);
+            }
+            _ => {
+                for acc in &accs {
+                    let IdealStageAcc::Closure(bitmap) = acc else {
+                        return Err(EstimatorError::invalid_config(
+                            "accumulator does not match pass 3",
+                        ));
+                    };
+                    self.probes.merge_bitmap(bitmap);
+                }
+                self.meter.charge(self.probes.hit_count() as u64);
+                let mut successes = 0usize;
+                for (i, &e) in self.samples.iter().enumerate() {
+                    let Some(q) = self.query_of_copy[i] else {
+                        continue;
+                    };
+                    if !self.probes.hit(q.key()) {
+                        continue;
+                    }
+                    let base = self.oracle.lower_degree_endpoint(e);
+                    let other = e.other(base).expect("edge endpoints");
+                    let w = self.neighbor[i].expect("query implies a sampled neighbor");
+                    let triangle = Triangle::new(base, other, w);
+                    if IdealEstimator::is_assigned_min_degree(self.oracle, triangle, e) {
+                        successes += 1;
+                    }
+                }
+                let estimate = self.d_e_sum as f64 * successes as f64 / self.samples.len() as f64;
+                self.outcome = Some(IdealOutcome {
+                    estimate,
+                    passes: 3,
+                    sharded_passes: [self.sharded; 3],
+                    space: self.meter.report(),
+                    copies: self.samples.len(),
+                    successes,
+                    edge_degree_sum: self.d_e_sum,
+                });
+            }
+        }
+        self.pass += 1;
+        Ok(())
+    }
+
+    /// The finished outcome (valid once [`finished`](Self::finished)).
+    pub fn finish(self) -> Result<IdealOutcome> {
+        debug_assert!(self.finished(), "finish before the third pass completed");
+        let pass_nanos = self.pass_nanos;
+        // `IdealOutcome` has no per-pass timing field; timings surface
+        // through the driver's pass traces instead.
+        let _ = pass_nanos;
+        self.outcome
+            .ok_or_else(|| EstimatorError::invalid_config("stage pipeline did not complete"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -596,6 +952,87 @@ mod tests {
         let config = EstimatorConfig::builder().build();
         assert!(matches!(
             IdealEstimator::new(config).run(&stream, &oracle),
+            Err(EstimatorError::EmptyStream)
+        ));
+    }
+
+    /// Drives an [`IdealCopyStages`] to completion over `shards` contiguous
+    /// slices of the edge list, merging shard accumulators in shard order —
+    /// the same protocol the engine's cohort driver uses.
+    fn drive_stages(
+        config: &EstimatorConfig,
+        stats: &degentri_stream::StreamStats,
+        edges: &[Edge],
+        n: usize,
+        shards: usize,
+    ) -> IdealOutcome {
+        let mut stages = IdealCopyStages::new(config, stats, edges.len(), n, config.seed).unwrap();
+        let view = degentri_stream::Partition::new(edges.len(), shards);
+        while !stages.finished() {
+            let mut accs = Vec::new();
+            for s in 0..view.shards() {
+                let range = view.range(s);
+                let mut acc = stages.begin_pass();
+                // Feed ragged chunks to exercise position bookkeeping.
+                let mut pos = range.start;
+                for chunk in edges[range.clone()].chunks(7) {
+                    stages.fold(&mut acc, pos as u64, chunk);
+                    pos += chunk.len();
+                }
+                accs.push(acc);
+            }
+            stages.finish_pass(accs).unwrap();
+        }
+        stages.finish().unwrap()
+    }
+
+    #[test]
+    fn stage_object_matches_batched_runner_bit_for_bit() {
+        let g = degentri_gen::barabasi_albert(500, 5, 17).unwrap();
+        let stream = MemoryStream::from_graph(&g, StreamOrder::UniformRandom(8));
+        let stats = degentri_stream::StreamStats::compute(&stream);
+        let config = EstimatorConfig::builder()
+            .kappa(5)
+            .triangle_lower_bound(count_triangles(&g).max(1))
+            .rng_mode(crate::rng::RngMode::Counter)
+            .seed(5)
+            .build();
+        // Reference: the batched runner with the same oracle table.
+        let reference = IdealEstimator::new(config.clone())
+            .run(&stream, &stats)
+            .unwrap();
+        let edges: Vec<Edge> = {
+            let mut v = Vec::new();
+            stream.pass_batched(4096, &mut |chunk| v.extend_from_slice(chunk));
+            v
+        };
+        for shards in [1, 2, 3, 8] {
+            let out = drive_stages(&config, &stats, &edges, g.num_vertices(), shards);
+            assert_eq!(
+                out.estimate.to_bits(),
+                reference.estimate.to_bits(),
+                "shards {shards}"
+            );
+            assert_eq!(out.successes, reference.successes);
+            assert_eq!(out.edge_degree_sum, reference.edge_degree_sum);
+            assert_eq!(out.copies, reference.copies);
+            assert_eq!(out.space, reference.space);
+        }
+    }
+
+    #[test]
+    fn stage_object_rejects_sequential_mode_and_empty_streams() {
+        let g = wheel(50).unwrap();
+        let stream = MemoryStream::from_graph(&g, StreamOrder::AsGiven);
+        let stats = degentri_stream::StreamStats::compute(&stream);
+        let seq = EstimatorConfig::builder().seed(1).build();
+        assert!(IdealCopyStages::new(&seq, &stats, 10, 50, 1).is_err());
+        let counter = EstimatorConfig::builder()
+            .rng_mode(crate::rng::RngMode::Counter)
+            .seed(1)
+            .build();
+        assert!(matches!(
+            IdealCopyStages::new(&counter, &stats, 0, 50, 1),
             Err(EstimatorError::EmptyStream)
         ));
     }

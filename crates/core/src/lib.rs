@@ -97,6 +97,7 @@ pub mod oracle;
 pub mod rng;
 pub mod runner;
 pub mod scratch;
+pub mod seq_stages;
 pub mod stages;
 pub mod theory;
 pub mod validate;
@@ -105,7 +106,7 @@ pub use config::{DerivedParameters, EstimatorConfig, EstimatorConfigBuilder};
 pub use error::EstimatorError;
 pub use estimator::MainEstimator;
 pub use faults::{FaultKind, FaultPlan, FaultRule, FaultSite};
-pub use ideal::IdealEstimator;
+pub use ideal::{IdealCopyStages, IdealEstimator, IdealStageAcc};
 pub use oracle::{DegreeOracle, ExactDegreeOracle};
 pub use rng::{CounterRng, RngMode};
 pub use runner::{
@@ -114,6 +115,7 @@ pub use runner::{
     run_main_copy_sharded, run_main_copy_with, CopyContribution, TriangleEstimation,
 };
 pub use scratch::EstimatorScratch;
+pub use seq_stages::SequentialCopyStages;
 pub use stages::{MainCohortPlan, MainCohortScratch, MainCopyStages, MainStageAcc};
 pub use validate::{checked_edge, validate_edges};
 

@@ -1,0 +1,731 @@
+//! The six-pass estimator under [`RngMode::Sequential`] as a **stage
+//! object** — the fusion bridge for sequential jobs.
+//!
+//! Sequential randomness is inherently order-sensitive: passes 1, 3 and 5
+//! draw from one stateful RNG stream that must observe the edges in
+//! global order, so those passes can never share a sweep with anyone.
+//! But the paper's *other* three passes — degree counting (2) and
+//! membership marking (4 and 6) — fold the stream into order-insensitive
+//! accumulators (integer sums and bitmap ORs). [`SequentialCopyStages`]
+//! decomposes the monolithic sequential runner
+//! ([`MainEstimator::run_seeded`](crate::MainEstimator::run_seeded)) at
+//! exactly that seam:
+//!
+//! * **Private passes** (indices 0, 2, 4): the driver feeds the stream to
+//!   [`fold_private`](SequentialCopyStages::fold_private) in global order
+//!   on one thread — the copy's own RNG-consuming traversal.
+//! * **Shared passes** (indices 1, 3, 5): the driver uses
+//!   [`begin_shared`](SequentialCopyStages::begin_shared) /
+//!   [`fold_shared`](SequentialCopyStages::fold_shared) /
+//!   [`finish_shared`](SequentialCopyStages::finish_shared) — the same
+//!   begin → fold → finish-in-shard-order protocol as the counter-mode
+//!   stage objects, so a sequential copy can ride a fused cohort's shared
+//!   sweep for these folds.
+//!
+//! Both accumulator shapes are plain `Vec<u64>` (per-slot degree counts,
+//! or hit-bitmap words), and both merges are associative and commutative,
+//! so any sharding of the shared passes reproduces the monolithic run
+//! **bit for bit**: same RNG consumption order, same space charges, same
+//! estimate. That identity is what lets the engine fuse passes 2/4/6 of a
+//! sequential job into a mixed cohort without changing its output.
+//!
+//! [`RngMode::Sequential`]: crate::rng::RngMode::Sequential
+
+use degentri_graph::{Edge, Triangle, VertexId};
+use degentri_obs::PassTally;
+use degentri_stream::hashing::FxHashMap;
+use degentri_stream::{ReservoirSampler, SpaceMeter};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::assignment::{decide_assignment, AssignmentMemo};
+use crate::config::{DerivedParameters, EstimatorConfig};
+use crate::error::EstimatorError;
+use crate::estimator::{CandidateEdge, Instance, MainOutcome};
+use crate::rng::RngMode;
+use crate::scratch::{EdgeProbeSet, SlotLists, VertexSlotMap};
+use crate::Result;
+
+/// The sequential-mode six-pass estimator as a stage object: private
+/// RNG-consuming passes interleaved with shareable order-insensitive
+/// folds. See the [module docs](self) for the execution protocol.
+#[derive(Debug)]
+pub struct SequentialCopyStages {
+    config: EstimatorConfig,
+    params: DerivedParameters,
+    m: usize,
+    n: usize,
+    seed: u64,
+    pass: usize,
+    rng: StdRng,
+    meter: SpaceMeter,
+    pass_nanos: [u64; 6],
+    sharded: bool,
+    // Owned scratch (a sequential copy spans multiple driver sweeps, so
+    // it cannot borrow a worker's arena).
+    vertices: VertexSlotMap,
+    counts: Vec<u64>,
+    probes: EdgeProbeSet,
+    lists: SlotLists,
+    // Pass-carried state.
+    reservoir: Option<ReservoirSampler<Edge>>,
+    r_edges: Vec<Edge>,
+    d_r: u64,
+    instances: Vec<Instance>,
+    triangles_found: usize,
+    distinct_triangles: Vec<Triangle>,
+    triangle_index: FxHashMap<Triangle, usize>,
+    candidate_edges: Vec<CandidateEdge>,
+    edge_index: FxHashMap<Edge, usize>,
+    outcome: Option<MainOutcome>,
+}
+
+impl SequentialCopyStages {
+    /// Total passes a copy makes (the paper's budget: six).
+    pub const PASSES: u32 = 6;
+
+    /// Whether pass `pass` (0-based) is order-insensitive and may execute
+    /// over shared/sharded sweeps. The paper's passes 2, 4 and 6.
+    pub fn pass_is_shared(pass: usize) -> bool {
+        matches!(pass, 1 | 3 | 5)
+    }
+
+    /// Prepares one sequential copy over a stream of `m` edges and `n`
+    /// vertices with the given (already copy-derived) seed. Requires
+    /// [`RngMode::Sequential`] — counter-mode copies use
+    /// [`MainCopyStages`](crate::MainCopyStages) instead.
+    pub fn new(config: &EstimatorConfig, m: usize, n: usize, seed: u64) -> Result<Self> {
+        config.validate()?;
+        if config.rng_mode != RngMode::Sequential {
+            return Err(EstimatorError::invalid_config(
+                "sequential stage-object execution requires RngMode::Sequential",
+            ));
+        }
+        if m == 0 {
+            return Err(EstimatorError::EmptyStream);
+        }
+        let params = config.derive(m, n);
+        let mut meter = SpaceMeter::new();
+        meter.charge(params.r as u64);
+        Ok(SequentialCopyStages {
+            config: config.clone(),
+            params,
+            m,
+            n,
+            seed,
+            pass: 0,
+            rng: StdRng::seed_from_u64(seed),
+            meter,
+            pass_nanos: [0; 6],
+            sharded: false,
+            vertices: VertexSlotMap::default(),
+            counts: Vec::new(),
+            probes: EdgeProbeSet::default(),
+            lists: SlotLists::default(),
+            reservoir: None,
+            r_edges: Vec::new(),
+            d_r: 0,
+            instances: Vec::new(),
+            triangles_found: 0,
+            distinct_triangles: Vec::new(),
+            triangle_index: FxHashMap::default(),
+            candidate_edges: Vec::new(),
+            edge_index: FxHashMap::default(),
+            outcome: None,
+        })
+    }
+
+    /// Index of the pass awaiting execution (0-based).
+    pub fn pass_index(&self) -> usize {
+        self.pass
+    }
+
+    /// Whether all six passes have completed.
+    pub fn finished(&self) -> bool {
+        self.pass >= 6
+    }
+
+    /// Marks the copy as having run its shared passes over sharded sweeps
+    /// (reported in [`MainOutcome::sharded_passes`]).
+    pub fn set_sharded(&mut self, sharded: bool) {
+        self.sharded = sharded;
+    }
+
+    /// Records the wall-clock time of the pass that just finished.
+    pub fn set_pass_nanos(&mut self, pass: usize, nanos: u64) {
+        if pass < 6 {
+            self.pass_nanos[pass] = nanos;
+        }
+    }
+
+    /// The copy-derived seed, doubling as the copy's stable
+    /// fault-injection key across execution tiers.
+    pub fn fault_seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Folds one chunk of the current **private** pass (0, 2 or 4).
+    /// Chunks must arrive in global stream order on one thread — this is
+    /// where the copy's sequential RNG advances.
+    pub fn fold_private(&mut self, chunk: &[Edge]) {
+        debug_assert!(
+            !Self::pass_is_shared(self.pass),
+            "fold_private on a shared pass"
+        );
+        match self.pass {
+            0 => {
+                let reservoir = self
+                    .reservoir
+                    .get_or_insert_with(|| ReservoirSampler::new_iid(self.params.r));
+                for &e in chunk {
+                    reservoir.observe(e, &mut self.rng);
+                }
+            }
+            2 => {
+                for e in chunk {
+                    for endpoint in [e.u(), e.v()] {
+                        if let Some(slot) = self.vertices.get(endpoint.raw()) {
+                            let candidate = e.other(endpoint).expect("endpoint belongs to edge");
+                            for &i in self.lists.list(slot) {
+                                let inst = &mut self.instances[i as usize];
+                                inst.seen += 1;
+                                if self.rng.gen_range(0..inst.seen) == 0 {
+                                    inst.neighbor = Some(candidate);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {
+                if self.candidate_edges.is_empty() {
+                    return;
+                }
+                for e in chunk {
+                    for endpoint in [e.u(), e.v()] {
+                        if let Some(slot) = self.vertices.get(endpoint.raw()) {
+                            let candidate_neighbor =
+                                e.other(endpoint).expect("endpoint belongs to edge");
+                            for &tag in self.lists.list(slot) {
+                                let c = &mut self.candidate_edges[(tag >> 1) as usize];
+                                if tag & 1 == 1 {
+                                    c.degree_u += 1;
+                                    c.seen_u += 1;
+                                    for slot in c.samples_u.iter_mut() {
+                                        if self.rng.gen_range(0..c.seen_u) == 0 {
+                                            *slot = Some(candidate_neighbor);
+                                        }
+                                    }
+                                } else {
+                                    c.degree_v += 1;
+                                    c.seen_v += 1;
+                                    for slot in c.samples_v.iter_mut() {
+                                        if self.rng.gen_range(0..c.seen_v) == 0 {
+                                            *slot = Some(candidate_neighbor);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Completes the current private pass and arms the next (shared) one.
+    pub fn finish_private(&mut self) -> Result<()> {
+        debug_assert!(
+            !Self::pass_is_shared(self.pass),
+            "finish_private on a shared pass"
+        );
+        match self.pass {
+            0 => {
+                let reservoir = self
+                    .reservoir
+                    .take()
+                    .unwrap_or_else(|| ReservoirSampler::new_iid(self.params.r));
+                self.r_edges = reservoir.into_samples();
+                if self.r_edges.is_empty() {
+                    return Err(EstimatorError::EmptyStream);
+                }
+                // Arm pass 2: tracked endpoints become dense slots.
+                let r = self.r_edges.len();
+                self.vertices.reset(2 * r);
+                for e in &self.r_edges {
+                    self.vertices.insert(e.u().raw());
+                    self.vertices.insert(e.v().raw());
+                }
+                let tracked = self.vertices.len();
+                self.counts.clear();
+                self.counts.resize(tracked, 0);
+                self.meter.charge(tracked as u64);
+            }
+            2 => {
+                // Arm pass 4: the closure queries of the sampled wedges.
+                self.probes.begin();
+                for inst in self.instances.iter_mut() {
+                    if let Some(w) = inst.neighbor {
+                        if w != inst.other && w != inst.base {
+                            let q = Edge::new(inst.other, w);
+                            inst.closure = Some(q);
+                            self.probes.add(q.key());
+                        }
+                    }
+                }
+                let closure_queries = self.probes.seal();
+                self.meter.charge(closure_queries as u64);
+            }
+            _ => {
+                // Arm pass 6: closure checks for the assignment samples.
+                self.probes.begin();
+                for c in &self.candidate_edges {
+                    if (c.edge_degree() as f64) > self.params.degree_cutoff {
+                        continue; // Y_e = ∞, no sampling needed
+                    }
+                    let (base, other) = c.base_and_other();
+                    for w in c.base_samples().iter().flatten() {
+                        if *w != other && *w != base {
+                            self.probes.add(Edge::new(other, *w).key());
+                        }
+                    }
+                }
+                let assign_queries = self.probes.seal();
+                self.meter.charge(assign_queries as u64);
+            }
+        }
+        self.pass += 1;
+        Ok(())
+    }
+
+    /// A fresh accumulator for the current **shared** pass (one per shard,
+    /// or a single one for an unsharded sweep): per-slot degree counts for
+    /// pass 2, hit-bitmap words for passes 4 and 6.
+    pub fn begin_shared(&self) -> Vec<u64> {
+        debug_assert!(
+            Self::pass_is_shared(self.pass),
+            "begin_shared on a private pass"
+        );
+        match self.pass {
+            1 => vec![0u64; self.vertices.len()],
+            _ => vec![0u64; self.probes.bitmap_words()],
+        }
+    }
+
+    /// Folds one chunk of the current shared pass into the accumulator.
+    /// Order-insensitive: safe to run concurrently over disjoint shards,
+    /// in any order.
+    pub fn fold_shared(&self, acc: &mut [u64], chunk: &[Edge]) {
+        match self.pass {
+            1 => {
+                for e in chunk {
+                    if let Some(s) = self.vertices.get(e.u().raw()) {
+                        acc[s as usize] += 1;
+                    }
+                    if let Some(s) = self.vertices.get(e.v().raw()) {
+                        acc[s as usize] += 1;
+                    }
+                }
+            }
+            _ => {
+                for e in chunk {
+                    if let Some(i) = self.probes.probe(e.key()) {
+                        EdgeProbeSet::mark_in(acc, i);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Consumes the shared pass's per-shard accumulators **in shard
+    /// order**, merges them (integer sums / bitmap ORs — associative and
+    /// commutative), performs the between-pass bookkeeping (including the
+    /// RNG-consuming offline instance draw after pass 2), and arms the
+    /// next pass.
+    pub fn finish_shared(&mut self, accs: Vec<Vec<u64>>) -> Result<()> {
+        debug_assert!(
+            Self::pass_is_shared(self.pass),
+            "finish_shared on a private pass"
+        );
+        match self.pass {
+            1 => {
+                for local in &accs {
+                    for (total, c) in self.counts.iter_mut().zip(local) {
+                        *total += c;
+                    }
+                }
+                self.after_degree_pass()?;
+            }
+            3 => {
+                for bitmap in &accs {
+                    self.probes.merge_bitmap(bitmap);
+                }
+                self.meter.charge(self.probes.hit_count() as u64);
+                self.after_closure_pass();
+            }
+            _ => {
+                for bitmap in &accs {
+                    self.probes.merge_bitmap(bitmap);
+                }
+                self.meter.charge(self.probes.hit_count() as u64);
+                self.build_outcome();
+            }
+        }
+        self.pass += 1;
+        Ok(())
+    }
+
+    /// Post-pass-2 bookkeeping: degrees of `R`, the offline `ℓ`-instance
+    /// draw (this is where the sequential RNG advances between passes),
+    /// and the CSR grouping for pass 3.
+    fn after_degree_pass(&mut self) -> Result<()> {
+        let r = self.r_edges.len();
+        let endpoint_degree = |vertices: &VertexSlotMap, counts: &[u64], v: VertexId| {
+            counts[vertices.get(v.raw()).expect("tracked endpoint") as usize]
+        };
+        let degrees: Vec<u64> = self
+            .r_edges
+            .iter()
+            .map(|e| {
+                endpoint_degree(&self.vertices, &self.counts, e.u()).min(endpoint_degree(
+                    &self.vertices,
+                    &self.counts,
+                    e.v(),
+                ))
+            })
+            .collect();
+        self.d_r = degrees.iter().sum();
+        self.meter.charge(r as u64);
+
+        let ell = self
+            .config
+            .derive_inner_samples(self.m, self.n, r, self.d_r.max(1));
+        let cumulative: Vec<f64> = degrees
+            .iter()
+            .scan(0.0, |acc, &d| {
+                *acc += d as f64;
+                Some(*acc)
+            })
+            .collect();
+        let total_weight = *cumulative.last().unwrap_or(&0.0);
+        self.instances = Vec::with_capacity(ell);
+        for _ in 0..ell {
+            if total_weight <= 0.0 {
+                break;
+            }
+            let target = self.rng.gen_range(0.0..total_weight);
+            let idx = cumulative.partition_point(|&c| c <= target).min(r - 1);
+            let edge = self.r_edges[idx];
+            let du = endpoint_degree(&self.vertices, &self.counts, edge.u());
+            let dv = endpoint_degree(&self.vertices, &self.counts, edge.v());
+            let (base, other) = if du <= dv {
+                (edge.u(), edge.v())
+            } else {
+                (edge.v(), edge.u())
+            };
+            self.instances.push(Instance {
+                edge,
+                base,
+                other,
+                neighbor: None,
+                seen: 0,
+                closure: None,
+                triangle: None,
+            });
+        }
+        self.meter.charge(3 * self.instances.len() as u64);
+
+        // Arm pass 3: instances grouped by base vertex in CSR lists.
+        self.vertices.reset(self.instances.len());
+        for inst in &self.instances {
+            self.vertices.insert(inst.base.raw());
+        }
+        self.lists.begin(self.vertices.len());
+        for inst in &self.instances {
+            self.lists
+                .count(self.vertices.get(inst.base.raw()).expect("interned base"));
+        }
+        self.lists.finish_counts();
+        for (i, inst) in self.instances.iter().enumerate() {
+            let slot = self.vertices.get(inst.base.raw()).expect("interned base");
+            self.lists
+                .push(slot, u32::try_from(i).expect("instance count fits u32"));
+        }
+        Ok(())
+    }
+
+    /// Post-pass-4 bookkeeping: confirmed triangles, distinct candidates,
+    /// and the CSR grouping for pass 5.
+    fn after_closure_pass(&mut self) {
+        self.triangles_found = 0;
+        for inst in self.instances.iter_mut() {
+            if let (Some(q), Some(w)) = (inst.closure, inst.neighbor) {
+                if self.probes.hit(q.key()) {
+                    inst.triangle = Some(Triangle::new(inst.base, inst.other, w));
+                    self.triangles_found += 1;
+                }
+            }
+        }
+        self.distinct_triangles.clear();
+        self.triangle_index = FxHashMap::default();
+        for inst in &self.instances {
+            if let Some(t) = inst.triangle {
+                if !self.triangle_index.contains_key(&t) {
+                    self.triangle_index.insert(t, self.distinct_triangles.len());
+                    self.distinct_triangles.push(t);
+                }
+            }
+        }
+        self.candidate_edges.clear();
+        self.edge_index = FxHashMap::default();
+        for &t in &self.distinct_triangles {
+            for e in t.edges() {
+                if !self.edge_index.contains_key(&e) {
+                    self.edge_index.insert(e, self.candidate_edges.len());
+                    self.candidate_edges
+                        .push(CandidateEdge::new(e, self.params.assignment_samples));
+                }
+            }
+        }
+        self.meter.charge(3 * self.distinct_triangles.len() as u64);
+        self.meter.charge(
+            (2 * self.params.assignment_samples as u64 + 4) * self.candidate_edges.len() as u64,
+        );
+
+        // Arm pass 5: candidates grouped by endpoint, tagging the side.
+        self.vertices.reset(2 * self.candidate_edges.len());
+        for c in &self.candidate_edges {
+            self.vertices.insert(c.edge.u().raw());
+            self.vertices.insert(c.edge.v().raw());
+        }
+        self.lists.begin(self.vertices.len());
+        for c in &self.candidate_edges {
+            self.lists.count(
+                self.vertices
+                    .get(c.edge.u().raw())
+                    .expect("interned endpoint"),
+            );
+            self.lists.count(
+                self.vertices
+                    .get(c.edge.v().raw())
+                    .expect("interned endpoint"),
+            );
+        }
+        self.lists.finish_counts();
+        for (i, c) in self.candidate_edges.iter().enumerate() {
+            let tag = u32::try_from(i).expect("candidate count fits u32") << 1;
+            self.lists.push(
+                self.vertices
+                    .get(c.edge.u().raw())
+                    .expect("interned endpoint"),
+                tag | 1,
+            );
+            self.lists.push(
+                self.vertices
+                    .get(c.edge.v().raw())
+                    .expect("interned endpoint"),
+                tag,
+            );
+        }
+    }
+
+    /// Post-pass-6 bookkeeping: the `Y_e` estimates, the memoized
+    /// assignment decisions, and the final estimate.
+    fn build_outcome(&mut self) {
+        let s = self.params.assignment_samples as f64;
+        for c in self.candidate_edges.iter_mut() {
+            let d_e = c.edge_degree() as f64;
+            if d_e > self.params.degree_cutoff {
+                c.estimate = f64::INFINITY;
+                continue;
+            }
+            let (base, other) = c.base_and_other();
+            let mut hits = 0u64;
+            for w in c.base_samples().iter().flatten() {
+                if *w != other && *w != base && self.probes.hit(Edge::new(other, *w).key()) {
+                    hits += 1;
+                }
+            }
+            c.hits = hits;
+            c.estimate = d_e * hits as f64 / s;
+        }
+
+        let mut memo = AssignmentMemo::new();
+        let mut decision_of: Vec<Option<Edge>> = Vec::with_capacity(self.distinct_triangles.len());
+        for &t in &self.distinct_triangles {
+            let decision = if let Some(d) = memo.get(&t) {
+                d
+            } else {
+                let tri_edges = t.edges();
+                let estimates: [(Edge, f64); 3] = [
+                    (
+                        tri_edges[0],
+                        self.candidate_edges[self.edge_index[&tri_edges[0]]].estimate,
+                    ),
+                    (
+                        tri_edges[1],
+                        self.candidate_edges[self.edge_index[&tri_edges[1]]].estimate,
+                    ),
+                    (
+                        tri_edges[2],
+                        self.candidate_edges[self.edge_index[&tri_edges[2]]].estimate,
+                    ),
+                ];
+                let d = decide_assignment(&estimates, self.params.assignment_ceiling);
+                memo.insert(t, d, &mut self.meter)
+            };
+            decision_of.push(decision);
+        }
+
+        let mut assigned_hits = 0usize;
+        for inst in &self.instances {
+            if let Some(t) = inst.triangle {
+                let idx = self.triangle_index[&t];
+                if decision_of[idx] == Some(inst.edge) {
+                    assigned_hits += 1;
+                }
+            }
+        }
+        let y = if self.instances.is_empty() {
+            0.0
+        } else {
+            assigned_hits as f64 / self.instances.len() as f64
+        };
+        let r = self.r_edges.len();
+        let estimate = (self.m as f64 / r as f64) * self.d_r as f64 * y;
+        let sharded_passes = if self.sharded {
+            [false, true, false, true, false, true]
+        } else {
+            [false; 6]
+        };
+        self.outcome = Some(MainOutcome {
+            estimate,
+            passes: 6,
+            pass_nanos: [0; 6],
+            sharded_passes,
+            space: self.meter.report(),
+            r,
+            inner_samples: self.instances.len(),
+            d_r: self.d_r,
+            triangles_found: self.triangles_found,
+            distinct_triangles: self.distinct_triangles.len(),
+            assigned_hits,
+            pass_tallies: [PassTally::default(); 6],
+        });
+    }
+
+    /// The finished outcome (valid once [`finished`](Self::finished)).
+    pub fn finish(self) -> Result<MainOutcome> {
+        debug_assert!(self.finished(), "finish before the sixth pass completed");
+        let pass_nanos = self.pass_nanos;
+        self.outcome
+            .map(|mut outcome| {
+                outcome.pass_nanos = pass_nanos;
+                outcome
+            })
+            .ok_or_else(|| EstimatorError::invalid_config("stage pipeline did not complete"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MainEstimator;
+    use degentri_gen::{barabasi_albert, wheel};
+    use degentri_graph::triangles::count_triangles;
+    use degentri_stream::{EdgeStream, MemoryStream, Partition, StreamOrder};
+
+    fn collect_edges(stream: &MemoryStream) -> Vec<Edge> {
+        let mut v = Vec::new();
+        stream.pass_batched(4096, &mut |chunk| v.extend_from_slice(chunk));
+        v
+    }
+
+    /// Drives a [`SequentialCopyStages`] to completion: private passes in
+    /// global order with ragged chunks, shared passes over `shards`
+    /// contiguous slices merged in shard order — the protocol the engine's
+    /// mixed-cohort driver uses.
+    fn drive(config: &EstimatorConfig, edges: &[Edge], n: usize, shards: usize) -> MainOutcome {
+        let mut stages = SequentialCopyStages::new(config, edges.len(), n, config.seed).unwrap();
+        stages.set_sharded(shards > 1);
+        let view = Partition::new(edges.len(), shards);
+        while !stages.finished() {
+            if SequentialCopyStages::pass_is_shared(stages.pass_index()) {
+                let mut accs = Vec::new();
+                for s in 0..view.shards() {
+                    let mut acc = stages.begin_shared();
+                    stages.fold_shared(&mut acc, &edges[view.range(s)]);
+                    accs.push(acc);
+                }
+                stages.finish_shared(accs).unwrap();
+            } else {
+                for chunk in edges.chunks(11) {
+                    stages.fold_private(chunk);
+                }
+                stages.finish_private().unwrap();
+            }
+        }
+        stages.finish().unwrap()
+    }
+
+    #[test]
+    fn stage_object_matches_monolithic_sequential_runner_bit_for_bit() {
+        let g = barabasi_albert(600, 5, 23).unwrap();
+        let stream = MemoryStream::from_graph(&g, StreamOrder::UniformRandom(4));
+        let config = EstimatorConfig::builder()
+            .kappa(5)
+            .triangle_lower_bound(count_triangles(&g).max(1))
+            .seed(13)
+            .build();
+        let reference = MainEstimator::new(config.clone()).run(&stream).unwrap();
+        let edges = collect_edges(&stream);
+        for shards in [1, 2, 5, 8] {
+            let out = drive(&config, &edges, g.num_vertices(), shards);
+            assert_eq!(
+                out.estimate.to_bits(),
+                reference.estimate.to_bits(),
+                "shards {shards}"
+            );
+            assert_eq!(out.r, reference.r);
+            assert_eq!(out.inner_samples, reference.inner_samples);
+            assert_eq!(out.d_r, reference.d_r);
+            assert_eq!(out.triangles_found, reference.triangles_found);
+            assert_eq!(out.distinct_triangles, reference.distinct_triangles);
+            assert_eq!(out.assigned_hits, reference.assigned_hits);
+            assert_eq!(out.space, reference.space);
+        }
+    }
+
+    #[test]
+    fn stage_object_matches_on_a_triangle_free_graph() {
+        // Zero candidates exercises the empty pass-5/6 placeholder folds.
+        let g = degentri_gen::grid(12, 12).unwrap();
+        let stream = MemoryStream::from_graph(&g, StreamOrder::AsGiven);
+        let config = EstimatorConfig::builder()
+            .kappa(2)
+            .triangle_lower_bound(1)
+            .seed(3)
+            .build();
+        let reference = MainEstimator::new(config.clone()).run(&stream).unwrap();
+        let edges = collect_edges(&stream);
+        let out = drive(&config, &edges, g.num_vertices(), 4);
+        assert_eq!(out.estimate.to_bits(), reference.estimate.to_bits());
+        assert_eq!(out.estimate, 0.0);
+        assert_eq!(out.space, reference.space);
+    }
+
+    #[test]
+    fn rejects_counter_mode_and_empty_streams() {
+        let counter = EstimatorConfig::builder()
+            .rng_mode(RngMode::Counter)
+            .seed(1)
+            .build();
+        assert!(SequentialCopyStages::new(&counter, 10, 50, 1).is_err());
+        let seq = EstimatorConfig::builder().seed(1).build();
+        assert!(matches!(
+            SequentialCopyStages::new(&seq, 0, 50, 1),
+            Err(EstimatorError::EmptyStream)
+        ));
+        let _ = wheel(10).unwrap();
+    }
+}

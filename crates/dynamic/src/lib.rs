@@ -64,7 +64,7 @@ pub use estimator::{
     DynamicOutcome, DynamicTriangleEstimator,
 };
 pub use exact::DynamicExactCounter;
-pub use stages::{counter_instance_picks, DynamicCopyStages, DynamicStageAcc};
+pub use stages::{counter_instance_picks, DynamicCohortPlan, DynamicCopyStages, DynamicStageAcc};
 pub use validate::validate_updates;
 
 /// Convenient result alias for dynamic-stream estimation.

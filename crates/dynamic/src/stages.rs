@@ -654,6 +654,113 @@ impl DynamicCopyStages {
         self.meter.charge(self.query_keys.len() as u64);
     }
 
+    // ---- cohort union probes -------------------------------------------
+
+    /// Which passes share probe structures across a fused cohort: the two
+    /// sorted-table passes (degrees and closure), where N copies' lookups
+    /// collapse into one union binary search per update. The sketch passes
+    /// (edge and neighbor sampling) stay per-copy — every copy folds its
+    /// own bank and shares nothing.
+    pub fn shares_probes(pass: usize) -> bool {
+        matches!(pass, 1 | 3)
+    }
+
+    /// Builds the cohort's shared probe structures for the current pass.
+    /// All copies must sit at the same pass index (the fused driver's
+    /// lockstep invariant).
+    pub fn plan_cohort(copies: &[Self]) -> DynamicCohortPlan {
+        let Some(first) = copies.first() else {
+            return DynamicCohortPlan {
+                kind: DynPlanKind::PerCopy,
+            };
+        };
+        debug_assert!(
+            copies.iter().all(|c| c.pass == first.pass),
+            "cohort copies must be in pass lockstep"
+        );
+        let kind = match first.pass {
+            1 => DynPlanKind::Degrees(SlotUnion::build(
+                copies.iter().map(|c| c.endpoints.as_slice()),
+            )),
+            3 => DynPlanKind::Closure(SlotUnion::build(
+                copies.iter().map(|c| c.query_keys.as_slice()),
+            )),
+            _ => DynPlanKind::PerCopy,
+        };
+        DynamicCohortPlan { kind }
+    }
+
+    /// Folds one chunk into every copy's accumulator through the plan.
+    ///
+    /// On the sorted-table passes this is the tentpole sharing: **one**
+    /// binary search on the union table per update endpoint (or edge key)
+    /// fans the hit out to exactly the `(copy, slot)` pairs whose own
+    /// table contains the key, so N turnstile copies cost one probe per
+    /// item instead of N. The per-copy accumulator updates, tallies and
+    /// fault probes are exactly the ones the per-copy folds would have
+    /// made, in a commutative order — merged results stay bit-identical.
+    /// The sketch passes fall back to the independent per-copy loop.
+    pub fn fold_cohort(
+        plan: &DynamicCohortPlan,
+        copies: &[Self],
+        accs: &mut [DynamicStageAcc],
+        pos: u64,
+        chunk: &[EdgeUpdate],
+    ) {
+        match &plan.kind {
+            DynPlanKind::PerCopy => {
+                for (stages, acc) in copies.iter().zip(accs.iter_mut()) {
+                    stages.fold(acc, pos, chunk);
+                }
+            }
+            DynPlanKind::Degrees(union) => {
+                Self::prefold_shared(copies, accs, chunk);
+                for update in chunk {
+                    let delta = update.delta();
+                    for endpoint in [update.edge.u().raw(), update.edge.v().raw()] {
+                        for &(copy, slot) in union.get(endpoint) {
+                            let acc = &mut accs[copy as usize];
+                            let DynAcc::Degrees(deg) = &mut acc.acc else {
+                                unreachable!("pass-2 accumulator");
+                            };
+                            deg[slot as usize] += delta;
+                            acc.tally.hits += 1;
+                        }
+                    }
+                }
+            }
+            DynPlanKind::Closure(union) => {
+                Self::prefold_shared(copies, accs, chunk);
+                for update in chunk {
+                    let delta = update.delta();
+                    for &(copy, slot) in union.get(update.edge.key()) {
+                        let acc = &mut accs[copy as usize];
+                        let DynAcc::Closure(counts) = &mut acc.acc else {
+                            unreachable!("pass-4 accumulator");
+                        };
+                        counts[slot as usize] += delta;
+                        acc.tally.hits += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The per-copy chunk preamble of a shared union sweep: the same fault
+    /// probe and item tally every copy's own [`fold`](Self::fold) would
+    /// have issued for this chunk, so fault plans address copies
+    /// identically on the fused and per-copy tiers.
+    fn prefold_shared(copies: &[Self], accs: &mut [DynamicStageAcc], chunk: &[EdgeUpdate]) {
+        if faults::ENABLED {
+            for stages in copies {
+                faults::probe(faults::FaultSite::BankFold, stages.seed);
+            }
+        }
+        for acc in accs.iter_mut() {
+            acc.tally.items += chunk.len() as u64;
+        }
+    }
+
     fn finish_closure(&mut self, accs: Vec<DynamicStageAcc>) {
         let mut accs = accs.into_iter();
         let Some(DynamicStageAcc {
@@ -696,5 +803,227 @@ impl DynamicCopyStages {
             pass_nanos: self.pass_nanos,
             pass_tallies: self.pass_tallies,
         });
+    }
+}
+
+/// The shared probe structures of one fused cohort of
+/// [`DynamicCopyStages`] copies (all at the same pass index), built by
+/// [`DynamicCopyStages::plan_cohort`] and consumed by
+/// [`DynamicCopyStages::fold_cohort`].
+#[derive(Debug)]
+pub struct DynamicCohortPlan {
+    kind: DynPlanKind,
+}
+
+#[derive(Debug)]
+enum DynPlanKind {
+    /// The sketch passes (ℓ0 edge and neighbor sampling): every copy folds
+    /// its own lane-batched bank; nothing to share.
+    PerCopy,
+    /// The degree pass: union of the copies' sorted endpoint tables.
+    Degrees(SlotUnion<u32>),
+    /// The closure pass: union of the copies' sorted query-key tables.
+    Closure(SlotUnion<u64>),
+}
+
+/// A union membership index over many copies' sorted slot tables: one
+/// binary search answers "which copies track this key, and under which
+/// local slot" — the turnstile twin of the six-pass cohort's `EdgeUnion`.
+#[derive(Debug)]
+struct SlotUnion<K> {
+    keys: Vec<K>,
+    offsets: Vec<u32>,
+    entries: Vec<(u32, u32)>,
+}
+
+impl<K: Copy + Ord> SlotUnion<K> {
+    /// K-way merge of the copies' sorted, deduplicated tables in
+    /// `(key, copy)` order — exactly the order a global `(key, copy, slot)`
+    /// sort would produce, without the `O(N log N)` pass over the
+    /// concatenated tables.
+    fn build<'t>(tables: impl Iterator<Item = &'t [K]>) -> Self
+    where
+        K: 't,
+    {
+        let tables: Vec<&[K]> = tables.collect();
+        let total: usize = tables.iter().map(|t| t.len()).sum();
+        let mut heads = vec![0usize; tables.len()];
+        // Cached head keys (`None` = exhausted).
+        let mut head_keys: Vec<Option<K>> = tables.iter().map(|t| t.first().copied()).collect();
+        let mut keys = Vec::new();
+        let mut offsets = vec![0u32];
+        let mut entries = Vec::with_capacity(total);
+        while let Some(key) = head_keys.iter().flatten().copied().min() {
+            keys.push(key);
+            // Each copy's table is deduplicated, so a copy contributes at
+            // most one `(copy, slot)` entry per union key; copies drain in
+            // copy order — the tie order of the sorted triples.
+            for (c, table) in tables.iter().enumerate() {
+                if head_keys[c] != Some(key) {
+                    continue;
+                }
+                entries.push((c as u32, heads[c] as u32));
+                heads[c] += 1;
+                head_keys[c] = table.get(heads[c]).copied();
+            }
+            offsets.push(entries.len() as u32);
+        }
+        SlotUnion {
+            keys,
+            offsets,
+            entries,
+        }
+    }
+
+    /// The `(copy, local slot)` pairs tracking `key`, if any.
+    #[inline]
+    fn get(&self, key: K) -> &[(u32, u32)] {
+        match self.keys.binary_search(&key) {
+            Ok(i) => &self.entries[self.offsets[i] as usize..self.offsets[i + 1] as usize],
+            Err(_) => &[],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::dynamic_copy_seed;
+    use degentri_gen::barabasi_albert;
+    use degentri_stream::{DynamicEdgeStream, DynamicMemoryStream};
+
+    fn test_config() -> DynamicEstimatorConfig {
+        DynamicEstimatorConfig::new(5, 200)
+            .with_epsilon(0.3)
+            .with_seed(29)
+            .with_rng_mode(RngMode::Counter)
+    }
+
+    fn fresh_copies(
+        config: &DynamicEstimatorConfig,
+        num_updates: usize,
+        n: usize,
+        copies: usize,
+    ) -> Vec<DynamicCopyStages> {
+        (0..copies)
+            .map(|c| {
+                DynamicCopyStages::new(config, num_updates, n, dynamic_copy_seed(config.seed, c))
+                    .expect("copy construction")
+            })
+            .collect()
+    }
+
+    /// Drives a whole cohort to completion. `shards` cuts the snapshot
+    /// into contiguous ranges folded into separate accumulators (merged in
+    /// shard order); within each shard the updates arrive in ragged
+    /// chunks. `fused` folds through the union plan, otherwise through
+    /// each copy's own `fold`.
+    fn drive(
+        copies: &mut [DynamicCopyStages],
+        updates: &[EdgeUpdate],
+        shards: usize,
+        fused: bool,
+    ) -> Vec<DynamicCopyOutcome> {
+        while !copies[0].finished() {
+            let plan = DynamicCopyStages::plan_cohort(copies);
+            let mut per_copy_accs: Vec<Vec<DynamicStageAcc>> =
+                (0..copies.len()).map(|_| Vec::new()).collect();
+            let shard_len = updates.len().div_ceil(shards);
+            for shard in updates.chunks(shard_len) {
+                let mut accs: Vec<DynamicStageAcc> =
+                    copies.iter().map(|c| c.begin_pass()).collect();
+                let mut pos = 0u64;
+                for chunk in shard.chunks(7) {
+                    if fused {
+                        DynamicCopyStages::fold_cohort(&plan, copies, &mut accs, pos, chunk);
+                    } else {
+                        for (stages, acc) in copies.iter().zip(accs.iter_mut()) {
+                            stages.fold(acc, pos, chunk);
+                        }
+                    }
+                    pos += chunk.len() as u64;
+                }
+                for (k, acc) in accs.into_iter().enumerate() {
+                    per_copy_accs[k].push(acc);
+                }
+            }
+            for (stages, accs) in copies.iter_mut().zip(per_copy_accs) {
+                stages.finish_pass(accs).expect("pass completes");
+            }
+        }
+        copies
+            .iter_mut()
+            .map(|c| {
+                let done = std::mem::replace(
+                    c,
+                    DynamicCopyStages::new(&test_config(), 1, 4, 0).expect("placeholder"),
+                );
+                done.finish().expect("outcome")
+            })
+            .collect()
+    }
+
+    #[test]
+    fn union_probe_fold_matches_per_copy_folds_bit_for_bit() {
+        let g = barabasi_albert(400, 5, 31).unwrap();
+        let stream = DynamicMemoryStream::with_churn(&g, 0.5, 17);
+        let updates: Vec<EdgeUpdate> = stream.updates().to_vec();
+        let config = test_config();
+        for copies in [1usize, 3, 5] {
+            for shards in [1usize, 2, 3, 8] {
+                let mut fused = fresh_copies(&config, updates.len(), stream.num_vertices(), copies);
+                let mut reference =
+                    fresh_copies(&config, updates.len(), stream.num_vertices(), copies);
+                let fused_out = drive(&mut fused, &updates, shards, true);
+                let ref_out = drive(&mut reference, &updates, shards, false);
+                for (f, r) in fused_out.iter().zip(&ref_out) {
+                    assert_eq!(
+                        f.estimate.to_bits(),
+                        r.estimate.to_bits(),
+                        "copies={copies} shards={shards}"
+                    );
+                    assert_eq!(f.triangles_found, r.triangles_found);
+                    assert_eq!(f.r, r.r);
+                    assert_eq!(f.inner_samples, r.inner_samples);
+                    assert_eq!(f.surviving_edges, r.surviving_edges);
+                    assert_eq!(f.space, r.space);
+                    assert_eq!(f.pass_tallies, r.pass_tallies);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn union_fold_shares_one_probe_per_item() {
+        // On the sorted-table passes, the fused fold consults the union
+        // table once per update (endpoint pair / edge key) regardless of
+        // cohort width — measured here through the per-copy tallies: every
+        // copy still observes all items, and its hit count equals its own
+        // per-copy fold's (sharing changes the probe count, never the
+        // accumulator traffic).
+        let g = barabasi_albert(200, 4, 7).unwrap();
+        let stream = DynamicMemoryStream::insert_only(&g, 5);
+        let updates: Vec<EdgeUpdate> = stream.updates().to_vec();
+        let config = test_config();
+        let mut cohort = fresh_copies(&config, updates.len(), stream.num_vertices(), 4);
+        let out = drive(&mut cohort, &updates, 2, true);
+        for o in &out {
+            assert_eq!(o.pass_tallies[1].items, updates.len() as u64);
+            assert_eq!(o.pass_tallies[3].items, updates.len() as u64);
+        }
+    }
+
+    #[test]
+    fn slot_union_merges_ragged_tables() {
+        let a: Vec<u32> = vec![2, 5, 9];
+        let b: Vec<u32> = vec![5, 7];
+        let c: Vec<u32> = vec![];
+        let union = SlotUnion::build([a.as_slice(), b.as_slice(), c.as_slice()].into_iter());
+        assert_eq!(union.keys, vec![2, 5, 7, 9]);
+        assert_eq!(union.get(2), &[(0, 0)]);
+        assert_eq!(union.get(5), &[(0, 1), (1, 0)]);
+        assert_eq!(union.get(7), &[(1, 1)]);
+        assert_eq!(union.get(9), &[(0, 2)]);
+        assert_eq!(union.get(4), &[] as &[(u32, u32)]);
     }
 }

@@ -24,11 +24,14 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 use degentri_core::faults;
-use degentri_core::{MainCohortPlan, MainCohortScratch, MainCopyStages, MainStageAcc};
-use degentri_dynamic::{DynamicCopyStages, DynamicStageAcc};
+use degentri_core::{
+    IdealCopyStages, IdealStageAcc, MainCohortPlan, MainCohortScratch, MainCopyStages,
+    MainStageAcc, SequentialCopyStages,
+};
+use degentri_dynamic::{DynamicCohortPlan, DynamicCopyStages, DynamicStageAcc};
 use degentri_graph::Edge;
 use degentri_obs::{Counter, Hist, Recorder, ShardReport, Span};
-use degentri_stream::{EdgeUpdate, ShardedSnapshot};
+use degentri_stream::{EdgeUpdate, QueueScope, ShardedSnapshot, StreamStats, TaskResult};
 
 use crate::cancel::CancelToken;
 use crate::{EngineError, Result};
@@ -78,14 +81,21 @@ pub(crate) trait StagedCopy: Send + Sync + Sized {
     fn plan_pass(copies: &[Self]) -> Self::Plan;
 
     /// Whether the cohort's copies share probe structures through the
-    /// plan. When `false` (`Plan = ()`-style copies), the unsharded sweep
-    /// drives the copies one at a time — begin, fold the whole slice,
-    /// finish — so each copy's pass state is freed before the next copy's
-    /// is built: the peak working set stays one copy wide and the
-    /// allocator hands the next copy the pages the previous one just
-    /// released. Bit-identical either way — independent copies never read
-    /// each other's state and the folds are order-insensitive.
-    const SHARES_PROBES: bool = true;
+    /// plan **on this pass**. When `false`, the unsharded sweep drives the
+    /// copies one at a time — begin, fold the whole slice, finish — so
+    /// each copy's pass state is freed before the next copy's is built:
+    /// the peak working set stays one copy wide and the allocator hands
+    /// the next copy the pages the previous one just released. When
+    /// `true`, the fused sweep consults the pass's union plan once per
+    /// item and fans out to the hitting copies. Bit-identical either way —
+    /// independent copies never read each other's state and the folds are
+    /// order-insensitive. Pass-dependent because the turnstile copies mix
+    /// both shapes: their sorted-table passes share a union key table
+    /// while their sketch passes fold private banks.
+    fn shares_probes(pass: usize) -> bool {
+        let _ = pass;
+        true
+    }
 
     /// Copy-interleave granularity for fused sweeps over a slice of
     /// `slice_len` items: the sweep folds this many items into every copy
@@ -175,7 +185,7 @@ impl StagedCopy for MainCopyStages {
 impl StagedCopy for DynamicCopyStages {
     type Item = EdgeUpdate;
     type Acc = DynamicStageAcc;
-    type Plan = ();
+    type Plan = DynamicCohortPlan;
     type Scratch = ();
 
     fn finished(&self) -> bool {
@@ -198,33 +208,141 @@ impl StagedCopy for DynamicCopyStages {
         DynamicCopyStages::set_pass_nanos(self, pass, nanos)
     }
 
-    fn plan_pass(_copies: &[Self]) -> Self::Plan {}
+    fn plan_pass(copies: &[Self]) -> DynamicCohortPlan {
+        DynamicCopyStages::plan_cohort(copies)
+    }
 
-    const SHARES_PROBES: bool = false;
+    fn shares_probes(pass: usize) -> bool {
+        // The sorted-table passes (degrees, closure) fuse N copies'
+        // lookups into one union binary search per update; the ℓ0 sketch
+        // passes keep private banks per copy.
+        DynamicCopyStages::shares_probes(pass)
+    }
 
     fn cohort_batch(_batch: usize, slice_len: usize) -> usize {
-        // Dynamic copies share no probe structures (`Plan = ()`), so
-        // chunk-interleaving the copies only evicts each bank's sketch and
-        // touch-cache working set at every chunk boundary. Fold the whole
-        // slice into one copy at a time instead.
+        // On the sketch passes the cohort fold is an independent per-copy
+        // loop, so chunk-interleaving the copies only evicts each bank's
+        // sketch and touch-cache working set at every chunk boundary; on
+        // the union passes the fold walks the chunk once for the whole
+        // cohort, so granularity is cache-neutral. Whole-slice chunks are
+        // right (or neutral) for every pass.
         slice_len
     }
 
     fn fold_cohort(
-        _plan: &(),
+        plan: &DynamicCohortPlan,
         copies: &[Self],
         accs: &mut [DynamicStageAcc],
         _scratch: &mut (),
         pos: u64,
         chunk: &[EdgeUpdate],
     ) {
+        DynamicCopyStages::fold_cohort(plan, copies, accs, pos, chunk)
+    }
+
+    fn fold_one(&self, acc: &mut DynamicStageAcc, pos: u64, chunk: &[EdgeUpdate]) {
+        DynamicCopyStages::fold(self, acc, pos, chunk)
+    }
+}
+
+/// One ideal-estimator **job** as a cohort member: the 3-pass stage object
+/// internally fuses all of the job's copies (its accumulators hold every
+/// copy's pick cell), so a cohort of ideal members shares each snapshot
+/// sweep across jobs and each member's fold fans the chunk out to its own
+/// copies. No cross-member probe structures exist (`Plan = ()`), but the
+/// members still share the sweep — `shares_probes` stays `true` so the
+/// driver feeds them all from one traversal.
+impl<'o> StagedCopy for IdealCopyStages<'o, StreamStats> {
+    type Item = Edge;
+    type Acc = IdealStageAcc;
+    type Plan = ();
+    type Scratch = ();
+
+    fn finished(&self) -> bool {
+        IdealCopyStages::finished(self)
+    }
+
+    fn pass_index(&self) -> usize {
+        IdealCopyStages::pass_index(self)
+    }
+
+    fn begin_pass(&self) -> IdealStageAcc {
+        IdealCopyStages::begin_pass(self)
+    }
+
+    fn finish_pass(&mut self, accs: Vec<IdealStageAcc>) -> Result<()> {
+        IdealCopyStages::finish_pass(self, accs).map_err(crate::EngineError::from)
+    }
+
+    fn record_pass_nanos(&mut self, pass: usize, nanos: u64) {
+        IdealCopyStages::set_pass_nanos(self, pass, nanos)
+    }
+
+    fn plan_pass(_copies: &[Self]) -> Self::Plan {}
+
+    fn fold_cohort(
+        _plan: &(),
+        copies: &[Self],
+        accs: &mut [IdealStageAcc],
+        _scratch: &mut (),
+        pos: u64,
+        chunk: &[Edge],
+    ) {
         for (stages, acc) in copies.iter().zip(accs.iter_mut()) {
             stages.fold(acc, pos, chunk);
         }
     }
 
-    fn fold_one(&self, acc: &mut DynamicStageAcc, pos: u64, chunk: &[EdgeUpdate]) {
-        DynamicCopyStages::fold(self, acc, pos, chunk)
+    fn fold_one(&self, acc: &mut IdealStageAcc, pos: u64, chunk: &[Edge]) {
+        IdealCopyStages::fold(self, acc, pos, chunk)
+    }
+}
+
+/// The sweep-execution substrate of the fused drivers: where a sharded
+/// sweep's per-shard closures actually run. The engine's single work queue
+/// ([`QueueScope`]) implements it by pushing the shards to the front of
+/// the shared queue — cohort sweeps and per-copy tasks then interleave on
+/// one worker pool instead of draining in separate phases.
+pub(crate) trait SweepPool {
+    /// Runs `count` indexed shard closures to completion and returns each
+    /// shard's outcome (panics caught per shard) and busy nanoseconds, in
+    /// shard order.
+    fn sweep_shards<T, F>(&mut self, count: usize, fold: F) -> Vec<(TaskResult<T>, u64)>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync;
+}
+
+impl<W> SweepPool for QueueScope<'_, '_, W> {
+    fn sweep_shards<T, F>(&mut self, count: usize, fold: F) -> Vec<(TaskResult<T>, u64)>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        QueueScope::run_shards(self, count, fold)
+    }
+}
+
+/// The reference substrate for exercising the [`SweepPool`] contract in
+/// isolation: every shard runs inline on the calling thread, under the
+/// same per-shard panic boundary the queued pool provides.
+#[cfg(test)]
+pub(crate) struct InlineSweeps;
+
+#[cfg(test)]
+impl SweepPool for InlineSweeps {
+    fn sweep_shards<T, F>(&mut self, count: usize, fold: F) -> Vec<(TaskResult<T>, u64)>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        (0..count)
+            .map(|s| {
+                let started = Instant::now();
+                let result = catch_unwind(AssertUnwindSafe(|| fold(s)));
+                (result, started.elapsed().as_nanos() as u64)
+            })
+            .collect()
     }
 }
 
@@ -272,6 +390,10 @@ pub(crate) struct CohortOutcome {
     pub evicted: usize,
     /// `(group, first error)` per failed group.
     pub failures: Vec<(usize, EngineError)>,
+    /// Measured thread-busy nanoseconds of the cohort's sweeps: the sum of
+    /// per-shard fold times in the sharded arms, sweep wall time in the
+    /// serial arms — the fused side of the engine's per-tier attribution.
+    pub busy_nanos: u64,
 }
 
 /// Whether `group` already failed during the current pass.
@@ -391,7 +513,7 @@ fn finish_copy_caught<C: StagedCopy>(
 /// All copies of a cohort have the same pass budget, so survivors stay in
 /// lockstep and, absent failures, the sweep count equals that budget.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn drive_cohort<C: StagedCopy, R: Recorder>(
+pub(crate) fn drive_cohort<C: StagedCopy, R: Recorder, P: SweepPool>(
     copies: &mut Vec<C>,
     meta: &mut Vec<CohortMemberMeta>,
     cancel: &CancelToken,
@@ -403,6 +525,7 @@ pub(crate) fn drive_cohort<C: StagedCopy, R: Recorder>(
     recorder: &R,
     lane: usize,
     trace: &mut Vec<PassTrace>,
+    pool: &mut P,
 ) -> CohortOutcome {
     debug_assert_eq!(copies.len(), meta.len());
     let mut outcome = CohortOutcome::default();
@@ -483,7 +606,8 @@ pub(crate) fn drive_cohort<C: StagedCopy, R: Recorder>(
         // `None` when the arm finishes copies inline (serial, no shared
         // probes); `Some(per-copy fold results)` otherwise, finished below
         // once the sweep clock stops.
-        let per_copy: Option<Vec<std::thread::Result<Vec<C::Acc>>>> = if !C::SHARES_PROBES
+        let mut copy_busy_nanos = 0u64;
+        let per_copy: Option<Vec<std::thread::Result<Vec<C::Acc>>>> = if !C::shares_probes(pass)
             && workers <= 1
         {
             // Independent copies (no shared plan): drive them one at a
@@ -518,6 +642,7 @@ pub(crate) fn drive_cohort<C: StagedCopy, R: Recorder>(
                         }
                     }
                 }
+                copy_busy_nanos += copy_started.elapsed().as_nanos() as u64;
             }
             None
         } else {
@@ -526,7 +651,8 @@ pub(crate) fn drive_cohort<C: StagedCopy, R: Recorder>(
                     ShardedSnapshot::new(num_vertices, items, shards.max(1));
                 let copies_ref: &[C] = copies;
                 let plan_ref = &plan;
-                let fold = |s: usize, slice: &[C::Item]| {
+                let fold = |s: usize| {
+                    let slice = view.shard(s);
                     let mut accs: Vec<C::Acc> = copies_ref.iter().map(|c| c.begin_pass()).collect();
                     let mut scratch = C::Scratch::default();
                     let mut pos = view.shard_range(s).start as u64;
@@ -540,35 +666,39 @@ pub(crate) fn drive_cohort<C: StagedCopy, R: Recorder>(
                     }
                     accs
                 };
-                // A panic on any sweeping thread re-surfaces at the scope
-                // join; catching it here keeps the engine thread alive so
-                // the per-copy fallback below can isolate the culprit.
-                // `AssertUnwindSafe`: folds take `&self`, so an unwound
-                // sweep leaves the copies untouched; only its local
-                // accumulators (discarded) and the partial shard reports
-                // (cleared) are torn.
-                let attempt = catch_unwind(AssertUnwindSafe(|| {
-                    if R::ENABLED {
-                        let timed = view.pass_sharded_timed(workers, fold);
-                        let mut per_shard = Vec::with_capacity(timed.len());
-                        for (s, (accs, nanos)) in timed.into_iter().enumerate() {
-                            shard_reports.push(ShardReport {
-                                items: view.shard(s).len() as u64,
-                                nanos,
-                            });
+                // The shard closures run on the shared pool (interleaved
+                // with any queued per-copy tasks); panics are caught per
+                // shard, so an unwound shard keeps the other shards' work
+                // and the engine thread alive. Any shard panic discards the
+                // sweep and drops to the per-copy fallback below, which
+                // isolates the unwinding copy. Sound because folds take
+                // `&self`: an unwound shard leaves the copies untouched —
+                // only its local accumulators (discarded) and the partial
+                // shard reports (cleared) are torn.
+                let results = pool.sweep_shards(view.shards(), fold);
+                let mut per_shard = Vec::with_capacity(results.len());
+                let mut panicked = false;
+                for (s, (result, nanos)) in results.into_iter().enumerate() {
+                    match result {
+                        Ok(accs) => {
+                            copy_busy_nanos += nanos;
+                            if R::ENABLED {
+                                shard_reports.push(ShardReport {
+                                    items: view.shard(s).len() as u64,
+                                    nanos,
+                                });
+                            }
                             per_shard.push(accs);
                         }
-                        per_shard
-                    } else {
-                        view.pass_sharded(workers, fold)
+                        Err(_) => panicked = true,
                     }
-                }));
-                match attempt {
-                    Ok(per_shard) => Some(transpose(per_shard, copies.len())),
-                    Err(_) => {
-                        shard_reports.clear();
-                        None
-                    }
+                }
+                if panicked {
+                    shard_reports.clear();
+                    copy_busy_nanos = 0;
+                    None
+                } else {
+                    Some(transpose(per_shard, copies.len()))
                 }
             } else {
                 let copies_ref: &[C] = copies;
@@ -671,9 +801,608 @@ pub(crate) fn drive_cohort<C: StagedCopy, R: Recorder>(
             });
         }
         outcome.sweeps += 1;
+        // Sharded and copy-at-a-time arms measured their busy time
+        // directly; the single-threaded shared arms (and the per-copy
+        // fallback, which re-folds inline) are wall = busy.
+        outcome.busy_nanos += if copy_busy_nanos > 0 {
+            copy_busy_nanos
+        } else {
+            nanos
+        };
         for (group, error) in pass_failures {
             evict_group(copies, meta, &mut outcome, group, error);
         }
     }
     outcome
+}
+
+/// The heterogeneous fused cohort of one edge-snapshot batch, grouped by
+/// execution shape:
+///
+/// * `mains` — six-pass counter-mode copies sharing union probe plans;
+/// * `ideals` — 3-pass ideal-estimator **job** members (each internally
+///   fuses its own copies) that ride the first three shared sweeps, then
+///   retire from the sweep schedule;
+/// * `seqs` — sequential-mode six-pass copies that join the shared sweeps
+///   only on their order-insensitive passes (degrees, closure, assignment
+///   membership) and run the RNG-consuming passes as private traversals.
+///
+/// Members carry [`CohortMemberMeta`] exactly like the homogeneous driver;
+/// group indices are global across the three vectors, so containment
+/// evicts a failed job's copies wherever they live.
+pub(crate) struct EdgeCohort<'o> {
+    pub mains: Vec<MainCopyStages>,
+    pub main_meta: Vec<CohortMemberMeta>,
+    pub ideals: Vec<IdealCopyStages<'o, StreamStats>>,
+    pub ideal_meta: Vec<CohortMemberMeta>,
+    pub seqs: Vec<SequentialCopyStages>,
+    pub seq_meta: Vec<CohortMemberMeta>,
+}
+
+impl EdgeCohort<'_> {
+    /// Total cohort members across the three groups.
+    pub fn len(&self) -> usize {
+        self.mains.len() + self.ideals.len() + self.seqs.len()
+    }
+
+    /// Whether any group has members.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn unfinished(&self) -> bool {
+        self.mains.iter().any(|c| !StagedCopy::finished(c))
+            || self.ideals.iter().any(|c| !c.finished())
+            || self.seqs.iter().any(|c| !c.finished())
+    }
+
+    /// The pass index every unfinished member sits at (lockstep).
+    fn stage(&self) -> usize {
+        self.mains
+            .iter()
+            .map(StagedCopy::pass_index)
+            .chain(
+                self.ideals
+                    .iter()
+                    .filter(|c| !c.finished())
+                    .map(|c| c.pass_index()),
+            )
+            .chain(self.seqs.iter().map(|c| c.pass_index()))
+            .next()
+            .unwrap_or(0)
+    }
+}
+
+/// Removes every copy of `group` from one (copies, meta) pair, returning
+/// how many members left. Survivor order is preserved.
+fn evict_members<C>(copies: &mut Vec<C>, meta: &mut Vec<CohortMemberMeta>, group: usize) -> usize {
+    let mut removed = 0;
+    let mut k = 0;
+    while k < copies.len() {
+        if meta[k].group == group {
+            copies.remove(k);
+            meta.remove(k);
+            removed += 1;
+        } else {
+            k += 1;
+        }
+    }
+    removed
+}
+
+/// Evicts `group` from every group vector of the mixed cohort.
+fn evict_mixed(
+    cohort: &mut EdgeCohort<'_>,
+    outcome: &mut CohortOutcome,
+    group: usize,
+    error: EngineError,
+) {
+    if !doomed(&outcome.failures, group) {
+        outcome.failures.push((group, error));
+    }
+    outcome.evicted += evict_members(&mut cohort.mains, &mut cohort.main_meta, group);
+    outcome.evicted += evict_members(&mut cohort.ideals, &mut cohort.ideal_meta, group);
+    outcome.evicted += evict_members(&mut cohort.seqs, &mut cohort.seq_meta, group);
+}
+
+/// Fails every remaining group of the mixed cohort with a clone of `error`.
+fn fail_all_mixed(cohort: &mut EdgeCohort<'_>, outcome: &mut CohortOutcome, error: &EngineError) {
+    loop {
+        let group = cohort
+            .main_meta
+            .first()
+            .or(cohort.ideal_meta.first())
+            .or(cohort.seq_meta.first())
+            .map(|mm| mm.group);
+        match group {
+            Some(g) => evict_mixed(cohort, outcome, g, error.clone()),
+            None => break,
+        }
+    }
+}
+
+/// The per-shard accumulator bundle of one mixed shared sweep, in group
+/// order (mains, ideals, seqs).
+type MixedAccs = (Vec<MainStageAcc>, Vec<IdealStageAcc>, Vec<Vec<u64>>);
+
+/// Executes a mixed cohort of six-pass, ideal and sequential copies over
+/// one shared edge snapshot: each stage of the schedule runs **one**
+/// shared sweep feeding every participating member — the six-pass copies
+/// through their union plans, each ideal job's fold, and the sequential
+/// copies' order-insensitive shared folds — plus one private serial
+/// traversal per sequential copy on its RNG-consuming stages. Members
+/// whose pass budget is exhausted (ideal jobs after stage 2) retire from
+/// the sweep schedule; the survivors keep fusing.
+///
+/// Containment, deadlines, cancellation and fault probes follow
+/// [`drive_cohort`] exactly, at job granularity across all three groups.
+/// Bit-identity holds for the same reason as the homogeneous driver:
+/// every fold a member sees is the same fold, on the same chunks at the
+/// same positions, that its per-copy execution would have run.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn drive_edge_cohort<R: Recorder, P: SweepPool>(
+    cohort: &mut EdgeCohort<'_>,
+    cancel: &CancelToken,
+    num_vertices: usize,
+    edges: &[Edge],
+    batch: usize,
+    workers: usize,
+    shards: usize,
+    recorder: &R,
+    lane: usize,
+    trace: &mut Vec<PassTrace>,
+    pool: &mut P,
+) -> CohortOutcome {
+    debug_assert_eq!(cohort.mains.len(), cohort.main_meta.len());
+    debug_assert_eq!(cohort.ideals.len(), cohort.ideal_meta.len());
+    debug_assert_eq!(cohort.seqs.len(), cohort.seq_meta.len());
+    let mut outcome = CohortOutcome::default();
+    let batch = batch.max(1);
+    while cohort.unfinished() {
+        let stage = cohort.stage();
+        debug_assert!(
+            cohort
+                .mains
+                .iter()
+                .map(StagedCopy::pass_index)
+                .chain(
+                    cohort
+                        .ideals
+                        .iter()
+                        .filter(|c| !c.finished())
+                        .map(|c| c.pass_index())
+                )
+                .chain(cohort.seqs.iter().map(|c| c.pass_index()))
+                .all(|p| p == stage),
+            "mixed cohort members run in stage lockstep"
+        );
+        if cancel.is_cancelled() {
+            fail_all_mixed(
+                cohort,
+                &mut outcome,
+                &EngineError::Cancelled {
+                    completed_passes: stage,
+                },
+            );
+            break;
+        }
+        // One clock read per stage covers every group's deadline.
+        let now = Instant::now();
+        let mut expired: Vec<usize> = Vec::new();
+        for mm in cohort
+            .main_meta
+            .iter()
+            .chain(&cohort.ideal_meta)
+            .chain(&cohort.seq_meta)
+        {
+            if mm.deadline.is_some_and(|d| now >= d) && !expired.contains(&mm.group) {
+                expired.push(mm.group);
+            }
+        }
+        for group in expired {
+            evict_mixed(
+                cohort,
+                &mut outcome,
+                group,
+                EngineError::DeadlineExceeded {
+                    completed_passes: stage,
+                },
+            );
+        }
+        if cohort.is_empty() {
+            break;
+        }
+        // Stage-boundary fault probes, one per member, keyed by the
+        // member's fault key — identical cadence to the homogeneous driver.
+        if faults::ENABLED {
+            let mut hit: Vec<(usize, EngineError)> = Vec::new();
+            for (k, mm) in cohort
+                .main_meta
+                .iter()
+                .chain(&cohort.ideal_meta)
+                .chain(&cohort.seq_meta)
+                .enumerate()
+            {
+                let probed = catch_unwind(AssertUnwindSafe(|| {
+                    faults::probe(faults::FaultSite::PassBoundary, mm.fault_key)
+                }));
+                if let Err(payload) = probed {
+                    if !doomed(&hit, mm.group) {
+                        hit.push((mm.group, EngineError::panicked(k, payload)));
+                    }
+                }
+            }
+            for (group, error) in hit {
+                evict_mixed(cohort, &mut outcome, group, error);
+            }
+            if cohort.is_empty() {
+                break;
+            }
+        }
+        let mut stage_failures: Vec<(usize, EngineError)> = Vec::new();
+
+        // ---- private sequential traversals of this stage ---------------
+        if !SequentialCopyStages::pass_is_shared(stage) && !cohort.seqs.is_empty() {
+            let mut aborted = false;
+            for k in 0..cohort.seqs.len() {
+                let group = cohort.seq_meta[k].group;
+                if doomed(&stage_failures, group) {
+                    continue;
+                }
+                if cancel.is_cancelled() {
+                    aborted = true;
+                    break;
+                }
+                let copy_started = Instant::now();
+                let seq = &mut cohort.seqs[k];
+                // `AssertUnwindSafe`: a panicking private fold may tear
+                // this copy's RNG state, but the caller evicts the copy's
+                // whole group on `Err` — the torn state is never observed.
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    for chunk in edges.chunks(batch) {
+                        if cancel.is_cancelled() {
+                            return Ok(false);
+                        }
+                        seq.fold_private(chunk);
+                    }
+                    seq.finish_private().map(|()| true)
+                }));
+                match result {
+                    Ok(Ok(true)) => {
+                        let nanos = copy_started.elapsed().as_nanos() as u64;
+                        cohort.seqs[k].set_pass_nanos(stage, nanos);
+                        outcome.sweeps += 1;
+                        outcome.busy_nanos += nanos;
+                        if R::ENABLED {
+                            recorder.add(lane, Counter::SweepsExecuted, 1);
+                        }
+                    }
+                    Ok(Ok(false)) => {
+                        aborted = true;
+                        break;
+                    }
+                    Ok(Err(e)) => stage_failures.push((group, EngineError::from(e))),
+                    Err(payload) => stage_failures.push((group, EngineError::panicked(k, payload))),
+                }
+            }
+            if aborted || cancel.is_cancelled() {
+                for (group, error) in stage_failures {
+                    evict_mixed(cohort, &mut outcome, group, error);
+                }
+                fail_all_mixed(
+                    cohort,
+                    &mut outcome,
+                    &EngineError::Cancelled {
+                        completed_passes: stage,
+                    },
+                );
+                break;
+            }
+        }
+
+        // ---- the stage's shared sweep ----------------------------------
+        let ideals_active = cohort.ideals.iter().any(|c| !c.finished());
+        let seqs_shared = SequentialCopyStages::pass_is_shared(stage) && !cohort.seqs.is_empty();
+        let sweep_needed = !cohort.mains.is_empty() || ideals_active || seqs_shared;
+        if sweep_needed {
+            let plan_started = Instant::now();
+            let main_plan: Option<MainCohortPlan> =
+                (!cohort.mains.is_empty()).then(|| MainCopyStages::plan_cohort(&cohort.mains));
+            let plan_nanos = if R::ENABLED {
+                plan_started.elapsed().as_nanos() as u64
+            } else {
+                0
+            };
+            let started = Instant::now();
+            let mut shard_reports: Vec<ShardReport> = Vec::new();
+            let mut sweep_busy = 0u64;
+            let mains: &[MainCopyStages] = &cohort.mains;
+            let ideals: &[IdealCopyStages<'_, StreamStats>] = &cohort.ideals;
+            let seqs: &[SequentialCopyStages] = &cohort.seqs;
+            let plan_ref = &main_plan;
+            let fold_slice = |slice: &[Edge], start: u64| -> MixedAccs {
+                let mut main_accs: Vec<MainStageAcc> =
+                    mains.iter().map(StagedCopy::begin_pass).collect();
+                let mut scratch = MainCohortScratch::default();
+                let mut ideal_accs: Vec<IdealStageAcc> = if ideals_active {
+                    ideals.iter().map(|c| c.begin_pass()).collect()
+                } else {
+                    Vec::new()
+                };
+                let mut seq_accs: Vec<Vec<u64>> = if seqs_shared {
+                    seqs.iter().map(|c| c.begin_shared()).collect()
+                } else {
+                    Vec::new()
+                };
+                let mut pos = start;
+                for chunk in slice.chunks(batch) {
+                    if cancel.is_cancelled() {
+                        break;
+                    }
+                    if let Some(plan) = plan_ref {
+                        MainCopyStages::fold_cohort(
+                            plan,
+                            mains,
+                            &mut main_accs,
+                            &mut scratch,
+                            pos,
+                            chunk,
+                        );
+                    }
+                    if ideals_active {
+                        for (stages, acc) in ideals.iter().zip(ideal_accs.iter_mut()) {
+                            stages.fold(acc, pos, chunk);
+                        }
+                    }
+                    if seqs_shared {
+                        for (stages, acc) in seqs.iter().zip(seq_accs.iter_mut()) {
+                            stages.fold_shared(acc, chunk);
+                        }
+                    }
+                    pos += chunk.len() as u64;
+                }
+                (main_accs, ideal_accs, seq_accs)
+            };
+            // `None` = some shard panicked; drop to the per-member
+            // fallback, exactly like the homogeneous driver.
+            let per_shard: Option<Vec<MixedAccs>> = if workers > 1 {
+                let view: ShardedSnapshot<'_, Edge> =
+                    ShardedSnapshot::new(num_vertices, edges, shards.max(1));
+                let results = pool.sweep_shards(view.shards(), |s| {
+                    fold_slice(view.shard(s), view.shard_range(s).start as u64)
+                });
+                let mut collected = Vec::with_capacity(results.len());
+                let mut panicked = false;
+                for (s, (result, nanos)) in results.into_iter().enumerate() {
+                    match result {
+                        Ok(accs) => {
+                            sweep_busy += nanos;
+                            if R::ENABLED {
+                                shard_reports.push(ShardReport {
+                                    items: view.shard(s).len() as u64,
+                                    nanos,
+                                });
+                            }
+                            collected.push(accs);
+                        }
+                        Err(_) => panicked = true,
+                    }
+                }
+                if panicked {
+                    shard_reports.clear();
+                    sweep_busy = 0;
+                    None
+                } else {
+                    Some(collected)
+                }
+            } else {
+                catch_unwind(AssertUnwindSafe(|| fold_slice(edges, 0)))
+                    .ok()
+                    .map(|accs| vec![accs])
+            };
+            // Per-member fold results, flattened back to (kind, member) —
+            // either from the shared sweep's shard transposition or from
+            // the per-member panic-isolation fallback.
+            #[allow(clippy::type_complexity)]
+            let (main_folds, ideal_folds, seq_folds): (
+                Vec<std::thread::Result<Vec<MainStageAcc>>>,
+                Vec<std::thread::Result<Vec<IdealStageAcc>>>,
+                Vec<std::thread::Result<Vec<Vec<u64>>>>,
+            ) = match per_shard {
+                Some(shards_accs) => {
+                    let mut main_shards: Vec<Vec<MainStageAcc>> = Vec::new();
+                    let mut ideal_shards: Vec<Vec<IdealStageAcc>> = Vec::new();
+                    let mut seq_shards: Vec<Vec<Vec<u64>>> = Vec::new();
+                    for (m, i, q) in shards_accs {
+                        main_shards.push(m);
+                        ideal_shards.push(i);
+                        seq_shards.push(q);
+                    }
+                    (
+                        transpose(main_shards, mains.len())
+                            .into_iter()
+                            .map(Ok)
+                            .collect(),
+                        transpose(ideal_shards, if ideals_active { ideals.len() } else { 0 })
+                            .into_iter()
+                            .map(Ok)
+                            .collect(),
+                        transpose(seq_shards, if seqs_shared { seqs.len() } else { 0 })
+                            .into_iter()
+                            .map(Ok)
+                            .collect(),
+                    )
+                }
+                None => {
+                    let main_folds = mains
+                        .iter()
+                        .map(|c| fold_copy_caught(c, batch, edges, cancel).map(|a| vec![a]))
+                        .collect();
+                    let ideal_folds = if ideals_active {
+                        ideals
+                            .iter()
+                            .map(|c| {
+                                catch_unwind(AssertUnwindSafe(|| {
+                                    let mut acc = c.begin_pass();
+                                    let mut pos = 0u64;
+                                    for chunk in edges.chunks(batch) {
+                                        if cancel.is_cancelled() {
+                                            break;
+                                        }
+                                        c.fold(&mut acc, pos, chunk);
+                                        pos += chunk.len() as u64;
+                                    }
+                                    vec![acc]
+                                }))
+                            })
+                            .collect()
+                    } else {
+                        Vec::new()
+                    };
+                    let seq_folds = if seqs_shared {
+                        seqs.iter()
+                            .map(|c| {
+                                catch_unwind(AssertUnwindSafe(|| {
+                                    let mut acc = c.begin_shared();
+                                    for chunk in edges.chunks(batch) {
+                                        if cancel.is_cancelled() {
+                                            break;
+                                        }
+                                        c.fold_shared(&mut acc, chunk);
+                                    }
+                                    vec![acc]
+                                }))
+                            })
+                            .collect()
+                    } else {
+                        Vec::new()
+                    };
+                    (main_folds, ideal_folds, seq_folds)
+                }
+            };
+            drop(main_plan);
+            let nanos = started.elapsed().as_nanos() as u64;
+            if cancel.is_cancelled() {
+                for (group, error) in stage_failures {
+                    evict_mixed(cohort, &mut outcome, group, error);
+                }
+                fail_all_mixed(
+                    cohort,
+                    &mut outcome,
+                    &EngineError::Cancelled {
+                        completed_passes: stage,
+                    },
+                );
+                break;
+            }
+            // Finish every participating member, containing failures at
+            // group granularity.
+            for (k, result) in main_folds.into_iter().enumerate() {
+                let group = cohort.main_meta[k].group;
+                if doomed(&stage_failures, group) {
+                    continue;
+                }
+                match result {
+                    Err(payload) => stage_failures.push((group, EngineError::panicked(k, payload))),
+                    Ok(accs) => match finish_copy_caught(&mut cohort.mains[k], accs) {
+                        Ok(Ok(())) => cohort.mains[k].set_pass_nanos(stage, nanos),
+                        Ok(Err(e)) => stage_failures.push((group, e)),
+                        Err(payload) => {
+                            stage_failures.push((group, EngineError::panicked(k, payload)))
+                        }
+                    },
+                }
+            }
+            for (k, result) in ideal_folds.into_iter().enumerate() {
+                let group = cohort.ideal_meta[k].group;
+                if doomed(&stage_failures, group) {
+                    continue;
+                }
+                match result {
+                    Err(payload) => stage_failures.push((group, EngineError::panicked(k, payload))),
+                    Ok(accs) => {
+                        let finish =
+                            catch_unwind(AssertUnwindSafe(|| cohort.ideals[k].finish_pass(accs)));
+                        match finish {
+                            Ok(Ok(())) => cohort.ideals[k].set_pass_nanos(stage, nanos),
+                            Ok(Err(e)) => stage_failures.push((group, EngineError::from(e))),
+                            Err(payload) => {
+                                stage_failures.push((group, EngineError::panicked(k, payload)))
+                            }
+                        }
+                    }
+                }
+            }
+            for (k, result) in seq_folds.into_iter().enumerate() {
+                let group = cohort.seq_meta[k].group;
+                if doomed(&stage_failures, group) {
+                    continue;
+                }
+                match result {
+                    Err(payload) => stage_failures.push((group, EngineError::panicked(k, payload))),
+                    Ok(accs) => {
+                        let finish =
+                            catch_unwind(AssertUnwindSafe(|| cohort.seqs[k].finish_shared(accs)));
+                        match finish {
+                            Ok(Ok(())) => cohort.seqs[k].set_pass_nanos(stage, nanos),
+                            Ok(Err(e)) => stage_failures.push((group, EngineError::from(e))),
+                            Err(payload) => {
+                                stage_failures.push((group, EngineError::panicked(k, payload)))
+                            }
+                        }
+                    }
+                }
+            }
+            if R::ENABLED {
+                if workers <= 1 && shard_reports.is_empty() {
+                    shard_reports.push(ShardReport {
+                        items: edges.len() as u64,
+                        nanos,
+                    });
+                }
+                recorder.add(lane, Counter::SweepsExecuted, 1);
+                recorder.span(lane, Span::PlanBuild, plan_nanos);
+                recorder.span(lane, Span::FusedSweep, nanos);
+                recorder.observe(lane, Hist::PassNanos, nanos);
+                for (s, shard) in shard_reports.iter().enumerate() {
+                    recorder.observe(s, Hist::ShardNanos, shard.nanos);
+                }
+                trace.push(PassTrace {
+                    pass: stage,
+                    plan_nanos,
+                    sweep_nanos: nanos,
+                    shards: std::mem::take(&mut shard_reports),
+                });
+            }
+            outcome.sweeps += 1;
+            outcome.busy_nanos += if sweep_busy > 0 { sweep_busy } else { nanos };
+        }
+        for (group, error) in stage_failures {
+            evict_mixed(cohort, &mut outcome, group, error);
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_sweeps_preserves_shard_order_and_contains_panics() {
+        let mut pool = InlineSweeps;
+        let out = pool.sweep_shards(5, |s| {
+            assert!(s != 3, "shard 3 exploded");
+            s * 10
+        });
+        assert_eq!(out.len(), 5);
+        for (s, (result, _nanos)) in out.iter().enumerate() {
+            match result {
+                Ok(v) => assert_eq!(*v, s * 10),
+                Err(_) => assert_eq!(s, 3),
+            }
+        }
+        // A panicking shard never prevents later shards from running.
+        assert!(out[4].0.is_ok());
+    }
 }

@@ -135,7 +135,9 @@ impl JobSpec {
 
     /// A job running the turnstile (insert/delete) estimator over a shared
     /// dynamic snapshot (execute with
-    /// [`Engine::run_dynamic`](crate::Engine::run_dynamic)).
+    /// [`Engine::run_dynamic`](crate::Engine::run_dynamic)) — or over a
+    /// shared edge snapshot, which serves the copies the same edges as an
+    /// insert-only update stream.
     pub fn dynamic(label: impl Into<String>, config: DynamicEstimatorConfig) -> Self {
         JobSpec {
             label: label.into(),

@@ -54,6 +54,77 @@
 //! assert!(report.stats.edges_per_second > 0.0);
 //! ```
 //!
+//! ## The fusion matrix: every job kind, every rng regime, one pool
+//!
+//! Sweep-sharing ("fused execution", on by default) is total across the
+//! job-kind × rng-mode matrix. When a batch holds several fusable jobs,
+//! their copies form **cohorts** that walk the snapshot together instead
+//! of each copy re-streaming it:
+//!
+//! * counter-mode main copies share all six passes of Algorithm 2;
+//! * ideal copies join the *same* cohort through the 3-pass stage object
+//!   ([`degentri_core::IdealCopyStages`]) and retire after pass 3 —
+//!   ragged memberships are fine, a sweep simply stops folding for
+//!   members whose passes are done;
+//! * sequential-mode main copies attend the order-insensitive passes
+//!   (the 2nd, 4th, and 6th) and run their three RNG-order-sensitive
+//!   passes privately, one sweep per copy;
+//! * dynamic (turnstile) copies fuse into their own cohort whose shared
+//!   probe passes walk one k-way-merged **union key table** — and an
+//!   edge snapshot serves them too, as an insert-only update stream.
+//!
+//! One work queue on one pool schedules fused cohort sweeps and
+//! per-copy tasks side by side, and [`EngineStats`] partitions the
+//! accounting by tier (`fused_sweeps` + `per_copy_sweeps`, busy time
+//! likewise). Every fused path stays bit-identical to per-copy
+//! scheduling — fusion changes what a batch *costs*, never what any
+//! copy computes:
+//!
+//! ```
+//! use degentri_core::{EstimatorConfig, RngMode};
+//! use degentri_dynamic::DynamicEstimatorConfig;
+//! use degentri_engine::{Engine, EngineConfig, JobSpec};
+//! use degentri_stream::{MemoryStream, StreamOrder};
+//!
+//! let graph = degentri_gen::wheel(400).unwrap();
+//! let stream = MemoryStream::from_graph(&graph, StreamOrder::UniformRandom(3));
+//! let main = |mode: RngMode| {
+//!     EstimatorConfig::builder()
+//!         .kappa(3)
+//!         .triangle_lower_bound(399)
+//!         .copies(3)
+//!         .seed(11)
+//!         .rng_mode(mode)
+//!         .try_build()
+//!         .unwrap()
+//! };
+//! let turnstile = DynamicEstimatorConfig::new(3, 399)
+//!     .with_copies(3)
+//!     .with_seed(12)
+//!     .with_rng_mode(RngMode::Counter);
+//!
+//! // `job_rng_mode` lets each job keep its own randomness regime.
+//! let mut engine = Engine::new(
+//!     EngineConfig::builder().workers(4).job_rng_mode().try_build().unwrap(),
+//! );
+//! engine.submit(JobSpec::main("counter", main(RngMode::Counter)));
+//! engine.submit(JobSpec::main("sequential", main(RngMode::Sequential)));
+//! engine.submit(JobSpec::ideal("ideal", main(RngMode::Counter)));
+//! engine.submit(JobSpec::dynamic("turnstile", turnstile));
+//! let report = engine.run(&stream).unwrap();
+//! assert!(report.jobs.iter().all(|job| job.is_ok()));
+//! // 6 shared six-pass sweeps (serving the counter job, the ideal job's
+//! // 3 passes, and the sequential job's order-insensitive passes)
+//! // + 3 sequential copies × 3 private RNG passes + 4 turnstile cohort
+//! // sweeps + 1 oracle stats pass — versus 52 sweeps unfused.
+//! assert_eq!(report.stats.sweeps_executed, 6 + 9 + 4 + 1);
+//! assert_eq!(report.stats.fused_cohorts, 2);
+//! assert_eq!(
+//!     report.stats.fused_sweeps + report.stats.per_copy_sweeps,
+//!     report.stats.sweeps_executed
+//! );
+//! ```
+//!
 //! ## Robustness: containment, deadlines, cancellation
 //!
 //! Failures during execution are **contained per job** rather than failing

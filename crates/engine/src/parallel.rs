@@ -18,9 +18,7 @@ use degentri_core::{
     aggregate_copies, run_ideal_copy_with, run_main_copy_with, CopyContribution, EstimatorConfig,
     EstimatorScratch, TriangleEstimation,
 };
-use degentri_stream::{
-    run_indexed_pool, run_indexed_pool_caught, EdgeStream, StreamStats, TaskResult,
-};
+use degentri_stream::{run_indexed_pool, EdgeStream, StreamStats};
 
 use crate::config::EngineConfig;
 use crate::Result;
@@ -40,25 +38,6 @@ where
     F: Fn(&mut W, usize) -> T + Sync,
 {
     run_indexed_pool(workers, count, init, task)
-}
-
-/// [`run_indexed_with`], but with per-task panic containment: each task's
-/// outcome is `Ok(output)` or `Err(panic payload)`, workers survive caught
-/// panics, and every task runs regardless of how many of its batchmates
-/// panic. The scheduler uses this so a panicking copy fails only its own
-/// job.
-pub(crate) fn run_indexed_caught<W, T, I, F>(
-    workers: usize,
-    count: usize,
-    init: I,
-    task: F,
-) -> Vec<TaskResult<T>>
-where
-    T: Send,
-    I: Fn() -> W + Sync,
-    F: Fn(&mut W, usize) -> T + Sync,
-{
-    run_indexed_pool_caught(workers, count, init, task)
 }
 
 /// Collects per-copy results in copy order, surfacing the first failure.

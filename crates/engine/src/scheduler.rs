@@ -35,13 +35,15 @@
 //! ([`EngineStats::sweeps_executed`]) change.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use degentri_core::faults;
 use degentri_core::{
-    main_copy_seed, run_ideal_copy_sharded, run_ideal_copy_with, run_main_copy_sharded,
-    run_main_copy_with, validate_edges, CopyContribution, EstimatorConfig, EstimatorError,
-    EstimatorScratch, MainCopyStages, RngMode,
+    ideal_copy_seed, main_copy_seed, run_ideal_copy_sharded, run_ideal_copy_with,
+    run_main_copy_sharded, run_main_copy_with, validate_edges, CopyContribution, EstimatorConfig,
+    EstimatorError, EstimatorScratch, IdealCopyStages, MainCopyStages, RngMode,
+    SequentialCopyStages,
 };
 use degentri_dynamic::{
     aggregate_dynamic_copies, dynamic_copy_seed, run_dynamic_copy_sharded, run_dynamic_copy_with,
@@ -53,15 +55,16 @@ use degentri_obs::{
     Recorder, RunReport, Span,
 };
 use degentri_stream::{
-    DynamicEdgeStream, EdgeStream, EdgeUpdate, ShardedDynamicStream, ShardedStream, Snapshot,
-    StreamStats,
+    run_queued, DynamicEdgeStream, EdgeStream, EdgeUpdate, ShardedDynamicStream, ShardedStream,
+    Snapshot, StreamStats,
 };
 
 use crate::cancel::CancelToken;
 use crate::config::EngineConfig;
-use crate::fused::{drive_cohort, CohortMemberMeta, CohortOutcome, PassTrace};
+use crate::fused::{
+    drive_cohort, drive_edge_cohort, CohortMemberMeta, CohortOutcome, EdgeCohort, PassTrace,
+};
 use crate::job::{baseline_estimation, dynamic_estimation, JobKind, JobOutput, JobResult, JobSpec};
-use crate::parallel::run_indexed_caught;
 use crate::stats::EngineStats;
 use crate::{EngineError, Result};
 
@@ -124,22 +127,30 @@ pub struct EngineReport {
 enum Task {
     MainCopy { job: usize, copy: usize },
     IdealCopy { job: usize, copy: usize },
+    DynamicCopy { job: usize, copy: usize },
     Baseline { job: usize },
 }
 
 impl Task {
     fn job(&self) -> usize {
         match *self {
-            Task::MainCopy { job, .. } | Task::IdealCopy { job, .. } | Task::Baseline { job } => {
-                job
-            }
+            Task::MainCopy { job, .. }
+            | Task::IdealCopy { job, .. }
+            | Task::DynamicCopy { job, .. }
+            | Task::Baseline { job } => job,
         }
     }
 }
 
+/// One queued per-copy task's result slot, filled exactly once by the
+/// worker that claims it: the caught (panic-contained) output plus the
+/// task's busy time.
+type TaskSlot<T> = Mutex<Option<std::thread::Result<(T, Duration)>>>;
+
 /// What one per-copy task produced (plus how long it took).
 enum TaskOutput {
     Copy(degentri_core::Result<CopyContribution>),
+    Dynamic(degentri_dynamic::Result<DynamicCopyOutcome>),
     Baseline(degentri_baselines::BaselineOutcome),
     /// The task was cut before running (deadline elapsed or run cancelled).
     Cut(EngineError),
@@ -205,10 +216,12 @@ impl Engine {
 
     /// Runs every queued job to completion over one snapshot (draining the
     /// queue) — the single entry point both stream flavors collapse into.
-    /// Edge snapshots serve [`JobKind::Main`] / [`JobKind::Ideal`] /
-    /// [`JobKind::Baseline`] jobs; update snapshots serve
-    /// [`JobKind::Dynamic`] jobs; a job of the wrong flavor fails the run
-    /// with [`EngineError::UnsupportedJob`].
+    /// Edge snapshots serve every job kind — [`JobKind::Main`] /
+    /// [`JobKind::Ideal`] / [`JobKind::Baseline`] directly, and
+    /// [`JobKind::Dynamic`] by materializing the edges as an insert-only
+    /// update stream. Update snapshots serve [`JobKind::Dynamic`] jobs
+    /// only; a non-turnstile job on one fails the run with
+    /// [`EngineError::UnsupportedJob`].
     ///
     /// Failures are split in two classes. **Pre-flight** failures — an
     /// invalid engine or job configuration, a job of the wrong stream
@@ -328,16 +341,6 @@ impl Engine {
 
         // Reject invalid configurations before any work starts.
         self.config.validate()?;
-        if let Some(spec) = jobs
-            .iter()
-            .find(|spec| matches!(spec.kind, JobKind::Dynamic(_)))
-        {
-            return Err(EngineError::unsupported_job(format!(
-                "job '{}' is a turnstile job; run it over an update snapshot \
-                 (Engine::run_dynamic or Snapshot::Updates)",
-                spec.label
-            )));
-        }
         // The estimator configuration each job actually runs with: the
         // engine's rng_mode override applied on top of the submitted one
         // (None = respect the job's own mode).
@@ -354,6 +357,24 @@ impl Engine {
             })
             .collect();
         for config in effective.iter().flatten() {
+            config.validate().map_err(EngineError::from)?;
+        }
+        // Turnstile jobs are welcome on an edge snapshot too: each edge
+        // becomes one insertion, so a mixed main + ideal + dynamic batch
+        // shares a single input. Same override rule as update snapshots.
+        let effective_dyn: Vec<Option<DynamicEstimatorConfig>> = jobs
+            .iter()
+            .map(|spec| {
+                spec.kind.dynamic_config().map(|config| {
+                    let mut config = config.clone();
+                    if let Some(mode) = self.config.rng_mode {
+                        config.rng_mode = mode;
+                    }
+                    config
+                })
+            })
+            .collect();
+        for config in effective_dyn.iter().flatten() {
             config.validate().map_err(EngineError::from)?;
         }
         // Optional input hardening, still pre-flight: a malformed snapshot
@@ -382,67 +403,28 @@ impl Engine {
         // The whole snapshot behind one plain stream view (zero-copy); the
         // per-copy tier streams through it.
         let plain = ShardedStream::new(num_vertices, edges, 1);
-
-        // Tier split: counter-mode main jobs fuse into one cohort (their
-        // copies expose the stage-object API); everything else becomes
-        // per-copy tasks.
-        let job_fusable = |job: usize| {
-            self.fusion_enabled()
-                && matches!(jobs[job].kind, JobKind::Main(_))
-                && effective[job]
-                    .as_ref()
-                    .is_some_and(|c| c.rng_mode == RngMode::Counter)
-        };
-        let formation_started = Instant::now();
-        let mut cohort: Vec<MainCopyStages> = Vec::new();
-        let mut cohort_of: Vec<(usize, usize)> = Vec::new();
-        let mut meta: Vec<CohortMemberMeta> = Vec::new();
-        let mut tasks: Vec<Task> = Vec::new();
-        for (job, spec) in jobs.iter().enumerate() {
-            let count = spec.kind.task_count();
-            match &spec.kind {
-                JobKind::Main(_) if job_fusable(job) => {
-                    let config = effective[job].as_ref().expect("main job has a config");
-                    for copy in 0..count {
-                        cohort.push(
-                            MainCopyStages::new(
-                                config,
-                                m,
-                                num_vertices,
-                                main_copy_seed(config.seed, copy),
-                            )
-                            .map_err(EngineError::from)?,
-                        );
-                        cohort_of.push((job, copy));
-                        meta.push(CohortMemberMeta {
-                            group: job,
-                            copy,
-                            deadline: deadline_at[job],
-                            fault_key: main_copy_seed(config.seed, copy),
-                        });
-                    }
-                }
-                JobKind::Main(_) => {
-                    tasks.extend((0..count).map(|copy| Task::MainCopy { job, copy }));
-                }
-                JobKind::Ideal(_) => {
-                    tasks.extend((0..count).map(|copy| Task::IdealCopy { job, copy }));
-                }
-                JobKind::Baseline(_) => tasks.push(Task::Baseline { job }),
-                JobKind::Dynamic(_) => unreachable!("dynamic jobs were rejected above"),
-            }
-        }
-        let formation_nanos = formation_started.elapsed().as_nanos() as u64;
-        if R::ENABLED {
-            recorder.span(0, Span::CohortFormation, formation_nanos);
-        }
-
-        // The ideal estimator's degree table costs one pass; build it once
-        // and share it across every ideal job and copy.
-        let stats_started = Instant::now();
-        let ideal_stats: Option<StreamStats> = tasks
+        // Turnstile jobs see the same snapshot as an insert-only update
+        // stream, materialized once for all of them.
+        let dyn_updates: Vec<EdgeUpdate> = if jobs
             .iter()
-            .any(|task| matches!(task, Task::IdealCopy { .. }))
+            .any(|spec| matches!(spec.kind, JobKind::Dynamic(_)))
+        {
+            if edges.is_empty() {
+                return Err(EngineError::Dynamic(DynamicError::EmptyStream));
+            }
+            edges.iter().map(|&edge| EdgeUpdate::insert(edge)).collect()
+        } else {
+            Vec::new()
+        };
+        let dyn_plain = ShardedDynamicStream::new(num_vertices, &dyn_updates, 1);
+
+        // The ideal estimator's degree table costs one pass; build it
+        // once — before cohort formation, whose fused ideal members
+        // borrow it — and share it across every ideal job and copy.
+        let stats_started = Instant::now();
+        let ideal_stats: Option<StreamStats> = jobs
+            .iter()
+            .any(|spec| matches!(spec.kind, JobKind::Ideal(_)))
             .then(|| StreamStats::compute(&plain));
         if R::ENABLED && ideal_stats.is_some() {
             recorder.span(
@@ -453,27 +435,162 @@ impl Engine {
         }
         let stats_pass = started.elapsed();
 
+        // Tier split across the whole job-kind × rng-mode matrix: six-pass
+        // jobs fuse in either mode (counter copies share every sweep,
+        // sequential copies share the order-insensitive ones and run the
+        // RNG-consuming passes privately), ideal and turnstile jobs fuse
+        // under counter randomness; everything else becomes per-copy
+        // tasks.
+        let job_fusable = |job: usize| {
+            if !self.fusion_enabled() {
+                return false;
+            }
+            match &jobs[job].kind {
+                JobKind::Main(_) => true,
+                JobKind::Ideal(_) => effective[job]
+                    .as_ref()
+                    .is_some_and(|c| c.rng_mode == RngMode::Counter),
+                JobKind::Dynamic(_) => effective_dyn[job]
+                    .as_ref()
+                    .is_some_and(|c| c.rng_mode == RngMode::Counter),
+                JobKind::Baseline(_) => false,
+            }
+        };
+        let formation_started = Instant::now();
+        let mut cohort = EdgeCohort {
+            mains: Vec::new(),
+            main_meta: Vec::new(),
+            ideals: Vec::new(),
+            ideal_meta: Vec::new(),
+            seqs: Vec::new(),
+            seq_meta: Vec::new(),
+        };
+        let mut dyn_cohort: Vec<DynamicCopyStages> = Vec::new();
+        let mut dyn_meta: Vec<CohortMemberMeta> = Vec::new();
+        let mut cohort_of: Vec<(usize, usize)> = Vec::new();
+        let mut tasks: Vec<Task> = Vec::new();
+        for (job, spec) in jobs.iter().enumerate() {
+            let count = spec.kind.task_count();
+            let fusable = job_fusable(job);
+            match &spec.kind {
+                JobKind::Main(_) if fusable => {
+                    let config = effective[job].as_ref().expect("main job has a config");
+                    let sequential = config.rng_mode == RngMode::Sequential;
+                    for copy in 0..count {
+                        let seed = main_copy_seed(config.seed, copy);
+                        let member = CohortMemberMeta {
+                            group: job,
+                            copy,
+                            deadline: deadline_at[job],
+                            fault_key: seed,
+                        };
+                        if sequential {
+                            cohort.seqs.push(
+                                SequentialCopyStages::new(config, m, num_vertices, seed)
+                                    .map_err(EngineError::from)?,
+                            );
+                            cohort.seq_meta.push(member);
+                        } else {
+                            cohort.mains.push(
+                                MainCopyStages::new(config, m, num_vertices, seed)
+                                    .map_err(EngineError::from)?,
+                            );
+                            cohort.main_meta.push(member);
+                        }
+                        cohort_of.push((job, copy));
+                    }
+                }
+                JobKind::Ideal(_) if fusable => {
+                    let config = effective[job].as_ref().expect("ideal job has a config");
+                    let stats = ideal_stats.as_ref().expect("stats built for ideal jobs");
+                    for copy in 0..count {
+                        let seed = ideal_copy_seed(config.seed, copy);
+                        cohort.ideals.push(
+                            IdealCopyStages::new(config, stats, m, num_vertices, seed)
+                                .map_err(EngineError::from)?,
+                        );
+                        cohort.ideal_meta.push(CohortMemberMeta {
+                            group: job,
+                            copy,
+                            deadline: deadline_at[job],
+                            fault_key: seed,
+                        });
+                        cohort_of.push((job, copy));
+                    }
+                }
+                JobKind::Dynamic(_) if fusable => {
+                    let config = effective_dyn[job]
+                        .as_ref()
+                        .expect("dynamic job has a config");
+                    for copy in 0..count {
+                        let seed = dynamic_copy_seed(config.seed, copy);
+                        dyn_cohort.push(
+                            DynamicCopyStages::new(config, dyn_updates.len(), num_vertices, seed)
+                                .map_err(EngineError::from)?,
+                        );
+                        dyn_meta.push(CohortMemberMeta {
+                            group: job,
+                            copy,
+                            deadline: deadline_at[job],
+                            fault_key: seed,
+                        });
+                        cohort_of.push((job, copy));
+                    }
+                }
+                JobKind::Main(_) => {
+                    tasks.extend((0..count).map(|copy| Task::MainCopy { job, copy }));
+                }
+                JobKind::Ideal(_) => {
+                    tasks.extend((0..count).map(|copy| Task::IdealCopy { job, copy }));
+                }
+                JobKind::Dynamic(_) => {
+                    tasks.extend((0..count).map(|copy| Task::DynamicCopy { job, copy }));
+                }
+                JobKind::Baseline(_) => tasks.push(Task::Baseline { job }),
+            }
+        }
+        let formation_nanos = formation_started.elapsed().as_nanos() as u64;
+        if R::ENABLED {
+            recorder.span(0, Span::CohortFormation, formation_nanos);
+        }
+        let edge_members = cohort.len();
+        let dyn_members = dyn_cohort.len();
+        // An all-ideal cohort runs only the 3 oracle passes; its report
+        // rows carry the ideal pass names instead of the six-pass ones.
+        let ideal_only = !cohort.ideals.is_empty() && edge_members == cohort.ideals.len();
+        let cohort_copies = cohort_of.len();
+        let any_cohort = cohort_copies > 0;
+
         let workers = self.config.effective_workers(tasks.len());
 
         // Intra-copy shard plan for the per-copy tier: when the pool is
-        // wider than the task list, split each shardable copy's passes
-        // across the spare workers instead of leaving them idle.
+        // wider than the task list *and no cohort shares it*, split each
+        // shardable copy's passes across the spare workers instead of
+        // leaving them idle. With a cohort on the queue the spare capacity
+        // already has sweep shards to claim — nesting a second pool under
+        // each task would only oversubscribe the machine.
         let job_mode = |job: usize| {
             effective[job]
                 .as_ref()
                 .map(|c| c.rng_mode)
+                .or_else(|| effective_dyn[job].as_ref().map(|c| c.rng_mode))
                 .unwrap_or_default()
         };
+        // Turnstile tasks on an edge snapshot always run unsharded (the
+        // sharded dynamic view lives on the update-snapshot path), so they
+        // are excluded from the shard plan.
         let shardable = tasks.iter().any(|task| {
-            jobs[task.job()]
-                .kind
-                .supports_intra_task_sharding(job_mode(task.job()))
+            !matches!(task, Task::DynamicCopy { .. })
+                && jobs[task.job()]
+                    .kind
+                    .supports_intra_task_sharding(job_mode(task.job()))
         });
-        let shard_workers = if self.config.intra_task_sharding && shardable && !tasks.is_empty() {
-            (self.config.workers / tasks.len()).max(1)
-        } else {
-            1
-        };
+        let shard_workers =
+            if self.config.intra_task_sharding && shardable && !tasks.is_empty() && !any_cohort {
+                (self.config.workers / tasks.len()).max(1)
+            } else {
+                1
+            };
         let sharded_view: Option<ShardedStream<'_>> = (shard_workers > 1)
             .then(|| ShardedStream::new(num_vertices, edges, shard_workers * SHARDS_PER_WORKER));
         let intra_task_workers = if sharded_view.is_some() {
@@ -490,124 +607,201 @@ impl Engine {
                 let seed = effective[job].as_ref().map(|c| c.seed).unwrap_or_default();
                 main_copy_seed(seed, copy)
             }
+            Task::DynamicCopy { job, copy } => {
+                let seed = effective_dyn[job]
+                    .as_ref()
+                    .map(|c| c.seed)
+                    .unwrap_or_default();
+                dynamic_copy_seed(seed, copy)
+            }
             Task::Baseline { job } => job as u64,
         };
 
-        // ---- Per-copy tier -------------------------------------------------
-        // Panic-contained: a panicking task yields `Err(payload)` in its
-        // slot, its worker survives, and every batchmate task still runs.
-        let outputs: Vec<std::thread::Result<(TaskOutput, Duration)>> =
-            run_indexed_caught(workers, tasks.len(), EstimatorScratch::new, |scratch, i| {
-                let task_started = Instant::now();
-                let job = tasks[i].job();
-                // Cut checks before any work: cancellation, then this
-                // job's deadline, then an injected task-start fault.
-                let cut = if cancel.is_cancelled() {
-                    Some(EngineError::Cancelled {
-                        completed_passes: 0,
-                    })
-                } else if deadline_at[job].is_some_and(|d| Instant::now() >= d) {
-                    Some(EngineError::DeadlineExceeded {
-                        completed_passes: 0,
-                    })
-                } else if faults::ENABLED
-                    && faults::injected(faults::FaultSite::TaskStart, task_fault_key(&tasks[i]))
-                {
-                    Some(EngineError::Estimator(EstimatorError::Injected {
+        // One per-copy task body, shared by every pool worker; panics are
+        // caught at the queue-job layer below.
+        let run_task = |scratch: &mut EstimatorScratch, i: usize| -> (TaskOutput, Duration) {
+            let task_started = Instant::now();
+            let job = tasks[i].job();
+            // Cut checks before any work: cancellation, then this
+            // job's deadline, then an injected task-start fault.
+            let cut = if cancel.is_cancelled() {
+                Some(EngineError::Cancelled {
+                    completed_passes: 0,
+                })
+            } else if deadline_at[job].is_some_and(|d| Instant::now() >= d) {
+                Some(EngineError::DeadlineExceeded {
+                    completed_passes: 0,
+                })
+            } else if faults::ENABLED
+                && faults::injected(faults::FaultSite::TaskStart, task_fault_key(&tasks[i]))
+            {
+                Some(match tasks[i] {
+                    Task::DynamicCopy { .. } => EngineError::Dynamic(DynamicError::Injected {
                         site: faults::FaultSite::TaskStart,
-                    }))
-                } else {
-                    None
-                };
-                if let Some(error) = cut {
-                    return (TaskOutput::Cut(error), task_started.elapsed());
+                    }),
+                    _ => EngineError::Estimator(EstimatorError::Injected {
+                        site: faults::FaultSite::TaskStart,
+                    }),
+                })
+            } else {
+                None
+            };
+            if let Some(error) = cut {
+                return (TaskOutput::Cut(error), task_started.elapsed());
+            }
+            let output = match tasks[i] {
+                Task::MainCopy { job, copy } => {
+                    let config = effective[job].as_ref().expect("main job has a config");
+                    let result = match &sharded_view {
+                        Some(view) => run_main_copy_sharded(
+                            view,
+                            config,
+                            copy,
+                            batch,
+                            intra_task_workers,
+                            scratch,
+                        ),
+                        None => run_main_copy_with(&plain, config, copy, batch, scratch),
+                    };
+                    TaskOutput::Copy(result.map(|o| CopyContribution::from(&o)))
                 }
-                let output = match tasks[i] {
-                    Task::MainCopy { job, copy } => {
-                        let config = effective[job].as_ref().expect("main job has a config");
-                        let result = match &sharded_view {
-                            Some(view) => run_main_copy_sharded(
+                Task::IdealCopy { job, copy } => {
+                    let config = effective[job].as_ref().expect("ideal job has a config");
+                    // Copies share the degree table by reference; StreamStats
+                    // answers degree queries directly.
+                    let stats = ideal_stats.as_ref().expect("stats built for ideal jobs");
+                    let result = match &sharded_view {
+                        Some(view)
+                            if jobs[job].kind.supports_intra_task_sharding(job_mode(job)) =>
+                        {
+                            run_ideal_copy_sharded(
                                 view,
+                                stats,
                                 config,
                                 copy,
                                 batch,
                                 intra_task_workers,
                                 scratch,
-                            ),
-                            None => run_main_copy_with(&plain, config, copy, batch, scratch),
-                        };
-                        TaskOutput::Copy(result.map(|o| CopyContribution::from(&o)))
-                    }
-                    Task::IdealCopy { job, copy } => {
-                        let config = effective[job].as_ref().expect("ideal job has a config");
-                        // Copies share the degree table by reference; StreamStats
-                        // answers degree queries directly.
-                        let stats = ideal_stats.as_ref().expect("stats built for ideal jobs");
-                        let result = match &sharded_view {
-                            Some(view)
-                                if jobs[job].kind.supports_intra_task_sharding(job_mode(job)) =>
-                            {
-                                run_ideal_copy_sharded(
-                                    view,
-                                    stats,
-                                    config,
-                                    copy,
-                                    batch,
-                                    intra_task_workers,
-                                    scratch,
-                                )
-                            }
-                            _ => run_ideal_copy_with(&plain, stats, config, copy, batch, scratch),
-                        };
-                        TaskOutput::Copy(result.map(|o| CopyContribution::from(&o)))
-                    }
-                    Task::Baseline { job } => {
-                        let JobKind::Baseline(counter) = &jobs[job].kind else {
-                            unreachable!("task kind matches job kind");
-                        };
-                        TaskOutput::Baseline(counter.estimate(&plain))
-                    }
-                };
-                let spent = task_started.elapsed();
-                if R::ENABLED {
-                    let nanos = spent.as_nanos() as u64;
-                    recorder.span(i, Span::PerCopyTask, nanos);
-                    recorder.observe(i, Hist::TaskNanos, nanos);
+                            )
+                        }
+                        _ => run_ideal_copy_with(&plain, stats, config, copy, batch, scratch),
+                    };
+                    TaskOutput::Copy(result.map(|o| CopyContribution::from(&o)))
                 }
-                (output, spent)
-            });
+                Task::DynamicCopy { job, copy } => {
+                    let config = effective_dyn[job]
+                        .as_ref()
+                        .expect("dynamic job has a config");
+                    TaskOutput::Dynamic(run_dynamic_copy_with(&dyn_plain, config, copy, batch))
+                }
+                Task::Baseline { job } => {
+                    let JobKind::Baseline(counter) = &jobs[job].kind else {
+                        unreachable!("task kind matches job kind");
+                    };
+                    TaskOutput::Baseline(counter.estimate(&plain))
+                }
+            };
+            let spent = task_started.elapsed();
+            if R::ENABLED {
+                let nanos = spent.as_nanos() as u64;
+                recorder.span(i, Span::PerCopyTask, nanos);
+                recorder.observe(i, Hist::TaskNanos, nanos);
+            }
+            (output, spent)
+        };
 
-        // ---- Fused tier ----------------------------------------------------
+        // ---- One pool, both tiers ------------------------------------------
+        // Per-copy tasks queue up as coarse jobs; the cohort drivers then
+        // run on the coordinator with the queue scope as their sweep pool,
+        // so fused shard bursts cut to the front of the same queue and
+        // interleave with straggler per-copy tasks instead of the two
+        // tiers draining as serialized phases. Panic containment is
+        // preserved: a panicking task parks `Err(payload)` in its slot and
+        // the claiming worker survives.
         let (cohort_workers, cohort_shards) = self.cohort_parallelism();
-        let cohort_started = Instant::now();
-        let cohort_copies = cohort.len();
+        let pool_workers = if any_cohort {
+            workers.max(cohort_workers)
+        } else {
+            workers.max(1)
+        };
+        let task_slots: Vec<TaskSlot<TaskOutput>> = tasks.iter().map(|_| Mutex::new(None)).collect();
         let mut trace: Vec<PassTrace> = Vec::new();
-        let cohort_outcome: CohortOutcome = drive_cohort(
-            &mut cohort,
-            &mut meta,
-            &cancel,
-            num_vertices,
-            edges,
-            batch,
-            if cohort_copies > 0 { cohort_workers } else { 1 },
-            cohort_shards,
-            recorder,
-            0,
-            &mut trace,
-        );
-        let fused_sweeps = cohort_outcome.sweeps;
-        let copies_evicted = cohort_outcome.evicted;
-        for (group, error) in cohort_outcome.failures {
+        let mut dyn_trace: Vec<PassTrace> = Vec::new();
+        let (cohort_outcome, dyn_outcome) =
+            run_queued(pool_workers, EstimatorScratch::new, |scope| {
+                for i in 0..tasks.len() {
+                    let slots = &task_slots;
+                    let run_task = &run_task;
+                    scope.submit(Box::new(move |scratch: &mut EstimatorScratch| {
+                        let result = catch_unwind(AssertUnwindSafe(|| run_task(scratch, i)));
+                        *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
+                    }));
+                }
+                let cohort_outcome = drive_edge_cohort(
+                    &mut cohort,
+                    &cancel,
+                    num_vertices,
+                    edges,
+                    batch,
+                    cohort_workers,
+                    cohort_shards,
+                    recorder,
+                    0,
+                    &mut trace,
+                    scope,
+                );
+                let dyn_outcome: CohortOutcome = drive_cohort(
+                    &mut dyn_cohort,
+                    &mut dyn_meta,
+                    &cancel,
+                    num_vertices,
+                    &dyn_updates,
+                    batch,
+                    cohort_workers,
+                    cohort_shards,
+                    recorder,
+                    0,
+                    &mut dyn_trace,
+                    scope,
+                );
+                (cohort_outcome, dyn_outcome)
+            });
+        let outputs: Vec<std::thread::Result<(TaskOutput, Duration)>> = task_slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .expect("run_queued drained every submitted task")
+            })
+            .collect();
+        let fused_sweeps = cohort_outcome.sweeps + dyn_outcome.sweeps;
+        let fused_busy = Duration::from_nanos(cohort_outcome.busy_nanos + dyn_outcome.busy_nanos);
+        let copies_evicted = cohort_outcome.evicted + dyn_outcome.evicted;
+        for (group, error) in cohort_outcome
+            .failures
+            .into_iter()
+            .chain(dyn_outcome.failures)
+        {
             fail_job(&mut job_errors, group, error);
         }
-        let cohort_wall = cohort_started.elapsed();
         let wall = started.elapsed();
 
-        // Fold-loop tallies summed over the cohort's copies, gathered
-        // before the stage objects are consumed below.
-        let cohort_tallies: Vec<PassTally> = if R::ENABLED && !cohort.is_empty() {
+        // Fold-loop tallies summed over the fused six-pass and turnstile
+        // copies, gathered before the stage objects are consumed below.
+        let cohort_tallies: Vec<PassTally> = if R::ENABLED && !cohort.mains.is_empty() {
             let mut tallies = vec![PassTally::default(); MainCopyStages::PASS_NAMES.len()];
-            for stages in &cohort {
+            for stages in &cohort.mains {
+                for (total, &tally) in tallies.iter_mut().zip(stages.pass_tallies()) {
+                    total.merge(tally);
+                }
+            }
+            tallies
+        } else {
+            Vec::new()
+        };
+        let dyn_tallies: Vec<PassTally> = if R::ENABLED && !dyn_cohort.is_empty() {
+            let mut tallies = vec![PassTally::default(); DynamicCopyStages::PASS_NAMES.len()];
+            for stages in &dyn_cohort {
                 for (total, &tally) in tallies.iter_mut().zip(stages.pass_tallies()) {
                     total.merge(tally);
                 }
@@ -617,8 +811,13 @@ impl Engine {
             Vec::new()
         };
 
-        // Fold everything back per job, in deterministic order.
-        let mut contributions: Vec<Vec<CopyContribution>> =
+        // Fold everything back per job. Contributions are keyed by copy
+        // index so both tiers' copies aggregate in copy order regardless
+        // of which tier (or in what interleaving the shared pool) executed
+        // them.
+        let mut contributions: Vec<Vec<(usize, CopyContribution)>> =
+            jobs.iter().map(|_| Vec::new()).collect();
+        let mut dyn_contributions: Vec<Vec<(usize, DynamicCopyOutcome)>> =
             jobs.iter().map(|_| Vec::new()).collect();
         let mut baseline_outcomes: Vec<Option<degentri_baselines::BaselineOutcome>> =
             jobs.iter().map(|_| None).collect();
@@ -638,12 +837,24 @@ impl Engine {
                 Ok((output, spent)) => {
                     busy_per_job[job] += spent;
                     busy_total += spent;
+                    let copy = match *task {
+                        Task::MainCopy { copy, .. }
+                        | Task::IdealCopy { copy, .. }
+                        | Task::DynamicCopy { copy, .. } => copy,
+                        Task::Baseline { .. } => 0,
+                    };
                     match output {
                         TaskOutput::Copy(Ok(contribution)) => {
                             sweeps += contribution.passes as u64;
-                            contributions[job].push(contribution);
+                            contributions[job].push((copy, contribution));
                         }
                         TaskOutput::Copy(Err(e)) => fail_job(&mut job_errors, job, e.into()),
+                        TaskOutput::Dynamic(Ok(outcome)) => {
+                            // Every per-copy turnstile run makes four passes.
+                            sweeps += DynamicCopyStages::PASSES as u64;
+                            dyn_contributions[job].push((copy, outcome));
+                        }
+                        TaskOutput::Dynamic(Err(e)) => fail_job(&mut job_errors, job, e.into()),
                         TaskOutput::Baseline(outcome) => {
                             sweeps += outcome.passes as u64;
                             baseline_outcomes[job] = Some(outcome);
@@ -653,39 +864,62 @@ impl Engine {
                 }
             }
         }
-        // Fused copies: contributions in cohort (job-major, copy) order;
-        // the cohort's wall time is attributed to its jobs pro rata (the
-        // sweeps are shared — per-copy busy is not separable).
+        // Fused sweeps and busy time are *measured* by the drivers (shard
+        // nanos summed over every shared sweep), not allocated from wall
+        // time: the per-tier attribution in the stats below is only useful
+        // if the split is real.
         sweeps += fused_sweeps;
-        // Sharded fused sweeps occupy the whole pool, so busy time counts
-        // the workers the cohort *allocated* (per-copy busy time is not
-        // separable once sweeps are shared).
-        let cohort_busy = cohort_wall.mul_f64(if cohort_copies > 0 {
-            cohort_workers as f64
-        } else {
-            0.0
-        });
-        busy_total += cohort_busy;
+        busy_total += fused_busy;
         // Every fused copy started: its task count and pro-rata busy share
-        // are attributed whether or not containment later evicted it.
+        // are attributed whether or not containment later evicted it (the
+        // sweeps are shared — per-copy busy is not separable).
         for &(job, _copy) in &cohort_of {
             tasks_per_job[job] += 1;
-            busy_per_job[job] += cohort_busy.div_f64(cohort_copies.max(1) as f64);
+            busy_per_job[job] += fused_busy.div_f64(cohort_copies.max(1) as f64);
         }
-        // `cohort`/`meta` hold the eviction survivors, in original order.
-        for (k, (stages, mm)) in cohort.into_iter().zip(&meta).enumerate() {
-            let job = mm.group;
-            if job_errors[job].is_some() {
-                continue;
-            }
-            // `AssertUnwindSafe`: a panicking finish tears only this copy,
-            // whose job is failed (and its contributions discarded) here.
-            match catch_unwind(AssertUnwindSafe(move || stages.finish())) {
-                Ok(Ok(outcome)) => contributions[job].push(CopyContribution::from(&outcome)),
-                Ok(Err(e)) => fail_job(&mut job_errors, job, e.into()),
-                Err(payload) => fail_job(&mut job_errors, job, EngineError::panicked(k, payload)),
-            }
-        }
+        // The cohorts hold the eviction survivors, in original order.
+        let EdgeCohort {
+            mains,
+            main_meta,
+            ideals,
+            ideal_meta,
+            seqs,
+            seq_meta,
+        } = cohort;
+        finish_members(
+            mains,
+            &main_meta,
+            &mut job_errors,
+            &mut contributions,
+            |s| {
+                s.finish()
+                    .map(|o| CopyContribution::from(&o))
+                    .map_err(EngineError::from)
+            },
+        );
+        finish_members(seqs, &seq_meta, &mut job_errors, &mut contributions, |s| {
+            s.finish()
+                .map(|o| CopyContribution::from(&o))
+                .map_err(EngineError::from)
+        });
+        finish_members(
+            ideals,
+            &ideal_meta,
+            &mut job_errors,
+            &mut contributions,
+            |s| {
+                s.finish()
+                    .map(|o| CopyContribution::from(&o))
+                    .map_err(EngineError::from)
+            },
+        );
+        finish_members(
+            dyn_cohort,
+            &dyn_meta,
+            &mut job_errors,
+            &mut dyn_contributions,
+            |s| s.finish().map_err(EngineError::from),
+        );
 
         let results: Vec<JobResult> = jobs
             .iter()
@@ -693,21 +927,36 @@ impl Engine {
             .map(|(job, spec)| {
                 let outcome = match job_errors[job].take() {
                     Some(error) => Err(error),
-                    None => Ok(JobOutput {
-                        estimation: match &spec.kind {
-                            JobKind::Main(_) | JobKind::Ideal(_) => {
-                                degentri_core::aggregate_copies(&contributions[job])
+                    None => Ok(match &spec.kind {
+                        JobKind::Main(_) | JobKind::Ideal(_) => {
+                            // Copies aggregate in copy order regardless of
+                            // which tier executed them.
+                            contributions[job].sort_by_key(|&(copy, _)| copy);
+                            let copies: Vec<CopyContribution> =
+                                contributions[job].iter().map(|&(_, c)| c).collect();
+                            JobOutput {
+                                estimation: degentri_core::aggregate_copies(&copies),
+                                dynamic: None,
                             }
-                            JobKind::Baseline(_) => baseline_estimation(
+                        }
+                        JobKind::Baseline(_) => JobOutput {
+                            estimation: baseline_estimation(
                                 baseline_outcomes[job]
                                     .as_ref()
                                     .expect("baseline task completed"),
                             ),
-                            JobKind::Dynamic(_) => {
-                                unreachable!("dynamic jobs were rejected above")
-                            }
+                            dynamic: None,
                         },
-                        dynamic: None,
+                        JobKind::Dynamic(_) => {
+                            dyn_contributions[job].sort_by_key(|&(copy, _)| copy);
+                            let copies: Vec<DynamicCopyOutcome> =
+                                dyn_contributions[job].iter().map(|&(_, c)| c).collect();
+                            let outcome = aggregate_dynamic_copies(&copies);
+                            JobOutput {
+                                estimation: dynamic_estimation(&outcome),
+                                dynamic: Some(outcome),
+                            }
+                        }
                     }),
                 };
                 JobResult {
@@ -720,19 +969,47 @@ impl Engine {
             .collect();
         let jobs_failed = results.iter().filter(|r| !r.is_ok()).count();
 
+        let tiers = TierTotals {
+            fused_sweeps,
+            per_copy_sweeps: sweeps - fused_sweeps,
+            fused_busy,
+            per_copy_busy: busy_total.saturating_sub(fused_busy),
+        };
         let run_report = if R::ENABLED {
-            Some(assemble_run_report(
-                recorder,
-                wall,
-                workers.max(if cohort_copies > 0 { cohort_workers } else { 1 }),
-                (cohort_copies > 0).then(|| CohortReport {
-                    label: "six-pass".to_string(),
-                    copies: cohort_copies,
+            let mut cohorts: Vec<CohortReport> = Vec::new();
+            if edge_members > 0 {
+                cohorts.push(CohortReport {
+                    label: if ideal_only { "three-pass" } else { "six-pass" }.to_string(),
+                    copies: edge_members,
                     workers: cohort_workers,
                     shards: cohort_shards,
                     formation_nanos,
-                    passes: pass_reports(&trace, &MainCopyStages::PASS_NAMES, &cohort_tallies),
-                }),
+                    passes: if ideal_only {
+                        pass_reports(
+                            &trace,
+                            &IdealCopyStages::<StreamStats>::PASS_NAMES,
+                            &cohort_tallies,
+                        )
+                    } else {
+                        pass_reports(&trace, &MainCopyStages::PASS_NAMES, &cohort_tallies)
+                    },
+                });
+            }
+            if dyn_members > 0 {
+                cohorts.push(CohortReport {
+                    label: "turnstile".to_string(),
+                    copies: dyn_members,
+                    workers: cohort_workers,
+                    shards: cohort_shards,
+                    formation_nanos: if edge_members > 0 { 0 } else { formation_nanos },
+                    passes: pass_reports(&dyn_trace, &DynamicCopyStages::PASS_NAMES, &dyn_tallies),
+                });
+            }
+            Some(assemble_run_report(
+                recorder,
+                wall,
+                pool_workers,
+                cohorts,
                 &jobs,
                 &submitted,
                 &tasks_per_job,
@@ -741,6 +1018,7 @@ impl Engine {
                 jobs_failed,
                 copies_evicted,
                 faults::injected_count().saturating_sub(faults_before),
+                &tiers,
             ))
         } else {
             None
@@ -749,18 +1027,16 @@ impl Engine {
         Ok(EngineReport {
             jobs: results,
             stats: EngineStats::from_run(
-                workers.max(if cohort_copies > 0 { cohort_workers } else { 1 }),
-                intra_task_workers.max(if cohort_copies > 0 && fused_sweeps > 0 {
-                    cohort_workers
-                } else {
-                    1
-                }),
+                pool_workers,
+                intra_task_workers.max(if fused_sweeps > 0 { cohort_workers } else { 1 }),
                 self.config.rng_mode,
                 tasks.len() + cohort_copies,
-                usize::from(cohort_copies > 0),
+                usize::from(edge_members > 0) + usize::from(dyn_members > 0),
                 sweeps,
+                tiers.fused_sweeps,
                 wall,
                 busy_total,
+                tiers.fused_busy,
                 m as u64,
                 jobs_failed,
                 copies_evicted,
@@ -866,21 +1142,25 @@ impl Engine {
         }
 
         let plain = ShardedDynamicStream::new(num_vertices, updates, 1);
+        let cohort_copies = cohort.len();
+        let any_cohort = cohort_copies > 0;
         let workers = self.config.effective_workers(tasks.len());
 
         // Intra-copy shard plan for the per-copy tier, mirroring the edge
-        // scheduler.
+        // scheduler (including its rule that a cohort on the shared queue
+        // suppresses nested per-task pools).
         let job_shardable = |job: usize| {
             jobs[job]
                 .kind
                 .supports_intra_task_sharding(effective[job].rng_mode)
         };
         let shardable = tasks.iter().any(|&(job, _)| job_shardable(job));
-        let shard_workers = if self.config.intra_task_sharding && shardable && !tasks.is_empty() {
-            (self.config.workers / tasks.len()).max(1)
-        } else {
-            1
-        };
+        let shard_workers =
+            if self.config.intra_task_sharding && shardable && !tasks.is_empty() && !any_cohort {
+                (self.config.workers / tasks.len()).max(1)
+            } else {
+                1
+            };
         let sharded_view: Option<ShardedDynamicStream<'_>> = (shard_workers > 1).then(|| {
             ShardedDynamicStream::new(num_vertices, updates, shard_workers * SHARDS_PER_WORKER)
         });
@@ -890,80 +1170,105 @@ impl Engine {
             1
         };
 
-        // ---- Per-copy tier -------------------------------------------------
-        // Panic-contained, with the same cut checks as the edge scheduler;
-        // the fault key is the copy's dynamic per-copy seed.
-        let outputs: Vec<std::thread::Result<(DynTaskOutput, Duration)>> = run_indexed_caught(
-            workers,
-            tasks.len(),
+        // One per-copy task body, with the same cut checks as the edge
+        // scheduler; the fault key is the copy's dynamic per-copy seed.
+        let run_task = |i: usize| -> (DynTaskOutput, Duration) {
+            let (job, copy) = tasks[i];
+            let config = &effective[job];
+            let task_started = Instant::now();
+            let cut = if cancel.is_cancelled() {
+                Some(EngineError::Cancelled {
+                    completed_passes: 0,
+                })
+            } else if deadline_at[job].is_some_and(|d| Instant::now() >= d) {
+                Some(EngineError::DeadlineExceeded {
+                    completed_passes: 0,
+                })
+            } else if faults::ENABLED
+                && faults::injected(
+                    faults::FaultSite::TaskStart,
+                    dynamic_copy_seed(config.seed, copy),
+                )
+            {
+                Some(EngineError::Dynamic(DynamicError::Injected {
+                    site: faults::FaultSite::TaskStart,
+                }))
+            } else {
+                None
+            };
+            if let Some(error) = cut {
+                return (DynTaskOutput::Cut(error), task_started.elapsed());
+            }
+            let output = match &sharded_view {
+                Some(view) if job_shardable(job) => {
+                    run_dynamic_copy_sharded(view, config, copy, batch, shard_workers)
+                }
+                _ => run_dynamic_copy_with(&plain, config, copy, batch),
+            };
+            let spent = task_started.elapsed();
+            if R::ENABLED {
+                let nanos = spent.as_nanos() as u64;
+                recorder.span(i, Span::PerCopyTask, nanos);
+                recorder.observe(i, Hist::TaskNanos, nanos);
+            }
+            (DynTaskOutput::Copy(output), spent)
+        };
+
+        // ---- One pool, both tiers ------------------------------------------
+        // Identical overlap scheme to the edge scheduler: per-copy tasks
+        // queue as coarse jobs, the fused driver's sweep shards cut to the
+        // front of the same queue, panics park in per-task slots.
+        let (cohort_workers, cohort_shards) = self.cohort_parallelism();
+        let pool_workers = if any_cohort {
+            workers.max(cohort_workers)
+        } else {
+            workers.max(1)
+        };
+        let task_slots: Vec<TaskSlot<DynTaskOutput>> =
+            tasks.iter().map(|_| Mutex::new(None)).collect();
+        let mut trace: Vec<PassTrace> = Vec::new();
+        let cohort_outcome: CohortOutcome = run_queued(
+            pool_workers,
             || (),
-            |(), i| {
-                let (job, copy) = tasks[i];
-                let config = &effective[job];
-                let task_started = Instant::now();
-                let cut = if cancel.is_cancelled() {
-                    Some(EngineError::Cancelled {
-                        completed_passes: 0,
-                    })
-                } else if deadline_at[job].is_some_and(|d| Instant::now() >= d) {
-                    Some(EngineError::DeadlineExceeded {
-                        completed_passes: 0,
-                    })
-                } else if faults::ENABLED
-                    && faults::injected(
-                        faults::FaultSite::TaskStart,
-                        dynamic_copy_seed(config.seed, copy),
-                    )
-                {
-                    Some(EngineError::Dynamic(DynamicError::Injected {
-                        site: faults::FaultSite::TaskStart,
-                    }))
-                } else {
-                    None
-                };
-                if let Some(error) = cut {
-                    return (DynTaskOutput::Cut(error), task_started.elapsed());
+            |scope| {
+                for i in 0..tasks.len() {
+                    let slots = &task_slots;
+                    let run_task = &run_task;
+                    scope.submit(Box::new(move |(): &mut ()| {
+                        let result = catch_unwind(AssertUnwindSafe(|| run_task(i)));
+                        *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(result);
+                    }));
                 }
-                let output = match &sharded_view {
-                    Some(view) if job_shardable(job) => {
-                        run_dynamic_copy_sharded(view, config, copy, batch, shard_workers)
-                    }
-                    _ => run_dynamic_copy_with(&plain, config, copy, batch),
-                };
-                let spent = task_started.elapsed();
-                if R::ENABLED {
-                    let nanos = spent.as_nanos() as u64;
-                    recorder.span(i, Span::PerCopyTask, nanos);
-                    recorder.observe(i, Hist::TaskNanos, nanos);
-                }
-                (DynTaskOutput::Copy(output), spent)
+                drive_cohort(
+                    &mut cohort,
+                    &mut meta,
+                    &cancel,
+                    num_vertices,
+                    updates,
+                    batch,
+                    cohort_workers,
+                    cohort_shards,
+                    recorder,
+                    0,
+                    &mut trace,
+                    scope,
+                )
             },
         );
-
-        // ---- Fused tier ----------------------------------------------------
-        let (cohort_workers, cohort_shards) = self.cohort_parallelism();
-        let cohort_started = Instant::now();
-        let cohort_copies = cohort.len();
-        let mut trace: Vec<PassTrace> = Vec::new();
-        let cohort_outcome: CohortOutcome = drive_cohort(
-            &mut cohort,
-            &mut meta,
-            &cancel,
-            num_vertices,
-            updates,
-            batch,
-            if cohort_copies > 0 { cohort_workers } else { 1 },
-            cohort_shards,
-            recorder,
-            0,
-            &mut trace,
-        );
+        let outputs: Vec<std::thread::Result<(DynTaskOutput, Duration)>> = task_slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .expect("run_queued drained every submitted task")
+            })
+            .collect();
         let fused_sweeps = cohort_outcome.sweeps;
+        let fused_busy = Duration::from_nanos(cohort_outcome.busy_nanos);
         let copies_evicted = cohort_outcome.evicted;
         for (group, error) in cohort_outcome.failures {
             fail_job(&mut job_errors, group, error);
         }
-        let cohort_wall = cohort_started.elapsed();
         let wall = started.elapsed();
 
         // Fold-loop tallies summed over the cohort's copies, gathered
@@ -1007,30 +1312,17 @@ impl Engine {
             }
         }
         sweeps += fused_sweeps;
-        // Allocated-worker busy accounting, as in the edge scheduler.
-        let cohort_busy = cohort_wall.mul_f64(if cohort_copies > 0 {
-            cohort_workers as f64
-        } else {
-            0.0
-        });
-        busy_total += cohort_busy;
+        // Measured fused busy time, as in the edge scheduler.
+        busy_total += fused_busy;
         // Task/busy attribution covers every copy that started, evicted or
         // not; `cohort`/`meta` below hold only the survivors.
         for &(job, _copy) in &cohort_of {
             tasks_per_job[job] += 1;
-            busy_per_job[job] += cohort_busy.div_f64(cohort_copies.max(1) as f64);
+            busy_per_job[job] += fused_busy.div_f64(cohort_copies.max(1) as f64);
         }
-        for (k, (stages, mm)) in cohort.into_iter().zip(&meta).enumerate() {
-            let job = mm.group;
-            if job_errors[job].is_some() {
-                continue;
-            }
-            match catch_unwind(AssertUnwindSafe(move || stages.finish())) {
-                Ok(Ok(outcome)) => contributions[job].push((mm.copy, outcome)),
-                Ok(Err(e)) => fail_job(&mut job_errors, job, e.into()),
-                Err(payload) => fail_job(&mut job_errors, job, EngineError::panicked(k, payload)),
-            }
-        }
+        finish_members(cohort, &meta, &mut job_errors, &mut contributions, |s| {
+            s.finish().map_err(EngineError::from)
+        });
 
         let results: Vec<JobResult> = jobs
             .iter()
@@ -1061,19 +1353,29 @@ impl Engine {
             .collect();
         let jobs_failed = results.iter().filter(|r| !r.is_ok()).count();
 
+        let tiers = TierTotals {
+            fused_sweeps,
+            per_copy_sweeps: sweeps - fused_sweeps,
+            fused_busy,
+            per_copy_busy: busy_total.saturating_sub(fused_busy),
+        };
         let run_report = if R::ENABLED {
-            Some(assemble_run_report(
-                recorder,
-                wall,
-                workers.max(if cohort_copies > 0 { cohort_workers } else { 1 }),
-                (cohort_copies > 0).then(|| CohortReport {
+            let cohorts: Vec<CohortReport> = (cohort_copies > 0)
+                .then(|| CohortReport {
                     label: "turnstile".to_string(),
                     copies: cohort_copies,
                     workers: cohort_workers,
                     shards: cohort_shards,
                     formation_nanos,
                     passes: pass_reports(&trace, &DynamicCopyStages::PASS_NAMES, &cohort_tallies),
-                }),
+                })
+                .into_iter()
+                .collect();
+            Some(assemble_run_report(
+                recorder,
+                wall,
+                pool_workers,
+                cohorts,
                 &jobs,
                 &submitted,
                 &tasks_per_job,
@@ -1082,6 +1384,7 @@ impl Engine {
                 jobs_failed,
                 copies_evicted,
                 faults::injected_count().saturating_sub(faults_before),
+                &tiers,
             ))
         } else {
             None
@@ -1090,18 +1393,16 @@ impl Engine {
         Ok(EngineReport {
             jobs: results,
             stats: EngineStats::from_run(
-                workers.max(if cohort_copies > 0 { cohort_workers } else { 1 }),
-                intra_task_workers.max(if cohort_copies > 0 && fused_sweeps > 0 {
-                    cohort_workers
-                } else {
-                    1
-                }),
+                pool_workers,
+                intra_task_workers.max(if fused_sweeps > 0 { cohort_workers } else { 1 }),
                 self.config.rng_mode,
                 tasks.len() + cohort_copies,
                 usize::from(cohort_copies > 0),
                 sweeps,
+                tiers.fused_sweeps,
                 wall,
                 busy_total,
+                tiers.fused_busy,
                 updates.len() as u64,
                 jobs_failed,
                 copies_evicted,
@@ -1109,6 +1410,41 @@ impl Engine {
             run_report,
         })
     }
+}
+
+/// Consumes one cohort group's eviction survivors: finishes each member
+/// under panic containment, pushing its contribution (keyed by copy index)
+/// or failing its job with the first error.
+fn finish_members<C, T>(
+    copies: Vec<C>,
+    meta: &[CohortMemberMeta],
+    job_errors: &mut [Option<EngineError>],
+    out: &mut [Vec<(usize, T)>],
+    finish: impl Fn(C) -> Result<T>,
+) {
+    for (k, (stages, mm)) in copies.into_iter().zip(meta).enumerate() {
+        let job = mm.group;
+        if job_errors[job].is_some() {
+            continue;
+        }
+        // `AssertUnwindSafe`: a panicking finish tears only this copy,
+        // whose job is failed (and its contributions discarded) here.
+        match catch_unwind(AssertUnwindSafe(|| finish(stages))) {
+            Ok(Ok(outcome)) => out[job].push((mm.copy, outcome)),
+            Ok(Err(e)) => fail_job(job_errors, job, e),
+            Err(payload) => fail_job(job_errors, job, EngineError::panicked(k, payload)),
+        }
+    }
+}
+
+/// The run's sweep and busy totals split by execution tier: fused cohort
+/// sweeps (measured by the drivers) versus per-copy tasks plus the shared
+/// degree-table pass.
+struct TierTotals {
+    fused_sweeps: u64,
+    per_copy_sweeps: u64,
+    fused_busy: Duration,
+    per_copy_busy: Duration,
 }
 
 /// Builds the [`PassReport`]s of one cohort from the fused driver's trace,
@@ -1136,7 +1472,7 @@ fn assemble_run_report<R: Recorder>(
     recorder: &R,
     wall: Duration,
     workers: usize,
-    cohort: Option<CohortReport>,
+    cohorts: Vec<CohortReport>,
     jobs: &[JobSpec],
     submitted: &[Instant],
     tasks_per_job: &[usize],
@@ -1145,6 +1481,7 @@ fn assemble_run_report<R: Recorder>(
     jobs_failed: usize,
     copies_evicted: usize,
     faults_injected: u64,
+    tiers: &TierTotals,
 ) -> RunReport {
     let total_tasks: usize = tasks_per_job.iter().sum();
     recorder.add(0, Counter::TasksExecuted, total_tasks as u64);
@@ -1153,7 +1490,19 @@ fn assemble_run_report<R: Recorder>(
     recorder.add(0, Counter::CohortCopies, cohort_copies as u64);
     recorder.add(0, Counter::CohortEvictions, copies_evicted as u64);
     recorder.add(0, Counter::FaultsInjected, faults_injected);
-    if let Some(cohort) = &cohort {
+    recorder.add(0, Counter::FusedSweeps, tiers.fused_sweeps);
+    recorder.add(0, Counter::PerCopySweeps, tiers.per_copy_sweeps);
+    recorder.add(
+        0,
+        Counter::FusedBusyNanos,
+        tiers.fused_busy.as_nanos() as u64,
+    );
+    recorder.add(
+        0,
+        Counter::PerCopyBusyNanos,
+        tiers.per_copy_busy.as_nanos() as u64,
+    );
+    for cohort in &cohorts {
         let mut items = 0u64;
         let mut hits = 0u64;
         let mut sketch_updates = 0u64;
@@ -1186,7 +1535,7 @@ fn assemble_run_report<R: Recorder>(
     RunReport {
         wall_nanos: wall.as_nanos() as u64,
         workers,
-        cohorts: cohort.into_iter().collect(),
+        cohorts,
         jobs: job_reports,
         metrics: recorder.snapshot().unwrap_or_default(),
     }

@@ -29,13 +29,24 @@ pub struct EngineStats {
     /// once per *cohort* pass, per-copy tasks once per copy pass. Always
     /// `edges_streamed / snapshot len`.
     pub sweeps_executed: u64,
+    /// Sweeps executed by fused cohort stages (one shared traversal serves
+    /// every cohort member). Subset of [`sweeps_executed`](Self::sweeps_executed).
+    pub fused_sweeps: u64,
+    /// Sweeps executed by per-copy tasks (including any shared stats pass):
+    /// `sweeps_executed - fused_sweeps`.
+    pub per_copy_sweeps: u64,
     /// Wall-clock time of the whole run in seconds.
     pub wall_seconds: f64,
     /// Total CPU-busy seconds summed over all workers (per-copy tasks
-    /// count measured task time; fused cohorts count the worker time
-    /// their sharded sweeps allocated, since per-copy time is not
-    /// separable once sweeps are shared).
+    /// count measured task time; fused cohorts count measured
+    /// shard-busy time summed over their sweep shards).
     pub busy_seconds: f64,
+    /// Measured busy seconds attributable to fused cohort sweeps (summed
+    /// shard-busy time). Subset of [`busy_seconds`](Self::busy_seconds).
+    pub fused_busy_seconds: f64,
+    /// Measured busy seconds attributable to per-copy task bodies:
+    /// `busy_seconds - fused_busy_seconds`.
+    pub per_copy_busy_seconds: f64,
     /// Items the run physically streamed: `sweeps_executed × snapshot
     /// len`. Per-copy tasks traverse the snapshot once per pass each;
     /// fused cohorts traverse it once per *shared* pass stage, so a fused
@@ -70,8 +81,10 @@ impl EngineStats {
         tasks: usize,
         fused_cohorts: usize,
         sweeps_executed: u64,
+        fused_sweeps: u64,
         wall: Duration,
         busy: Duration,
+        fused_busy: Duration,
         snapshot_len: u64,
         jobs_failed: usize,
         copies_evicted: usize,
@@ -79,6 +92,7 @@ impl EngineStats {
         let edges_streamed = sweeps_executed * snapshot_len;
         let wall_seconds = wall.as_secs_f64();
         let busy_seconds = busy.as_secs_f64();
+        let fused_busy_seconds = fused_busy.as_secs_f64();
         let denom = wall_seconds.max(1e-12);
         EngineStats {
             workers,
@@ -87,8 +101,12 @@ impl EngineStats {
             tasks,
             fused_cohorts,
             sweeps_executed,
+            fused_sweeps,
+            per_copy_sweeps: sweeps_executed.saturating_sub(fused_sweeps),
             wall_seconds,
             busy_seconds,
+            fused_busy_seconds,
+            per_copy_busy_seconds: (busy_seconds - fused_busy_seconds).max(0.0),
             edges_streamed,
             edges_per_second: edges_streamed as f64 / denom,
             worker_utilization: busy_seconds / (denom * workers.max(1) as f64),
@@ -128,8 +146,10 @@ mod tests {
             10,
             1,
             20,
+            6,
             Duration::from_millis(500),
             Duration::from_millis(1500),
+            Duration::from_millis(600),
             50_000,
             1,
             4,
@@ -139,6 +159,10 @@ mod tests {
         assert_eq!(stats.rng_mode, Some(RngMode::Counter));
         assert_eq!(stats.fused_cohorts, 1);
         assert_eq!(stats.sweeps_executed, 20);
+        assert_eq!(stats.fused_sweeps, 6);
+        assert_eq!(stats.per_copy_sweeps, 14);
+        assert!((stats.fused_busy_seconds - 0.6).abs() < 1e-9);
+        assert!((stats.per_copy_busy_seconds - 0.9).abs() < 1e-9);
         // The invariant is enforced at construction, not per call site.
         assert_eq!(stats.edges_streamed, stats.sweeps_executed * 50_000);
         assert!((stats.edges_per_second - 2_000_000.0).abs() < 1e-6);
@@ -159,6 +183,8 @@ mod tests {
             1,
             0,
             0,
+            0,
+            Duration::ZERO,
             Duration::ZERO,
             Duration::ZERO,
             10,

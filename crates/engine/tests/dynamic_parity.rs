@@ -10,7 +10,9 @@ use degentri_dynamic::{DynamicEstimatorConfig, DynamicOutcome, DynamicTriangleEs
 use degentri_engine::{Engine, EngineConfig, EngineError, JobSpec};
 use degentri_gen::{barabasi_albert, wheel};
 use degentri_graph::triangles::count_triangles;
-use degentri_stream::{DynamicMemoryStream, MemoryStream, ShardedDynamicStream, StreamOrder};
+use degentri_stream::{
+    DynamicMemoryStream, EdgeUpdate, MemoryStream, ShardedDynamicStream, StreamOrder,
+};
 
 fn workload() -> (DynamicMemoryStream, DynamicEstimatorConfig) {
     let g = barabasi_albert(140, 4, 5).unwrap();
@@ -200,18 +202,28 @@ fn many_dynamic_jobs_share_one_snapshot() {
 }
 
 #[test]
-fn mismatched_entry_points_are_rejected() {
+fn entry_point_matrix_is_enforced() {
     let (dynamic_stream, dynamic_config) = workload();
     let g = wheel(60).unwrap();
     let edge_stream = MemoryStream::from_graph(&g, StreamOrder::AsGiven);
 
-    // A turnstile job cannot run over an edge snapshot.
+    // A turnstile job over an edge snapshot runs on the insert-only
+    // materialization of the edges — bit-identical to the standalone
+    // estimator fed the same stream as inserts.
     let mut engine = Engine::with_workers(2);
     engine.submit(JobSpec::dynamic("turnstile", dynamic_config.clone()));
-    assert!(matches!(
-        engine.run(&edge_stream),
-        Err(EngineError::UnsupportedJob { .. })
-    ));
+    let report = engine.run(&edge_stream).unwrap();
+    let inserts = edge_stream
+        .edges()
+        .iter()
+        .map(|&edge| EdgeUpdate::insert(edge))
+        .collect();
+    let insert_stream = DynamicMemoryStream::from_updates(g.num_vertices(), inserts);
+    let standalone =
+        DynamicTriangleEstimator::new(dynamic_config.clone().with_rng_mode(RngMode::Counter))
+            .run(&insert_stream)
+            .unwrap();
+    assert_same(&report.jobs[0], &standalone, "turnstile on edge snapshot");
 
     // An insert-only job cannot run over a dynamic snapshot.
     let main_config = degentri_core::EstimatorConfig::builder()

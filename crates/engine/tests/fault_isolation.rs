@@ -513,4 +513,65 @@ mod faulted {
             assert_eq!(report.stats.jobs_failed, 1, "{what}");
         }
     }
+
+    /// Evicting an ideal or dynamic cohort member from the overlapped
+    /// one-pool schedule — a mixed main + ideal + dynamic batch over one
+    /// edge snapshot — leaves every surviving job bit-identical to the
+    /// clean mixed run, at every worker count.
+    #[test]
+    fn mixed_cohort_member_eviction_leaves_survivors_bit_identical() {
+        use degentri_core::ideal_copy_seed;
+        let stream = workload();
+        let dyn_config = DynamicEstimatorConfig::new(4, 80)
+            .with_epsilon(0.3)
+            .with_copies(2)
+            .with_seed(61)
+            .with_max_samples(96)
+            .with_rng_mode(RngMode::Counter);
+        let submit_all = |engine: &mut Engine| {
+            engine.submit(JobSpec::main("main", main_config(51)));
+            engine.submit(JobSpec::ideal("ideal", main_config(52)));
+            engine.submit(JobSpec::dynamic("dynamic", dyn_config.clone()));
+        };
+        let reference = quiesced(|| {
+            let mut engine = engine(2, true);
+            submit_all(&mut engine);
+            let report = engine.run(&stream).unwrap();
+            report
+                .jobs
+                .into_iter()
+                .map(|j| j.into_estimation())
+                .collect::<Vec<_>>()
+        });
+        // (victim job index, pass-boundary fault key of its copy 0).
+        let victims = [
+            (1usize, ideal_copy_seed(52, 0)),
+            (2usize, dynamic_copy_seed(61, 0)),
+        ];
+        for (victim, key) in victims {
+            for workers in [1usize, 2, 4] {
+                let plan = FaultPlan::single(FaultSite::PassBoundary, key, 1, FaultKind::Panic);
+                let report = faults::with_plan(plan, || {
+                    let mut engine = engine(workers, true);
+                    submit_all(&mut engine);
+                    engine.run(&stream).unwrap()
+                });
+                let what = format!("victim={victim} workers={workers}");
+                assert!(
+                    matches!(
+                        report.jobs[victim].error(),
+                        Some(EngineError::Panicked { .. })
+                    ),
+                    "{what}: got {:?}",
+                    report.jobs[victim].error()
+                );
+                assert_eq!(report.stats.jobs_failed, 1, "{what}");
+                assert_eq!(report.stats.copies_evicted, 2, "{what}");
+                for i in (0..3).filter(|&i| i != victim) {
+                    assert!(report.jobs[i].is_ok(), "{what}: job {i} failed");
+                    assert_bits(report.jobs[i].estimation(), &reference[i], &what);
+                }
+            }
+        }
+    }
 }

@@ -292,8 +292,10 @@ fn mixed_batches_run_fused_and_per_copy_tiers_together() {
     let counter = main_config(3, 9);
     let mut sequential = counter.clone();
     sequential.rng_mode = RngMode::Sequential;
-    // The engine respects each job's own mode here: the counter job fuses,
-    // the sequential job runs per-copy; both match their standalone runs.
+    // The engine respects each job's own mode here: the counter job fuses
+    // every pass; the sequential job joins the cohort for its
+    // order-insensitive passes and runs only its private RNG passes
+    // per-copy. Both match their standalone runs.
     let mut engine = Engine::new(
         EngineConfig::builder()
             .workers(2)
@@ -305,9 +307,11 @@ fn mixed_batches_run_fused_and_per_copy_tiers_together() {
     engine.submit(JobSpec::main("sequential", sequential.clone()));
     let report = engine.run(&stream).unwrap();
     assert_eq!(report.stats.fused_cohorts, 1);
-    // 6 fused sweeps + 3 sequential copies × 6 passes.
-    assert_eq!(report.stats.sweeps_executed, 6 + 18);
-    assert_eq!(report.stats.edges_streamed, (6 + 18) * m);
+    // 6 shared cohort sweeps (the sequential job rides the
+    // order-insensitive passes 1/3/5) + 3 sequential copies × 3 private
+    // RNG passes.
+    assert_eq!(report.stats.sweeps_executed, 6 + 9);
+    assert_eq!(report.stats.edges_streamed, (6 + 9) * m);
     let counter_direct = degentri_core::estimate_triangles(&stream, &counter).unwrap();
     let sequential_direct = degentri_core::estimate_triangles(&stream, &sequential).unwrap();
     assert_eq!(

@@ -162,13 +162,15 @@ fn counter_mode_ideal_jobs_shard_across_spare_workers() {
     let stream = MemoryStream::from_graph(&graph, StreamOrder::UniformRandom(9));
     let config = test_config(5, 400, 2, 77);
 
-    // 8 workers for 2 ideal copies → 4 intra-copy shard workers each:
-    // legal only because the engine's counter-mode default makes the ideal
+    // 8 workers for 2 ideal copies → the copies fuse into one 3-pass
+    // cohort whose shared sweeps shard across the whole pool: legal only
+    // because the engine's counter-mode default makes the ideal
     // estimator's sampling passes order-insensitive.
     let mut engine = Engine::with_workers(8);
     engine.submit(JobSpec::ideal("ideal", config.clone()));
     let sharded = engine.run(&stream).unwrap();
-    assert_eq!(sharded.stats.intra_task_workers, 4);
+    assert_eq!(sharded.stats.intra_task_workers, 8);
+    assert_eq!(sharded.stats.fused_cohorts, 1);
     assert_eq!(sharded.stats.rng_mode, Some(RngMode::Counter));
 
     // Bit-identical to a single worker and to the sequential oracle
@@ -288,11 +290,12 @@ fn engine_jobs_match_direct_runs_and_report_throughput() {
     assert_eq!(report.jobs[3].estimation().estimate, direct_exact.estimate);
 
     // Throughput accounting counts *physical* snapshot traversals: the
-    // five fused six-pass copies share 6 sweeps, the 4 ideal copies run
-    // per-copy (3 passes each), plus 1 stats pass and the two baselines'
-    // passes, all over m edges.
+    // five main copies and 4 ideal copies share one fused cohort whose 6
+    // sweeps serve everyone (the ideal members ride the first 3 and then
+    // retire), plus 1 oracle stats pass and the two baselines' passes,
+    // all over m edges.
     let baseline_passes = (direct_triest.passes + direct_exact.passes) as u64;
-    let expected_sweeps = (6 + 4 * 3 + 1) as u64 + baseline_passes;
+    let expected_sweeps = (6 + 1) as u64 + baseline_passes;
     assert_eq!(report.stats.sweeps_executed, expected_sweeps);
     assert_eq!(report.stats.edges_streamed, expected_sweeps * m as u64);
     assert_eq!(report.stats.fused_cohorts, 1);

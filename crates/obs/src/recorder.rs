@@ -40,11 +40,21 @@ pub enum Counter {
     /// Faults fired by an installed fault-injection plan (always 0 without
     /// the `fault-inject` feature).
     FaultsInjected,
+    /// Shared sweeps executed by fused cohorts (one sweep serves every
+    /// cohort member; subset of [`Counter::SweepsExecuted`]).
+    FusedSweeps,
+    /// Sweeps executed by per-copy tasks (including the dynamic stats
+    /// pass; `SweepsExecuted - FusedSweeps`).
+    PerCopySweeps,
+    /// Measured shard-nanoseconds spent inside fused cohort sweeps.
+    FusedBusyNanos,
+    /// Measured nanoseconds spent inside per-copy task bodies.
+    PerCopyBusyNanos,
 }
 
 impl Counter {
     /// Number of counters (size of the flat per-lane array).
-    pub const COUNT: usize = 10;
+    pub const COUNT: usize = 14;
     /// All counters, in index order.
     pub const ALL: [Counter; Counter::COUNT] = [
         Counter::SweepsExecuted,
@@ -57,6 +67,10 @@ impl Counter {
         Counter::JobsFailed,
         Counter::CohortEvictions,
         Counter::FaultsInjected,
+        Counter::FusedSweeps,
+        Counter::PerCopySweeps,
+        Counter::FusedBusyNanos,
+        Counter::PerCopyBusyNanos,
     ];
 
     /// Flat array index of this counter.
@@ -78,6 +92,10 @@ impl Counter {
             Counter::JobsFailed => "jobs_failed",
             Counter::CohortEvictions => "cohort_evictions",
             Counter::FaultsInjected => "faults_injected",
+            Counter::FusedSweeps => "fused_sweeps",
+            Counter::PerCopySweeps => "per_copy_sweeps",
+            Counter::FusedBusyNanos => "fused_busy_nanos",
+            Counter::PerCopyBusyNanos => "per_copy_busy_nanos",
         }
     }
 
