@@ -1,5 +1,5 @@
-//! Machine-readable perf baseline: the ninth point of the repo's recorded
-//! performance trajectory (`BENCH_PR2.json` → … → `BENCH_PR9.json`).
+//! Machine-readable perf baseline: the tenth point of the repo's recorded
+//! performance trajectory (`BENCH_PR2.json` → … → `BENCH_PR10.json`).
 //!
 //! Runs the six-pass estimator over a preferential-attachment snapshot in
 //! **both randomness regimes** (`RngMode::Sequential` and
@@ -16,8 +16,8 @@
 //! engine run with `EngineConfig::recording` on vs off (best-of-3 each),
 //! asserted bit-identical, with the per-pass breakdown derived from the
 //! recording run's `RunReport` and the main and dynamic `RunReport`s
-//! written as JSON artifacts (`RUN_REPORT_PR8_main.json` /
-//! `RUN_REPORT_PR8_dynamic.json`, prefix overridable via
+//! written as JSON artifacts (`RUN_REPORT_PR10_main.json` /
+//! `RUN_REPORT_PR10_dynamic.json`, prefix overridable via
 //! `BENCH_REPORT_PREFIX`).
 //!
 //! New in PR 7: a **kernel attribution** section. The recorded
@@ -49,7 +49,16 @@
 //! unfused sum. Kernel attribution gains the ideal passes via a recorded
 //! three-pass cohort run.
 //!
-//! If the previous baseline (`BENCH_PR8.json` by default) is readable, the
+//! New in PR 10: a **recovery** section. Jobs can now carry a
+//! [`RetryPolicy`] and a [`QuorumPolicy`] (deterministic copy-level
+//! retries with backoff, graceful degradation to the surviving-copy
+//! aggregate). Idle policies must be pure metadata: the fused engine
+//! cell is re-raced with both policies attached but never exercised
+//! (nothing fires on a clean run), asserted bit-identical to the
+//! retries-disabled default with every recovery counter at zero, and
+//! its throughput ratio recorded and gated.
+//!
+//! If the previous baseline (`BENCH_PR9.json` by default) is readable, the
 //! run prints per-pass deltas and computes the fused path's speedup over
 //! the **previous engine path** (its recorded `engine_fused` /
 //! `engine_copy_only` cells). With `BENCH_FAIL_ON_REGRESSION=1`
@@ -72,11 +81,15 @@
 //! * the union-probe dynamic fused path falls below the previous
 //!   baseline's fused-dynamic cell (re-raced before failing), or
 //! * the mixed-kind batch's measured sweep count is not strictly below
-//!   the unfused sum.
+//!   the unfused sum, or
+//! * the retry-configured-but-clean fused cell falls below 0.95× the
+//!   retries-disabled default (idle recovery policies must be pure
+//!   metadata; bit-identity is asserted unconditionally at measurement
+//!   time).
 //!
 //!   cargo run --release -p degentri-bench --bin perf
 //!   SCALE=4 WORKERS=8 BATCH=8192 cargo run --release -p degentri-bench --bin perf
-//!   BENCH_OUT=/tmp/bench.json BENCH_BASELINE=BENCH_PR8.json cargo run --release -p degentri-bench --bin perf
+//!   BENCH_OUT=/tmp/bench.json BENCH_BASELINE=BENCH_PR9.json cargo run --release -p degentri-bench --bin perf
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
@@ -94,7 +107,7 @@ use degentri_dynamic::{
     dynamic_copy_seed, DynamicCopyStages, DynamicEstimatorConfig, DynamicOutcome,
     DynamicTriangleEstimator,
 };
-use degentri_engine::{Engine, EngineConfig, EngineReport, JobSpec};
+use degentri_engine::{Engine, EngineConfig, EngineReport, JobSpec, QuorumPolicy, RetryPolicy};
 use degentri_graph::triangles::count_triangles;
 use degentri_stream::{
     DynamicEdgeStream, DynamicMemoryStream, EdgeStream, MemoryStream, ShardedDynamicStream,
@@ -255,11 +268,11 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(42);
-    let out_path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_PR9.json".to_string());
+    let out_path = std::env::var("BENCH_OUT").unwrap_or_else(|_| "BENCH_PR10.json".to_string());
     let baseline_path =
-        std::env::var("BENCH_BASELINE").unwrap_or_else(|_| "BENCH_PR8.json".to_string());
+        std::env::var("BENCH_BASELINE").unwrap_or_else(|_| "BENCH_PR9.json".to_string());
     let report_prefix =
-        std::env::var("BENCH_REPORT_PREFIX").unwrap_or_else(|_| "RUN_REPORT_PR9".to_string());
+        std::env::var("BENCH_REPORT_PREFIX").unwrap_or_else(|_| "RUN_REPORT_PR10".to_string());
     let fail_on_regression = std::env::var("BENCH_FAIL_ON_REGRESSION")
         .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
         .unwrap_or(false);
@@ -819,6 +832,64 @@ fn main() {
     );
     eprintln!("{main_run_report}");
 
+    // ---- Recovery: idle retry/quorum policies must be pure metadata. -----
+    // The same fused counter-mode engine run with a retry policy and a
+    // best-effort quorum attached. Nothing fires on a clean run, so the
+    // armed cell must stay bit-identical to the retries-disabled default
+    // with every recovery counter at zero; the throughput ratio is raced
+    // interleaved (drift hits both sides) and gated below.
+    let run_recovery_engine = |armed: bool| -> (EngineReport, f64) {
+        let mut engine = Engine::new(
+            EngineConfig::builder()
+                .workers(workers)
+                .batch_size(batch)
+                .rng_mode(RngMode::Counter)
+                .try_build()
+                .expect("engine configuration is valid"),
+        );
+        let mut job = JobSpec::main("six-pass", config_for(RngMode::Counter));
+        if armed {
+            job = job
+                .retry(RetryPolicy::new(2))
+                .quorum(QuorumPolicy::best_effort());
+        }
+        engine.submit(job);
+        let started = Instant::now();
+        let report = engine.run(&stream).expect("engine run succeeds");
+        (report, started.elapsed().as_secs_f64())
+    };
+    let ((armed_report, armed_wall), (plain_report, plain_wall)) =
+        race_pair(6, run_recovery_engine);
+    assert_eq!(
+        armed_report.jobs[0].estimation().estimate.to_bits(),
+        plain_report.jobs[0].estimation().estimate.to_bits(),
+        "idle recovery policies must not change the aggregate"
+    );
+    assert_eq!(
+        armed_report.jobs[0].estimation().copy_estimates,
+        plain_report.jobs[0].estimation().copy_estimates,
+        "idle recovery policies must not change any copy"
+    );
+    assert!(
+        !armed_report.jobs[0].is_degraded(),
+        "a clean run must never degrade"
+    );
+    assert_eq!(
+        (
+            armed_report.stats.copies_retried,
+            armed_report.stats.copies_quarantined,
+            armed_report.stats.jobs_degraded,
+        ),
+        (0, 0, 0),
+        "no recovery machinery may engage on a clean run"
+    );
+    // > 1 means the armed run was faster (noise); < 0.95 fails the gate.
+    let recovery_idle_ratio = plain_wall / armed_wall.max(1e-12);
+    eprintln!(
+        "perf: recovery armed {armed_wall:.4}s vs default {plain_wall:.4}s \
+         (throughput ratio {recovery_idle_ratio:.3}), bit-identical"
+    );
+
     // ---- Kernel attribution: lane-batched kernels vs their scalar
     // references, raced directly through the fold entry points on
     // identical inputs (no engine, no scheduler) so the ratio isolates
@@ -1109,13 +1180,13 @@ fn main() {
         fused_vs_pr4_dynamic.map_or("n/a".into(), |v| format!("{v:.2}x")),
     );
 
-    // ---- Emit BENCH_PR9.json (hand-rolled: no JSON dependency). ----------
+    // ---- Emit BENCH_PR10.json (hand-rolled: no JSON dependency). ---------
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"bench\": \"BENCH_PR9\",");
+    let _ = writeln!(json, "  \"bench\": \"BENCH_PR10\",");
     let _ = writeln!(
         json,
-        "  \"description\": \"complete fusion matrix: ideal cohorts fused at scale, dynamic union-probe passes gated against the PR8 fused-dynamic cell, a mixed counter+sequential+ideal+dynamic batch measured under one pool, and ideal-pass kernel attribution, on top of the PR8 fault-isolation grid at 4 copies\","
+        "  \"description\": \"recovery layer: copy-level graceful degradation and deterministic retries measured idle against the retries-disabled default (bit-identical, ratio gated), on top of the PR9 fusion matrix at 4 copies\","
     );
     let _ = writeln!(json, "  \"graph\": {{");
     let _ = writeln!(json, "    \"generator\": \"barabasi_albert\",");
@@ -1548,6 +1619,22 @@ fn main() {
         fused_vs_pr4_main.map_or("null".to_string(), |v| format!("{v:.3}"))
     );
     let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"recovery\": {{");
+    let _ = writeln!(
+        json,
+        "    \"policies\": \"retry(2) + quorum best_effort, never exercised\","
+    );
+    let _ = writeln!(json, "    \"armed_wall_seconds\": {armed_wall:.6},");
+    let _ = writeln!(json, "    \"default_wall_seconds\": {plain_wall:.6},");
+    let _ = writeln!(
+        json,
+        "    \"armed_vs_default_ratio\": {recovery_idle_ratio:.3},"
+    );
+    let _ = writeln!(json, "    \"bit_identical_to_default\": true,");
+    let _ = writeln!(json, "    \"copies_retried\": 0,");
+    let _ = writeln!(json, "    \"copies_quarantined\": 0,");
+    let _ = writeln!(json, "    \"jobs_degraded\": 0");
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"parity\": {{");
     let _ = writeln!(json, "    \"fused_equals_per_copy\": true,");
     let _ = writeln!(json, "    \"scratch_reuse_preserves_results\": true");
@@ -1712,6 +1799,18 @@ fn main() {
                 );
             }
         }
+    }
+    // PR-10 recovery gate: idle retry/quorum policies must be pure
+    // metadata. Bit-identity and zeroed counters were asserted at
+    // measurement time; the armed cell's throughput gets the same 5%
+    // noise band as the recording gate (both sides raced interleaved).
+    if recovery_idle_ratio < 0.95 {
+        regressed = true;
+        eprintln!(
+            "perf: REGRESSION — retry-configured-but-clean fused engine fell below 0.95x \
+             the retries-disabled default (ratio {recovery_idle_ratio:.3}); idle recovery \
+             policies must be pure metadata"
+        );
     }
     // The dynamic engine path must not fall behind the standalone
     // sequential baseline measured in this very run.

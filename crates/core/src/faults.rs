@@ -101,6 +101,14 @@ pub enum FaultKind {
     Error,
     /// Sleep for the given number of milliseconds (exercises deadlines).
     DelayMillis(u64),
+    /// Transient failure: report a typed error on the first `n` matching
+    /// hits (counted from the rule's `after_hits`), then succeed forever.
+    /// Only meaningful inside a [`FaultRule`]; [`FaultPlan::decide`]
+    /// surfaces it as [`FaultKind::Error`] while the window is open, so a
+    /// retry that re-probes the same `(site, key)` past the window
+    /// recovers — exactly the shape a recovery layer must handle. A large
+    /// `n` models a persistent fault that outlives any retry budget.
+    FailTimes(u64),
 }
 
 /// One targeted injection rule: fire `kind` on the `(after_hits + 1)`-th
@@ -123,13 +131,19 @@ pub struct FaultRule {
 /// a seeded stochastic mode where every probe fires with probability
 /// `1/period`, decided by `hash(seed, site, key, hit_count)` — the same
 /// keyed-counter construction as the estimator's `RngMode::Counter`, so
-/// sweeping seeds sweeps fault placements reproducibly.
+/// sweeping seeds sweeps fault placements reproducibly. The stochastic
+/// period can be overridden per site ([`site_periods`](Self::site_periods))
+/// to shape where a soak concentrates its chaos.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultPlan {
     /// Seed for the stochastic mode.
     pub seed: u64,
     /// Fire roughly one probe in `period` (0 disables the stochastic mode).
     pub period: u64,
+    /// Per-site overrides of [`period`](Self::period): a site listed here
+    /// fires at `1/its own period` (0 = never stochastically at that
+    /// site); unlisted sites keep the plan-wide period.
+    pub site_periods: Vec<(FaultSite, u64)>,
     /// Targeted rules, checked before the stochastic draw.
     pub rules: Vec<FaultRule>,
 }
@@ -140,6 +154,7 @@ impl FaultPlan {
         FaultPlan {
             seed: 0,
             period: 0,
+            site_periods: Vec::new(),
             rules,
         }
     }
@@ -149,8 +164,35 @@ impl FaultPlan {
         FaultPlan {
             seed,
             period,
+            site_periods: Vec::new(),
             rules: Vec::new(),
         }
+    }
+
+    /// A stochastic plan with an explicit per-site probability map: each
+    /// `(site, period)` entry fires ~one probe in `period` at that site,
+    /// and sites absent from the map never fire (the plan-wide period
+    /// stays 0).
+    pub fn seeded_sites(seed: u64, site_periods: Vec<(FaultSite, u64)>) -> Self {
+        FaultPlan {
+            seed,
+            period: 0,
+            site_periods,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Overrides the stochastic period at one site (builder-style; last
+    /// entry for a site wins because lookups scan front-to-back — this
+    /// method replaces any earlier entry instead of appending a shadowed
+    /// duplicate).
+    pub fn with_site_period(mut self, site: FaultSite, period: u64) -> Self {
+        if let Some(entry) = self.site_periods.iter_mut().find(|(s, _)| *s == site) {
+            entry.1 = period;
+        } else {
+            self.site_periods.push((site, period));
+        }
+        self
     }
 
     /// A plan with a single targeted rule.
@@ -164,16 +206,36 @@ impl FaultPlan {
     }
 
     /// Decides whether the `hits`-th probe (0-based) of `(site, key)`
-    /// fires, and with what kind. Pure function of its arguments.
+    /// fires, and with what kind. Pure function of its arguments. A
+    /// [`FaultKind::FailTimes`] rule surfaces as [`FaultKind::Error`] for
+    /// every hit inside its window, so probe sites need no special
+    /// handling for transients.
     pub fn decide(&self, site: FaultSite, key: u64, hits: u64) -> Option<FaultKind> {
         for rule in &self.rules {
-            if rule.site == site && rule.key.is_none_or(|k| k == key) && rule.after_hits == hits {
-                return Some(rule.kind);
+            if rule.site != site || rule.key.is_some_and(|k| k != key) {
+                continue;
+            }
+            match rule.kind {
+                FaultKind::FailTimes(n) => {
+                    if hits >= rule.after_hits && hits < rule.after_hits.saturating_add(n) {
+                        return Some(FaultKind::Error);
+                    }
+                }
+                kind => {
+                    if rule.after_hits == hits {
+                        return Some(kind);
+                    }
+                }
             }
         }
-        if self.period > 0 {
+        let period = self
+            .site_periods
+            .iter()
+            .find(|(s, _)| *s == site)
+            .map_or(self.period, |&(_, p)| p);
+        if period > 0 {
             let h = fault_hash(self.seed, site.ordinal(), key, hits);
-            if h.is_multiple_of(self.period) {
+            if h.is_multiple_of(period) {
                 // Derive the kind from independent hash bits so a seed
                 // sweep covers all three behaviors.
                 return Some(match (h >> 32) % 4 {
@@ -200,7 +262,7 @@ fn fault_hash(seed: u64, site: u64, key: u64, hits: u64) -> u64 {
 
 #[cfg(feature = "fault-inject")]
 mod active {
-    use super::{FaultKind, FaultPlan, FaultSite};
+    use super::{FaultKind, FaultPlan, FaultReport, FaultSite};
     use std::collections::HashMap;
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::{Arc, Mutex, PoisonError, RwLock};
@@ -210,6 +272,7 @@ mod active {
     struct Harness {
         plan: Option<Arc<FaultPlan>>,
         hits: HashMap<(FaultSite, u64), u64>,
+        report: FaultReport,
     }
 
     static HARNESS: RwLock<Option<Harness>> = RwLock::new(None);
@@ -225,6 +288,10 @@ mod active {
         let hits = harness.hits.entry((site, key)).or_insert(0);
         let decision = plan.decide(site, key, *hits);
         *hits += 1;
+        harness.report.probes[site.ordinal() as usize] += 1;
+        if decision.is_some() {
+            harness.report.fired[site.ordinal() as usize] += 1;
+        }
         drop(guard);
         if decision.is_some() {
             INJECTED.fetch_add(1, Ordering::Relaxed);
@@ -237,7 +304,17 @@ mod active {
         *guard = Some(Harness {
             plan: Some(Arc::new(plan)),
             hits: HashMap::new(),
+            report: FaultReport::default(),
         });
+    }
+
+    pub fn report() -> FaultReport {
+        HARNESS
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .as_ref()
+            .map(|h| h.report)
+            .unwrap_or_default()
     }
 
     pub fn clear() {
@@ -266,6 +343,53 @@ mod active {
         }
         let _clear = ClearOnDrop;
         f()
+    }
+}
+
+/// Per-site injection accounting for the currently installed plan: how
+/// many probes each site executed and how many of them fired. Counters
+/// reset when a plan is (re-)installed, so a test scope sees exactly its
+/// own run — the way a soak asserts that injection actually happened
+/// rather than silently probing a site the workload never reaches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    probes: [u64; FaultSite::ALL.len()],
+    fired: [u64; FaultSite::ALL.len()],
+}
+
+impl FaultReport {
+    /// Probe executions at `site` (fired or not) under the current plan.
+    pub fn probes_at(&self, site: FaultSite) -> u64 {
+        self.probes[site.ordinal() as usize]
+    }
+
+    /// Faults fired at `site` under the current plan.
+    pub fn fired_at(&self, site: FaultSite) -> u64 {
+        self.fired[site.ordinal() as usize]
+    }
+
+    /// Probe executions across all sites.
+    pub fn total_probes(&self) -> u64 {
+        self.probes.iter().sum()
+    }
+
+    /// Faults fired across all sites.
+    pub fn total_fired(&self) -> u64 {
+        self.fired.iter().sum()
+    }
+}
+
+/// Snapshot of the installed plan's per-site probe/fire counters. Empty
+/// when no plan is installed or without the `fault-inject` feature.
+#[inline(always)]
+pub fn report() -> FaultReport {
+    #[cfg(feature = "fault-inject")]
+    {
+        active::report()
+    }
+    #[cfg(not(feature = "fault-inject"))]
+    {
+        FaultReport::default()
     }
 }
 
@@ -321,7 +445,9 @@ pub fn probe(site: FaultSite, key: u64) {
         Some(FaultKind::DelayMillis(ms)) => {
             std::thread::sleep(std::time::Duration::from_millis(ms));
         }
-        Some(FaultKind::Panic) | Some(FaultKind::Error) => {
+        // FailTimes never escapes decide() (it surfaces as Error), but the
+        // match stays exhaustive so a new kind cannot be silently ignored.
+        Some(FaultKind::Panic) | Some(FaultKind::Error) | Some(FaultKind::FailTimes(_)) => {
             panic!("injected fault at {site} (key {key:#018x})");
         }
     }
@@ -341,7 +467,7 @@ pub fn injected(site: FaultSite, key: u64) -> bool {
     {
         match active::decide(site, key) {
             None => false,
-            Some(FaultKind::Error) => true,
+            Some(FaultKind::Error) | Some(FaultKind::FailTimes(_)) => true,
             Some(FaultKind::DelayMillis(ms)) => {
                 std::thread::sleep(std::time::Duration::from_millis(ms));
                 false
@@ -420,6 +546,73 @@ mod tests {
     }
 
     #[test]
+    fn fail_times_opens_a_window_then_heals() {
+        let plan = FaultPlan::single(FaultSite::MainFinish, 7, 1, FaultKind::FailTimes(2));
+        assert_eq!(plan.decide(FaultSite::MainFinish, 7, 0), None);
+        // Hits 1 and 2 fail (surfacing as Error), hit 3 onwards succeeds.
+        assert_eq!(
+            plan.decide(FaultSite::MainFinish, 7, 1),
+            Some(FaultKind::Error)
+        );
+        assert_eq!(
+            plan.decide(FaultSite::MainFinish, 7, 2),
+            Some(FaultKind::Error)
+        );
+        assert_eq!(plan.decide(FaultSite::MainFinish, 7, 3), None);
+        // Other keys never match a keyed rule.
+        assert_eq!(plan.decide(FaultSite::MainFinish, 8, 1), None);
+        // A huge window models a persistent fault without overflow.
+        let forever = FaultPlan::single(FaultSite::BankFold, 1, 0, FaultKind::FailTimes(u64::MAX));
+        assert_eq!(
+            forever.decide(FaultSite::BankFold, 1, u64::MAX - 1),
+            Some(FaultKind::Error)
+        );
+    }
+
+    #[test]
+    fn site_periods_override_the_plan_wide_period() {
+        let base = FaultPlan::seeded(11, 5);
+        let shaped = FaultPlan::seeded(11, 5)
+            .with_site_period(FaultSite::MainFold, 0)
+            .with_site_period(FaultSite::BankFold, 2);
+        let mut silenced = 0u64;
+        let mut base_bank = 0u64;
+        let mut shaped_bank = 0u64;
+        for hits in 0..400 {
+            // MainFold is silenced entirely by its 0 period.
+            assert_eq!(shaped.decide(FaultSite::MainFold, 3, hits), None);
+            if base.decide(FaultSite::MainFold, 3, hits).is_some() {
+                silenced += 1;
+            }
+            // BankFold fires more often at period 2 than at period 5, and
+            // unlisted sites keep the plan-wide behavior.
+            base_bank += u64::from(base.decide(FaultSite::BankFold, 3, hits).is_some());
+            shaped_bank += u64::from(shaped.decide(FaultSite::BankFold, 3, hits).is_some());
+            assert_eq!(
+                base.decide(FaultSite::TaskStart, 3, hits),
+                shaped.decide(FaultSite::TaskStart, 3, hits)
+            );
+        }
+        assert!(silenced > 0, "base plan should have fired at MainFold");
+        assert!(shaped_bank > base_bank);
+        // seeded_sites leaves unlisted sites silent (plan-wide period 0).
+        let only = FaultPlan::seeded_sites(11, vec![(FaultSite::BankFold, 2)]);
+        for hits in 0..400 {
+            assert_eq!(only.decide(FaultSite::TaskStart, 3, hits), None);
+        }
+        // with_site_period replaces an earlier entry for the same site.
+        let replaced = shaped.clone().with_site_period(FaultSite::BankFold, 7);
+        assert_eq!(
+            replaced
+                .site_periods
+                .iter()
+                .filter(|(s, _)| *s == FaultSite::BankFold)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
     fn site_names_are_stable_and_dense() {
         for (i, site) in FaultSite::ALL.into_iter().enumerate() {
             assert_eq!(site.ordinal() as usize, i);
@@ -441,6 +634,30 @@ mod tests {
         );
         // Cleared: nothing fires outside the scope.
         assert!(!injected(FaultSite::MainFinish, 5));
+    }
+
+    #[cfg(feature = "fault-inject")]
+    #[test]
+    fn report_counts_probes_and_fires_per_site() {
+        let observed = with_plan(
+            FaultPlan::single(FaultSite::DynamicFinish, 9, 1, FaultKind::FailTimes(2)),
+            || {
+                assert!(!injected(FaultSite::DynamicFinish, 9)); // hit 0
+                assert!(injected(FaultSite::DynamicFinish, 9)); // hits 1-2 fire
+                assert!(injected(FaultSite::DynamicFinish, 9));
+                assert!(!injected(FaultSite::DynamicFinish, 9)); // healed
+                probe(FaultSite::MainFold, 9); // silent site still counts probes
+                report()
+            },
+        );
+        assert_eq!(observed.probes_at(FaultSite::DynamicFinish), 4);
+        assert_eq!(observed.fired_at(FaultSite::DynamicFinish), 2);
+        assert_eq!(observed.probes_at(FaultSite::MainFold), 1);
+        assert_eq!(observed.fired_at(FaultSite::MainFold), 0);
+        assert_eq!(observed.total_probes(), 5);
+        assert_eq!(observed.total_fired(), 2);
+        // Outside the scope the harness is gone and the report is empty.
+        assert_eq!(report(), FaultReport::default());
     }
 
     #[cfg(not(feature = "fault-inject"))]

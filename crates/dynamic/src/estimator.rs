@@ -395,6 +395,13 @@ pub fn run_dynamic_copy_sharded(
 /// parallel — exactly the aggregation of the sequential multi-copy loop,
 /// so any scheduler producing the same per-copy results produces the same
 /// outcome.
+///
+/// Every element must be a **fully finished** copy — a
+/// [`DynamicCopyOutcome`] only exists once all four passes completed, so
+/// a scheduler that degrades a job to a surviving-copy subset must drop a
+/// failed copy's *stage state*, never synthesize a partial outcome for
+/// it. (The engine's cohort eviction removes the staged copy itself,
+/// which is what makes this contract hold under mid-pass faults.)
 pub fn aggregate_dynamic_copies(copies: &[DynamicCopyOutcome]) -> DynamicOutcome {
     let copy_estimates: Vec<f64> = copies.iter().map(|c| c.estimate).collect();
     let mut sorted = copy_estimates.clone();

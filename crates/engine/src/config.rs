@@ -4,6 +4,7 @@ use degentri_core::RngMode;
 use degentri_stream::DEFAULT_BATCH_SIZE;
 
 use crate::error::EngineError;
+use crate::job::RetryPolicy;
 use crate::Result;
 
 /// Configuration of an [`Engine`](crate::Engine) / of the parallel copy
@@ -60,6 +61,13 @@ pub struct EngineConfig {
     /// failures are pre-flight: they fail the run before any job starts.
     /// Defaults to `false` (one extra O(stream) scan when enabled).
     pub validate_input: bool,
+    /// Engine-wide default [`RetryPolicy`] for failed copies, applied to
+    /// every job that does not set its own
+    /// [`JobSpec::retry`](crate::JobSpec::retry). Defaults to `None` (no
+    /// retries), preserving the all-or-nothing semantics. Retries re-run
+    /// only the failed copies and are bit-identical by position-keyed
+    /// seeds; see [`RetryPolicy`].
+    pub retry_policy: Option<RetryPolicy>,
 }
 
 impl EngineConfig {
@@ -74,6 +82,7 @@ impl EngineConfig {
             fused_execution: true,
             recording: false,
             validate_input: false,
+            retry_policy: None,
         }
     }
 
@@ -101,6 +110,13 @@ impl EngineConfig {
         }
         if self.batch_size == 0 {
             return Err(EngineError::invalid_config("batch_size must be at least 1"));
+        }
+        if let Some(retry) = &self.retry_policy {
+            if retry.max_attempts == 0 {
+                return Err(EngineError::invalid_config(
+                    "retry_policy.max_attempts must be at least 1",
+                ));
+            }
         }
         Ok(())
     }
@@ -176,6 +192,13 @@ impl EngineConfigBuilder {
     /// default; failures are pre-flight and fail the run).
     pub fn validate_input(mut self, yes: bool) -> Self {
         self.config.validate_input = yes;
+        self
+    }
+
+    /// Sets the engine-wide default retry policy for failed copies (jobs
+    /// may override it with [`JobSpec::retry`](crate::JobSpec::retry)).
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.config.retry_policy = Some(policy);
         self
     }
 
@@ -265,6 +288,17 @@ mod tests {
         assert!(!ok.intra_task_sharding);
         assert!(EngineConfig::builder().batch_size(0).try_build().is_err());
         assert!(EngineConfig::builder().workers(0).try_build().is_err());
+        // Retries default off; a zero-attempt policy is rejected.
+        assert!(EngineConfig::default().retry_policy.is_none());
+        let retrying = EngineConfig::builder()
+            .retry_policy(RetryPolicy::new(3))
+            .try_build()
+            .unwrap();
+        assert_eq!(retrying.retry_policy.unwrap().max_attempts, 3);
+        assert!(EngineConfig::builder()
+            .retry_policy(RetryPolicy::new(0))
+            .try_build()
+            .is_err());
         // Unvalidated build defers the error to validate().
         let bad = EngineConfig::builder().batch_size(0).build();
         assert!(bad.validate().is_err());

@@ -364,8 +364,9 @@ fn transpose<T>(per_shard: Vec<Vec<T>>, copies: usize) -> Vec<Vec<T>> {
 /// with the copies vector (the driver evicts both in sync).
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct CohortMemberMeta {
-    /// Index of the job this copy belongs to — containment's failure unit:
-    /// when any copy of a group fails, the whole group is evicted.
+    /// Index of the job this copy belongs to — containment's default
+    /// failure unit: when any copy of a group fails, the whole group is
+    /// evicted, unless the member is [`contained`](Self::contained).
     pub group: usize,
     /// The copy's index within its job (per-copy seed index), used by the
     /// scheduler to keep fold-back ordering after evictions.
@@ -375,6 +376,13 @@ pub(crate) struct CohortMemberMeta {
     /// The copy's fault-injection key — its per-copy seed, so the same key
     /// addresses the copy on every execution tier.
     pub fault_key: u64,
+    /// Copy-level containment: when `true` (the member's job has a retry
+    /// policy or a degradation-accepting quorum), a fault of this member
+    /// evicts **only this member** — recorded in
+    /// [`CohortOutcome::copy_failures`] — and its group keeps running.
+    /// Deadlines and cancellation stay group-level either way (lockstep
+    /// cohort copies are all equally late).
+    pub contained: bool,
 }
 
 /// What [`drive_cohort`] did: completed sweeps, copies evicted by
@@ -386,10 +394,14 @@ pub(crate) struct CohortOutcome {
     /// `edges_streamed = sweeps × snapshot_len` an upper bound of what a
     /// cut run actually streamed).
     pub sweeps: u64,
-    /// Copies removed from the cohort by group evictions.
+    /// Copies removed from the cohort by evictions (group or copy level).
     pub evicted: usize,
     /// `(group, first error)` per failed group.
     pub failures: Vec<(usize, EngineError)>,
+    /// `(group, copy, error)` per contained copy-level eviction: the
+    /// member alone left the cohort; its group's survivors kept running
+    /// (feeds the scheduler's retry/degradation layer).
+    pub copy_failures: Vec<(usize, usize, EngineError)>,
     /// Measured thread-busy nanoseconds of the cohort's sweeps: the sum of
     /// per-shard fold times in the sharded arms, sweep wall time in the
     /// serial arms — the fused side of the engine's per-tier attribution.
@@ -399,6 +411,70 @@ pub(crate) struct CohortOutcome {
 /// Whether `group` already failed during the current pass.
 fn doomed(failures: &[(usize, EngineError)], group: usize) -> bool {
     failures.iter().any(|(g, _)| *g == group)
+}
+
+/// Whether member `k` should skip the rest of the current pass: it failed
+/// itself, or a **non-contained** member of its group failed (dooming the
+/// whole group). A contained sibling's failure never dooms survivors.
+/// `failures` is keyed by member index, valid because evictions only
+/// happen at pass boundaries.
+fn member_doomed(failures: &[(usize, EngineError)], meta: &[CohortMemberMeta], k: usize) -> bool {
+    failures
+        .iter()
+        .any(|&(j, _)| j == k || (meta[j].group == meta[k].group && !meta[j].contained))
+}
+
+/// Evicts the single `(group, copy)` member, recording a copy-level
+/// failure. Survivor order is preserved.
+fn evict_copy<C>(
+    copies: &mut Vec<C>,
+    meta: &mut Vec<CohortMemberMeta>,
+    outcome: &mut CohortOutcome,
+    group: usize,
+    copy: usize,
+    error: EngineError,
+) {
+    if let Some(k) = meta
+        .iter()
+        .position(|mm| mm.group == group && mm.copy == copy)
+    {
+        copies.remove(k);
+        meta.remove(k);
+        outcome.evicted += 1;
+    }
+    outcome.copy_failures.push((group, copy, error));
+}
+
+/// Resolves one pass's member-indexed failures into evictions: failures of
+/// non-contained members evict their whole group (first error wins);
+/// failures of contained members evict just that copy, unless the group
+/// was fatally evicted in the same batch. Member indices stay valid until
+/// the first eviction, so identities are resolved before any removal.
+fn resolve_failures<C>(
+    copies: &mut Vec<C>,
+    meta: &mut Vec<CohortMemberMeta>,
+    outcome: &mut CohortOutcome,
+    failures: Vec<(usize, EngineError)>,
+) {
+    let mut group_fatal: Vec<(usize, EngineError)> = Vec::new();
+    let mut copy_level: Vec<(usize, usize, EngineError)> = Vec::new();
+    for (k, error) in failures {
+        let mm = meta[k];
+        if mm.contained {
+            copy_level.push((mm.group, mm.copy, error));
+        } else if !doomed(&group_fatal, mm.group) {
+            group_fatal.push((mm.group, error));
+        }
+    }
+    for (group, error) in group_fatal {
+        evict_group(copies, meta, outcome, group, error);
+    }
+    for (group, copy, error) in copy_level {
+        if doomed(&outcome.failures, group) {
+            continue;
+        }
+        evict_copy(copies, meta, outcome, group, copy, error);
+    }
 }
 
 /// Evicts every copy of `group` from the cohort, recording the group's
@@ -494,6 +570,13 @@ fn finish_copy_caught<C: StagedCopy>(
 ///   cohort: the group's copies leave `copies`/`meta`, the next pass's
 ///   plan is rebuilt from the survivors only, and the group's first error
 ///   is reported in the returned [`CohortOutcome`].
+/// * Members with [`CohortMemberMeta::contained`] set shrink that unit to
+///   the **copy**: only the faulting member is evicted (reported in
+///   [`CohortOutcome::copy_failures`]) and its group's survivors keep
+///   running in lockstep — eviction removes the member's stage object
+///   outright, so a partially-folded pass state can never reach
+///   `finish_pass` or the job's aggregate. Deadlines and cancellation
+///   remain group-level: lockstep copies are all equally late.
 /// * When a **shared** fused sweep panics, the driver cannot tell which
 ///   copy unwound, so it re-executes the pass copy by copy through
 ///   [`StagedCopy::fold_one`] under per-copy panic boundaries. This is
@@ -572,7 +655,9 @@ pub(crate) fn drive_cohort<C: StagedCopy, R: Recorder, P: SweepPool>(
             break;
         }
         // Pass-boundary fault probes, one per copy, keyed by the copy's
-        // seed. An injected panic is contained to the probed copy's group.
+        // seed. An injected panic is contained to the probed copy's group
+        // — or to the copy alone when the member opted into copy-level
+        // containment.
         if faults::ENABLED {
             let mut hit: Vec<(usize, EngineError)> = Vec::new();
             for (k, mm) in meta.iter().enumerate() {
@@ -580,14 +665,10 @@ pub(crate) fn drive_cohort<C: StagedCopy, R: Recorder, P: SweepPool>(
                     faults::probe(faults::FaultSite::PassBoundary, mm.fault_key)
                 }));
                 if let Err(payload) = probed {
-                    if !doomed(&hit, mm.group) {
-                        hit.push((mm.group, EngineError::panicked(k, payload)));
-                    }
+                    hit.push((k, EngineError::panicked(k, payload)));
                 }
             }
-            for (group, error) in hit {
-                evict_group(copies, meta, &mut outcome, group, error);
-            }
+            resolve_failures(copies, meta, &mut outcome, hit);
             if copies.is_empty() {
                 break;
             }
@@ -614,30 +695,29 @@ pub(crate) fn drive_cohort<C: StagedCopy, R: Recorder, P: SweepPool>(
             // time — begin, fold the whole slice, finish — so only one
             // copy's pass state is live at once. Each copy's pass time
             // includes its finish, matching the per-copy driver's clock.
-            for k in 0..copies.len() {
-                let group = meta[k].group;
-                if doomed(&pass_failures, group) {
+            for (k, copy) in copies.iter_mut().enumerate() {
+                if member_doomed(&pass_failures, meta, k) {
                     continue;
                 }
                 if cancel.is_cancelled() {
                     break;
                 }
                 let copy_started = Instant::now();
-                match fold_copy_caught(&copies[k], batch, items, cancel) {
-                    Err(payload) => pass_failures.push((group, EngineError::panicked(k, payload))),
+                match fold_copy_caught(copy, batch, items, cancel) {
+                    Err(payload) => pass_failures.push((k, EngineError::panicked(k, payload))),
                     Ok(acc) => {
                         if cancel.is_cancelled() {
                             break;
                         }
-                        let copy_pass = copies[k].pass_index();
-                        match finish_copy_caught(&mut copies[k], vec![acc]) {
-                            Ok(Ok(())) => copies[k].record_pass_nanos(
+                        let copy_pass = copy.pass_index();
+                        match finish_copy_caught(copy, vec![acc]) {
+                            Ok(Ok(())) => copy.record_pass_nanos(
                                 copy_pass,
                                 copy_started.elapsed().as_nanos() as u64,
                             ),
-                            Ok(Err(e)) => pass_failures.push((group, e)),
+                            Ok(Err(e)) => pass_failures.push((k, e)),
                             Err(payload) => {
-                                pass_failures.push((group, EngineError::panicked(k, payload)))
+                                pass_failures.push((k, EngineError::panicked(k, payload)))
                             }
                         }
                     }
@@ -740,12 +820,10 @@ pub(crate) fn drive_cohort<C: StagedCopy, R: Recorder, P: SweepPool>(
         drop(plan);
         let nanos = started.elapsed().as_nanos() as u64;
         if cancel.is_cancelled() {
-            // The sweep was aborted at a chunk boundary: evict the groups
+            // The sweep was aborted at a chunk boundary: evict the members
             // that already failed with their specific errors, then fail the
             // rest as cancelled. The aborted sweep is not counted.
-            for (group, error) in pass_failures {
-                evict_group(copies, meta, &mut outcome, group, error);
-            }
+            resolve_failures(copies, meta, &mut outcome, pass_failures);
             fail_all(
                 copies,
                 meta,
@@ -758,19 +836,18 @@ pub(crate) fn drive_cohort<C: StagedCopy, R: Recorder, P: SweepPool>(
         }
         if let Some(per_copy) = per_copy {
             for (k, result) in per_copy.into_iter().enumerate() {
-                let group = meta[k].group;
-                if doomed(&pass_failures, group) {
+                if member_doomed(&pass_failures, meta, k) {
                     continue;
                 }
                 match result {
-                    Err(payload) => pass_failures.push((group, EngineError::panicked(k, payload))),
+                    Err(payload) => pass_failures.push((k, EngineError::panicked(k, payload))),
                     Ok(accs) => {
                         let copy_pass = copies[k].pass_index();
                         match finish_copy_caught(&mut copies[k], accs) {
                             Ok(Ok(())) => copies[k].record_pass_nanos(copy_pass, nanos),
-                            Ok(Err(e)) => pass_failures.push((group, e)),
+                            Ok(Err(e)) => pass_failures.push((k, e)),
                             Err(payload) => {
-                                pass_failures.push((group, EngineError::panicked(k, payload)))
+                                pass_failures.push((k, EngineError::panicked(k, payload)))
                             }
                         }
                     }
@@ -809,9 +886,7 @@ pub(crate) fn drive_cohort<C: StagedCopy, R: Recorder, P: SweepPool>(
         } else {
             nanos
         };
-        for (group, error) in pass_failures {
-            evict_group(copies, meta, &mut outcome, group, error);
-        }
+        resolve_failures(copies, meta, &mut outcome, pass_failures);
     }
     outcome
 }
@@ -905,6 +980,105 @@ fn evict_mixed(
     outcome.evicted += evict_members(&mut cohort.seqs, &mut cohort.seq_meta, group);
 }
 
+/// One stage failure of the mixed cohort, resolved to member identity at
+/// record time — member indices are per-group-vector, so unlike the
+/// homogeneous driver the mixed driver cannot key failures by one flat
+/// index. `(group, copy)` is unique across the three vectors (a copy
+/// lives in exactly one of them).
+struct MixedFailure {
+    group: usize,
+    copy: usize,
+    contained: bool,
+    error: EngineError,
+}
+
+impl MixedFailure {
+    fn of(mm: &CohortMemberMeta, error: EngineError) -> Self {
+        MixedFailure {
+            group: mm.group,
+            copy: mm.copy,
+            contained: mm.contained,
+            error,
+        }
+    }
+}
+
+/// Whether the member described by `mm` should skip the rest of the
+/// current stage: it failed itself, or a non-contained member of its
+/// group failed (dooming the whole group).
+fn mixed_doomed(failures: &[MixedFailure], mm: &CohortMemberMeta) -> bool {
+    failures
+        .iter()
+        .any(|f| f.group == mm.group && (!f.contained || f.copy == mm.copy))
+}
+
+/// Removes the single `(group, copy)` member from one (copies, meta) pair
+/// when present.
+fn remove_one<C>(
+    copies: &mut Vec<C>,
+    meta: &mut Vec<CohortMemberMeta>,
+    group: usize,
+    copy: usize,
+) -> bool {
+    if let Some(k) = meta
+        .iter()
+        .position(|mm| mm.group == group && mm.copy == copy)
+    {
+        copies.remove(k);
+        meta.remove(k);
+        true
+    } else {
+        false
+    }
+}
+
+/// Evicts the single `(group, copy)` member from whichever group vector
+/// holds it, recording a copy-level failure.
+fn evict_copy_mixed(
+    cohort: &mut EdgeCohort<'_>,
+    outcome: &mut CohortOutcome,
+    group: usize,
+    copy: usize,
+    error: EngineError,
+) {
+    let removed = remove_one(&mut cohort.mains, &mut cohort.main_meta, group, copy)
+        || remove_one(&mut cohort.ideals, &mut cohort.ideal_meta, group, copy)
+        || remove_one(&mut cohort.seqs, &mut cohort.seq_meta, group, copy);
+    if removed {
+        outcome.evicted += 1;
+    }
+    outcome.copy_failures.push((group, copy, error));
+}
+
+/// Resolves one stage's failures into evictions, mirroring
+/// [`resolve_failures`] for the mixed cohort: non-contained failures evict
+/// their whole group (first error wins), contained ones evict just the
+/// copy unless the group fell in the same batch.
+fn resolve_mixed_failures(
+    cohort: &mut EdgeCohort<'_>,
+    outcome: &mut CohortOutcome,
+    failures: Vec<MixedFailure>,
+) {
+    let mut group_fatal: Vec<(usize, EngineError)> = Vec::new();
+    let mut copy_level: Vec<(usize, usize, EngineError)> = Vec::new();
+    for f in failures {
+        if f.contained {
+            copy_level.push((f.group, f.copy, f.error));
+        } else if !doomed(&group_fatal, f.group) {
+            group_fatal.push((f.group, f.error));
+        }
+    }
+    for (group, error) in group_fatal {
+        evict_mixed(cohort, outcome, group, error);
+    }
+    for (group, copy, error) in copy_level {
+        if doomed(&outcome.failures, group) {
+            continue;
+        }
+        evict_copy_mixed(cohort, outcome, group, copy, error);
+    }
+}
+
 /// Fails every remaining group of the mixed cohort with a clone of `error`.
 fn fail_all_mixed(cohort: &mut EdgeCohort<'_>, outcome: &mut CohortOutcome, error: &EngineError) {
     loop {
@@ -935,7 +1109,8 @@ type MixedAccs = (Vec<MainStageAcc>, Vec<IdealStageAcc>, Vec<Vec<u64>>);
 /// the sweep schedule; the survivors keep fusing.
 ///
 /// Containment, deadlines, cancellation and fault probes follow
-/// [`drive_cohort`] exactly, at job granularity across all three groups.
+/// [`drive_cohort`] exactly, at job granularity across all three groups
+/// (copy granularity for members with [`CohortMemberMeta::contained`]).
 /// Bit-identity holds for the same reason as the homogeneous driver:
 /// every fold a member sees is the same fold, on the same chunks at the
 /// same positions, that its per-copy execution would have run.
@@ -1015,7 +1190,7 @@ pub(crate) fn drive_edge_cohort<R: Recorder, P: SweepPool>(
         // Stage-boundary fault probes, one per member, keyed by the
         // member's fault key — identical cadence to the homogeneous driver.
         if faults::ENABLED {
-            let mut hit: Vec<(usize, EngineError)> = Vec::new();
+            let mut hit: Vec<MixedFailure> = Vec::new();
             for (k, mm) in cohort
                 .main_meta
                 .iter()
@@ -1027,26 +1202,22 @@ pub(crate) fn drive_edge_cohort<R: Recorder, P: SweepPool>(
                     faults::probe(faults::FaultSite::PassBoundary, mm.fault_key)
                 }));
                 if let Err(payload) = probed {
-                    if !doomed(&hit, mm.group) {
-                        hit.push((mm.group, EngineError::panicked(k, payload)));
-                    }
+                    hit.push(MixedFailure::of(mm, EngineError::panicked(k, payload)));
                 }
             }
-            for (group, error) in hit {
-                evict_mixed(cohort, &mut outcome, group, error);
-            }
+            resolve_mixed_failures(cohort, &mut outcome, hit);
             if cohort.is_empty() {
                 break;
             }
         }
-        let mut stage_failures: Vec<(usize, EngineError)> = Vec::new();
+        let mut stage_failures: Vec<MixedFailure> = Vec::new();
 
         // ---- private sequential traversals of this stage ---------------
         if !SequentialCopyStages::pass_is_shared(stage) && !cohort.seqs.is_empty() {
             let mut aborted = false;
             for k in 0..cohort.seqs.len() {
-                let group = cohort.seq_meta[k].group;
-                if doomed(&stage_failures, group) {
+                let mm = cohort.seq_meta[k];
+                if mixed_doomed(&stage_failures, &mm) {
                     continue;
                 }
                 if cancel.is_cancelled() {
@@ -1081,14 +1252,13 @@ pub(crate) fn drive_edge_cohort<R: Recorder, P: SweepPool>(
                         aborted = true;
                         break;
                     }
-                    Ok(Err(e)) => stage_failures.push((group, EngineError::from(e))),
-                    Err(payload) => stage_failures.push((group, EngineError::panicked(k, payload))),
+                    Ok(Err(e)) => stage_failures.push(MixedFailure::of(&mm, EngineError::from(e))),
+                    Err(payload) => stage_failures
+                        .push(MixedFailure::of(&mm, EngineError::panicked(k, payload))),
                 }
             }
             if aborted || cancel.is_cancelled() {
-                for (group, error) in stage_failures {
-                    evict_mixed(cohort, &mut outcome, group, error);
-                }
+                resolve_mixed_failures(cohort, &mut outcome, stage_failures);
                 fail_all_mixed(
                     cohort,
                     &mut outcome,
@@ -1283,9 +1453,7 @@ pub(crate) fn drive_edge_cohort<R: Recorder, P: SweepPool>(
             drop(main_plan);
             let nanos = started.elapsed().as_nanos() as u64;
             if cancel.is_cancelled() {
-                for (group, error) in stage_failures {
-                    evict_mixed(cohort, &mut outcome, group, error);
-                }
+                resolve_mixed_failures(cohort, &mut outcome, stage_failures);
                 fail_all_mixed(
                     cohort,
                     &mut outcome,
@@ -1296,59 +1464,63 @@ pub(crate) fn drive_edge_cohort<R: Recorder, P: SweepPool>(
                 break;
             }
             // Finish every participating member, containing failures at
-            // group granularity.
+            // group granularity (copy granularity for contained members).
             for (k, result) in main_folds.into_iter().enumerate() {
-                let group = cohort.main_meta[k].group;
-                if doomed(&stage_failures, group) {
+                let mm = cohort.main_meta[k];
+                if mixed_doomed(&stage_failures, &mm) {
                     continue;
                 }
                 match result {
-                    Err(payload) => stage_failures.push((group, EngineError::panicked(k, payload))),
+                    Err(payload) => stage_failures
+                        .push(MixedFailure::of(&mm, EngineError::panicked(k, payload))),
                     Ok(accs) => match finish_copy_caught(&mut cohort.mains[k], accs) {
                         Ok(Ok(())) => cohort.mains[k].set_pass_nanos(stage, nanos),
-                        Ok(Err(e)) => stage_failures.push((group, e)),
-                        Err(payload) => {
-                            stage_failures.push((group, EngineError::panicked(k, payload)))
-                        }
+                        Ok(Err(e)) => stage_failures.push(MixedFailure::of(&mm, e)),
+                        Err(payload) => stage_failures
+                            .push(MixedFailure::of(&mm, EngineError::panicked(k, payload))),
                     },
                 }
             }
             for (k, result) in ideal_folds.into_iter().enumerate() {
-                let group = cohort.ideal_meta[k].group;
-                if doomed(&stage_failures, group) {
+                let mm = cohort.ideal_meta[k];
+                if mixed_doomed(&stage_failures, &mm) {
                     continue;
                 }
                 match result {
-                    Err(payload) => stage_failures.push((group, EngineError::panicked(k, payload))),
+                    Err(payload) => stage_failures
+                        .push(MixedFailure::of(&mm, EngineError::panicked(k, payload))),
                     Ok(accs) => {
                         let finish =
                             catch_unwind(AssertUnwindSafe(|| cohort.ideals[k].finish_pass(accs)));
                         match finish {
                             Ok(Ok(())) => cohort.ideals[k].set_pass_nanos(stage, nanos),
-                            Ok(Err(e)) => stage_failures.push((group, EngineError::from(e))),
-                            Err(payload) => {
-                                stage_failures.push((group, EngineError::panicked(k, payload)))
+                            Ok(Err(e)) => {
+                                stage_failures.push(MixedFailure::of(&mm, EngineError::from(e)))
                             }
+                            Err(payload) => stage_failures
+                                .push(MixedFailure::of(&mm, EngineError::panicked(k, payload))),
                         }
                     }
                 }
             }
             for (k, result) in seq_folds.into_iter().enumerate() {
-                let group = cohort.seq_meta[k].group;
-                if doomed(&stage_failures, group) {
+                let mm = cohort.seq_meta[k];
+                if mixed_doomed(&stage_failures, &mm) {
                     continue;
                 }
                 match result {
-                    Err(payload) => stage_failures.push((group, EngineError::panicked(k, payload))),
+                    Err(payload) => stage_failures
+                        .push(MixedFailure::of(&mm, EngineError::panicked(k, payload))),
                     Ok(accs) => {
                         let finish =
                             catch_unwind(AssertUnwindSafe(|| cohort.seqs[k].finish_shared(accs)));
                         match finish {
                             Ok(Ok(())) => cohort.seqs[k].set_pass_nanos(stage, nanos),
-                            Ok(Err(e)) => stage_failures.push((group, EngineError::from(e))),
-                            Err(payload) => {
-                                stage_failures.push((group, EngineError::panicked(k, payload)))
+                            Ok(Err(e)) => {
+                                stage_failures.push(MixedFailure::of(&mm, EngineError::from(e)))
                             }
+                            Err(payload) => stage_failures
+                                .push(MixedFailure::of(&mm, EngineError::panicked(k, payload))),
                         }
                     }
                 }
@@ -1377,9 +1549,7 @@ pub(crate) fn drive_edge_cohort<R: Recorder, P: SweepPool>(
             outcome.sweeps += 1;
             outcome.busy_nanos += if sweep_busy > 0 { sweep_busy } else { nanos };
         }
-        for (group, error) in stage_failures {
-            evict_mixed(cohort, &mut outcome, group, error);
-        }
+        resolve_mixed_failures(cohort, &mut outcome, stage_failures);
     }
     outcome
 }

@@ -10,6 +10,139 @@ use degentri_dynamic::{DynamicEstimatorConfig, DynamicOutcome};
 /// A baseline algorithm boxed for concurrent execution.
 pub type BoxedBaseline = Box<dyn StreamingTriangleCounter + Send + Sync>;
 
+/// Per-job quorum policy gating graceful degradation.
+///
+/// The estimators aggregate independent copies (median-of-means / median),
+/// so a job that loses a copy is less accurate, not dead. With
+/// `allow_degraded` set, a job whose copy failures survive the retry layer
+/// still succeeds as long as at least `min_copies` copies completed: its
+/// output aggregates exactly the surviving copies and carries a
+/// [`Degradation`] record. The default keeps today's all-or-nothing
+/// semantics (any copy failure fails the job).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuorumPolicy {
+    /// Minimum surviving copies required to accept a degraded result
+    /// (effectively at least 1 — an aggregate over zero copies is
+    /// meaningless, so `0` behaves like `1`).
+    pub min_copies: usize,
+    /// Whether the job may succeed with fewer copies than configured.
+    pub allow_degraded: bool,
+}
+
+impl QuorumPolicy {
+    /// Accept any non-empty surviving subset.
+    pub fn best_effort() -> Self {
+        QuorumPolicy {
+            min_copies: 1,
+            allow_degraded: true,
+        }
+    }
+
+    /// Require at least `min_copies` survivors.
+    pub fn at_least(min_copies: usize) -> Self {
+        QuorumPolicy {
+            min_copies,
+            allow_degraded: true,
+        }
+    }
+}
+
+impl Default for QuorumPolicy {
+    /// All-or-nothing: any copy failure fails the job.
+    fn default() -> Self {
+        QuorumPolicy {
+            min_copies: 0,
+            allow_degraded: false,
+        }
+    }
+}
+
+/// Backoff schedule between retry attempts of a failed copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backoff {
+    /// The same delay before every retry.
+    Fixed(Duration),
+    /// `base`, `2·base`, `4·base`, … capped at `cap`.
+    Exponential {
+        /// Delay before the first retry.
+        base: Duration,
+        /// Upper bound on any single delay.
+        cap: Duration,
+    },
+}
+
+/// Deterministic retry policy for failed copies.
+///
+/// Copy seeds are position-keyed (`RngMode::Counter`), so re-running only
+/// the failed copies is bit-identical to an undisturbed run — retrying
+/// never perturbs results, it only spends time. Retries run after the
+/// main tiers on the coordinator, respect the job deadline and the cancel
+/// token (a retry that cannot fit before the deadline short-circuits
+/// instead of sleeping), and a copy that exhausts its attempts is
+/// quarantined into the degraded path governed by [`QuorumPolicy`].
+/// Baseline jobs are not copy-parallel and are never retried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per copy including the original execution (≥ 1;
+    /// `1` means no retries). Validated when a run starts.
+    pub max_attempts: usize,
+    /// Delay schedule between attempts.
+    pub backoff: Backoff,
+    /// Optional cap on total retries across all copies of one job; when
+    /// spent, remaining failed copies quarantine immediately.
+    pub retry_budget: Option<usize>,
+}
+
+impl RetryPolicy {
+    /// A policy with `max_attempts` total attempts per copy, no backoff
+    /// delay, and no per-job budget.
+    pub fn new(max_attempts: usize) -> Self {
+        RetryPolicy {
+            max_attempts,
+            backoff: Backoff::Fixed(Duration::ZERO),
+            retry_budget: None,
+        }
+    }
+
+    /// Sets the backoff schedule.
+    pub fn with_backoff(mut self, backoff: Backoff) -> Self {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Caps total retries across all copies of the job.
+    pub fn with_budget(mut self, retries: usize) -> Self {
+        self.retry_budget = Some(retries);
+        self
+    }
+
+    /// The delay before retry number `retry` (1-based). Pure function, so
+    /// the schedule is inspectable and testable without sleeping.
+    pub fn delay(&self, retry: usize) -> Duration {
+        match self.backoff {
+            Backoff::Fixed(d) => d,
+            Backoff::Exponential { base, cap } => {
+                // Saturate the shift well before Duration overflows.
+                let doublings = retry.saturating_sub(1).min(32) as u32;
+                base.saturating_mul(1u32 << doublings.min(31)).min(cap)
+            }
+        }
+    }
+}
+
+/// How a degraded job's output was reduced: which copies were lost and
+/// what the surviving aggregate is built from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Degradation {
+    /// Copies whose results the aggregate uses.
+    pub copies_used: usize,
+    /// Copies lost to unrecovered failures.
+    pub copies_lost: usize,
+    /// The per-copy errors, in copy order (each copy's first unrecovered
+    /// error).
+    pub copy_errors: Vec<(usize, crate::EngineError)>,
+}
+
 /// What a job runs.
 pub enum JobKind {
     /// The paper's six-pass estimator (Algorithm 2), `config.copies` copies
@@ -103,6 +236,13 @@ pub struct JobSpec {
     /// [`EngineError::DeadlineExceeded`](crate::EngineError::DeadlineExceeded);
     /// batchmates sharing the run are unaffected.
     pub deadline: Option<Duration>,
+    /// Quorum policy for graceful degradation (default: all-or-nothing).
+    pub quorum: QuorumPolicy,
+    /// Retry policy for this job's failed copies, overriding the engine's
+    /// [`retry_policy`](crate::EngineConfig::retry_policy) default; `None`
+    /// falls back to the engine default (which itself defaults to no
+    /// retries).
+    pub retry: Option<RetryPolicy>,
 }
 
 impl JobSpec {
@@ -112,6 +252,8 @@ impl JobSpec {
             label: label.into(),
             kind: JobKind::Main(config),
             deadline: None,
+            quorum: QuorumPolicy::default(),
+            retry: None,
         }
     }
 
@@ -121,6 +263,8 @@ impl JobSpec {
             label: label.into(),
             kind: JobKind::Ideal(config),
             deadline: None,
+            quorum: QuorumPolicy::default(),
+            retry: None,
         }
     }
 
@@ -130,6 +274,8 @@ impl JobSpec {
             label: label.into(),
             kind: JobKind::Baseline(counter),
             deadline: None,
+            quorum: QuorumPolicy::default(),
+            retry: None,
         }
     }
 
@@ -143,12 +289,26 @@ impl JobSpec {
             label: label.into(),
             kind: JobKind::Dynamic(config),
             deadline: None,
+            quorum: QuorumPolicy::default(),
+            retry: None,
         }
     }
 
     /// Caps this job's wall-clock time, measured from run start.
     pub fn deadline(mut self, limit: Duration) -> Self {
         self.deadline = Some(limit);
+        self
+    }
+
+    /// Sets the quorum policy for graceful degradation.
+    pub fn quorum(mut self, policy: QuorumPolicy) -> Self {
+        self.quorum = policy;
+        self
+    }
+
+    /// Sets this job's retry policy (overriding the engine default).
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
         self
     }
 }
@@ -163,6 +323,10 @@ pub struct JobOutput {
     /// The full turnstile outcome (surviving edges, sketch counts, …) when
     /// this was a [`JobKind::Dynamic`] job; `None` otherwise.
     pub dynamic: Option<DynamicOutcome>,
+    /// Present when the job succeeded with fewer copies than configured
+    /// (copy failures survived the retry layer but a [`QuorumPolicy`]
+    /// accepted the surviving subset); `None` for a full-strength result.
+    pub degraded: Option<Degradation>,
 }
 
 /// Result of one job executed by the engine.
@@ -233,6 +397,17 @@ impl JobResult {
     /// `None` for non-dynamic or failed jobs.
     pub fn dynamic(&self) -> Option<&DynamicOutcome> {
         self.output().and_then(|o| o.dynamic.as_ref())
+    }
+
+    /// The degradation record of a job that succeeded on a surviving-copy
+    /// quorum; `None` for full-strength or failed jobs.
+    pub fn degradation(&self) -> Option<&Degradation> {
+        self.output().and_then(|o| o.degraded.as_ref())
+    }
+
+    /// Whether the job succeeded but with fewer copies than configured.
+    pub fn is_degraded(&self) -> bool {
+        self.degradation().is_some()
     }
 }
 
@@ -319,6 +494,7 @@ mod tests {
             outcome: Ok(JobOutput {
                 estimation: baseline_estimation(&outcome),
                 dynamic: None,
+                degraded: None,
             }),
             busy: Duration::ZERO,
             tasks: 1,
@@ -346,6 +522,41 @@ mod tests {
         assert!(failed.dynamic().is_none());
         let caught = std::panic::catch_unwind(|| failed.estimation().estimate);
         assert!(caught.is_err(), "estimation() panics on a failed job");
+    }
+
+    #[test]
+    fn recovery_policies_attach_to_jobs_and_default_off() {
+        let config = EstimatorConfig::builder().copies(3).build();
+        let plain = JobSpec::main("plain", config.clone());
+        assert_eq!(plain.quorum, QuorumPolicy::default());
+        assert!(!plain.quorum.allow_degraded);
+        assert!(plain.retry.is_none());
+        let tuned = JobSpec::main("tuned", config)
+            .quorum(QuorumPolicy::at_least(2))
+            .retry(RetryPolicy::new(3).with_budget(5));
+        assert_eq!(tuned.quorum.min_copies, 2);
+        assert!(tuned.quorum.allow_degraded);
+        assert_eq!(tuned.retry.unwrap().max_attempts, 3);
+        assert_eq!(tuned.retry.unwrap().retry_budget, Some(5));
+        assert!(QuorumPolicy::best_effort().allow_degraded);
+        assert_eq!(QuorumPolicy::best_effort().min_copies, 1);
+    }
+
+    #[test]
+    fn backoff_schedules_are_pure_and_capped() {
+        let fixed = RetryPolicy::new(4).with_backoff(Backoff::Fixed(Duration::from_millis(7)));
+        assert_eq!(fixed.delay(1), Duration::from_millis(7));
+        assert_eq!(fixed.delay(9), Duration::from_millis(7));
+        let expo = RetryPolicy::new(8).with_backoff(Backoff::Exponential {
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(45),
+        });
+        assert_eq!(expo.delay(1), Duration::from_millis(10));
+        assert_eq!(expo.delay(2), Duration::from_millis(20));
+        assert_eq!(expo.delay(3), Duration::from_millis(40));
+        assert_eq!(expo.delay(4), Duration::from_millis(45)); // capped
+        assert_eq!(expo.delay(1000), Duration::from_millis(45)); // no overflow
+        assert_eq!(RetryPolicy::new(2).delay(1), Duration::ZERO);
     }
 
     #[test]

@@ -178,6 +178,64 @@
 //! (`degentri_core::faults`, behind the `fault-inject` feature) that can
 //! trigger panics, errors, and delays at named engine sites; it compiles
 //! to nothing when the feature is off.
+//!
+//! ## Recovery: quorums, degradation, deterministic retries
+//!
+//! Containment bounds the blast radius of a fault; the recovery layer
+//! shrinks the failure unit further, from the job to the **copy**. The
+//! estimators aggregate independent copies, so a job that loses one is
+//! less accurate rather than dead:
+//!
+//! * [`QuorumPolicy`] (per job, [`JobSpec::quorum`]) lets a job succeed on
+//!   a surviving-copy quorum. The output then aggregates exactly the
+//!   surviving copies — bit-identical to what a clean run over that copy
+//!   subset computes — and carries a [`Degradation`] record
+//!   (`copies_used`, `copies_lost`, the per-copy errors).
+//! * [`RetryPolicy`] ([`JobSpec::retry`] or the engine-wide
+//!   [`EngineConfig::retry_policy`]) re-executes failed copies with
+//!   [`Backoff`] pacing before any quorum decision. Copy seeds are
+//!   position-keyed, so a retried copy reproduces its undisturbed result
+//!   bit for bit; retries respect the job deadline and the cancel token,
+//!   and a copy that exhausts its attempts quarantines into the degraded
+//!   path.
+//!
+//! Both default off: an untouched configuration keeps the all-or-nothing
+//! semantics above. Recovery is observation-transparent too — the run's
+//! [`EngineStats`] counts `copies_retried`, `copies_quarantined`,
+//! `jobs_degraded`, and backoff time:
+//!
+//! ```
+//! use degentri_core::EstimatorConfig;
+//! use degentri_engine::{Engine, EngineConfig, JobSpec, QuorumPolicy, RetryPolicy};
+//! use degentri_stream::{MemoryStream, StreamOrder};
+//!
+//! let graph = degentri_gen::wheel(400).unwrap();
+//! let stream = MemoryStream::from_graph(&graph, StreamOrder::AsGiven);
+//! let config = EstimatorConfig::builder()
+//!     .kappa(3)
+//!     .triangle_lower_bound(399)
+//!     .copies(3)
+//!     .try_build()
+//!     .unwrap();
+//!
+//! let mut engine = Engine::new(
+//!     EngineConfig::builder()
+//!         .workers(2)
+//!         .retry_policy(RetryPolicy::new(2)) // one retry per failed copy
+//!         .try_build()
+//!         .unwrap(),
+//! );
+//! engine.submit(
+//!     JobSpec::main("resilient", config).quorum(QuorumPolicy::at_least(2)),
+//! );
+//! let report = engine.run(&stream).unwrap();
+//! // No faults here, so the job is at full strength and nothing retried —
+//! // recovery changes outcomes only when copies actually fail.
+//! assert!(report.jobs[0].is_ok());
+//! assert!(!report.jobs[0].is_degraded());
+//! assert_eq!(report.stats.copies_retried, 0);
+//! assert_eq!(report.stats.jobs_degraded, 0);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -194,7 +252,9 @@ pub mod stats;
 pub use cancel::CancelToken;
 pub use config::{EngineConfig, EngineConfigBuilder};
 pub use error::EngineError;
-pub use job::{JobKind, JobOutput, JobResult, JobSpec};
+pub use job::{
+    Backoff, Degradation, JobKind, JobOutput, JobResult, JobSpec, QuorumPolicy, RetryPolicy,
+};
 pub use parallel::{
     parallel_estimate_triangles, parallel_estimate_triangles_with,
     parallel_estimate_triangles_with_oracle, parallel_estimate_triangles_with_oracle_and,

@@ -64,8 +64,11 @@ use crate::config::EngineConfig;
 use crate::fused::{
     drive_cohort, drive_edge_cohort, CohortMemberMeta, CohortOutcome, EdgeCohort, PassTrace,
 };
-use crate::job::{baseline_estimation, dynamic_estimation, JobKind, JobOutput, JobResult, JobSpec};
-use crate::stats::EngineStats;
+use crate::job::{
+    baseline_estimation, dynamic_estimation, Degradation, JobKind, JobOutput, JobResult, JobSpec,
+    RetryPolicy,
+};
+use crate::stats::{EngineStats, RecoveryTotals};
 use crate::{EngineError, Result};
 
 /// How many shards each intra-copy or fused-sweep worker gets to claim: a
@@ -168,6 +171,138 @@ enum DynTaskOutput {
 fn fail_job(errors: &mut [Option<EngineError>], job: usize, error: EngineError) {
     if errors[job].is_none() {
         errors[job] = Some(error);
+    }
+}
+
+/// Records one copy's failure at the right granularity: contained jobs
+/// collect per-copy errors (feeding the retry and degradation layers), all
+/// others fail the whole job with its first error.
+fn fail_copy(
+    contained: &[bool],
+    job_errors: &mut [Option<EngineError>],
+    copy_errors: &mut [Vec<(usize, EngineError)>],
+    job: usize,
+    copy: usize,
+    error: EngineError,
+) {
+    if contained[job] {
+        copy_errors[job].push((copy, error));
+    } else {
+        fail_job(job_errors, job, error);
+    }
+}
+
+/// Sleeps for `delay` in small slices, returning `false` as soon as the
+/// cancel token fires — a cancelled run must not finish its backoff nap.
+fn backoff_sleep(cancel: &CancelToken, delay: Duration) -> bool {
+    const SLICE: Duration = Duration::from_millis(5);
+    let until = Instant::now() + delay;
+    loop {
+        if cancel.is_cancelled() {
+            return false;
+        }
+        let now = Instant::now();
+        if now >= until {
+            return true;
+        }
+        std::thread::sleep((until - now).min(SLICE));
+    }
+}
+
+/// What the retry layer did, feeding [`RecoveryTotals`].
+#[derive(Debug, Default)]
+struct RetryTally {
+    retried: u64,
+    quarantined: u64,
+    backoff: Duration,
+}
+
+/// Drains every retry-enabled job's copy failures through its policy on
+/// the coordinator, after both execution tiers have finished.
+///
+/// Copies are retried in copy order, each driven to success or quarantine
+/// before the next; `rerun(job, copy)` re-executes one copy and records
+/// its contribution on success. Because copy seeds are position-keyed, a
+/// successful re-execution is **bit-identical** to the copy never having
+/// failed. Deterministic-by-construction schedule aside, the layer is
+/// deadline- and cancel-aware: a backoff delay that cannot fit before the
+/// job's deadline short-circuits to quarantine instead of sleeping, and
+/// the sleep itself aborts promptly on cancellation. Cut errors
+/// (deadline/cancel) are terminal — retrying them would only cut again.
+/// Copies that exhaust `max_attempts` or the job's retry budget are
+/// quarantined back into `copy_errors` for the quorum-governed degraded
+/// assembly.
+fn retry_failed_copies(
+    retry_of: &[Option<RetryPolicy>],
+    deadline_at: &[Option<Instant>],
+    cancel: &CancelToken,
+    job_errors: &[Option<EngineError>],
+    copy_errors: &mut [Vec<(usize, EngineError)>],
+    tally: &mut RetryTally,
+    mut rerun: impl FnMut(usize, usize) -> std::result::Result<(), EngineError>,
+) {
+    for job in 0..retry_of.len() {
+        let Some(policy) = retry_of[job] else {
+            continue;
+        };
+        if job_errors[job].is_some() || copy_errors[job].is_empty() {
+            continue;
+        }
+        let mut budget = policy.retry_budget.unwrap_or(usize::MAX);
+        let mut pending = std::mem::take(&mut copy_errors[job]);
+        pending.sort_by_key(|&(copy, _)| copy);
+        let mut quarantined: Vec<(usize, EngineError)> = Vec::new();
+        for (copy, mut error) in pending {
+            // Attempts spent on this copy, the original execution included.
+            let mut used = 1usize;
+            loop {
+                let cut = matches!(
+                    error,
+                    EngineError::DeadlineExceeded { .. } | EngineError::Cancelled { .. }
+                );
+                if cut || used >= policy.max_attempts || budget == 0 {
+                    tally.quarantined += 1;
+                    quarantined.push((copy, error));
+                    break;
+                }
+                let delay = policy.delay(used);
+                if !delay.is_zero() {
+                    if deadline_at[job].is_some_and(|d| Instant::now() + delay >= d) {
+                        tally.quarantined += 1;
+                        quarantined.push((
+                            copy,
+                            EngineError::DeadlineExceeded {
+                                completed_passes: 0,
+                            },
+                        ));
+                        break;
+                    }
+                    let slept = Instant::now();
+                    let finished = backoff_sleep(cancel, delay);
+                    tally.backoff += slept.elapsed();
+                    if !finished {
+                        tally.quarantined += 1;
+                        quarantined.push((
+                            copy,
+                            EngineError::Cancelled {
+                                completed_passes: 0,
+                            },
+                        ));
+                        break;
+                    }
+                }
+                budget = budget.saturating_sub(1);
+                tally.retried += 1;
+                match rerun(job, copy) {
+                    Ok(()) => break,
+                    Err(e) => {
+                        error = e;
+                        used += 1;
+                    }
+                }
+            }
+        }
+        copy_errors[job] = quarantined;
     }
 }
 
@@ -399,6 +534,35 @@ impl Engine {
         // Per-job contained errors (first error in deterministic task
         // order wins); populated by the per-copy and fused tiers below.
         let mut job_errors: Vec<Option<EngineError>> = vec![None; jobs.len()];
+        // Per-job recovery plumbing: the retry policy in effect (job
+        // override, else the engine default), and whether failures are
+        // contained at copy granularity. A job opts into copy containment
+        // by carrying a retry policy or a degradation-tolerant quorum;
+        // baselines are single-task and never contained. Everything else
+        // keeps the all-or-nothing default.
+        let retry_of: Vec<Option<RetryPolicy>> = jobs
+            .iter()
+            .map(|spec| spec.retry.or(self.config.retry_policy))
+            .collect();
+        for policy in retry_of.iter().flatten() {
+            if policy.max_attempts == 0 {
+                return Err(EngineError::invalid_config(
+                    "retry.max_attempts must be at least 1",
+                ));
+            }
+        }
+        let contained: Vec<bool> = jobs
+            .iter()
+            .enumerate()
+            .map(|(job, spec)| {
+                (retry_of[job].is_some() || spec.quorum.allow_degraded)
+                    && !matches!(spec.kind, JobKind::Baseline(_))
+            })
+            .collect();
+        // Contained jobs' per-copy errors (`(copy, error)`), feeding the
+        // retry layer and then the quorum-governed degraded assembly.
+        let mut copy_errors: Vec<Vec<(usize, EngineError)>> =
+            jobs.iter().map(|_| Vec::new()).collect();
 
         // The whole snapshot behind one plain stream view (zero-copy); the
         // per-copy tier streams through it.
@@ -483,6 +647,7 @@ impl Engine {
                             copy,
                             deadline: deadline_at[job],
                             fault_key: seed,
+                            contained: contained[job],
                         };
                         if sequential {
                             cohort.seqs.push(
@@ -514,6 +679,7 @@ impl Engine {
                             copy,
                             deadline: deadline_at[job],
                             fault_key: seed,
+                            contained: contained[job],
                         });
                         cohort_of.push((job, copy));
                     }
@@ -533,6 +699,7 @@ impl Engine {
                             copy,
                             deadline: deadline_at[job],
                             fault_key: seed,
+                            contained: contained[job],
                         });
                         cohort_of.push((job, copy));
                     }
@@ -724,7 +891,8 @@ impl Engine {
         } else {
             workers.max(1)
         };
-        let task_slots: Vec<TaskSlot<TaskOutput>> = tasks.iter().map(|_| Mutex::new(None)).collect();
+        let task_slots: Vec<TaskSlot<TaskOutput>> =
+            tasks.iter().map(|_| Mutex::new(None)).collect();
         let mut trace: Vec<PassTrace> = Vec::new();
         let mut dyn_trace: Vec<PassTrace> = Vec::new();
         let (cohort_outcome, dyn_outcome) =
@@ -784,7 +952,15 @@ impl Engine {
         {
             fail_job(&mut job_errors, group, error);
         }
-        let wall = started.elapsed();
+        // Copy-level evictions of contained members join the per-copy
+        // error set headed for the retry layer.
+        for (group, copy, error) in cohort_outcome
+            .copy_failures
+            .into_iter()
+            .chain(dyn_outcome.copy_failures)
+        {
+            copy_errors[group].push((copy, error));
+        }
 
         // Fold-loop tallies summed over the fused six-pass and turnstile
         // copies, gathered before the stage objects are consumed below.
@@ -830,36 +1006,68 @@ impl Engine {
         for (i, (task, caught)) in tasks.iter().zip(outputs).enumerate() {
             let job = task.job();
             tasks_per_job[job] += 1;
+            let copy = match *task {
+                Task::MainCopy { copy, .. }
+                | Task::IdealCopy { copy, .. }
+                | Task::DynamicCopy { copy, .. } => copy,
+                Task::Baseline { .. } => 0,
+            };
             match caught {
                 // The task panicked; its worker survived and its payload
-                // fails only this job.
-                Err(payload) => fail_job(&mut job_errors, job, EngineError::panicked(i, payload)),
+                // fails only this copy's job (or, for contained jobs, only
+                // this copy).
+                Err(payload) => fail_copy(
+                    &contained,
+                    &mut job_errors,
+                    &mut copy_errors,
+                    job,
+                    copy,
+                    EngineError::panicked(i, payload),
+                ),
                 Ok((output, spent)) => {
                     busy_per_job[job] += spent;
                     busy_total += spent;
-                    let copy = match *task {
-                        Task::MainCopy { copy, .. }
-                        | Task::IdealCopy { copy, .. }
-                        | Task::DynamicCopy { copy, .. } => copy,
-                        Task::Baseline { .. } => 0,
-                    };
                     match output {
                         TaskOutput::Copy(Ok(contribution)) => {
                             sweeps += contribution.passes as u64;
                             contributions[job].push((copy, contribution));
                         }
-                        TaskOutput::Copy(Err(e)) => fail_job(&mut job_errors, job, e.into()),
+                        TaskOutput::Copy(Err(e)) => fail_copy(
+                            &contained,
+                            &mut job_errors,
+                            &mut copy_errors,
+                            job,
+                            copy,
+                            e.into(),
+                        ),
                         TaskOutput::Dynamic(Ok(outcome)) => {
                             // Every per-copy turnstile run makes four passes.
                             sweeps += DynamicCopyStages::PASSES as u64;
                             dyn_contributions[job].push((copy, outcome));
                         }
-                        TaskOutput::Dynamic(Err(e)) => fail_job(&mut job_errors, job, e.into()),
+                        TaskOutput::Dynamic(Err(e)) => fail_copy(
+                            &contained,
+                            &mut job_errors,
+                            &mut copy_errors,
+                            job,
+                            copy,
+                            e.into(),
+                        ),
                         TaskOutput::Baseline(outcome) => {
                             sweeps += outcome.passes as u64;
                             baseline_outcomes[job] = Some(outcome);
                         }
-                        TaskOutput::Cut(error) => fail_job(&mut job_errors, job, error),
+                        // Deadline/cancel cuts of contained jobs become
+                        // copy errors too: copies that completed earlier
+                        // survive, keeping a quorum reachable.
+                        TaskOutput::Cut(error) => fail_copy(
+                            &contained,
+                            &mut job_errors,
+                            &mut copy_errors,
+                            job,
+                            copy,
+                            error,
+                        ),
                     }
                 }
             }
@@ -890,6 +1098,7 @@ impl Engine {
             mains,
             &main_meta,
             &mut job_errors,
+            &mut copy_errors,
             &mut contributions,
             |s| {
                 s.finish()
@@ -897,15 +1106,23 @@ impl Engine {
                     .map_err(EngineError::from)
             },
         );
-        finish_members(seqs, &seq_meta, &mut job_errors, &mut contributions, |s| {
-            s.finish()
-                .map(|o| CopyContribution::from(&o))
-                .map_err(EngineError::from)
-        });
+        finish_members(
+            seqs,
+            &seq_meta,
+            &mut job_errors,
+            &mut copy_errors,
+            &mut contributions,
+            |s| {
+                s.finish()
+                    .map(|o| CopyContribution::from(&o))
+                    .map_err(EngineError::from)
+            },
+        );
         finish_members(
             ideals,
             &ideal_meta,
             &mut job_errors,
+            &mut copy_errors,
             &mut contributions,
             |s| {
                 s.finish()
@@ -917,47 +1134,200 @@ impl Engine {
             dyn_cohort,
             &dyn_meta,
             &mut job_errors,
+            &mut copy_errors,
             &mut dyn_contributions,
             |s| s.finish().map_err(EngineError::from),
         );
 
+        // ---- Deterministic retries ------------------------------------------
+        // Failed copies of retry-enabled jobs re-run on the coordinator,
+        // unsharded. Position-keyed seeds make each re-execution
+        // bit-identical to the copy never having failed, on any tier and
+        // any worker count; only wall-clock time (and the sweep count)
+        // grows. Retried attempts probe the same fault sites as fresh
+        // per-copy tasks, so transient `FaultKind::FailTimes` windows heal
+        // exactly as they would for an independent task.
+        let mut retry_tally = RetryTally::default();
+        if copy_errors.iter().any(|e| !e.is_empty()) {
+            let mut scratch = EstimatorScratch::new();
+            retry_failed_copies(
+                &retry_of,
+                &deadline_at,
+                &cancel,
+                &job_errors,
+                &mut copy_errors,
+                &mut retry_tally,
+                |job, copy| {
+                    let attempt_started = Instant::now();
+                    // Same cut checks as a fresh per-copy task.
+                    if cancel.is_cancelled() {
+                        return Err(EngineError::Cancelled {
+                            completed_passes: 0,
+                        });
+                    }
+                    if deadline_at[job].is_some_and(|d| Instant::now() >= d) {
+                        return Err(EngineError::DeadlineExceeded {
+                            completed_passes: 0,
+                        });
+                    }
+                    if faults::ENABLED {
+                        let key = match &jobs[job].kind {
+                            JobKind::Dynamic(_) => {
+                                let seed = effective_dyn[job]
+                                    .as_ref()
+                                    .map(|c| c.seed)
+                                    .unwrap_or_default();
+                                dynamic_copy_seed(seed, copy)
+                            }
+                            _ => {
+                                let seed =
+                                    effective[job].as_ref().map(|c| c.seed).unwrap_or_default();
+                                main_copy_seed(seed, copy)
+                            }
+                        };
+                        if faults::injected(faults::FaultSite::TaskStart, key) {
+                            return Err(match &jobs[job].kind {
+                                JobKind::Dynamic(_) => {
+                                    EngineError::Dynamic(DynamicError::Injected {
+                                        site: faults::FaultSite::TaskStart,
+                                    })
+                                }
+                                _ => EngineError::Estimator(EstimatorError::Injected {
+                                    site: faults::FaultSite::TaskStart,
+                                }),
+                            });
+                        }
+                    }
+                    enum Retried {
+                        Copy(CopyContribution),
+                        Dynamic(DynamicCopyOutcome),
+                    }
+                    let caught = catch_unwind(AssertUnwindSafe(|| match &jobs[job].kind {
+                        JobKind::Main(_) => {
+                            let config = effective[job].as_ref().expect("main job has a config");
+                            run_main_copy_with(&plain, config, copy, batch, &mut scratch)
+                                .map(|o| Retried::Copy(CopyContribution::from(&o)))
+                                .map_err(EngineError::from)
+                        }
+                        JobKind::Ideal(_) => {
+                            let config = effective[job].as_ref().expect("ideal job has a config");
+                            let stats = ideal_stats.as_ref().expect("stats built for ideal jobs");
+                            run_ideal_copy_with(&plain, stats, config, copy, batch, &mut scratch)
+                                .map(|o| Retried::Copy(CopyContribution::from(&o)))
+                                .map_err(EngineError::from)
+                        }
+                        JobKind::Dynamic(_) => {
+                            let config = effective_dyn[job]
+                                .as_ref()
+                                .expect("dynamic job has a config");
+                            run_dynamic_copy_with(&dyn_plain, config, copy, batch)
+                                .map(Retried::Dynamic)
+                                .map_err(EngineError::from)
+                        }
+                        // Baselines are never contained, so their copies
+                        // never reach the retry layer.
+                        JobKind::Baseline(_) => unreachable!("baseline copies are never retried"),
+                    }));
+                    let spent = attempt_started.elapsed();
+                    busy_per_job[job] += spent;
+                    busy_total += spent;
+                    match caught {
+                        Err(payload) => Err(EngineError::panicked(copy, payload)),
+                        Ok(Err(e)) => Err(e),
+                        Ok(Ok(Retried::Copy(contribution))) => {
+                            sweeps += contribution.passes as u64;
+                            contributions[job].push((copy, contribution));
+                            Ok(())
+                        }
+                        Ok(Ok(Retried::Dynamic(outcome))) => {
+                            sweeps += DynamicCopyStages::PASSES as u64;
+                            dyn_contributions[job].push((copy, outcome));
+                            Ok(())
+                        }
+                    }
+                },
+            );
+        }
+        let wall = started.elapsed();
+
+        let mut jobs_degraded = 0usize;
         let results: Vec<JobResult> = jobs
             .iter()
             .enumerate()
             .map(|(job, spec)| {
+                // Unrecovered copy errors, in copy order (each copy's
+                // first error — a retried copy that keeps failing reports
+                // its quarantining error).
+                let mut errors = std::mem::take(&mut copy_errors[job]);
+                errors.sort_by_key(|&(copy, _)| copy);
                 let outcome = match job_errors[job].take() {
                     Some(error) => Err(error),
-                    None => Ok(match &spec.kind {
-                        JobKind::Main(_) | JobKind::Ideal(_) => {
-                            // Copies aggregate in copy order regardless of
-                            // which tier executed them.
-                            contributions[job].sort_by_key(|&(copy, _)| copy);
-                            let copies: Vec<CopyContribution> =
-                                contributions[job].iter().map(|&(_, c)| c).collect();
-                            JobOutput {
-                                estimation: degentri_core::aggregate_copies(&copies),
-                                dynamic: None,
-                            }
+                    None => {
+                        let survivors = match &spec.kind {
+                            JobKind::Main(_) | JobKind::Ideal(_) => contributions[job].len(),
+                            JobKind::Dynamic(_) => dyn_contributions[job].len(),
+                            JobKind::Baseline(_) => 1,
+                        };
+                        // Quorum check: a job with unrecovered copy errors
+                        // succeeds degraded when its policy tolerates the
+                        // surviving subset, else it fails with the first
+                        // error in copy order (min_copies = 0 behaves like
+                        // 1 — an aggregate over zero copies is
+                        // meaningless).
+                        if !(errors.is_empty()
+                            || (spec.quorum.allow_degraded
+                                && survivors >= spec.quorum.min_copies.max(1)))
+                        {
+                            Err(errors.remove(0).1)
+                        } else {
+                            let degraded = if errors.is_empty() {
+                                None
+                            } else {
+                                jobs_degraded += 1;
+                                Some(Degradation {
+                                    copies_used: survivors,
+                                    copies_lost: errors.len(),
+                                    copy_errors: errors,
+                                })
+                            };
+                            Ok(match &spec.kind {
+                                JobKind::Main(_) | JobKind::Ideal(_) => {
+                                    // Copies aggregate in copy order
+                                    // regardless of which tier executed
+                                    // them; a degraded job aggregates
+                                    // exactly its surviving copies.
+                                    contributions[job].sort_by_key(|&(copy, _)| copy);
+                                    let copies: Vec<CopyContribution> =
+                                        contributions[job].iter().map(|&(_, c)| c).collect();
+                                    JobOutput {
+                                        estimation: degentri_core::aggregate_copies(&copies),
+                                        dynamic: None,
+                                        degraded,
+                                    }
+                                }
+                                JobKind::Baseline(_) => JobOutput {
+                                    estimation: baseline_estimation(
+                                        baseline_outcomes[job]
+                                            .as_ref()
+                                            .expect("baseline task completed"),
+                                    ),
+                                    dynamic: None,
+                                    degraded,
+                                },
+                                JobKind::Dynamic(_) => {
+                                    dyn_contributions[job].sort_by_key(|&(copy, _)| copy);
+                                    let copies: Vec<DynamicCopyOutcome> =
+                                        dyn_contributions[job].iter().map(|&(_, c)| c).collect();
+                                    let outcome = aggregate_dynamic_copies(&copies);
+                                    JobOutput {
+                                        estimation: dynamic_estimation(&outcome),
+                                        dynamic: Some(outcome),
+                                        degraded,
+                                    }
+                                }
+                            })
                         }
-                        JobKind::Baseline(_) => JobOutput {
-                            estimation: baseline_estimation(
-                                baseline_outcomes[job]
-                                    .as_ref()
-                                    .expect("baseline task completed"),
-                            ),
-                            dynamic: None,
-                        },
-                        JobKind::Dynamic(_) => {
-                            dyn_contributions[job].sort_by_key(|&(copy, _)| copy);
-                            let copies: Vec<DynamicCopyOutcome> =
-                                dyn_contributions[job].iter().map(|&(_, c)| c).collect();
-                            let outcome = aggregate_dynamic_copies(&copies);
-                            JobOutput {
-                                estimation: dynamic_estimation(&outcome),
-                                dynamic: Some(outcome),
-                            }
-                        }
-                    }),
+                    }
                 };
                 JobResult {
                     label: spec.label.clone(),
@@ -968,6 +1338,14 @@ impl Engine {
             })
             .collect();
         let jobs_failed = results.iter().filter(|r| !r.is_ok()).count();
+        let recovery = RecoveryTotals {
+            jobs_failed,
+            copies_evicted,
+            copies_retried: retry_tally.retried,
+            copies_quarantined: retry_tally.quarantined,
+            jobs_degraded,
+            retry_backoff: retry_tally.backoff,
+        };
 
         let tiers = TierTotals {
             fused_sweeps,
@@ -1015,8 +1393,7 @@ impl Engine {
                 &tasks_per_job,
                 &busy_per_job,
                 cohort_copies,
-                jobs_failed,
-                copies_evicted,
+                &recovery,
                 faults::injected_count().saturating_sub(faults_before),
                 &tiers,
             ))
@@ -1038,8 +1415,7 @@ impl Engine {
                 busy_total,
                 tiers.fused_busy,
                 m as u64,
-                jobs_failed,
-                copies_evicted,
+                recovery,
             ),
             run_report,
         })
@@ -1102,6 +1478,27 @@ impl Engine {
             .collect();
         // First contained error per job; `None` = still healthy.
         let mut job_errors: Vec<Option<EngineError>> = vec![None; jobs.len()];
+        // Per-job recovery plumbing, mirroring the edge scheduler (every
+        // job here is a turnstile job, so only the retry/quorum opt-in
+        // matters).
+        let retry_of: Vec<Option<RetryPolicy>> = jobs
+            .iter()
+            .map(|spec| spec.retry.or(self.config.retry_policy))
+            .collect();
+        for policy in retry_of.iter().flatten() {
+            if policy.max_attempts == 0 {
+                return Err(EngineError::invalid_config(
+                    "retry.max_attempts must be at least 1",
+                ));
+            }
+        }
+        let contained: Vec<bool> = jobs
+            .iter()
+            .enumerate()
+            .map(|(job, spec)| retry_of[job].is_some() || spec.quorum.allow_degraded)
+            .collect();
+        let mut copy_errors: Vec<Vec<(usize, EngineError)>> =
+            jobs.iter().map(|_| Vec::new()).collect();
 
         // Tier split: counter-mode copies fuse into one cohort; sequential
         // copies run per-copy over the plain view.
@@ -1130,6 +1527,7 @@ impl Engine {
                         copy,
                         deadline: deadline_at[job],
                         fault_key: dynamic_copy_seed(effective[job].seed, copy),
+                        contained: contained[job],
                     });
                 } else {
                     tasks.push((job, copy));
@@ -1269,7 +1667,9 @@ impl Engine {
         for (group, error) in cohort_outcome.failures {
             fail_job(&mut job_errors, group, error);
         }
-        let wall = started.elapsed();
+        for (group, copy, error) in cohort_outcome.copy_failures {
+            copy_errors[group].push((copy, error));
+        }
 
         // Fold-loop tallies summed over the cohort's copies, gathered
         // before the stage objects are consumed below.
@@ -1295,7 +1695,14 @@ impl Engine {
         for (i, (&(job, copy), caught)) in tasks.iter().zip(outputs).enumerate() {
             tasks_per_job[job] += 1;
             match caught {
-                Err(payload) => fail_job(&mut job_errors, job, EngineError::panicked(i, payload)),
+                Err(payload) => fail_copy(
+                    &contained,
+                    &mut job_errors,
+                    &mut copy_errors,
+                    job,
+                    copy,
+                    EngineError::panicked(i, payload),
+                ),
                 Ok((output, spent)) => {
                     busy_per_job[job] += spent;
                     busy_total += spent;
@@ -1305,8 +1712,22 @@ impl Engine {
                             sweeps += DynamicCopyStages::PASSES as u64;
                             contributions[job].push((copy, contribution));
                         }
-                        DynTaskOutput::Copy(Err(e)) => fail_job(&mut job_errors, job, e.into()),
-                        DynTaskOutput::Cut(error) => fail_job(&mut job_errors, job, error),
+                        DynTaskOutput::Copy(Err(e)) => fail_copy(
+                            &contained,
+                            &mut job_errors,
+                            &mut copy_errors,
+                            job,
+                            copy,
+                            e.into(),
+                        ),
+                        DynTaskOutput::Cut(error) => fail_copy(
+                            &contained,
+                            &mut job_errors,
+                            &mut copy_errors,
+                            job,
+                            copy,
+                            error,
+                        ),
                     }
                 }
             }
@@ -1320,27 +1741,109 @@ impl Engine {
             tasks_per_job[job] += 1;
             busy_per_job[job] += fused_busy.div_f64(cohort_copies.max(1) as f64);
         }
-        finish_members(cohort, &meta, &mut job_errors, &mut contributions, |s| {
-            s.finish().map_err(EngineError::from)
-        });
+        finish_members(
+            cohort,
+            &meta,
+            &mut job_errors,
+            &mut copy_errors,
+            &mut contributions,
+            |s| s.finish().map_err(EngineError::from),
+        );
 
+        // ---- Deterministic retries ------------------------------------------
+        // Same layer as the edge scheduler: failed turnstile copies re-run
+        // on the coordinator, bit-identically by position-keyed seeds.
+        let mut retry_tally = RetryTally::default();
+        if copy_errors.iter().any(|e| !e.is_empty()) {
+            retry_failed_copies(
+                &retry_of,
+                &deadline_at,
+                &cancel,
+                &job_errors,
+                &mut copy_errors,
+                &mut retry_tally,
+                |job, copy| {
+                    let attempt_started = Instant::now();
+                    if cancel.is_cancelled() {
+                        return Err(EngineError::Cancelled {
+                            completed_passes: 0,
+                        });
+                    }
+                    if deadline_at[job].is_some_and(|d| Instant::now() >= d) {
+                        return Err(EngineError::DeadlineExceeded {
+                            completed_passes: 0,
+                        });
+                    }
+                    if faults::ENABLED
+                        && faults::injected(
+                            faults::FaultSite::TaskStart,
+                            dynamic_copy_seed(effective[job].seed, copy),
+                        )
+                    {
+                        return Err(EngineError::Dynamic(DynamicError::Injected {
+                            site: faults::FaultSite::TaskStart,
+                        }));
+                    }
+                    let caught = catch_unwind(AssertUnwindSafe(|| {
+                        run_dynamic_copy_with(&plain, &effective[job], copy, batch)
+                    }));
+                    let spent = attempt_started.elapsed();
+                    busy_per_job[job] += spent;
+                    busy_total += spent;
+                    match caught {
+                        Err(payload) => Err(EngineError::panicked(copy, payload)),
+                        Ok(Err(e)) => Err(e.into()),
+                        Ok(Ok(outcome)) => {
+                            sweeps += DynamicCopyStages::PASSES as u64;
+                            contributions[job].push((copy, outcome));
+                            Ok(())
+                        }
+                    }
+                },
+            );
+        }
+        let wall = started.elapsed();
+
+        let mut jobs_degraded = 0usize;
         let results: Vec<JobResult> = jobs
             .iter()
             .enumerate()
             .map(|(job, spec)| {
+                let mut errors = std::mem::take(&mut copy_errors[job]);
+                errors.sort_by_key(|&(copy, _)| copy);
                 let outcome = match job_errors[job].take() {
                     Some(error) => Err(error),
                     None => {
-                        // Copies aggregate in copy order regardless of which
-                        // tier executed them.
-                        contributions[job].sort_by_key(|&(copy, _)| copy);
-                        let copies: Vec<DynamicCopyOutcome> =
-                            contributions[job].iter().map(|&(_, c)| c).collect();
-                        let outcome = aggregate_dynamic_copies(&copies);
-                        Ok(JobOutput {
-                            estimation: dynamic_estimation(&outcome),
-                            dynamic: Some(outcome),
-                        })
+                        let survivors = contributions[job].len();
+                        if !(errors.is_empty()
+                            || (spec.quorum.allow_degraded
+                                && survivors >= spec.quorum.min_copies.max(1)))
+                        {
+                            Err(errors.remove(0).1)
+                        } else {
+                            let degraded = if errors.is_empty() {
+                                None
+                            } else {
+                                jobs_degraded += 1;
+                                Some(Degradation {
+                                    copies_used: survivors,
+                                    copies_lost: errors.len(),
+                                    copy_errors: errors,
+                                })
+                            };
+                            // Copies aggregate in copy order regardless of
+                            // which tier executed them; a degraded job
+                            // aggregates exactly its surviving copies.
+                            contributions[job].sort_by_key(|&(copy, _)| copy);
+                            let copies: Vec<DynamicCopyOutcome> =
+                                contributions[job].iter().map(|&(_, c)| c).collect();
+                            let outcome = aggregate_dynamic_copies(&copies);
+                            Ok(JobOutput {
+                                estimation: dynamic_estimation(&outcome),
+                                dynamic: Some(outcome),
+                                degraded,
+                            })
+                        }
                     }
                 };
                 JobResult {
@@ -1352,6 +1855,14 @@ impl Engine {
             })
             .collect();
         let jobs_failed = results.iter().filter(|r| !r.is_ok()).count();
+        let recovery = RecoveryTotals {
+            jobs_failed,
+            copies_evicted,
+            copies_retried: retry_tally.retried,
+            copies_quarantined: retry_tally.quarantined,
+            jobs_degraded,
+            retry_backoff: retry_tally.backoff,
+        };
 
         let tiers = TierTotals {
             fused_sweeps,
@@ -1381,8 +1892,7 @@ impl Engine {
                 &tasks_per_job,
                 &busy_per_job,
                 cohort_copies,
-                jobs_failed,
-                copies_evicted,
+                &recovery,
                 faults::injected_count().saturating_sub(faults_before),
                 &tiers,
             ))
@@ -1404,8 +1914,7 @@ impl Engine {
                 busy_total,
                 tiers.fused_busy,
                 updates.len() as u64,
-                jobs_failed,
-                copies_evicted,
+                recovery,
             ),
             run_report,
         })
@@ -1414,11 +1923,14 @@ impl Engine {
 
 /// Consumes one cohort group's eviction survivors: finishes each member
 /// under panic containment, pushing its contribution (keyed by copy index)
-/// or failing its job with the first error.
+/// or failing its job with the first error — for
+/// [`contained`](CohortMemberMeta::contained) members, failing only the
+/// copy, so its siblings keep contributing toward a quorum.
 fn finish_members<C, T>(
     copies: Vec<C>,
     meta: &[CohortMemberMeta],
     job_errors: &mut [Option<EngineError>],
+    copy_errors: &mut [Vec<(usize, EngineError)>],
     out: &mut [Vec<(usize, T)>],
     finish: impl Fn(C) -> Result<T>,
 ) {
@@ -1428,11 +1940,24 @@ fn finish_members<C, T>(
             continue;
         }
         // `AssertUnwindSafe`: a panicking finish tears only this copy,
-        // whose job is failed (and its contributions discarded) here.
+        // whose job (or copy) is failed here.
         match catch_unwind(AssertUnwindSafe(|| finish(stages))) {
             Ok(Ok(outcome)) => out[job].push((mm.copy, outcome)),
-            Ok(Err(e)) => fail_job(job_errors, job, e),
-            Err(payload) => fail_job(job_errors, job, EngineError::panicked(k, payload)),
+            Ok(Err(e)) => {
+                if mm.contained {
+                    copy_errors[job].push((mm.copy, e));
+                } else {
+                    fail_job(job_errors, job, e);
+                }
+            }
+            Err(payload) => {
+                let error = EngineError::panicked(k, payload);
+                if mm.contained {
+                    copy_errors[job].push((mm.copy, error));
+                } else {
+                    fail_job(job_errors, job, error);
+                }
+            }
         }
     }
 }
@@ -1478,18 +2003,29 @@ fn assemble_run_report<R: Recorder>(
     tasks_per_job: &[usize],
     busy_per_job: &[Duration],
     cohort_copies: usize,
-    jobs_failed: usize,
-    copies_evicted: usize,
+    recovery: &RecoveryTotals,
     faults_injected: u64,
     tiers: &TierTotals,
 ) -> RunReport {
     let total_tasks: usize = tasks_per_job.iter().sum();
     recorder.add(0, Counter::TasksExecuted, total_tasks as u64);
-    recorder.add(0, Counter::JobsCompleted, (jobs.len() - jobs_failed) as u64);
-    recorder.add(0, Counter::JobsFailed, jobs_failed as u64);
+    recorder.add(
+        0,
+        Counter::JobsCompleted,
+        (jobs.len() - recovery.jobs_failed) as u64,
+    );
+    recorder.add(0, Counter::JobsFailed, recovery.jobs_failed as u64);
     recorder.add(0, Counter::CohortCopies, cohort_copies as u64);
-    recorder.add(0, Counter::CohortEvictions, copies_evicted as u64);
+    recorder.add(0, Counter::CohortEvictions, recovery.copies_evicted as u64);
     recorder.add(0, Counter::FaultsInjected, faults_injected);
+    recorder.add(0, Counter::CopiesRetried, recovery.copies_retried);
+    recorder.add(0, Counter::CopiesQuarantined, recovery.copies_quarantined);
+    recorder.add(0, Counter::JobsDegraded, recovery.jobs_degraded as u64);
+    recorder.add(
+        0,
+        Counter::RetryBackoffNanos,
+        recovery.retry_backoff.as_nanos() as u64,
+    );
     recorder.add(0, Counter::FusedSweeps, tiers.fused_sweeps);
     recorder.add(0, Counter::PerCopySweeps, tiers.per_copy_sweeps);
     recorder.add(

@@ -65,6 +65,34 @@ pub struct EngineStats {
     /// failing job's copies leave the union probe structures; survivors
     /// stay bit-identical to a run without the failed job).
     pub copies_evicted: usize,
+    /// Retry attempts executed for failed copies under a
+    /// [`RetryPolicy`](crate::RetryPolicy) (each re-execution of one copy
+    /// counts once, successful or not).
+    pub copies_retried: u64,
+    /// Copies whose failures survived the retry layer (attempts or budget
+    /// exhausted, or a deadline/cancellation cut short-circuited the
+    /// retry): they enter the degraded path governed by each job's
+    /// [`QuorumPolicy`](crate::QuorumPolicy).
+    pub copies_quarantined: u64,
+    /// Jobs that succeeded on a surviving-copy quorum with fewer copies
+    /// than configured (their [`JobOutput::degraded`](crate::JobOutput)
+    /// carries the details).
+    pub jobs_degraded: usize,
+    /// Wall-clock seconds the retry layer spent sleeping in backoff
+    /// delays (coordinator time, not worker-pool time).
+    pub retry_backoff_seconds: f64,
+}
+
+/// The run's failure/recovery tallies, bundled so
+/// [`EngineStats::from_run`] call sites stay readable as the set grows.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct RecoveryTotals {
+    pub jobs_failed: usize,
+    pub copies_evicted: usize,
+    pub copies_retried: u64,
+    pub copies_quarantined: u64,
+    pub jobs_degraded: usize,
+    pub retry_backoff: Duration,
 }
 
 impl EngineStats {
@@ -86,8 +114,7 @@ impl EngineStats {
         busy: Duration,
         fused_busy: Duration,
         snapshot_len: u64,
-        jobs_failed: usize,
-        copies_evicted: usize,
+        recovery: RecoveryTotals,
     ) -> Self {
         let edges_streamed = sweeps_executed * snapshot_len;
         let wall_seconds = wall.as_secs_f64();
@@ -110,8 +137,12 @@ impl EngineStats {
             edges_streamed,
             edges_per_second: edges_streamed as f64 / denom,
             worker_utilization: busy_seconds / (denom * workers.max(1) as f64),
-            jobs_failed,
-            copies_evicted,
+            jobs_failed: recovery.jobs_failed,
+            copies_evicted: recovery.copies_evicted,
+            copies_retried: recovery.copies_retried,
+            copies_quarantined: recovery.copies_quarantined,
+            jobs_degraded: recovery.jobs_degraded,
+            retry_backoff_seconds: recovery.retry_backoff.as_secs_f64(),
         }
     }
 }
@@ -121,15 +152,41 @@ impl fmt::Display for EngineStats {
         write!(
             f,
             "{} tasks on {} workers in {:.3}s — {:.0} edges/s, {:.0}% utilization, \
-             {} fused cohorts, {} sweeps",
+             {} fused cohorts, {} sweeps ({} fused / {} per-copy), \
+             busy {:.3}s ({:.3}s fused / {:.3}s per-copy)",
             self.tasks,
             self.workers,
             self.wall_seconds,
             self.edges_per_second,
             100.0 * self.worker_utilization,
             self.fused_cohorts,
-            self.sweeps_executed
-        )
+            self.sweeps_executed,
+            self.fused_sweeps,
+            self.per_copy_sweeps,
+            self.busy_seconds,
+            self.fused_busy_seconds,
+            self.per_copy_busy_seconds,
+        )?;
+        // Failure/recovery counters only appear when something happened:
+        // the healthy-run line stays short.
+        if self.jobs_failed > 0 || self.copies_evicted > 0 {
+            write!(
+                f,
+                ", {} jobs failed, {} copies evicted",
+                self.jobs_failed, self.copies_evicted
+            )?;
+        }
+        if self.copies_retried > 0 || self.copies_quarantined > 0 || self.jobs_degraded > 0 {
+            write!(
+                f,
+                ", {} copies retried ({:.3}s backoff), {} quarantined, {} jobs degraded",
+                self.copies_retried,
+                self.retry_backoff_seconds,
+                self.copies_quarantined,
+                self.jobs_degraded,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -151,8 +208,14 @@ mod tests {
             Duration::from_millis(1500),
             Duration::from_millis(600),
             50_000,
-            1,
-            4,
+            RecoveryTotals {
+                jobs_failed: 1,
+                copies_evicted: 4,
+                copies_retried: 3,
+                copies_quarantined: 2,
+                jobs_degraded: 1,
+                retry_backoff: Duration::from_millis(250),
+            },
         );
         assert_eq!(stats.workers, 4);
         assert_eq!(stats.intra_task_workers, 2);
@@ -169,9 +232,73 @@ mod tests {
         assert!((stats.worker_utilization - 0.75).abs() < 1e-9);
         assert_eq!(stats.jobs_failed, 1);
         assert_eq!(stats.copies_evicted, 4);
+        assert_eq!(stats.copies_retried, 3);
+        assert_eq!(stats.copies_quarantined, 2);
+        assert_eq!(stats.jobs_degraded, 1);
+        assert!((stats.retry_backoff_seconds - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_covers_the_full_schema() {
+        // One place asserts the human-readable schema: every tier split and
+        // every recovery counter must be visible when non-zero.
+        let stats = EngineStats::from_run(
+            4,
+            2,
+            Some(RngMode::Counter),
+            10,
+            1,
+            20,
+            6,
+            Duration::from_millis(500),
+            Duration::from_millis(1500),
+            Duration::from_millis(600),
+            50_000,
+            RecoveryTotals {
+                jobs_failed: 1,
+                copies_evicted: 4,
+                copies_retried: 3,
+                copies_quarantined: 2,
+                jobs_degraded: 1,
+                retry_backoff: Duration::from_millis(250),
+            },
+        );
         let text = stats.to_string();
         assert!(text.contains("4 workers") && text.contains("10 tasks"));
         assert!(text.contains("1 fused cohorts") && text.contains("20 sweeps"));
+        assert!(text.contains("(6 fused / 14 per-copy)"), "{text}");
+        assert!(
+            text.contains("busy 1.500s (0.600s fused / 0.900s per-copy)"),
+            "{text}"
+        );
+        assert!(text.contains("1 jobs failed") && text.contains("4 copies evicted"));
+        assert!(text.contains("3 copies retried (0.250s backoff)"), "{text}");
+        assert!(text.contains("2 quarantined") && text.contains("1 jobs degraded"));
+
+        // A healthy run's line carries no failure/recovery noise.
+        let clean = EngineStats::from_run(
+            2,
+            1,
+            None,
+            4,
+            1,
+            6,
+            6,
+            Duration::from_millis(100),
+            Duration::from_millis(150),
+            Duration::from_millis(150),
+            1_000,
+            RecoveryTotals::default(),
+        );
+        let text = clean.to_string();
+        assert!(
+            !text.contains("failed") && !text.contains("retried"),
+            "{text}"
+        );
+        assert!(
+            !text.contains("degraded") && !text.contains("quarantined"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -188,8 +315,7 @@ mod tests {
             Duration::ZERO,
             Duration::ZERO,
             10,
-            0,
-            0,
+            RecoveryTotals::default(),
         );
         assert!(stats.edges_per_second.is_finite());
         assert!(stats.worker_utilization.is_finite());

@@ -50,11 +50,22 @@ pub enum Counter {
     FusedBusyNanos,
     /// Measured nanoseconds spent inside per-copy task bodies.
     PerCopyBusyNanos,
+    /// Retry attempts executed for failed copies (each re-execution of
+    /// one copy counts once, successful or not).
+    CopiesRetried,
+    /// Copies whose failures survived the retry layer and entered the
+    /// quorum-governed degraded path.
+    CopiesQuarantined,
+    /// Jobs that succeeded on a surviving-copy quorum with fewer copies
+    /// than configured.
+    JobsDegraded,
+    /// Wall-clock nanoseconds the retry layer slept in backoff delays.
+    RetryBackoffNanos,
 }
 
 impl Counter {
     /// Number of counters (size of the flat per-lane array).
-    pub const COUNT: usize = 14;
+    pub const COUNT: usize = 18;
     /// All counters, in index order.
     pub const ALL: [Counter; Counter::COUNT] = [
         Counter::SweepsExecuted,
@@ -71,6 +82,10 @@ impl Counter {
         Counter::PerCopySweeps,
         Counter::FusedBusyNanos,
         Counter::PerCopyBusyNanos,
+        Counter::CopiesRetried,
+        Counter::CopiesQuarantined,
+        Counter::JobsDegraded,
+        Counter::RetryBackoffNanos,
     ];
 
     /// Flat array index of this counter.
@@ -96,6 +111,10 @@ impl Counter {
             Counter::PerCopySweeps => "per_copy_sweeps",
             Counter::FusedBusyNanos => "fused_busy_nanos",
             Counter::PerCopyBusyNanos => "per_copy_busy_nanos",
+            Counter::CopiesRetried => "copies_retried",
+            Counter::CopiesQuarantined => "copies_quarantined",
+            Counter::JobsDegraded => "jobs_degraded",
+            Counter::RetryBackoffNanos => "retry_backoff_nanos",
         }
     }
 

@@ -589,6 +589,32 @@ mod tests {
     }
 
     #[test]
+    fn every_metric_name_appears_in_display_and_json() {
+        // The schema assertion for the metrics tail: adding a counter,
+        // span, or histogram without extending `ALL`/`name()` (or a JSON
+        // writer that drops one) fails here, not in a downstream consumer.
+        let report = sample_report();
+        let text = report.to_string();
+        let json = report.to_json();
+        for c in Counter::ALL {
+            assert!(text.contains(c.name()), "Display missing {}", c.name());
+            assert!(
+                json.contains(&format!("\"{}\"", c.name())),
+                "JSON missing {}",
+                c.name()
+            );
+        }
+        for s in Span::ALL {
+            assert!(text.contains(s.name()), "Display missing {}", s.name());
+            assert!(json.contains(&format!("\"{}\"", s.name())));
+        }
+        for h in Hist::ALL {
+            assert!(text.contains(h.name()), "Display missing {}", h.name());
+            assert!(json.contains(&format!("\"{}\"", h.name())));
+        }
+    }
+
+    #[test]
     fn json_round_trips_exactly() {
         let report = sample_report();
         let json = report.to_json();

@@ -339,6 +339,56 @@
 //!     baseline.jobs[0].estimation().copy_estimates,
 //! );
 //! ```
+//!
+//! # Quickstart: robustness — retries, quorums, graceful degradation
+//!
+//! Execution failures are contained per job (a panicking, erroring, late,
+//! or cancelled job never disturbs its batchmates), and an opt-in recovery
+//! layer shrinks the failure unit further, to the **copy**: a
+//! [`RetryPolicy`](engine::RetryPolicy) re-executes failed copies with
+//! deterministic [`Backoff`](engine::Backoff) pacing — copy seeds are
+//! position-keyed, so a retried copy reproduces its undisturbed result bit
+//! for bit — and a [`QuorumPolicy`](engine::QuorumPolicy) lets a job that
+//! still loses copies succeed **degraded**, aggregating exactly the
+//! surviving copies and carrying a [`Degradation`](engine::Degradation)
+//! record instead of an error. Both default off (all-or-nothing), and on a
+//! clean run they are pure metadata:
+//!
+//! ```
+//! use degentri::engine::{QuorumPolicy, RetryPolicy};
+//! use degentri::prelude::*;
+//!
+//! let graph = degentri::gen::wheel(400).unwrap();
+//! let stream = MemoryStream::from_graph(&graph, StreamOrder::AsGiven);
+//! let config = EstimatorConfig::builder()
+//!     .kappa(3)
+//!     .triangle_lower_bound(399)
+//!     .copies(3)
+//!     .seed(7)
+//!     .try_build()
+//!     .unwrap();
+//!
+//! let mut engine = Engine::new(EngineConfig::with_workers(2));
+//! engine.submit(
+//!     JobSpec::main("resilient", config.clone())
+//!         .retry(RetryPolicy::new(2))          // one retry per failed copy
+//!         .quorum(QuorumPolicy::at_least(2)),  // then accept 2-of-3
+//! );
+//! let report = engine.run(&stream).unwrap();
+//!
+//! // Nothing failed, so nothing engaged: full strength, zero retries,
+//! // and bit-identical to a job submitted without any policies.
+//! assert!(report.jobs[0].is_ok() && !report.jobs[0].is_degraded());
+//! assert_eq!(report.stats.copies_retried, 0);
+//! assert_eq!(report.stats.jobs_degraded, 0);
+//!
+//! let mut plain = Engine::new(EngineConfig::with_workers(2));
+//! plain.submit(JobSpec::main("plain", config));
+//! assert_eq!(
+//!     report.jobs[0].estimation().copy_estimates,
+//!     plain.run(&stream).unwrap().jobs[0].estimation().copy_estimates,
+//! );
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
